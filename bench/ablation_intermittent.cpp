@@ -1,0 +1,60 @@
+// Ablation (paper §V, "Intermittent faults"): sweeps the duty cycle of the
+// intermittent fault model between the transient-like and permanent-like
+// extremes on one program/opcode, showing how outcome severity grows with
+// fault activity — the motivation the paper gives for the extension.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/permanent_injector.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+int main() {
+  const fi::TargetProgram* program = workloads::FindWorkload("303.ostencil");
+  const fi::CampaignRunner runner(*program);
+  const sim::DeviceProps device;
+  const fi::RunArtifacts golden = runner.RunGolden(device);
+  const std::uint64_t watchdog = 20 * golden.max_launch_thread_instructions;
+
+  std::printf("Ablation: intermittent fault model (FFMA, SM 0, lane 3, bit 20) on "
+              "303.ostencil\n\n");
+  std::printf("%10s | %12s | %12s | %s\n", "duty", "activations", "eligible",
+              "outcome");
+  bench::PrintRule(60);
+
+  const double duties[] = {0.001, 0.01, 0.05, 0.2, 0.5, 0.9, 0.99};
+  for (const double duty : duties) {
+    fi::IntermittentFaultParams params;
+    params.base.opcode_id = static_cast<int>(sim::Opcode::kFFMA);
+    params.base.sm_id = 0;
+    params.base.lane_id = 3;
+    params.base.bit_mask = 1u << 20;
+    params.duty_cycle = duty;
+    params.mean_burst_events = 16.0;
+    params.seed = bench::BenchSeed();
+
+    fi::IntermittentInjectorTool injector(params);
+    const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
+    const fi::Classification c = fi::Classify(golden, run, program->sdc_checker());
+    std::printf("%10.3f | %12llu | %12llu | %s%s\n", duty,
+                static_cast<unsigned long long>(injector.activations()),
+                static_cast<unsigned long long>(injector.eligible_events()),
+                std::string(fi::OutcomeName(c.outcome)).c_str(),
+                c.potential_due ? " [potential DUE]" : "");
+  }
+
+  // Extremes for reference: a permanent fault at the same location.
+  fi::PermanentFaultParams permanent;
+  permanent.opcode_id = static_cast<int>(sim::Opcode::kFFMA);
+  permanent.sm_id = 0;
+  permanent.lane_id = 3;
+  permanent.bit_mask = 1u << 20;
+  fi::PermanentInjectorTool perm_tool(permanent);
+  const fi::RunArtifacts perm_run = runner.Execute(&perm_tool, device, watchdog);
+  const fi::Classification perm_c =
+      fi::Classify(golden, perm_run, program->sdc_checker());
+  std::printf("%10s | %12llu | %12s | %s   (permanent reference)\n", "1.0",
+              static_cast<unsigned long long>(perm_tool.activations()), "-",
+              std::string(fi::OutcomeName(perm_c.outcome)).c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/campaign.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::bench {
+
+// Number of transient injections per program per mode.  The paper uses 100
+// and discusses the statistics (±8% error margins at 90% confidence); the
+// default here keeps a full bench run fast.  Override with
+// NVBITFI_BENCH_INJECTIONS=100 for paper-strength campaigns.
+inline int InjectionsPerProgram(int fallback = 30) {
+  if (const char* env = std::getenv("NVBITFI_BENCH_INJECTIONS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline std::uint64_t BenchSeed() {
+  if (const char* env = std::getenv("NVBITFI_BENCH_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 2021;  // DSN'21
+}
+
+inline void PrintRule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace nvbitfi::bench

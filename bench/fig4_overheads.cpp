@@ -1,0 +1,123 @@
+// Figure 4 — "Execution overheads".
+//
+// Per program, relative to the uninstrumented golden run (simulated cycles):
+//   * exact profiling overhead (every dynamic kernel instrumented),
+//   * approximate profiling overhead (first instance per static kernel),
+//   * median transient-injection overhead (selective instrumentation of one
+//     dynamic kernel instance),
+//   * median permanent-injection overhead (one opcode instrumented in every
+//     launch).
+//
+// Paper reference points: exact profiling is on average 28x approximate and
+// reaches 558x on 350.md (register spills); transient injection averages
+// ~2.9x; permanent injection ~4.8x.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = bench::BenchSeed();
+  const int samples = std::min(bench::InjectionsPerProgram(12), 25);
+  std::printf("Figure 4: execution overheads relative to uninstrumented runs "
+              "(%d injection samples/program, seed %llu)\n\n",
+              samples, static_cast<unsigned long long>(seed));
+  std::printf("%-14s | %12s %12s %14s %14s\n", "Program", "prof-exact", "prof-approx",
+              "inj-transient", "inj-permanent");
+  bench::PrintRule(74);
+
+  double sum_exact = 0, sum_approx = 0, sum_trans = 0, sum_perm = 0;
+  double sum_ratio = 0;
+  double max_exact = 0;
+  std::string max_exact_program;
+  int count = 0;
+
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    const fi::CampaignRunner runner(*entry.program);
+    const sim::DeviceProps device;
+    const fi::RunArtifacts golden = runner.RunGolden(device);
+    const double golden_cycles = static_cast<double>(golden.cycles);
+    const std::uint64_t watchdog =
+        20 * std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000);
+
+    fi::RunArtifacts exact_run, approx_run;
+    const fi::ProgramProfile profile =
+        runner.RunProfiler(fi::ProfilerTool::Mode::kExact, device, &exact_run);
+    runner.RunProfiler(fi::ProfilerTool::Mode::kApproximate, device, &approx_run);
+
+    Rng rng(Rng::SeedFrom(seed, entry.program->name() + "/fig4"));
+    std::vector<double> transient;
+    for (int i = 0; i < samples; ++i) {
+      Rng experiment = rng.Fork();
+      const auto params = fi::SelectTransientFault(
+          profile, fi::ArchStateId::kGGp, fi::BitFlipModel::kFlipSingleBit, experiment);
+      if (!params) continue;
+      fi::TransientInjectorTool injector(*params);
+      const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
+      transient.push_back(static_cast<double>(run.cycles) / golden_cycles);
+    }
+
+    const std::vector<sim::Opcode> executed = profile.ExecutedOpcodes();
+    std::vector<double> permanent;
+    for (int i = 0; i < samples && !executed.empty(); ++i) {
+      Rng experiment = rng.Fork();
+      fi::PermanentFaultParams params;
+      params.opcode_id = static_cast<int>(
+          executed[experiment.UniformInt(0, executed.size() - 1)]);
+      params.sm_id = 0;
+      params.lane_id = static_cast<int>(experiment.UniformInt(0, sim::kWarpSize - 1));
+      params.bit_mask = 1u << experiment.UniformInt(0, 31);
+      fi::PermanentInjectorTool injector(params);
+      const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
+      permanent.push_back(static_cast<double>(run.cycles) / golden_cycles);
+    }
+
+    const double exact_oh = static_cast<double>(exact_run.cycles) / golden_cycles;
+    const double approx_oh = static_cast<double>(approx_run.cycles) / golden_cycles;
+    const double trans_oh = Median(std::move(transient));
+    const double perm_oh = Median(std::move(permanent));
+    std::printf("%-14s | %11.1fx %11.1fx %13.2fx %13.2fx\n",
+                entry.program->name().c_str(), exact_oh, approx_oh, trans_oh, perm_oh);
+    std::fflush(stdout);
+
+    sum_exact += exact_oh;
+    sum_approx += approx_oh;
+    sum_trans += trans_oh;
+    sum_perm += perm_oh;
+    sum_ratio += approx_oh > 0 ? exact_oh / approx_oh : 0.0;
+    if (exact_oh > max_exact) {
+      max_exact = exact_oh;
+      max_exact_program = entry.program->name();
+    }
+    ++count;
+  }
+
+  bench::PrintRule(74);
+  std::printf("%-14s | %11.1fx %11.1fx %13.2fx %13.2fx\n", "mean",
+              sum_exact / count, sum_approx / count, sum_trans / count,
+              sum_perm / count);
+  std::printf("\nexact profiling costs %.1fx approximate on average "
+              "(mean of per-program ratios; paper: 28x)\n",
+              sum_ratio / count);
+  std::printf("worst exact profiling: %.0fx on %s   (paper: 558x on 350.md)\n",
+              max_exact, max_exact_program.c_str());
+  std::printf("transient injection mean: %.2fx (paper: ~2.9x); permanent mean: "
+              "%.2fx (paper: ~4.8x)\n",
+              sum_trans / count, sum_perm / count);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table II — "Transient fault parameters".
+//
+// Demonstrates every parameter of the transient fault model:
+//   * the eight arch-state-id instruction groups, with their static opcode
+//     populations and their dynamic-instruction populations on a real profile
+//     (352.ep, which touches FP32, integer, memory, predicate, and atomic
+//     instructions);
+//   * the four bit-flip models, with worked mask examples per Table II's
+//     formulas;
+//   * one end-to-end injection per (group, model) pair on 303.ostencil, with
+//     the resulting outcome.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+int main() {
+  std::printf("Table II: transient fault parameters\n");
+
+  // --- arch state ids -------------------------------------------------------
+  const fi::TargetProgram* ep = workloads::FindWorkload("352.ep");
+  const fi::CampaignRunner ep_runner(*ep);
+  const fi::ProgramProfile ep_profile =
+      ep_runner.RunProfiler(fi::ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+
+  std::printf("\narch state id: instruction subset to inject "
+              "(populations measured on 352.ep)\n\n");
+  std::printf("%3s %-10s | %14s | %20s | %8s\n", "id", "group", "static opcodes",
+              "dynamic instructions", "share");
+  bench::PrintRule(70);
+  for (int id = 1; id <= 8; ++id) {
+    const fi::ArchStateId group = *fi::ArchStateIdFromInt(id);
+    int static_opcodes = 0;
+    for (int op = 0; op < sim::kOpcodeCount; ++op) {
+      if (fi::OpcodeInGroup(static_cast<sim::Opcode>(op), group)) ++static_opcodes;
+    }
+    const std::uint64_t dynamic = ep_profile.GroupTotal(group);
+    std::printf("%3d %-10s | %14d | %20llu | %7.1f%%\n", id,
+                std::string(fi::ArchStateIdName(group)).c_str(), static_opcodes,
+                static_cast<unsigned long long>(dynamic),
+                100.0 * static_cast<double>(dynamic) /
+                    static_cast<double>(ep_profile.TotalInstructions()));
+  }
+
+  // --- bit-flip models ------------------------------------------------------
+  std::printf("\nbit-flip model: mask derived from the bit-pattern value "
+              "(examples on original register value 0x40490FDB):\n\n");
+  std::printf("%3s %-16s | %12s | %12s | %12s\n", "id", "model", "value=0.1",
+              "value=0.5", "value=0.9");
+  bench::PrintRule(70);
+  const std::uint32_t original = 0x40490FDBu;  // 3.14159f
+  for (int id = 1; id <= 4; ++id) {
+    const fi::BitFlipModel model = *fi::BitFlipModelFromInt(id);
+    std::printf("%3d %-16s | 0x%010x | 0x%010x | 0x%010x\n", id,
+                std::string(fi::BitFlipModelName(model)).c_str(),
+                fi::InjectionMask32(model, 0.1, original),
+                fi::InjectionMask32(model, 0.5, original),
+                fi::InjectionMask32(model, 0.9, original));
+  }
+
+  // --- one injection per (group, model) pair --------------------------------
+  const fi::TargetProgram* target = workloads::FindWorkload("303.ostencil");
+  const fi::CampaignRunner runner(*target);
+  const sim::DeviceProps device;
+  const fi::RunArtifacts golden = runner.RunGolden(device);
+  const fi::ProgramProfile profile =
+      runner.RunProfiler(fi::ProfilerTool::Mode::kExact, device, nullptr);
+  const std::uint64_t watchdog = 20 * golden.max_launch_thread_instructions;
+
+  std::printf("\nend-to-end: one injection per (arch state id, bit-flip model) on "
+              "303.ostencil\n\n");
+  std::printf("%-10s | %-17s %-17s %-17s %-17s\n", "group", "FLIP_SINGLE_BIT",
+              "FLIP_TWO_BITS", "RANDOM_VALUE", "ZERO_VALUE");
+  bench::PrintRule(84);
+  Rng rng(Rng::SeedFrom(bench::BenchSeed(), "table2"));
+  for (int gid = 1; gid <= 8; ++gid) {
+    const fi::ArchStateId group = *fi::ArchStateIdFromInt(gid);
+    std::printf("%-10s |", std::string(fi::ArchStateIdName(group)).c_str());
+    for (int mid = 1; mid <= 4; ++mid) {
+      Rng experiment = rng.Fork();
+      const auto params = fi::SelectTransientFault(
+          profile, group, *fi::BitFlipModelFromInt(mid), experiment);
+      if (!params) {
+        std::printf(" %-17s", "(empty group)");
+        continue;
+      }
+      fi::TransientInjectorTool injector(*params);
+      const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
+      const fi::Classification c = fi::Classify(golden, run, target->sdc_checker());
+      std::printf(" %-17s", std::string(fi::OutcomeName(c.outcome)).c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nspecific-target parameters: kernel name, kernel count, instruction "
+              "count, destination register [0,1), bit-pattern value [0,1)\n");
+  std::printf("(serialised parameter-file format exercised by the tests)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table IV — "SpecACCEL OpenACC 1.2 benchmark programs".
+//
+// Runs the golden (uninstrumented) configuration of every proxy program and
+// prints measured static / dynamic kernel counts next to the paper's values,
+// plus dynamic-instruction and simulated-cycle totals.  Measured kernel
+// counts must equal Table IV exactly — the proxies preserve the kernel
+// structure of the originals.
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.h"
+#include "workloads/workloads.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+int main() {
+  std::printf("Table IV: SpecACCEL OpenACC 1.2 benchmark programs (proxy suite)\n");
+  std::printf("%-14s | %-44s | %7s %7s | %7s %7s | %12s | %12s | %s\n", "Program",
+              "Description", "Stat", "Dyn", "Tbl.Sta", "Tbl.Dyn", "thread-instr",
+              "sim-cycles", "ok");
+  std::printf("%.*s\n", 150,
+              "-----------------------------------------------------------------------"
+              "-----------------------------------------------------------------------"
+              "--------");
+
+  bool all_ok = true;
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    const fi::CampaignRunner runner(*entry.program);
+    const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+    const bool ok =
+        golden.static_kernels == static_cast<std::uint64_t>(entry.table4_counts.static_kernels) &&
+        golden.dynamic_kernels == static_cast<std::uint64_t>(entry.table4_counts.dynamic_kernels) &&
+        golden.exit_code == 0 && !golden.timed_out && golden.cuda_errors.empty();
+    all_ok = all_ok && ok;
+    std::printf("%-14s | %-44s | %7llu %7llu | %7d %7d | %12llu | %12llu | %s\n",
+                entry.program->name().c_str(), entry.description,
+                static_cast<unsigned long long>(golden.static_kernels),
+                static_cast<unsigned long long>(golden.dynamic_kernels),
+                entry.table4_counts.static_kernels, entry.table4_counts.dynamic_kernels,
+                static_cast<unsigned long long>(golden.thread_instructions),
+                static_cast<unsigned long long>(golden.cycles), ok ? "yes" : "NO");
+  }
+  std::printf("\n%s\n", all_ok ? "All programs match Table IV."
+                               : "MISMATCH against Table IV detected.");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// Quickstart: the four steps of Figure 1 on a small SAXPY program.
+//
+//   1. profile the target program (dynamic instruction counts per opcode);
+//   2. select a random injection site from the profile;
+//   3. run with the transient injector attached (only the target dynamic
+//      kernel instance is instrumented);
+//   4. compare against the golden output and classify the outcome.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/campaign.h"
+#include "core/profile.h"
+#include "core/target_program.h"
+#include "workloads/common.h"
+
+namespace {
+
+using namespace nvbitfi;  // NOLINT: example brevity
+
+// A tiny self-contained target program: y = a*x + y over 256 elements,
+// launched 4 times.
+class SaxpyProgram final : public fi::TargetProgram {
+ public:
+  SaxpyProgram() : source_(workloads::AxpyKernel("saxpy", 1.5f)) {}
+
+  std::string name() const override { return "saxpy_demo"; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* saxpy = ctx.GetFunction("saxpy");
+
+    constexpr std::uint32_t kN = 256;
+    std::vector<float> x(kN), y(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      x[i] = 0.01f * static_cast<float>(i);
+      y[i] = 1.0f;
+    }
+    const sim::DevPtr d_x = workloads::AllocAndUpload(ctx, x);
+    const sim::DevPtr d_y = workloads::AllocAndUpload(ctx, y);
+
+    for (int round = 0; round < 4; ++round) {
+      const std::uint64_t params[] = {d_x, d_y, kN};
+      ctx.LaunchKernel(saxpy, sim::Dim3{4, 1, 1}, sim::Dim3{64, 1, 1}, params);
+    }
+
+    const std::vector<float> result = workloads::Download(ctx, d_y, kN);
+    double checksum = 0.0;
+    for (const float v : result) checksum += v;
+    art.stdout_text = Format("saxpy checksum %.6f\n", checksum);
+    workloads::AppendToOutput(&art, std::span<const float>(result));
+    return art;
+  }
+
+ private:
+  std::string source_;
+};
+
+}  // namespace
+
+int main() {
+  const SaxpyProgram program;
+  const fi::CampaignRunner runner(program);
+  const sim::DeviceProps device;
+
+  // Step 0+1: golden run and profile.
+  const fi::RunArtifacts golden = runner.RunGolden(device);
+  std::printf("golden: %s", golden.stdout_text.c_str());
+  const fi::ProgramProfile profile =
+      runner.RunProfiler(fi::ProfilerTool::Mode::kExact, device, nullptr);
+  std::printf("profile: %zu dynamic kernels, %llu dynamic instructions\n",
+              profile.DynamicKernelCount(),
+              static_cast<unsigned long long>(profile.TotalInstructions()));
+
+  // Step 2: select a site (uniform over instructions that write a GPR).
+  Rng rng(42);
+  const auto params = fi::SelectTransientFault(profile, fi::ArchStateId::kGGp,
+                                               fi::BitFlipModel::kFlipSingleBit, rng);
+  if (!params) {
+    std::printf("no eligible injection site\n");
+    return 1;
+  }
+  std::printf("site: kernel=%s instance=%llu instruction=%llu\n",
+              params->kernel_name.c_str(),
+              static_cast<unsigned long long>(params->kernel_count),
+              static_cast<unsigned long long>(params->instruction_count));
+
+  // Step 3: run with the injector attached.
+  fi::TransientInjectorTool injector(*params);
+  const fi::RunArtifacts faulty =
+      runner.Execute(&injector, device, /*watchdog=*/10 * golden.thread_instructions);
+  std::printf("faulty: %s", faulty.stdout_text.c_str());
+  std::printf("injection %s: opcode %s, register R%d, mask 0x%llx\n",
+              injector.record().activated ? "activated" : "NOT activated",
+              std::string(sim::OpcodeName(injector.record().opcode)).c_str(),
+              injector.record().target_register,
+              static_cast<unsigned long long>(injector.record().mask));
+
+  // Step 4: classify.
+  const fi::Classification outcome =
+      fi::Classify(golden, faulty, program.sdc_checker());
+  std::printf("outcome: %s (%s)%s\n", std::string(fi::OutcomeName(outcome.outcome)).c_str(),
+              std::string(fi::SymptomName(outcome.symptom)).c_str(),
+              outcome.potential_due ? " [potential DUE]" : "");
+  return 0;
+}

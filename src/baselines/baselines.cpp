@@ -1,0 +1,103 @@
+#include "baselines/baselines.h"
+
+namespace nvbitfi::baselines {
+
+namespace {
+constexpr const char* kStaticFn = "sassifi_style_inject";
+constexpr const char* kDebuggerFn = "gpuqin_style_step";
+}  // namespace
+
+StaticInjectorTool::StaticInjectorTool(fi::TransientFaultParams params)
+    : params_(std::move(params)) {}
+
+void StaticInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kStaticFn;
+  fn.regs_used = kRegs;
+  fn.cost_cycles = kCycles;
+  fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void StaticInjectorTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                                     const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      // "Compile-time" instrumentation: every group-eligible instruction of
+      // EVERY kernel carries the check, target or not.
+      for (const auto& fn : info.module->functions()) {
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          if (fi::OpcodeInGroup(instr.opcode(), params_.arch_state_id)) {
+            runtime.InsertCall(*fn, instr.index(), kStaticFn, sim::InsertPoint::kAfter);
+          }
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin:
+      // No dynamic selectivity: the instrumented binary is what runs.
+      runtime.EnableInstrumented(*info.function, true);
+      in_target_launch_ = info.launch->kernel_name == params_.kernel_name &&
+                          info.launch->launch_ordinal == params_.kernel_count;
+      if (in_target_launch_) counter_ = 0;
+      break;
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      in_target_launch_ = false;
+      break;
+  }
+}
+
+void StaticInjectorTool::Inject(const sim::InstrEvent& event) {
+  if (!in_target_launch_ || done_ || !event.lane.guard_true()) return;
+  const std::uint64_t index = counter_++;
+  if (index != params_.instruction_count) return;
+  done_ = true;
+  fi::ApplyTransientCorruption(event, params_, &record_);
+}
+
+DebuggerInjectorTool::DebuggerInjectorTool(fi::TransientFaultParams params)
+    : params_(std::move(params)) {}
+
+void DebuggerInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kDebuggerFn;
+  fn.regs_used = kRegs;
+  fn.cost_cycles = kCycles;
+  fn.callback = [this](const sim::InstrEvent& event) { Step(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void DebuggerInjectorTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                                       const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      // The debugger traps EVERY instruction (breakpoint single-stepping),
+      // not just the eligible ones — it cannot restrict what it sees.
+      for (const auto& fn : info.module->functions()) {
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          runtime.InsertCall(*fn, instr.index(), kDebuggerFn, sim::InsertPoint::kAfter);
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin:
+      runtime.EnableInstrumented(*info.function, true);
+      in_target_launch_ = info.launch->kernel_name == params_.kernel_name &&
+                          info.launch->launch_ordinal == params_.kernel_count;
+      if (in_target_launch_) counter_ = 0;
+      break;
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      in_target_launch_ = false;
+      break;
+  }
+}
+
+void DebuggerInjectorTool::Step(const sim::InstrEvent& event) {
+  ++single_steps_;
+  if (!in_target_launch_ || done_ || !event.lane.guard_true()) return;
+  if (!fi::OpcodeInGroup(event.instr.opcode, params_.arch_state_id)) return;
+  const std::uint64_t index = counter_++;
+  if (index != params_.instruction_count) return;
+  done_ = true;
+  fi::ApplyTransientCorruption(event, params_, &record_);
+}
+
+}  // namespace nvbitfi::baselines

@@ -1,0 +1,82 @@
+// Baseline injector implementations used for the Table I / related-work
+// comparison.  Both inject the *same* fault as NVBitFI's transient injector
+// (shared corruption semantics) but with the instrumentation strategies of
+// the prior tools, so measured overhead differences isolate the injection
+// mechanism:
+//
+//  * StaticInjectorTool (SASSIFI-style): instrumentation is baked into every
+//    kernel at "compile time" (module load) and is active for EVERY dynamic
+//    launch — no per-launch selectivity.  SASSIFI also needs source-level
+//    recompilation and cannot reach dynamically loaded libraries; those are
+//    capability rows in Table I, printed by the bench.
+//
+//  * DebuggerInjectorTool (GPU-Qin / cuda-gdb style): the debugger
+//    single-steps the target kernels, paying a large per-instruction state-
+//    management cost on every dynamic instruction of every launch ("cuda-gdb
+//    ... must maintain a large amount of state for each dynamic kernel",
+//    §IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/corruption.h"
+#include "core/fault_model.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::baselines {
+
+class StaticInjectorTool final : public nvbit::Tool {
+ public:
+  explicit StaticInjectorTool(fi::TransientFaultParams params);
+
+  std::string ConfigKey() const override { return "sassifi_style"; }
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const fi::InjectionRecord& record() const { return record_; }
+
+  // Compile-time instrumentation is moderately cheap per site but is always
+  // live; it also occupies registers in every kernel.
+  static constexpr std::uint32_t kRegs = 16;
+  static constexpr std::uint64_t kCycles = 24;
+
+ private:
+  void Inject(const sim::InstrEvent& event);
+
+  fi::TransientFaultParams params_;
+  fi::InjectionRecord record_;
+  std::uint64_t counter_ = 0;
+  bool in_target_launch_ = false;
+  bool done_ = false;
+};
+
+class DebuggerInjectorTool final : public nvbit::Tool {
+ public:
+  explicit DebuggerInjectorTool(fi::TransientFaultParams params);
+
+  std::string ConfigKey() const override { return "gpuqin_style"; }
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const fi::InjectionRecord& record() const { return record_; }
+  std::uint64_t single_steps() const { return single_steps_; }
+
+  // Debugger breakpoint handling: very expensive per dynamic instruction.
+  static constexpr std::uint32_t kRegs = 2;  // debugger state lives host-side
+  static constexpr std::uint64_t kCycles = 400;
+
+ private:
+  void Step(const sim::InstrEvent& event);
+
+  fi::TransientFaultParams params_;
+  fi::InjectionRecord record_;
+  std::uint64_t counter_ = 0;
+  std::uint64_t single_steps_ = 0;
+  bool in_target_launch_ = false;
+  bool done_ = false;
+};
+
+}  // namespace nvbitfi::baselines

@@ -1,0 +1,60 @@
+#include "common/bitutil.h"
+
+#include <cmath>
+
+namespace nvbitfi {
+
+std::uint16_t FloatToHalfBits(float value) {
+  const std::uint32_t bits = FloatToBits(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::int32_t exponent = static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127;
+  std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+  if (exponent == 128) {  // Inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa != 0 ? 0x200u : 0u));
+  }
+  if (exponent > 15) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exponent >= -14) {  // normal half
+    // 10-bit mantissa with round-to-nearest-even on the dropped 13 bits.
+    std::uint32_t rounded = mantissa + 0xFFFu + ((mantissa >> 13) & 1u);
+    std::uint32_t exp_half = static_cast<std::uint32_t>(exponent + 15);
+    if (rounded & 0x800000u) {  // mantissa carry bumps the exponent
+      rounded = 0;
+      ++exp_half;
+      if (exp_half >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    return static_cast<std::uint16_t>(sign | (exp_half << 10) | (rounded >> 13));
+  }
+  if (exponent >= -24) {  // subnormal half
+    mantissa |= 0x800000u;  // implicit bit
+    const int shift = -exponent - 14 + 13;
+    std::uint32_t rounded = mantissa >> shift;
+    const std::uint32_t remainder = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (remainder > halfway || (remainder == halfway && (rounded & 1u))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+float HalfBitsToFloat(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mantissa = bits & 0x3FFu;
+
+  if (exponent == 0x1F) {  // Inf / NaN
+    return BitsToFloat(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return BitsToFloat(sign);  // signed zero
+    // Subnormal half: renormalise.
+    const float magnitude =
+        std::ldexp(static_cast<float>(mantissa), -24);
+    return (sign != 0) ? -magnitude : magnitude;
+  }
+  return BitsToFloat(sign | ((exponent + 112) << 23) | (mantissa << 13));
+}
+
+}  // namespace nvbitfi

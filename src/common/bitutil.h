@@ -1,0 +1,107 @@
+// Bit-manipulation helpers shared by the ISA executor and the fault models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace nvbitfi {
+
+// Reinterpret a 32-bit pattern as float (SASS registers are untyped 32-bit).
+inline float BitsToFloat(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+inline std::uint32_t FloatToBits(float f) { return std::bit_cast<std::uint32_t>(f); }
+
+inline double BitsToDouble(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+inline std::uint64_t DoubleToBits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// Compose/decompose a 64-bit value from a register pair (lo = Rn, hi = Rn+1).
+inline std::uint64_t PackPair(std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<std::uint64_t>(hi) << 32 | lo;
+}
+inline std::uint32_t PairLo(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+inline std::uint32_t PairHi(std::uint64_t v) { return static_cast<std::uint32_t>(v >> 32); }
+
+// Population count / bit scans with fixed-width semantics.
+inline int PopCount32(std::uint32_t v) { return std::popcount(v); }
+inline int FindLeadingOne32(std::uint32_t v) {  // SASS FLO: -1 when v == 0.
+  return v == 0 ? -1 : 31 - std::countl_zero(v);
+}
+inline std::uint32_t ReverseBits32(std::uint32_t v) {  // SASS BREV.
+  v = ((v >> 1) & 0x55555555u) | ((v & 0x55555555u) << 1);
+  v = ((v >> 2) & 0x33333333u) | ((v & 0x33333333u) << 2);
+  v = ((v >> 4) & 0x0F0F0F0Fu) | ((v & 0x0F0F0F0Fu) << 4);
+  v = ((v >> 8) & 0x00FF00FFu) | ((v & 0x00FF00FFu) << 8);
+  return (v >> 16) | (v << 16);
+}
+
+// Sign-extend the low `bits` bits of v.
+inline std::int32_t SignExtend32(std::uint32_t v, int bits) {
+  const int shift = 32 - bits;
+  return static_cast<std::int32_t>(v << shift) >> shift;
+}
+
+// IEEE 754 binary16 ("half") conversions, used by the packed-FP16 SASS ops
+// (HADD2/HMUL2/HFMA2/...).  Round-to-nearest-even on the way down.
+std::uint16_t FloatToHalfBits(float value);
+float HalfBitsToFloat(std::uint16_t bits);
+
+// Packed-half helpers: a 32-bit register holds two halves (lo = bits 15:0).
+inline std::uint16_t HalfLo(std::uint32_t packed) {
+  return static_cast<std::uint16_t>(packed);
+}
+inline std::uint16_t HalfHi(std::uint32_t packed) {
+  return static_cast<std::uint16_t>(packed >> 16);
+}
+inline std::uint32_t PackHalves(std::uint16_t lo, std::uint16_t hi) {
+  return static_cast<std::uint32_t>(hi) << 16 | lo;
+}
+
+// Generic funnel shift used by SASS SHF.
+inline std::uint32_t FunnelShiftRight(std::uint32_t lo, std::uint32_t hi, unsigned amount) {
+  amount &= 63u;
+  if (amount == 0) return lo;
+  if (amount < 32) return (lo >> amount) | (hi << (32 - amount));
+  if (amount == 32) return hi;
+  return hi >> (amount - 32);
+}
+inline std::uint32_t FunnelShiftLeft(std::uint32_t lo, std::uint32_t hi, unsigned amount) {
+  amount &= 63u;
+  if (amount == 0) return hi;
+  if (amount < 32) return (hi << amount) | (lo >> (32 - amount));
+  if (amount == 32) return lo;
+  return lo << (amount - 32);
+}
+
+// LOP3 lookup-table boolean: for each bit position, the output bit is
+// lut[{a,b,c}] where the 3 input bits form an index 0..7.
+inline std::uint32_t Lop3(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                          std::uint8_t lut) {
+  std::uint32_t r = 0;
+  if (lut & 0x01) r |= ~a & ~b & ~c;
+  if (lut & 0x02) r |= ~a & ~b & c;
+  if (lut & 0x04) r |= ~a & b & ~c;
+  if (lut & 0x08) r |= ~a & b & c;
+  if (lut & 0x10) r |= a & ~b & ~c;
+  if (lut & 0x20) r |= a & ~b & c;
+  if (lut & 0x40) r |= a & b & ~c;
+  if (lut & 0x80) r |= a & b & c;
+  return r;
+}
+
+// Byte-permute used by SASS PRMT (default mode): selector nibbles pick bytes
+// from the 8-byte {a,b} pool; bit 3 of a nibble replicates the sign bit.
+inline std::uint32_t Prmt(std::uint32_t a, std::uint32_t b, std::uint32_t sel) {
+  std::uint8_t pool[8];
+  std::memcpy(pool, &a, 4);
+  std::memcpy(pool + 4, &b, 4);
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t nib = (sel >> (4 * i)) & 0xFu;
+    std::uint8_t byte = pool[nib & 0x7u];
+    if (nib & 0x8u) byte = (byte & 0x80u) ? 0xFFu : 0x00u;
+    out |= static_cast<std::uint32_t>(byte) << (8 * i);
+  }
+  return out;
+}
+
+}  // namespace nvbitfi

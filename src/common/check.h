@@ -1,0 +1,39 @@
+// Lightweight contract-checking macros.
+//
+// NVBITFI_CHECK is for host-API preconditions: violations are programming
+// errors in the caller and throw std::logic_error (per the Core Guidelines
+// "exceptions for errors that cannot be handled locally").  Simulated
+// device-side faults never use these macros; they surface as CuResult values
+// and device-log entries instead (see sassim/runtime/driver.h).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nvbitfi {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace nvbitfi
+
+#define NVBITFI_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::nvbitfi::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define NVBITFI_CHECK_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream nvbitfi_check_os;                                 \
+      nvbitfi_check_os << msg;                                             \
+      ::nvbitfi::CheckFailed(#expr, __FILE__, __LINE__,                    \
+                             nvbitfi_check_os.str());                      \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nvbitfi {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("NVBITFI_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) SetLogLevel(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) SetLogLevel(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) SetLogLevel(LogLevel::kWarning);
+  else if (std::strcmp(env, "error") == 0) SetLogLevel(LogLevel::kError);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::fprintf(stderr, "[nvbitfi %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace nvbitfi

@@ -1,0 +1,50 @@
+// Minimal leveled logging.  The default level is Warning so campaigns stay
+// quiet; set NVBITFI_LOG=debug|info|warn|error (or call SetLogLevel) to see
+// tool internals — analogous to NVBit's TOOL_VERBOSE environment knob.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nvbitfi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Reads NVBITFI_LOG once at startup; callable from tests to re-read.
+void InitLogLevelFromEnv();
+
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace nvbitfi
+
+#define NVBITFI_LOG(level)                                       \
+  if (static_cast<int>(::nvbitfi::LogLevel::level) <             \
+      static_cast<int>(::nvbitfi::GetLogLevel())) {              \
+  } else                                                         \
+    ::nvbitfi::detail::LogLine(::nvbitfi::LogLevel::level)
+
+#define LOG_DEBUG NVBITFI_LOG(kDebug)
+#define LOG_INFO NVBITFI_LOG(kInfo)
+#define LOG_WARN NVBITFI_LOG(kWarning)
+#define LOG_ERROR NVBITFI_LOG(kError)

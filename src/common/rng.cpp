@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace nvbitfi {
+
+double Rng::UniformUnit() {
+  // 53-bit mantissa construction keeps the value strictly below 1.0.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t lo, std::uint64_t hi) {
+  NVBITFI_CHECK_MSG(lo <= hi, "UniformInt bounds inverted: [" << lo << ", " << hi << "]");
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::uint32_t Rng::Bits32() { return static_cast<std::uint32_t>(engine_()); }
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformUnit() < p;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+std::uint64_t Rng::SeedFrom(std::uint64_t base, std::string_view tag) {
+  // FNV-1a over the tag mixed with the base seed via splitmix64 finalisation.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ base;
+  for (const char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace nvbitfi

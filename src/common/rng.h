@@ -1,0 +1,43 @@
+// Deterministic random-number generation for injection campaigns.
+//
+// All randomness in the repository flows through Rng so that a campaign seed
+// fully determines the set of injection experiments (site selection, register
+// selection, bit-pattern values), making every figure regenerable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace nvbitfi {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, 1) — the representation the paper uses for the
+  // destination-register and bit-pattern parameters (Table II).
+  double UniformUnit();
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform 32-bit pattern.
+  std::uint32_t Bits32();
+
+  // Bernoulli trial.
+  bool Chance(double p);
+
+  // Derive an independent child stream (used to give each injection
+  // experiment its own stream so experiment k is reproducible in isolation).
+  Rng Fork();
+
+  // Stable seed derivation from a string tag (e.g. a program name), so
+  // per-program campaign streams do not depend on iteration order.
+  static std::uint64_t SeedFrom(std::uint64_t base, std::string_view tag);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nvbitfi

@@ -1,0 +1,114 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nvbitfi {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+// strtoull/strtoll need a NUL-terminated buffer; string_views may not be.
+bool ToBuffer(std::string_view text, char* buf, std::size_t cap) {
+  if (text.empty() || text.size() >= cap) return false;
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  return true;
+}
+
+}  // namespace
+
+bool ParseUint64(std::string_view text, std::uint64_t* out) {
+  char buf[64];
+  if (!ToBuffer(text, buf, sizeof buf)) return false;
+  if (buf[0] == '-' || std::isspace(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf, &end, 0);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, std::int64_t* out) {
+  char buf[64];
+  if (!ToBuffer(text, buf, sizeof buf)) return false;
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf, &end, 0);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  char buf[128];
+  if (!ToBuffer(text, buf, sizeof buf)) return false;
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace nvbitfi

@@ -1,0 +1,30 @@
+// Small string helpers used by the assembler, profile serialisation, and the
+// benchmark table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvbitfi {
+
+// Split on a single separator; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Split on any whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Case-sensitive string → integer parse; returns false on any malformed input
+// (leading/trailing junk, overflow).  Accepts an optional 0x prefix.
+bool ParseUint64(std::string_view text, std::uint64_t* out);
+bool ParseInt64(std::string_view text, std::int64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+// printf-style convenience used by the table printers.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace nvbitfi

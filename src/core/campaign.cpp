@@ -1,0 +1,198 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+double Overhead(std::uint64_t cycles, std::uint64_t golden_cycles) {
+  return golden_cycles == 0 ? 0.0
+                            : static_cast<double>(cycles) / static_cast<double>(golden_cycles);
+}
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+double TransientCampaignResult::ProfilingOverhead() const {
+  return Overhead(profiling_run.cycles, golden.cycles);
+}
+
+double TransientCampaignResult::MedianInjectionOverhead() const {
+  std::vector<double> overheads;
+  overheads.reserve(injections.size());
+  for (const InjectionRun& run : injections) {
+    overheads.push_back(Overhead(run.artifacts.cycles, golden.cycles));
+  }
+  return MedianOf(std::move(overheads));
+}
+
+std::uint64_t TransientCampaignResult::TotalInjectionCycles() const {
+  std::uint64_t total = 0;
+  for (const InjectionRun& run : injections) total += run.artifacts.cycles;
+  return total;
+}
+
+std::uint64_t TransientCampaignResult::TotalCampaignCycles() const {
+  return profiling_run.cycles + TotalInjectionCycles();
+}
+
+double PermanentCampaignResult::MedianInjectionOverhead(std::uint64_t golden_cycles) const {
+  std::vector<double> overheads;
+  overheads.reserve(runs.size());
+  for (const PermanentRun& run : runs) {
+    overheads.push_back(Overhead(run.artifacts.cycles, golden_cycles));
+  }
+  return MedianOf(std::move(overheads));
+}
+
+std::uint64_t PermanentCampaignResult::TotalCampaignCycles() const {
+  std::uint64_t total = 0;
+  for (const PermanentRun& run : runs) total += run.artifacts.cycles;
+  return total;
+}
+
+RunArtifacts CampaignRunner::Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
+                                     std::uint64_t watchdog) const {
+  sim::Context context(device);
+  context.set_launch_watchdog(watchdog);
+  std::optional<nvbit::Runtime> runtime;
+  if (tool != nullptr) runtime.emplace(context, *tool);
+  RunArtifacts artifacts = program_.Run(context);
+  HarvestContextState(context, &artifacts);
+  return artifacts;
+}
+
+RunArtifacts CampaignRunner::RunGolden(const sim::DeviceProps& device) const {
+  RunArtifacts golden = Execute(nullptr, device, /*watchdog=*/0);
+  if (golden.exit_code != 0 || golden.crashed || !golden.cuda_errors.empty()) {
+    LOG_WARN << "golden run of '" << program_.name() << "' is not clean (exit "
+             << golden.exit_code << ", " << golden.cuda_errors.size() << " CUDA errors)";
+  }
+  return golden;
+}
+
+ProgramProfile CampaignRunner::RunProfiler(ProfilerTool::Mode mode,
+                                           const sim::DeviceProps& device,
+                                           RunArtifacts* profiling_artifacts) const {
+  ProfilerTool profiler(program_.name(), mode);
+  RunArtifacts artifacts = Execute(&profiler, device, /*watchdog=*/0);
+  if (profiling_artifacts != nullptr) *profiling_artifacts = std::move(artifacts);
+  return profiler.TakeProfile();
+}
+
+TransientCampaignResult CampaignRunner::RunTransientCampaign(
+    const TransientCampaignConfig& config) const {
+  TransientCampaignResult result;
+  result.program = program_.name();
+
+  // Figure 1 step 0: the golden run provides reference outputs, the
+  // uninstrumented cycle baseline, and the watchdog calibration.
+  result.golden = RunGolden(config.device);
+  const std::uint64_t watchdog =
+      config.watchdog_multiplier *
+      std::max<std::uint64_t>(result.golden.max_launch_thread_instructions, 1000);
+
+  // Step 1: profiling.
+  result.profile = RunProfiler(config.profiling, config.device, &result.profiling_run);
+
+  // Steps 2-4, once per injection experiment.
+  Rng rng(Rng::SeedFrom(config.seed, program_.name()));
+  for (int i = 0; i < config.num_injections; ++i) {
+    Rng experiment_rng = rng.Fork();
+    const BitFlipModel model =
+        config.randomize_flip_model
+            ? *BitFlipModelFromInt(static_cast<int>(experiment_rng.UniformInt(1, 4)))
+            : config.flip_model;
+
+    InjectionRun run;
+    const std::optional<TransientFaultParams> params =
+        SelectTransientFault(result.profile, config.group, model, experiment_rng);
+    if (!params.has_value()) {
+      // The program executes nothing in this group; the experiment is a
+      // trivially masked run (no fault could be placed).
+      run.artifacts = result.golden;
+      run.classification = Classification{};
+      result.counts.Add(run.classification);
+      result.injections.push_back(std::move(run));
+      continue;
+    }
+    run.params = *params;
+
+    TransientInjectorTool injector(run.params);
+    run.artifacts = Execute(&injector, config.device, watchdog);
+    run.record = injector.record();
+    run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
+    result.counts.Add(run.classification);
+    result.injections.push_back(std::move(run));
+  }
+  return result;
+}
+
+PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
+    const PermanentCampaignConfig& config, const ProgramProfile& profile) const {
+  PermanentCampaignResult result;
+  result.program = program_.name();
+
+  const RunArtifacts golden = RunGolden(config.device);
+  const std::uint64_t watchdog =
+      config.watchdog_multiplier *
+      std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000);
+
+  std::vector<sim::Opcode> opcodes;
+  if (config.only_executed_opcodes) {
+    opcodes = profile.ExecutedOpcodes();
+  } else {
+    opcodes.reserve(static_cast<std::size_t>(sim::kOpcodeCount));
+    for (int op = 0; op < sim::kOpcodeCount; ++op) {
+      opcodes.push_back(static_cast<sim::Opcode>(op));
+    }
+  }
+  result.executed_opcodes = profile.ExecutedOpcodes().size();
+
+  const double total_instructions =
+      static_cast<double>(std::max<std::uint64_t>(profile.TotalInstructions(), 1));
+
+  Rng rng(Rng::SeedFrom(config.seed, program_.name() + "/permanent"));
+  for (const sim::Opcode opcode : opcodes) {
+    Rng experiment_rng = rng.Fork();
+    PermanentRun run;
+    run.params.opcode_id = static_cast<int>(opcode);
+    run.params.sm_id =
+        config.sm_id >= 0
+            ? config.sm_id
+            : static_cast<int>(experiment_rng.UniformInt(
+                  0, static_cast<std::uint64_t>(config.device.num_sms) - 1));
+    run.params.lane_id = static_cast<int>(experiment_rng.UniformInt(0, sim::kWarpSize - 1));
+    if (config.fixed_mask != 0) {
+      run.params.bit_mask = config.fixed_mask;
+    } else {
+      // Table III's mask is an arbitrary XOR pattern (a stuck functional
+      // unit garbles many bits, not one); draw a random non-zero mask.
+      run.params.bit_mask = experiment_rng.Bits32();
+      if (run.params.bit_mask == 0) run.params.bit_mask = 1;
+    }
+    run.weight = static_cast<double>(profile.OpcodeTotal(opcode)) / total_instructions;
+
+    PermanentInjectorTool injector(run.params);
+    run.artifacts = Execute(&injector, config.device, watchdog);
+    run.activations = injector.activations();
+    run.classification = Classify(golden, run.artifacts, program_.sdc_checker());
+    result.counts.Add(run.classification);
+    result.weighted.Add(run.classification, run.weight);
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace nvbitfi::fi

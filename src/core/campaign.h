@@ -1,0 +1,123 @@
+// Injection-campaign orchestration (Figure 1).
+//
+// A transient campaign: (1) golden run, (2) profiling run (exact or
+// approximate), (3) N injection runs with randomly selected sites, each
+// classified against the golden outputs per Table V.
+//
+// A permanent campaign: one run per opcode (optionally restricted to the
+// opcodes the profile shows are executed — the Fig. 5 optimisation), each
+// weighted by the opcode's dynamic-instruction share (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fault_model.h"
+#include "core/outcome.h"
+#include "core/permanent_injector.h"
+#include "core/profile.h"
+#include "core/profiler_tool.h"
+#include "core/target_program.h"
+#include "core/transient_injector.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::fi {
+
+struct TransientCampaignConfig {
+  std::uint64_t seed = 1;
+  int num_injections = 100;
+  ArchStateId group = ArchStateId::kGGp;
+  BitFlipModel flip_model = BitFlipModel::kFlipSingleBit;
+  // When true, each injection draws its bit-flip model uniformly from the
+  // four Table II models instead of using `flip_model`.
+  bool randomize_flip_model = true;
+  ProfilerTool::Mode profiling = ProfilerTool::Mode::kExact;
+  // Watchdog bound for injection runs, as a multiple of the golden run's
+  // largest per-launch thread-instruction count (hang detection).
+  std::uint64_t watchdog_multiplier = 20;
+  sim::DeviceProps device;
+};
+
+struct InjectionRun {
+  TransientFaultParams params;
+  InjectionRecord record;
+  RunArtifacts artifacts;
+  Classification classification;
+};
+
+struct TransientCampaignResult {
+  std::string program;
+  ProgramProfile profile;
+  RunArtifacts golden;            // uninstrumented reference run
+  RunArtifacts profiling_run;     // the instrumented profiling run
+  std::vector<InjectionRun> injections;
+  OutcomeCounts counts;
+
+  double ProfilingOverhead() const;       // profiling cycles / golden cycles
+  double MedianInjectionOverhead() const; // median run cycles / golden cycles
+  std::uint64_t TotalInjectionCycles() const;
+  // Total campaign cycles: profiling + all injection runs (Fig. 5).
+  std::uint64_t TotalCampaignCycles() const;
+};
+
+struct PermanentCampaignConfig {
+  std::uint64_t seed = 1;
+  // Restrict the sweep to opcodes with non-zero profile counts ("permanent
+  // fault experiments can be skipped for unused opcodes").
+  bool only_executed_opcodes = true;
+  // SM to pin the fault to; -1 draws one uniformly per run.
+  int sm_id = 0;
+  // Lane is drawn uniformly per run; the XOR mask is a random non-zero
+  // 32-bit pattern (Table III's arbitrary mask) unless `fixed_mask` is set.
+  std::uint32_t fixed_mask = 0;
+  std::uint64_t watchdog_multiplier = 20;
+  sim::DeviceProps device;
+};
+
+struct PermanentRun {
+  PermanentFaultParams params;
+  std::uint64_t activations = 0;
+  double weight = 0.0;  // dynamic-instruction share of the opcode (Fig. 3)
+  RunArtifacts artifacts;
+  Classification classification;
+};
+
+struct PermanentCampaignResult {
+  std::string program;
+  std::vector<PermanentRun> runs;
+  OutcomeCounts counts;          // unweighted tallies
+  WeightedOutcomes weighted;     // Fig. 3 weighting
+  std::size_t executed_opcodes = 0;
+
+  double MedianInjectionOverhead(std::uint64_t golden_cycles) const;
+  std::uint64_t TotalCampaignCycles() const;  // all permanent runs (Fig. 5)
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const TargetProgram& program) : program_(program) {}
+
+  // Runs the program with an optional tool attached and the given watchdog;
+  // harvests context state into the returned artifacts.
+  RunArtifacts Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
+                       std::uint64_t watchdog) const;
+
+  // Step 0/1 of Figure 1, reusable separately by benches.
+  RunArtifacts RunGolden(const sim::DeviceProps& device) const;
+  ProgramProfile RunProfiler(ProfilerTool::Mode mode, const sim::DeviceProps& device,
+                             RunArtifacts* profiling_artifacts) const;
+
+  TransientCampaignResult RunTransientCampaign(const TransientCampaignConfig& config) const;
+
+  // `profile` supplies the executed-opcode set and Fig. 3 weights (pass the
+  // profile from a transient campaign, or run RunProfiler first).
+  PermanentCampaignResult RunPermanentCampaign(const PermanentCampaignConfig& config,
+                                               const ProgramProfile& profile) const;
+
+ private:
+  const TargetProgram& program_;
+};
+
+}  // namespace nvbitfi::fi

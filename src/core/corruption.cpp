@@ -1,0 +1,138 @@
+#include "core/corruption.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+// Candidate architectural targets of an injection at one instruction.
+struct Target {
+  enum class Kind : std::uint8_t { kGpr32, kGpr64, kPred } kind;
+  int reg;
+};
+
+std::vector<Target> TargetsOf(const sim::Instruction& inst) {
+  std::vector<Target> out;
+  const int gprs = sim::DestGprCount(inst);
+  if (gprs == 1) {
+    out.push_back({Target::Kind::kGpr32, inst.dest_gpr});
+  } else if (gprs == 2) {
+    out.push_back({Target::Kind::kGpr64, inst.dest_gpr});
+  } else if (gprs == 4) {
+    out.push_back({Target::Kind::kGpr64, inst.dest_gpr});
+    out.push_back({Target::Kind::kGpr64, inst.dest_gpr + 2});
+  }
+  if (sim::DestKindOf(inst.opcode) == sim::DestKind::kPred ||
+      sim::DestKindOf(inst.opcode) == sim::DestKind::kGprPred) {
+    if (inst.dest_pred != sim::kPT) out.push_back({Target::Kind::kPred, inst.dest_pred});
+    if (inst.dest_pred2 != sim::kPT) out.push_back({Target::Kind::kPred, inst.dest_pred2});
+  }
+  if (!out.empty()) return out;
+
+  // No-destination instructions (stores, branches): corrupt a source GPR
+  // instead — the register holding the store value or address stays corrupted
+  // for later uses, modelling a fault in the operand-collector path.
+  for (int i = 0; i < inst.num_src; ++i) {
+    const sim::Operand& op = inst.src[static_cast<std::size_t>(i)];
+    if (op.kind == sim::Operand::Kind::kGpr && op.reg != sim::kRZ) {
+      out.push_back({Target::Kind::kGpr32, op.reg});
+    } else if (op.kind == sim::Operand::Kind::kMem && op.mem_base != sim::kRZ) {
+      out.push_back({Target::Kind::kGpr64, op.mem_base});
+    }
+  }
+  return out;
+}
+
+void CorruptGpr32(sim::LaneView& lane, int reg, const TransientFaultParams& params,
+                  InjectionRecord* record) {
+  const std::uint32_t before = lane.ReadGpr(reg);
+  const std::uint32_t mask =
+      InjectionMask32(params.bit_flip_model, params.bit_pattern_value, before);
+  const std::uint32_t after = before ^ mask;
+  lane.WriteGpr(reg, after);
+  record->corrupted = mask != 0 || params.bit_flip_model == BitFlipModel::kZeroValue;
+  record->pred_target = false;
+  record->target_register = reg;
+  record->register_width = 32;
+  record->before_bits = before;
+  record->after_bits = after;
+  record->mask = mask;
+}
+
+void CorruptGpr64(sim::LaneView& lane, int reg, const TransientFaultParams& params,
+                  InjectionRecord* record) {
+  const std::uint64_t before =
+      PackPair(lane.ReadGpr(reg), reg + 1 < sim::kRZ ? lane.ReadGpr(reg + 1) : 0);
+  const std::uint64_t mask =
+      InjectionMask64(params.bit_flip_model, params.bit_pattern_value, before);
+  const std::uint64_t after = before ^ mask;
+  lane.WriteGpr(reg, PairLo(after));
+  if (reg + 1 < sim::kRZ) lane.WriteGpr(reg + 1, PairHi(after));
+  record->corrupted = mask != 0 || params.bit_flip_model == BitFlipModel::kZeroValue;
+  record->pred_target = false;
+  record->target_register = reg;
+  record->register_width = 64;
+  record->before_bits = before;
+  record->after_bits = after;
+  record->mask = mask;
+}
+
+void CorruptPred(sim::LaneView& lane, int pred, const TransientFaultParams& params,
+                 InjectionRecord* record) {
+  const bool before = lane.ReadPred(pred);
+  bool after = before;
+  switch (params.bit_flip_model) {
+    case BitFlipModel::kFlipSingleBit:
+    case BitFlipModel::kFlipTwoBits:
+      after = !before;
+      break;
+    case BitFlipModel::kRandomValue:
+      after = params.bit_pattern_value >= 0.5;
+      break;
+    case BitFlipModel::kZeroValue:
+      after = false;
+      break;
+  }
+  lane.WritePred(pred, after);
+  record->corrupted = after != before || params.bit_flip_model == BitFlipModel::kZeroValue;
+  record->pred_target = true;
+  record->target_register = pred;
+  record->register_width = 1;
+  record->before_bits = before ? 1 : 0;
+  record->after_bits = after ? 1 : 0;
+  record->mask = (before != after) ? 1 : 0;
+}
+
+}  // namespace
+
+void ApplyTransientCorruption(const sim::InstrEvent& event,
+                              const TransientFaultParams& params,
+                              InjectionRecord* record) {
+  record->activated = true;
+  record->kernel_name = event.launch.kernel_name;
+  record->kernel_count = event.launch.launch_ordinal;
+  record->static_index = event.static_index;
+  record->opcode = event.instr.opcode;
+  record->sm_id = event.lane.sm_id();
+  record->lane_id = event.lane.lane_id();
+
+  const std::vector<Target> targets = TargetsOf(event.instr);
+  if (targets.empty()) {
+    LOG_INFO << "injection site has no architectural target; fault vanished";
+    return;
+  }
+  const auto pick = static_cast<std::size_t>(params.destination_register *
+                                             static_cast<double>(targets.size()));
+  const Target target = targets[std::min(pick, targets.size() - 1)];
+  switch (target.kind) {
+    case Target::Kind::kGpr32: CorruptGpr32(event.lane, target.reg, params, record); break;
+    case Target::Kind::kGpr64: CorruptGpr64(event.lane, target.reg, params, record); break;
+    case Target::Kind::kPred: CorruptPred(event.lane, target.reg, params, record); break;
+  }
+}
+
+}  // namespace nvbitfi::fi

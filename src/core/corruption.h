@@ -1,0 +1,41 @@
+// Shared register-corruption semantics: given an instruction event and a
+// Table II transient-fault specification, pick the architectural target
+// (destination GPR / register pair / predicate, per the destination-register
+// value) and apply the bit-flip-model mask.  Used by the NVBitFI transient
+// injector and by the baseline injectors (SASSIFI-style and debugger-style),
+// so that overhead comparisons inject *identical* faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/fault_model.h"
+#include "sassim/core/instrumentation.h"
+
+namespace nvbitfi::fi {
+
+// What an injection actually did, for campaign logs and tests.
+struct InjectionRecord {
+  bool activated = false;  // the target dynamic instruction was reached
+  std::string kernel_name;
+  std::uint64_t kernel_count = 0;
+  std::uint32_t static_index = 0;        // static instruction index hit
+  sim::Opcode opcode = sim::Opcode::kNOP;
+  bool corrupted = false;                // false if the site had no target register
+  bool pred_target = false;              // corrupted a predicate instead of a GPR
+  int target_register = -1;              // GPR index or predicate index
+  int register_width = 32;               // 32, 64, or 1 (predicate)
+  std::uint64_t before_bits = 0;
+  std::uint64_t after_bits = 0;
+  std::uint64_t mask = 0;
+  int sm_id = -1;
+  int lane_id = -1;
+};
+
+// Applies the corruption for `params` at `event`, filling `record`.
+// Pre-populates the site-identification fields as well.
+void ApplyTransientCorruption(const sim::InstrEvent& event,
+                              const TransientFaultParams& params,
+                              InjectionRecord* record);
+
+}  // namespace nvbitfi::fi

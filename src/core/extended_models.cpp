@@ -1,0 +1,386 @@
+#include "core/extended_models.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::fi {
+
+std::string_view CorruptionFnName(CorruptionFn fn) {
+  switch (fn) {
+    case CorruptionFn::kXorMask: return "XOR_MASK";
+    case CorruptionFn::kStuckAtZero: return "STUCK_AT_ZERO";
+    case CorruptionFn::kStuckAtOne: return "STUCK_AT_ONE";
+    case CorruptionFn::kLeftShift: return "LEFT_SHIFT";
+    case CorruptionFn::kSignInvert: return "SIGN_INVERT";
+  }
+  return "?";
+}
+
+std::optional<CorruptionFn> CorruptionFnFromInt(int value) {
+  if (value < 0 || value > static_cast<int>(CorruptionFn::kSignInvert)) {
+    return std::nullopt;
+  }
+  return static_cast<CorruptionFn>(value);
+}
+
+std::uint32_t ApplyCorruptionFn(CorruptionFn fn, std::uint32_t value,
+                                std::uint32_t mask) {
+  switch (fn) {
+    case CorruptionFn::kXorMask: return value ^ mask;
+    case CorruptionFn::kStuckAtZero: return value & ~mask;
+    case CorruptionFn::kStuckAtOne: return value | mask;
+    case CorruptionFn::kLeftShift: return value << (std::popcount(mask) & 31);
+    case CorruptionFn::kSignInvert: return value ^ 0x80000000u;
+  }
+  return value;
+}
+
+// ---- extended transient injector ----------------------------------------------
+
+namespace {
+constexpr const char* kExtendedFn = "nvbitfi_extended_inject";
+constexpr const char* kDictionaryFn = "nvbitfi_dictionary_inject";
+}  // namespace
+
+ExtendedInjectorTool::ExtendedInjectorTool(ExtendedTransientParams params)
+    : params_(std::move(params)) {
+  NVBITFI_CHECK_MSG(params_.register_span >= 1 && params_.register_span <= 8,
+                    "register span out of range: " << params_.register_span);
+}
+
+std::string ExtendedInjectorTool::ConfigKey() const {
+  return "extended_injector/" + params_.base.kernel_name;
+}
+
+void ExtendedInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kExtendedFn;
+  fn.regs_used = 8;
+  fn.cost_cycles = 24;
+  fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void ExtendedInjectorTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                                       const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      for (const auto& fn : info.module->functions()) {
+        if (fn->name() != params_.base.kernel_name) continue;
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          if (OpcodeInGroup(instr.opcode(), params_.base.arch_state_id)) {
+            runtime.InsertCall(*fn, instr.index(), kExtendedFn, sim::InsertPoint::kAfter);
+          }
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin: {
+      const bool is_target = info.launch->kernel_name == params_.base.kernel_name &&
+                             info.launch->launch_ordinal == params_.base.kernel_count;
+      runtime.EnableInstrumented(*info.function, is_target && !done_);
+      armed_ = is_target && !done_;
+      if (armed_) counter_ = 0;
+      break;
+    }
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      if (armed_) {
+        runtime.EnableInstrumented(*info.function, false);
+        armed_ = false;
+        done_ = done_ || site_latched_;
+      }
+      break;
+  }
+}
+
+void ExtendedInjectorTool::Inject(const sim::InstrEvent& event) {
+  if (!armed_ || !event.lane.guard_true()) return;
+
+  if (site_latched_) {
+    // Warp-wide mode: every further lane event at the latched site in the
+    // same warp gets corrupted too (the cohort's events arrive back to back).
+    if (params_.warp_wide && event.static_index == latched_index_ &&
+        event.lane.warp_id() == latched_warp_) {
+      CorruptLane(event);
+    }
+    return;
+  }
+
+  const std::uint64_t index = counter_++;
+  if (index != params_.base.instruction_count) return;
+
+  site_latched_ = true;
+  latched_index_ = event.static_index;
+  latched_warp_ = event.lane.warp_id();
+  CorruptLane(event);
+  if (!params_.warp_wide) done_ = true;
+}
+
+void ExtendedInjectorTool::CorruptLane(const sim::InstrEvent& event) {
+  // Span of consecutive destination registers starting at the primary dest
+  // (or the first source GPR for no-dest instructions).
+  int base_reg = -1;
+  if (sim::DestGprCount(event.instr) > 0) {
+    base_reg = event.instr.dest_gpr;
+  } else {
+    for (int i = 0; i < event.instr.num_src; ++i) {
+      const sim::Operand& op = event.instr.src[static_cast<std::size_t>(i)];
+      if (op.kind == sim::Operand::Kind::kGpr && op.reg != sim::kRZ) {
+        base_reg = op.reg;
+        break;
+      }
+      if (op.kind == sim::Operand::Kind::kMem && op.mem_base != sim::kRZ) {
+        base_reg = op.mem_base;
+        break;
+      }
+    }
+  }
+  if (base_reg < 0) return;
+
+  const std::uint32_t mask = InjectionMask32(
+      params_.base.bit_flip_model, params_.base.bit_pattern_value,
+      event.lane.ReadGpr(base_reg));
+  for (int span = 0; span < params_.register_span; ++span) {
+    const int reg = base_reg + span;
+    if (reg >= sim::kRZ) break;
+    const std::uint32_t before = event.lane.ReadGpr(reg);
+    const std::uint32_t after = ApplyCorruptionFn(params_.corruption, before, mask);
+    event.lane.WriteGpr(reg, after);
+
+    InjectionRecord record;
+    record.activated = true;
+    record.kernel_name = event.launch.kernel_name;
+    record.kernel_count = event.launch.launch_ordinal;
+    record.static_index = event.static_index;
+    record.opcode = event.instr.opcode;
+    record.corrupted = before != after;
+    record.target_register = reg;
+    record.register_width = 32;
+    record.before_bits = before;
+    record.after_bits = after;
+    record.mask = mask;
+    record.sm_id = event.lane.sm_id();
+    record.lane_id = event.lane.lane_id();
+    records_.push_back(record);
+  }
+}
+
+// ---- fault dictionary ----------------------------------------------------------
+
+void FaultDictionary::Add(sim::Opcode op, Entry entry) {
+  NVBITFI_CHECK_MSG(entry.weight > 0.0, "dictionary entries need positive weight");
+  table_[static_cast<std::uint16_t>(op)].push_back(entry);
+}
+
+const std::vector<FaultDictionary::Entry>* FaultDictionary::Lookup(sim::Opcode op) const {
+  const auto it = table_.find(static_cast<std::uint16_t>(op));
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t FaultDictionary::Sample(sim::Opcode op, Rng& rng) const {
+  const std::vector<Entry>* entries = Lookup(op);
+  if (entries == nullptr || entries->empty()) {
+    return 1u << rng.UniformInt(0, 31);
+  }
+  double total = 0.0;
+  for (const Entry& e : *entries) total += e.weight;
+  double pick = rng.UniformUnit() * total;
+  for (const Entry& e : *entries) {
+    pick -= e.weight;
+    if (pick <= 0.0) return e.mask;
+  }
+  return entries->back().mask;
+}
+
+std::string FaultDictionary::Serialize() const {
+  std::string out;
+  // Deterministic order: by opcode id.
+  std::vector<std::uint16_t> ids;
+  ids.reserve(table_.size());
+  for (const auto& [id, _] : table_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint16_t id : ids) {
+    for (const Entry& e : table_.at(id)) {
+      out += Format("%s 0x%x %.17g\n",
+                    std::string(sim::OpcodeName(static_cast<sim::Opcode>(id))).c_str(),
+                    e.mask, e.weight);
+    }
+  }
+  return out;
+}
+
+std::optional<FaultDictionary> FaultDictionary::Parse(std::string_view text) {
+  FaultDictionary dict;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = SplitWhitespace(line);
+    if (fields.size() != 3) return std::nullopt;
+    const auto op = sim::OpcodeFromName(fields[0]);
+    std::uint64_t mask = 0;
+    double weight = 0;
+    if (!op || !ParseUint64(fields[1], &mask) || mask > 0xFFFFFFFFull ||
+        !ParseDouble(fields[2], &weight) || weight <= 0.0) {
+      return std::nullopt;
+    }
+    dict.Add(*op, Entry{static_cast<std::uint32_t>(mask), weight});
+  }
+  return dict;
+}
+
+FaultDictionary FaultDictionary::Synthetic(std::uint64_t seed) {
+  FaultDictionary dict;
+  Rng rng(seed);
+  for (int i = 0; i < sim::kOpcodeCount; ++i) {
+    const sim::Opcode op = static_cast<sim::Opcode>(i);
+    if (!sim::HasDest(op)) continue;
+    const sim::OpClass cls = sim::ClassOf(op);
+    // Class-conditioned bit ranges, mimicking which datapath bits a
+    // unit-level fault would reach.
+    int lo = 0, hi = 31;
+    switch (cls) {
+      case sim::OpClass::kFp32:
+      case sim::OpClass::kFp16:
+      case sim::OpClass::kFp64:
+        lo = 10; hi = 30;  // mantissa high bits + exponent
+        break;
+      case sim::OpClass::kInt:
+      case sim::OpClass::kUniform:
+        lo = 0; hi = 15;   // adder low bits dominate
+        break;
+      case sim::OpClass::kLoad:
+      case sim::OpClass::kAtomic:
+        lo = 2; hi = 23;   // data-bus bits
+        break;
+      default:
+        lo = 0; hi = 31;
+        break;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const auto bit = static_cast<int>(
+          rng.UniformInt(static_cast<std::uint64_t>(lo), static_cast<std::uint64_t>(hi)));
+      // Occasional multi-bit burst, as unit-level faults often smear.
+      const std::uint32_t mask =
+          rng.Chance(0.25) ? (0x3u << (bit & 30)) : (1u << bit);
+      dict.Add(op, Entry{mask, 1.0 + rng.UniformUnit()});
+    }
+  }
+  return dict;
+}
+
+// ---- dictionary injector -------------------------------------------------------
+
+DictionaryInjectorTool::DictionaryInjectorTool(TransientFaultParams site,
+                                               const FaultDictionary& dictionary,
+                                               std::uint64_t seed)
+    : site_(std::move(site)), dictionary_(dictionary), rng_(seed) {}
+
+std::string DictionaryInjectorTool::ConfigKey() const {
+  return "dictionary_injector/" + site_.kernel_name;
+}
+
+void DictionaryInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kDictionaryFn;
+  fn.regs_used = 8;
+  fn.cost_cycles = 24;
+  fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void DictionaryInjectorTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                                         const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      for (const auto& fn : info.module->functions()) {
+        if (fn->name() != site_.kernel_name) continue;
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          if (OpcodeInGroup(instr.opcode(), site_.arch_state_id)) {
+            runtime.InsertCall(*fn, instr.index(), kDictionaryFn,
+                               sim::InsertPoint::kAfter);
+          }
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin: {
+      const bool is_target = info.launch->kernel_name == site_.kernel_name &&
+                             info.launch->launch_ordinal == site_.kernel_count;
+      runtime.EnableInstrumented(*info.function, is_target && !done_);
+      armed_ = is_target && !done_;
+      if (armed_) counter_ = 0;
+      break;
+    }
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      if (armed_) {
+        runtime.EnableInstrumented(*info.function, false);
+        armed_ = false;
+      }
+      break;
+  }
+}
+
+void DictionaryInjectorTool::Inject(const sim::InstrEvent& event) {
+  if (!armed_ || done_ || !event.lane.guard_true()) return;
+  const std::uint64_t index = counter_++;
+  if (index != site_.instruction_count) return;
+  done_ = true;
+
+  const sim::Instruction& inst = event.instr;
+  record_.activated = true;
+  record_.kernel_name = event.launch.kernel_name;
+  record_.kernel_count = event.launch.launch_ordinal;
+  record_.static_index = event.static_index;
+  record_.opcode = inst.opcode;
+  record_.sm_id = event.lane.sm_id();
+  record_.lane_id = event.lane.lane_id();
+
+  // Predicate-only destinations flip the predicate, as in the base model.
+  if (sim::WritesPredOnly(inst.opcode) && inst.dest_pred != sim::kPT) {
+    const bool before = event.lane.ReadPred(inst.dest_pred);
+    event.lane.WritePred(inst.dest_pred, !before);
+    record_.corrupted = true;
+    record_.pred_target = true;
+    record_.target_register = inst.dest_pred;
+    record_.register_width = 1;
+    record_.before_bits = before ? 1 : 0;
+    record_.after_bits = before ? 0 : 1;
+    record_.mask = 1;
+    return;
+  }
+
+  // Opcode-conditioned pattern: the 32-bit XOR mask is drawn from the
+  // dictionary rather than the generic Table II formulas; register-pair
+  // destinations take the mask on their low word (the dictionary models a
+  // 32-bit lane of the functional unit).
+  int reg = -1;
+  if (sim::DestGprCount(inst) > 0) {
+    reg = inst.dest_gpr;
+  } else {
+    for (int i = 0; i < inst.num_src; ++i) {
+      const sim::Operand& op = inst.src[static_cast<std::size_t>(i)];
+      if (op.kind == sim::Operand::Kind::kGpr && op.reg != sim::kRZ) {
+        reg = op.reg;
+        break;
+      }
+      if (op.kind == sim::Operand::Kind::kMem && op.mem_base != sim::kRZ) {
+        reg = op.mem_base;
+        break;
+      }
+    }
+  }
+  if (reg < 0) return;
+
+  const std::uint32_t mask = dictionary_.Sample(inst.opcode, rng_);
+  const std::uint32_t before = event.lane.ReadGpr(reg);
+  event.lane.WriteGpr(reg, before ^ mask);
+  record_.corrupted = mask != 0;
+  record_.target_register = reg;
+  record_.register_width = 32;
+  record_.before_bits = before;
+  record_.after_bits = before ^ mask;
+  record_.mask = mask;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,147 @@
+// Extended fault models — the paper's §V "future directions", implemented:
+//
+//   * multi-register corruption: "(1) corrupting multiple registers" — a
+//     fault in persistent microarchitectural state manifests across a span of
+//     architecturally adjacent registers;
+//   * corruption functions "(2) beyond the current set of XOR, random, and
+//     zero functions" — stuck-at-0/1 masks, shifts, sign inversion;
+//   * warp-wide faults: a fault in shared decode/scheduler state corrupts
+//     every active lane at the site, not just one thread;
+//   * a fault dictionary "(3)/(4)": per-opcode weighted error-pattern tables,
+//     standing in for patterns derived from circuit/microarchitectural
+//     simulation, sampled per activation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/corruption.h"
+#include "core/fault_model.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::fi {
+
+// ---- corruption functions (§V item 2) ----------------------------------------
+
+enum class CorruptionFn : std::uint8_t {
+  kXorMask = 0,     // value ^ mask (the base model)
+  kStuckAtZero,     // value & ~mask (mask bits forced to 0)
+  kStuckAtOne,      // value | mask  (mask bits forced to 1)
+  kLeftShift,       // value << popcount(mask): a datapath mis-steer
+  kSignInvert,      // value ^ 0x80000000, ignoring the mask
+};
+
+std::string_view CorruptionFnName(CorruptionFn fn);
+std::optional<CorruptionFn> CorruptionFnFromInt(int value);
+
+std::uint32_t ApplyCorruptionFn(CorruptionFn fn, std::uint32_t value,
+                                std::uint32_t mask);
+
+// ---- extended transient injector ----------------------------------------------
+
+struct ExtendedTransientParams {
+  TransientFaultParams base;
+  // Corrupt this many consecutive destination registers (>= 1).
+  int register_span = 1;
+  // Corrupt every active lane of the warp at the site, not just the one
+  // thread the counter lands on.  (Corruption covers the selected lane and
+  // the rest of its cohort; lanes whose events preceded the selected one in
+  // the same warp issue are untouched, so select an early lane to cover the
+  // full warp.)
+  bool warp_wide = false;
+  CorruptionFn corruption = CorruptionFn::kXorMask;
+};
+
+// Like TransientInjectorTool, but applies the extended model at the site.
+class ExtendedInjectorTool final : public nvbit::Tool {
+ public:
+  explicit ExtendedInjectorTool(ExtendedTransientParams params);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const ExtendedTransientParams& params() const { return params_; }
+  // One record per corrupted (lane, register).
+  const std::vector<InjectionRecord>& records() const { return records_; }
+  bool activated() const { return !records_.empty(); }
+
+ private:
+  void Inject(const sim::InstrEvent& event);
+  void CorruptLane(const sim::InstrEvent& event);
+
+  ExtendedTransientParams params_;
+  std::vector<InjectionRecord> records_;
+  std::uint64_t counter_ = 0;
+  // warp-wide mode: the static index + warp armed once the counter fires.
+  bool site_latched_ = false;
+  std::uint32_t latched_index_ = 0;
+  int latched_warp_ = -1;
+  bool armed_ = false;
+  bool done_ = false;
+};
+
+// ---- fault dictionary (§V items 3 and 4) ---------------------------------------
+
+// Per-opcode weighted error patterns.  In production these tables come from
+// circuit- or RTL-level fault simulation; Synthetic() builds a plausible
+// class-conditioned stand-in (FP faults biased to mantissa/exponent bits,
+// integer faults to low bits, address-producing ops to mid bits).
+class FaultDictionary {
+ public:
+  struct Entry {
+    std::uint32_t mask = 0;
+    double weight = 1.0;
+  };
+
+  void Add(sim::Opcode op, Entry entry);
+  const std::vector<Entry>* Lookup(sim::Opcode op) const;
+  bool empty() const { return table_.empty(); }
+  std::size_t opcode_count() const { return table_.size(); }
+
+  // Weighted sample of a mask for `op`; falls back to a single-bit mask drawn
+  // from `rng` when the opcode has no dictionary entry.
+  std::uint32_t Sample(sim::Opcode op, Rng& rng) const;
+
+  // Text form: one line per entry, "OPCODE 0xMASK WEIGHT".
+  std::string Serialize() const;
+  static std::optional<FaultDictionary> Parse(std::string_view text);
+
+  static FaultDictionary Synthetic(std::uint64_t seed);
+
+ private:
+  std::unordered_map<std::uint16_t, std::vector<Entry>> table_;
+};
+
+// Transient injector whose bit pattern is drawn from a fault dictionary at
+// the moment of injection (conditioned on the faulted instruction's opcode).
+class DictionaryInjectorTool final : public nvbit::Tool {
+ public:
+  DictionaryInjectorTool(TransientFaultParams site, const FaultDictionary& dictionary,
+                         std::uint64_t seed);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const InjectionRecord& record() const { return record_; }
+
+ private:
+  void Inject(const sim::InstrEvent& event);
+
+  TransientFaultParams site_;
+  const FaultDictionary& dictionary_;
+  Rng rng_;
+  InjectionRecord record_;
+  std::uint64_t counter_ = 0;
+  bool armed_ = false;
+  bool done_ = false;
+};
+
+}  // namespace nvbitfi::fi

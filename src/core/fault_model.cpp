@@ -1,0 +1,173 @@
+#include "core/fault_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::fi {
+
+std::string_view ArchStateIdName(ArchStateId id) {
+  switch (id) {
+    case ArchStateId::kGFp64: return "G_FP64";
+    case ArchStateId::kGFp32: return "G_FP32";
+    case ArchStateId::kGLd: return "G_LD";
+    case ArchStateId::kGPr: return "G_PR";
+    case ArchStateId::kGNoDest: return "G_NODEST";
+    case ArchStateId::kGOthers: return "G_OTHERS";
+    case ArchStateId::kGGppr: return "G_GPPR";
+    case ArchStateId::kGGp: return "G_GP";
+  }
+  return "?";
+}
+
+std::optional<ArchStateId> ArchStateIdFromInt(int value) {
+  if (value < 1 || value > 8) return std::nullopt;
+  return static_cast<ArchStateId>(value);
+}
+
+std::string_view BitFlipModelName(BitFlipModel model) {
+  switch (model) {
+    case BitFlipModel::kFlipSingleBit: return "FLIP_SINGLE_BIT";
+    case BitFlipModel::kFlipTwoBits: return "FLIP_TWO_BITS";
+    case BitFlipModel::kRandomValue: return "RANDOM_VALUE";
+    case BitFlipModel::kZeroValue: return "ZERO_VALUE";
+  }
+  return "?";
+}
+
+std::optional<BitFlipModel> BitFlipModelFromInt(int value) {
+  if (value < 1 || value > 4) return std::nullopt;
+  return static_cast<BitFlipModel>(value);
+}
+
+bool OpcodeInGroup(sim::Opcode op, ArchStateId group) {
+  // Groups 1..6 partition the ISA; 7 and 8 are the unions Table II defines.
+  // FP comparison opcodes that only write predicates (FSETP/DSETP/FCHK)
+  // belong to G_PR, not to the FP arithmetic groups.
+  switch (group) {
+    case ArchStateId::kGFp64:
+      return sim::IsFp64Arith(op) && sim::WritesGpr(op);
+    case ArchStateId::kGFp32:
+      return sim::IsFp32Arith(op) && sim::WritesGpr(op);
+    case ArchStateId::kGLd:
+      return sim::IsMemoryRead(op);
+    case ArchStateId::kGPr:
+      return sim::WritesPredOnly(op);
+    case ArchStateId::kGNoDest:
+      return !sim::HasDest(op);
+    case ArchStateId::kGOthers:
+      return sim::HasDest(op) && !sim::IsFp64Arith(op) && !sim::IsFp32Arith(op) &&
+             !sim::IsMemoryRead(op) && !sim::WritesPredOnly(op);
+    case ArchStateId::kGGppr:
+      return sim::HasDest(op);
+    case ArchStateId::kGGp:
+      return sim::WritesGpr(op);
+  }
+  return false;
+}
+
+std::string TransientFaultParams::Serialize() const {
+  // One parameter per line, in Table II order.
+  return Format("%d\n%d\n%s\n%llu\n%llu\n%.17g\n%.17g\n",
+                static_cast<int>(arch_state_id), static_cast<int>(bit_flip_model),
+                kernel_name.c_str(), static_cast<unsigned long long>(kernel_count),
+                static_cast<unsigned long long>(instruction_count), destination_register,
+                bit_pattern_value);
+}
+
+std::optional<TransientFaultParams> TransientFaultParams::Parse(std::string_view text) {
+  const auto lines = Split(text, '\n');
+  if (lines.size() < 7) return std::nullopt;
+  TransientFaultParams p;
+  std::int64_t arch = 0, flip = 0;
+  if (!ParseInt64(TrimWhitespace(lines[0]), &arch) ||
+      !ParseInt64(TrimWhitespace(lines[1]), &flip)) {
+    return std::nullopt;
+  }
+  const auto arch_id = ArchStateIdFromInt(static_cast<int>(arch));
+  const auto flip_model = BitFlipModelFromInt(static_cast<int>(flip));
+  if (!arch_id || !flip_model) return std::nullopt;
+  p.arch_state_id = *arch_id;
+  p.bit_flip_model = *flip_model;
+  p.kernel_name = std::string(TrimWhitespace(lines[2]));
+  if (p.kernel_name.empty()) return std::nullopt;
+  if (!ParseUint64(TrimWhitespace(lines[3]), &p.kernel_count)) return std::nullopt;
+  if (!ParseUint64(TrimWhitespace(lines[4]), &p.instruction_count)) return std::nullopt;
+  if (!ParseDouble(TrimWhitespace(lines[5]), &p.destination_register)) return std::nullopt;
+  if (!ParseDouble(TrimWhitespace(lines[6]), &p.bit_pattern_value)) return std::nullopt;
+  if (p.destination_register < 0.0 || p.destination_register >= 1.0) return std::nullopt;
+  if (p.bit_pattern_value < 0.0 || p.bit_pattern_value >= 1.0) return std::nullopt;
+  return p;
+}
+
+std::string PermanentFaultParams::Serialize() const {
+  return Format("%d\n%d\n0x%x\n%d\n", sm_id, lane_id, bit_mask, opcode_id);
+}
+
+std::optional<PermanentFaultParams> PermanentFaultParams::Parse(std::string_view text) {
+  const auto lines = Split(text, '\n');
+  if (lines.size() < 4) return std::nullopt;
+  PermanentFaultParams p;
+  std::int64_t sm = 0, lane = 0, opcode = 0;
+  std::uint64_t mask = 0;
+  if (!ParseInt64(TrimWhitespace(lines[0]), &sm) ||
+      !ParseInt64(TrimWhitespace(lines[1]), &lane) ||
+      !ParseUint64(TrimWhitespace(lines[2]), &mask) ||
+      !ParseInt64(TrimWhitespace(lines[3]), &opcode)) {
+    return std::nullopt;
+  }
+  if (sm < 0 || lane < 0 || lane >= sim::kWarpSize || mask > 0xFFFFFFFFull ||
+      opcode < 0 || opcode >= sim::kOpcodeCount) {
+    return std::nullopt;
+  }
+  p.sm_id = static_cast<int>(sm);
+  p.lane_id = static_cast<int>(lane);
+  p.bit_mask = static_cast<std::uint32_t>(mask);
+  p.opcode_id = static_cast<int>(opcode);
+  return p;
+}
+
+std::string IntermittentFaultParams::Serialize() const {
+  return base.Serialize() +
+         Format("%.17g\n%.17g\n%llu\n", duty_cycle, mean_burst_events,
+                static_cast<unsigned long long>(seed));
+}
+
+std::uint32_t InjectionMask32(BitFlipModel model, double value, std::uint32_t original) {
+  NVBITFI_CHECK_MSG(value >= 0.0 && value < 1.0, "bit-pattern value outside [0,1)");
+  switch (model) {
+    case BitFlipModel::kFlipSingleBit:
+      return 0x1u << static_cast<unsigned>(32.0 * value);
+    case BitFlipModel::kFlipTwoBits:
+      return 0x3u << static_cast<unsigned>(31.0 * value);
+    case BitFlipModel::kRandomValue: {
+      // The register becomes 0xffffffff * value: mask = original ^ new.
+      const auto target = static_cast<std::uint32_t>(4294967295.0 * value);
+      return original ^ target;
+    }
+    case BitFlipModel::kZeroValue:
+      return original;  // XOR with itself -> 0
+  }
+  return 0;
+}
+
+std::uint64_t InjectionMask64(BitFlipModel model, double value, std::uint64_t original) {
+  NVBITFI_CHECK_MSG(value >= 0.0 && value < 1.0, "bit-pattern value outside [0,1)");
+  switch (model) {
+    case BitFlipModel::kFlipSingleBit:
+      return 1ull << static_cast<unsigned>(64.0 * value);
+    case BitFlipModel::kFlipTwoBits:
+      return 3ull << static_cast<unsigned>(63.0 * value);
+    case BitFlipModel::kRandomValue: {
+      const auto target =
+          static_cast<std::uint64_t>(18446744073709551615.0 * value);
+      return original ^ target;
+    }
+    case BitFlipModel::kZeroValue:
+      return original;
+  }
+  return 0;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,99 @@
+// NVBitFI fault models: the parameter sets of Table II (transient) and
+// Table III (permanent), plus the instruction-group and bit-pattern semantics
+// they reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sassim/isa/instruction.h"
+
+namespace nvbitfi::fi {
+
+// Table II "arch state id": the instruction subset eligible for injection.
+// Integer values match the paper's numbering (1-based).
+enum class ArchStateId : std::uint8_t {
+  kGFp64 = 1,    // FP64 arithmetic instructions
+  kGFp32 = 2,    // FP32 arithmetic instructions
+  kGLd = 3,      // instructions that read from memory
+  kGPr = 4,      // instructions that write to predicate registers only
+  kGNoDest = 5,  // instructions with no destination register
+  kGOthers = 6,  // everything not covered by 1-5
+  kGGppr = 7,    // writes GP and/or predicate registers: all - G_NODEST
+  kGGp = 8,      // writes general-purpose registers: all - G_NODEST - G_PR
+};
+
+std::string_view ArchStateIdName(ArchStateId id);
+std::optional<ArchStateId> ArchStateIdFromInt(int value);
+
+// Table II "bit-flip model".  Integer values match the paper's numbering.
+enum class BitFlipModel : std::uint8_t {
+  kFlipSingleBit = 1,
+  kFlipTwoBits = 2,   // two adjacent bits
+  kRandomValue = 3,
+  kZeroValue = 4,
+};
+
+std::string_view BitFlipModelName(BitFlipModel model);
+std::optional<BitFlipModel> BitFlipModelFromInt(int value);
+
+// Group membership of an opcode (G_LD, G_PR, ... partitions / unions).
+bool OpcodeInGroup(sim::Opcode op, ArchStateId group);
+
+// Table II: the full transient-fault specification.  The paper stores these
+// one per line in a parameter file; Serialize/Parse reproduce that format.
+struct TransientFaultParams {
+  ArchStateId arch_state_id = ArchStateId::kGGp;
+  BitFlipModel bit_flip_model = BitFlipModel::kFlipSingleBit;
+  std::string kernel_name;
+  std::uint64_t kernel_count = 0;       // n: the (n+1)th dynamic kernel instance
+  std::uint64_t instruction_count = 0;  // n: the (n+1)th eligible dynamic instruction
+  double destination_register = 0.0;    // [0,1): picks among the dest registers
+  double bit_pattern_value = 0.0;       // [0,1): picks the bit-error mask
+
+  std::string Serialize() const;
+  static std::optional<TransientFaultParams> Parse(std::string_view text);
+
+  bool operator==(const TransientFaultParams&) const = default;
+};
+
+// Table III: the permanent-fault specification.
+struct PermanentFaultParams {
+  int sm_id = 0;                  // 0..N-1
+  int lane_id = 0;                // 0..31
+  std::uint32_t bit_mask = 1;     // XOR mask
+  int opcode_id = 0;              // 0..170 (Volta: 171 opcodes)
+
+  sim::Opcode opcode() const { return static_cast<sim::Opcode>(opcode_id); }
+
+  std::string Serialize() const;
+  static std::optional<PermanentFaultParams> Parse(std::string_view text);
+
+  bool operator==(const PermanentFaultParams&) const = default;
+};
+
+// Extension (paper §V "Intermittent faults"): a permanent-style fault that is
+// only active during bursts of a random on/off process.
+struct IntermittentFaultParams {
+  PermanentFaultParams base;
+  double duty_cycle = 0.5;          // long-run fraction of time the fault is active
+  double mean_burst_events = 16.0;  // expected eligible events per active burst
+  std::uint64_t seed = 1;
+
+  std::string Serialize() const;
+};
+
+// Table II bit-pattern semantics: the 32-bit XOR mask derived from the model
+// and the [0,1) bit-pattern value.
+//   FLIP_SINGLE_BIT: 0x1 << (32 * value)
+//   FLIP_TWO_BITS:   0x3 << (31 * value)
+//   RANDOM_VALUE:    0xffffffff * value  (applied so the register BECOMES it)
+//   ZERO_VALUE:      mask equals the original value, so XOR produces 0
+std::uint32_t InjectionMask32(BitFlipModel model, double value, std::uint32_t original);
+
+// 64-bit variant for register-pair destinations (FP64 results, wide loads).
+std::uint64_t InjectionMask64(BitFlipModel model, double value, std::uint64_t original);
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,135 @@
+#include "core/outcome.h"
+
+#include "common/strings.h"
+
+namespace nvbitfi::fi {
+
+std::string_view OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return "Masked";
+    case Outcome::kSdc: return "SDC";
+    case Outcome::kDue: return "DUE";
+  }
+  return "?";
+}
+
+std::string_view SymptomName(Symptom symptom) {
+  switch (symptom) {
+    case Symptom::kNone: return "no difference detected";
+    case Symptom::kStdoutDiff: return "standard output is different";
+    case Symptom::kOutputFileDiff: return "output file is different";
+    case Symptom::kAppCheckFailed: return "application-specific check failed";
+    case Symptom::kTimeout: return "timeout (monitor detection)";
+    case Symptom::kCrash: return "process crash (OS detection)";
+    case Symptom::kNonZeroExit: return "non-zero exit status (application detection)";
+  }
+  return "?";
+}
+
+bool SdcChecker::IsSdc(const RunArtifacts& golden, const RunArtifacts& run) const {
+  return golden.stdout_text != run.stdout_text || golden.output_file != run.output_file;
+}
+
+Classification Classify(const RunArtifacts& golden, const RunArtifacts& run,
+                        const SdcChecker& checker) {
+  Classification c;
+
+  // DUE symptoms take precedence: a run that hung or died produced no result.
+  if (run.timed_out) {
+    c.outcome = Outcome::kDue;
+    c.symptom = Symptom::kTimeout;
+    return c;
+  }
+  if (run.crashed) {
+    c.outcome = Outcome::kDue;
+    c.symptom = Symptom::kCrash;
+    return c;
+  }
+  if (run.exit_code != 0) {
+    c.outcome = Outcome::kDue;
+    c.symptom = Symptom::kNonZeroExit;
+    return c;
+  }
+
+  // SDC symptoms.  The program-specific checker is authoritative for output
+  // comparison (SPEC-style checkers accept small numeric deviations, so an
+  // exact byte diff alone must NOT imply SDC).
+  if (run.app_check_failed) {
+    c.outcome = Outcome::kSdc;
+    c.symptom = Symptom::kAppCheckFailed;
+  } else if (checker.IsSdc(golden, run)) {
+    c.outcome = Outcome::kSdc;
+    c.symptom = golden.stdout_text != run.stdout_text ? Symptom::kStdoutDiff
+                                                      : Symptom::kOutputFileDiff;
+  } else {
+    c.outcome = Outcome::kMasked;
+    c.symptom = Symptom::kNone;
+  }
+
+  // Potential DUE: the system saw an anomaly the application did not handle.
+  c.potential_due = !run.cuda_errors.empty() || !run.dmesg.empty();
+  return c;
+}
+
+void HarvestContextState(const sim::Context& context, RunArtifacts* artifacts) {
+  if (context.last_error() != sim::CuResult::kSuccess) {
+    artifacts->cuda_errors.emplace_back(sim::CuResultName(context.last_error()));
+    if (context.last_error() == sim::CuResult::kLaunchTimeout) {
+      artifacts->timed_out = true;
+    }
+  }
+  for (const sim::DeviceLogEntry& entry : context.device().log().entries()) {
+    artifacts->dmesg.push_back(entry.message);
+  }
+  artifacts->cycles = context.total_cycles();
+  artifacts->thread_instructions = context.total_thread_instructions();
+  artifacts->dynamic_kernels = context.total_launches();
+  artifacts->static_kernels = context.launch_counts().size();
+  artifacts->max_launch_thread_instructions = context.max_launch_thread_instructions();
+}
+
+double OutcomeCounts::MaskedPct() const {
+  return total() == 0 ? 0.0 : 100.0 * static_cast<double>(masked) / static_cast<double>(total());
+}
+double OutcomeCounts::SdcPct() const {
+  return total() == 0 ? 0.0 : 100.0 * static_cast<double>(sdc) / static_cast<double>(total());
+}
+double OutcomeCounts::DuePct() const {
+  return total() == 0 ? 0.0 : 100.0 * static_cast<double>(due) / static_cast<double>(total());
+}
+
+void OutcomeCounts::Add(const Classification& c) {
+  switch (c.outcome) {
+    case Outcome::kMasked: ++masked; break;
+    case Outcome::kSdc: ++sdc; break;
+    case Outcome::kDue: ++due; break;
+  }
+  if (c.potential_due) ++potential_due;
+}
+
+OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& other) {
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+  potential_due += other.potential_due;
+  return *this;
+}
+
+void WeightedOutcomes::Add(const Classification& c, double weight) {
+  switch (c.outcome) {
+    case Outcome::kMasked: masked += weight; break;
+    case Outcome::kSdc: sdc += weight; break;
+    case Outcome::kDue: due += weight; break;
+  }
+  if (c.potential_due) potential_due += weight;
+}
+
+WeightedOutcomes& WeightedOutcomes::operator+=(const WeightedOutcomes& other) {
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+  potential_due += other.potential_due;
+  return *this;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,119 @@
+// Error-propagation outcomes (Table V) and the run-outcome classifier.
+//
+// Following §IV-A:
+//   SDC    — stdout differs, output file differs, or the program-specific
+//            check (the SPEC-style "SDC checking script") failed;
+//   DUE    — hang (watchdog/monitor), process crash (OS), or non-zero exit
+//            status (application detection);
+//   Masked — no difference detected;
+//   Potential DUE — an (SDC or Masked) run during which the system recorded a
+//            non-handled anomaly (a CUDA error the host never checked, or a
+//            device-log/"dmesg" entry).  As in the paper's results, potential
+//            DUEs are *counted* as their underlying SDC/Masked outcome and
+//            reported separately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::fi {
+
+enum class Outcome : std::uint8_t { kMasked, kSdc, kDue };
+
+std::string_view OutcomeName(Outcome outcome);
+
+// The specific Table V symptom that produced the outcome.
+enum class Symptom : std::uint8_t {
+  kNone,            // masked
+  kStdoutDiff,      // SDC
+  kOutputFileDiff,  // SDC
+  kAppCheckFailed,  // SDC
+  kTimeout,         // DUE (monitor detection)
+  kCrash,           // DUE (OS detection)
+  kNonZeroExit,     // DUE (application detection)
+};
+
+std::string_view SymptomName(Symptom symptom);
+
+// Everything observable from one run of a target program.
+struct RunArtifacts {
+  std::string stdout_text;
+  std::vector<std::uint8_t> output_file;
+  int exit_code = 0;
+  bool crashed = false;      // host-process crash (OS detection)
+  bool timed_out = false;    // watchdog fired on some launch
+  bool app_check_failed = false;  // program-internal assertion/consistency check
+
+  // Anomalies harvested by the harness after the run (Table V's "potential
+  // DUE" evidence): the context's final sticky CUDA error, if any, and the
+  // device-log entries.
+  std::vector<std::string> cuda_errors;
+  std::vector<std::string> dmesg;
+
+  // Accounting (Figures 4/5).
+  std::uint64_t cycles = 0;
+  std::uint64_t thread_instructions = 0;
+  std::uint64_t dynamic_kernels = 0;
+  std::uint64_t static_kernels = 0;  // distinct kernel names launched
+  std::uint64_t max_launch_thread_instructions = 0;  // watchdog calibration
+};
+
+struct Classification {
+  Outcome outcome = Outcome::kMasked;
+  Symptom symptom = Symptom::kNone;
+  bool potential_due = false;
+
+  bool operator==(const Classification&) const = default;
+};
+
+// Program-specific SDC check: returns true when `run`'s outputs should count
+// as corrupted relative to `golden`.  The default performs exact stdout and
+// output-file comparison; workloads override it with tolerance-aware checks
+// (SpecACCEL ships one per program).
+class SdcChecker {
+ public:
+  virtual ~SdcChecker() = default;
+  virtual bool IsSdc(const RunArtifacts& golden, const RunArtifacts& run) const;
+};
+
+// Classifies one run against the golden run per Table V.
+Classification Classify(const RunArtifacts& golden, const RunArtifacts& run,
+                        const SdcChecker& checker);
+
+// Fills the harness-harvested fields of `artifacts` from the context's final
+// state (sticky errors, device log, accounting).
+void HarvestContextState(const sim::Context& context, RunArtifacts* artifacts);
+
+// Aggregate outcome tallies used by every results table.
+struct OutcomeCounts {
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  std::uint64_t potential_due = 0;  // subset of masked+sdc
+
+  std::uint64_t total() const { return masked + sdc + due; }
+  double MaskedPct() const;
+  double SdcPct() const;
+  double DuePct() const;
+
+  void Add(const Classification& c);
+  OutcomeCounts& operator+=(const OutcomeCounts& other);
+};
+
+// Weighted variant for the permanent-fault analysis (Fig. 3): each run is
+// weighted by the dynamic-instruction share of its opcode.
+struct WeightedOutcomes {
+  double masked = 0;
+  double sdc = 0;
+  double due = 0;
+  double potential_due = 0;
+
+  double total() const { return masked + sdc + due; }
+  void Add(const Classification& c, double weight);
+  WeightedOutcomes& operator+=(const WeightedOutcomes& other);
+};
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,158 @@
+#include "core/permanent_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+constexpr const char* kPermanentFn = "nvbitfi_pf_inject";
+constexpr const char* kIntermittentFn = "nvbitfi_if_inject";
+
+// XORs the instruction's destination with the 32-bit mask (each written GPR
+// gets the mask; predicate destinations flip when mask bit 0 is set).
+// Returns true if any architectural state changed.
+bool ApplyMask(const sim::InstrEvent& event, std::uint32_t mask) {
+  const sim::Instruction& inst = event.instr;
+  bool changed = false;
+  const int gprs = sim::DestGprCount(inst);
+  for (int i = 0; i < gprs; ++i) {
+    const int reg = inst.dest_gpr + i;
+    if (reg >= sim::kRZ) break;
+    event.lane.WriteGpr(reg, event.lane.ReadGpr(reg) ^ mask);
+    changed = changed || mask != 0;
+  }
+  if ((mask & 1u) != 0 &&
+      (sim::DestKindOf(inst.opcode) == sim::DestKind::kPred ||
+       sim::DestKindOf(inst.opcode) == sim::DestKind::kGprPred)) {
+    if (inst.dest_pred != sim::kPT) {
+      event.lane.WritePred(inst.dest_pred, !event.lane.ReadPred(inst.dest_pred));
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Instruments every instance of `opcode` in every kernel of the module.
+void InstrumentOpcode(nvbit::Runtime& runtime, const sim::Module& module,
+                      sim::Opcode opcode, const char* device_fn) {
+  for (const auto& fn : module.functions()) {
+    for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+      if (instr.opcode() == opcode) {
+        runtime.InsertCall(*fn, instr.index(), device_fn, sim::InsertPoint::kAfter);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PermanentInjectorTool::PermanentInjectorTool(PermanentFaultParams params)
+    : params_(params) {
+  NVBITFI_CHECK_MSG(params_.opcode_id >= 0 && params_.opcode_id < sim::kOpcodeCount,
+                    "opcode id out of range: " << params_.opcode_id);
+  NVBITFI_CHECK_MSG(params_.lane_id >= 0 && params_.lane_id < sim::kWarpSize,
+                    "lane id out of range: " << params_.lane_id);
+}
+
+std::string PermanentInjectorTool::ConfigKey() const {
+  return "pf_injector/" + std::string(sim::OpcodeName(params_.opcode()));
+}
+
+void PermanentInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kPermanentFn;
+  fn.regs_used = kInjectorRegs;
+  fn.cost_cycles = kInjectorCycles;
+  fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void PermanentInjectorTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                                        const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      InstrumentOpcode(runtime, *info.module, params_.opcode(), kPermanentFn);
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin:
+      // A permanent fault is present in every launch.
+      runtime.EnableInstrumented(*info.function, true);
+      break;
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      break;
+  }
+}
+
+void PermanentInjectorTool::Inject(const sim::InstrEvent& event) {
+  if (!event.lane.guard_true()) return;
+  if (event.lane.sm_id() != params_.sm_id || event.lane.lane_id() != params_.lane_id) {
+    return;
+  }
+  if (ApplyMask(event, params_.bit_mask)) ++activations_;
+}
+
+IntermittentInjectorTool::IntermittentInjectorTool(IntermittentFaultParams params)
+    : params_(params), rng_(params.seed) {
+  NVBITFI_CHECK_MSG(params_.duty_cycle > 0.0 && params_.duty_cycle < 1.0,
+                    "duty cycle must be in (0,1)");
+  NVBITFI_CHECK_MSG(params_.mean_burst_events >= 1.0, "burst length must be >= 1 event");
+  // Gilbert on/off process: exit probability fixes the mean burst length;
+  // entry probability then fixes the long-run duty cycle.
+  p_exit_burst_ = 1.0 / params_.mean_burst_events;
+  const double mean_off =
+      params_.mean_burst_events * (1.0 - params_.duty_cycle) / params_.duty_cycle;
+  p_enter_burst_ = 1.0 / std::max(mean_off, 1.0);
+}
+
+std::string IntermittentInjectorTool::ConfigKey() const {
+  return "if_injector/" + std::string(sim::OpcodeName(params_.base.opcode()));
+}
+
+void IntermittentInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kIntermittentFn;
+  fn.regs_used = PermanentInjectorTool::kInjectorRegs;
+  fn.cost_cycles = PermanentInjectorTool::kInjectorCycles;
+  fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void IntermittentInjectorTool::AtCudaEvent(nvbit::Runtime& runtime,
+                                           nvbit::CudaEvent event,
+                                           const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      InstrumentOpcode(runtime, *info.module, params_.base.opcode(), kIntermittentFn);
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin:
+      runtime.EnableInstrumented(*info.function, true);
+      break;
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      break;
+  }
+}
+
+bool IntermittentInjectorTool::StepBurstProcess() {
+  if (burst_active_) {
+    if (rng_.Chance(p_exit_burst_)) burst_active_ = false;
+  } else {
+    if (rng_.Chance(p_enter_burst_)) burst_active_ = true;
+  }
+  return burst_active_;
+}
+
+void IntermittentInjectorTool::Inject(const sim::InstrEvent& event) {
+  if (!event.lane.guard_true()) return;
+  if (event.lane.sm_id() != params_.base.sm_id ||
+      event.lane.lane_id() != params_.base.lane_id) {
+    return;
+  }
+  ++eligible_events_;
+  if (!StepBurstProcess()) return;
+  if (ApplyMask(event, params_.base.bit_mask)) ++activations_;
+}
+
+}  // namespace nvbitfi::fi

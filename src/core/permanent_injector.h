@@ -1,0 +1,72 @@
+// The NVBitFI permanent fault injector (the paper's pf_injector.so).
+//
+// Corrupts the destination register of *every* dynamic instance of one opcode
+// (Table III), restricted to threads executing on the chosen SM and hardware
+// lane — the model of a stuck-at fault in one functional unit.  Unlike the
+// transient injector, instrumentation is enabled for every launch (all
+// dynamic instances of the opcode are fault sites), which is why the paper
+// measures higher injection overhead for permanent faults (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "core/fault_model.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::fi {
+
+class PermanentInjectorTool final : public nvbit::Tool {
+ public:
+  explicit PermanentInjectorTool(PermanentFaultParams params);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const PermanentFaultParams& params() const { return params_; }
+
+  // Number of dynamic corruptions performed (fault activations).
+  std::uint64_t activations() const { return activations_; }
+
+  static constexpr std::uint32_t kInjectorRegs = 8;
+  static constexpr std::uint64_t kInjectorCycles = 96;
+
+ private:
+  void Inject(const sim::InstrEvent& event);
+
+  PermanentFaultParams params_;
+  std::uint64_t activations_ = 0;
+};
+
+// Paper §V extension: an intermittent fault — a permanent-fault location that
+// is only active during bursts of a random on/off (Gilbert) process.
+class IntermittentInjectorTool final : public nvbit::Tool {
+ public:
+  explicit IntermittentInjectorTool(IntermittentFaultParams params);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const IntermittentFaultParams& params() const { return params_; }
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t eligible_events() const { return eligible_events_; }
+
+ private:
+  void Inject(const sim::InstrEvent& event);
+  bool StepBurstProcess();
+
+  IntermittentFaultParams params_;
+  Rng rng_;
+  bool burst_active_ = false;
+  double p_enter_burst_ = 0.0;
+  double p_exit_burst_ = 0.0;
+  std::uint64_t activations_ = 0;
+  std::uint64_t eligible_events_ = 0;
+};
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,144 @@
+#include "core/profile.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::fi {
+
+std::uint64_t KernelProfile::Total() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t c : opcode_counts) n += c;
+  return n;
+}
+
+std::uint64_t KernelProfile::GroupTotal(ArchStateId group) const {
+  std::uint64_t n = 0;
+  for (int op = 0; op < sim::kOpcodeCount; ++op) {
+    if (OpcodeInGroup(static_cast<sim::Opcode>(op), group)) {
+      n += opcode_counts[static_cast<std::size_t>(op)];
+    }
+  }
+  return n;
+}
+
+std::uint64_t ProgramProfile::TotalInstructions() const {
+  std::uint64_t n = 0;
+  for (const KernelProfile& k : kernels) n += k.Total();
+  return n;
+}
+
+std::uint64_t ProgramProfile::GroupTotal(ArchStateId group) const {
+  std::uint64_t n = 0;
+  for (const KernelProfile& k : kernels) n += k.GroupTotal(group);
+  return n;
+}
+
+std::uint64_t ProgramProfile::OpcodeTotal(sim::Opcode op) const {
+  std::uint64_t n = 0;
+  for (const KernelProfile& k : kernels) {
+    n += k.opcode_counts[static_cast<std::size_t>(op)];
+  }
+  return n;
+}
+
+std::size_t ProgramProfile::StaticKernelCount() const {
+  std::set<std::string> names;
+  for (const KernelProfile& k : kernels) names.insert(k.kernel_name);
+  return names.size();
+}
+
+std::vector<sim::Opcode> ProgramProfile::ExecutedOpcodes() const {
+  std::vector<sim::Opcode> out;
+  for (int op = 0; op < sim::kOpcodeCount; ++op) {
+    if (OpcodeTotal(static_cast<sim::Opcode>(op)) > 0) {
+      out.push_back(static_cast<sim::Opcode>(op));
+    }
+  }
+  return out;
+}
+
+std::string ProgramProfile::Serialize() const {
+  std::string out;
+  out += Format("# nvbitfi profile program=%s mode=%s\n", program_name.c_str(),
+                approximate ? "approximate" : "exact");
+  for (const KernelProfile& k : kernels) {
+    out += k.kernel_name;
+    out += Format(" %llu", static_cast<unsigned long long>(k.kernel_count));
+    for (int op = 0; op < sim::kOpcodeCount; ++op) {
+      const std::uint64_t c = k.opcode_counts[static_cast<std::size_t>(op)];
+      if (c == 0) continue;
+      out += Format(" %s=%llu",
+                    std::string(sim::OpcodeName(static_cast<sim::Opcode>(op))).c_str(),
+                    static_cast<unsigned long long>(c));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<ProgramProfile> ProgramProfile::Parse(std::string_view text) {
+  ProgramProfile profile;
+  bool saw_header = false;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Header: "# nvbitfi profile program=<name> mode=<exact|approximate>".
+      for (const std::string& word : SplitWhitespace(line)) {
+        if (StartsWith(word, "program=")) profile.program_name = word.substr(8);
+        if (word == "mode=approximate") profile.approximate = true;
+      }
+      saw_header = true;
+      continue;
+    }
+    const auto fields = SplitWhitespace(line);
+    if (fields.size() < 2) return std::nullopt;
+    KernelProfile k;
+    k.kernel_name = fields[0];
+    if (!ParseUint64(fields[1], &k.kernel_count)) return std::nullopt;
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const auto kv = Split(fields[i], '=');
+      if (kv.size() != 2) return std::nullopt;
+      const auto op = sim::OpcodeFromName(kv[0]);
+      std::uint64_t count = 0;
+      if (!op || !ParseUint64(kv[1], &count)) return std::nullopt;
+      k.opcode_counts[static_cast<std::size_t>(*op)] = count;
+    }
+    profile.kernels.push_back(std::move(k));
+  }
+  if (!saw_header && profile.kernels.empty()) return std::nullopt;
+  return profile;
+}
+
+std::optional<TransientFaultParams> SelectTransientFault(const ProgramProfile& profile,
+                                                         ArchStateId group,
+                                                         BitFlipModel model, Rng& rng) {
+  const std::uint64_t total = profile.GroupTotal(group);
+  if (total == 0) return std::nullopt;
+
+  // Uniform index into the group population, then walk the dynamic kernels to
+  // translate it into the paper's <kernel_name, kernel_count,
+  // instruction_count> tuple.
+  std::uint64_t n = rng.UniformInt(0, total - 1);
+  for (const KernelProfile& k : profile.kernels) {
+    const std::uint64_t here = k.GroupTotal(group);
+    if (n < here) {
+      TransientFaultParams params;
+      params.arch_state_id = group;
+      params.bit_flip_model = model;
+      params.kernel_name = k.kernel_name;
+      params.kernel_count = k.kernel_count;
+      params.instruction_count = n;
+      params.destination_register = rng.UniformUnit();
+      params.bit_pattern_value = rng.UniformUnit();
+      return params;
+    }
+    n -= here;
+  }
+  NVBITFI_CHECK_MSG(false, "profile group totals are inconsistent");
+  return std::nullopt;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,61 @@
+// Program instruction profiles (Figure 1, step 1).
+//
+// A profile holds, for every *dynamic* kernel, the dynamic instruction count
+// of every opcode (summed across all threads, excluding predicated-off
+// instructions).  It is the uniform population from which transient injection
+// sites are drawn, and it tells permanent campaigns which opcodes a program
+// actually executes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fault_model.h"
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::fi {
+
+struct KernelProfile {
+  std::string kernel_name;
+  std::uint64_t kernel_count = 0;  // which dynamic instance of the kernel
+  std::array<std::uint64_t, sim::kOpcodeCount> opcode_counts{};
+
+  std::uint64_t Total() const;
+  std::uint64_t GroupTotal(ArchStateId group) const;
+};
+
+struct ProgramProfile {
+  std::string program_name;
+  bool approximate = false;
+  std::vector<KernelProfile> kernels;  // one entry per dynamic kernel, in launch order
+
+  std::uint64_t TotalInstructions() const;
+  std::uint64_t GroupTotal(ArchStateId group) const;
+  std::uint64_t OpcodeTotal(sim::Opcode op) const;
+
+  // Distinct kernel names (static kernels) and dynamic kernel count.
+  std::size_t StaticKernelCount() const;
+  std::size_t DynamicKernelCount() const { return kernels.size(); }
+
+  // Opcodes with a non-zero dynamic count — the permanent-fault sweep set
+  // ("permanent fault experiments can be skipped for unused opcodes").
+  std::vector<sim::Opcode> ExecutedOpcodes() const;
+
+  // Text format: one line per dynamic kernel —
+  //   kernel_name kernel_count opcode=count opcode=count ...
+  std::string Serialize() const;
+  static std::optional<ProgramProfile> Parse(std::string_view text);
+};
+
+// Figure 1, step 2: selects an injection site uniformly from the group
+// population of `profile` and fills in the full Table II parameter set.
+// Returns nullopt when the program executes no instruction in the group.
+std::optional<TransientFaultParams> SelectTransientFault(const ProgramProfile& profile,
+                                                         ArchStateId group,
+                                                         BitFlipModel model, Rng& rng);
+
+}  // namespace nvbitfi::fi

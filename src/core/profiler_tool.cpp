@@ -1,0 +1,100 @@
+#include "core/profiler_tool.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace nvbitfi::fi {
+
+namespace {
+constexpr const char* kCountFn = "nvbitfi_count_instrs";
+}  // namespace
+
+ProfilerTool::ProfilerTool(std::string program_name, Mode mode)
+    : program_name_(std::move(program_name)), mode_(mode) {
+  profile_.program_name = program_name_;
+  profile_.approximate = mode_ == Mode::kApproximate;
+}
+
+std::string ProfilerTool::ConfigKey() const {
+  return mode_ == Mode::kExact ? "profiler/exact" : "profiler/approx";
+}
+
+void ProfilerTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kCountFn;
+  fn.regs_used = kProfilerRegs;
+  fn.cost_cycles = kProfilerCycles;
+  fn.serialized = kProfilerSerialized;
+  fn.callback = [this](const sim::InstrEvent& event) {
+    if (!counting_ || !event.lane.guard_true()) return;
+    ++current_.opcode_counts[static_cast<std::size_t>(event.instr.opcode)];
+  };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void ProfilerTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                               const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      // Instrument every instruction of every kernel in the module; whether a
+      // given launch actually pays for it is decided per launch below.
+      for (const auto& fn : info.module->functions()) {
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          runtime.InsertCall(*fn, instr.index(), kCountFn, sim::InsertPoint::kBefore);
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin:
+      OnLaunchBegin(runtime, info);
+      break;
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      OnLaunchEnd(info);
+      break;
+  }
+}
+
+void ProfilerTool::OnLaunchBegin(nvbit::Runtime& runtime, const nvbit::EventInfo& info) {
+  const bool instrument =
+      mode_ == Mode::kExact || info.launch->launch_ordinal == 0;
+  runtime.EnableInstrumented(*info.function, instrument);
+  counting_ = instrument;
+  if (instrument) {
+    current_ = KernelProfile{};
+    current_.kernel_name = info.launch->kernel_name;
+    current_.kernel_count = info.launch->launch_ordinal;
+  }
+}
+
+void ProfilerTool::OnLaunchEnd(const nvbit::EventInfo& info) {
+  if (counting_) {
+    if (mode_ == Mode::kApproximate) first_instance_[current_.kernel_name] = current_;
+    profile_.kernels.push_back(current_);
+    counting_ = false;
+    return;
+  }
+  if (mode_ == Mode::kApproximate) {
+    // Replicate the first-instance counts for this uninstrumented instance
+    // ("assumes that the instruction counts for subsequent instances of the
+    // same static kernel are the same").
+    const auto it = first_instance_.find(info.launch->kernel_name);
+    if (it == first_instance_.end()) {
+      LOG_WARN << "approximate profiler missed first instance of '"
+               << info.launch->kernel_name << "'";
+      return;
+    }
+    KernelProfile replicated = it->second;
+    replicated.kernel_count = info.launch->launch_ordinal;
+    profile_.kernels.push_back(std::move(replicated));
+  }
+}
+
+ProgramProfile ProfilerTool::TakeProfile() {
+  ProgramProfile out = std::move(profile_);
+  profile_ = ProgramProfile{};
+  profile_.program_name = program_name_;
+  profile_.approximate = mode_ == Mode::kApproximate;
+  first_instance_.clear();
+  return out;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,56 @@
+// The NVBitFI profiler (the paper's profiler.so).
+//
+// Instruments every instruction of every loaded kernel with a counting
+// callback.  In *exact* mode instrumentation is enabled for every dynamic
+// kernel; in *approximate* mode only the first instance of each static kernel
+// is instrumented and its counts are replicated to subsequent instances
+// (§III-A).  Predicated-off instructions are never counted.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/profile.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::fi {
+
+class ProfilerTool final : public nvbit::Tool {
+ public:
+  enum class Mode { kExact, kApproximate };
+
+  ProfilerTool(std::string program_name, Mode mode);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  Mode mode() const { return mode_; }
+
+  // The finished profile (valid once the target program has run).
+  ProgramProfile TakeProfile();
+  const ProgramProfile& profile() const { return profile_; }
+
+  // Cost parameters of the counting device function.  The per-thread atomic
+  // counter updates serialise across the warp, and the wide accumulator array
+  // makes exact profiling spill registers on register-hungry kernels (Fig. 4).
+  static constexpr std::uint32_t kProfilerRegs = 32;
+  static constexpr std::uint64_t kProfilerCycles = 32;
+  static constexpr bool kProfilerSerialized = true;
+
+ private:
+  void OnLaunchBegin(nvbit::Runtime& runtime, const nvbit::EventInfo& info);
+  void OnLaunchEnd(const nvbit::EventInfo& info);
+
+  std::string program_name_;
+  Mode mode_;
+  ProgramProfile profile_;
+  KernelProfile current_;
+  bool counting_ = false;
+  // Approximate mode: first-instance counts per static kernel, replicated to
+  // later instances.
+  std::unordered_map<std::string, KernelProfile> first_instance_;
+};
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,181 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/check.h"
+#include "core/corruption.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+constexpr const char* kPruneFn = "nvbitfi_pruned_inject";
+
+// Injector targeting the n-th dynamic instance of one *opcode* within one
+// dynamic kernel instance (a pruning equivalence class).
+class PrunedSiteInjectorTool final : public nvbit::Tool {
+ public:
+  explicit PrunedSiteInjectorTool(const PrunedSite& site) : site_(site) {}
+
+  std::string ConfigKey() const override { return "pruned_injector"; }
+
+  void OnAttach(nvbit::Runtime& runtime) override {
+    nvbit::DeviceFunction fn;
+    fn.name = kPruneFn;
+    fn.regs_used = 8;
+    fn.cost_cycles = 24;
+    fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+    runtime.RegisterDeviceFunction(std::move(fn));
+  }
+
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override {
+    switch (event) {
+      case nvbit::CudaEvent::kModuleLoaded:
+        for (const auto& fn : info.module->functions()) {
+          if (fn->name() != site_.kernel_name) continue;
+          for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+            if (instr.opcode() == site_.opcode) {
+              runtime.InsertCall(*fn, instr.index(), kPruneFn, sim::InsertPoint::kAfter);
+            }
+          }
+        }
+        break;
+      case nvbit::CudaEvent::kKernelLaunchBegin: {
+        const bool is_target = info.launch->kernel_name == site_.kernel_name &&
+                               info.launch->launch_ordinal == site_.kernel_count;
+        runtime.EnableInstrumented(*info.function, is_target && !done_);
+        armed_ = is_target && !done_;
+        if (armed_) counter_ = 0;
+        break;
+      }
+      case nvbit::CudaEvent::kKernelLaunchEnd:
+        if (armed_) {
+          runtime.EnableInstrumented(*info.function, false);
+          armed_ = false;
+        }
+        break;
+    }
+  }
+
+  const InjectionRecord& record() const { return record_; }
+
+ private:
+  void Inject(const sim::InstrEvent& event) {
+    if (!armed_ || done_ || !event.lane.guard_true()) return;
+    const std::uint64_t index = counter_++;
+    if (index != site_.params.instruction_count) return;
+    done_ = true;
+    ApplyTransientCorruption(event, site_.params, &record_);
+  }
+
+  PrunedSite site_;
+  InjectionRecord record_;
+  std::uint64_t counter_ = 0;
+  bool armed_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::vector<PrunedSite> BuildPrunedSites(const ProgramProfile& profile,
+                                         const PruningConfig& config, Rng& rng) {
+  NVBITFI_CHECK_MSG(config.representatives_per_class >= 1,
+                    "need at least one representative per class");
+  const double group_total =
+      static_cast<double>(std::max<std::uint64_t>(profile.GroupTotal(config.group), 1));
+
+  // Aggregate classes across dynamic instances: the class is (static kernel,
+  // opcode) — iteration-equivalent instances are exactly what pruning
+  // collapses.  For each class keep the per-instance counts so that the
+  // representative's dynamic instance is drawn proportionally.
+  struct ClassKey {
+    std::string kernel;
+    int opcode;
+    bool operator<(const ClassKey& other) const {
+      return std::tie(kernel, opcode) < std::tie(other.kernel, other.opcode);
+    }
+  };
+  struct ClassData {
+    std::uint64_t total = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> instances;  // (ordinal, count)
+  };
+  std::map<ClassKey, ClassData> classes;
+  for (const KernelProfile& kernel : profile.kernels) {
+    for (int op = 0; op < sim::kOpcodeCount; ++op) {
+      if (!OpcodeInGroup(static_cast<sim::Opcode>(op), config.group)) continue;
+      const std::uint64_t count = kernel.opcode_counts[static_cast<std::size_t>(op)];
+      if (count == 0) continue;
+      ClassData& data = classes[ClassKey{kernel.kernel_name, op}];
+      data.total += count;
+      data.instances.emplace_back(kernel.kernel_count, count);
+    }
+  }
+
+  std::vector<PrunedSite> sites;
+  double covered_share = 0.0;
+  for (const auto& [key, data] : classes) {
+    const double share = static_cast<double>(data.total) / group_total;
+    if (share < config.min_class_share) continue;  // pruned outright
+
+    for (int r = 0; r < config.representatives_per_class; ++r) {
+      // Draw a class-global index, then map it to a dynamic instance.
+      std::uint64_t index = rng.UniformInt(0, data.total - 1);
+      std::uint64_t ordinal = data.instances.front().first;
+      for (const auto& [instance_ordinal, count] : data.instances) {
+        if (index < count) {
+          ordinal = instance_ordinal;
+          break;
+        }
+        index -= count;
+      }
+
+      PrunedSite site;
+      site.kernel_name = key.kernel;
+      site.kernel_count = ordinal;
+      site.opcode = static_cast<sim::Opcode>(key.opcode);
+      site.weight = share / config.representatives_per_class;
+      site.params.arch_state_id = config.group;
+      site.params.bit_flip_model = config.flip_model;
+      site.params.kernel_name = key.kernel;
+      site.params.kernel_count = ordinal;
+      site.params.instruction_count = index;  // within the instance's class events
+      site.params.destination_register = rng.UniformUnit();
+      site.params.bit_pattern_value = rng.UniformUnit();
+      sites.push_back(std::move(site));
+    }
+    covered_share += share;
+  }
+
+  // Redistribute the pruned classes' share so weights sum to 1.
+  if (covered_share > 0.0) {
+    for (PrunedSite& site : sites) site.weight /= covered_share;
+  }
+  return sites;
+}
+
+PrunedCampaignResult RunPrunedCampaign(const CampaignRunner& runner,
+                                       const TargetProgram& program,
+                                       const ProgramProfile& profile,
+                                       const PruningConfig& config, Rng& rng,
+                                       const sim::DeviceProps& device) {
+  PrunedCampaignResult result;
+  const RunArtifacts golden = runner.RunGolden(device);
+  const std::uint64_t watchdog =
+      20 * std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000);
+
+  result.sites = BuildPrunedSites(profile, config, rng);
+  for (const PrunedSite& site : result.sites) {
+    PrunedSiteInjectorTool tool(site);
+    const RunArtifacts run = runner.Execute(&tool, device, watchdog);
+    const Classification c = Classify(golden, run, program.sdc_checker());
+    result.classifications.push_back(c);
+    result.weighted.Add(c, site.weight);
+    ++result.total_runs;
+  }
+  return result;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,64 @@
+// Fault-site pruning (the practicality technique of Nie et al. [24], which
+// the paper cites when discussing campaign statistics).
+//
+// Instead of sampling injection sites uniformly from the full dynamic-
+// instruction population, sites are grouped into equivalence classes —
+// (static kernel, opcode), collapsing the iteration dimension exactly as
+// fault-site pruning does — and a small number of representatives is injected
+// per class (the representative's dynamic instance is drawn proportionally to
+// the per-instance populations).  Each class's outcome is then weighted by
+// its dynamic-instruction share, giving a population estimate from far fewer
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/campaign.h"
+#include "core/fault_model.h"
+#include "core/profile.h"
+
+namespace nvbitfi::fi {
+
+struct PrunedSite {
+  TransientFaultParams params;
+  // This class's share of the group's dynamic-instruction population.
+  double weight = 0.0;
+  // Class identity, for reporting.
+  std::string kernel_name;
+  std::uint64_t kernel_count = 0;
+  sim::Opcode opcode = sim::Opcode::kNOP;
+};
+
+struct PruningConfig {
+  ArchStateId group = ArchStateId::kGGp;
+  BitFlipModel flip_model = BitFlipModel::kFlipSingleBit;
+  // Representatives sampled per (kernel instance, opcode) class.
+  int representatives_per_class = 1;
+  // Classes whose share of the population is below this threshold are merged
+  // into their kernel's largest class rather than sampled (pruned outright).
+  double min_class_share = 0.0;
+};
+
+// Builds the pruned site list from a profile.  Weights over the returned
+// sites sum to ~1 (the share of classes dropped by min_class_share is
+// redistributed proportionally).
+std::vector<PrunedSite> BuildPrunedSites(const ProgramProfile& profile,
+                                         const PruningConfig& config, Rng& rng);
+
+struct PrunedCampaignResult {
+  std::vector<PrunedSite> sites;
+  std::vector<Classification> classifications;  // parallel to sites
+  WeightedOutcomes weighted;
+  std::uint64_t total_runs = 0;
+};
+
+// Runs one injection per pruned site and aggregates weighted outcomes.
+PrunedCampaignResult RunPrunedCampaign(const CampaignRunner& runner,
+                                       const TargetProgram& program,
+                                       const ProgramProfile& profile,
+                                       const PruningConfig& config, Rng& rng,
+                                       const sim::DeviceProps& device = {});
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,140 @@
+#include "core/report.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "core/statistics.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+std::string OutcomeLine(const char* label, const ProportionEstimate& estimate,
+                        std::uint64_t count) {
+  return Format("  %-7s %5.1f%%  ±%4.1f  [%4.1f, %4.1f]  (%llu runs)\n", label,
+                100.0 * estimate.value, 100.0 * estimate.margin, 100.0 * estimate.lower,
+                100.0 * estimate.upper, static_cast<unsigned long long>(count));
+}
+
+std::string SymptomBreakdown(const std::map<std::string, int>& symptoms) {
+  std::string out = "symptoms:\n";
+  for (const auto& [name, count] : symptoms) {
+    out += Format("  %4d  %s\n", count, name.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TransientCampaignReport(const TransientCampaignResult& result,
+                                    double confidence) {
+  std::string out;
+  out += Format("=== NVBitFI transient campaign report: %s ===\n",
+                result.program.c_str());
+  out += Format("injections: %zu (%s profiling)\n", result.injections.size(),
+                result.profile.approximate ? "approximate" : "exact");
+  out += Format("golden: %llu dynamic kernels, %llu thread instructions, "
+                "%llu cycles\n",
+                static_cast<unsigned long long>(result.golden.dynamic_kernels),
+                static_cast<unsigned long long>(result.golden.thread_instructions),
+                static_cast<unsigned long long>(result.golden.cycles));
+  out += Format("profiled population: %llu dynamic instructions\n\n",
+                static_cast<unsigned long long>(result.profile.TotalInstructions()));
+
+  const OutcomeEstimates estimates = EstimateOutcomes(result.counts, confidence);
+  out += Format("outcomes at %.0f%% confidence:\n", 100.0 * confidence);
+  out += OutcomeLine("SDC", estimates.sdc, result.counts.sdc);
+  out += OutcomeLine("DUE", estimates.due, result.counts.due);
+  out += OutcomeLine("Masked", estimates.masked, result.counts.masked);
+  out += Format("  potential DUEs: %llu\n\n",
+                static_cast<unsigned long long>(result.counts.potential_due));
+
+  out += Format("overheads: profiling %.1fx, median injection %.2fx\n",
+                result.ProfilingOverhead(), result.MedianInjectionOverhead());
+  out += Format("campaign total: %.3f Gcycles\n\n",
+                result.TotalCampaignCycles() * 1e-9);
+
+  std::map<std::string, int> symptoms;
+  for (const InjectionRun& run : result.injections) {
+    ++symptoms[std::string(SymptomName(run.classification.symptom))];
+  }
+  out += SymptomBreakdown(symptoms);
+  return out;
+}
+
+std::string TransientCampaignCsv(const TransientCampaignResult& result) {
+  std::string out =
+      "index,kernel,kernel_count,instruction_count,arch_state_id,bit_flip_model,"
+      "opcode,activated,target,mask,outcome,symptom,potential_due,cycles\n";
+  for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    const InjectionRun& run = result.injections[i];
+    const std::string target =
+        run.record.corrupted
+            ? Format("%s%d", run.record.pred_target ? "P" : "R",
+                     run.record.target_register)
+            : "";
+    out += Format("%zu,%s,%llu,%llu,%d,%d,%s,%d,%s,0x%llx,%s,%s,%d,%llu\n", i,
+                  run.params.kernel_name.c_str(),
+                  static_cast<unsigned long long>(run.params.kernel_count),
+                  static_cast<unsigned long long>(run.params.instruction_count),
+                  static_cast<int>(run.params.arch_state_id),
+                  static_cast<int>(run.params.bit_flip_model),
+                  run.record.activated
+                      ? std::string(sim::OpcodeName(run.record.opcode)).c_str()
+                      : "",
+                  run.record.activated ? 1 : 0, target.c_str(),
+                  static_cast<unsigned long long>(run.record.mask),
+                  std::string(OutcomeName(run.classification.outcome)).c_str(),
+                  std::string(SymptomName(run.classification.symptom)).c_str(),
+                  run.classification.potential_due ? 1 : 0,
+                  static_cast<unsigned long long>(run.artifacts.cycles));
+  }
+  return out;
+}
+
+std::string PermanentCampaignReport(const PermanentCampaignResult& result,
+                                    double confidence) {
+  std::string out;
+  out += Format("=== NVBitFI permanent campaign report: %s ===\n",
+                result.program.c_str());
+  out += Format("experiments: %zu (executed opcodes: %zu of %d)\n\n",
+                result.runs.size(), result.executed_opcodes, sim::kOpcodeCount);
+
+  const OutcomeEstimates estimates = EstimateOutcomes(result.counts, confidence);
+  out += Format("unweighted outcomes at %.0f%% confidence:\n", 100.0 * confidence);
+  out += OutcomeLine("SDC", estimates.sdc, result.counts.sdc);
+  out += OutcomeLine("DUE", estimates.due, result.counts.due);
+  out += OutcomeLine("Masked", estimates.masked, result.counts.masked);
+
+  const double total = result.weighted.total();
+  if (total > 0) {
+    out += "\nweighted by opcode dynamic-instruction share (Fig. 3):\n";
+    out += Format("  SDC    %5.1f%%\n", 100.0 * result.weighted.sdc / total);
+    out += Format("  DUE    %5.1f%%\n", 100.0 * result.weighted.due / total);
+    out += Format("  Masked %5.1f%%\n", 100.0 * result.weighted.masked / total);
+  }
+
+  std::map<std::string, int> symptoms;
+  for (const PermanentRun& run : result.runs) {
+    ++symptoms[std::string(SymptomName(run.classification.symptom))];
+  }
+  out += "\n" + SymptomBreakdown(symptoms);
+  return out;
+}
+
+std::string PermanentCampaignCsv(const PermanentCampaignResult& result) {
+  std::string out =
+      "opcode,sm,lane,mask,activations,weight,outcome,symptom,potential_due,cycles\n";
+  for (const PermanentRun& run : result.runs) {
+    out += Format("%s,%d,%d,0x%x,%llu,%.9f,%s,%s,%d,%llu\n",
+                  std::string(sim::OpcodeName(run.params.opcode())).c_str(),
+                  run.params.sm_id, run.params.lane_id, run.params.bit_mask,
+                  static_cast<unsigned long long>(run.activations), run.weight,
+                  std::string(OutcomeName(run.classification.outcome)).c_str(),
+                  std::string(SymptomName(run.classification.symptom)).c_str(),
+                  run.classification.potential_due ? 1 : 0,
+                  static_cast<unsigned long long>(run.artifacts.cycles));
+  }
+  return out;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,31 @@
+// Campaign report rendering: the results logs a campaign leaves behind.
+//
+// Two formats per campaign type: a human-readable text report (with §IV-B
+// confidence intervals on every outcome proportion) and a machine-readable
+// CSV with one row per experiment, suitable for downstream analysis —
+// mirroring the logs the real NVBitFI scripts write.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.h"
+
+namespace nvbitfi::fi {
+
+// Text report: golden stats, profile summary, outcome distribution with
+// confidence intervals, overheads, and symptom breakdown.
+std::string TransientCampaignReport(const TransientCampaignResult& result,
+                                    double confidence = 0.90);
+
+// CSV: header + one row per injection —
+// index,kernel,kernel_count,instruction_count,arch_state_id,bit_flip_model,
+// opcode,activated,target,mask,outcome,symptom,potential_due,cycles
+std::string TransientCampaignCsv(const TransientCampaignResult& result);
+
+std::string PermanentCampaignReport(const PermanentCampaignResult& result,
+                                    double confidence = 0.90);
+
+// CSV: opcode,sm,lane,mask,activations,weight,outcome,symptom,potential_due,cycles
+std::string PermanentCampaignCsv(const PermanentCampaignResult& result);
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,60 @@
+#include "core/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nvbitfi::fi {
+
+double ZScore(double confidence) {
+  NVBITFI_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                    "confidence must be in (0,1), got " << confidence);
+  // Solve erf(z / sqrt(2)) = confidence by bisection; erf is monotone.
+  double lo = 0.0, hi = 10.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (std::erf(mid / std::sqrt(2.0)) < confidence) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double WorstCaseMarginOfError(std::uint64_t n, double confidence) {
+  NVBITFI_CHECK_MSG(n > 0, "margin of error needs at least one sample");
+  return ZScore(confidence) * std::sqrt(0.25 / static_cast<double>(n));
+}
+
+std::uint64_t InjectionsForMargin(double margin, double confidence) {
+  NVBITFI_CHECK_MSG(margin > 0.0 && margin < 1.0, "margin must be in (0,1)");
+  const double z = ZScore(confidence);
+  return static_cast<std::uint64_t>(std::ceil(0.25 * z * z / (margin * margin)));
+}
+
+ProportionEstimate EstimateProportion(std::uint64_t successes, std::uint64_t n,
+                                      double confidence) {
+  ProportionEstimate estimate;
+  if (n == 0) return estimate;
+  const double p = static_cast<double>(successes) / static_cast<double>(n);
+  estimate.value = p;
+  estimate.margin =
+      ZScore(confidence) * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                     static_cast<double>(n));
+  estimate.lower = std::max(0.0, p - estimate.margin);
+  estimate.upper = std::min(1.0, p + estimate.margin);
+  return estimate;
+}
+
+OutcomeEstimates EstimateOutcomes(const OutcomeCounts& counts, double confidence) {
+  OutcomeEstimates estimates;
+  const std::uint64_t n = counts.total();
+  estimates.sdc = EstimateProportion(counts.sdc, n, confidence);
+  estimates.due = EstimateProportion(counts.due, n, confidence);
+  estimates.masked = EstimateProportion(counts.masked, n, confidence);
+  return estimates;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,49 @@
+// Campaign statistics (§IV-B).
+//
+// The paper sizes campaigns by binomial confidence intervals: "100 injections
+// provide results with 90% confidence intervals and ±8% error margins" and
+// "1000 injections are necessary to obtain results with 95% confidence
+// intervals and ±3% error margins".  This module implements those
+// calculations (normal-approximation intervals with the conservative p = 0.5
+// worst case for campaign sizing) so reports can annotate every proportion
+// with its uncertainty.
+#pragma once
+
+#include <cstdint>
+
+#include "core/outcome.h"
+
+namespace nvbitfi::fi {
+
+// z-value for a two-sided interval at `confidence` in (0, 1), e.g.
+// 0.90 -> 1.6449, 0.95 -> 1.9600.  Computed numerically from erf.
+double ZScore(double confidence);
+
+// Worst-case (p = 0.5) margin of error for a proportion estimated from n
+// samples, as an absolute fraction (0.08 = ±8 percentage points).
+double WorstCaseMarginOfError(std::uint64_t n, double confidence);
+
+// Samples needed so the worst-case margin is at most `margin`.
+std::uint64_t InjectionsForMargin(double margin, double confidence);
+
+// Normal-approximation interval for an observed proportion.
+struct ProportionEstimate {
+  double value = 0.0;   // successes / n
+  double margin = 0.0;  // half-width of the interval
+  double lower = 0.0;   // clamped to [0, 1]
+  double upper = 0.0;
+};
+
+ProportionEstimate EstimateProportion(std::uint64_t successes, std::uint64_t n,
+                                      double confidence);
+
+// Convenience: per-outcome estimates for a campaign tally.
+struct OutcomeEstimates {
+  ProportionEstimate sdc;
+  ProportionEstimate due;
+  ProportionEstimate masked;
+};
+
+OutcomeEstimates EstimateOutcomes(const OutcomeCounts& counts, double confidence);
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,10 @@
+#include "core/target_program.h"
+
+namespace nvbitfi::fi {
+
+const SdcChecker& TargetProgram::sdc_checker() const {
+  static const SdcChecker exact;
+  return exact;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,36 @@
+// Abstraction of a program under fault injection.
+//
+// A TargetProgram is the host-side application: it loads its GPU modules into
+// a Context, allocates and initialises device memory, launches kernels, reads
+// results back, and produces observable artifacts (stdout text, an output
+// file, an exit code).  The campaign harness attaches NVBitFI tools to the
+// context *before* calling Run — the analogue of LD_PRELOADing a tool .so
+// into an unmodified binary: the program itself is completely unaware of the
+// instrumentation.
+#pragma once
+
+#include <string>
+
+#include "core/outcome.h"
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::fi {
+
+class TargetProgram {
+ public:
+  virtual ~TargetProgram() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const { return {}; }
+
+  // Runs the full host program.  Implementations fill stdout_text,
+  // output_file, exit_code, and the app-level flags (crashed,
+  // app_check_failed); the harness harvests CUDA/device-log state afterwards.
+  virtual RunArtifacts Run(sim::Context& context) const = 0;
+
+  // Program-specific SDC checking script (§IV-A: "SDC checking scripts must
+  // always be provided by the user").  The default is exact comparison.
+  virtual const SdcChecker& sdc_checker() const;
+};
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,72 @@
+#include "core/transient_injector.h"
+
+#include "common/check.h"
+
+namespace nvbitfi::fi {
+
+namespace {
+constexpr const char* kInjectFn = "nvbitfi_inject_error";
+}  // namespace
+
+TransientInjectorTool::TransientInjectorTool(TransientFaultParams params)
+    : params_(std::move(params)) {
+  NVBITFI_CHECK_MSG(params_.destination_register >= 0.0 && params_.destination_register < 1.0,
+                    "destination-register value outside [0,1)");
+  NVBITFI_CHECK_MSG(params_.bit_pattern_value >= 0.0 && params_.bit_pattern_value < 1.0,
+                    "bit-pattern value outside [0,1)");
+}
+
+std::string TransientInjectorTool::ConfigKey() const {
+  return "injector/" + params_.kernel_name;
+}
+
+void TransientInjectorTool::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction fn;
+  fn.name = kInjectFn;
+  fn.regs_used = kInjectorRegs;
+  fn.cost_cycles = kInjectorCycles;
+  fn.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void TransientInjectorTool::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                                        const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      // Instrument only the target kernel, and within it only the
+      // group-eligible instructions — the paper's "minimal set".
+      for (const auto& fn : info.module->functions()) {
+        if (fn->name() != params_.kernel_name) continue;
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          if (OpcodeInGroup(instr.opcode(), params_.arch_state_id)) {
+            runtime.InsertCall(*fn, instr.index(), kInjectFn, sim::InsertPoint::kAfter);
+          }
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin: {
+      const bool is_target = info.launch->kernel_name == params_.kernel_name &&
+                             info.launch->launch_ordinal == params_.kernel_count;
+      runtime.EnableInstrumented(*info.function, is_target && !done_);
+      armed_ = is_target && !done_;
+      if (armed_) counter_ = 0;
+      break;
+    }
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      if (armed_) {
+        runtime.EnableInstrumented(*info.function, false);
+        armed_ = false;
+      }
+      break;
+  }
+}
+
+void TransientInjectorTool::Inject(const sim::InstrEvent& event) {
+  if (!armed_ || done_ || !event.lane.guard_true()) return;
+  const std::uint64_t index = counter_++;
+  if (index != params_.instruction_count) return;
+  done_ = true;
+  ApplyTransientCorruption(event, params_, &record_);
+}
+
+}  // namespace nvbitfi::fi

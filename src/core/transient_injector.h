@@ -1,0 +1,47 @@
+// The NVBitFI transient fault injector (the paper's injector.so).
+//
+// Given a Table II parameter set, instruments *only* the group-eligible
+// instructions of *only* the target kernel, and enables the instrumented
+// version for *only* the target dynamic instance (kernel_count) — every other
+// launch runs the original code.  This minimal-set dynamic selectivity is the
+// paper's core overhead claim.  When the (instruction_count+1)-th eligible
+// dynamic instruction executes, the destination register selected by the
+// destination-register value is corrupted with the bit-flip-model mask.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/corruption.h"
+#include "core/fault_model.h"
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::fi {
+
+class TransientInjectorTool final : public nvbit::Tool {
+ public:
+  explicit TransientInjectorTool(TransientFaultParams params);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const TransientFaultParams& params() const { return params_; }
+  const InjectionRecord& record() const { return record_; }
+
+  // Cost parameters of the injection check (a counter bump + compare).
+  static constexpr std::uint32_t kInjectorRegs = 8;
+  static constexpr std::uint64_t kInjectorCycles = 24;
+
+ private:
+  void Inject(const sim::InstrEvent& event);
+
+  TransientFaultParams params_;
+  InjectionRecord record_;
+  std::uint64_t counter_ = 0;
+  bool armed_ = false;
+  bool done_ = false;
+};
+
+}  // namespace nvbitfi::fi

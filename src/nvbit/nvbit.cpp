@@ -1,0 +1,141 @@
+#include "nvbit/nvbit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace nvbitfi::nvbit {
+
+Runtime::Runtime(sim::Context& context, Tool& tool) : context_(context), tool_(tool) {
+  NVBITFI_CHECK_MSG(context.interceptor() == nullptr,
+                    "context already has an attached NVBit runtime");
+  context_.SetInterceptor(this);
+  tool_.OnAttach(*this);
+}
+
+Runtime::~Runtime() { context_.SetInterceptor(nullptr); }
+
+std::vector<Instr> Runtime::GetInstrs(const sim::Function& function) const {
+  std::vector<Instr> out;
+  const auto& body = function.source().instructions;
+  out.reserve(body.size());
+  for (std::uint32_t i = 0; i < body.size(); ++i) out.emplace_back(&body[i], i);
+  return out;
+}
+
+void Runtime::RegisterDeviceFunction(DeviceFunction fn) {
+  NVBITFI_CHECK_MSG(!fn.name.empty(), "device function needs a name");
+  NVBITFI_CHECK_MSG(fn.callback != nullptr, "device function needs a callback");
+  device_functions_[fn.name] = std::move(fn);
+}
+
+Runtime::FunctionState& Runtime::StateFor(const sim::Function& function) {
+  return function_state_[function.id()];
+}
+
+void Runtime::InsertCall(const sim::Function& function, std::uint32_t instr_index,
+                         std::string_view device_fn, sim::InsertPoint point) {
+  NVBITFI_CHECK_MSG(instr_index < function.source().instructions.size(),
+                    "instrumentation index out of range for '" << function.name() << "'");
+  NVBITFI_CHECK_MSG(device_functions_.count(std::string(device_fn)) != 0,
+                    "unregistered device function '" << device_fn << "'");
+  FunctionState& state = StateFor(function);
+  state.calls.push_back(InsertedCall{instr_index, std::string(device_fn), point});
+  ++state.version;
+}
+
+void Runtime::ClearInstrumentation(const sim::Function& function) {
+  FunctionState& state = StateFor(function);
+  state.calls.clear();
+  ++state.version;
+}
+
+void Runtime::EnableInstrumented(const sim::Function& function, bool enable) {
+  StateFor(function).enabled = enable;
+}
+
+bool Runtime::IsInstrumentedEnabled(const sim::Function& function) const {
+  const auto it = function_state_.find(function.id());
+  return it != function_state_.end() && it->second.enabled;
+}
+
+const sim::InstrumentationPlan* Runtime::GetOrBuildPlan(const sim::Function& function,
+                                                        std::uint64_t* extra_cycles) {
+  FunctionState& state = StateFor(function);
+  if (state.calls.empty()) return nullptr;
+
+  CacheEntry& entry = plan_cache_[function.id()];
+  if (entry.version == state.version && !entry.plan.sites.empty()) {
+    ++stats_.jit_cache_hits;
+    return &entry.plan;
+  }
+
+  // (Re-)JIT the instrumented kernel version: the paper charges this cost the
+  // first time a kernel is instrumented; later launches hit the cache.
+  const sim::CostModel& cost = context_.cost_model();
+  const auto body_size = function.source().instructions.size();
+  *extra_cycles += cost.jit_base_cycles +
+                   cost.jit_cycles_per_instruction * static_cast<std::uint64_t>(body_size);
+  ++stats_.jit_compilations;
+
+  sim::InstrumentationPlan plan;
+  plan.sites.assign(body_size, {});
+  std::uint32_t extra_regs = 0;
+  std::uint64_t lane_cost = 0;
+  bool serialized = false;
+  for (const InsertedCall& call : state.calls) {
+    const DeviceFunction& fn = device_functions_.at(call.device_fn);
+    auto& site = plan.sites[call.instr_index];
+    (call.point == sim::InsertPoint::kBefore ? site.before : site.after)
+        .push_back(fn.callback);
+    extra_regs = std::max(extra_regs, fn.regs_used);
+    lane_cost = std::max(lane_cost, fn.cost_cycles);
+    serialized = serialized || fn.serialized;
+  }
+  plan.extra_regs = extra_regs;
+  plan.cost_per_lane_event = lane_cost;
+  plan.serialized = serialized;
+
+  entry.version = state.version;
+  entry.plan = std::move(plan);
+  return &entry.plan;
+}
+
+const sim::InstrumentationPlan* Runtime::OnLaunchBegin(const sim::LaunchInfo& info,
+                                                       const sim::Function& function,
+                                                       std::uint64_t* extra_cycles) {
+  EventInfo event;
+  event.launch = &info;
+  event.function = &function;
+  tool_.AtCudaEvent(*this, CudaEvent::kKernelLaunchBegin, event);
+
+  if (!IsInstrumentedEnabled(function)) {
+    ++stats_.uninstrumented_launches;
+    return nullptr;
+  }
+  const sim::InstrumentationPlan* plan = GetOrBuildPlan(function, extra_cycles);
+  if (plan == nullptr) {
+    ++stats_.uninstrumented_launches;
+    return nullptr;
+  }
+  ++stats_.instrumented_launches;
+  return plan;
+}
+
+void Runtime::OnLaunchEnd(const sim::LaunchInfo& info, const sim::Function& function,
+                          const sim::LaunchStats& stats) {
+  EventInfo event;
+  event.launch = &info;
+  event.function = &function;
+  event.stats = &stats;
+  tool_.AtCudaEvent(*this, CudaEvent::kKernelLaunchEnd, event);
+}
+
+void Runtime::OnModuleLoaded(const sim::Module& module) {
+  EventInfo event;
+  event.module = &module;
+  tool_.AtCudaEvent(*this, CudaEvent::kModuleLoaded, event);
+}
+
+}  // namespace nvbitfi::nvbit

@@ -1,0 +1,176 @@
+// NVBit-like dynamic binary instrumentation layer.
+//
+// Mirrors the surface of the real NVBit framework (Villa et al., MICRO'19)
+// that NVBitFI builds on:
+//
+//   * a Tool receives CUDA-event callbacks (module load, kernel launch
+//     begin/end) — the analogue of nvbit_at_cuda_event;
+//   * the tool inspects a function's instructions via Instr handles
+//     (nvbit_get_instrs) and splices calls to registered "device functions"
+//     before/after chosen instructions (nvbit_insert_call);
+//   * instrumentation is *enabled per launch* (nvbit_enable_instrumented):
+//     a launch with instrumentation disabled runs the original, unmodified
+//     kernel at full speed — this selectivity is NVBitFI's key overhead
+//     advantage (§III-C);
+//   * the first launch of an instrumented function JIT-compiles the
+//     instrumented version and caches it; later launches reuse the cache.
+//
+// Attaching a Runtime to a sim::Context is the analogue of LD_PRELOADing an
+// NVBit tool .so into a CUDA process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sassim/core/instrumentation.h"
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::nvbit {
+
+enum class CudaEvent : std::uint8_t {
+  kModuleLoaded,
+  kKernelLaunchBegin,
+  kKernelLaunchEnd,
+};
+
+struct EventInfo {
+  const sim::Module* module = nullptr;        // kModuleLoaded
+  const sim::LaunchInfo* launch = nullptr;    // launch events
+  const sim::Function* function = nullptr;    // launch events
+  const sim::LaunchStats* stats = nullptr;    // kKernelLaunchEnd only
+};
+
+// Read-only instruction handle exposed to tools (the analogue of NVBit's
+// Instr class).
+class Instr {
+ public:
+  Instr(const sim::Instruction* inst, std::uint32_t index)
+      : inst_(inst), index_(index) {}
+
+  std::uint32_t index() const { return index_; }
+  sim::Opcode opcode() const { return inst_->opcode; }
+  std::string_view opcode_name() const { return sim::OpcodeName(inst_->opcode); }
+  const sim::Instruction& raw() const { return *inst_; }
+
+  bool has_dest() const { return sim::HasDest(inst_->opcode); }
+  bool writes_pred_only() const { return sim::WritesPredOnly(inst_->opcode); }
+  bool is_memory_read() const { return sim::IsMemoryRead(inst_->opcode); }
+  bool is_fp32_arith() const { return sim::IsFp32Arith(inst_->opcode); }
+  bool is_fp64_arith() const { return sim::IsFp64Arith(inst_->opcode); }
+  int dest_gpr_count() const { return sim::DestGprCount(*inst_); }
+
+ private:
+  const sim::Instruction* inst_;
+  std::uint32_t index_;
+};
+
+// A registered instrumentation device function: the simulator-level analogue
+// of the CUDA __device__ function an NVBit tool injects.  `regs_used` and
+// `cost_cycles` feed the cost model (register pressure -> spills; per-lane
+// execution cost of the spliced code).
+struct DeviceFunction {
+  std::string name;
+  sim::InstrCallback callback;
+  std::uint32_t regs_used = 8;
+  std::uint64_t cost_cycles = 16;
+  // True when the injected code serialises across the warp (e.g. per-thread
+  // atomic counter updates, as in the profiler): its cost is charged per
+  // active lane instead of per warp issue.
+  bool serialized = false;
+};
+
+class Runtime;
+
+// Base class for instrumentation tools (profilers and injectors).
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  // Stable key identifying this tool's instrumentation configuration; part of
+  // the JIT cache key.
+  virtual std::string ConfigKey() const = 0;
+
+  virtual void OnAttach(Runtime& runtime) = 0;
+  virtual void AtCudaEvent(Runtime& runtime, CudaEvent event, const EventInfo& info) = 0;
+};
+
+struct RuntimeStats {
+  std::uint64_t jit_compilations = 0;
+  std::uint64_t jit_cache_hits = 0;
+  std::uint64_t instrumented_launches = 0;
+  std::uint64_t uninstrumented_launches = 0;
+};
+
+// The per-context NVBit runtime.  Exactly one tool may be attached (NVBitFI
+// attaches one .so per process).
+class Runtime final : public sim::LaunchInterceptor {
+ public:
+  // Attaches to `context` (the LD_PRELOAD moment).  The runtime must outlive
+  // neither the context nor the tool — detach happens in the destructor.
+  Runtime(sim::Context& context, Tool& tool);
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- API available to tools ----------------------------------------------
+  std::vector<Instr> GetInstrs(const sim::Function& function) const;
+
+  void RegisterDeviceFunction(DeviceFunction fn);
+
+  // Splices a call to the registered device function `device_fn` before or
+  // after static instruction `instr_index` of `function`.  Multiple calls
+  // accumulate in insertion order.
+  void InsertCall(const sim::Function& function, std::uint32_t instr_index,
+                  std::string_view device_fn, sim::InsertPoint point);
+
+  // Drops all instrumentation for `function` (bumps the JIT version).
+  void ClearInstrumentation(const sim::Function& function);
+
+  // Per-launch toggle: when false (default) the original kernel runs.
+  void EnableInstrumented(const sim::Function& function, bool enable);
+  bool IsInstrumentedEnabled(const sim::Function& function) const;
+
+  sim::Context& context() { return context_; }
+  const RuntimeStats& stats() const { return stats_; }
+
+  // ---- sim::LaunchInterceptor -----------------------------------------------
+  const sim::InstrumentationPlan* OnLaunchBegin(const sim::LaunchInfo& info,
+                                                const sim::Function& function,
+                                                std::uint64_t* extra_cycles) override;
+  void OnLaunchEnd(const sim::LaunchInfo& info, const sim::Function& function,
+                   const sim::LaunchStats& stats) override;
+  void OnModuleLoaded(const sim::Module& module) override;
+
+ private:
+  struct InsertedCall {
+    std::uint32_t instr_index;
+    std::string device_fn;
+    sim::InsertPoint point;
+  };
+  struct FunctionState {
+    std::vector<InsertedCall> calls;
+    std::uint64_t version = 0;  // bumped by Clear/Insert to invalidate cache
+    bool enabled = false;
+  };
+  struct CacheEntry {
+    std::uint64_t version = 0;
+    sim::InstrumentationPlan plan;
+  };
+
+  FunctionState& StateFor(const sim::Function& function);
+  const sim::InstrumentationPlan* GetOrBuildPlan(const sim::Function& function,
+                                                 std::uint64_t* extra_cycles);
+
+  sim::Context& context_;
+  Tool& tool_;
+  std::unordered_map<std::string, DeviceFunction> device_functions_;
+  std::unordered_map<std::uint32_t, FunctionState> function_state_;  // by Function::id
+  std::unordered_map<std::uint32_t, CacheEntry> plan_cache_;
+  RuntimeStats stats_;
+};
+
+}  // namespace nvbitfi::nvbit

@@ -1,0 +1,175 @@
+#include "nvbit/tools.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/strings.h"
+
+namespace nvbitfi::nvbit {
+
+// ---- InstrCountTool -----------------------------------------------------------
+
+void InstrCountTool::OnAttach(Runtime& runtime) {
+  DeviceFunction fn;
+  fn.name = "instr_count_cb";
+  fn.regs_used = 8;
+  fn.cost_cycles = 12;
+  fn.callback = [this](const sim::InstrEvent& event) {
+    if (!counting_) return;
+    if (event.lane.guard_true()) {
+      ++current_.thread_instructions;
+    } else {
+      ++current_.predicated_off;
+    }
+  };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void InstrCountTool::AtCudaEvent(Runtime& runtime, CudaEvent event,
+                                 const EventInfo& info) {
+  switch (event) {
+    case CudaEvent::kModuleLoaded:
+      for (const auto& fn : info.module->functions()) {
+        for (const Instr& instr : runtime.GetInstrs(*fn)) {
+          runtime.InsertCall(*fn, instr.index(), "instr_count_cb",
+                             sim::InsertPoint::kBefore);
+        }
+      }
+      break;
+    case CudaEvent::kKernelLaunchBegin:
+      runtime.EnableInstrumented(*info.function, true);
+      current_ = LaunchCount{};
+      current_.kernel_name = info.launch->kernel_name;
+      current_.launch_ordinal = info.launch->launch_ordinal;
+      counting_ = true;
+      break;
+    case CudaEvent::kKernelLaunchEnd:
+      if (counting_) {
+        launches_.push_back(current_);
+        counting_ = false;
+      }
+      break;
+  }
+}
+
+std::uint64_t InstrCountTool::TotalThreadInstructions() const {
+  std::uint64_t total = 0;
+  for (const LaunchCount& launch : launches_) total += launch.thread_instructions;
+  return total;
+}
+
+// ---- OpcodeHistogramTool ------------------------------------------------------
+
+void OpcodeHistogramTool::OnAttach(Runtime& runtime) {
+  DeviceFunction fn;
+  fn.name = "opcode_hist_cb";
+  fn.regs_used = 16;
+  fn.cost_cycles = 14;
+  fn.callback = [this](const sim::InstrEvent& event) {
+    if (!event.lane.guard_true()) return;
+    ++histogram_[static_cast<std::size_t>(event.instr.opcode)];
+  };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void OpcodeHistogramTool::AtCudaEvent(Runtime& runtime, CudaEvent event,
+                                      const EventInfo& info) {
+  switch (event) {
+    case CudaEvent::kModuleLoaded:
+      for (const auto& fn : info.module->functions()) {
+        for (const Instr& instr : runtime.GetInstrs(*fn)) {
+          runtime.InsertCall(*fn, instr.index(), "opcode_hist_cb",
+                             sim::InsertPoint::kBefore);
+        }
+      }
+      break;
+    case CudaEvent::kKernelLaunchBegin:
+      runtime.EnableInstrumented(*info.function, true);
+      break;
+    case CudaEvent::kKernelLaunchEnd:
+      break;
+  }
+}
+
+std::vector<std::pair<std::uint64_t, sim::Opcode>> OpcodeHistogramTool::Top(
+    std::size_t n) const {
+  std::vector<std::pair<std::uint64_t, sim::Opcode>> entries;
+  for (int op = 0; op < sim::kOpcodeCount; ++op) {
+    const std::uint64_t count = histogram_[static_cast<std::size_t>(op)];
+    if (count > 0) entries.emplace_back(count, static_cast<sim::Opcode>(op));
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (entries.size() > n) entries.resize(n);
+  return entries;
+}
+
+std::string OpcodeHistogramTool::Render() const {
+  std::string out = "opcode histogram (dynamic thread instructions):\n";
+  for (const auto& [count, opcode] : Top(sim::kOpcodeCount)) {
+    out += Format("  %-10s %12llu\n", std::string(sim::OpcodeName(opcode)).c_str(),
+                  static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+// ---- MemTraceTool -------------------------------------------------------------
+
+MemTraceTool::MemTraceTool(std::string kernel_filter)
+    : kernel_filter_(std::move(kernel_filter)) {}
+
+void MemTraceTool::OnAttach(Runtime& runtime) {
+  DeviceFunction fn;
+  fn.name = "mem_trace_cb";
+  fn.regs_used = 12;
+  fn.cost_cycles = 20;
+  fn.callback = [this](const sim::InstrEvent& event) {
+    if (!event.lane.guard_true()) return;
+    const sim::Instruction& inst = event.instr;
+    if (inst.num_src == 0 || inst.src[0].kind != sim::Operand::Kind::kMem) return;
+    Access access;
+    access.kernel_name = event.launch.kernel_name;
+    access.launch_ordinal = event.launch.launch_ordinal;
+    access.static_index = event.static_index;
+    access.lane_id = event.lane.lane_id();
+    access.is_store = sim::ClassOf(inst.opcode) == sim::OpClass::kStore;
+    const int base = inst.src[0].mem_base;
+    const std::uint64_t lo = event.lane.ReadGpr(base);
+    const std::uint64_t hi = base + 1 < sim::kRZ ? event.lane.ReadGpr(base + 1) : 0;
+    access.address = PackPair(static_cast<std::uint32_t>(lo),
+                              static_cast<std::uint32_t>(hi)) +
+                     static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(inst.src[0].mem_offset));
+    access.bytes = sim::MemWidthBytes(inst.mods.width);
+    accesses_.push_back(std::move(access));
+  };
+  runtime.RegisterDeviceFunction(std::move(fn));
+}
+
+void MemTraceTool::AtCudaEvent(Runtime& runtime, CudaEvent event,
+                               const EventInfo& info) {
+  switch (event) {
+    case CudaEvent::kModuleLoaded:
+      for (const auto& fn : info.module->functions()) {
+        if (!kernel_filter_.empty() && fn->name() != kernel_filter_) continue;
+        for (const Instr& instr : runtime.GetInstrs(*fn)) {
+          const sim::OpClass cls = sim::ClassOf(instr.opcode());
+          if ((cls == sim::OpClass::kLoad || cls == sim::OpClass::kStore ||
+               cls == sim::OpClass::kAtomic) &&
+              instr.opcode() != sim::Opcode::kLDC) {
+            runtime.InsertCall(*fn, instr.index(), "mem_trace_cb",
+                               sim::InsertPoint::kBefore);
+          }
+        }
+      }
+      break;
+    case CudaEvent::kKernelLaunchBegin:
+      runtime.EnableInstrumented(*info.function, true);
+      break;
+    case CudaEvent::kKernelLaunchEnd:
+      break;
+  }
+}
+
+}  // namespace nvbitfi::nvbit

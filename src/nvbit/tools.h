@@ -1,0 +1,86 @@
+// Reference instrumentation tools, mirroring the example tools shipped with
+// the real NVBit release (instr_count, opcode_hist, mem_trace).  They double
+// as living documentation of the tool API and as fixtures for the tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nvbit/nvbit.h"
+
+namespace nvbitfi::nvbit {
+
+// nvbit's instr_count: total dynamic instructions (warp- and thread-level),
+// reported per kernel launch.
+class InstrCountTool final : public Tool {
+ public:
+  struct LaunchCount {
+    std::string kernel_name;
+    std::uint64_t launch_ordinal = 0;
+    std::uint64_t thread_instructions = 0;  // guard-true executions
+    std::uint64_t predicated_off = 0;       // guard-false lane events
+  };
+
+  std::string ConfigKey() const override { return "instr_count"; }
+  void OnAttach(Runtime& runtime) override;
+  void AtCudaEvent(Runtime& runtime, CudaEvent event, const EventInfo& info) override;
+
+  const std::vector<LaunchCount>& launches() const { return launches_; }
+  std::uint64_t TotalThreadInstructions() const;
+
+ private:
+  std::vector<LaunchCount> launches_;
+  LaunchCount current_;
+  bool counting_ = false;
+};
+
+// nvbit's opcode_hist: dynamic opcode histogram across the whole run.
+class OpcodeHistogramTool final : public Tool {
+ public:
+  std::string ConfigKey() const override { return "opcode_hist"; }
+  void OnAttach(Runtime& runtime) override;
+  void AtCudaEvent(Runtime& runtime, CudaEvent event, const EventInfo& info) override;
+
+  const std::array<std::uint64_t, sim::kOpcodeCount>& histogram() const {
+    return histogram_;
+  }
+  // Sorted (count, opcode) pairs, largest first.
+  std::vector<std::pair<std::uint64_t, sim::Opcode>> Top(std::size_t n) const;
+  std::string Render() const;  // text table
+
+ private:
+  std::array<std::uint64_t, sim::kOpcodeCount> histogram_{};
+};
+
+// nvbit's mem_trace: records every global-memory access (address, width,
+// kind) performed by selected kernels.
+class MemTraceTool final : public Tool {
+ public:
+  struct Access {
+    std::string kernel_name;
+    std::uint64_t launch_ordinal = 0;
+    std::uint32_t static_index = 0;
+    int lane_id = 0;
+    bool is_store = false;
+    std::uint64_t address = 0;
+    int bytes = 0;
+  };
+
+  // Empty filter traces every kernel.
+  explicit MemTraceTool(std::string kernel_filter = "");
+
+  std::string ConfigKey() const override { return "mem_trace"; }
+  void OnAttach(Runtime& runtime) override;
+  void AtCudaEvent(Runtime& runtime, CudaEvent event, const EventInfo& info) override;
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+
+ private:
+  std::string kernel_filter_;
+  std::vector<Access> accesses_;
+};
+
+}  // namespace nvbitfi::nvbit

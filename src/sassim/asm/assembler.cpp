@@ -1,0 +1,624 @@
+#include "sassim/asm/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+struct ParseError {
+  std::string message;
+};
+
+// Per-line parser state shared across helpers.
+class LineParser {
+ public:
+  LineParser(std::string_view line, int line_number)
+      : line_(line), line_number_(line_number) {}
+
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw ParseError{Format("line %d: %s", line_number_, why.c_str())};
+  }
+
+  int line_number() const { return line_number_; }
+  std::string_view line() const { return line_; }
+
+ private:
+  std::string_view line_;
+  int line_number_;
+};
+
+std::string_view StripComment(std::string_view line) {
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i] == '/' && line[i + 1] == '/') return line.substr(0, i);
+  }
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) return line.substr(0, hash);
+  return line;
+}
+
+bool ParsePredToken(std::string_view tok, std::uint8_t* index, bool* negate) {
+  *negate = false;
+  if (!tok.empty() && tok.front() == '!') {
+    *negate = true;
+    tok.remove_prefix(1);
+  }
+  if (tok == "PT") {
+    *index = kPT;
+    return true;
+  }
+  if (tok.size() == 2 && tok[0] == 'P' && tok[1] >= '0' && tok[1] <= '6') {
+    *index = static_cast<std::uint8_t>(tok[1] - '0');
+    return true;
+  }
+  return false;
+}
+
+bool ParseGprToken(std::string_view tok, std::uint8_t* index) {
+  if (tok == "RZ") {
+    *index = kRZ;
+    return true;
+  }
+  if (tok.size() < 2 || tok[0] != 'R') return false;
+  std::uint64_t v = 0;
+  if (!ParseUint64(tok.substr(1), &v) || v >= kNumGpr) return false;
+  *index = static_cast<std::uint8_t>(v);
+  return true;
+}
+
+std::optional<SpecialReg> ParseSpecialReg(std::string_view tok) {
+  static const std::unordered_map<std::string_view, SpecialReg> kMap = {
+      {"SR_TID.X", SpecialReg::kTidX},     {"SR_TID.Y", SpecialReg::kTidY},
+      {"SR_TID.Z", SpecialReg::kTidZ},     {"SR_CTAID.X", SpecialReg::kCtaIdX},
+      {"SR_CTAID.Y", SpecialReg::kCtaIdY}, {"SR_CTAID.Z", SpecialReg::kCtaIdZ},
+      {"SR_LANEID", SpecialReg::kLaneId},  {"SR_WARPID", SpecialReg::kWarpId},
+      {"SR_SMID", SpecialReg::kSmId},      {"SR_CLOCKLO", SpecialReg::kClockLo},
+  };
+  const auto it = kMap.find(tok);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+bool IsIdentifier(std::string_view tok) {
+  if (tok.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(tok[0])) && tok[0] != '_') return false;
+  for (const char c : tok) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.') return false;
+  }
+  return true;
+}
+
+// Parses a numeric literal: hex, signed decimal, or FP32 with 'f' suffix.
+// Integer forms win ties (so "0xf" is hex 15, not a float).
+bool ParseImmediate(std::string_view tok, std::uint32_t* bits) {
+  if (tok.empty()) return false;
+  std::int64_t sv = 0;
+  if (ParseInt64(tok, &sv)) {
+    *bits = static_cast<std::uint32_t>(sv);
+    return true;
+  }
+  if (tok.back() == 'f' || tok.back() == 'F') {
+    double d = 0;
+    if (!ParseDouble(tok.substr(0, tok.size() - 1), &d)) return false;
+    *bits = FloatToBits(static_cast<float>(d));
+    return true;
+  }
+  return false;
+}
+
+// Splits "FFMA.FTZ" → mnemonic "FFMA", modifier tokens {"FTZ"}.
+void SplitMnemonic(std::string_view word, std::string* mnemonic,
+                   std::vector<std::string>* mods) {
+  const auto parts = Split(word, '.');
+  *mnemonic = parts[0];
+  mods->assign(parts.begin() + 1, parts.end());
+}
+
+// Signature: how many leading operands are destinations.
+struct OpSignature {
+  int pred_dests = 0;
+  bool gpr_dest = false;
+};
+
+OpSignature SignatureFor(Opcode op) {
+  switch (op) {
+    case Opcode::kFSETP:
+    case Opcode::kISETP:
+    case Opcode::kDSETP:
+    case Opcode::kHSETP2:
+    case Opcode::kPSETP:
+    case Opcode::kPLOP3:
+    case Opcode::kUISETP:
+    case Opcode::kUPSETP:
+    case Opcode::kUPLOP3:
+      return {.pred_dests = 2, .gpr_dest = false};
+    case Opcode::kFCHK:
+    case Opcode::kUR2UP:
+      return {.pred_dests = 1, .gpr_dest = false};
+    case Opcode::kR2P:
+      return {.pred_dests = 0, .gpr_dest = false};  // writes preds via mask operand
+    case Opcode::kVOTE:
+      return {.pred_dests = 1, .gpr_dest = true};  // VOTE Rd, Pd, Psrc
+    default: {
+      const DestKind dk = DestKindOf(op);
+      OpSignature sig;
+      sig.gpr_dest = dk == DestKind::kGpr || dk == DestKind::kGprPair ||
+                     dk == DestKind::kGprPred;
+      sig.pred_dests = dk == DestKind::kPred ? 1 : 0;
+      return sig;
+    }
+  }
+}
+
+// Splits an operand list on top-level commas (commas inside [] or c[][] are
+// protected by bracket depth).
+std::vector<std::string> SplitOperands(std::string_view text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string current;
+  for (const char c : text) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.emplace_back(TrimWhitespace(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const std::string_view last = TrimWhitespace(current);
+  if (!last.empty()) out.emplace_back(last);
+  return out;
+}
+
+class ModuleAssembler {
+ public:
+  AssemblyResult Run(std::string_view source) {
+    AssemblyResult result;
+    try {
+      const auto lines = Split(source, '\n');
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const int line_number = static_cast<int>(i) + 1;
+        const std::string_view line = TrimWhitespace(StripComment(lines[i]));
+        if (line.empty()) continue;
+        ProcessLine(line, line_number);
+      }
+      if (in_kernel_) {
+        throw ParseError{Format("kernel '%s' missing .endkernel", current_.name.c_str())};
+      }
+      result.ok = true;
+      result.kernels = std::move(kernels_);
+    } catch (const ParseError& e) {
+      result.error = e.message;
+    }
+    return result;
+  }
+
+ private:
+  void ProcessLine(std::string_view line, int line_number) {
+    const LineParser lp(line, line_number);
+    if (line.front() == '.') {
+      ProcessDirective(lp, line);
+      return;
+    }
+    if (!in_kernel_) lp.Fail("instruction outside .kernel block");
+
+    // One or more "label:" prefixes, then optionally an instruction.
+    std::string_view rest = line;
+    while (true) {
+      const std::size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view candidate = TrimWhitespace(rest.substr(0, colon));
+      if (!IsIdentifier(candidate) || candidate.find('.') != std::string_view::npos) break;
+      DefineLabel(lp, std::string(candidate));
+      rest = TrimWhitespace(rest.substr(colon + 1));
+      if (rest.empty()) return;
+    }
+    ParseInstruction(lp, rest);
+  }
+
+  void ProcessDirective(const LineParser& lp, std::string_view line) {
+    const auto words = SplitWhitespace(line);
+    if (words[0] == ".kernel") {
+      if (in_kernel_) lp.Fail("nested .kernel");
+      if (words.size() < 2 || !IsIdentifier(words[1])) lp.Fail(".kernel needs a name");
+      current_ = KernelSource{};
+      current_.name = words[1];
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        const auto kv = Split(words[i], '=');
+        std::uint64_t value = 0;
+        if (kv.size() != 2 || !ParseUint64(kv[1], &value)) {
+          lp.Fail(Format("bad kernel attribute '%s'", words[i].c_str()));
+        }
+        if (kv[0] == "regs") {
+          if (value == 0 || value > kNumGpr) lp.Fail("regs out of range");
+          current_.register_count = static_cast<std::uint32_t>(value);
+        } else if (kv[0] == "shared") {
+          current_.shared_bytes = static_cast<std::uint32_t>(value);
+        } else {
+          lp.Fail(Format("unknown kernel attribute '%s'", kv[0].c_str()));
+        }
+      }
+      labels_.clear();
+      fixups_.clear();
+      in_kernel_ = true;
+      return;
+    }
+    if (words[0] == ".endkernel") {
+      if (!in_kernel_) lp.Fail(".endkernel without .kernel");
+      ResolveFixups(lp);
+      for (const auto& [name, _] : labels_) (void)name;
+      kernels_.push_back(std::move(current_));
+      in_kernel_ = false;
+      return;
+    }
+    lp.Fail(Format("unknown directive '%s'", std::string(words[0]).c_str()));
+  }
+
+  void DefineLabel(const LineParser& lp, std::string name) {
+    if (labels_.count(name) != 0) lp.Fail(Format("duplicate label '%s'", name.c_str()));
+    labels_[std::move(name)] = static_cast<std::uint32_t>(current_.instructions.size());
+  }
+
+  void ParseInstruction(const LineParser& lp, std::string_view text) {
+    Instruction inst;
+
+    // Optional trailing ';'.
+    while (!text.empty() && (text.back() == ';' || std::isspace(static_cast<unsigned char>(text.back())))) {
+      text.remove_suffix(1);
+    }
+    if (text.empty()) return;
+
+    // Guard predicate.
+    if (text.front() == '@') {
+      const std::size_t space = text.find_first_of(" \t");
+      if (space == std::string_view::npos) lp.Fail("guard without instruction");
+      std::string_view guard = text.substr(1, space - 1);
+      bool neg = false;
+      std::uint8_t idx = kPT;
+      if (!ParsePredToken(guard, &idx, &neg)) {
+        lp.Fail(Format("bad guard predicate '%s'", std::string(guard).c_str()));
+      }
+      inst.guard_pred = idx;
+      inst.guard_negate = neg;
+      text = TrimWhitespace(text.substr(space + 1));
+    }
+
+    // Mnemonic word.
+    const std::size_t mnem_end = text.find_first_of(" \t");
+    const std::string_view mnem_word =
+        mnem_end == std::string_view::npos ? text : text.substr(0, mnem_end);
+    std::string mnemonic;
+    std::vector<std::string> mod_tokens;
+    SplitMnemonic(mnem_word, &mnemonic, &mod_tokens);
+    const auto opcode = OpcodeFromName(mnemonic);
+    if (!opcode) lp.Fail(Format("unknown opcode '%s'", mnemonic.c_str()));
+    inst.opcode = *opcode;
+    ApplyModifiers(lp, &inst, mod_tokens);
+
+    // Operands.
+    std::vector<std::string> operand_tokens;
+    if (mnem_end != std::string_view::npos) {
+      operand_tokens = SplitOperands(TrimWhitespace(text.substr(mnem_end + 1)));
+    }
+    AssignOperands(lp, &inst, operand_tokens);
+    current_.instructions.push_back(inst);
+  }
+
+  void ApplyModifiers(const LineParser& lp, Instruction* inst,
+                      const std::vector<std::string>& tokens) {
+    Modifiers& m = inst->mods;
+    const OpClass cls = ClassOf(inst->opcode);
+    int type_tokens_seen = 0;
+    for (const std::string& tok : tokens) {
+      // Comparison ops.
+      if (tok == "F") { m.cmp = CmpOp::kF; continue; }
+      if (tok == "T") { m.cmp = CmpOp::kT; continue; }
+      if (tok == "LT") { m.cmp = CmpOp::kLT; continue; }
+      if (tok == "EQ") { m.cmp = CmpOp::kEQ; continue; }
+      if (tok == "LE") { m.cmp = CmpOp::kLE; continue; }
+      if (tok == "GT") { m.cmp = CmpOp::kGT; continue; }
+      if (tok == "NE" || tok == "NEU") { m.cmp = CmpOp::kNE; continue; }
+      if (tok == "GE") { m.cmp = CmpOp::kGE; continue; }
+      // Boolean combine vs atomic op (AND/OR/XOR are ambiguous).
+      if (tok == "AND" || tok == "OR" || tok == "XOR") {
+        if (cls == OpClass::kAtomic) {
+          m.atomic = tok == "AND" ? AtomicOp::kAnd
+                     : tok == "OR" ? AtomicOp::kOr
+                                   : AtomicOp::kXor;
+        } else {
+          m.bool_op = tok == "AND" ? BoolOp::kAnd
+                      : tok == "OR" ? BoolOp::kOr
+                                    : BoolOp::kXor;
+        }
+        continue;
+      }
+      // MUFU functions.
+      if (inst->opcode == Opcode::kMUFU) {
+        if (tok == "RCP") { m.mufu = MufuFunc::kRcp; continue; }
+        if (tok == "RSQ") { m.mufu = MufuFunc::kRsq; continue; }
+        if (tok == "SQRT") { m.mufu = MufuFunc::kSqrt; continue; }
+        if (tok == "LG2") { m.mufu = MufuFunc::kLg2; continue; }
+        if (tok == "EX2") { m.mufu = MufuFunc::kEx2; continue; }
+        if (tok == "SIN") { m.mufu = MufuFunc::kSin; continue; }
+        if (tok == "COS") { m.mufu = MufuFunc::kCos; continue; }
+      }
+      // Memory widths / sub-word signedness.
+      if (cls == OpClass::kLoad || cls == OpClass::kStore || cls == OpClass::kAtomic) {
+        if (tok == "E") continue;  // extended (64-bit) addressing: always on
+        if (tok == "U8") { m.width = MemWidth::k8; m.sign_extend = false; continue; }
+        if (tok == "S8") { m.width = MemWidth::k8; m.sign_extend = true; continue; }
+        if (tok == "U16") { m.width = MemWidth::k16; m.sign_extend = false; continue; }
+        if (tok == "S16") { m.width = MemWidth::k16; m.sign_extend = true; continue; }
+        if (tok == "32") { m.width = MemWidth::k32; continue; }
+        if (tok == "64") { m.width = MemWidth::k64; continue; }
+        if (tok == "128") { m.width = MemWidth::k128; continue; }
+        if (tok == "ADD") { m.atomic = AtomicOp::kAdd; continue; }
+        if (tok == "MIN") { m.atomic = AtomicOp::kMin; continue; }
+        if (tok == "MAX") { m.atomic = AtomicOp::kMax; continue; }
+        if (tok == "EXCH") { m.atomic = AtomicOp::kExch; continue; }
+        if (tok == "CAS") { m.atomic = AtomicOp::kCas; continue; }
+      }
+      // Conversion / setp type tokens: first = destination, second = source.
+      if (tok == "F64" || tok == "F32" || tok == "S32" || tok == "U32" ||
+          tok == "S64" || tok == "U64" || tok == "F16") {
+        const bool wide = tok == "F64" || tok == "S64" || tok == "U64";
+        const bool is_unsigned = tok[0] == 'U';
+        if (cls == OpClass::kConversion) {
+          if (type_tokens_seen == 0) {
+            m.wide_dst = wide;
+            if (inst->opcode == Opcode::kF2I || inst->opcode == Opcode::kI2I) {
+              m.src_signed = !is_unsigned;  // dest signedness reuses src_signed for F2I
+            }
+          } else {
+            m.wide_src = wide;
+            if (inst->opcode == Opcode::kI2F || inst->opcode == Opcode::kI2I) {
+              m.src_signed = !is_unsigned;
+            }
+          }
+          ++type_tokens_seen;
+        } else {
+          // e.g. ISETP.LT.U32, SHF.R.U32, IMAD.U32
+          m.src_signed = !is_unsigned;
+          m.wide_src = wide;
+        }
+        continue;
+      }
+      // SHF direction.
+      if (inst->opcode == Opcode::kSHF && (tok == "L" || tok == "R")) {
+        m.shift_dir = tok == "L" ? ShiftDir::kLeft : ShiftDir::kRight;
+        continue;
+      }
+      // SHFL modes.
+      if (inst->opcode == Opcode::kSHFL) {
+        if (tok == "IDX") { m.shfl = ShflMode::kIdx; continue; }
+        if (tok == "UP") { m.shfl = ShflMode::kUp; continue; }
+        if (tok == "DOWN") { m.shfl = ShflMode::kDown; continue; }
+        if (tok == "BFLY") { m.shfl = ShflMode::kBfly; continue; }
+      }
+      // VOTE modes.
+      if (inst->opcode == Opcode::kVOTE || inst->opcode == Opcode::kVOTEU) {
+        if (tok == "ALL") { m.vote = VoteMode::kAll; continue; }
+        if (tok == "ANY") { m.vote = VoteMode::kAny; continue; }
+        if (tok == "BALLOT") { m.vote = VoteMode::kBallot; continue; }
+      }
+      // IMAD.WIDE: 32x32 -> 64-bit multiply-add writing a register pair.
+      if (tok == "WIDE") {
+        m.wide_dst = true;
+        continue;
+      }
+      // Accepted-and-ignored noise modifiers (scheduling/rounding hints).
+      if (tok == "FTZ" || tok == "SAT" || tok == "RN" || tok == "RZ" ||
+          tok == "RM" || tok == "RP" || tok == "TRUNC" || tok == "FLOOR" ||
+          tok == "CEIL" || tok == "SYNC" || tok == "LUT" || tok == "STRONG" ||
+          tok == "WEAK" || tok == "CTA" || tok == "GPU" || tok == "SYS" ||
+          tok == "HI" || tok == "X") {
+        continue;
+      }
+      lp.Fail(Format("opcode %s: unknown modifier '.%s'",
+                     std::string(OpcodeName(inst->opcode)).c_str(), tok.c_str()));
+    }
+  }
+
+  Operand ParseOperand(const LineParser& lp, Instruction* inst, std::string_view tok,
+                       bool allow_label) {
+    NVBITFI_CHECK(!tok.empty());
+
+    // Memory operand [Rb], [Rb+imm], [Rb-imm].
+    if (tok.front() == '[') {
+      if (tok.back() != ']') lp.Fail(Format("unterminated memory operand '%s'", std::string(tok).c_str()));
+      std::string_view body = TrimWhitespace(tok.substr(1, tok.size() - 2));
+      std::uint8_t base = kRZ;
+      std::int32_t offset = 0;
+      const std::size_t plus = body.find_first_of("+-", 1);
+      std::string_view base_tok = plus == std::string_view::npos ? body : TrimWhitespace(body.substr(0, plus));
+      if (!ParseGprToken(base_tok, &base)) {
+        // Absolute address: [0x1000].
+        std::uint32_t bits = 0;
+        if (plus == std::string_view::npos && ParseImmediate(body, &bits)) {
+          Operand o = Operand::Mem(kRZ, static_cast<std::int32_t>(bits));
+          return o;
+        }
+        lp.Fail(Format("bad memory base '%s'", std::string(base_tok).c_str()));
+      }
+      if (plus != std::string_view::npos) {
+        std::string_view off_tok = TrimWhitespace(body.substr(plus));
+        if (!off_tok.empty() && off_tok.front() == '+') off_tok.remove_prefix(1);
+        std::int64_t v = 0;
+        if (!ParseInt64(TrimWhitespace(off_tok), &v)) {
+          lp.Fail(Format("bad memory offset '%s'", std::string(off_tok).c_str()));
+        }
+        offset = static_cast<std::int32_t>(v);
+      }
+      return Operand::Mem(base, offset);
+    }
+
+    // Constant bank c[b][off].
+    if (StartsWith(tok, "c[")) {
+      const std::size_t close1 = tok.find(']');
+      const std::size_t open2 = tok.find('[', 2);
+      if (close1 == std::string_view::npos || open2 != close1 + 1 || tok.back() != ']') {
+        lp.Fail(Format("bad constant operand '%s'", std::string(tok).c_str()));
+      }
+      std::uint64_t bank = 0, offset = 0;
+      if (!ParseUint64(tok.substr(2, close1 - 2), &bank) ||
+          !ParseUint64(tok.substr(open2 + 1, tok.size() - open2 - 2), &offset) ||
+          bank > 0xFF || offset > 0xFFFFFF) {
+        lp.Fail(Format("bad constant operand '%s'", std::string(tok).c_str()));
+      }
+      return Operand::Const(static_cast<std::uint8_t>(bank),
+                            static_cast<std::uint32_t>(offset));
+    }
+
+    // Register with optional modifiers.
+    {
+      std::string_view body = tok;
+      bool negate = false, absolute = false, invert = false;
+      if (!body.empty() && body.front() == '-') { negate = true; body.remove_prefix(1); }
+      if (!body.empty() && body.front() == '~') { invert = true; body.remove_prefix(1); }
+      if (body.size() >= 2 && body.front() == '|' && body.back() == '|') {
+        absolute = true;
+        body = body.substr(1, body.size() - 2);
+      }
+      std::uint8_t reg = kRZ;
+      if (ParseGprToken(body, &reg)) {
+        Operand o = Operand::Gpr(reg);
+        o.negate = negate;
+        o.absolute = absolute;
+        o.invert = invert;
+        return o;
+      }
+    }
+
+    // Predicate.
+    {
+      std::uint8_t idx = kPT;
+      bool neg = false;
+      if (ParsePredToken(tok, &idx, &neg)) return Operand::Pred(idx, neg);
+    }
+
+    // Special register (consumed into modifiers, represented as imm operand).
+    if (StartsWith(tok, "SR_")) {
+      const auto sr = ParseSpecialReg(tok);
+      if (!sr) lp.Fail(Format("unknown special register '%s'", std::string(tok).c_str()));
+      inst->mods.sreg = *sr;
+      return Operand::Imm(static_cast<std::uint32_t>(*sr));
+    }
+
+    // Immediate.
+    {
+      std::uint32_t bits = 0;
+      if (ParseImmediate(tok, &bits)) return Operand::Imm(bits);
+    }
+
+    // Label reference.
+    if (allow_label && IsIdentifier(tok)) {
+      Operand o = Operand::Label(0);
+      fixups_.emplace_back(Fixup{std::string(tok),
+                                 static_cast<std::uint32_t>(current_.instructions.size()),
+                                 lp.line_number()});
+      return o;
+    }
+
+    lp.Fail(Format("cannot parse operand '%s'", std::string(tok).c_str()));
+  }
+
+  void AssignOperands(const LineParser& lp, Instruction* inst,
+                      const std::vector<std::string>& tokens) {
+    const OpSignature sig = SignatureFor(inst->opcode);
+    std::size_t cursor = 0;
+
+    if (sig.gpr_dest) {
+      if (cursor >= tokens.size()) lp.Fail("missing destination register");
+      std::uint8_t reg = kRZ;
+      if (!ParseGprToken(tokens[cursor], &reg)) {
+        lp.Fail(Format("bad destination register '%s'", tokens[cursor].c_str()));
+      }
+      inst->dest_gpr = reg;
+      ++cursor;
+    }
+    for (int p = 0; p < sig.pred_dests; ++p) {
+      if (cursor >= tokens.size()) lp.Fail("missing destination predicate");
+      std::uint8_t idx = kPT;
+      bool neg = false;
+      if (!ParsePredToken(tokens[cursor], &idx, &neg) || neg) {
+        lp.Fail(Format("bad destination predicate '%s'", tokens[cursor].c_str()));
+      }
+      (p == 0 ? inst->dest_pred : inst->dest_pred2) = idx;
+      ++cursor;
+    }
+
+    const bool is_branch = inst->opcode == Opcode::kBRA ||
+                           inst->opcode == Opcode::kJMP ||
+                           inst->opcode == Opcode::kCALL;
+    int n = 0;
+    for (; cursor < tokens.size(); ++cursor) {
+      if (n >= kMaxSrcOperands) lp.Fail("too many source operands");
+      inst->src[static_cast<std::size_t>(n)] =
+          ParseOperand(lp, inst, tokens[cursor], is_branch);
+      ++n;
+    }
+    inst->num_src = static_cast<std::uint8_t>(n);
+  }
+
+  void ResolveFixups(const LineParser& lp) {
+    for (const Fixup& fx : fixups_) {
+      const auto it = labels_.find(fx.label);
+      if (it == labels_.end()) {
+        throw ParseError{Format("line %d: undefined label '%s'", fx.line_number,
+                                fx.label.c_str())};
+      }
+      Instruction& inst = current_.instructions[fx.instruction_index];
+      bool patched = false;
+      for (int i = 0; i < inst.num_src; ++i) {
+        Operand& op = inst.src[static_cast<std::size_t>(i)];
+        if (op.kind == Operand::Kind::kLabel && !patched) {
+          op.imm = it->second;
+          patched = true;
+        }
+      }
+      if (!patched) lp.Fail("internal: label fixup lost its operand");
+    }
+  }
+
+  struct Fixup {
+    std::string label;
+    std::uint32_t instruction_index;
+    int line_number;
+  };
+
+  bool in_kernel_ = false;
+  KernelSource current_;
+  std::map<std::string, std::uint32_t> labels_;
+  std::vector<Fixup> fixups_;
+  std::vector<KernelSource> kernels_;
+};
+
+}  // namespace
+
+AssemblyResult Assemble(std::string_view source) {
+  ModuleAssembler assembler;
+  return assembler.Run(source);
+}
+
+KernelSource AssembleKernelOrDie(std::string_view name, std::string_view body) {
+  std::string source;
+  source += ".kernel ";
+  source += name;
+  source += "\n";
+  source += body;
+  source += "\n.endkernel\n";
+  AssemblyResult result = Assemble(source);
+  NVBITFI_CHECK_MSG(result.ok, "assembly failed: " << result.error);
+  NVBITFI_CHECK(result.kernels.size() == 1);
+  return std::move(result.kernels.front());
+}
+
+}  // namespace nvbitfi::sim

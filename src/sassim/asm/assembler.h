@@ -1,0 +1,46 @@
+// Text assembler for the simulated SASS dialect.
+//
+// Module syntax:
+//
+//   // comment                          # comment
+//   .kernel saxpy regs=16 shared=128
+//   loop:
+//     S2R R0, SR_CTAID.X ;
+//     IMAD R0, R0, c[0][0x0], R1 ;
+//     ISETP.LT.AND P0, PT, R0, c[0][0x170], PT ;
+//     @!P0 BRA done ;
+//     LDG.64 R4, [R2+0x10] ;
+//     @P0 BRA loop ;
+//   done:
+//     EXIT ;
+//   .endkernel
+//
+// Mnemonic modifiers (".LT", ".AND", ".64", ".RCP", ...) follow SASS
+// conventions; kernel-launch parameters land in constant bank 0 starting at
+// offset 0x160 (8 bytes per parameter), with block/grid dimensions at
+// c[0][0x0]..c[0][0x14], matching the layout described in runtime/driver.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sassim/isa/instruction.h"
+#include "sassim/isa/kernel.h"
+
+namespace nvbitfi::sim {
+
+struct AssemblyResult {
+  bool ok = false;
+  std::string error;  // first error, with line number
+  std::vector<KernelSource> kernels;
+};
+
+// Assembles a full module (possibly several kernels).
+AssemblyResult Assemble(std::string_view source);
+
+// Convenience for building a single kernel in tests: wraps `body` in
+// ".kernel <name>" / ".endkernel" and asserts success.
+KernelSource AssembleKernelOrDie(std::string_view name, std::string_view body);
+
+}  // namespace nvbitfi::sim

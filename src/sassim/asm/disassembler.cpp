@@ -1,0 +1,236 @@
+#include "sassim/asm/disassembler.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+std::string RegName(std::uint8_t r) {
+  return r == kRZ ? std::string("RZ") : Format("R%u", r);
+}
+
+std::string PredName(std::uint8_t p) {
+  return p == kPT ? std::string("PT") : Format("P%u", p);
+}
+
+const char* CmpName(CmpOp cmp) {
+  switch (cmp) {
+    case CmpOp::kF: return "F";
+    case CmpOp::kLT: return "LT";
+    case CmpOp::kEQ: return "EQ";
+    case CmpOp::kLE: return "LE";
+    case CmpOp::kGT: return "GT";
+    case CmpOp::kNE: return "NE";
+    case CmpOp::kGE: return "GE";
+    case CmpOp::kT: return "T";
+  }
+  return "?";
+}
+
+const char* BoolName(BoolOp op) {
+  switch (op) {
+    case BoolOp::kAnd: return "AND";
+    case BoolOp::kOr: return "OR";
+    case BoolOp::kXor: return "XOR";
+  }
+  return "?";
+}
+
+bool IsSetpLike(Opcode op) {
+  return op == Opcode::kFSETP || op == Opcode::kISETP || op == Opcode::kDSETP ||
+         op == Opcode::kHSETP2 || op == Opcode::kPSETP;
+}
+
+// Modifier suffix after the mnemonic.
+std::string Suffix(const Instruction& inst) {
+  const Modifiers& m = inst.mods;
+  const OpClass cls = ClassOf(inst.opcode);
+  std::string s;
+
+  if (inst.opcode == Opcode::kPSETP) {
+    // PSETP combines predicates only: no comparison operator.
+    return Format(".%s", BoolName(m.bool_op));
+  }
+  if (IsSetpLike(inst.opcode) || inst.opcode == Opcode::kFSET) {
+    s += Format(".%s", CmpName(m.cmp));
+    if (inst.opcode == Opcode::kISETP && !m.src_signed) s += ".U32";
+    s += Format(".%s", BoolName(m.bool_op));
+    return s;
+  }
+  if (inst.opcode == Opcode::kLOP || inst.opcode == Opcode::kLOP32I) {
+    return Format(".%s", BoolName(m.bool_op));
+  }
+  if (inst.opcode == Opcode::kMUFU) {
+    switch (m.mufu) {
+      case MufuFunc::kRcp: return ".RCP";
+      case MufuFunc::kRsq: return ".RSQ";
+      case MufuFunc::kSqrt: return ".SQRT";
+      case MufuFunc::kLg2: return ".LG2";
+      case MufuFunc::kEx2: return ".EX2";
+      case MufuFunc::kSin: return ".SIN";
+      case MufuFunc::kCos: return ".COS";
+    }
+  }
+  if (cls == OpClass::kLoad || cls == OpClass::kStore || cls == OpClass::kAtomic) {
+    if (cls == OpClass::kAtomic) {
+      switch (m.atomic) {
+        case AtomicOp::kAdd: s += ".ADD"; break;
+        case AtomicOp::kMin: s += ".MIN"; break;
+        case AtomicOp::kMax: s += ".MAX"; break;
+        case AtomicOp::kExch: s += ".EXCH"; break;
+        case AtomicOp::kCas: s += ".CAS"; break;
+        case AtomicOp::kAnd: s += ".AND"; break;
+        case AtomicOp::kOr: s += ".OR"; break;
+        case AtomicOp::kXor: s += ".XOR"; break;
+      }
+    }
+    if (inst.opcode != Opcode::kLDC || m.width == MemWidth::k64) {
+      switch (m.width) {
+        case MemWidth::k8: s += m.sign_extend ? ".S8" : ".U8"; break;
+        case MemWidth::k16: s += m.sign_extend ? ".S16" : ".U16"; break;
+        case MemWidth::k32: s += ".E.32"; break;
+        case MemWidth::k64: s += inst.opcode == Opcode::kLDC ? ".64" : ".E.64"; break;
+        case MemWidth::k128: s += ".E.128"; break;
+      }
+    }
+    return s;
+  }
+  if (inst.opcode == Opcode::kIMAD && m.wide_dst) {
+    s += ".WIDE";
+    if (!m.src_signed) s += ".U32";
+    return s;
+  }
+  if (inst.opcode == Opcode::kIMNMX && !m.src_signed) return ".U32";
+  if (inst.opcode == Opcode::kSHR) return m.src_signed ? ".S32" : ".U32";
+  if (inst.opcode == Opcode::kSHF) {
+    s += m.shift_dir == ShiftDir::kLeft ? ".L" : ".R";
+    if (!m.src_signed) s += ".U32";
+    return s;
+  }
+  if (inst.opcode == Opcode::kSHFL) {
+    switch (m.shfl) {
+      case ShflMode::kIdx: return ".IDX";
+      case ShflMode::kUp: return ".UP";
+      case ShflMode::kDown: return ".DOWN";
+      case ShflMode::kBfly: return ".BFLY";
+    }
+  }
+  if (inst.opcode == Opcode::kVOTE || inst.opcode == Opcode::kVOTEU) {
+    switch (m.vote) {
+      case VoteMode::kAll: return ".ALL";
+      case VoteMode::kAny: return ".ANY";
+      case VoteMode::kBallot: return ".BALLOT";
+    }
+  }
+  if (inst.opcode == Opcode::kF2F) {
+    return Format(".%s.%s", m.wide_dst ? "F64" : "F32", m.wide_src ? "F64" : "F32");
+  }
+  if (inst.opcode == Opcode::kF2I) {
+    return Format(".%s.%s", m.src_signed ? "S32" : "U32", m.wide_src ? "F64" : "F32");
+  }
+  if (inst.opcode == Opcode::kI2F) {
+    return Format(".%s.%s", m.wide_dst ? "F64" : "F32", m.src_signed ? "S32" : "U32");
+  }
+  return s;
+}
+
+std::string OperandText(const Instruction& inst, const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kNone:
+      return "";
+    case Operand::Kind::kGpr: {
+      std::string body = RegName(op.reg);
+      if (op.absolute) body = "|" + body + "|";
+      if (op.invert) body = "~" + body;
+      if (op.negate) body = "-" + body;
+      return body;
+    }
+    case Operand::Kind::kPred:
+      return (op.negate ? "!" : "") + PredName(op.reg);
+    case Operand::Kind::kImm:
+      if (inst.opcode == Opcode::kS2R || inst.opcode == Opcode::kCS2R) {
+        return std::string(SpecialRegName(inst.mods.sreg));
+      }
+      return Format("0x%x", op.imm);
+    case Operand::Kind::kConst:
+      return Format("c[%u][0x%x]", op.const_bank, op.const_offset);
+    case Operand::Kind::kMem:
+      if (op.mem_offset == 0) return "[" + RegName(op.mem_base) + "]";
+      if (op.mem_offset > 0) {
+        return Format("[%s+0x%x]", RegName(op.mem_base).c_str(), op.mem_offset);
+      }
+      return Format("[%s-0x%x]", RegName(op.mem_base).c_str(), -op.mem_offset);
+    case Operand::Kind::kLabel:
+      return Format("L%u", op.imm);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string DisassembleInstruction(const Instruction& inst) {
+  std::string line = "  ";
+  if (inst.guard_pred != kPT || inst.guard_negate) {
+    line += "@";
+    if (inst.guard_negate) line += "!";
+    line += PredName(inst.guard_pred) + " ";
+  }
+  line += std::string(OpcodeName(inst.opcode)) + Suffix(inst);
+
+  std::vector<std::string> operands;
+  const DestKind dk = DestKindOf(inst.opcode);
+  // Destination order mirrors the assembler's SignatureFor.
+  if (inst.opcode == Opcode::kVOTE) {
+    operands.push_back(RegName(inst.dest_gpr));
+    operands.push_back(PredName(inst.dest_pred));
+  } else if (dk == DestKind::kPred &&
+             (IsSetpLike(inst.opcode) || inst.opcode == Opcode::kPLOP3 ||
+              inst.opcode == Opcode::kUPLOP3 || inst.opcode == Opcode::kUISETP ||
+              inst.opcode == Opcode::kUPSETP)) {
+    operands.push_back(PredName(inst.dest_pred));
+    operands.push_back(PredName(inst.dest_pred2));
+  } else if (dk == DestKind::kPred &&
+             (inst.opcode == Opcode::kFCHK || inst.opcode == Opcode::kUR2UP)) {
+    operands.push_back(PredName(inst.dest_pred));
+  } else if (WritesGpr(inst.opcode) && inst.opcode != Opcode::kR2P) {
+    operands.push_back(RegName(inst.dest_gpr));
+  }
+  for (int i = 0; i < inst.num_src; ++i) {
+    operands.push_back(OperandText(inst, inst.src[static_cast<std::size_t>(i)]));
+  }
+
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    line += (i == 0 ? " " : ", ") + operands[i];
+  }
+  line += " ;";
+  return line;
+}
+
+std::string Disassemble(const KernelSource& kernel) {
+  // Collect branch targets for label emission.
+  std::set<std::uint32_t> targets;
+  for (const Instruction& inst : kernel.instructions) {
+    for (int i = 0; i < inst.num_src; ++i) {
+      const Operand& op = inst.src[static_cast<std::size_t>(i)];
+      if (op.kind == Operand::Kind::kLabel) targets.insert(op.imm);
+    }
+  }
+
+  std::string out = Format(".kernel %s regs=%u shared=%u\n", kernel.name.c_str(),
+                           kernel.register_count, kernel.shared_bytes);
+  for (std::uint32_t pc = 0; pc < kernel.instructions.size(); ++pc) {
+    if (targets.count(pc) != 0) out += Format("L%u:\n", pc);
+    out += DisassembleInstruction(kernel.instructions[pc]);
+    out += "\n";
+  }
+  // A branch may target one past the end.
+  if (targets.count(static_cast<std::uint32_t>(kernel.instructions.size())) != 0) {
+    out += Format("L%zu:\n", kernel.instructions.size());
+  }
+  out += ".endkernel\n";
+  return out;
+}
+
+}  // namespace nvbitfi::sim

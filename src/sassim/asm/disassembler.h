@@ -1,0 +1,22 @@
+// Disassembler: renders a loaded kernel back into the assembler's input
+// dialect (the analogue of dumping SASS from a cubin with nvdisasm).
+//
+// The output is re-assemblable: Assemble(Disassemble(k)) produces a kernel
+// whose binary encoding is identical to k's, a property the tests enforce
+// over every kernel template and workload module.
+#pragma once
+
+#include <string>
+
+#include "sassim/isa/kernel.h"
+
+namespace nvbitfi::sim {
+
+// Full kernel block: ".kernel name regs=.. shared=.." + body + ".endkernel".
+// Branch targets get generated labels ("L12:").
+std::string Disassemble(const KernelSource& kernel);
+
+// One instruction without label resolution (branch targets render as "L<n>").
+std::string DisassembleInstruction(const Instruction& inst);
+
+}  // namespace nvbitfi::sim

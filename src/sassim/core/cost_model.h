@@ -1,0 +1,46 @@
+// Simulated-cycle cost model.
+//
+// Figures 4 and 5 of the paper report *relative* execution overheads; in this
+// reproduction they are computed from deterministic simulated cycles rather
+// than wall-clock time, so results are machine-independent.  The model
+// charges per-warp-instruction base costs (by opcode class), per-lane costs
+// for spliced instrumentation code, a register-spill multiplier when
+// instrumentation pushes a kernel past the register budget (the mechanism the
+// paper blames for the 558x exact-profiling outlier), and a JIT recompilation
+// cost the first time an instrumented kernel version is built.
+#pragma once
+
+#include <cstdint>
+
+#include "sassim/isa/instruction.h"
+
+namespace nvbitfi::sim {
+
+struct CostModel {
+  // Registers available before instrumentation code forces spills.
+  std::uint32_t spill_reg_threshold = 88;
+  // Multiplier applied to every instruction of a spilling instrumented kernel.
+  std::uint32_t spill_multiplier = 8;
+  // Multiplier applied to the instrumentation code itself when it spills
+  // (the injected accumulators live in local memory).
+  std::uint32_t spill_callback_multiplier = 4;
+  // JIT compilation: fixed + per-static-instruction cycles, charged once per
+  // (function, tool-config) pair by the NVBit layer's cache.
+  std::uint64_t jit_base_cycles = 30000;
+  std::uint64_t jit_cycles_per_instruction = 500;
+  // Fixed launch overhead (driver + block scheduling).
+  std::uint64_t launch_base_cycles = 2000;
+  // Extra per-launch cost of having a DBI tool attached at all (launch
+  // interception, kernel lookup, instrumentation decision).
+  std::uint64_t tool_intercept_cycles = 1500;
+
+  std::uint64_t BaseCost(const Instruction& inst) const {
+    return GetOpcodeInfo(inst.opcode).base_cost_cycles;
+  }
+
+  bool Spills(std::uint32_t kernel_regs, std::uint32_t extra_regs) const {
+    return kernel_regs + extra_regs > spill_reg_threshold;
+  }
+};
+
+}  // namespace nvbitfi::sim

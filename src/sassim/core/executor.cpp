@@ -1,0 +1,1067 @@
+#include "sassim/core/executor.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+struct ThreadCtx {
+  std::array<std::uint32_t, kNumGpr> gpr{};
+  std::array<bool, kNumPred> pred{};
+  std::uint32_t pc = 0;
+  bool exited = false;
+  bool at_barrier = false;
+  Dim3 tid;
+  std::unique_ptr<FlatMemory> local;  // lazily allocated on first LDL/STL
+};
+
+std::uint32_t ReadGprRaw(const ThreadCtx& t, int r) {
+  return r == kRZ ? 0u : t.gpr[static_cast<std::size_t>(r)];
+}
+
+void WriteGprRaw(ThreadCtx& t, int r, std::uint32_t v) {
+  if (r != kRZ) t.gpr[static_cast<std::size_t>(r)] = v;
+}
+
+std::uint64_t ReadPairRaw(const ThreadCtx& t, int r) {
+  if (r == kRZ) return 0;
+  const std::uint32_t lo = t.gpr[static_cast<std::size_t>(r)];
+  const std::uint32_t hi = r + 1 < kRZ ? t.gpr[static_cast<std::size_t>(r) + 1] : 0u;
+  return PackPair(lo, hi);
+}
+
+void WritePairRaw(ThreadCtx& t, int r, std::uint64_t v) {
+  if (r == kRZ) return;
+  t.gpr[static_cast<std::size_t>(r)] = PairLo(v);
+  if (r + 1 < kRZ) t.gpr[static_cast<std::size_t>(r) + 1] = PairHi(v);
+}
+
+bool ReadPredRaw(const ThreadCtx& t, int p) {
+  return p == kPT ? true : t.pred[static_cast<std::size_t>(p)];
+}
+
+void WritePredRaw(ThreadCtx& t, int p, bool v) {
+  if (p != kPT) t.pred[static_cast<std::size_t>(p)] = v;
+}
+
+template <typename T>
+bool EvalCmp(CmpOp op, T a, T b) {
+  switch (op) {
+    case CmpOp::kF: return false;
+    case CmpOp::kLT: return a < b;
+    case CmpOp::kEQ: return a == b;
+    case CmpOp::kLE: return a <= b;
+    case CmpOp::kGT: return a > b;
+    case CmpOp::kNE: return a != b;
+    case CmpOp::kGE: return a >= b;
+    case CmpOp::kT: return true;
+  }
+  return false;
+}
+
+bool ApplyBool(BoolOp op, bool a, bool b) {
+  switch (op) {
+    case BoolOp::kAnd: return a && b;
+    case BoolOp::kOr: return a || b;
+    case BoolOp::kXor: return a != b;
+  }
+  return false;
+}
+
+bool IsWarpCollective(Opcode op) {
+  return op == Opcode::kSHFL || op == Opcode::kVOTE;
+}
+
+enum class LaneOutcome : std::uint8_t { kNext, kBranch, kExit, kTrap };
+
+class BlockRunner {
+ public:
+  BlockRunner(const Executor::Request& req, LaunchStats& stats, Dim3 ctaid, int sm_id)
+      : req_(req),
+        stats_(stats),
+        body_(req.kernel->instructions),
+        ctaid_(ctaid),
+        sm_id_(sm_id),
+        shared_(std::max<std::size_t>(req.kernel->shared_bytes, 1),
+                Executor::kMaxSharedBytes),
+        spilling_(req.plan != nullptr &&
+                  req.cost->Spills(req.kernel->register_count, req.plan->extra_regs)) {
+    const Dim3 b = req.launch.block;
+    const std::uint32_t threads = static_cast<std::uint32_t>(b.Count());
+    const std::uint32_t warps = (threads + kWarpSize - 1) / kWarpSize;
+    warps_.resize(warps);
+    for (std::uint32_t w = 0; w < warps; ++w) {
+      const std::uint32_t lo = w * kWarpSize;
+      const std::uint32_t hi = std::min(threads, lo + kWarpSize);
+      warps_[w].resize(hi - lo);
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        ThreadCtx& t = warps_[w][i - lo];
+        t.tid.x = i % b.x;
+        t.tid.y = (i / b.x) % b.y;
+        t.tid.z = i / (b.x * b.y);
+      }
+    }
+  }
+
+  // Runs the block to completion; false if a trap aborted the launch.
+  bool Run() {
+    while (true) {
+      bool issued = false;
+      for (std::size_t w = 0; w < warps_.size(); ++w) {
+        const int step = StepWarp(static_cast<int>(w));
+        if (step < 0) return false;  // trapped
+        issued = issued || step > 0;
+        if (req_.max_thread_instructions != 0 &&
+            stats_.thread_instructions > req_.max_thread_instructions) {
+          return Trap(TrapKind::kTimeout,
+                      Format("watchdog after %llu thread instructions",
+                             static_cast<unsigned long long>(stats_.thread_instructions)));
+        }
+      }
+      if (issued) continue;
+      // No warp could issue: either everything exited, or live threads wait
+      // at a barrier (all of them, by construction) — release and continue.
+      bool any_barrier = false;
+      for (auto& warp : warps_) {
+        for (ThreadCtx& t : warp) any_barrier = any_barrier || (!t.exited && t.at_barrier);
+      }
+      if (!any_barrier) return true;
+      for (auto& warp : warps_) {
+        for (ThreadCtx& t : warp) t.at_barrier = false;
+      }
+    }
+  }
+
+ private:
+  bool Trap(TrapKind kind, const std::string& detail) {
+    stats_.trap = kind;
+    stats_.trap_detail = Format("%s: kernel '%s' pc %u: %s", std::string(TrapKindName(kind)).c_str(),
+                                req_.kernel->name.c_str(), trap_pc_, detail.c_str());
+    return false;
+  }
+
+  // Returns 1 if the warp issued an instruction, 0 if it had no eligible
+  // thread, -1 on trap.
+  int StepWarp(int warp_index) {
+    auto& warp = warps_[static_cast<std::size_t>(warp_index)];
+
+    std::uint32_t min_pc = std::numeric_limits<std::uint32_t>::max();
+    for (const ThreadCtx& t : warp) {
+      if (!t.exited && !t.at_barrier) min_pc = std::min(min_pc, t.pc);
+    }
+    if (min_pc == std::numeric_limits<std::uint32_t>::max()) return 0;
+    trap_pc_ = min_pc;
+    if (min_pc >= body_.size()) {
+      Trap(TrapKind::kIllegalInstruction, "PC ran past the end of the kernel");
+      return -1;
+    }
+
+    cohort_.clear();
+    for (std::size_t i = 0; i < warp.size(); ++i) {
+      ThreadCtx& t = warp[i];
+      if (!t.exited && !t.at_barrier && t.pc == min_pc) {
+        cohort_.push_back(static_cast<int>(i));
+      }
+    }
+
+    const Instruction& inst = body_[min_pc];
+    ++stats_.warp_instructions;
+    std::uint64_t cost = req_.cost->BaseCost(inst);
+    if (spilling_) cost *= req_.cost->spill_multiplier;
+    stats_.cycles += cost;
+
+    // Guard evaluation snapshot (callbacks and semantics both use it).
+    guard_.resize(warp.size());
+    int active = 0;
+    for (const int lane : cohort_) {
+      const ThreadCtx& t = warp[static_cast<std::size_t>(lane)];
+      const bool g = ReadPredRaw(t, inst.guard_pred) != inst.guard_negate;
+      guard_[static_cast<std::size_t>(lane)] = g;
+      if (g) ++active;
+    }
+    stats_.thread_instructions += static_cast<std::uint64_t>(active);
+
+    const InstrumentationPlan::Site* site = nullptr;
+    if (req_.plan != nullptr && req_.plan->HasSite(min_pc)) {
+      site = &req_.plan->sites[min_pc];
+    }
+    if (site != nullptr) RunCallbacks(site->before, inst, min_pc, warp_index);
+
+    if (IsWarpCollective(inst.opcode)) {
+      ExecCollective(inst, warp, warp_index);
+    } else {
+      for (const int lane : cohort_) {
+        ThreadCtx& t = warp[static_cast<std::size_t>(lane)];
+        if (!guard_[static_cast<std::size_t>(lane)]) {
+          ++t.pc;
+          continue;
+        }
+        std::uint32_t branch_target = 0;
+        const LaneOutcome outcome = ExecLane(inst, t, warp_index, lane, &branch_target);
+        switch (outcome) {
+          case LaneOutcome::kNext: ++t.pc; break;
+          case LaneOutcome::kBranch: t.pc = branch_target; break;
+          case LaneOutcome::kExit: t.exited = true; break;
+          case LaneOutcome::kTrap: return -1;
+        }
+      }
+    }
+
+    if (site != nullptr) RunCallbacks(site->after, inst, min_pc, warp_index);
+    return 1;
+  }
+
+  void RunCallbacks(const std::vector<InstrCallback>& callbacks, const Instruction& inst,
+                    std::uint32_t index, int warp_index) {
+    if (callbacks.empty()) return;
+    auto& warp = warps_[static_cast<std::size_t>(warp_index)];
+    for (const int lane : cohort_) {
+      ThreadCtx& t = warp[static_cast<std::size_t>(lane)];
+      LaneView view(t.gpr.data(), t.pred.data(), lane, warp_index, sm_id_, t.tid, ctaid_,
+                    guard_[static_cast<std::size_t>(lane)]);
+      InstrEvent event{inst, index, req_.launch, view};
+      for (const InstrCallback& cb : callbacks) {
+        cb(event);
+        ++stats_.lane_events;
+        if (spilling_) {
+          // Spilled instrumentation state lives in per-thread local memory,
+          // so the injected code serialises badly: charge every lane with the
+          // spill penalty.
+          stats_.cycles +=
+              req_.plan->cost_per_lane_event * req_.cost->spill_callback_multiplier;
+        } else if (req_.plan->serialized) {
+          // Atomic-heavy tools (the profiler's counter updates) serialise
+          // across the warp even without spills.
+          stats_.cycles += req_.plan->cost_per_lane_event;
+        }
+      }
+    }
+    // Un-spilled, non-serialised instrumentation executes SIMT like any other
+    // warp instruction: one issue per cohort per spliced call.
+    if (!spilling_ && !req_.plan->serialized) {
+      stats_.cycles +=
+          req_.plan->cost_per_lane_event * static_cast<std::uint64_t>(callbacks.size());
+    }
+  }
+
+  // ---- operand access -----------------------------------------------------
+
+  bool ReadPredOperand(const ThreadCtx& t, const Operand& op) const {
+    const bool v = ReadPredRaw(t, op.reg);
+    return op.negate ? !v : v;
+  }
+
+  std::uint32_t ReadSrc32(const ThreadCtx& t, const Operand& op, bool fp) const {
+    std::uint32_t v = 0;
+    switch (op.kind) {
+      case Operand::Kind::kGpr: v = ReadGprRaw(t, op.reg); break;
+      case Operand::Kind::kImm:
+      case Operand::Kind::kLabel: v = op.imm; break;
+      case Operand::Kind::kConst: v = req_.bank0->Read32(op.const_offset); break;
+      case Operand::Kind::kPred: return ReadPredOperand(t, op) ? 1u : 0u;
+      case Operand::Kind::kMem:
+      case Operand::Kind::kNone: v = 0; break;
+    }
+    if (op.absolute) v = fp ? (v & 0x7FFFFFFFu) : static_cast<std::uint32_t>(std::abs(static_cast<std::int32_t>(v)));
+    if (op.invert) v = ~v;
+    if (op.negate) {
+      v = fp ? (v ^ 0x80000000u) : static_cast<std::uint32_t>(-static_cast<std::int32_t>(v));
+    }
+    return v;
+  }
+
+  std::uint64_t ReadSrc64(const ThreadCtx& t, const Operand& op, bool fp) const {
+    std::uint64_t v = 0;
+    switch (op.kind) {
+      case Operand::Kind::kGpr: v = ReadPairRaw(t, op.reg); break;
+      case Operand::Kind::kImm:
+      case Operand::Kind::kLabel: v = op.imm; break;
+      case Operand::Kind::kConst: v = req_.bank0->Read64(op.const_offset); break;
+      default: v = 0; break;
+    }
+    if (op.absolute && fp) v &= ~(1ull << 63);
+    if (op.invert) v = ~v;
+    if (op.negate) v = fp ? (v ^ (1ull << 63)) : static_cast<std::uint64_t>(-static_cast<std::int64_t>(v));
+    return v;
+  }
+
+  float ReadSrcF32(const ThreadCtx& t, const Operand& op) const {
+    return BitsToFloat(ReadSrc32(t, op, /*fp=*/true));
+  }
+  double ReadSrcF64(const ThreadCtx& t, const Operand& op) const {
+    return BitsToDouble(ReadSrc64(t, op, /*fp=*/true));
+  }
+
+  // ---- semantics ----------------------------------------------------------
+
+  LaneOutcome LaneTrap(TrapKind kind, const Instruction& inst, const std::string& why) {
+    Trap(kind, Format("%s (%s)", why.c_str(), std::string(OpcodeName(inst.opcode)).c_str()));
+    return LaneOutcome::kTrap;
+  }
+
+  void DoSetp(ThreadCtx& t, const Instruction& inst, bool cmp, int pred_src_index) {
+    bool combine = true;
+    if (pred_src_index >= 0 && pred_src_index < inst.num_src &&
+        inst.src[static_cast<std::size_t>(pred_src_index)].kind == Operand::Kind::kPred) {
+      combine = ReadPredOperand(t, inst.src[static_cast<std::size_t>(pred_src_index)]);
+    }
+    WritePredRaw(t, inst.dest_pred, ApplyBool(inst.mods.bool_op, cmp, combine));
+    WritePredRaw(t, inst.dest_pred2, ApplyBool(inst.mods.bool_op, !cmp, combine));
+  }
+
+  LaneOutcome ExecMemAccess(const Instruction& inst, ThreadCtx& t, bool is_load,
+                            bool is_atomic) {
+    const Operand& mem = inst.src[0];
+    if (mem.kind != Operand::Kind::kMem) {
+      return LaneTrap(TrapKind::kIllegalInstruction, inst, "memory operand expected");
+    }
+    const int bytes = MemWidthBytes(inst.mods.width);
+    const Opcode op = inst.opcode;
+    const bool shared_space = op == Opcode::kLDS || op == Opcode::kSTS || op == Opcode::kATOMS;
+    const bool local_space = op == Opcode::kLDL || op == Opcode::kSTL;
+
+    std::uint64_t addr = 0;
+    if (shared_space || local_space) {
+      addr = static_cast<std::uint64_t>(ReadGprRaw(t, mem.mem_base)) +
+             static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.mem_offset));
+    } else {
+      addr = ReadPairRaw(t, mem.mem_base) +
+             static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.mem_offset));
+    }
+
+    if (local_space && t.local == nullptr) {
+      // Local memory lives in the global address space on real GPUs; give it
+      // a generous mapped window so small offset corruptions stay silent.
+      t.local = std::make_unique<FlatMemory>(Executor::kLocalBytesPerThread, 1u << 20);
+    }
+
+    auto read_one = [&](std::uint64_t a, int n) -> MemAccessResult {
+      if (shared_space) return shared_.Read(a, n);
+      if (local_space) return t.local->Read(a, n);
+      return req_.global->Read(a, n);
+    };
+    auto write_one = [&](std::uint64_t a, std::uint64_t v, int n) -> TrapKind {
+      if (shared_space) return shared_.Write(a, v, n);
+      if (local_space) return t.local->Write(a, v, n);
+      return req_.global->Write(a, v, n);
+    };
+
+    if (is_atomic) {
+      const std::uint32_t operand = ReadSrc32(t, inst.src[1], /*fp=*/false);
+      MemAccessResult r;
+      if (inst.mods.atomic == AtomicOp::kCas) {
+        // ATOM.CAS dst, [addr], compare, value
+        const std::uint32_t compare = operand;
+        const std::uint32_t value =
+            inst.num_src > 2 ? ReadSrc32(t, inst.src[2], /*fp=*/false) : 0;
+        r = read_one(addr, 4);
+        if (r.ok() && static_cast<std::uint32_t>(r.value) == compare) {
+          const TrapKind w = write_one(addr, value, 4);
+          if (w != TrapKind::kNone) r.trap = w;
+        }
+      } else if (shared_space) {
+        r = shared_.AtomicRmw(addr, operand, static_cast<int>(inst.mods.atomic), 4);
+      } else {
+        r = req_.global->AtomicRmw(addr, operand, static_cast<int>(inst.mods.atomic), 4);
+      }
+      if (!r.ok()) return LaneTrap(r.trap, inst, Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+      if (op != Opcode::kRED) WriteGprRaw(t, inst.dest_gpr, static_cast<std::uint32_t>(r.value));
+      return LaneOutcome::kNext;
+    }
+
+    if (is_load) {
+      if (bytes == 16) {
+        if ((addr & 0xF) != 0) {
+          return LaneTrap(TrapKind::kMisalignedAddress, inst,
+                          Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+        }
+        for (int half = 0; half < 2; ++half) {
+          const MemAccessResult r = read_one(addr + 8 * static_cast<std::uint64_t>(half), 8);
+          if (!r.ok()) {
+            return LaneTrap(r.trap, inst,
+                            Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+          }
+          WritePairRaw(t, inst.dest_gpr + 2 * half, r.value);
+        }
+        return LaneOutcome::kNext;
+      }
+      const MemAccessResult r = read_one(addr, bytes);
+      if (!r.ok()) {
+        return LaneTrap(r.trap, inst,
+                        Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+      }
+      if (bytes == 8) {
+        WritePairRaw(t, inst.dest_gpr, r.value);
+      } else {
+        std::uint32_t v = static_cast<std::uint32_t>(r.value);
+        if (inst.mods.sign_extend) {
+          v = static_cast<std::uint32_t>(SignExtend32(v, bytes * 8));
+        }
+        WriteGprRaw(t, inst.dest_gpr, v);
+      }
+      return LaneOutcome::kNext;
+    }
+
+    // Store: value operand is src[1].
+    const int value_reg = inst.src[1].kind == Operand::Kind::kGpr ? inst.src[1].reg : kRZ;
+    if (bytes == 16) {
+      if ((addr & 0xF) != 0) {
+        return LaneTrap(TrapKind::kMisalignedAddress, inst,
+                        Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+      }
+      for (int half = 0; half < 2; ++half) {
+        const std::uint64_t v = ReadPairRaw(t, value_reg + 2 * half);
+        const TrapKind w = write_one(addr + 8 * static_cast<std::uint64_t>(half), v, 8);
+        if (w != TrapKind::kNone) {
+          return LaneTrap(w, inst, Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+        }
+      }
+      return LaneOutcome::kNext;
+    }
+    std::uint64_t value = 0;
+    if (bytes == 8) {
+      value = ReadPairRaw(t, value_reg);
+    } else {
+      value = ReadSrc32(t, inst.src[1], /*fp=*/false) &
+              (bytes >= 4 ? 0xFFFFFFFFull : (1ull << (8 * bytes)) - 1);
+    }
+    const TrapKind w = write_one(addr, value, bytes);
+    if (w != TrapKind::kNone) {
+      return LaneTrap(w, inst, Format("address 0x%llx", static_cast<unsigned long long>(addr)));
+    }
+    return LaneOutcome::kNext;
+  }
+
+  LaneOutcome ExecLane(const Instruction& inst, ThreadCtx& t, int warp_index, int lane,
+                       std::uint32_t* branch_target) {
+    const Modifiers& m = inst.mods;
+    switch (inst.opcode) {
+      // ---- FP32 ----
+      case Opcode::kFADD:
+      case Opcode::kFADD32I:
+        WriteGprRaw(t, inst.dest_gpr,
+                    FloatToBits(ReadSrcF32(t, inst.src[0]) + ReadSrcF32(t, inst.src[1])));
+        return LaneOutcome::kNext;
+      case Opcode::kFMUL:
+      case Opcode::kFMUL32I:
+        WriteGprRaw(t, inst.dest_gpr,
+                    FloatToBits(ReadSrcF32(t, inst.src[0]) * ReadSrcF32(t, inst.src[1])));
+        return LaneOutcome::kNext;
+      case Opcode::kFFMA:
+      case Opcode::kFFMA32I:
+        WriteGprRaw(t, inst.dest_gpr,
+                    FloatToBits(std::fma(ReadSrcF32(t, inst.src[0]), ReadSrcF32(t, inst.src[1]),
+                                         ReadSrcF32(t, inst.src[2]))));
+        return LaneOutcome::kNext;
+      case Opcode::kFMNMX: {
+        const float a = ReadSrcF32(t, inst.src[0]);
+        const float b = ReadSrcF32(t, inst.src[1]);
+        const bool take_min =
+            inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        WriteGprRaw(t, inst.dest_gpr,
+                    FloatToBits(take_min ? std::fmin(a, b) : std::fmax(a, b)));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kFSEL: {
+        const bool take_a = inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        WriteGprRaw(t, inst.dest_gpr,
+                    take_a ? ReadSrc32(t, inst.src[0], true) : ReadSrc32(t, inst.src[1], true));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kFSET: {
+        const bool cmp = EvalCmp(m.cmp, ReadSrcF32(t, inst.src[0]), ReadSrcF32(t, inst.src[1]));
+        const bool combine = inst.num_src > 2 && inst.src[2].kind == Operand::Kind::kPred
+                                 ? ReadPredOperand(t, inst.src[2])
+                                 : true;
+        WriteGprRaw(t, inst.dest_gpr, ApplyBool(m.bool_op, cmp, combine) ? 0xFFFFFFFFu : 0u);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kFSETP:
+        DoSetp(t, inst, EvalCmp(m.cmp, ReadSrcF32(t, inst.src[0]), ReadSrcF32(t, inst.src[1])), 2);
+        return LaneOutcome::kNext;
+      case Opcode::kMUFU: {
+        const float a = ReadSrcF32(t, inst.src[0]);
+        float r = 0.0f;
+        switch (m.mufu) {
+          case MufuFunc::kRcp: r = 1.0f / a; break;
+          case MufuFunc::kRsq: r = 1.0f / std::sqrt(a); break;
+          case MufuFunc::kSqrt: r = std::sqrt(a); break;
+          case MufuFunc::kLg2: r = std::log2(a); break;
+          case MufuFunc::kEx2: r = std::exp2(a); break;
+          case MufuFunc::kSin: r = std::sin(a); break;
+          case MufuFunc::kCos: r = std::cos(a); break;
+        }
+        WriteGprRaw(t, inst.dest_gpr, FloatToBits(r));
+        return LaneOutcome::kNext;
+      }
+
+      // ---- packed FP16 ----
+      case Opcode::kHADD2:
+      case Opcode::kHMUL2:
+      case Opcode::kHADD2_32I:
+      case Opcode::kHMUL2_32I: {
+        const bool is_add = inst.opcode == Opcode::kHADD2 ||
+                            inst.opcode == Opcode::kHADD2_32I;
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], true);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], true);
+        auto one = [&](std::uint16_t x, std::uint16_t y) {
+          const float fx = HalfBitsToFloat(x);
+          const float fy = HalfBitsToFloat(y);
+          return FloatToHalfBits(is_add ? fx + fy : fx * fy);
+        };
+        WriteGprRaw(t, inst.dest_gpr,
+                    PackHalves(one(HalfLo(a), HalfLo(b)), one(HalfHi(a), HalfHi(b))));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kHFMA2:
+      case Opcode::kHFMA2_32I: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], true);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], true);
+        const std::uint32_t c =
+            inst.num_src > 2 ? ReadSrc32(t, inst.src[2], true) : 0;
+        auto one = [](std::uint16_t x, std::uint16_t y, std::uint16_t z) {
+          return FloatToHalfBits(std::fma(HalfBitsToFloat(x), HalfBitsToFloat(y),
+                                          HalfBitsToFloat(z)));
+        };
+        WriteGprRaw(t, inst.dest_gpr,
+                    PackHalves(one(HalfLo(a), HalfLo(b), HalfLo(c)),
+                               one(HalfHi(a), HalfHi(b), HalfHi(c))));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kHMNMX2: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], true);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], true);
+        const bool take_min = inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        auto one = [take_min](std::uint16_t x, std::uint16_t y) {
+          const float fx = HalfBitsToFloat(x);
+          const float fy = HalfBitsToFloat(y);
+          return FloatToHalfBits(take_min ? std::fmin(fx, fy) : std::fmax(fx, fy));
+        };
+        WriteGprRaw(t, inst.dest_gpr,
+                    PackHalves(one(HalfLo(a), HalfLo(b)), one(HalfHi(a), HalfHi(b))));
+        return LaneOutcome::kNext;
+      }
+
+      // ---- FP64 (register pairs) ----
+      case Opcode::kDADD:
+        WritePairRaw(t, inst.dest_gpr,
+                     DoubleToBits(ReadSrcF64(t, inst.src[0]) + ReadSrcF64(t, inst.src[1])));
+        return LaneOutcome::kNext;
+      case Opcode::kDMUL:
+        WritePairRaw(t, inst.dest_gpr,
+                     DoubleToBits(ReadSrcF64(t, inst.src[0]) * ReadSrcF64(t, inst.src[1])));
+        return LaneOutcome::kNext;
+      case Opcode::kDFMA:
+        WritePairRaw(t, inst.dest_gpr,
+                     DoubleToBits(std::fma(ReadSrcF64(t, inst.src[0]),
+                                           ReadSrcF64(t, inst.src[1]),
+                                           ReadSrcF64(t, inst.src[2]))));
+        return LaneOutcome::kNext;
+      case Opcode::kDSETP:
+        DoSetp(t, inst, EvalCmp(m.cmp, ReadSrcF64(t, inst.src[0]), ReadSrcF64(t, inst.src[1])), 2);
+        return LaneOutcome::kNext;
+
+      // ---- integer ----
+      case Opcode::kIADD3:
+      case Opcode::kIADD32I: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        const std::uint32_t c = inst.num_src > 2 ? ReadSrc32(t, inst.src[2], false) : 0;
+        WriteGprRaw(t, inst.dest_gpr, a + b + c);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kIMAD: {
+        if (m.wide_dst) {
+          // IMAD.WIDE Rd(pair), Ra, Sb, Rc(pair): 32x32 -> 64 MAC, the
+          // canonical SASS address computation.
+          const std::int64_t a = m.src_signed
+                                     ? static_cast<std::int64_t>(static_cast<std::int32_t>(
+                                           ReadSrc32(t, inst.src[0], false)))
+                                     : static_cast<std::int64_t>(ReadSrc32(t, inst.src[0], false));
+          const std::int64_t b = m.src_signed
+                                     ? static_cast<std::int64_t>(static_cast<std::int32_t>(
+                                           ReadSrc32(t, inst.src[1], false)))
+                                     : static_cast<std::int64_t>(ReadSrc32(t, inst.src[1], false));
+          const std::uint64_t c = inst.num_src > 2 ? ReadSrc64(t, inst.src[2], false) : 0;
+          WritePairRaw(t, inst.dest_gpr,
+                       static_cast<std::uint64_t>(a * b) + c);
+          return LaneOutcome::kNext;
+        }
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        const std::uint32_t c = inst.num_src > 2 ? ReadSrc32(t, inst.src[2], false) : 0;
+        WriteGprRaw(t, inst.dest_gpr, a * b + c);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kIMNMX: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        const bool take_min = inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        std::uint32_t r;
+        if (m.src_signed) {
+          const auto sa = static_cast<std::int32_t>(a);
+          const auto sb = static_cast<std::int32_t>(b);
+          r = static_cast<std::uint32_t>(take_min ? std::min(sa, sb) : std::max(sa, sb));
+        } else {
+          r = take_min ? std::min(a, b) : std::max(a, b);
+        }
+        WriteGprRaw(t, inst.dest_gpr, r);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kIABS: {
+        const auto a = static_cast<std::int32_t>(ReadSrc32(t, inst.src[0], false));
+        WriteGprRaw(t, inst.dest_gpr, static_cast<std::uint32_t>(a < 0 ? -a : a));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kISETP: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        const bool cmp = m.src_signed
+                             ? EvalCmp(m.cmp, static_cast<std::int32_t>(a),
+                                       static_cast<std::int32_t>(b))
+                             : EvalCmp(m.cmp, a, b);
+        DoSetp(t, inst, cmp, 2);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kLEA:
+      case Opcode::kISCADD: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        const std::uint32_t shift =
+            inst.num_src > 2 ? (ReadSrc32(t, inst.src[2], false) & 31u) : 0u;
+        WriteGprRaw(t, inst.dest_gpr, (a << shift) + b);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kLOP3: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        const std::uint32_t c = ReadSrc32(t, inst.src[2], false);
+        const std::uint8_t lut =
+            inst.num_src > 3 ? static_cast<std::uint8_t>(ReadSrc32(t, inst.src[3], false)) : m.lut;
+        WriteGprRaw(t, inst.dest_gpr, Lop3(a, b, c, lut));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kLOP:
+      case Opcode::kLOP32I: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t b = ReadSrc32(t, inst.src[1], false);
+        std::uint32_t r = 0;
+        switch (m.bool_op) {
+          case BoolOp::kAnd: r = a & b; break;
+          case BoolOp::kOr: r = a | b; break;
+          case BoolOp::kXor: r = a ^ b; break;
+        }
+        WriteGprRaw(t, inst.dest_gpr, r);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kSHL:
+        WriteGprRaw(t, inst.dest_gpr, ReadSrc32(t, inst.src[0], false)
+                                          << (ReadSrc32(t, inst.src[1], false) & 31u));
+        return LaneOutcome::kNext;
+      case Opcode::kSHR: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t s = ReadSrc32(t, inst.src[1], false) & 31u;
+        WriteGprRaw(t, inst.dest_gpr,
+                    m.src_signed
+                        ? static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> s)
+                        : a >> s);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kSHF: {
+        const std::uint32_t lo = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t amount = ReadSrc32(t, inst.src[1], false);
+        const std::uint32_t hi = inst.num_src > 2 ? ReadSrc32(t, inst.src[2], false) : 0;
+        WriteGprRaw(t, inst.dest_gpr, m.shift_dir == ShiftDir::kRight
+                                          ? FunnelShiftRight(lo, hi, amount)
+                                          : FunnelShiftLeft(lo, hi, amount));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kPOPC:
+        WriteGprRaw(t, inst.dest_gpr,
+                    static_cast<std::uint32_t>(PopCount32(ReadSrc32(t, inst.src[0], false))));
+        return LaneOutcome::kNext;
+      case Opcode::kFLO:
+        WriteGprRaw(t, inst.dest_gpr,
+                    static_cast<std::uint32_t>(FindLeadingOne32(ReadSrc32(t, inst.src[0], false))));
+        return LaneOutcome::kNext;
+      case Opcode::kBREV:
+        WriteGprRaw(t, inst.dest_gpr, ReverseBits32(ReadSrc32(t, inst.src[0], false)));
+        return LaneOutcome::kNext;
+      case Opcode::kBMSK: {
+        const std::uint32_t base = ReadSrc32(t, inst.src[0], false) & 31u;
+        const std::uint32_t count = ReadSrc32(t, inst.src[1], false) & 63u;
+        const std::uint32_t mask =
+            count >= 32 ? 0xFFFFFFFFu : ((1u << count) - 1u);
+        WriteGprRaw(t, inst.dest_gpr, mask << base);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kSGXT: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t width = ReadSrc32(t, inst.src[1], false) & 31u;
+        WriteGprRaw(t, inst.dest_gpr,
+                    width == 0 ? 0u
+                               : static_cast<std::uint32_t>(
+                                     SignExtend32(a, static_cast<int>(width))));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kVABSDIFF: {
+        const auto a = static_cast<std::int64_t>(
+            static_cast<std::int32_t>(ReadSrc32(t, inst.src[0], false)));
+        const auto b = static_cast<std::int64_t>(
+            static_cast<std::int32_t>(ReadSrc32(t, inst.src[1], false)));
+        WriteGprRaw(t, inst.dest_gpr, static_cast<std::uint32_t>(std::llabs(a - b)));
+        return LaneOutcome::kNext;
+      }
+
+      // ---- conversion ----
+      case Opcode::kF2I: {
+        double a = m.wide_src ? ReadSrcF64(t, inst.src[0])
+                              : static_cast<double>(ReadSrcF32(t, inst.src[0]));
+        std::int64_t r;
+        if (std::isnan(a)) {
+          r = 0;
+        } else {
+          a = std::trunc(a);
+          constexpr double kMin = -2147483648.0, kMax = 2147483647.0;
+          r = static_cast<std::int64_t>(std::clamp(a, kMin, kMax));
+        }
+        WriteGprRaw(t, inst.dest_gpr, static_cast<std::uint32_t>(static_cast<std::int32_t>(r)));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kI2F: {
+        const std::uint32_t raw = ReadSrc32(t, inst.src[0], false);
+        const double v = m.src_signed
+                             ? static_cast<double>(static_cast<std::int32_t>(raw))
+                             : static_cast<double>(raw);
+        if (m.wide_dst) {
+          WritePairRaw(t, inst.dest_gpr, DoubleToBits(v));
+        } else {
+          WriteGprRaw(t, inst.dest_gpr, FloatToBits(static_cast<float>(v)));
+        }
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kF2F: {
+        if (m.wide_src && !m.wide_dst) {
+          WriteGprRaw(t, inst.dest_gpr,
+                      FloatToBits(static_cast<float>(ReadSrcF64(t, inst.src[0]))));
+        } else if (!m.wide_src && m.wide_dst) {
+          WritePairRaw(t, inst.dest_gpr,
+                       DoubleToBits(static_cast<double>(ReadSrcF32(t, inst.src[0]))));
+        } else if (m.wide_src && m.wide_dst) {
+          WritePairRaw(t, inst.dest_gpr, DoubleToBits(ReadSrcF64(t, inst.src[0])));
+        } else {
+          WriteGprRaw(t, inst.dest_gpr, FloatToBits(ReadSrcF32(t, inst.src[0])));
+        }
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kFRND:
+        WriteGprRaw(t, inst.dest_gpr,
+                    FloatToBits(std::nearbyint(ReadSrcF32(t, inst.src[0]))));
+        return LaneOutcome::kNext;
+      case Opcode::kI2I:
+        WriteGprRaw(t, inst.dest_gpr, ReadSrc32(t, inst.src[0], false));
+        return LaneOutcome::kNext;
+
+      // ---- movement ----
+      case Opcode::kMOV:
+      case Opcode::kMOV32I:
+        WriteGprRaw(t, inst.dest_gpr, ReadSrc32(t, inst.src[0], false));
+        return LaneOutcome::kNext;
+      case Opcode::kPRMT: {
+        const std::uint32_t a = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t sel = ReadSrc32(t, inst.src[1], false);
+        const std::uint32_t b = inst.num_src > 2 ? ReadSrc32(t, inst.src[2], false) : 0;
+        WriteGprRaw(t, inst.dest_gpr, Prmt(a, b, sel));
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kSEL: {
+        const bool take_a = inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        WriteGprRaw(t, inst.dest_gpr, take_a ? ReadSrc32(t, inst.src[0], false)
+                                             : ReadSrc32(t, inst.src[1], false));
+        return LaneOutcome::kNext;
+      }
+
+      // ---- predicate manipulation ----
+      case Opcode::kPSETP: {
+        const bool a = inst.num_src > 0 ? ReadPredOperand(t, inst.src[0]) : true;
+        const bool b = inst.num_src > 1 ? ReadPredOperand(t, inst.src[1]) : true;
+        const bool c = inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        const bool r = ApplyBool(m.bool_op, a, b) && c;
+        WritePredRaw(t, inst.dest_pred, r);
+        WritePredRaw(t, inst.dest_pred2, !r && c);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kPLOP3: {
+        const bool a = inst.num_src > 0 ? ReadPredOperand(t, inst.src[0]) : true;
+        const bool b = inst.num_src > 1 ? ReadPredOperand(t, inst.src[1]) : true;
+        const bool c = inst.num_src > 2 ? ReadPredOperand(t, inst.src[2]) : true;
+        const std::uint8_t lut =
+            inst.num_src > 3 ? static_cast<std::uint8_t>(ReadSrc32(t, inst.src[3], false)) : m.lut;
+        const int index = (a ? 4 : 0) | (b ? 2 : 0) | (c ? 1 : 0);
+        const bool r = (lut >> index & 1) != 0;
+        WritePredRaw(t, inst.dest_pred, r);
+        WritePredRaw(t, inst.dest_pred2, !r);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kP2R: {
+        const std::uint32_t mask =
+            inst.num_src > 0 ? ReadSrc32(t, inst.src[0], false) : 0xFFFFFFFFu;
+        std::uint32_t bits = 0;
+        for (int p = 0; p < kPT; ++p) {
+          if (ReadPredRaw(t, p)) bits |= 1u << p;
+        }
+        WriteGprRaw(t, inst.dest_gpr, bits & mask);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kR2P: {
+        const std::uint32_t value = ReadSrc32(t, inst.src[0], false);
+        const std::uint32_t mask =
+            inst.num_src > 1 ? ReadSrc32(t, inst.src[1], false) : 0xFFFFFFFFu;
+        for (int p = 0; p < kPT; ++p) {
+          if (mask >> p & 1) WritePredRaw(t, p, (value >> p & 1) != 0);
+        }
+        return LaneOutcome::kNext;
+      }
+
+      // ---- memory ----
+      case Opcode::kLD:
+      case Opcode::kLDG:
+      case Opcode::kLDS:
+      case Opcode::kLDL:
+        return ExecMemAccess(inst, t, /*is_load=*/true, /*is_atomic=*/false);
+      case Opcode::kLDC: {
+        const Operand& src = inst.src[0];
+        if (src.kind != Operand::Kind::kConst) {
+          return LaneTrap(TrapKind::kIllegalInstruction, inst, "LDC needs a constant operand");
+        }
+        if (m.width == MemWidth::k64) {
+          WritePairRaw(t, inst.dest_gpr, req_.bank0->Read64(src.const_offset));
+        } else {
+          WriteGprRaw(t, inst.dest_gpr, req_.bank0->Read32(src.const_offset));
+        }
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kST:
+      case Opcode::kSTG:
+      case Opcode::kSTS:
+      case Opcode::kSTL:
+        return ExecMemAccess(inst, t, /*is_load=*/false, /*is_atomic=*/false);
+      case Opcode::kATOM:
+      case Opcode::kATOMG:
+      case Opcode::kATOMS:
+      case Opcode::kRED:
+        return ExecMemAccess(inst, t, /*is_load=*/false, /*is_atomic=*/true);
+
+      // ---- control ----
+      case Opcode::kBRA:
+      case Opcode::kJMP: {
+        const std::uint32_t target = inst.src[0].imm;
+        if (target > body_.size()) {
+          return LaneTrap(TrapKind::kIllegalInstruction, inst, "branch target out of range");
+        }
+        *branch_target = target;
+        return LaneOutcome::kBranch;
+      }
+      case Opcode::kEXIT:
+      case Opcode::kKILL:
+        return LaneOutcome::kExit;
+      case Opcode::kWARPSYNC:
+      case Opcode::kYIELD:
+      case Opcode::kNANOSLEEP:
+      case Opcode::kMEMBAR:
+      case Opcode::kERRBAR:
+      case Opcode::kDEPBAR:
+      case Opcode::kCCTL:
+      case Opcode::kCCTLL:
+      case Opcode::kNOP:
+      case Opcode::kPMTRIG:
+        return LaneOutcome::kNext;
+
+      // ---- misc ----
+      case Opcode::kBAR:
+        t.at_barrier = true;
+        return LaneOutcome::kNext;
+      case Opcode::kS2R: {
+        std::uint32_t v = 0;
+        switch (m.sreg) {
+          case SpecialReg::kTidX: v = t.tid.x; break;
+          case SpecialReg::kTidY: v = t.tid.y; break;
+          case SpecialReg::kTidZ: v = t.tid.z; break;
+          case SpecialReg::kCtaIdX: v = ctaid_.x; break;
+          case SpecialReg::kCtaIdY: v = ctaid_.y; break;
+          case SpecialReg::kCtaIdZ: v = ctaid_.z; break;
+          case SpecialReg::kLaneId: v = static_cast<std::uint32_t>(lane); break;
+          case SpecialReg::kWarpId: v = static_cast<std::uint32_t>(warp_index); break;
+          case SpecialReg::kSmId: v = static_cast<std::uint32_t>(sm_id_); break;
+          case SpecialReg::kClockLo: v = static_cast<std::uint32_t>(stats_.cycles); break;
+          case SpecialReg::kCount: break;
+        }
+        WriteGprRaw(t, inst.dest_gpr, v);
+        return LaneOutcome::kNext;
+      }
+      case Opcode::kCS2R:
+        WritePairRaw(t, inst.dest_gpr, stats_.cycles);
+        return LaneOutcome::kNext;
+
+      default:
+        return LaneTrap(TrapKind::kIllegalInstruction, inst,
+                        "opcode not implemented by the functional executor");
+    }
+  }
+
+  void ExecCollective(const Instruction& inst, std::vector<ThreadCtx>& warp,
+                      int /*warp_index*/) {
+    // Gather phase over guard-true cohort lanes, then scatter results.
+    if (inst.opcode == Opcode::kVOTE) {
+      std::uint32_t ballot = 0;
+      std::uint32_t active = 0;
+      for (const int lane : cohort_) {
+        if (!guard_[static_cast<std::size_t>(lane)]) continue;
+        active |= 1u << lane;
+        const ThreadCtx& t = warp[static_cast<std::size_t>(lane)];
+        const bool p = inst.num_src > 0 ? ReadPredOperand(t, inst.src[0]) : true;
+        if (p) ballot |= 1u << lane;
+      }
+      const bool all = ballot == active && active != 0;
+      const bool any = ballot != 0;
+      for (const int lane : cohort_) {
+        if (!guard_[static_cast<std::size_t>(lane)]) {
+          ++warp[static_cast<std::size_t>(lane)].pc;
+          continue;
+        }
+        ThreadCtx& t = warp[static_cast<std::size_t>(lane)];
+        WriteGprRaw(t, inst.dest_gpr, ballot);
+        switch (inst.mods.vote) {
+          case VoteMode::kAll: WritePredRaw(t, inst.dest_pred, all); break;
+          case VoteMode::kAny: WritePredRaw(t, inst.dest_pred, any); break;
+          case VoteMode::kBallot: WritePredRaw(t, inst.dest_pred, any); break;
+        }
+        ++t.pc;
+      }
+      return;
+    }
+
+    // SHFL: exchange src[0] values across the warp.
+    std::array<std::uint32_t, kWarpSize> values{};
+    std::array<bool, kWarpSize> valid{};
+    for (const int lane : cohort_) {
+      if (!guard_[static_cast<std::size_t>(lane)]) continue;
+      values[static_cast<std::size_t>(lane)] =
+          ReadSrc32(warp[static_cast<std::size_t>(lane)], inst.src[0], false);
+      valid[static_cast<std::size_t>(lane)] = true;
+    }
+    for (const int lane : cohort_) {
+      ThreadCtx& t = warp[static_cast<std::size_t>(lane)];
+      if (!guard_[static_cast<std::size_t>(lane)]) {
+        ++t.pc;
+        continue;
+      }
+      const std::uint32_t b = inst.num_src > 1 ? ReadSrc32(t, inst.src[1], false) : 0;
+      int src_lane = lane;
+      switch (inst.mods.shfl) {
+        case ShflMode::kIdx: src_lane = static_cast<int>(b & 31u); break;
+        case ShflMode::kUp: src_lane = lane - static_cast<int>(b); break;
+        case ShflMode::kDown: src_lane = lane + static_cast<int>(b); break;
+        case ShflMode::kBfly: src_lane = lane ^ static_cast<int>(b & 31u); break;
+      }
+      std::uint32_t result = values[static_cast<std::size_t>(lane)];
+      if (src_lane >= 0 && src_lane < kWarpSize && valid[static_cast<std::size_t>(src_lane)]) {
+        result = values[static_cast<std::size_t>(src_lane)];
+      }
+      WriteGprRaw(t, inst.dest_gpr, result);
+      ++t.pc;
+    }
+  }
+
+  const Executor::Request& req_;
+  LaunchStats& stats_;
+  const std::vector<Instruction>& body_;
+  Dim3 ctaid_;
+  int sm_id_;
+  FlatMemory shared_;
+  bool spilling_;
+  std::vector<std::vector<ThreadCtx>> warps_;
+  std::vector<int> cohort_;
+  std::vector<bool> guard_;
+  std::uint32_t trap_pc_ = 0;
+};
+
+}  // namespace
+
+LaunchStats Executor::Run(const Request& request) {
+  NVBITFI_CHECK_MSG(request.kernel != nullptr, "launch without a kernel");
+  NVBITFI_CHECK_MSG(request.bank0 != nullptr && request.global != nullptr &&
+                        request.cost != nullptr,
+                    "launch without device state");
+  NVBITFI_CHECK_MSG(request.launch.block.Count() > 0 &&
+                        request.launch.block.Count() <= kMaxThreadsPerBlock,
+                    "block size out of range: " << request.launch.block.Count());
+  NVBITFI_CHECK_MSG(request.launch.grid.Count() > 0, "empty grid");
+  NVBITFI_CHECK_MSG(request.kernel->shared_bytes <= kMaxSharedBytes,
+                    "shared memory request too large");
+  NVBITFI_CHECK_MSG(request.num_sms > 0, "device needs at least one SM");
+  NVBITFI_CHECK_MSG(request.plan == nullptr ||
+                        request.plan->sites.size() == request.kernel->instructions.size(),
+                    "instrumentation plan does not match kernel body");
+
+  LaunchStats stats;
+  stats.cycles += request.cost->launch_base_cycles;
+
+  const Dim3 grid = request.launch.grid;
+  std::uint64_t block_linear = 0;
+  for (std::uint32_t bz = 0; bz < grid.z; ++bz) {
+    for (std::uint32_t by = 0; by < grid.y; ++by) {
+      for (std::uint32_t bx = 0; bx < grid.x; ++bx, ++block_linear) {
+        const int sm_id = static_cast<int>(block_linear % static_cast<std::uint64_t>(request.num_sms));
+        BlockRunner runner(request, stats, Dim3{bx, by, bz}, sm_id);
+        if (!runner.Run()) return stats;  // trap recorded in stats
+      }
+    }
+  }
+  return stats;
+}
+
+bool IsOpcodeImplemented(Opcode op) {
+  switch (op) {
+    case Opcode::kFADD: case Opcode::kFADD32I: case Opcode::kFMUL: case Opcode::kFMUL32I:
+    case Opcode::kFFMA: case Opcode::kFFMA32I: case Opcode::kFMNMX: case Opcode::kFSEL:
+    case Opcode::kFSET: case Opcode::kFSETP: case Opcode::kMUFU:
+    case Opcode::kHADD2: case Opcode::kHADD2_32I: case Opcode::kHMUL2:
+    case Opcode::kHMUL2_32I: case Opcode::kHFMA2: case Opcode::kHFMA2_32I:
+    case Opcode::kHMNMX2:
+    case Opcode::kDADD: case Opcode::kDMUL: case Opcode::kDFMA: case Opcode::kDSETP:
+    case Opcode::kIADD3: case Opcode::kIADD32I: case Opcode::kIMAD: case Opcode::kIMNMX:
+    case Opcode::kIABS: case Opcode::kISETP: case Opcode::kLEA: case Opcode::kISCADD:
+    case Opcode::kLOP: case Opcode::kLOP3: case Opcode::kLOP32I: case Opcode::kSHL:
+    case Opcode::kSHR: case Opcode::kSHF: case Opcode::kPOPC: case Opcode::kFLO:
+    case Opcode::kBREV: case Opcode::kBMSK: case Opcode::kSGXT: case Opcode::kVABSDIFF:
+    case Opcode::kF2I: case Opcode::kI2F: case Opcode::kF2F: case Opcode::kFRND:
+    case Opcode::kI2I:
+    case Opcode::kMOV: case Opcode::kMOV32I: case Opcode::kPRMT: case Opcode::kSEL:
+    case Opcode::kSHFL:
+    case Opcode::kPSETP: case Opcode::kPLOP3: case Opcode::kP2R: case Opcode::kR2P:
+    case Opcode::kLD: case Opcode::kLDG: case Opcode::kLDS: case Opcode::kLDL:
+    case Opcode::kLDC: case Opcode::kST: case Opcode::kSTG: case Opcode::kSTS:
+    case Opcode::kSTL: case Opcode::kATOM: case Opcode::kATOMG: case Opcode::kATOMS:
+    case Opcode::kRED:
+    case Opcode::kBRA: case Opcode::kJMP: case Opcode::kEXIT: case Opcode::kKILL:
+    case Opcode::kWARPSYNC: case Opcode::kYIELD: case Opcode::kNANOSLEEP:
+    case Opcode::kMEMBAR: case Opcode::kERRBAR: case Opcode::kDEPBAR:
+    case Opcode::kCCTL: case Opcode::kCCTLL: case Opcode::kNOP: case Opcode::kPMTRIG:
+    case Opcode::kBAR: case Opcode::kS2R: case Opcode::kCS2R: case Opcode::kVOTE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace nvbitfi::sim

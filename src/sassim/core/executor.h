@@ -1,0 +1,63 @@
+// Functional SIMT executor.
+//
+// Executes one kernel launch: blocks are assigned to SMs round-robin, warps
+// within a block are interleaved one instruction at a time, and each warp
+// step executes the cohort of threads at the minimum live PC (min-PC
+// scheduling handles arbitrary divergence without SSY/BSYNC tokens).
+// Device-side faults (illegal/misaligned addresses, illegal instructions,
+// watchdog timeouts) abort the launch and are reported in LaunchStats — the
+// driver layer turns them into CUDA-style sticky errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sassim/core/cost_model.h"
+#include "sassim/core/instrumentation.h"
+#include "sassim/core/types.h"
+#include "sassim/isa/kernel.h"
+#include "sassim/mem/memory.h"
+
+namespace nvbitfi::sim {
+
+struct LaunchStats {
+  std::uint64_t warp_instructions = 0;    // cohort issues
+  std::uint64_t thread_instructions = 0;  // guard-true per-thread executions
+  std::uint64_t lane_events = 0;          // instrumentation callback events
+  std::uint64_t cycles = 0;               // simulated cycles (incl. instrumentation)
+  TrapKind trap = TrapKind::kNone;
+  std::string trap_detail;
+
+  bool ok() const { return trap == TrapKind::kNone; }
+};
+
+class Executor {
+ public:
+  struct Request {
+    const KernelSource* kernel = nullptr;
+    LaunchInfo launch;
+    ConstantBank* bank0 = nullptr;         // launch config + params (required)
+    GlobalMemory* global = nullptr;        // required
+    int num_sms = 8;
+    const InstrumentationPlan* plan = nullptr;  // optional
+    const CostModel* cost = nullptr;            // required
+    // Watchdog: aborts with TrapKind::kTimeout once thread_instructions
+    // exceeds this bound.  0 disables the watchdog.
+    std::uint64_t max_thread_instructions = 0;
+  };
+
+  // Runs the launch to completion (or trap).  Throws std::logic_error only on
+  // host API misuse (null kernel/memory, oversized block).
+  static LaunchStats Run(const Request& request);
+
+  // Hard limits of the simulated machine.
+  static constexpr std::uint32_t kMaxThreadsPerBlock = 1024;
+  static constexpr std::uint32_t kMaxSharedBytes = 48 * 1024;
+  static constexpr std::uint32_t kLocalBytesPerThread = 16 * 1024;
+};
+
+// True when the functional executor implements `op`'s semantics; executing an
+// unimplemented opcode traps with TrapKind::kIllegalInstruction.
+bool IsOpcodeImplemented(Opcode op);
+
+}  // namespace nvbitfi::sim

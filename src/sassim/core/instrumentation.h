@@ -1,0 +1,105 @@
+// Instrumentation hook interface between the executor and the NVBit layer.
+//
+// An InstrumentationPlan is the executor-facing form of an instrumented
+// kernel: per-static-instruction callback lists plus the cost parameters the
+// cycle model charges for running the injected code (the analogue of the
+// extra SASS that NVBit splices into the instrumented kernel).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sassim/core/types.h"
+#include "sassim/isa/instruction.h"
+
+namespace nvbitfi::sim {
+
+// Mutable view of one thread's architectural state, handed to callbacks.
+// Register writes through this view are exactly how fault injectors corrupt
+// state.
+class LaneView {
+ public:
+  LaneView(std::uint32_t* gpr, bool* pred, int lane_id, int warp_id, int sm_id,
+           Dim3 tid, Dim3 ctaid, bool guard_true)
+      : gpr_(gpr), pred_(pred), lane_id_(lane_id), warp_id_(warp_id), sm_id_(sm_id),
+        tid_(tid), ctaid_(ctaid), guard_true_(guard_true) {}
+
+  std::uint32_t ReadGpr(int r) const { return r == kRZ ? 0u : gpr_[r]; }
+  void WriteGpr(int r, std::uint32_t v) {
+    if (r != kRZ) gpr_[r] = v;
+  }
+  bool ReadPred(int p) const { return p == kPT ? true : pred_[p]; }
+  void WritePred(int p, bool v) {
+    if (p != kPT) pred_[p] = v;
+  }
+
+  int lane_id() const { return lane_id_; }
+  int warp_id() const { return warp_id_; }
+  int sm_id() const { return sm_id_; }
+  Dim3 tid() const { return tid_; }
+  Dim3 ctaid() const { return ctaid_; }
+
+  // False when the instruction's guard predicate suppressed execution for
+  // this thread.  Profilers skip such events (the paper: "instructions that
+  // are not executed based on a predicate register are not included").
+  bool guard_true() const { return guard_true_; }
+
+ private:
+  std::uint32_t* gpr_;
+  bool* pred_;
+  int lane_id_;
+  int warp_id_;
+  int sm_id_;
+  Dim3 tid_;
+  Dim3 ctaid_;
+  bool guard_true_;
+};
+
+struct InstrEvent {
+  const Instruction& instr;
+  std::uint32_t static_index;  // index within the kernel body
+  const LaunchInfo& launch;
+  LaneView& lane;
+};
+
+using InstrCallback = std::function<void(const InstrEvent&)>;
+
+enum class InsertPoint : std::uint8_t { kBefore, kAfter };
+
+struct InstrumentationPlan {
+  struct Site {
+    std::vector<InstrCallback> before;
+    std::vector<InstrCallback> after;
+    bool empty() const { return before.empty() && after.empty(); }
+  };
+
+  // Dense per-static-instruction table; sized to the kernel body (sites may
+  // be empty).  An empty vector means "nothing instrumented".
+  std::vector<Site> sites;
+
+  // Register demand of the injected code; feeds the spill model.
+  std::uint32_t extra_regs = 0;
+
+  // Simulated cycles charged per callback event — the cost of the spliced-in
+  // SASS.  Charged once per warp issue normally (SIMT execution), or once per
+  // active lane when `serialized` is set or the kernel spills.
+  std::uint64_t cost_per_lane_event = 16;
+
+  // The injected code serialises across the warp (atomic-heavy tools).
+  bool serialized = false;
+
+  bool HasSite(std::uint32_t index) const {
+    return index < sites.size() && !sites[index].empty();
+  }
+  std::uint64_t InstrumentedSiteCount() const {
+    std::uint64_t n = 0;
+    for (const Site& s : sites) {
+      if (!s.empty()) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,29 @@
+// Shared launch-geometry types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvbitfi::sim {
+
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  std::uint64_t Count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  bool operator==(const Dim3&) const = default;
+};
+
+// Identity of one dynamic kernel launch, visible to instrumentation tools.
+struct LaunchInfo {
+  std::string kernel_name;
+  std::uint64_t launch_ordinal = 0;  // per-kernel-name dynamic instance counter
+  std::uint64_t global_ordinal = 0;  // across all kernels in the context
+  Dim3 grid;
+  Dim3 block;
+};
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,248 @@
+#include "sassim/isa/encoding.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+// Control-word field layout (word 0).
+//   [7:0]   opcode           [10:8]  guard_pred      [11]    guard_negate
+//   [19:12] dest_gpr         [22:20] dest_pred       [25:23] dest_pred2
+//   [28:26] num_src          [31:29] cmp             [33:32] bool_op
+//   [36:34] mufu             [39:37] width           [40]    sign_extend
+//   [41]    src_signed       [42]    wide_src        [43]    wide_dst
+//   [45:44] shfl             [48:46] atomic          [50:49] vote
+//   [51]    shift_dir        [59:52] lut             [63:60] sreg
+//
+// Operand-descriptor word (word 1): four 14-bit descriptors at bits 0, 14,
+// 28, 42; each descriptor is kind[2:0], reg[10:3], negate[11], absolute[12],
+// invert[13].  Payload word k/2 bits (k%2)*32 holds operand k's 32-bit
+// payload (imm, const bank<<24|offset, mem offset, or label target).
+
+std::uint64_t PackField(std::uint64_t value, int shift) { return value << shift; }
+
+std::uint64_t UnpackField(std::uint64_t word, int shift, int bits) {
+  return (word >> shift) & ((1ull << bits) - 1);
+}
+
+std::uint32_t OperandPayload(const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kImm:
+    case Operand::Kind::kLabel:
+      return op.imm;
+    case Operand::Kind::kConst:
+      NVBITFI_CHECK_MSG(op.const_offset < (1u << 24),
+                        "constant offset too large: " << op.const_offset);
+      return static_cast<std::uint32_t>(op.const_bank) << 24 | op.const_offset;
+    case Operand::Kind::kMem:
+      return static_cast<std::uint32_t>(op.mem_offset);
+    case Operand::Kind::kNone:
+    case Operand::Kind::kGpr:
+    case Operand::Kind::kPred:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint8_t OperandReg(const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kGpr:
+    case Operand::Kind::kPred:
+      return op.reg;
+    case Operand::Kind::kMem:
+      return op.mem_base;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+EncodedInstruction Encode(const Instruction& inst) {
+  NVBITFI_CHECK_MSG(inst.opcode < Opcode::kCount, "invalid opcode");
+  NVBITFI_CHECK(inst.guard_pred < kNumPred);
+  NVBITFI_CHECK(inst.dest_pred < kNumPred && inst.dest_pred2 < kNumPred);
+  NVBITFI_CHECK(inst.num_src <= kMaxSrcOperands);
+
+  EncodedInstruction enc;
+  std::uint64_t& w0 = enc.words[0];
+  w0 |= PackField(static_cast<std::uint64_t>(inst.opcode), 0);
+  w0 |= PackField(inst.guard_pred, 8);
+  w0 |= PackField(inst.guard_negate ? 1 : 0, 11);
+  w0 |= PackField(inst.dest_gpr, 12);
+  w0 |= PackField(inst.dest_pred, 20);
+  w0 |= PackField(inst.dest_pred2, 23);
+  w0 |= PackField(inst.num_src, 26);
+  const Modifiers& m = inst.mods;
+  w0 |= PackField(static_cast<std::uint64_t>(m.cmp), 29);
+  w0 |= PackField(static_cast<std::uint64_t>(m.bool_op), 32);
+  w0 |= PackField(static_cast<std::uint64_t>(m.mufu), 34);
+  w0 |= PackField(static_cast<std::uint64_t>(m.width), 37);
+  w0 |= PackField(m.sign_extend ? 1 : 0, 40);
+  w0 |= PackField(m.src_signed ? 1 : 0, 41);
+  w0 |= PackField(m.wide_src ? 1 : 0, 42);
+  w0 |= PackField(m.wide_dst ? 1 : 0, 43);
+  w0 |= PackField(static_cast<std::uint64_t>(m.shfl), 44);
+  w0 |= PackField(static_cast<std::uint64_t>(m.atomic), 46);
+  w0 |= PackField(static_cast<std::uint64_t>(m.vote), 49);
+  w0 |= PackField(m.shift_dir == ShiftDir::kRight ? 1 : 0, 51);
+  w0 |= PackField(m.lut, 52);
+  w0 |= PackField(static_cast<std::uint64_t>(m.sreg), 60);
+
+  std::uint64_t& w1 = enc.words[1];
+  for (int i = 0; i < kMaxSrcOperands; ++i) {
+    const Operand& op = inst.src[static_cast<std::size_t>(i)];
+    std::uint64_t desc = 0;
+    desc |= static_cast<std::uint64_t>(op.kind);
+    desc |= static_cast<std::uint64_t>(OperandReg(op)) << 3;
+    desc |= (op.negate ? 1ull : 0ull) << 11;
+    desc |= (op.absolute ? 1ull : 0ull) << 12;
+    desc |= (op.invert ? 1ull : 0ull) << 13;
+    w1 |= desc << (14 * i);
+    const std::uint64_t payload = OperandPayload(op);
+    enc.words[2 + i / 2] |= payload << (32 * (i % 2));
+  }
+  return enc;
+}
+
+DecodeResult Decode(const EncodedInstruction& enc) {
+  DecodeResult result;
+  const std::uint64_t w0 = enc.words[0];
+
+  const std::uint64_t opcode_bits = UnpackField(w0, 0, 8);
+  if (opcode_bits >= static_cast<std::uint64_t>(kOpcodeCount)) {
+    result.error = Format("invalid opcode id %llu",
+                          static_cast<unsigned long long>(opcode_bits));
+    return result;
+  }
+
+  Instruction inst;
+  inst.opcode = static_cast<Opcode>(opcode_bits);
+  inst.guard_pred = static_cast<std::uint8_t>(UnpackField(w0, 8, 3));
+  inst.guard_negate = UnpackField(w0, 11, 1) != 0;
+  inst.dest_gpr = static_cast<std::uint8_t>(UnpackField(w0, 12, 8));
+  inst.dest_pred = static_cast<std::uint8_t>(UnpackField(w0, 20, 3));
+  inst.dest_pred2 = static_cast<std::uint8_t>(UnpackField(w0, 23, 3));
+  const std::uint64_t num_src = UnpackField(w0, 26, 3);
+  if (num_src > kMaxSrcOperands) {
+    result.error = Format("invalid operand count %llu",
+                          static_cast<unsigned long long>(num_src));
+    return result;
+  }
+  inst.num_src = static_cast<std::uint8_t>(num_src);
+
+  Modifiers& m = inst.mods;
+  m.cmp = static_cast<CmpOp>(UnpackField(w0, 29, 3));
+  m.bool_op = static_cast<BoolOp>(UnpackField(w0, 32, 2));
+  if (m.bool_op > BoolOp::kXor) {
+    result.error = "invalid bool_op";
+    return result;
+  }
+  const std::uint64_t mufu = UnpackField(w0, 34, 3);
+  if (mufu > static_cast<std::uint64_t>(MufuFunc::kCos)) {
+    result.error = "invalid mufu function";
+    return result;
+  }
+  m.mufu = static_cast<MufuFunc>(mufu);
+  const std::uint64_t width = UnpackField(w0, 37, 3);
+  if (width > static_cast<std::uint64_t>(MemWidth::k128)) {
+    result.error = "invalid memory width";
+    return result;
+  }
+  m.width = static_cast<MemWidth>(width);
+  m.sign_extend = UnpackField(w0, 40, 1) != 0;
+  m.src_signed = UnpackField(w0, 41, 1) != 0;
+  m.wide_src = UnpackField(w0, 42, 1) != 0;
+  m.wide_dst = UnpackField(w0, 43, 1) != 0;
+  m.shfl = static_cast<ShflMode>(UnpackField(w0, 44, 2));
+  const std::uint64_t atomic = UnpackField(w0, 46, 3);
+  m.atomic = static_cast<AtomicOp>(atomic);
+  const std::uint64_t vote = UnpackField(w0, 49, 2);
+  if (vote > static_cast<std::uint64_t>(VoteMode::kBallot)) {
+    result.error = "invalid vote mode";
+    return result;
+  }
+  m.vote = static_cast<VoteMode>(vote);
+  m.shift_dir = UnpackField(w0, 51, 1) != 0 ? ShiftDir::kRight : ShiftDir::kLeft;
+  m.lut = static_cast<std::uint8_t>(UnpackField(w0, 52, 8));
+  const std::uint64_t sreg = UnpackField(w0, 60, 4);
+  if (sreg >= static_cast<std::uint64_t>(SpecialReg::kCount)) {
+    result.error = "invalid special register";
+    return result;
+  }
+  m.sreg = static_cast<SpecialReg>(sreg);
+
+  const std::uint64_t w1 = enc.words[1];
+  for (int i = 0; i < inst.num_src; ++i) {
+    const std::uint64_t desc = UnpackField(w1, 14 * i, 14);
+    const std::uint64_t kind_bits = desc & 0x7;
+    if (kind_bits > static_cast<std::uint64_t>(Operand::Kind::kLabel)) {
+      result.error = Format("operand %d: invalid kind", i);
+      return result;
+    }
+    Operand& op = inst.src[static_cast<std::size_t>(i)];
+    op.kind = static_cast<Operand::Kind>(kind_bits);
+    const auto reg = static_cast<std::uint8_t>((desc >> 3) & 0xFF);
+    op.negate = (desc >> 11 & 1) != 0;
+    op.absolute = (desc >> 12 & 1) != 0;
+    op.invert = (desc >> 13 & 1) != 0;
+    const auto payload =
+        static_cast<std::uint32_t>(enc.words[2 + i / 2] >> (32 * (i % 2)));
+    switch (op.kind) {
+      case Operand::Kind::kGpr:
+        op.reg = reg;
+        break;
+      case Operand::Kind::kPred:
+        if (reg >= kNumPred) {
+          result.error = Format("operand %d: predicate index %u out of range", i, reg);
+          return result;
+        }
+        op.reg = reg;
+        break;
+      case Operand::Kind::kImm:
+      case Operand::Kind::kLabel:
+        op.imm = payload;
+        break;
+      case Operand::Kind::kConst:
+        op.const_bank = static_cast<std::uint8_t>(payload >> 24);
+        op.const_offset = payload & 0xFFFFFFu;
+        break;
+      case Operand::Kind::kMem:
+        op.mem_base = reg;
+        op.mem_offset = static_cast<std::int32_t>(payload);
+        break;
+      case Operand::Kind::kNone:
+        break;
+    }
+  }
+
+  result.ok = true;
+  result.instruction = inst;
+  return result;
+}
+
+std::vector<EncodedInstruction> EncodeProgram(const std::vector<Instruction>& prog) {
+  std::vector<EncodedInstruction> out;
+  out.reserve(prog.size());
+  for (const Instruction& inst : prog) out.push_back(Encode(inst));
+  return out;
+}
+
+ProgramDecodeResult DecodeProgram(const std::vector<EncodedInstruction>& prog) {
+  ProgramDecodeResult result;
+  result.instructions.reserve(prog.size());
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    DecodeResult one = Decode(prog[i]);
+    if (!one.ok) {
+      result.error = Format("instruction %zu: %s", i, one.error.c_str());
+      result.instructions.clear();
+      return result;
+    }
+    result.instructions.push_back(one.instruction);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,115 @@
+#include "sassim/isa/instruction.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::sim {
+
+std::string_view SpecialRegName(SpecialReg sr) {
+  switch (sr) {
+    case SpecialReg::kTidX: return "SR_TID.X";
+    case SpecialReg::kTidY: return "SR_TID.Y";
+    case SpecialReg::kTidZ: return "SR_TID.Z";
+    case SpecialReg::kCtaIdX: return "SR_CTAID.X";
+    case SpecialReg::kCtaIdY: return "SR_CTAID.Y";
+    case SpecialReg::kCtaIdZ: return "SR_CTAID.Z";
+    case SpecialReg::kLaneId: return "SR_LANEID";
+    case SpecialReg::kWarpId: return "SR_WARPID";
+    case SpecialReg::kSmId: return "SR_SMID";
+    case SpecialReg::kClockLo: return "SR_CLOCKLO";
+    case SpecialReg::kCount: break;
+  }
+  return "SR_?";
+}
+
+int MemWidthBytes(MemWidth w) {
+  switch (w) {
+    case MemWidth::k8: return 1;
+    case MemWidth::k16: return 2;
+    case MemWidth::k32: return 4;
+    case MemWidth::k64: return 8;
+    case MemWidth::k128: return 16;
+  }
+  return 4;
+}
+
+namespace {
+
+std::string RegName(std::uint8_t r) {
+  return r == kRZ ? std::string("RZ") : Format("R%u", r);
+}
+
+std::string PredName(std::uint8_t p) {
+  return p == kPT ? std::string("PT") : Format("P%u", p);
+}
+
+std::string OperandToString(const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kNone:
+      return "<none>";
+    case Operand::Kind::kGpr: {
+      std::string body = RegName(op.reg);
+      if (op.absolute) body = "|" + body + "|";
+      if (op.invert) body = "~" + body;
+      if (op.negate) body = "-" + body;
+      return body;
+    }
+    case Operand::Kind::kPred:
+      return (op.negate ? "!" : "") + PredName(op.reg);
+    case Operand::Kind::kImm:
+      return Format("0x%x", op.imm);
+    case Operand::Kind::kConst:
+      return Format("c[0x%x][0x%x]", op.const_bank, op.const_offset);
+    case Operand::Kind::kMem:
+      if (op.mem_offset == 0) return "[" + RegName(op.mem_base) + "]";
+      return Format("[%s%+d]", RegName(op.mem_base).c_str(), op.mem_offset);
+    case Operand::Kind::kLabel:
+      return Format("->%u", op.imm);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Instruction::ToString() const {
+  std::ostringstream os;
+  if (guard_pred != kPT || guard_negate) {
+    os << "@" << (guard_negate ? "!" : "") << PredName(guard_pred) << " ";
+  }
+  os << OpcodeName(opcode);
+
+  bool first = true;
+  auto emit = [&](const std::string& s) {
+    os << (first ? " " : ", ") << s;
+    first = false;
+  };
+  if (DestKindOf(opcode) == DestKind::kPred || DestKindOf(opcode) == DestKind::kGprPred) {
+    emit(PredName(dest_pred));
+    if (dest_pred2 != kPT) emit(PredName(dest_pred2));
+  }
+  if (WritesGpr(opcode)) emit(RegName(dest_gpr));
+  for (int i = 0; i < num_src; ++i) emit(OperandToString(src[static_cast<std::size_t>(i)]));
+  os << " ;";
+  return os.str();
+}
+
+bool WritesGprPair(const Instruction& inst) {
+  if (DestKindOf(inst.opcode) == DestKind::kGprPair) return true;
+  const OpClass cls = ClassOf(inst.opcode);
+  if (cls == OpClass::kLoad && inst.mods.width == MemWidth::k64) return true;
+  if (inst.mods.wide_dst && (cls == OpClass::kConversion || cls == OpClass::kInt)) {
+    return true;
+  }
+  return false;
+}
+
+int DestGprCount(const Instruction& inst) {
+  if (!WritesGpr(inst.opcode) || inst.dest_gpr == kRZ) return 0;
+  if (ClassOf(inst.opcode) == OpClass::kLoad && inst.mods.width == MemWidth::k128) return 4;
+  if (WritesGprPair(inst)) return 2;
+  return 1;
+}
+
+}  // namespace nvbitfi::sim

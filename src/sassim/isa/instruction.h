@@ -1,0 +1,159 @@
+// Structured instruction representation ("decoded SASS").
+//
+// The executor and the NVBit-like instrumentation layer both operate on this
+// IR.  A 128-bit binary encoding exists as well (encoding.h) so that modules
+// can round-trip through a byte representation, mirroring how NVBit decodes
+// SASS out of the loaded cubin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::sim {
+
+// Register-file constants.  R255 reads as zero and discards writes (RZ); P7
+// reads as true and discards writes (PT) — both as in real SASS.
+inline constexpr int kNumGpr = 256;
+inline constexpr std::uint8_t kRZ = 255;
+inline constexpr int kNumPred = 8;
+inline constexpr std::uint8_t kPT = 7;
+inline constexpr int kWarpSize = 32;
+
+// Special registers readable via S2R.
+enum class SpecialReg : std::uint8_t {
+  kTidX, kTidY, kTidZ,
+  kCtaIdX, kCtaIdY, kCtaIdZ,
+  kLaneId,
+  kWarpId,
+  kSmId,
+  kClockLo,
+  kCount,
+};
+
+std::string_view SpecialRegName(SpecialReg sr);
+
+// Comparison operator for *SETP / *SET / *MNMX-style ops.
+enum class CmpOp : std::uint8_t { kF, kLT, kEQ, kLE, kGT, kNE, kGE, kT };
+
+// How a SETP combines the comparison result with its source predicate.
+enum class BoolOp : std::uint8_t { kAnd, kOr, kXor };
+
+// MUFU multi-function unit operation.
+enum class MufuFunc : std::uint8_t { kRcp, kRsq, kSqrt, kLg2, kEx2, kSin, kCos };
+
+// Memory access width in bits.
+enum class MemWidth : std::uint8_t { k8, k16, k32, k64, k128 };
+
+int MemWidthBytes(MemWidth w);
+
+// SHFL data-exchange mode.
+enum class ShflMode : std::uint8_t { kIdx, kUp, kDown, kBfly };
+
+// Atomic read-modify-write operation.
+enum class AtomicOp : std::uint8_t { kAdd, kMin, kMax, kExch, kCas, kAnd, kOr, kXor };
+
+// VOTE mode.
+enum class VoteMode : std::uint8_t { kAll, kAny, kBallot };
+
+enum class ShiftDir : std::uint8_t { kLeft, kRight };
+
+// Collected modifier state.  Only the fields relevant to a given opcode are
+// meaningful; the assembler validates which modifiers an opcode accepts.
+struct Modifiers {
+  CmpOp cmp = CmpOp::kT;
+  BoolOp bool_op = BoolOp::kAnd;
+  MufuFunc mufu = MufuFunc::kRcp;
+  MemWidth width = MemWidth::k32;
+  bool sign_extend = false;   // sub-word loads / I2I
+  bool src_signed = true;     // I2F/F2I/ISETP signedness
+  bool wide_src = false;      // F2F/F2I/I2F with 64-bit source (.F64 source)
+  bool wide_dst = false;      // conversion producing a 64-bit result
+  ShflMode shfl = ShflMode::kIdx;
+  AtomicOp atomic = AtomicOp::kAdd;
+  VoteMode vote = VoteMode::kAll;
+  ShiftDir shift_dir = ShiftDir::kLeft;
+  std::uint8_t lut = 0;       // LOP3/PLOP3 truth table
+  SpecialReg sreg = SpecialReg::kTidX;
+};
+
+// One instruction operand.
+struct Operand {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kGpr,      // Rn (reg), with optional |.|, -, ~ modifiers
+    kPred,     // Pn, with optional ! negation
+    kImm,      // 32-bit literal (bit pattern; FP32 literals stored as bits)
+    kConst,    // c[bank][offset]
+    kMem,      // [Rbase(+offset)] — Rbase:Rbase+1 form the 64-bit address
+    kLabel,    // branch target, resolved to an instruction index
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint8_t reg = kRZ;        // kGpr: GPR index; kPred: predicate index
+  bool negate = false;           // arithmetic negation (-R1) or !Pn
+  bool absolute = false;         // |R1|
+  bool invert = false;           // bitwise inversion (~R1)
+  std::uint32_t imm = 0;         // kImm literal or kLabel target index
+  std::uint8_t const_bank = 0;   // kConst
+  std::uint32_t const_offset = 0;
+  std::uint8_t mem_base = kRZ;   // kMem base register
+  std::int32_t mem_offset = 0;   // kMem signed offset
+
+  static Operand Gpr(std::uint8_t r) {
+    Operand o; o.kind = Kind::kGpr; o.reg = r; return o;
+  }
+  static Operand Pred(std::uint8_t p, bool neg = false) {
+    Operand o; o.kind = Kind::kPred; o.reg = p; o.negate = neg; return o;
+  }
+  static Operand Imm(std::uint32_t bits) {
+    Operand o; o.kind = Kind::kImm; o.imm = bits; return o;
+  }
+  static Operand Const(std::uint8_t bank, std::uint32_t offset) {
+    Operand o; o.kind = Kind::kConst; o.const_bank = bank; o.const_offset = offset;
+    return o;
+  }
+  static Operand Mem(std::uint8_t base, std::int32_t offset = 0) {
+    Operand o; o.kind = Kind::kMem; o.mem_base = base; o.mem_offset = offset;
+    return o;
+  }
+  static Operand Label(std::uint32_t target) {
+    Operand o; o.kind = Kind::kLabel; o.imm = target; return o;
+  }
+};
+
+inline constexpr int kMaxSrcOperands = 4;
+
+struct Instruction {
+  Opcode opcode = Opcode::kNOP;
+
+  // Guard predicate (@Pn / @!Pn); kPT with negate=false means "always".
+  std::uint8_t guard_pred = kPT;
+  bool guard_negate = false;
+
+  // Destinations.  dest_gpr == kRZ means "no GPR result" (or a discarded
+  // one).  SETP-style opcodes write dest_pred (and optionally dest_pred2,
+  // which receives the complement); kPT means "discard".
+  std::uint8_t dest_gpr = kRZ;
+  std::uint8_t dest_pred = kPT;
+  std::uint8_t dest_pred2 = kPT;
+
+  std::array<Operand, kMaxSrcOperands> src = {};
+  std::uint8_t num_src = 0;
+
+  Modifiers mods;
+
+  // Disassembly-style rendering, e.g. "@!P0 FFMA R4, R2, c[0][0x168], R6 ;".
+  std::string ToString() const;
+};
+
+// True when `op`'s result width (given modifiers) is a 64-bit register pair.
+bool WritesGprPair(const Instruction& inst);
+
+// Number of consecutive GPRs written by the instruction's GPR destination
+// (1, 2, or 4 for 128-bit loads); 0 when there is no GPR destination.
+int DestGprCount(const Instruction& inst);
+
+}  // namespace nvbitfi::sim

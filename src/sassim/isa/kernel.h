@@ -1,0 +1,20 @@
+// A loaded kernel body: the unit the executor runs and the NVBit layer
+// instruments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sassim/isa/instruction.h"
+
+namespace nvbitfi::sim {
+
+struct KernelSource {
+  std::string name;
+  std::uint32_t register_count = 32;  // register pressure; feeds the spill model
+  std::uint32_t shared_bytes = 0;
+  std::vector<Instruction> instructions;
+};
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,48 @@
+#include "sassim/isa/opcode.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+constexpr std::array<OpcodeInfo, kOpcodeCount> kOpcodeTable = {{
+#define SASSIM_INFO(name, cls, dest, cost) \
+  OpcodeInfo{#name, OpClass::cls, DestKind::dest, cost},
+    SASSIM_OPCODE_LIST(SASSIM_INFO)
+#undef SASSIM_INFO
+}};
+
+const std::unordered_map<std::string_view, Opcode>& NameMap() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Opcode>();
+    for (int i = 0; i < kOpcodeCount; ++i) {
+      m->emplace(kOpcodeTable[static_cast<std::size_t>(i)].name,
+                 static_cast<Opcode>(i));
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  NVBITFI_CHECK_MSG(idx < kOpcodeTable.size(), "invalid opcode " << idx);
+  return kOpcodeTable[idx];
+}
+
+std::string_view OpcodeName(Opcode op) { return GetOpcodeInfo(op).name; }
+
+std::optional<Opcode> OpcodeFromName(std::string_view name) {
+  const auto& map = NameMap();
+  const auto it = map.find(name);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace nvbitfi::sim

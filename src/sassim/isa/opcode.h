@@ -1,0 +1,288 @@
+// The simulated SASS-like instruction set.
+//
+// The opcode list mirrors the NVIDIA Volta ISA surface: the paper's Table III
+// states "the Volta ISA contains 171 opcodes", and permanent-fault opcode ids
+// are indices 0..170 into this table.  Only a subset of opcodes is implemented
+// by the functional executor (the subset our SpecACCEL-proxy workloads and the
+// NVBitFI instrumentation handlers need); executing an unimplemented opcode
+// raises an illegal-instruction trap, exactly like running unknown SASS would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace nvbitfi::sim {
+
+// Broad functional class of an opcode; drives fault-model group membership
+// (Table II arch-state ids) and the cycle cost model.
+enum class OpClass : std::uint8_t {
+  kFp32,        // FP32 arithmetic
+  kFp16,        // packed FP16 arithmetic
+  kFp64,        // FP64 arithmetic (register-pair results)
+  kMma,         // matrix-multiply-accumulate
+  kInt,         // integer arithmetic / logic
+  kConversion,  // type conversion
+  kMove,        // data movement within the register file
+  kPredicate,   // predicate manipulation
+  kLoad,        // memory reads
+  kStore,       // memory writes
+  kAtomic,      // read-modify-write memory
+  kMemOther,    // fences, cache control, queries
+  kControl,     // branches and thread control
+  kMisc,        // special registers, barriers, NOPs
+  kGraphics,    // graphics-pipeline interop
+  kTexture,     // texture fetches
+  kSurface,     // surface loads/stores
+  kUniform,     // uniform-datapath ops
+};
+
+// What architectural state an opcode's result occupies.  This is the basis of
+// the paper's G_PR / G_NODEST / G_GPPR / G_GP instruction groupings.
+enum class DestKind : std::uint8_t {
+  kNone,      // no destination register (stores, branches, fences)
+  kGpr,       // one general-purpose register
+  kGprPair,   // a 64-bit register pair Rn:Rn+1 (FP64 results)
+  kPred,      // predicate register(s) only
+  kGprPred,   // both a GPR and a predicate
+};
+
+// X-macro: NAME, class, canonical dest kind, base cost in cycles.
+// Order defines the permanent-fault "opcode id" (Table III).
+#define SASSIM_OPCODE_LIST(X)                        \
+  /* --- FP32 --- */                                 \
+  X(FADD, kFp32, kGpr, 4)                            \
+  X(FADD32I, kFp32, kGpr, 4)                         \
+  X(FCHK, kFp32, kPred, 4)                           \
+  X(FFMA, kFp32, kGpr, 4)                            \
+  X(FFMA32I, kFp32, kGpr, 4)                         \
+  X(FMNMX, kFp32, kGpr, 4)                           \
+  X(FMUL, kFp32, kGpr, 4)                            \
+  X(FMUL32I, kFp32, kGpr, 4)                         \
+  X(FSEL, kFp32, kGpr, 4)                            \
+  X(FSET, kFp32, kGpr, 4)                            \
+  X(FSETP, kFp32, kPred, 4)                          \
+  X(FSWZADD, kFp32, kGpr, 4)                         \
+  X(MUFU, kFp32, kGpr, 8)                            \
+  /* --- packed FP16 --- */                          \
+  X(HADD2, kFp16, kGpr, 4)                           \
+  X(HADD2_32I, kFp16, kGpr, 4)                       \
+  X(HFMA2, kFp16, kGpr, 4)                           \
+  X(HFMA2_32I, kFp16, kGpr, 4)                       \
+  X(HMNMX2, kFp16, kGpr, 4)                          \
+  X(HMUL2, kFp16, kGpr, 4)                           \
+  X(HMUL2_32I, kFp16, kGpr, 4)                       \
+  X(HSET2, kFp16, kGpr, 4)                           \
+  X(HSETP2, kFp16, kPred, 4)                         \
+  /* --- FP64 --- */                                 \
+  X(DADD, kFp64, kGprPair, 8)                        \
+  X(DFMA, kFp64, kGprPair, 8)                        \
+  X(DMUL, kFp64, kGprPair, 8)                        \
+  X(DSETP, kFp64, kPred, 8)                          \
+  /* --- MMA --- */                                  \
+  X(BMMA, kMma, kGpr, 16)                            \
+  X(DMMA, kMma, kGprPair, 32)                        \
+  X(HMMA, kMma, kGpr, 16)                            \
+  X(IMMA, kMma, kGpr, 16)                            \
+  /* --- integer --- */                              \
+  X(BMSK, kInt, kGpr, 4)                             \
+  X(BREV, kInt, kGpr, 4)                             \
+  X(FLO, kInt, kGpr, 4)                              \
+  X(IABS, kInt, kGpr, 4)                             \
+  X(IADD3, kInt, kGpr, 4)                            \
+  X(IADD32I, kInt, kGpr, 4)                          \
+  X(IDP, kInt, kGpr, 4)                              \
+  X(IDP4A, kInt, kGpr, 4)                            \
+  X(IMAD, kInt, kGpr, 4)                             \
+  X(IMNMX, kInt, kGpr, 4)                            \
+  X(ISCADD, kInt, kGpr, 4)                           \
+  X(ISETP, kInt, kPred, 4)                           \
+  X(LEA, kInt, kGpr, 4)                              \
+  X(LOP, kInt, kGpr, 4)                              \
+  X(LOP3, kInt, kGpr, 4)                             \
+  X(LOP32I, kInt, kGpr, 4)                           \
+  X(POPC, kInt, kGpr, 4)                             \
+  X(SHF, kInt, kGpr, 4)                              \
+  X(SHL, kInt, kGpr, 4)                              \
+  X(SHR, kInt, kGpr, 4)                              \
+  X(VABSDIFF, kInt, kGpr, 4)                         \
+  X(VABSDIFF4, kInt, kGpr, 4)                        \
+  X(XMAD, kInt, kGpr, 4)                             \
+  /* --- conversion --- */                           \
+  X(F2F, kConversion, kGpr, 8)                       \
+  X(F2FP, kConversion, kGpr, 8)                      \
+  X(F2I, kConversion, kGpr, 8)                       \
+  X(FRND, kConversion, kGpr, 8)                      \
+  X(I2F, kConversion, kGpr, 8)                       \
+  X(I2I, kConversion, kGpr, 8)                       \
+  X(I2IP, kConversion, kGpr, 8)                      \
+  /* --- movement --- */                             \
+  X(MOV, kMove, kGpr, 4)                             \
+  X(MOV32I, kMove, kGpr, 4)                          \
+  X(MOVM, kMove, kGpr, 8)                            \
+  X(PRMT, kMove, kGpr, 4)                            \
+  X(SEL, kMove, kGpr, 4)                             \
+  X(SGXT, kMove, kGpr, 4)                            \
+  X(SHFL, kMove, kGpr, 8)                            \
+  /* --- predicate --- */                            \
+  X(PLOP3, kPredicate, kPred, 4)                     \
+  X(PSETP, kPredicate, kPred, 4)                     \
+  X(P2R, kPredicate, kGpr, 4)                        \
+  X(R2P, kPredicate, kPred, 4)                       \
+  /* --- memory --- */                               \
+  X(LD, kLoad, kGpr, 28)                             \
+  X(LDC, kLoad, kGpr, 8)                             \
+  X(LDG, kLoad, kGpr, 28)                            \
+  X(LDL, kLoad, kGpr, 20)                            \
+  X(LDS, kLoad, kGpr, 12)                            \
+  X(LDSM, kLoad, kGpr, 16)                           \
+  X(ST, kStore, kNone, 12)                           \
+  X(STG, kStore, kNone, 12)                          \
+  X(STL, kStore, kNone, 12)                          \
+  X(STS, kStore, kNone, 8)                           \
+  X(MATCH, kMemOther, kGpr, 8)                       \
+  X(QSPC, kMemOther, kGpr, 8)                        \
+  X(ATOM, kAtomic, kGpr, 40)                         \
+  X(ATOMS, kAtomic, kGpr, 24)                        \
+  X(ATOMG, kAtomic, kGpr, 40)                        \
+  X(RED, kAtomic, kNone, 40)                         \
+  X(CCTL, kMemOther, kNone, 8)                       \
+  X(CCTLL, kMemOther, kNone, 8)                      \
+  X(CCTLT, kMemOther, kNone, 8)                      \
+  X(ERRBAR, kMemOther, kNone, 8)                     \
+  X(MEMBAR, kMemOther, kNone, 8)                     \
+  /* --- control --- */                              \
+  X(BMOV, kControl, kNone, 4)                        \
+  X(BPT, kControl, kNone, 4)                         \
+  X(BRA, kControl, kNone, 8)                         \
+  X(BREAK, kControl, kNone, 8)                       \
+  X(BRX, kControl, kNone, 8)                         \
+  X(BRXU, kControl, kNone, 8)                        \
+  X(BSSY, kControl, kNone, 4)                        \
+  X(BSYNC, kControl, kNone, 4)                       \
+  X(CALL, kControl, kNone, 8)                        \
+  X(EXIT, kControl, kNone, 4)                        \
+  X(JMP, kControl, kNone, 8)                         \
+  X(JMX, kControl, kNone, 8)                         \
+  X(JMXU, kControl, kNone, 8)                        \
+  X(KILL, kControl, kNone, 4)                        \
+  X(NANOSLEEP, kControl, kNone, 4)                   \
+  X(RET, kControl, kNone, 8)                         \
+  X(RPCMOV, kControl, kNone, 4)                      \
+  X(RTT, kControl, kNone, 4)                         \
+  X(WARPSYNC, kControl, kNone, 4)                    \
+  X(YIELD, kControl, kNone, 4)                       \
+  /* --- misc --- */                                 \
+  X(B2R, kMisc, kGpr, 4)                             \
+  X(BAR, kMisc, kNone, 8)                            \
+  X(CS2R, kMisc, kGpr, 4)                            \
+  X(DEPBAR, kMisc, kNone, 4)                         \
+  X(GETLMEMBASE, kMisc, kGpr, 4)                     \
+  X(LEPC, kMisc, kGpr, 4)                            \
+  X(NOP, kMisc, kNone, 4)                            \
+  X(PMTRIG, kMisc, kNone, 4)                         \
+  X(R2B, kMisc, kNone, 4)                            \
+  X(S2R, kMisc, kGpr, 8)                             \
+  X(SETCTAID, kMisc, kNone, 4)                       \
+  X(SETLMEMBASE, kMisc, kNone, 4)                    \
+  X(VOTE, kMisc, kGprPred, 4)                        \
+  X(VOTEU, kMisc, kGpr, 4)                           \
+  /* --- graphics interop --- */                     \
+  X(AL2P, kGraphics, kGpr, 8)                        \
+  X(ALD, kGraphics, kGpr, 8)                         \
+  X(AST, kGraphics, kNone, 8)                        \
+  X(IPA, kGraphics, kGpr, 8)                         \
+  X(ISBERD, kGraphics, kGpr, 8)                      \
+  X(OUT, kGraphics, kGpr, 8)                         \
+  X(PIXLD, kGraphics, kGpr, 8)                       \
+  /* --- texture --- */                              \
+  X(TEX, kTexture, kGpr, 40)                         \
+  X(TLD, kTexture, kGpr, 40)                         \
+  X(TLD4, kTexture, kGpr, 40)                        \
+  X(TMML, kTexture, kGpr, 40)                        \
+  X(TXD, kTexture, kGpr, 40)                         \
+  X(TXQ, kTexture, kGpr, 40)                         \
+  /* --- surface --- */                              \
+  X(SUATOM, kSurface, kGpr, 40)                      \
+  X(SULD, kSurface, kGpr, 40)                        \
+  X(SURED, kSurface, kNone, 40)                      \
+  X(SUST, kSurface, kNone, 40)                       \
+  /* --- uniform datapath --- */                     \
+  X(R2UR, kUniform, kGpr, 4)                         \
+  X(REDUX, kUniform, kGpr, 8)                        \
+  X(S2UR, kUniform, kGpr, 4)                         \
+  X(UBMSK, kUniform, kGpr, 4)                        \
+  X(UBREV, kUniform, kGpr, 4)                        \
+  X(UCLEA, kUniform, kGpr, 4)                        \
+  X(UF2FP, kUniform, kGpr, 4)                        \
+  X(UFLO, kUniform, kGpr, 4)                         \
+  X(UIADD3, kUniform, kGpr, 4)                       \
+  X(UIMAD, kUniform, kGpr, 4)                        \
+  X(UISETP, kUniform, kPred, 4)                      \
+  X(ULDC, kUniform, kGpr, 4)                         \
+  X(ULEA, kUniform, kGpr, 4)                         \
+  X(ULOP, kUniform, kGpr, 4)                         \
+  X(ULOP3, kUniform, kGpr, 4)                        \
+  X(ULOP32I, kUniform, kGpr, 4)                      \
+  X(UMOV, kUniform, kGpr, 4)                         \
+  X(UP2UR, kUniform, kGpr, 4)                        \
+  X(UPLOP3, kUniform, kPred, 4)                      \
+  X(UPOPC, kUniform, kGpr, 4)                        \
+  X(UPRMT, kUniform, kGpr, 4)                        \
+  X(UPSETP, kUniform, kPred, 4)                      \
+  X(UR2UP, kUniform, kPred, 4)                       \
+  X(USEL, kUniform, kGpr, 4)                         \
+  X(USGXT, kUniform, kGpr, 4)                        \
+  X(USHF, kUniform, kGpr, 4)                         \
+  X(USHL, kUniform, kGpr, 4)                         \
+  X(USHR, kUniform, kGpr, 4)
+
+enum class Opcode : std::uint16_t {
+#define SASSIM_ENUM(name, cls, dest, cost) k##name,
+  SASSIM_OPCODE_LIST(SASSIM_ENUM)
+#undef SASSIM_ENUM
+      kCount,
+};
+
+// The paper's Table III: "the Volta ISA contains 171 opcodes".
+inline constexpr int kOpcodeCount = static_cast<int>(Opcode::kCount);
+static_assert(kOpcodeCount == 171, "opcode table must match the Volta count");
+
+struct OpcodeInfo {
+  std::string_view name;
+  OpClass op_class;
+  DestKind dest_kind;
+  std::uint32_t base_cost_cycles;
+};
+
+// Metadata lookup; `op` must be a valid opcode (not kCount).
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+
+std::string_view OpcodeName(Opcode op);
+
+// Reverse lookup used by the assembler; nullopt for unknown mnemonics.
+std::optional<Opcode> OpcodeFromName(std::string_view name);
+
+inline OpClass ClassOf(Opcode op) { return GetOpcodeInfo(op).op_class; }
+inline DestKind DestKindOf(Opcode op) { return GetOpcodeInfo(op).dest_kind; }
+
+inline bool IsMemoryRead(Opcode op) {
+  const OpClass c = ClassOf(op);
+  return c == OpClass::kLoad;
+}
+
+inline bool IsFp64Arith(Opcode op) { return ClassOf(op) == OpClass::kFp64; }
+inline bool IsFp32Arith(Opcode op) { return ClassOf(op) == OpClass::kFp32; }
+
+inline bool HasDest(Opcode op) { return DestKindOf(op) != DestKind::kNone; }
+
+// Writes predicate state only (the paper's G_PR population).
+inline bool WritesPredOnly(Opcode op) { return DestKindOf(op) == DestKind::kPred; }
+
+// Writes at least one general-purpose register (G_GP population).
+inline bool WritesGpr(Opcode op) {
+  const DestKind d = DestKindOf(op);
+  return d == DestKind::kGpr || d == DestKind::kGprPair || d == DestKind::kGprPred;
+}
+
+}  // namespace nvbitfi::sim

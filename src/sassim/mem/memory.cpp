@@ -1,0 +1,238 @@
+#include "sassim/mem/memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace nvbitfi::sim {
+
+std::string_view TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kIllegalAddress: return "illegal address";
+    case TrapKind::kMisalignedAddress: return "misaligned address";
+    case TrapKind::kIllegalInstruction: return "illegal instruction";
+    case TrapKind::kTimeout: return "launch timeout";
+    case TrapKind::kBarrierMismatch: return "barrier mismatch";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ValidBytes(int bytes) {
+  return bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8;
+}
+
+bool Misaligned(std::uint64_t addr, int bytes) {
+  return (addr & static_cast<std::uint64_t>(bytes - 1)) != 0;
+}
+
+std::uint64_t LoadLE(const std::uint8_t* p, int bytes) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, static_cast<std::size_t>(bytes));
+  return v;
+}
+
+void StoreLE(std::uint8_t* p, std::uint64_t v, int bytes) {
+  std::memcpy(p, &v, static_cast<std::size_t>(bytes));
+}
+
+}  // namespace
+
+std::uint64_t ApplyAtomicOp(std::uint64_t old_value, std::uint64_t operand, int op_code,
+                            int bytes) {
+  // Mirrors sim::AtomicOp: 0=Add 1=Min 2=Max 3=Exch 4=Cas 5=And 6=Or 7=Xor.
+  const std::uint64_t mask = bytes >= 8 ? ~0ull : (1ull << (8 * bytes)) - 1;
+  const std::uint64_t a = old_value & mask;
+  const std::uint64_t b = operand & mask;
+  std::uint64_t result = 0;
+  switch (op_code) {
+    case 0: result = a + b; break;
+    case 1: result = std::min(a, b); break;  // unsigned min, as ATOM.MIN.U32
+    case 2: result = std::max(a, b); break;
+    case 3: result = b; break;
+    case 4: result = b; break;  // CAS compare handled by caller; plain swap here
+    case 5: result = a & b; break;
+    case 6: result = a | b; break;
+    case 7: result = a ^ b; break;
+    default: result = a; break;
+  }
+  return result & mask;
+}
+
+DevPtr GlobalMemory::Alloc(std::size_t size) {
+  NVBITFI_CHECK_MSG(size > 0, "zero-byte device allocation");
+  const DevPtr base = next_;
+  const std::size_t offset = static_cast<std::size_t>(base - kHeapBase);
+  NVBITFI_CHECK_MSG(offset + size <= kArenaBytes,
+                    "device arena exhausted (" << offset + size << " bytes)");
+  if (arena_.size() < offset + size) arena_.resize(offset + size, 0);
+  allocations_.emplace(base, Allocation{offset, size});
+  bytes_allocated_ += size;
+  next_ += (size + 0xFF) & ~0xFFull;  // 256-byte alignment for the next one
+  return base;
+}
+
+bool GlobalMemory::Free(DevPtr ptr) {
+  const auto it = allocations_.find(ptr);
+  if (it == allocations_.end()) return false;
+  bytes_allocated_ -= it->second.size;
+  allocations_.erase(it);
+  return true;
+}
+
+bool GlobalMemory::InArena(DevPtr addr, int bytes, std::size_t* offset) const {
+  if (addr < kHeapBase) return false;
+  const std::uint64_t off = addr - kHeapBase;
+  if (off + static_cast<std::uint64_t>(bytes) > arena_.size()) return false;
+  *offset = static_cast<std::size_t>(off);
+  return true;
+}
+
+const GlobalMemory::Allocation* GlobalMemory::FindAllocation(DevPtr addr,
+                                                             std::size_t bytes) const {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return nullptr;
+  --it;
+  const DevPtr base = it->first;
+  const Allocation& alloc = it->second;
+  if (addr < base || addr - base + bytes > alloc.size) return nullptr;
+  return &alloc;
+}
+
+bool GlobalMemory::CopyIn(DevPtr dst, std::span<const std::uint8_t> src) {
+  if (src.empty()) return true;
+  const Allocation* alloc = FindAllocation(dst, src.size());
+  if (alloc == nullptr) return false;
+  std::memcpy(arena_.data() + alloc->offset + (dst - kHeapBase - alloc->offset),
+              src.data(), src.size());
+  return true;
+}
+
+bool GlobalMemory::CopyOut(DevPtr src, std::span<std::uint8_t> dst) const {
+  if (dst.empty()) return true;
+  const Allocation* alloc = FindAllocation(src, dst.size());
+  if (alloc == nullptr) return false;
+  std::memcpy(dst.data(),
+              arena_.data() + alloc->offset + (src - kHeapBase - alloc->offset),
+              dst.size());
+  return true;
+}
+
+MemAccessResult GlobalMemory::Read(DevPtr addr, int bytes) const {
+  MemAccessResult r;
+  if (!ValidBytes(bytes)) {
+    r.trap = TrapKind::kIllegalInstruction;
+    return r;
+  }
+  if (Misaligned(addr, bytes)) {
+    r.trap = TrapKind::kMisalignedAddress;
+    return r;
+  }
+  std::size_t offset = 0;
+  if (!InArena(addr, bytes, &offset)) {
+    r.trap = TrapKind::kIllegalAddress;
+    return r;
+  }
+  r.value = LoadLE(arena_.data() + offset, bytes);
+  return r;
+}
+
+TrapKind GlobalMemory::Write(DevPtr addr, std::uint64_t value, int bytes) {
+  if (!ValidBytes(bytes)) return TrapKind::kIllegalInstruction;
+  if (Misaligned(addr, bytes)) return TrapKind::kMisalignedAddress;
+  std::size_t offset = 0;
+  if (!InArena(addr, bytes, &offset)) return TrapKind::kIllegalAddress;
+  StoreLE(arena_.data() + offset, value, bytes);
+  return TrapKind::kNone;
+}
+
+MemAccessResult GlobalMemory::AtomicRmw(DevPtr addr, std::uint64_t operand, int op_code,
+                                        int bytes) {
+  MemAccessResult r = Read(addr, bytes);
+  if (!r.ok()) return r;
+  const std::uint64_t updated = ApplyAtomicOp(r.value, operand, op_code, bytes);
+  const TrapKind trap = Write(addr, updated, bytes);
+  if (trap != TrapKind::kNone) r.trap = trap;
+  return r;
+}
+
+void GlobalMemory::Reset() {
+  arena_.clear();
+  allocations_.clear();
+  next_ = kHeapBase;
+  bytes_allocated_ = 0;
+}
+
+MemAccessResult FlatMemory::Read(std::uint64_t offset, int bytes) const {
+  MemAccessResult r;
+  if (!ValidBytes(bytes)) {
+    r.trap = TrapKind::kIllegalInstruction;
+    return r;
+  }
+  if (Misaligned(offset, bytes)) {
+    r.trap = TrapKind::kMisalignedAddress;
+    return r;
+  }
+  if (offset + static_cast<std::uint64_t>(bytes) > window_) {
+    r.trap = TrapKind::kIllegalAddress;
+    return r;
+  }
+  if (offset + static_cast<std::uint64_t>(bytes) > data_.size()) {
+    r.value = 0;  // in-window, unbacked: reads return garbage (zeros)
+    return r;
+  }
+  r.value = LoadLE(data_.data() + offset, bytes);
+  return r;
+}
+
+TrapKind FlatMemory::Write(std::uint64_t offset, std::uint64_t value, int bytes) {
+  if (!ValidBytes(bytes)) return TrapKind::kIllegalInstruction;
+  if (Misaligned(offset, bytes)) return TrapKind::kMisalignedAddress;
+  if (offset + static_cast<std::uint64_t>(bytes) > window_) {
+    return TrapKind::kIllegalAddress;
+  }
+  if (offset + static_cast<std::uint64_t>(bytes) > data_.size()) {
+    return TrapKind::kNone;  // in-window, unbacked: write dropped
+  }
+  StoreLE(data_.data() + offset, value, bytes);
+  return TrapKind::kNone;
+}
+
+MemAccessResult FlatMemory::AtomicRmw(std::uint64_t offset, std::uint64_t operand,
+                                      int op_code, int bytes) {
+  MemAccessResult r = Read(offset, bytes);
+  if (!r.ok()) return r;
+  const std::uint64_t updated = ApplyAtomicOp(r.value, operand, op_code, bytes);
+  const TrapKind trap = Write(offset, updated, bytes);
+  if (trap != TrapKind::kNone) r.trap = trap;
+  return r;
+}
+
+void ConstantBank::Write32(std::uint32_t offset, std::uint32_t value) {
+  if (offset + 4 > data_.size()) data_.resize(offset + 4, 0);
+  std::memcpy(data_.data() + offset, &value, 4);
+}
+
+void ConstantBank::Write64(std::uint32_t offset, std::uint64_t value) {
+  if (offset + 8 > data_.size()) data_.resize(offset + 8, 0);
+  std::memcpy(data_.data() + offset, &value, 8);
+}
+
+std::uint32_t ConstantBank::Read32(std::uint32_t offset) const {
+  if (offset + 4 > data_.size()) return 0;
+  std::uint32_t v = 0;
+  std::memcpy(&v, data_.data() + offset, 4);
+  return v;
+}
+
+std::uint64_t ConstantBank::Read64(std::uint32_t offset) const {
+  if (offset + 8 > data_.size()) return 0;
+  std::uint64_t v = 0;
+  std::memcpy(&v, data_.data() + offset, 8);
+  return v;
+}
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,151 @@
+// Device memory model: global memory with allocation tracking, per-block
+// shared memory, per-thread local memory, and constant banks.
+//
+// Device-side accesses are validated the way a real GPU MMU would: an access
+// outside any live allocation raises an illegal-address trap, and a naturally
+// unaligned access raises a misaligned-address trap.  These traps are the
+// mechanism behind the paper's "potential DUE" outcome class (Table V):
+// a bit-flip in an address register typically lands here.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace nvbitfi::sim {
+
+using DevPtr = std::uint64_t;
+
+enum class TrapKind : std::uint8_t {
+  kNone,
+  kIllegalAddress,
+  kMisalignedAddress,
+  kIllegalInstruction,
+  kTimeout,          // watchdog fired (hang detection)
+  kBarrierMismatch,  // BAR.SYNC deadlock / divergent barrier
+};
+
+std::string_view TrapKindName(TrapKind kind);
+
+struct MemAccessResult {
+  TrapKind trap = TrapKind::kNone;
+  std::uint64_t value = 0;  // for reads
+  bool ok() const { return trap == TrapKind::kNone; }
+};
+
+// Linear global memory with a bump allocator and allocation bookkeeping.
+//
+// Device-side accesses are validated against the *mapped arena window*, not
+// individual allocations: like a real GPU virtual address space, the heap is
+// one contiguous mapped region, so a low-order corruption of an address
+// usually lands in mapped memory (silent data corruption), while corruptions
+// of high-order bits (or zeroed pointers) leave the mapped region and trap.
+// Host-side copies (CopyIn/CopyOut) are still validated against the precise
+// allocation, as the driver would.
+class GlobalMemory {
+ public:
+  // Allocations start away from zero so that null-ish corrupted pointers trap.
+  static constexpr DevPtr kHeapBase = 0x7f0000000000ull;
+  // Size of the mapped arena window device accesses are checked against.
+  static constexpr std::size_t kArenaBytes = 4 * 1024 * 1024;
+
+  // Allocates `size` bytes (size > 0) aligned to 256; returns the device
+  // pointer.  Never returns 0.
+  DevPtr Alloc(std::size_t size);
+
+  // Frees a pointer previously returned by Alloc; false if unknown.
+  bool Free(DevPtr ptr);
+
+  // Host-side copies (no alignment requirements, must be in-bounds of one
+  // allocation); returns false on bad ranges.
+  bool CopyIn(DevPtr dst, std::span<const std::uint8_t> src);
+  bool CopyOut(DevPtr src, std::span<std::uint8_t> dst) const;
+
+  // Device-side accesses: `bytes` in {1,2,4,8,16}; must be naturally aligned
+  // and inside a live allocation.  16-byte accesses are performed as two
+  // 8-byte halves by the executor.
+  MemAccessResult Read(DevPtr addr, int bytes) const;
+  TrapKind Write(DevPtr addr, std::uint64_t value, int bytes);
+
+  // Atomic read-modify-write returns the old value in MemAccessResult::value.
+  MemAccessResult AtomicRmw(DevPtr addr, std::uint64_t operand, int op_code, int bytes);
+
+  std::size_t live_allocations() const { return allocations_.size(); }
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+  // Drops all allocations (used between campaign runs to give every
+  // experiment a pristine device).
+  void Reset();
+
+ private:
+  struct Allocation {
+    std::size_t offset = 0;  // into the arena
+    std::size_t size = 0;
+  };
+
+  // Maps [addr, addr+bytes) to an arena offset; false when the range leaves
+  // the mapped window.
+  bool InArena(DevPtr addr, int bytes, std::size_t* offset) const;
+  // Host-copy validation: the precise allocation containing the range.
+  const Allocation* FindAllocation(DevPtr addr, std::size_t bytes) const;
+
+  std::vector<std::uint8_t> arena_;           // backing store (lazily sized)
+  std::map<DevPtr, Allocation> allocations_;  // keyed by base address
+  DevPtr next_ = kHeapBase;
+  std::size_t bytes_allocated_ = 0;
+};
+
+// Flat byte array with bounds + alignment checks (shared and local memory).
+//
+// Accesses beyond the allocation but inside `window` model a real SM's
+// shared/local address window: reads return zeros and writes are dropped
+// (garbage, not a fault); only accesses outside the hardware window trap.
+class FlatMemory {
+ public:
+  explicit FlatMemory(std::size_t size, std::size_t window = 0)
+      : data_(size, 0), window_(std::max(size, window)) {}
+
+  MemAccessResult Read(std::uint64_t offset, int bytes) const;
+  TrapKind Write(std::uint64_t offset, std::uint64_t value, int bytes);
+  MemAccessResult AtomicRmw(std::uint64_t offset, std::uint64_t operand, int op_code,
+                            int bytes);
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t window() const { return window_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t window_;
+};
+
+// Read-only constant bank (bank 0 carries launch configuration + kernel
+// parameters; see runtime/driver.h for the layout).
+class ConstantBank {
+ public:
+  ConstantBank() = default;
+  explicit ConstantBank(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  void Write32(std::uint32_t offset, std::uint32_t value);
+  void Write64(std::uint32_t offset, std::uint64_t value);
+
+  // Out-of-bounds constant reads return 0 (real hardware reads back
+  // undefined data rather than trapping on constant-bank slop).
+  std::uint32_t Read32(std::uint32_t offset) const;
+  std::uint64_t Read64(std::uint32_t offset) const;
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+// Performs the shared atomic arithmetic for GlobalMemory/FlatMemory RMWs.
+// `op_code` is a sim::AtomicOp cast to int (kept as int here to avoid a
+// dependency cycle with the ISA header).
+std::uint64_t ApplyAtomicOp(std::uint64_t old_value, std::uint64_t operand, int op_code,
+                            int bytes);
+
+}  // namespace nvbitfi::sim

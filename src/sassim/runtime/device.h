@@ -1,0 +1,61 @@
+// Device identity, properties, and the device log ("dmesg" analogue).
+//
+// The paper's outcome taxonomy (Table V) distinguishes failures the *system*
+// records from failures the *application* notices.  DeviceLog plays the role
+// of the kernel log: every trap writes an XID-style entry here, and the
+// outcome classifier inspects it to flag "potential DUE" runs whose stdout
+// looked fine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sassim/mem/memory.h"
+
+namespace nvbitfi::sim {
+
+struct DeviceProps {
+  std::string name = "Simulated Titan V";
+  int num_sms = 8;          // scaled down from 80 (DESIGN.md §6)
+  int lanes_per_sm = 32;    // hardware lanes per SM, for permanent faults
+  std::string isa = "volta-sim";
+};
+
+struct DeviceLogEntry {
+  std::uint64_t sequence = 0;
+  TrapKind trap = TrapKind::kNone;
+  std::string message;
+};
+
+class DeviceLog {
+ public:
+  void Record(TrapKind trap, const std::string& message) {
+    entries_.push_back(DeviceLogEntry{next_++, trap, message});
+  }
+  const std::vector<DeviceLogEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<DeviceLogEntry> entries_;
+  std::uint64_t next_ = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProps props = DeviceProps{}) : props_(std::move(props)) {}
+
+  const DeviceProps& props() const { return props_; }
+  GlobalMemory& memory() { return memory_; }
+  const GlobalMemory& memory() const { return memory_; }
+  DeviceLog& log() { return log_; }
+  const DeviceLog& log() const { return log_; }
+
+ private:
+  DeviceProps props_;
+  GlobalMemory memory_;
+  DeviceLog log_;
+};
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,186 @@
+#include "sassim/runtime/driver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "sassim/asm/assembler.h"
+
+namespace nvbitfi::sim {
+
+std::string_view CuResultName(CuResult r) {
+  switch (r) {
+    case CuResult::kSuccess: return "CUDA_SUCCESS";
+    case CuResult::kInvalidValue: return "CUDA_ERROR_INVALID_VALUE";
+    case CuResult::kNotFound: return "CUDA_ERROR_NOT_FOUND";
+    case CuResult::kOutOfMemory: return "CUDA_ERROR_OUT_OF_MEMORY";
+    case CuResult::kIllegalAddress: return "CUDA_ERROR_ILLEGAL_ADDRESS";
+    case CuResult::kMisalignedAddress: return "CUDA_ERROR_MISALIGNED_ADDRESS";
+    case CuResult::kIllegalInstruction: return "CUDA_ERROR_ILLEGAL_INSTRUCTION";
+    case CuResult::kLaunchTimeout: return "CUDA_ERROR_LAUNCH_TIMEOUT";
+    case CuResult::kLaunchFailed: return "CUDA_ERROR_LAUNCH_FAILED";
+  }
+  return "?";
+}
+
+CuResult CuResultFromTrap(TrapKind trap) {
+  switch (trap) {
+    case TrapKind::kNone: return CuResult::kSuccess;
+    case TrapKind::kIllegalAddress: return CuResult::kIllegalAddress;
+    case TrapKind::kMisalignedAddress: return CuResult::kMisalignedAddress;
+    case TrapKind::kIllegalInstruction: return CuResult::kIllegalInstruction;
+    case TrapKind::kTimeout: return CuResult::kLaunchTimeout;
+    case TrapKind::kBarrierMismatch: return CuResult::kLaunchFailed;
+  }
+  return CuResult::kLaunchFailed;
+}
+
+Function* Module::GetFunction(std::string_view name) const {
+  for (const auto& fn : functions_) {
+    if (fn->name() == name) return fn.get();
+  }
+  return nullptr;
+}
+
+Context::Context(DeviceProps props) : device_(std::move(props)) {}
+Context::~Context() = default;
+
+CuResult Context::ModuleLoadText(std::string_view source, Module** out) {
+  NVBITFI_CHECK(out != nullptr);
+  *out = nullptr;
+
+  AssemblyResult assembled = Assemble(source);
+  if (!assembled.ok) {
+    LOG_ERROR << "module load failed: " << assembled.error;
+    return CuResult::kInvalidValue;
+  }
+
+  // Round-trip each kernel through the binary encoding, as a real driver
+  // would decode SASS out of the cubin image.
+  std::vector<std::unique_ptr<Function>> functions;
+  for (KernelSource& kernel : assembled.kernels) {
+    const std::vector<EncodedInstruction> binary = EncodeProgram(kernel.instructions);
+    ProgramDecodeResult decoded = DecodeProgram(binary);
+    if (!decoded.ok) {
+      LOG_ERROR << "module decode failed for kernel '" << kernel.name
+                << "': " << decoded.error;
+      return CuResult::kInvalidValue;
+    }
+    KernelSource loaded = kernel;
+    loaded.instructions = std::move(decoded.instructions);
+    functions.push_back(std::make_unique<Function>(std::move(loaded), next_function_id_++));
+  }
+
+  modules_.push_back(std::make_unique<Module>(std::move(functions)));
+  Module* module = modules_.back().get();
+  if (interceptor_ != nullptr) interceptor_->OnModuleLoaded(*module);
+  *out = module;
+  return CuResult::kSuccess;
+}
+
+Function* Context::GetFunction(std::string_view name) const {
+  for (const auto& module : modules_) {
+    if (Function* fn = module->GetFunction(name); fn != nullptr) return fn;
+  }
+  return nullptr;
+}
+
+CuResult Context::MemAlloc(DevPtr* out, std::size_t bytes) {
+  NVBITFI_CHECK(out != nullptr);
+  if (bytes == 0) return CuResult::kInvalidValue;
+  *out = device_.memory().Alloc(bytes);
+  return CuResult::kSuccess;
+}
+
+CuResult Context::MemFree(DevPtr ptr) {
+  return device_.memory().Free(ptr) ? CuResult::kSuccess : CuResult::kInvalidValue;
+}
+
+CuResult Context::MemcpyHtoD(DevPtr dst, const void* src, std::size_t bytes) {
+  const bool ok = device_.memory().CopyIn(
+      dst, std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(src), bytes));
+  if (!ok) return CuResult::kInvalidValue;
+  total_cycles_ += bytes / 4;
+  return sticky_error_;
+}
+
+CuResult Context::MemcpyDtoH(void* dst, DevPtr src, std::size_t bytes) {
+  const bool ok = device_.memory().CopyOut(
+      src, std::span<std::uint8_t>(static_cast<std::uint8_t*>(dst), bytes));
+  if (!ok) return CuResult::kInvalidValue;
+  total_cycles_ += bytes / 4;
+  // Sticky device errors surface on dependent API calls (but the copy itself
+  // proceeds so that host code that ignores the error reads partial data).
+  return sticky_error_;
+}
+
+CuResult Context::LaunchKernel(Function* function, Dim3 grid, Dim3 block,
+                               std::span<const std::uint64_t> params) {
+  if (function == nullptr) return CuResult::kInvalidValue;
+  if (grid.Count() == 0 || block.Count() == 0 ||
+      block.Count() > Executor::kMaxThreadsPerBlock) {
+    return CuResult::kInvalidValue;
+  }
+
+  LaunchInfo info;
+  info.kernel_name = function->name();
+  info.launch_ordinal = launch_counts_[function->name()]++;
+  info.global_ordinal = global_launch_ordinal_++;
+  info.grid = grid;
+  info.block = block;
+
+  // After a sticky error the context is poisoned: new work is not executed
+  // (mirrors CUDA), but the dynamic launch still counts — the process kept
+  // submitting work it never checked.
+  if (sticky_error_ != CuResult::kSuccess) return CuResult::kSuccess;
+
+  ConstantBank bank0;
+  bank0.Write32(0x00, block.x);
+  bank0.Write32(0x04, block.y);
+  bank0.Write32(0x08, block.z);
+  bank0.Write32(0x0c, grid.x);
+  bank0.Write32(0x10, grid.y);
+  bank0.Write32(0x14, grid.z);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    bank0.Write64(kParamBaseOffset + static_cast<std::uint32_t>(8 * i), params[i]);
+  }
+
+  const InstrumentationPlan* plan = nullptr;
+  std::uint64_t extra_cycles = 0;
+  if (interceptor_ != nullptr) {
+    plan = interceptor_->OnLaunchBegin(info, *function, &extra_cycles);
+    extra_cycles += cost_model_.tool_intercept_cycles;
+  }
+  total_cycles_ += extra_cycles;
+
+  Executor::Request request;
+  request.kernel = &function->source();
+  request.launch = info;
+  request.bank0 = &bank0;
+  request.global = &device_.memory();
+  request.num_sms = device_.props().num_sms;
+  request.plan = plan;
+  request.cost = &cost_model_;
+  request.max_thread_instructions = watchdog_;
+
+  const LaunchStats stats = Executor::Run(request);
+  total_cycles_ += stats.cycles;
+  total_thread_instructions_ += stats.thread_instructions;
+  max_launch_thread_instructions_ =
+      std::max(max_launch_thread_instructions_, stats.thread_instructions);
+
+  if (stats.trap != TrapKind::kNone) {
+    sticky_error_ = CuResultFromTrap(stats.trap);
+    device_.log().Record(stats.trap,
+                         Format("XID 13: %s", stats.trap_detail.c_str()));
+    LOG_INFO << "kernel '" << function->name() << "' trapped: " << stats.trap_detail;
+  }
+
+  if (interceptor_ != nullptr) interceptor_->OnLaunchEnd(info, *function, stats);
+  return CuResult::kSuccess;
+}
+
+void Context::SetInterceptor(LaunchInterceptor* interceptor) { interceptor_ = interceptor; }
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,182 @@
+// CUDA-driver-like API over the simulator.
+//
+// A Context owns a Device, loads modules (assembled from the SASS-like text
+// dialect, then round-tripped through the binary encoding the way a real
+// driver ingests a cubin), allocates device memory, and launches kernels.
+//
+// Error semantics mirror CUDA's sticky-context behaviour, which the paper's
+// "potential DUE" category depends on (§IV-A): a device-side trap terminates
+// the *current kernel* early, records an XID entry in the device log, and
+// poisons the context — but LaunchKernel itself reports success (launches are
+// conceptually asynchronous).  The error is only visible to host code that
+// explicitly checks Synchronize()/last_error(); host programs that never
+// check will happily read back partial results.
+//
+// Constant-bank-0 layout seen by kernels:
+//   c[0][0x00..0x08]  blockDim.x/y/z      c[0][0x0c..0x14]  gridDim.x/y/z
+//   c[0][0x160 + 8*i] kernel parameter i  (pointers use the full 8 bytes)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sassim/core/cost_model.h"
+#include "sassim/core/executor.h"
+#include "sassim/core/types.h"
+#include "sassim/isa/encoding.h"
+#include "sassim/isa/kernel.h"
+#include "sassim/runtime/device.h"
+
+namespace nvbitfi::sim {
+
+enum class CuResult : std::uint8_t {
+  kSuccess,
+  kInvalidValue,
+  kNotFound,
+  kOutOfMemory,
+  kIllegalAddress,
+  kMisalignedAddress,
+  kIllegalInstruction,
+  kLaunchTimeout,
+  kLaunchFailed,
+};
+
+std::string_view CuResultName(CuResult r);
+CuResult CuResultFromTrap(TrapKind trap);
+
+inline constexpr std::uint32_t kParamBaseOffset = 0x160;
+
+class Context;
+
+// A loaded kernel.  Owned by its Module; pointers remain valid for the life
+// of the Context.
+class Function {
+ public:
+  Function(KernelSource source, std::uint32_t id)
+      : source_(std::move(source)), id_(id) {}
+
+  const std::string& name() const { return source_.name; }
+  const KernelSource& source() const { return source_; }
+  std::uint32_t id() const { return id_; }
+
+ private:
+  KernelSource source_;
+  std::uint32_t id_;
+};
+
+class Module {
+ public:
+  explicit Module(std::vector<std::unique_ptr<Function>> functions)
+      : functions_(std::move(functions)) {}
+
+  Function* GetFunction(std::string_view name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const { return functions_; }
+
+ private:
+  std::vector<std::unique_ptr<Function>> functions_;
+};
+
+// Interface the NVBit layer implements to intercept launches.  The driver
+// itself knows nothing about instrumentation tools.
+class LaunchInterceptor {
+ public:
+  virtual ~LaunchInterceptor() = default;
+
+  // Called before the launch executes.  May return an instrumentation plan
+  // (nullptr = run uninstrumented) and add cycles (e.g. JIT compilation of an
+  // instrumented kernel version) via `extra_cycles`.
+  virtual const InstrumentationPlan* OnLaunchBegin(const LaunchInfo& info,
+                                                   const Function& function,
+                                                   std::uint64_t* extra_cycles) = 0;
+
+  virtual void OnLaunchEnd(const LaunchInfo& info, const Function& function,
+                           const LaunchStats& stats) = 0;
+
+  // Called when a module is loaded (NVBit exposes related functions to tools).
+  virtual void OnModuleLoaded(const Module& module) = 0;
+};
+
+class Context {
+ public:
+  explicit Context(DeviceProps props = DeviceProps{});
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  Device& device() { return device_; }
+  const Device& device() const { return device_; }
+
+  // ---- module management ----
+  // Assembles `source`, encodes it to the binary form, and loads the decoded
+  // module (a cubin-like round trip).  On success *out points to a module
+  // owned by the context.
+  CuResult ModuleLoadText(std::string_view source, Module** out);
+  Function* GetFunction(std::string_view name) const;  // across all modules
+  const std::vector<std::unique_ptr<Module>>& modules() const { return modules_; }
+
+  // ---- memory ----
+  CuResult MemAlloc(DevPtr* out, std::size_t bytes);
+  CuResult MemFree(DevPtr ptr);
+  CuResult MemcpyHtoD(DevPtr dst, const void* src, std::size_t bytes);
+  CuResult MemcpyDtoH(void* dst, DevPtr src, std::size_t bytes);
+
+  // ---- launch ----
+  // `params` are 8-byte kernel parameters written to c[0][0x160+8i].
+  // Returns kSuccess unless the host arguments themselves are invalid; device
+  // faults surface through last_error()/Synchronize() (sticky).
+  CuResult LaunchKernel(Function* function, Dim3 grid, Dim3 block,
+                        std::span<const std::uint64_t> params);
+
+  // Blocks until outstanding work completes (synchronous simulator: no-op)
+  // and reports the sticky error state.
+  CuResult Synchronize() const { return sticky_error_; }
+  CuResult last_error() const { return sticky_error_; }
+
+  // ---- instrumentation attach point (used by the NVBit layer) ----
+  void SetInterceptor(LaunchInterceptor* interceptor);
+  LaunchInterceptor* interceptor() const { return interceptor_; }
+
+  // ---- accounting / configuration ----
+  std::uint64_t total_cycles() const { return total_cycles_; }
+  std::uint64_t total_launches() const { return global_launch_ordinal_; }
+  std::uint64_t total_thread_instructions() const { return total_thread_instructions_; }
+  // Largest single-launch thread-instruction count seen (watchdog calibration).
+  std::uint64_t max_launch_thread_instructions() const {
+    return max_launch_thread_instructions_;
+  }
+
+  const CostModel& cost_model() const { return cost_model_; }
+  CostModel& mutable_cost_model() { return cost_model_; }
+
+  // Watchdog bound per launch in thread-instructions (0 = disabled).
+  void set_launch_watchdog(std::uint64_t max_thread_instructions) {
+    watchdog_ = max_thread_instructions;
+  }
+  std::uint64_t launch_watchdog() const { return watchdog_; }
+
+  // Per-kernel-name dynamic launch counts (used by tests and the profiler).
+  const std::unordered_map<std::string, std::uint64_t>& launch_counts() const {
+    return launch_counts_;
+  }
+
+ private:
+  Device device_;
+  CostModel cost_model_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  LaunchInterceptor* interceptor_ = nullptr;
+  CuResult sticky_error_ = CuResult::kSuccess;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t total_thread_instructions_ = 0;
+  std::uint64_t max_launch_thread_instructions_ = 0;
+  std::uint64_t global_launch_ordinal_ = 0;
+  std::unordered_map<std::string, std::uint64_t> launch_counts_;
+  std::uint64_t watchdog_ = 0;
+  std::uint32_t next_function_id_ = 0;
+};
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,305 @@
+// 354.cg — conjugate gradient proxy on a tridiagonal SPD system, with the
+// classic host-device coupling: dot products are reduced on the device,
+// downloaded, and the scalars alpha/beta are passed back into the update
+// kernels as launch parameters.  Table IV: 22 static kernels, 2,027 dynamic
+// kernels (92 iterations x 22 + the first 3 kernels as an initial residual
+// pass).  Like most of the suite, the host never checks CUDA errors — device
+// traps surface as potential DUEs; the host-device scalar coupling means a
+// trap mid-solve silently poisons alpha/beta (classic SDC propagation).
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/common.h"
+#include "workloads/programs.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kN = 64;
+constexpr std::uint32_t kBlock = 64;
+constexpr int kIterations = 92;
+constexpr int kPrecondKernels = 14;
+
+// Ap[i] = 2.02*p[i] - p[i-1] - p[i+1] (tridiagonal SPD).
+// params: 0=p, 1=Ap, 2=n
+std::string MatvecKernel() {
+  std::string s = ".kernel cg_matvec regs=28\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"  // p[i]
+      "  MOV R9, RZ ;\n"
+      "  MOV R10, RZ ;\n"
+      "  ISETP.EQ.AND P1, PT, R0, RZ, PT ;\n"
+      "  @!P1 LDG.E.32 R9, [R6+-4] ;\n"
+      "  IADD3 R11, R3, -1, RZ ;\n"
+      "  ISETP.EQ.AND P2, PT, R0, R11, PT ;\n"
+      "  @!P2 LDG.E.32 R10, [R6+4] ;\n";
+  s += Format(
+      "  FMUL R12, R8, %s ;\n"
+      "  FADD R12, R12, -R9 ;\n"
+      "  FADD R12, R12, -R10 ;\n",
+      FloatImm(2.02f).c_str());
+  s +=
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R12 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// out[i] = a[i]*b[i].  params: 0=a, 1=b, 2=out, 3=n
+std::string ProductKernel(const std::string& name) {
+  std::string s = Format(".kernel %s regs=20\n", name.c_str());
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x178] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R9, [R6] ;\n"
+      "  FMUL R10, R8, R9 ;\n"
+      "  MOV R4, c[0][0x170] ;\n"
+      "  MOV R5, c[0][0x174] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R10 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// y[i] += a * x[i], a passed at launch time.  params: 0=x, 1=y, 2=n, 3=a
+std::string AxpyParamKernel(const std::string& name) {
+  std::string s = Format(".kernel %s regs=20\n", name.c_str());
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R9, [R6] ;\n"
+      "  MOV R10, c[0][0x178] ;\n"
+      "  FFMA R9, R8, R10, R9 ;\n"
+      "  STG.E.32 [R6], R9 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// p[i] = r[i] + b * p[i], b passed at launch time.  params: 0=r, 1=p, 2=n, 3=b
+std::string XpayParamKernel(const std::string& name) {
+  std::string s = Format(".kernel %s regs=20\n", name.c_str());
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"  // r
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R9, [R6] ;\n"  // p
+      "  MOV R10, c[0][0x178] ;\n"
+      "  FFMA R9, R9, R10, R8 ;\n"
+      "  STG.E.32 [R6], R9 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+class CgProgram final : public fi::TargetProgram {
+ public:
+  CgProgram() : checker_(ToleranceChecker::Element::kFloat, 1e-3, 1e-5) {
+    source_ = MatvecKernel();
+    source_ += ProductKernel("cg_sq_rr");
+    source_ += ReduceKernel("cg_reduce_rr");
+    source_ += ProductKernel("cg_mul_pap");
+    source_ += ReduceKernel("cg_reduce_pap");
+    source_ += AxpyParamKernel("cg_axpy_x");
+    source_ += AxpyParamKernel("cg_axpy_r");
+    source_ += XpayParamKernel("cg_xpay_p");
+    // Jacobi-smoother preconditioner stages (generated variants).
+    for (int i = 0; i < kPrecondKernels; ++i) {
+      const float a = 0.97f + 0.002f * static_cast<float>(i);
+      source_ += ScaleKernel(Format("cg_precond_%02d", i), a, 1e-4f);
+    }
+  }
+
+  std::string name() const override { return "354.cg"; }
+  std::string description() const override { return "Conjugate gradient"; }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    auto fn = [&](const char* fn_name) {
+      sim::Function* f = ctx.GetFunction(fn_name);
+      NVBITFI_CHECK_MSG(f != nullptr, "missing kernel " << fn_name);
+      return f;
+    };
+    sim::Function* matvec = fn("cg_matvec");
+    sim::Function* sq_rr = fn("cg_sq_rr");
+    sim::Function* reduce_rr = fn("cg_reduce_rr");
+    sim::Function* mul_pap = fn("cg_mul_pap");
+    sim::Function* reduce_pap = fn("cg_reduce_pap");
+    sim::Function* axpy_x = fn("cg_axpy_x");
+    sim::Function* axpy_r = fn("cg_axpy_r");
+    sim::Function* xpay_p = fn("cg_xpay_p");
+    std::vector<sim::Function*> precond;
+    for (int i = 0; i < kPrecondKernels; ++i) {
+      precond.push_back(fn(Format("cg_precond_%02d", i).c_str()));
+    }
+
+    // b is a smooth right-hand side; x starts at zero so r = b, p = r.
+    std::vector<float> b(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      b[i] = static_cast<float>(std::sin(0.11 * (i + 1)));
+    }
+    const std::vector<float> zeros(kN, 0.0f);
+    sim::DevPtr d_x = AllocAndUpload(ctx, zeros);
+    sim::DevPtr d_r = AllocAndUpload(ctx, b);
+    sim::DevPtr d_p = AllocAndUpload(ctx, b);
+    sim::DevPtr d_Ap = AllocAndUpload(ctx, zeros);
+    sim::DevPtr d_tmp = AllocAndUpload(ctx, zeros);
+    constexpr std::uint32_t kGrid = kN / kBlock;
+    const std::vector<float> zpart(kGrid, 0.0f);
+    sim::DevPtr d_part_rr = AllocAndUpload(ctx, zpart);
+    sim::DevPtr d_part_pap = AllocAndUpload(ctx, zpart);
+
+    const sim::Dim3 grid{kGrid, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+
+    auto dot = [&](sim::DevPtr partials) {
+      const std::vector<float> parts = Download(ctx, partials, kGrid);
+      double total = 0.0;
+      for (const float v : parts) total += v;
+      return total;
+    };
+
+    // Initial pass: the first 3 kernels once (residual norm of r = b).
+    {
+      const std::uint64_t pm[] = {d_p, d_Ap, kN};
+      ctx.LaunchKernel(matvec, grid, block, pm);
+      const std::uint64_t ps[] = {d_r, d_r, d_tmp, kN};
+      ctx.LaunchKernel(sq_rr, grid, block, ps);
+      const std::uint64_t pr[] = {d_tmp, d_part_rr, kN};
+      ctx.LaunchKernel(reduce_rr, grid, block, pr);
+    }
+    double rr = dot(d_part_rr);
+    const double rr0 = rr;
+
+    for (int it = 0; it < kIterations; ++it) {
+      {
+        const std::uint64_t p[] = {d_p, d_Ap, kN};
+        ctx.LaunchKernel(matvec, grid, block, p);
+      }
+      {
+        const std::uint64_t p[] = {d_r, d_r, d_tmp, kN};
+        ctx.LaunchKernel(sq_rr, grid, block, p);
+      }
+      {
+        const std::uint64_t p[] = {d_tmp, d_part_rr, kN};
+        ctx.LaunchKernel(reduce_rr, grid, block, p);
+      }
+      {
+        const std::uint64_t p[] = {d_p, d_Ap, d_tmp, kN};
+        ctx.LaunchKernel(mul_pap, grid, block, p);
+      }
+      {
+        const std::uint64_t p[] = {d_tmp, d_part_pap, kN};
+        ctx.LaunchKernel(reduce_pap, grid, block, p);
+      }
+      const double rr_new = dot(d_part_rr);
+      const double pap = dot(d_part_pap);
+      // Once the solve converges, rr and pAp underflow toward zero; guard the
+      // scalars the way production CG codes do.
+      double alpha = std::abs(pap) > 1e-20 ? rr_new / pap : 0.0;
+      if (!std::isfinite(alpha) || std::abs(alpha) > 1e6) alpha = 0.0;
+      double beta = rr > 1e-20 ? rr_new / rr : 0.0;
+      if (!std::isfinite(beta) || std::abs(beta) > 1e6) beta = 0.0;
+      rr = rr_new;
+      {
+        const std::uint64_t p[] = {d_p, d_x, kN, FloatParam(static_cast<float>(alpha))};
+        ctx.LaunchKernel(axpy_x, grid, block, p);
+      }
+      {
+        const std::uint64_t p[] = {d_Ap, d_r, kN, FloatParam(static_cast<float>(-alpha))};
+        ctx.LaunchKernel(axpy_r, grid, block, p);
+      }
+      {
+        const std::uint64_t p[] = {d_r, d_p, kN, FloatParam(static_cast<float>(beta))};
+        ctx.LaunchKernel(xpay_p, grid, block, p);
+      }
+      // Smoother stages run on the scratch vector: they model the
+      // preconditioner pipeline's kernel traffic without perturbing the CG
+      // recurrence (repeated damping of p itself drives pAp into denormals).
+      for (sim::Function* pk : precond) {
+        const std::uint64_t p[] = {d_tmp, d_tmp, kN};
+        ctx.LaunchKernel(pk, grid, block, p);
+      }
+    }
+
+    const std::vector<float> x = Download(ctx, d_x, kN);
+    double xnorm = 0.0;
+    for (const float v : x) xnorm += static_cast<double>(v) * v;
+
+    const bool converged = rr0 != 0.0 && std::isfinite(rr) && rr / rr0 < 1e-6;
+    art.stdout_text = Format("354.cg: |x|^2 %.3e, converged %d\n", xnorm,
+                             converged ? 1 : 0);
+    AppendToOutput(&art, std::span<const float>(x));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Cg() {
+  static const CgProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

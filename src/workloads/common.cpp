@@ -1,0 +1,328 @@
+#include "workloads/common.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "common/strings.h"
+
+namespace nvbitfi::workloads {
+
+namespace {
+
+template <typename T>
+sim::DevPtr AllocAndUploadT(sim::Context& ctx, std::span<const T> data) {
+  sim::DevPtr ptr = 0;
+  if (ctx.MemAlloc(&ptr, data.size_bytes()) != sim::CuResult::kSuccess) return 0;
+  ctx.MemcpyHtoD(ptr, data.data(), data.size_bytes());
+  return ptr;
+}
+
+template <typename T>
+std::vector<T> DownloadT(sim::Context& ctx, sim::DevPtr ptr, std::size_t count) {
+  std::vector<T> out(count, T{});
+  ctx.MemcpyDtoH(out.data(), ptr, count * sizeof(T));
+  return out;
+}
+
+template <typename T>
+void AppendToOutputT(fi::RunArtifacts* artifacts, std::span<const T> values) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  artifacts->output_file.insert(artifacts->output_file.end(), bytes,
+                                bytes + values.size_bytes());
+}
+
+template <typename T>
+bool ToleranceDiff(const std::vector<std::uint8_t>& golden,
+                   const std::vector<std::uint8_t>& run, double rel_tol,
+                   double abs_tol) {
+  if (golden.size() != run.size() || golden.size() % sizeof(T) != 0) return true;
+  const std::size_t count = golden.size() / sizeof(T);
+  for (std::size_t i = 0; i < count; ++i) {
+    T a{}, b{};
+    std::memcpy(&a, golden.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, run.data() + i * sizeof(T), sizeof(T));
+    const double da = static_cast<double>(a);
+    const double db = static_cast<double>(b);
+    if (std::isnan(da) != std::isnan(db)) return true;
+    if (std::isnan(da)) continue;
+    if (std::abs(da - db) > abs_tol + rel_tol * std::abs(da)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+sim::DevPtr AllocAndUpload(sim::Context& ctx, std::span<const float> data) {
+  return AllocAndUploadT(ctx, data);
+}
+sim::DevPtr AllocAndUploadDouble(sim::Context& ctx, std::span<const double> data) {
+  return AllocAndUploadT(ctx, data);
+}
+sim::DevPtr AllocAndUploadU32(sim::Context& ctx, std::span<const std::uint32_t> data) {
+  return AllocAndUploadT(ctx, data);
+}
+
+std::vector<float> Download(sim::Context& ctx, sim::DevPtr ptr, std::size_t count) {
+  return DownloadT<float>(ctx, ptr, count);
+}
+std::vector<double> DownloadDouble(sim::Context& ctx, sim::DevPtr ptr, std::size_t count) {
+  return DownloadT<double>(ctx, ptr, count);
+}
+std::vector<std::uint32_t> DownloadU32(sim::Context& ctx, sim::DevPtr ptr,
+                                       std::size_t count) {
+  return DownloadT<std::uint32_t>(ctx, ptr, count);
+}
+
+void AppendToOutput(fi::RunArtifacts* artifacts, std::span<const float> values) {
+  AppendToOutputT(artifacts, values);
+}
+void AppendToOutput(fi::RunArtifacts* artifacts, std::span<const double> values) {
+  AppendToOutputT(artifacts, values);
+}
+
+std::string FloatImm(float value) { return Format("0x%08x", FloatToBits(value)); }
+
+std::uint64_t FloatParam(float value) { return FloatToBits(value); }
+std::uint64_t DoubleParam(double value) { return DoubleToBits(value); }
+
+bool ToleranceChecker::IsSdc(const fi::RunArtifacts& golden,
+                             const fi::RunArtifacts& run) const {
+  if (golden.stdout_text != run.stdout_text) return true;
+  if (element_ == Element::kFloat) {
+    return ToleranceDiff<float>(golden.output_file, run.output_file, rel_tol_, abs_tol_);
+  }
+  return ToleranceDiff<double>(golden.output_file, run.output_file, rel_tol_, abs_tol_);
+}
+
+// ---- kernel templates --------------------------------------------------------
+//
+// All templates share the same prologue: compute the global thread id and
+// bounds-check it against the n parameter.  Pointer parameters are fetched
+// with a single LDC.64 (as the real compiler does) and the bodies carry a
+// realistic amount of floating-point work per address computation, so the
+// injectable-instruction population is dominated by data computation rather
+// than addressing.
+
+namespace {
+
+// gid in R0 (fusing the blockDim constant into the IMAD), then exits
+// out-of-range threads.  Leaves n in R3.
+std::string GidAndBounds(std::uint32_t n_param_offset) {
+  return Format(
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  IMAD R0, R0, c[0][0x0], R1 ;\n"
+      "  MOV R3, c[0][0x%x] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n",
+      n_param_offset);
+}
+
+// Computes &ptr_param[gid * elem_size] into the pair Rd:Rd+1 using a scratch
+// pair Rd+2:Rd+3 for the pointer itself.
+std::string AddressOf(int rd, std::uint32_t ptr_param_offset, int elem_size) {
+  return Format(
+      "  LDC.64 R%d, c[0][0x%x] ;\n"
+      "  IMAD.WIDE R%d, R0, 0x%x, R%d ;\n",
+      rd + 2, ptr_param_offset, rd, elem_size, rd + 2);
+}
+
+}  // namespace
+
+std::string StencilKernel(const std::string& name, float coefficient) {
+  // Five-point smoothing: out = c + k*(lap1 + 0.25*lap2), with lap1 the
+  // nearest-neighbour Laplacian and lap2 the 2-hop one.
+  std::string s = Format(".kernel %s regs=32\n", name.c_str());
+  s += GidAndBounds(0x170);
+  // Interior only: 2 <= gid < n-2.
+  s +=
+      "  ISETP.LT.AND P0, PT, R0, 0x2, PT ;\n"
+      "  IADD3 R4, R3, -2, RZ ;\n"
+      "  ISETP.GE.OR P0, PT, R0, R4, P0 ;\n"
+      "  @P0 EXIT ;\n";
+  s += AddressOf(8, 0x160, 4);  // &in[gid] -> R8:R9
+  s += Format(
+      "  LDG.E.32 R16, [R8+-8] ;\n"
+      "  LDG.E.32 R17, [R8+-4] ;\n"
+      "  LDG.E.32 R18, [R8] ;\n"
+      "  LDG.E.32 R19, [R8+4] ;\n"
+      "  LDG.E.32 R20, [R8+8] ;\n"
+      "  FADD R21, R17, R19 ;\n"
+      "  FADD R22, R16, R20 ;\n"
+      "  FFMA R23, R18, %s, R21 ;\n"  // lap1 = near - 2c
+      "  FFMA R24, R18, %s, R22 ;\n"  // lap2 = far - 2c
+      "  FFMA R25, R24, %s, R23 ;\n"   // lap = lap1 + 0.25*lap2
+      "  FFMA R26, R25, %s, R18 ;\n"   // out = c + k*lap
+      "  MOV32I R27, %s ;\n"
+      "  FMNMX R26, R26, R27, PT ;\n"  // clamp to +limit (min)
+      "  FMNMX R26, R26, -R27, !PT ;\n",  // clamp to -limit (max)
+      FloatImm(-2.0f).c_str(), FloatImm(-2.0f).c_str(), FloatImm(0.25f).c_str(),
+      FloatImm(coefficient).c_str(), FloatImm(100.0f).c_str());
+  s += AddressOf(12, 0x168, 4);  // &out[gid] -> R12:R13
+  s +=
+      "  STG.E.32 [R12], R26 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+std::string AxpyKernel(const std::string& name, float a) {
+  // y += a * x * (1 + (a/4) x): an affine update with a quadratic correction.
+  std::string s = Format(".kernel %s regs=24\n", name.c_str());
+  s += GidAndBounds(0x170);
+  s += AddressOf(8, 0x160, 4);   // &x[gid]
+  s += AddressOf(12, 0x168, 4);  // &y[gid]
+  s += Format(
+      "  LDG.E.32 R16, [R8] ;\n"
+      "  LDG.E.32 R17, [R12] ;\n"
+      "  FMUL R18, R16, %s ;\n"
+      "  FFMA R19, R18, R16, R16 ;\n"   // x + (a/4) x^2
+      "  FFMA R17, R19, %s, R17 ;\n"    // y += a * (...)
+      "  FSETP.GT.AND P1, PT, |R17|, %s, PT ;\n"  // runaway guard
+      "  FMUL R20, R17, %s ;\n"
+      "  FSEL R17, R20, R17, P1 ;\n"    // damp if |y| grew too large
+      "  STG.E.32 [R12], R17 ;\n"
+      "  EXIT ;\n",
+      FloatImm(a * 0.25f).c_str(), FloatImm(a).c_str(), FloatImm(10.0f).c_str(),
+      FloatImm(0.5f).c_str());
+  s += ".endkernel\n";
+  return s;
+}
+
+std::string ScaleKernel(const std::string& name, float a, float b) {
+  // out = a*v + b + 0.004*v^2*(1 - v): bounded cubic relaxation.
+  std::string s = Format(".kernel %s regs=24\n", name.c_str());
+  s += GidAndBounds(0x170);
+  s += AddressOf(8, 0x160, 4);
+  s += Format(
+      "  LDG.E.32 R16, [R8] ;\n"
+      "  FMUL R17, R16, R16 ;\n"
+      "  FADD R18, -R16, %s ;\n"      // 1 - v
+      "  FMUL R19, R17, R18 ;\n"
+      "  MOV32I R20, %s ;\n"
+      "  FFMA R20, R16, %s, R20 ;\n"  // a*v + b
+      "  FFMA R20, R19, %s, R20 ;\n"  // + 0.004 v^2 (1-v)
+      // Quantised correction term: q = trunc(v * 64) adds conversion
+      // traffic (F2I/I2F) like the table-lookup codes this models.
+      "  FMUL R21, R16, %s ;\n"
+      "  F2I R22, R21 ;\n"
+      "  I2F R23, R22 ;\n"
+      "  FFMA R20, R23, %s, R20 ;\n",
+      FloatImm(1.0f).c_str(), FloatImm(b).c_str(), FloatImm(a).c_str(),
+      FloatImm(0.004f).c_str(), FloatImm(64.0f).c_str(), FloatImm(1e-6f).c_str());
+  s += AddressOf(12, 0x168, 4);
+  s +=
+      "  STG.E.32 [R12], R20 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+std::string CopyKernel(const std::string& name) {
+  std::string s = Format(".kernel %s regs=16\n", name.c_str());
+  s += GidAndBounds(0x170);
+  s += AddressOf(8, 0x160, 4);
+  s += AddressOf(12, 0x168, 4);
+  s +=
+      "  LDG.E.32 R16, [R8] ;\n"
+      // Byte-level repack (identity permutation): halo-exchange codes shuffle
+      // bytes through PRMT when repacking strided buffers.
+      "  PRMT R16, R16, 0x3210, RZ ;\n"
+      "  STG.E.32 [R12], R16 ;\n"
+      "  EXIT ;\n";
+  s += ".endkernel\n";
+  return s;
+}
+
+std::string SweepKernel(const std::string& name, float c0, float c1) {
+  // data[i] = c0*v + c1*w + 0.01*(v*w - v), v = data[i], w = data[i+stride].
+  std::string s = Format(".kernel %s regs=28\n", name.c_str());
+  s += GidAndBounds(0x168);  // params: 0=data, 1=n, 2=stride
+  s +=
+      "  IADD3 R5, R0, c[0][0x170], RZ ;\n"  // j = gid + stride
+      "  IADD3 R6, R3, -1, RZ ;\n"
+      "  LOP.AND R5, R5, R6 ;\n";  // periodic wrap (n is a power of two)
+  s += AddressOf(8, 0x160, 4);  // &data[gid] (pointer pair also in R10:R11)
+  s += Format(
+      "  IMAD.WIDE R12, R5, 0x4, R10 ;\n"  // &data[j]
+      "  LDG.E.32 R16, [R8] ;\n"
+      "  LDG.E.32 R17, [R12] ;\n"
+      "  FMUL R18, R16, %s ;\n"
+      "  FFMA R18, R17, %s, R18 ;\n"       // c0 v + c1 w
+      "  FMUL R19, R16, R17 ;\n"
+      "  FADD R19, R19, -R16 ;\n"          // v w - v
+      "  FFMA R18, R19, %s, R18 ;\n"
+      "  STG.E.32 [R8], R18 ;\n"
+      "  EXIT ;\n",
+      FloatImm(c0).c_str(), FloatImm(c1).c_str(), FloatImm(0.01f).c_str());
+  s += ".endkernel\n";
+  return s;
+}
+
+std::string Fp64SquareAccumulateKernel(const std::string& name) {
+  // out = 0.9995*out + c*in^2 + 1e-7*in: double-precision relaxation.
+  std::string s = Format(".kernel %s regs=36\n", name.c_str());
+  s += GidAndBounds(0x170);
+  s += AddressOf(8, 0x160, 8);   // &in[gid] (double)
+  s += AddressOf(12, 0x168, 8);  // &out[gid] (double)
+  s +=
+      "  LDG.E.64 R16, [R8] ;\n"          // in[gid] -> R16:R17
+      "  LDG.E.64 R18, [R12] ;\n"         // out[gid] -> R18:R19
+      "  DMUL R20, R16, R16 ;\n"          // in^2
+      "  DMUL R20, R20, c[0][0x178] ;\n"  // c * in^2
+      "  DMUL R22, R18, c[0][0x180] ;\n"  // 0.9995 * out
+      "  DADD R22, R22, R20 ;\n"
+      "  DFMA R22, R16, c[0][0x188], R22 ;\n"  // + 1e-7 * in
+      "  STG.E.64 [R12], R22 ;\n"
+      "  EXIT ;\n";
+  s += ".endkernel\n";
+  return s;
+}
+
+std::string ReduceKernel(const std::string& name) {
+  // Block size fixed at 64 threads (2 warps); shared tree reduction.
+  std::string s = Format(".kernel %s regs=20 shared=256\n", name.c_str());
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  IMAD R0, R0, c[0][0x0], R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  MOV R16, RZ ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @!P0 MOV R4, c[0][0x160] ;\n"
+      "  @!P0 MOV R5, c[0][0x164] ;\n"
+      "  @!P0 IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  @!P0 LDG.E.32 R16, [R6] ;\n"
+      "  SHL R8, R1, 0x2 ;\n"  // shared offset = tid*4
+      "  STS [R8], R16 ;\n"
+      "  BAR.SYNC ;\n"
+      "  MOV R9, 0x20 ;\n"  // step = 32
+      "reduce_loop:\n"
+      "  ISETP.GE.AND P1, PT, R1, R9, PT ;\n"
+      "  @P1 BRA reduce_skip ;\n"
+      "  IADD3 R10, R1, R9, RZ ;\n"
+      "  SHL R11, R10, 0x2 ;\n"
+      "  LDS R12, [R11] ;\n"
+      "  LDS R13, [R8] ;\n"
+      "  FADD R13, R13, R12 ;\n"
+      "  STS [R8], R13 ;\n"
+      "reduce_skip:\n"
+      "  BAR.SYNC ;\n"
+      "  SHR.U32 R9, R9, 0x1 ;\n"
+      "  ISETP.NE.AND P2, PT, R9, RZ, PT ;\n"
+      "  @P2 BRA reduce_loop ;\n"
+      "  ISETP.NE.AND P3, PT, R1, RZ, PT ;\n"
+      "  @P3 EXIT ;\n"
+      "  S2R R14, SR_CTAID.X ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R14, 0x4, R4 ;\n"
+      "  LDS R12, [RZ] ;\n"
+      "  STG.E.32 [R6], R12 ;\n"
+      "  EXIT ;\n";
+  s += ".endkernel\n";
+  return s;
+}
+
+}  // namespace nvbitfi::workloads

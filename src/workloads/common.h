@@ -1,0 +1,102 @@
+// Shared infrastructure for the SpecACCEL-proxy workloads: host-side buffer
+// helpers, the tolerance-based SDC checker (the analogue of SPEC's per-program
+// checking scripts), and assembly kernel-template generators used by the
+// programs with many similar static kernels (351.palm, 353.clvrleaf, 356.sp,
+// ...).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/outcome.h"
+#include "core/target_program.h"
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::workloads {
+
+// ---- host-side helpers ------------------------------------------------------
+
+// Allocates a device buffer and uploads `data`.  Returns 0 on failure.
+sim::DevPtr AllocAndUpload(sim::Context& ctx, std::span<const float> data);
+sim::DevPtr AllocAndUploadDouble(sim::Context& ctx, std::span<const double> data);
+sim::DevPtr AllocAndUploadU32(sim::Context& ctx, std::span<const std::uint32_t> data);
+
+// Downloads `count` elements; on API failure returns a zero-filled vector
+// (the host keeps going with whatever it got, like unchecked cudaMemcpy).
+std::vector<float> Download(sim::Context& ctx, sim::DevPtr ptr, std::size_t count);
+std::vector<double> DownloadDouble(sim::Context& ctx, sim::DevPtr ptr, std::size_t count);
+std::vector<std::uint32_t> DownloadU32(sim::Context& ctx, sim::DevPtr ptr,
+                                       std::size_t count);
+
+// Appends raw float/double bytes to the run's "output file".
+void AppendToOutput(fi::RunArtifacts* artifacts, std::span<const float> values);
+void AppendToOutput(fi::RunArtifacts* artifacts, std::span<const double> values);
+
+// FP32 literal rendered as the assembly immediate (bit pattern).
+std::string FloatImm(float value);
+
+// Kernel parameter slot from a float (bits in the low word).
+std::uint64_t FloatParam(float value);
+std::uint64_t DoubleParam(double value);
+
+// ---- SDC checking -----------------------------------------------------------
+
+// SPEC-style output check: the output file is interpreted as an array of
+// float (or double) values and compared with relative+absolute tolerance;
+// stdout is compared exactly (workloads print rounded summaries).
+class ToleranceChecker final : public fi::SdcChecker {
+ public:
+  enum class Element { kFloat, kDouble };
+  ToleranceChecker(Element element, double rel_tol, double abs_tol)
+      : element_(element), rel_tol_(rel_tol), abs_tol_(abs_tol) {}
+
+  bool IsSdc(const fi::RunArtifacts& golden, const fi::RunArtifacts& run) const override;
+
+ private:
+  Element element_;
+  double rel_tol_;
+  double abs_tol_;
+};
+
+// ---- kernel template generators ----------------------------------------------
+//
+// Each returns a complete ".kernel name ... .endkernel" block operating on
+// float arrays indexed by the global thread id.  Parameter layout (8-byte
+// slots at c[0][0x160+8i]) is documented per template.
+
+// out[i] = in[i] + c * (in[i-1] - 2*in[i] + in[i+1]), interior points only.
+// params: 0=in, 1=out, 2=n
+std::string StencilKernel(const std::string& name, float coefficient);
+
+// y[i] = a * x[i] + y[i].   params: 0=x, 1=y, 2=n
+std::string AxpyKernel(const std::string& name, float a);
+
+// out[i] = a * in[i] + b.   params: 0=in, 1=out, 2=n
+std::string ScaleKernel(const std::string& name, float a, float b);
+
+// out[i] = in[i].           params: 0=in, 1=out, 2=n
+std::string CopyKernel(const std::string& name);
+
+// data[i] = c0 * data[i] + c1 * data[i+stride] (periodic wrap via bounds
+// check). params: 0=data, 1=n, 2=stride
+std::string SweepKernel(const std::string& name, float c0, float c1);
+
+// FP64 stencil: out[i] += c * in[i] * in[i] (pair registers).
+// params: 0=in (double*), 1=out (double*), 2=n, 3=c (double bits)
+std::string Fp64SquareAccumulateKernel(const std::string& name);
+
+// Block-wide shared-memory tree reduction writing one partial per block.
+// params: 0=in, 1=partials, 2=n    (block size must be 64)
+std::string ReduceKernel(const std::string& name);
+
+// ---- Table IV scaffolding ----------------------------------------------------
+
+// Static/dynamic kernel counts for one program (must match Table IV).
+struct KernelCounts {
+  int static_kernels = 0;
+  int dynamic_kernels = 0;
+};
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,315 @@
+// 352.ep — embarrassingly parallel proxy (NAS EP): per-thread LCG random
+// numbers, Box-Muller gaussians, an atomic histogram tally, and reductions.
+// Table IV: 7 static kernels, 187 dynamic kernels (26 iterations x 7 + the
+// first 5 kernels once more as an initial pass).
+//
+// Fault-study hooks: the host indexes a local array with a device-computed
+// histogram argmax (a corrupted index is a simulated host crash / OS-detected
+// DUE), and it verifies that the tally total matches the sample count (an
+// application-specific check -> SDC when violated).
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/common.h"
+#include "workloads/programs.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kSamplesPerIter = 256;
+constexpr std::uint32_t kBlock = 64;
+constexpr int kIterations = 26;
+constexpr std::uint32_t kBins = 10;
+
+// LCG step per thread.  params: 0=seeds(u32), 1=u(float), 2=n
+std::string RngKernel() {
+  std::string s = ".kernel ep_rng regs=20\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  MOV32I R9, 0x19660d ;\n"
+      "  IMAD R8, R8, R9, RZ ;\n"
+      "  IADD32I R8, R8, 0x3c6ef35f ;\n"
+      "  STG.E.32 [R6], R8 ;\n"
+      // u = (s >> 8) * 2^-24, strictly inside (0,1) after the +1 below
+      "  SHR.U32 R10, R8, 0x8 ;\n"
+      "  IADD3 R10, R10, 1, RZ ;\n"
+      "  I2F R11, R10 ;\n";
+  s += Format("  FMUL R11, R11, %s ;\n", FloatImm(0x1.0p-24f).c_str());
+  s +=
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R11 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// Box-Muller: threads i < n/2 turn (u[2i], u[2i+1]) into two gaussians.
+// params: 0=u, 1=g, 2=n
+std::string BoxMullerKernel() {
+  std::string s = ".kernel ep_boxmuller regs=32\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  SHR.U32 R3, R3, 0x1 ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  SHL R4, R0, 0x1 ;\n"  // 2i
+      "  MOV R5, c[0][0x160] ;\n"
+      "  MOV R6, c[0][0x164] ;\n"
+      "  IMAD.WIDE R8, R4, 0x4, R5 ;\n"
+      "  LDG.E.32 R10, [R8] ;\n"     // u1
+      "  LDG.E.32 R11, [R8+4] ;\n";  // u2
+  s += Format(
+      "  MUFU.LG2 R12, R10 ;\n"
+      "  FMUL R12, R12, %s ;\n"   // ln u1 = lg2(u1) * ln2; then * -2
+      "  MUFU.SQRT R13, R12 ;\n"  // r = sqrt(-2 ln u1)
+      "  FMUL R14, R11, %s ;\n"   // theta = 2 pi u2
+      "  MUFU.COS R15, R14 ;\n"
+      "  MUFU.SIN R16, R14 ;\n"
+      "  FMUL R15, R13, R15 ;\n"
+      "  FMUL R16, R13, R16 ;\n",
+      FloatImm(-2.0f * 0.69314718f).c_str(), FloatImm(6.2831853f).c_str());
+  s +=
+      "  MOV R5, c[0][0x168] ;\n"
+      "  MOV R6, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R8, R4, 0x4, R5 ;\n"
+      "  STG.E.32 [R8], R15 ;\n"
+      "  STG.E.32 [R8+4], R16 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// Histogram of |g| with atomic increments.  params: 0=g, 1=hist(u32), 2=n
+std::string TallyKernel() {
+  std::string s = ".kernel ep_tally regs=20\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  F2I R9, |R8| ;\n"  // bin = floor(|g|)
+      "  MOV R10, 0x9 ;\n"
+      "  IMNMX R9, R9, R10, PT ;\n"  // clamp to 9 (min with PT = min)
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R9, 0x4, R4 ;\n"
+      "  MOV R11, 0x1 ;\n"
+      "  RED.ADD [R6], R11 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// g2[i] = g[i]^2.  params: 0=g, 1=g2, 2=n
+std::string SquareKernel() {
+  std::string s = ".kernel ep_square regs=16\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  FMUL R8, R8, R8 ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R8 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// Single-thread argmax over the histogram.  params: 0=hist, 1=out(u32)
+std::string MaxBinKernel() {
+  std::string s = ".kernel ep_maxbin regs=24\n";
+  s +=
+      "  S2R R1, SR_TID.X ;\n"
+      "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  MOV R8, RZ ;\n"   // best index
+      "  MOV R9, RZ ;\n"   // best count
+      "  MOV R10, RZ ;\n"  // k
+      "mloop:\n"
+      "  IMAD.WIDE R6, R10, 0x4, R4 ;\n"
+      "  LDG.E.32 R11, [R6] ;\n"
+      "  ISETP.GT.AND P1, PT, R11, R9, PT ;\n"
+      "  SEL R9, R11, R9, P1 ;\n"
+      "  SEL R8, R10, R8, P1 ;\n"
+      "  IADD3 R10, R10, 1, RZ ;\n"
+      "  ISETP.LT.AND P2, PT, R10, 0xa, PT ;\n"
+      "  @P2 BRA mloop ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  STG.E.32 [R4], R8 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+class EpProgram final : public fi::TargetProgram {
+ public:
+  EpProgram()
+      : source_(RngKernel() + BoxMullerKernel() + TallyKernel() + SquareKernel() +
+                ReduceKernel("ep_sum") + ReduceKernel("ep_sumsq") + MaxBinKernel()),
+        checker_(ToleranceChecker::Element::kFloat, 5e-3, 1e-5) {}
+
+  std::string name() const override { return "352.ep"; }
+  std::string description() const override { return "Embarrassingly parallel"; }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* rng = ctx.GetFunction("ep_rng");
+    sim::Function* boxmuller = ctx.GetFunction("ep_boxmuller");
+    sim::Function* tally = ctx.GetFunction("ep_tally");
+    sim::Function* square = ctx.GetFunction("ep_square");
+    sim::Function* sum = ctx.GetFunction("ep_sum");
+    sim::Function* sumsq = ctx.GetFunction("ep_sumsq");
+    sim::Function* maxbin = ctx.GetFunction("ep_maxbin");
+    NVBITFI_CHECK(rng != nullptr && boxmuller != nullptr && tally != nullptr &&
+                  square != nullptr && sum != nullptr && sumsq != nullptr &&
+                  maxbin != nullptr);
+
+    const std::uint32_t n = kSamplesPerIter;
+    std::vector<std::uint32_t> seeds(n);
+    for (std::uint32_t i = 0; i < n; ++i) seeds[i] = 0x9E3779B9u * (i + 1);
+    sim::DevPtr d_seeds = AllocAndUploadU32(ctx, seeds);
+    const std::vector<float> zeros(n, 0.0f);
+    sim::DevPtr d_u = AllocAndUpload(ctx, zeros);
+    sim::DevPtr d_g = AllocAndUpload(ctx, zeros);
+    sim::DevPtr d_g2 = AllocAndUpload(ctx, zeros);
+    const std::vector<std::uint32_t> zero_bins(kBins, 0);
+    sim::DevPtr d_hist = AllocAndUploadU32(ctx, zero_bins);
+    const std::vector<std::uint32_t> zero_one(1, 0);
+    sim::DevPtr d_maxbin = AllocAndUploadU32(ctx, zero_one);
+    constexpr std::uint32_t kGrid = kSamplesPerIter / kBlock;
+    const std::vector<float> zero_partials(kGrid, 0.0f);
+    sim::DevPtr d_sum = AllocAndUpload(ctx, zero_partials);
+    sim::DevPtr d_sumsq = AllocAndUpload(ctx, zero_partials);
+
+    const sim::Dim3 grid{kGrid, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+
+    auto launch_roster = [&](int count) {
+      // Kernel order: rng, boxmuller, tally, square, sum, sumsq, maxbin.
+      if (count > 0) {
+        const std::uint64_t p[] = {d_seeds, d_u, n};
+        ctx.LaunchKernel(rng, grid, block, p);
+      }
+      if (count > 1) {
+        const std::uint64_t p[] = {d_u, d_g, n};
+        ctx.LaunchKernel(boxmuller, grid, block, p);
+      }
+      if (count > 2) {
+        const std::uint64_t p[] = {d_g, d_hist, n};
+        ctx.LaunchKernel(tally, grid, block, p);
+      }
+      if (count > 3) {
+        const std::uint64_t p[] = {d_g, d_g2, n};
+        ctx.LaunchKernel(square, grid, block, p);
+      }
+      if (count > 4) {
+        const std::uint64_t p[] = {d_g, d_sum, n};
+        ctx.LaunchKernel(sum, grid, block, p);
+      }
+      if (count > 5) {
+        const std::uint64_t p[] = {d_g2, d_sumsq, n};
+        ctx.LaunchKernel(sumsq, grid, block, p);
+      }
+      if (count > 6) {
+        const std::uint64_t p[] = {d_hist, d_maxbin};
+        ctx.LaunchKernel(maxbin, sim::Dim3{1, 1, 1}, sim::Dim3{32, 1, 1}, p);
+      }
+    };
+
+    launch_roster(5);  // initial pass: first 5 kernels once
+    for (int it = 0; it < kIterations; ++it) launch_roster(7);
+
+    const std::vector<std::uint32_t> hist = DownloadU32(ctx, d_hist, kBins);
+    const std::vector<std::uint32_t> argmax = DownloadU32(ctx, d_maxbin, 1);
+    const std::vector<float> sums = Download(ctx, d_sum, kGrid);
+    const std::vector<float> sumsqs = Download(ctx, d_sumsq, kGrid);
+
+    // Simulated host crash: the histogram argmax indexes a fixed-size host
+    // array.  A corrupted device value walks off the end (OS-detected DUE).
+    double host_weights[kBins] = {};
+    if (argmax[0] >= kBins) {
+      art.crashed = true;
+      return art;
+    }
+    host_weights[argmax[0]] += 1.0;
+
+    // Application-specific check: every sample must have been tallied.
+    std::uint64_t tallied = 0;
+    for (const std::uint32_t c : hist) tallied += c;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(kIterations + 1) * kSamplesPerIter;
+    if (tallied != expected) art.app_check_failed = true;
+
+    double mean = 0.0, meansq = 0.0;
+    for (const float v : sums) mean += v;
+    for (const float v : sumsqs) meansq += v;
+    mean /= n;
+    meansq /= n;
+
+    art.stdout_text =
+        Format("352.ep: mean %.4f, var %.4f, peak bin %u (weight %.0f)\n", mean,
+               meansq - mean * mean, argmax[0], host_weights[argmax[0]]);
+    AppendToOutput(&art, std::span<const float>(sums));
+    AppendToOutput(&art, std::span<const float>(sumsqs));
+    std::vector<float> hist_f(hist.begin(), hist.end());
+    AppendToOutput(&art, std::span<const float>(hist_f));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Ep() {
+  static const EpProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

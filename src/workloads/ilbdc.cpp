@@ -1,0 +1,118 @@
+// 360.ilbdc — fluid mechanics proxy: a single fused lattice relaxation kernel
+// with periodic boundary handling.  Table IV: 1 static kernel, 1,000 dynamic
+// kernels (ping-pong time steps).
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/common.h"
+#include "workloads/programs.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kN = 256;
+constexpr std::uint32_t kBlock = 64;
+constexpr int kSteps = 1000;
+
+// out[i] = 0.9*in[i] + 0.05*(in[(i-1) mod n] + in[(i+1) mod n])
+// params: 0=in, 1=out, 2=n
+std::string RelaxKernel() {
+  std::string s = ".kernel ilbdc_relax regs=24\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      // im = (i == 0) ? n-1 : i-1 ;  ip = (i == n-1) ? 0 : i+1
+      "  IADD3 R4, R0, -1, RZ ;\n"
+      "  IADD3 R6, R3, -1, RZ ;\n"
+      "  ISETP.EQ.AND P1, PT, R0, RZ, PT ;\n"
+      "  SEL R4, R6, R4, P1 ;\n"
+      "  IADD3 R5, R0, 1, RZ ;\n"
+      "  ISETP.EQ.AND P2, PT, R0, R6, PT ;\n"
+      "  SEL R5, RZ, R5, P2 ;\n"
+      // addresses
+      "  MOV R8, c[0][0x160] ;\n"
+      "  MOV R9, c[0][0x164] ;\n"
+      "  IMAD.WIDE R10, R0, 0x4, R8 ;\n"
+      "  IMAD.WIDE R12, R4, 0x4, R8 ;\n"
+      "  IMAD.WIDE R14, R5, 0x4, R8 ;\n"
+      "  LDG.E.32 R16, [R10] ;\n"
+      "  LDG.E.32 R17, [R12] ;\n"
+      "  LDG.E.32 R18, [R14] ;\n"
+      "  FADD R19, R17, R18 ;\n";
+  s += Format(
+      "  FMUL R20, R16, %s ;\n"
+      "  FFMA R20, R19, %s, R20 ;\n",
+      FloatImm(0.9f).c_str(), FloatImm(0.05f).c_str());
+  s +=
+      "  MOV R8, c[0][0x168] ;\n"
+      "  MOV R9, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R10, R0, 0x4, R8 ;\n"
+      "  STG.E.32 [R10], R20 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+class IlbdcProgram final : public fi::TargetProgram {
+ public:
+  IlbdcProgram()
+      : source_(RelaxKernel()), checker_(ToleranceChecker::Element::kFloat, 2e-3, 1e-7) {}
+
+  std::string name() const override { return "360.ilbdc"; }
+  std::string description() const override { return "Fluid mechanics"; }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* relax = ctx.GetFunction("ilbdc_relax");
+    NVBITFI_CHECK(relax != nullptr);
+
+    std::vector<float> init(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      init[i] = 1.0f + 0.25f * static_cast<float>(std::cos(0.13 * i));
+    }
+    sim::DevPtr a = AllocAndUpload(ctx, init);
+    sim::DevPtr b = AllocAndUpload(ctx, init);
+
+    const sim::Dim3 grid{kN / kBlock, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+    for (int it = 0; it < kSteps; ++it) {
+      const std::uint64_t params[] = {a, b, kN};
+      ctx.LaunchKernel(relax, grid, block, params);
+      std::swap(a, b);
+    }
+
+    const std::vector<float> field = Download(ctx, a, kN);
+    double mass = 0.0;
+    for (const float v : field) mass += v;
+
+    art.stdout_text = Format("360.ilbdc: mass %.3e after %d steps\n", mass, kSteps);
+    AppendToOutput(&art, std::span<const float>(field));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Ilbdc() {
+  static const IlbdcProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

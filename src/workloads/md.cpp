@@ -1,0 +1,230 @@
+// 350.md — molecular dynamics proxy: Lennard-Jones-style pairwise forces,
+// velocity-Verlet integration, and a linked-cell neighbour walk.
+// Table IV: 3 static kernels, 53 dynamic kernels (25 steps x {forces,
+// integrate} + a neighbour rebuild at steps 0, 10, 20).
+//
+// Notes for the fault study: the forces kernel declares very high register
+// pressure (regs=80), which makes exact profiling spill — this program is the
+// paper's 558x profiling-overhead outlier (Fig. 4).  The neighbour kernel
+// walks a device-resident linked list with a data-dependent loop, so pointer
+// corruptions can produce genuine hangs (watchdog DUEs) or address traps.
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/common.h"
+#include "workloads/programs.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kAtoms = 128;
+constexpr std::uint32_t kBlock = 64;
+constexpr int kSteps = 25;
+constexpr float kDt = 1e-3f;
+
+// All-pairs force accumulation.  params: 0=x, 1=f, 2=n
+std::string ForcesKernel() {
+  std::string s = ".kernel md_forces regs=80\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"  // xi
+      "  MOV R20, RZ ;\n"        // force accumulator
+      "  MOV R22, RZ ;\n"        // j
+      "floop:\n"
+      "  IMAD.WIDE R6, R22, 0x4, R4 ;\n"
+      "  LDG.E.32 R9, [R6] ;\n"  // xj
+      "  FADD R10, R9, -R8 ;\n"  // dx
+      "  FMUL R11, R10, R10 ;\n";
+  s += Format(
+      "  FADD R11, R11, %s ;\n"    // r2 + softening
+      "  MUFU.RCP R12, R11 ;\n"    // inv = 1/r2
+      "  FMUL R13, R12, R12 ;\n"
+      "  FMUL R13, R13, R12 ;\n"   // inv^3
+      "  FADD R14, R13, -R12 ;\n"  // inv^3 - inv (attract/repel mix)
+      "  FFMA R20, R14, R10, R20 ;\n",
+      FloatImm(0.01f).c_str());
+  s +=
+      "  IADD3 R22, R22, 1, RZ ;\n"
+      "  ISETP.LT.AND P1, PT, R22, R3, PT ;\n"
+      "  @P1 BRA floop ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R20 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// Velocity-Verlet update.  params: 0=x, 1=v, 2=f, 3=n, 4=dt(bits)
+std::string IntegrateKernel() {
+  std::string s = ".kernel md_integrate regs=24\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x178] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"   // &x[i]
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R10, R0, 0x4, R4 ;\n"  // &v[i]
+      "  MOV R4, c[0][0x170] ;\n"
+      "  MOV R5, c[0][0x174] ;\n"
+      "  IMAD.WIDE R12, R0, 0x4, R4 ;\n"  // &f[i]
+      "  LDG.E.32 R16, [R6] ;\n"
+      "  LDG.E.32 R17, [R10] ;\n"
+      "  LDG.E.32 R18, [R12] ;\n"
+      "  MOV R19, c[0][0x180] ;\n"        // dt bits
+      "  FFMA R17, R18, R19, R17 ;\n"     // v += f*dt
+      "  FFMA R16, R17, R19, R16 ;\n"     // x += v*dt
+      "  STG.E.32 [R10], R17 ;\n"
+      "  STG.E.32 [R6], R16 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// Linked-list neighbour walk: hop count until the 0xffffffff sentinel.  The
+// loop bound is data-dependent — a corrupted link that forms a cycle hangs
+// until the watchdog fires.  params: 0=next, 1=count, 2=n
+std::string NeighborKernel() {
+  std::string s = ".kernel md_neighbor regs=32\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  MOV R8, R0 ;\n"   // cur = i
+      "  MOV R9, RZ ;\n"   // hops = 0
+      "nloop:\n"
+      "  IMAD.WIDE R6, R8, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"  // cur = next[cur]
+      "  IADD3 R9, R9, 1, RZ ;\n"
+      "  ISETP.NE.AND P1, PT, R8, -1, PT ;\n"
+      "  @P1 BRA nloop ;\n"
+      // Fixed-count polish loop with a != exit condition: a corrupted loop
+      // counter skips the equality and spins for 2^32 iterations — a genuine
+      // hang that only the watchdog/monitor catches (Table V's timeout DUE).
+      "  MOV R16, RZ ;\n"
+      "ploop:\n"
+      "  IADD3 R16, R16, 1, RZ ;\n"
+      "  ISETP.NE.AND P2, PT, R16, 0x10, PT ;\n"
+      "  @P2 BRA ploop ;\n"
+      "  IADD3 R9, R9, R16, RZ ;\n"  // hops + 16
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R9 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+class MdProgram final : public fi::TargetProgram {
+ public:
+  MdProgram()
+      : source_(ForcesKernel() + IntegrateKernel() + NeighborKernel()),
+        checker_(ToleranceChecker::Element::kFloat, 5e-3, 1e-5) {}
+
+  std::string name() const override { return "350.md"; }
+  std::string description() const override { return "Molecular dynamics"; }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* forces = ctx.GetFunction("md_forces");
+    sim::Function* integrate = ctx.GetFunction("md_integrate");
+    sim::Function* neighbor = ctx.GetFunction("md_neighbor");
+    NVBITFI_CHECK(forces != nullptr && integrate != nullptr && neighbor != nullptr);
+
+    std::vector<float> x(kAtoms), v(kAtoms, 0.0f), f(kAtoms, 0.0f);
+    for (std::uint32_t i = 0; i < kAtoms; ++i) {
+      x[i] = static_cast<float>(i) * 0.8f +
+             0.1f * static_cast<float>(std::sin(1.7 * static_cast<double>(i)));
+    }
+    // next[i] = i+1 within each 16-atom cell; the last atom of a cell ends
+    // the list with the 0xffffffff sentinel.
+    std::vector<std::uint32_t> next(kAtoms);
+    for (std::uint32_t i = 0; i < kAtoms; ++i) {
+      next[i] = (i % 16 == 15) ? 0xFFFFFFFFu : i + 1;
+    }
+    sim::DevPtr d_x = AllocAndUpload(ctx, x);
+    sim::DevPtr d_v = AllocAndUpload(ctx, v);
+    sim::DevPtr d_f = AllocAndUpload(ctx, f);
+    sim::DevPtr d_next = AllocAndUploadU32(ctx, next);
+    const std::vector<std::uint32_t> zero_counts(kAtoms, 0);
+    sim::DevPtr d_count = AllocAndUploadU32(ctx, zero_counts);
+
+    const sim::Dim3 grid{kAtoms / kBlock, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+    for (int step = 0; step < kSteps; ++step) {
+      if (step % 10 == 0) {
+        const std::uint64_t params[] = {d_next, d_count, kAtoms};
+        ctx.LaunchKernel(neighbor, grid, block, params);
+      }
+      {
+        const std::uint64_t params[] = {d_x, d_f, kAtoms};
+        ctx.LaunchKernel(forces, grid, block, params);
+      }
+      {
+        const std::uint64_t params[] = {d_x, d_v, d_f, kAtoms, FloatParam(kDt)};
+        ctx.LaunchKernel(integrate, grid, block, params);
+      }
+    }
+
+    const std::vector<float> xf = Download(ctx, d_x, kAtoms);
+    const std::vector<float> vf = Download(ctx, d_v, kAtoms);
+    const std::vector<std::uint32_t> counts = DownloadU32(ctx, d_count, kAtoms);
+    double energy = 0.0;
+    std::uint64_t hops = 0;
+    for (std::uint32_t i = 0; i < kAtoms; ++i) {
+      energy += 0.5 * static_cast<double>(vf[i]) * vf[i];
+      hops += counts[i];
+    }
+
+    art.stdout_text = Format("350.md: kinetic energy %.3e, neighbour hops %llu\n",
+                             energy, static_cast<unsigned long long>(hops));
+    AppendToOutput(&art, std::span<const float>(xf));
+    AppendToOutput(&art, std::span<const float>(vf));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Md() {
+  static const MdProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,243 @@
+// 304.olbm — computational fluid dynamics proxy: a D2Q5 Lattice Boltzmann
+// method on a 16x16 periodic lattice with an inlet boundary row.
+// Table IV: 3 static kernels (collide, stream, boundary), 900 dynamic
+// kernels (300 time steps x 3).
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/common.h"
+#include "workloads/programs.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kSide = 16;          // 16x16 lattice
+constexpr std::uint32_t kCells = kSide * kSide;
+constexpr std::uint32_t kBlock = 64;
+constexpr int kSteps = 300;
+constexpr std::uint32_t kPlaneBytes = kCells * 4;  // one distribution plane
+
+// Distribution weights: rest + 4 neighbours.
+constexpr float kW0 = 0.6f;
+constexpr float kWk = 0.1f;
+constexpr float kOmega = 0.6f;
+
+// BGK collision: rho = sum f_k ; f_k += omega * (w_k * rho - f_k).
+// params: 0=f, 1=n
+std::string CollideKernel() {
+  std::string s = ".kernel lbm_collide regs=32\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x168] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n";
+  // Load the 5 planes.
+  s += Format(
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  LDG.E.32 R9, [R6+0x%x] ;\n"
+      "  LDG.E.32 R10, [R6+0x%x] ;\n"
+      "  LDG.E.32 R11, [R6+0x%x] ;\n"
+      "  LDG.E.32 R12, [R6+0x%x] ;\n",
+      kPlaneBytes, 2 * kPlaneBytes, 3 * kPlaneBytes, 4 * kPlaneBytes);
+  s +=
+      "  FADD R13, R8, R9 ;\n"
+      "  FADD R13, R13, R10 ;\n"
+      "  FADD R13, R13, R11 ;\n"
+      "  FADD R13, R13, R12 ;\n";  // rho
+  // f_k = f_k + omega * (w_k * rho - f_k)
+  const auto relax = [](int reg, float w) {
+    return Format(
+        "  FMUL R20, R13, %s ;\n"
+        "  FADD R21, R20, -R%d ;\n"
+        "  FFMA R%d, R21, %s, R%d ;\n",
+        FloatImm(w).c_str(), reg, reg, FloatImm(kOmega).c_str(), reg);
+  };
+  s += relax(8, kW0);
+  s += relax(9, kWk);
+  s += relax(10, kWk);
+  s += relax(11, kWk);
+  s += relax(12, kWk);
+  s += Format(
+      "  STG.E.32 [R6], R8 ;\n"
+      "  STG.E.32 [R6+0x%x], R9 ;\n"
+      "  STG.E.32 [R6+0x%x], R10 ;\n"
+      "  STG.E.32 [R6+0x%x], R11 ;\n"
+      "  STG.E.32 [R6+0x%x], R12 ;\n"
+      "  EXIT ;\n",
+      kPlaneBytes, 2 * kPlaneBytes, 3 * kPlaneBytes, 4 * kPlaneBytes);
+  s += ".endkernel\n";
+  return s;
+}
+
+// Streaming with periodic wrap: plane 1 flows east, 2 west, 3 north, 4 south.
+// fout_k[(x,y)] = fin_k[from_k(x,y)] ; plane 0 copies.
+// params: 0=fin, 1=fout, 2=n
+std::string StreamKernel() {
+  std::string s = ".kernel lbm_stream regs=40\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x170] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      // x = gid & 15 ; y = gid >> 4
+      "  LOP32I.AND R4, R0, 0xf ;\n"
+      "  SHR.U32 R5, R0, 0x4 ;\n"
+      // xm=(x-1)&15 xp=(x+1)&15 ym=(y-1)&15 yp=(y+1)&15
+      "  IADD3 R6, R4, -1, RZ ;\n"
+      "  LOP32I.AND R6, R6, 0xf ;\n"
+      "  IADD3 R7, R4, 1, RZ ;\n"
+      "  LOP32I.AND R7, R7, 0xf ;\n"
+      "  IADD3 R8, R5, -1, RZ ;\n"
+      "  LOP32I.AND R8, R8, 0xf ;\n"
+      "  IADD3 R9, R5, 1, RZ ;\n"
+      "  LOP32I.AND R9, R9, 0xf ;\n"
+      // source cell indices: east-moving came from (xm, y), west from (xp, y),
+      // north from (x, ym), south from (x, yp)
+      "  SHL R10, R5, 0x4 ;\n"
+      "  IADD3 R11, R10, R6, RZ ;\n"   // idx_e
+      "  IADD3 R12, R10, R7, RZ ;\n"   // idx_w
+      "  SHL R13, R8, 0x4 ;\n"
+      "  IADD3 R13, R13, R4, RZ ;\n"   // idx_n
+      "  SHL R14, R9, 0x4 ;\n"
+      "  IADD3 R14, R14, R4, RZ ;\n"   // idx_s
+      "  MOV R16, c[0][0x160] ;\n"
+      "  MOV R17, c[0][0x164] ;\n"
+      // gather
+      "  IMAD.WIDE R18, R0, 0x4, R16 ;\n"
+      "  LDG.E.32 R24, [R18] ;\n";  // f0 from same cell
+  s += Format(
+      "  IMAD.WIDE R18, R11, 0x4, R16 ;\n"
+      "  LDG.E.32 R25, [R18+0x%x] ;\n"
+      "  IMAD.WIDE R18, R12, 0x4, R16 ;\n"
+      "  LDG.E.32 R26, [R18+0x%x] ;\n"
+      "  IMAD.WIDE R18, R13, 0x4, R16 ;\n"
+      "  LDG.E.32 R27, [R18+0x%x] ;\n"
+      "  IMAD.WIDE R18, R14, 0x4, R16 ;\n"
+      "  LDG.E.32 R28, [R18+0x%x] ;\n",
+      kPlaneBytes, 2 * kPlaneBytes, 3 * kPlaneBytes, 4 * kPlaneBytes);
+  s += Format(
+      "  MOV R16, c[0][0x168] ;\n"
+      "  MOV R17, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R18, R0, 0x4, R16 ;\n"
+      "  STG.E.32 [R18], R24 ;\n"
+      "  STG.E.32 [R18+0x%x], R25 ;\n"
+      "  STG.E.32 [R18+0x%x], R26 ;\n"
+      "  STG.E.32 [R18+0x%x], R27 ;\n"
+      "  STG.E.32 [R18+0x%x], R28 ;\n"
+      "  EXIT ;\n",
+      kPlaneBytes, 2 * kPlaneBytes, 3 * kPlaneBytes, 4 * kPlaneBytes);
+  s += ".endkernel\n";
+  return s;
+}
+
+// Inlet boundary: the y == 0 row is reset to the inflow distribution.
+// params: 0=f, 1=n
+std::string BoundaryKernel() {
+  std::string s = ".kernel lbm_boundary regs=16\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x168] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  SHR.U32 R5, R0, 0x4 ;\n"
+      "  ISETP.NE.AND P1, PT, R5, RZ, PT ;\n"
+      "  @P1 EXIT ;\n"
+      "  MOV R6, c[0][0x160] ;\n"
+      "  MOV R7, c[0][0x164] ;\n"
+      "  IMAD.WIDE R8, R0, 0x4, R6 ;\n";
+  s += Format(
+      "  MOV32I R10, %s ;\n"
+      "  MOV32I R11, %s ;\n"
+      "  STG.E.32 [R8], R10 ;\n"
+      "  STG.E.32 [R8+0x%x], R11 ;\n"
+      "  STG.E.32 [R8+0x%x], R11 ;\n"
+      "  STG.E.32 [R8+0x%x], R11 ;\n"
+      "  STG.E.32 [R8+0x%x], R11 ;\n"
+      "  EXIT ;\n",
+      FloatImm(kW0 * 1.2f).c_str(), FloatImm(kWk * 1.2f).c_str(), kPlaneBytes,
+      2 * kPlaneBytes, 3 * kPlaneBytes, 4 * kPlaneBytes);
+  s += ".endkernel\n";
+  return s;
+}
+
+class OlbmProgram final : public fi::TargetProgram {
+ public:
+  OlbmProgram()
+      : source_(CollideKernel() + StreamKernel() + BoundaryKernel()),
+        checker_(ToleranceChecker::Element::kFloat, 3e-3, 1e-7) {}
+
+  std::string name() const override { return "304.olbm"; }
+  std::string description() const override {
+    return "Computational fluid dynamics, Lattice Boltzmann Method";
+  }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* collide = ctx.GetFunction("lbm_collide");
+    sim::Function* stream = ctx.GetFunction("lbm_stream");
+    sim::Function* boundary = ctx.GetFunction("lbm_boundary");
+    NVBITFI_CHECK(collide != nullptr && stream != nullptr && boundary != nullptr);
+
+    // Equilibrium initial state over 5 planes.
+    std::vector<float> init(5 * kCells);
+    for (std::uint32_t i = 0; i < kCells; ++i) init[i] = kW0;
+    for (std::uint32_t k = 1; k < 5; ++k) {
+      for (std::uint32_t i = 0; i < kCells; ++i) init[k * kCells + i] = kWk;
+    }
+    sim::DevPtr fa = AllocAndUpload(ctx, init);
+    sim::DevPtr fb = AllocAndUpload(ctx, init);
+
+    const sim::Dim3 grid{kCells / kBlock, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+    for (int it = 0; it < kSteps; ++it) {
+      const std::uint64_t collide_params[] = {fa, kCells};
+      ctx.LaunchKernel(collide, grid, block, collide_params);
+      const std::uint64_t stream_params[] = {fa, fb, kCells};
+      ctx.LaunchKernel(stream, grid, block, stream_params);
+      const std::uint64_t bc_params[] = {fb, kCells};
+      ctx.LaunchKernel(boundary, grid, block, bc_params);
+      std::swap(fa, fb);
+    }
+
+    const std::vector<float> f = Download(ctx, fa, 5 * kCells);
+    double mass = 0.0;
+    for (const float v : f) mass += v;
+
+    art.stdout_text = Format("304.olbm: lattice mass %.3e after %d steps\n", mass, kSteps);
+    AppendToOutput(&art, std::span<const float>(f));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Olbm() {
+  static const OlbmProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

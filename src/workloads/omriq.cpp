@@ -1,0 +1,182 @@
+// 314.omriq — medicine proxy (MRI Q-matrix): per-point trigonometric
+// accumulation over all k-space samples.  Table IV: 2 static kernels,
+// 2 dynamic kernels (one launch each).
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/common.h"
+#include "workloads/programs.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kPoints = 64;
+constexpr std::uint32_t kSamples = 64;
+constexpr std::uint32_t kBlock = 64;
+
+// phiMag[k] = phiR[k]^2 + phiI[k]^2
+// params: 0=phiR, 1=phiI, 2=phiMag, 3=K
+std::string PhiMagKernel() {
+  std::string s = ".kernel mriq_phimag regs=16\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x178] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R9, [R6] ;\n"
+      "  FMUL R10, R8, R8 ;\n"
+      "  FFMA R10, R9, R9, R10 ;\n"
+      "  MOV R4, c[0][0x170] ;\n"
+      "  MOV R5, c[0][0x174] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R10 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+// Qr[i] = sum_k phiMag[k]*cos(2*pi*kx[k]*x[i]);  Qi[i] likewise with sin.
+// params: 0=x, 1=kx, 2=phiMag, 3=Qr, 4=Qi, 5=n, 6=K
+std::string ComputeQKernel() {
+  std::string s = ".kernel mriq_computeq regs=32\n";
+  s +=
+      "  S2R R0, SR_CTAID.X ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  MOV R2, c[0][0x0] ;\n"
+      "  IMAD R0, R0, R2, R1 ;\n"
+      "  MOV R3, c[0][0x188] ;\n"
+      "  ISETP.GE.AND P0, PT, R0, R3, PT ;\n"
+      "  @P0 EXIT ;\n"
+      // x[i] -> R8
+      "  MOV R4, c[0][0x160] ;\n"
+      "  MOV R5, c[0][0x164] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  LDG.E.32 R8, [R6] ;\n"
+      // accumulators and loop counter
+      "  MOV R20, RZ ;\n"  // acc_r
+      "  MOV R21, RZ ;\n"  // acc_i
+      "  MOV R22, RZ ;\n"  // k
+      "  MOV R23, c[0][0x190] ;\n"  // K
+      "qloop:\n"
+      // kx[k] -> R10, phiMag[k] -> R11
+      "  MOV R4, c[0][0x168] ;\n"
+      "  MOV R5, c[0][0x16c] ;\n"
+      "  IMAD.WIDE R6, R22, 0x4, R4 ;\n"
+      "  LDG.E.32 R10, [R6] ;\n"
+      "  MOV R4, c[0][0x170] ;\n"
+      "  MOV R5, c[0][0x174] ;\n"
+      "  IMAD.WIDE R6, R22, 0x4, R4 ;\n"
+      "  LDG.E.32 R11, [R6] ;\n";
+  s += Format(
+      "  FMUL R12, R10, R8 ;\n"
+      "  FMUL R12, R12, %s ;\n"  // angle = 2*pi*kx*x
+      "  MUFU.COS R13, R12 ;\n"
+      "  MUFU.SIN R14, R12 ;\n"
+      "  FFMA R20, R11, R13, R20 ;\n"
+      "  FFMA R21, R11, R14, R21 ;\n",
+      FloatImm(6.2831853f).c_str());
+  s +=
+      "  IADD3 R22, R22, 1, RZ ;\n"
+      "  ISETP.LT.AND P1, PT, R22, R23, PT ;\n"
+      "  @P1 BRA qloop ;\n"
+      // store Qr, Qi
+      "  MOV R4, c[0][0x178] ;\n"
+      "  MOV R5, c[0][0x17c] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R20 ;\n"
+      "  MOV R4, c[0][0x180] ;\n"
+      "  MOV R5, c[0][0x184] ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R21 ;\n"
+      "  EXIT ;\n"
+      ".endkernel\n";
+  return s;
+}
+
+class OmriqProgram final : public fi::TargetProgram {
+ public:
+  OmriqProgram()
+      : source_(PhiMagKernel() + ComputeQKernel()),
+        checker_(ToleranceChecker::Element::kFloat, 8e-3, 1e-5) {}
+
+  std::string name() const override { return "314.omriq"; }
+  std::string description() const override { return "Medicine"; }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* phimag = ctx.GetFunction("mriq_phimag");
+    sim::Function* computeq = ctx.GetFunction("mriq_computeq");
+    NVBITFI_CHECK(phimag != nullptr && computeq != nullptr);
+
+    std::vector<float> x(kPoints), kx(kSamples), phiR(kSamples), phiI(kSamples);
+    for (std::uint32_t i = 0; i < kPoints; ++i) x[i] = 0.01f * static_cast<float>(i);
+    for (std::uint32_t k = 0; k < kSamples; ++k) {
+      kx[k] = 0.5f + 0.03f * static_cast<float>(k);
+      phiR[k] = std::cos(0.21f * static_cast<float>(k));
+      phiI[k] = std::sin(0.17f * static_cast<float>(k));
+    }
+    const std::vector<float> zeros_points(kPoints, 0.0f);
+    const std::vector<float> zeros_samples(kSamples, 0.0f);
+    sim::DevPtr d_x = AllocAndUpload(ctx, x);
+    sim::DevPtr d_kx = AllocAndUpload(ctx, kx);
+    sim::DevPtr d_phiR = AllocAndUpload(ctx, phiR);
+    sim::DevPtr d_phiI = AllocAndUpload(ctx, phiI);
+    sim::DevPtr d_phiMag = AllocAndUpload(ctx, zeros_samples);
+    sim::DevPtr d_Qr = AllocAndUpload(ctx, zeros_points);
+    sim::DevPtr d_Qi = AllocAndUpload(ctx, zeros_points);
+
+    const sim::Dim3 grid{1, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+    {
+      const std::uint64_t params[] = {d_phiR, d_phiI, d_phiMag, kSamples};
+      ctx.LaunchKernel(phimag, grid, block, params);
+    }
+    {
+      const std::uint64_t params[] = {d_x, d_kx, d_phiMag, d_Qr, d_Qi, kPoints, kSamples};
+      ctx.LaunchKernel(computeq, grid, block, params);
+    }
+
+    const std::vector<float> qr = Download(ctx, d_Qr, kPoints);
+    const std::vector<float> qi = Download(ctx, d_Qi, kPoints);
+    double norm = 0.0;
+    for (std::uint32_t i = 0; i < kPoints; ++i) {
+      norm += static_cast<double>(qr[i]) * qr[i] + static_cast<double>(qi[i]) * qi[i];
+    }
+
+    art.stdout_text = Format("314.omriq: |Q|^2 = %.2e over %u points\n", norm, kPoints);
+    AppendToOutput(&art, std::span<const float>(qr));
+    AppendToOutput(&art, std::span<const float>(qi));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Omriq() {
+  static const OmriqProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,87 @@
+// 303.ostencil — thermodynamics proxy: 1-D heat-diffusion Jacobi stencil.
+// Table IV: 2 static kernels, 101 dynamic kernels (100 ping-pong stencil
+// steps + 1 final reduction).
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "workloads/programs.h"
+#include "workloads/common.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+constexpr std::uint32_t kN = 1024;
+constexpr std::uint32_t kBlock = 64;
+constexpr int kSteps = 100;
+
+class OstencilProgram final : public fi::TargetProgram {
+ public:
+  OstencilProgram()
+      : source_(StencilKernel("ostencil_step", 0.19f) + ReduceKernel("ostencil_reduce")),
+        checker_(ToleranceChecker::Element::kFloat, 2e-3, 1e-7) {}
+
+  std::string name() const override { return "303.ostencil"; }
+  std::string description() const override { return "Thermodynamics"; }
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source_, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::Function* step = ctx.GetFunction("ostencil_step");
+    sim::Function* reduce = ctx.GetFunction("ostencil_reduce");
+    NVBITFI_CHECK(step != nullptr && reduce != nullptr);
+
+    // Hot spot in the middle of a cold rod.
+    std::vector<float> init(kN, 0.0f);
+    for (std::uint32_t i = kN / 2 - 32; i < kN / 2 + 32; ++i) init[i] = 100.0f;
+    sim::DevPtr a = AllocAndUpload(ctx, init);
+    sim::DevPtr b = AllocAndUpload(ctx, init);
+
+    constexpr std::uint32_t kGrid = kN / kBlock;
+    std::vector<float> zero(kGrid, 0.0f);
+    sim::DevPtr partials = AllocAndUpload(ctx, zero);
+
+    const sim::Dim3 grid{kGrid, 1, 1};
+    const sim::Dim3 block{kBlock, 1, 1};
+    for (int it = 0; it < kSteps; ++it) {
+      const std::uint64_t params[] = {a, b, kN};
+      ctx.LaunchKernel(step, grid, block, params);
+      std::swap(a, b);
+    }
+    {
+      const std::uint64_t params[] = {a, partials, kN};
+      ctx.LaunchKernel(reduce, grid, block, params);
+    }
+
+    const std::vector<float> field = Download(ctx, a, kN);
+    const std::vector<float> sums = Download(ctx, partials, kGrid);
+    double heat = 0.0;
+    for (const float s : sums) heat += s;
+
+    // This program does NOT check CUDA errors (lenient host): device traps
+    // surface only as potential DUEs.
+    art.stdout_text = Format("303.ostencil: total heat %.3e after %d steps\n", heat, kSteps);
+    AppendToOutput(&art, std::span<const float>(field));
+    AppendToOutput(&art, std::span<const float>(sums));
+    return art;
+  }
+
+ private:
+  std::string source_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace
+
+const fi::TargetProgram& Ostencil() {
+  static const OstencilProgram program;
+  return program;
+}
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,18 @@
+// Factories for the hand-crafted proxy programs (the template-suite programs
+// are instantiated directly in registry.cpp).  Each returns a process-
+// lifetime singleton.
+#pragma once
+
+#include "core/target_program.h"
+
+namespace nvbitfi::workloads {
+
+const fi::TargetProgram& Ostencil();  // 303.ostencil — thermodynamics
+const fi::TargetProgram& Olbm();      // 304.olbm — Lattice Boltzmann CFD
+const fi::TargetProgram& Omriq();     // 314.omriq — medicine (MRI Q)
+const fi::TargetProgram& Md();        // 350.md — molecular dynamics
+const fi::TargetProgram& Ep();        // 352.ep — embarrassingly parallel
+const fi::TargetProgram& Cg();        // 354.cg — conjugate gradient
+const fi::TargetProgram& Ilbdc();     // 360.ilbdc — fluid mechanics
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,193 @@
+// Table IV registry: all 15 SpecACCEL proxies with their expected
+// static/dynamic kernel counts.
+#include "workloads/workloads.h"
+
+#include "common/check.h"
+#include "workloads/programs.h"
+#include "workloads/template_suite.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+const TemplateSuiteProgram& Palm() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "351.palm";
+    c.description = "Large-eddy simulation, atmospheric turbulence";
+    c.stencil_kernels = 25;
+    c.axpy_kernels = 25;
+    c.sweep_kernels = 20;
+    c.scale_kernels = 20;
+    c.fp64_kernels = 10;      // 100 static kernels
+    c.iterations = 70;        // 70*100 + 50 = 7,050 dynamic
+    c.extra_prefix_launches = 50;
+    c.n = 128;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& Clvrleaf() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "353.clvrleaf";
+    c.description = "Weather";
+    c.stencil_kernels = 29;
+    c.axpy_kernels = 29;
+    c.sweep_kernels = 29;
+    c.scale_kernels = 29;     // 116 static kernels
+    c.iterations = 108;       // 108*116 = 12,528 dynamic
+    c.n = 64;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& Seismic() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "355.seismic";
+    c.description = "Seismic wave modeling";
+    c.stencil_kernels = 8;
+    c.sweep_kernels = 8;      // 16 static kernels
+    c.iterations = 218;       // 218*16 + 14 = 3,502 dynamic
+    c.extra_prefix_launches = 14;
+    c.n = 128;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& Sp() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "356.sp";
+    c.description = "Scalar Penta-diagonal solver";
+    c.stencil_kernels = 18;
+    c.axpy_kernels = 18;
+    c.sweep_kernels = 18;
+    c.scale_kernels = 17;     // 71 static kernels
+    c.iterations = 390;       // 390*71 + 2 = 27,692 dynamic
+    c.extra_prefix_launches = 2;
+    c.n = 64;
+    c.checks_cuda_errors = true;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& Csp() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "357.csp";
+    c.description = "Scalar Penta-diagonal solver";
+    c.stencil_kernels = 18;
+    c.axpy_kernels = 17;
+    c.sweep_kernels = 17;
+    c.scale_kernels = 17;     // 69 static kernels
+    c.iterations = 389;       // 389*69 + 49 = 26,890 dynamic
+    c.extra_prefix_launches = 49;
+    c.n = 64;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& MiniGhost() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "359.miniGhost";
+    c.description = "Finite difference";
+    c.stencil_kernels = 13;
+    c.copy_kernels = 13;      // 26 static kernels (stencil + halo copies)
+    c.iterations = 308;       // 308*26 + 2 = 8,010 dynamic
+    c.extra_prefix_launches = 2;
+    c.n = 128;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& Swim() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "363.swim";
+    c.description = "Weather";
+    c.stencil_kernels = 7;
+    c.sweep_kernels = 7;
+    c.axpy_kernels = 8;       // 22 static kernels
+    c.iterations = 545;       // 545*22 + 9 = 11,999 dynamic
+    c.extra_prefix_launches = 9;
+    c.n = 128;
+    c.checks_cuda_errors = true;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+const TemplateSuiteProgram& Bt() {
+  static const TemplateSuiteProgram program([] {
+    TemplateSuiteConfig c;
+    c.name = "370.bt";
+    c.description = "Block Tri-diagonal solver for 3D PDE";
+    c.stencil_kernels = 17;
+    c.sweep_kernels = 17;
+    c.scale_kernels = 16;     // 50 static kernels
+    c.iterations = 201;       // 201*50 + 19 = 10,069 dynamic
+    c.extra_prefix_launches = 19;
+    c.n = 64;
+    c.rel_tol = 3e-3;
+    return c;
+  }());
+  return program;
+}
+
+}  // namespace
+
+const std::vector<WorkloadEntry>& AllWorkloads() {
+  static const std::vector<WorkloadEntry>* entries = [] {
+    auto* v = new std::vector<WorkloadEntry>{
+        {&Ostencil(), "Thermodynamics", {2, 101}},
+        {&Olbm(), "Computational fluid dynamics, Lattice Boltzmann Method", {3, 900}},
+        {&Omriq(), "Medicine", {2, 2}},
+        {&Md(), "Molecular dynamics", {3, 53}},
+        {&Palm(), "Large-eddy simulation, atmospheric turbulence", {100, 7050}},
+        {&Ep(), "Embarrassingly parallel", {7, 187}},
+        {&Clvrleaf(), "Weather", {116, 12528}},
+        {&Cg(), "Conjugate gradient", {22, 2027}},
+        {&Seismic(), "Seismic wave modeling", {16, 3502}},
+        {&Sp(), "Scalar Penta-diagonal solver", {71, 27692}},
+        {&Csp(), "Scalar Penta-diagonal solver", {69, 26890}},
+        {&MiniGhost(), "Finite difference", {26, 8010}},
+        {&Ilbdc(), "Fluid mechanics", {1, 1000}},
+        {&Swim(), "Weather", {22, 11999}},
+        {&Bt(), "Block Tri-diagonal solver for 3D PDE", {50, 10069}},
+    };
+    // Config sanity: every template-suite program must match its Table IV row.
+    for (const WorkloadEntry& e : *v) {
+      if (const auto* suite = dynamic_cast<const TemplateSuiteProgram*>(e.program)) {
+        NVBITFI_CHECK_MSG(suite->config().StaticKernels() == e.table4_counts.static_kernels &&
+                              suite->config().DynamicKernels() == e.table4_counts.dynamic_kernels,
+                          "Table IV mismatch for " << suite->name());
+      }
+    }
+    return v;
+  }();
+  return *entries;
+}
+
+const fi::TargetProgram* FindWorkload(std::string_view name) {
+  for (const WorkloadEntry& entry : AllWorkloads()) {
+    if (entry.program->name() == name) return entry.program;
+  }
+  return nullptr;
+}
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,183 @@
+#include "workloads/template_suite.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace nvbitfi::workloads {
+
+TemplateSuiteProgram::TemplateSuiteProgram(TemplateSuiteConfig config)
+    : config_(std::move(config)),
+      checker_(ToleranceChecker::Element::kFloat, config_.rel_tol, 1e-7) {
+  // Deterministic per-kernel coefficients; seeded by the program name so each
+  // program's kernels are distinct but stable across runs.
+  Rng rng(Rng::SeedFrom(0x5eed, config_.name));
+  auto coef = [&rng](double lo, double hi) {
+    return static_cast<float>(lo + (hi - lo) * rng.UniformUnit());
+  };
+
+  auto add = [this](KernelKind kind, const char* tag, int index, float c0, float c1,
+                    std::string source) {
+    KernelSpec spec;
+    spec.kernel_name = Format("%s_%s_%02d", config_.name.substr(4).c_str(), tag, index);
+    spec.kind = kind;
+    spec.c0 = c0;
+    spec.c1 = c1;
+    module_source_ += source;
+    roster_.push_back(std::move(spec));
+  };
+
+  for (int i = 0; i < config_.stencil_kernels; ++i) {
+    const float c = coef(0.05, 0.24);  // diffusion-stable coefficients
+    const std::string kernel_name =
+        Format("%s_stencil_%02d", config_.name.substr(4).c_str(), i);
+    add(KernelKind::kStencil, "stencil", i, c, 0.0f, StencilKernel(kernel_name, c));
+  }
+  for (int i = 0; i < config_.axpy_kernels; ++i) {
+    const float a = coef(-0.02, 0.02);
+    const std::string kernel_name =
+        Format("%s_axpy_%02d", config_.name.substr(4).c_str(), i);
+    add(KernelKind::kAxpy, "axpy", i, a, 0.0f, AxpyKernel(kernel_name, a));
+  }
+  for (int i = 0; i < config_.sweep_kernels; ++i) {
+    const float c0 = coef(0.90, 0.99);
+    const float c1 = 1.0f - c0;  // convex combination keeps values bounded
+    const std::string kernel_name =
+        Format("%s_sweep_%02d", config_.name.substr(4).c_str(), i);
+    add(KernelKind::kSweep, "sweep", i, c0, c1, SweepKernel(kernel_name, c0, c1));
+  }
+  for (int i = 0; i < config_.scale_kernels; ++i) {
+    const float a = coef(0.995, 1.004);
+    const float b = coef(-0.001, 0.001);
+    const std::string kernel_name =
+        Format("%s_scale_%02d", config_.name.substr(4).c_str(), i);
+    add(KernelKind::kScale, "scale", i, a, b, ScaleKernel(kernel_name, a, b));
+  }
+  for (int i = 0; i < config_.copy_kernels; ++i) {
+    const std::string kernel_name =
+        Format("%s_copy_%02d", config_.name.substr(4).c_str(), i);
+    add(KernelKind::kCopy, "copy", i, 0.0f, 0.0f, CopyKernel(kernel_name));
+  }
+  for (int i = 0; i < config_.fp64_kernels; ++i) {
+    const float c = coef(1e-6, 1e-4);
+    const std::string kernel_name =
+        Format("%s_fp64_%02d", config_.name.substr(4).c_str(), i);
+    add(KernelKind::kFp64, "fp64", i, c, 0.0f, Fp64SquareAccumulateKernel(kernel_name));
+  }
+
+  NVBITFI_CHECK_MSG(static_cast<int>(roster_.size()) == config_.StaticKernels(),
+                    "roster does not match configured kernel counts");
+}
+
+fi::RunArtifacts TemplateSuiteProgram::Run(sim::Context& ctx) const {
+  fi::RunArtifacts art;
+
+  sim::Module* module = nullptr;
+  if (ctx.ModuleLoadText(module_source_, &module) != sim::CuResult::kSuccess) {
+    art.stdout_text = config_.name + ": FATAL module load failed\n";
+    art.exit_code = 2;
+    return art;
+  }
+
+  const std::uint32_t n = config_.n;
+  std::vector<float> init(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    init[i] = 0.5f + 0.4f * std::sin(0.37 * static_cast<double>(i));
+  }
+  std::vector<double> dinit(n);
+  for (std::uint32_t i = 0; i < n; ++i) dinit[i] = 1.0 + 0.01 * i;
+
+  sim::DevPtr cur = AllocAndUpload(ctx, init);
+  sim::DevPtr alt = AllocAndUpload(ctx, init);
+  sim::DevPtr d_in = 0, d_out = 0;
+  if (config_.fp64_kernels > 0) {
+    d_in = AllocAndUploadDouble(ctx, dinit);
+    const std::vector<double> zeros(n, 0.0);
+    d_out = AllocAndUploadDouble(ctx, zeros);
+  }
+
+  const sim::Dim3 block{config_.block, 1, 1};
+  const sim::Dim3 grid{(n + config_.block - 1) / config_.block, 1, 1};
+
+  auto launch_one = [&](const KernelSpec& spec) {
+    sim::Function* fn = ctx.GetFunction(spec.kernel_name);
+    NVBITFI_CHECK_MSG(fn != nullptr, "missing kernel " << spec.kernel_name);
+    switch (spec.kind) {
+      case KernelKind::kStencil: {
+        const std::uint64_t params[] = {cur, alt, n};
+        ctx.LaunchKernel(fn, grid, block, params);
+        std::swap(cur, alt);
+        break;
+      }
+      case KernelKind::kAxpy: {
+        const std::uint64_t params[] = {alt, cur, n};
+        ctx.LaunchKernel(fn, grid, block, params);
+        break;
+      }
+      case KernelKind::kSweep: {
+        const std::uint64_t stride = 1 + (spec.kernel_name.size() % 7);
+        const std::uint64_t params[] = {cur, n, stride};
+        ctx.LaunchKernel(fn, grid, block, params);
+        break;
+      }
+      case KernelKind::kScale: {
+        const std::uint64_t params[] = {cur, cur, n};
+        ctx.LaunchKernel(fn, grid, block, params);
+        break;
+      }
+      case KernelKind::kCopy: {
+        const std::uint64_t params[] = {cur, alt, n};
+        ctx.LaunchKernel(fn, grid, block, params);
+        std::swap(cur, alt);
+        break;
+      }
+      case KernelKind::kFp64: {
+        const std::uint64_t params[] = {d_in,          d_out,
+                                        n,             DoubleParam(spec.c0),
+                                        DoubleParam(0.9995), DoubleParam(1e-7)};
+        ctx.LaunchKernel(fn, grid, block, params);
+        break;
+      }
+    }
+  };
+
+  // Extra prefix launches (initialisation pass), then the main iterations.
+  for (int k = 0; k < config_.extra_prefix_launches; ++k) {
+    launch_one(roster_[static_cast<std::size_t>(k)]);
+  }
+  for (int it = 0; it < config_.iterations; ++it) {
+    for (const KernelSpec& spec : roster_) launch_one(spec);
+  }
+
+  // Read back and report.
+  const std::vector<float> field = Download(ctx, cur, n);
+  double checksum = 0.0;
+  for (const float v : field) checksum += v;
+
+  std::vector<float> fp64_as_float;
+  if (config_.fp64_kernels > 0) {
+    const std::vector<double> dfield = DownloadDouble(ctx, d_out, n);
+    fp64_as_float.reserve(n);
+    for (const double v : dfield) {
+      fp64_as_float.push_back(static_cast<float>(v));
+      checksum += v * 1e-3;
+    }
+  }
+
+  if (config_.checks_cuda_errors && ctx.Synchronize() != sim::CuResult::kSuccess) {
+    art.stdout_text = Format("%s: CUDA error: %s\n", config_.name.c_str(),
+                             std::string(sim::CuResultName(ctx.Synchronize())).c_str());
+    art.exit_code = 1;
+    return art;
+  }
+
+  art.stdout_text =
+      Format("%s: %d kernels, checksum %.3e\n", config_.name.c_str(),
+             config_.DynamicKernels(), checksum);
+  AppendToOutput(&art, std::span<const float>(field));
+  AppendToOutput(&art, std::span<const float>(fp64_as_float));
+  return art;
+}
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,87 @@
+// Engine for the proxy programs composed of many similar small kernels
+// (351.palm, 353.clvrleaf, 355.seismic, 356.sp, 357.csp, 359.miniGhost,
+// 363.swim, 370.bt).  The real SpecACCEL codes contain dozens to hundreds of
+// compiler-generated OpenACC kernels that are structurally similar; we model
+// them as template-instantiated kernels with per-kernel coefficients, which
+// preserves what matters for fault injection: the static/dynamic kernel
+// structure and the instruction mix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/target_program.h"
+#include "workloads/common.h"
+
+namespace nvbitfi::workloads {
+
+enum class KernelKind : std::uint8_t {
+  kStencil,  // (in, out, n), ping-pongs the float buffers
+  kAxpy,     // (alt, cur, n): cur += a * alt
+  kSweep,    // (cur, n, stride): periodic two-point recombination in place
+  kScale,    // (cur, cur, n): affine update in place
+  kCopy,     // (cur, alt, n), ping-pongs
+  kFp64,     // (d_in, d_out, n, c): double-precision accumulation
+};
+
+struct TemplateSuiteConfig {
+  std::string name;               // e.g. "351.palm"
+  std::string description;
+  // Kernel roster: kind counts, instantiated as <prog>_<kind>_<idx> with
+  // deterministic per-kernel coefficients derived from `name`.
+  int stencil_kernels = 0;
+  int axpy_kernels = 0;
+  int sweep_kernels = 0;
+  int scale_kernels = 0;
+  int copy_kernels = 0;
+  int fp64_kernels = 0;
+  // Dynamic schedule: `iterations` rounds launching every kernel once, plus
+  // one extra leading launch of the first `extra_prefix_launches` kernels.
+  int iterations = 1;
+  int extra_prefix_launches = 0;
+  // Data size and launch geometry.
+  std::uint32_t n = 64;
+  std::uint32_t block = 32;
+  // Host discipline: check the sticky CUDA error at the end (exit 1)?
+  bool checks_cuda_errors = false;
+  // SDC-check tolerance (relative).
+  double rel_tol = 1e-4;
+
+  int StaticKernels() const {
+    return stencil_kernels + axpy_kernels + sweep_kernels + scale_kernels +
+           copy_kernels + fp64_kernels;
+  }
+  int DynamicKernels() const {
+    return iterations * StaticKernels() + extra_prefix_launches;
+  }
+};
+
+class TemplateSuiteProgram final : public fi::TargetProgram {
+ public:
+  explicit TemplateSuiteProgram(TemplateSuiteConfig config);
+
+  std::string name() const override { return config_.name; }
+  std::string description() const override { return config_.description; }
+  fi::RunArtifacts Run(sim::Context& context) const override;
+  const fi::SdcChecker& sdc_checker() const override { return checker_; }
+
+  const TemplateSuiteConfig& config() const { return config_; }
+
+ private:
+  struct KernelSpec {
+    std::string kernel_name;
+    KernelKind kind;
+    float c0 = 0.0f;
+    float c1 = 0.0f;
+  };
+
+  TemplateSuiteConfig config_;
+  std::string module_source_;
+  std::vector<KernelSpec> roster_;
+  ToleranceChecker checker_;
+};
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,32 @@
+// The SpecACCEL OpenACC v1.2 proxy suite (Table IV).
+//
+// Fifteen programs, each reproducing its SpecACCEL counterpart's *kernel
+// structure* exactly — the same number of static kernels and the same number
+// of dynamic kernel launches as Table IV — with miniaturised data sizes.  The
+// programs differ in instruction mix (FP32/FP64/integer/memory/control),
+// host-side error-checking discipline, and SDC-check tolerance, which is what
+// drives the per-program outcome differences in Figures 2 and 3.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/target_program.h"
+#include "workloads/common.h"
+
+namespace nvbitfi::workloads {
+
+struct WorkloadEntry {
+  const fi::TargetProgram* program;
+  const char* description;     // Table IV description column
+  KernelCounts table4_counts;  // Table IV static/dynamic kernel counts
+};
+
+// All 15 programs in Table IV order.  Pointers are to process-lifetime
+// singletons.
+const std::vector<WorkloadEntry>& AllWorkloads();
+
+// Lookup by program name (e.g. "303.ostencil"); nullptr when unknown.
+const fi::TargetProgram* FindWorkload(std::string_view name);
+
+}  // namespace nvbitfi::workloads

@@ -1,0 +1,106 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "core/transient_injector.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::baselines {
+namespace {
+
+// A shared fault specification on 303.ostencil for all three mechanisms.
+fi::TransientFaultParams SharedFault() {
+  fi::TransientFaultParams p;
+  p.arch_state_id = fi::ArchStateId::kGGp;
+  p.bit_flip_model = fi::BitFlipModel::kFlipSingleBit;
+  p.kernel_name = "ostencil_step";
+  p.kernel_count = 7;
+  p.instruction_count = 5000;
+  p.destination_register = 0.0;
+  p.bit_pattern_value = 0.35;
+  return p;
+}
+
+struct MechanismResult {
+  fi::InjectionRecord record;
+  fi::RunArtifacts artifacts;
+};
+
+template <typename Tool>
+MechanismResult RunMechanism() {
+  const fi::TargetProgram* program = workloads::FindWorkload("303.ostencil");
+  const fi::CampaignRunner runner(*program);
+  Tool tool(SharedFault());
+  MechanismResult result;
+  result.artifacts = runner.Execute(&tool, sim::DeviceProps{}, /*watchdog=*/0);
+  result.record = tool.record();
+  return result;
+}
+
+TEST(Baselines, AllMechanismsInjectTheIdenticalFault) {
+  const MechanismResult nvbitfi = RunMechanism<fi::TransientInjectorTool>();
+  const MechanismResult sassifi = RunMechanism<StaticInjectorTool>();
+  const MechanismResult gpuqin = RunMechanism<DebuggerInjectorTool>();
+
+  ASSERT_TRUE(nvbitfi.record.activated);
+  ASSERT_TRUE(sassifi.record.activated);
+  ASSERT_TRUE(gpuqin.record.activated);
+
+  // Identical architectural fault: same instruction, register, mask, lane.
+  for (const MechanismResult* other : {&sassifi, &gpuqin}) {
+    EXPECT_EQ(other->record.static_index, nvbitfi.record.static_index);
+    EXPECT_EQ(other->record.opcode, nvbitfi.record.opcode);
+    EXPECT_EQ(other->record.target_register, nvbitfi.record.target_register);
+    EXPECT_EQ(other->record.mask, nvbitfi.record.mask);
+    EXPECT_EQ(other->record.lane_id, nvbitfi.record.lane_id);
+    EXPECT_EQ(other->record.before_bits, nvbitfi.record.before_bits);
+  }
+
+  // And therefore identical program-level behaviour.
+  EXPECT_EQ(sassifi.artifacts.stdout_text, nvbitfi.artifacts.stdout_text);
+  EXPECT_EQ(gpuqin.artifacts.stdout_text, nvbitfi.artifacts.stdout_text);
+  EXPECT_EQ(sassifi.artifacts.output_file, nvbitfi.artifacts.output_file);
+  EXPECT_EQ(gpuqin.artifacts.output_file, nvbitfi.artifacts.output_file);
+}
+
+TEST(Baselines, OverheadOrderingMatchesTableI) {
+  const fi::TargetProgram* program = workloads::FindWorkload("303.ostencil");
+  const fi::CampaignRunner runner(*program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+
+  const MechanismResult nvbitfi = RunMechanism<fi::TransientInjectorTool>();
+  const MechanismResult sassifi = RunMechanism<StaticInjectorTool>();
+  const MechanismResult gpuqin = RunMechanism<DebuggerInjectorTool>();
+
+  // Dynamic selectivity beats always-on static instrumentation, which beats
+  // debugger single-stepping — the mechanism ranking behind Table I.
+  EXPECT_GT(nvbitfi.artifacts.cycles, golden.cycles);
+  EXPECT_GT(sassifi.artifacts.cycles, nvbitfi.artifacts.cycles);
+  EXPECT_GT(gpuqin.artifacts.cycles, sassifi.artifacts.cycles);
+}
+
+TEST(Baselines, DebuggerSingleStepsEveryDynamicInstruction) {
+  const fi::TargetProgram* program = workloads::FindWorkload("303.ostencil");
+  const fi::CampaignRunner runner(*program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+
+  DebuggerInjectorTool tool(SharedFault());
+  runner.Execute(&tool, sim::DeviceProps{}, 0);
+  // The debugger traps every instruction of every launch, including the
+  // predicated-off ones (its events >= the golden thread-instruction count).
+  EXPECT_GE(tool.single_steps(), golden.thread_instructions);
+}
+
+TEST(Baselines, StaticInjectorInstrumentsAllLaunches) {
+  // Unlike NVBitFI, the static injector pays instrumentation on every launch:
+  // its run must be strictly slower than NVBitFI's even though both only
+  // inject once.
+  const MechanismResult nvbitfi = RunMechanism<fi::TransientInjectorTool>();
+  const MechanismResult sassifi = RunMechanism<StaticInjectorTool>();
+  EXPECT_GT(static_cast<double>(sassifi.artifacts.cycles),
+            1.2 * static_cast<double>(nvbitfi.artifacts.cycles));
+}
+
+}  // namespace
+}  // namespace nvbitfi::baselines

@@ -1,0 +1,126 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nvbitfi {
+namespace {
+
+TEST(BitUtil, FloatBitsRoundTrip) {
+  const float values[] = {0.0f, -0.0f, 1.0f, -1.5f, 3.14159f, 1e-38f, 1e38f};
+  for (const float v : values) {
+    EXPECT_EQ(BitsToFloat(FloatToBits(v)), v);
+  }
+}
+
+TEST(BitUtil, FloatBitsKnownPatterns) {
+  EXPECT_EQ(FloatToBits(1.0f), 0x3F800000u);
+  EXPECT_EQ(FloatToBits(-2.0f), 0xC0000000u);
+  EXPECT_EQ(BitsToFloat(0x40490FDBu), 3.14159274f);
+}
+
+TEST(BitUtil, DoubleBitsRoundTrip) {
+  const double values[] = {0.0, -0.0, 1.0, -1.5, 2.718281828459045, 1e-300, 1e300};
+  for (const double v : values) {
+    EXPECT_EQ(BitsToDouble(DoubleToBits(v)), v);
+  }
+}
+
+TEST(BitUtil, NanBitsPreserved) {
+  const std::uint32_t nan_bits = 0x7FC00001u;
+  EXPECT_TRUE(std::isnan(BitsToFloat(nan_bits)));
+  EXPECT_EQ(FloatToBits(BitsToFloat(nan_bits)), nan_bits);
+}
+
+TEST(BitUtil, PackPair) {
+  EXPECT_EQ(PackPair(0x89ABCDEFu, 0x01234567u), 0x0123456789ABCDEFull);
+  EXPECT_EQ(PairLo(0x0123456789ABCDEFull), 0x89ABCDEFu);
+  EXPECT_EQ(PairHi(0x0123456789ABCDEFull), 0x01234567u);
+}
+
+TEST(BitUtil, PackPairRoundTripDouble) {
+  const double v = -123.456789;
+  const std::uint64_t bits = DoubleToBits(v);
+  EXPECT_EQ(BitsToDouble(PackPair(PairLo(bits), PairHi(bits))), v);
+}
+
+TEST(BitUtil, PopCount) {
+  EXPECT_EQ(PopCount32(0), 0);
+  EXPECT_EQ(PopCount32(0xFFFFFFFFu), 32);
+  EXPECT_EQ(PopCount32(0x80000001u), 2);
+  EXPECT_EQ(PopCount32(0x55555555u), 16);
+}
+
+TEST(BitUtil, FindLeadingOne) {
+  EXPECT_EQ(FindLeadingOne32(0), -1);
+  EXPECT_EQ(FindLeadingOne32(1), 0);
+  EXPECT_EQ(FindLeadingOne32(0x80000000u), 31);
+  EXPECT_EQ(FindLeadingOne32(0x0000F234u), 15);
+}
+
+TEST(BitUtil, ReverseBits) {
+  EXPECT_EQ(ReverseBits32(0), 0u);
+  EXPECT_EQ(ReverseBits32(0x1u), 0x80000000u);
+  EXPECT_EQ(ReverseBits32(0x80000000u), 0x1u);
+  EXPECT_EQ(ReverseBits32(0xF0F0F0F0u), 0x0F0F0F0Fu);
+  // Involution property.
+  for (std::uint32_t v : {0x12345678u, 0xDEADBEEFu, 0xFFFF0000u}) {
+    EXPECT_EQ(ReverseBits32(ReverseBits32(v)), v);
+  }
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(SignExtend32(0xFF, 8), -1);
+  EXPECT_EQ(SignExtend32(0x7F, 8), 127);
+  EXPECT_EQ(SignExtend32(0x8000, 16), -32768);
+  EXPECT_EQ(SignExtend32(0x1234, 16), 0x1234);
+  EXPECT_EQ(SignExtend32(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(BitUtil, FunnelShiftRight) {
+  EXPECT_EQ(FunnelShiftRight(0xFFFFFFFFu, 0x0u, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(FunnelShiftRight(0x00000001u, 0x80000000u, 1), 0x00000000u);
+  EXPECT_EQ(FunnelShiftRight(0x0u, 0x1u, 1), 0x80000000u);
+  EXPECT_EQ(FunnelShiftRight(0x12345678u, 0x9ABCDEF0u, 32), 0x9ABCDEF0u);
+  EXPECT_EQ(FunnelShiftRight(0x0u, 0x80000000u, 33), 0x40000000u);
+}
+
+TEST(BitUtil, FunnelShiftLeft) {
+  EXPECT_EQ(FunnelShiftLeft(0x0u, 0xFFFFFFFFu, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(FunnelShiftLeft(0x80000000u, 0x0u, 1), 0x1u);
+  EXPECT_EQ(FunnelShiftLeft(0x12345678u, 0x9ABCDEF0u, 32), 0x12345678u);
+}
+
+TEST(BitUtil, Lop3TruthTables) {
+  const std::uint32_t a = 0xF0F0F0F0u, b = 0xCCCCCCCCu, c = 0xAAAAAAAAu;
+  EXPECT_EQ(Lop3(a, b, c, 0xC0), a & b);          // a AND b
+  EXPECT_EQ(Lop3(a, b, c, 0xFC), a | b);          // a OR b
+  EXPECT_EQ(Lop3(a, b, c, 0x3C), a ^ b);          // a XOR b
+  EXPECT_EQ(Lop3(a, b, c, 0x0F), ~a);             // NOT a (independent of b,c)
+  EXPECT_EQ(Lop3(a, b, c, 0x80), a & b & c);      // AND3
+  EXPECT_EQ(Lop3(a, b, c, 0xFE), a | b | c);      // OR3
+  EXPECT_EQ(Lop3(a, b, c, 0x96), a ^ b ^ c);      // XOR3
+  EXPECT_EQ(Lop3(a, b, c, 0x00), 0u);
+  EXPECT_EQ(Lop3(a, b, c, 0xFF), 0xFFFFFFFFu);
+}
+
+TEST(BitUtil, PrmtIdentityAndSwap) {
+  const std::uint32_t a = 0x44332211u, b = 0x88776655u;
+  EXPECT_EQ(Prmt(a, b, 0x3210), a);               // identity
+  EXPECT_EQ(Prmt(a, b, 0x7654), b);               // select b
+  EXPECT_EQ(Prmt(a, b, 0x0123), 0x11223344u);     // byte reverse of a
+  EXPECT_EQ(Prmt(a, b, 0x5410), 0x66552211u);     // mixed
+}
+
+TEST(BitUtil, PrmtSignReplication) {
+  // Selector nibble 9 = byte 1 with sign replication; it lands in output
+  // byte 0 (the lowest selector nibble).
+  const std::uint32_t a = 0x00008000u;  // byte 1 = 0x80 (sign set)
+  EXPECT_EQ(Prmt(a, 0, 0x0009) & 0xFFu, 0xFFu);
+  const std::uint32_t c = 0x00007F00u;  // byte 1 = 0x7F (sign clear)
+  EXPECT_EQ(Prmt(c, 0, 0x0009) & 0xFFu, 0u);
+}
+
+}  // namespace
+}  // namespace nvbitfi

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitutil.h"
+
+namespace nvbitfi {
+namespace {
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(FloatToHalfBits(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalfBits(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToHalfBits(1.0f), 0x3C00);
+  EXPECT_EQ(FloatToHalfBits(-2.0f), 0xC000);
+  EXPECT_EQ(FloatToHalfBits(65504.0f), 0x7BFF);  // max finite half
+  EXPECT_EQ(FloatToHalfBits(0.5f), 0x3800);
+}
+
+TEST(Half, KnownDecodings) {
+  EXPECT_FLOAT_EQ(HalfBitsToFloat(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(HalfBitsToFloat(0xC000), -2.0f);
+  EXPECT_FLOAT_EQ(HalfBitsToFloat(0x7BFF), 65504.0f);
+  EXPECT_FLOAT_EQ(HalfBitsToFloat(0x0001), 0x1.0p-24f);          // smallest subnormal
+  EXPECT_FLOAT_EQ(HalfBitsToFloat(0x03FF), 1023.0f * 0x1.0p-24f);  // largest subnormal
+}
+
+TEST(Half, InfinityAndNan) {
+  EXPECT_EQ(FloatToHalfBits(std::numeric_limits<float>::infinity()), 0x7C00);
+  EXPECT_EQ(FloatToHalfBits(-std::numeric_limits<float>::infinity()), 0xFC00);
+  EXPECT_TRUE(std::isinf(HalfBitsToFloat(0x7C00)));
+  EXPECT_TRUE(std::isnan(HalfBitsToFloat(0x7E00)));
+  EXPECT_NE(FloatToHalfBits(std::nanf("")) & 0x3FF, 0);  // NaN stays NaN
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(FloatToHalfBits(70000.0f), 0x7C00);
+  EXPECT_EQ(FloatToHalfBits(-1e10f), 0xFC00);
+}
+
+TEST(Half, UnderflowGoesToSignedZeroOrSubnormal) {
+  EXPECT_EQ(FloatToHalfBits(1e-10f), 0x0000);
+  EXPECT_EQ(FloatToHalfBits(-1e-10f), 0x8000);
+  // 2^-24 is the smallest subnormal.
+  EXPECT_EQ(FloatToHalfBits(0x1.0p-24f), 0x0001);
+}
+
+TEST(Half, RoundTripExactHalves) {
+  // Every finite half value round-trips bit-exactly through float.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    if (((h >> 10) & 0x1F) == 0x1F) continue;  // skip Inf/NaN payload cases
+    EXPECT_EQ(FloatToHalfBits(HalfBitsToFloat(h)), h) << std::hex << bits;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10): ties to
+  // even -> 1.0.
+  EXPECT_EQ(FloatToHalfBits(1.0f + 0x1.0p-11f), 0x3C00);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(FloatToHalfBits(1.0f + 0x1.2p-11f), 0x3C01);
+}
+
+TEST(Half, PackHelpers) {
+  const std::uint32_t packed = PackHalves(0x3C00, 0xC000);  // (1.0, -2.0)
+  EXPECT_EQ(HalfLo(packed), 0x3C00);
+  EXPECT_EQ(HalfHi(packed), 0xC000);
+}
+
+}  // namespace
+}  // namespace nvbitfi

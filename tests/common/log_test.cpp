@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace nvbitfi {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelSuppressesDebugAndInfo) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  // The macros must compile and not crash at any level.
+  LOG_DEBUG << "hidden " << 1;
+  LOG_INFO << "hidden " << 2;
+  LOG_WARN << "shown " << 3;
+}
+
+TEST(Log, LevelOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning), static_cast<int>(LogLevel::kError));
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                               LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(Log, SideEffectsOnlyEvaluateWhenEnabled) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  LOG_DEBUG << count();  // suppressed: the stream expression must not run
+  EXPECT_EQ(evaluations, 0);
+  LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace nvbitfi

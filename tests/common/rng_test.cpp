@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace nvbitfi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Bits32(), b.Bits32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Bits32() != b.Bits32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, UniformUnitStaysInHalfOpenInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformUnit();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformUnitCoversTheRange) {
+  Rng rng(11);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformUnit();
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(Rng, UniformIntHitsAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInvertedBoundsThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformInt(10, 9), std::logic_error);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Fork();
+  // The child must not simply replay the parent.
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.Bits32() == child.Bits32()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(21), b(21);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.Bits32(), fb.Bits32());
+  }
+}
+
+TEST(Rng, SeedFromIsStable) {
+  EXPECT_EQ(Rng::SeedFrom(1, "350.md"), Rng::SeedFrom(1, "350.md"));
+  EXPECT_NE(Rng::SeedFrom(1, "350.md"), Rng::SeedFrom(2, "350.md"));
+  EXPECT_NE(Rng::SeedFrom(1, "350.md"), Rng::SeedFrom(1, "351.palm"));
+  EXPECT_NE(Rng::SeedFrom(1, ""), Rng::SeedFrom(1, "a"));
+}
+
+}  // namespace
+}  // namespace nvbitfi

@@ -1,0 +1,109 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nvbitfi {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = Split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("\ta b\n"), "a b");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(Strings, ParseUint64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseUint64("0x1F", &v));
+  EXPECT_EQ(v, 31u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(Strings, ParseUint64Rejects) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64(" 12", &v));
+  EXPECT_FALSE(ParseUint64("99999999999999999999999", &v));
+}
+
+TEST(Strings, ParseInt64) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("0x10", &v));
+  EXPECT_EQ(v, 16);
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(Format("x=%d", 42), "x=42");
+  EXPECT_EQ(Format("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(Format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(Format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace nvbitfi

@@ -1,0 +1,203 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+TEST(Campaign, GoldenRunIsCleanAndDeterministic) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const RunArtifacts a = runner.RunGolden(sim::DeviceProps{});
+  const RunArtifacts b = runner.RunGolden(sim::DeviceProps{});
+  EXPECT_EQ(a.exit_code, 0);
+  EXPECT_FALSE(a.timed_out);
+  EXPECT_TRUE(a.cuda_errors.empty());
+  EXPECT_TRUE(a.dmesg.empty());
+  EXPECT_EQ(a.stdout_text, b.stdout_text);
+  EXPECT_EQ(a.output_file, b.output_file);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dynamic_kernels, 4u);
+  EXPECT_EQ(a.static_kernels, 2u);
+  EXPECT_EQ(a.max_launch_thread_instructions, testing::kWorkThreadInstructions);
+}
+
+TEST(Campaign, TransientCampaignShape) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.seed = 5;
+  config.num_injections = 25;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  EXPECT_EQ(result.program, "mini");
+  EXPECT_EQ(result.injections.size(), 25u);
+  EXPECT_EQ(result.counts.total(), 25u);
+  EXPECT_EQ(result.profile.DynamicKernelCount(), 4u);
+  EXPECT_GT(result.golden.cycles, 0u);
+  EXPECT_GT(result.ProfilingOverhead(), 1.0);
+  EXPECT_GT(result.MedianInjectionOverhead(), 0.5);
+  EXPECT_EQ(result.TotalCampaignCycles(),
+            result.profiling_run.cycles + result.TotalInjectionCycles());
+
+  // Every selected site is inside the profiled population and every
+  // classification is consistent with its artifacts.
+  for (const InjectionRun& run : result.injections) {
+    EXPECT_TRUE(run.params.kernel_name == "work" || run.params.kernel_name == "tail");
+    EXPECT_GE(run.params.destination_register, 0.0);
+    EXPECT_LT(run.params.destination_register, 1.0);
+    if (run.classification.outcome == Outcome::kDue) {
+      EXPECT_TRUE(run.artifacts.timed_out || run.artifacts.crashed ||
+                  run.artifacts.exit_code != 0);
+    }
+  }
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.seed = 77;
+  config.num_injections = 12;
+  const TransientCampaignResult a = runner.RunTransientCampaign(config);
+  const TransientCampaignResult b = runner.RunTransientCampaign(config);
+  ASSERT_EQ(a.injections.size(), b.injections.size());
+  for (std::size_t i = 0; i < a.injections.size(); ++i) {
+    EXPECT_EQ(a.injections[i].params, b.injections[i].params);
+    EXPECT_EQ(a.injections[i].classification, b.injections[i].classification);
+  }
+  EXPECT_EQ(a.counts.sdc, b.counts.sdc);
+  EXPECT_EQ(a.counts.due, b.counts.due);
+}
+
+TEST(Campaign, DifferentSeedsSelectDifferentSites) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.num_injections = 10;
+  config.seed = 1;
+  const TransientCampaignResult a = runner.RunTransientCampaign(config);
+  config.seed = 2;
+  const TransientCampaignResult b = runner.RunTransientCampaign(config);
+  int different = 0;
+  for (std::size_t i = 0; i < a.injections.size(); ++i) {
+    if (!(a.injections[i].params == b.injections[i].params)) ++different;
+  }
+  EXPECT_GT(different, 5);
+}
+
+TEST(Campaign, FixedFlipModelIsHonoured) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.num_injections = 8;
+  config.randomize_flip_model = false;
+  config.flip_model = BitFlipModel::kZeroValue;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+  for (const InjectionRun& run : result.injections) {
+    EXPECT_EQ(run.params.bit_flip_model, BitFlipModel::kZeroValue);
+  }
+}
+
+TEST(Campaign, RandomizedFlipModelsCoverAllFour) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.num_injections = 40;
+  config.randomize_flip_model = true;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+  std::set<BitFlipModel> seen;
+  for (const InjectionRun& run : result.injections) {
+    seen.insert(run.params.bit_flip_model);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Campaign, GroupConfigRestrictsSites) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.num_injections = 10;
+  config.group = ArchStateId::kGFp32;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+  for (const InjectionRun& run : result.injections) {
+    EXPECT_EQ(run.params.arch_state_id, ArchStateId::kGFp32);
+    if (run.record.activated) {
+      EXPECT_EQ(run.record.opcode, sim::Opcode::kFADD);
+    }
+  }
+}
+
+TEST(Campaign, EmptyGroupYieldsMaskedRuns) {
+  const MiniProgram program;  // executes no FP64 at all
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.num_injections = 5;
+  config.group = ArchStateId::kGFp64;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+  EXPECT_EQ(result.counts.masked, 5u);
+  EXPECT_EQ(result.counts.sdc, 0u);
+}
+
+TEST(Campaign, PermanentCampaignSweepsExecutedOpcodes) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.seed = 3;
+  const PermanentCampaignResult result = runner.RunPermanentCampaign(config, profile);
+
+  const auto executed = profile.ExecutedOpcodes();
+  EXPECT_EQ(result.runs.size(), executed.size());
+  EXPECT_EQ(result.executed_opcodes, executed.size());
+  EXPECT_EQ(result.counts.total(), result.runs.size());
+
+  double weight_sum = 0.0;
+  for (const PermanentRun& run : result.runs) {
+    EXPECT_GE(run.params.lane_id, 0);
+    EXPECT_LT(run.params.lane_id, 32);
+    EXPECT_NE(run.params.bit_mask, 0u);
+    weight_sum += run.weight;
+  }
+  // Executed-opcode weights cover the whole dynamic instruction population.
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_NEAR(result.weighted.total(), 1.0, 1e-9);
+}
+
+TEST(Campaign, PermanentCampaignAllOpcodesMode) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kApproximate, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.only_executed_opcodes = false;
+  const PermanentCampaignResult result = runner.RunPermanentCampaign(config, profile);
+  EXPECT_EQ(result.runs.size(), static_cast<std::size_t>(sim::kOpcodeCount));
+}
+
+TEST(Campaign, PermanentCampaignDeterministic) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.seed = 31;
+  const PermanentCampaignResult a = runner.RunPermanentCampaign(config, profile);
+  const PermanentCampaignResult b = runner.RunPermanentCampaign(config, profile);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].params, b.runs[i].params);
+    EXPECT_EQ(a.runs[i].activations, b.runs[i].activations);
+    EXPECT_EQ(a.runs[i].classification, b.runs[i].classification);
+  }
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

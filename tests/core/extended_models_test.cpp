@@ -1,0 +1,221 @@
+#include "core/extended_models.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.h"
+#include "core/campaign.h"
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+RunArtifacts RunWith(nvbit::Tool* tool) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  return runner.Execute(tool, sim::DeviceProps{}, /*watchdog=*/1 << 20);
+}
+
+TransientFaultParams FaddSite() {
+  TransientFaultParams p;
+  p.arch_state_id = ArchStateId::kGGp;
+  p.bit_flip_model = BitFlipModel::kFlipSingleBit;
+  p.kernel_name = "work";
+  p.kernel_count = 0;
+  p.instruction_count = 64;  // FADD lane 0 (see test_program.h)
+  p.destination_register = 0.0;
+  p.bit_pattern_value = 0.5;  // bit 16
+  return p;
+}
+
+TEST(CorruptionFn, Semantics) {
+  EXPECT_EQ(ApplyCorruptionFn(CorruptionFn::kXorMask, 0xF0F0, 0x00FF), 0xF00Fu);
+  EXPECT_EQ(ApplyCorruptionFn(CorruptionFn::kStuckAtZero, 0xF0F0, 0x00FF), 0xF000u);
+  EXPECT_EQ(ApplyCorruptionFn(CorruptionFn::kStuckAtOne, 0xF0F0, 0x00FF), 0xF0FFu);
+  EXPECT_EQ(ApplyCorruptionFn(CorruptionFn::kLeftShift, 0x1, 0x7), 0x8u);  // popcount 3
+  EXPECT_EQ(ApplyCorruptionFn(CorruptionFn::kSignInvert, 0x1, 0xFFFF), 0x80000001u);
+}
+
+TEST(CorruptionFn, NamesAndParsing) {
+  EXPECT_EQ(CorruptionFnName(CorruptionFn::kStuckAtOne), "STUCK_AT_ONE");
+  EXPECT_EQ(*CorruptionFnFromInt(0), CorruptionFn::kXorMask);
+  EXPECT_EQ(*CorruptionFnFromInt(4), CorruptionFn::kSignInvert);
+  EXPECT_FALSE(CorruptionFnFromInt(5).has_value());
+  EXPECT_FALSE(CorruptionFnFromInt(-1).has_value());
+}
+
+TEST(ExtendedInjector, SingleLaneSingleRegisterMatchesBaseModel) {
+  ExtendedTransientParams params;
+  params.base = FaddSite();
+  ExtendedInjectorTool tool(params);
+  RunWith(&tool);
+  ASSERT_EQ(tool.records().size(), 1u);
+  const InjectionRecord& rec = tool.records()[0];
+  EXPECT_EQ(rec.opcode, sim::Opcode::kFADD);
+  EXPECT_EQ(rec.target_register, 2);
+  EXPECT_EQ(rec.lane_id, 0);
+  EXPECT_EQ(rec.mask, 0x10000u);
+}
+
+TEST(ExtendedInjector, RegisterSpanCorruptsConsecutiveRegisters) {
+  ExtendedTransientParams params;
+  params.base = FaddSite();
+  params.register_span = 3;
+  ExtendedInjectorTool tool(params);
+  RunWith(&tool);
+  ASSERT_EQ(tool.records().size(), 3u);
+  EXPECT_EQ(tool.records()[0].target_register, 2);
+  EXPECT_EQ(tool.records()[1].target_register, 3);
+  EXPECT_EQ(tool.records()[2].target_register, 4);
+  for (const InjectionRecord& rec : tool.records()) {
+    EXPECT_EQ(rec.lane_id, 0);
+  }
+}
+
+TEST(ExtendedInjector, WarpWideCorruptsEveryActiveLane) {
+  ExtendedTransientParams params;
+  params.base = FaddSite();
+  params.warp_wide = true;
+  ExtendedInjectorTool tool(params);
+  RunWith(&tool);
+  // All 32 lanes execute the FADD; the site fires on lane 0 and the rest of
+  // the cohort is corrupted too.
+  ASSERT_EQ(tool.records().size(), 32u);
+  std::set<int> lanes;
+  for (const InjectionRecord& rec : tool.records()) {
+    EXPECT_EQ(rec.static_index, 2u);
+    lanes.insert(rec.lane_id);
+  }
+  EXPECT_EQ(lanes.size(), 32u);
+}
+
+TEST(ExtendedInjector, StuckAtZeroFunction) {
+  ExtendedTransientParams params;
+  params.base = FaddSite();
+  params.corruption = CorruptionFn::kStuckAtZero;
+  // FADD writes 1.0f = 0x3F800000; mask bit 16 is already 0 -> no change.
+  ExtendedInjectorTool tool(params);
+  RunWith(&tool);
+  ASSERT_EQ(tool.records().size(), 1u);
+  EXPECT_FALSE(tool.records()[0].corrupted);
+  EXPECT_EQ(tool.records()[0].after_bits, tool.records()[0].before_bits);
+
+  // A stuck-at-zero on a set bit does corrupt.
+  ExtendedTransientParams hits = params;
+  hits.base.bit_pattern_value = 23.5 / 32.0;  // bit 23 of 0x3F800000 is set
+  ExtendedInjectorTool tool2(hits);
+  RunWith(&tool2);
+  ASSERT_EQ(tool2.records().size(), 1u);
+  EXPECT_TRUE(tool2.records()[0].corrupted);
+  EXPECT_EQ(tool2.records()[0].after_bits, 0x3F800000u & ~(1u << 23));
+}
+
+TEST(ExtendedInjector, RejectsBadSpan) {
+  ExtendedTransientParams params;
+  params.base = FaddSite();
+  params.register_span = 0;
+  EXPECT_THROW(ExtendedInjectorTool{params}, std::logic_error);
+  params.register_span = 9;
+  EXPECT_THROW(ExtendedInjectorTool{params}, std::logic_error);
+}
+
+TEST(FaultDictionary, AddLookupSample) {
+  FaultDictionary dict;
+  dict.Add(sim::Opcode::kFADD, {0x00010000u, 3.0});
+  dict.Add(sim::Opcode::kFADD, {0x00000001u, 1.0});
+  ASSERT_NE(dict.Lookup(sim::Opcode::kFADD), nullptr);
+  EXPECT_EQ(dict.Lookup(sim::Opcode::kFADD)->size(), 2u);
+  EXPECT_EQ(dict.Lookup(sim::Opcode::kIMAD), nullptr);
+
+  Rng rng(5);
+  int heavy = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint32_t mask = dict.Sample(sim::Opcode::kFADD, rng);
+    ASSERT_TRUE(mask == 0x00010000u || mask == 0x00000001u);
+    if (mask == 0x00010000u) ++heavy;
+  }
+  EXPECT_NEAR(heavy, 3000, 200);  // 3:1 weighting
+}
+
+TEST(FaultDictionary, SampleFallsBackForUnknownOpcode) {
+  FaultDictionary dict;
+  Rng rng(3);
+  const std::uint32_t mask = dict.Sample(sim::Opcode::kIMAD, rng);
+  EXPECT_EQ(PopCount32(mask), 1);
+}
+
+TEST(FaultDictionary, SerializeParseRoundTrip) {
+  FaultDictionary dict;
+  dict.Add(sim::Opcode::kFADD, {0x10000u, 2.5});
+  dict.Add(sim::Opcode::kLDG, {0xCu, 1.0});
+  const auto back = FaultDictionary::Parse(dict.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->opcode_count(), 2u);
+  ASSERT_NE(back->Lookup(sim::Opcode::kFADD), nullptr);
+  EXPECT_EQ(back->Lookup(sim::Opcode::kFADD)->at(0).mask, 0x10000u);
+  EXPECT_DOUBLE_EQ(back->Lookup(sim::Opcode::kFADD)->at(0).weight, 2.5);
+}
+
+TEST(FaultDictionary, ParseRejectsMalformed) {
+  EXPECT_FALSE(FaultDictionary::Parse("FADD 0x1").has_value());
+  EXPECT_FALSE(FaultDictionary::Parse("FROB 0x1 1.0").has_value());
+  EXPECT_FALSE(FaultDictionary::Parse("FADD zz 1.0").has_value());
+  EXPECT_FALSE(FaultDictionary::Parse("FADD 0x1 -1").has_value());
+  EXPECT_FALSE(FaultDictionary::Parse("FADD 0x100000000 1").has_value());
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(FaultDictionary::Parse("# comment\n\nFADD 0x1 1.0\n").has_value());
+}
+
+TEST(FaultDictionary, SyntheticCoversEveryDestOpcode) {
+  const FaultDictionary dict = FaultDictionary::Synthetic(1);
+  for (int i = 0; i < sim::kOpcodeCount; ++i) {
+    const sim::Opcode op = static_cast<sim::Opcode>(i);
+    if (sim::HasDest(op)) {
+      EXPECT_NE(dict.Lookup(op), nullptr) << sim::OpcodeName(op);
+    } else {
+      EXPECT_EQ(dict.Lookup(op), nullptr) << sim::OpcodeName(op);
+    }
+  }
+}
+
+TEST(FaultDictionary, SyntheticIsDeterministic) {
+  const FaultDictionary a = FaultDictionary::Synthetic(9);
+  const FaultDictionary b = FaultDictionary::Synthetic(9);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  const FaultDictionary c = FaultDictionary::Synthetic(10);
+  EXPECT_NE(a.Serialize(), c.Serialize());
+}
+
+TEST(DictionaryInjector, UsesOpcodeConditionedMask) {
+  const FaultDictionary dict = [] {
+    FaultDictionary d;
+    d.Add(sim::Opcode::kFADD, {0x00400000u, 1.0});  // only possible FADD mask
+    return d;
+  }();
+  DictionaryInjectorTool tool(FaddSite(), dict, /*seed=*/3);
+  RunWith(&tool);
+  ASSERT_TRUE(tool.record().activated);
+  EXPECT_EQ(tool.record().opcode, sim::Opcode::kFADD);
+  EXPECT_EQ(tool.record().mask, 0x00400000u);
+  EXPECT_EQ(tool.record().after_bits, tool.record().before_bits ^ 0x00400000u);
+}
+
+TEST(DictionaryInjector, PredicateDestinationsFlip) {
+  const FaultDictionary dict = FaultDictionary::Synthetic(2);
+  TransientFaultParams site;
+  site.arch_state_id = ArchStateId::kGPr;
+  site.kernel_name = "work";
+  site.kernel_count = 0;
+  site.instruction_count = 0;  // ISETP lane 0
+  DictionaryInjectorTool tool(site, dict, 1);
+  RunWith(&tool);
+  ASSERT_TRUE(tool.record().activated);
+  EXPECT_TRUE(tool.record().pred_target);
+  EXPECT_NE(tool.record().before_bits, tool.record().after_bits);
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

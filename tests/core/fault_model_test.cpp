@@ -1,0 +1,167 @@
+#include "core/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+TEST(FaultModel, ArchStateIdNumbering) {
+  // Table II numbers the ids 1..8.
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGFp64), 1);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGFp32), 2);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGLd), 3);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGPr), 4);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGNoDest), 5);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGOthers), 6);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGGppr), 7);
+  EXPECT_EQ(static_cast<int>(ArchStateId::kGGp), 8);
+  EXPECT_FALSE(ArchStateIdFromInt(0).has_value());
+  EXPECT_FALSE(ArchStateIdFromInt(9).has_value());
+  EXPECT_EQ(*ArchStateIdFromInt(3), ArchStateId::kGLd);
+}
+
+TEST(FaultModel, BitFlipModelNumbering) {
+  EXPECT_EQ(static_cast<int>(BitFlipModel::kFlipSingleBit), 1);
+  EXPECT_EQ(static_cast<int>(BitFlipModel::kZeroValue), 4);
+  EXPECT_FALSE(BitFlipModelFromInt(0).has_value());
+  EXPECT_FALSE(BitFlipModelFromInt(5).has_value());
+}
+
+TEST(FaultModel, WellKnownGroupMembers) {
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kDADD, ArchStateId::kGFp64));
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kFFMA, ArchStateId::kGFp32));
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kLDG, ArchStateId::kGLd));
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kISETP, ArchStateId::kGPr));
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kSTG, ArchStateId::kGNoDest));
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kIMAD, ArchStateId::kGOthers));
+  EXPECT_FALSE(OpcodeInGroup(sim::Opcode::kSTG, ArchStateId::kGGp));
+  EXPECT_FALSE(OpcodeInGroup(sim::Opcode::kISETP, ArchStateId::kGGp));
+  EXPECT_TRUE(OpcodeInGroup(sim::Opcode::kISETP, ArchStateId::kGGppr));
+}
+
+// Table II set algebra, checked over the whole ISA.
+TEST(FaultModel, GroupAlgebraHoldsForEveryOpcode) {
+  for (int i = 0; i < sim::kOpcodeCount; ++i) {
+    const sim::Opcode op = static_cast<sim::Opcode>(i);
+    const bool no_dest = OpcodeInGroup(op, ArchStateId::kGNoDest);
+    const bool pr = OpcodeInGroup(op, ArchStateId::kGPr);
+    const bool gppr = OpcodeInGroup(op, ArchStateId::kGGppr);
+    const bool gp = OpcodeInGroup(op, ArchStateId::kGGp);
+
+    // G_GPPR = all - G_NODEST.
+    EXPECT_EQ(gppr, !no_dest) << sim::OpcodeName(op);
+    // G_GP = all - G_NODEST - G_PR.
+    EXPECT_EQ(gp, !no_dest && !pr) << sim::OpcodeName(op);
+    // G_PR and G_NODEST are disjoint.
+    EXPECT_FALSE(pr && no_dest) << sim::OpcodeName(op);
+    // Groups 1-6 partition the ISA: exactly one of FP64/FP32/LD/PR/NODEST/
+    // OTHERS holds (loads are not FP arithmetic, etc.).
+    const int partition = OpcodeInGroup(op, ArchStateId::kGFp64) +
+                          OpcodeInGroup(op, ArchStateId::kGFp32) +
+                          OpcodeInGroup(op, ArchStateId::kGLd) + pr + no_dest +
+                          OpcodeInGroup(op, ArchStateId::kGOthers);
+    EXPECT_EQ(partition, 1) << sim::OpcodeName(op);
+  }
+}
+
+TEST(FaultModel, SingleBitMaskMatchesFormula) {
+  // FLIP_SINGLE_BIT: 0x1 << (32 * value).
+  EXPECT_EQ(InjectionMask32(BitFlipModel::kFlipSingleBit, 0.0, 0), 0x1u);
+  EXPECT_EQ(InjectionMask32(BitFlipModel::kFlipSingleBit, 0.5, 0), 0x10000u);
+  EXPECT_EQ(InjectionMask32(BitFlipModel::kFlipSingleBit, 31.0 / 32.0, 0), 0x80000000u);
+  EXPECT_EQ(InjectionMask32(BitFlipModel::kFlipSingleBit, 0.999, 0), 0x80000000u);
+}
+
+TEST(FaultModel, TwoBitMaskMatchesFormula) {
+  // FLIP_TWO_BITS: 0x3 << (31 * value) — always two adjacent bits.
+  EXPECT_EQ(InjectionMask32(BitFlipModel::kFlipTwoBits, 0.0, 0), 0x3u);
+  EXPECT_EQ(InjectionMask32(BitFlipModel::kFlipTwoBits, 0.999, 0), 0xC0000000u);
+  for (double v = 0.0; v < 1.0; v += 0.07) {
+    EXPECT_EQ(PopCount32(InjectionMask32(BitFlipModel::kFlipTwoBits, v, 0)), 2);
+  }
+}
+
+TEST(FaultModel, RandomValueMaskMakesRegisterBecomeTarget) {
+  const std::uint32_t original = 0x12345678;
+  const std::uint32_t mask = InjectionMask32(BitFlipModel::kRandomValue, 0.25, original);
+  EXPECT_EQ(original ^ mask, static_cast<std::uint32_t>(4294967295.0 * 0.25));
+}
+
+TEST(FaultModel, ZeroValueMaskZeroesTheRegister) {
+  for (const std::uint32_t original : {0x0u, 0x1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    const std::uint32_t mask =
+        InjectionMask32(BitFlipModel::kZeroValue, 0.5, original);
+    EXPECT_EQ(original ^ mask, 0u);
+  }
+}
+
+TEST(FaultModel, Mask64Variants) {
+  EXPECT_EQ(InjectionMask64(BitFlipModel::kFlipSingleBit, 63.0 / 64.0, 0),
+            0x8000000000000000ull);
+  EXPECT_EQ(InjectionMask64(BitFlipModel::kZeroValue, 0.1, 0xAABBull), 0xAABBull);
+  const std::uint64_t original = 0x0102030405060708ull;
+  const std::uint64_t mask = InjectionMask64(BitFlipModel::kRandomValue, 0.5, original);
+  EXPECT_EQ(original ^ mask,
+            static_cast<std::uint64_t>(18446744073709551615.0 * 0.5));
+}
+
+TEST(FaultModel, MaskRejectsOutOfRangeValue) {
+  EXPECT_THROW(InjectionMask32(BitFlipModel::kFlipSingleBit, 1.0, 0), std::logic_error);
+  EXPECT_THROW(InjectionMask32(BitFlipModel::kFlipSingleBit, -0.1, 0), std::logic_error);
+}
+
+TEST(FaultModel, TransientParamsSerializeRoundTrip) {
+  TransientFaultParams p;
+  p.arch_state_id = ArchStateId::kGLd;
+  p.bit_flip_model = BitFlipModel::kRandomValue;
+  p.kernel_name = "md_forces";
+  p.kernel_count = 17;
+  p.instruction_count = 123456789;
+  p.destination_register = 0.123456;
+  p.bit_pattern_value = 0.987654;
+  const auto back = TransientFaultParams::Parse(p.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(FaultModel, TransientParamsParseRejectsMalformed) {
+  EXPECT_FALSE(TransientFaultParams::Parse("").has_value());
+  EXPECT_FALSE(TransientFaultParams::Parse("1\n2\n\n0\n0\n0.5\n0.5\n").has_value());
+  EXPECT_FALSE(TransientFaultParams::Parse("9\n1\nk\n0\n0\n0.5\n0.5\n").has_value());
+  EXPECT_FALSE(TransientFaultParams::Parse("1\n7\nk\n0\n0\n0.5\n0.5\n").has_value());
+  EXPECT_FALSE(TransientFaultParams::Parse("1\n1\nk\n0\n0\n1.5\n0.5\n").has_value());
+  EXPECT_FALSE(TransientFaultParams::Parse("1\n1\nk\n0\n0\n0.5\n-0.1\n").has_value());
+  EXPECT_FALSE(TransientFaultParams::Parse("1\n1\nk\nxyz\n0\n0.5\n0.5\n").has_value());
+}
+
+TEST(FaultModel, PermanentParamsSerializeRoundTrip) {
+  PermanentFaultParams p;
+  p.sm_id = 5;
+  p.lane_id = 31;
+  p.bit_mask = 0x80000001;
+  p.opcode_id = 170;
+  const auto back = PermanentFaultParams::Parse(p.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+  EXPECT_EQ(back->opcode(), static_cast<sim::Opcode>(170));
+}
+
+TEST(FaultModel, PermanentParamsParseRejectsMalformed) {
+  EXPECT_FALSE(PermanentFaultParams::Parse("").has_value());
+  EXPECT_FALSE(PermanentFaultParams::Parse("0\n32\n0x1\n0\n").has_value());   // lane
+  EXPECT_FALSE(PermanentFaultParams::Parse("0\n0\n0x1\n171\n").has_value());  // opcode
+  EXPECT_FALSE(PermanentFaultParams::Parse("-1\n0\n0x1\n0\n").has_value());   // sm
+  EXPECT_FALSE(PermanentFaultParams::Parse("0\n0\n0x100000000\n0\n").has_value());
+}
+
+TEST(FaultModel, Names) {
+  EXPECT_EQ(ArchStateIdName(ArchStateId::kGFp64), "G_FP64");
+  EXPECT_EQ(ArchStateIdName(ArchStateId::kGGp), "G_GP");
+  EXPECT_EQ(BitFlipModelName(BitFlipModel::kFlipSingleBit), "FLIP_SINGLE_BIT");
+  EXPECT_EQ(BitFlipModelName(BitFlipModel::kZeroValue), "ZERO_VALUE");
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

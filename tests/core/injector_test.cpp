@@ -1,0 +1,297 @@
+#include "core/transient_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "core/campaign.h"
+#include "core/permanent_injector.h"
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+// Runs the mini program with `tool` attached; returns the artifacts.
+RunArtifacts RunWith(nvbit::Tool* tool) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  return runner.Execute(tool, sim::DeviceProps{}, /*watchdog=*/1 << 20);
+}
+
+TransientFaultParams WorkFault(std::uint64_t kernel_count, std::uint64_t instruction_count,
+                               BitFlipModel model = BitFlipModel::kFlipSingleBit,
+                               double dest = 0.0, double pattern = 0.99) {
+  TransientFaultParams p;
+  p.arch_state_id = ArchStateId::kGGp;
+  p.bit_flip_model = model;
+  p.kernel_name = "work";
+  p.kernel_count = kernel_count;
+  p.instruction_count = instruction_count;
+  p.destination_register = dest;
+  p.bit_pattern_value = pattern;
+  return p;
+}
+
+TEST(TransientInjector, ActivatesAtTheExactSite) {
+  // G_GP event 64 is the FADD on lane 0 of instance 1.
+  TransientInjectorTool tool(WorkFault(1, 64));
+  RunWith(&tool);
+  const InjectionRecord& rec = tool.record();
+  EXPECT_TRUE(rec.activated);
+  EXPECT_TRUE(rec.corrupted);
+  EXPECT_EQ(rec.kernel_name, "work");
+  EXPECT_EQ(rec.kernel_count, 1u);
+  EXPECT_EQ(rec.opcode, sim::Opcode::kFADD);
+  EXPECT_EQ(rec.static_index, 2u);
+  EXPECT_EQ(rec.lane_id, 0);
+  EXPECT_EQ(rec.target_register, 2);  // FADD R2, ...
+  EXPECT_EQ(rec.register_width, 32);
+}
+
+TEST(TransientInjector, LaneSelectionWithinTheCohort) {
+  // Event 64 + 13 = FADD on lane 13.
+  TransientInjectorTool tool(WorkFault(1, 64 + 13));
+  RunWith(&tool);
+  EXPECT_EQ(tool.record().lane_id, 13);
+}
+
+TEST(TransientInjector, SingleBitFlipChangesExactlyOneBit) {
+  TransientInjectorTool tool(WorkFault(0, 70, BitFlipModel::kFlipSingleBit, 0.0, 0.4));
+  RunWith(&tool);
+  const InjectionRecord& rec = tool.record();
+  ASSERT_TRUE(rec.corrupted);
+  EXPECT_EQ(PopCount32(static_cast<std::uint32_t>(rec.before_bits ^ rec.after_bits)), 1);
+  EXPECT_EQ(rec.mask, 1ull << static_cast<int>(32 * 0.4));
+}
+
+TEST(TransientInjector, ZeroValueZeroesTheRegister) {
+  TransientInjectorTool tool(WorkFault(0, 70, BitFlipModel::kZeroValue));
+  RunWith(&tool);
+  const InjectionRecord& rec = tool.record();
+  ASSERT_TRUE(rec.corrupted);
+  EXPECT_EQ(rec.before_bits, FloatToBits(1.0f));  // FADD R2 = 1.0f
+  EXPECT_EQ(rec.after_bits, 0u);
+}
+
+TEST(TransientInjector, RandomValueSetsTheRegister) {
+  const double pattern = 0.33;
+  TransientInjectorTool tool(WorkFault(0, 70, BitFlipModel::kRandomValue, 0.0, pattern));
+  RunWith(&tool);
+  EXPECT_EQ(tool.record().after_bits,
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(4294967295.0 * pattern)));
+}
+
+TEST(TransientInjector, PairDestinationIsCorruptedAs64Bit) {
+  // G_GP events 144..175 are the IMAD.WIDE (pair destination R6:R7).
+  TransientInjectorTool tool(WorkFault(0, 150, BitFlipModel::kFlipSingleBit, 0.0, 0.9));
+  RunWith(&tool);
+  const InjectionRecord& rec = tool.record();
+  EXPECT_EQ(rec.opcode, sim::Opcode::kIMAD);
+  EXPECT_EQ(rec.register_width, 64);
+  EXPECT_EQ(rec.target_register, 6);
+  EXPECT_EQ(rec.mask, 1ull << static_cast<int>(64 * 0.9));
+}
+
+TEST(TransientInjector, OnlyTargetInstanceIsAffected) {
+  // Corrupt instance 1's stored R1 result; instances 0 and 2 stay golden.
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const RunArtifacts golden = runner.Execute(nullptr, sim::DeviceProps{}, 0);
+
+  TransientInjectorTool tool(
+      WorkFault(1, 40, BitFlipModel::kRandomValue, 0.0, 0.77));  // IADD3 lane 8
+  const RunArtifacts faulty = RunWith(&tool);
+  ASSERT_TRUE(tool.record().activated);
+
+  // Output layout: 3 launches x 32 threads x 8 bytes.
+  constexpr std::size_t kLaunchBytes = 32 * 8;
+  ASSERT_EQ(faulty.output_file.size(), golden.output_file.size());
+  const auto differs = [&](std::size_t launch) {
+    return !std::equal(golden.output_file.begin() + static_cast<std::ptrdiff_t>(launch * kLaunchBytes),
+                       golden.output_file.begin() + static_cast<std::ptrdiff_t>((launch + 1) * kLaunchBytes),
+                       faulty.output_file.begin() + static_cast<std::ptrdiff_t>(launch * kLaunchBytes));
+  };
+  EXPECT_FALSE(differs(0));
+  EXPECT_TRUE(differs(1));
+  EXPECT_FALSE(differs(2));
+}
+
+TEST(TransientInjector, InjectsAtMostOnce) {
+  TransientInjectorTool tool(WorkFault(0, 10));
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  runner.Execute(&tool, sim::DeviceProps{}, 0);
+  const InjectionRecord first = tool.record();
+  EXPECT_TRUE(first.activated);
+  // A second run with the same tool must not re-arm (done_ sticks).
+  runner.Execute(&tool, sim::DeviceProps{}, 0);
+  EXPECT_EQ(tool.record().before_bits, first.before_bits);
+}
+
+TEST(TransientInjector, MissedSiteIsNotActivated) {
+  // instruction_count beyond the instance's population never fires.
+  TransientInjectorTool tool(WorkFault(0, testing::kWorkGgpPopulation + 5));
+  RunWith(&tool);
+  EXPECT_FALSE(tool.record().activated);
+}
+
+TEST(TransientInjector, UnknownKernelNeverActivates) {
+  TransientFaultParams p = WorkFault(0, 0);
+  p.kernel_name = "nonexistent";
+  TransientInjectorTool tool(p);
+  RunWith(&tool);
+  EXPECT_FALSE(tool.record().activated);
+}
+
+TEST(TransientInjector, NoDestGroupCorruptsASource) {
+  TransientFaultParams p;
+  p.arch_state_id = ArchStateId::kGNoDest;
+  p.bit_flip_model = BitFlipModel::kFlipSingleBit;
+  p.kernel_name = "work";
+  p.kernel_count = 0;
+  p.instruction_count = 0;  // first STG lane 0 (ISETP is G_PR, EXIT also counts)
+  p.destination_register = 0.0;
+  p.bit_pattern_value = 0.2;
+  TransientInjectorTool tool(p);
+  RunWith(&tool);
+  ASSERT_TRUE(tool.record().activated);
+  // The first no-dest event in the body is ISETP? No: ISETP writes a
+  // predicate (G_PR), so the first G_NODEST event is the STG at index 7.
+  EXPECT_EQ(tool.record().opcode, sim::Opcode::kSTG);
+  EXPECT_TRUE(tool.record().corrupted);
+}
+
+TEST(TransientInjector, PredGroupCorruptsAPredicate) {
+  TransientFaultParams p;
+  p.arch_state_id = ArchStateId::kGPr;
+  p.bit_flip_model = BitFlipModel::kFlipSingleBit;
+  p.kernel_name = "work";
+  p.kernel_count = 0;
+  p.instruction_count = 20;  // ISETP lane 20
+  p.destination_register = 0.0;
+  p.bit_pattern_value = 0.5;
+  TransientInjectorTool tool(p);
+  RunWith(&tool);
+  ASSERT_TRUE(tool.record().activated);
+  EXPECT_EQ(tool.record().opcode, sim::Opcode::kISETP);
+  EXPECT_TRUE(tool.record().pred_target);
+  EXPECT_EQ(tool.record().target_register, 0);  // P0
+  EXPECT_NE(tool.record().before_bits, tool.record().after_bits);
+}
+
+TEST(TransientInjector, RejectsInvalidParams) {
+  TransientFaultParams p = WorkFault(0, 0);
+  p.destination_register = 1.0;
+  EXPECT_THROW(TransientInjectorTool{p}, std::logic_error);
+  p.destination_register = 0.5;
+  p.bit_pattern_value = -0.01;
+  EXPECT_THROW(TransientInjectorTool{p}, std::logic_error);
+}
+
+// ---- permanent faults ----
+
+TEST(PermanentInjector, CorruptsEveryInstanceOfTheOpcode) {
+  PermanentFaultParams p;
+  p.opcode_id = static_cast<int>(sim::Opcode::kFADD);
+  p.sm_id = 0;
+  p.lane_id = 5;
+  p.bit_mask = 0x1;
+  PermanentInjectorTool tool(p);
+  RunWith(&tool);
+  // FADD executes once per launch on lane 5 of SM 0; all 3 work launches run
+  // block 0 on SM 0 (single-block grids), plus none in tail.
+  EXPECT_EQ(tool.activations(), 3u);
+}
+
+TEST(PermanentInjector, LaneMaskingRestrictsActivations) {
+  PermanentFaultParams p;
+  p.opcode_id = static_cast<int>(sim::Opcode::kIADD3);
+  p.sm_id = 0;
+  p.lane_id = 20;  // lanes >= 16 also run the guarded IADD3
+  p.bit_mask = 0x2;
+  PermanentInjectorTool tool(p);
+  RunWith(&tool);
+  EXPECT_EQ(tool.activations(), 3u * 2u);  // two IADD3 executions per launch
+
+  PermanentFaultParams q = p;
+  q.lane_id = 3;  // below the guard threshold: only the unguarded IADD3
+  PermanentInjectorTool tool2(q);
+  RunWith(&tool2);
+  EXPECT_EQ(tool2.activations(), 3u * 1u);
+}
+
+TEST(PermanentInjector, SmMaskingSuppressesOtherSms) {
+  PermanentFaultParams p;
+  p.opcode_id = static_cast<int>(sim::Opcode::kFADD);
+  p.sm_id = 5;  // single-block launches always land on SM 0
+  p.lane_id = 0;
+  p.bit_mask = 0x1;
+  PermanentInjectorTool tool(p);
+  RunWith(&tool);
+  EXPECT_EQ(tool.activations(), 0u);
+}
+
+TEST(PermanentInjector, UnusedOpcodeNeverActivates) {
+  PermanentFaultParams p;
+  p.opcode_id = static_cast<int>(sim::Opcode::kDADD);
+  PermanentInjectorTool tool(p);
+  const RunArtifacts run = RunWith(&tool);
+  EXPECT_EQ(tool.activations(), 0u);
+  EXPECT_EQ(run.exit_code, 0);
+}
+
+TEST(PermanentInjector, RejectsInvalidParams) {
+  PermanentFaultParams p;
+  p.opcode_id = 171;
+  EXPECT_THROW(PermanentInjectorTool{p}, std::logic_error);
+  p.opcode_id = 0;
+  p.lane_id = 32;
+  EXPECT_THROW(PermanentInjectorTool{p}, std::logic_error);
+}
+
+// ---- intermittent faults ----
+
+TEST(IntermittentInjector, DutyCycleScalesActivations) {
+  IntermittentFaultParams low;
+  low.base.opcode_id = static_cast<int>(sim::Opcode::kS2R);
+  low.base.sm_id = 0;
+  low.base.lane_id = 0;
+  low.base.bit_mask = 0x1;
+  low.duty_cycle = 0.05;
+  low.mean_burst_events = 2.0;
+  low.seed = 7;
+  IntermittentFaultParams high = low;
+  high.duty_cycle = 0.95;
+
+  IntermittentInjectorTool low_tool(low);
+  RunWith(&low_tool);
+  IntermittentInjectorTool high_tool(high);
+  RunWith(&high_tool);
+
+  EXPECT_EQ(low_tool.eligible_events(), high_tool.eligible_events());
+  EXPECT_LT(low_tool.activations(), high_tool.activations());
+  EXPECT_LE(high_tool.activations(), high_tool.eligible_events());
+}
+
+TEST(IntermittentInjector, DeterministicPerSeed) {
+  IntermittentFaultParams p;
+  p.base.opcode_id = static_cast<int>(sim::Opcode::kIADD3);
+  p.duty_cycle = 0.5;
+  p.seed = 99;
+  IntermittentInjectorTool a(p), b(p);
+  RunWith(&a);
+  RunWith(&b);
+  EXPECT_EQ(a.activations(), b.activations());
+}
+
+TEST(IntermittentInjector, RejectsInvalidDuty) {
+  IntermittentFaultParams p;
+  p.duty_cycle = 0.0;
+  EXPECT_THROW(IntermittentInjectorTool{p}, std::logic_error);
+  p.duty_cycle = 1.0;
+  EXPECT_THROW(IntermittentInjectorTool{p}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,189 @@
+#include "core/outcome.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+
+#include "workloads/common.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+RunArtifacts CleanRun() {
+  RunArtifacts art;
+  art.stdout_text = "result 1.234\n";
+  art.output_file = {1, 2, 3, 4};
+  return art;
+}
+
+const SdcChecker& Exact() {
+  static const SdcChecker checker;
+  return checker;
+}
+
+TEST(Outcome, IdenticalRunsAreMasked) {
+  const RunArtifacts golden = CleanRun();
+  const Classification c = Classify(golden, CleanRun(), Exact());
+  EXPECT_EQ(c.outcome, Outcome::kMasked);
+  EXPECT_EQ(c.symptom, Symptom::kNone);
+  EXPECT_FALSE(c.potential_due);
+}
+
+TEST(Outcome, StdoutDiffIsSdc) {
+  RunArtifacts run = CleanRun();
+  run.stdout_text = "result 9.999\n";
+  const Classification c = Classify(CleanRun(), run, Exact());
+  EXPECT_EQ(c.outcome, Outcome::kSdc);
+  EXPECT_EQ(c.symptom, Symptom::kStdoutDiff);
+}
+
+TEST(Outcome, OutputFileDiffIsSdc) {
+  RunArtifacts run = CleanRun();
+  run.output_file[2] = 99;
+  const Classification c = Classify(CleanRun(), run, Exact());
+  EXPECT_EQ(c.outcome, Outcome::kSdc);
+  EXPECT_EQ(c.symptom, Symptom::kOutputFileDiff);
+}
+
+TEST(Outcome, AppCheckFailureIsSdc) {
+  RunArtifacts run = CleanRun();
+  run.app_check_failed = true;
+  const Classification c = Classify(CleanRun(), run, Exact());
+  EXPECT_EQ(c.outcome, Outcome::kSdc);
+  EXPECT_EQ(c.symptom, Symptom::kAppCheckFailed);
+}
+
+TEST(Outcome, DueSymptoms) {
+  RunArtifacts timeout = CleanRun();
+  timeout.timed_out = true;
+  EXPECT_EQ(Classify(CleanRun(), timeout, Exact()).symptom, Symptom::kTimeout);
+
+  RunArtifacts crash = CleanRun();
+  crash.crashed = true;
+  EXPECT_EQ(Classify(CleanRun(), crash, Exact()).symptom, Symptom::kCrash);
+
+  RunArtifacts exit_code = CleanRun();
+  exit_code.exit_code = 1;
+  EXPECT_EQ(Classify(CleanRun(), exit_code, Exact()).symptom, Symptom::kNonZeroExit);
+}
+
+TEST(Outcome, DueTakesPrecedenceOverSdc) {
+  RunArtifacts run = CleanRun();
+  run.stdout_text = "garbage";
+  run.timed_out = true;
+  const Classification c = Classify(CleanRun(), run, Exact());
+  EXPECT_EQ(c.outcome, Outcome::kDue);
+  EXPECT_EQ(c.symptom, Symptom::kTimeout);
+}
+
+TEST(Outcome, PrecedenceAmongDueSymptoms) {
+  RunArtifacts run = CleanRun();
+  run.timed_out = true;
+  run.crashed = true;
+  run.exit_code = 3;
+  EXPECT_EQ(Classify(CleanRun(), run, Exact()).symptom, Symptom::kTimeout);
+  run.timed_out = false;
+  EXPECT_EQ(Classify(CleanRun(), run, Exact()).symptom, Symptom::kCrash);
+}
+
+TEST(Outcome, PotentialDueFromCudaError) {
+  RunArtifacts run = CleanRun();
+  run.cuda_errors.push_back("CUDA_ERROR_ILLEGAL_ADDRESS");
+  const Classification c = Classify(CleanRun(), run, Exact());
+  EXPECT_EQ(c.outcome, Outcome::kMasked);  // output identical
+  EXPECT_TRUE(c.potential_due);
+}
+
+TEST(Outcome, PotentialDueFromDmesg) {
+  RunArtifacts run = CleanRun();
+  run.stdout_text = "corrupted";
+  run.dmesg.push_back("XID 13: ...");
+  const Classification c = Classify(CleanRun(), run, Exact());
+  EXPECT_EQ(c.outcome, Outcome::kSdc);
+  EXPECT_TRUE(c.potential_due);
+}
+
+TEST(Outcome, ToleranceCheckerAcceptsSmallFloatDrift) {
+  const float golden_values[] = {1.0f, 2.0f, -3.0f};
+  const float close_values[] = {1.00001f, 2.00002f, -3.00003f};
+  RunArtifacts golden, run;
+  golden.stdout_text = run.stdout_text = "ok\n";
+  workloads::AppendToOutput(&golden, std::span<const float>(golden_values));
+  workloads::AppendToOutput(&run, std::span<const float>(close_values));
+
+  const workloads::ToleranceChecker loose(workloads::ToleranceChecker::Element::kFloat,
+                                          1e-3, 1e-6);
+  EXPECT_FALSE(loose.IsSdc(golden, run));
+  const workloads::ToleranceChecker strict(workloads::ToleranceChecker::Element::kFloat,
+                                           1e-9, 1e-12);
+  EXPECT_TRUE(strict.IsSdc(golden, run));
+  // Byte-identical outputs would still be SDC under Classify's exact default
+  // only when they differ — the tolerance checker overrides that.
+  EXPECT_EQ(Classify(golden, run, loose).outcome, Outcome::kMasked);
+  EXPECT_EQ(Classify(golden, run, strict).outcome, Outcome::kSdc);
+}
+
+TEST(Outcome, ToleranceCheckerCatchesNanAndSizeChanges) {
+  const float golden_values[] = {1.0f, 2.0f};
+  RunArtifacts golden, run;
+  golden.stdout_text = run.stdout_text = "ok\n";
+  workloads::AppendToOutput(&golden, std::span<const float>(golden_values));
+  const float nan_values[] = {1.0f, std::numeric_limits<float>::quiet_NaN()};
+  workloads::AppendToOutput(&run, std::span<const float>(nan_values));
+  const workloads::ToleranceChecker checker(workloads::ToleranceChecker::Element::kFloat,
+                                            1e-2, 1e-2);
+  EXPECT_TRUE(checker.IsSdc(golden, run));
+
+  RunArtifacts truncated;
+  truncated.stdout_text = "ok\n";
+  const float one[] = {1.0f};
+  workloads::AppendToOutput(&truncated, std::span<const float>(one));
+  EXPECT_TRUE(checker.IsSdc(golden, truncated));
+}
+
+TEST(Outcome, CountsArithmetic) {
+  OutcomeCounts counts;
+  counts.Add({Outcome::kSdc, Symptom::kStdoutDiff, false});
+  counts.Add({Outcome::kSdc, Symptom::kOutputFileDiff, true});
+  counts.Add({Outcome::kMasked, Symptom::kNone, true});
+  counts.Add({Outcome::kDue, Symptom::kTimeout, false});
+  EXPECT_EQ(counts.total(), 4u);
+  EXPECT_EQ(counts.sdc, 2u);
+  EXPECT_EQ(counts.potential_due, 2u);
+  EXPECT_DOUBLE_EQ(counts.SdcPct(), 50.0);
+  EXPECT_DOUBLE_EQ(counts.DuePct(), 25.0);
+  EXPECT_DOUBLE_EQ(counts.MaskedPct(), 25.0);
+
+  OutcomeCounts more;
+  more.Add({Outcome::kMasked, Symptom::kNone, false});
+  counts += more;
+  EXPECT_EQ(counts.total(), 5u);
+  EXPECT_EQ(counts.masked, 2u);
+}
+
+TEST(Outcome, EmptyCountsPercentagesAreZero) {
+  const OutcomeCounts counts;
+  EXPECT_DOUBLE_EQ(counts.SdcPct(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.MaskedPct(), 0.0);
+}
+
+TEST(Outcome, WeightedOutcomes) {
+  WeightedOutcomes w;
+  w.Add({Outcome::kSdc, Symptom::kStdoutDiff, false}, 0.3);
+  w.Add({Outcome::kMasked, Symptom::kNone, true}, 0.5);
+  w.Add({Outcome::kDue, Symptom::kCrash, false}, 0.2);
+  EXPECT_DOUBLE_EQ(w.total(), 1.0);
+  EXPECT_DOUBLE_EQ(w.sdc, 0.3);
+  EXPECT_DOUBLE_EQ(w.potential_due, 0.5);
+}
+
+TEST(Outcome, Names) {
+  EXPECT_EQ(OutcomeName(Outcome::kSdc), "SDC");
+  EXPECT_EQ(OutcomeName(Outcome::kDue), "DUE");
+  EXPECT_EQ(OutcomeName(Outcome::kMasked), "Masked");
+  EXPECT_EQ(SymptomName(Symptom::kTimeout), "timeout (monitor detection)");
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,156 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nvbitfi::fi {
+namespace {
+
+KernelProfile MakeKernel(const std::string& name, std::uint64_t count,
+                         std::initializer_list<std::pair<sim::Opcode, std::uint64_t>>
+                             opcodes) {
+  KernelProfile k;
+  k.kernel_name = name;
+  k.kernel_count = count;
+  for (const auto& [op, n] : opcodes) {
+    k.opcode_counts[static_cast<std::size_t>(op)] = n;
+  }
+  return k;
+}
+
+ProgramProfile MakeProfile() {
+  ProgramProfile p;
+  p.program_name = "unit";
+  p.kernels.push_back(MakeKernel("a", 0,
+                                 {{sim::Opcode::kFADD, 100},
+                                  {sim::Opcode::kLDG, 50},
+                                  {sim::Opcode::kISETP, 25},
+                                  {sim::Opcode::kSTG, 10}}));
+  p.kernels.push_back(MakeKernel("a", 1, {{sim::Opcode::kFADD, 200}}));
+  p.kernels.push_back(MakeKernel("b", 0,
+                                 {{sim::Opcode::kDADD, 40}, {sim::Opcode::kEXIT, 4}}));
+  return p;
+}
+
+TEST(Profile, Totals) {
+  const ProgramProfile p = MakeProfile();
+  EXPECT_EQ(p.TotalInstructions(), 100u + 50 + 25 + 10 + 200 + 40 + 4);
+  EXPECT_EQ(p.kernels[0].Total(), 185u);
+  EXPECT_EQ(p.OpcodeTotal(sim::Opcode::kFADD), 300u);
+  EXPECT_EQ(p.OpcodeTotal(sim::Opcode::kNOP), 0u);
+}
+
+TEST(Profile, GroupTotals) {
+  const ProgramProfile p = MakeProfile();
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGFp32), 300u);
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGFp64), 40u);
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGLd), 50u);
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGPr), 25u);
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGNoDest), 14u);
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGGppr), p.TotalInstructions() - 14);
+  EXPECT_EQ(p.GroupTotal(ArchStateId::kGGp), p.TotalInstructions() - 14 - 25);
+}
+
+TEST(Profile, KernelCounts) {
+  const ProgramProfile p = MakeProfile();
+  EXPECT_EQ(p.StaticKernelCount(), 2u);
+  EXPECT_EQ(p.DynamicKernelCount(), 3u);
+}
+
+TEST(Profile, ExecutedOpcodes) {
+  const ProgramProfile p = MakeProfile();
+  const auto executed = p.ExecutedOpcodes();
+  EXPECT_EQ(executed.size(), 6u);
+  for (const sim::Opcode op : executed) {
+    EXPECT_GT(p.OpcodeTotal(op), 0u);
+  }
+}
+
+TEST(Profile, SerializeParseRoundTrip) {
+  const ProgramProfile p = MakeProfile();
+  const auto back = ProgramProfile::Parse(p.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->program_name, "unit");
+  EXPECT_FALSE(back->approximate);
+  ASSERT_EQ(back->kernels.size(), 3u);
+  EXPECT_EQ(back->kernels[0].kernel_name, "a");
+  EXPECT_EQ(back->kernels[1].kernel_count, 1u);
+  EXPECT_EQ(back->TotalInstructions(), p.TotalInstructions());
+  EXPECT_EQ(back->OpcodeTotal(sim::Opcode::kDADD), 40u);
+}
+
+TEST(Profile, SerializeMarksApproximateMode) {
+  ProgramProfile p = MakeProfile();
+  p.approximate = true;
+  const auto back = ProgramProfile::Parse(p.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->approximate);
+}
+
+TEST(Profile, ParseRejectsMalformed) {
+  EXPECT_FALSE(ProgramProfile::Parse("").has_value());
+  EXPECT_FALSE(ProgramProfile::Parse("kernel").has_value());          // no count
+  EXPECT_FALSE(ProgramProfile::Parse("kernel x FADD=1").has_value()); // bad count
+  EXPECT_FALSE(ProgramProfile::Parse("kernel 0 FROB=1").has_value()); // bad opcode
+  EXPECT_FALSE(ProgramProfile::Parse("kernel 0 FADD=z").has_value()); // bad number
+  EXPECT_FALSE(ProgramProfile::Parse("kernel 0 FADD").has_value());   // no '='
+}
+
+TEST(Profile, SelectTransientFaultRespectsGroup) {
+  const ProgramProfile p = MakeProfile();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto params =
+        SelectTransientFault(p, ArchStateId::kGFp64, BitFlipModel::kFlipSingleBit, rng);
+    ASSERT_TRUE(params.has_value());
+    EXPECT_EQ(params->kernel_name, "b");  // only b executes FP64
+    EXPECT_EQ(params->kernel_count, 0u);
+    EXPECT_LT(params->instruction_count, 40u);
+    EXPECT_GE(params->destination_register, 0.0);
+    EXPECT_LT(params->destination_register, 1.0);
+    EXPECT_GE(params->bit_pattern_value, 0.0);
+    EXPECT_LT(params->bit_pattern_value, 1.0);
+  }
+}
+
+TEST(Profile, SelectTransientFaultEmptyGroup) {
+  ProgramProfile p;
+  p.kernels.push_back(MakeKernel("a", 0, {{sim::Opcode::kSTG, 10}}));
+  Rng rng(1);
+  EXPECT_FALSE(SelectTransientFault(p, ArchStateId::kGFp32, BitFlipModel::kZeroValue, rng)
+                   .has_value());
+  // But the no-dest group finds the stores.
+  EXPECT_TRUE(SelectTransientFault(p, ArchStateId::kGNoDest, BitFlipModel::kZeroValue, rng)
+                  .has_value());
+}
+
+TEST(Profile, SelectTransientFaultIsUniformAcrossKernels) {
+  // Kernel a@0 has 100 FADDs, a@1 has 200: instance 1 should get ~2/3 of the
+  // selections.
+  const ProgramProfile p = MakeProfile();
+  Rng rng(7);
+  std::map<std::uint64_t, int> hits;
+  for (int i = 0; i < 3000; ++i) {
+    const auto params =
+        SelectTransientFault(p, ArchStateId::kGFp32, BitFlipModel::kFlipSingleBit, rng);
+    ASSERT_TRUE(params.has_value());
+    ++hits[params->kernel_count];
+  }
+  EXPECT_NEAR(hits[0], 1000, 120);
+  EXPECT_NEAR(hits[1], 2000, 120);
+}
+
+TEST(Profile, SelectTransientFaultDeterministicPerSeed) {
+  const ProgramProfile p = MakeProfile();
+  Rng a(99), b(99);
+  for (int i = 0; i < 20; ++i) {
+    const auto pa = SelectTransientFault(p, ArchStateId::kGGp, BitFlipModel::kRandomValue, a);
+    const auto pb = SelectTransientFault(p, ArchStateId::kGGp, BitFlipModel::kRandomValue, b);
+    ASSERT_TRUE(pa.has_value() && pb.has_value());
+    EXPECT_EQ(*pa, *pb);
+  }
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,102 @@
+#include "core/profiler_tool.h"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+ProgramProfile Profile(ProfilerTool::Mode mode) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  return runner.RunProfiler(mode, sim::DeviceProps{}, nullptr);
+}
+
+TEST(Profiler, ExactCountsEveryDynamicKernel) {
+  const ProgramProfile p = Profile(ProfilerTool::Mode::kExact);
+  EXPECT_FALSE(p.approximate);
+  EXPECT_EQ(p.program_name, "mini");
+  ASSERT_EQ(p.DynamicKernelCount(), 4u);  // 3x work + 1x tail
+  EXPECT_EQ(p.StaticKernelCount(), 2u);
+  for (int i = 0; i < testing::kWorkLaunches; ++i) {
+    EXPECT_EQ(p.kernels[static_cast<std::size_t>(i)].kernel_name, "work");
+    EXPECT_EQ(p.kernels[static_cast<std::size_t>(i)].kernel_count,
+              static_cast<std::uint64_t>(i));
+    EXPECT_EQ(p.kernels[static_cast<std::size_t>(i)].Total(),
+              testing::kWorkThreadInstructions);
+  }
+  EXPECT_EQ(p.kernels[3].kernel_name, "tail");
+}
+
+TEST(Profiler, ExactPerOpcodeCounts) {
+  const ProgramProfile p = Profile(ProfilerTool::Mode::kExact);
+  const KernelProfile& work = p.kernels[0];
+  EXPECT_EQ(work.opcode_counts[static_cast<std::size_t>(sim::Opcode::kS2R)], 32u);
+  EXPECT_EQ(work.opcode_counts[static_cast<std::size_t>(sim::Opcode::kFADD)], 32u);
+  // The guarded IADD3 adds 16 thread executions on top of the unguarded 32.
+  EXPECT_EQ(work.opcode_counts[static_cast<std::size_t>(sim::Opcode::kIADD3)], 48u);
+  EXPECT_EQ(work.opcode_counts[static_cast<std::size_t>(sim::Opcode::kISETP)], 32u);
+  EXPECT_EQ(work.opcode_counts[static_cast<std::size_t>(sim::Opcode::kSTG)], 64u);
+  EXPECT_EQ(work.opcode_counts[static_cast<std::size_t>(sim::Opcode::kEXIT)], 32u);
+}
+
+TEST(Profiler, PredicatedOffInstructionsExcluded) {
+  // "Instructions that are not executed based on a predicate register are not
+  // included in the profile": the tail kernel's post-guard body only counts
+  // thread 0.
+  const ProgramProfile p = Profile(ProfilerTool::Mode::kExact);
+  const KernelProfile& tail = p.kernels[3];
+  EXPECT_EQ(tail.opcode_counts[static_cast<std::size_t>(sim::Opcode::kMOV32I)], 1u);
+  EXPECT_EQ(tail.opcode_counts[static_cast<std::size_t>(sim::Opcode::kSTG)], 1u);
+  // 31 threads exit at the guarded EXIT; 1 thread reaches the final EXIT.
+  EXPECT_EQ(tail.opcode_counts[static_cast<std::size_t>(sim::Opcode::kEXIT)], 32u);
+}
+
+TEST(Profiler, GroupPopulationMatchesHandCount) {
+  const ProgramProfile p = Profile(ProfilerTool::Mode::kExact);
+  EXPECT_EQ(p.kernels[0].GroupTotal(ArchStateId::kGGp), testing::kWorkGgpPopulation);
+}
+
+TEST(Profiler, ApproximateReplicatesFirstInstance) {
+  const ProgramProfile exact = Profile(ProfilerTool::Mode::kExact);
+  const ProgramProfile approx = Profile(ProfilerTool::Mode::kApproximate);
+  EXPECT_TRUE(approx.approximate);
+  ASSERT_EQ(approx.DynamicKernelCount(), exact.DynamicKernelCount());
+  // The mini program's work instances are identical, so the approximate
+  // profile must match the exact one entirely.
+  EXPECT_EQ(approx.TotalInstructions(), exact.TotalInstructions());
+  for (std::size_t i = 0; i < exact.kernels.size(); ++i) {
+    EXPECT_EQ(approx.kernels[i].kernel_name, exact.kernels[i].kernel_name);
+    EXPECT_EQ(approx.kernels[i].kernel_count, exact.kernels[i].kernel_count);
+    EXPECT_EQ(approx.kernels[i].Total(), exact.kernels[i].Total());
+  }
+}
+
+TEST(Profiler, ApproximateIsCheaperThanExact) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  RunArtifacts exact_run, approx_run;
+  runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, &exact_run);
+  runner.RunProfiler(ProfilerTool::Mode::kApproximate, sim::DeviceProps{}, &approx_run);
+  EXPECT_LT(approx_run.cycles, exact_run.cycles);
+}
+
+TEST(Profiler, TakeProfileResets) {
+  ProfilerTool tool("p", ProfilerTool::Mode::kExact);
+  const ProgramProfile first = tool.TakeProfile();
+  EXPECT_TRUE(first.kernels.empty());
+  EXPECT_EQ(tool.profile().program_name, "p");
+}
+
+TEST(Profiler, ConfigKeysDifferPerMode) {
+  ProfilerTool exact("p", ProfilerTool::Mode::kExact);
+  ProfilerTool approx("p", ProfilerTool::Mode::kApproximate);
+  EXPECT_NE(exact.ConfigKey(), approx.ConfigKey());
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

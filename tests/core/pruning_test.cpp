@@ -1,0 +1,118 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+ProgramProfile MiniProfile() {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  return runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+}
+
+TEST(Pruning, SitesCoverEveryClassOnce) {
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(1);
+  PruningConfig config;
+  const std::vector<PrunedSite> sites = BuildPrunedSites(profile, config, rng);
+
+  // Classes are (static kernel, opcode): work executes {S2R, IADD3, FADD,
+  // LDC, IMAD} and tail {S2R, LDC, MOV32I} in G_GP — the three work
+  // instances collapse into one class each.
+  std::set<std::string> classes;
+  double weight_sum = 0.0;
+  for (const PrunedSite& site : sites) {
+    classes.insert(site.kernel_name + "/" + std::string(sim::OpcodeName(site.opcode)));
+    weight_sum += site.weight;
+    EXPECT_TRUE(OpcodeInGroup(site.opcode, ArchStateId::kGGp));
+    EXPECT_GT(site.weight, 0.0);
+    EXPECT_TRUE(site.kernel_name == "work" || site.kernel_name == "tail");
+  }
+  EXPECT_EQ(classes.size(), sites.size());  // one representative each
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_EQ(sites.size(), 8u);  // 5 work classes + 3 tail classes
+}
+
+TEST(Pruning, RepresentativesPerClassMultiplySites) {
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(1);
+  PruningConfig one;
+  PruningConfig three;
+  three.representatives_per_class = 3;
+  Rng rng2(1);
+  const auto sites1 = BuildPrunedSites(profile, one, rng);
+  const auto sites3 = BuildPrunedSites(profile, three, rng2);
+  EXPECT_EQ(sites3.size(), 3 * sites1.size());
+  double weight_sum = 0.0;
+  for (const PrunedSite& site : sites3) weight_sum += site.weight;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(Pruning, MinShareDropsSmallClassesAndRenormalises) {
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(1), rng_full(1);
+  PruningConfig config;
+  config.min_class_share = 0.01;  // drops tail's 1-instruction classes
+  const auto sites = BuildPrunedSites(profile, config, rng);
+  const auto full = BuildPrunedSites(profile, PruningConfig{}, rng_full);
+  EXPECT_LT(sites.size(), full.size());
+  double weight_sum = 0.0;
+  for (const PrunedSite& site : sites) {
+    // tail's single-execution LDC and MOV32I classes are pruned.
+    EXPECT_FALSE(site.kernel_name == "tail" && site.opcode == sim::Opcode::kMOV32I);
+    EXPECT_FALSE(site.kernel_name == "tail" && site.opcode == sim::Opcode::kLDC);
+    weight_sum += site.weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(Pruning, SiteIndicesStayInsideTheClass) {
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(7);
+  PruningConfig config;
+  config.representatives_per_class = 4;
+  const auto sites = BuildPrunedSites(profile, config, rng);
+  for (const PrunedSite& site : sites) {
+    // Find the class population and check the index bound.
+    for (const KernelProfile& k : profile.kernels) {
+      if (k.kernel_name == site.kernel_name && k.kernel_count == site.kernel_count) {
+        const std::uint64_t count =
+            k.opcode_counts[static_cast<std::size_t>(site.opcode)];
+        EXPECT_LT(site.params.instruction_count, count);
+      }
+    }
+  }
+}
+
+TEST(Pruning, CampaignRunsOnePerSiteAndInjectsTheRightOpcode) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(3);
+  PruningConfig config;
+  const PrunedCampaignResult result =
+      RunPrunedCampaign(runner, program, profile, config, rng);
+  EXPECT_EQ(result.total_runs, result.sites.size());
+  EXPECT_EQ(result.classifications.size(), result.sites.size());
+  EXPECT_NEAR(result.weighted.total(), 1.0, 1e-9);
+}
+
+TEST(Pruning, DeterministicForSameSeed) {
+  const ProgramProfile profile = MiniProfile();
+  Rng a(9), b(9);
+  PruningConfig config;
+  const auto sites_a = BuildPrunedSites(profile, config, a);
+  const auto sites_b = BuildPrunedSites(profile, config, b);
+  ASSERT_EQ(sites_a.size(), sites_b.size());
+  for (std::size_t i = 0; i < sites_a.size(); ++i) {
+    EXPECT_EQ(sites_a[i].params, sites_b[i].params);
+  }
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,99 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+TransientCampaignResult RunSmallCampaign() {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.seed = 17;
+  config.num_injections = 12;
+  return runner.RunTransientCampaign(config);
+}
+
+TEST(Report, TransientTextReportStructure) {
+  const TransientCampaignResult result = RunSmallCampaign();
+  const std::string report = TransientCampaignReport(result, 0.90);
+  EXPECT_NE(report.find("transient campaign report: mini"), std::string::npos);
+  EXPECT_NE(report.find("injections: 12"), std::string::npos);
+  EXPECT_NE(report.find("outcomes at 90% confidence"), std::string::npos);
+  EXPECT_NE(report.find("SDC"), std::string::npos);
+  EXPECT_NE(report.find("Masked"), std::string::npos);
+  EXPECT_NE(report.find("symptoms:"), std::string::npos);
+  EXPECT_NE(report.find("overheads:"), std::string::npos);
+}
+
+TEST(Report, TransientCsvHasOneRowPerInjection) {
+  const TransientCampaignResult result = RunSmallCampaign();
+  const std::string csv = TransientCampaignCsv(result);
+  const auto lines = Split(csv, '\n');
+  // Header + 12 rows + trailing empty field from the final newline.
+  ASSERT_EQ(lines.size(), 14u);
+  EXPECT_TRUE(StartsWith(lines[0], "index,kernel,kernel_count"));
+  // Every data row has the full column count.
+  const std::size_t columns = Split(lines[0], ',').size();
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(Split(lines[i], ',').size(), columns) << "row " << i << ": " << lines[i];
+  }
+}
+
+TEST(Report, TransientCsvRowContentsMatchRuns) {
+  const TransientCampaignResult result = RunSmallCampaign();
+  const std::string csv = TransientCampaignCsv(result);
+  const auto lines = Split(csv, '\n');
+  for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    const auto fields = Split(lines[i + 1], ',');
+    EXPECT_EQ(fields[0], std::to_string(i));
+    EXPECT_EQ(fields[1], result.injections[i].params.kernel_name);
+    EXPECT_EQ(fields[10],
+              std::string(OutcomeName(result.injections[i].classification.outcome)));
+  }
+}
+
+TEST(Report, PermanentReportAndCsv) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.seed = 4;
+  const PermanentCampaignResult result = runner.RunPermanentCampaign(config, profile);
+
+  const std::string report = PermanentCampaignReport(result);
+  EXPECT_NE(report.find("permanent campaign report: mini"), std::string::npos);
+  EXPECT_NE(report.find("weighted by opcode"), std::string::npos);
+
+  const std::string csv = PermanentCampaignCsv(result);
+  const auto lines = Split(csv, '\n');
+  ASSERT_EQ(lines.size(), result.runs.size() + 2);  // header + rows + trailing
+  EXPECT_TRUE(StartsWith(lines[0], "opcode,sm,lane,mask"));
+  // Weights across rows sum to ~1 (executed opcodes cover the population).
+  double weight_sum = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    const auto fields = Split(lines[i], ',');
+    double w = 0;
+    ASSERT_TRUE(ParseDouble(fields[5], &w)) << lines[i];
+    weight_sum += w;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-6);
+}
+
+TEST(Report, ConfidenceLevelChangesMargins) {
+  const TransientCampaignResult result = RunSmallCampaign();
+  const std::string narrow = TransientCampaignReport(result, 0.80);
+  const std::string wide = TransientCampaignReport(result, 0.99);
+  EXPECT_NE(narrow.find("80% confidence"), std::string::npos);
+  EXPECT_NE(wide.find("99% confidence"), std::string::npos);
+  EXPECT_NE(narrow, wide);
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

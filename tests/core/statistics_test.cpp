@@ -1,0 +1,86 @@
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nvbitfi::fi {
+namespace {
+
+TEST(Statistics, ZScoresMatchTables) {
+  EXPECT_NEAR(ZScore(0.90), 1.6449, 1e-3);
+  EXPECT_NEAR(ZScore(0.95), 1.9600, 1e-3);
+  EXPECT_NEAR(ZScore(0.99), 2.5758, 1e-3);
+  EXPECT_NEAR(ZScore(0.6827), 1.0, 1e-3);  // one sigma
+}
+
+TEST(Statistics, PaperCampaignSizingClaims) {
+  // §IV-B: "100 injections provide results with 90% confidence intervals and
+  // ±8% error margins".
+  EXPECT_NEAR(WorstCaseMarginOfError(100, 0.90), 0.08, 0.003);
+  // "1000 injections are necessary to obtain results with 95% confidence
+  // intervals and ±3% error margins".
+  EXPECT_NEAR(WorstCaseMarginOfError(1000, 0.95), 0.03, 0.002);
+  EXPECT_LE(InjectionsForMargin(0.031, 0.95), 1000u);
+  EXPECT_GT(InjectionsForMargin(0.03, 0.95), 1000u);
+}
+
+TEST(Statistics, MarginShrinksWithSamples) {
+  double previous = 1.0;
+  for (const std::uint64_t n : {10u, 100u, 1000u, 10000u}) {
+    const double margin = WorstCaseMarginOfError(n, 0.95);
+    EXPECT_LT(margin, previous);
+    previous = margin;
+  }
+}
+
+TEST(Statistics, InjectionsForMarginInvertsTheMargin) {
+  for (const double margin : {0.10, 0.05, 0.02}) {
+    const std::uint64_t n = InjectionsForMargin(margin, 0.90);
+    EXPECT_LE(WorstCaseMarginOfError(n, 0.90), margin + 1e-9);
+    EXPECT_GT(WorstCaseMarginOfError(n - 1, 0.90), margin);
+  }
+}
+
+TEST(Statistics, ProportionEstimate) {
+  const ProportionEstimate e = EstimateProportion(30, 100, 0.95);
+  EXPECT_DOUBLE_EQ(e.value, 0.30);
+  EXPECT_NEAR(e.margin, 1.96 * std::sqrt(0.3 * 0.7 / 100.0), 1e-3);
+  EXPECT_NEAR(e.lower, 0.30 - e.margin, 1e-12);
+  EXPECT_NEAR(e.upper, 0.30 + e.margin, 1e-12);
+}
+
+TEST(Statistics, ProportionEstimateClampsToUnitInterval) {
+  const ProportionEstimate low = EstimateProportion(0, 10, 0.95);
+  EXPECT_DOUBLE_EQ(low.lower, 0.0);
+  const ProportionEstimate high = EstimateProportion(10, 10, 0.95);
+  EXPECT_DOUBLE_EQ(high.upper, 1.0);
+}
+
+TEST(Statistics, ZeroSamplesYieldEmptyEstimate) {
+  const ProportionEstimate e = EstimateProportion(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  EXPECT_DOUBLE_EQ(e.margin, 0.0);
+}
+
+TEST(Statistics, OutcomeEstimates) {
+  OutcomeCounts counts;
+  counts.sdc = 32;
+  counts.due = 4;
+  counts.masked = 64;
+  const OutcomeEstimates estimates = EstimateOutcomes(counts, 0.90);
+  EXPECT_NEAR(estimates.sdc.value, 0.32, 1e-9);
+  EXPECT_NEAR(estimates.due.value, 0.04, 1e-9);
+  EXPECT_NEAR(estimates.masked.value, 0.64, 1e-9);
+  EXPECT_GT(estimates.sdc.margin, estimates.due.margin);  // p closer to 0.5
+}
+
+TEST(Statistics, InvalidArgumentsThrow) {
+  EXPECT_THROW(ZScore(0.0), std::logic_error);
+  EXPECT_THROW(ZScore(1.0), std::logic_error);
+  EXPECT_THROW(WorstCaseMarginOfError(0, 0.9), std::logic_error);
+  EXPECT_THROW(InjectionsForMargin(0.0, 0.9), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

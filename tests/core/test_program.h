@@ -1,0 +1,105 @@
+// A tiny deterministic TargetProgram used across the core tests.
+//
+// Kernel "work" (one warp of 32 threads, launched 3 times):
+//   index  instruction                         thread executions
+//   0      S2R R0, SR_TID.X                    32
+//   1      IADD3 R1, R0, 1, RZ                 32
+//   2      FADD R2, RZ, 1.0f                   32
+//   3      ISETP.GE.AND P0, PT, R0, 0x10, PT   32   (predicate only)
+//   4      @P0 IADD3 R1, R1, 1, RZ             16   (lanes 16..31)
+//   5      LDC.64 R4, c[0][0x160]              32
+//   6      IMAD.WIDE R6, R0, 0x8, R4           32
+//   7      STG.E.32 [R6], R1                   32   (no dest)
+//   8      STG.E.32 [R6+4], R2                 32   (no dest)
+//   9      EXIT                                32   (no dest)
+//
+// Per launch: 304 thread instructions; G_GP population 176 in the order
+// S2R(0..31), IADD3(32..63), FADD(64..95), IADD3@P0(96..111), LDC(112..143),
+// IMAD.WIDE(144..175).
+//
+// Kernel "tail" (1 thread, launched once) stores a constant marker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/target_program.h"
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::fi::testing {
+
+inline constexpr int kWorkLaunches = 3;
+inline constexpr std::uint32_t kWorkThreads = 32;
+inline constexpr std::uint64_t kWorkThreadInstructions = 304;
+inline constexpr std::uint64_t kWorkGgpPopulation = 176;
+
+class MiniProgram final : public TargetProgram {
+ public:
+  std::string name() const override { return "mini"; }
+
+  RunArtifacts Run(sim::Context& ctx) const override {
+    RunArtifacts art;
+    static constexpr const char* kSource =
+        ".kernel work\n"
+        "  S2R R0, SR_TID.X ;\n"
+        "  IADD3 R1, R0, 1, RZ ;\n"
+        "  FADD R2, RZ, 0x3f800000 ;\n"
+        "  ISETP.GE.AND P0, PT, R0, 0x10, PT ;\n"
+        "  @P0 IADD3 R1, R1, 1, RZ ;\n"
+        "  LDC.64 R4, c[0][0x160] ;\n"
+        "  IMAD.WIDE R6, R0, 0x8, R4 ;\n"
+        "  STG.E.32 [R6], R1 ;\n"
+        "  STG.E.32 [R6+4], R2 ;\n"
+        "  EXIT ;\n"
+        ".endkernel\n"
+        ".kernel tail\n"
+        "  S2R R1, SR_TID.X ;\n"
+        "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+        "  @P0 EXIT ;\n"
+        "  LDC.64 R4, c[0][0x160] ;\n"
+        "  MOV32I R6, 0x7777 ;\n"
+        "  STG.E.32 [R4], R6 ;\n"
+        "  EXIT ;\n"
+        ".endkernel\n";
+
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(kSource, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+
+    constexpr std::uint32_t kBytesPerLaunch = kWorkThreads * 8;
+    std::vector<sim::DevPtr> outputs;
+    for (int i = 0; i < kWorkLaunches; ++i) {
+      sim::DevPtr out = 0;
+      ctx.MemAlloc(&out, kBytesPerLaunch);
+      outputs.push_back(out);
+      const std::uint64_t params[] = {out};
+      ctx.LaunchKernel(ctx.GetFunction("work"), sim::Dim3{1, 1, 1},
+                       sim::Dim3{kWorkThreads, 1, 1}, params);
+    }
+    sim::DevPtr marker = 0;
+    ctx.MemAlloc(&marker, 16);
+    {
+      const std::uint64_t params[] = {marker};
+      ctx.LaunchKernel(ctx.GetFunction("tail"), sim::Dim3{1, 1, 1},
+                       sim::Dim3{32, 1, 1}, params);
+    }
+
+    std::uint64_t checksum = 0;
+    for (const sim::DevPtr out : outputs) {
+      std::vector<std::uint32_t> values(kWorkThreads * 2);
+      ctx.MemcpyDtoH(values.data(), out, kBytesPerLaunch);
+      for (const std::uint32_t v : values) checksum += v;
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+      art.output_file.insert(art.output_file.end(), bytes, bytes + kBytesPerLaunch);
+    }
+    std::uint32_t marker_value = 0;
+    ctx.MemcpyDtoH(&marker_value, marker, 4);
+    art.stdout_text = "mini checksum " + std::to_string(checksum) + " marker " +
+                      std::to_string(marker_value) + "\n";
+    return art;
+  }
+};
+
+}  // namespace nvbitfi::fi::testing

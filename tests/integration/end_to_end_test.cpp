@@ -1,0 +1,166 @@
+// End-to-end integration: the full Figure 1 pipeline on real workloads.
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+TEST(EndToEnd, OstencilTransientCampaign) {
+  const TargetProgram* program = workloads::FindWorkload("303.ostencil");
+  const CampaignRunner runner(*program);
+  TransientCampaignConfig config;
+  config.seed = 1234;
+  config.num_injections = 15;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  EXPECT_EQ(result.counts.total(), 15u);
+  // The campaign must produce a mix of outcomes, with activations recorded.
+  int activated = 0;
+  for (const InjectionRun& run : result.injections) {
+    if (run.record.activated) ++activated;
+  }
+  EXPECT_GT(activated, 10);
+  EXPECT_GT(result.counts.masked, 0u);
+}
+
+TEST(EndToEnd, CampaignIsFullyReproducible) {
+  const TargetProgram* program = workloads::FindWorkload("360.ilbdc");
+  const CampaignRunner runner(*program);
+  TransientCampaignConfig config;
+  config.seed = 42;
+  config.num_injections = 6;
+  const TransientCampaignResult a = runner.RunTransientCampaign(config);
+  const TransientCampaignResult b = runner.RunTransientCampaign(config);
+  ASSERT_EQ(a.injections.size(), b.injections.size());
+  for (std::size_t i = 0; i < a.injections.size(); ++i) {
+    EXPECT_EQ(a.injections[i].params, b.injections[i].params);
+    EXPECT_EQ(a.injections[i].artifacts.stdout_text, b.injections[i].artifacts.stdout_text);
+    EXPECT_EQ(a.injections[i].artifacts.output_file, b.injections[i].artifacts.output_file);
+    EXPECT_EQ(a.injections[i].classification, b.injections[i].classification);
+  }
+}
+
+TEST(EndToEnd, SingleInjectionIsReproducibleFromItsParameters) {
+  // The paper's workflow: a campaign selects a fault, and the same parameter
+  // file replays it exactly.
+  const TargetProgram* program = workloads::FindWorkload("314.omriq");
+  const CampaignRunner runner(*program);
+  const RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+
+  Rng rng(9);
+  const auto params = SelectTransientFault(profile, ArchStateId::kGGp,
+                                           BitFlipModel::kFlipTwoBits, rng);
+  ASSERT_TRUE(params.has_value());
+
+  // Serialise to the parameter-file format and replay from the parse.
+  const auto replayed = TransientFaultParams::Parse(params->Serialize());
+  ASSERT_TRUE(replayed.has_value());
+
+  TransientInjectorTool first(*params);
+  const RunArtifacts run1 = runner.Execute(&first, sim::DeviceProps{}, 0);
+  TransientInjectorTool second(*replayed);
+  const RunArtifacts run2 = runner.Execute(&second, sim::DeviceProps{}, 0);
+
+  EXPECT_EQ(first.record().activated, second.record().activated);
+  EXPECT_EQ(first.record().mask, second.record().mask);
+  EXPECT_EQ(run1.stdout_text, run2.stdout_text);
+  EXPECT_EQ(run1.output_file, run2.output_file);
+}
+
+TEST(EndToEnd, ApproximateProfileEqualsExactForUniformKernels) {
+  // 360.ilbdc launches one static kernel 1000 times with identical work:
+  // approximate profiling must lose nothing.
+  const TargetProgram* program = workloads::FindWorkload("360.ilbdc");
+  const CampaignRunner runner(*program);
+  const ProgramProfile exact =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  const ProgramProfile approx =
+      runner.RunProfiler(ProfilerTool::Mode::kApproximate, sim::DeviceProps{}, nullptr);
+  EXPECT_EQ(exact.TotalInstructions(), approx.TotalInstructions());
+  EXPECT_EQ(exact.DynamicKernelCount(), approx.DynamicKernelCount());
+  for (int op = 0; op < sim::kOpcodeCount; ++op) {
+    EXPECT_EQ(exact.OpcodeTotal(static_cast<sim::Opcode>(op)),
+              approx.OpcodeTotal(static_cast<sim::Opcode>(op)));
+  }
+}
+
+TEST(EndToEnd, PermanentCampaignOnSmallProgram) {
+  const TargetProgram* program = workloads::FindWorkload("314.omriq");
+  const CampaignRunner runner(*program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.seed = 77;
+  const PermanentCampaignResult result = runner.RunPermanentCampaign(config, profile);
+  EXPECT_EQ(result.runs.size(), profile.ExecutedOpcodes().size());
+  // Permanent faults on an FP-heavy two-kernel program must corrupt outputs
+  // for at least some opcodes.
+  EXPECT_GT(result.counts.sdc + result.counts.due, 0u);
+}
+
+TEST(EndToEnd, InjectionIntoDynamicallyLoadedSecondModule) {
+  // NVBitFI's headline capability: injecting into code the process loads
+  // later, without source.  Load a second module mid-run and hit it.
+  class TwoModuleProgram final : public TargetProgram {
+   public:
+    std::string name() const override { return "two_modules"; }
+    RunArtifacts Run(sim::Context& ctx) const override {
+      RunArtifacts art;
+      sim::Module* m1 = nullptr;
+      ctx.ModuleLoadText(
+          ".kernel first\n  S2R R1, SR_TID.X ;\n  EXIT ;\n.endkernel\n", &m1);
+      ctx.LaunchKernel(ctx.GetFunction("first"), sim::Dim3{1, 1, 1},
+                       sim::Dim3{32, 1, 1}, {});
+      // "dlopen" a plugin module after the first kernel already ran.
+      sim::DevPtr out = 0;
+      ctx.MemAlloc(&out, 128);
+      sim::Module* m2 = nullptr;
+      ctx.ModuleLoadText(
+          ".kernel plugin\n"
+          "  S2R R0, SR_TID.X ;\n"
+          "  IADD3 R1, R0, 5, RZ ;\n"
+          "  LDC.64 R4, c[0][0x160] ;\n"
+          "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+          "  STG.E.32 [R6], R1 ;\n"
+          "  EXIT ;\n"
+          ".endkernel\n",
+          &m2);
+      const std::uint64_t params[] = {out};
+      ctx.LaunchKernel(ctx.GetFunction("plugin"), sim::Dim3{1, 1, 1},
+                       sim::Dim3{32, 1, 1}, params);
+      std::vector<std::uint32_t> values(32);
+      ctx.MemcpyDtoH(values.data(), out, 128);
+      std::uint64_t sum = 0;
+      for (const std::uint32_t v : values) sum += v;
+      art.stdout_text = "sum " + std::to_string(sum) + "\n";
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+      art.output_file.assign(bytes, bytes + 128);
+      return art;
+    }
+  };
+
+  const TwoModuleProgram program;
+  const CampaignRunner runner(program);
+  const RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+
+  TransientFaultParams params;
+  params.arch_state_id = ArchStateId::kGGp;
+  params.bit_flip_model = BitFlipModel::kRandomValue;
+  params.kernel_name = "plugin";
+  params.kernel_count = 0;
+  params.instruction_count = 40;  // the IADD3 in the late-loaded module
+  params.destination_register = 0.0;
+  params.bit_pattern_value = 0.9;
+  TransientInjectorTool injector(params);
+  const RunArtifacts faulty = runner.Execute(&injector, sim::DeviceProps{}, 0);
+  EXPECT_TRUE(injector.record().activated);
+  EXPECT_EQ(injector.record().kernel_name, "plugin");
+  EXPECT_NE(faulty.output_file, golden.output_file);
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,64 @@
+// Injection smoke test across the whole Table IV suite: a small campaign on
+// every program, checking the end-to-end invariants the benches rely on.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/campaign.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+class ProgramInjection : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(ProgramInjection, SmallCampaignBehaves) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  const CampaignRunner runner(*entry.program);
+  TransientCampaignConfig config;
+  config.seed = 99;
+  config.num_injections = 5;
+  config.profiling = ProfilerTool::Mode::kApproximate;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  EXPECT_EQ(result.counts.total(), 5u);
+  for (const InjectionRun& run : result.injections) {
+    // Sites come from the profile and carry valid Table II parameters.
+    EXPECT_FALSE(run.params.kernel_name.empty());
+    EXPECT_GE(run.params.destination_register, 0.0);
+    EXPECT_LT(run.params.destination_register, 1.0);
+
+    // Activated injections record a concrete architectural fault.
+    if (run.record.activated && run.record.corrupted) {
+      EXPECT_GE(run.record.target_register, 0);
+      EXPECT_GE(run.record.sm_id, 0);
+      EXPECT_GE(run.record.lane_id, 0);
+      EXPECT_LT(run.record.lane_id, 32);
+    }
+
+    // DUE classifications must be backed by a DUE symptom; masked runs with
+    // no anomaly must match the golden output under the program's checker.
+    if (run.classification.outcome == Outcome::kDue) {
+      EXPECT_TRUE(run.artifacts.timed_out || run.artifacts.crashed ||
+                  run.artifacts.exit_code != 0);
+    }
+    if (run.classification.outcome == Outcome::kMasked) {
+      EXPECT_FALSE(
+          entry.program->sdc_checker().IsSdc(result.golden, run.artifacts));
+    }
+  }
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ProgramInjection,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,293 @@
+#include "nvbit/nvbit.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nvbitfi::nvbit {
+namespace {
+
+constexpr const char* kModule =
+    ".kernel alpha\n"
+    "  S2R R1, SR_TID.X ;\n"
+    "  IADD3 R2, R1, 1, RZ ;\n"
+    "  EXIT ;\n"
+    ".endkernel\n"
+    ".kernel beta\n"
+    "  NOP ;\n"
+    "  EXIT ;\n"
+    ".endkernel\n";
+
+// A scriptable tool for testing the runtime.
+class TestTool : public Tool {
+ public:
+  std::string ConfigKey() const override { return "test"; }
+  void OnAttach(Runtime& runtime) override {
+    DeviceFunction fn;
+    fn.name = "count";
+    fn.regs_used = 8;
+    fn.cost_cycles = 10;
+    fn.callback = [this](const sim::InstrEvent& event) {
+      ++events;
+      last_opcode = event.instr.opcode;
+      if (writer) writer(event);
+    };
+    runtime.RegisterDeviceFunction(std::move(fn));
+    attached = true;
+  }
+  void AtCudaEvent(Runtime& runtime, CudaEvent event, const EventInfo& info) override {
+    switch (event) {
+      case CudaEvent::kModuleLoaded:
+        modules.push_back(info.module);
+        if (on_module) on_module(runtime, *info.module);
+        break;
+      case CudaEvent::kKernelLaunchBegin:
+        launch_begins.push_back(info.launch->kernel_name);
+        if (on_launch_begin) on_launch_begin(runtime, info);
+        break;
+      case CudaEvent::kKernelLaunchEnd:
+        launch_ends.push_back(info.launch->kernel_name);
+        last_stats = *info.stats;
+        break;
+    }
+  }
+
+  bool attached = false;
+  int events = 0;
+  sim::Opcode last_opcode = sim::Opcode::kNOP;
+  std::function<void(const sim::InstrEvent&)> writer;
+  std::function<void(Runtime&, const sim::Module&)> on_module;
+  std::function<void(Runtime&, const EventInfo&)> on_launch_begin;
+  std::vector<const sim::Module*> modules;
+  std::vector<std::string> launch_begins;
+  std::vector<std::string> launch_ends;
+  sim::LaunchStats last_stats;
+};
+
+struct Harness {
+  sim::Context ctx;
+  TestTool tool;
+  Runtime runtime{ctx, tool};
+  sim::Module* module = nullptr;
+
+  void Load() {
+    ASSERT_EQ(ctx.ModuleLoadText(kModule, &module), sim::CuResult::kSuccess);
+  }
+  void Launch(const char* name) {
+    ASSERT_EQ(ctx.LaunchKernel(ctx.GetFunction(name), sim::Dim3{1, 1, 1},
+                               sim::Dim3{32, 1, 1}, {}),
+              sim::CuResult::kSuccess);
+  }
+};
+
+TEST(Nvbit, AttachDeliversEvents) {
+  Harness h;
+  EXPECT_TRUE(h.tool.attached);
+  h.Load();
+  ASSERT_EQ(h.tool.modules.size(), 1u);
+  h.Launch("alpha");
+  h.Launch("beta");
+  EXPECT_EQ(h.tool.launch_begins, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(h.tool.launch_ends, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Nvbit, DoubleAttachIsRejected) {
+  sim::Context ctx;
+  TestTool a, b;
+  Runtime first(ctx, a);
+  EXPECT_THROW(Runtime(ctx, b), std::logic_error);
+}
+
+TEST(Nvbit, DetachOnDestruction) {
+  sim::Context ctx;
+  {
+    TestTool tool;
+    Runtime runtime(ctx, tool);
+    EXPECT_NE(ctx.interceptor(), nullptr);
+  }
+  EXPECT_EQ(ctx.interceptor(), nullptr);
+}
+
+TEST(Nvbit, GetInstrsExposesTheBody) {
+  Harness h;
+  h.Load();
+  const sim::Function* alpha = h.module->GetFunction("alpha");
+  const std::vector<Instr> instrs = h.runtime.GetInstrs(*alpha);
+  ASSERT_EQ(instrs.size(), 3u);
+  EXPECT_EQ(instrs[0].opcode(), sim::Opcode::kS2R);
+  EXPECT_EQ(instrs[1].opcode(), sim::Opcode::kIADD3);
+  EXPECT_EQ(instrs[2].opcode(), sim::Opcode::kEXIT);
+  EXPECT_TRUE(instrs[1].has_dest());
+  EXPECT_FALSE(instrs[2].has_dest());
+  EXPECT_EQ(instrs[1].index(), 1u);
+}
+
+TEST(Nvbit, UninstrumentedLaunchFiresNoCallbacks) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kBefore);
+  // Not enabled: original kernel runs.
+  h.Launch("alpha");
+  EXPECT_EQ(h.tool.events, 0);
+  EXPECT_EQ(h.runtime.stats().uninstrumented_launches, 1u);
+  EXPECT_EQ(h.runtime.stats().instrumented_launches, 0u);
+}
+
+TEST(Nvbit, SelectiveEnablePerLaunch) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kBefore);
+
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  EXPECT_EQ(h.tool.events, 32);  // one event per lane
+
+  h.runtime.EnableInstrumented(*alpha, false);
+  h.Launch("alpha");
+  EXPECT_EQ(h.tool.events, 32);  // unchanged
+}
+
+TEST(Nvbit, CallbackSeesCorrectInstruction) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.runtime.InsertCall(*alpha, 0, "count", sim::InsertPoint::kAfter);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  EXPECT_EQ(h.tool.last_opcode, sim::Opcode::kS2R);
+}
+
+TEST(Nvbit, LaneViewReadsArchitecturalState) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  // After "IADD3 R2, R1, 1", R2 must equal tid+1 for each lane.
+  int checked = 0;
+  h.tool.writer = [&checked](const sim::InstrEvent& event) {
+    EXPECT_EQ(event.lane.ReadGpr(2), static_cast<std::uint32_t>(event.lane.lane_id() + 1));
+    ++checked;
+  };
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kAfter);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  EXPECT_EQ(checked, 32);
+}
+
+TEST(Nvbit, LaneViewWritesPropagate) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  // Corrupt R2 after the IADD3; verify through a second callback site.
+  h.tool.writer = [](const sim::InstrEvent& event) {
+    if (event.static_index == 1) event.lane.WriteGpr(2, 0x999);
+    if (event.static_index == 2) {
+      EXPECT_EQ(event.lane.ReadGpr(2), 0x999u);
+    }
+  };
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kAfter);
+  h.runtime.InsertCall(*alpha, 2, "count", sim::InsertPoint::kBefore);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  EXPECT_EQ(h.tool.events, 64);
+}
+
+TEST(Nvbit, JitCompileOnceThenCache) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.runtime.InsertCall(*alpha, 0, "count", sim::InsertPoint::kBefore);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  h.Launch("alpha");
+  h.Launch("alpha");
+  EXPECT_EQ(h.runtime.stats().jit_compilations, 1u);
+  EXPECT_EQ(h.runtime.stats().jit_cache_hits, 2u);
+}
+
+TEST(Nvbit, ClearInstrumentationInvalidatesCache) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.runtime.InsertCall(*alpha, 0, "count", sim::InsertPoint::kBefore);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  EXPECT_EQ(h.runtime.stats().jit_compilations, 1u);
+
+  h.runtime.ClearInstrumentation(*alpha);
+  h.Launch("alpha");  // no calls -> uninstrumented
+  EXPECT_EQ(h.tool.events, 32);
+
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kBefore);
+  h.Launch("alpha");  // re-JIT
+  EXPECT_EQ(h.runtime.stats().jit_compilations, 2u);
+}
+
+TEST(Nvbit, InstrumentationCostsCycles) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.Launch("alpha");
+  const std::uint64_t plain = h.ctx.total_cycles();
+  h.runtime.InsertCall(*alpha, 0, "count", sim::InsertPoint::kBefore);
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kBefore);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  const std::uint64_t instrumented = h.ctx.total_cycles() - plain;
+  EXPECT_GT(instrumented, plain);  // JIT + callback cycles dominate
+}
+
+TEST(Nvbit, InsertCallValidation) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  EXPECT_THROW(h.runtime.InsertCall(*alpha, 99, "count", sim::InsertPoint::kBefore),
+               std::logic_error);
+  EXPECT_THROW(h.runtime.InsertCall(*alpha, 0, "unregistered", sim::InsertPoint::kBefore),
+               std::logic_error);
+}
+
+TEST(Nvbit, RegisterDeviceFunctionValidation) {
+  sim::Context ctx;
+  TestTool tool;
+  Runtime runtime(ctx, tool);
+  DeviceFunction unnamed;
+  unnamed.callback = [](const sim::InstrEvent&) {};
+  EXPECT_THROW(runtime.RegisterDeviceFunction(unnamed), std::logic_error);
+  DeviceFunction no_callback;
+  no_callback.name = "x";
+  EXPECT_THROW(runtime.RegisterDeviceFunction(std::move(no_callback)), std::logic_error);
+}
+
+TEST(Nvbit, BeforeAndAfterOrdering) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  std::vector<std::pair<int, std::uint32_t>> trace;  // (phase, R2 value) on lane 0
+  h.tool.writer = [&trace](const sim::InstrEvent& event) {
+    if (event.lane.lane_id() != 0) return;
+    trace.emplace_back(0, event.lane.ReadGpr(2));
+  };
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kBefore);
+  h.runtime.InsertCall(*alpha, 1, "count", sim::InsertPoint::kAfter);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("alpha");
+  // Before the IADD3, R2 is 0; after, it is tid+1 = 1 on lane 0.
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].second, 0u);
+  EXPECT_EQ(trace[1].second, 1u);
+}
+
+TEST(Nvbit, InstrumentationOnOneKernelDoesNotAffectOthers) {
+  Harness h;
+  h.Load();
+  sim::Function* alpha = h.ctx.GetFunction("alpha");
+  h.runtime.InsertCall(*alpha, 0, "count", sim::InsertPoint::kBefore);
+  h.runtime.EnableInstrumented(*alpha, true);
+  h.Launch("beta");
+  EXPECT_EQ(h.tool.events, 0);
+}
+
+}  // namespace
+}  // namespace nvbitfi::nvbit

@@ -1,0 +1,101 @@
+#include "nvbit/tools.h"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "../core/test_program.h"
+
+namespace nvbitfi::nvbit {
+namespace {
+
+using fi::testing::MiniProgram;
+
+fi::RunArtifacts RunWith(Tool* tool) {
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  return runner.Execute(tool, sim::DeviceProps{}, /*watchdog=*/0);
+}
+
+TEST(InstrCount, CountsEveryLaunch) {
+  InstrCountTool tool;
+  RunWith(&tool);
+  ASSERT_EQ(tool.launches().size(), 4u);  // 3x work + 1x tail
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tool.launches()[static_cast<std::size_t>(i)].kernel_name, "work");
+    EXPECT_EQ(tool.launches()[static_cast<std::size_t>(i)].thread_instructions,
+              fi::testing::kWorkThreadInstructions);
+    // Lanes 0..15 skip the guarded IADD3 -> 16 predicated-off events.
+    EXPECT_EQ(tool.launches()[static_cast<std::size_t>(i)].predicated_off, 16u);
+  }
+  EXPECT_EQ(tool.launches()[3].kernel_name, "tail");
+}
+
+TEST(InstrCount, TotalsMatchTheDriver) {
+  InstrCountTool tool;
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  const fi::RunArtifacts run = runner.Execute(&tool, sim::DeviceProps{}, 0);
+  EXPECT_EQ(tool.TotalThreadInstructions(), run.thread_instructions);
+}
+
+TEST(OpcodeHistogram, MatchesHandCounts) {
+  OpcodeHistogramTool tool;
+  RunWith(&tool);
+  const auto& hist = tool.histogram();
+  // 3 work launches x 32 FADDs.
+  EXPECT_EQ(hist[static_cast<std::size_t>(sim::Opcode::kFADD)], 3u * 32u);
+  // work: 48 IADD3 per launch (32 + 16 guarded).
+  EXPECT_EQ(hist[static_cast<std::size_t>(sim::Opcode::kIADD3)], 3u * 48u);
+  // Never-executed opcode stays zero.
+  EXPECT_EQ(hist[static_cast<std::size_t>(sim::Opcode::kDADD)], 0u);
+}
+
+TEST(OpcodeHistogram, TopIsSortedDescending) {
+  OpcodeHistogramTool tool;
+  RunWith(&tool);
+  const auto top = tool.Top(5);
+  ASSERT_GE(top.size(), 2u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].first, top[i].first);
+  }
+  const std::string rendered = tool.Render();
+  EXPECT_NE(rendered.find("FADD"), std::string::npos);
+}
+
+TEST(MemTrace, RecordsGlobalAccessesWithAddresses) {
+  MemTraceTool tool("work");
+  RunWith(&tool);
+  // work: 2 STGs per thread per launch = 3 * 32 * 2 accesses.
+  ASSERT_EQ(tool.accesses().size(), 3u * 32u * 2u);
+  for (const MemTraceTool::Access& access : tool.accesses()) {
+    EXPECT_EQ(access.kernel_name, "work");
+    EXPECT_TRUE(access.is_store);
+    EXPECT_EQ(access.bytes, 4);
+    EXPECT_GE(access.address, sim::GlobalMemory::kHeapBase);
+  }
+  // The kernel stores at [out + 8*tid] and [out + 8*tid + 4]: events arrive
+  // lane-by-lane for the first STG (stride 8), then for the second (+4).
+  const auto& a0 = tool.accesses()[0];
+  const auto& a1 = tool.accesses()[1];
+  EXPECT_EQ(a0.lane_id, 0);
+  EXPECT_EQ(a1.lane_id, 1);
+  EXPECT_EQ(a1.address, a0.address + 8);
+  EXPECT_EQ(tool.accesses()[32].address, a0.address + 4);  // second STG, lane 0
+}
+
+TEST(MemTrace, FilterRestrictsKernels) {
+  MemTraceTool tool("tail");
+  RunWith(&tool);
+  ASSERT_EQ(tool.accesses().size(), 1u);  // tail's single STG on thread 0
+  EXPECT_EQ(tool.accesses()[0].kernel_name, "tail");
+  EXPECT_EQ(tool.accesses()[0].lane_id, 0);
+}
+
+TEST(MemTrace, UnfilteredTracesEverything) {
+  MemTraceTool tool;
+  RunWith(&tool);
+  EXPECT_EQ(tool.accesses().size(), 3u * 32u * 2u + 1u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::nvbit

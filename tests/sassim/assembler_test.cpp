@@ -1,0 +1,277 @@
+#include "sassim/asm/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+AssemblyResult Asm(const std::string& body) {
+  return Assemble(".kernel t\n" + body + "\n.endkernel\n");
+}
+
+Instruction One(const std::string& line) {
+  const AssemblyResult r = Asm(line);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kernels.size(), 1u);
+  EXPECT_EQ(r.kernels[0].instructions.size(), 1u);
+  return r.kernels[0].instructions[0];
+}
+
+TEST(Assembler, KernelAttributes) {
+  const AssemblyResult r = Assemble(
+      ".kernel foo regs=48 shared=1024\n"
+      "  EXIT ;\n"
+      ".endkernel\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kernels[0].name, "foo");
+  EXPECT_EQ(r.kernels[0].register_count, 48u);
+  EXPECT_EQ(r.kernels[0].shared_bytes, 1024u);
+}
+
+TEST(Assembler, MultipleKernels) {
+  const AssemblyResult r = Assemble(
+      ".kernel a\n  EXIT ;\n.endkernel\n"
+      ".kernel b\n  NOP ;\n  EXIT ;\n.endkernel\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.kernels.size(), 2u);
+  EXPECT_EQ(r.kernels[0].instructions.size(), 1u);
+  EXPECT_EQ(r.kernels[1].instructions.size(), 2u);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const AssemblyResult r = Assemble(
+      "// leading comment\n"
+      ".kernel t\n"
+      "\n"
+      "  NOP ;   // trailing comment\n"
+      "  # hash comment line\n"
+      "  EXIT ;\n"
+      ".endkernel\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kernels[0].instructions.size(), 2u);
+}
+
+TEST(Assembler, BasicArithmetic) {
+  const Instruction i = One("  FADD R4, R2, R3 ;");
+  EXPECT_EQ(i.opcode, Opcode::kFADD);
+  EXPECT_EQ(i.dest_gpr, 4);
+  EXPECT_EQ(i.num_src, 2);
+  EXPECT_EQ(i.src[0].reg, 2);
+  EXPECT_EQ(i.src[1].reg, 3);
+}
+
+TEST(Assembler, GuardPredicates) {
+  const Instruction pos = One("  @P2 EXIT ;");
+  EXPECT_EQ(pos.guard_pred, 2);
+  EXPECT_FALSE(pos.guard_negate);
+
+  const Instruction neg = One("  @!P5 NOP ;");
+  EXPECT_EQ(neg.guard_pred, 5);
+  EXPECT_TRUE(neg.guard_negate);
+}
+
+TEST(Assembler, RegisterZeroAndPT) {
+  const Instruction i = One("  IADD3 R0, RZ, 0x1, RZ ;");
+  EXPECT_EQ(i.src[0].reg, kRZ);
+  const Instruction p = One("  ISETP.LT.AND P0, PT, R1, R2, PT ;");
+  EXPECT_EQ(p.dest_pred, 0);
+  EXPECT_EQ(p.dest_pred2, kPT);
+  EXPECT_EQ(p.src[2].kind, Operand::Kind::kPred);
+  EXPECT_EQ(p.src[2].reg, kPT);
+}
+
+TEST(Assembler, OperandModifiers) {
+  const Instruction i = One("  FADD R4, -R2, |R3| ;");
+  EXPECT_TRUE(i.src[0].negate);
+  EXPECT_TRUE(i.src[1].absolute);
+  const Instruction j = One("  LOP3 R4, ~R2, R3, RZ, 0xc0 ;");
+  EXPECT_TRUE(j.src[0].invert);
+}
+
+TEST(Assembler, ImmediateForms) {
+  EXPECT_EQ(One("  MOV32I R1, 0x1F ;").src[0].imm, 0x1Fu);
+  EXPECT_EQ(One("  MOV32I R1, 42 ;").src[0].imm, 42u);
+  EXPECT_EQ(One("  MOV32I R1, -1 ;").src[0].imm, 0xFFFFFFFFu);
+  EXPECT_EQ(One("  MOV32I R1, 1.5f ;").src[0].imm, FloatToBits(1.5f));
+  EXPECT_EQ(One("  MOV32I R1, -0.5f ;").src[0].imm, FloatToBits(-0.5f));
+  // Hex that ends in 'f' must parse as hex, not as a float suffix.
+  EXPECT_EQ(One("  MOV32I R1, 0xf ;").src[0].imm, 0xFu);
+}
+
+TEST(Assembler, ConstantBankOperands) {
+  const Instruction i = One("  MOV R2, c[0][0x160] ;");
+  EXPECT_EQ(i.src[0].kind, Operand::Kind::kConst);
+  EXPECT_EQ(i.src[0].const_bank, 0);
+  EXPECT_EQ(i.src[0].const_offset, 0x160u);
+  const Instruction j = One("  MOV R2, c[0x3][8] ;");
+  EXPECT_EQ(j.src[0].const_bank, 3);
+  EXPECT_EQ(j.src[0].const_offset, 8u);
+}
+
+TEST(Assembler, MemoryOperands) {
+  const Instruction plain = One("  LDG.E.32 R8, [R6] ;");
+  EXPECT_EQ(plain.src[0].kind, Operand::Kind::kMem);
+  EXPECT_EQ(plain.src[0].mem_base, 6);
+  EXPECT_EQ(plain.src[0].mem_offset, 0);
+
+  EXPECT_EQ(One("  LDG.E.32 R8, [R6+0x10] ;").src[0].mem_offset, 0x10);
+  EXPECT_EQ(One("  LDG.E.32 R8, [R6+-4] ;").src[0].mem_offset, -4);
+  EXPECT_EQ(One("  LDG.E.32 R8, [R6-8] ;").src[0].mem_offset, -8);
+}
+
+TEST(Assembler, MemoryWidthModifiers) {
+  EXPECT_EQ(One("  LDG.E.U8 R8, [R6] ;").mods.width, MemWidth::k8);
+  EXPECT_FALSE(One("  LDG.E.U8 R8, [R6] ;").mods.sign_extend);
+  EXPECT_TRUE(One("  LDG.E.S8 R8, [R6] ;").mods.sign_extend);
+  EXPECT_EQ(One("  LDG.E.S16 R8, [R6] ;").mods.width, MemWidth::k16);
+  EXPECT_EQ(One("  LDG.E.64 R8, [R6] ;").mods.width, MemWidth::k64);
+  EXPECT_EQ(One("  LDG.E.128 R8, [R6] ;").mods.width, MemWidth::k128);
+  EXPECT_EQ(One("  STG.E.64 [R6], R8 ;").mods.width, MemWidth::k64);
+}
+
+TEST(Assembler, SetpModifiers) {
+  const Instruction i = One("  ISETP.GE.U32.OR P1, P2, R3, R4, !P5 ;");
+  EXPECT_EQ(i.mods.cmp, CmpOp::kGE);
+  EXPECT_EQ(i.mods.bool_op, BoolOp::kOr);
+  EXPECT_FALSE(i.mods.src_signed);
+  EXPECT_EQ(i.dest_pred, 1);
+  EXPECT_EQ(i.dest_pred2, 2);
+  EXPECT_TRUE(i.src[2].negate);
+}
+
+TEST(Assembler, MufuFunctions) {
+  EXPECT_EQ(One("  MUFU.RCP R1, R2 ;").mods.mufu, MufuFunc::kRcp);
+  EXPECT_EQ(One("  MUFU.RSQ R1, R2 ;").mods.mufu, MufuFunc::kRsq);
+  EXPECT_EQ(One("  MUFU.SQRT R1, R2 ;").mods.mufu, MufuFunc::kSqrt);
+  EXPECT_EQ(One("  MUFU.LG2 R1, R2 ;").mods.mufu, MufuFunc::kLg2);
+  EXPECT_EQ(One("  MUFU.EX2 R1, R2 ;").mods.mufu, MufuFunc::kEx2);
+  EXPECT_EQ(One("  MUFU.SIN R1, R2 ;").mods.mufu, MufuFunc::kSin);
+  EXPECT_EQ(One("  MUFU.COS R1, R2 ;").mods.mufu, MufuFunc::kCos);
+}
+
+TEST(Assembler, ImadWide) {
+  const Instruction i = One("  IMAD.WIDE R6, R0, 0x4, R4 ;");
+  EXPECT_TRUE(i.mods.wide_dst);
+  EXPECT_EQ(i.dest_gpr, 6);
+}
+
+TEST(Assembler, ShiftDirection) {
+  EXPECT_EQ(One("  SHF.L R1, R2, 0x4, R3 ;").mods.shift_dir, ShiftDir::kLeft);
+  EXPECT_EQ(One("  SHF.R.U32 R1, R2, 0x4, R3 ;").mods.shift_dir, ShiftDir::kRight);
+}
+
+TEST(Assembler, SpecialRegisters) {
+  const Instruction i = One("  S2R R0, SR_CTAID.X ;");
+  EXPECT_EQ(i.mods.sreg, SpecialReg::kCtaIdX);
+  EXPECT_EQ(One("  S2R R0, SR_LANEID ;").mods.sreg, SpecialReg::kLaneId);
+  EXPECT_EQ(One("  S2R R0, SR_SMID ;").mods.sreg, SpecialReg::kSmId);
+}
+
+TEST(Assembler, AtomicModifiers) {
+  EXPECT_EQ(One("  ATOMG.ADD R1, [R2], R3 ;").mods.atomic, AtomicOp::kAdd);
+  EXPECT_EQ(One("  ATOMG.MAX R1, [R2], R3 ;").mods.atomic, AtomicOp::kMax);
+  // AND is an atomic op here, not a SETP combine.
+  EXPECT_EQ(One("  ATOMS.AND R1, [R2], R3 ;").mods.atomic, AtomicOp::kAnd);
+}
+
+TEST(Assembler, VoteAndShflModes) {
+  EXPECT_EQ(One("  VOTE.ALL R1, P0, P1 ;").mods.vote, VoteMode::kAll);
+  EXPECT_EQ(One("  VOTE.ANY R1, P0, P1 ;").mods.vote, VoteMode::kAny);
+  EXPECT_EQ(One("  SHFL.DOWN R1, R2, 0x1 ;").mods.shfl, ShflMode::kDown);
+  EXPECT_EQ(One("  SHFL.BFLY R1, R2, 0x1 ;").mods.shfl, ShflMode::kBfly);
+}
+
+TEST(Assembler, LabelsResolveForwardsAndBackwards) {
+  const AssemblyResult r = Asm(
+      "top:\n"
+      "  IADD3 R0, R0, 1, RZ ;\n"
+      "  @P0 BRA top ;\n"
+      "  @P1 BRA bottom ;\n"
+      "  NOP ;\n"
+      "bottom:\n"
+      "  EXIT ;\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& body = r.kernels[0].instructions;
+  EXPECT_EQ(body[1].src[0].imm, 0u);  // top
+  EXPECT_EQ(body[2].src[0].imm, 4u);  // bottom
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const AssemblyResult r = Asm(
+      "loop: IADD3 R0, R0, 1, RZ ;\n"
+      "  @P0 BRA loop ;\n"
+      "  EXIT ;\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kernels[0].instructions[1].src[0].imm, 0u);
+}
+
+// ---- error reporting ----
+
+TEST(Assembler, ErrorUnknownOpcode) {
+  const AssemblyResult r = Asm("  FROB R1, R2 ;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown opcode"), std::string::npos);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUnknownModifier) {
+  const AssemblyResult r = Asm("  FADD.BOGUS R1, R2, R3 ;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown modifier"), std::string::npos);
+}
+
+TEST(Assembler, ErrorBadOperand) {
+  EXPECT_FALSE(Asm("  MOV R1, R299 ;").ok);
+  EXPECT_FALSE(Asm("  MOV R1, P9 ;").ok);
+  EXPECT_FALSE(Asm("  MOV R1, c[0][ ;").ok);
+  EXPECT_FALSE(Asm("  LDG.E.32 R1, [Q2] ;").ok);
+}
+
+TEST(Assembler, ErrorUndefinedLabel) {
+  const AssemblyResult r = Asm("  BRA nowhere ;\n  EXIT ;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("undefined label"), std::string::npos);
+}
+
+TEST(Assembler, ErrorDuplicateLabel) {
+  const AssemblyResult r = Asm("x:\n  NOP ;\nx:\n  EXIT ;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate label"), std::string::npos);
+}
+
+TEST(Assembler, ErrorMissingEndKernel) {
+  const AssemblyResult r = Assemble(".kernel t\n  EXIT ;\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find(".endkernel"), std::string::npos);
+}
+
+TEST(Assembler, ErrorNestedKernel) {
+  const AssemblyResult r = Assemble(".kernel a\n.kernel b\n.endkernel\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Assembler, ErrorInstructionOutsideKernel) {
+  EXPECT_FALSE(Assemble("  NOP ;\n").ok);
+}
+
+TEST(Assembler, ErrorBadKernelAttributes) {
+  EXPECT_FALSE(Assemble(".kernel t regs=0\n.endkernel\n").ok);
+  EXPECT_FALSE(Assemble(".kernel t regs=999\n.endkernel\n").ok);
+  EXPECT_FALSE(Assemble(".kernel t bogus=1\n.endkernel\n").ok);
+  EXPECT_FALSE(Assemble(".kernel t regs=abc\n.endkernel\n").ok);
+}
+
+TEST(Assembler, ErrorTooManyOperands) {
+  EXPECT_FALSE(Asm("  IADD3 R1, R2, R3, R4, R5, R6 ;").ok);
+}
+
+TEST(Assembler, SemicolonIsOptional) {
+  const AssemblyResult r = Asm("  NOP\n  EXIT");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kernels[0].instructions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

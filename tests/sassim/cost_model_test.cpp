@@ -1,0 +1,46 @@
+#include "sassim/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sassim/asm/assembler.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+TEST(CostModel, BaseCostFollowsOpcodeTable) {
+  CostModel cost;
+  const KernelSource kernel = AssembleKernelOrDie("t",
+                                                  "  FADD R1, R2, R3 ;\n"
+                                                  "  LDG.E.32 R4, [R6] ;\n"
+                                                  "  DADD R8, R10, R12 ;\n"
+                                                  "  EXIT ;\n");
+  EXPECT_EQ(cost.BaseCost(kernel.instructions[0]),
+            GetOpcodeInfo(Opcode::kFADD).base_cost_cycles);
+  EXPECT_EQ(cost.BaseCost(kernel.instructions[1]),
+            GetOpcodeInfo(Opcode::kLDG).base_cost_cycles);
+  // Memory is costlier than ALU; FP64 costlier than FP32.
+  EXPECT_GT(cost.BaseCost(kernel.instructions[1]), cost.BaseCost(kernel.instructions[0]));
+  EXPECT_GT(cost.BaseCost(kernel.instructions[2]), cost.BaseCost(kernel.instructions[0]));
+}
+
+TEST(CostModel, SpillPredicate) {
+  CostModel cost;
+  // Below / at / above the register budget.
+  EXPECT_FALSE(cost.Spills(32, 32));
+  EXPECT_FALSE(cost.Spills(cost.spill_reg_threshold, 0));
+  EXPECT_TRUE(cost.Spills(cost.spill_reg_threshold, 1));
+  EXPECT_TRUE(cost.Spills(80, 32));  // 350.md under the profiler
+  EXPECT_FALSE(cost.Spills(80, 8));  // 350.md under the injector
+}
+
+TEST(CostModel, DefaultsAreSane) {
+  const CostModel cost;
+  EXPECT_GT(cost.spill_multiplier, 1u);
+  EXPECT_GT(cost.spill_callback_multiplier, 1u);
+  EXPECT_GT(cost.jit_base_cycles, 0u);
+  EXPECT_GT(cost.launch_base_cycles, 0u);
+  EXPECT_GT(cost.tool_intercept_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,109 @@
+#include "sassim/asm/disassembler.h"
+
+#include <gtest/gtest.h>
+
+#include "sassim/asm/assembler.h"
+#include "sassim/isa/encoding.h"
+#include "workloads/common.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+// The core property: disassembly re-assembles to the identical binary.
+void ExpectRoundTrip(const KernelSource& kernel) {
+  const std::string text = Disassemble(kernel);
+  const AssemblyResult reassembled = Assemble(text);
+  ASSERT_TRUE(reassembled.ok) << reassembled.error << "\n--- disassembly ---\n" << text;
+  ASSERT_EQ(reassembled.kernels.size(), 1u);
+  const KernelSource& back = reassembled.kernels[0];
+  EXPECT_EQ(back.name, kernel.name);
+  EXPECT_EQ(back.register_count, kernel.register_count);
+  EXPECT_EQ(back.shared_bytes, kernel.shared_bytes);
+  ASSERT_EQ(back.instructions.size(), kernel.instructions.size()) << text;
+  for (std::size_t i = 0; i < kernel.instructions.size(); ++i) {
+    EXPECT_EQ(Encode(back.instructions[i]), Encode(kernel.instructions[i]))
+        << kernel.name << " instruction " << i << ":\n  original: "
+        << kernel.instructions[i].ToString()
+        << "\n  rendered: " << DisassembleInstruction(kernel.instructions[i])
+        << "\n  reparsed: " << back.instructions[i].ToString();
+  }
+}
+
+TEST(Disassembler, SimpleKernelRoundTrips) {
+  ExpectRoundTrip(AssembleKernelOrDie("simple",
+                                      "  S2R R0, SR_CTAID.X ;\n"
+                                      "  IMAD R0, R0, c[0][0x0], R1 ;\n"
+                                      "  FFMA R4, R0, 0x3f800000, R4 ;\n"
+                                      "  EXIT ;\n"));
+}
+
+TEST(Disassembler, BranchesGetLabels) {
+  const KernelSource kernel = AssembleKernelOrDie("branchy",
+                                                  "top:\n"
+                                                  "  IADD3 R0, R0, 1, RZ ;\n"
+                                                  "  ISETP.LT.AND P0, PT, R0, 0xa, PT ;\n"
+                                                  "  @P0 BRA top ;\n"
+                                                  "  @!P1 BRA done ;\n"
+                                                  "  NOP ;\n"
+                                                  "done:\n"
+                                                  "  EXIT ;\n");
+  const std::string text = Disassemble(kernel);
+  EXPECT_NE(text.find("L0:"), std::string::npos);
+  EXPECT_NE(text.find("L5:"), std::string::npos);
+  EXPECT_NE(text.find("BRA L0"), std::string::npos);
+  ExpectRoundTrip(kernel);
+}
+
+TEST(Disassembler, GuardsAndModifiersRender) {
+  const KernelSource kernel = AssembleKernelOrDie(
+      "mods",
+      "  @!P3 LDG.E.S16 R8, [R6+-0x20] ;\n"
+      "  ISETP.GE.U32.XOR P1, P2, R3, c[0][0x170], !P5 ;\n"
+      "  MUFU.RSQ R1, |R2| ;\n"
+      "  SHF.R.U32 R1, R2, 0x4, R3 ;\n"
+      "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+      "  SHFL.BFLY R2, R1, 0x10 ;\n"
+      "  VOTE.ANY R4, P1, P0 ;\n"
+      "  ATOMG.CAS R3, [R4], R6, R7 ;\n"
+      "  F2F.F64.F32 R2, R1 ;\n"
+      "  I2F.F32.U32 R3, R1 ;\n"
+      "  EXIT ;\n");
+  ExpectRoundTrip(kernel);
+}
+
+TEST(Disassembler, AllTemplateKernelsRoundTrip) {
+  const std::string source = workloads::StencilKernel("dt_stencil", 0.21f) +
+                             workloads::AxpyKernel("dt_axpy", 0.013f) +
+                             workloads::SweepKernel("dt_sweep", 0.95f, 0.05f) +
+                             workloads::ScaleKernel("dt_scale", 1.001f, -2e-4f) +
+                             workloads::CopyKernel("dt_copy") +
+                             workloads::Fp64SquareAccumulateKernel("dt_fp64") +
+                             workloads::ReduceKernel("dt_reduce");
+  const AssemblyResult assembled = Assemble(source);
+  ASSERT_TRUE(assembled.ok) << assembled.error;
+  for (const KernelSource& kernel : assembled.kernels) {
+    ExpectRoundTrip(kernel);
+  }
+}
+
+TEST(Disassembler, PredicateSystemOpsRoundTrip) {
+  ExpectRoundTrip(AssembleKernelOrDie("preds",
+                                      "  PSETP.XOR P2, P3, P0, P1, PT ;\n"
+                                      "  PLOP3 P0, PT, P1, P2, P3, 0x96 ;\n"
+                                      "  P2R R4, 0x7f ;\n"
+                                      "  R2P R4, 0x3 ;\n"
+                                      "  FSETP.NE.OR P0, PT, R1, R2, P3 ;\n"
+                                      "  EXIT ;\n"));
+}
+
+TEST(Disassembler, NegativeOffsetsAndOperandFlags) {
+  ExpectRoundTrip(AssembleKernelOrDie("flags",
+                                      "  FADD R1, -R2, |R3| ;\n"
+                                      "  LOP3 R4, ~R2, R3, RZ, 0xc0 ;\n"
+                                      "  STG.E.64 [R6-0x10], R8 ;\n"
+                                      "  FMNMX R1, R2, -R3, !PT ;\n"
+                                      "  EXIT ;\n"));
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

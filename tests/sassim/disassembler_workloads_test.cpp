@@ -1,0 +1,59 @@
+// Disassembler property over the entire workload suite: every kernel of
+// every loaded module must disassemble to text that re-assembles to the
+// identical binary encoding.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "sassim/asm/assembler.h"
+#include "sassim/asm/disassembler.h"
+#include "sassim/isa/encoding.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+class DisassemblerSuite
+    : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(DisassemblerSuite, EveryKernelRoundTrips) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  Context ctx;
+  entry.program->Run(ctx);  // loads the program's modules
+
+  std::size_t kernels_checked = 0;
+  for (const auto& module : ctx.modules()) {
+    for (const auto& fn : module->functions()) {
+      const KernelSource& kernel = fn->source();
+      const std::string text = Disassemble(kernel);
+      const AssemblyResult back = Assemble(text);
+      ASSERT_TRUE(back.ok) << kernel.name << ": " << back.error << "\n" << text;
+      ASSERT_EQ(back.kernels.size(), 1u);
+      ASSERT_EQ(back.kernels[0].instructions.size(), kernel.instructions.size())
+          << kernel.name;
+      for (std::size_t i = 0; i < kernel.instructions.size(); ++i) {
+        ASSERT_EQ(Encode(back.kernels[0].instructions[i]),
+                  Encode(kernel.instructions[i]))
+            << kernel.name << " instruction " << i << ": "
+            << kernel.instructions[i].ToString();
+      }
+      ++kernels_checked;
+    }
+  }
+  EXPECT_EQ(kernels_checked,
+            static_cast<std::size_t>(entry.table4_counts.static_kernels));
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, DisassemblerSuite,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+}  // namespace
+}  // namespace nvbitfi::sim

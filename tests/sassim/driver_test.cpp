@@ -1,0 +1,204 @@
+#include "sassim/runtime/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+constexpr const char* kStoreParamsKernel =
+    ".kernel store_params\n"
+    // out[0..5] = blockDim.xyz, gridDim.xyz ; out[6] = param1 low word
+    "  S2R R1, SR_TID.X ;\n"
+    "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+    "  @P0 EXIT ;\n"
+    "  S2R R2, SR_CTAID.X ;\n"
+    "  ISETP.NE.AND P0, PT, R2, RZ, PT ;\n"
+    "  @P0 EXIT ;\n"
+    "  LDC.64 R4, c[0][0x160] ;\n"
+    "  MOV R6, c[0][0x0] ;\n"
+    "  STG.E.32 [R4], R6 ;\n"
+    "  MOV R6, c[0][0x4] ;\n"
+    "  STG.E.32 [R4+4], R6 ;\n"
+    "  MOV R6, c[0][0x8] ;\n"
+    "  STG.E.32 [R4+8], R6 ;\n"
+    "  MOV R6, c[0][0xc] ;\n"
+    "  STG.E.32 [R4+12], R6 ;\n"
+    "  MOV R6, c[0][0x10] ;\n"
+    "  STG.E.32 [R4+16], R6 ;\n"
+    "  MOV R6, c[0][0x14] ;\n"
+    "  STG.E.32 [R4+20], R6 ;\n"
+    "  MOV R6, c[0][0x168] ;\n"
+    "  STG.E.32 [R4+24], R6 ;\n"
+    "  EXIT ;\n"
+    ".endkernel\n";
+
+TEST(Driver, ModuleLoadAndFunctionLookup) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kStoreParamsKernel, &module), CuResult::kSuccess);
+  ASSERT_NE(module, nullptr);
+  EXPECT_NE(module->GetFunction("store_params"), nullptr);
+  EXPECT_EQ(module->GetFunction("missing"), nullptr);
+  EXPECT_NE(ctx.GetFunction("store_params"), nullptr);
+  EXPECT_EQ(ctx.GetFunction("missing"), nullptr);
+}
+
+TEST(Driver, ModuleLoadRejectsBadAssembly) {
+  Context ctx;
+  Module* module = nullptr;
+  EXPECT_EQ(ctx.ModuleLoadText(".kernel x\n  FROB R1 ;\n.endkernel\n", &module),
+            CuResult::kInvalidValue);
+  EXPECT_EQ(module, nullptr);
+}
+
+TEST(Driver, LaunchParamBankLayout) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kStoreParamsKernel, &module), CuResult::kSuccess);
+  Function* fn = ctx.GetFunction("store_params");
+
+  DevPtr out = 0;
+  ASSERT_EQ(ctx.MemAlloc(&out, 64), CuResult::kSuccess);
+  const std::uint64_t params[] = {out, 0x11223344u};
+  ASSERT_EQ(ctx.LaunchKernel(fn, Dim3{3, 2, 1}, Dim3{32, 4, 2}, params),
+            CuResult::kSuccess);
+  ASSERT_EQ(ctx.Synchronize(), CuResult::kSuccess);
+
+  std::uint32_t values[7] = {};
+  ASSERT_EQ(ctx.MemcpyDtoH(values, out, sizeof values), CuResult::kSuccess);
+  EXPECT_EQ(values[0], 32u);  // blockDim.x
+  EXPECT_EQ(values[1], 4u);
+  EXPECT_EQ(values[2], 2u);
+  EXPECT_EQ(values[3], 3u);   // gridDim.x
+  EXPECT_EQ(values[4], 2u);
+  EXPECT_EQ(values[5], 1u);
+  EXPECT_EQ(values[6], 0x11223344u);  // param 1
+}
+
+TEST(Driver, LaunchValidation) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kStoreParamsKernel, &module), CuResult::kSuccess);
+  Function* fn = ctx.GetFunction("store_params");
+  EXPECT_EQ(ctx.LaunchKernel(nullptr, Dim3{1, 1, 1}, Dim3{1, 1, 1}, {}),
+            CuResult::kInvalidValue);
+  EXPECT_EQ(ctx.LaunchKernel(fn, Dim3{0, 1, 1}, Dim3{1, 1, 1}, {}),
+            CuResult::kInvalidValue);
+  EXPECT_EQ(ctx.LaunchKernel(fn, Dim3{1, 1, 1}, Dim3{2048, 1, 1}, {}),
+            CuResult::kInvalidValue);
+}
+
+TEST(Driver, MemcpyValidation) {
+  Context ctx;
+  DevPtr p = 0;
+  ASSERT_EQ(ctx.MemAlloc(&p, 16), CuResult::kSuccess);
+  char buf[32] = {};
+  EXPECT_EQ(ctx.MemcpyHtoD(p, buf, 32), CuResult::kInvalidValue);
+  EXPECT_EQ(ctx.MemcpyDtoH(buf, p, 32), CuResult::kInvalidValue);
+  EXPECT_EQ(ctx.MemcpyHtoD(p, buf, 16), CuResult::kSuccess);
+  EXPECT_EQ(ctx.MemAlloc(&p, 0), CuResult::kInvalidValue);
+  EXPECT_EQ(ctx.MemFree(0xBAD), CuResult::kInvalidValue);
+}
+
+TEST(Driver, LaunchOrdinalsCountPerKernelName) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kStoreParamsKernel, &module), CuResult::kSuccess);
+  Function* fn = ctx.GetFunction("store_params");
+  DevPtr out = 0;
+  ASSERT_EQ(ctx.MemAlloc(&out, 64), CuResult::kSuccess);
+  const std::uint64_t params[] = {out, 0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(ctx.LaunchKernel(fn, Dim3{1, 1, 1}, Dim3{32, 1, 1}, params),
+              CuResult::kSuccess);
+  }
+  EXPECT_EQ(ctx.total_launches(), 3u);
+  EXPECT_EQ(ctx.launch_counts().at("store_params"), 3u);
+}
+
+constexpr const char* kTrapKernel =
+    ".kernel trap_kernel\n"
+    "  MOV R4, RZ ;\n  MOV R5, RZ ;\n"
+    "  LDG.E.32 R3, [R4] ;\n"
+    "  EXIT ;\n"
+    ".endkernel\n";
+
+TEST(Driver, StickyErrorSemantics) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(std::string(kTrapKernel) + kStoreParamsKernel, &module),
+            CuResult::kSuccess);
+  Function* bad = ctx.GetFunction("trap_kernel");
+  Function* good = ctx.GetFunction("store_params");
+  DevPtr out = 0;
+  ASSERT_EQ(ctx.MemAlloc(&out, 64), CuResult::kSuccess);
+
+  // The launch itself reports success (async semantics); the error is sticky.
+  EXPECT_EQ(ctx.LaunchKernel(bad, Dim3{1, 1, 1}, Dim3{1, 1, 1}, {}), CuResult::kSuccess);
+  EXPECT_EQ(ctx.Synchronize(), CuResult::kIllegalAddress);
+  EXPECT_EQ(ctx.last_error(), CuResult::kIllegalAddress);
+
+  // Subsequent launches are accepted but not executed.
+  const std::uint64_t cycles_before = ctx.total_cycles();
+  const std::uint64_t params[] = {out, 0};
+  EXPECT_EQ(ctx.LaunchKernel(good, Dim3{1, 1, 1}, Dim3{32, 1, 1}, params),
+            CuResult::kSuccess);
+  EXPECT_EQ(ctx.total_cycles(), cycles_before);
+  EXPECT_EQ(ctx.total_launches(), 2u);  // still counted as submitted
+
+  // Memcpy reports the sticky error but still moves the bytes.
+  std::uint32_t value = 0xFFFFFFFF;
+  EXPECT_EQ(ctx.MemcpyDtoH(&value, out, 4), CuResult::kIllegalAddress);
+  EXPECT_EQ(value, 0u);  // the (never-written) buffer content arrived
+}
+
+TEST(Driver, TrapWritesDeviceLog) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kTrapKernel, &module), CuResult::kSuccess);
+  EXPECT_TRUE(ctx.device().log().empty());
+  ctx.LaunchKernel(ctx.GetFunction("trap_kernel"), Dim3{1, 1, 1}, Dim3{1, 1, 1}, {});
+  ASSERT_EQ(ctx.device().log().entries().size(), 1u);
+  const DeviceLogEntry& entry = ctx.device().log().entries()[0];
+  EXPECT_EQ(entry.trap, TrapKind::kIllegalAddress);
+  EXPECT_NE(entry.message.find("XID"), std::string::npos);
+  EXPECT_NE(entry.message.find("trap_kernel"), std::string::npos);
+}
+
+TEST(Driver, WatchdogConfiguration) {
+  Context ctx;
+  ctx.set_launch_watchdog(5000);
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(".kernel spin\n"
+                               "loop:\n"
+                               "  IADD3 R1, R1, 1, RZ ;\n"
+                               "  BRA loop ;\n"
+                               ".endkernel\n",
+                               &module),
+            CuResult::kSuccess);
+  ctx.LaunchKernel(ctx.GetFunction("spin"), Dim3{1, 1, 1}, Dim3{1, 1, 1}, {});
+  EXPECT_EQ(ctx.Synchronize(), CuResult::kLaunchTimeout);
+}
+
+TEST(Driver, ModuleRoundTripsThroughBinaryEncoding) {
+  // ModuleLoadText decodes the binary image; semantics must be preserved.
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kStoreParamsKernel, &module), CuResult::kSuccess);
+  const Function* fn = module->GetFunction("store_params");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_FALSE(fn->source().instructions.empty());
+  EXPECT_EQ(fn->source().instructions.back().opcode, Opcode::kEXIT);
+}
+
+TEST(Driver, CuResultNames) {
+  EXPECT_EQ(CuResultName(CuResult::kSuccess), "CUDA_SUCCESS");
+  EXPECT_EQ(CuResultName(CuResult::kIllegalAddress), "CUDA_ERROR_ILLEGAL_ADDRESS");
+  EXPECT_EQ(CuResultFromTrap(TrapKind::kTimeout), CuResult::kLaunchTimeout);
+  EXPECT_EQ(CuResultFromTrap(TrapKind::kNone), CuResult::kSuccess);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,149 @@
+// Randomised robustness tests for the binary encoding and the assembler:
+// random-but-valid instructions must round-trip bit-exactly, and random byte
+// garbage must decode to a clean error (never crash or mis-accept silently
+// invalid fields).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sassim/asm/assembler.h"
+#include "sassim/isa/encoding.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+Operand RandomOperand(Rng& rng) {
+  Operand op;
+  switch (rng.UniformInt(0, 5)) {
+    case 0:
+      op = Operand::Gpr(static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
+      op.negate = rng.Chance(0.3);
+      op.absolute = rng.Chance(0.2);
+      op.invert = rng.Chance(0.2);
+      break;
+    case 1:
+      op = Operand::Pred(static_cast<std::uint8_t>(rng.UniformInt(0, 7)),
+                         rng.Chance(0.5));
+      break;
+    case 2:
+      op = Operand::Imm(rng.Bits32());
+      break;
+    case 3:
+      op = Operand::Const(static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+                          static_cast<std::uint32_t>(rng.UniformInt(0, 0xFFFFFF)));
+      break;
+    case 4:
+      op = Operand::Mem(static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+                        static_cast<std::int32_t>(rng.Bits32()));
+      break;
+    default:
+      op = Operand::Label(static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 20)));
+      break;
+  }
+  return op;
+}
+
+Instruction RandomInstruction(Rng& rng) {
+  Instruction inst;
+  inst.opcode = static_cast<Opcode>(rng.UniformInt(0, kOpcodeCount - 1));
+  inst.guard_pred = static_cast<std::uint8_t>(rng.UniformInt(0, 7));
+  inst.guard_negate = rng.Chance(0.5);
+  inst.dest_gpr = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  inst.dest_pred = static_cast<std::uint8_t>(rng.UniformInt(0, 7));
+  inst.dest_pred2 = static_cast<std::uint8_t>(rng.UniformInt(0, 7));
+  inst.num_src = static_cast<std::uint8_t>(rng.UniformInt(0, kMaxSrcOperands));
+  for (int i = 0; i < inst.num_src; ++i) {
+    inst.src[static_cast<std::size_t>(i)] = RandomOperand(rng);
+  }
+  Modifiers& m = inst.mods;
+  m.cmp = static_cast<CmpOp>(rng.UniformInt(0, 7));
+  m.bool_op = static_cast<BoolOp>(rng.UniformInt(0, 2));
+  m.mufu = static_cast<MufuFunc>(rng.UniformInt(0, 6));
+  m.width = static_cast<MemWidth>(rng.UniformInt(0, 4));
+  m.sign_extend = rng.Chance(0.5);
+  m.src_signed = rng.Chance(0.5);
+  m.wide_src = rng.Chance(0.5);
+  m.wide_dst = rng.Chance(0.5);
+  m.shfl = static_cast<ShflMode>(rng.UniformInt(0, 3));
+  m.atomic = static_cast<AtomicOp>(rng.UniformInt(0, 7));
+  m.vote = static_cast<VoteMode>(rng.UniformInt(0, 2));
+  m.shift_dir = rng.Chance(0.5) ? ShiftDir::kLeft : ShiftDir::kRight;
+  m.lut = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  m.sreg = static_cast<SpecialReg>(
+      rng.UniformInt(0, static_cast<std::uint64_t>(SpecialReg::kCount) - 1));
+  return inst;
+}
+
+TEST(EncodingFuzz, RandomValidInstructionsRoundTrip) {
+  Rng rng(20210628);  // DSN'21 conference date
+  for (int i = 0; i < 2000; ++i) {
+    const Instruction inst = RandomInstruction(rng);
+    const EncodedInstruction enc = Encode(inst);
+    const DecodeResult decoded = Decode(enc);
+    ASSERT_TRUE(decoded.ok) << "iteration " << i << ": " << decoded.error << "\n"
+                            << inst.ToString();
+    EXPECT_EQ(Encode(decoded.instruction), enc) << "iteration " << i;
+  }
+}
+
+TEST(EncodingFuzz, RandomBytesNeverCrashTheDecoder) {
+  Rng rng(99);
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    EncodedInstruction enc;
+    for (std::uint64_t& word : enc.words) {
+      word = static_cast<std::uint64_t>(rng.Bits32()) << 32 | rng.Bits32();
+    }
+    const DecodeResult decoded = Decode(enc);
+    if (decoded.ok) {
+      // Anything the decoder accepts must re-encode losslessly.
+      EXPECT_EQ(Decode(Encode(decoded.instruction)).ok, true);
+      ++accepted;
+    } else {
+      EXPECT_FALSE(decoded.error.empty());
+    }
+  }
+  // Random 256-bit patterns mostly fail validation (opcode id 0..170 of 256
+  // alone rejects a third).
+  EXPECT_LT(accepted, 5000);
+}
+
+TEST(AssemblerFuzz, GarbageLinesErrorCleanly) {
+  Rng rng(7);
+  const char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+      " \t.,;:[]()@!|~-+#";
+  for (int i = 0; i < 500; ++i) {
+    std::string line;
+    const int length = static_cast<int>(rng.UniformInt(1, 60));
+    for (int c = 0; c < length; ++c) {
+      line += kAlphabet[rng.UniformInt(0, sizeof(kAlphabet) - 2)];
+    }
+    // Must never crash; almost always errors, occasionally parses by luck.
+    const AssemblyResult result = Assemble(".kernel fuzz\n" + line + "\n.endkernel\n");
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(AssemblerFuzz, TruncatedDirectivesErrorCleanly) {
+  const char* cases[] = {
+      ".kernel",
+      ".kernel \n",
+      ".endkernel\n",
+      ".kernel a\n.kernel b\n",
+      ".kernel a regs=\n.endkernel\n",
+      ".kernel a\nL:\n",          // label then missing .endkernel
+      ".kernel a\n@\n.endkernel\n",
+      ".kernel a\n@P0\n.endkernel\n",
+      ".kernel a\nBRA\n",         // branch with no target, missing end
+  };
+  for (const char* source : cases) {
+    const AssemblyResult result = Assemble(source);
+    EXPECT_FALSE(result.ok) << source;
+    EXPECT_FALSE(result.error.empty()) << source;
+  }
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,216 @@
+#include "sassim/isa/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "sassim/asm/assembler.h"
+#include "workloads/common.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+Instruction MakeFfma() {
+  Instruction inst;
+  inst.opcode = Opcode::kFFMA;
+  inst.dest_gpr = 4;
+  inst.src[0] = Operand::Gpr(2);
+  inst.src[1] = Operand::Const(0, 0x168);
+  inst.src[2] = Operand::Gpr(6);
+  inst.num_src = 3;
+  return inst;
+}
+
+TEST(Encoding, RoundTripSimple) {
+  const Instruction inst = MakeFfma();
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(decoded.instruction.opcode, Opcode::kFFMA);
+  EXPECT_EQ(decoded.instruction.dest_gpr, 4);
+  EXPECT_EQ(decoded.instruction.num_src, 3);
+  EXPECT_EQ(decoded.instruction.src[1].kind, Operand::Kind::kConst);
+  EXPECT_EQ(decoded.instruction.src[1].const_offset, 0x168u);
+}
+
+TEST(Encoding, RoundTripGuard) {
+  Instruction inst = MakeFfma();
+  inst.guard_pred = 3;
+  inst.guard_negate = true;
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.instruction.guard_pred, 3);
+  EXPECT_TRUE(decoded.instruction.guard_negate);
+}
+
+TEST(Encoding, RoundTripOperandModifiers) {
+  Instruction inst = MakeFfma();
+  inst.src[0].negate = true;
+  inst.src[0].absolute = true;
+  inst.src[2].invert = true;
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_TRUE(decoded.instruction.src[0].negate);
+  EXPECT_TRUE(decoded.instruction.src[0].absolute);
+  EXPECT_TRUE(decoded.instruction.src[2].invert);
+  EXPECT_FALSE(decoded.instruction.src[1].negate);
+}
+
+TEST(Encoding, RoundTripMemoryOperand) {
+  Instruction inst;
+  inst.opcode = Opcode::kLDG;
+  inst.dest_gpr = 8;
+  inst.mods.width = MemWidth::k64;
+  inst.src[0] = Operand::Mem(6, -0x20);
+  inst.num_src = 1;
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.instruction.src[0].kind, Operand::Kind::kMem);
+  EXPECT_EQ(decoded.instruction.src[0].mem_base, 6);
+  EXPECT_EQ(decoded.instruction.src[0].mem_offset, -0x20);
+  EXPECT_EQ(decoded.instruction.mods.width, MemWidth::k64);
+}
+
+TEST(Encoding, RoundTripImmediateAndLabel) {
+  Instruction inst;
+  inst.opcode = Opcode::kBRA;
+  inst.src[0] = Operand::Label(12345);
+  inst.num_src = 1;
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.instruction.src[0].kind, Operand::Kind::kLabel);
+  EXPECT_EQ(decoded.instruction.src[0].imm, 12345u);
+}
+
+TEST(Encoding, RoundTripPredicates) {
+  Instruction inst;
+  inst.opcode = Opcode::kISETP;
+  inst.dest_pred = 2;
+  inst.dest_pred2 = 5;
+  inst.mods.cmp = CmpOp::kLT;
+  inst.mods.bool_op = BoolOp::kXor;
+  inst.mods.src_signed = false;
+  inst.src[0] = Operand::Gpr(1);
+  inst.src[1] = Operand::Imm(0xDEADBEEF);
+  inst.src[2] = Operand::Pred(4, /*neg=*/true);
+  inst.num_src = 3;
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.instruction.dest_pred, 2);
+  EXPECT_EQ(decoded.instruction.dest_pred2, 5);
+  EXPECT_EQ(decoded.instruction.mods.cmp, CmpOp::kLT);
+  EXPECT_EQ(decoded.instruction.mods.bool_op, BoolOp::kXor);
+  EXPECT_FALSE(decoded.instruction.mods.src_signed);
+  EXPECT_EQ(decoded.instruction.src[1].imm, 0xDEADBEEFu);
+  EXPECT_TRUE(decoded.instruction.src[2].negate);
+}
+
+TEST(Encoding, RoundTripAllModifierFields) {
+  Instruction inst;
+  inst.opcode = Opcode::kMUFU;
+  inst.dest_gpr = 10;
+  inst.mods.mufu = MufuFunc::kEx2;
+  inst.mods.sreg = SpecialReg::kSmId;
+  inst.mods.shfl = ShflMode::kBfly;
+  inst.mods.atomic = AtomicOp::kXor;
+  inst.mods.vote = VoteMode::kBallot;
+  inst.mods.shift_dir = ShiftDir::kRight;
+  inst.mods.lut = 0xC5;
+  inst.mods.sign_extend = true;
+  inst.mods.wide_src = true;
+  inst.mods.wide_dst = true;
+  inst.src[0] = Operand::Gpr(3);
+  inst.num_src = 1;
+  const DecodeResult decoded = Decode(Encode(inst));
+  ASSERT_TRUE(decoded.ok);
+  const Modifiers& m = decoded.instruction.mods;
+  EXPECT_EQ(m.mufu, MufuFunc::kEx2);
+  EXPECT_EQ(m.sreg, SpecialReg::kSmId);
+  EXPECT_EQ(m.shfl, ShflMode::kBfly);
+  EXPECT_EQ(m.atomic, AtomicOp::kXor);
+  EXPECT_EQ(m.vote, VoteMode::kBallot);
+  EXPECT_EQ(m.shift_dir, ShiftDir::kRight);
+  EXPECT_EQ(m.lut, 0xC5);
+  EXPECT_TRUE(m.sign_extend);
+  EXPECT_TRUE(m.wide_src);
+  EXPECT_TRUE(m.wide_dst);
+}
+
+TEST(Encoding, DecodeRejectsInvalidOpcode) {
+  EncodedInstruction enc;
+  enc.words[0] = 0xFF;  // opcode id 255 > 170
+  const DecodeResult decoded = Decode(enc);
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_NE(decoded.error.find("opcode"), std::string::npos);
+}
+
+TEST(Encoding, DecodeRejectsInvalidOperandCount) {
+  Instruction inst = MakeFfma();
+  EncodedInstruction enc = Encode(inst);
+  enc.words[0] = (enc.words[0] & ~(0x7ull << 26)) | (0x7ull << 26);  // num_src = 7
+  EXPECT_FALSE(Decode(enc).ok);
+}
+
+TEST(Encoding, DecodeRejectsInvalidSpecialRegister) {
+  Instruction inst = MakeFfma();
+  EncodedInstruction enc = Encode(inst);
+  enc.words[0] |= 0xFull << 60;  // sreg = 15 >= kCount
+  EXPECT_FALSE(Decode(enc).ok);
+}
+
+TEST(Encoding, EncodeRejectsOversizedFields) {
+  Instruction inst = MakeFfma();
+  inst.num_src = kMaxSrcOperands + 1;
+  EXPECT_THROW(Encode(inst), std::logic_error);
+}
+
+TEST(Encoding, ProgramRoundTrip) {
+  const KernelSource kernel = AssembleKernelOrDie("t",
+                                                  "  S2R R0, SR_TID.X ;\n"
+                                                  "  IMAD R0, R0, c[0][0x0], R1 ;\n"
+                                                  "  @!P0 BRA done ;\n"
+                                                  "  FFMA R4, R0, 0x3f800000, R4 ;\n"
+                                                  "done:\n"
+                                                  "  EXIT ;\n");
+  const auto binary = EncodeProgram(kernel.instructions);
+  const ProgramDecodeResult decoded = DecodeProgram(binary);
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_EQ(decoded.instructions.size(), kernel.instructions.size());
+  for (std::size_t i = 0; i < kernel.instructions.size(); ++i) {
+    EXPECT_EQ(decoded.instructions[i].ToString(), kernel.instructions[i].ToString());
+  }
+}
+
+// Property test: every instruction of every kernel template survives an
+// encode/decode round trip bit-exactly (compared by re-encoding).
+TEST(Encoding, TemplateKernelsRoundTripBitExactly) {
+  const std::string source = workloads::StencilKernel("rt_stencil", 0.17f) +
+                             workloads::AxpyKernel("rt_axpy", -0.01f) +
+                             workloads::SweepKernel("rt_sweep", 0.93f, 0.07f) +
+                             workloads::ScaleKernel("rt_scale", 0.999f, 1e-4f) +
+                             workloads::CopyKernel("rt_copy") +
+                             workloads::Fp64SquareAccumulateKernel("rt_fp64") +
+                             workloads::ReduceKernel("rt_reduce");
+  const AssemblyResult assembled = Assemble(source);
+  ASSERT_TRUE(assembled.ok) << assembled.error;
+  ASSERT_EQ(assembled.kernels.size(), 7u);
+  for (const KernelSource& kernel : assembled.kernels) {
+    for (const Instruction& inst : kernel.instructions) {
+      const EncodedInstruction enc = Encode(inst);
+      const DecodeResult decoded = Decode(enc);
+      ASSERT_TRUE(decoded.ok) << kernel.name << ": " << decoded.error;
+      EXPECT_EQ(Encode(decoded.instruction), enc)
+          << kernel.name << ": " << inst.ToString();
+    }
+  }
+}
+
+TEST(Encoding, ProgramDecodeReportsFailingIndex) {
+  std::vector<EncodedInstruction> prog(3);
+  prog[0] = Encode(MakeFfma());
+  prog[1] = Encode(MakeFfma());
+  prog[2].words[0] = 0xFE;  // invalid opcode
+  const ProgramDecodeResult decoded = DecodeProgram(prog);
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_NE(decoded.error.find("instruction 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

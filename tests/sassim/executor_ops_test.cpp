@@ -1,0 +1,395 @@
+// Table-driven semantic coverage for the scalar ALU subset, plus SIMT
+// collectives and memory-space behaviours not covered by executor_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/strings.h"
+#include "sassim/asm/assembler.h"
+#include "sassim/core/executor.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+// A scalar ALU case: the body may use R1 and R2 (preloaded with `a` and `b`)
+// and must leave its result in R3.
+struct AluCase {
+  const char* label;
+  const char* body;
+  std::uint32_t a;
+  std::uint32_t b;
+  std::uint32_t expected;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemantics, ComputesExpectedValue) {
+  const AluCase& c = GetParam();
+  GlobalMemory mem;
+  ConstantBank bank;
+  CostModel cost;
+  const DevPtr out = mem.Alloc(64);
+  bank.Write64(0x160, out);
+  bank.Write32(0x170, c.a);
+  bank.Write32(0x174, c.b);
+  bank.Write32(0x00, 1);  // blockDim.x
+
+  std::string body;
+  body += "  MOV R1, c[0][0x170] ;\n";
+  body += "  MOV R2, c[0][0x174] ;\n";
+  body += c.body;
+  body +=
+      "\n  LDC.64 R8, c[0][0x160] ;\n"
+      "  STG.E.32 [R8], R3 ;\n"
+      "  EXIT ;\n";
+
+  const KernelSource kernel = AssembleKernelOrDie("t", body);
+  Executor::Request req;
+  req.kernel = &kernel;
+  req.launch.kernel_name = "t";
+  req.launch.grid = {1, 1, 1};
+  req.launch.block = {1, 1, 1};
+  req.bank0 = &bank;
+  req.global = &mem;
+  req.cost = &cost;
+  const LaunchStats stats = Executor::Run(req);
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << c.label << ": " << stats.trap_detail;
+  EXPECT_EQ(mem.Read(out, 4).value, c.expected) << c.label;
+}
+
+constexpr std::uint32_t F(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+const AluCase kAluCases[] = {
+    // Integer min/max with signedness.
+    {"imnmx_min_signed", "  IMNMX R3, R1, R2, PT ;", 0xFFFFFFFF, 5, 0xFFFFFFFF},
+    {"imnmx_max_signed", "  IMNMX R3, R1, R2, !PT ;", 0xFFFFFFFF, 5, 5},
+    {"imnmx_min_unsigned", "  IMNMX.U32 R3, R1, R2, PT ;", 0xFFFFFFFF, 5, 5},
+    {"imnmx_max_unsigned", "  IMNMX.U32 R3, R1, R2, !PT ;", 0xFFFFFFFF, 5, 0xFFFFFFFF},
+    // Absolute difference / abs.
+    {"iabs_negative", "  IABS R3, R1 ;", static_cast<std::uint32_t>(-42), 0, 42},
+    {"iabs_positive", "  IABS R3, R1 ;", 42, 0, 42},
+    {"vabsdiff", "  VABSDIFF R3, R1, R2 ;", 10, 25, 15},
+    {"vabsdiff_negative",
+     "  VABSDIFF R3, R1, R2 ;",
+     static_cast<std::uint32_t>(-10), 25, 35},
+    // 32-bit-immediate arithmetic forms.
+    {"iadd32i", "  IADD32I R3, R1, 0x100 ;", 7, 0, 0x107},
+    {"fadd32i", "  FADD32I R3, R1, 0x40000000 ;", F(1.5f), 0, F(3.5f)},
+    {"fmul32i", "  FMUL32I R3, R1, 0x40000000 ;", F(1.5f), 0, F(3.0f)},
+    {"ffma32i", "  FFMA32I R3, R1, 0x40000000, R2 ;", F(2.0f), F(1.0f), F(5.0f)},
+    // Select.
+    {"sel_true", "  ISETP.EQ.AND P0, PT, RZ, RZ, PT ;\n  SEL R3, R1, R2, P0 ;", 11, 22,
+     11},
+    {"sel_false", "  ISETP.NE.AND P0, PT, RZ, RZ, PT ;\n  SEL R3, R1, R2, P0 ;", 11, 22,
+     22},
+    {"sel_negated_pred", "  ISETP.EQ.AND P0, PT, RZ, RZ, PT ;\n  SEL R3, R1, R2, !P0 ;",
+     11, 22, 22},
+    // Shifts with oversized amounts (hardware masks to 5 bits).
+    {"shl_masks_amount", "  SHL R3, R1, R2 ;", 1, 33, 2},
+    {"shr_zero_amount", "  SHR.U32 R3, R1, R2 ;", 0x80, 0, 0x80},
+    // Funnel shift left.
+    {"shf_left", "  SHF.L R3, R1, 0x4, R2 ;", 0xF0000000, 0x0000000A, 0xAF},
+    // Logic.
+    {"lop_or", "  LOP.OR R3, R1, R2 ;", 0xF0, 0x0F, 0xFF},
+    {"lop_xor", "  LOP.XOR R3, R1, R2 ;", 0xFF, 0x0F, 0xF0},
+    {"lop32i_and", "  LOP32I.AND R3, R1, 0xFF00 ;", 0x1234, 0, 0x1200},
+    {"lop3_majority", "  LOP3 R3, R1, R2, R1, 0xe8 ;", 0b1100, 0b1010, 0b1100},
+    // Bit manipulation edges.
+    {"bmsk_full_width", "  BMSK R3, RZ, R2 ;", 0, 32, 0xFFFFFFFF},
+    {"bmsk_zero_count", "  BMSK R3, R1, RZ ;", 4, 0, 0},
+    {"sgxt_width8", "  SGXT R3, R1, R2 ;", 0xFF, 8, 0xFFFFFFFF},
+    {"sgxt_positive", "  SGXT R3, R1, R2 ;", 0x7F, 8, 0x7F},
+    {"popc_zero", "  POPC R3, RZ ;", 0, 0, 0},
+    {"flo_zero_is_minus_one", "  FLO R3, RZ ;", 0, 0, 0xFFFFFFFF},
+    {"brev_nibbles", "  BREV R3, R1 ;", 0xF0000000, 0, 0x0000000F},
+    // Conversions.
+    {"i2f_unsigned_max", "  I2F.F32.U32 R3, R1 ;", 0xFFFFFFFF, 0, F(4294967296.0f)},
+    {"i2f_signed_minus_one", "  I2F.F32.S32 R3, R1 ;", 0xFFFFFFFF, 0, F(-1.0f)},
+    {"f2i_negative_truncates", "  F2I R3, R1 ;", F(-2.9f), 0,
+     static_cast<std::uint32_t>(-2)},
+    {"f2i_saturates_low", "  F2I R3, R1 ;", F(-1e20f), 0, 0x80000000},
+    {"frnd_half_to_even", "  FRND R3, R1 ;", F(3.5f), 0, F(4.0f)},
+    {"i2i_copy", "  I2I R3, R1 ;", 0xABCD, 0, 0xABCD},
+    // FP corner cases.
+    {"fadd_inf", "  FADD R3, R1, R2 ;", F(std::numeric_limits<float>::infinity()),
+     F(1.0f), F(std::numeric_limits<float>::infinity())},
+    {"fmul_signed_zero", "  FMUL R3, R1, R2 ;", F(-0.0f), F(5.0f), F(-0.0f)},
+    {"fset_false_gives_zero", "  FSET.LT.AND R3, R1, R2, PT ;", F(5.0f), F(1.0f), 0},
+    // Predicate system ops.
+    {"psetp_and",
+     "  ISETP.EQ.AND P0, PT, RZ, RZ, PT ;\n"
+     "  ISETP.EQ.AND P1, PT, RZ, RZ, PT ;\n"
+     "  PSETP.AND P2, PT, P0, P1, PT ;\n"
+     "  SEL R3, R1, R2, P2 ;",
+     77, 88, 77},
+    {"plop3_or3",
+     "  ISETP.NE.AND P0, PT, RZ, RZ, PT ;\n"  // false
+     "  PLOP3 P2, PT, P0, P0, PT, 0xfe ;\n"   // OR3(false,false,true) = true
+     "  SEL R3, R1, R2, P2 ;",
+     77, 88, 77},
+    // PRMT byte reverse.
+    {"prmt_byte_reverse", "  PRMT R3, R1, 0x0123, RZ ;", 0x44332211, 0, 0x11223344},
+    // Packed FP16 (lo half, hi half): a = (1.0h, 2.0h), b = (0.5h, -1.0h).
+    {"hadd2", "  HADD2 R3, R1, R2 ;", 0x40003C00, 0xBC003800,
+     /* (1.5h, 1.0h) */ 0x3C003E00},
+    {"hmul2", "  HMUL2 R3, R1, R2 ;", 0x40003C00, 0xBC003800,
+     /* (0.5h, -2.0h) */ 0xC0003800},
+    {"hfma2", "  HFMA2 R3, R1, R2, R1 ;", 0x40003C00, 0x38003800,
+     /* (1*0.5+1, 2*0.5+2) = (1.5h, 3.0h) */ 0x42003E00},
+    {"hmnmx2_min", "  HMNMX2 R3, R1, R2, PT ;", 0x40003C00, 0xBC003800,
+     /* (min(1,.5), min(2,-1)) = (0.5h, -1.0h) */ 0xBC003800},
+    {"hmnmx2_max", "  HMNMX2 R3, R1, R2, !PT ;", 0x40003C00, 0xBC003800,
+     /* (1.0h, 2.0h) */ 0x40003C00},
+    // MOV from constant bank.
+    {"mov_const", "  MOV R3, c[0][0x174] ;", 0, 0xBEEF, 0xBEEF},
+    // LEA / ISCADD shifted add.
+    {"lea_shift4", "  LEA R3, R1, R2, 0x4 ;", 3, 100, 148},
+    {"iscadd_shift2", "  ISCADD R3, R1, R2, 0x2 ;", 5, 10, 30},
+};
+
+INSTANTIATE_TEST_SUITE_P(ScalarOps, AluSemantics, ::testing::ValuesIn(kAluCases),
+                         [](const ::testing::TestParamInfo<AluCase>& info) {
+                           return std::string(info.param.label);
+                         });
+
+// ---- SIMT / memory behaviours ----
+
+class OpsRunner {
+ public:
+  LaunchStats Run(const std::string& body, Dim3 grid, Dim3 block,
+                  std::uint32_t shared_bytes = 0) {
+    KernelSource kernel = AssembleKernelOrDie("t", body);
+    kernel.shared_bytes = shared_bytes;
+    bank_.Write32(0x00, block.x);
+    bank_.Write32(0x0c, grid.x);
+    Executor::Request req;
+    req.kernel = &kernel;
+    req.launch.kernel_name = "t";
+    req.launch.grid = grid;
+    req.launch.block = block;
+    req.bank0 = &bank_;
+    req.global = &mem_;
+    req.cost = &cost_;
+    req.num_sms = 8;
+    return Executor::Run(req);
+  }
+
+  GlobalMemory& mem() { return mem_; }
+  ConstantBank& bank() { return bank_; }
+
+ private:
+  GlobalMemory mem_;
+  ConstantBank bank_;
+  CostModel cost_;
+};
+
+TEST(OpsExecutor, ShflUpAndIdx) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(512);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  S2R R1, SR_LANEID ;\n"
+      "  SHFL.UP R2, R1, 0x2 ;\n"   // lane i gets i-2 (or own for i<2)
+      "  SHFL.IDX R3, R1, 0x5 ;\n"  // everyone gets lane 5's value
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R10, R1, 0x8, R8 ;\n"
+      "  STG.E.32 [R10], R2 ;\n"
+      "  STG.E.32 [R10+4], R3 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(out + 8 * 0, 4).value, 0u);       // lane 0 keeps own
+  EXPECT_EQ(r.mem().Read(out + 8 * 1, 4).value, 1u);       // lane 1 keeps own
+  EXPECT_EQ(r.mem().Read(out + 8 * 10, 4).value, 8u);      // lane 10 gets 8
+  EXPECT_EQ(r.mem().Read(out + 8 * 7 + 4, 4).value, 5u);   // IDX: everyone 5
+  EXPECT_EQ(r.mem().Read(out + 8 * 31 + 4, 4).value, 5u);
+}
+
+TEST(OpsExecutor, ShflBflyButterfly) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(256);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  S2R R1, SR_LANEID ;\n"
+      "  SHFL.BFLY R2, R1, 0x10 ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R10, R1, 0x4, R8 ;\n"
+      "  STG.E.32 [R10], R2 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone);
+  EXPECT_EQ(r.mem().Read(out + 4 * 0, 4).value, 16u);
+  EXPECT_EQ(r.mem().Read(out + 4 * 16, 4).value, 0u);
+  EXPECT_EQ(r.mem().Read(out + 4 * 5, 4).value, 21u);
+}
+
+TEST(OpsExecutor, VoteAllAndAny) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(256);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  S2R R1, SR_LANEID ;\n"
+      "  ISETP.GE.AND P0, PT, R1, RZ, PT ;\n"   // true on every lane
+      "  VOTE.ALL R4, P1, P0 ;\n"
+      "  ISETP.EQ.AND P2, PT, R1, 0x3, PT ;\n"  // true on lane 3 only
+      "  VOTE.ALL R5, P3, P2 ;\n"
+      "  VOTE.ANY R6, P4, P2 ;\n"
+      "  ISETP.NE.AND P5, PT, R1, RZ, PT ;\n"
+      "  @P5 EXIT ;\n"
+      "  SEL R7, 0x1, RZ, P1 ;\n"
+      "  SEL R8, 0x1, RZ, P3 ;\n"
+      "  SEL R9, 0x1, RZ, P4 ;\n"
+      "  LDC.64 R10, c[0][0x160] ;\n"
+      "  STG.E.32 [R10], R7 ;\n"
+      "  STG.E.32 [R10+4], R8 ;\n"
+      "  STG.E.32 [R10+8], R9 ;\n"
+      "  STG.E.32 [R10+12], R6 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(out + 0, 4).value, 1u);   // ALL(true) = true
+  EXPECT_EQ(r.mem().Read(out + 4, 4).value, 0u);   // ALL(lane==3) = false
+  EXPECT_EQ(r.mem().Read(out + 8, 4).value, 1u);   // ANY(lane==3) = true
+  EXPECT_EQ(r.mem().Read(out + 12, 4).value, 0x8u);  // ballot of lane 3
+}
+
+TEST(OpsExecutor, SharedAtomics) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(64);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  MOV32I R2, 0x1 ;\n"
+      "  ATOMS.ADD R3, [RZ], R2 ;\n"  // shared offset 0
+      "  BAR.SYNC ;\n"
+      "  S2R R1, SR_TID.X ;\n"
+      "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  LDS R4, [RZ] ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  STG.E.32 [R8], R4 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {64, 1, 1}, /*shared_bytes=*/64);
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(out, 4).value, 64u);
+}
+
+TEST(OpsExecutor, AtomicCas) {
+  OpsRunner r;
+  const DevPtr cell = r.mem().Alloc(16);
+  r.mem().Write(cell, 7, 4);
+  r.bank().Write64(0x160, cell);
+  const LaunchStats stats = r.Run(
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  MOV32I R6, 0x7 ;\n"    // compare
+      "  MOV32I R7, 0x63 ;\n"   // value
+      "  ATOMG.CAS R3, [R4], R6, R7 ;\n"
+      "  MOV32I R8, 0x5 ;\n"    // non-matching compare
+      "  MOV32I R9, 0xFF ;\n"
+      "  ATOMG.CAS R10, [R4], R8, R9 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {1, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(cell, 4).value, 0x63u);  // first CAS hit, second missed
+}
+
+TEST(OpsExecutor, GenericLoadStoreAliasGlobal) {
+  OpsRunner r;
+  const DevPtr buf = r.mem().Alloc(64);
+  r.bank().Write64(0x160, buf);
+  const LaunchStats stats = r.Run(
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  MOV32I R6, 0x12345678 ;\n"
+      "  ST.E.32 [R4], R6 ;\n"
+      "  LD.E.32 R7, [R4] ;\n"
+      "  ST.E.32 [R4+4], R7 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {1, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(buf + 4, 4).value, 0x12345678u);
+}
+
+TEST(OpsExecutor, BlocksRoundRobinOverSms) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(64 * 4);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  S2R R1, SR_TID.X ;\n"
+      "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  S2R R2, SR_CTAID.X ;\n"
+      "  S2R R3, SR_SMID ;\n"
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  IMAD.WIDE R6, R2, 0x4, R4 ;\n"
+      "  STG.E.32 [R6], R3 ;\n"
+      "  EXIT ;\n",
+      {10, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  for (std::uint32_t block = 0; block < 10; ++block) {
+    EXPECT_EQ(r.mem().Read(out + 4 * block, 4).value, block % 8) << "block " << block;
+  }
+}
+
+TEST(OpsExecutor, KillTerminatesThread) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(16);
+  r.mem().Write(out, 0, 4);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  S2R R1, SR_LANEID ;\n"
+      "  ISETP.LT.AND P0, PT, R1, 0x10, PT ;\n"
+      "  @P0 KILL ;\n"  // lanes 0..15 die
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  MOV32I R6, 0x1 ;\n"
+      "  RED.ADD [R4], R6 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone);
+  EXPECT_EQ(r.mem().Read(out, 4).value, 16u);  // only surviving lanes count
+}
+
+TEST(OpsExecutor, Cs2rWritesCyclePair) {
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(16);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  CS2R R2, SR_CLOCKLO ;\n"
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  STG.E.64 [R4], R2 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {1, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone);
+  EXPECT_GT(r.mem().Read(out, 8).value, 0u);
+  EXPECT_LT(r.mem().Read(out, 8).value, stats.cycles + 1);
+}
+
+TEST(OpsExecutor, LocalMemoryWindowLeniency) {
+  // A local access beyond the backing store but inside the mapped window
+  // reads zeros instead of trapping (real local memory lives in the global
+  // address space).
+  OpsRunner r;
+  const DevPtr out = r.mem().Alloc(16);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.Run(
+      "  MOV32I R2, 0x8000 ;\n"  // 32 KiB: beyond the 16 KiB allocation
+      "  LDL R3, [R2] ;\n"
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  STG.E.32 [R4], R3 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {1, 1, 1});
+  EXPECT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(out, 4).value, 0u);
+}
+
+TEST(OpsExecutor, SharedBeyondWindowTraps) {
+  OpsRunner r;
+  const LaunchStats stats = r.Run(
+      "  MOV32I R2, 0x100000 ;\n"  // 1 MiB: past the 48 KiB shared window
+      "  LDS R3, [R2] ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {1, 1, 1}, /*shared_bytes=*/64);
+  EXPECT_EQ(stats.trap, TrapKind::kIllegalAddress);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

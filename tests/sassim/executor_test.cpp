@@ -1,0 +1,658 @@
+#include "sassim/core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/strings.h"
+#include "sassim/asm/assembler.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+// Harness: runs `body` (which must leave its 32-bit result in R3, or its
+// 64-bit result in R3:R4) with a single thread and returns the stored value.
+class ScalarRunner {
+ public:
+  std::uint32_t Run32(const std::string& body) {
+    RunBody(body +
+            "  LDC.64 R8, c[0][0x160] ;\n"
+            "  STG.E.32 [R8], R3 ;\n"
+            "  EXIT ;\n");
+    const MemAccessResult r = mem_.Read(out_, 4);
+    EXPECT_TRUE(r.ok());
+    return static_cast<std::uint32_t>(r.value);
+  }
+
+  std::uint64_t Run64(const std::string& body) {
+    RunBody(body +
+            "  LDC.64 R8, c[0][0x160] ;\n"
+            "  STG.E.64 [R8], R3 ;\n"
+            "  EXIT ;\n");
+    const MemAccessResult r = mem_.Read(out_, 8);
+    EXPECT_TRUE(r.ok());
+    return r.value;
+  }
+
+  float RunF32(const std::string& body) { return BitsToFloat(Run32(body)); }
+  double RunF64(const std::string& body) { return BitsToDouble(Run64(body)); }
+
+  // Runs a raw kernel body (no implicit store); returns the stats.
+  LaunchStats RunRaw(const std::string& body, Dim3 grid = {1, 1, 1},
+                     Dim3 block = {1, 1, 1}, std::uint64_t watchdog = 0,
+                     std::uint32_t shared_bytes = 0) {
+    KernelSource kernel = AssembleKernelOrDie("t", body);
+    kernel.shared_bytes = shared_bytes;
+    // Mirror the driver's launch-configuration constants.
+    bank_.Write32(0x00, block.x);
+    bank_.Write32(0x04, block.y);
+    bank_.Write32(0x08, block.z);
+    bank_.Write32(0x0c, grid.x);
+    bank_.Write32(0x10, grid.y);
+    bank_.Write32(0x14, grid.z);
+    Executor::Request req;
+    req.kernel = &kernel;
+    req.launch.kernel_name = "t";
+    req.launch.grid = grid;
+    req.launch.block = block;
+    req.bank0 = &bank_;
+    req.global = &mem_;
+    req.cost = &cost_;
+    req.max_thread_instructions = watchdog;
+    return Executor::Run(req);
+  }
+
+  GlobalMemory& mem() { return mem_; }
+  ConstantBank& bank() { return bank_; }
+  DevPtr out() const { return out_; }
+
+ private:
+  void RunBody(const std::string& body) {
+    out_ = mem_.Alloc(256);
+    bank_.Write64(0x160, out_);
+    const LaunchStats stats = RunRaw(body);
+    ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  }
+
+  GlobalMemory mem_;
+  ConstantBank bank_;
+  CostModel cost_;
+  DevPtr out_ = 0;
+};
+
+std::string Imm(float v) { return Format("0x%08x", FloatToBits(v)); }
+
+// ---- FP32 arithmetic ----
+
+TEST(Executor, Fadd) {
+  ScalarRunner r;
+  EXPECT_FLOAT_EQ(r.RunF32("  MOV32I R1, " + Imm(1.25f) + " ;\n" +
+                           "  FADD R3, R1, " + Imm(2.5f) + " ;\n"),
+                  3.75f);
+}
+
+TEST(Executor, FaddNegatedOperand) {
+  ScalarRunner r;
+  EXPECT_FLOAT_EQ(r.RunF32("  MOV32I R1, " + Imm(1.5f) + " ;\n" +
+                           "  MOV32I R2, " + Imm(5.0f) + " ;\n" +
+                           "  FADD R3, R2, -R1 ;\n"),
+                  3.5f);
+}
+
+TEST(Executor, FmulAbsOperand) {
+  ScalarRunner r;
+  EXPECT_FLOAT_EQ(r.RunF32("  MOV32I R1, " + Imm(-3.0f) + " ;\n" +
+                           "  FMUL R3, |R1|, " + Imm(2.0f) + " ;\n"),
+                  6.0f);
+}
+
+TEST(Executor, Ffma) {
+  ScalarRunner r;
+  EXPECT_FLOAT_EQ(r.RunF32("  MOV32I R1, " + Imm(2.0f) + " ;\n" +
+                           "  MOV32I R2, " + Imm(3.0f) + " ;\n" +
+                           "  MOV32I R4, " + Imm(10.0f) + " ;\n" +
+                           "  FFMA R3, R1, R2, R4 ;\n"),
+                  16.0f);
+}
+
+TEST(Executor, FmnmxMinAndMax) {
+  ScalarRunner r;
+  EXPECT_FLOAT_EQ(r.RunF32("  MOV32I R1, " + Imm(2.0f) + " ;\n" +
+                           "  MOV32I R2, " + Imm(5.0f) + " ;\n" +
+                           "  FMNMX R3, R1, R2, PT ;\n"),
+                  2.0f);
+  ScalarRunner r2;
+  EXPECT_FLOAT_EQ(r2.RunF32("  MOV32I R1, " + Imm(2.0f) + " ;\n" +
+                            "  MOV32I R2, " + Imm(5.0f) + " ;\n" +
+                            "  FMNMX R3, R1, R2, !PT ;\n"),
+                  5.0f);
+}
+
+TEST(Executor, FselPicksBySourcePredicate) {
+  ScalarRunner r;
+  EXPECT_FLOAT_EQ(r.RunF32("  ISETP.EQ.AND P0, PT, RZ, RZ, PT ;\n"  // P0 = true
+                           "  MOV32I R1, " + Imm(1.0f) + " ;\n" +
+                           "  MOV32I R2, " + Imm(2.0f) + " ;\n" +
+                           "  FSEL R3, R1, R2, P0 ;\n"),
+                  1.0f);
+  ScalarRunner r2;
+  EXPECT_FLOAT_EQ(r2.RunF32("  ISETP.NE.AND P0, PT, RZ, RZ, PT ;\n"  // P0 = false
+                            "  MOV32I R1, " + Imm(1.0f) + " ;\n" +
+                            "  MOV32I R2, " + Imm(2.0f) + " ;\n" +
+                            "  FSEL R3, R1, R2, P0 ;\n"),
+                  2.0f);
+}
+
+TEST(Executor, FsetWritesMask) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, " + Imm(3.0f) + " ;\n" +
+                    "  FSET.GT.AND R3, R1, " + Imm(1.0f) + ", PT ;\n"),
+            0xFFFFFFFFu);
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run32("  MOV32I R1, " + Imm(0.0f) + " ;\n" +
+                     "  FSET.GT.AND R3, R1, " + Imm(1.0f) + ", PT ;\n"),
+            0u);
+}
+
+TEST(Executor, MufuFunctions) {
+  ScalarRunner r;
+  EXPECT_NEAR(r.RunF32("  MOV32I R1, " + Imm(4.0f) + " ;\n  MUFU.RCP R3, R1 ;\n"),
+              0.25f, 1e-6);
+  ScalarRunner r2;
+  EXPECT_NEAR(r2.RunF32("  MOV32I R1, " + Imm(16.0f) + " ;\n  MUFU.SQRT R3, R1 ;\n"),
+              4.0f, 1e-6);
+  ScalarRunner r3;
+  EXPECT_NEAR(r3.RunF32("  MOV32I R1, " + Imm(8.0f) + " ;\n  MUFU.LG2 R3, R1 ;\n"),
+              3.0f, 1e-6);
+  ScalarRunner r4;
+  EXPECT_NEAR(r4.RunF32("  MOV32I R1, " + Imm(3.0f) + " ;\n  MUFU.EX2 R3, R1 ;\n"),
+              8.0f, 1e-5);
+  ScalarRunner r5;
+  EXPECT_NEAR(r5.RunF32("  MOV32I R1, " + Imm(0.0f) + " ;\n  MUFU.COS R3, R1 ;\n"),
+              1.0f, 1e-6);
+  ScalarRunner r6;
+  EXPECT_NEAR(r6.RunF32("  MOV32I R1, " + Imm(0.0f) + " ;\n  MUFU.SIN R3, R1 ;\n"),
+              0.0f, 1e-6);
+}
+
+// ---- FP64 (register pairs) ----
+
+TEST(Executor, DaddUsesRegisterPairs) {
+  ScalarRunner r;
+  r.bank().Write64(0x170, DoubleToBits(1.5));
+  r.bank().Write64(0x178, DoubleToBits(2.25));
+  EXPECT_DOUBLE_EQ(r.RunF64("  LDC.64 R5, c[0][0x170] ;\n"
+                            "  LDC.64 R10, c[0][0x178] ;\n"
+                            "  DADD R3, R5, R10 ;\n"),
+                   3.75);
+}
+
+TEST(Executor, DmulAndDfma) {
+  ScalarRunner r;
+  r.bank().Write64(0x170, DoubleToBits(3.0));
+  r.bank().Write64(0x178, DoubleToBits(4.0));
+  EXPECT_DOUBLE_EQ(r.RunF64("  LDC.64 R5, c[0][0x170] ;\n"
+                            "  LDC.64 R10, c[0][0x178] ;\n"
+                            "  DMUL R3, R5, R10 ;\n"),
+                   12.0);
+  ScalarRunner r2;
+  r2.bank().Write64(0x170, DoubleToBits(3.0));
+  r2.bank().Write64(0x178, DoubleToBits(4.0));
+  EXPECT_DOUBLE_EQ(r2.RunF64("  LDC.64 R5, c[0][0x170] ;\n"
+                             "  LDC.64 R10, c[0][0x178] ;\n"
+                             "  DFMA R3, R5, R10, R5 ;\n"),
+                   15.0);
+}
+
+TEST(Executor, DsetpComparesDoubles) {
+  ScalarRunner r;
+  r.bank().Write64(0x170, DoubleToBits(1.0));
+  r.bank().Write64(0x178, DoubleToBits(2.0));
+  EXPECT_EQ(r.Run32("  LDC.64 R5, c[0][0x170] ;\n"
+                    "  LDC.64 R10, c[0][0x178] ;\n"
+                    "  DSETP.LT.AND P0, PT, R5, R10, PT ;\n"
+                    "  SEL R3, 0x1, RZ, P0 ;\n"),
+            1u);
+}
+
+// ---- integer ----
+
+TEST(Executor, Iadd3ThreeWay) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 10 ;\n  MOV32I R2, 20 ;\n"
+                    "  IADD3 R3, R1, R2, 0x5 ;\n"),
+            35u);
+}
+
+TEST(Executor, ImadAndWide) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 7 ;\n  MOV32I R2, 6 ;\n"
+                    "  IMAD R3, R1, R2, 0x3 ;\n"),
+            45u);
+  // IMAD.WIDE: 0x10000 * 0x10000 = 2^32 needs the pair.
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run64("  MOV32I R1, 0x10000 ;\n"
+                     "  MOV R5, RZ ;\n  MOV R6, RZ ;\n"
+                     "  IMAD.WIDE R3, R1, R1, R5 ;\n"),
+            0x100000000ull);
+}
+
+TEST(Executor, ImadWideSigned) {
+  ScalarRunner r;
+  // -2 * 3 sign-extends to the full 64-bit result.
+  EXPECT_EQ(r.Run64("  MOV32I R1, -2 ;\n  MOV32I R2, 3 ;\n"
+                    "  MOV R5, RZ ;\n  MOV R6, RZ ;\n"
+                    "  IMAD.WIDE R3, R1, R2, R5 ;\n"),
+            static_cast<std::uint64_t>(-6));
+}
+
+TEST(Executor, IsetpSignedVsUnsigned) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, -1 ;\n"
+                    "  ISETP.LT.AND P0, PT, R1, RZ, PT ;\n"  // signed: -1 < 0
+                    "  SEL R3, 0x1, RZ, P0 ;\n"),
+            1u);
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run32("  MOV32I R1, -1 ;\n"
+                     "  ISETP.LT.U32.AND P0, PT, R1, RZ, PT ;\n"  // unsigned: max > 0
+                     "  SEL R3, 0x1, RZ, P0 ;\n"),
+            0u);
+}
+
+TEST(Executor, SetpWritesComplementToSecondPred) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  ISETP.EQ.AND P0, P1, RZ, RZ, PT ;\n"
+                    "  SEL R1, 0x2, RZ, P0 ;\n"
+                    "  SEL R2, 0x1, RZ, P1 ;\n"
+                    "  IADD3 R3, R1, R2, RZ ;\n"),
+            2u);  // P0 true (2), P1 false (0)
+}
+
+TEST(Executor, ShiftOps) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0x3 ;\n  SHL R3, R1, 0x4 ;\n"), 0x30u);
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run32("  MOV32I R1, 0x80000000 ;\n  SHR.U32 R3, R1, 0x4 ;\n"),
+            0x08000000u);
+  ScalarRunner r3;
+  EXPECT_EQ(r3.Run32("  MOV32I R1, 0x80000000 ;\n  SHR.S32 R3, R1, 0x4 ;\n"),
+            0xF8000000u);
+}
+
+TEST(Executor, FunnelShift) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0x00000001 ;\n  MOV32I R2, 0x80000000 ;\n"
+                    "  SHF.R.U32 R3, R2, 0x1f, R1 ;\n"),
+            FunnelShiftRight(0x80000000u, 0x1u, 31));
+}
+
+TEST(Executor, BitManipulation) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0xF0F0 ;\n  POPC R3, R1 ;\n"), 8u);
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run32("  MOV32I R1, 0x00010000 ;\n  FLO R3, R1 ;\n"), 16u);
+  ScalarRunner r3;
+  EXPECT_EQ(r3.Run32("  MOV32I R1, 0x1 ;\n  BREV R3, R1 ;\n"), 0x80000000u);
+  ScalarRunner r4;
+  EXPECT_EQ(r4.Run32("  MOV32I R1, 0x4 ;\n  MOV32I R2, 0x8 ;\n  BMSK R3, R1, R2 ;\n"),
+            0x00000FF0u);
+  ScalarRunner r5;
+  EXPECT_EQ(r5.Run32("  MOV32I R1, 0x80 ;\n  SGXT R3, R1, 0x8 ;\n"), 0xFFFFFF80u);
+}
+
+TEST(Executor, Lop3AndLop) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0xFF00 ;\n  MOV32I R2, 0x0FF0 ;\n"
+                    "  LOP3 R3, R1, R2, RZ, 0xc0 ;\n"),
+            0x0F00u);
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run32("  MOV32I R1, 0xFF00 ;\n  LOP32I.XOR R3, R1, 0x0FF0 ;\n"),
+            0xF0F0u);
+  ScalarRunner r3;
+  EXPECT_EQ(r3.Run32("  MOV32I R1, 0xFF00 ;\n  MOV32I R2, 0x0FF0 ;\n"
+                     "  LOP.AND R3, R1, R2 ;\n"),
+            0x0F00u);
+}
+
+TEST(Executor, ConversionOps) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, " + Imm(-3.7f) + " ;\n  F2I R3, R1 ;\n"),
+            static_cast<std::uint32_t>(-3));
+  ScalarRunner r2;
+  EXPECT_FLOAT_EQ(r2.RunF32("  MOV32I R1, 42 ;\n  I2F R3, R1 ;\n"), 42.0f);
+  ScalarRunner r3;
+  EXPECT_FLOAT_EQ(r3.RunF32("  MOV32I R1, " + Imm(2.5f) + " ;\n  FRND R3, R1 ;\n"),
+                  2.0f);  // round-to-even
+  // F2F widening and narrowing through the pair.
+  ScalarRunner r4;
+  EXPECT_DOUBLE_EQ(r4.RunF64("  MOV32I R1, " + Imm(1.5f) + " ;\n"
+                             "  F2F.F64.F32 R3, R1 ;\n"),
+                   1.5);
+}
+
+TEST(Executor, F2ISaturatesAndHandlesNan) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, " + Imm(1e20f) + " ;\n  F2I R3, R1 ;\n"),
+            0x7FFFFFFFu);
+  ScalarRunner r2;
+  EXPECT_EQ(r2.Run32("  MOV32I R1, 0x7fc00000 ;\n  F2I R3, R1 ;\n"), 0u);  // NaN
+}
+
+// ---- movement / predicates ----
+
+TEST(Executor, PrmtAndSel) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0x44332211 ;\n  MOV32I R2, 0x88776655 ;\n"
+                    "  PRMT R3, R1, 0x7654, R2 ;\n"),
+            0x88776655u);
+}
+
+TEST(Executor, P2RAndR2P) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0x5 ;\n"       // bits 0 and 2
+                    "  R2P R1, 0x7f ;\n"          // P0=1 P1=0 P2=1
+                    "  P2R R3, 0x7f ;\n"),
+            0x5u);
+}
+
+TEST(Executor, Plop3OnPredicates) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  ISETP.EQ.AND P0, PT, RZ, RZ, PT ;\n"   // P0 = 1
+                    "  ISETP.NE.AND P1, PT, RZ, RZ, PT ;\n"   // P1 = 0
+                    "  PLOP3 P2, PT, P0, P1, PT, 0x80 ;\n"    // AND3 -> 0
+                    "  SEL R3, 0x1, RZ, P2 ;\n"),
+            0u);
+}
+
+// ---- memory ----
+
+TEST(Executor, GlobalLoadStoreWidths) {
+  ScalarRunner r;
+  const DevPtr buf = r.mem().Alloc(64);
+  r.mem().Write(buf, 0x1122334455667788ull, 8);
+  r.bank().Write64(0x170, buf);
+  EXPECT_EQ(r.Run32("  LDC.64 R5, c[0][0x170] ;\n  LDG.E.U8 R3, [R5+1] ;\n"), 0x77u);
+  ScalarRunner r2;
+  const DevPtr buf2 = r2.mem().Alloc(64);
+  r2.mem().Write(buf2, 0x80FFull, 2);
+  r2.bank().Write64(0x170, buf2);
+  EXPECT_EQ(r2.Run32("  LDC.64 R5, c[0][0x170] ;\n  LDG.E.S16 R3, [R5] ;\n"),
+            0xFFFF80FFu);
+}
+
+TEST(Executor, Vector128LoadStore) {
+  ScalarRunner r;
+  const DevPtr buf = r.mem().Alloc(64);
+  for (int i = 0; i < 4; ++i) {
+    r.mem().Write(buf + 4 * static_cast<DevPtr>(i), 0x100u + static_cast<std::uint32_t>(i), 4);
+  }
+  r.bank().Write64(0x170, buf);
+  // Load 128 bits into R4..R7 then sum them.
+  EXPECT_EQ(r.Run32("  LDC.64 R10, c[0][0x170] ;\n"
+                    "  LDG.E.128 R4, [R10] ;\n"
+                    "  IADD3 R3, R4, R5, R6 ;\n"
+                    "  IADD3 R3, R3, R7, RZ ;\n"),
+            0x100u + 0x101u + 0x102u + 0x103u);
+}
+
+TEST(Executor, SharedMemoryAndBarrier) {
+  ScalarRunner r;
+  const DevPtr out = r.mem().Alloc(256);
+  r.bank().Write64(0x160, out);
+  // 64 threads write tid to shared, barrier, thread 0 sums all.
+  const LaunchStats stats = r.RunRaw(
+      "  S2R R1, SR_TID.X ;\n"
+      "  SHL R2, R1, 0x2 ;\n"
+      "  STS [R2], R1 ;\n"
+      "  BAR.SYNC ;\n"
+      "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+      "  @P0 EXIT ;\n"
+      "  MOV R5, RZ ;\n"
+      "  MOV R6, RZ ;\n"
+      "loop:\n"
+      "  SHL R7, R6, 0x2 ;\n"
+      "  LDS R8, [R7] ;\n"
+      "  IADD3 R5, R5, R8, RZ ;\n"
+      "  IADD3 R6, R6, 1, RZ ;\n"
+      "  ISETP.LT.AND P1, PT, R6, 0x40, PT ;\n"
+      "  @P1 BRA loop ;\n"
+      "  LDC.64 R10, c[0][0x160] ;\n"
+      "  STG.E.32 [R10], R5 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {64, 1, 1}, /*watchdog=*/0, /*shared_bytes=*/256);
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  const MemAccessResult v = r.mem().Read(out, 4);
+  EXPECT_EQ(v.value, 64u * 63u / 2u);
+}
+
+TEST(Executor, AtomicAddAccumulatesAcrossThreads) {
+  ScalarRunner r;
+  const DevPtr counter = r.mem().Alloc(16);
+  r.bank().Write64(0x160, counter);
+  const LaunchStats stats = r.RunRaw(
+      "  LDC.64 R4, c[0][0x160] ;\n"
+      "  MOV32I R6, 0x1 ;\n"
+      "  RED.ADD [R4], R6 ;\n"
+      "  EXIT ;\n",
+      {4, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  EXPECT_EQ(r.mem().Read(counter, 4).value, 128u);
+}
+
+TEST(Executor, AtomicReturnsOldValue) {
+  ScalarRunner r;
+  const DevPtr cell = r.mem().Alloc(16);
+  r.mem().Write(cell, 41, 4);
+  r.bank().Write64(0x170, cell);
+  EXPECT_EQ(r.Run32("  LDC.64 R5, c[0][0x170] ;\n"
+                    "  MOV32I R10, 0x1 ;\n"  // R6 is the address pair's high half
+                    "  ATOMG.ADD R3, [R5], R10 ;\n"),
+            41u);
+  EXPECT_EQ(r.mem().Read(cell, 4).value, 42u);
+}
+
+TEST(Executor, LocalMemoryRoundTrip) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I R1, 0xABCD ;\n"
+                    "  MOV R2, 0x10 ;\n"
+                    "  STL [R2], R1 ;\n"
+                    "  LDL R3, [R2] ;\n"),
+            0xABCDu);
+}
+
+// ---- control flow & SIMT ----
+
+TEST(Executor, PredicationSkipsAndDoesNotCount) {
+  ScalarRunner r;
+  const LaunchStats stats = r.RunRaw(
+      "  ISETP.NE.AND P0, PT, RZ, RZ, PT ;\n"  // P0 = false
+      "  @P0 NOP ;\n"
+      "  @P0 NOP ;\n"
+      "  EXIT ;\n");
+  // 4 warp instructions issued, but only 2 thread instructions executed
+  // (the guarded NOPs are predicated off).
+  EXPECT_EQ(stats.warp_instructions, 4u);
+  EXPECT_EQ(stats.thread_instructions, 2u);
+}
+
+TEST(Executor, DivergenceReconverges) {
+  ScalarRunner r;
+  const DevPtr out = r.mem().Alloc(256);
+  r.bank().Write64(0x160, out);
+  // Odd lanes take the branch; everyone stores lane+bias at the end.
+  const LaunchStats stats = r.RunRaw(
+      "  S2R R1, SR_LANEID ;\n"
+      "  LOP32I.AND R2, R1, 0x1 ;\n"
+      "  ISETP.NE.AND P0, PT, R2, RZ, PT ;\n"
+      "  MOV R5, RZ ;\n"
+      "  @P0 BRA odd ;\n"
+      "  MOV32I R5, 0x100 ;\n"
+      "  BRA join ;\n"
+      "odd:\n"
+      "  MOV32I R5, 0x200 ;\n"
+      "join:\n"
+      "  IADD3 R6, R5, R1, RZ ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R10, R1, 0x4, R8 ;\n"
+      "  STG.E.32 [R10], R6 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    const std::uint32_t expected = (lane % 2 == 1 ? 0x200u : 0x100u) + lane;
+    EXPECT_EQ(r.mem().Read(out + 4 * lane, 4).value, expected) << "lane " << lane;
+  }
+}
+
+TEST(Executor, LoopExecutesExactTripCount) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV R3, RZ ;\n"
+                    "  MOV R1, RZ ;\n"
+                    "loop:\n"
+                    "  IADD3 R3, R3, 2, RZ ;\n"
+                    "  IADD3 R1, R1, 1, RZ ;\n"
+                    "  ISETP.LT.AND P0, PT, R1, 0xa, PT ;\n"
+                    "  @P0 BRA loop ;\n"),
+            20u);
+}
+
+TEST(Executor, ShflModes) {
+  ScalarRunner r;
+  const DevPtr out = r.mem().Alloc(256);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.RunRaw(
+      "  S2R R1, SR_LANEID ;\n"
+      "  SHFL.DOWN R2, R1, 0x1 ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R10, R1, 0x4, R8 ;\n"
+      "  STG.E.32 [R10], R2 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone);
+  EXPECT_EQ(r.mem().Read(out + 0, 4).value, 1u);    // lane 0 gets lane 1
+  EXPECT_EQ(r.mem().Read(out + 4 * 30, 4).value, 31u);
+  EXPECT_EQ(r.mem().Read(out + 4 * 31, 4).value, 31u);  // edge keeps own
+}
+
+TEST(Executor, VoteBallot) {
+  ScalarRunner r;
+  const DevPtr out = r.mem().Alloc(256);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.RunRaw(
+      "  S2R R1, SR_LANEID ;\n"
+      "  LOP32I.AND R2, R1, 0x1 ;\n"
+      "  ISETP.NE.AND P0, PT, R2, RZ, PT ;\n"  // odd lanes true
+      "  VOTE.BALLOT R3, P1, P0 ;\n"
+      "  ISETP.NE.AND P2, PT, R1, RZ, PT ;\n"
+      "  @P2 EXIT ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  STG.E.32 [R8], R3 ;\n"
+      "  EXIT ;\n",
+      {1, 1, 1}, {32, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone);
+  EXPECT_EQ(r.mem().Read(out, 4).value, 0xAAAAAAAAu);
+}
+
+TEST(Executor, SpecialRegisters) {
+  ScalarRunner r;
+  const DevPtr out = r.mem().Alloc(1024);
+  r.bank().Write64(0x160, out);
+  const LaunchStats stats = r.RunRaw(
+      "  S2R R1, SR_CTAID.X ;\n"
+      "  S2R R2, SR_TID.X ;\n"
+      "  IMAD R4, R1, c[0][0x0], R2 ;\n"
+      "  SHL R5, R1, 0x8 ;\n"
+      "  IADD3 R5, R5, R2, RZ ;\n"  // ctaid*256 + tid
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R10, R4, 0x4, R8 ;\n"
+      "  STG.E.32 [R10], R5 ;\n"
+      "  EXIT ;\n",
+      {2, 1, 1}, {16, 1, 1});
+  ASSERT_EQ(stats.trap, TrapKind::kNone);
+  EXPECT_EQ(r.mem().Read(out + 4 * 0, 4).value, 0u);
+  EXPECT_EQ(r.mem().Read(out + 4 * 15, 4).value, 15u);
+  EXPECT_EQ(r.mem().Read(out + 4 * 16, 4).value, 256u);   // block 1 thread 0
+  EXPECT_EQ(r.mem().Read(out + 4 * 31, 4).value, 271u);
+}
+
+TEST(Executor, RZAndPTAreImmutable) {
+  ScalarRunner r;
+  EXPECT_EQ(r.Run32("  MOV32I RZ, 0x1234 ;\n"
+                    "  MOV R3, RZ ;\n"),
+            0u);
+}
+
+// ---- traps ----
+
+TEST(Executor, IllegalAddressTraps) {
+  ScalarRunner r;
+  const LaunchStats stats = r.RunRaw(
+      "  MOV R4, RZ ;\n  MOV R5, RZ ;\n"
+      "  LDG.E.32 R3, [R4] ;\n"  // null-ish pointer
+      "  EXIT ;\n");
+  EXPECT_EQ(stats.trap, TrapKind::kIllegalAddress);
+  EXPECT_FALSE(stats.trap_detail.empty());
+}
+
+TEST(Executor, MisalignedAddressTraps) {
+  ScalarRunner r;
+  const DevPtr buf = r.mem().Alloc(64);
+  r.bank().Write64(0x170, buf);
+  const LaunchStats stats = r.RunRaw(
+      "  LDC.64 R4, c[0][0x170] ;\n"
+      "  LDG.E.32 R3, [R4+1] ;\n"
+      "  EXIT ;\n");
+  EXPECT_EQ(stats.trap, TrapKind::kMisalignedAddress);
+}
+
+TEST(Executor, UnimplementedOpcodeTraps) {
+  ScalarRunner r;
+  const LaunchStats stats = r.RunRaw("  TEX R3, R1 ;\n  EXIT ;\n");
+  EXPECT_EQ(stats.trap, TrapKind::kIllegalInstruction);
+}
+
+TEST(Executor, PcPastEndTraps) {
+  ScalarRunner r;
+  const LaunchStats stats = r.RunRaw("  NOP ;\n");  // no EXIT
+  EXPECT_EQ(stats.trap, TrapKind::kIllegalInstruction);
+  EXPECT_NE(stats.trap_detail.find("past the end"), std::string::npos);
+}
+
+TEST(Executor, WatchdogCatchesInfiniteLoop) {
+  ScalarRunner r;
+  const LaunchStats stats = r.RunRaw(
+      "loop:\n"
+      "  IADD3 R1, R1, 1, RZ ;\n"
+      "  BRA loop ;\n",
+      {1, 1, 1}, {1, 1, 1}, /*watchdog=*/10000);
+  EXPECT_EQ(stats.trap, TrapKind::kTimeout);
+}
+
+TEST(Executor, CyclesAccumulate) {
+  ScalarRunner r;
+  const LaunchStats one = r.RunRaw("  NOP ;\n  EXIT ;\n");
+  const LaunchStats many = r.RunRaw(
+      "  NOP ;\n  NOP ;\n  NOP ;\n  NOP ;\n  NOP ;\n  EXIT ;\n");
+  EXPECT_GT(many.cycles, one.cycles);
+}
+
+TEST(Executor, HostApiMisuseThrows) {
+  GlobalMemory mem;
+  ConstantBank bank;
+  CostModel cost;
+  const KernelSource kernel = AssembleKernelOrDie("t", "  EXIT ;\n");
+  Executor::Request req;
+  req.kernel = &kernel;
+  req.bank0 = &bank;
+  req.global = &mem;
+  req.cost = &cost;
+  req.launch.grid = {1, 1, 1};
+  req.launch.block = {2048, 1, 1};  // too many threads
+  EXPECT_THROW(Executor::Run(req), std::logic_error);
+  req.launch.block = {0, 1, 1};
+  EXPECT_THROW(Executor::Run(req), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,78 @@
+#include "sassim/isa/instruction.h"
+
+#include <gtest/gtest.h>
+
+#include "sassim/asm/assembler.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+Instruction Parse(const std::string& line) {
+  return AssembleKernelOrDie("t", line).instructions.at(0);
+}
+
+TEST(Instruction, MemWidthBytes) {
+  EXPECT_EQ(MemWidthBytes(MemWidth::k8), 1);
+  EXPECT_EQ(MemWidthBytes(MemWidth::k16), 2);
+  EXPECT_EQ(MemWidthBytes(MemWidth::k32), 4);
+  EXPECT_EQ(MemWidthBytes(MemWidth::k64), 8);
+  EXPECT_EQ(MemWidthBytes(MemWidth::k128), 16);
+}
+
+TEST(Instruction, DestGprCountScalar) {
+  EXPECT_EQ(DestGprCount(Parse("  FADD R1, R2, R3 ;")), 1);
+  EXPECT_EQ(DestGprCount(Parse("  STG.E.32 [R2], R4 ;")), 0);
+  EXPECT_EQ(DestGprCount(Parse("  EXIT ;")), 0);
+  EXPECT_EQ(DestGprCount(Parse("  ISETP.LT.AND P0, PT, R1, R2, PT ;")), 0);
+}
+
+TEST(Instruction, DestGprCountPairs) {
+  EXPECT_EQ(DestGprCount(Parse("  DADD R2, R4, R6 ;")), 2);
+  EXPECT_EQ(DestGprCount(Parse("  LDG.E.64 R2, [R4] ;")), 2);
+  EXPECT_EQ(DestGprCount(Parse("  LDG.E.128 R4, [R8] ;")), 4);
+  EXPECT_EQ(DestGprCount(Parse("  IMAD.WIDE R2, R1, 0x4, R4 ;")), 2);
+  EXPECT_EQ(DestGprCount(Parse("  F2F.F64.F32 R2, R1 ;")), 2);
+}
+
+TEST(Instruction, DestGprCountDiscardedDest) {
+  EXPECT_EQ(DestGprCount(Parse("  FADD RZ, R2, R3 ;")), 0);
+}
+
+TEST(Instruction, WritesGprPair) {
+  EXPECT_TRUE(WritesGprPair(Parse("  DMUL R2, R4, R6 ;")));
+  EXPECT_TRUE(WritesGprPair(Parse("  LDG.E.64 R2, [R4] ;")));
+  EXPECT_FALSE(WritesGprPair(Parse("  LDG.E.32 R2, [R4] ;")));
+  EXPECT_FALSE(WritesGprPair(Parse("  FADD R2, R4, R6 ;")));
+}
+
+TEST(Instruction, ToStringRendersDisassembly) {
+  const std::string rendered = Parse("  @!P2 FFMA R4, R2, c[0][0x168], R6 ;").ToString();
+  EXPECT_NE(rendered.find("@!P2"), std::string::npos);
+  EXPECT_NE(rendered.find("FFMA"), std::string::npos);
+  EXPECT_NE(rendered.find("R4"), std::string::npos);
+  EXPECT_NE(rendered.find("c[0x0][0x168]"), std::string::npos);
+}
+
+TEST(Instruction, ToStringOperandModifiers) {
+  const std::string rendered = Parse("  FADD R1, -R2, |R3| ;").ToString();
+  EXPECT_NE(rendered.find("-R2"), std::string::npos);
+  EXPECT_NE(rendered.find("|R3|"), std::string::npos);
+  const std::string mem = Parse("  LDG.E.32 R1, [R4+-8] ;").ToString();
+  EXPECT_NE(mem.find("[R4-8]"), std::string::npos);
+}
+
+TEST(Instruction, ToStringPredicates) {
+  const std::string rendered = Parse("  ISETP.LT.AND P0, P1, R2, R3, !P4 ;").ToString();
+  EXPECT_NE(rendered.find("P0"), std::string::npos);
+  EXPECT_NE(rendered.find("P1"), std::string::npos);
+  EXPECT_NE(rendered.find("!P4"), std::string::npos);
+}
+
+TEST(Instruction, SpecialRegNames) {
+  EXPECT_EQ(SpecialRegName(SpecialReg::kTidX), "SR_TID.X");
+  EXPECT_EQ(SpecialRegName(SpecialReg::kCtaIdZ), "SR_CTAID.Z");
+  EXPECT_EQ(SpecialRegName(SpecialReg::kLaneId), "SR_LANEID");
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,182 @@
+#include "sassim/mem/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nvbitfi::sim {
+namespace {
+
+TEST(GlobalMemory, AllocReturnsDistinctAlignedPointers) {
+  GlobalMemory mem;
+  const DevPtr a = mem.Alloc(100);
+  const DevPtr b = mem.Alloc(100);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(mem.live_allocations(), 2u);
+  EXPECT_EQ(mem.bytes_allocated(), 200u);
+}
+
+TEST(GlobalMemory, ZeroByteAllocThrows) {
+  GlobalMemory mem;
+  EXPECT_THROW(mem.Alloc(0), std::logic_error);
+}
+
+TEST(GlobalMemory, CopyInOutRoundTrip) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(16);
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(mem.CopyIn(p + 4, data));
+  std::vector<std::uint8_t> back(8);
+  EXPECT_TRUE(mem.CopyOut(p + 4, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(GlobalMemory, HostCopyValidatesAllocationBounds) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(16);
+  std::vector<std::uint8_t> big(17);
+  EXPECT_FALSE(mem.CopyIn(p, big));          // overruns the allocation
+  EXPECT_FALSE(mem.CopyIn(p + 8, big));      // overruns from an offset
+  EXPECT_FALSE(mem.CopyIn(p - 8, big));      // before the allocation
+  std::vector<std::uint8_t> out(17);
+  EXPECT_FALSE(mem.CopyOut(p, out));
+}
+
+TEST(GlobalMemory, DeviceReadWrite) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(32);
+  EXPECT_EQ(mem.Write(p, 0xDEADBEEF, 4), TrapKind::kNone);
+  const MemAccessResult r = mem.Read(p, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 0xDEADBEEFu);
+}
+
+TEST(GlobalMemory, DeviceAccessWidths) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(32);
+  mem.Write(p, 0x1122334455667788ull, 8);
+  EXPECT_EQ(mem.Read(p, 1).value, 0x88u);
+  EXPECT_EQ(mem.Read(p + 1, 1).value, 0x77u);
+  EXPECT_EQ(mem.Read(p, 2).value, 0x7788u);
+  EXPECT_EQ(mem.Read(p + 4, 4).value, 0x11223344u);
+  EXPECT_EQ(mem.Read(p, 8).value, 0x1122334455667788ull);
+}
+
+TEST(GlobalMemory, MisalignedAccessTraps) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(32);
+  EXPECT_EQ(mem.Read(p + 1, 4).trap, TrapKind::kMisalignedAddress);
+  EXPECT_EQ(mem.Read(p + 2, 4).trap, TrapKind::kMisalignedAddress);
+  EXPECT_EQ(mem.Read(p + 4, 8).trap, TrapKind::kMisalignedAddress);
+  EXPECT_EQ(mem.Write(p + 1, 0, 2), TrapKind::kMisalignedAddress);
+  EXPECT_EQ(mem.Read(p + 1, 1).trap, TrapKind::kNone);  // bytes are fine
+}
+
+TEST(GlobalMemory, OutOfArenaTraps) {
+  GlobalMemory mem;
+  (void)mem.Alloc(32);
+  EXPECT_EQ(mem.Read(0, 4).trap, TrapKind::kIllegalAddress);        // null
+  EXPECT_EQ(mem.Read(0x1000, 4).trap, TrapKind::kIllegalAddress);   // low
+  EXPECT_EQ(mem.Read(GlobalMemory::kHeapBase + (1ull << 40), 4).trap,
+            TrapKind::kIllegalAddress);                             // way past
+  EXPECT_EQ(mem.Read(GlobalMemory::kHeapBase - 4, 4).trap,
+            TrapKind::kIllegalAddress);                             // below heap
+}
+
+TEST(GlobalMemory, ArenaModelMapsBetweenAllocations) {
+  // Like a real GPU heap, the space between two live allocations is mapped:
+  // a device access there silently reads/writes (data corruption), it does
+  // not fault.  Host copies still validate precise bounds.
+  GlobalMemory mem;
+  const DevPtr a = mem.Alloc(8);
+  const DevPtr b = mem.Alloc(8);
+  ASSERT_GT(b - a, 8u);
+  const DevPtr gap = a + 64;
+  ASSERT_LT(gap, b);
+  EXPECT_EQ(mem.Write(gap, 7, 4), TrapKind::kNone);
+  EXPECT_EQ(mem.Read(gap, 4).value, 7u);
+}
+
+TEST(GlobalMemory, FreeAndReset) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(64);
+  EXPECT_TRUE(mem.Free(p));
+  EXPECT_FALSE(mem.Free(p));         // double free
+  EXPECT_FALSE(mem.Free(0xDEAD));    // unknown pointer
+  EXPECT_EQ(mem.live_allocations(), 0u);
+  mem.Reset();
+  const DevPtr q = mem.Alloc(64);
+  EXPECT_EQ(q, GlobalMemory::kHeapBase);
+}
+
+TEST(GlobalMemory, AtomicRmw) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(16);
+  mem.Write(p, 10, 4);
+  const MemAccessResult old = mem.AtomicRmw(p, 5, /*Add*/ 0, 4);
+  EXPECT_EQ(old.value, 10u);
+  EXPECT_EQ(mem.Read(p, 4).value, 15u);
+}
+
+TEST(ApplyAtomicOp, AllOperations) {
+  EXPECT_EQ(ApplyAtomicOp(10, 5, 0, 4), 15u);                 // add
+  EXPECT_EQ(ApplyAtomicOp(10, 5, 1, 4), 5u);                  // min
+  EXPECT_EQ(ApplyAtomicOp(10, 5, 2, 4), 10u);                 // max
+  EXPECT_EQ(ApplyAtomicOp(10, 5, 3, 4), 5u);                  // exch
+  EXPECT_EQ(ApplyAtomicOp(0xF0, 0x3C, 5, 4), 0x30u);          // and
+  EXPECT_EQ(ApplyAtomicOp(0xF0, 0x3C, 6, 4), 0xFCu);          // or
+  EXPECT_EQ(ApplyAtomicOp(0xF0, 0x3C, 7, 4), 0xCCu);          // xor
+  // Width masking: a 1-byte add wraps at 256.
+  EXPECT_EQ(ApplyAtomicOp(0xFF, 1, 0, 1), 0u);
+}
+
+TEST(FlatMemory, BasicReadWrite) {
+  FlatMemory mem(64);
+  EXPECT_EQ(mem.Write(8, 0xCAFE, 4), TrapKind::kNone);
+  EXPECT_EQ(mem.Read(8, 4).value, 0xCAFEu);
+}
+
+TEST(FlatMemory, MisalignedTraps) {
+  FlatMemory mem(64);
+  EXPECT_EQ(mem.Read(2, 4).trap, TrapKind::kMisalignedAddress);
+  EXPECT_EQ(mem.Write(6, 0, 4), TrapKind::kMisalignedAddress);
+}
+
+TEST(FlatMemory, WindowSemantics) {
+  // Accesses beyond the allocation but inside the hardware window read zeros
+  // and drop writes; accesses outside the window trap.
+  FlatMemory mem(64, /*window=*/4096);
+  EXPECT_EQ(mem.Write(128, 0x1234, 4), TrapKind::kNone);   // dropped
+  EXPECT_EQ(mem.Read(128, 4).value, 0u);                   // zeros
+  EXPECT_EQ(mem.Read(4096, 4).trap, TrapKind::kIllegalAddress);
+  EXPECT_EQ(mem.Write(4096, 0, 4), TrapKind::kIllegalAddress);
+}
+
+TEST(FlatMemory, WindowDefaultsToSize) {
+  FlatMemory mem(64);
+  EXPECT_EQ(mem.window(), 64u);
+  EXPECT_EQ(mem.Read(64, 4).trap, TrapKind::kIllegalAddress);
+}
+
+TEST(ConstantBank, ReadWriteAndGrowth) {
+  ConstantBank bank;
+  bank.Write32(0x160, 0x12345678);
+  bank.Write64(0x168, 0xAABBCCDDEEFF0011ull);
+  EXPECT_EQ(bank.Read32(0x160), 0x12345678u);
+  EXPECT_EQ(bank.Read64(0x168), 0xAABBCCDDEEFF0011ull);
+  EXPECT_EQ(bank.Read32(0x168), 0xEEFF0011u);  // low half
+}
+
+TEST(ConstantBank, OutOfBoundsReadsZero) {
+  ConstantBank bank;
+  bank.Write32(0, 7);
+  EXPECT_EQ(bank.Read32(0x1000), 0u);
+  EXPECT_EQ(bank.Read64(0x1000), 0u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

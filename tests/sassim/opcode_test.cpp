@@ -1,0 +1,125 @@
+#include "sassim/isa/opcode.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace nvbitfi::sim {
+namespace {
+
+TEST(Opcode, VoltaCount) {
+  // Table III: "the Volta ISA contains 171 opcodes".
+  EXPECT_EQ(kOpcodeCount, 171);
+}
+
+TEST(Opcode, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const std::string name(OpcodeName(static_cast<Opcode>(i)));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate opcode name " << name;
+  }
+}
+
+TEST(Opcode, NameRoundTrip) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const auto back = OpcodeFromName(OpcodeName(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Opcode, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(OpcodeFromName("NOT_AN_OPCODE").has_value());
+  EXPECT_FALSE(OpcodeFromName("").has_value());
+  EXPECT_FALSE(OpcodeFromName("fadd").has_value());  // case-sensitive
+}
+
+TEST(Opcode, WellKnownOpcodes) {
+  EXPECT_EQ(ClassOf(Opcode::kFADD), OpClass::kFp32);
+  EXPECT_EQ(ClassOf(Opcode::kDADD), OpClass::kFp64);
+  EXPECT_EQ(ClassOf(Opcode::kIMAD), OpClass::kInt);
+  EXPECT_EQ(ClassOf(Opcode::kLDG), OpClass::kLoad);
+  EXPECT_EQ(ClassOf(Opcode::kSTG), OpClass::kStore);
+  EXPECT_EQ(ClassOf(Opcode::kBRA), OpClass::kControl);
+  EXPECT_EQ(ClassOf(Opcode::kATOMG), OpClass::kAtomic);
+}
+
+TEST(Opcode, DestKinds) {
+  EXPECT_EQ(DestKindOf(Opcode::kFADD), DestKind::kGpr);
+  EXPECT_EQ(DestKindOf(Opcode::kDADD), DestKind::kGprPair);
+  EXPECT_EQ(DestKindOf(Opcode::kFSETP), DestKind::kPred);
+  EXPECT_EQ(DestKindOf(Opcode::kSTG), DestKind::kNone);
+  EXPECT_EQ(DestKindOf(Opcode::kEXIT), DestKind::kNone);
+  EXPECT_EQ(DestKindOf(Opcode::kVOTE), DestKind::kGprPred);
+}
+
+TEST(Opcode, LoadsAreMemoryReadsWithDests) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (ClassOf(op) == OpClass::kLoad) {
+      EXPECT_TRUE(IsMemoryRead(op)) << OpcodeName(op);
+      EXPECT_TRUE(HasDest(op)) << OpcodeName(op);
+    }
+  }
+}
+
+TEST(Opcode, StoresHaveNoDest) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (ClassOf(op) == OpClass::kStore) {
+      EXPECT_FALSE(HasDest(op)) << OpcodeName(op);
+    }
+  }
+}
+
+TEST(Opcode, ControlFlowHasNoDest) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (ClassOf(op) == OpClass::kControl) {
+      EXPECT_FALSE(HasDest(op)) << OpcodeName(op);
+    }
+  }
+}
+
+TEST(Opcode, PredWritersAreConsistent) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (WritesPredOnly(op)) {
+      EXPECT_TRUE(HasDest(op)) << OpcodeName(op);
+      EXPECT_FALSE(WritesGpr(op)) << OpcodeName(op);
+    }
+  }
+}
+
+TEST(Opcode, GprWritersAreConsistent) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (WritesGpr(op)) {
+      EXPECT_TRUE(HasDest(op)) << OpcodeName(op);
+      EXPECT_FALSE(WritesPredOnly(op)) << OpcodeName(op);
+    }
+  }
+}
+
+TEST(Opcode, AllCostsPositive) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    EXPECT_GT(GetOpcodeInfo(static_cast<Opcode>(i)).base_cost_cycles, 0u);
+  }
+}
+
+TEST(Opcode, Fp32AndFp64Disjoint) {
+  for (int i = 0; i < kOpcodeCount; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    EXPECT_FALSE(IsFp32Arith(op) && IsFp64Arith(op)) << OpcodeName(op);
+  }
+}
+
+TEST(Opcode, InvalidOpcodeLookupThrows) {
+  EXPECT_THROW(GetOpcodeInfo(Opcode::kCount), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

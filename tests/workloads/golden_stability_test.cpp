@@ -1,0 +1,53 @@
+// Golden-output stability: the exact stdout of every proxy program is pinned.
+// A change here means the workload's numerical behaviour changed, which
+// silently invalidates every recorded experiment — bump EXPERIMENTS.md when
+// updating these strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "core/campaign.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+TEST(GoldenStability, StdoutIsPinned) {
+  const std::map<std::string, std::string> expected = {
+      {"303.ostencil", "303.ostencil: total heat 6.400e+03 after 100 steps\n"},
+      {"304.olbm", "304.olbm: lattice mass 3.026e+02 after 300 steps\n"},
+      {"314.omriq", "314.omriq: |Q|^2 = 9.97e+04 over 64 points\n"},
+      {"354.cg", "354.cg: |x|^2 3.567e+04, converged 0\n"},
+      {"360.ilbdc", "360.ilbdc: mass 2.580e+02 after 1000 steps\n"},
+  };
+  for (const auto& [name, stdout_text] : expected) {
+    const fi::TargetProgram* program = FindWorkload(name);
+    ASSERT_NE(program, nullptr) << name;
+    const fi::CampaignRunner runner(*program);
+    const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+    EXPECT_EQ(golden.stdout_text, stdout_text) << name;
+  }
+}
+
+TEST(GoldenStability, OutputsAreFiniteAndBounded) {
+  // Every program's output-file floats must be finite and within a sane
+  // magnitude — guards against silent numerical blow-ups in the kernels.
+  for (const WorkloadEntry& entry : AllWorkloads()) {
+    const fi::CampaignRunner runner(*entry.program);
+    const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+    ASSERT_EQ(golden.output_file.size() % 4, 0u) << entry.program->name();
+    const std::size_t count = golden.output_file.size() / 4;
+    for (std::size_t i = 0; i < count; ++i) {
+      float v = 0;
+      std::memcpy(&v, golden.output_file.data() + 4 * i, 4);
+      ASSERT_TRUE(std::isfinite(v))
+          << entry.program->name() << " output[" << i << "]";
+      ASSERT_LT(std::abs(v), 1e9f) << entry.program->name() << " output[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nvbitfi::workloads

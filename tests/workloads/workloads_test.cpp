@@ -1,0 +1,117 @@
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "core/campaign.h"
+
+namespace nvbitfi::workloads {
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<WorkloadEntry> {};
+
+TEST_P(WorkloadSuite, GoldenRunIsClean) {
+  const WorkloadEntry& entry = GetParam();
+  const fi::CampaignRunner runner(*entry.program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  EXPECT_EQ(golden.exit_code, 0);
+  EXPECT_FALSE(golden.crashed);
+  EXPECT_FALSE(golden.timed_out);
+  EXPECT_FALSE(golden.app_check_failed);
+  EXPECT_TRUE(golden.cuda_errors.empty());
+  EXPECT_TRUE(golden.dmesg.empty());
+  EXPECT_FALSE(golden.stdout_text.empty());
+  EXPECT_FALSE(golden.output_file.empty());
+  EXPECT_GT(golden.thread_instructions, 0u);
+}
+
+TEST_P(WorkloadSuite, KernelCountsMatchTableIV) {
+  const WorkloadEntry& entry = GetParam();
+  const fi::CampaignRunner runner(*entry.program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  EXPECT_EQ(golden.static_kernels,
+            static_cast<std::uint64_t>(entry.table4_counts.static_kernels));
+  EXPECT_EQ(golden.dynamic_kernels,
+            static_cast<std::uint64_t>(entry.table4_counts.dynamic_kernels));
+}
+
+TEST_P(WorkloadSuite, GoldenRunIsDeterministic) {
+  const WorkloadEntry& entry = GetParam();
+  const fi::CampaignRunner runner(*entry.program);
+  const fi::RunArtifacts a = runner.RunGolden(sim::DeviceProps{});
+  const fi::RunArtifacts b = runner.RunGolden(sim::DeviceProps{});
+  EXPECT_EQ(a.stdout_text, b.stdout_text);
+  EXPECT_EQ(a.output_file, b.output_file);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.thread_instructions, b.thread_instructions);
+}
+
+TEST_P(WorkloadSuite, CheckerAcceptsGoldenAgainstItself) {
+  const WorkloadEntry& entry = GetParam();
+  const fi::CampaignRunner runner(*entry.program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  EXPECT_FALSE(entry.program->sdc_checker().IsSdc(golden, golden));
+  const fi::Classification c =
+      fi::Classify(golden, golden, entry.program->sdc_checker());
+  EXPECT_EQ(c.outcome, fi::Outcome::kMasked);
+}
+
+TEST_P(WorkloadSuite, CheckerDetectsGrossCorruption) {
+  const WorkloadEntry& entry = GetParam();
+  const fi::CampaignRunner runner(*entry.program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  fi::RunArtifacts corrupted = golden;
+  ASSERT_GE(corrupted.output_file.size(), 4u);
+  // Overwrite one float with a large value (well past any tolerance).
+  const float bad = 1e30f;
+  std::memcpy(corrupted.output_file.data(), &bad, 4);
+  EXPECT_TRUE(entry.program->sdc_checker().IsSdc(golden, corrupted));
+}
+
+TEST_P(WorkloadSuite, ProfilePopulationMatchesExecution) {
+  const WorkloadEntry& entry = GetParam();
+  const fi::CampaignRunner runner(*entry.program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  const fi::ProgramProfile profile =
+      runner.RunProfiler(fi::ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  // Exact profiling counts exactly the executed (guard-true) instructions.
+  EXPECT_EQ(profile.TotalInstructions(), golden.thread_instructions);
+  EXPECT_EQ(profile.DynamicKernelCount(), golden.dynamic_kernels);
+  EXPECT_EQ(profile.StaticKernelCount(), golden.static_kernels);
+  EXPECT_FALSE(profile.ExecutedOpcodes().empty());
+}
+
+std::string EntryName(const ::testing::TestParamInfo<WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, WorkloadSuite,
+                         ::testing::ValuesIn(AllWorkloads()), EntryName);
+
+TEST(WorkloadRegistry, FindByName) {
+  EXPECT_NE(FindWorkload("350.md"), nullptr);
+  EXPECT_EQ(FindWorkload("350.md")->name(), "350.md");
+  EXPECT_EQ(FindWorkload("999.nope"), nullptr);
+  EXPECT_EQ(AllWorkloads().size(), 15u);
+}
+
+TEST(WorkloadRegistry, TableIVTotals) {
+  // Cross-check the registry against the paper's Table IV totals.
+  int static_total = 0, dynamic_total = 0;
+  for (const WorkloadEntry& entry : AllWorkloads()) {
+    static_total += entry.table4_counts.static_kernels;
+    dynamic_total += entry.table4_counts.dynamic_kernels;
+  }
+  EXPECT_EQ(static_total, 2 + 3 + 2 + 3 + 100 + 7 + 116 + 22 + 16 + 71 + 69 + 26 + 1 + 22 + 50);
+  EXPECT_EQ(dynamic_total, 101 + 900 + 2 + 53 + 7050 + 187 + 12528 + 2027 + 3502 +
+                               27692 + 26890 + 8010 + 1000 + 11999 + 10069);
+}
+
+}  // namespace
+}  // namespace nvbitfi::workloads

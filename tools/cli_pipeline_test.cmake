@@ -1,0 +1,22 @@
+# End-to-end CLI pipeline: profile -> select -> inject, through real files.
+execute_process(COMMAND ${CLI} profile 314.omriq -o ${WORKDIR}/cli_test.profile
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "profile step failed (${rc})")
+endif()
+
+execute_process(COMMAND ${CLI} select ${WORKDIR}/cli_test.profile --group 8
+                        --model 1 --seed 5 -o ${WORKDIR}/cli_test.params
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "select step failed (${rc})")
+endif()
+
+execute_process(COMMAND ${CLI} inject 314.omriq ${WORKDIR}/cli_test.params
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "inject step failed (${rc})")
+endif()
+if(NOT out MATCHES "outcome: (SDC|DUE|Masked)")
+  message(FATAL_ERROR "inject step produced no classification:\n${out}")
+endif()

@@ -1,0 +1,410 @@
+// nvbitfi — command-line driver for the fault-injection workflow.
+//
+// Mirrors the real NVBitFI package's convenience scripts: each subcommand is
+// one step of Figure 1, with profiles and fault parameters exchanged as text
+// files so campaigns can be scripted.
+//
+//   nvbitfi list
+//   nvbitfi golden    <program>
+//   nvbitfi profile   <program> [--approximate] [-o profile.txt]
+//   nvbitfi select    <profile.txt> [--group 1..8] [--model 1..4]
+//                     [--seed N] [-o params.txt]
+//   nvbitfi inject    <program> <params.txt>
+//   nvbitfi permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]
+//   nvbitfi campaign  <program> [--injections N] [--seed N] [--approximate]
+//   nvbitfi dictionary [--seed N] [-o dictionary.txt]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/campaign.h"
+#include "core/extended_models.h"
+#include "core/report.h"
+#include "sassim/asm/disassembler.h"
+#include "workloads/workloads.h"
+
+using namespace nvbitfi;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nvbitfi <command> [args]\n"
+               "  list                              list the workload programs\n"
+               "  golden <program>                  run uninstrumented, print stats\n"
+               "  profile <program> [--approximate] [-o FILE]\n"
+               "  select <profile> [--group N] [--model N] [--seed N] [-o FILE]\n"
+               "  inject <program> <params-file>    run one transient injection\n"
+               "  permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]\n"
+               "  campaign <program> [--injections N] [--seed N] [--approximate]\n"
+               "                     [--csv FILE]\n"
+               "  sweep <program> [--sm N] [--seed N] [--approximate] [--csv FILE]\n"
+               "                                    permanent sweep over executed opcodes\n"
+               "  dictionary [--seed N] [-o FILE]   emit a synthetic fault dictionary\n"
+               "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string output;
+  bool approximate = false;
+  int group = 8;
+  int model = 1;
+  std::uint64_t seed = 1;
+  int injections = 100;
+  std::string opcode;
+  int sm = 0;
+  int lane = 0;
+  std::uint32_t mask = 1;
+  std::string csv;
+};
+
+std::optional<Args> ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "-o" || arg == "--output") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.output = *v;
+    } else if (arg == "--csv") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.csv = *v;
+    } else if (arg == "--approximate") {
+      args.approximate = true;
+    } else if (arg == "--group") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.group = std::atoi(v->c_str());
+    } else if (arg == "--model") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.model = std::atoi(v->c_str());
+    } else if (arg == "--seed") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.seed = std::strtoull(v->c_str(), nullptr, 0);
+    } else if (arg == "--injections") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.injections = std::atoi(v->c_str());
+    } else if (arg == "--opcode") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.opcode = *v;
+    } else if (arg == "--sm") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.sm = std::atoi(v->c_str());
+    } else if (arg == "--lane") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.lane = std::atoi(v->c_str());
+    } else if (arg == "--mask") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.mask = static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", std::string(arg).c_str());
+      return std::nullopt;
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+const fi::TargetProgram* Lookup(const std::string& name) {
+  const fi::TargetProgram* program = workloads::FindWorkload(name);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program '%s' (try: nvbitfi list)\n", name.c_str());
+  }
+  return program;
+}
+
+bool WriteOrPrint(const std::string& output, const std::string& content) {
+  if (output.empty()) {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream file(output);
+  if (!file) {
+    std::fprintf(stderr, "cannot write '%s'\n", output.c_str());
+    return false;
+  }
+  file << content;
+  std::printf("wrote %s (%zu bytes)\n", output.c_str(), content.size());
+  return true;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+int CmdList() {
+  std::printf("%-14s %7s %8s  %s\n", "program", "static", "dynamic", "description");
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    std::printf("%-14s %7d %8d  %s\n", entry.program->name().c_str(),
+                entry.table4_counts.static_kernels, entry.table4_counts.dynamic_kernels,
+                entry.description);
+  }
+  return 0;
+}
+
+int CmdGolden(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const fi::CampaignRunner runner(*program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  std::printf("stdout: %s", golden.stdout_text.c_str());
+  std::printf("exit code            %d\n", golden.exit_code);
+  std::printf("static kernels       %llu\n",
+              static_cast<unsigned long long>(golden.static_kernels));
+  std::printf("dynamic kernels      %llu\n",
+              static_cast<unsigned long long>(golden.dynamic_kernels));
+  std::printf("thread instructions  %llu\n",
+              static_cast<unsigned long long>(golden.thread_instructions));
+  std::printf("simulated cycles     %llu\n",
+              static_cast<unsigned long long>(golden.cycles));
+  std::printf("output bytes         %zu\n", golden.output_file.size());
+  return golden.exit_code;
+}
+
+int CmdProfile(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const fi::CampaignRunner runner(*program);
+  const fi::ProgramProfile profile = runner.RunProfiler(
+      args.approximate ? fi::ProfilerTool::Mode::kApproximate
+                       : fi::ProfilerTool::Mode::kExact,
+      sim::DeviceProps{}, nullptr);
+  return WriteOrPrint(args.output, profile.Serialize()) ? 0 : 1;
+}
+
+int CmdSelect(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto text = ReadFile(args.positional[0]);
+  if (!text) return 1;
+  const auto profile = fi::ProgramProfile::Parse(*text);
+  if (!profile) {
+    std::fprintf(stderr, "malformed profile file\n");
+    return 1;
+  }
+  const auto group = fi::ArchStateIdFromInt(args.group);
+  const auto model = fi::BitFlipModelFromInt(args.model);
+  if (!group || !model) {
+    std::fprintf(stderr, "--group must be 1..8 and --model 1..4 (Table II)\n");
+    return 1;
+  }
+  Rng rng(args.seed);
+  const auto params = fi::SelectTransientFault(*profile, *group, *model, rng);
+  if (!params) {
+    std::fprintf(stderr, "the program executes no instruction in group %s\n",
+                 std::string(fi::ArchStateIdName(*group)).c_str());
+    return 1;
+  }
+  return WriteOrPrint(args.output, params->Serialize()) ? 0 : 1;
+}
+
+void PrintClassification(const fi::InjectionRecord& record, const fi::RunArtifacts& run,
+                         const fi::Classification& c) {
+  if (record.activated) {
+    std::printf("injection: opcode %s at static index %u, lane %d, SM %d\n",
+                std::string(sim::OpcodeName(record.opcode)).c_str(), record.static_index,
+                record.lane_id, record.sm_id);
+    if (record.corrupted) {
+      std::printf("corrupted: %s%d  0x%llx -> 0x%llx (mask 0x%llx)\n",
+                  record.pred_target ? "P" : "R", record.target_register,
+                  static_cast<unsigned long long>(record.before_bits),
+                  static_cast<unsigned long long>(record.after_bits),
+                  static_cast<unsigned long long>(record.mask));
+    }
+  } else {
+    std::printf("injection: site not reached (fault not activated)\n");
+  }
+  std::printf("stdout: %s", run.stdout_text.c_str());
+  std::printf("outcome: %s (%s)%s\n", std::string(fi::OutcomeName(c.outcome)).c_str(),
+              std::string(fi::SymptomName(c.symptom)).c_str(),
+              c.potential_due ? " [potential DUE]" : "");
+  for (const std::string& msg : run.dmesg) {
+    std::printf("dmesg: %s\n", msg.c_str());
+  }
+}
+
+int CmdInject(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const auto text = ReadFile(args.positional[1]);
+  if (!text) return 1;
+  const auto params = fi::TransientFaultParams::Parse(*text);
+  if (!params) {
+    std::fprintf(stderr, "malformed parameter file\n");
+    return 1;
+  }
+  const fi::CampaignRunner runner(*program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  fi::TransientInjectorTool injector(*params);
+  const fi::RunArtifacts run = runner.Execute(
+      &injector, sim::DeviceProps{},
+      20 * std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000));
+  PrintClassification(injector.record(), run,
+                      fi::Classify(golden, run, program->sdc_checker()));
+  return 0;
+}
+
+int CmdPermanent(const Args& args) {
+  if (args.positional.empty() || args.opcode.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const auto opcode = sim::OpcodeFromName(args.opcode);
+  if (!opcode) {
+    std::fprintf(stderr, "unknown opcode '%s'\n", args.opcode.c_str());
+    return 1;
+  }
+  fi::PermanentFaultParams params;
+  params.opcode_id = static_cast<int>(*opcode);
+  params.sm_id = args.sm;
+  params.lane_id = args.lane;
+  params.bit_mask = args.mask;
+
+  const fi::CampaignRunner runner(*program);
+  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  fi::PermanentInjectorTool injector(params);
+  const fi::RunArtifacts run = runner.Execute(
+      &injector, sim::DeviceProps{},
+      20 * std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000));
+  std::printf("activations: %llu\n",
+              static_cast<unsigned long long>(injector.activations()));
+  const fi::Classification c = fi::Classify(golden, run, program->sdc_checker());
+  std::printf("stdout: %s", run.stdout_text.c_str());
+  std::printf("outcome: %s (%s)%s\n", std::string(fi::OutcomeName(c.outcome)).c_str(),
+              std::string(fi::SymptomName(c.symptom)).c_str(),
+              c.potential_due ? " [potential DUE]" : "");
+  return 0;
+}
+
+int CmdCampaign(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const fi::CampaignRunner runner(*program);
+  fi::TransientCampaignConfig config;
+  config.seed = args.seed;
+  config.num_injections = args.injections;
+  config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
+                                      : fi::ProfilerTool::Mode::kExact;
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+  std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
+  if (!args.csv.empty()) {
+    std::ofstream file(args.csv);
+    if (!file) {
+      std::fprintf(stderr, "cannot write '%s'\n", args.csv.c_str());
+      return 1;
+    }
+    file << fi::TransientCampaignCsv(result);
+    std::printf("\nwrote per-injection CSV to %s\n", args.csv.c_str());
+  }
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const fi::CampaignRunner runner(*program);
+  const fi::ProgramProfile profile = runner.RunProfiler(
+      args.approximate ? fi::ProfilerTool::Mode::kApproximate
+                       : fi::ProfilerTool::Mode::kExact,
+      sim::DeviceProps{}, nullptr);
+  fi::PermanentCampaignConfig config;
+  config.seed = args.seed;
+  config.sm_id = args.sm;
+  const fi::PermanentCampaignResult result =
+      runner.RunPermanentCampaign(config, profile);
+  std::fputs(fi::PermanentCampaignReport(result).c_str(), stdout);
+  if (!args.csv.empty()) {
+    std::ofstream file(args.csv);
+    if (!file) {
+      std::fprintf(stderr, "cannot write '%s'\n", args.csv.c_str());
+      return 1;
+    }
+    file << fi::PermanentCampaignCsv(result);
+    std::printf("\nwrote per-opcode CSV to %s\n", args.csv.c_str());
+  }
+  return 0;
+}
+
+int CmdDictionary(const Args& args) {
+  const fi::FaultDictionary dict = fi::FaultDictionary::Synthetic(args.seed);
+  return WriteOrPrint(args.output, dict.Serialize()) ? 0 : 1;
+}
+
+int CmdDisasm(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const std::string kernel_filter =
+      args.positional.size() > 1 ? args.positional[1] : "";
+
+  // Run the program once so it loads its modules, then dump the SASS the
+  // NVBit layer would see.
+  sim::Context ctx;
+  program->Run(ctx);
+  std::string out;
+  for (const auto& module : ctx.modules()) {
+    for (const auto& fn : module->functions()) {
+      if (!kernel_filter.empty() && fn->name() != kernel_filter) continue;
+      out += sim::Disassemble(fn->source());
+      out += "\n";
+    }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "no kernel matched '%s'\n", kernel_filter.c_str());
+    return 1;
+  }
+  return WriteOrPrint(args.output, out) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto args = ParseArgs(argc, argv, 2);
+  if (!args) return Usage();
+
+  if (command == "list") return CmdList();
+  if (command == "golden") return CmdGolden(*args);
+  if (command == "profile") return CmdProfile(*args);
+  if (command == "select") return CmdSelect(*args);
+  if (command == "inject") return CmdInject(*args);
+  if (command == "permanent") return CmdPermanent(*args);
+  if (command == "campaign") return CmdCampaign(*args);
+  if (command == "sweep") return CmdSweep(*args);
+  if (command == "dictionary") return CmdDictionary(*args);
+  if (command == "disasm") return CmdDisasm(*args);
+  return Usage();
+}
