@@ -29,6 +29,17 @@ inline std::uint64_t BenchSeed() {
   return 2021;  // DSN'21
 }
 
+// Worker threads for the parallel campaign engine.  0 means "all hardware
+// cores" (WorkerPool resolves it); override with NVBITFI_BENCH_WORKERS=N
+// (N=1 forces the serial path).  Results are identical at any setting.
+inline int Workers(int fallback = 0) {
+  if (const char* env = std::getenv("NVBITFI_BENCH_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return fallback;
+}
+
 inline void PrintRule(int width = 118) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');

@@ -8,6 +8,10 @@
 //   * median permanent-injection overhead (one opcode instrumented in every
 //     launch).
 //
+// Injection samples are independent runs, so they execute on a WorkerPool
+// (NVBITFI_BENCH_WORKERS, default all cores); Rng streams are pre-forked in
+// serial order, so the sampled overheads are identical at any worker count.
+//
 // Paper reference points: exact profiling is on average 28x approximate and
 // reaches 558x on 350.md (register spills); transient injection averages
 // ~2.9x; permanent injection ~4.8x.
@@ -17,26 +21,18 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "core/parallel.h"
+#include "core/statistics.h"
 
 using namespace nvbitfi;  // NOLINT: bench brevity
-
-namespace {
-
-double Median(std::vector<double> v) {
-  if (v.empty()) return 0.0;
-  const std::size_t mid = v.size() / 2;
-  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
-  return v[mid];
-}
-
-}  // namespace
 
 int main() {
   const std::uint64_t seed = bench::BenchSeed();
   const int samples = std::min(bench::InjectionsPerProgram(12), 25);
+  fi::WorkerPool pool(bench::Workers());
   std::printf("Figure 4: execution overheads relative to uninstrumented runs "
-              "(%d injection samples/program, seed %llu)\n\n",
-              samples, static_cast<unsigned long long>(seed));
+              "(%d injection samples/program, seed %llu, %d workers)\n\n",
+              samples, static_cast<unsigned long long>(seed), pool.workers());
   std::printf("%-14s | %12s %12s %14s %14s\n", "Program", "prof-exact", "prof-approx",
               "inj-transient", "inj-permanent");
   bench::PrintRule(74);
@@ -60,22 +56,30 @@ int main() {
         runner.RunProfiler(fi::ProfilerTool::Mode::kExact, device, &exact_run);
     runner.RunProfiler(fi::ProfilerTool::Mode::kApproximate, device, &approx_run);
 
+    // Pre-fork every sample's stream in the serial order (transient samples
+    // first, then permanent), then fan the runs out over the pool.
     Rng rng(Rng::SeedFrom(seed, entry.program->name() + "/fig4"));
-    std::vector<double> transient;
-    for (int i = 0; i < samples; ++i) {
-      Rng experiment = rng.Fork();
-      const auto params = fi::SelectTransientFault(
-          profile, fi::ArchStateId::kGGp, fi::BitFlipModel::kFlipSingleBit, experiment);
-      if (!params) continue;
-      fi::TransientInjectorTool injector(*params);
-      const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
-      transient.push_back(static_cast<double>(run.cycles) / golden_cycles);
+    std::vector<Rng> transient_streams, permanent_streams;
+    for (int i = 0; i < samples; ++i) transient_streams.push_back(rng.Fork());
+    const std::vector<sim::Opcode> executed = profile.ExecutedOpcodes();
+    for (int i = 0; i < samples && !executed.empty(); ++i) {
+      permanent_streams.push_back(rng.Fork());
     }
 
-    const std::vector<sim::Opcode> executed = profile.ExecutedOpcodes();
-    std::vector<double> permanent;
-    for (int i = 0; i < samples && !executed.empty(); ++i) {
-      Rng experiment = rng.Fork();
+    std::vector<double> transient(transient_streams.size(), -1.0);
+    pool.ParallelFor(transient_streams.size(), [&](std::size_t i) {
+      Rng& experiment = transient_streams[i];
+      const auto params = fi::SelectTransientFault(
+          profile, fi::ArchStateId::kGGp, fi::BitFlipModel::kFlipSingleBit, experiment);
+      if (!params) return;
+      fi::TransientInjectorTool injector(*params);
+      const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
+      transient[i] = static_cast<double>(run.cycles) / golden_cycles;
+    });
+
+    std::vector<double> permanent(permanent_streams.size(), -1.0);
+    pool.ParallelFor(permanent_streams.size(), [&](std::size_t i) {
+      Rng& experiment = permanent_streams[i];
       fi::PermanentFaultParams params;
       params.opcode_id = static_cast<int>(
           executed[experiment.UniformInt(0, executed.size() - 1)]);
@@ -84,13 +88,16 @@ int main() {
       params.bit_mask = 1u << experiment.UniformInt(0, 31);
       fi::PermanentInjectorTool injector(params);
       const fi::RunArtifacts run = runner.Execute(&injector, device, watchdog);
-      permanent.push_back(static_cast<double>(run.cycles) / golden_cycles);
-    }
+      permanent[i] = static_cast<double>(run.cycles) / golden_cycles;
+    });
+
+    std::erase_if(transient, [](double v) { return v < 0.0; });
+    std::erase_if(permanent, [](double v) { return v < 0.0; });
 
     const double exact_oh = static_cast<double>(exact_run.cycles) / golden_cycles;
     const double approx_oh = static_cast<double>(approx_run.cycles) / golden_cycles;
-    const double trans_oh = Median(std::move(transient));
-    const double perm_oh = Median(std::move(permanent));
+    const double trans_oh = fi::Median(std::move(transient));
+    const double perm_oh = fi::Median(std::move(permanent));
     std::printf("%-14s | %11.1fx %11.1fx %13.2fx %13.2fx\n",
                 entry.program->name().c_str(), exact_oh, approx_oh, trans_oh, perm_oh);
     std::fflush(stdout);

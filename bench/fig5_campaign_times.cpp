@@ -5,15 +5,24 @@
 //   transient campaign = profiling run + 100 transient injection runs,
 //   permanent campaign = one injection run per *executed* opcode (the profile
 //                        lets unused opcodes be skipped).
-// Per-run costs are measured (median over a sample of runs) and scaled by the
+// Per-run costs are measured (mean over a sample of runs) and scaled by the
 // campaign sizes.  The paper observes transient campaigns typically take
 // about twice as long as permanent ones, ranging from slightly faster to 5x.
+//
+// The sample runs execute on a WorkerPool (NVBITFI_BENCH_WORKERS, default all
+// cores) with per-sample Rng streams pre-forked in serial order, so the
+// numbers are identical at any worker count.  A final section runs the same
+// Fig. 5-style campaign through the parallel engine at 1 worker and at N
+// workers and reports the wall-clock speedup (campaign runs are
+// embarrassingly parallel, so this approaches linear).
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "core/parallel.h"
+#include "core/run_cache.h"
 
 using namespace nvbitfi;  // NOLINT: bench brevity
 
@@ -34,8 +43,11 @@ int main() {
   const std::uint64_t seed = bench::BenchSeed();
   const int samples = 9;
   constexpr int kTransientFaults = 100;  // as in the paper's figure
+  fi::WorkerPool pool(bench::Workers());
   std::printf("Figure 5: total campaign times, simulated Gcycles "
-              "(100 transient faults; permanent sweep over executed opcodes)\n\n");
+              "(100 transient faults; permanent sweep over executed opcodes; "
+              "%d workers)\n\n",
+              pool.workers());
   std::printf("%-14s | %14s | %9s %14s | %12s\n", "Program", "transient", "opcodes",
               "permanent", "trans/perm");
   bench::PrintRule(74);
@@ -57,25 +69,31 @@ int main() {
         runner.RunProfiler(fi::ProfilerTool::Mode::kApproximate, device, &profiling_run);
 
     Rng rng(Rng::SeedFrom(seed, entry.program->name() + "/fig5"));
-    std::vector<double> transient_cycles;
-    for (int i = 0; i < samples; ++i) {
-      Rng experiment = rng.Fork();
+    std::vector<Rng> transient_streams, permanent_streams;
+    for (int i = 0; i < samples; ++i) transient_streams.push_back(rng.Fork());
+    const std::vector<sim::Opcode> executed = profile.ExecutedOpcodes();
+    for (int i = 0; i < samples && !executed.empty(); ++i) {
+      permanent_streams.push_back(rng.Fork());
+    }
+
+    std::vector<double> transient_cycles(transient_streams.size(), -1.0);
+    pool.ParallelFor(transient_streams.size(), [&](std::size_t i) {
+      Rng& experiment = transient_streams[i];
       const auto params = fi::SelectTransientFault(
           profile, fi::ArchStateId::kGGp, fi::BitFlipModel::kFlipSingleBit, experiment);
-      if (!params) continue;
+      if (!params) return;
       fi::TransientInjectorTool injector(*params);
       // Every experiment pays at least one uninstrumented-run's worth of
       // fixed campaign cost (process launch, golden comparison), even when
       // the injected run dies early.
-      transient_cycles.push_back(
+      transient_cycles[i] =
           std::max(static_cast<double>(runner.Execute(&injector, device, watchdog).cycles),
-                   static_cast<double>(golden.cycles)));
-    }
+                   static_cast<double>(golden.cycles));
+    });
 
-    const std::vector<sim::Opcode> executed = profile.ExecutedOpcodes();
-    std::vector<double> permanent_cycles;
-    for (int i = 0; i < samples && !executed.empty(); ++i) {
-      Rng experiment = rng.Fork();
+    std::vector<double> permanent_cycles(permanent_streams.size(), -1.0);
+    pool.ParallelFor(permanent_streams.size(), [&](std::size_t i) {
+      Rng& experiment = permanent_streams[i];
       fi::PermanentFaultParams params;
       params.opcode_id = static_cast<int>(
           executed[experiment.UniformInt(0, executed.size() - 1)]);
@@ -83,10 +101,13 @@ int main() {
       params.lane_id = static_cast<int>(experiment.UniformInt(0, sim::kWarpSize - 1));
       params.bit_mask = 1u << experiment.UniformInt(0, 31);
       fi::PermanentInjectorTool injector(params);
-      permanent_cycles.push_back(
+      permanent_cycles[i] =
           std::max(static_cast<double>(runner.Execute(&injector, device, watchdog).cycles),
-                   static_cast<double>(golden.cycles)));
-    }
+                   static_cast<double>(golden.cycles));
+    });
+
+    std::erase_if(transient_cycles, [](double v) { return v < 0.0; });
+    std::erase_if(permanent_cycles, [](double v) { return v < 0.0; });
 
     const double transient_total =
         static_cast<double>(profiling_run.cycles) +
@@ -111,5 +132,47 @@ int main() {
               ratio_sum / count, ratio_min, ratio_max);
   std::printf("(paper: transient campaigns typically ~2x permanent, from slightly "
               "faster to 5x; 16-41 executed opcodes per program)\n");
+
+  // Parallel engine: the same Fig. 5-style campaign at 1 worker and at N.
+  // The shared RunCache means the golden run and profile are paid once, and
+  // pre-forked Rng streams make the two campaigns bit-identical.
+  const fi::TargetProgram* target = workloads::FindWorkload("314.omriq");
+  if (target != nullptr) {
+    fi::RunCache cache;
+    const fi::CampaignRunner campaign_runner(*target, &cache);
+    fi::TransientCampaignConfig config;
+    config.seed = seed;
+    config.num_injections = bench::InjectionsPerProgram(30);
+    config.profiling = fi::ProfilerTool::Mode::kApproximate;
+
+    config.num_workers = 1;
+    const fi::TransientCampaignResult serial =
+        campaign_runner.RunTransientCampaign(config);
+    config.num_workers = bench::Workers(8);
+    const fi::TransientCampaignResult parallel =
+        campaign_runner.RunTransientCampaign(config);
+
+    bool identical = serial.counts.masked == parallel.counts.masked &&
+                     serial.counts.sdc == parallel.counts.sdc &&
+                     serial.counts.due == parallel.counts.due;
+    for (std::size_t i = 0; identical && i < serial.injections.size(); ++i) {
+      identical = serial.injections[i].params == parallel.injections[i].params;
+    }
+
+    std::printf("\nparallel campaign engine (%s, %d injections):\n",
+                target->name().c_str(), config.num_injections);
+    std::printf("  1 worker:  %7.3f s wall clock\n", serial.wall_seconds);
+    std::printf("  %d workers: %7.3f s wall clock -> %.2fx speedup\n",
+                parallel.workers, parallel.wall_seconds,
+                parallel.wall_seconds > 0
+                    ? serial.wall_seconds / parallel.wall_seconds
+                    : 0.0);
+    std::printf("  results bit-identical across worker counts: %s\n",
+                identical ? "yes" : "NO (BUG)");
+    std::printf("  golden/profile cache: %llu golden + %llu profiling runs "
+                "for both campaigns\n",
+                static_cast<unsigned long long>(cache.golden_runs()),
+                static_cast<unsigned long long>(cache.profile_runs()));
+  }
   return 0;
 }

@@ -1,10 +1,13 @@
 #include "core/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "core/parallel.h"
+#include "core/statistics.h"
 
 namespace nvbitfi::fi {
 namespace {
@@ -14,12 +17,19 @@ double Overhead(std::uint64_t cycles, std::uint64_t golden_cycles) {
                             : static_cast<double>(cycles) / static_cast<double>(golden_cycles);
 }
 
-double MedianOf(std::vector<double> values) {
-  if (values.empty()) return 0.0;
-  const std::size_t mid = values.size() / 2;
-  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
-                   values.end());
-  return values[mid];
+// Pre-forks one independent stream per experiment on the driving thread.
+// The fork sequence is exactly the serial campaign's, so experiment i sees
+// the same stream no matter how many workers later execute it.
+std::vector<Rng> ForkStreams(Rng& rng, std::size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(rng.Fork());
+  return streams;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -32,9 +42,10 @@ double TransientCampaignResult::MedianInjectionOverhead() const {
   std::vector<double> overheads;
   overheads.reserve(injections.size());
   for (const InjectionRun& run : injections) {
+    if (run.trivially_masked) continue;  // no run happened
     overheads.push_back(Overhead(run.artifacts.cycles, golden.cycles));
   }
-  return MedianOf(std::move(overheads));
+  return Median(std::move(overheads));
 }
 
 std::uint64_t TransientCampaignResult::TotalInjectionCycles() const {
@@ -53,7 +64,7 @@ double PermanentCampaignResult::MedianInjectionOverhead(std::uint64_t golden_cyc
   for (const PermanentRun& run : runs) {
     overheads.push_back(Overhead(run.artifacts.cycles, golden_cycles));
   }
-  return MedianOf(std::move(overheads));
+  return Median(std::move(overheads));
 }
 
 std::uint64_t PermanentCampaignResult::TotalCampaignCycles() const {
@@ -91,6 +102,25 @@ ProgramProfile CampaignRunner::RunProfiler(ProfilerTool::Mode mode,
   return profiler.TakeProfile();
 }
 
+RunArtifacts CampaignRunner::Golden(const sim::DeviceProps& device) const {
+  if (cache_ == nullptr) return RunGolden(device);
+  return cache_->Golden(program_.name(), device, [&] { return RunGolden(device); });
+}
+
+ProgramProfile CampaignRunner::Profile(ProfilerTool::Mode mode,
+                                       const sim::DeviceProps& device,
+                                       RunArtifacts* profiling_artifacts) const {
+  if (cache_ == nullptr) return RunProfiler(mode, device, profiling_artifacts);
+  RunCache::ProfileEntry entry =
+      cache_->Profile(program_.name(), mode, device, [&] {
+        RunCache::ProfileEntry fresh;
+        fresh.profile = RunProfiler(mode, device, &fresh.run);
+        return fresh;
+      });
+  if (profiling_artifacts != nullptr) *profiling_artifacts = std::move(entry.run);
+  return std::move(entry.profile);
+}
+
 TransientCampaignResult CampaignRunner::RunTransientCampaign(
     const TransientCampaignConfig& config) const {
   TransientCampaignResult result;
@@ -98,34 +128,41 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
 
   // Figure 1 step 0: the golden run provides reference outputs, the
   // uninstrumented cycle baseline, and the watchdog calibration.
-  result.golden = RunGolden(config.device);
+  result.golden = Golden(config.device);
   const std::uint64_t watchdog =
       config.watchdog_multiplier *
       std::max<std::uint64_t>(result.golden.max_launch_thread_instructions, 1000);
 
   // Step 1: profiling.
-  result.profile = RunProfiler(config.profiling, config.device, &result.profiling_run);
+  result.profile = Profile(config.profiling, config.device, &result.profiling_run);
 
-  // Steps 2-4, once per injection experiment.
+  // Steps 2-4, once per injection experiment, distributed over the pool.
+  const std::size_t n =
+      config.num_injections > 0 ? static_cast<std::size_t>(config.num_injections) : 0;
   Rng rng(Rng::SeedFrom(config.seed, program_.name()));
-  for (int i = 0; i < config.num_injections; ++i) {
-    Rng experiment_rng = rng.Fork();
+  std::vector<Rng> streams = ForkStreams(rng, n);
+  result.injections.resize(n);
+
+  WorkerPool pool(config.num_workers);
+  result.workers = pool.workers();
+  const auto start = std::chrono::steady_clock::now();
+  pool.ParallelFor(n, [&](std::size_t i) {
+    Rng& experiment_rng = streams[i];
+    InjectionRun& run = result.injections[i];
     const BitFlipModel model =
         config.randomize_flip_model
             ? *BitFlipModelFromInt(static_cast<int>(experiment_rng.UniformInt(1, 4)))
             : config.flip_model;
 
-    InjectionRun run;
     const std::optional<TransientFaultParams> params =
         SelectTransientFault(result.profile, config.group, model, experiment_rng);
     if (!params.has_value()) {
       // The program executes nothing in this group; the experiment is a
-      // trivially masked run (no fault could be placed).
-      run.artifacts = result.golden;
+      // trivially masked run (no fault could be placed, nothing executed, so
+      // it contributes zero cycles to the Fig. 5 campaign total).
+      run.trivially_masked = true;
       run.classification = Classification{};
-      result.counts.Add(run.classification);
-      result.injections.push_back(std::move(run));
-      continue;
+      return;
     }
     run.params = *params;
 
@@ -133,8 +170,17 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     run.artifacts = Execute(&injector, config.device, watchdog);
     run.record = injector.record();
     run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
+  });
+  result.wall_seconds = SecondsSince(start);
+
+  // Merge outcomes in experiment order (workers finish in arbitrary order).
+  for (const InjectionRun& run : result.injections) {
     result.counts.Add(run.classification);
-    result.injections.push_back(std::move(run));
+    if (run.trivially_masked) {
+      ++result.trivially_masked;
+    } else if (!run.record.activated) {
+      ++result.never_activated;
+    }
   }
   return result;
 }
@@ -144,7 +190,13 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
   PermanentCampaignResult result;
   result.program = program_.name();
 
-  const RunArtifacts golden = RunGolden(config.device);
+  // A device with no SMs can neither run nor host a fault; clamp to one SM
+  // so the executor accepts it and the uniform SM draw below cannot wrap
+  // (num_sms - 1 underflows a u64 range otherwise).
+  sim::DeviceProps device = config.device;
+  device.num_sms = std::max(device.num_sms, 1);
+
+  const RunArtifacts golden = Golden(device);
   const std::uint64_t watchdog =
       config.watchdog_multiplier *
       std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000);
@@ -162,17 +214,23 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
 
   const double total_instructions =
       static_cast<double>(std::max<std::uint64_t>(profile.TotalInstructions(), 1));
+  const std::uint64_t num_sms = static_cast<std::uint64_t>(device.num_sms);
 
   Rng rng(Rng::SeedFrom(config.seed, program_.name() + "/permanent"));
-  for (const sim::Opcode opcode : opcodes) {
-    Rng experiment_rng = rng.Fork();
-    PermanentRun run;
+  std::vector<Rng> streams = ForkStreams(rng, opcodes.size());
+  result.runs.resize(opcodes.size());
+
+  WorkerPool pool(config.num_workers);
+  result.workers = pool.workers();
+  const auto start = std::chrono::steady_clock::now();
+  pool.ParallelFor(opcodes.size(), [&](std::size_t i) {
+    Rng& experiment_rng = streams[i];
+    const sim::Opcode opcode = opcodes[i];
+    PermanentRun& run = result.runs[i];
     run.params.opcode_id = static_cast<int>(opcode);
-    run.params.sm_id =
-        config.sm_id >= 0
-            ? config.sm_id
-            : static_cast<int>(experiment_rng.UniformInt(
-                  0, static_cast<std::uint64_t>(config.device.num_sms) - 1));
+    run.params.sm_id = config.sm_id >= 0
+                           ? config.sm_id
+                           : static_cast<int>(experiment_rng.UniformInt(0, num_sms - 1));
     run.params.lane_id = static_cast<int>(experiment_rng.UniformInt(0, sim::kWarpSize - 1));
     if (config.fixed_mask != 0) {
       run.params.bit_mask = config.fixed_mask;
@@ -185,12 +243,15 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
     run.weight = static_cast<double>(profile.OpcodeTotal(opcode)) / total_instructions;
 
     PermanentInjectorTool injector(run.params);
-    run.artifacts = Execute(&injector, config.device, watchdog);
+    run.artifacts = Execute(&injector, device, watchdog);
     run.activations = injector.activations();
     run.classification = Classify(golden, run.artifacts, program_.sdc_checker());
+  });
+  result.wall_seconds = SecondsSince(start);
+
+  for (const PermanentRun& run : result.runs) {
     result.counts.Add(run.classification);
     result.weighted.Add(run.classification, run.weight);
-    result.runs.push_back(std::move(run));
   }
   return result;
 }

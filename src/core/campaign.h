@@ -7,6 +7,12 @@
 // A permanent campaign: one run per opcode (optionally restricted to the
 // opcodes the profile shows are executed — the Fig. 5 optimisation), each
 // weighted by the opcode's dynamic-instruction share (Fig. 3).
+//
+// Injection runs are independent (each gets its own sim::Context and a Rng
+// stream pre-forked on the driving thread), so campaigns execute them on a
+// WorkerPool of `num_workers` threads.  Results are merged in experiment
+// order, and the fork sequence matches the serial one, so every worker count
+// produces bit-identical results; only wall-clock time changes.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include "core/permanent_injector.h"
 #include "core/profile.h"
 #include "core/profiler_tool.h"
+#include "core/run_cache.h"
 #include "core/target_program.h"
 #include "core/transient_injector.h"
 #include "nvbit/nvbit.h"
@@ -37,6 +44,9 @@ struct TransientCampaignConfig {
   // Watchdog bound for injection runs, as a multiple of the golden run's
   // largest per-launch thread-instruction count (hang detection).
   std::uint64_t watchdog_multiplier = 20;
+  // Concurrent injection runs: 1 = serial, 0 = hardware concurrency.  Any
+  // value yields the same results as 1 (see the class comment).
+  int num_workers = 1;
   sim::DeviceProps device;
 };
 
@@ -45,6 +55,10 @@ struct InjectionRun {
   InjectionRecord record;
   RunArtifacts artifacts;
   Classification classification;
+  // No eligible site existed in the configured group, so no run happened:
+  // the experiment counts as Masked with zero cycles (copying the golden
+  // artifacts here would double-count golden cycles in Fig. 5 totals).
+  bool trivially_masked = false;
 };
 
 struct TransientCampaignResult {
@@ -54,9 +68,19 @@ struct TransientCampaignResult {
   RunArtifacts profiling_run;     // the instrumented profiling run
   std::vector<InjectionRun> injections;
   OutcomeCounts counts;
+  // Experiments with no eligible site (subset of counts.masked).
+  std::uint64_t trivially_masked = 0;
+  // Experiments whose selected site was never reached (the injector armed
+  // but the target dynamic instruction did not execute — possible when an
+  // approximate profile overestimates an instance's dynamic count).  Also a
+  // subset of counts.masked, but distinct from a genuine masked injection.
+  std::uint64_t never_activated = 0;
+  int workers = 1;           // worker count the campaign actually used
+  double wall_seconds = 0.0; // wall-clock time of the injection phase
 
   double ProfilingOverhead() const;       // profiling cycles / golden cycles
-  double MedianInjectionOverhead() const; // median run cycles / golden cycles
+  // Median run cycles / golden cycles over the runs that actually executed.
+  double MedianInjectionOverhead() const;
   std::uint64_t TotalInjectionCycles() const;
   // Total campaign cycles: profiling + all injection runs (Fig. 5).
   std::uint64_t TotalCampaignCycles() const;
@@ -73,6 +97,8 @@ struct PermanentCampaignConfig {
   // 32-bit pattern (Table III's arbitrary mask) unless `fixed_mask` is set.
   std::uint32_t fixed_mask = 0;
   std::uint64_t watchdog_multiplier = 20;
+  // Concurrent injection runs: 1 = serial, 0 = hardware concurrency.
+  int num_workers = 1;
   sim::DeviceProps device;
 };
 
@@ -90,6 +116,8 @@ struct PermanentCampaignResult {
   OutcomeCounts counts;          // unweighted tallies
   WeightedOutcomes weighted;     // Fig. 3 weighting
   std::size_t executed_opcodes = 0;
+  int workers = 1;               // worker count the campaign actually used
+  double wall_seconds = 0.0;     // wall-clock time of the injection phase
 
   double MedianInjectionOverhead(std::uint64_t golden_cycles) const;
   std::uint64_t TotalCampaignCycles() const;  // all permanent runs (Fig. 5)
@@ -97,17 +125,28 @@ struct PermanentCampaignResult {
 
 class CampaignRunner {
  public:
-  explicit CampaignRunner(const TargetProgram& program) : program_(program) {}
+  // With a cache, the golden run and the profile of each (program, device,
+  // mode) key are computed once per cache and shared across campaign
+  // variants; without one, every campaign runs its own.
+  explicit CampaignRunner(const TargetProgram& program, RunCache* cache = nullptr)
+      : program_(program), cache_(cache) {}
 
   // Runs the program with an optional tool attached and the given watchdog;
   // harvests context state into the returned artifacts.
   RunArtifacts Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
                        std::uint64_t watchdog) const;
 
-  // Step 0/1 of Figure 1, reusable separately by benches.
+  // Step 0/1 of Figure 1, reusable separately by benches.  These always run
+  // the program; the cache-aware Golden/Profile below are what campaigns use.
   RunArtifacts RunGolden(const sim::DeviceProps& device) const;
   ProgramProfile RunProfiler(ProfilerTool::Mode mode, const sim::DeviceProps& device,
                              RunArtifacts* profiling_artifacts) const;
+
+  // Cache-aware step 0/1: served from the RunCache when one was supplied,
+  // computed fresh otherwise.
+  RunArtifacts Golden(const sim::DeviceProps& device) const;
+  ProgramProfile Profile(ProfilerTool::Mode mode, const sim::DeviceProps& device,
+                         RunArtifacts* profiling_artifacts) const;
 
   TransientCampaignResult RunTransientCampaign(const TransientCampaignConfig& config) const;
 
@@ -118,6 +157,7 @@ class CampaignRunner {
 
  private:
   const TargetProgram& program_;
+  RunCache* cache_ = nullptr;
 };
 
 }  // namespace nvbitfi::fi

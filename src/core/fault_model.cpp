@@ -134,6 +134,28 @@ std::string IntermittentFaultParams::Serialize() const {
                 static_cast<unsigned long long>(seed));
 }
 
+std::optional<IntermittentFaultParams> IntermittentFaultParams::Parse(
+    std::string_view text) {
+  const auto lines = Split(text, '\n');
+  if (lines.size() < 7) return std::nullopt;
+  IntermittentFaultParams p;
+  // The first four lines are the Table III base parameters.
+  const std::string base_text = std::string(lines[0]) + "\n" + std::string(lines[1]) +
+                                "\n" + std::string(lines[2]) + "\n" +
+                                std::string(lines[3]) + "\n";
+  const auto base = PermanentFaultParams::Parse(base_text);
+  if (!base) return std::nullopt;
+  p.base = *base;
+  if (!ParseDouble(TrimWhitespace(lines[4]), &p.duty_cycle)) return std::nullopt;
+  if (!ParseDouble(TrimWhitespace(lines[5]), &p.mean_burst_events)) return std::nullopt;
+  if (!ParseUint64(TrimWhitespace(lines[6]), &p.seed)) return std::nullopt;
+  // Match the IntermittentInjectorTool preconditions so a parsed file never
+  // CHECK-fails at injection time.
+  if (!(p.duty_cycle > 0.0 && p.duty_cycle < 1.0)) return std::nullopt;
+  if (!(p.mean_burst_events >= 1.0)) return std::nullopt;
+  return p;
+}
+
 std::uint32_t InjectionMask32(BitFlipModel model, double value, std::uint32_t original) {
   NVBITFI_CHECK_MSG(value >= 0.0 && value < 1.0, "bit-pattern value outside [0,1)");
   switch (model) {

@@ -83,6 +83,9 @@ struct IntermittentFaultParams {
   std::uint64_t seed = 1;
 
   std::string Serialize() const;
+  static std::optional<IntermittentFaultParams> Parse(std::string_view text);
+
+  bool operator==(const IntermittentFaultParams&) const = default;
 };
 
 // Table II bit-pattern semantics: the 32-bit XOR mask derived from the model

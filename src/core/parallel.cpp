@@ -1,0 +1,97 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+namespace nvbitfi::fi {
+
+int ResolveWorkerCount(int requested) {
+  if (requested > 0) return std::min(requested, 256);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+WorkerPool::WorkerPool(int workers) {
+  const int resolved = ResolveWorkerCount(workers);
+  threads_.reserve(static_cast<std::size_t>(resolved - 1));
+  for (int i = 1; i < resolved; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::DrainBatch(const std::function<void(std::size_t)>& task,
+                            std::size_t count) {
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= count) return;
+      index = next_++;
+    }
+    std::exception_ptr error;
+    try {
+      task(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error && !first_error_) first_error_ = error;
+    if (++finished_ == count_) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::WorkerMain() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+      count = count_;
+    }
+    DrainBatch(*task, count);
+  }
+}
+
+void WorkerPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    // Serial pool: plain in-order loop on the calling thread.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    count_ = count;
+    next_ = 0;
+    finished_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainBatch(task, count);  // the calling thread is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return finished_ == count_; });
+    task_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,68 @@
+// Bounded worker pool for embarrassingly parallel campaign execution.
+//
+// Injection experiments are independent processes (ZOFI makes the same
+// observation), so a campaign is a ParallelFor over experiment indexes.
+// Determinism is preserved by construction, not by scheduling: callers
+// pre-fork one Rng per experiment on the calling thread and give every task
+// its own result slot, so any worker count — including 1 — produces
+// bit-identical campaign results.  The pool only decides *when* each index
+// runs, never *what* it computes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvbitfi::fi {
+
+// Resolves a requested worker count: 0 (or negative) means "use the
+// hardware's concurrency".  An explicit request is honoured even beyond the
+// core count (oversubscription is harmless for these independent tasks and
+// keeps worker-count determinism testable on small machines), capped at 256.
+int ResolveWorkerCount(int requested);
+
+class WorkerPool {
+ public:
+  // Spawns `ResolveWorkerCount(workers) - 1` threads; the caller's thread is
+  // the remaining worker, so a 1-worker pool runs everything inline.
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Total workers, including the calling thread.
+  int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  // Runs task(0) .. task(count-1), claiming indexes in ascending order from a
+  // shared cursor, and blocks until every task has finished.  Tasks must not
+  // touch each other's state (each writes only its own slot).  The first
+  // exception a task throws is rethrown here once the batch has drained.
+  // Not reentrant: one ParallelFor per pool at a time.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void WorkerMain();
+  // Claims and runs tasks from the current batch until the cursor passes
+  // `count`; returns once this thread can make no further progress.
+  void DrainBatch(const std::function<void(std::size_t)>& task, std::size_t count);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a new batch
+  std::condition_variable done_cv_;   // ParallelFor waits here for completion
+  const std::function<void(std::size_t)>* task_ = nullptr;  // current batch
+  std::size_t count_ = 0;      // tasks in the current batch
+  std::size_t next_ = 0;       // next unclaimed index
+  std::size_t finished_ = 0;   // tasks completed in the current batch
+  std::uint64_t generation_ = 0;  // bumped per batch to wake workers
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace nvbitfi::fi

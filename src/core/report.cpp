@@ -45,13 +45,27 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
   out += OutcomeLine("SDC", estimates.sdc, result.counts.sdc);
   out += OutcomeLine("DUE", estimates.due, result.counts.due);
   out += OutcomeLine("Masked", estimates.masked, result.counts.masked);
-  out += Format("  potential DUEs: %llu\n\n",
+  out += Format("  potential DUEs: %llu\n",
                 static_cast<unsigned long long>(result.counts.potential_due));
+  if (result.trivially_masked > 0) {
+    out += Format("  trivially masked (no eligible site): %llu\n",
+                  static_cast<unsigned long long>(result.trivially_masked));
+  }
+  if (result.never_activated > 0) {
+    out += Format("  never activated (site not reached): %llu\n",
+                  static_cast<unsigned long long>(result.never_activated));
+  }
+  out += "\n";
 
   out += Format("overheads: profiling %.1fx, median injection %.2fx\n",
                 result.ProfilingOverhead(), result.MedianInjectionOverhead());
-  out += Format("campaign total: %.3f Gcycles\n\n",
+  out += Format("campaign total: %.3f Gcycles\n",
                 result.TotalCampaignCycles() * 1e-9);
+  out += Format("injection phase: %.3f s wall clock on %d worker%s (%.1f runs/s)\n\n",
+                result.wall_seconds, result.workers, result.workers == 1 ? "" : "s",
+                result.wall_seconds > 0
+                    ? static_cast<double>(result.injections.size()) / result.wall_seconds
+                    : 0.0);
 
   std::map<std::string, int> symptoms;
   for (const InjectionRun& run : result.injections) {
@@ -96,8 +110,11 @@ std::string PermanentCampaignReport(const PermanentCampaignResult& result,
   std::string out;
   out += Format("=== NVBitFI permanent campaign report: %s ===\n",
                 result.program.c_str());
-  out += Format("experiments: %zu (executed opcodes: %zu of %d)\n\n",
+  out += Format("experiments: %zu (executed opcodes: %zu of %d)\n",
                 result.runs.size(), result.executed_opcodes, sim::kOpcodeCount);
+  out += Format("injection phase: %.3f s wall clock on %d worker%s\n\n",
+                result.wall_seconds, result.workers,
+                result.workers == 1 ? "" : "s");
 
   const OutcomeEstimates estimates = EstimateOutcomes(result.counts, confidence);
   out += Format("unweighted outcomes at %.0f%% confidence:\n", 100.0 * confidence);

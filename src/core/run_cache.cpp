@@ -1,0 +1,71 @@
+#include "core/run_cache.h"
+
+#include "common/strings.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+std::string ProfileKey(const std::string& program, ProfilerTool::Mode mode,
+                       const sim::DeviceProps& device) {
+  return program + "|" +
+         (mode == ProfilerTool::Mode::kExact ? "exact" : "approximate") + "|" +
+         DeviceCacheKey(device);
+}
+
+}  // namespace
+
+std::string DeviceCacheKey(const sim::DeviceProps& device) {
+  return Format("%s/%d/%d/%s", device.name.c_str(), device.num_sms,
+                device.lanes_per_sm, device.isa.c_str());
+}
+
+RunArtifacts RunCache::Golden(const std::string& program,
+                              const sim::DeviceProps& device,
+                              const std::function<RunArtifacts()>& compute) {
+  const std::string key = program + "|" + DeviceCacheKey(device);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = golden_.find(key);
+    if (it != golden_.end()) return it->second;
+  }
+  // Run outside the lock: golden runs are the expensive part, and two threads
+  // racing on a cold key just do redundant (identical, deterministic) work.
+  RunArtifacts artifacts = compute();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++golden_runs_;
+  return golden_.try_emplace(key, std::move(artifacts)).first->second;
+}
+
+RunCache::ProfileEntry RunCache::Profile(const std::string& program,
+                                         ProfilerTool::Mode mode,
+                                         const sim::DeviceProps& device,
+                                         const std::function<ProfileEntry()>& compute) {
+  const std::string key = ProfileKey(program, mode, device);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = profiles_.find(key);
+    if (it != profiles_.end()) return it->second;
+  }
+  ProfileEntry entry = compute();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++profile_runs_;
+  return profiles_.try_emplace(key, std::move(entry)).first->second;
+}
+
+void RunCache::PutProfile(const std::string& program, ProfilerTool::Mode mode,
+                          const sim::DeviceProps& device, ProfileEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiles_.insert_or_assign(ProfileKey(program, mode, device), std::move(entry));
+}
+
+std::uint64_t RunCache::golden_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return golden_runs_;
+}
+
+std::uint64_t RunCache::profile_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profile_runs_;
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,61 @@
+// Golden-run and profile memoisation for campaign drivers.
+//
+// Every campaign variant (transient vs permanent, different seeds, different
+// groups, different worker counts) starts from the same golden run and — per
+// profiling mode — the same profile.  Benches and the CLI used to re-run both
+// for every variant; a RunCache keyed by (program, device, profiling mode)
+// runs each at most once per process and serves copies afterwards.
+//
+// Thread-safe: campaign workers and bench loops may share one cache.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/outcome.h"
+#include "core/profile.h"
+#include "core/profiler_tool.h"
+#include "sassim/runtime/device.h"
+
+namespace nvbitfi::fi {
+
+// Stable cache-key fragment for a device configuration.
+std::string DeviceCacheKey(const sim::DeviceProps& device);
+
+class RunCache {
+ public:
+  struct ProfileEntry {
+    ProgramProfile profile;
+    RunArtifacts run;  // the instrumented profiling run's artifacts
+  };
+
+  // Returns the golden artifacts for (program, device), invoking `compute`
+  // only on the first request for that key.
+  RunArtifacts Golden(const std::string& program, const sim::DeviceProps& device,
+                      const std::function<RunArtifacts()>& compute);
+
+  // Same for (program, device, profiling mode).
+  ProfileEntry Profile(const std::string& program, ProfilerTool::Mode mode,
+                       const sim::DeviceProps& device,
+                       const std::function<ProfileEntry()>& compute);
+
+  // Pre-seeds an entry (tests use this to campaign against a synthetic
+  // profile; drivers can use it to load a profile from disk).
+  void PutProfile(const std::string& program, ProfilerTool::Mode mode,
+                  const sim::DeviceProps& device, ProfileEntry entry);
+
+  // How many times compute() actually ran (i.e. cache misses).
+  std::uint64_t golden_runs() const;
+  std::uint64_t profile_runs() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RunArtifacts> golden_;
+  std::map<std::string, ProfileEntry> profiles_;
+  std::uint64_t golden_runs_ = 0;
+  std::uint64_t profile_runs_ = 0;
+};
+
+}  // namespace nvbitfi::fi

@@ -7,6 +7,17 @@
 
 namespace nvbitfi::fi {
 
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  const auto mid_it = values.begin() + static_cast<std::ptrdiff_t>(mid);
+  std::nth_element(values.begin(), mid_it, values.end());
+  if (values.size() % 2 != 0) return values[mid];
+  // nth_element leaves the lower half unordered; its max is the lower middle.
+  const double lower = *std::max_element(values.begin(), mid_it);
+  return 0.5 * (lower + values[mid]);
+}
+
 double ZScore(double confidence) {
   NVBITFI_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
                     "confidence must be in (0,1), got " << confidence);

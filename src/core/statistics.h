@@ -10,10 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/outcome.h"
 
 namespace nvbitfi::fi {
+
+// Sample median.  Even-sized inputs return the mean of the two middle
+// elements; returning the upper-middle alone biases medians of overhead
+// distributions (Fig. 4) upward.  Empty input returns 0.
+double Median(std::vector<double> values);
 
 // z-value for a two-sided interval at `confidence` in (0, 1), e.g.
 // 0.90 -> 1.6449, 0.95 -> 1.9600.  Computed numerically from erf.

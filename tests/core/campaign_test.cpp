@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/statistics.h"
 #include "test_program.h"
 
 namespace nvbitfi::fi {
@@ -143,6 +144,155 @@ TEST(Campaign, EmptyGroupYieldsMaskedRuns) {
   const TransientCampaignResult result = runner.RunTransientCampaign(config);
   EXPECT_EQ(result.counts.masked, 5u);
   EXPECT_EQ(result.counts.sdc, 0u);
+  EXPECT_EQ(result.trivially_masked, 5u);
+  // No run happened, so no cycles: golden cycles must not be re-counted in
+  // the Fig. 5 campaign total (the old code copied golden artifacts here).
+  EXPECT_EQ(result.TotalInjectionCycles(), 0u);
+  EXPECT_EQ(result.TotalCampaignCycles(), result.profiling_run.cycles);
+  for (const InjectionRun& run : result.injections) {
+    EXPECT_TRUE(run.trivially_masked);
+    EXPECT_EQ(run.artifacts.cycles, 0u);
+  }
+}
+
+TEST(Campaign, MedianHandlesBothParities) {
+  // Odd: plain middle element.
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  // Even: mean of the two middles, not the upper-middle (which biased the
+  // Fig. 4 median-overhead numbers upward).
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0}), 1.5);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Campaign, ParallelTransientCampaignMatchesSerial) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.seed = 99;
+  config.num_injections = 24;
+  config.num_workers = 1;
+  const TransientCampaignResult serial = runner.RunTransientCampaign(config);
+  config.num_workers = 8;
+  const TransientCampaignResult parallel = runner.RunTransientCampaign(config);
+
+  EXPECT_EQ(serial.workers, 1);
+  ASSERT_EQ(serial.injections.size(), parallel.injections.size());
+  for (std::size_t i = 0; i < serial.injections.size(); ++i) {
+    EXPECT_EQ(serial.injections[i].params, parallel.injections[i].params) << i;
+    EXPECT_EQ(serial.injections[i].classification,
+              parallel.injections[i].classification)
+        << i;
+    EXPECT_EQ(serial.injections[i].artifacts.cycles,
+              parallel.injections[i].artifacts.cycles)
+        << i;
+  }
+  EXPECT_EQ(serial.counts.masked, parallel.counts.masked);
+  EXPECT_EQ(serial.counts.sdc, parallel.counts.sdc);
+  EXPECT_EQ(serial.counts.due, parallel.counts.due);
+  EXPECT_EQ(serial.counts.potential_due, parallel.counts.potential_due);
+  EXPECT_EQ(serial.never_activated, parallel.never_activated);
+}
+
+TEST(Campaign, ParallelPermanentCampaignMatchesSerial) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.seed = 13;
+  config.sm_id = -1;  // exercise the per-run SM draw in both modes
+  config.num_workers = 1;
+  const PermanentCampaignResult serial = runner.RunPermanentCampaign(config, profile);
+  config.num_workers = 8;
+  const PermanentCampaignResult parallel = runner.RunPermanentCampaign(config, profile);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].params, parallel.runs[i].params) << i;
+    EXPECT_EQ(serial.runs[i].activations, parallel.runs[i].activations) << i;
+    EXPECT_EQ(serial.runs[i].classification, parallel.runs[i].classification) << i;
+  }
+  EXPECT_EQ(serial.counts.masked, parallel.counts.masked);
+  EXPECT_EQ(serial.counts.sdc, parallel.counts.sdc);
+  EXPECT_EQ(serial.counts.due, parallel.counts.due);
+  EXPECT_DOUBLE_EQ(serial.weighted.sdc, parallel.weighted.sdc);
+}
+
+TEST(Campaign, ParallelCampaignStress) {
+  // Thread-sanitizer-friendly: repeated all-core campaigns over a small
+  // workload, checked against a serial reference each round.
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig config;
+  config.seed = 7;
+  config.num_injections = 10;
+  const TransientCampaignResult reference = runner.RunTransientCampaign(config);
+  config.num_workers = 0;  // all cores
+  for (int round = 0; round < 3; ++round) {
+    const TransientCampaignResult result = runner.RunTransientCampaign(config);
+    ASSERT_EQ(result.injections.size(), reference.injections.size());
+    for (std::size_t i = 0; i < result.injections.size(); ++i) {
+      EXPECT_EQ(result.injections[i].params, reference.injections[i].params);
+      EXPECT_EQ(result.injections[i].classification,
+                reference.injections[i].classification);
+    }
+  }
+}
+
+TEST(Campaign, PermanentCampaignClampsZeroSmDevice) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile =
+      runner.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  PermanentCampaignConfig config;
+  config.sm_id = -1;          // draw the SM per run...
+  config.device.num_sms = 0;  // ...from a device with no SMs
+  // The old code computed UniformInt(0, num_sms - 1) with num_sms == 0, a
+  // 2^64-wide wrapped range; now the draw is clamped to SM 0.
+  const PermanentCampaignResult result = runner.RunPermanentCampaign(config, profile);
+  ASSERT_FALSE(result.runs.empty());
+  for (const PermanentRun& run : result.runs) {
+    EXPECT_EQ(run.params.sm_id, 0);
+  }
+}
+
+TEST(Campaign, NeverActivatedInjectionsAreCounted) {
+  const MiniProgram program;
+  // Pre-seed the cache with an inflated profile: every per-kernel opcode
+  // count is 1000x reality, as a pathological approximate profile could be.
+  // Selected instruction_counts then (almost) always exceed the real dynamic
+  // population, so the injector arms but never fires.
+  RunCache cache;
+  const CampaignRunner plain(program);
+  RunCache::ProfileEntry entry;
+  entry.profile = plain.RunProfiler(ProfilerTool::Mode::kExact, sim::DeviceProps{},
+                                    &entry.run);
+  for (KernelProfile& kernel : entry.profile.kernels) {
+    for (std::uint64_t& count : kernel.opcode_counts) count *= 1000;
+  }
+  cache.PutProfile(program.name(), ProfilerTool::Mode::kExact, sim::DeviceProps{},
+                   entry);
+
+  const CampaignRunner runner(program, &cache);
+  TransientCampaignConfig config;
+  config.seed = 41;
+  config.num_injections = 6;
+  const TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  EXPECT_GE(result.never_activated, 5u);
+  std::uint64_t not_activated = 0;
+  for (const InjectionRun& run : result.injections) {
+    EXPECT_FALSE(run.trivially_masked);  // a site *was* selected
+    if (run.record.activated) continue;
+    ++not_activated;
+    // A never-fired injection corrupts nothing and must classify as Masked.
+    EXPECT_FALSE(run.record.corrupted);
+    EXPECT_EQ(run.classification.outcome, Outcome::kMasked);
+    EXPECT_GT(run.artifacts.cycles, 0u);  // the run itself still happened
+  }
+  EXPECT_EQ(result.never_activated, not_activated);
 }
 
 TEST(Campaign, PermanentCampaignSweepsExecutedOpcodes) {

@@ -156,6 +156,39 @@ TEST(FaultModel, PermanentParamsParseRejectsMalformed) {
   EXPECT_FALSE(PermanentFaultParams::Parse("0\n0\n0x100000000\n0\n").has_value());
 }
 
+TEST(FaultModel, IntermittentParamsSerializeRoundTrip) {
+  IntermittentFaultParams p;
+  p.base.sm_id = 3;
+  p.base.lane_id = 12;
+  p.base.bit_mask = 0xdeadbeef;
+  p.base.opcode_id = 42;
+  p.duty_cycle = 0.125;
+  p.mean_burst_events = 24.5;
+  p.seed = 9001;
+  const auto back = IntermittentFaultParams::Parse(p.Serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(FaultModel, IntermittentParamsParseRejectsMalformed) {
+  EXPECT_FALSE(IntermittentFaultParams::Parse("").has_value());
+  // Too few lines (base params only).
+  EXPECT_FALSE(IntermittentFaultParams::Parse("0\n0\n0x1\n0\n").has_value());
+  // Malformed base (lane out of range).
+  EXPECT_FALSE(
+      IntermittentFaultParams::Parse("0\n32\n0x1\n0\n0.5\n16\n1\n").has_value());
+  // Duty cycle must be in (0,1) and burst length >= 1 event, matching the
+  // IntermittentInjectorTool preconditions.
+  EXPECT_FALSE(
+      IntermittentFaultParams::Parse("0\n0\n0x1\n0\n0\n16\n1\n").has_value());
+  EXPECT_FALSE(
+      IntermittentFaultParams::Parse("0\n0\n0x1\n0\n1\n16\n1\n").has_value());
+  EXPECT_FALSE(
+      IntermittentFaultParams::Parse("0\n0\n0x1\n0\n0.5\n0.25\n1\n").has_value());
+  EXPECT_FALSE(
+      IntermittentFaultParams::Parse("0\n0\n0x1\n0\n0.5\n16\nxyz\n").has_value());
+}
+
 TEST(FaultModel, Names) {
   EXPECT_EQ(ArchStateIdName(ArchStateId::kGFp64), "G_FP64");
   EXPECT_EQ(ArchStateIdName(ArchStateId::kGGp), "G_GP");

@@ -1,0 +1,96 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nvbitfi::fi {
+namespace {
+
+TEST(Parallel, ResolveWorkerCount) {
+  EXPECT_GE(ResolveWorkerCount(0), 1);   // 0 = hardware concurrency
+  EXPECT_GE(ResolveWorkerCount(-3), 1);
+  EXPECT_EQ(ResolveWorkerCount(1), 1);
+  // Explicit requests are honoured (oversubscription allowed) up to the cap.
+  EXPECT_EQ(ResolveWorkerCount(8), 8);
+  EXPECT_EQ(ResolveWorkerCount(1 << 20), 256);
+}
+
+TEST(Parallel, PoolSpawnsRequestedWorkers) {
+  EXPECT_EQ(WorkerPool(8).workers(), 8);
+  EXPECT_GE(WorkerPool(0).workers(), 1);
+}
+
+TEST(Parallel, SerialPoolRunsEveryTaskInOrder) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.workers(), 1);
+  std::vector<std::size_t> order;
+  pool.ParallelFor(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, EveryTaskRunsExactlyOnce) {
+  WorkerPool pool(8);
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, SlotResultsMatchSerial) {
+  // Each task writes only its own slot, so the result vector is identical to
+  // a serial loop's regardless of scheduling.
+  std::vector<std::uint64_t> serial(300), parallel(300);
+  const auto task = [](std::size_t i) { return i * i + 7; };
+  WorkerPool one(1), many(6);
+  one.ParallelFor(serial.size(), [&](std::size_t i) { serial[i] = task(i); });
+  many.ParallelFor(parallel.size(), [&](std::size_t i) { parallel[i] = task(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, PoolIsReusableAcrossBatches) {
+  WorkerPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.ParallelFor(50, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 20u * (49u * 50u / 2u));
+}
+
+TEST(Parallel, ZeroTasksIsANoOp) {
+  WorkerPool pool(4);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(Parallel, FirstExceptionPropagates) {
+  WorkerPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 31) throw std::runtime_error("task 31 failed");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(10, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+// Thread-sanitizer-friendly stress: many small batches racing through the
+// claim/finish paths with a shared accumulator per slot.
+TEST(Parallel, StressManySmallBatches) {
+  WorkerPool pool(0);  // all cores
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::uint64_t> slots(kTasks, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(kTasks, [&](std::size_t i) { slots[i] += i + 1; });
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(slots[i], 50u * (i + 1));
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

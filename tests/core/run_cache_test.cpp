@@ -1,0 +1,107 @@
+#include "core/run_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "test_program.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+using testing::MiniProgram;
+
+TEST(RunCache, GoldenComputedOncePerKey) {
+  const MiniProgram program;
+  RunCache cache;
+  const CampaignRunner runner(program, &cache);
+  const RunArtifacts a = runner.Golden(sim::DeviceProps{});
+  const RunArtifacts b = runner.Golden(sim::DeviceProps{});
+  EXPECT_EQ(cache.golden_runs(), 1u);
+  EXPECT_EQ(a.stdout_text, b.stdout_text);
+  EXPECT_EQ(a.cycles, b.cycles);
+
+  // A different device configuration is a different key.
+  sim::DeviceProps other;
+  other.num_sms = 4;
+  runner.Golden(other);
+  EXPECT_EQ(cache.golden_runs(), 2u);
+}
+
+TEST(RunCache, ProfileKeyedByMode) {
+  const MiniProgram program;
+  RunCache cache;
+  const CampaignRunner runner(program, &cache);
+  RunArtifacts exact_run, approx_run;
+  const ProgramProfile exact =
+      runner.Profile(ProfilerTool::Mode::kExact, sim::DeviceProps{}, &exact_run);
+  runner.Profile(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  EXPECT_EQ(cache.profile_runs(), 1u);
+  const ProgramProfile approx =
+      runner.Profile(ProfilerTool::Mode::kApproximate, sim::DeviceProps{}, &approx_run);
+  EXPECT_EQ(cache.profile_runs(), 2u);
+  EXPECT_FALSE(exact.approximate);
+  EXPECT_TRUE(approx.approximate);
+  EXPECT_GT(exact_run.cycles, 0u);
+  EXPECT_GT(approx_run.cycles, 0u);
+}
+
+TEST(RunCache, CampaignVariantsShareGoldenAndProfile) {
+  const MiniProgram program;
+  RunCache cache;
+  const CampaignRunner runner(program, &cache);
+  TransientCampaignConfig config;
+  config.seed = 11;
+  config.num_injections = 4;
+
+  const TransientCampaignResult first = runner.RunTransientCampaign(config);
+  config.seed = 12;  // a different campaign variant, same (program, device, mode)
+  const TransientCampaignResult second = runner.RunTransientCampaign(config);
+
+  EXPECT_EQ(cache.golden_runs(), 1u);
+  EXPECT_EQ(cache.profile_runs(), 1u);
+  // Both campaigns saw the same cached golden/profiling state.
+  EXPECT_EQ(first.golden.cycles, second.golden.cycles);
+  EXPECT_EQ(first.profiling_run.cycles, second.profiling_run.cycles);
+}
+
+TEST(RunCache, CachedCampaignMatchesUncached) {
+  const MiniProgram program;
+  RunCache cache;
+  TransientCampaignConfig config;
+  config.seed = 23;
+  config.num_injections = 8;
+  const TransientCampaignResult cached =
+      CampaignRunner(program, &cache).RunTransientCampaign(config);
+  const TransientCampaignResult plain =
+      CampaignRunner(program).RunTransientCampaign(config);
+  ASSERT_EQ(cached.injections.size(), plain.injections.size());
+  for (std::size_t i = 0; i < cached.injections.size(); ++i) {
+    EXPECT_EQ(cached.injections[i].params, plain.injections[i].params);
+    EXPECT_EQ(cached.injections[i].classification, plain.injections[i].classification);
+  }
+}
+
+TEST(RunCache, PutProfilePreemptsComputation) {
+  const MiniProgram program;
+  RunCache cache;
+  RunCache::ProfileEntry entry;
+  entry.profile.program_name = "mini";
+  entry.profile.approximate = false;
+  cache.PutProfile("mini", ProfilerTool::Mode::kExact, sim::DeviceProps{},
+                   entry);
+  const CampaignRunner runner(program, &cache);
+  const ProgramProfile profile =
+      runner.Profile(ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  EXPECT_EQ(cache.profile_runs(), 0u);  // served from the pre-seeded entry
+  EXPECT_TRUE(profile.kernels.empty());
+}
+
+TEST(RunCache, DeviceCacheKeyReflectsProps) {
+  sim::DeviceProps a, b;
+  b.num_sms = a.num_sms + 1;
+  EXPECT_NE(DeviceCacheKey(a), DeviceCacheKey(b));
+  EXPECT_EQ(DeviceCacheKey(a), DeviceCacheKey(sim::DeviceProps{}));
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

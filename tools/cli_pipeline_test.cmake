@@ -20,3 +20,32 @@ endif()
 if(NOT out MATCHES "outcome: (SDC|DUE|Masked)")
   message(FATAL_ERROR "inject step produced no classification:\n${out}")
 endif()
+
+# Parallel engine determinism: the same campaign at 1 and 4 workers must
+# produce identical per-injection results (the CSV excludes wall-clock).
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 6 --seed 21
+                        --approximate --workers 1
+                        --csv ${WORKDIR}/cli_test_serial.csv
+                OUTPUT_VARIABLE serial_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial campaign step failed (${rc})")
+endif()
+if(NOT serial_out MATCHES "wall clock on 1 worker")
+  message(FATAL_ERROR "serial campaign did not report 1 worker:\n${serial_out}")
+endif()
+
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 6 --seed 21
+                        --approximate --workers 4
+                        --csv ${WORKDIR}/cli_test_parallel.csv
+                OUTPUT_VARIABLE parallel_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "parallel campaign step failed (${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/cli_test_serial.csv
+                        ${WORKDIR}/cli_test_parallel.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial and 4-worker campaign CSVs differ")
+endif()

@@ -44,9 +44,9 @@ int Usage() {
                "  inject <program> <params-file>    run one transient injection\n"
                "  permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]\n"
                "  campaign <program> [--injections N] [--seed N] [--approximate]\n"
-               "                     [--csv FILE]\n"
-               "  sweep <program> [--sm N] [--seed N] [--approximate] [--csv FILE]\n"
-               "                                    permanent sweep over executed opcodes\n"
+               "                     [--workers N] [--csv FILE]\n"
+               "  sweep <program> [--sm N] [--seed N] [--approximate] [--workers N]\n"
+               "                  [--csv FILE]     permanent sweep over executed opcodes\n"
                "  dictionary [--seed N] [-o FILE]   emit a synthetic fault dictionary\n"
                "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n");
   return 2;
@@ -64,6 +64,8 @@ struct Args {
   int sm = 0;
   int lane = 0;
   std::uint32_t mask = 1;
+  // Concurrent injection runs for campaign/sweep (1 = serial, 0 = all cores).
+  int workers = 1;
   std::string csv;
 };
 
@@ -117,6 +119,10 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       const auto v = next();
       if (!v) return std::nullopt;
       args.mask = static_cast<std::uint32_t>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if (arg == "--workers") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.workers = std::atoi(v->c_str());
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", std::string(arg).c_str());
       return std::nullopt;
@@ -125,6 +131,13 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
     }
   }
   return args;
+}
+
+// One cache for the whole process: subcommands that need both a golden run
+// and a profile (campaign, sweep, inject) share them instead of re-running.
+fi::RunCache& ProcessCache() {
+  static fi::RunCache cache;
+  return cache;
 }
 
 const fi::TargetProgram* Lookup(const std::string& name) {
@@ -264,8 +277,8 @@ int CmdInject(const Args& args) {
     std::fprintf(stderr, "malformed parameter file\n");
     return 1;
   }
-  const fi::CampaignRunner runner(*program);
-  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  const fi::CampaignRunner runner(*program, &ProcessCache());
+  const fi::RunArtifacts golden = runner.Golden(sim::DeviceProps{});
   fi::TransientInjectorTool injector(*params);
   const fi::RunArtifacts run = runner.Execute(
       &injector, sim::DeviceProps{},
@@ -290,8 +303,8 @@ int CmdPermanent(const Args& args) {
   params.lane_id = args.lane;
   params.bit_mask = args.mask;
 
-  const fi::CampaignRunner runner(*program);
-  const fi::RunArtifacts golden = runner.RunGolden(sim::DeviceProps{});
+  const fi::CampaignRunner runner(*program, &ProcessCache());
+  const fi::RunArtifacts golden = runner.Golden(sim::DeviceProps{});
   fi::PermanentInjectorTool injector(params);
   const fi::RunArtifacts run = runner.Execute(
       &injector, sim::DeviceProps{},
@@ -310,10 +323,11 @@ int CmdCampaign(const Args& args) {
   if (args.positional.empty()) return Usage();
   const fi::TargetProgram* program = Lookup(args.positional[0]);
   if (program == nullptr) return 1;
-  const fi::CampaignRunner runner(*program);
+  const fi::CampaignRunner runner(*program, &ProcessCache());
   fi::TransientCampaignConfig config;
   config.seed = args.seed;
   config.num_injections = args.injections;
+  config.num_workers = args.workers;
   config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
                                       : fi::ProfilerTool::Mode::kExact;
   const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
@@ -334,14 +348,15 @@ int CmdSweep(const Args& args) {
   if (args.positional.empty()) return Usage();
   const fi::TargetProgram* program = Lookup(args.positional[0]);
   if (program == nullptr) return 1;
-  const fi::CampaignRunner runner(*program);
-  const fi::ProgramProfile profile = runner.RunProfiler(
+  const fi::CampaignRunner runner(*program, &ProcessCache());
+  const fi::ProgramProfile profile = runner.Profile(
       args.approximate ? fi::ProfilerTool::Mode::kApproximate
                        : fi::ProfilerTool::Mode::kExact,
       sim::DeviceProps{}, nullptr);
   fi::PermanentCampaignConfig config;
   config.seed = args.seed;
   config.sm_id = args.sm;
+  config.num_workers = args.workers;
   const fi::PermanentCampaignResult result =
       runner.RunPermanentCampaign(config, profile);
   std::fputs(fi::PermanentCampaignReport(result).c_str(), stdout);
