@@ -1,0 +1,74 @@
+// Table VI (extension) — SDC anatomy across the workload suite.
+//
+// Runs a transient campaign per workload and reduces every SDC to its
+// corruption shape: pattern class (single-bit / byte / word / multi-word),
+// flipped-bit-position concentration, relative-magnitude distribution, and
+// spatial extent — the error-model inputs "The Anatomy of Silent Data
+// Corruption" (PAPERS.md) mines from production fleets, here measured under
+// a controlled fault model instead.  Prints one summary row per workload
+// plus the full campaign-wide anatomy report for the last one.
+#include <cstdio>
+#include <string>
+
+#include "analysis/anatomy.h"
+#include "bench_util.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main() {
+  const int injections = bench::InjectionsPerProgram();
+  std::printf("Table VI: SDC anatomy per workload (%d transient injections "
+              "each, seed %llu)\n\n",
+              injections, static_cast<unsigned long long>(bench::BenchSeed()));
+  std::printf("%-14s %6s %6s | %11s %10s %10s %11s | %10s %10s\n", "program",
+              "SDCs", "runs", "single-bit", "byte", "word", "multi-word",
+              "clustered", "non-finite");
+  bench::PrintRule(108);
+
+  analysis::AnatomyBreakdown last;
+  std::string last_name;
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    const fi::CampaignRunner runner(*entry.program);
+    fi::TransientCampaignConfig config;
+    config.seed = bench::BenchSeed();
+    config.num_injections = injections;
+    config.profiling = fi::ProfilerTool::Mode::kApproximate;
+    config.num_workers = bench::Workers();
+    const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+    const analysis::AnatomyBreakdown breakdown =
+        analysis::BuildTransientAnatomy(result);
+    const analysis::AnatomyAggregate& c = breakdown.campaign;
+    std::uint64_t sampled = 0;  // magnitude buckets count sampled elements
+    for (const std::uint64_t n : c.magnitude) sampled += n;
+    const auto pattern = [&](analysis::SdcPattern p) {
+      return Pct(c.patterns[static_cast<int>(p)], c.sdc_runs);
+    };
+    std::printf("%-14s %6llu %6llu | %10.1f%% %9.1f%% %9.1f%% %10.1f%% | "
+                "%9.1f%% %9.1f%%\n",
+                result.program.c_str(),
+                static_cast<unsigned long long>(c.sdc_runs),
+                static_cast<unsigned long long>(breakdown.total_runs),
+                pattern(analysis::SdcPattern::kSingleBit),
+                pattern(analysis::SdcPattern::kMultiBitByte),
+                pattern(analysis::SdcPattern::kMultiBitWord),
+                pattern(analysis::SdcPattern::kMultiWord),
+                Pct(c.extents[static_cast<int>(analysis::SpatialExtent::kClustered)],
+                    c.sdc_runs),
+                Pct(c.magnitude[analysis::kMagnitudeBucketCount - 1], sampled));
+    last = breakdown;
+    last_name = result.program;
+  }
+
+  std::printf("\nFull anatomy report for %s:\n\n%s", last_name.c_str(),
+              analysis::AnatomyReportText(last).c_str());
+  return 0;
+}

@@ -1,0 +1,448 @@
+#include "analysis/anatomy.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace nvbitfi::analysis {
+namespace {
+
+std::size_t ElementWidth(ElementKind kind) {
+  return kind == ElementKind::kF64 ? 8 : 4;
+}
+
+std::uint64_t LoadBits(const std::uint8_t* bytes, std::size_t width) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, bytes, width);
+  return bits;
+}
+
+double BitsToValue(std::uint64_t bits, ElementKind kind) {
+  if (kind == ElementKind::kF64) {
+    double d = 0;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  }
+  float f = 0;
+  const std::uint32_t lo = static_cast<std::uint32_t>(bits);
+  std::memcpy(&f, &lo, sizeof f);
+  return f;
+}
+
+// All flipped bits inside one byte lane?
+bool WithinOneByte(std::uint64_t xor_bits) {
+  for (int byte = 0; byte < 8; ++byte) {
+    const std::uint64_t lane = 0xffull << (8 * byte);
+    if ((xor_bits & ~lane) == 0) return true;
+  }
+  return false;
+}
+
+std::string HistogramRows(const std::array<std::uint64_t, 64>& hist, int bits) {
+  std::string out;
+  for (int base = 0; base < bits; base += 16) {
+    out += Format("  b%02d-b%02d:", base, base + 15);
+    for (int i = base; i < base + 16; ++i) {
+      out += Format(" %4llu", static_cast<unsigned long long>(hist[i]));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+int TopBit(const std::array<std::uint64_t, 64>& hist) {
+  int best = -1;
+  std::uint64_t best_count = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (hist[i] > best_count) {
+      best_count = hist[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::string AggregateRow(const std::string& label, const AnatomyAggregate& agg) {
+  const int top = TopBit(agg.bit_histogram);
+  return Format("  %-14s %5llu %10.1f%% %10.1f%% %10.1f%%   %s\n", label.c_str(),
+                static_cast<unsigned long long>(agg.sdc_runs),
+                Pct(agg.patterns[static_cast<int>(SdcPattern::kSingleBit)], agg.sdc_runs),
+                Pct(agg.patterns[static_cast<int>(SdcPattern::kMultiWord)], agg.sdc_runs),
+                Pct(agg.magnitude[kMagnitudeBucketCount - 1], agg.sdc_runs),
+                top < 0 ? "-" : Format("b%d", top).c_str());
+}
+
+json::Value AggregateJson(const AnatomyAggregate& agg) {
+  json::Value out = json::Value::Object();
+  out.Set("sdc_runs", agg.sdc_runs);
+  out.Set("corrupted_elements", agg.corrupted_elements);
+  json::Value patterns = json::Value::Object();
+  for (int i = 0; i < kSdcPatternCount; ++i) {
+    patterns.Set(SdcPatternName(static_cast<SdcPattern>(i)), agg.patterns[i]);
+  }
+  out.Set("patterns", std::move(patterns));
+  json::Value extents = json::Value::Object();
+  for (int i = 0; i < kSpatialExtentCount; ++i) {
+    extents.Set(SpatialExtentName(static_cast<SpatialExtent>(i)), agg.extents[i]);
+  }
+  out.Set("extents", std::move(extents));
+  json::Value bits = json::Value::Array();
+  for (const std::uint64_t count : agg.bit_histogram) bits.Push(count);
+  out.Set("bit_histogram", std::move(bits));
+  json::Value magnitude = json::Value::Object();
+  for (int i = 0; i < kMagnitudeBucketCount; ++i) {
+    magnitude.Set(MagnitudeBucketName(i), agg.magnitude[i]);
+  }
+  out.Set("magnitude", std::move(magnitude));
+  return out;
+}
+
+}  // namespace
+
+std::string_view ElementKindName(ElementKind kind) {
+  return kind == ElementKind::kF64 ? "f64" : "f32";
+}
+
+std::optional<ElementKind> ElementKindFromName(std::string_view name) {
+  if (name == "f32") return ElementKind::kF32;
+  if (name == "f64") return ElementKind::kF64;
+  return std::nullopt;
+}
+
+std::string_view SdcPatternName(SdcPattern pattern) {
+  switch (pattern) {
+    case SdcPattern::kNoOutputDiff: return "no-output-diff";
+    case SdcPattern::kSingleBit: return "single-bit";
+    case SdcPattern::kMultiBitByte: return "multi-bit-byte";
+    case SdcPattern::kMultiBitWord: return "multi-bit-word";
+    case SdcPattern::kMultiWord: return "multi-word";
+  }
+  return "?";
+}
+
+std::string_view MagnitudeBucketName(int bucket) {
+  switch (bucket) {
+    case 0: return "rel<1e-6";
+    case 1: return "rel<1e-3";
+    case 2: return "rel<1";
+    case 3: return "rel<1e3";
+    case 4: return "rel>=1e3";
+    case 5: return "non-finite";
+  }
+  return "?";
+}
+
+int MagnitudeBucket(double golden, double faulty) {
+  if (!std::isfinite(faulty)) return 5;
+  const double rel = std::fabs(faulty - golden) / std::max(std::fabs(golden), 1e-30);
+  if (rel < 1e-6) return 0;
+  if (rel < 1e-3) return 1;
+  if (rel < 1.0) return 2;
+  if (rel < 1e3) return 3;
+  return 4;
+}
+
+std::string_view SpatialExtentName(SpatialExtent extent) {
+  switch (extent) {
+    case SpatialExtent::kNone: return "none";
+    case SpatialExtent::kSingleElement: return "single-element";
+    case SpatialExtent::kClustered: return "clustered";
+    case SpatialExtent::kScattered: return "scattered";
+  }
+  return "?";
+}
+
+SdcAnatomy AnalyzeSdc(const fi::RunArtifacts& golden, const fi::RunArtifacts& run,
+                      const AnatomyConfig& config) {
+  SdcAnatomy anatomy;
+  anatomy.element = config.element;
+  anatomy.stdout_diff = golden.stdout_text != run.stdout_text;
+  anatomy.size_mismatch = golden.output_file.size() != run.output_file.size();
+
+  const std::size_t width = ElementWidth(config.element);
+  const std::size_t common =
+      std::min(golden.output_file.size(), run.output_file.size()) / width;
+  anatomy.elements_compared = common;
+
+  std::uint64_t sampled_xor = 0;  // union of flipped bits over the sample
+  for (std::size_t i = 0; i < common; ++i) {
+    const std::uint64_t g = LoadBits(golden.output_file.data() + i * width, width);
+    const std::uint64_t f = LoadBits(run.output_file.data() + i * width, width);
+    if (g == f) continue;
+    if (anatomy.corrupted_elements == 0) anatomy.first_corrupted = i;
+    anatomy.last_corrupted = i;
+    ++anatomy.corrupted_elements;
+    if (anatomy.sample.size() >= config.max_sampled_elements) continue;
+    anatomy.sample.push_back({i, g, f});
+    const std::uint64_t x = g ^ f;
+    sampled_xor |= x;
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((x >> bit) & 1) ++anatomy.bit_histogram[bit];
+    }
+    ++anatomy.magnitude[MagnitudeBucket(BitsToValue(g, config.element),
+                                        BitsToValue(f, config.element))];
+  }
+
+  if (anatomy.corrupted_elements == 0) {
+    anatomy.pattern = SdcPattern::kNoOutputDiff;
+    anatomy.extent = SpatialExtent::kNone;
+  } else if (anatomy.corrupted_elements > 1) {
+    anatomy.pattern = SdcPattern::kMultiWord;
+    const std::uint64_t span = anatomy.last_corrupted - anatomy.first_corrupted + 1;
+    anatomy.extent = 2 * anatomy.corrupted_elements >= span ? SpatialExtent::kClustered
+                                                            : SpatialExtent::kScattered;
+  } else {
+    anatomy.extent = SpatialExtent::kSingleElement;
+    if (std::popcount(sampled_xor) == 1) {
+      anatomy.pattern = SdcPattern::kSingleBit;
+    } else if (WithinOneByte(sampled_xor)) {
+      anatomy.pattern = SdcPattern::kMultiBitByte;
+    } else {
+      anatomy.pattern = SdcPattern::kMultiBitWord;
+    }
+  }
+  return anatomy;
+}
+
+json::Value ToJson(const SdcAnatomy& anatomy) {
+  json::Value out = json::Value::Object();
+  out.Set("element", ElementKindName(anatomy.element));
+  out.Set("elements_compared", anatomy.elements_compared);
+  out.Set("corrupted_elements", anatomy.corrupted_elements);
+  out.Set("stdout_diff", anatomy.stdout_diff);
+  out.Set("size_mismatch", anatomy.size_mismatch);
+  out.Set("pattern", static_cast<std::int64_t>(anatomy.pattern));
+  out.Set("extent", static_cast<std::int64_t>(anatomy.extent));
+  out.Set("first_corrupted", anatomy.first_corrupted);
+  out.Set("last_corrupted", anatomy.last_corrupted);
+  // Histograms are stored sparsely: [position, count] pairs.
+  json::Value bits = json::Value::Array();
+  for (int i = 0; i < 64; ++i) {
+    if (anatomy.bit_histogram[i] == 0) continue;
+    json::Value pair = json::Value::Array();
+    pair.Push(i);
+    pair.Push(static_cast<std::uint64_t>(anatomy.bit_histogram[i]));
+    bits.Push(std::move(pair));
+  }
+  out.Set("bits", std::move(bits));
+  json::Value magnitude = json::Value::Array();
+  for (int i = 0; i < kMagnitudeBucketCount; ++i) {
+    magnitude.Push(static_cast<std::uint64_t>(anatomy.magnitude[i]));
+  }
+  out.Set("magnitude", std::move(magnitude));
+  json::Value sample = json::Value::Array();
+  for (const CorruptedElement& element : anatomy.sample) {
+    json::Value entry = json::Value::Array();
+    entry.Push(element.index);
+    entry.Push(element.golden_bits);
+    entry.Push(element.faulty_bits);
+    sample.Push(std::move(entry));
+  }
+  out.Set("sample", std::move(sample));
+  return out;
+}
+
+std::optional<SdcAnatomy> SdcAnatomyFromJson(const json::Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  SdcAnatomy anatomy;
+  const std::optional<ElementKind> element =
+      ElementKindFromName(value.GetString("element", "f32"));
+  if (!element.has_value()) return std::nullopt;
+  anatomy.element = *element;
+  anatomy.elements_compared = value.GetUint("elements_compared");
+  anatomy.corrupted_elements = value.GetUint("corrupted_elements");
+  anatomy.stdout_diff = value.GetBool("stdout_diff");
+  anatomy.size_mismatch = value.GetBool("size_mismatch");
+  const std::int64_t pattern = value.GetInt("pattern", -1);
+  const std::int64_t extent = value.GetInt("extent", -1);
+  if (pattern < 0 || pattern >= kSdcPatternCount || extent < 0 ||
+      extent >= kSpatialExtentCount) {
+    return std::nullopt;
+  }
+  anatomy.pattern = static_cast<SdcPattern>(pattern);
+  anatomy.extent = static_cast<SpatialExtent>(extent);
+  anatomy.first_corrupted = value.GetUint("first_corrupted");
+  anatomy.last_corrupted = value.GetUint("last_corrupted");
+  if (const json::Value* bits = value.Find("bits"); bits != nullptr && bits->is_array()) {
+    for (std::size_t i = 0; i < bits->size(); ++i) {
+      const json::Value& pair = bits->at(i);
+      if (!pair.is_array() || pair.size() != 2) return std::nullopt;
+      const std::uint64_t position = pair.at(0).AsUint(64);
+      if (position >= 64) return std::nullopt;
+      anatomy.bit_histogram[position] = static_cast<std::uint32_t>(pair.at(1).AsUint());
+    }
+  }
+  if (const json::Value* magnitude = value.Find("magnitude");
+      magnitude != nullptr && magnitude->is_array() &&
+      magnitude->size() == kMagnitudeBucketCount) {
+    for (int i = 0; i < kMagnitudeBucketCount; ++i) {
+      anatomy.magnitude[i] = static_cast<std::uint32_t>(magnitude->at(i).AsUint());
+    }
+  }
+  if (const json::Value* sample = value.Find("sample");
+      sample != nullptr && sample->is_array()) {
+    for (std::size_t i = 0; i < sample->size(); ++i) {
+      const json::Value& entry = sample->at(i);
+      if (!entry.is_array() || entry.size() != 3) return std::nullopt;
+      anatomy.sample.push_back(
+          {entry.at(0).AsUint(), entry.at(1).AsUint(), entry.at(2).AsUint()});
+    }
+  }
+  return anatomy;
+}
+
+fi::ArchStateId PartitionGroupOf(sim::Opcode opcode) {
+  for (int group = 1; group <= 6; ++group) {
+    const fi::ArchStateId id = static_cast<fi::ArchStateId>(group);
+    if (fi::OpcodeInGroup(opcode, id)) return id;
+  }
+  return fi::ArchStateId::kGOthers;  // unreachable: groups 1..6 partition
+}
+
+void AnatomyAggregate::Add(const SdcAnatomy& anatomy) {
+  ++sdc_runs;
+  corrupted_elements += anatomy.corrupted_elements;
+  ++patterns[static_cast<int>(anatomy.pattern)];
+  ++extents[static_cast<int>(anatomy.extent)];
+  for (int i = 0; i < 64; ++i) bit_histogram[i] += anatomy.bit_histogram[i];
+  for (int i = 0; i < kMagnitudeBucketCount; ++i) magnitude[i] += anatomy.magnitude[i];
+}
+
+AnatomyAggregate& AnatomyAggregate::operator+=(const AnatomyAggregate& other) {
+  sdc_runs += other.sdc_runs;
+  corrupted_elements += other.corrupted_elements;
+  for (int i = 0; i < kSdcPatternCount; ++i) patterns[i] += other.patterns[i];
+  for (int i = 0; i < kSpatialExtentCount; ++i) extents[i] += other.extents[i];
+  for (int i = 0; i < 64; ++i) bit_histogram[i] += other.bit_histogram[i];
+  for (int i = 0; i < kMagnitudeBucketCount; ++i) magnitude[i] += other.magnitude[i];
+  return *this;
+}
+
+void AnatomyBreakdown::Add(std::string_view kernel, std::optional<sim::Opcode> opcode,
+                           const SdcAnatomy& anatomy) {
+  campaign.Add(anatomy);
+  if (!kernel.empty()) by_kernel[std::string(kernel)].Add(anatomy);
+  if (opcode.has_value()) {
+    by_opcode_group[std::string(fi::ArchStateIdName(PartitionGroupOf(*opcode)))].Add(
+        anatomy);
+  }
+}
+
+AnatomyBreakdown BuildTransientAnatomy(const fi::TransientCampaignResult& result,
+                                       const AnatomyConfig& config) {
+  AnatomyBreakdown breakdown;
+  breakdown.total_runs = result.injections.size();
+  for (const fi::InjectionRun& run : result.injections) {
+    if (run.trivially_masked || run.classification.outcome != fi::Outcome::kSdc) {
+      continue;
+    }
+    const SdcAnatomy anatomy = AnalyzeSdc(result.golden, run.artifacts, config);
+    breakdown.Add(run.params.kernel_name,
+                  run.record.activated ? std::optional<sim::Opcode>(run.record.opcode)
+                                       : std::nullopt,
+                  anatomy);
+  }
+  return breakdown;
+}
+
+AnatomyBreakdown BuildPermanentAnatomy(const fi::PermanentCampaignResult& result,
+                                       const fi::RunArtifacts& golden,
+                                       const AnatomyConfig& config) {
+  AnatomyBreakdown breakdown;
+  breakdown.total_runs = result.runs.size();
+  for (const fi::PermanentRun& run : result.runs) {
+    if (run.classification.outcome != fi::Outcome::kSdc) continue;
+    breakdown.Add("", run.params.opcode(), AnalyzeSdc(golden, run.artifacts, config));
+  }
+  return breakdown;
+}
+
+std::string AnatomyReportText(const AnatomyBreakdown& breakdown) {
+  const AnatomyAggregate& agg = breakdown.campaign;
+  std::string out;
+  out += Format("=== SDC anatomy: %llu SDCs over %llu runs ===\n",
+                static_cast<unsigned long long>(agg.sdc_runs),
+                static_cast<unsigned long long>(breakdown.total_runs));
+  if (agg.sdc_runs == 0) {
+    out += "no SDCs to analyze\n";
+    return out;
+  }
+  out += Format("corrupted output elements: %llu\n\n",
+                static_cast<unsigned long long>(agg.corrupted_elements));
+
+  out += "pattern classes:\n";
+  for (int i = 0; i < kSdcPatternCount; ++i) {
+    if (agg.patterns[i] == 0) continue;
+    out += Format("  %5llu  %-14s (%.1f%%)\n",
+                  static_cast<unsigned long long>(agg.patterns[i]),
+                  std::string(SdcPatternName(static_cast<SdcPattern>(i))).c_str(),
+                  Pct(agg.patterns[i], agg.sdc_runs));
+  }
+
+  // FP64 anatomy uses all 64 positions; FP32 campaigns only populate 0..31.
+  int bits = 32;
+  for (int i = 32; i < 64; ++i) {
+    if (agg.bit_histogram[i] != 0) bits = 64;
+  }
+  out += "\nflipped-bit-position histogram (sampled elements):\n";
+  out += HistogramRows(agg.bit_histogram, bits);
+
+  out += "\nrelative-magnitude buckets (FP interpretation):\n";
+  for (int i = 0; i < kMagnitudeBucketCount; ++i) {
+    if (agg.magnitude[i] == 0) continue;
+    out += Format("  %5llu  %s\n", static_cast<unsigned long long>(agg.magnitude[i]),
+                  std::string(MagnitudeBucketName(i)).c_str());
+  }
+
+  out += "\nspatial extent of corrupted elements:\n";
+  for (int i = 0; i < kSpatialExtentCount; ++i) {
+    if (agg.extents[i] == 0) continue;
+    out += Format("  %5llu  %s\n", static_cast<unsigned long long>(agg.extents[i]),
+                  std::string(SpatialExtentName(static_cast<SpatialExtent>(i))).c_str());
+  }
+
+  const char* header = "  %-14s %5s %11s %11s %11s   %s\n";
+  if (!breakdown.by_opcode_group.empty()) {
+    out += "\nper opcode group:\n";
+    out += Format(header, "group", "SDCs", "single-bit", "multi-word", "non-finite",
+                  "top bit");
+    for (const auto& [group, group_agg] : breakdown.by_opcode_group) {
+      out += AggregateRow(group, group_agg);
+    }
+  }
+  if (!breakdown.by_kernel.empty()) {
+    out += "\nper static kernel:\n";
+    out += Format(header, "kernel", "SDCs", "single-bit", "multi-word", "non-finite",
+                  "top bit");
+    for (const auto& [kernel, kernel_agg] : breakdown.by_kernel) {
+      out += AggregateRow(kernel, kernel_agg);
+    }
+  }
+  return out;
+}
+
+json::Value AnatomyReportJson(const AnatomyBreakdown& breakdown) {
+  json::Value out = json::Value::Object();
+  out.Set("total_runs", breakdown.total_runs);
+  out.Set("campaign", AggregateJson(breakdown.campaign));
+  json::Value kernels = json::Value::Object();
+  for (const auto& [kernel, agg] : breakdown.by_kernel) {
+    kernels.Set(kernel, AggregateJson(agg));
+  }
+  out.Set("by_kernel", std::move(kernels));
+  json::Value groups = json::Value::Object();
+  for (const auto& [group, agg] : breakdown.by_opcode_group) {
+    groups.Set(group, AggregateJson(agg));
+  }
+  out.Set("by_opcode_group", std::move(groups));
+  return out;
+}
+
+}  // namespace nvbitfi::analysis

@@ -1,0 +1,158 @@
+// SDC anatomy: *what* a silent data corruption looked like, not just that it
+// happened.
+//
+// The classifier diffs a faulty run's output buffer against the golden run's
+// (element-wise, FP32 or FP64 interpretation) and reduces the corruption to a
+// compact per-run record: which bit positions flipped, whether the flip was
+// single-bit / multi-bit-within-a-byte / word-granular / multi-word, how
+// large the relative numeric error was, and how the corrupted elements were
+// laid out in the buffer (single element, contiguous cluster, scattered).
+// Per-run records are bounded (`max_sampled_elements`), so capturing anatomy
+// for thousands of runs stays cheap.
+//
+// Records aggregate per static kernel, per Table II opcode partition group,
+// and campaign-wide — the error-model inputs that "The Anatomy of Silent
+// Data Corruption" mines from production fleets (PAPERS.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/json.h"
+#include "core/campaign.h"
+#include "core/fault_model.h"
+#include "core/outcome.h"
+
+namespace nvbitfi::analysis {
+
+// How the output buffer's bytes are interpreted when diffing.
+enum class ElementKind : std::uint8_t { kF32, kF64 };
+
+std::string_view ElementKindName(ElementKind kind);
+std::optional<ElementKind> ElementKindFromName(std::string_view name);
+
+struct AnatomyConfig {
+  ElementKind element = ElementKind::kF32;
+  // Bound on the per-run diff capture: bit/magnitude histograms and the
+  // stored sample cover at most this many corrupted elements (extent and the
+  // corrupted-element count always cover the whole buffer).
+  std::size_t max_sampled_elements = 64;
+};
+
+// The corruption shape of one SDC run.
+enum class SdcPattern : std::uint8_t {
+  kNoOutputDiff,     // SDC came from stdout / app check; output buffer clean
+  kSingleBit,        // one element, exactly one flipped bit
+  kMultiBitByte,     // one element, >1 flipped bits all within one byte
+  kMultiBitWord,     // one element, flipped bits spanning multiple bytes
+  kMultiWord,        // more than one corrupted element
+};
+inline constexpr int kSdcPatternCount = 5;
+
+std::string_view SdcPatternName(SdcPattern pattern);
+
+// Relative-magnitude buckets for FP outputs: |faulty-golden| / max(|golden|,
+// 1e-30), plus a bucket for corrupted values that are no longer finite.
+inline constexpr int kMagnitudeBucketCount = 6;
+std::string_view MagnitudeBucketName(int bucket);
+int MagnitudeBucket(double golden, double faulty);
+
+// How corrupted elements are distributed over the buffer.
+enum class SpatialExtent : std::uint8_t {
+  kNone,           // no corrupted elements
+  kSingleElement,  // exactly one
+  kClustered,      // >=50% of the [first,last] span is corrupted
+  kScattered,
+};
+inline constexpr int kSpatialExtentCount = 4;
+
+std::string_view SpatialExtentName(SpatialExtent extent);
+
+struct CorruptedElement {
+  std::uint64_t index = 0;      // element index in the output buffer
+  std::uint64_t golden_bits = 0;
+  std::uint64_t faulty_bits = 0;
+
+  bool operator==(const CorruptedElement&) const = default;
+};
+
+// Per-run anatomy record; persisted alongside the run in the result store.
+struct SdcAnatomy {
+  ElementKind element = ElementKind::kF32;
+  std::uint64_t elements_compared = 0;
+  std::uint64_t corrupted_elements = 0;  // over the full buffer
+  bool stdout_diff = false;
+  bool size_mismatch = false;  // output buffers differ in length
+  SdcPattern pattern = SdcPattern::kNoOutputDiff;
+  SpatialExtent extent = SpatialExtent::kNone;
+  std::uint64_t first_corrupted = 0;
+  std::uint64_t last_corrupted = 0;
+  // Flipped-bit-position histogram over the sampled corrupted elements
+  // (FP32 uses positions 0..31).
+  std::array<std::uint32_t, 64> bit_histogram{};
+  std::array<std::uint32_t, kMagnitudeBucketCount> magnitude{};
+  std::vector<CorruptedElement> sample;  // first max_sampled_elements diffs
+
+  bool operator==(const SdcAnatomy&) const = default;
+};
+
+// Diffs one run against the golden run.  Works for any run; campaigns call
+// it for runs classified as SDC.
+SdcAnatomy AnalyzeSdc(const fi::RunArtifacts& golden, const fi::RunArtifacts& run,
+                      const AnatomyConfig& config = {});
+
+// JSON round-trip for the result store.
+json::Value ToJson(const SdcAnatomy& anatomy);
+std::optional<SdcAnatomy> SdcAnatomyFromJson(const json::Value& value);
+
+// The Table II partition groups (1..6) cover every opcode exactly once;
+// anatomy aggregates key on this group.
+fi::ArchStateId PartitionGroupOf(sim::Opcode opcode);
+
+// Aggregate over many runs' anatomy records.
+struct AnatomyAggregate {
+  std::uint64_t sdc_runs = 0;
+  std::uint64_t corrupted_elements = 0;
+  std::array<std::uint64_t, kSdcPatternCount> patterns{};
+  std::array<std::uint64_t, kSpatialExtentCount> extents{};
+  std::array<std::uint64_t, 64> bit_histogram{};
+  std::array<std::uint64_t, kMagnitudeBucketCount> magnitude{};
+
+  void Add(const SdcAnatomy& anatomy);
+  AnatomyAggregate& operator+=(const AnatomyAggregate& other);
+};
+
+// Campaign-wide aggregate plus the per-static-kernel and per-opcode-group
+// breakdowns.
+struct AnatomyBreakdown {
+  std::uint64_t total_runs = 0;  // all experiments, not just SDCs
+  AnatomyAggregate campaign;
+  std::map<std::string, AnatomyAggregate> by_kernel;
+  std::map<std::string, AnatomyAggregate> by_opcode_group;
+
+  // `kernel` may be empty (permanent faults are not kernel-scoped).
+  void Add(std::string_view kernel, std::optional<sim::Opcode> opcode,
+           const SdcAnatomy& anatomy);
+};
+
+// Builds the breakdown for a completed in-memory campaign (the artifacts
+// still hold full outputs).  SDC runs only; trivially-masked runs never are.
+AnatomyBreakdown BuildTransientAnatomy(const fi::TransientCampaignResult& result,
+                                       const AnatomyConfig& config = {});
+AnatomyBreakdown BuildPermanentAnatomy(const fi::PermanentCampaignResult& result,
+                                       const fi::RunArtifacts& golden,
+                                       const AnatomyConfig& config = {});
+
+// Text report: pattern classes, bit-position histogram, magnitude buckets,
+// spatial extent, and the per-kernel / per-opcode-group tables.
+std::string AnatomyReportText(const AnatomyBreakdown& breakdown);
+
+// Machine-readable form of the same aggregation.
+json::Value AnatomyReportJson(const AnatomyBreakdown& breakdown);
+
+}  // namespace nvbitfi::analysis

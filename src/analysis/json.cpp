@@ -1,0 +1,373 @@
+#include "analysis/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvbitfi::analysis::json {
+namespace {
+
+const std::string kEmptyString;
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> ParseDocument() {
+    std::optional<Value> value = ParseValue();
+    if (!value.has_value()) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s.has_value()) return std::nullopt;
+        return Value(*std::move(s));
+      }
+      case 't': return ConsumeLiteral("true") ? std::optional<Value>(Value(true))
+                                              : std::nullopt;
+      case 'f': return ConsumeLiteral("false") ? std::optional<Value>(Value(false))
+                                               : std::nullopt;
+      case 'n': return ConsumeLiteral("null") ? std::optional<Value>(Value())
+                                              : std::nullopt;
+      default: return ParseNumber();
+    }
+  }
+
+  std::optional<Value> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    Value object = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value() || !Consume(':')) return std::nullopt;
+      std::optional<Value> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      object.Set(*key, *std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    Value array = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      std::optional<Value> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      array.Push(*std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // Only the \u00XX escapes Dump emits (control bytes) are accepted;
+          // anything else in a store file is foreign input we reject.
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          if (code > 0xff) return std::nullopt;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) return std::nullopt;
+    if (integral) {
+      if (token.front() == '-') {
+        std::int64_t i = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (ec != std::errc() || ptr != token.data() + token.size()) return std::nullopt;
+        return Value(i);
+      }
+      std::uint64_t u = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), u);
+      if (ec != std::errc() || ptr != token.data() + token.size()) return std::nullopt;
+      return Value(u);
+    }
+    char* end = nullptr;
+    const std::string copy(token);  // strtod needs a terminator
+    const double d = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return std::nullopt;
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::Array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void Value::Set(std::string_view key, Value value) {
+  kind_ = Kind::kObject;
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Value::Push(Value value) {
+  kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+}
+
+bool Value::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+std::uint64_t Value::AsUint(std::uint64_t fallback) const {
+  switch (kind_) {
+    case Kind::kUint: return uint_;
+    case Kind::kInt: return int_ >= 0 ? static_cast<std::uint64_t>(int_) : fallback;
+    case Kind::kDouble: return double_ >= 0 ? static_cast<std::uint64_t>(double_) : fallback;
+    default: return fallback;
+  }
+}
+
+std::int64_t Value::AsInt(std::int64_t fallback) const {
+  switch (kind_) {
+    case Kind::kUint: return static_cast<std::int64_t>(uint_);
+    case Kind::kInt: return int_;
+    case Kind::kDouble: return static_cast<std::int64_t>(double_);
+    default: return fallback;
+  }
+}
+
+double Value::AsDouble(double fallback) const {
+  switch (kind_) {
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kDouble: return double_;
+    default: return fallback;
+  }
+}
+
+const std::string& Value::AsString() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+bool Value::GetBool(std::string_view key, bool fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr ? v->AsBool(fallback) : fallback;
+}
+
+std::uint64_t Value::GetUint(std::string_view key, std::uint64_t fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr ? v->AsUint(fallback) : fallback;
+}
+
+std::int64_t Value::GetInt(std::string_view key, std::int64_t fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr ? v->AsInt(fallback) : fallback;
+}
+
+double Value::GetDouble(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr ? v->AsDouble(fallback) : fallback;
+}
+
+std::string Value::GetString(std::string_view key, std::string_view fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->kind() == Kind::kString ? v->AsString()
+                                                    : std::string(fallback);
+}
+
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::DumpTo(std::string* out) const {
+  char buf[32];
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; break;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; break;
+    case Kind::kUint:
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(uint_));
+      *out += buf;
+      break;
+    case Kind::kInt:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      *out += buf;
+      break;
+    case Kind::kDouble:
+      // %.17g round-trips every finite IEEE double.
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      *out += buf;
+      break;
+    case Kind::kString:
+      *out += '"';
+      *out += Escape(string_);
+      *out += '"';
+      break;
+    case Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Value& item : items_) {
+        if (!first) *out += ',';
+        first = false;
+        item.DumpTo(out);
+      }
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [name, value] : members_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += Escape(name);
+        *out += "\":";
+        value.DumpTo(out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+std::optional<Value> Value::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace nvbitfi::analysis::json

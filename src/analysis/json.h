@@ -1,0 +1,91 @@
+// Minimal JSON reader/writer for the analysis layer.
+//
+// The result store persists campaign records as JSONL, and the anatomy
+// reports have a machine-readable JSON form.  Only what those need is
+// implemented: objects preserve insertion order (deterministic output),
+// integers are kept as 64-bit integers (cycle counters exceed 2^53), and
+// doubles print with enough digits to round-trip bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nvbitfi::analysis::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kUint, kInt, kDouble, kString, kArray, kObject,
+  };
+
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}                     // NOLINT
+  Value(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}            // NOLINT
+  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}               // NOLINT
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}               // NOLINT
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}               // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}                // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                     // NOLINT
+
+  static Value Array();
+  static Value Object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Object access.  Set appends or replaces; Find returns nullptr when the
+  // key is absent (or this is not an object).
+  void Set(std::string_view key, Value value);
+  const Value* Find(std::string_view key) const;
+
+  // Array access.
+  void Push(Value value);
+  std::size_t size() const { return items_.size(); }
+  const Value& at(std::size_t i) const { return items_[i]; }
+
+  // Typed getters with defaults; numeric kinds convert between each other.
+  bool AsBool(bool fallback = false) const;
+  std::uint64_t AsUint(std::uint64_t fallback = 0) const;
+  std::int64_t AsInt(std::int64_t fallback = 0) const;
+  double AsDouble(double fallback = 0.0) const;
+  const std::string& AsString() const;  // empty string for non-strings
+
+  // Convenience: member lookup + typed getter in one call.
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  std::uint64_t GetUint(std::string_view key, std::uint64_t fallback = 0) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t fallback = 0) const;
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  std::string GetString(std::string_view key, std::string_view fallback = "") const;
+
+  // Compact single-line serialisation (no spaces, members in insertion
+  // order) — one store record per line.
+  std::string Dump() const;
+
+  // Strict parse of a complete JSON document; nullopt on any syntax error
+  // or trailing garbage.
+  static std::optional<Value> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;                              // array
+  std::vector<std::pair<std::string, Value>> members_;    // object
+};
+
+// JSON string escaping (used by Dump; exposed for tests).
+std::string Escape(std::string_view text);
+
+}  // namespace nvbitfi::analysis::json

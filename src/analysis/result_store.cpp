@@ -1,0 +1,545 @@
+#include "analysis/result_store.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/profile.h"
+
+namespace nvbitfi::analysis {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+json::Value ArtifactsToJson(const fi::RunArtifacts& artifacts) {
+  json::Value out = json::Value::Object();
+  out.Set("cycles", artifacts.cycles);
+  out.Set("thread_instructions", artifacts.thread_instructions);
+  out.Set("dynamic_kernels", artifacts.dynamic_kernels);
+  out.Set("static_kernels", artifacts.static_kernels);
+  out.Set("max_launch_thread_instructions", artifacts.max_launch_thread_instructions);
+  out.Set("exit_code", artifacts.exit_code);
+  out.Set("crashed", artifacts.crashed);
+  out.Set("timed_out", artifacts.timed_out);
+  out.Set("app_check_failed", artifacts.app_check_failed);
+  return out;
+}
+
+// Accounting only: outputs and anomaly texts are not persisted (the
+// classification and anatomy already distilled them).
+fi::RunArtifacts ArtifactsFromJson(const json::Value& value) {
+  fi::RunArtifacts artifacts;
+  artifacts.cycles = value.GetUint("cycles");
+  artifacts.thread_instructions = value.GetUint("thread_instructions");
+  artifacts.dynamic_kernels = value.GetUint("dynamic_kernels");
+  artifacts.static_kernels = value.GetUint("static_kernels");
+  artifacts.max_launch_thread_instructions =
+      value.GetUint("max_launch_thread_instructions");
+  artifacts.exit_code = static_cast<int>(value.GetInt("exit_code"));
+  artifacts.crashed = value.GetBool("crashed");
+  artifacts.timed_out = value.GetBool("timed_out");
+  artifacts.app_check_failed = value.GetBool("app_check_failed");
+  return artifacts;
+}
+
+json::Value ClassificationToJson(const fi::Classification& c) {
+  json::Value out = json::Value::Object();
+  out.Set("outcome", static_cast<std::int64_t>(c.outcome));
+  out.Set("symptom", static_cast<std::int64_t>(c.symptom));
+  out.Set("potential_due", c.potential_due);
+  return out;
+}
+
+std::optional<fi::Classification> ClassificationFromJson(const json::Value& value) {
+  const std::optional<fi::Outcome> outcome =
+      fi::OutcomeFromInt(static_cast<int>(value.GetInt("outcome", -1)));
+  const std::optional<fi::Symptom> symptom =
+      fi::SymptomFromInt(static_cast<int>(value.GetInt("symptom", -1)));
+  if (!outcome.has_value() || !symptom.has_value()) return std::nullopt;
+  fi::Classification c;
+  c.outcome = *outcome;
+  c.symptom = *symptom;
+  c.potential_due = value.GetBool("potential_due");
+  return c;
+}
+
+json::Value RecordToJson(const fi::InjectionRecord& record) {
+  json::Value out = json::Value::Object();
+  out.Set("activated", record.activated);
+  out.Set("kernel_name", record.kernel_name);
+  out.Set("kernel_count", record.kernel_count);
+  out.Set("static_index", static_cast<std::uint64_t>(record.static_index));
+  out.Set("opcode", static_cast<std::int64_t>(record.opcode));
+  out.Set("corrupted", record.corrupted);
+  out.Set("pred_target", record.pred_target);
+  out.Set("target_register", record.target_register);
+  out.Set("register_width", record.register_width);
+  out.Set("before_bits", record.before_bits);
+  out.Set("after_bits", record.after_bits);
+  out.Set("mask", record.mask);
+  out.Set("sm_id", record.sm_id);
+  out.Set("lane_id", record.lane_id);
+  return out;
+}
+
+std::optional<fi::InjectionRecord> RecordFromJson(const json::Value& value) {
+  const std::int64_t opcode = value.GetInt("opcode", -1);
+  if (opcode < 0 || opcode >= sim::kOpcodeCount) return std::nullopt;
+  fi::InjectionRecord record;
+  record.activated = value.GetBool("activated");
+  record.kernel_name = value.GetString("kernel_name");
+  record.kernel_count = value.GetUint("kernel_count");
+  record.static_index = static_cast<std::uint32_t>(value.GetUint("static_index"));
+  record.opcode = static_cast<sim::Opcode>(opcode);
+  record.corrupted = value.GetBool("corrupted");
+  record.pred_target = value.GetBool("pred_target");
+  record.target_register = static_cast<int>(value.GetInt("target_register", -1));
+  record.register_width = static_cast<int>(value.GetInt("register_width", 32));
+  record.before_bits = value.GetUint("before_bits");
+  record.after_bits = value.GetUint("after_bits");
+  record.mask = value.GetUint("mask");
+  record.sm_id = static_cast<int>(value.GetInt("sm_id", -1));
+  record.lane_id = static_cast<int>(value.GetInt("lane_id", -1));
+  return record;
+}
+
+json::Value TransientParamsToJson(const fi::TransientFaultParams& params) {
+  json::Value out = json::Value::Object();
+  out.Set("group", static_cast<std::int64_t>(params.arch_state_id));
+  out.Set("model", static_cast<std::int64_t>(params.bit_flip_model));
+  out.Set("kernel_name", params.kernel_name);
+  out.Set("kernel_count", params.kernel_count);
+  out.Set("instruction_count", params.instruction_count);
+  out.Set("destination_register", params.destination_register);
+  out.Set("bit_pattern_value", params.bit_pattern_value);
+  return out;
+}
+
+std::optional<fi::TransientFaultParams> TransientParamsFromJson(const json::Value& value) {
+  const std::optional<fi::ArchStateId> group =
+      fi::ArchStateIdFromInt(static_cast<int>(value.GetInt("group", -1)));
+  const std::optional<fi::BitFlipModel> model =
+      fi::BitFlipModelFromInt(static_cast<int>(value.GetInt("model", -1)));
+  if (!group.has_value() || !model.has_value()) return std::nullopt;
+  fi::TransientFaultParams params;
+  params.arch_state_id = *group;
+  params.bit_flip_model = *model;
+  params.kernel_name = value.GetString("kernel_name");
+  params.kernel_count = value.GetUint("kernel_count");
+  params.instruction_count = value.GetUint("instruction_count");
+  params.destination_register = value.GetDouble("destination_register");
+  params.bit_pattern_value = value.GetDouble("bit_pattern_value");
+  return params;
+}
+
+json::Value MetaToJson(const StoreMeta& meta) {
+  json::Value out = json::Value::Object();
+  out.Set("nvbitfi_result_store", static_cast<std::int64_t>(meta.version));
+  out.Set("kind", meta.kind);
+  out.Set("program", meta.program);
+  out.Set("seed", meta.seed);
+  out.Set("num_experiments", meta.num_experiments);
+  out.Set("group", meta.group);
+  out.Set("flip_model", meta.flip_model);
+  out.Set("randomize_flip_model", meta.randomize_flip_model);
+  out.Set("sm_id", meta.sm_id);
+  out.Set("fixed_mask", static_cast<std::uint64_t>(meta.fixed_mask));
+  out.Set("only_executed_opcodes", meta.only_executed_opcodes);
+  out.Set("approximate_profile", meta.approximate_profile);
+  out.Set("watchdog_multiplier", meta.watchdog_multiplier);
+  out.Set("element", ElementKindName(meta.element));
+  out.Set("workers", meta.workers);
+  out.Set("golden", ArtifactsToJson(meta.golden));
+  out.Set("profiling_run_cycles", meta.profiling_run_cycles);
+  out.Set("profile", meta.profile_text);
+  return out;
+}
+
+std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* error) {
+  StoreMeta meta;
+  meta.version = static_cast<int>(value.GetInt("nvbitfi_result_store", -1));
+  if (meta.version != kResultStoreVersion) {
+    *error = Format("unsupported store version %d (expected %d)", meta.version,
+                    kResultStoreVersion);
+    return std::nullopt;
+  }
+  meta.kind = value.GetString("kind");
+  if (meta.kind != "transient" && meta.kind != "permanent") {
+    *error = "store header has no valid 'kind'";
+    return std::nullopt;
+  }
+  meta.program = value.GetString("program");
+  meta.seed = value.GetUint("seed");
+  meta.num_experiments = value.GetUint("num_experiments");
+  meta.group = static_cast<int>(value.GetInt("group"));
+  meta.flip_model = static_cast<int>(value.GetInt("flip_model"));
+  meta.randomize_flip_model = value.GetBool("randomize_flip_model");
+  meta.sm_id = static_cast<int>(value.GetInt("sm_id"));
+  meta.fixed_mask = static_cast<std::uint32_t>(value.GetUint("fixed_mask"));
+  meta.only_executed_opcodes = value.GetBool("only_executed_opcodes", true);
+  meta.approximate_profile = value.GetBool("approximate_profile");
+  meta.watchdog_multiplier = value.GetUint("watchdog_multiplier");
+  meta.element = ElementKindFromName(value.GetString("element", "f32"))
+                     .value_or(ElementKind::kF32);
+  meta.workers = static_cast<int>(value.GetInt("workers", 1));
+  if (const json::Value* golden = value.Find("golden"); golden != nullptr) {
+    meta.golden = ArtifactsFromJson(*golden);
+  }
+  meta.profiling_run_cycles = value.GetUint("profiling_run_cycles");
+  meta.profile_text = value.GetString("profile");
+  return meta;
+}
+
+json::Value TransientRunToJson(std::size_t index, const fi::InjectionRun& run,
+                               const SdcAnatomy* anatomy) {
+  json::Value out = json::Value::Object();
+  out.Set("index", static_cast<std::uint64_t>(index));
+  out.Set("trivially_masked", run.trivially_masked);
+  if (!run.trivially_masked) {
+    out.Set("params", TransientParamsToJson(run.params));
+    out.Set("record", RecordToJson(run.record));
+    out.Set("artifacts", ArtifactsToJson(run.artifacts));
+  }
+  out.Set("classification", ClassificationToJson(run.classification));
+  if (anatomy != nullptr) out.Set("anatomy", ToJson(*anatomy));
+  return out;
+}
+
+json::Value PermanentRunToJson(std::size_t index, const fi::PermanentRun& run,
+                               const SdcAnatomy* anatomy) {
+  json::Value out = json::Value::Object();
+  out.Set("index", static_cast<std::uint64_t>(index));
+  json::Value params = json::Value::Object();
+  params.Set("sm_id", run.params.sm_id);
+  params.Set("lane_id", run.params.lane_id);
+  params.Set("bit_mask", static_cast<std::uint64_t>(run.params.bit_mask));
+  params.Set("opcode_id", run.params.opcode_id);
+  out.Set("params", std::move(params));
+  out.Set("activations", run.activations);
+  out.Set("weight", run.weight);
+  out.Set("classification", ClassificationToJson(run.classification));
+  out.Set("artifacts", ArtifactsToJson(run.artifacts));
+  if (anatomy != nullptr) out.Set("anatomy", ToJson(*anatomy));
+  return out;
+}
+
+// Parses one record line into `store`; false on malformed content.
+bool ParseRecordLine(const json::Value& value, LoadedStore* store) {
+  const json::Value* index_value = value.Find("index");
+  if (index_value == nullptr) return false;
+  const std::size_t index = index_value->AsUint();
+  const json::Value* classification_value = value.Find("classification");
+  if (classification_value == nullptr) return false;
+  const std::optional<fi::Classification> classification =
+      ClassificationFromJson(*classification_value);
+  if (!classification.has_value()) return false;
+
+  std::optional<SdcAnatomy> anatomy;
+  if (const json::Value* anatomy_value = value.Find("anatomy");
+      anatomy_value != nullptr) {
+    anatomy = SdcAnatomyFromJson(*anatomy_value);
+    if (!anatomy.has_value()) return false;
+  }
+
+  if (store->meta.kind == "permanent") {
+    const json::Value* params = value.Find("params");
+    if (params == nullptr) return false;
+    const std::int64_t opcode_id = params->GetInt("opcode_id", -1);
+    if (opcode_id < 0 || opcode_id >= sim::kOpcodeCount) return false;
+    fi::PermanentRun run;
+    run.params.sm_id = static_cast<int>(params->GetInt("sm_id"));
+    run.params.lane_id = static_cast<int>(params->GetInt("lane_id"));
+    run.params.bit_mask = static_cast<std::uint32_t>(params->GetUint("bit_mask"));
+    run.params.opcode_id = static_cast<int>(opcode_id);
+    run.activations = value.GetUint("activations");
+    run.weight = value.GetDouble("weight");
+    run.classification = *classification;
+    if (const json::Value* artifacts = value.Find("artifacts"); artifacts != nullptr) {
+      run.artifacts = ArtifactsFromJson(*artifacts);
+    }
+    store->permanent[index] = std::move(run);
+  } else {
+    fi::InjectionRun run;
+    run.trivially_masked = value.GetBool("trivially_masked");
+    run.classification = *classification;
+    if (!run.trivially_masked) {
+      const json::Value* params = value.Find("params");
+      const json::Value* record = value.Find("record");
+      const json::Value* artifacts = value.Find("artifacts");
+      if (params == nullptr || record == nullptr || artifacts == nullptr) return false;
+      std::optional<fi::TransientFaultParams> parsed_params =
+          TransientParamsFromJson(*params);
+      std::optional<fi::InjectionRecord> parsed_record = RecordFromJson(*record);
+      if (!parsed_params.has_value() || !parsed_record.has_value()) return false;
+      run.params = *std::move(parsed_params);
+      run.record = *std::move(parsed_record);
+      run.artifacts = ArtifactsFromJson(*artifacts);
+    }
+    store->transient[index] = std::move(run);
+  }
+  if (anatomy.has_value()) store->anatomy[index] = *std::move(anatomy);
+  return true;
+}
+
+}  // namespace
+
+bool StoreMeta::CompatibleWith(const StoreMeta& other) const {
+  return version == other.version && kind == other.kind && program == other.program &&
+         seed == other.seed && num_experiments == other.num_experiments &&
+         group == other.group && flip_model == other.flip_model &&
+         randomize_flip_model == other.randomize_flip_model &&
+         sm_id == other.sm_id && fixed_mask == other.fixed_mask &&
+         only_executed_opcodes == other.only_executed_opcodes &&
+         approximate_profile == other.approximate_profile &&
+         watchdog_multiplier == other.watchdog_multiplier &&
+         element == other.element;
+}
+
+StoreMeta TransientStoreMeta(const std::string& program,
+                             const fi::TransientCampaignConfig& config,
+                             const fi::RunArtifacts& golden,
+                             std::uint64_t profiling_run_cycles,
+                             const fi::ProgramProfile& profile) {
+  StoreMeta meta;
+  meta.kind = "transient";
+  meta.program = program;
+  meta.seed = config.seed;
+  meta.num_experiments =
+      config.num_injections > 0 ? static_cast<std::uint64_t>(config.num_injections) : 0;
+  meta.group = static_cast<int>(config.group);
+  meta.flip_model = static_cast<int>(config.flip_model);
+  meta.randomize_flip_model = config.randomize_flip_model;
+  meta.approximate_profile = config.profiling == fi::ProfilerTool::Mode::kApproximate;
+  meta.watchdog_multiplier = config.watchdog_multiplier;
+  meta.workers = config.num_workers;
+  meta.golden = golden;
+  meta.golden.stdout_text.clear();
+  meta.golden.output_file.clear();
+  meta.golden.cuda_errors.clear();
+  meta.golden.dmesg.clear();
+  meta.profiling_run_cycles = profiling_run_cycles;
+  meta.profile_text = profile.Serialize();
+  return meta;
+}
+
+StoreMeta PermanentStoreMeta(const std::string& program,
+                             const fi::PermanentCampaignConfig& config,
+                             std::uint64_t num_experiments,
+                             const fi::RunArtifacts& golden,
+                             const fi::ProgramProfile& profile) {
+  StoreMeta meta;
+  meta.kind = "permanent";
+  meta.program = program;
+  meta.seed = config.seed;
+  meta.num_experiments = num_experiments;
+  meta.sm_id = config.sm_id;
+  meta.fixed_mask = config.fixed_mask;
+  meta.only_executed_opcodes = config.only_executed_opcodes;
+  meta.approximate_profile = profile.approximate;
+  meta.watchdog_multiplier = config.watchdog_multiplier;
+  meta.workers = config.num_workers;
+  meta.golden = golden;
+  meta.golden.stdout_text.clear();
+  meta.golden.output_file.clear();
+  meta.golden.cuda_errors.clear();
+  meta.golden.dmesg.clear();
+  meta.profile_text = profile.Serialize();
+  return meta;
+}
+
+std::optional<LoadedStore> LoadResultStore(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = Format("cannot read '%s'", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  const std::string text = ss.str();
+  const std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || TrimWhitespace(lines[0]).empty()) {
+    if (error != nullptr) *error = Format("'%s' has no store header", path.c_str());
+    return std::nullopt;
+  }
+
+  std::string header_error;
+  const std::optional<json::Value> header = json::Value::Parse(lines[0]);
+  if (!header.has_value()) {
+    if (error != nullptr) *error = Format("'%s': malformed store header", path.c_str());
+    return std::nullopt;
+  }
+  LoadedStore store;
+  const std::optional<StoreMeta> meta = MetaFromJson(*header, &header_error);
+  if (!meta.has_value()) {
+    if (error != nullptr) *error = Format("'%s': %s", path.c_str(), header_error.c_str());
+    return std::nullopt;
+  }
+  store.meta = *meta;
+
+  // Find the last non-empty line: only THAT line may be malformed (the
+  // partial write of a killed campaign); corruption anywhere else is an
+  // error, not something to silently skip.
+  std::size_t last = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (!TrimWhitespace(lines[i]).empty()) last = i;
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (TrimWhitespace(lines[i]).empty()) continue;
+    const std::optional<json::Value> value = json::Value::Parse(lines[i]);
+    if (!value.has_value() || !ParseRecordLine(*value, &store)) {
+      if (i == last) continue;  // truncated tail record
+      if (error != nullptr) {
+        *error = Format("'%s': malformed record on line %zu", path.c_str(), i + 1);
+      }
+      return std::nullopt;
+    }
+  }
+  return store;
+}
+
+std::unique_ptr<ResultStore> ResultStore::Open(const std::string& path,
+                                               const StoreMeta& meta, bool resume,
+                                               std::string* error) {
+  LoadedStore loaded;
+  loaded.meta = meta;
+  if (resume && FileExists(path)) {
+    std::optional<LoadedStore> existing = LoadResultStore(path, error);
+    if (!existing.has_value()) return nullptr;
+    if (!meta.CompatibleWith(existing->meta)) {
+      if (error != nullptr) {
+        *error = Format("'%s' was written by a different campaign "
+                        "(program/seed/size/model mismatch); not resuming",
+                        path.c_str());
+      }
+      return nullptr;
+    }
+    loaded = *std::move(existing);
+  }
+
+  // (Re)write the file in a clean canonical state: header + every loaded
+  // record.  On resume this drops the truncated trailing line a killed
+  // campaign may have left, so future loads never see mid-file corruption.
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = Format("cannot write '%s'", path.c_str());
+    return nullptr;
+  }
+  auto write_line = [file](const std::string& line) {
+    std::fputs(line.c_str(), file);
+    std::fputc('\n', file);
+  };
+  write_line(MetaToJson(loaded.meta).Dump());
+  for (const auto& [index, run] : loaded.transient) {
+    const auto anatomy = loaded.anatomy.find(index);
+    write_line(TransientRunToJson(index, run,
+                                  anatomy != loaded.anatomy.end() ? &anatomy->second
+                                                                  : nullptr)
+                   .Dump());
+  }
+  for (const auto& [index, run] : loaded.permanent) {
+    const auto anatomy = loaded.anatomy.find(index);
+    write_line(PermanentRunToJson(index, run,
+                                  anatomy != loaded.anatomy.end() ? &anatomy->second
+                                                                  : nullptr)
+                   .Dump());
+  }
+  std::fflush(file);
+  return std::unique_ptr<ResultStore>(new ResultStore(path, file, std::move(loaded)));
+}
+
+ResultStore::~ResultStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultStore::AppendTransient(std::size_t index, const fi::InjectionRun& run,
+                                  const SdcAnatomy* anatomy) {
+  const std::string line = TransientRunToJson(index, run, anatomy).Dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void ResultStore::AppendPermanent(std::size_t index, const fi::PermanentRun& run,
+                                  const SdcAnatomy* anatomy) {
+  const std::string line = PermanentRunToJson(index, run, anatomy).Dump();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+fi::TransientCampaignResult RebuildTransientResult(const LoadedStore& store) {
+  fi::TransientCampaignResult result;
+  result.program = store.meta.program;
+  result.golden = store.meta.golden;
+  result.profiling_run.cycles = store.meta.profiling_run_cycles;
+  if (const std::optional<fi::ProgramProfile> profile =
+          fi::ProgramProfile::Parse(store.meta.profile_text);
+      profile.has_value()) {
+    result.profile = *profile;
+  }
+  result.workers = store.meta.workers;
+  for (const auto& [index, run] : store.transient) {
+    (void)index;
+    result.injections.push_back(run);
+  }
+  for (const fi::InjectionRun& run : result.injections) {
+    result.counts.Add(run.classification);
+    if (run.trivially_masked) {
+      ++result.trivially_masked;
+    } else if (!run.record.activated) {
+      ++result.never_activated;
+    }
+  }
+  return result;
+}
+
+fi::PermanentCampaignResult RebuildPermanentResult(const LoadedStore& store) {
+  fi::PermanentCampaignResult result;
+  result.program = store.meta.program;
+  result.workers = store.meta.workers;
+  if (const std::optional<fi::ProgramProfile> profile =
+          fi::ProgramProfile::Parse(store.meta.profile_text);
+      profile.has_value()) {
+    result.executed_opcodes = profile->ExecutedOpcodes().size();
+  }
+  for (const auto& [index, run] : store.permanent) {
+    (void)index;
+    result.runs.push_back(run);
+  }
+  for (const fi::PermanentRun& run : result.runs) {
+    result.counts.Add(run.classification);
+    result.weighted.Add(run.classification, run.weight);
+  }
+  return result;
+}
+
+AnatomyBreakdown RebuildAnatomy(const LoadedStore& store) {
+  AnatomyBreakdown breakdown;
+  breakdown.total_runs = store.completed();
+  for (const auto& [index, anatomy] : store.anatomy) {
+    if (store.meta.kind == "permanent") {
+      const auto it = store.permanent.find(index);
+      if (it == store.permanent.end()) continue;
+      breakdown.Add("", it->second.params.opcode(), anatomy);
+    } else {
+      const auto it = store.transient.find(index);
+      if (it == store.transient.end()) continue;
+      const fi::InjectionRun& run = it->second;
+      breakdown.Add(run.params.kernel_name,
+                    run.record.activated
+                        ? std::optional<sim::Opcode>(run.record.opcode)
+                        : std::nullopt,
+                    anatomy);
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace nvbitfi::analysis

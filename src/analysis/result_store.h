@@ -1,0 +1,141 @@
+// Persistent campaign result store (versioned JSONL).
+//
+// Line 1 is a header object identifying the store format version, the
+// campaign configuration, and the shared campaign state (golden-run
+// accounting and the serialized profile).  Every following line is one
+// completed experiment: its index, fault parameters, injection record,
+// classification, run accounting, and — for SDCs — the anatomy record.
+//
+// Records are appended (and flushed) as workers complete, so a killed
+// campaign leaves a loadable prefix: a possibly-truncated final line is
+// ignored on load.  Because campaigns are deterministic by construction
+// (per-experiment Rng streams pre-forked in index order), a campaign resumed
+// from a partial store — re-running only the missing indexes — produces
+// results bit-identical to an uninterrupted campaign.
+//
+// `nvbitfi analyze` rebuilds campaign results, reports, and anatomy
+// summaries from a store without re-simulating anything.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "analysis/anatomy.h"
+#include "core/campaign.h"
+
+namespace nvbitfi::analysis {
+
+inline constexpr int kResultStoreVersion = 1;
+
+// Campaign identity + shared state persisted in the header line.  The
+// identity fields decide whether a store can be resumed by a given campaign;
+// the rest lets `analyze` rebuild the report without re-running anything.
+struct StoreMeta {
+  int version = kResultStoreVersion;
+  std::string kind;  // "transient" | "permanent"
+  std::string program;
+  std::uint64_t seed = 0;
+  std::uint64_t num_experiments = 0;
+  // Transient identity.
+  int group = 0;
+  int flip_model = 0;
+  bool randomize_flip_model = false;
+  // Permanent identity.
+  int sm_id = 0;
+  std::uint32_t fixed_mask = 0;
+  bool only_executed_opcodes = true;
+  // Shared.
+  bool approximate_profile = false;
+  std::uint64_t watchdog_multiplier = 0;
+  ElementKind element = ElementKind::kF32;
+  int workers = 1;
+  // Golden-run accounting (outputs are not persisted) and the profile, for
+  // report regeneration.
+  fi::RunArtifacts golden;
+  std::uint64_t profiling_run_cycles = 0;
+  std::string profile_text;  // ProgramProfile::Serialize()
+
+  // True when `other` describes the same deterministic experiment sequence,
+  // i.e. resuming from a store with this header is sound.
+  bool CompatibleWith(const StoreMeta& other) const;
+};
+
+StoreMeta TransientStoreMeta(const std::string& program,
+                             const fi::TransientCampaignConfig& config,
+                             const fi::RunArtifacts& golden,
+                             std::uint64_t profiling_run_cycles,
+                             const fi::ProgramProfile& profile);
+StoreMeta PermanentStoreMeta(const std::string& program,
+                             const fi::PermanentCampaignConfig& config,
+                             std::uint64_t num_experiments,
+                             const fi::RunArtifacts& golden,
+                             const fi::ProgramProfile& profile);
+
+// Everything loaded back from a store file.
+struct LoadedStore {
+  StoreMeta meta;
+  std::map<std::size_t, fi::InjectionRun> transient;
+  std::map<std::size_t, fi::PermanentRun> permanent;
+  std::map<std::size_t, SdcAnatomy> anatomy;  // SDC runs only
+
+  std::size_t completed() const {
+    return meta.kind == "permanent" ? permanent.size() : transient.size();
+  }
+};
+
+// Parses a store file.  A malformed or truncated *final* record line is
+// skipped (the footprint of a killed campaign); a malformed header or a
+// version mismatch is an error.
+std::optional<LoadedStore> LoadResultStore(const std::string& path, std::string* error);
+
+// Append-mode writer.  Thread-safe: campaign workers call Append* directly.
+class ResultStore {
+ public:
+  // Creates `path` with a fresh header.  With `resume`, an existing
+  // compatible store is loaded first (its records are served via loaded())
+  // and appending continues where it left off; an incompatible or corrupt
+  // existing store is an error (nullptr + *error).
+  static std::unique_ptr<ResultStore> Open(const std::string& path,
+                                           const StoreMeta& meta, bool resume,
+                                           std::string* error);
+
+  ~ResultStore();
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  // Serializes one completed run and flushes it.  `anatomy` may be null
+  // (non-SDC runs).
+  void AppendTransient(std::size_t index, const fi::InjectionRun& run,
+                       const SdcAnatomy* anatomy);
+  void AppendPermanent(std::size_t index, const fi::PermanentRun& run,
+                       const SdcAnatomy* anatomy);
+
+  // Runs loaded from the resumed store; campaigns pass these as `preloaded`
+  // so completed indexes are skipped.
+  const LoadedStore& loaded() const { return loaded_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ResultStore(std::string path, std::FILE* file, LoadedStore loaded)
+      : path_(std::move(path)), file_(file), loaded_(std::move(loaded)) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  LoadedStore loaded_;
+  std::mutex mu_;
+};
+
+// Rebuilds campaign results from a loaded store (wall_seconds is zero: no
+// injection phase ran).  Counts, overheads, and CSV rows match the original
+// campaign's exactly.
+fi::TransientCampaignResult RebuildTransientResult(const LoadedStore& store);
+fi::PermanentCampaignResult RebuildPermanentResult(const LoadedStore& store);
+
+// Aggregates the per-run anatomy records persisted in the store.
+AnatomyBreakdown RebuildAnatomy(const LoadedStore& store);
+
+}  // namespace nvbitfi::analysis

@@ -147,8 +147,17 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   result.workers = pool.workers();
   const auto start = std::chrono::steady_clock::now();
   pool.ParallelFor(n, [&](std::size_t i) {
-    Rng& experiment_rng = streams[i];
     InjectionRun& run = result.injections[i];
+    // Resumed experiment: the interrupted campaign already ran (and
+    // persisted) this index; adopt its result without re-executing.
+    if (config.preloaded != nullptr) {
+      const auto it = config.preloaded->find(i);
+      if (it != config.preloaded->end()) {
+        run = it->second;
+        return;
+      }
+    }
+    Rng& experiment_rng = streams[i];
     const BitFlipModel model =
         config.randomize_flip_model
             ? *BitFlipModelFromInt(static_cast<int>(experiment_rng.UniformInt(1, 4)))
@@ -162,6 +171,7 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
       // it contributes zero cycles to the Fig. 5 campaign total).
       run.trivially_masked = true;
       run.classification = Classification{};
+      if (config.on_run_complete) config.on_run_complete(i, run);
       return;
     }
     run.params = *params;
@@ -170,6 +180,7 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     run.artifacts = Execute(&injector, config.device, watchdog);
     run.record = injector.record();
     run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
+    if (config.on_run_complete) config.on_run_complete(i, run);
   });
   result.wall_seconds = SecondsSince(start);
 
@@ -224,9 +235,16 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
   result.workers = pool.workers();
   const auto start = std::chrono::steady_clock::now();
   pool.ParallelFor(opcodes.size(), [&](std::size_t i) {
+    PermanentRun& run = result.runs[i];
+    if (config.preloaded != nullptr) {
+      const auto it = config.preloaded->find(i);
+      if (it != config.preloaded->end()) {
+        run = it->second;
+        return;
+      }
+    }
     Rng& experiment_rng = streams[i];
     const sim::Opcode opcode = opcodes[i];
-    PermanentRun& run = result.runs[i];
     run.params.opcode_id = static_cast<int>(opcode);
     run.params.sm_id = config.sm_id >= 0
                            ? config.sm_id
@@ -246,6 +264,7 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
     run.artifacts = Execute(&injector, device, watchdog);
     run.activations = injector.activations();
     run.classification = Classify(golden, run.artifacts, program_.sdc_checker());
+    if (config.on_run_complete) config.on_run_complete(i, run);
   });
   result.wall_seconds = SecondsSince(start);
 

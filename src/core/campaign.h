@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -31,6 +33,17 @@
 #include "nvbit/nvbit.h"
 
 namespace nvbitfi::fi {
+
+struct InjectionRun;
+struct PermanentRun;
+
+// Streaming hook: invoked once per freshly executed experiment, from the
+// worker thread that ran it, after classification.  Implementations must be
+// thread-safe (the analysis layer's ResultStore serialises internally).
+// Experiments served from `preloaded` do NOT fire the observer — they were
+// already persisted by the interrupted campaign being resumed.
+using TransientRunObserver = std::function<void(std::size_t, const InjectionRun&)>;
+using PermanentRunObserver = std::function<void(std::size_t, const PermanentRun&)>;
 
 struct TransientCampaignConfig {
   std::uint64_t seed = 1;
@@ -48,6 +61,13 @@ struct TransientCampaignConfig {
   // value yields the same results as 1 (see the class comment).
   int num_workers = 1;
   sim::DeviceProps device;
+  // Resume support: experiments whose index appears here are not re-executed;
+  // the stored run is used verbatim.  Rng streams are still forked for every
+  // index on the driving thread, so the remaining experiments see exactly the
+  // streams an uninterrupted campaign would have given them — a resumed
+  // campaign is bit-identical to an unresumed one by construction.
+  const std::map<std::size_t, InjectionRun>* preloaded = nullptr;
+  TransientRunObserver on_run_complete;
 };
 
 struct InjectionRun {
@@ -100,6 +120,9 @@ struct PermanentCampaignConfig {
   // Concurrent injection runs: 1 = serial, 0 = hardware concurrency.
   int num_workers = 1;
   sim::DeviceProps device;
+  // Resume support; see TransientCampaignConfig.
+  const std::map<std::size_t, PermanentRun>* preloaded = nullptr;
+  PermanentRunObserver on_run_complete;
 };
 
 struct PermanentRun {

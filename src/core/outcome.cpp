@@ -13,6 +13,11 @@ std::string_view OutcomeName(Outcome outcome) {
   return "?";
 }
 
+std::optional<Outcome> OutcomeFromInt(int value) {
+  if (value < 0 || value > static_cast<int>(Outcome::kDue)) return std::nullopt;
+  return static_cast<Outcome>(value);
+}
+
 std::string_view SymptomName(Symptom symptom) {
   switch (symptom) {
     case Symptom::kNone: return "no difference detected";
@@ -24,6 +29,11 @@ std::string_view SymptomName(Symptom symptom) {
     case Symptom::kNonZeroExit: return "non-zero exit status (application detection)";
   }
   return "?";
+}
+
+std::optional<Symptom> SymptomFromInt(int value) {
+  if (value < 0 || value > static_cast<int>(Symptom::kNonZeroExit)) return std::nullopt;
+  return static_cast<Symptom>(value);
 }
 
 bool SdcChecker::IsSdc(const RunArtifacts& golden, const RunArtifacts& run) const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@ namespace nvbitfi::fi {
 enum class Outcome : std::uint8_t { kMasked, kSdc, kDue };
 
 std::string_view OutcomeName(Outcome outcome);
+// Integer round-trip for persisted classifications (the result store).
+std::optional<Outcome> OutcomeFromInt(int value);
 
 // The specific Table V symptom that produced the outcome.
 enum class Symptom : std::uint8_t {
@@ -37,6 +40,7 @@ enum class Symptom : std::uint8_t {
 };
 
 std::string_view SymptomName(Symptom symptom);
+std::optional<Symptom> SymptomFromInt(int value);
 
 // Everything observable from one run of a target program.
 struct RunArtifacts {

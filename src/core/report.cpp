@@ -25,6 +25,21 @@ std::string SymptomBreakdown(const std::map<std::string, int>& symptoms) {
 
 }  // namespace
 
+std::string CsvField(std::string_view value) {
+  if (value.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(value);
+  }
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string TransientCampaignReport(const TransientCampaignResult& result,
                                     double confidence) {
   std::string out;
@@ -87,7 +102,7 @@ std::string TransientCampaignCsv(const TransientCampaignResult& result) {
                      run.record.target_register)
             : "";
     out += Format("%zu,%s,%llu,%llu,%d,%d,%s,%d,%s,0x%llx,%s,%s,%d,%llu\n", i,
-                  run.params.kernel_name.c_str(),
+                  CsvField(run.params.kernel_name).c_str(),
                   static_cast<unsigned long long>(run.params.kernel_count),
                   static_cast<unsigned long long>(run.params.instruction_count),
                   static_cast<int>(run.params.arch_state_id),

@@ -7,10 +7,17 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "core/campaign.h"
 
 namespace nvbitfi::fi {
+
+// RFC 4180 field quoting: values containing a comma, double quote, CR, or LF
+// are wrapped in double quotes with internal quotes doubled; everything else
+// passes through unchanged.  Free-text CSV fields (kernel names come from
+// target programs) go through this.
+std::string CsvField(std::string_view value);
 
 // Text report: golden stats, profile summary, outcome distribution with
 // confidence intervals, overheads, and symptom breakdown.

@@ -5,24 +5,36 @@
 namespace nvbitfi::fi {
 namespace {
 
+// Free-text key fragments (program names, device names, ISA strings) are
+// length-prefixed so they self-delimit: no choice of separator character can
+// make two distinct fragment sequences concatenate to the same key (e.g.
+// name "x/1" + 1 SM vs name "x" + 11 SMs under naive '/' joining).
+std::string KeyFragment(const std::string& text) {
+  return Format("%zu:%s", text.size(), text.c_str());
+}
+
 std::string ProfileKey(const std::string& program, ProfilerTool::Mode mode,
                        const sim::DeviceProps& device) {
-  return program + "|" +
+  return KeyFragment(program) + "|" +
          (mode == ProfilerTool::Mode::kExact ? "exact" : "approximate") + "|" +
          DeviceCacheKey(device);
+}
+
+std::string GoldenKey(const std::string& program, const sim::DeviceProps& device) {
+  return KeyFragment(program) + "|" + DeviceCacheKey(device);
 }
 
 }  // namespace
 
 std::string DeviceCacheKey(const sim::DeviceProps& device) {
-  return Format("%s/%d/%d/%s", device.name.c_str(), device.num_sms,
-                device.lanes_per_sm, device.isa.c_str());
+  return Format("%s/%d/%d/%s", KeyFragment(device.name).c_str(), device.num_sms,
+                device.lanes_per_sm, KeyFragment(device.isa).c_str());
 }
 
 RunArtifacts RunCache::Golden(const std::string& program,
                               const sim::DeviceProps& device,
                               const std::function<RunArtifacts()>& compute) {
-  const std::string key = program + "|" + DeviceCacheKey(device);
+  const std::string key = GoldenKey(program, device);
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = golden_.find(key);

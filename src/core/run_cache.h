@@ -21,7 +21,9 @@
 
 namespace nvbitfi::fi {
 
-// Stable cache-key fragment for a device configuration.
+// Stable cache-key fragment for a device configuration.  Free-text parts
+// (device name, ISA) are length-prefixed inside the key so that no device
+// name can collide with another configuration's delimiters.
 std::string DeviceCacheKey(const sim::DeviceProps& device);
 
 class RunCache {

@@ -1,0 +1,264 @@
+#include "analysis/anatomy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "../core/test_program.h"
+#include "core/campaign.h"
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::analysis {
+namespace {
+
+fi::RunArtifacts ArtifactsFor(const std::vector<float>& values) {
+  fi::RunArtifacts art;
+  art.output_file.resize(values.size() * sizeof(float));
+  std::memcpy(art.output_file.data(), values.data(), art.output_file.size());
+  art.stdout_text = "ok\n";
+  return art;
+}
+
+fi::RunArtifacts ArtifactsFor64(const std::vector<double>& values) {
+  fi::RunArtifacts art;
+  art.output_file.resize(values.size() * sizeof(double));
+  std::memcpy(art.output_file.data(), values.data(), art.output_file.size());
+  art.stdout_text = "ok\n";
+  return art;
+}
+
+float FlipBit(float value, int bit) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits ^= (1u << bit);
+  std::memcpy(&value, &bits, sizeof(bits));
+  return value;
+}
+
+TEST(Anatomy, CleanBuffersHaveNoOutputDiff) {
+  const std::vector<float> values{1.0f, 2.0f, 3.0f};
+  const fi::RunArtifacts golden = ArtifactsFor(values);
+  fi::RunArtifacts run = ArtifactsFor(values);
+  run.stdout_text = "different\n";
+  const SdcAnatomy anatomy = AnalyzeSdc(golden, run);
+  EXPECT_EQ(anatomy.pattern, SdcPattern::kNoOutputDiff);
+  EXPECT_EQ(anatomy.extent, SpatialExtent::kNone);
+  EXPECT_EQ(anatomy.corrupted_elements, 0u);
+  EXPECT_EQ(anatomy.elements_compared, 3u);
+  EXPECT_TRUE(anatomy.stdout_diff);
+  EXPECT_FALSE(anatomy.size_mismatch);
+}
+
+TEST(Anatomy, SingleBitFlipIsClassified) {
+  const std::vector<float> values{1.0f, 2.0f, 3.0f, 4.0f};
+  const fi::RunArtifacts golden = ArtifactsFor(values);
+  std::vector<float> faulty = values;
+  faulty[2] = FlipBit(faulty[2], 23);  // lowest exponent bit: 3.0 -> 1.5
+  const SdcAnatomy anatomy = AnalyzeSdc(golden, ArtifactsFor(faulty));
+  EXPECT_EQ(anatomy.pattern, SdcPattern::kSingleBit);
+  EXPECT_EQ(anatomy.extent, SpatialExtent::kSingleElement);
+  EXPECT_EQ(anatomy.corrupted_elements, 1u);
+  EXPECT_EQ(anatomy.first_corrupted, 2u);
+  EXPECT_EQ(anatomy.last_corrupted, 2u);
+  EXPECT_EQ(anatomy.bit_histogram[23], 1u);
+  for (int bit = 0; bit < 64; ++bit) {
+    if (bit != 23) {
+      EXPECT_EQ(anatomy.bit_histogram[bit], 0u) << bit;
+    }
+  }
+  ASSERT_EQ(anatomy.sample.size(), 1u);
+  EXPECT_EQ(anatomy.sample[0].index, 2u);
+  EXPECT_EQ(anatomy.sample[0].golden_bits ^ anatomy.sample[0].faulty_bits,
+            1ull << 23);
+}
+
+TEST(Anatomy, MultiBitWithinOneByteIsByteGranular) {
+  const std::vector<float> values{1.0f};
+  std::vector<float> faulty = values;
+  faulty[0] = FlipBit(FlipBit(faulty[0], 1), 5);  // both in byte 0
+  const SdcAnatomy anatomy = AnalyzeSdc(ArtifactsFor(values), ArtifactsFor(faulty));
+  EXPECT_EQ(anatomy.pattern, SdcPattern::kMultiBitByte);
+  EXPECT_EQ(anatomy.extent, SpatialExtent::kSingleElement);
+}
+
+TEST(Anatomy, MultiBitAcrossBytesIsWordGranular) {
+  const std::vector<float> values{1.0f};
+  std::vector<float> faulty = values;
+  faulty[0] = FlipBit(FlipBit(faulty[0], 1), 17);  // bytes 0 and 2
+  const SdcAnatomy anatomy = AnalyzeSdc(ArtifactsFor(values), ArtifactsFor(faulty));
+  EXPECT_EQ(anatomy.pattern, SdcPattern::kMultiBitWord);
+}
+
+TEST(Anatomy, MultipleCorruptedElementsAreMultiWord) {
+  const std::vector<float> values{1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  std::vector<float> faulty = values;
+  faulty[0] = FlipBit(faulty[0], 3);
+  faulty[5] = FlipBit(faulty[5], 3);
+  const SdcAnatomy anatomy = AnalyzeSdc(ArtifactsFor(values), ArtifactsFor(faulty));
+  EXPECT_EQ(anatomy.pattern, SdcPattern::kMultiWord);
+  EXPECT_EQ(anatomy.corrupted_elements, 2u);
+  EXPECT_EQ(anatomy.first_corrupted, 0u);
+  EXPECT_EQ(anatomy.last_corrupted, 5u);
+  // 2 corrupted over a span of 6: scattered.
+  EXPECT_EQ(anatomy.extent, SpatialExtent::kScattered);
+}
+
+TEST(Anatomy, ContiguousCorruptionIsClustered) {
+  const std::vector<float> values{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> faulty = values;
+  faulty[1] = FlipBit(faulty[1], 0);
+  faulty[2] = FlipBit(faulty[2], 0);
+  const SdcAnatomy anatomy = AnalyzeSdc(ArtifactsFor(values), ArtifactsFor(faulty));
+  EXPECT_EQ(anatomy.extent, SpatialExtent::kClustered);
+}
+
+TEST(Anatomy, SizeMismatchIsRecorded) {
+  const fi::RunArtifacts golden = ArtifactsFor({1.0f, 2.0f, 3.0f});
+  const fi::RunArtifacts run = ArtifactsFor({1.0f, 2.0f});
+  const SdcAnatomy anatomy = AnalyzeSdc(golden, run);
+  EXPECT_TRUE(anatomy.size_mismatch);
+  EXPECT_EQ(anatomy.elements_compared, 2u);
+}
+
+TEST(Anatomy, MagnitudeBuckets) {
+  EXPECT_EQ(MagnitudeBucket(1.0, 1.0 + 1e-8), 0);   // rel < 1e-6
+  EXPECT_EQ(MagnitudeBucket(1.0, 1.0 + 1e-4), 1);   // rel < 1e-3
+  EXPECT_EQ(MagnitudeBucket(1.0, 1.5), 2);          // rel < 1
+  EXPECT_EQ(MagnitudeBucket(1.0, 100.0), 3);        // rel < 1e3
+  EXPECT_EQ(MagnitudeBucket(1.0, 1e9), 4);          // rel >= 1e3
+  EXPECT_EQ(MagnitudeBucket(1.0, std::numeric_limits<double>::infinity()), 5);
+  EXPECT_EQ(MagnitudeBucket(1.0, std::numeric_limits<double>::quiet_NaN()), 5);
+  // Tiny golden values use the 1e-30 floor instead of dividing by ~zero.
+  EXPECT_EQ(MagnitudeBucket(0.0, 0.0), 0);
+}
+
+TEST(Anatomy, Float64Interpretation) {
+  const std::vector<double> values{1.0, 2.0};
+  std::vector<double> faulty = values;
+  std::uint64_t bits;
+  std::memcpy(&bits, &faulty[1], sizeof(bits));
+  bits ^= (1ull << 52);  // lowest exponent bit
+  std::memcpy(&faulty[1], &bits, sizeof(bits));
+  AnatomyConfig config;
+  config.element = ElementKind::kF64;
+  const SdcAnatomy anatomy =
+      AnalyzeSdc(ArtifactsFor64(values), ArtifactsFor64(faulty), config);
+  EXPECT_EQ(anatomy.element, ElementKind::kF64);
+  EXPECT_EQ(anatomy.elements_compared, 2u);
+  EXPECT_EQ(anatomy.pattern, SdcPattern::kSingleBit);
+  EXPECT_EQ(anatomy.bit_histogram[52], 1u);
+}
+
+TEST(Anatomy, SamplingIsBoundedButCountsAreNot) {
+  std::vector<float> values(256, 1.0f);
+  std::vector<float> faulty = values;
+  for (std::size_t i = 0; i < faulty.size(); ++i) faulty[i] = FlipBit(faulty[i], 2);
+  AnatomyConfig config;
+  config.max_sampled_elements = 8;
+  const SdcAnatomy anatomy =
+      AnalyzeSdc(ArtifactsFor(values), ArtifactsFor(faulty), config);
+  EXPECT_EQ(anatomy.corrupted_elements, 256u);  // full-buffer count
+  EXPECT_EQ(anatomy.sample.size(), 8u);         // bounded capture
+  EXPECT_EQ(anatomy.bit_histogram[2], 8u);
+  EXPECT_EQ(anatomy.extent, SpatialExtent::kClustered);
+  EXPECT_EQ(anatomy.last_corrupted, 255u);
+}
+
+TEST(Anatomy, JsonRoundTripIsLossless) {
+  std::vector<float> values{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> faulty = values;
+  faulty[1] = FlipBit(faulty[1], 30);
+  faulty[3] = FlipBit(FlipBit(faulty[3], 0), 9);
+  fi::RunArtifacts run = ArtifactsFor(faulty);
+  run.stdout_text = "corrupted\n";
+  const SdcAnatomy anatomy = AnalyzeSdc(ArtifactsFor(values), run);
+  const json::Value encoded = ToJson(anatomy);
+  const std::optional<json::Value> reparsed = json::Value::Parse(encoded.Dump());
+  ASSERT_TRUE(reparsed.has_value());
+  const std::optional<SdcAnatomy> decoded = SdcAnatomyFromJson(*reparsed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, anatomy);
+}
+
+TEST(Anatomy, ElementKindNamesRoundTrip) {
+  EXPECT_EQ(ElementKindFromName(ElementKindName(ElementKind::kF32)),
+            ElementKind::kF32);
+  EXPECT_EQ(ElementKindFromName(ElementKindName(ElementKind::kF64)),
+            ElementKind::kF64);
+  EXPECT_FALSE(ElementKindFromName("f16").has_value());
+}
+
+TEST(Anatomy, PartitionGroupCoversEveryOpcodeExactlyOnce) {
+  for (int op = 0; op < sim::kOpcodeCount; ++op) {
+    const auto opcode = static_cast<sim::Opcode>(op);
+    const fi::ArchStateId group = PartitionGroupOf(opcode);
+    EXPECT_GE(static_cast<int>(group), 1);
+    EXPECT_LE(static_cast<int>(group), 6);
+    EXPECT_TRUE(fi::OpcodeInGroup(opcode, group));
+    // Groups 1..6 partition the ISA (Table II): no earlier group matches.
+    for (int g = 1; g < static_cast<int>(group); ++g) {
+      EXPECT_FALSE(fi::OpcodeInGroup(opcode, static_cast<fi::ArchStateId>(g)))
+          << sim::OpcodeName(opcode);
+    }
+  }
+}
+
+TEST(Anatomy, BreakdownAggregatesByKernelAndGroup) {
+  const std::vector<float> values{1.0f, 2.0f};
+  std::vector<float> faulty = values;
+  faulty[0] = FlipBit(faulty[0], 4);
+  const SdcAnatomy anatomy = AnalyzeSdc(ArtifactsFor(values), ArtifactsFor(faulty));
+
+  AnatomyBreakdown breakdown;
+  breakdown.total_runs = 3;
+  breakdown.Add("kern_a", sim::Opcode::kFADD, anatomy);
+  breakdown.Add("kern_a", sim::Opcode::kIADD3, anatomy);
+  breakdown.Add("kern_b", std::nullopt, anatomy);
+
+  EXPECT_EQ(breakdown.campaign.sdc_runs, 3u);
+  EXPECT_EQ(breakdown.campaign.bit_histogram[4], 3u);
+  EXPECT_EQ(breakdown.by_kernel.at("kern_a").sdc_runs, 2u);
+  EXPECT_EQ(breakdown.by_kernel.at("kern_b").sdc_runs, 1u);
+  // FADD is G_FP32; IADD3 falls through to G_OTHERS; no-opcode runs are not
+  // attributed to any group.
+  EXPECT_EQ(breakdown.by_opcode_group.size(), 2u);
+  EXPECT_EQ(breakdown.by_opcode_group.at("G_FP32").sdc_runs, 1u);
+  EXPECT_EQ(breakdown.by_opcode_group.at("G_OTHERS").sdc_runs, 1u);
+
+  const std::string text = AnatomyReportText(breakdown);
+  EXPECT_NE(text.find("SDC anatomy: 3 SDCs over 3 runs"), std::string::npos);
+  EXPECT_NE(text.find("single-bit"), std::string::npos);
+  EXPECT_NE(text.find("kern_a"), std::string::npos);
+  EXPECT_NE(text.find("G_FP32"), std::string::npos);
+
+  const json::Value report = AnatomyReportJson(breakdown);
+  EXPECT_EQ(report.GetUint("total_runs", 0), 3u);
+  const json::Value* campaign = report.Find("campaign");
+  ASSERT_NE(campaign, nullptr);
+  EXPECT_EQ(campaign->GetUint("sdc_runs", 0), 3u);
+}
+
+TEST(Anatomy, BuildTransientAnatomyCoversEverySdc) {
+  const fi::testing::MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  fi::TransientCampaignConfig config;
+  config.seed = 11;
+  config.num_injections = 40;
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  const AnatomyBreakdown breakdown = BuildTransientAnatomy(result);
+  EXPECT_EQ(breakdown.total_runs, 40u);
+  EXPECT_EQ(breakdown.campaign.sdc_runs, result.counts.sdc);
+  std::uint64_t by_kernel = 0;
+  for (const auto& [kernel, aggregate] : breakdown.by_kernel) {
+    EXPECT_TRUE(kernel == "work" || kernel == "tail") << kernel;
+    by_kernel += aggregate.sdc_runs;
+  }
+  EXPECT_EQ(by_kernel, result.counts.sdc);
+}
+
+}  // namespace
+}  // namespace nvbitfi::analysis

@@ -1,0 +1,80 @@
+#include "analysis/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace nvbitfi::analysis::json {
+namespace {
+
+TEST(Json, ScalarsRoundTrip) {
+  Value obj;
+  obj.Set("b", Value(true));
+  obj.Set("u", Value(std::uint64_t{18446744073709551615ull}));
+  obj.Set("i", Value(std::int64_t{-42}));
+  obj.Set("d", Value(0.1));
+  obj.Set("s", Value(std::string("hi \"there\"\n\t\\")));
+  obj.Set("n", Value());
+
+  const std::optional<Value> parsed = Value::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->GetBool("b", false), true);
+  EXPECT_EQ(parsed->GetUint("u", 0), 18446744073709551615ull);
+  EXPECT_EQ(parsed->GetInt("i", 0), -42);
+  EXPECT_EQ(parsed->GetDouble("d", 0.0), 0.1);
+  EXPECT_EQ(parsed->GetString("s", ""), "hi \"there\"\n\t\\");
+  const Value* null_member = parsed->Find("n");
+  ASSERT_NE(null_member, nullptr);
+  EXPECT_EQ(null_member->kind(), Value::Kind::kNull);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Value obj;
+  obj.Set("zebra", Value(std::int64_t{1}));
+  obj.Set("alpha", Value(std::int64_t{2}));
+  const std::string text = obj.Dump();
+  EXPECT_LT(text.find("zebra"), text.find("alpha"));
+}
+
+TEST(Json, ArraysRoundTrip) {
+  Value arr;
+  for (int i = 0; i < 3; ++i) arr.Push(Value(std::int64_t{i * 7}));
+  Value obj;
+  obj.Set("a", std::move(arr));
+  const std::optional<Value> parsed = Value::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.has_value());
+  const Value* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(2).AsInt(), 14);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(Value::Parse("").has_value());
+  EXPECT_FALSE(Value::Parse("{").has_value());
+  EXPECT_FALSE(Value::Parse("{} trailing").has_value());
+  EXPECT_FALSE(Value::Parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Value::Parse("[1,]").has_value());
+  EXPECT_FALSE(Value::Parse("\"unterminated").has_value());
+}
+
+TEST(Json, ParseAcceptsNestedStructures) {
+  const std::optional<Value> parsed =
+      Value::Parse("{\"a\":[{\"b\":1.5e3},null,true],\"c\":\"\\u001f\"}");
+  ASSERT_TRUE(parsed.has_value());
+  const Value* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->at(0).GetDouble("b", 0.0), 1500.0);
+  EXPECT_EQ(parsed->GetString("c", ""), "\x1f");
+}
+
+TEST(Json, DoublesSurviveExactly) {
+  Value obj;
+  obj.Set("d", Value(1.0 / 3.0));
+  const std::optional<Value> parsed = Value::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->GetDouble("d", 0.0), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace nvbitfi::analysis::json

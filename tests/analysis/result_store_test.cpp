@@ -1,0 +1,250 @@
+#include "analysis/result_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../core/test_program.h"
+#include "core/campaign.h"
+#include "core/report.h"
+
+namespace nvbitfi::analysis {
+namespace {
+
+using fi::testing::MiniProgram;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// Runs a transient campaign on MiniProgram, streaming every run (plus SDC
+// anatomy) into a store at `path`, mirroring the CLI's wiring.
+fi::TransientCampaignResult RunStoredCampaign(const std::string& path, bool resume,
+                                              int num_injections = 20,
+                                              std::uint64_t seed = 9) {
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  fi::TransientCampaignConfig config;
+  config.seed = seed;
+  config.num_injections = num_injections;
+
+  const fi::RunArtifacts golden = runner.Golden(config.device);
+  fi::RunArtifacts profiling;
+  const fi::ProgramProfile profile =
+      runner.Profile(config.profiling, config.device, &profiling);
+  const StoreMeta meta =
+      TransientStoreMeta(program.name(), config, golden, profiling.cycles, profile);
+
+  std::string error;
+  auto store = ResultStore::Open(path, meta, resume, &error);
+  EXPECT_NE(store, nullptr) << error;
+  config.preloaded = &store->loaded().transient;
+  config.on_run_complete = [&](std::size_t index, const fi::InjectionRun& run) {
+    if (!run.trivially_masked &&
+        run.classification.outcome == fi::Outcome::kSdc) {
+      const SdcAnatomy anatomy = AnalyzeSdc(golden, run.artifacts);
+      store->AppendTransient(index, run, &anatomy);
+    } else {
+      store->AppendTransient(index, run, nullptr);
+    }
+  };
+  return runner.RunTransientCampaign(config);
+}
+
+TEST(ResultStore, RoundTripsACompleteCampaign) {
+  const std::string path = TempPath("store_roundtrip.jsonl");
+  std::remove(path.c_str());
+  const fi::TransientCampaignResult result = RunStoredCampaign(path, false);
+
+  std::string error;
+  const std::optional<LoadedStore> loaded = LoadResultStore(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->meta.kind, "transient");
+  EXPECT_EQ(loaded->meta.program, "mini");
+  EXPECT_EQ(loaded->completed(), result.injections.size());
+
+  const fi::TransientCampaignResult rebuilt = RebuildTransientResult(*loaded);
+  EXPECT_EQ(rebuilt.counts.sdc, result.counts.sdc);
+  EXPECT_EQ(rebuilt.counts.due, result.counts.due);
+  EXPECT_EQ(rebuilt.counts.masked, result.counts.masked);
+  EXPECT_EQ(rebuilt.trivially_masked, result.trivially_masked);
+  EXPECT_EQ(rebuilt.never_activated, result.never_activated);
+  EXPECT_EQ(rebuilt.golden.cycles, result.golden.cycles);
+  EXPECT_EQ(rebuilt.profiling_run.cycles, result.profiling_run.cycles);
+  // The per-injection CSV — every selected site, record, classification, and
+  // cycle count — survives the round trip bit-identically.
+  EXPECT_EQ(fi::TransientCampaignCsv(rebuilt), fi::TransientCampaignCsv(result));
+
+  // Anatomy from the store covers exactly the SDC runs.
+  const AnatomyBreakdown breakdown = RebuildAnatomy(*loaded);
+  EXPECT_EQ(breakdown.campaign.sdc_runs, result.counts.sdc);
+  EXPECT_EQ(breakdown.total_runs, result.injections.size());
+}
+
+// The ISSUE acceptance test: a campaign whose store is truncated partway
+// (simulating a kill) and then resumed produces a final report bit-identical
+// to an uninterrupted campaign.
+TEST(ResultStore, ResumeAfterTruncationIsBitIdentical) {
+  const std::string full_path = TempPath("store_full.jsonl");
+  const std::string cut_path = TempPath("store_cut.jsonl");
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+
+  const fi::TransientCampaignResult uninterrupted =
+      RunStoredCampaign(full_path, false);
+  const std::string full_csv = fi::TransientCampaignCsv(uninterrupted);
+
+  // Simulate the kill: keep the header plus roughly half the records, with
+  // the last line cut mid-record.
+  const std::string full = ReadFile(full_path);
+  std::size_t cut = full.size() / 2;
+  WriteFile(cut_path, full.substr(0, cut));
+
+  std::string error;
+  const std::optional<LoadedStore> partial = LoadResultStore(cut_path, &error);
+  ASSERT_TRUE(partial.has_value()) << error;
+  EXPECT_GT(partial->completed(), 0u);
+  EXPECT_LT(partial->completed(), uninterrupted.injections.size());
+
+  const fi::TransientCampaignResult resumed = RunStoredCampaign(cut_path, true);
+  EXPECT_EQ(fi::TransientCampaignCsv(resumed), full_csv);
+
+  // The resumed store file now holds the complete campaign: analyze-style
+  // rebuilding matches too, including the anatomy records persisted by both
+  // the interrupted and the resuming campaign.
+  const std::optional<LoadedStore> completed = LoadResultStore(cut_path, &error);
+  ASSERT_TRUE(completed.has_value()) << error;
+  EXPECT_EQ(completed->completed(), uninterrupted.injections.size());
+  EXPECT_EQ(fi::TransientCampaignCsv(RebuildTransientResult(*completed)), full_csv);
+
+  const std::optional<LoadedStore> reference = LoadResultStore(full_path, &error);
+  ASSERT_TRUE(reference.has_value()) << error;
+  const std::string reference_anatomy =
+      AnatomyReportText(RebuildAnatomy(*reference));
+  EXPECT_EQ(AnatomyReportText(RebuildAnatomy(*completed)), reference_anatomy);
+}
+
+TEST(ResultStore, TruncatedFinalLineIsSkippedButMidFileCorruptionIsNot) {
+  const std::string path = TempPath("store_corrupt.jsonl");
+  std::remove(path.c_str());
+  RunStoredCampaign(path, false, 6);
+
+  const std::string full = ReadFile(path);
+  // Drop the trailing newline and a few bytes: a truncated final record.
+  WriteFile(path, full.substr(0, full.size() - 5));
+  std::string error;
+  std::optional<LoadedStore> loaded = LoadResultStore(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->completed(), 5u);
+
+  // Corrupt a record in the middle: that is not a kill footprint.
+  std::string corrupted = full;
+  const std::size_t second_line = corrupted.find('\n', corrupted.find('\n') + 1);
+  ASSERT_NE(second_line, std::string::npos);
+  corrupted[second_line + 1] = '#';
+  WriteFile(path, corrupted);
+  loaded = LoadResultStore(path, &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ResultStore, ResumeRejectsIncompatibleCampaigns) {
+  const std::string path = TempPath("store_incompat.jsonl");
+  std::remove(path.c_str());
+  RunStoredCampaign(path, false, 6, /*seed=*/9);
+
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  fi::TransientCampaignConfig config;
+  config.seed = 10;  // different seed: different experiment sequence
+  config.num_injections = 6;
+  const fi::RunArtifacts golden = runner.Golden(config.device);
+  fi::RunArtifacts profiling;
+  const fi::ProgramProfile profile =
+      runner.Profile(config.profiling, config.device, &profiling);
+  const StoreMeta meta =
+      TransientStoreMeta(program.name(), config, golden, profiling.cycles, profile);
+
+  std::string error;
+  const auto store = ResultStore::Open(path, meta, /*resume=*/true, &error);
+  EXPECT_EQ(store, nullptr);
+  EXPECT_NE(error.find("different campaign"), std::string::npos) << error;
+}
+
+TEST(ResultStore, RejectsBadHeaders) {
+  const std::string path = TempPath("store_badheader.jsonl");
+  std::string error;
+
+  WriteFile(path, "not json at all\n");
+  EXPECT_FALSE(LoadResultStore(path, &error).has_value());
+
+  WriteFile(path, "{\"nvbitfi_result_store\":99,\"kind\":\"transient\"}\n");
+  EXPECT_FALSE(LoadResultStore(path, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  EXPECT_FALSE(LoadResultStore(TempPath("does_not_exist.jsonl"), &error).has_value());
+}
+
+TEST(ResultStore, PermanentCampaignRoundTrips) {
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  fi::PermanentCampaignConfig config;
+  config.seed = 4;
+
+  const fi::RunArtifacts golden = runner.Golden(config.device);
+  fi::RunArtifacts profiling;
+  const fi::ProgramProfile profile =
+      runner.Profile(fi::ProfilerTool::Mode::kExact, config.device, &profiling);
+  const std::size_t num_experiments = profile.ExecutedOpcodes().size();
+  const StoreMeta meta =
+      PermanentStoreMeta(program.name(), config, num_experiments, golden, profile);
+
+  const std::string path = TempPath("store_permanent.jsonl");
+  std::remove(path.c_str());
+  std::string error;
+  auto store = ResultStore::Open(path, meta, false, &error);
+  ASSERT_NE(store, nullptr) << error;
+  config.preloaded = &store->loaded().permanent;
+  config.on_run_complete = [&](std::size_t index, const fi::PermanentRun& run) {
+    if (run.classification.outcome == fi::Outcome::kSdc) {
+      const SdcAnatomy anatomy = AnalyzeSdc(golden, run.artifacts);
+      store->AppendPermanent(index, run, &anatomy);
+    } else {
+      store->AppendPermanent(index, run, nullptr);
+    }
+  };
+  const fi::PermanentCampaignResult result =
+      runner.RunPermanentCampaign(config, profile);
+  store.reset();
+
+  const std::optional<LoadedStore> loaded = LoadResultStore(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->meta.kind, "permanent");
+  EXPECT_EQ(loaded->completed(), result.runs.size());
+
+  const fi::PermanentCampaignResult rebuilt = RebuildPermanentResult(*loaded);
+  EXPECT_EQ(fi::PermanentCampaignCsv(rebuilt), fi::PermanentCampaignCsv(result));
+  EXPECT_EQ(rebuilt.executed_opcodes, result.executed_opcodes);
+  EXPECT_EQ(rebuilt.weighted.sdc, result.weighted.sdc);
+
+  const AnatomyBreakdown breakdown = RebuildAnatomy(*loaded);
+  EXPECT_EQ(breakdown.campaign.sdc_runs, result.counts.sdc);
+}
+
+}  // namespace
+}  // namespace nvbitfi::analysis

@@ -114,5 +114,82 @@ TEST(Pruning, DeterministicForSameSeed) {
   }
 }
 
+TEST(Pruning, ClassPopulationsPartitionTheGroupPopulation) {
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(1);
+  PruningConfig config;
+  const auto sites = BuildPrunedSites(profile, config, rng);
+
+  // Recover each class's population from the profile; together the classes
+  // must account for every dynamic instruction in the group, exactly once.
+  std::uint64_t classes_total = 0;
+  for (const PrunedSite& site : sites) {
+    std::uint64_t class_population = 0;
+    for (const KernelProfile& k : profile.kernels) {
+      if (k.kernel_name == site.kernel_name) {
+        class_population += k.opcode_counts[static_cast<std::size_t>(site.opcode)];
+      }
+    }
+    EXPECT_GT(class_population, 0u);
+    classes_total += class_population;
+  }
+  EXPECT_EQ(classes_total, profile.GroupTotal(ArchStateId::kGGp));
+}
+
+TEST(Pruning, WeightsAreExactPopulationShares) {
+  const ProgramProfile profile = MiniProfile();
+  Rng rng(1);
+  PruningConfig config;
+  config.representatives_per_class = 2;
+  const auto sites = BuildPrunedSites(profile, config, rng);
+  const double group_total =
+      static_cast<double>(profile.GroupTotal(ArchStateId::kGGp));
+
+  for (const PrunedSite& site : sites) {
+    std::uint64_t class_population = 0;
+    for (const KernelProfile& k : profile.kernels) {
+      if (k.kernel_name == site.kernel_name) {
+        class_population += k.opcode_counts[static_cast<std::size_t>(site.opcode)];
+      }
+    }
+    // Each of the N representatives carries share/N.
+    const double share = static_cast<double>(class_population) / group_total;
+    EXPECT_DOUBLE_EQ(site.weight,
+                     share / config.representatives_per_class)
+        << site.kernel_name << "/" << sim::OpcodeName(site.opcode);
+  }
+}
+
+TEST(Pruning, PrunedAndUnprunedCampaignsAgreeOnWeightedTotals) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const ProgramProfile profile = MiniProfile();
+
+  // Pruned estimate: several representatives per class for stability.
+  Rng rng(2021);
+  PruningConfig config;
+  config.representatives_per_class = 6;
+  const PrunedCampaignResult pruned =
+      RunPrunedCampaign(runner, program, profile, config, rng);
+  EXPECT_NEAR(pruned.weighted.total(), 1.0, 1e-9);
+
+  // Unpruned reference: a plain uniform campaign over the same group.
+  TransientCampaignConfig full;
+  full.seed = 2021;
+  full.num_injections = 120;
+  full.randomize_flip_model = false;
+  const TransientCampaignResult uniform = runner.RunTransientCampaign(full);
+  const double n = static_cast<double>(uniform.counts.total());
+  const double uniform_sdc = static_cast<double>(uniform.counts.sdc) / n;
+  const double uniform_masked = static_cast<double>(uniform.counts.masked) / n;
+
+  // Both are estimates of the same population proportions; with these seeds
+  // the agreement is deterministic, and the tolerance is the generous bound
+  // sampling noise at these run counts allows.
+  EXPECT_NEAR(pruned.weighted.sdc / pruned.weighted.total(), uniform_sdc, 0.25);
+  EXPECT_NEAR(pruned.weighted.masked / pruned.weighted.total(), uniform_masked,
+              0.25);
+}
+
 }  // namespace
 }  // namespace nvbitfi::fi

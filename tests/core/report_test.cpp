@@ -95,5 +95,33 @@ TEST(Report, ConfidenceLevelChangesMargins) {
   EXPECT_NE(narrow, wide);
 }
 
+TEST(Report, CsvFieldQuotesPerRfc4180) {
+  // Plain values pass through unquoted.
+  EXPECT_EQ(CsvField("mriq_computeq"), "mriq_computeq");
+  EXPECT_EQ(CsvField(""), "");
+  // Commas, quotes, and line breaks force quoting; quotes double.
+  EXPECT_EQ(CsvField("kernel<int, 4>"), "\"kernel<int, 4>\"");
+  EXPECT_EQ(CsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvField("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvField("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvField(",\",\n"), "\",\"\",\n\"");
+}
+
+TEST(Report, TransientCsvQuotesHostileKernelNames) {
+  TransientCampaignResult result = RunSmallCampaign();
+  ASSERT_FALSE(result.injections.empty());
+  result.injections[0].params.kernel_name = "reduce<float, 128>";
+  result.injections[1].params.kernel_name = "odd\"name";
+  const std::string csv = TransientCampaignCsv(result);
+  EXPECT_NE(csv.find("\"reduce<float, 128>\""), std::string::npos);
+  EXPECT_NE(csv.find("\"odd\"\"name\""), std::string::npos);
+  // The embedded comma really is inside a quoted field (a naive comma split
+  // of that row sees one extra piece; an RFC 4180 reader sees the header's
+  // column count).
+  const auto lines = Split(csv, '\n');
+  const std::size_t columns = Split(lines[0], ',').size();
+  EXPECT_EQ(Split(lines[1], ',').size(), columns + 1);
+}
+
 }  // namespace
 }  // namespace nvbitfi::fi

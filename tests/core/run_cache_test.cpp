@@ -103,5 +103,54 @@ TEST(RunCache, DeviceCacheKeyReflectsProps) {
   EXPECT_EQ(DeviceCacheKey(a), DeviceCacheKey(sim::DeviceProps{}));
 }
 
+TEST(RunCache, DeviceCacheKeyResistsDelimiterCollisions) {
+  // Under naive '/'-joined keys these two configurations collide:
+  // "x/1" + 1 SM + isa "v"  vs  "x" + 11 SMs + isa "v" would both render
+  // pieces that concatenate ambiguously.  Length-prefixed fragments keep
+  // every such pair distinct.
+  sim::DeviceProps a, b;
+  a.name = "x/1";
+  a.num_sms = 1;
+  a.lanes_per_sm = 32;
+  a.isa = "v";
+  b.name = "x";
+  b.num_sms = 11;
+  b.lanes_per_sm = 32;
+  b.isa = "v";
+  EXPECT_NE(DeviceCacheKey(a), DeviceCacheKey(b));
+
+  // The ISA side: a name ending in the separator vs an ISA starting with it.
+  sim::DeviceProps c, d;
+  c.name = "gpu";
+  c.isa = "32/v";
+  d.name = "gpu";
+  d.num_sms = c.num_sms;
+  d.lanes_per_sm = 3;
+  d.isa = "2/v";
+  // Not constructible as an exact collision any more, but assert the keys
+  // stay distinct even when one free-text field absorbs the other's prefix.
+  EXPECT_NE(DeviceCacheKey(c), DeviceCacheKey(d));
+}
+
+TEST(RunCache, GoldenKeysSeparateProgramFromDeviceName) {
+  // A program name that swallows the separator and part of the device name
+  // must not alias a different (program, device) pair.
+  // Under the old program + "|" + name scheme, ("p|g", name "x") and
+  // ("p", name "g|x") produced the same key.
+  RunCache cache;
+  sim::DeviceProps a, b;
+  a.name = "x";
+  b.name = "g|x";
+  int calls = 0;
+  const auto compute = [&calls] {
+    ++calls;
+    return RunArtifacts{};
+  };
+  cache.Golden("p|g", a, compute);
+  cache.Golden("p", b, compute);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.golden_runs(), 2u);
+}
+
 }  // namespace
 }  // namespace nvbitfi::fi

@@ -49,3 +49,67 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "serial and 4-worker campaign CSVs differ")
 endif()
+
+# Result store + resume: a campaign streamed to a JSONL store, truncated
+# partway (a killed campaign's footprint), then resumed must match the
+# uninterrupted run bit-for-bit; `analyze` regenerates the CSV from the
+# store alone.
+file(REMOVE ${WORKDIR}/cli_test_store.jsonl)
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 6 --seed 21
+                        --approximate --store ${WORKDIR}/cli_test_store.jsonl
+                        --csv ${WORKDIR}/cli_test_stored.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stored campaign step failed (${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/cli_test_serial.csv
+                        ${WORKDIR}/cli_test_stored.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "storing a campaign changed its CSV")
+endif()
+
+file(READ ${WORKDIR}/cli_test_store.jsonl store_text)
+string(LENGTH "${store_text}" store_length)
+math(EXPR cut_length "${store_length} / 2")
+string(SUBSTRING "${store_text}" 0 ${cut_length} store_prefix)
+file(WRITE ${WORKDIR}/cli_test_cut.jsonl "${store_prefix}")
+
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 6 --seed 21
+                        --approximate --store ${WORKDIR}/cli_test_cut.jsonl
+                        --resume --csv ${WORKDIR}/cli_test_resumed.csv
+                OUTPUT_VARIABLE resume_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed campaign step failed (${rc})")
+endif()
+if(NOT resume_out MATCHES "resuming: [0-9]+ of 6 experiments")
+  message(FATAL_ERROR "resume did not report preloaded experiments:\n${resume_out}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/cli_test_serial.csv
+                        ${WORKDIR}/cli_test_resumed.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed campaign CSV differs from the uninterrupted run")
+endif()
+
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_test_cut.jsonl
+                        --csv ${WORKDIR}/cli_test_analyzed.csv
+                OUTPUT_VARIABLE analyze_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze step failed (${rc})")
+endif()
+if(NOT analyze_out MATCHES "SDC anatomy")
+  message(FATAL_ERROR "analyze produced no anatomy report:\n${analyze_out}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/cli_test_serial.csv
+                        ${WORKDIR}/cli_test_analyzed.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze CSV differs from the campaign's own CSV")
+endif()

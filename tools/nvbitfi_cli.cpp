@@ -12,16 +12,21 @@
 //   nvbitfi inject    <program> <params.txt>
 //   nvbitfi permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]
 //   nvbitfi campaign  <program> [--injections N] [--seed N] [--approximate]
+//                     [--store FILE.jsonl] [--resume]
+//   nvbitfi analyze   <store.jsonl>  regenerate reports without re-simulating
 //   nvbitfi dictionary [--seed N] [-o dictionary.txt]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/anatomy.h"
+#include "analysis/result_store.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/campaign.h"
@@ -44,9 +49,13 @@ int Usage() {
                "  inject <program> <params-file>    run one transient injection\n"
                "  permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]\n"
                "  campaign <program> [--injections N] [--seed N] [--approximate]\n"
-               "                     [--workers N] [--csv FILE]\n"
+               "                     [--workers N] [--csv FILE] [--store FILE.jsonl]\n"
+               "                     [--resume] [--element f32|f64]\n"
                "  sweep <program> [--sm N] [--seed N] [--approximate] [--workers N]\n"
-               "                  [--csv FILE]     permanent sweep over executed opcodes\n"
+               "                  [--csv FILE] [--store FILE.jsonl] [--resume]\n"
+               "                  [--element f32|f64]  permanent sweep over executed opcodes\n"
+               "  analyze <store.jsonl> [--csv FILE] [--json FILE]\n"
+               "                  regenerate report + SDC anatomy from a result store\n"
                "  dictionary [--seed N] [-o FILE]   emit a synthetic fault dictionary\n"
                "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n");
   return 2;
@@ -67,6 +76,11 @@ struct Args {
   // Concurrent injection runs for campaign/sweep (1 = serial, 0 = all cores).
   int workers = 1;
   std::string csv;
+  // Result-store persistence (campaign/sweep) and analyze outputs.
+  std::string store;
+  bool resume = false;
+  std::string json_out;
+  analysis::ElementKind element = analysis::ElementKind::kF32;
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv, int first) {
@@ -123,6 +137,25 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       const auto v = next();
       if (!v) return std::nullopt;
       args.workers = std::atoi(v->c_str());
+    } else if (arg == "--store") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.store = *v;
+    } else if (arg == "--resume") {
+      args.resume = true;
+    } else if (arg == "--json") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.json_out = *v;
+    } else if (arg == "--element") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      const auto element = analysis::ElementKindFromName(*v);
+      if (!element) {
+        std::fprintf(stderr, "--element must be f32 or f64\n");
+        return std::nullopt;
+      }
+      args.element = *element;
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", std::string(arg).c_str());
       return std::nullopt;
@@ -319,6 +352,17 @@ int CmdPermanent(const Args& args) {
   return 0;
 }
 
+// Writes the anatomy summary (text to stdout, JSON to --json when given).
+int EmitAnatomy(const analysis::AnatomyBreakdown& breakdown, const Args& args) {
+  std::printf("\n%s", analysis::AnatomyReportText(breakdown).c_str());
+  if (!args.json_out.empty()) {
+    if (!WriteOrPrint(args.json_out, analysis::AnatomyReportJson(breakdown).Dump() + "\n")) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int CmdCampaign(const Args& args) {
   if (args.positional.empty()) return Usage();
   const fi::TargetProgram* program = Lookup(args.positional[0]);
@@ -330,8 +374,64 @@ int CmdCampaign(const Args& args) {
   config.num_workers = args.workers;
   config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
                                       : fi::ProfilerTool::Mode::kExact;
+
+  // With --store, every completed run streams to the JSONL store (with its
+  // SDC anatomy), and --resume skips the experiments a previous interrupted
+  // campaign already persisted.
+  std::unique_ptr<analysis::ResultStore> store;
+  fi::RunArtifacts golden;
+  analysis::AnatomyConfig anatomy_config;
+  anatomy_config.element = args.element;
+  if (!args.store.empty()) {
+    golden = runner.Golden(config.device);
+    fi::RunArtifacts profiling_run;
+    const fi::ProgramProfile profile =
+        runner.Profile(config.profiling, config.device, &profiling_run);
+    analysis::StoreMeta meta = analysis::TransientStoreMeta(
+        program->name(), config, golden, profiling_run.cycles, profile);
+    meta.element = args.element;
+    std::string error;
+    store = analysis::ResultStore::Open(args.store, meta, args.resume, &error);
+    if (store == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    config.preloaded = &store->loaded().transient;
+    config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
+      std::optional<analysis::SdcAnatomy> anatomy;
+      if (!run.trivially_masked && run.classification.outcome == fi::Outcome::kSdc) {
+        anatomy = analysis::AnalyzeSdc(golden, run.artifacts, anatomy_config);
+      }
+      store->AppendTransient(i, run, anatomy.has_value() ? &*anatomy : nullptr);
+    };
+    if (!store->loaded().transient.empty()) {
+      std::printf("resuming: %zu of %d experiments already in %s\n",
+                  store->loaded().transient.size(), config.num_injections,
+                  args.store.c_str());
+    }
+  }
+
   const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
   std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
+
+  // Anatomy summary: from the store when one is active (resumed runs carry
+  // their persisted anatomy), from the in-memory result otherwise.
+  analysis::AnatomyBreakdown breakdown;
+  if (store != nullptr) {
+    store.reset();  // flush + close before re-reading
+    std::string error;
+    const std::optional<analysis::LoadedStore> loaded =
+        analysis::LoadResultStore(args.store, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    breakdown = analysis::RebuildAnatomy(*loaded);
+  } else {
+    breakdown = analysis::BuildTransientAnatomy(result, anatomy_config);
+  }
+  if (EmitAnatomy(breakdown, args) != 0) return 1;
+
   if (!args.csv.empty()) {
     std::ofstream file(args.csv);
     if (!file) {
@@ -357,9 +457,57 @@ int CmdSweep(const Args& args) {
   config.seed = args.seed;
   config.sm_id = args.sm;
   config.num_workers = args.workers;
+
+  std::unique_ptr<analysis::ResultStore> store;
+  fi::RunArtifacts golden;
+  analysis::AnatomyConfig anatomy_config;
+  anatomy_config.element = args.element;
+  if (!args.store.empty()) {
+    golden = runner.Golden(config.device);
+    analysis::StoreMeta meta = analysis::PermanentStoreMeta(
+        program->name(), config, profile.ExecutedOpcodes().size(), golden, profile);
+    meta.element = args.element;
+    std::string error;
+    store = analysis::ResultStore::Open(args.store, meta, args.resume, &error);
+    if (store == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    config.preloaded = &store->loaded().permanent;
+    config.on_run_complete = [&](std::size_t i, const fi::PermanentRun& run) {
+      std::optional<analysis::SdcAnatomy> anatomy;
+      if (run.classification.outcome == fi::Outcome::kSdc) {
+        anatomy = analysis::AnalyzeSdc(golden, run.artifacts, anatomy_config);
+      }
+      store->AppendPermanent(i, run, anatomy.has_value() ? &*anatomy : nullptr);
+    };
+    if (!store->loaded().permanent.empty()) {
+      std::printf("resuming: %zu experiments already in %s\n",
+                  store->loaded().permanent.size(), args.store.c_str());
+    }
+  }
+
   const fi::PermanentCampaignResult result =
       runner.RunPermanentCampaign(config, profile);
   std::fputs(fi::PermanentCampaignReport(result).c_str(), stdout);
+
+  analysis::AnatomyBreakdown breakdown;
+  if (store != nullptr) {
+    store.reset();
+    std::string error;
+    const std::optional<analysis::LoadedStore> loaded =
+        analysis::LoadResultStore(args.store, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    breakdown = analysis::RebuildAnatomy(*loaded);
+  } else {
+    golden = runner.Golden(config.device);
+    breakdown = analysis::BuildPermanentAnatomy(result, golden, anatomy_config);
+  }
+  if (EmitAnatomy(breakdown, args) != 0) return 1;
+
   if (!args.csv.empty()) {
     std::ofstream file(args.csv);
     if (!file) {
@@ -368,6 +516,44 @@ int CmdSweep(const Args& args) {
     }
     file << fi::PermanentCampaignCsv(result);
     std::printf("\nwrote per-opcode CSV to %s\n", args.csv.c_str());
+  }
+  return 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  std::string error;
+  const std::optional<analysis::LoadedStore> loaded =
+      analysis::LoadResultStore(args.positional[0], &error);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (loaded->completed() < loaded->meta.num_experiments) {
+    std::printf("note: partial store — %zu of %llu experiments completed\n\n",
+                loaded->completed(),
+                static_cast<unsigned long long>(loaded->meta.num_experiments));
+  }
+
+  std::string csv;
+  if (loaded->meta.kind == "permanent") {
+    const fi::PermanentCampaignResult result = RebuildPermanentResult(*loaded);
+    std::fputs(fi::PermanentCampaignReport(result).c_str(), stdout);
+    csv = fi::PermanentCampaignCsv(result);
+  } else {
+    const fi::TransientCampaignResult result = RebuildTransientResult(*loaded);
+    std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
+    csv = fi::TransientCampaignCsv(result);
+  }
+  if (EmitAnatomy(analysis::RebuildAnatomy(*loaded), args) != 0) return 1;
+  if (!args.csv.empty()) {
+    std::ofstream file(args.csv);
+    if (!file) {
+      std::fprintf(stderr, "cannot write '%s'\n", args.csv.c_str());
+      return 1;
+    }
+    file << csv;
+    std::printf("\nwrote CSV to %s\n", args.csv.c_str());
   }
   return 0;
 }
@@ -419,6 +605,7 @@ int main(int argc, char** argv) {
   if (command == "permanent") return CmdPermanent(*args);
   if (command == "campaign") return CmdCampaign(*args);
   if (command == "sweep") return CmdSweep(*args);
+  if (command == "analyze") return CmdAnalyze(*args);
   if (command == "dictionary") return CmdDictionary(*args);
   if (command == "disasm") return CmdDisasm(*args);
   return Usage();
