@@ -81,8 +81,7 @@ int main() {
       }
       counts.Add(fi::Classify(golden, run, program->sdc_checker()));
     }
-    std::printf("%-22s | %8.1f %8.1f %8.1f | %.2f\n", variant.label, counts.SdcPct(),
-                counts.DuePct(), counts.MaskedPct(),
+    std::printf("%-22s | %s | %.2f\n", variant.label, bench::OutcomePcts(counts).c_str(),
                 static_cast<double>(corruptions) /
                     static_cast<double>(counts.total() ? counts.total() : 1));
     std::fflush(stdout);

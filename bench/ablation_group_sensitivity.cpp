@@ -38,13 +38,11 @@ int main() {
       config.profiling = fi::ProfilerTool::Mode::kApproximate;
       const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
 
-      std::printf("%3d %-10s | %10llu | %8.1f %8.1f %8.1f | %6.1f\n", id,
+      std::printf("%3d %-10s | %10llu | %s | %6.1f\n", id,
                   std::string(fi::ArchStateIdName(group)).c_str(),
                   static_cast<unsigned long long>(result.profile.GroupTotal(group)),
-                  result.counts.SdcPct(), result.counts.DuePct(),
-                  result.counts.MaskedPct(),
-                  100.0 * static_cast<double>(result.counts.potential_due) /
-                      static_cast<double>(result.counts.total()));
+                  bench::OutcomePcts(result.counts).c_str(),
+                  bench::Pct(result.counts.potential_due, result.counts.total()));
       std::fflush(stdout);
     }
   }

@@ -4,11 +4,35 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/campaign.h"
 #include "workloads/workloads.h"
 
 namespace nvbitfi::bench {
+
+inline double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+// The SDC / DUE / Masked percentage triple every outcome table prints,
+// pre-formatted to the shared column width (insert with %s).
+inline std::string OutcomePcts(double sdc, double due, double masked) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.1f %8.1f %8.1f", sdc, due, masked);
+  return buf;
+}
+
+inline std::string OutcomePcts(const fi::OutcomeCounts& counts) {
+  return OutcomePcts(counts.SdcPct(), counts.DuePct(), counts.MaskedPct());
+}
 
 // Number of transient injections per program per mode.  The paper uses 100
 // and discusses the statistics (±8% error margins at 90% confidence); the

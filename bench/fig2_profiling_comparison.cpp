@@ -40,19 +40,17 @@ int main() {
     const fi::TransientCampaignResult approx = runner.RunTransientCampaign(config);
     approx_total += approx.counts;
 
-    std::printf("%-14s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f\n",
-                entry.program->name().c_str(), exact.counts.SdcPct(),
-                exact.counts.DuePct(), exact.counts.MaskedPct(), approx.counts.SdcPct(),
-                approx.counts.DuePct(), approx.counts.MaskedPct());
+    std::printf("%-14s | %s | %s\n", entry.program->name().c_str(),
+                bench::OutcomePcts(exact.counts).c_str(),
+                bench::OutcomePcts(approx.counts).c_str());
     std::fflush(stdout);
   }
 
   bench::PrintRule(78);
-  std::printf("%-14s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f\n", "aggregate",
-              exact_total.SdcPct(), exact_total.DuePct(), exact_total.MaskedPct(),
-              approx_total.SdcPct(), approx_total.DuePct(), approx_total.MaskedPct());
-  std::printf("%-14s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f\n", "paper", 32.5, 4.2,
-              63.3, 37.9, 4.5, 57.6);
+  std::printf("%-14s | %s | %s\n", "aggregate", bench::OutcomePcts(exact_total).c_str(),
+              bench::OutcomePcts(approx_total).c_str());
+  std::printf("%-14s | %s | %s\n", "paper", bench::OutcomePcts(32.5, 4.2, 63.3).c_str(),
+              bench::OutcomePcts(37.9, 4.5, 57.6).c_str());
   std::printf("\nPotential DUEs (counted as their SDC/Masked outcome, per the paper): "
               "exact %llu/%llu, approximate %llu/%llu\n",
               static_cast<unsigned long long>(exact_total.potential_due),

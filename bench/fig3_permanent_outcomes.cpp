@@ -37,11 +37,11 @@ int main() {
     for (const fi::PermanentRun& run : result.runs) activations += run.activations;
 
     const double w = result.weighted.total();
-    std::printf("%-14s | %8.1f %8.1f %8.1f | %9zu %11llu\n",
-                entry.program->name().c_str(),
-                w > 0 ? 100.0 * result.weighted.sdc / w : 0.0,
-                w > 0 ? 100.0 * result.weighted.due / w : 0.0,
-                w > 0 ? 100.0 * result.weighted.masked / w : 0.0,
+    std::printf("%-14s | %s | %9zu %11llu\n", entry.program->name().c_str(),
+                bench::OutcomePcts(w > 0 ? 100.0 * result.weighted.sdc / w : 0.0,
+                                   w > 0 ? 100.0 * result.weighted.due / w : 0.0,
+                                   w > 0 ? 100.0 * result.weighted.masked / w : 0.0)
+                    .c_str(),
                 result.executed_opcodes,
                 static_cast<unsigned long long>(activations));
     std::fflush(stdout);
@@ -51,10 +51,11 @@ int main() {
   }
 
   bench::PrintRule(72);
-  std::printf("%-14s | %8.1f %8.1f %8.1f\n", "aggregate",
-              total_weight > 0 ? 100.0 * total.sdc / total_weight : 0.0,
-              total_weight > 0 ? 100.0 * total.due / total_weight : 0.0,
-              total_weight > 0 ? 100.0 * total.masked / total_weight : 0.0);
+  std::printf("%-14s | %s\n", "aggregate",
+              bench::OutcomePcts(total_weight > 0 ? 100.0 * total.sdc / total_weight : 0.0,
+                                 total_weight > 0 ? 100.0 * total.due / total_weight : 0.0,
+                                 total_weight > 0 ? 100.0 * total.masked / total_weight : 0.0)
+                  .c_str());
   std::printf("%-14s | %8s %8s %8.1f   (paper: permanent faults leave only "
               "17.4%% masked)\n",
               "paper", "-", "-", 17.4);

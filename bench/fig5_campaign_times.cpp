@@ -25,19 +25,9 @@
 #include "core/run_cache.h"
 
 using namespace nvbitfi;  // NOLINT: bench brevity
-
-namespace {
-
 // Mean run cost: campaigns pay the short (crashed) runs and the long
 // (hung-until-watchdog) runs alike, so the expected per-run cost is the mean.
-double Mean(const std::vector<double>& v) {
-  if (v.empty()) return 0.0;
-  double sum = 0.0;
-  for (const double x : v) sum += x;
-  return sum / static_cast<double>(v.size());
-}
-
-}  // namespace
+using bench::Mean;
 
 int main() {
   const std::uint64_t seed = bench::BenchSeed();

@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "core/campaign.h"
-#include "workloads/workloads.h"
 
 using namespace nvbitfi;  // NOLINT: bench brevity
 
@@ -18,10 +18,7 @@ int main() {
   std::printf("%-14s | %-44s | %7s %7s | %7s %7s | %12s | %12s | %s\n", "Program",
               "Description", "Stat", "Dyn", "Tbl.Sta", "Tbl.Dyn", "thread-instr",
               "sim-cycles", "ok");
-  std::printf("%.*s\n", 150,
-              "-----------------------------------------------------------------------"
-              "-----------------------------------------------------------------------"
-              "--------");
+  bench::PrintRule(150);
 
   bool all_ok = true;
   for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {

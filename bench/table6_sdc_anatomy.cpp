@@ -14,14 +14,7 @@
 #include "bench_util.h"
 
 using namespace nvbitfi;  // NOLINT: bench brevity
-
-namespace {
-
-double Pct(std::uint64_t part, std::uint64_t whole) {
-  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
-}
-
-}  // namespace
+using bench::Pct;
 
 int main() {
   const int injections = bench::InjectionsPerProgram();

@@ -1,0 +1,405 @@
+#include "analysis/propagation.h"
+
+#include "common/strings.h"
+#include "core/fault_model.h"
+#include "core/outcome.h"
+
+namespace nvbitfi::analysis {
+namespace {
+
+double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+json::Value MaskingEventToJson(const trace::MaskingEvent& event) {
+  json::Value out = json::Value::Object();
+  out.Set("kind", static_cast<std::int64_t>(event.kind));
+  out.Set("opcode", static_cast<std::int64_t>(event.opcode));
+  out.Set("static_index", static_cast<std::uint64_t>(event.static_index));
+  out.Set("distance", event.distance);
+  return out;
+}
+
+std::optional<trace::MaskingEvent> MaskingEventFromJson(const json::Value& value) {
+  const std::int64_t opcode = value.GetInt("opcode", -1);
+  const std::int64_t kind = value.GetInt("kind", -1);
+  if (opcode < 0 || opcode >= sim::kOpcodeCount || kind < 0 || kind > 1) {
+    return std::nullopt;
+  }
+  trace::MaskingEvent event;
+  event.kind = static_cast<trace::MaskingKind>(kind);
+  event.opcode = static_cast<sim::Opcode>(opcode);
+  event.static_index = static_cast<std::uint32_t>(value.GetUint("static_index"));
+  event.distance = value.GetUint("distance");
+  return event;
+}
+
+json::Value AggregateJson(const PropagationAggregate& agg) {
+  json::Value out = json::Value::Object();
+  out.Set("traced_runs", agg.traced_runs);
+  out.Set("injected", agg.injected);
+  out.Set("fully_masked", agg.fully_masked);
+  out.Set("dead_before_store", agg.dead_before_store);
+  out.Set("reached_store", agg.reached_store);
+  out.Set("escaped", agg.escaped);
+  out.Set("control_divergence", agg.control_divergence);
+  out.Set("address_divergence", agg.address_divergence);
+  out.Set("live_exit", agg.live_exit);
+  out.Set("host_visible", agg.host_visible);
+  out.Set("overwrite_masks", agg.overwrite_masks);
+  out.Set("absorb_masks", agg.absorb_masks);
+  out.Set("tainted_instructions", agg.tainted_instructions);
+  out.Set("dynamic_instructions", agg.dynamic_instructions);
+  out.Set("graph_truncated", agg.graph_truncated);
+  out.Set("shadow_saturated", agg.shadow_saturated);
+  json::Value hist = json::Value::Array();
+  for (const std::uint64_t count : agg.first_store_distance) hist.Push(count);
+  out.Set("first_store_distance", std::move(hist));
+  return out;
+}
+
+}  // namespace
+
+json::Value ToJson(const trace::PropagationRecord& record) {
+  json::Value out = json::Value::Object();
+  out.Set("injected", record.injected);
+  out.Set("dynamic_instructions", record.dynamic_instructions);
+  out.Set("tainted_instructions", record.tainted_instructions);
+  out.Set("tainted_stores", record.tainted_stores);
+  out.Set("reached_store", record.reached_store);
+  out.Set("first_store_distance", record.first_store_distance);
+  out.Set("overwrite_masks", record.overwrite_masks);
+  out.Set("absorb_masks", record.absorb_masks);
+  out.Set("control_divergence", record.control_divergence);
+  out.Set("address_divergence", record.address_divergence);
+  out.Set("live_registers", static_cast<std::uint64_t>(record.live_registers));
+  out.Set("live_predicates", static_cast<std::uint64_t>(record.live_predicates));
+  out.Set("any_launch_live_exit", record.any_launch_live_exit);
+  out.Set("live_global_bytes", record.live_global_bytes);
+  out.Set("host_visible_taint", record.host_visible_taint);
+  out.Set("shadow_saturated", record.shadow_saturated);
+  out.Set("fully_masked", record.fully_masked);
+  json::Value masking = json::Value::Array();
+  for (const trace::MaskingEvent& event : record.masking_sample) {
+    masking.Push(MaskingEventToJson(event));
+  }
+  out.Set("masking_sample", std::move(masking));
+  json::Value nodes = json::Value::Array();
+  for (const trace::PropagationNode& node : record.nodes) {
+    json::Value n = json::Value::Object();
+    n.Set("static_index", static_cast<std::uint64_t>(node.static_index));
+    n.Set("opcode", static_cast<std::int64_t>(node.opcode));
+    n.Set("events", node.events);
+    nodes.Push(std::move(n));
+  }
+  out.Set("nodes", std::move(nodes));
+  json::Value edges = json::Value::Array();
+  for (const trace::PropagationEdge& edge : record.edges) {
+    json::Value e = json::Value::Object();
+    e.Set("from", static_cast<std::uint64_t>(edge.from));
+    e.Set("to", static_cast<std::uint64_t>(edge.to));
+    e.Set("count", edge.count);
+    edges.Push(std::move(e));
+  }
+  out.Set("edges", std::move(edges));
+  out.Set("graph_truncated", record.graph_truncated);
+  return out;
+}
+
+std::optional<trace::PropagationRecord> PropagationRecordFromJson(
+    const json::Value& value) {
+  if (!value.is_object()) return std::nullopt;
+  trace::PropagationRecord record;
+  record.injected = value.GetBool("injected");
+  record.dynamic_instructions = value.GetUint("dynamic_instructions");
+  record.tainted_instructions = value.GetUint("tainted_instructions");
+  record.tainted_stores = value.GetUint("tainted_stores");
+  record.reached_store = value.GetBool("reached_store");
+  record.first_store_distance = value.GetUint("first_store_distance");
+  record.overwrite_masks = value.GetUint("overwrite_masks");
+  record.absorb_masks = value.GetUint("absorb_masks");
+  record.control_divergence = value.GetBool("control_divergence");
+  record.address_divergence = value.GetBool("address_divergence");
+  record.live_registers = static_cast<std::uint32_t>(value.GetUint("live_registers"));
+  record.live_predicates = static_cast<std::uint32_t>(value.GetUint("live_predicates"));
+  record.any_launch_live_exit = value.GetBool("any_launch_live_exit");
+  record.live_global_bytes = value.GetUint("live_global_bytes");
+  record.host_visible_taint = value.GetBool("host_visible_taint");
+  record.shadow_saturated = value.GetBool("shadow_saturated");
+  record.fully_masked = value.GetBool("fully_masked");
+  if (const json::Value* masking = value.Find("masking_sample"); masking != nullptr) {
+    if (!masking->is_array()) return std::nullopt;
+    for (std::size_t i = 0; i < masking->size(); ++i) {
+      const std::optional<trace::MaskingEvent> event =
+          MaskingEventFromJson(masking->at(i));
+      if (!event.has_value()) return std::nullopt;
+      record.masking_sample.push_back(*event);
+    }
+  }
+  if (const json::Value* nodes = value.Find("nodes"); nodes != nullptr) {
+    if (!nodes->is_array()) return std::nullopt;
+    for (std::size_t i = 0; i < nodes->size(); ++i) {
+      const json::Value& n = nodes->at(i);
+      const std::int64_t opcode = n.GetInt("opcode", -1);
+      if (opcode < 0 || opcode >= sim::kOpcodeCount) return std::nullopt;
+      trace::PropagationNode node;
+      node.static_index = static_cast<std::uint32_t>(n.GetUint("static_index"));
+      node.opcode = static_cast<sim::Opcode>(opcode);
+      node.events = n.GetUint("events");
+      record.nodes.push_back(node);
+    }
+  }
+  if (const json::Value* edges = value.Find("edges"); edges != nullptr) {
+    if (!edges->is_array()) return std::nullopt;
+    for (std::size_t i = 0; i < edges->size(); ++i) {
+      const json::Value& e = edges->at(i);
+      trace::PropagationEdge edge;
+      edge.from = static_cast<std::uint32_t>(e.GetUint("from"));
+      edge.to = static_cast<std::uint32_t>(e.GetUint("to"));
+      edge.count = e.GetUint("count");
+      if (edge.from >= record.nodes.size() || edge.to >= record.nodes.size()) {
+        return std::nullopt;
+      }
+      record.edges.push_back(edge);
+    }
+  }
+  record.graph_truncated = value.GetBool("graph_truncated");
+  return record;
+}
+
+std::string_view DistanceBucketName(int bucket) {
+  switch (bucket) {
+    case 0: return "0";
+    case 1: return "1-3";
+    case 2: return "4-15";
+    case 3: return "16-63";
+    case 4: return "64-255";
+    default: return "256+";
+  }
+}
+
+int DistanceBucket(std::uint64_t distance) {
+  if (distance == 0) return 0;
+  if (distance <= 3) return 1;
+  if (distance <= 15) return 2;
+  if (distance <= 63) return 3;
+  if (distance <= 255) return 4;
+  return 5;
+}
+
+void PropagationAggregate::Add(const trace::PropagationRecord& record) {
+  ++traced_runs;
+  injected += record.injected ? 1 : 0;
+  fully_masked += record.fully_masked ? 1 : 0;
+  dead_before_store += record.fully_masked && !record.reached_store ? 1 : 0;
+  reached_store += record.reached_store ? 1 : 0;
+  escaped += record.injected && !record.fully_masked ? 1 : 0;
+  control_divergence += record.control_divergence ? 1 : 0;
+  address_divergence += record.address_divergence ? 1 : 0;
+  live_exit += record.any_launch_live_exit ? 1 : 0;
+  host_visible += record.host_visible_taint ? 1 : 0;
+  overwrite_masks += record.overwrite_masks;
+  absorb_masks += record.absorb_masks;
+  tainted_instructions += record.tainted_instructions;
+  dynamic_instructions += record.dynamic_instructions;
+  graph_truncated += record.graph_truncated ? 1 : 0;
+  shadow_saturated += record.shadow_saturated ? 1 : 0;
+  if (record.reached_store) {
+    ++first_store_distance[DistanceBucket(record.first_store_distance)];
+  }
+}
+
+PropagationAggregate& PropagationAggregate::operator+=(const PropagationAggregate& other) {
+  traced_runs += other.traced_runs;
+  injected += other.injected;
+  fully_masked += other.fully_masked;
+  dead_before_store += other.dead_before_store;
+  reached_store += other.reached_store;
+  escaped += other.escaped;
+  control_divergence += other.control_divergence;
+  address_divergence += other.address_divergence;
+  live_exit += other.live_exit;
+  host_visible += other.host_visible;
+  overwrite_masks += other.overwrite_masks;
+  absorb_masks += other.absorb_masks;
+  tainted_instructions += other.tainted_instructions;
+  dynamic_instructions += other.dynamic_instructions;
+  graph_truncated += other.graph_truncated;
+  shadow_saturated += other.shadow_saturated;
+  for (int i = 0; i < kDistanceBucketCount; ++i) {
+    first_store_distance[i] += other.first_store_distance[i];
+  }
+  return *this;
+}
+
+void PropagationBreakdown::Add(std::string_view kernel,
+                               std::optional<sim::Opcode> opcode,
+                               const trace::PropagationRecord& record,
+                               const fi::Classification& classification) {
+  campaign.Add(record);
+  if (!kernel.empty()) by_kernel[std::string(kernel)].Add(record);
+  if (opcode.has_value()) {
+    by_opcode_group[std::string(fi::ArchStateIdName(PartitionGroupOf(*opcode)))].Add(
+        record);
+  }
+  for (const trace::MaskingEvent& event : record.masking_sample) {
+    ++masking_distance[std::string(fi::ArchStateIdName(PartitionGroupOf(event.opcode)))]
+                      [DistanceBucket(event.distance)];
+  }
+  if (record.fully_masked && classification.outcome != fi::Outcome::kMasked) {
+    ++consistency_violations;
+  }
+}
+
+PropagationBreakdown BuildTransientPropagation(
+    const fi::TransientCampaignResult& result) {
+  PropagationBreakdown breakdown;
+  breakdown.total_runs = result.injections.size();
+  for (const fi::InjectionRun& run : result.injections) {
+    if (!run.propagation.has_value()) continue;
+    breakdown.Add(run.params.kernel_name,
+                  run.record.activated ? std::optional<sim::Opcode>(run.record.opcode)
+                                       : std::nullopt,
+                  *run.propagation, run.classification);
+  }
+  return breakdown;
+}
+
+PropagationBreakdown RebuildPropagation(const LoadedStore& store) {
+  PropagationBreakdown breakdown;
+  breakdown.total_runs = store.completed();
+  for (const auto& [index, run] : store.transient) {
+    (void)index;
+    if (!run.propagation.has_value()) continue;
+    breakdown.Add(run.params.kernel_name,
+                  run.record.activated ? std::optional<sim::Opcode>(run.record.opcode)
+                                       : std::nullopt,
+                  *run.propagation, run.classification);
+  }
+  return breakdown;
+}
+
+std::string PropagationReportText(const PropagationBreakdown& breakdown) {
+  const PropagationAggregate& agg = breakdown.campaign;
+  std::string out;
+  out += Format("=== fault propagation: %llu traced runs over %llu experiments ===\n",
+                static_cast<unsigned long long>(agg.traced_runs),
+                static_cast<unsigned long long>(breakdown.total_runs));
+  if (agg.traced_runs == 0) {
+    out += "no propagation records (campaign was not traced)\n";
+    return out;
+  }
+  out += Format("injected (architectural change): %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(agg.injected),
+                Pct(agg.injected, agg.traced_runs));
+  out += Format("fully masked (taint provably dead): %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(agg.fully_masked),
+                Pct(agg.fully_masked, agg.traced_runs));
+  out += Format("dead before first store: %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(agg.dead_before_store),
+                Pct(agg.dead_before_store, agg.traced_runs));
+  out += Format("reached a store: %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(agg.reached_store),
+                Pct(agg.reached_store, agg.traced_runs));
+  out += Format("escaped (host-visible taint or divergence): %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(agg.escaped),
+                Pct(agg.escaped, agg.traced_runs));
+  out += Format("control divergence: %llu   address divergence: %llu   "
+                "host-visible taint: %llu\n",
+                static_cast<unsigned long long>(agg.control_divergence),
+                static_cast<unsigned long long>(agg.address_divergence),
+                static_cast<unsigned long long>(agg.host_visible));
+  out += Format("masking events: %llu overwrite, %llu absorb\n",
+                static_cast<unsigned long long>(agg.overwrite_masks),
+                static_cast<unsigned long long>(agg.absorb_masks));
+  if (agg.graph_truncated != 0 || agg.shadow_saturated != 0) {
+    out += Format("bounded: %llu truncated graphs, %llu saturated shadow maps\n",
+                  static_cast<unsigned long long>(agg.graph_truncated),
+                  static_cast<unsigned long long>(agg.shadow_saturated));
+  }
+  if (breakdown.consistency_violations != 0) {
+    out += Format("WARNING: %llu fully-masked records classified non-Masked "
+                  "(taint soundness violation)\n",
+                  static_cast<unsigned long long>(breakdown.consistency_violations));
+  }
+
+  out += "\nfirst-tainted-store distance (dynamic instructions):\n";
+  for (int i = 0; i < kDistanceBucketCount; ++i) {
+    if (agg.first_store_distance[i] == 0) continue;
+    out += Format("  %5llu  %s\n",
+                  static_cast<unsigned long long>(agg.first_store_distance[i]),
+                  std::string(DistanceBucketName(i)).c_str());
+  }
+
+  if (!breakdown.masking_distance.empty()) {
+    out += "\nmasking distance per opcode group (sampled events):\n";
+    out += Format("  %-14s", "group");
+    for (int i = 0; i < kDistanceBucketCount; ++i) {
+      out += Format(" %8s", std::string(DistanceBucketName(i)).c_str());
+    }
+    out += "\n";
+    for (const auto& [group, hist] : breakdown.masking_distance) {
+      out += Format("  %-14s", group.c_str());
+      for (int i = 0; i < kDistanceBucketCount; ++i) {
+        out += Format(" %8llu", static_cast<unsigned long long>(hist[i]));
+      }
+      out += "\n";
+    }
+  }
+
+  const char* header = "  %-14s %6s %9s %9s %8s %8s\n";
+  if (!breakdown.by_opcode_group.empty()) {
+    out += "\nper opcode group (injection site):\n";
+    out += Format(header, "group", "traced", "masked", "escaped", "stores", "diverg");
+    for (const auto& [group, group_agg] : breakdown.by_opcode_group) {
+      out += Format("  %-14s %6llu %8.1f%% %8.1f%% %8llu %8llu\n", group.c_str(),
+                    static_cast<unsigned long long>(group_agg.traced_runs),
+                    Pct(group_agg.fully_masked, group_agg.traced_runs),
+                    Pct(group_agg.escaped, group_agg.traced_runs),
+                    static_cast<unsigned long long>(group_agg.reached_store),
+                    static_cast<unsigned long long>(group_agg.control_divergence +
+                                                    group_agg.address_divergence));
+    }
+  }
+  if (!breakdown.by_kernel.empty()) {
+    out += "\nper kernel escape rate:\n";
+    out += Format(header, "kernel", "traced", "masked", "escaped", "stores", "diverg");
+    for (const auto& [kernel, kernel_agg] : breakdown.by_kernel) {
+      out += Format("  %-14s %6llu %8.1f%% %8.1f%% %8llu %8llu\n", kernel.c_str(),
+                    static_cast<unsigned long long>(kernel_agg.traced_runs),
+                    Pct(kernel_agg.fully_masked, kernel_agg.traced_runs),
+                    Pct(kernel_agg.escaped, kernel_agg.traced_runs),
+                    static_cast<unsigned long long>(kernel_agg.reached_store),
+                    static_cast<unsigned long long>(kernel_agg.control_divergence +
+                                                    kernel_agg.address_divergence));
+    }
+  }
+  return out;
+}
+
+json::Value PropagationReportJson(const PropagationBreakdown& breakdown) {
+  json::Value out = json::Value::Object();
+  out.Set("total_runs", breakdown.total_runs);
+  out.Set("consistency_violations", breakdown.consistency_violations);
+  out.Set("campaign", AggregateJson(breakdown.campaign));
+  json::Value kernels = json::Value::Object();
+  for (const auto& [kernel, agg] : breakdown.by_kernel) {
+    kernels.Set(kernel, AggregateJson(agg));
+  }
+  out.Set("by_kernel", std::move(kernels));
+  json::Value groups = json::Value::Object();
+  for (const auto& [group, agg] : breakdown.by_opcode_group) {
+    groups.Set(group, AggregateJson(agg));
+  }
+  out.Set("by_opcode_group", std::move(groups));
+  json::Value masking = json::Value::Object();
+  for (const auto& [group, hist] : breakdown.masking_distance) {
+    json::Value row = json::Value::Array();
+    for (const std::uint64_t count : hist) row.Push(count);
+    masking.Set(group, std::move(row));
+  }
+  out.Set("masking_distance", std::move(masking));
+  return out;
+}
+
+}  // namespace nvbitfi::analysis

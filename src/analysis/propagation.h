@@ -1,0 +1,96 @@
+// Propagation analysis: aggregates the per-run PropagationRecords a traced
+// campaign produces (src/trace/) into the campaign-level propagation report
+// that `nvbitfi analyze` prints.
+//
+// The report answers the questions the outcome classification cannot:
+//  - how far does a fault travel before it dies (masking-distance histogram,
+//    bucketed per Table II opcode partition group of the masking opcode),
+//  - what fraction of faults never reach a store,
+//  - per-kernel escape rates (taint alive in global memory, or control /
+//    address divergence, at program end),
+//  - and the taint-vs-outcome consistency check: a record that claims the
+//    fault fully masked must come from a run classified Masked (the
+//    soundness contract of trace/taint_tracker.h), counted here as
+//    `consistency_violations` when broken.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/json.h"
+#include "analysis/result_store.h"
+#include "core/campaign.h"
+#include "trace/propagation.h"
+
+namespace nvbitfi::analysis {
+
+// JSON round-trip for the result store (record lines carry "propagation").
+json::Value ToJson(const trace::PropagationRecord& record);
+std::optional<trace::PropagationRecord> PropagationRecordFromJson(
+    const json::Value& value);
+
+// Dynamic-instruction distance buckets for the masking / first-store
+// histograms: 0, 1-3, 4-15, 16-63, 64-255, 256+.
+inline constexpr int kDistanceBucketCount = 6;
+std::string_view DistanceBucketName(int bucket);
+int DistanceBucket(std::uint64_t distance);
+
+using DistanceHistogram = std::array<std::uint64_t, kDistanceBucketCount>;
+
+// Aggregate over many traced runs.
+struct PropagationAggregate {
+  std::uint64_t traced_runs = 0;
+  std::uint64_t injected = 0;       // corruption architecturally landed
+  std::uint64_t fully_masked = 0;   // taint provably dead at program end
+  std::uint64_t dead_before_store = 0;  // fully masked, no tainted store
+  std::uint64_t reached_store = 0;
+  std::uint64_t escaped = 0;  // injected && !fully_masked
+  std::uint64_t control_divergence = 0;
+  std::uint64_t address_divergence = 0;
+  std::uint64_t live_exit = 0;  // launch ended with live register taint
+  std::uint64_t host_visible = 0;  // tainted global bytes at a launch boundary
+  std::uint64_t overwrite_masks = 0;
+  std::uint64_t absorb_masks = 0;
+  std::uint64_t tainted_instructions = 0;
+  std::uint64_t dynamic_instructions = 0;
+  std::uint64_t graph_truncated = 0;
+  std::uint64_t shadow_saturated = 0;
+  DistanceHistogram first_store_distance{};
+
+  void Add(const trace::PropagationRecord& record);
+  PropagationAggregate& operator+=(const PropagationAggregate& other);
+};
+
+// Campaign-wide aggregate plus the per-kernel (escape-rate) and
+// per-opcode-group breakdowns, and the masking-distance histogram keyed by
+// the Table II partition group of the *masking* opcode.
+struct PropagationBreakdown {
+  std::uint64_t total_runs = 0;   // every experiment, traced or not
+  PropagationAggregate campaign;
+  std::map<std::string, PropagationAggregate> by_kernel;
+  std::map<std::string, PropagationAggregate> by_opcode_group;
+  std::map<std::string, DistanceHistogram> masking_distance;
+  std::uint64_t consistency_violations = 0;
+
+  // `kernel` is the injection kernel; `opcode` the injected-at opcode (absent
+  // when the fault never activated).
+  void Add(std::string_view kernel, std::optional<sim::Opcode> opcode,
+           const trace::PropagationRecord& record,
+           const fi::Classification& classification);
+};
+
+// Builds the breakdown for a completed in-memory traced campaign / a loaded
+// result store.  Runs without a propagation record only bump total_runs.
+PropagationBreakdown BuildTransientPropagation(
+    const fi::TransientCampaignResult& result);
+PropagationBreakdown RebuildPropagation(const LoadedStore& store);
+
+// Text report + machine-readable form.
+std::string PropagationReportText(const PropagationBreakdown& breakdown);
+json::Value PropagationReportJson(const PropagationBreakdown& breakdown);
+
+}  // namespace nvbitfi::analysis

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/propagation.h"
 #include "common/strings.h"
 #include "core/profile.h"
 
@@ -150,6 +151,7 @@ json::Value MetaToJson(const StoreMeta& meta) {
   out.Set("sm_id", meta.sm_id);
   out.Set("fixed_mask", static_cast<std::uint64_t>(meta.fixed_mask));
   out.Set("only_executed_opcodes", meta.only_executed_opcodes);
+  out.Set("trace", meta.trace);
   out.Set("approximate_profile", meta.approximate_profile);
   out.Set("watchdog_multiplier", meta.watchdog_multiplier);
   out.Set("element", ElementKindName(meta.element));
@@ -182,6 +184,7 @@ std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* err
   meta.sm_id = static_cast<int>(value.GetInt("sm_id"));
   meta.fixed_mask = static_cast<std::uint32_t>(value.GetUint("fixed_mask"));
   meta.only_executed_opcodes = value.GetBool("only_executed_opcodes", true);
+  meta.trace = value.GetBool("trace");
   meta.approximate_profile = value.GetBool("approximate_profile");
   meta.watchdog_multiplier = value.GetUint("watchdog_multiplier");
   meta.element = ElementKindFromName(value.GetString("element", "f32"))
@@ -206,6 +209,7 @@ json::Value TransientRunToJson(std::size_t index, const fi::InjectionRun& run,
     out.Set("artifacts", ArtifactsToJson(run.artifacts));
   }
   out.Set("classification", ClassificationToJson(run.classification));
+  if (run.propagation.has_value()) out.Set("propagation", ToJson(*run.propagation));
   if (anatomy != nullptr) out.Set("anatomy", ToJson(*anatomy));
   return out;
 }
@@ -280,6 +284,11 @@ bool ParseRecordLine(const json::Value& value, LoadedStore* store) {
       run.record = *std::move(parsed_record);
       run.artifacts = ArtifactsFromJson(*artifacts);
     }
+    if (const json::Value* propagation = value.Find("propagation");
+        propagation != nullptr) {
+      run.propagation = PropagationRecordFromJson(*propagation);
+      if (!run.propagation.has_value()) return false;
+    }
     store->transient[index] = std::move(run);
   }
   if (anatomy.has_value()) store->anatomy[index] = *std::move(anatomy);
@@ -295,6 +304,7 @@ bool StoreMeta::CompatibleWith(const StoreMeta& other) const {
          randomize_flip_model == other.randomize_flip_model &&
          sm_id == other.sm_id && fixed_mask == other.fixed_mask &&
          only_executed_opcodes == other.only_executed_opcodes &&
+         trace == other.trace &&
          approximate_profile == other.approximate_profile &&
          watchdog_multiplier == other.watchdog_multiplier &&
          element == other.element;
@@ -314,6 +324,7 @@ StoreMeta TransientStoreMeta(const std::string& program,
   meta.group = static_cast<int>(config.group);
   meta.flip_model = static_cast<int>(config.flip_model);
   meta.randomize_flip_model = config.randomize_flip_model;
+  meta.trace = config.trace;
   meta.approximate_profile = config.profiling == fi::ProfilerTool::Mode::kApproximate;
   meta.watchdog_multiplier = config.watchdog_multiplier;
   meta.workers = config.num_workers;

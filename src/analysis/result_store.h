@@ -29,7 +29,7 @@
 
 namespace nvbitfi::analysis {
 
-inline constexpr int kResultStoreVersion = 1;
+inline constexpr int kResultStoreVersion = 2;
 
 // Campaign identity + shared state persisted in the header line.  The
 // identity fields decide whether a store can be resumed by a given campaign;
@@ -49,6 +49,7 @@ struct StoreMeta {
   std::uint32_t fixed_mask = 0;
   bool only_executed_opcodes = true;
   // Shared.
+  bool trace = false;  // records carry propagation records (traced campaign)
   bool approximate_profile = false;
   std::uint64_t watchdog_multiplier = 0;
   ElementKind element = ElementKind::kF32;

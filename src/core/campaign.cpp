@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <optional>
 
 #include "common/check.h"
@@ -176,9 +177,12 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     }
     run.params = *params;
 
-    TransientInjectorTool injector(run.params);
-    run.artifacts = Execute(&injector, config.device, watchdog);
-    run.record = injector.record();
+    std::unique_ptr<TransientExperimentTool> tool =
+        config.tool_factory ? config.tool_factory(i, run.params)
+                            : std::make_unique<TransientInjectorTool>(run.params);
+    run.artifacts = Execute(tool.get(), config.device, watchdog);
+    run.record = tool->record();
+    run.propagation = tool->TakePropagation();
     run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
     if (config.on_run_complete) config.on_run_complete(i, run);
   });

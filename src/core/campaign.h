@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/experiment_tool.h"
 #include "core/fault_model.h"
 #include "core/outcome.h"
 #include "core/permanent_injector.h"
@@ -68,6 +69,15 @@ struct TransientCampaignConfig {
   // campaign is bit-identical to an unresumed one by construction.
   const std::map<std::size_t, InjectionRun>* preloaded = nullptr;
   TransientRunObserver on_run_complete;
+  // Opt-in replacement for the default TransientInjectorTool — e.g. the
+  // trace library's TaintTracker, which injects *and* follows the corruption.
+  // Invoked on the worker thread; each call must return a fresh tool.
+  TransientToolFactory tool_factory;
+  // Marks the campaign as propagation-traced.  Identity only (result-store
+  // header + resume compatibility); the tracing itself comes from
+  // tool_factory — core cannot depend on the trace library, so callers set
+  // both (the CLI's --trace does).
+  bool trace = false;
 };
 
 struct InjectionRun {
@@ -79,6 +89,8 @@ struct InjectionRun {
   // the experiment counts as Masked with zero cycles (copying the golden
   // artifacts here would double-count golden cycles in Fig. 5 totals).
   bool trivially_masked = false;
+  // Present when the campaign ran with a propagation-tracing tool factory.
+  std::optional<trace::PropagationRecord> propagation;
 };
 
 struct TransientCampaignResult {

@@ -1,0 +1,46 @@
+// Interface between the campaign loop and the tool that runs one transient
+// experiment.
+//
+// The default tool is the paper's minimal injector (TransientInjectorTool);
+// the trace library supplies a drop-in replacement that additionally follows
+// the corruption through the dataflow.  The campaign loop only needs the
+// injection record (did the fault activate, what changed) and, optionally,
+// the propagation record — it never sees the tool's internals.
+//
+// trace/propagation.h is header-only plain data, so depending on it here does
+// not make the core library link against the trace library (the dependency
+// runs the other way: trace links core for the corruption semantics).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/corruption.h"
+#include "core/fault_model.h"
+#include "nvbit/nvbit.h"
+#include "trace/propagation.h"
+
+namespace nvbitfi::fi {
+
+class TransientExperimentTool : public nvbit::Tool {
+ public:
+  // The what-happened record of the injection attempt.
+  virtual const InjectionRecord& record() const = 0;
+
+  // Tools that trace propagation hand their record over here after the run;
+  // the plain injector has nothing to report.
+  virtual std::optional<trace::PropagationRecord> TakePropagation() {
+    return std::nullopt;
+  }
+};
+
+// Builds the tool for experiment `index` with the selected fault parameters.
+// Called on the worker thread that runs the experiment; implementations must
+// not share mutable state across experiments (determinism contract).
+using TransientToolFactory =
+    std::function<std::unique_ptr<TransientExperimentTool>(
+        std::size_t index, const TransientFaultParams& params)>;
+
+}  // namespace nvbitfi::fi

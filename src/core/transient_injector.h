@@ -13,12 +13,13 @@
 #include <string>
 
 #include "core/corruption.h"
+#include "core/experiment_tool.h"
 #include "core/fault_model.h"
 #include "nvbit/nvbit.h"
 
 namespace nvbitfi::fi {
 
-class TransientInjectorTool final : public nvbit::Tool {
+class TransientInjectorTool final : public TransientExperimentTool {
  public:
   explicit TransientInjectorTool(TransientFaultParams params);
 
@@ -28,7 +29,7 @@ class TransientInjectorTool final : public nvbit::Tool {
                    const nvbit::EventInfo& info) override;
 
   const TransientFaultParams& params() const { return params_; }
-  const InjectionRecord& record() const { return record_; }
+  const InjectionRecord& record() const override { return record_; }
 
   // Cost parameters of the injection check (a counter bump + compare).
   static constexpr std::uint32_t kInjectorRegs = 8;

@@ -45,6 +45,9 @@ class LaneView {
   // this thread.  Profilers skip such events (the paper: "instructions that
   // are not executed based on a predicate register are not included").
   bool guard_true() const { return guard_true_; }
+  // NVBit-style name for the same flag: the lane receives the event but the
+  // instruction did not architecturally execute for it.
+  bool active() const { return guard_true_; }
 
  private:
   std::uint32_t* gpr_;

@@ -1,0 +1,138 @@
+// Fault-propagation record: what one injected corruption *did* between the
+// injection site and the end of the program.
+//
+// NVBitFI classifies an experiment only by its end-to-end outcome (Table V);
+// this record explains the outcome.  A TaintTracker (taint_tracker.h) marks
+// the corrupted destination register and follows the taint through
+// register->register dataflow, predicate writes, and loads/stores; the
+// resulting PropagationRecord is carried on the campaign's InjectionRun,
+// persisted in the result store, and aggregated by `nvbitfi analyze`.
+//
+// Header-only on purpose: core/campaign.h embeds the record in InjectionRun,
+// and the core library must not link against the trace library (trace links
+// core for the corruption semantics).  Everything here is plain data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::trace {
+
+// Why a tainted destination lost its taint.
+enum class MaskingKind : std::uint8_t {
+  kOverwrite,  // overwritten by a result computed from clean sources
+  kAbsorb,     // tainted sources provably did not affect the result
+               // (AND with 0, OR with ~0, multiply by 0, untainted select)
+};
+
+// One taint-death event: a previously tainted register (or memory range) was
+// rewritten with a provably clean value.  `distance` is the number of dynamic
+// instructions executed between the injection and the masking event, the
+// masking-distance metric of the propagation report.
+struct MaskingEvent {
+  MaskingKind kind = MaskingKind::kOverwrite;
+  sim::Opcode opcode = sim::Opcode::kNOP;  // the masking instruction
+  std::uint32_t static_index = 0;
+  std::uint64_t distance = 0;
+
+  bool operator==(const MaskingEvent&) const = default;
+};
+
+// A static instruction that processed taint at least once.  Node 0 is always
+// the injection site when the injection corrupted a register.
+struct PropagationNode {
+  std::uint32_t static_index = 0;
+  sim::Opcode opcode = sim::Opcode::kNOP;
+  std::uint64_t events = 0;  // dynamic taint-processing events at this node
+
+  bool operator==(const PropagationNode&) const = default;
+};
+
+// Dataflow edge: taint produced by `from` was consumed by `to`.
+struct PropagationEdge {
+  std::uint32_t from = 0;  // index into PropagationRecord::nodes
+  std::uint32_t to = 0;
+  std::uint64_t count = 0;
+
+  bool operator==(const PropagationEdge&) const = default;
+};
+
+// Bounds that keep tracing O(dynamic instructions) with O(1) extra state per
+// record: the graph and the masking-event sample are capped, and the shadow
+// memory map saturates (conservatively treated as live taint) instead of
+// growing without bound.
+inline constexpr std::size_t kMaxPropagationNodes = 256;
+inline constexpr std::size_t kMaxPropagationEdges = 1024;
+inline constexpr std::size_t kMaxMaskingSample = 64;
+inline constexpr std::size_t kMaxShadowBytes = 1u << 20;
+
+struct PropagationRecord {
+  // False when the fault was never activated (site not reached) or the
+  // corruption had no architectural effect (no target register, or the mask
+  // happened to change no bits) — such faults are dead at distance zero.
+  bool injected = false;
+
+  // Dynamic instructions (guard-true lane events) observed after injection.
+  std::uint64_t dynamic_instructions = 0;
+  // Dynamic instructions that read or wrote at least one tainted value.
+  std::uint64_t tainted_instructions = 0;
+
+  // Stores whose value (or address) was tainted, and the dynamic-instruction
+  // distance from the injection to the first one.
+  std::uint64_t tainted_stores = 0;
+  bool reached_store = false;
+  std::uint64_t first_store_distance = 0;
+
+  // Taint-death accounting: totals plus a bounded sample with opcodes and
+  // distances (the masking-distance histogram input).
+  std::uint64_t overwrite_masks = 0;
+  std::uint64_t absorb_masks = 0;
+  std::vector<MaskingEvent> masking_sample;
+
+  // Sticky divergence flags.  Once the fault touches a predicate write or a
+  // memory address, pure value-tracking can no longer prove the run clean:
+  // control flow / access patterns may differ from the fault-free execution.
+  bool control_divergence = false;
+  bool address_divergence = false;
+
+  // Live taint at the end of the injected kernel launch (registers and
+  // predicates die with the launch; this is the "live at kernel exit" view).
+  std::uint32_t live_registers = 0;
+  std::uint32_t live_predicates = 0;
+  // True when any traced launch ended with register/predicate/shared/local
+  // taint still live.  Metric only: that state dies with the launch, so it
+  // does not keep a fault from being fully masked.
+  bool any_launch_live_exit = false;
+  // Tainted global-memory bytes when the program finished — the taint that
+  // is visible to the host's output readback.
+  std::uint64_t live_global_bytes = 0;
+  // Sticky: some launch ended with tainted global bytes.  Between launches
+  // the host may read device memory and fold the corruption into scalars it
+  // feeds back through constant banks — a channel the tracer cannot follow —
+  // so taint that was ever host-visible permanently blocks fully_masked,
+  // even if a later untainted store scrubs the shadow bytes.
+  bool host_visible_taint = false;
+  // The shadow map hit its size cap; taint may have been dropped, so the
+  // record is conservative (never reported fully masked).
+  bool shadow_saturated = false;
+
+  // True when the fault provably had no surviving effect: no divergence and
+  // no tainted global memory at the end of any launch
+  // (register/predicate/shared/local taint dies with its launch and cannot
+  // reach the host; global taint at a launch boundary can).  Conservative
+  // soundness contract: fully_masked implies the run classifies as Masked
+  // (never the other way around — an outcome-Masked run may still carry
+  // coincidentally-correct tainted values).
+  bool fully_masked = false;
+
+  // Bounded propagation graph over static instructions.
+  std::vector<PropagationNode> nodes;
+  std::vector<PropagationEdge> edges;
+  bool graph_truncated = false;
+
+  bool operator==(const PropagationRecord&) const = default;
+};
+
+}  // namespace nvbitfi::trace

@@ -1,0 +1,95 @@
+#include "trace/taint_state.h"
+
+namespace nvbitfi::trace {
+
+ThreadTaint& TaintState::Thread(std::uint64_t key) { return threads_[key]; }
+
+const ThreadTaint* TaintState::FindThread(std::uint64_t key) const {
+  const auto it = threads_.find(key);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+ThreadTaint* TaintState::FindThread(std::uint64_t key) {
+  const auto it = threads_.find(key);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+TaintState::Shadow& TaintState::Of(MemSpace space) {
+  switch (space) {
+    case MemSpace::kGlobal: return global_;
+    case MemSpace::kShared: return shared_;
+    case MemSpace::kLocal: break;
+  }
+  return local_;
+}
+
+const TaintState::Shadow& TaintState::Of(MemSpace space) const {
+  return const_cast<TaintState*>(this)->Of(space);
+}
+
+void TaintState::MarkBytes(MemSpace space, std::uint64_t key, int bytes,
+                           std::int16_t producer) {
+  Shadow& shadow = Of(space);
+  for (int i = 0; i < bytes; ++i) {
+    if (!saturated_ && TotalShadowBytes() >= kMaxShadowBytes &&
+        shadow.find(key + static_cast<std::uint64_t>(i)) == shadow.end()) {
+      saturated_ = true;  // dropped taint; the record stays conservative
+    }
+    if (saturated_) {
+      auto it = shadow.find(key + static_cast<std::uint64_t>(i));
+      if (it != shadow.end()) it->second = producer;
+      continue;
+    }
+    shadow[key + static_cast<std::uint64_t>(i)] = producer;
+  }
+}
+
+bool TaintState::ClearBytes(MemSpace space, std::uint64_t key, int bytes) {
+  Shadow& shadow = Of(space);
+  bool any = false;
+  for (int i = 0; i < bytes; ++i) {
+    any = shadow.erase(key + static_cast<std::uint64_t>(i)) > 0 || any;
+  }
+  return any;
+}
+
+bool TaintState::AnyTainted(MemSpace space, std::uint64_t key, int bytes,
+                            std::int16_t* producer) const {
+  const Shadow& shadow = Of(space);
+  for (int i = 0; i < bytes; ++i) {
+    const auto it = shadow.find(key + static_cast<std::uint64_t>(i));
+    if (it != shadow.end()) {
+      if (producer != nullptr) *producer = it->second;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaintState::AnyLaunchStateLive() const {
+  if (!shared_.empty() || !local_.empty()) return true;
+  for (const auto& [key, taint] : threads_) {
+    if (taint.Any()) return true;
+  }
+  return false;
+}
+
+void TaintState::CountLiveThreadTaint(std::uint32_t* registers,
+                                      std::uint32_t* predicates) const {
+  std::uint32_t regs = 0;
+  std::uint32_t preds = 0;
+  for (const auto& [key, taint] : threads_) {
+    regs += static_cast<std::uint32_t>(taint.gpr.count());
+    preds += static_cast<std::uint32_t>(taint.pred.count());
+  }
+  if (registers != nullptr) *registers = regs;
+  if (predicates != nullptr) *predicates = preds;
+}
+
+void TaintState::ClearLaunchState() {
+  threads_.clear();
+  shared_.clear();
+  local_.clear();
+}
+
+}  // namespace nvbitfi::trace

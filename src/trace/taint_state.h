@@ -1,0 +1,84 @@
+// Taint storage for the propagation tracer: per-thread register/predicate
+// bitsets plus byte-granular shadow maps over the three memory spaces.
+//
+// Every tainted location also remembers the propagation-graph node that
+// produced its taint, so consumers can add producer->consumer edges.  The
+// shadow maps saturate at kMaxShadowBytes instead of growing without bound;
+// a saturated state may have dropped taint, so the owning record must never
+// claim the fault fully masked (TaintState exposes the flag, the tracker
+// folds it into the record).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sassim/isa/instruction.h"
+#include "trace/propagation.h"
+
+namespace nvbitfi::trace {
+
+// Producer sentinel: taint whose producing node is unknown (graph cap hit).
+inline constexpr std::int16_t kNoProducer = -1;
+
+struct ThreadTaint {
+  std::bitset<sim::kNumGpr> gpr;
+  std::bitset<sim::kNumPred> pred;
+  std::array<std::int16_t, sim::kNumGpr> gpr_producer;
+  std::array<std::int16_t, sim::kNumPred> pred_producer;
+
+  ThreadTaint() {
+    gpr_producer.fill(kNoProducer);
+    pred_producer.fill(kNoProducer);
+  }
+  bool Any() const { return gpr.any() || pred.any(); }
+};
+
+enum class MemSpace : std::uint8_t { kGlobal, kShared, kLocal };
+
+class TaintState {
+ public:
+  // Per-thread register state, keyed by a launch-scoped linear thread id.
+  // `Thread` creates the entry; `FindThread` returns nullptr for untouched
+  // threads (the common case — most threads never see taint).
+  ThreadTaint& Thread(std::uint64_t key);
+  const ThreadTaint* FindThread(std::uint64_t key) const;
+  ThreadTaint* FindThread(std::uint64_t key);
+
+  // Byte-granular shadow taint.  `key` addresses the first byte; callers
+  // pre-compose space-scoped keys (global: the address itself; shared/local:
+  // block/thread id folded in, see taint_tracker.cpp).
+  void MarkBytes(MemSpace space, std::uint64_t key, int bytes, std::int16_t producer);
+  // Strong update: clears the range; true when at least one byte was tainted.
+  bool ClearBytes(MemSpace space, std::uint64_t key, int bytes);
+  // True when any byte in the range is tainted; *producer receives the
+  // producer of the first tainted byte (may be kNoProducer).
+  bool AnyTainted(MemSpace space, std::uint64_t key, int bytes,
+                  std::int16_t* producer) const;
+
+  // Launch-scoped state (threads, shared, local) — it dies with the launch.
+  bool AnyLaunchStateLive() const;
+  void CountLiveThreadTaint(std::uint32_t* registers, std::uint32_t* predicates) const;
+  void ClearLaunchState();
+
+  std::uint64_t GlobalBytes() const { return global_.size(); }
+  bool saturated() const { return saturated_; }
+
+ private:
+  using Shadow = std::unordered_map<std::uint64_t, std::int16_t>;
+
+  Shadow& Of(MemSpace space);
+  const Shadow& Of(MemSpace space) const;
+  std::size_t TotalShadowBytes() const {
+    return global_.size() + shared_.size() + local_.size();
+  }
+
+  std::unordered_map<std::uint64_t, ThreadTaint> threads_;
+  Shadow global_;
+  Shadow shared_;
+  Shadow local_;
+  bool saturated_ = false;
+};
+
+}  // namespace nvbitfi::trace

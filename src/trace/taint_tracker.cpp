@@ -1,0 +1,961 @@
+#include "trace/taint_tracker.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nvbitfi::trace {
+namespace {
+
+constexpr const char* kBeforeFn = "nvbitfi_trace_before";
+constexpr const char* kInjectFn = "nvbitfi_trace_inject";
+constexpr const char* kAfterFn = "nvbitfi_trace_after";
+
+// Shared/local addresses are a 32-bit base register plus a signed offset, so
+// they fit in 33 bits; block / thread ids are folded in above that.
+constexpr std::uint64_t kSpaceShift = 33;
+
+std::uint64_t CtaLinear(const sim::LaunchInfo& launch, sim::Dim3 ctaid) {
+  return (static_cast<std::uint64_t>(ctaid.z) * launch.grid.y + ctaid.y) *
+             launch.grid.x +
+         ctaid.x;
+}
+
+std::uint64_t ThreadKeyOf(const sim::LaunchInfo& launch, sim::Dim3 ctaid,
+                          sim::Dim3 tid) {
+  const std::uint64_t tid_linear =
+      (static_cast<std::uint64_t>(tid.z) * launch.block.y + tid.y) * launch.block.x +
+      tid.x;
+  return CtaLinear(launch, ctaid) * launch.block.Count() + tid_linear;
+}
+
+MemSpace SpaceOf(sim::Opcode op) {
+  using sim::Opcode;
+  if (op == Opcode::kLDS || op == Opcode::kSTS || op == Opcode::kATOMS) {
+    return MemSpace::kShared;
+  }
+  if (op == Opcode::kLDL || op == Opcode::kSTL) return MemSpace::kLocal;
+  return MemSpace::kGlobal;
+}
+
+std::uint64_t ShadowKey(MemSpace space, const std::uint64_t addr,
+                        std::uint64_t cta_linear, std::uint64_t thread_key) {
+  const std::uint64_t masked = addr & ((1ull << kSpaceShift) - 1);
+  switch (space) {
+    case MemSpace::kGlobal: return addr;
+    case MemSpace::kShared: return (cta_linear << kSpaceShift) | masked;
+    case MemSpace::kLocal: break;
+  }
+  return (thread_key << kSpaceShift) | masked;
+}
+
+// Number of consecutive GPRs a source operand reads.  Over-approximating is
+// safe (extra taint, never missed taint); under-approximating is not.
+int SrcGprSpan(const sim::Instruction& inst, int i) {
+  using sim::Opcode;
+  if (sim::ClassOf(inst.opcode) == sim::OpClass::kFp64) return 2;
+  if (inst.opcode == Opcode::kDSETP) return 2;
+  if (inst.mods.wide_src) return 2;
+  if (inst.opcode == Opcode::kIMAD && inst.mods.wide_dst && i == 2) return 2;
+  return 1;
+}
+
+// Mirrors ReadSrc32's integer modifier pipeline (absolute, invert, negate).
+std::uint32_t ApplyIntMods32(const sim::Operand& op, std::uint32_t v) {
+  if (op.absolute) {
+    v = static_cast<std::uint32_t>(std::abs(static_cast<std::int32_t>(v)));
+  }
+  if (op.invert) v = ~v;
+  if (op.negate) v = static_cast<std::uint32_t>(-static_cast<std::int32_t>(v));
+  return v;
+}
+
+bool ApplyBoolOp(sim::BoolOp op, bool a, bool b) {
+  switch (op) {
+    case sim::BoolOp::kAnd: return a && b;
+    case sim::BoolOp::kOr: return a || b;
+    case sim::BoolOp::kXor: return a != b;
+  }
+  return false;
+}
+
+}  // namespace
+
+TaintTracker::TaintTracker(fi::TransientFaultParams params)
+    : params_(std::move(params)) {
+  NVBITFI_CHECK_MSG(params_.destination_register >= 0.0 && params_.destination_register < 1.0,
+                    "destination-register value outside [0,1)");
+  NVBITFI_CHECK_MSG(params_.bit_pattern_value >= 0.0 && params_.bit_pattern_value < 1.0,
+                    "bit-pattern value outside [0,1)");
+}
+
+std::string TaintTracker::ConfigKey() const {
+  return "tracer/" + params_.kernel_name + "/g" +
+         std::to_string(static_cast<int>(params_.arch_state_id));
+}
+
+void TaintTracker::OnAttach(nvbit::Runtime& runtime) {
+  nvbit::DeviceFunction before;
+  before.name = kBeforeFn;
+  before.regs_used = kTracerRegs;
+  before.cost_cycles = kTracerCycles;
+  before.serialized = true;
+  before.callback = [this](const sim::InstrEvent& event) { Before(event); };
+  runtime.RegisterDeviceFunction(std::move(before));
+
+  nvbit::DeviceFunction inject;
+  inject.name = kInjectFn;
+  inject.regs_used = kTracerRegs;
+  inject.cost_cycles = kTracerCycles;
+  inject.callback = [this](const sim::InstrEvent& event) { Inject(event); };
+  runtime.RegisterDeviceFunction(std::move(inject));
+
+  nvbit::DeviceFunction after;
+  after.name = kAfterFn;
+  after.regs_used = kTracerRegs;
+  after.cost_cycles = kTracerCycles;
+  after.serialized = true;
+  after.callback = [this](const sim::InstrEvent& event) { After(event); };
+  runtime.RegisterDeviceFunction(std::move(after));
+}
+
+void TaintTracker::AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                               const nvbit::EventInfo& info) {
+  switch (event) {
+    case nvbit::CudaEvent::kModuleLoaded:
+      // Unlike the minimal injector, the tracer instruments *every*
+      // instruction of *every* kernel — taint can travel anywhere.  The
+      // inject callback still goes only on the group-eligible sites of the
+      // target kernel, spliced before the after-callback so the corrupted
+      // destination is seeded within the same warp step.
+      for (const auto& fn : info.module->functions()) {
+        const bool target = fn->name() == params_.kernel_name;
+        for (const nvbit::Instr& instr : runtime.GetInstrs(*fn)) {
+          runtime.InsertCall(*fn, instr.index(), kBeforeFn, sim::InsertPoint::kBefore);
+          if (target && OpcodeInGroup(instr.opcode(), params_.arch_state_id)) {
+            runtime.InsertCall(*fn, instr.index(), kInjectFn, sim::InsertPoint::kAfter);
+          }
+          runtime.InsertCall(*fn, instr.index(), kAfterFn, sim::InsertPoint::kAfter);
+        }
+      }
+      break;
+    case nvbit::CudaEvent::kKernelLaunchBegin: {
+      const bool is_target = info.launch->kernel_name == params_.kernel_name &&
+                             info.launch->launch_ordinal == params_.kernel_count;
+      armed_ = is_target && !done_;
+      if (armed_) counter_ = 0;
+      // Trace the target launch and everything after the injection; earlier
+      // launches carry no taint and run uninstrumented at full speed.
+      tracing_launch_ = armed_ || done_;
+      runtime.EnableInstrumented(*info.function, tracing_launch_);
+      ResetStage();
+      break;
+    }
+    case nvbit::CudaEvent::kKernelLaunchEnd:
+      if (tracing_launch_) HarvestLaunchEnd();
+      armed_ = false;
+      tracing_launch_ = false;
+      break;
+  }
+}
+
+std::optional<PropagationRecord> TaintTracker::TakePropagation() {
+  rec_.live_global_bytes = taint_.GlobalBytes();
+  if (rec_.live_global_bytes > 0) rec_.host_visible_taint = true;
+  rec_.shadow_saturated = taint_.saturated();
+  // Registers/predicates/shared/local die with their launch, so only
+  // divergence and host-visible global-memory taint (live now, or live at
+  // any earlier launch boundary) can make the fault visible.
+  rec_.fully_masked = !rec_.injected ||
+                      (!rec_.control_divergence && !rec_.address_divergence &&
+                       !rec_.host_visible_taint && !rec_.shadow_saturated);
+  return rec_;
+}
+
+// ---- injection ------------------------------------------------------------
+
+void TaintTracker::Inject(const sim::InstrEvent& event) {
+  if (!armed_ || done_ || !event.lane.guard_true()) return;
+  const std::uint64_t index = counter_++;
+  if (index != params_.instruction_count) return;
+  done_ = true;
+  fi::ApplyTransientCorruption(event, params_, &record_);
+  // The matching after-callback for this lane runs next; it seeds the taint.
+  pending_seed_ = true;
+  pending_seed_lane_ = event.lane.lane_id();
+}
+
+void TaintTracker::SeedTaint(const sim::InstrEvent& event) {
+  if (!record_.corrupted || record_.after_bits == record_.before_bits) {
+    return;  // no architectural change: dead at distance zero
+  }
+  rec_.injected = true;
+  const std::int16_t node = NodeFor(record_.static_index, record_.opcode);
+  if (node >= 0) ++rec_.nodes[static_cast<std::size_t>(node)].events;
+  ThreadTaint& taint =
+      taint_.Thread(ThreadKeyOf(event.launch, event.lane.ctaid(), event.lane.tid()));
+  if (record_.pred_target) {
+    if (record_.target_register >= 0 && record_.target_register < sim::kPT) {
+      taint.pred.set(static_cast<std::size_t>(record_.target_register));
+      taint.pred_producer[static_cast<std::size_t>(record_.target_register)] = node;
+    }
+    return;
+  }
+  if (record_.target_register < 0) return;
+  const int span = record_.register_width == 64 ? 2 : 1;
+  for (int r = 0; r < span; ++r) {
+    const int idx = record_.target_register + r;
+    if (idx < sim::kNumGpr && idx != sim::kRZ) {
+      taint.gpr.set(static_cast<std::size_t>(idx));
+      taint.gpr_producer[static_cast<std::size_t>(idx)] = node;
+    }
+  }
+}
+
+// ---- event staging --------------------------------------------------------
+
+void TaintTracker::ResetStage() {
+  staged_.fill(LaneSnapshot{});
+  in_before_phase_ = false;
+}
+
+void TaintTracker::Before(const sim::InstrEvent& event) {
+  if (!done_) return;
+  if (!in_before_phase_) {
+    staged_.fill(LaneSnapshot{});
+    in_before_phase_ = true;
+  }
+  const sim::Instruction& inst = event.instr;
+  const sim::LaneView& lane = event.lane;
+  LaneSnapshot& s = staged_[static_cast<std::size_t>(lane.lane_id())];
+  s = LaneSnapshot{};
+  s.valid = true;
+  s.guard_true = lane.active();
+  s.thread_key = ThreadKeyOf(event.launch, lane.ctaid(), lane.tid());
+  s.cta_linear = CtaLinear(event.launch, lane.ctaid());
+  const ThreadTaint* taint = taint_.FindThread(s.thread_key);
+
+  if (inst.guard_pred != sim::kPT && taint != nullptr &&
+      taint->pred[inst.guard_pred]) {
+    s.guard_tainted = true;
+    s.guard_producer = taint->pred_producer[inst.guard_pred];
+  }
+  if (!s.guard_true) {
+    // Predicated-off lanes do not execute: only their guard read matters.
+    s.sources_tainted = s.guard_tainted;
+    return;
+  }
+
+  for (int i = 0; i < inst.num_src; ++i) {
+    const sim::Operand& op = inst.src[static_cast<std::size_t>(i)];
+    switch (op.kind) {
+      case sim::Operand::Kind::kGpr: {
+        const int span = SrcGprSpan(inst, i);
+        std::uint64_t v = lane.ReadGpr(op.reg);
+        if (span == 2 && op.reg + 1 < sim::kNumGpr) {
+          v |= static_cast<std::uint64_t>(lane.ReadGpr(op.reg + 1)) << 32;
+        }
+        s.value[static_cast<std::size_t>(i)] = v;
+        s.known[static_cast<std::size_t>(i)] = true;
+        if (taint != nullptr) {
+          for (int r = 0; r < span; ++r) {
+            const int idx = op.reg + r;
+            if (idx < sim::kNumGpr && idx != sim::kRZ && taint->gpr[idx]) {
+              s.tainted[static_cast<std::size_t>(i)] = true;
+              s.producer[static_cast<std::size_t>(i)] = taint->gpr_producer[idx];
+            }
+          }
+        }
+        break;
+      }
+      case sim::Operand::Kind::kPred:
+        s.value[static_cast<std::size_t>(i)] = lane.ReadPred(op.reg) ? 1 : 0;
+        s.known[static_cast<std::size_t>(i)] = true;
+        if (taint != nullptr && op.reg != sim::kPT && taint->pred[op.reg]) {
+          s.tainted[static_cast<std::size_t>(i)] = true;
+          s.producer[static_cast<std::size_t>(i)] = taint->pred_producer[op.reg];
+        }
+        break;
+      case sim::Operand::Kind::kImm:
+      case sim::Operand::Kind::kLabel:
+        s.value[static_cast<std::size_t>(i)] = op.imm;
+        s.known[static_cast<std::size_t>(i)] = true;
+        break;
+      case sim::Operand::Kind::kConst:
+        break;  // unreadable through LaneView; never tainted
+      case sim::Operand::Kind::kMem: {
+        const MemSpace space = SpaceOf(inst.opcode);
+        const int base_span = space == MemSpace::kGlobal ? 2 : 1;
+        std::uint64_t base = lane.ReadGpr(op.mem_base);
+        if (base_span == 2 && op.mem_base + 1 < sim::kNumGpr) {
+          base |= static_cast<std::uint64_t>(lane.ReadGpr(op.mem_base + 1)) << 32;
+        }
+        s.addr = base + static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(op.mem_offset));
+        if (taint != nullptr) {
+          for (int r = 0; r < base_span; ++r) {
+            const int idx = op.mem_base + r;
+            if (idx < sim::kNumGpr && idx != sim::kRZ && taint->gpr[idx]) {
+              s.addr_tainted = true;
+              s.addr_producer = taint->gpr_producer[idx];
+            }
+          }
+        }
+        break;
+      }
+      case sim::Operand::Kind::kNone:
+        break;
+    }
+  }
+
+  if (sim::ClassOf(inst.opcode) == sim::OpClass::kStore && taint != nullptr) {
+    const int value_reg = inst.src[1].kind == sim::Operand::Kind::kGpr
+                              ? inst.src[1].reg
+                              : sim::kRZ;
+    const int regs = inst.mods.width == sim::MemWidth::k64    ? 2
+                     : inst.mods.width == sim::MemWidth::k128 ? 4
+                                                              : 1;
+    for (int r = 0; r < regs; ++r) {
+      const int idx = value_reg + r;
+      if (idx < sim::kNumGpr && idx != sim::kRZ && taint->gpr[idx]) {
+        s.store_tainted = true;
+        s.store_producer = taint->gpr_producer[idx];
+      }
+    }
+  }
+
+  s.sources_tainted = s.guard_tainted || s.addr_tainted || s.store_tainted;
+  for (int i = 0; i < inst.num_src; ++i) {
+    s.sources_tainted = s.sources_tainted || s.tainted[static_cast<std::size_t>(i)];
+  }
+}
+
+void TaintTracker::After(const sim::InstrEvent& event) {
+  in_before_phase_ = false;
+  const int lane_id = event.lane.lane_id();
+  if (pending_seed_ && lane_id == pending_seed_lane_) {
+    pending_seed_ = false;
+    SeedTaint(event);
+    return;
+  }
+  if (!done_) return;
+  LaneSnapshot& s = staged_[static_cast<std::size_t>(lane_id)];
+  if (!s.valid || s.consumed) return;
+  s.consumed = true;
+  if (s.guard_tainted) {
+    // A tainted guard means this lane's participation may differ from the
+    // fault-free run — sticky control divergence.
+    rec_.control_divergence = true;
+    AddEdge(s.guard_producer, TouchNode(event));
+  }
+  if (!s.guard_true) return;  // not executed: not counted, not propagated
+  ++rec_.dynamic_instructions;
+  counted_tainted_ = false;
+  if (s.guard_tainted) CountTainted();
+  Propagate(event, s);
+}
+
+// ---- propagation ----------------------------------------------------------
+
+void TaintTracker::Propagate(const sim::InstrEvent& event, const LaneSnapshot& snap) {
+  using sim::Opcode;
+  const Opcode op = event.instr.opcode;
+  if (op == Opcode::kSHFL || op == Opcode::kVOTE) {
+    PropagateCollective(event, snap);
+    return;
+  }
+  if (op == Opcode::kP2R || op == Opcode::kR2P || op == Opcode::kS2R ||
+      op == Opcode::kCS2R) {
+    PropagateSpecial(event, snap);
+    return;
+  }
+  const sim::OpClass c = sim::ClassOf(op);
+  if ((c == sim::OpClass::kLoad && op != Opcode::kLDC) ||
+      c == sim::OpClass::kStore || c == sim::OpClass::kAtomic) {
+    PropagateMemory(event, snap);
+    return;
+  }
+  if (c == sim::OpClass::kControl) {
+    bool any = false;
+    std::int16_t producer = kNoProducer;
+    for (int i = 0; i < event.instr.num_src; ++i) {
+      if (snap.tainted[static_cast<std::size_t>(i)]) {
+        any = true;
+        producer = snap.producer[static_cast<std::size_t>(i)];
+      }
+    }
+    if (any) {
+      rec_.control_divergence = true;
+      CountTainted();
+      AddEdge(producer, TouchNode(event));
+    }
+    return;
+  }
+  PropagateAlu(event, snap);
+}
+
+void TaintTracker::PropagateAlu(const sim::InstrEvent& event, const LaneSnapshot& snap) {
+  bool any = false;
+  for (int i = 0; i < event.instr.num_src; ++i) {
+    any = any || snap.tainted[static_cast<std::size_t>(i)];
+  }
+  if (!any) {
+    if (ClearDests(event)) {
+      CountTainted();
+      TouchNode(event);
+      RecordMask(MaskingKind::kOverwrite, event);
+    }
+    return;
+  }
+  CountTainted();
+  const std::int16_t node = TouchNode(event);
+  for (int i = 0; i < event.instr.num_src; ++i) {
+    if (snap.tainted[static_cast<std::size_t>(i)]) {
+      AddEdge(snap.producer[static_cast<std::size_t>(i)], node);
+    }
+  }
+  if (Absorbed(event.instr, snap)) {
+    ClearDests(event);
+    RecordMask(MaskingKind::kAbsorb, event);
+  } else {
+    TaintDests(event, node);
+  }
+}
+
+void TaintTracker::PropagateMemory(const sim::InstrEvent& event,
+                                   const LaneSnapshot& snap) {
+  using sim::Opcode;
+  const sim::Instruction& inst = event.instr;
+  const sim::OpClass c = sim::ClassOf(inst.opcode);
+  const MemSpace space = SpaceOf(inst.opcode);
+  const std::uint64_t key =
+      ShadowKey(space, snap.addr, snap.cta_linear, snap.thread_key);
+
+  if (c == sim::OpClass::kLoad) {
+    const int bytes = sim::MemWidthBytes(inst.mods.width);
+    if (snap.addr_tainted) {
+      // The access may target a different address than the fault-free run:
+      // the loaded value is unknowable, and the access pattern diverged.
+      rec_.address_divergence = true;
+      CountTainted();
+      const std::int16_t node = TouchNode(event);
+      AddEdge(snap.addr_producer, node);
+      TaintDests(event, node);
+      return;
+    }
+    std::int16_t producer = kNoProducer;
+    if (taint_.AnyTainted(space, key, bytes, &producer)) {
+      CountTainted();
+      const std::int16_t node = TouchNode(event);
+      AddEdge(producer, node);
+      TaintDests(event, node);
+    } else if (ClearDests(event)) {
+      CountTainted();
+      TouchNode(event);
+      RecordMask(MaskingKind::kOverwrite, event);
+    }
+    return;
+  }
+
+  if (c == sim::OpClass::kStore) {
+    const int bytes = sim::MemWidthBytes(inst.mods.width);
+    if (snap.addr_tainted) rec_.address_divergence = true;
+    if (snap.addr_tainted || snap.store_tainted) {
+      CountTainted();
+      const std::int16_t node = TouchNode(event);
+      AddEdge(snap.store_producer, node);
+      AddEdge(snap.addr_producer, node);
+      taint_.MarkBytes(space, key, bytes, node);
+      ++rec_.tainted_stores;
+      if (!rec_.reached_store) {
+        rec_.reached_store = true;
+        rec_.first_store_distance = rec_.dynamic_instructions;
+      }
+    } else if (taint_.ClearBytes(space, key, bytes)) {
+      CountTainted();
+      TouchNode(event);
+      RecordMask(MaskingKind::kOverwrite, event);
+    }
+    return;
+  }
+
+  // Atomics (ATOM/ATOMG/ATOMS/RED): 32-bit read-modify-write; the GPR
+  // destination (absent for RED) receives the OLD memory value.
+  const int bytes = 4;
+  std::int16_t old_producer = kNoProducer;
+  const bool old_tainted = taint_.AnyTainted(space, key, bytes, &old_producer);
+  const bool operand_tainted = snap.tainted[1] || snap.tainted[2];
+  if (snap.addr_tainted) rec_.address_divergence = true;
+  if (old_tainted || operand_tainted || snap.addr_tainted) {
+    CountTainted();
+    const std::int16_t node = TouchNode(event);
+    if (old_tainted) AddEdge(old_producer, node);
+    if (snap.tainted[1]) AddEdge(snap.producer[1], node);
+    if (snap.tainted[2]) AddEdge(snap.producer[2], node);
+    AddEdge(snap.addr_producer, node);
+    taint_.MarkBytes(space, key, bytes, node);
+    ++rec_.tainted_stores;
+    if (!rec_.reached_store) {
+      rec_.reached_store = true;
+      rec_.first_store_distance = rec_.dynamic_instructions;
+    }
+    if (inst.opcode != Opcode::kRED) {
+      if (old_tainted || snap.addr_tainted) {
+        TaintDests(event, node);
+      } else if (ClearDests(event)) {
+        RecordMask(MaskingKind::kOverwrite, event);
+      }
+    }
+  } else if (inst.opcode != Opcode::kRED && ClearDests(event)) {
+    CountTainted();
+    TouchNode(event);
+    RecordMask(MaskingKind::kOverwrite, event);
+  }
+}
+
+void TaintTracker::PropagateCollective(const sim::InstrEvent& event,
+                                       const LaneSnapshot& snap) {
+  using sim::Opcode;
+  const sim::Instruction& inst = event.instr;
+
+  if (inst.opcode == Opcode::kVOTE) {
+    // Ballot/all/any mix every participating lane's source predicate.
+    bool any = false;
+    std::int16_t producer = kNoProducer;
+    for (const LaneSnapshot& other : staged_) {
+      if (other.valid && other.guard_true && other.tainted[0]) {
+        any = true;
+        producer = other.producer[0];
+      }
+    }
+    if (any) {
+      CountTainted();
+      const std::int16_t node = TouchNode(event);
+      for (const LaneSnapshot& other : staged_) {
+        if (other.valid && other.guard_true && other.tainted[0]) {
+          AddEdge(other.producer[0], node);
+        }
+      }
+      (void)producer;
+      TaintDests(event, node);
+    } else if (ClearDests(event)) {
+      CountTainted();
+      TouchNode(event);
+      RecordMask(MaskingKind::kOverwrite, event);
+    }
+    return;
+  }
+
+  // SHFL: the destination comes from the selected lane's pre-step source.
+  bool tainted = false;
+  std::int16_t producer = kNoProducer;
+  if (inst.num_src > 1 && snap.tainted[1]) {
+    tainted = true;  // tainted selector: the source lane itself may differ
+    producer = snap.producer[1];
+  } else if (inst.num_src > 1 && !snap.known[1]) {
+    // Selector from the constant bank — unreadable here; any participating
+    // lane's source could be selected.
+    for (const LaneSnapshot& other : staged_) {
+      if (other.valid && other.guard_true && other.tainted[0]) {
+        tainted = true;
+        producer = other.producer[0];
+      }
+    }
+  } else {
+    const std::uint32_t b =
+        inst.num_src > 1
+            ? ApplyIntMods32(inst.src[1], static_cast<std::uint32_t>(snap.value[1]))
+            : 0;
+    const int lane = event.lane.lane_id();
+    int src_lane = lane;
+    switch (inst.mods.shfl) {
+      case sim::ShflMode::kIdx: src_lane = static_cast<int>(b & 31u); break;
+      case sim::ShflMode::kUp: src_lane = lane - static_cast<int>(b); break;
+      case sim::ShflMode::kDown: src_lane = lane + static_cast<int>(b); break;
+      case sim::ShflMode::kBfly: src_lane = lane ^ static_cast<int>(b & 31u); break;
+    }
+    const LaneSnapshot* from =
+        src_lane >= 0 && src_lane < sim::kWarpSize
+            ? &staged_[static_cast<std::size_t>(src_lane)]
+            : nullptr;
+    if (from != nullptr && from->valid && from->guard_true) {
+      tainted = from->tainted[0];
+      producer = from->producer[0];
+    } else {
+      tainted = snap.tainted[0];  // invalid source lane: own value
+      producer = snap.producer[0];
+    }
+  }
+  if (tainted) {
+    CountTainted();
+    const std::int16_t node = TouchNode(event);
+    AddEdge(producer, node);
+    TaintDests(event, node);
+  } else if (ClearDests(event)) {
+    CountTainted();
+    TouchNode(event);
+    RecordMask(MaskingKind::kOverwrite, event);
+  }
+}
+
+void TaintTracker::PropagateSpecial(const sim::InstrEvent& event,
+                                    const LaneSnapshot& snap) {
+  using sim::Opcode;
+  const sim::Instruction& inst = event.instr;
+
+  if (inst.opcode == Opcode::kP2R) {
+    // Reads the whole predicate file (masked), so any predicate taint flows.
+    bool any = snap.tainted[0];
+    std::int16_t producer = snap.producer[0];
+    const ThreadTaint* taint = taint_.FindThread(snap.thread_key);
+    if (taint != nullptr) {
+      for (int p = 0; p < sim::kPT; ++p) {
+        if (taint->pred[p]) {
+          any = true;
+          producer = taint->pred_producer[p];
+        }
+      }
+    }
+    if (any) {
+      CountTainted();
+      const std::int16_t node = TouchNode(event);
+      AddEdge(producer, node);
+      TaintDests(event, node);
+    } else if (ClearDests(event)) {
+      CountTainted();
+      TouchNode(event);
+      RecordMask(MaskingKind::kOverwrite, event);
+    }
+    return;
+  }
+
+  if (inst.opcode == Opcode::kR2P) {
+    // Writes the predicate file from a GPR, under a mask.
+    if (snap.tainted[0] || snap.tainted[1]) {
+      CountTainted();
+      const std::int16_t node = TouchNode(event);
+      if (snap.tainted[0]) AddEdge(snap.producer[0], node);
+      if (snap.tainted[1]) AddEdge(snap.producer[1], node);
+      ThreadTaint& taint = taint_.Thread(snap.thread_key);
+      for (int p = 0; p < sim::kPT; ++p) {
+        taint.pred.set(static_cast<std::size_t>(p));
+        taint.pred_producer[static_cast<std::size_t>(p)] = node;
+      }
+      return;
+    }
+    // Clean sources: strong-update the predicates named by a known mask;
+    // with an unknowable (constant-bank) mask, leave taint in place (safe).
+    std::uint32_t mask = 0xFFFFFFFFu;
+    if (inst.num_src > 1) {
+      if (!snap.known[1]) return;
+      mask = ApplyIntMods32(inst.src[1], static_cast<std::uint32_t>(snap.value[1]));
+    }
+    ThreadTaint* taint = taint_.FindThread(snap.thread_key);
+    if (taint == nullptr) return;
+    bool cleared = false;
+    for (int p = 0; p < sim::kPT; ++p) {
+      if ((mask >> p & 1) != 0 && taint->pred[p]) {
+        taint->pred.reset(static_cast<std::size_t>(p));
+        cleared = true;
+      }
+    }
+    if (cleared) {
+      CountTainted();
+      TouchNode(event);
+      RecordMask(MaskingKind::kOverwrite, event);
+    }
+    return;
+  }
+
+  // S2R/CS2R.  The cycle counter differs from the fault-free run by the
+  // instrumentation cost, so clock reads conservatively taint their
+  // destination; all other special registers are launch geometry (clean).
+  const bool clock = inst.opcode == Opcode::kCS2R ||
+                     (inst.opcode == Opcode::kS2R &&
+                      inst.mods.sreg == sim::SpecialReg::kClockLo);
+  if (clock) {
+    TaintDests(event, kNoProducer);
+  } else if (ClearDests(event)) {
+    CountTainted();
+    TouchNode(event);
+    RecordMask(MaskingKind::kOverwrite, event);
+  }
+}
+
+// ---- destinations ---------------------------------------------------------
+
+void TaintTracker::TaintDests(const sim::InstrEvent& event, std::int16_t node) {
+  const sim::Instruction& inst = event.instr;
+  ThreadTaint& taint = taint_.Thread(
+      ThreadKeyOf(event.launch, event.lane.ctaid(), event.lane.tid()));
+  if (inst.dest_gpr != sim::kRZ) {
+    const int span = sim::DestGprCount(inst);
+    for (int r = 0; r < span; ++r) {
+      const int idx = inst.dest_gpr + r;
+      if (idx < sim::kNumGpr && idx != sim::kRZ) {
+        taint.gpr.set(static_cast<std::size_t>(idx));
+        taint.gpr_producer[static_cast<std::size_t>(idx)] = node;
+      }
+    }
+  }
+  if (inst.dest_pred != sim::kPT) {
+    taint.pred.set(inst.dest_pred);
+    taint.pred_producer[inst.dest_pred] = node;
+  }
+  if (inst.dest_pred2 != sim::kPT) {
+    taint.pred.set(inst.dest_pred2);
+    taint.pred_producer[inst.dest_pred2] = node;
+  }
+}
+
+bool TaintTracker::ClearDests(const sim::InstrEvent& event) {
+  const sim::Instruction& inst = event.instr;
+  ThreadTaint* taint = taint_.FindThread(
+      ThreadKeyOf(event.launch, event.lane.ctaid(), event.lane.tid()));
+  if (taint == nullptr) return false;
+  bool cleared = false;
+  if (inst.dest_gpr != sim::kRZ) {
+    const int span = sim::DestGprCount(inst);
+    for (int r = 0; r < span; ++r) {
+      const int idx = inst.dest_gpr + r;
+      if (idx < sim::kNumGpr && idx != sim::kRZ && taint->gpr[idx]) {
+        taint->gpr.reset(static_cast<std::size_t>(idx));
+        cleared = true;
+      }
+    }
+  }
+  if (inst.dest_pred != sim::kPT && taint->pred[inst.dest_pred]) {
+    taint->pred.reset(inst.dest_pred);
+    cleared = true;
+  }
+  if (inst.dest_pred2 != sim::kPT && taint->pred[inst.dest_pred2]) {
+    taint->pred.reset(inst.dest_pred2);
+    cleared = true;
+  }
+  return cleared;
+}
+
+// ---- absorption -----------------------------------------------------------
+
+bool TaintTracker::Absorbed(const sim::Instruction& inst,
+                            const LaneSnapshot& snap) const {
+  using sim::Opcode;
+  switch (inst.opcode) {
+    case Opcode::kSEL:
+    case Opcode::kFSEL: {
+      if (inst.num_src < 3) return false;
+      const sim::Operand& sel = inst.src[2];
+      if (sel.kind != sim::Operand::Kind::kPred || snap.tainted[2] || !snap.known[2]) {
+        return false;
+      }
+      const bool take_a = (snap.value[2] != 0) != sel.negate;
+      return !snap.tainted[take_a ? 0 : 1];  // taint only on the unselected side
+    }
+    case Opcode::kLOP:
+    case Opcode::kLOP32I: {
+      if (inst.num_src < 2 || snap.tainted[0] == snap.tainted[1]) return false;
+      const int other = snap.tainted[0] ? 1 : 0;
+      if (!snap.known[static_cast<std::size_t>(other)]) return false;
+      const std::uint32_t v =
+          ApplyIntMods32(inst.src[static_cast<std::size_t>(other)],
+                         static_cast<std::uint32_t>(snap.value[static_cast<std::size_t>(other)]));
+      if (inst.mods.bool_op == sim::BoolOp::kAnd) return v == 0;
+      if (inst.mods.bool_op == sim::BoolOp::kOr) return v == 0xFFFFFFFFu;
+      return false;  // XOR always depends on both sides
+    }
+    case Opcode::kLOP3: {
+      if (inst.num_src < 3) return false;
+      std::uint8_t lut = inst.mods.lut;
+      if (inst.num_src > 3) {
+        if (snap.tainted[3] || !snap.known[3]) return false;
+        lut = static_cast<std::uint8_t>(
+            ApplyIntMods32(inst.src[3], static_cast<std::uint32_t>(snap.value[3])));
+      }
+      const int tainted_count =
+          (snap.tainted[0] ? 1 : 0) + (snap.tainted[1] ? 1 : 0) + (snap.tainted[2] ? 1 : 0);
+      if (tainted_count != 1) return false;
+      const int ti = snap.tainted[0] ? 0 : snap.tainted[1] ? 1 : 2;
+      const int o1 = ti == 0 ? 1 : 0;
+      const int o2 = ti == 2 ? 1 : 2;
+      if (!snap.known[static_cast<std::size_t>(o1)] ||
+          !snap.known[static_cast<std::size_t>(o2)]) {
+        return false;
+      }
+      std::uint32_t vals[3] = {};
+      vals[o1] = ApplyIntMods32(inst.src[static_cast<std::size_t>(o1)],
+                                static_cast<std::uint32_t>(snap.value[static_cast<std::size_t>(o1)]));
+      vals[o2] = ApplyIntMods32(inst.src[static_cast<std::size_t>(o2)],
+                                static_cast<std::uint32_t>(snap.value[static_cast<std::size_t>(o2)]));
+      // Per bit: does the lut output depend on the tainted input, given the
+      // observed bits of the two clean inputs?  (a=bit2, b=bit1, c=bit0.)
+      for (int k = 0; k < 32; ++k) {
+        int idx0 = 0;
+        int idx1 = 0;
+        for (int j = 0; j < 3; ++j) {
+          const int bit = j == ti ? 0 : static_cast<int>(vals[j] >> k & 1);
+          const int weight = j == 0 ? 4 : j == 1 ? 2 : 1;
+          idx0 |= bit * weight;
+          idx1 |= (j == ti ? 1 : bit) * weight;
+        }
+        if (((lut >> idx0) & 1) != ((lut >> idx1) & 1)) return false;
+      }
+      return true;
+    }
+    case Opcode::kIMAD: {
+      // a*b + c: a tainted multiplicand is absorbed by an untainted zero
+      // co-factor (integer only; FP has NaN*0 != 0).
+      if (snap.tainted[2]) return false;
+      if (snap.tainted[0] && snap.tainted[1]) return false;
+      const int ti = snap.tainted[0] ? 0 : snap.tainted[1] ? 1 : -1;
+      if (ti < 0) return false;
+      const int co = 1 - ti;
+      if (co >= inst.num_src || !snap.known[static_cast<std::size_t>(co)]) return false;
+      return ApplyIntMods32(inst.src[static_cast<std::size_t>(co)],
+                            static_cast<std::uint32_t>(snap.value[static_cast<std::size_t>(co)])) == 0;
+    }
+    case Opcode::kPSETP:
+    case Opcode::kPLOP3: {
+      // At most three boolean inputs: brute-force the tainted ones and check
+      // that both outputs are constant.
+      std::uint8_t lut = inst.mods.lut;
+      if (inst.opcode == Opcode::kPLOP3 && inst.num_src > 3) {
+        if (snap.tainted[3] || !snap.known[3]) return false;
+        lut = static_cast<std::uint8_t>(
+            ApplyIntMods32(inst.src[3], static_cast<std::uint32_t>(snap.value[3])));
+      }
+      bool in[3];
+      bool tainted_in[3];
+      for (int i = 0; i < 3; ++i) {
+        const bool present =
+            i < inst.num_src &&
+            inst.src[static_cast<std::size_t>(i)].kind == sim::Operand::Kind::kPred;
+        in[i] = present ? (snap.value[static_cast<std::size_t>(i)] != 0) !=
+                              inst.src[static_cast<std::size_t>(i)].negate
+                        : true;
+        tainted_in[i] = present && snap.tainted[static_cast<std::size_t>(i)];
+      }
+      bool first = true;
+      bool out1 = false;
+      bool out2 = false;
+      for (int m = 0; m < 8; ++m) {
+        bool skip = false;
+        bool v[3];
+        for (int i = 0; i < 3; ++i) {
+          v[i] = (m >> i & 1) != 0;
+          if (!tainted_in[i] && v[i] != in[i]) skip = true;
+        }
+        if (skip) continue;
+        bool r1 = false;
+        bool r2 = false;
+        if (inst.opcode == Opcode::kPSETP) {
+          r1 = ApplyBoolOp(inst.mods.bool_op, v[0], v[1]) && v[2];
+          r2 = !r1 && v[2];
+        } else {
+          const int index = (v[0] ? 4 : 0) | (v[1] ? 2 : 0) | (v[2] ? 1 : 0);
+          r1 = (lut >> index & 1) != 0;
+          r2 = !r1;
+        }
+        if (first) {
+          out1 = r1;
+          out2 = r2;
+          first = false;
+        } else if (r1 != out1 || r2 != out2) {
+          return false;
+        }
+      }
+      return !first;
+    }
+    default:
+      return false;
+  }
+}
+
+// ---- bookkeeping ----------------------------------------------------------
+
+void TaintTracker::CountTainted() {
+  if (!counted_tainted_) {
+    counted_tainted_ = true;
+    ++rec_.tainted_instructions;
+  }
+}
+
+std::int16_t TaintTracker::TouchNode(const sim::InstrEvent& event) {
+  const std::int16_t node = NodeFor(event.static_index, event.instr.opcode);
+  if (node >= 0) ++rec_.nodes[static_cast<std::size_t>(node)].events;
+  return node;
+}
+
+std::int16_t TaintTracker::NodeFor(std::uint32_t static_index, sim::Opcode opcode) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(opcode) << 32) | static_index;
+  const auto it = node_ids_.find(key);
+  if (it != node_ids_.end()) return it->second;
+  if (rec_.nodes.size() >= kMaxPropagationNodes) {
+    rec_.graph_truncated = true;
+    return kNoProducer;
+  }
+  const auto id = static_cast<std::int16_t>(rec_.nodes.size());
+  rec_.nodes.push_back(PropagationNode{static_index, opcode, 0});
+  node_ids_.emplace(key, id);
+  return id;
+}
+
+void TaintTracker::AddEdge(std::int16_t from, std::int16_t to) {
+  if (from < 0 || to < 0 || from == to) return;
+  const std::uint32_t key = (static_cast<std::uint32_t>(from) << 16) |
+                            static_cast<std::uint32_t>(to);
+  const auto it = edge_ids_.find(key);
+  if (it != edge_ids_.end()) {
+    ++rec_.edges[it->second].count;
+    return;
+  }
+  if (rec_.edges.size() >= kMaxPropagationEdges) {
+    rec_.graph_truncated = true;
+    return;
+  }
+  edge_ids_.emplace(key, rec_.edges.size());
+  rec_.edges.push_back(PropagationEdge{static_cast<std::uint32_t>(from),
+                                       static_cast<std::uint32_t>(to), 1});
+}
+
+void TaintTracker::RecordMask(MaskingKind kind, const sim::InstrEvent& event) {
+  if (kind == MaskingKind::kOverwrite) {
+    ++rec_.overwrite_masks;
+  } else {
+    ++rec_.absorb_masks;
+  }
+  if (rec_.masking_sample.size() < kMaxMaskingSample) {
+    rec_.masking_sample.push_back(MaskingEvent{kind, event.instr.opcode,
+                                               event.static_index,
+                                               rec_.dynamic_instructions});
+  }
+}
+
+void TaintTracker::HarvestLaunchEnd() {
+  // A launch that aborted mid-step (trap, watchdog) leaves staged snapshots
+  // without their matching after-event; if any of them had tainted sources
+  // in flight, the abort itself may be fault-induced.
+  for (const LaneSnapshot& s : staged_) {
+    if (s.valid && !s.consumed && s.sources_tainted) {
+      if (s.addr_tainted) {
+        rec_.address_divergence = true;
+      } else {
+        rec_.control_divergence = true;
+      }
+    }
+  }
+  if (armed_) {
+    // End of the injected launch: the "live at kernel exit" snapshot.
+    taint_.CountLiveThreadTaint(&rec_.live_registers, &rec_.live_predicates);
+  }
+  if (done_ && taint_.AnyLaunchStateLive()) rec_.any_launch_live_exit = true;
+  // Tainted global bytes at a launch boundary are host-observable: the host
+  // can read them back and re-enter the corruption through constant banks,
+  // beyond the tracer's reach.  Latch before a later launch scrubs them.
+  if (done_ && taint_.GlobalBytes() > 0) rec_.host_visible_taint = true;
+  taint_.ClearLaunchState();
+  ResetStage();
+}
+
+}  // namespace nvbitfi::trace

@@ -1,0 +1,144 @@
+// The propagation-tracing experiment tool: injects the Table II transient
+// fault exactly like TransientInjectorTool, then follows the corrupted bits
+// through the dataflow and emits a PropagationRecord explaining the outcome.
+//
+// One nvbit Runtime admits one tool, so the tracker performs the injection
+// itself (same arming protocol and counting discipline as the plain
+// injector, so a traced campaign selects bit-identical fault sites and
+// produces identical outcome classifications — only cycle counts differ, by
+// the extra instrumentation cost).
+//
+// Mechanics: every instruction of every kernel gets a before-callback (which
+// snapshots source values, addresses, and source taint) and an
+// after-callback (which propagates taint to the destinations).  Eligible
+// sites of the target kernel additionally get the inject callback, inserted
+// before the after-callback so the corrupted destination is seen by the
+// tracer in the same warp step.  Instrumentation is enabled for the target
+// launch and for every launch after the injection (taint can flow through
+// global memory into later kernels).
+//
+// Soundness contract (the ctest-verified invariant): an untainted location
+// always holds the same value as in the fault-free run, so a record with
+// fully_masked == true can only come from a run that classifies as Masked.
+// To keep that one-sided guarantee the tracker is conservative everywhere:
+// pair-width source reads over-approximate, absorption rules fire only on
+// provably value-independent results, tainted predicates/addresses set
+// sticky divergence flags, clock reads taint their destination (the traced
+// run's cycle counter differs from golden by instrumentation cost), and a
+// launch aborted mid-step with tainted sources in flight counts as
+// divergence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/corruption.h"
+#include "core/experiment_tool.h"
+#include "core/fault_model.h"
+#include "nvbit/nvbit.h"
+#include "trace/propagation.h"
+#include "trace/taint_state.h"
+
+namespace nvbitfi::trace {
+
+class TaintTracker final : public fi::TransientExperimentTool {
+ public:
+  explicit TaintTracker(fi::TransientFaultParams params);
+
+  std::string ConfigKey() const override;
+  void OnAttach(nvbit::Runtime& runtime) override;
+  void AtCudaEvent(nvbit::Runtime& runtime, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override;
+
+  const fi::InjectionRecord& record() const override { return record_; }
+  std::optional<PropagationRecord> TakePropagation() override;
+
+  // Cost parameters of the tracing callbacks (register snapshot + shadow-map
+  // lookups; far heavier than the injector's counter bump).
+  static constexpr std::uint32_t kTracerRegs = 16;
+  static constexpr std::uint64_t kTracerCycles = 32;
+
+ private:
+  // Pre-step snapshot of one lane: source values and taint are captured in
+  // the before-callback because the instruction may overwrite its own
+  // sources (LD R2, [R2]) and because collectives read other lanes'
+  // pre-step state.
+  struct LaneSnapshot {
+    bool valid = false;
+    bool consumed = false;
+    bool guard_true = false;
+    bool guard_tainted = false;
+    std::int16_t guard_producer = kNoProducer;
+    std::uint64_t thread_key = 0;
+    std::uint64_t cta_linear = 0;
+    // Per source operand: raw (unmodified) value, pair-combined for 64-bit
+    // reads.  `known` is false for constant-bank operands (not readable
+    // through LaneView) — they are never tainted but block absorption math.
+    std::array<std::uint64_t, sim::kMaxSrcOperands> value{};
+    std::array<bool, sim::kMaxSrcOperands> known{};
+    std::array<bool, sim::kMaxSrcOperands> tainted{};
+    std::array<std::int16_t, sim::kMaxSrcOperands> producer{};
+    // Memory operand (loads/stores/atomics): effective address and the taint
+    // of the base register (pair) that formed it.
+    std::uint64_t addr = 0;
+    bool addr_tainted = false;
+    std::int16_t addr_producer = kNoProducer;
+    // Store-value taint over the full access width (pair/quad registers).
+    bool store_tainted = false;
+    std::int16_t store_producer = kNoProducer;
+    // Any of the above (guard included): used to detect a launch aborting
+    // (trap/watchdog) between this snapshot and the matching after-event.
+    bool sources_tainted = false;
+  };
+
+  void Inject(const sim::InstrEvent& event);
+  void Before(const sim::InstrEvent& event);
+  void After(const sim::InstrEvent& event);
+
+  void SeedTaint(const sim::InstrEvent& event);
+  void Propagate(const sim::InstrEvent& event, const LaneSnapshot& snap);
+  void PropagateMemory(const sim::InstrEvent& event, const LaneSnapshot& snap);
+  void PropagateCollective(const sim::InstrEvent& event, const LaneSnapshot& snap);
+  void PropagateSpecial(const sim::InstrEvent& event, const LaneSnapshot& snap);
+  void PropagateAlu(const sim::InstrEvent& event, const LaneSnapshot& snap);
+
+  // Destination helpers (GPR span + both predicate destinations).
+  void TaintDests(const sim::InstrEvent& event, std::int16_t node);
+  bool ClearDests(const sim::InstrEvent& event);
+
+  // True when the result provably does not depend on the tainted sources.
+  bool Absorbed(const sim::Instruction& inst, const LaneSnapshot& snap) const;
+
+  // Bumps tainted_instructions at most once per after-event.
+  void CountTainted();
+  // Node lookup + per-event counter bump for the current instruction.
+  std::int16_t TouchNode(const sim::InstrEvent& event);
+  std::int16_t NodeFor(std::uint32_t static_index, sim::Opcode opcode);
+  void AddEdge(std::int16_t from, std::int16_t to);
+  void RecordMask(MaskingKind kind, const sim::InstrEvent& event);
+  void ResetStage();
+  void HarvestLaunchEnd();
+
+  fi::TransientFaultParams params_;
+  fi::InjectionRecord record_;
+  PropagationRecord rec_;
+  TaintState taint_;
+
+  std::uint64_t counter_ = 0;
+  bool armed_ = false;
+  bool done_ = false;
+  bool tracing_launch_ = false;
+  bool pending_seed_ = false;
+  int pending_seed_lane_ = -1;
+  bool in_before_phase_ = false;
+  bool counted_tainted_ = false;
+
+  std::array<LaneSnapshot, sim::kWarpSize> staged_{};
+  std::unordered_map<std::uint64_t, std::int16_t> node_ids_;
+  std::unordered_map<std::uint32_t, std::size_t> edge_ids_;
+};
+
+}  // namespace nvbitfi::trace

@@ -1,0 +1,122 @@
+// Guard-predicate-suppressed instrumentation events.
+//
+// The executor delivers a callback event to EVERY lane of the warp,
+// including lanes whose guard predicate suppressed execution — those events
+// carry LaneView::active() == false (alias guard_true()), and tools that
+// count executed instructions must skip them (the paper: "instructions that
+// are not executed based on a predicate register are not included").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sassim/asm/assembler.h"
+#include "sassim/core/executor.h"
+#include "sassim/core/instrumentation.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+struct Event {
+  std::uint32_t static_index;
+  int lane_id;
+  bool active;
+};
+
+// Runs a 32-thread single-warp kernel with before/after callbacks on every
+// instruction and returns the observed events.
+struct Harness {
+  std::vector<Event> before;
+  std::vector<Event> after;
+  LaunchStats stats;
+
+  void Run(const std::string& body) {
+    const KernelSource kernel = AssembleKernelOrDie("t", body);
+    GlobalMemory mem;
+    ConstantBank bank;
+    CostModel cost;
+    bank.Write32(0x00, 32);  // block.x
+    bank.Write32(0x04, 1);
+    bank.Write32(0x08, 1);
+    bank.Write32(0x0c, 1);  // grid.x
+    bank.Write32(0x10, 1);
+    bank.Write32(0x14, 1);
+
+    InstrumentationPlan plan;
+    plan.sites.resize(kernel.instructions.size());
+    for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+      plan.sites[i].before.push_back([this](const InstrEvent& e) {
+        before.push_back({e.static_index, e.lane.lane_id(), e.lane.active()});
+      });
+      plan.sites[i].after.push_back([this](const InstrEvent& e) {
+        after.push_back({e.static_index, e.lane.lane_id(), e.lane.active()});
+      });
+    }
+
+    Executor::Request req;
+    req.kernel = &kernel;
+    req.launch.kernel_name = "t";
+    req.launch.grid = {1, 1, 1};
+    req.launch.block = {32, 1, 1};
+    req.bank0 = &bank;
+    req.global = &mem;
+    req.cost = &cost;
+    req.plan = &plan;
+    stats = Executor::Run(req);
+    ASSERT_EQ(stats.trap, TrapKind::kNone) << stats.trap_detail;
+  }
+};
+
+// P0 = (tid >= 16): the guarded IADD3 executes only on the upper half-warp.
+constexpr const char* kGuardedBody =
+    "  S2R R0, SR_TID.X ;\n"
+    "  ISETP.GE.AND P0, PT, R0, 0x10, PT ;\n"
+    "  @P0 IADD3 R1, R0, 1, RZ ;\n"
+    "  EXIT ;\n";
+constexpr std::uint32_t kGuardedSite = 2;
+
+TEST(InstrumentationGuard, EventsFireForSuppressedLanesWithActiveFalse) {
+  Harness h;
+  h.Run(kGuardedBody);
+
+  // The callback reaches all 32 lanes at the guarded site, before and after.
+  int seen[2][32] = {};
+  for (const std::vector<Event>* events : {&h.before, &h.after}) {
+    const int phase = events == &h.before ? 0 : 1;
+    for (const Event& e : *events) {
+      if (e.static_index != kGuardedSite) continue;
+      ++seen[phase][e.lane_id];
+      // active() reports whether the guard let THIS lane execute.
+      EXPECT_EQ(e.active, e.lane_id >= 16) << "lane " << e.lane_id;
+    }
+  }
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(seen[0][lane], 1) << "before, lane " << lane;
+    EXPECT_EQ(seen[1][lane], 1) << "after, lane " << lane;
+  }
+}
+
+TEST(InstrumentationGuard, UnguardedSitesAreActiveForEveryLane) {
+  Harness h;
+  h.Run(kGuardedBody);
+  for (const Event& e : h.after) {
+    if (e.static_index == kGuardedSite) continue;
+    EXPECT_TRUE(e.active) << "site " << e.static_index << " lane " << e.lane_id;
+  }
+}
+
+TEST(InstrumentationGuard, ProfilerStyleCountSkipsInactiveLanes) {
+  Harness h;
+  h.Run(kGuardedBody);
+  // A profiler counts only executed instructions: the guarded site must
+  // contribute 16, not 32 (paper rule), and the executor's own accounting
+  // agrees: 3 full-warp instructions + EXIT + the half-warp IADD3.
+  std::uint64_t executed = 0;
+  for (const Event& e : h.after) {
+    if (e.active) ++executed;
+  }
+  EXPECT_EQ(executed, 32u * 3u + 16u);
+  EXPECT_EQ(h.stats.thread_instructions, executed);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,326 @@
+#include "trace/taint_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../core/test_program.h"
+#include "core/campaign.h"
+#include "core/transient_injector.h"
+
+namespace nvbitfi::trace {
+namespace {
+
+using fi::testing::MiniProgram;
+
+fi::RunArtifacts RunWith(const fi::TargetProgram& program, nvbit::Tool* tool) {
+  const fi::CampaignRunner runner(program);
+  return runner.Execute(tool, sim::DeviceProps{}, /*watchdog=*/1 << 20);
+}
+
+fi::TransientFaultParams WorkFault(std::uint64_t kernel_count,
+                                   std::uint64_t instruction_count,
+                                   const std::string& kernel = "work") {
+  fi::TransientFaultParams p;
+  p.arch_state_id = fi::ArchStateId::kGGp;
+  p.bit_flip_model = fi::BitFlipModel::kFlipSingleBit;
+  p.kernel_name = kernel;
+  p.kernel_count = kernel_count;
+  p.instruction_count = instruction_count;
+  p.destination_register = 0.0;
+  p.bit_pattern_value = 0.99;
+  return p;
+}
+
+// A one-kernel, one-warp program whose body the test chooses; the first
+// kernel parameter (c[0][0x160]) is a 32*8-byte output buffer read back into
+// `output_file`.  Used to stage specific masking/propagation shapes the
+// MiniProgram doesn't contain.
+class TraceProgram final : public fi::TargetProgram {
+ public:
+  explicit TraceProgram(std::string body) : body_(std::move(body)) {}
+  std::string name() const override { return "tracee"; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    const std::string source = ".kernel t\n" + body_ + ".endkernel\n";
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(source.c_str(), &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::DevPtr out = 0;
+    ctx.MemAlloc(&out, 32 * 8);
+    const std::uint64_t params[] = {out};
+    ctx.LaunchKernel(ctx.GetFunction("t"), sim::Dim3{1, 1, 1}, sim::Dim3{32, 1, 1},
+                     params);
+    std::vector<std::uint8_t> bytes(32 * 8);
+    ctx.MemcpyDtoH(bytes.data(), out, bytes.size());
+    art.output_file.assign(bytes.begin(), bytes.end());
+    return art;
+  }
+
+ private:
+  std::string body_;
+};
+
+TEST(TaintTracker, MatchesPlainInjectorSiteAndCorruption) {
+  // The tracker must arm, count, and corrupt exactly like the plain injector
+  // so a traced campaign hits bit-identical fault sites.
+  const MiniProgram program;
+  const fi::TransientFaultParams params = WorkFault(1, 64 + 13);  // FADD lane 13
+
+  fi::TransientInjectorTool plain(params);
+  RunWith(program, &plain);
+  TaintTracker traced(params);
+  RunWith(program, &traced);
+
+  const fi::InjectionRecord& a = plain.record();
+  const fi::InjectionRecord& b = traced.record();
+  EXPECT_EQ(a.activated, b.activated);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.kernel_name, b.kernel_name);
+  EXPECT_EQ(a.kernel_count, b.kernel_count);
+  EXPECT_EQ(a.static_index, b.static_index);
+  EXPECT_EQ(a.lane_id, b.lane_id);
+  EXPECT_EQ(a.opcode, b.opcode);
+  EXPECT_EQ(a.target_register, b.target_register);
+  EXPECT_EQ(a.before_bits, b.before_bits);
+  EXPECT_EQ(a.after_bits, b.after_bits);
+}
+
+TEST(TaintTracker, CorruptedValueReachesStore) {
+  // FADD R2 feeds STG [R6+4]: the taint must reach a store and survive in
+  // global memory, so the record can never claim fully masked.
+  const MiniProgram program;
+  TaintTracker tracker(WorkFault(2, 64));
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  EXPECT_TRUE(rec->reached_store);
+  EXPECT_GE(rec->tainted_stores, 1u);
+  EXPECT_GT(rec->live_global_bytes, 0u);
+  EXPECT_FALSE(rec->fully_masked);
+  ASSERT_FALSE(rec->nodes.empty());
+  // Node 0 is the injection site.
+  EXPECT_EQ(rec->nodes[0].opcode, sim::Opcode::kFADD);
+  EXPECT_EQ(rec->nodes[0].static_index, 2u);
+}
+
+TEST(TaintTracker, TaintedAddressSetsAddressDivergence) {
+  // IMAD.WIDE computes the store address: corrupting its destination taints
+  // the address of both STGs.
+  const MiniProgram program;
+  TaintTracker tracker(WorkFault(0, 150));
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  EXPECT_TRUE(rec->address_divergence);
+  EXPECT_FALSE(rec->fully_masked);
+}
+
+TEST(TaintTracker, TaintedPredicateSetsControlDivergence) {
+  // S2R R0 feeds ISETP -> P0, which guards the @P0 IADD3: tid corruption
+  // must surface as control divergence (and address divergence, through the
+  // IMAD.WIDE address).
+  const MiniProgram program;
+  TaintTracker tracker(WorkFault(0, 5));  // S2R lane 5
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  EXPECT_TRUE(rec->control_divergence);
+  EXPECT_FALSE(rec->fully_masked);
+}
+
+TEST(TaintTracker, OverwriteMasksTheFault) {
+  // R3 is corrupted, then unconditionally rewritten from clean sources
+  // before the store: the taint dies by overwrite and the fault is provably
+  // masked.
+  const TraceProgram program(
+      "  S2R R0, SR_TID.X ;\n"
+      "  IADD3 R3, R0, 5, RZ ;\n"
+      "  MOV32I R3, 0x2a ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R6, R0, 0x8, R8 ;\n"
+      "  STG.E.32 [R6], R3 ;\n"
+      "  EXIT ;\n");
+  // G_GP events: S2R(0..31), IADD3(32..63), MOV32I(64..95), ...
+  TaintTracker tracker(WorkFault(0, 32, "t"));  // IADD3 lane 0
+  const fi::RunArtifacts faulty = RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  EXPECT_EQ(rec->overwrite_masks, 1u);
+  EXPECT_EQ(rec->tainted_stores, 0u);
+  EXPECT_FALSE(rec->reached_store);
+  EXPECT_TRUE(rec->fully_masked);
+  ASSERT_EQ(rec->masking_sample.size(), 1u);
+  EXPECT_EQ(rec->masking_sample[0].kind, MaskingKind::kOverwrite);
+  EXPECT_EQ(rec->masking_sample[0].opcode, sim::Opcode::kMOV32I);
+
+  // Soundness: a fully-masked record must come from a Masked run.
+  const fi::RunArtifacts golden = RunWith(program, nullptr);
+  EXPECT_EQ(golden.output_file, faulty.output_file);
+}
+
+TEST(TaintTracker, AbsorbingOperationMasksTheFault) {
+  // AND with the constant 0 provably destroys the tainted bits; the leftover
+  // taint in R3 itself is then overwritten.
+  const TraceProgram program(
+      "  S2R R0, SR_TID.X ;\n"
+      "  IADD3 R3, R0, 5, RZ ;\n"
+      "  LOP32I.AND R4, R3, 0x0 ;\n"
+      "  MOV32I R3, 0x2a ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R6, R0, 0x8, R8 ;\n"
+      "  STG.E.32 [R6], R4 ;\n"
+      "  EXIT ;\n");
+  TaintTracker tracker(WorkFault(0, 32, "t"));  // IADD3 lane 0
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  EXPECT_EQ(rec->absorb_masks, 1u);
+  EXPECT_EQ(rec->overwrite_masks, 1u);
+  EXPECT_EQ(rec->tainted_stores, 0u);
+  EXPECT_TRUE(rec->fully_masked);
+}
+
+TEST(TaintTracker, TaintFlowsThroughGlobalMemory) {
+  // The corrupted value is stored, loaded back, incremented, and stored
+  // again: the shadow memory map must carry the taint across the round trip.
+  const TraceProgram program(
+      "  S2R R0, SR_TID.X ;\n"
+      "  IADD3 R3, R0, 5, RZ ;\n"
+      "  LDC.64 R8, c[0][0x160] ;\n"
+      "  IMAD.WIDE R6, R0, 0x8, R8 ;\n"
+      "  STG.E.32 [R6], R3 ;\n"
+      "  LDG.E.32 R5, [R6] ;\n"
+      "  IADD3 R5, R5, 1, RZ ;\n"
+      "  STG.E.32 [R6+4], R5 ;\n"
+      "  EXIT ;\n");
+  TaintTracker tracker(WorkFault(0, 32, "t"));  // IADD3 lane 0
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  // Both stores of the corrupted lane carry taint: the direct one and the
+  // one fed by the loaded-back value.
+  EXPECT_EQ(rec->tainted_stores, 2u);
+  EXPECT_GE(rec->live_global_bytes, 8u);
+  EXPECT_FALSE(rec->fully_masked);
+}
+
+// Two launches over the same output buffer: kernel `t` stores a value the
+// fault corrupts, kernel `u` then overwrites every byte with a constant.
+// Models the CG-style host loop that reads a reduction result back between
+// launches and feeds it into the next launch through constant banks.
+class TwoLaunchProgram final : public fi::TargetProgram {
+ public:
+  std::string name() const override { return "two-launch"; }
+
+  fi::RunArtifacts Run(sim::Context& ctx) const override {
+    fi::RunArtifacts art;
+    static constexpr char kSource[] =
+        ".kernel t\n"
+        "  S2R R0, SR_TID.X ;\n"
+        "  IADD3 R2, R0, 1, RZ ;\n"
+        "  LDC.64 R4, c[0][0x160] ;\n"
+        "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+        "  STG.E.32 [R6], R2 ;\n"
+        "  EXIT ;\n"
+        ".endkernel\n"
+        ".kernel u\n"
+        "  S2R R0, SR_TID.X ;\n"
+        "  MOV32I R2, 0x7 ;\n"
+        "  LDC.64 R4, c[0][0x160] ;\n"
+        "  IMAD.WIDE R6, R0, 0x4, R4 ;\n"
+        "  STG.E.32 [R6], R2 ;\n"
+        "  EXIT ;\n"
+        ".endkernel\n";
+    sim::Module* module = nullptr;
+    if (ctx.ModuleLoadText(kSource, &module) != sim::CuResult::kSuccess) {
+      art.exit_code = 2;
+      return art;
+    }
+    sim::DevPtr out = 0;
+    ctx.MemAlloc(&out, 32 * 4);
+    const std::uint64_t params[] = {out};
+    ctx.LaunchKernel(ctx.GetFunction("t"), sim::Dim3{1, 1, 1},
+                     sim::Dim3{32, 1, 1}, params);
+    ctx.LaunchKernel(ctx.GetFunction("u"), sim::Dim3{1, 1, 1},
+                     sim::Dim3{32, 1, 1}, params);
+    std::vector<std::uint8_t> bytes(32 * 4);
+    ctx.MemcpyDtoH(bytes.data(), out, bytes.size());
+    art.output_file.assign(bytes.begin(), bytes.end());
+    return art;
+  }
+};
+
+TEST(TaintTracker, HostVisibleTaintBlocksMaskingAcrossLaunches) {
+  // The tainted store was observable by the host at the first launch
+  // boundary; a later clean launch scrubbing the shadow bytes must not let
+  // the record claim fully masked.
+  const TwoLaunchProgram program;
+  TaintTracker tracker(WorkFault(0, 32 + 5, "t"));  // IADD3, lane 5
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  EXPECT_GE(rec->tainted_stores, 1u);
+  EXPECT_EQ(rec->live_global_bytes, 0u);
+  EXPECT_TRUE(rec->host_visible_taint);
+  EXPECT_FALSE(rec->fully_masked);
+}
+
+TEST(TaintTracker, GuardSuppressedEventsAreNotCounted) {
+  // dynamic_instructions counts guard-true lane events only: the @P0 site
+  // contributes 16 events, not 32 (the paper's "instructions that are not
+  // executed based on a predicate register are not included").
+  const TraceProgram program(
+      "  S2R R0, SR_TID.X ;\n"
+      "  IADD3 R3, R0, 5, RZ ;\n"
+      "  ISETP.GE.AND P0, PT, R0, 0x10, PT ;\n"
+      "  @P0 IADD3 R4, R0, 1, RZ ;\n"
+      "  MOV32I R3, 0x2a ;\n"
+      "  EXIT ;\n");
+  TaintTracker tracker(WorkFault(0, 32, "t"));  // IADD3 lane 0
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->injected);
+  // Counting starts after the injection (the IADD3 site itself is excluded):
+  // ISETP(32) + @P0 IADD3(16) + MOV32I(32) + EXIT(32).
+  EXPECT_EQ(rec->dynamic_instructions, 112u);
+  EXPECT_TRUE(rec->fully_masked);
+}
+
+TEST(TaintTracker, NeverActivatedFaultIsDeadAtDistanceZero) {
+  // Instruction count beyond the population: the site is never reached.
+  const MiniProgram program;
+  TaintTracker tracker(WorkFault(0, 100000));
+  RunWith(program, &tracker);
+
+  const auto rec = tracker.TakePropagation();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->injected);
+  EXPECT_TRUE(rec->fully_masked);
+  EXPECT_EQ(rec->tainted_instructions, 0u);
+  EXPECT_EQ(rec->tainted_stores, 0u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::trace

@@ -1,0 +1,177 @@
+// End-to-end traced campaigns: determinism across worker counts, parity
+// with the untraced campaign, result-store round-trip, and the soundness
+// acceptance check (a fault the tracer proves fully masked must classify as
+// Masked) on real workloads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "../core/test_program.h"
+#include "analysis/propagation.h"
+#include "analysis/result_store.h"
+#include "core/campaign.h"
+#include "trace/taint_tracker.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::trace {
+namespace {
+
+using fi::testing::MiniProgram;
+
+fi::TransientCampaignConfig TracedConfig(std::uint64_t seed, int injections,
+                                         int workers = 1) {
+  fi::TransientCampaignConfig config;
+  config.seed = seed;
+  config.num_injections = injections;
+  config.num_workers = workers;
+  config.trace = true;
+  config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
+    return std::make_unique<TaintTracker>(params);
+  };
+  return config;
+}
+
+TEST(TraceCampaign, WorkerCountDoesNotChangeResults) {
+  // The satellite determinism contract: a traced campaign at 1 worker and at
+  // 4 workers yields bit-identical outcomes AND identical propagation
+  // records, experiment by experiment.
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  const fi::TransientCampaignResult serial =
+      runner.RunTransientCampaign(TracedConfig(11, 24, 1));
+  const fi::TransientCampaignResult parallel =
+      runner.RunTransientCampaign(TracedConfig(11, 24, 4));
+
+  ASSERT_EQ(serial.injections.size(), parallel.injections.size());
+  EXPECT_EQ(serial.counts.sdc, parallel.counts.sdc);
+  EXPECT_EQ(serial.counts.due, parallel.counts.due);
+  EXPECT_EQ(serial.counts.masked, parallel.counts.masked);
+  for (std::size_t i = 0; i < serial.injections.size(); ++i) {
+    const fi::InjectionRun& a = serial.injections[i];
+    const fi::InjectionRun& b = parallel.injections[i];
+    EXPECT_EQ(a.params.Serialize(), b.params.Serialize()) << "experiment " << i;
+    EXPECT_EQ(a.classification.outcome, b.classification.outcome) << "experiment " << i;
+    EXPECT_EQ(a.classification.symptom, b.classification.symptom) << "experiment " << i;
+    EXPECT_EQ(a.artifacts.stdout_text, b.artifacts.stdout_text) << "experiment " << i;
+    EXPECT_EQ(a.artifacts.output_file, b.artifacts.output_file) << "experiment " << i;
+    ASSERT_TRUE(a.propagation.has_value()) << "experiment " << i;
+    ASSERT_TRUE(b.propagation.has_value()) << "experiment " << i;
+    EXPECT_TRUE(*a.propagation == *b.propagation) << "experiment " << i;
+  }
+}
+
+TEST(TraceCampaign, TracingDoesNotChangeOutcomes) {
+  // The tracker injects with the plain injector's arming protocol, so the
+  // same seed must select the same sites and classify identically with and
+  // without tracing (only cycle counts differ, by instrumentation cost).
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+
+  fi::TransientCampaignConfig untraced;
+  untraced.seed = 7;
+  untraced.num_injections = 24;
+  const fi::TransientCampaignResult plain = runner.RunTransientCampaign(untraced);
+  const fi::TransientCampaignResult traced =
+      runner.RunTransientCampaign(TracedConfig(7, 24));
+
+  ASSERT_EQ(plain.injections.size(), traced.injections.size());
+  for (std::size_t i = 0; i < plain.injections.size(); ++i) {
+    const fi::InjectionRun& a = plain.injections[i];
+    const fi::InjectionRun& b = traced.injections[i];
+    EXPECT_EQ(a.params.Serialize(), b.params.Serialize()) << "experiment " << i;
+    EXPECT_EQ(a.record.activated, b.record.activated) << "experiment " << i;
+    EXPECT_EQ(a.record.before_bits, b.record.before_bits) << "experiment " << i;
+    EXPECT_EQ(a.record.after_bits, b.record.after_bits) << "experiment " << i;
+    EXPECT_EQ(a.classification.outcome, b.classification.outcome) << "experiment " << i;
+    EXPECT_FALSE(a.propagation.has_value());
+    EXPECT_TRUE(b.propagation.has_value());
+  }
+}
+
+TEST(TraceCampaign, StoreRoundTripPreservesPropagationRecords) {
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  const fi::TransientCampaignConfig config = TracedConfig(3, 12);
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  const std::string path = ::testing::TempDir() + "trace_store_roundtrip.jsonl";
+  std::string error;
+  {
+    const analysis::StoreMeta meta = analysis::TransientStoreMeta(
+        result.program, config, result.golden, result.profiling_run.cycles,
+        result.profile);
+    EXPECT_TRUE(meta.trace);
+    auto store = analysis::ResultStore::Open(path, meta, /*resume=*/false, &error);
+    ASSERT_NE(store, nullptr) << error;
+    for (std::size_t i = 0; i < result.injections.size(); ++i) {
+      store->AppendTransient(i, result.injections[i], nullptr);
+    }
+  }
+
+  const auto loaded = analysis::LoadResultStore(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->meta.trace);
+  ASSERT_EQ(loaded->transient.size(), result.injections.size());
+  for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    const auto it = loaded->transient.find(i);
+    ASSERT_NE(it, loaded->transient.end());
+    ASSERT_TRUE(it->second.propagation.has_value()) << "experiment " << i;
+    EXPECT_TRUE(*it->second.propagation == *result.injections[i].propagation)
+        << "experiment " << i;
+  }
+
+  // The aggregate rebuilt from the store matches the in-memory one.
+  const analysis::PropagationBreakdown direct =
+      analysis::BuildTransientPropagation(result);
+  const analysis::PropagationBreakdown rebuilt = analysis::RebuildPropagation(*loaded);
+  EXPECT_EQ(direct.total_runs, rebuilt.total_runs);
+  EXPECT_EQ(direct.campaign.traced_runs, rebuilt.campaign.traced_runs);
+  EXPECT_EQ(direct.campaign.fully_masked, rebuilt.campaign.fully_masked);
+  EXPECT_EQ(direct.campaign.escaped, rebuilt.campaign.escaped);
+  EXPECT_EQ(direct.campaign.overwrite_masks, rebuilt.campaign.overwrite_masks);
+  EXPECT_EQ(direct.campaign.absorb_masks, rebuilt.campaign.absorb_masks);
+  EXPECT_EQ(direct.consistency_violations, rebuilt.consistency_violations);
+  std::remove(path.c_str());
+}
+
+// Acceptance criterion: traced campaigns on at least two workloads produce
+// propagation records consistent with the outcome classification — no fault
+// with live taint in the program output is reported fully masked, i.e. every
+// fully_masked record comes from a Masked run.
+TEST(TraceCampaign, TaintIsConsistentWithClassificationOnWorkloads) {
+  const char* kPrograms[] = {"303.ostencil", "314.omriq"};
+  for (const char* name : kPrograms) {
+    SCOPED_TRACE(name);
+    const fi::TargetProgram* program = workloads::FindWorkload(name);
+    ASSERT_NE(program, nullptr);
+    const fi::CampaignRunner runner(*program);
+    fi::TransientCampaignConfig config = TracedConfig(21, 12);
+    config.profiling = fi::ProfilerTool::Mode::kApproximate;
+    const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+    std::uint64_t traced = 0;
+    for (const fi::InjectionRun& run : result.injections) {
+      if (run.trivially_masked) continue;
+      ASSERT_TRUE(run.propagation.has_value());
+      ++traced;
+      if (run.propagation->fully_masked) {
+        EXPECT_EQ(run.classification.outcome, fi::Outcome::kMasked)
+            << "a provably-dead fault classified as "
+            << fi::OutcomeName(run.classification.outcome);
+      }
+    }
+    EXPECT_GT(traced, 0u);
+
+    const analysis::PropagationBreakdown breakdown =
+        analysis::BuildTransientPropagation(result);
+    EXPECT_EQ(breakdown.consistency_violations, 0u);
+    EXPECT_EQ(breakdown.campaign.traced_runs, traced);
+    // The report renders without tripping any assertions.
+    EXPECT_FALSE(analysis::PropagationReportText(breakdown).empty());
+  }
+}
+
+}  // namespace
+}  // namespace nvbitfi::trace

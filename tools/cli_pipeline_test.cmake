@@ -113,3 +113,60 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "analyze CSV differs from the campaign's own CSV")
 endif()
+
+# Traced campaign -> analyze round-trip: --trace attaches the propagation
+# tracer, the store carries the per-run records, and `analyze` regenerates
+# the propagation report from the store alone.
+file(REMOVE ${WORKDIR}/cli_test_traced.jsonl)
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 6 --seed 21
+                        --approximate --trace
+                        --store ${WORKDIR}/cli_test_traced.jsonl
+                OUTPUT_VARIABLE traced_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced campaign step failed (${rc})")
+endif()
+if(NOT traced_out MATCHES "fault propagation: [0-9]+ traced runs")
+  message(FATAL_ERROR "traced campaign printed no propagation report:\n${traced_out}")
+endif()
+
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_test_traced.jsonl
+                OUTPUT_VARIABLE traced_analyze_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze of traced store failed (${rc})")
+endif()
+if(NOT traced_analyze_out MATCHES "fault propagation: [0-9]+ traced runs")
+  message(FATAL_ERROR "analyze of a traced store printed no propagation report:\n${traced_analyze_out}")
+endif()
+
+# `analyze` diagnostics: missing, header-only, and version-mismatched stores
+# must fail with a non-zero exit code, not print an empty report.
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_test_missing.jsonl
+                ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "analyze of a missing store succeeded")
+endif()
+
+file(READ ${WORKDIR}/cli_test_traced.jsonl traced_store_text)
+string(FIND "${traced_store_text}" "\n" header_end)
+math(EXPR header_end "${header_end} + 1")
+string(SUBSTRING "${traced_store_text}" 0 ${header_end} traced_store_header)
+file(WRITE ${WORKDIR}/cli_test_headeronly.jsonl "${traced_store_header}")
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_test_headeronly.jsonl
+                ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "analyze of a header-only store succeeded")
+endif()
+if(NOT err MATCHES "no completed experiment records")
+  message(FATAL_ERROR "header-only store diagnostic missing:\n${err}")
+endif()
+
+file(WRITE ${WORKDIR}/cli_test_badversion.jsonl
+     "{\"nvbitfi_result_store\": 1, \"kind\": \"transient\"}\n")
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_test_badversion.jsonl
+                ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "analyze of a version-mismatched store succeeded")
+endif()
+if(NOT err MATCHES "unsupported store version")
+  message(FATAL_ERROR "version-mismatch diagnostic missing:\n${err}")
+endif()

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/anatomy.h"
+#include "analysis/propagation.h"
 #include "analysis/result_store.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -33,6 +34,7 @@
 #include "core/extended_models.h"
 #include "core/report.h"
 #include "sassim/asm/disassembler.h"
+#include "trace/taint_tracker.h"
 #include "workloads/workloads.h"
 
 using namespace nvbitfi;  // NOLINT: tool brevity
@@ -50,7 +52,9 @@ int Usage() {
                "  permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]\n"
                "  campaign <program> [--injections N] [--seed N] [--approximate]\n"
                "                     [--workers N] [--csv FILE] [--store FILE.jsonl]\n"
-               "                     [--resume] [--element f32|f64]\n"
+               "                     [--resume] [--element f32|f64] [--trace]\n"
+               "                     --trace follows each fault's propagation "
+               "(taint tracking)\n"
                "  sweep <program> [--sm N] [--seed N] [--approximate] [--workers N]\n"
                "                  [--csv FILE] [--store FILE.jsonl] [--resume]\n"
                "                  [--element f32|f64]  permanent sweep over executed opcodes\n"
@@ -81,6 +85,9 @@ struct Args {
   bool resume = false;
   std::string json_out;
   analysis::ElementKind element = analysis::ElementKind::kF32;
+  // Propagation tracing (campaign): inject with the taint tracker and emit
+  // the propagation report alongside the anatomy.
+  bool trace = false;
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv, int first) {
@@ -143,6 +150,8 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       args.store = *v;
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg == "--trace") {
+      args.trace = true;
     } else if (arg == "--json") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -352,13 +361,21 @@ int CmdPermanent(const Args& args) {
   return 0;
 }
 
-// Writes the anatomy summary (text to stdout, JSON to --json when given).
-int EmitAnatomy(const analysis::AnatomyBreakdown& breakdown, const Args& args) {
+// Writes the anatomy summary (text to stdout, JSON to --json when given) and,
+// for traced campaigns, the propagation report (the JSON document gains a
+// "propagation" member; untraced output is unchanged).
+int EmitReports(const analysis::AnatomyBreakdown& breakdown,
+                const analysis::PropagationBreakdown* propagation, const Args& args) {
   std::printf("\n%s", analysis::AnatomyReportText(breakdown).c_str());
+  if (propagation != nullptr) {
+    std::printf("\n%s", analysis::PropagationReportText(*propagation).c_str());
+  }
   if (!args.json_out.empty()) {
-    if (!WriteOrPrint(args.json_out, analysis::AnatomyReportJson(breakdown).Dump() + "\n")) {
-      return 1;
+    analysis::json::Value out = analysis::AnatomyReportJson(breakdown);
+    if (propagation != nullptr) {
+      out.Set("propagation", analysis::PropagationReportJson(*propagation));
     }
+    if (!WriteOrPrint(args.json_out, out.Dump() + "\n")) return 1;
   }
   return 0;
 }
@@ -374,6 +391,12 @@ int CmdCampaign(const Args& args) {
   config.num_workers = args.workers;
   config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
                                       : fi::ProfilerTool::Mode::kExact;
+  if (args.trace) {
+    config.trace = true;
+    config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
+      return std::make_unique<trace::TaintTracker>(params);
+    };
+  }
 
   // With --store, every completed run streams to the JSONL store (with its
   // SDC anatomy), and --resume skips the experiments a previous interrupted
@@ -414,9 +437,11 @@ int CmdCampaign(const Args& args) {
   const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
   std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
 
-  // Anatomy summary: from the store when one is active (resumed runs carry
-  // their persisted anatomy), from the in-memory result otherwise.
+  // Anatomy + propagation summary: from the store when one is active
+  // (resumed runs carry their persisted records), from the in-memory result
+  // otherwise.
   analysis::AnatomyBreakdown breakdown;
+  std::optional<analysis::PropagationBreakdown> propagation;
   if (store != nullptr) {
     store.reset();  // flush + close before re-reading
     std::string error;
@@ -427,10 +452,15 @@ int CmdCampaign(const Args& args) {
       return 1;
     }
     breakdown = analysis::RebuildAnatomy(*loaded);
+    if (args.trace) propagation = analysis::RebuildPropagation(*loaded);
   } else {
     breakdown = analysis::BuildTransientAnatomy(result, anatomy_config);
+    if (args.trace) propagation = analysis::BuildTransientPropagation(result);
   }
-  if (EmitAnatomy(breakdown, args) != 0) return 1;
+  if (EmitReports(breakdown, propagation.has_value() ? &*propagation : nullptr,
+                  args) != 0) {
+    return 1;
+  }
 
   if (!args.csv.empty()) {
     std::ofstream file(args.csv);
@@ -506,7 +536,7 @@ int CmdSweep(const Args& args) {
     golden = runner.Golden(config.device);
     breakdown = analysis::BuildPermanentAnatomy(result, golden, anatomy_config);
   }
-  if (EmitAnatomy(breakdown, args) != 0) return 1;
+  if (EmitReports(breakdown, nullptr, args) != 0) return 1;
 
   if (!args.csv.empty()) {
     std::ofstream file(args.csv);
@@ -529,6 +559,11 @@ int CmdAnalyze(const Args& args) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
+  if (loaded->completed() == 0) {
+    std::fprintf(stderr, "'%s' contains no completed experiment records\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
   if (loaded->completed() < loaded->meta.num_experiments) {
     std::printf("note: partial store — %zu of %llu experiments completed\n\n",
                 loaded->completed(),
@@ -545,7 +580,14 @@ int CmdAnalyze(const Args& args) {
     std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
     csv = fi::TransientCampaignCsv(result);
   }
-  if (EmitAnatomy(analysis::RebuildAnatomy(*loaded), args) != 0) return 1;
+  std::optional<analysis::PropagationBreakdown> propagation;
+  if (loaded->meta.kind != "permanent" && loaded->meta.trace) {
+    propagation = analysis::RebuildPropagation(*loaded);
+  }
+  if (EmitReports(analysis::RebuildAnatomy(*loaded),
+                  propagation.has_value() ? &*propagation : nullptr, args) != 0) {
+    return 1;
+  }
   if (!args.csv.empty()) {
     std::ofstream file(args.csv);
     if (!file) {
