@@ -1,0 +1,85 @@
+// Table VIII — static site pruning across the workload suite.
+//
+// For every workload: the fraction of the dynamic injection-site population
+// whose corruption target is statically dead (per injection group), and the
+// measured campaign wall-clock with --static-prune against the unpruned
+// baseline on identical seeds.  The outcome columns must agree bit for bit —
+// pruning only skips simulations whose result is already decided.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "staticanalysis/static_site.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const int injections = bench::InjectionsPerProgram(20);
+  std::printf("Table VIII: static liveness site pruning (group 5 campaigns, "
+              "%d injections each)\n\n",
+              injections);
+  std::printf("%-14s %9s %9s %9s %10s %10s %8s %6s\n", "program", "dead%g5",
+              "dead%g7", "dead%g8", "base(s)", "prune(s)", "speedup", "match");
+
+  double total_base = 0.0, total_prune = 0.0;
+  int pruned_programs = 0;
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    const fi::TargetProgram& program = *entry.program;
+    const staticanalysis::StaticSiteAnalysis analysis =
+        staticanalysis::StaticSiteAnalysis::ForProgram(program, sim::DeviceProps{});
+    const fi::CampaignRunner runner(program);
+
+    fi::TransientCampaignConfig config;
+    config.seed = 11;
+    config.num_injections = injections;
+    config.group = fi::ArchStateId::kGNoDest;
+
+    const auto base_start = std::chrono::steady_clock::now();
+    const fi::TransientCampaignResult baseline = runner.RunTransientCampaign(config);
+    const double base_seconds = Seconds(base_start);
+
+    const fi::ProgramProfile& profile = baseline.profile;
+    const double dead5 = analysis.DeadFraction(profile, fi::ArchStateId::kGNoDest);
+    const double dead7 = analysis.DeadFraction(profile, fi::ArchStateId::kGGppr);
+    const double dead8 = analysis.DeadFraction(profile, fi::ArchStateId::kGGp);
+
+    config.static_mode = fi::StaticSiteMode::kPrune;
+    config.static_oracle = &analysis;
+    const auto prune_start = std::chrono::steady_clock::now();
+    const fi::TransientCampaignResult pruned = runner.RunTransientCampaign(config);
+    const double prune_seconds = Seconds(prune_start);
+
+    const bool match = pruned.counts.masked == baseline.counts.masked &&
+                       pruned.counts.sdc == baseline.counts.sdc &&
+                       pruned.counts.due == baseline.counts.due &&
+                       pruned.counts.potential_due == baseline.counts.potential_due;
+    if (pruned.statically_pruned > 0) ++pruned_programs;
+    total_base += base_seconds;
+    total_prune += prune_seconds;
+
+    std::printf("%-14s %8.1f%% %8.1f%% %8.1f%% %10.3f %10.3f %7.2fx %6s\n",
+                program.name().c_str(), 100.0 * dead5, 100.0 * dead7,
+                100.0 * dead8, base_seconds, prune_seconds,
+                prune_seconds > 0 ? base_seconds / prune_seconds : 0.0,
+                match ? "yes" : "NO");
+  }
+
+  std::printf("\n%d of 15 programs pruned a nonzero fraction of sites\n",
+              pruned_programs);
+  std::printf("suite wall-clock: baseline %.3f s, pruned %.3f s (%.2fx)\n",
+              total_base, total_prune,
+              total_prune > 0 ? total_base / total_prune : 0.0);
+  std::printf("\ndead%%gN = population fraction of group-N injection draws whose\n"
+              "corruption target is statically dead (group 5: no-destination\n"
+              "instructions, 7: GPR+predicate writers, 8: GPR writers).\n");
+  return 0;
+}

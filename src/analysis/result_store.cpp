@@ -152,6 +152,7 @@ json::Value MetaToJson(const StoreMeta& meta) {
   out.Set("fixed_mask", static_cast<std::uint64_t>(meta.fixed_mask));
   out.Set("only_executed_opcodes", meta.only_executed_opcodes);
   out.Set("trace", meta.trace);
+  out.Set("static_mode", meta.static_mode);
   out.Set("approximate_profile", meta.approximate_profile);
   out.Set("watchdog_multiplier", meta.watchdog_multiplier);
   out.Set("element", ElementKindName(meta.element));
@@ -185,6 +186,7 @@ std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* err
   meta.fixed_mask = static_cast<std::uint32_t>(value.GetUint("fixed_mask"));
   meta.only_executed_opcodes = value.GetBool("only_executed_opcodes", true);
   meta.trace = value.GetBool("trace");
+  meta.static_mode = value.GetString("static_mode", "off");
   meta.approximate_profile = value.GetBool("approximate_profile");
   meta.watchdog_multiplier = value.GetUint("watchdog_multiplier");
   meta.element = ElementKindFromName(value.GetString("element", "f32"))
@@ -203,6 +205,7 @@ json::Value TransientRunToJson(std::size_t index, const fi::InjectionRun& run,
   json::Value out = json::Value::Object();
   out.Set("index", static_cast<std::uint64_t>(index));
   out.Set("trivially_masked", run.trivially_masked);
+  out.Set("statically_masked", run.statically_masked);
   if (!run.trivially_masked) {
     out.Set("params", TransientParamsToJson(run.params));
     out.Set("record", RecordToJson(run.record));
@@ -270,6 +273,7 @@ bool ParseRecordLine(const json::Value& value, LoadedStore* store) {
   } else {
     fi::InjectionRun run;
     run.trivially_masked = value.GetBool("trivially_masked");
+    run.statically_masked = value.GetBool("statically_masked");
     run.classification = *classification;
     if (!run.trivially_masked) {
       const json::Value* params = value.Find("params");
@@ -304,7 +308,7 @@ bool StoreMeta::CompatibleWith(const StoreMeta& other) const {
          randomize_flip_model == other.randomize_flip_model &&
          sm_id == other.sm_id && fixed_mask == other.fixed_mask &&
          only_executed_opcodes == other.only_executed_opcodes &&
-         trace == other.trace &&
+         trace == other.trace && static_mode == other.static_mode &&
          approximate_profile == other.approximate_profile &&
          watchdog_multiplier == other.watchdog_multiplier &&
          element == other.element;
@@ -325,6 +329,7 @@ StoreMeta TransientStoreMeta(const std::string& program,
   meta.flip_model = static_cast<int>(config.flip_model);
   meta.randomize_flip_model = config.randomize_flip_model;
   meta.trace = config.trace;
+  meta.static_mode = std::string(fi::StaticSiteModeName(config.static_mode));
   meta.approximate_profile = config.profiling == fi::ProfilerTool::Mode::kApproximate;
   meta.watchdog_multiplier = config.watchdog_multiplier;
   meta.workers = config.num_workers;
@@ -504,6 +509,8 @@ fi::TransientCampaignResult RebuildTransientResult(const LoadedStore& store) {
     result.counts.Add(run.classification);
     if (run.trivially_masked) {
       ++result.trivially_masked;
+    } else if (run.statically_masked) {
+      ++result.statically_pruned;
     } else if (!run.record.activated) {
       ++result.never_activated;
     }

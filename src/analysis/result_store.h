@@ -29,7 +29,7 @@
 
 namespace nvbitfi::analysis {
 
-inline constexpr int kResultStoreVersion = 2;
+inline constexpr int kResultStoreVersion = 3;
 
 // Campaign identity + shared state persisted in the header line.  The
 // identity fields decide whether a store can be resumed by a given campaign;
@@ -50,6 +50,10 @@ struct StoreMeta {
   bool only_executed_opcodes = true;
   // Shared.
   bool trace = false;  // records carry propagation records (traced campaign)
+  // Static-liveness site handling ("off" | "check" | "prune").  Part of the
+  // resume identity: a pruned store holds synthesized records that a
+  // non-pruning campaign would have simulated, and vice versa.
+  std::string static_mode = "off";
   bool approximate_profile = false;
   std::uint64_t watchdog_multiplier = 0;
   ElementKind element = ElementKind::kF32;

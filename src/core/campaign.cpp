@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/strings.h"
 #include "core/parallel.h"
 #include "core/statistics.h"
 
@@ -33,6 +34,25 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// The record a statically-pruned run would have produced: the injector
+// always activates (exact site streams resolve within the recorded
+// population) and corrupts the verdict's target; the corruption is dead, so
+// no before/after bits are known (the run never executed).
+InjectionRecord SynthesizeMaskedRecord(const TransientFaultParams& params,
+                                       const StaticSiteVerdict& verdict) {
+  InjectionRecord record;
+  record.activated = true;
+  record.kernel_name = params.kernel_name;
+  record.kernel_count = params.kernel_count;
+  record.static_index = verdict.static_index;
+  record.opcode = verdict.opcode;
+  record.corrupted = verdict.has_target;
+  record.pred_target = verdict.pred_target;
+  record.target_register = verdict.target_register;
+  record.register_width = verdict.register_width;
+  return record;
+}
+
 }  // namespace
 
 double TransientCampaignResult::ProfilingOverhead() const {
@@ -43,7 +63,7 @@ double TransientCampaignResult::MedianInjectionOverhead() const {
   std::vector<double> overheads;
   overheads.reserve(injections.size());
   for (const InjectionRun& run : injections) {
-    if (run.trivially_masked) continue;  // no run happened
+    if (run.trivially_masked || run.statically_masked) continue;  // no run happened
     overheads.push_back(Overhead(run.artifacts.cycles, golden.cycles));
   }
   return Median(std::move(overheads));
@@ -177,6 +197,22 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     }
     run.params = *params;
 
+    // --static-prune: skip simulating sites the oracle proves dead.  The
+    // synthesized classification is exactly what the simulation would have
+    // produced (the soundness contract; --static-check campaigns verify it),
+    // so outcome distributions are bit-identical to an unpruned campaign.
+    if (config.static_mode == StaticSiteMode::kPrune && config.static_oracle != nullptr) {
+      const StaticSiteVerdict verdict =
+          config.static_oracle->Evaluate(result.profile, run.params);
+      if (verdict.resolved && verdict.statically_dead) {
+        run.statically_masked = true;
+        run.record = SynthesizeMaskedRecord(run.params, verdict);
+        run.classification = Classification{};
+        if (config.on_run_complete) config.on_run_complete(i, run);
+        return;
+      }
+    }
+
     std::unique_ptr<TransientExperimentTool> tool =
         config.tool_factory ? config.tool_factory(i, run.params)
                             : std::make_unique<TransientInjectorTool>(run.params);
@@ -189,12 +225,45 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   result.wall_seconds = SecondsSince(start);
 
   // Merge outcomes in experiment order (workers finish in arbitrary order).
-  for (const InjectionRun& run : result.injections) {
+  // --static-check verdicts are re-evaluated here rather than captured on the
+  // workers: the oracle is deterministic, and this also covers preloaded
+  // (resumed) runs, which never visited a worker in this process.
+  for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    const InjectionRun& run = result.injections[i];
     result.counts.Add(run.classification);
     if (run.trivially_masked) {
       ++result.trivially_masked;
+    } else if (run.statically_masked) {
+      ++result.statically_pruned;
     } else if (!run.record.activated) {
       ++result.never_activated;
+    }
+    if (config.static_mode == StaticSiteMode::kCheck && config.static_oracle != nullptr &&
+        !run.trivially_masked && !run.statically_masked) {
+      const StaticSiteVerdict verdict =
+          config.static_oracle->Evaluate(result.profile, run.params);
+      if (!verdict.resolved) continue;
+      ++result.statically_checked;
+      if (verdict.statically_dead) ++result.statically_dead;
+      auto add_violation = [&](std::string detail) {
+        StaticViolation v;
+        v.index = i;
+        v.params = run.params;
+        v.static_index = verdict.static_index;
+        v.classification = run.classification;
+        v.detail = std::move(detail);
+        result.static_violations.push_back(std::move(v));
+      };
+      if (run.record.activated && run.record.static_index != verdict.static_index) {
+        add_violation(Format("site resolution mismatch: injector hit static index %u, "
+                             "oracle resolved %u",
+                             run.record.static_index, verdict.static_index));
+      }
+      if (verdict.statically_dead &&
+          run.classification.outcome != Outcome::kMasked) {
+        add_violation(Format("statically dead site classified %s",
+                             std::string(OutcomeName(run.classification.outcome)).c_str()));
+      }
     }
   }
   return result;

@@ -29,6 +29,7 @@
 #include "core/profile.h"
 #include "core/profiler_tool.h"
 #include "core/run_cache.h"
+#include "core/static_oracle.h"
 #include "core/target_program.h"
 #include "core/transient_injector.h"
 #include "nvbit/nvbit.h"
@@ -78,6 +79,13 @@ struct TransientCampaignConfig {
   // tool_factory — core cannot depend on the trace library, so callers set
   // both (the CLI's --trace does).
   bool trace = false;
+  // Static-liveness site handling (see static_oracle.h).  kPrune skips
+  // simulating statically-dead sites and synthesizes their guaranteed Masked
+  // result; kCheck simulates everything and records disagreements as
+  // static_violations.  Requires `static_oracle` and exact profiling (an
+  // approximate profile has no event-exact site streams to resolve against).
+  StaticSiteMode static_mode = StaticSiteMode::kOff;
+  const StaticSiteOracle* static_oracle = nullptr;
 };
 
 struct InjectionRun {
@@ -89,8 +97,23 @@ struct InjectionRun {
   // the experiment counts as Masked with zero cycles (copying the golden
   // artifacts here would double-count golden cycles in Fig. 5 totals).
   bool trivially_masked = false;
+  // --static-prune: the static oracle proved the site dead, so the run was
+  // not simulated; `record` is synthesized from the verdict and
+  // `classification` is the Masked result the simulation would have produced.
+  bool statically_masked = false;
   // Present when the campaign ran with a propagation-tracing tool factory.
   std::optional<trace::PropagationRecord> propagation;
+};
+
+// --static-check: a statically-dead site whose simulated outcome was not
+// Masked (or whose recorded static instruction differs from the oracle's
+// resolution) — a soundness-contract breach worth failing a campaign over.
+struct StaticViolation {
+  std::size_t index = 0;  // experiment index
+  TransientFaultParams params;
+  std::uint32_t static_index = 0;  // the oracle's resolution
+  Classification classification;
+  std::string detail;
 };
 
 struct TransientCampaignResult {
@@ -107,6 +130,13 @@ struct TransientCampaignResult {
   // approximate profile overestimates an instance's dynamic count).  Also a
   // subset of counts.masked, but distinct from a genuine masked injection.
   std::uint64_t never_activated = 0;
+  // --static-prune: runs skipped on a statically-dead verdict (subset of
+  // counts.masked).  --static-check: runs whose verdict resolved, and the
+  // statically-dead subset among them (all simulated).
+  std::uint64_t statically_pruned = 0;
+  std::uint64_t statically_checked = 0;
+  std::uint64_t statically_dead = 0;
+  std::vector<StaticViolation> static_violations;
   int workers = 1;           // worker count the campaign actually used
   double wall_seconds = 0.0; // wall-clock time of the injection phase
 

@@ -7,15 +7,9 @@
 #include "common/log.h"
 
 namespace nvbitfi::fi {
-namespace {
 
-// Candidate architectural targets of an injection at one instruction.
-struct Target {
-  enum class Kind : std::uint8_t { kGpr32, kGpr64, kPred } kind;
-  int reg;
-};
-
-std::vector<Target> TargetsOf(const sim::Instruction& inst) {
+std::vector<CorruptionTarget> CandidateTargets(const sim::Instruction& inst) {
+  using Target = CorruptionTarget;
   std::vector<Target> out;
   const int gprs = sim::DestGprCount(inst);
   if (gprs == 1) {
@@ -46,6 +40,14 @@ std::vector<Target> TargetsOf(const sim::Instruction& inst) {
   }
   return out;
 }
+
+std::size_t ChooseTargetIndex(std::size_t count, double destination_register) {
+  const auto pick =
+      static_cast<std::size_t>(destination_register * static_cast<double>(count));
+  return std::min(pick, count - 1);
+}
+
+namespace {
 
 void CorruptGpr32(sim::LaneView& lane, int reg, const TransientFaultParams& params,
                   InjectionRecord* record) {
@@ -120,18 +122,23 @@ void ApplyTransientCorruption(const sim::InstrEvent& event,
   record->sm_id = event.lane.sm_id();
   record->lane_id = event.lane.lane_id();
 
-  const std::vector<Target> targets = TargetsOf(event.instr);
+  const std::vector<CorruptionTarget> targets = CandidateTargets(event.instr);
   if (targets.empty()) {
     LOG_INFO << "injection site has no architectural target; fault vanished";
     return;
   }
-  const auto pick = static_cast<std::size_t>(params.destination_register *
-                                             static_cast<double>(targets.size()));
-  const Target target = targets[std::min(pick, targets.size() - 1)];
+  const CorruptionTarget target =
+      targets[ChooseTargetIndex(targets.size(), params.destination_register)];
   switch (target.kind) {
-    case Target::Kind::kGpr32: CorruptGpr32(event.lane, target.reg, params, record); break;
-    case Target::Kind::kGpr64: CorruptGpr64(event.lane, target.reg, params, record); break;
-    case Target::Kind::kPred: CorruptPred(event.lane, target.reg, params, record); break;
+    case CorruptionTarget::Kind::kGpr32:
+      CorruptGpr32(event.lane, target.reg, params, record);
+      break;
+    case CorruptionTarget::Kind::kGpr64:
+      CorruptGpr64(event.lane, target.reg, params, record);
+      break;
+    case CorruptionTarget::Kind::kPred:
+      CorruptPred(event.lane, target.reg, params, record);
+      break;
   }
 }
 

@@ -8,11 +8,29 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/fault_model.h"
 #include "sassim/core/instrumentation.h"
 
 namespace nvbitfi::fi {
+
+// One candidate architectural target of an injection at an instruction.
+struct CorruptionTarget {
+  enum class Kind : std::uint8_t { kGpr32, kGpr64, kPred } kind;
+  int reg;
+};
+
+// Candidate targets at `inst`, in the fixed order the destination-register
+// draw indexes: destination GPR / pair(s), then destination predicates; with
+// no destination, the source GPRs (operand-collector fault model).  Empty
+// means the fault vanishes (nothing to corrupt).  Exposed so static analysis
+// can replicate site selection exactly.
+std::vector<CorruptionTarget> CandidateTargets(const sim::Instruction& inst);
+
+// The Table II destination-register draw: maps the uniform [0,1) value onto
+// an index into CandidateTargets().  `count` must be nonzero.
+std::size_t ChooseTargetIndex(std::size_t count, double destination_register);
 
 // What an injection actually did, for campaign logs and tests.
 struct InjectionRecord {

@@ -141,4 +141,18 @@ std::optional<TransientFaultParams> SelectTransientFault(const ProgramProfile& p
   return std::nullopt;
 }
 
+std::optional<std::uint32_t> ResolveSiteStream(const KernelProfile& kernel,
+                                               const std::vector<sim::Instruction>& body,
+                                               ArchStateId group,
+                                               std::uint64_t instruction_count) {
+  std::uint64_t remaining = instruction_count;
+  for (const SiteStreamEntry& entry : kernel.site_stream) {
+    if (entry.static_index >= body.size()) return std::nullopt;
+    if (!OpcodeInGroup(body[entry.static_index].opcode, group)) continue;
+    if (remaining < entry.count) return entry.static_index;
+    remaining -= entry.count;
+  }
+  return std::nullopt;
+}
+
 }  // namespace nvbitfi::fi

@@ -15,14 +15,28 @@
 
 #include "common/rng.h"
 #include "core/fault_model.h"
+#include "sassim/isa/instruction.h"
 #include "sassim/isa/opcode.h"
 
 namespace nvbitfi::fi {
+
+// Run-length-encoded dynamic site stream entry: `count` consecutive
+// guard-true lane events at static instruction `static_index`.
+struct SiteStreamEntry {
+  std::uint32_t static_index = 0;
+  std::uint64_t count = 0;
+};
 
 struct KernelProfile {
   std::string kernel_name;
   std::uint64_t kernel_count = 0;  // which dynamic instance of the kernel
   std::array<std::uint64_t, sim::kOpcodeCount> opcode_counts{};
+
+  // Exact-mode only: the launch's guard-true events in issue order, RLE by
+  // static instruction.  This is the same event order the transient injector
+  // counts, so an instruction_count draw can be resolved to the static
+  // instruction it will hit.  Empty in approximate profiles; not serialized.
+  std::vector<SiteStreamEntry> site_stream;
 
   std::uint64_t Total() const;
   std::uint64_t GroupTotal(ArchStateId group) const;
@@ -57,5 +71,14 @@ struct ProgramProfile {
 std::optional<TransientFaultParams> SelectTransientFault(const ProgramProfile& profile,
                                                          ArchStateId group,
                                                          BitFlipModel model, Rng& rng);
+
+// Resolves an instruction_count draw against a kernel's recorded site
+// stream: returns the static index of the (instruction_count+1)-th
+// guard-true event whose opcode belongs to `group`, or nullopt when the
+// stream is absent or the draw exceeds the recorded population.
+std::optional<std::uint32_t> ResolveSiteStream(const KernelProfile& kernel,
+                                               const std::vector<sim::Instruction>& body,
+                                               ArchStateId group,
+                                               std::uint64_t instruction_count);
 
 }  // namespace nvbitfi::fi

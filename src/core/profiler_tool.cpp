@@ -28,6 +28,18 @@ void ProfilerTool::OnAttach(nvbit::Runtime& runtime) {
   fn.callback = [this](const sim::InstrEvent& event) {
     if (!counting_ || !event.lane.guard_true()) return;
     ++current_.opcode_counts[static_cast<std::size_t>(event.instr.opcode)];
+    if (mode_ == Mode::kExact) {
+      // Record the guard-true event stream (RLE by static instruction) so
+      // static analysis can map instruction_count draws back to static
+      // instructions.  The profiler's kBefore events and the injector's
+      // kAfter events enumerate the same guard-true lanes in the same order.
+      if (!current_.site_stream.empty() &&
+          current_.site_stream.back().static_index == event.static_index) {
+        ++current_.site_stream.back().count;
+      } else {
+        current_.site_stream.push_back({event.static_index, 1});
+      }
+    }
   };
   runtime.RegisterDeviceFunction(std::move(fn));
 }
@@ -84,6 +96,9 @@ void ProfilerTool::OnLaunchEnd(const nvbit::EventInfo& info) {
     }
     KernelProfile replicated = it->second;
     replicated.kernel_count = info.launch->launch_ordinal;
+    // Replicated counts are an approximation; a site stream would falsely
+    // claim event-exact knowledge of this launch.
+    replicated.site_stream.clear();
     profile_.kernels.push_back(std::move(replicated));
   }
 }

@@ -70,6 +70,24 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
     out += Format("  never activated (site not reached): %llu\n",
                   static_cast<unsigned long long>(result.never_activated));
   }
+  if (result.statically_pruned > 0) {
+    out += Format("  statically pruned (dead site, simulation skipped): %llu\n",
+                  static_cast<unsigned long long>(result.statically_pruned));
+  }
+  if (result.statically_checked > 0) {
+    out += Format("  static check: %llu sites checked, %llu statically dead, "
+                  "%llu violation%s\n",
+                  static_cast<unsigned long long>(result.statically_checked),
+                  static_cast<unsigned long long>(result.statically_dead),
+                  static_cast<unsigned long long>(result.static_violations.size()),
+                  result.static_violations.size() == 1 ? "" : "s");
+    for (const StaticViolation& violation : result.static_violations) {
+      out += Format("    VIOLATION experiment %llu kernel %s site %u: %s\n",
+                    static_cast<unsigned long long>(violation.index),
+                    violation.params.kernel_name.c_str(), violation.static_index,
+                    violation.detail.c_str());
+    }
+  }
   out += "\n";
 
   out += Format("overheads: profiling %.1fx, median injection %.2fx\n",

@@ -1,0 +1,69 @@
+// Interface between the campaign engine and the static analysis layer.
+//
+// The core library defines only this hook; the implementation lives in
+// src/staticanalysis (StaticSiteAnalysis), which depends on core — the same
+// inversion the trace library uses for its campaign tool factory, keeping
+// the dependency graph acyclic.
+//
+// Soundness contract (one-sided, mirroring the fault-propagation tracer): a
+// verdict with `statically_dead == true` promises the injection is
+// dynamically fully masked — the corrupted register is overwritten (or never
+// read) along every path from the injection point, so the run's outputs are
+// bit-identical to the golden run.  `statically_dead == false` promises
+// nothing.  Campaigns consume the verdict in one of two modes:
+//
+//   kPrune — skip simulating statically-dead sites and synthesize the Masked
+//            result they are guaranteed to produce.
+//   kCheck — simulate everything anyway and report any statically-dead site
+//            that did NOT come back Masked as a static_violation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/fault_model.h"
+#include "core/profile.h"
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::fi {
+
+enum class StaticSiteMode : std::uint8_t { kOff, kCheck, kPrune };
+
+inline std::string_view StaticSiteModeName(StaticSiteMode mode) {
+  switch (mode) {
+    case StaticSiteMode::kCheck: return "check";
+    case StaticSiteMode::kPrune: return "prune";
+    case StaticSiteMode::kOff: break;
+  }
+  return "off";
+}
+
+struct StaticSiteVerdict {
+  // The dynamic site was mapped to a static instruction.  False when the
+  // kernel is unknown, the profile lacks an exact site stream, or the
+  // instruction_count draw falls outside the recorded population.
+  bool resolved = false;
+  bool statically_dead = false;
+  std::uint32_t static_index = 0;
+  sim::Opcode opcode = sim::Opcode::kNOP;
+  // The corruption target the destination-register draw selects at that
+  // instruction (mirrors InjectionRecord's target fields).  has_target is
+  // false when the site has no architectural target at all — the fault
+  // vanishes, which is itself a statically-dead site.
+  bool has_target = false;
+  bool pred_target = false;
+  int target_register = -1;
+  int register_width = 32;
+};
+
+class StaticSiteOracle {
+ public:
+  virtual ~StaticSiteOracle() = default;
+
+  // Maps `params` (drawn against `profile`) to a static verdict.  Must be
+  // thread-safe: campaign workers call it concurrently.
+  virtual StaticSiteVerdict Evaluate(const ProgramProfile& profile,
+                                     const TransientFaultParams& params) const = 0;
+};
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,157 @@
+#include "staticanalysis/cfg.h"
+
+#include <algorithm>
+
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+// Guard outcome known at compile time.
+enum class GuardKind { kAlways, kNever, kConditional };
+
+GuardKind GuardKindOf(const sim::Instruction& inst) {
+  if (inst.guard_pred != sim::kPT) return GuardKind::kConditional;
+  return inst.guard_negate ? GuardKind::kNever : GuardKind::kAlways;
+}
+
+}  // namespace
+
+ControlEffect ControlEffectOf(const sim::Instruction& inst) {
+  ControlEffect effect;
+  const GuardKind guard = GuardKindOf(inst);
+  switch (inst.opcode) {
+    case sim::Opcode::kBRA:
+    case sim::Opcode::kJMP:
+      effect.terminates_block = true;
+      effect.target = static_cast<std::uint32_t>(inst.src[0].imm);
+      effect.has_taken_edge = guard != GuardKind::kNever;
+      effect.has_fallthrough = guard != GuardKind::kAlways;
+      break;
+    case sim::Opcode::kEXIT:
+    case sim::Opcode::kKILL:
+      effect.terminates_block = true;
+      // Guarded exits retire only the lanes that pass the guard; the rest
+      // continue at the next instruction.
+      effect.has_fallthrough = guard != GuardKind::kAlways;
+      break;
+    default:
+      effect.has_fallthrough = true;
+      break;
+  }
+  return effect;
+}
+
+ControlFlowGraph ControlFlowGraph::Build(const sim::KernelSource& kernel) {
+  ControlFlowGraph cfg;
+  const auto& body = kernel.instructions;
+  const std::uint32_t n = static_cast<std::uint32_t>(body.size());
+  if (n == 0) return cfg;
+
+  // Leaders: instruction 0, every in-range branch target, and the
+  // instruction after each block terminator.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ControlEffect effect = ControlEffectOf(body[i]);
+    if (!effect.terminates_block) continue;
+    if (effect.has_taken_edge && effect.target < n) leader[effect.target] = true;
+    if (i + 1 < n) leader[i + 1] = true;
+  }
+
+  cfg.block_of_.assign(n, kNoBlock);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      BasicBlock block;
+      block.begin = i;
+      cfg.blocks_.push_back(block);
+    }
+    cfg.block_of_[i] = static_cast<std::uint32_t>(cfg.blocks_.size() - 1);
+    cfg.blocks_.back().end = i + 1;
+  }
+  cfg.entry_ = 0;
+
+  // Edges.  A block's control effect is that of its last instruction; blocks
+  // ending in a non-terminator (split by a following leader) fall through.
+  // Edges that run off the end of the body (the executor traps there) get no
+  // successor.
+  for (std::uint32_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& block = cfg.blocks_[b];
+    const ControlEffect effect = ControlEffectOf(body[block.end - 1]);
+    auto add_edge = [&](std::uint32_t target_index) {
+      if (target_index >= n) return;
+      const std::uint32_t s = cfg.block_of_[target_index];
+      if (std::find(block.succ.begin(), block.succ.end(), s) == block.succ.end()) {
+        block.succ.push_back(s);
+        cfg.blocks_[s].pred.push_back(b);
+      }
+    };
+    if (effect.has_taken_edge) add_edge(effect.target);
+    if (effect.has_fallthrough) add_edge(block.end);
+  }
+
+  // Reachability + reverse postorder from the entry (iterative DFS).
+  std::vector<std::uint8_t> state(cfg.blocks_.size(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::uint32_t> postorder;
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  stack.emplace_back(cfg.entry_, 0);
+  state[cfg.entry_] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < cfg.blocks_[b].succ.size()) {
+      const std::uint32_t s = cfg.blocks_[b].succ[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      postorder.push_back(b);
+      stack.pop_back();
+    }
+  }
+  cfg.rpo_.assign(postorder.rbegin(), postorder.rend());
+  std::vector<std::uint32_t> rpo_index(cfg.blocks_.size(), kNoBlock);
+  for (std::uint32_t i = 0; i < cfg.rpo_.size(); ++i) rpo_index[cfg.rpo_[i]] = i;
+  for (const std::uint32_t b : cfg.rpo_) cfg.blocks_[b].reachable = true;
+
+  // Immediate dominators (Cooper-Harvey-Kennedy) over reachable blocks.
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = cfg.blocks_[a].idom;
+      while (rpo_index[b] > rpo_index[a]) b = cfg.blocks_[b].idom;
+    }
+    return a;
+  };
+  cfg.blocks_[cfg.entry_].idom = cfg.entry_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t b : cfg.rpo_) {
+      if (b == cfg.entry_) continue;
+      std::uint32_t new_idom = kNoBlock;
+      for (const std::uint32_t p : cfg.blocks_[b].pred) {
+        if (cfg.blocks_[p].idom == kNoBlock) continue;  // not yet processed
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && cfg.blocks_[b].idom != new_idom) {
+        cfg.blocks_[b].idom = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return cfg;
+}
+
+bool ControlFlowGraph::Dominates(std::uint32_t a, std::uint32_t b) const {
+  if (a >= blocks_.size() || b >= blocks_.size()) return false;
+  if (!blocks_[a].reachable || !blocks_[b].reachable) return false;
+  while (true) {
+    if (a == b) return true;
+    if (b == entry_) return false;
+    b = blocks_[b].idom;
+  }
+}
+
+}  // namespace nvbitfi::staticanalysis

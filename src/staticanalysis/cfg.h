@@ -1,0 +1,69 @@
+// Control-flow graph over a sassim kernel body.
+//
+// Mirrors the executor's control semantics exactly (src/sassim/core/
+// executor.cpp): only BRA/JMP transfer control (target = src[0].imm, an
+// absolute instruction index), EXIT/KILL retire the lane, and every other
+// opcode — including the unimplemented control-class ones, which trap at
+// execution time — falls through.  Guards refine the edge set: an
+// unconditionally guarded branch (@PT) has only its taken edge, a
+// never-executed one (@!PT) only its fallthrough edge, and a branch under a
+// real predicate has both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sassim/isa/kernel.h"
+
+namespace nvbitfi::staticanalysis {
+
+inline constexpr std::uint32_t kNoBlock = 0xffffffffu;
+
+struct BasicBlock {
+  std::uint32_t begin = 0;  // first instruction index (inclusive)
+  std::uint32_t end = 0;    // one past the last instruction index
+  std::vector<std::uint32_t> succ;
+  std::vector<std::uint32_t> pred;
+  bool reachable = false;
+  // Immediate dominator block id; the entry block dominates itself.
+  // kNoBlock for unreachable blocks.
+  std::uint32_t idom = kNoBlock;
+};
+
+class ControlFlowGraph {
+ public:
+  static ControlFlowGraph Build(const sim::KernelSource& kernel);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  // Block id containing instruction `index`; kNoBlock out of range.
+  std::uint32_t BlockOf(std::uint32_t index) const {
+    return index < block_of_.size() ? block_of_[index] : kNoBlock;
+  }
+  std::uint32_t entry() const { return entry_; }
+  // Reachable blocks in reverse postorder (entry first).
+  const std::vector<std::uint32_t>& rpo() const { return rpo_; }
+  bool InstructionReachable(std::uint32_t index) const {
+    const std::uint32_t b = BlockOf(index);
+    return b != kNoBlock && blocks_[b].reachable;
+  }
+  // True when block `a` dominates block `b` (both must be reachable).
+  bool Dominates(std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::uint32_t> block_of_;  // instruction index -> block id
+  std::vector<std::uint32_t> rpo_;
+  std::uint32_t entry_ = kNoBlock;
+};
+
+// Classification of an instruction's effect on control flow, with guard
+// refinement already applied.
+struct ControlEffect {
+  bool terminates_block = false;  // BRA/JMP/EXIT/KILL
+  bool has_taken_edge = false;    // branch target may be taken
+  bool has_fallthrough = false;   // execution may continue at index+1
+  std::uint32_t target = 0;       // valid when has_taken_edge
+};
+ControlEffect ControlEffectOf(const sim::Instruction& inst);
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,92 @@
+// Generic iterative dataflow framework over a ControlFlowGraph.
+//
+// An Analysis type supplies the lattice and transfer function:
+//
+//   struct MyAnalysis {
+//     using Value = ...;                       // lattice element (copyable)
+//     Direction direction() const;             // kForward or kBackward
+//     Value Boundary() const;                  // value at the graph boundary
+//     Value Init() const;                      // initial interior value (top)
+//     void Meet(Value& into, const Value& from) const;  // lattice meet (join)
+//     Value Transfer(std::uint32_t block, const Value& in) const;
+//     bool Equal(const Value& a, const Value& b) const;
+//   };
+//
+// Solve() iterates a worklist over the reachable blocks until a fixed point.
+// For a backward analysis, `out[b]` is the meet over successors' `in` (the
+// boundary value for exit blocks) and `in[b] = Transfer(b, out[b])`.  For a
+// forward analysis the roles mirror: `in[b]` is the meet over predecessors'
+// `out` (the boundary value for the entry) and `out[b] = Transfer(b, in[b])`.
+// Unreachable blocks keep Init() on both sides.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "staticanalysis/cfg.h"
+
+namespace nvbitfi::staticanalysis {
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+
+template <typename Analysis>
+struct DataflowResult {
+  std::vector<typename Analysis::Value> in;   // value at block entry
+  std::vector<typename Analysis::Value> out;  // value at block exit
+};
+
+template <typename Analysis>
+DataflowResult<Analysis> Solve(const ControlFlowGraph& cfg, const Analysis& analysis) {
+  const auto& blocks = cfg.blocks();
+  DataflowResult<Analysis> result;
+  result.in.assign(blocks.size(), analysis.Init());
+  result.out.assign(blocks.size(), analysis.Init());
+
+  const bool backward = analysis.direction() == Direction::kBackward;
+  // Seed in the direction-appropriate order (postorder for backward) so most
+  // acyclic graphs converge in one sweep.
+  std::deque<std::uint32_t> worklist;
+  std::vector<bool> queued(blocks.size(), false);
+  const auto& rpo = cfg.rpo();
+  if (backward) {
+    worklist.assign(rpo.rbegin(), rpo.rend());
+  } else {
+    worklist.assign(rpo.begin(), rpo.end());
+  }
+  for (const std::uint32_t b : worklist) queued[b] = true;
+
+  while (!worklist.empty()) {
+    const std::uint32_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    const auto& sources = backward ? blocks[b].succ : blocks[b].pred;
+    typename Analysis::Value incoming = analysis.Init();
+    bool any_source = false;
+    for (const std::uint32_t s : sources) {
+      if (!blocks[s].reachable) continue;
+      analysis.Meet(incoming, backward ? result.in[s] : result.out[s]);
+      any_source = true;
+    }
+    if (!any_source) incoming = analysis.Boundary();
+
+    typename Analysis::Value transferred = analysis.Transfer(b, incoming);
+    auto& incoming_slot = backward ? result.out[b] : result.in[b];
+    auto& transferred_slot = backward ? result.in[b] : result.out[b];
+    const bool changed = !analysis.Equal(transferred_slot, transferred);
+    incoming_slot = std::move(incoming);
+    if (!changed) continue;
+    transferred_slot = std::move(transferred);
+    const auto& dependents = backward ? blocks[b].pred : blocks[b].succ;
+    for (const std::uint32_t d : dependents) {
+      if (blocks[d].reachable && !queued[d]) {
+        queued[d] = true;
+        worklist.push_back(d);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,185 @@
+#include "staticanalysis/lint.h"
+
+#include "common/strings.h"
+#include "sassim/isa/opcode.h"
+#include "staticanalysis/liveness.h"
+#include "staticanalysis/reaching_defs.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+using sim::Instruction;
+using sim::Opcode;
+
+// Opcode is removable when its results are dead: pure register-to-register
+// computation, no memory traffic, no control effect, no cross-lane data
+// exchange.
+bool SideEffectFree(const Instruction& inst) {
+  switch (sim::ClassOf(inst.opcode)) {
+    case sim::OpClass::kFp16:
+    case sim::OpClass::kFp32:
+    case sim::OpClass::kFp64:
+    case sim::OpClass::kInt:
+    case sim::OpClass::kConversion:
+    case sim::OpClass::kMove:
+    case sim::OpClass::kPredicate:
+      break;
+    default:
+      return false;
+  }
+  // Collectives contribute source values to other lanes even when their own
+  // destination is dead.
+  return inst.opcode != Opcode::kSHFL && inst.opcode != Opcode::kVOTE;
+}
+
+void LintReadBeforeDef(const sim::KernelSource& kernel, const LivenessAnalysis& liveness,
+                       const ReachingDefsAnalysis& reaching,
+                       std::vector<LintFinding>& findings) {
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    if (!liveness.cfg().InstructionReachable(i)) continue;
+    const RegSet& uses = liveness.effects(i).uses;
+    for (int r = 0; r < sim::kRZ; ++r) {
+      if (uses.TestGpr(r) && reaching.EntryDefReaches(i, /*is_pred=*/false,
+                                                      static_cast<std::uint8_t>(r))) {
+        findings.push_back({LintKind::kReadBeforeDef, i,
+                            Format("R%d may be read before any definition", r)});
+      }
+    }
+    for (int p = 0; p < sim::kPT; ++p) {
+      if (uses.TestPred(p) && reaching.EntryDefReaches(i, /*is_pred=*/true,
+                                                       static_cast<std::uint8_t>(p))) {
+        findings.push_back({LintKind::kReadBeforeDef, i,
+                            Format("P%d may be read before any definition", p)});
+      }
+    }
+  }
+}
+
+void LintUnreachable(const ControlFlowGraph& cfg, std::vector<LintFinding>& findings) {
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (block.reachable) continue;
+    findings.push_back({LintKind::kUnreachableBlock, block.begin,
+                        Format("basic block [%u, %u) is unreachable from kernel entry",
+                               block.begin, block.end)});
+  }
+}
+
+void LintDeadStores(const sim::KernelSource& kernel, const LivenessAnalysis& liveness,
+                    std::vector<LintFinding>& findings) {
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    const Instruction& inst = kernel.instructions[i];
+    // Guarded instructions are skipped: per-lane execution may differ, and a
+    // "dead" guarded write is usually intentional divergence handling.
+    if (inst.guard_pred != sim::kPT || inst.guard_negate) continue;
+    if (!liveness.cfg().InstructionReachable(i)) continue;
+    if (!SideEffectFree(inst)) continue;
+    const RegSet& defs = liveness.effects(i).may_defs;
+    if (defs.Empty()) continue;
+    const RegSet& live_out = liveness.LiveOutAt(i);
+    if (defs.Intersects(live_out)) continue;
+    findings.push_back({LintKind::kDeadStore, i,
+                        "result is never read (dead on every path)"});
+  }
+}
+
+void LintGuards(const sim::KernelSource& kernel, const LivenessAnalysis& liveness,
+                std::vector<LintFinding>& findings) {
+  // Predicates written anywhere in the kernel (by reachable instructions).
+  RegSet written;
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    if (liveness.cfg().InstructionReachable(i)) written |= liveness.effects(i).may_defs;
+  }
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    if (!liveness.cfg().InstructionReachable(i)) continue;
+    const Instruction& inst = kernel.instructions[i];
+    if (inst.guard_pred == sim::kPT) {
+      if (inst.guard_negate) {
+        findings.push_back({LintKind::kConstantGuard, i,
+                            "@!PT guard: the instruction can never execute"});
+      }
+      continue;
+    }
+    if (written.TestPred(inst.guard_pred)) continue;
+    // Predicates are zero-initialised, so an unwritten guard is constant.
+    if (inst.guard_negate) {
+      findings.push_back(
+          {LintKind::kConstantGuard, i,
+           Format("@!P%d guard is always taken: P%d is never written", inst.guard_pred,
+                  inst.guard_pred)});
+    } else {
+      findings.push_back(
+          {LintKind::kConstantGuard, i,
+           Format("@P%d guard is never taken: P%d is never written", inst.guard_pred,
+                  inst.guard_pred)});
+    }
+  }
+}
+
+void LintSharedOffsets(const sim::KernelSource& kernel, const LivenessAnalysis& liveness,
+                       std::vector<LintFinding>& findings) {
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    const Instruction& inst = kernel.instructions[i];
+    if (inst.opcode != Opcode::kLDS && inst.opcode != Opcode::kSTS &&
+        inst.opcode != Opcode::kATOMS) {
+      continue;
+    }
+    if (!liveness.cfg().InstructionReachable(i)) continue;
+    if (inst.num_src == 0 || inst.src[0].kind != sim::Operand::Kind::kMem) continue;
+    if (inst.src[0].mem_base != sim::kRZ) continue;  // dynamic address
+    const std::int64_t offset = inst.src[0].mem_offset;
+    // Atomics access a 32-bit word regardless of the width modifier.
+    const std::int64_t bytes =
+        inst.opcode == Opcode::kATOMS ? 4 : sim::MemWidthBytes(inst.mods.width);
+    if (offset < 0 || offset + bytes > static_cast<std::int64_t>(kernel.shared_bytes)) {
+      findings.push_back(
+          {LintKind::kSharedOutOfRange, i,
+           Format("constant shared access [%lld, %lld) is outside the declared "
+                  "%u shared bytes",
+                  static_cast<long long>(offset), static_cast<long long>(offset + bytes),
+                  kernel.shared_bytes)});
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view LintKindName(LintKind kind) {
+  switch (kind) {
+    case LintKind::kReadBeforeDef: return "read-before-def";
+    case LintKind::kUnreachableBlock: return "unreachable-block";
+    case LintKind::kDeadStore: return "dead-store";
+    case LintKind::kConstantGuard: return "constant-guard";
+    case LintKind::kSharedOutOfRange: return "shared-out-of-range";
+  }
+  return "unknown";
+}
+
+std::vector<LintFinding> LintKernel(const sim::KernelSource& kernel) {
+  std::vector<LintFinding> findings;
+  if (kernel.instructions.empty()) return findings;
+  const LivenessAnalysis liveness(kernel);
+  const ReachingDefsAnalysis reaching(kernel, liveness.cfg());
+  LintReadBeforeDef(kernel, liveness, reaching, findings);
+  LintUnreachable(liveness.cfg(), findings);
+  LintDeadStores(kernel, liveness, findings);
+  LintGuards(kernel, liveness, findings);
+  LintSharedOffsets(kernel, liveness, findings);
+  return findings;
+}
+
+std::string LintReport(const sim::KernelSource& kernel,
+                       const std::vector<LintFinding>& findings) {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += Format("%s:%u: %s: %s", kernel.name.c_str(), f.instr_index,
+                  std::string(LintKindName(f.kind)).c_str(), f.message.c_str());
+    if (f.instr_index < kernel.instructions.size()) {
+      out += "   [" + kernel.instructions[f.instr_index].ToString() + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nvbitfi::staticanalysis

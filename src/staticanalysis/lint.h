@@ -1,0 +1,52 @@
+// Static kernel linter (`nvbitfi lint`).
+//
+// Flags likely bugs in SASS kernels — hand-written, assembled, or harvested
+// from a workload — using the CFG and the dataflow analyses:
+//
+//   * read-before-def:  a path from kernel entry reaches a register read
+//     with no prior write (reaching definitions: the entry pseudo-def
+//     reaches the use).  The simulator zero-fills the register file, so this
+//     is not UB, but it almost always indicates a missing initialisation.
+//   * unreachable-block: a basic block no path from entry reaches.
+//   * dead-store: an unguarded side-effect-free instruction whose results
+//     are all dead (never read before certain overwrite on every path).
+//   * constant-guard: a guard that can never fire (@!PT, or @Pn where Pn is
+//     never written — constant false) or that always fires (@!Pn, Pn never
+//     written — the negation of constant false), making the predicate
+//     pointless.
+//   * shared-out-of-range: LDS/STS/ATOMS at a constant address (RZ base)
+//     whose access falls outside the kernel's declared shared_bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sassim/isa/kernel.h"
+
+namespace nvbitfi::staticanalysis {
+
+enum class LintKind : std::uint8_t {
+  kReadBeforeDef,
+  kUnreachableBlock,
+  kDeadStore,
+  kConstantGuard,
+  kSharedOutOfRange,
+};
+
+std::string_view LintKindName(LintKind kind);
+
+struct LintFinding {
+  LintKind kind;
+  std::uint32_t instr_index = 0;
+  std::string message;
+};
+
+std::vector<LintFinding> LintKernel(const sim::KernelSource& kernel);
+
+// Human-readable report, one line per finding:
+//   <kernel>:<index>: <kind>: <message>   [<disassembled instruction>]
+std::string LintReport(const sim::KernelSource& kernel,
+                       const std::vector<LintFinding>& findings);
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,65 @@
+#include "staticanalysis/liveness.h"
+
+#include "staticanalysis/dataflow.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+struct LivenessProblem {
+  using Value = RegSet;
+
+  const ControlFlowGraph* cfg;
+  const std::vector<InstrEffects>* effects;
+
+  Direction direction() const { return Direction::kBackward; }
+  Value Boundary() const { return RegSet{}; }  // nothing live after EXIT
+  Value Init() const { return RegSet{}; }
+  void Meet(Value& into, const Value& from) const { into |= from; }
+  bool Equal(const Value& a, const Value& b) const { return a == b; }
+
+  Value Transfer(std::uint32_t block, const Value& live_out) const {
+    RegSet live = live_out;
+    const BasicBlock& b = cfg->blocks()[block];
+    for (std::uint32_t i = b.end; i-- > b.begin;) {
+      const InstrEffects& e = (*effects)[i];
+      live.Subtract(e.must_defs);
+      live |= e.uses;
+    }
+    return live;
+  }
+};
+
+}  // namespace
+
+LivenessAnalysis::LivenessAnalysis(const sim::KernelSource& kernel)
+    : cfg_(ControlFlowGraph::Build(kernel)) {
+  const std::size_t n = kernel.instructions.size();
+  effects_.reserve(n);
+  for (const sim::Instruction& inst : kernel.instructions) {
+    effects_.push_back(EffectsOf(inst));
+  }
+
+  LivenessProblem problem{&cfg_, &effects_};
+  DataflowResult<LivenessProblem> solved = Solve(cfg_, problem);
+  block_in_ = std::move(solved.in);
+  block_out_ = std::move(solved.out);
+
+  // Per-instruction sets by replaying each block's backward transfer.
+  instr_in_.assign(n, RegSet{});
+  instr_out_.assign(n, RegSet{});
+  for (std::uint32_t bi = 0; bi < cfg_.blocks().size(); ++bi) {
+    const BasicBlock& b = cfg_.blocks()[bi];
+    if (!b.reachable) continue;
+    RegSet live = block_out_[bi];
+    for (std::uint32_t i = b.end; i-- > b.begin;) {
+      instr_out_[i] = live;
+      const InstrEffects& e = effects_[i];
+      live.Subtract(e.must_defs);
+      live |= e.uses;
+      instr_in_[i] = live;
+    }
+  }
+}
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,51 @@
+// Register/predicate liveness over a kernel CFG.
+//
+// Backward may-analysis: a register is live at a program point when some
+// path from that point reaches a read of it before a certain overwrite.
+// Kills use the must-def sets from usedef.h, so a guarded definition
+// generates uses without killing anything — exactly the conservatism the
+// fault-injection client needs (a register is only reported dead when it is
+// dead along EVERY path and under EVERY guard outcome).
+//
+// Per-instruction results are precomputed for the kAfter instrumentation
+// point: LiveOutAt(i) is the live set immediately after instruction i
+// executes, which is where TransientInjectorTool corrupts state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sassim/isa/kernel.h"
+#include "staticanalysis/cfg.h"
+#include "staticanalysis/regset.h"
+#include "staticanalysis/usedef.h"
+
+namespace nvbitfi::staticanalysis {
+
+class LivenessAnalysis {
+ public:
+  // Builds the CFG, extracts per-instruction effects, and solves to a fixed
+  // point.  The kernel must outlive nothing — all state is copied out.
+  explicit LivenessAnalysis(const sim::KernelSource& kernel);
+
+  const ControlFlowGraph& cfg() const { return cfg_; }
+  const InstrEffects& effects(std::uint32_t index) const { return effects_[index]; }
+
+  const RegSet& LiveIn(std::uint32_t block) const { return block_in_[block]; }
+  const RegSet& LiveOut(std::uint32_t block) const { return block_out_[block]; }
+
+  // Live set immediately before / after instruction `index`.  Instructions in
+  // unreachable blocks report empty sets (nothing executed there matters).
+  const RegSet& LiveInAt(std::uint32_t index) const { return instr_in_[index]; }
+  const RegSet& LiveOutAt(std::uint32_t index) const { return instr_out_[index]; }
+
+ private:
+  ControlFlowGraph cfg_;
+  std::vector<InstrEffects> effects_;
+  std::vector<RegSet> block_in_;
+  std::vector<RegSet> block_out_;
+  std::vector<RegSet> instr_in_;
+  std::vector<RegSet> instr_out_;
+};
+
+}  // namespace nvbitfi::staticanalysis

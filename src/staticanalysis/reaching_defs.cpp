@@ -1,0 +1,146 @@
+#include "staticanalysis/reaching_defs.h"
+
+#include "staticanalysis/dataflow.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+struct ReachingProblem {
+  using Value = SiteSet;
+
+  const ReachingDefsAnalysis* analysis;
+  const SiteSet* boundary;
+  std::size_t num_sites;
+
+  Direction direction() const { return Direction::kForward; }
+  Value Boundary() const { return *boundary; }
+  Value Init() const { return Value(num_sites); }
+  void Meet(Value& into, const Value& from) const { into |= from; }
+  bool Equal(const Value& a, const Value& b) const { return a == b; }
+  Value Transfer(std::uint32_t block, const Value& in) const {
+    return analysis->TransferBlock(block, in);
+  }
+};
+
+}  // namespace
+
+std::uint32_t ReachingDefsAnalysis::EntrySiteOf(bool is_pred, std::uint8_t reg) const {
+  if (is_pred) return reg < sim::kPT ? pred_entry_site_[reg] : kEntryDef;
+  return reg < sim::kRZ ? gpr_entry_site_[reg] : kEntryDef;
+}
+
+ReachingDefsAnalysis::ReachingDefsAnalysis(const sim::KernelSource& kernel,
+                                           const ControlFlowGraph& cfg)
+    : cfg_(&cfg),
+      gpr_entry_site_(sim::kNumGpr, kEntryDef),
+      pred_entry_site_(sim::kNumPred, kEntryDef) {
+  const auto& body = kernel.instructions;
+  std::vector<InstrEffects> effects;
+  effects.reserve(body.size());
+  for (const sim::Instruction& inst : body) effects.push_back(EffectsOf(inst));
+
+  // Mentioned registers get entry pseudo-sites.
+  RegSet mentioned;
+  for (const InstrEffects& e : effects) {
+    mentioned |= e.uses;
+    mentioned |= e.may_defs;
+  }
+  for (int r = 0; r < sim::kRZ; ++r) {
+    if (mentioned.TestGpr(r)) {
+      gpr_entry_site_[static_cast<std::size_t>(r)] = static_cast<std::uint32_t>(sites_.size());
+      sites_.push_back({kEntryDef, false, static_cast<std::uint8_t>(r)});
+    }
+  }
+  for (int p = 0; p < sim::kPT; ++p) {
+    if (mentioned.TestPred(p)) {
+      pred_entry_site_[static_cast<std::size_t>(p)] = static_cast<std::uint32_t>(sites_.size());
+      sites_.push_back({kEntryDef, true, static_cast<std::uint8_t>(p)});
+    }
+  }
+
+  // Real sites, one per (instruction, may-defined register).
+  std::vector<std::vector<std::uint32_t>> gpr_sites(sim::kNumGpr);
+  std::vector<std::vector<std::uint32_t>> pred_sites(sim::kNumPred);
+  instr_sites_.resize(body.size());
+  for (std::uint32_t i = 0; i < body.size(); ++i) {
+    const RegSet& defs = effects[i].may_defs;
+    for (int r = 0; r < sim::kRZ; ++r) {
+      if (!defs.TestGpr(r)) continue;
+      const auto id = static_cast<std::uint32_t>(sites_.size());
+      sites_.push_back({i, false, static_cast<std::uint8_t>(r)});
+      gpr_sites[static_cast<std::size_t>(r)].push_back(id);
+      instr_sites_[i].gen.push_back(id);
+    }
+    for (int p = 0; p < sim::kPT; ++p) {
+      if (!defs.TestPred(p)) continue;
+      const auto id = static_cast<std::uint32_t>(sites_.size());
+      sites_.push_back({i, true, static_cast<std::uint8_t>(p)});
+      pred_sites[static_cast<std::size_t>(p)].push_back(id);
+      instr_sites_[i].gen.push_back(id);
+    }
+  }
+
+  // Kill sets: must-defs kill every other site of the register; any may-def
+  // kills the register's entry pseudo-site (see header).
+  for (std::uint32_t i = 0; i < body.size(); ++i) {
+    auto kill_reg = [&](bool is_pred, int reg, bool certain) {
+      const std::uint32_t entry = EntrySiteOf(is_pred, static_cast<std::uint8_t>(reg));
+      if (entry != kEntryDef) instr_sites_[i].kill.push_back(entry);
+      if (!certain) return;
+      const auto& all = is_pred ? pred_sites[static_cast<std::size_t>(reg)]
+                                : gpr_sites[static_cast<std::size_t>(reg)];
+      for (const std::uint32_t s : all) {
+        if (sites_[s].instr != i) instr_sites_[i].kill.push_back(s);
+      }
+    };
+    const RegSet& may = effects[i].may_defs;
+    const RegSet& must = effects[i].must_defs;
+    for (int r = 0; r < sim::kRZ; ++r) {
+      if (may.TestGpr(r)) kill_reg(false, r, must.TestGpr(r));
+    }
+    for (int p = 0; p < sim::kPT; ++p) {
+      if (may.TestPred(p)) kill_reg(true, p, must.TestPred(p));
+    }
+  }
+
+  // Boundary: all entry pseudo-sites.
+  SiteSet boundary(sites_.size());
+  for (std::uint32_t s = 0; s < sites_.size(); ++s) {
+    if (sites_[s].instr == kEntryDef) boundary.Add(s);
+  }
+
+  ReachingProblem problem{this, &boundary, sites_.size()};
+  DataflowResult<ReachingProblem> solved = Solve(cfg, problem);
+  block_in_ = std::move(solved.in);
+}
+
+SiteSet ReachingDefsAnalysis::TransferBlock(std::uint32_t block, const SiteSet& in) const {
+  SiteSet value = in;
+  const BasicBlock& b = cfg_->blocks()[block];
+  for (std::uint32_t i = b.begin; i < b.end; ++i) ApplyInstr(value, i);
+  return value;
+}
+
+void ReachingDefsAnalysis::ApplyInstr(SiteSet& value, std::uint32_t index) const {
+  const InstrSites& s = instr_sites_[index];
+  for (const std::uint32_t k : s.kill) value.Remove(k);
+  for (const std::uint32_t g : s.gen) value.Add(g);
+}
+
+SiteSet ReachingDefsAnalysis::ReachingAt(std::uint32_t index) const {
+  const std::uint32_t b = cfg_->BlockOf(index);
+  if (b == kNoBlock || !cfg_->blocks()[b].reachable) return SiteSet(sites_.size());
+  SiteSet value = block_in_[b];
+  for (std::uint32_t i = cfg_->blocks()[b].begin; i < index; ++i) ApplyInstr(value, i);
+  return value;
+}
+
+bool ReachingDefsAnalysis::EntryDefReaches(std::uint32_t index, bool is_pred,
+                                           std::uint8_t reg) const {
+  const std::uint32_t entry = EntrySiteOf(is_pred, reg);
+  if (entry == kEntryDef) return false;
+  return ReachingAt(index).Test(entry);
+}
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,82 @@
+// Reaching definitions over a kernel CFG.
+//
+// Forward may-analysis over definition sites.  Each (instruction, register)
+// may-def is a site; every register mentioned anywhere in the kernel also
+// gets an *entry pseudo-site* standing for "still holds its launch-time
+// value" (the simulator zero-initialises the register file).  A real site is
+// killed by a later certain (must) def of the same register; an entry
+// pseudo-site is killed by ANY def of the register, so pseudo-sites track
+// "exists a path from entry with no write at all" — the path-based notion a
+// read-before-definition lint wants (a guarded write on the path counts as a
+// definition, as in compiler -Wmaybe-uninitialized diagnostics).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sassim/isa/kernel.h"
+#include "staticanalysis/cfg.h"
+#include "staticanalysis/usedef.h"
+
+namespace nvbitfi::staticanalysis {
+
+// Dense bitset over definition-site ids.
+class SiteSet {
+ public:
+  explicit SiteSet(std::size_t bits = 0) : words_((bits + 63) / 64, 0) {}
+  void Add(std::uint32_t i) { words_[i / 64] |= 1ull << (i % 64); }
+  void Remove(std::uint32_t i) { words_[i / 64] &= ~(1ull << (i % 64)); }
+  bool Test(std::uint32_t i) const { return (words_[i / 64] >> (i % 64)) & 1; }
+  SiteSet& operator|=(const SiteSet& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+  bool operator==(const SiteSet&) const = default;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+class ReachingDefsAnalysis {
+ public:
+  static constexpr std::uint32_t kEntryDef = 0xffffffffu;
+
+  struct DefSite {
+    std::uint32_t instr = kEntryDef;  // kEntryDef for entry pseudo-sites
+    bool is_pred = false;
+    std::uint8_t reg = 0;
+  };
+
+  ReachingDefsAnalysis(const sim::KernelSource& kernel, const ControlFlowGraph& cfg);
+
+  const std::vector<DefSite>& sites() const { return sites_; }
+  const ControlFlowGraph& cfg() const { return *cfg_; }
+
+  // Definition sites reaching the point immediately before instruction
+  // `index` (replays the block prefix; empty set in unreachable blocks).
+  SiteSet ReachingAt(std::uint32_t index) const;
+
+  // True when a path from kernel entry reaches instruction `index` without
+  // any write to the register — i.e. its entry pseudo-site reaches `index`.
+  bool EntryDefReaches(std::uint32_t index, bool is_pred, std::uint8_t reg) const;
+
+  // Block transfer function (public for the dataflow problem adapter).
+  SiteSet TransferBlock(std::uint32_t block, const SiteSet& in) const;
+
+ private:
+  struct InstrSites {
+    std::vector<std::uint32_t> gen;          // sites this instruction creates
+    std::vector<std::uint32_t> kill;         // sites it certainly overwrites
+  };
+  std::uint32_t EntrySiteOf(bool is_pred, std::uint8_t reg) const;
+  void ApplyInstr(SiteSet& value, std::uint32_t index) const;
+
+  const ControlFlowGraph* cfg_;
+  std::vector<DefSite> sites_;
+  std::vector<InstrSites> instr_sites_;
+  std::vector<std::uint32_t> gpr_entry_site_;   // per-GPR entry site id or kEntryDef
+  std::vector<std::uint32_t> pred_entry_site_;  // per-pred entry site id or kEntryDef
+  std::vector<SiteSet> block_in_;
+};
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,86 @@
+// Dense register sets over the sassim architectural state: 256 general-
+// purpose registers plus the 7 real predicate registers (P7/PT is constant
+// true and is never a member).  This is the lattice element of the liveness
+// analysis and the def/use vocabulary of every other dataflow client.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sassim/isa/instruction.h"
+
+namespace nvbitfi::staticanalysis {
+
+class RegSet {
+ public:
+  void AddGpr(int reg) {
+    if (reg >= 0 && reg < sim::kRZ) {
+      gpr_[Word(reg)] |= Bit(reg);
+    }
+  }
+  // Adds `count` consecutive GPRs starting at `reg` (register pairs, quads).
+  void AddGprRange(int reg, int count) {
+    for (int i = 0; i < count; ++i) AddGpr(reg + i);
+  }
+  void AddPred(int pred) {
+    if (pred >= 0 && pred < sim::kPT) preds_ |= static_cast<std::uint8_t>(1u << pred);
+  }
+
+  void RemoveGpr(int reg) {
+    if (reg >= 0 && reg < sim::kRZ) gpr_[Word(reg)] &= ~Bit(reg);
+  }
+  void RemovePred(int pred) {
+    if (pred >= 0 && pred < sim::kPT) preds_ &= static_cast<std::uint8_t>(~(1u << pred));
+  }
+
+  bool TestGpr(int reg) const {
+    if (reg < 0 || reg >= sim::kRZ) return false;  // RZ is never live
+    return (gpr_[Word(reg)] & Bit(reg)) != 0;
+  }
+  bool TestPred(int pred) const {
+    if (pred < 0 || pred >= sim::kPT) return false;  // PT is never live
+    return (preds_ & (1u << pred)) != 0;
+  }
+
+  RegSet& operator|=(const RegSet& other) {
+    for (std::size_t i = 0; i < gpr_.size(); ++i) gpr_[i] |= other.gpr_[i];
+    preds_ |= other.preds_;
+    return *this;
+  }
+  RegSet& operator&=(const RegSet& other) {
+    for (std::size_t i = 0; i < gpr_.size(); ++i) gpr_[i] &= other.gpr_[i];
+    preds_ &= other.preds_;
+    return *this;
+  }
+  // Set difference: removes `other`'s members.
+  RegSet& Subtract(const RegSet& other) {
+    for (std::size_t i = 0; i < gpr_.size(); ++i) gpr_[i] &= ~other.gpr_[i];
+    preds_ &= static_cast<std::uint8_t>(~other.preds_);
+    return *this;
+  }
+
+  bool Intersects(const RegSet& other) const {
+    for (std::size_t i = 0; i < gpr_.size(); ++i) {
+      if ((gpr_[i] & other.gpr_[i]) != 0) return true;
+    }
+    return (preds_ & other.preds_) != 0;
+  }
+
+  bool Empty() const {
+    for (const std::uint64_t w : gpr_) {
+      if (w != 0) return false;
+    }
+    return preds_ == 0;
+  }
+
+  bool operator==(const RegSet&) const = default;
+
+ private:
+  static std::size_t Word(int reg) { return static_cast<std::size_t>(reg) / 64; }
+  static std::uint64_t Bit(int reg) { return 1ull << (static_cast<std::size_t>(reg) % 64); }
+
+  std::array<std::uint64_t, 4> gpr_{};
+  std::uint8_t preds_ = 0;
+};
+
+}  // namespace nvbitfi::staticanalysis

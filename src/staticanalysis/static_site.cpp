@@ -1,0 +1,217 @@
+#include "staticanalysis/static_site.h"
+
+#include <utility>
+
+#include "core/corruption.h"
+#include "nvbit/nvbit.h"
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+// Passive tool: observes module loads to copy out kernel sources, inserts no
+// instrumentation, so the harvest run executes at uninstrumented speed.
+class KernelHarvestTool final : public nvbit::Tool {
+ public:
+  std::string ConfigKey() const override { return "staticanalysis/harvest"; }
+  void OnAttach(nvbit::Runtime&) override {}
+  void AtCudaEvent(nvbit::Runtime&, nvbit::CudaEvent event,
+                   const nvbit::EventInfo& info) override {
+    if (event != nvbit::CudaEvent::kModuleLoaded) return;
+    for (const auto& fn : info.module->functions()) {
+      kernels_.push_back(fn->source());
+    }
+  }
+  std::vector<sim::KernelSource> TakeKernels() { return std::move(kernels_); }
+
+ private:
+  std::vector<sim::KernelSource> kernels_;
+};
+
+bool ReadsClock(const sim::Instruction& inst) {
+  if (inst.opcode == sim::Opcode::kCS2R) return true;
+  return inst.opcode == sim::Opcode::kS2R &&
+         inst.mods.sreg == sim::SpecialReg::kClockLo;
+}
+
+RegSet CrosslaneHazardOf(const sim::KernelSource& kernel) {
+  // Registers whose values cross lanes: per-lane liveness already accounts
+  // for the executing lane's own use, so this exclusion is defence in depth
+  // against any future cross-cohort read semantics.
+  RegSet hazard;
+  for (const sim::Instruction& inst : kernel.instructions) {
+    if (inst.opcode == sim::Opcode::kSHFL && inst.num_src > 0 &&
+        inst.src[0].kind == sim::Operand::Kind::kGpr) {
+      hazard.AddGpr(inst.src[0].reg);
+    }
+    if (inst.opcode == sim::Opcode::kVOTE && inst.num_src > 0 &&
+        inst.src[0].kind == sim::Operand::Kind::kPred) {
+      hazard.AddPred(inst.src[0].reg);
+    }
+  }
+  return hazard;
+}
+
+bool TargetDead(const KernelStaticInfo& info, const RegSet& live_out,
+                const fi::CorruptionTarget& target) {
+  switch (target.kind) {
+    case fi::CorruptionTarget::Kind::kGpr32:
+      return !live_out.TestGpr(target.reg) && !info.crosslane_hazard.TestGpr(target.reg);
+    case fi::CorruptionTarget::Kind::kGpr64: {
+      for (int r = target.reg; r < target.reg + 2; ++r) {
+        // RZ as the high half discards the corruption; only real registers
+        // need to be dead.
+        if (r >= sim::kRZ) continue;
+        if (live_out.TestGpr(r) || info.crosslane_hazard.TestGpr(r)) return false;
+      }
+      return true;
+    }
+    case fi::CorruptionTarget::Kind::kPred:
+      return !live_out.TestPred(target.reg) && !info.crosslane_hazard.TestPred(target.reg);
+  }
+  return false;
+}
+
+fi::StaticSiteVerdict VerdictAt(const KernelStaticInfo& info, std::uint32_t static_index,
+                                double destination_register) {
+  fi::StaticSiteVerdict verdict;
+  if (static_index >= info.kernel.instructions.size()) return verdict;
+  const sim::Instruction& inst = info.kernel.instructions[static_index];
+  verdict.resolved = true;
+  verdict.static_index = static_index;
+  verdict.opcode = inst.opcode;
+
+  const std::vector<fi::CorruptionTarget> targets = fi::CandidateTargets(inst);
+  if (!targets.empty()) {
+    const fi::CorruptionTarget target =
+        targets[fi::ChooseTargetIndex(targets.size(), destination_register)];
+    verdict.has_target = true;
+    verdict.pred_target = target.kind == fi::CorruptionTarget::Kind::kPred;
+    verdict.target_register = target.reg;
+    verdict.register_width = target.kind == fi::CorruptionTarget::Kind::kPred ? 1
+                             : target.kind == fi::CorruptionTarget::Kind::kGpr64 ? 64
+                                                                                 : 32;
+    // Output comparability against the golden run requires a clock-free
+    // kernel, and a CFG position the analysis actually reasoned about.
+    if (info.clock_dependent || !info.liveness.cfg().InstructionReachable(static_index)) {
+      return verdict;
+    }
+    verdict.statically_dead =
+        TargetDead(info, info.liveness.LiveOutAt(static_index), target);
+    return verdict;
+  }
+
+  // No architectural target: the fault vanishes, a Masked run by
+  // construction — unless clock reads make the outputs incomparable.
+  verdict.statically_dead = !info.clock_dependent;
+  return verdict;
+}
+
+// Fraction of destination-register draws at `static_index` that land on a
+// dead target (the draw picks each candidate with equal probability).
+double DeadDrawFraction(const KernelStaticInfo& info, std::uint32_t static_index) {
+  if (info.clock_dependent) return 0.0;
+  if (static_index >= info.kernel.instructions.size() ||
+      !info.liveness.cfg().InstructionReachable(static_index)) {
+    return 0.0;
+  }
+  const std::vector<fi::CorruptionTarget> targets =
+      fi::CandidateTargets(info.kernel.instructions[static_index]);
+  if (targets.empty()) return 1.0;
+  const RegSet& live_out = info.liveness.LiveOutAt(static_index);
+  std::size_t dead = 0;
+  for (const fi::CorruptionTarget& target : targets) {
+    if (TargetDead(info, live_out, target)) ++dead;
+  }
+  return static_cast<double>(dead) / static_cast<double>(targets.size());
+}
+
+}  // namespace
+
+KernelStaticInfo::KernelStaticInfo(sim::KernelSource k)
+    : kernel(std::move(k)), liveness(kernel), crosslane_hazard(CrosslaneHazardOf(kernel)) {
+  for (const sim::Instruction& inst : kernel.instructions) {
+    if (ReadsClock(inst)) {
+      clock_dependent = true;
+      break;
+    }
+  }
+}
+
+StaticSiteAnalysis::StaticSiteAnalysis(std::vector<sim::KernelSource> kernels) {
+  kernels_.reserve(kernels.size());
+  for (sim::KernelSource& kernel : kernels) {
+    by_name_.emplace(kernel.name, kernels_.size());
+    kernels_.emplace_back(std::move(kernel));
+  }
+}
+
+StaticSiteAnalysis StaticSiteAnalysis::ForProgram(const fi::TargetProgram& program,
+                                                  const sim::DeviceProps& device) {
+  return StaticSiteAnalysis(HarvestKernels(program, device));
+}
+
+const KernelStaticInfo* StaticSiteAnalysis::FindKernel(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &kernels_[it->second];
+}
+
+fi::StaticSiteVerdict StaticSiteAnalysis::Evaluate(
+    const fi::ProgramProfile& profile, const fi::TransientFaultParams& params) const {
+  fi::StaticSiteVerdict verdict;
+  // Approximate profiles replicate first-instance counts; their site streams
+  // are not event-exact, so nothing can be resolved soundly.
+  if (profile.approximate) return verdict;
+  const KernelStaticInfo* info = FindKernel(params.kernel_name);
+  if (info == nullptr) return verdict;
+  for (const fi::KernelProfile& kp : profile.kernels) {
+    if (kp.kernel_name != params.kernel_name || kp.kernel_count != params.kernel_count) {
+      continue;
+    }
+    const std::optional<std::uint32_t> static_index = fi::ResolveSiteStream(
+        kp, info->kernel.instructions, params.arch_state_id, params.instruction_count);
+    if (!static_index.has_value()) return verdict;
+    return VerdictAt(*info, *static_index, params.destination_register);
+  }
+  return verdict;
+}
+
+fi::StaticSiteVerdict StaticSiteAnalysis::EvaluateStatic(std::string_view kernel_name,
+                                                         std::uint32_t static_index,
+                                                         double destination_register) const {
+  const KernelStaticInfo* info = FindKernel(kernel_name);
+  if (info == nullptr) return fi::StaticSiteVerdict{};
+  return VerdictAt(*info, static_index, destination_register);
+}
+
+double StaticSiteAnalysis::DeadFraction(const fi::ProgramProfile& profile,
+                                        fi::ArchStateId group) const {
+  if (profile.approximate) return 0.0;
+  std::uint64_t population = 0;
+  double dead_weight = 0.0;
+  for (const fi::KernelProfile& kp : profile.kernels) {
+    const KernelStaticInfo* info = FindKernel(kp.kernel_name);
+    if (info == nullptr) continue;
+    const auto& body = info->kernel.instructions;
+    for (const fi::SiteStreamEntry& entry : kp.site_stream) {
+      if (entry.static_index >= body.size()) continue;
+      if (!fi::OpcodeInGroup(body[entry.static_index].opcode, group)) continue;
+      population += entry.count;
+      dead_weight += static_cast<double>(entry.count) *
+                     DeadDrawFraction(*info, entry.static_index);
+    }
+  }
+  return population == 0 ? 0.0 : dead_weight / static_cast<double>(population);
+}
+
+std::vector<sim::KernelSource> HarvestKernels(const fi::TargetProgram& program,
+                                              const sim::DeviceProps& device) {
+  sim::Context context(device);
+  KernelHarvestTool tool;
+  nvbit::Runtime runtime(context, tool);
+  program.Run(context);
+  return tool.TakeKernels();
+}
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,93 @@
+// StaticSiteAnalysis: the liveness-based StaticSiteOracle implementation.
+//
+// For every kernel of a program it precomputes the CFG, per-instruction
+// live-out sets, and a conservative exclusion set, then maps transient fault
+// draws (<kernel_name, kernel_count, instruction_count,
+// destination_register>) to a static verdict:
+//
+//   1. Resolve the dynamic site to a static instruction by replaying the
+//      profile's site stream (exact profiles only — the profiler's kBefore
+//      guard-true event order equals the injector's kAfter order).
+//   2. Replicate the injector's target selection (CandidateTargets +
+//      ChooseTargetIndex from core/corruption.h) at that instruction.
+//   3. Report the site statically dead iff every register of the selected
+//      target is absent from the instruction's live-out set (the kAfter
+//      corruption point) — or the site has no target at all, in which case
+//      the fault vanishes by construction.
+//
+// Conservative exclusions keeping the verdict one-sided (dead ⇒ masked):
+//
+//   * Kernels reading the cycle counter (S2R CLOCKLO / CS2R) are excluded
+//     wholesale: their outputs can differ between instrumented and
+//     uninstrumented runs regardless of the fault, so "dead" would not imply
+//     "output-identical to golden".
+//   * Registers read cross-lane (SHFL data operand, VOTE predicate) are
+//     never reported dead: a guard-false or exited lane still contributes
+//     its register value to other lanes' results, which per-lane liveness
+//     does not see.
+//   * Everything else is inherited from liveness conservatism: guarded
+//     definitions never kill, unimplemented-control blocks keep fallthrough
+//     edges, and unreachable-from-entry code is simply never resolved to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/static_oracle.h"
+#include "core/target_program.h"
+#include "sassim/isa/kernel.h"
+#include "staticanalysis/liveness.h"
+
+namespace nvbitfi::staticanalysis {
+
+// Per-kernel precomputed analysis state.
+struct KernelStaticInfo {
+  sim::KernelSource kernel;
+  LivenessAnalysis liveness;
+  RegSet crosslane_hazard;       // registers read cross-lane (SHFL/VOTE)
+  bool clock_dependent = false;  // kernel reads the cycle counter
+
+  explicit KernelStaticInfo(sim::KernelSource k);
+};
+
+class StaticSiteAnalysis final : public fi::StaticSiteOracle {
+ public:
+  // Analyses the given kernels (one entry per static kernel).
+  explicit StaticSiteAnalysis(std::vector<sim::KernelSource> kernels);
+
+  // Harvests `program`'s kernels by running it once with a passive
+  // module-observer tool attached, then analyses them.
+  static StaticSiteAnalysis ForProgram(const fi::TargetProgram& program,
+                                       const sim::DeviceProps& device);
+
+  // fi::StaticSiteOracle.
+  fi::StaticSiteVerdict Evaluate(const fi::ProgramProfile& profile,
+                                 const fi::TransientFaultParams& params) const override;
+
+  // Verdict for an already-resolved static instruction (the post-hoc path:
+  // `nvbitfi analyze --static` audits stored records, which carry the static
+  // index the injector actually hit).
+  fi::StaticSiteVerdict EvaluateStatic(std::string_view kernel_name,
+                                       std::uint32_t static_index,
+                                       double destination_register) const;
+
+  const KernelStaticInfo* FindKernel(std::string_view name) const;
+
+  // Expected fraction of the profile's group population a --static-prune
+  // campaign skips: per dynamic site, the fraction of destination-register
+  // draws that select a dead target, averaged over the population.
+  double DeadFraction(const fi::ProgramProfile& profile, fi::ArchStateId group) const;
+
+ private:
+  std::vector<KernelStaticInfo> kernels_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+// All kernels loaded by one run of `program` (also used by `nvbitfi lint`).
+std::vector<sim::KernelSource> HarvestKernels(const fi::TargetProgram& program,
+                                              const sim::DeviceProps& device);
+
+}  // namespace nvbitfi::staticanalysis

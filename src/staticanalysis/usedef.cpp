@@ -1,0 +1,119 @@
+#include "staticanalysis/usedef.h"
+
+#include "sassim/isa/opcode.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+using sim::Instruction;
+using sim::Opcode;
+using sim::Operand;
+
+bool IsStore(Opcode op) {
+  return op == Opcode::kST || op == Opcode::kSTG || op == Opcode::kSTS ||
+         op == Opcode::kSTL;
+}
+
+bool IsSharedOrLocalSpace(Opcode op) {
+  // These address memory with a single 32-bit base register; everything else
+  // with a kMem operand uses the 64-bit Rbase:Rbase+1 pair.
+  return op == Opcode::kLDS || op == Opcode::kSTS || op == Opcode::kATOMS ||
+         op == Opcode::kLDL || op == Opcode::kSTL;
+}
+
+// Number of consecutive GPRs read when source operand `i` of `inst` is a
+// kGpr operand, following the executor's 64-bit read contexts: FP64
+// arithmetic sources, IMAD.WIDE's addend (src[2]), and F2F/F2I with a wide
+// source (src[0]).  Store value operands (src[1]) widen with the access.
+int GprSrcCount(const Instruction& inst, int i) {
+  if (sim::ClassOf(inst.opcode) == sim::OpClass::kFp64) return 2;
+  if (inst.opcode == Opcode::kIMAD && inst.mods.wide_dst && i == 2) return 2;
+  if ((inst.opcode == Opcode::kF2F || inst.opcode == Opcode::kF2I) &&
+      inst.mods.wide_src && i == 0) {
+    return 2;
+  }
+  if (IsStore(inst.opcode) && i == 1) {
+    if (inst.mods.width == sim::MemWidth::k128) return 4;
+    if (inst.mods.width == sim::MemWidth::k64) return 2;
+  }
+  return 1;
+}
+
+void AddUses(const Instruction& inst, RegSet& uses) {
+  if (inst.guard_pred != sim::kPT) uses.AddPred(inst.guard_pred);
+  for (int i = 0; i < inst.num_src; ++i) {
+    const Operand& op = inst.src[i];
+    switch (op.kind) {
+      case Operand::Kind::kGpr:
+        uses.AddGprRange(op.reg, GprSrcCount(inst, i));
+        break;
+      case Operand::Kind::kPred:
+        uses.AddPred(op.reg);
+        break;
+      case Operand::Kind::kMem:
+        uses.AddGprRange(op.mem_base, IsSharedOrLocalSpace(inst.opcode) ? 1 : 2);
+        break;
+      case Operand::Kind::kNone:
+      case Operand::Kind::kImm:
+      case Operand::Kind::kConst:
+      case Operand::Kind::kLabel:
+        break;
+    }
+  }
+  // P2R materialises the whole predicate file into a GPR.
+  if (inst.opcode == Opcode::kP2R) {
+    for (int p = 0; p < sim::kPT; ++p) uses.AddPred(p);
+  }
+}
+
+void AddDefs(const Instruction& inst, RegSet& may, RegSet& must) {
+  RegSet defs;
+  // CS2R always writes a register pair even though DestGprCount() models it
+  // as a single-register destination (the executor uses WritePairRaw).
+  const int gpr_count =
+      inst.opcode == Opcode::kCS2R && inst.dest_gpr != sim::kRZ ? 2 : sim::DestGprCount(inst);
+  defs.AddGprRange(inst.dest_gpr, gpr_count);
+  const sim::DestKind dest_kind = sim::DestKindOf(inst.opcode);
+  if (dest_kind == sim::DestKind::kPred || dest_kind == sim::DestKind::kGprPred) {
+    defs.AddPred(inst.dest_pred);
+    defs.AddPred(inst.dest_pred2);
+  }
+  if (inst.opcode == Opcode::kR2P) {
+    // Writes the predicates selected by the mask operand.  A literal mask
+    // gives exact def sets; a register mask makes every predicate a may-def
+    // and none a must-def.
+    const bool literal_mask = inst.num_src > 1 && inst.src[1].kind == Operand::Kind::kImm;
+    const std::uint32_t mask = inst.num_src > 1
+                                   ? (literal_mask ? inst.src[1].imm : 0u)
+                                   : 0xFFFFFFFFu;
+    if (literal_mask || inst.num_src <= 1) {
+      for (int p = 0; p < sim::kPT; ++p) {
+        if (mask >> p & 1) defs.AddPred(p);
+      }
+      may |= defs;
+      must |= defs;
+      return;
+    }
+    for (int p = 0; p < sim::kPT; ++p) may.AddPred(p);
+    return;
+  }
+  may |= defs;
+  must |= defs;
+}
+
+}  // namespace
+
+InstrEffects EffectsOf(const Instruction& inst) {
+  InstrEffects e;
+  // @!PT: statically never executed.
+  if (inst.guard_pred == sim::kPT && inst.guard_negate) return e;
+  AddUses(inst, e.uses);
+  AddDefs(inst, e.may_defs, e.must_defs);
+  // A real guard may suppress the write on any given lane, so nothing is
+  // written for certain.
+  if (inst.guard_pred != sim::kPT) e.must_defs = RegSet{};
+  return e;
+}
+
+}  // namespace nvbitfi::staticanalysis

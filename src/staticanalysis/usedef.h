@@ -1,0 +1,29 @@
+// Per-instruction use/def sets, mirroring the functional executor's read and
+// write behaviour (src/sassim/core/executor.cpp) operand for operand.  The
+// soundness of every dataflow client rests on these sets over-approximating
+// uses and under-approximating certain defs:
+//
+//   * `uses`  — every register the instruction MAY read (including the guard
+//               predicate and 64-bit pair halves).
+//   * `may_defs`  — every register the instruction MAY write.
+//   * `must_defs` — registers the instruction writes on EVERY dynamic
+//               execution; empty for guarded instructions (the guard may
+//               suppress the write) and for R2P under a dynamic mask.
+//
+// An instruction guarded @!PT never executes and has empty sets.
+#pragma once
+
+#include "sassim/isa/instruction.h"
+#include "staticanalysis/regset.h"
+
+namespace nvbitfi::staticanalysis {
+
+struct InstrEffects {
+  RegSet uses;
+  RegSet may_defs;
+  RegSet must_defs;
+};
+
+InstrEffects EffectsOf(const sim::Instruction& inst);
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,78 @@
+// Full-chain round-trip property over every built-in workload kernel:
+//
+//   encode -> decode -> disassemble -> assemble -> encode
+//
+// must reproduce the original byte encoding exactly, and the assembly text
+// must preserve the kernel header (register count, shared bytes).  The
+// disassembler_workloads_test covers the text half; this closes the loop
+// through the binary codec the module loader uses.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "sassim/asm/assembler.h"
+#include "sassim/asm/disassembler.h"
+#include "sassim/isa/encoding.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+class RoundTripSuite : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(RoundTripSuite, EncodeDecodeDisassembleAssembleIsIdentity) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  Context ctx;
+  entry.program->Run(ctx);  // loads the program's modules
+
+  std::size_t kernels_checked = 0;
+  for (const auto& module : ctx.modules()) {
+    for (const auto& fn : module->functions()) {
+      const KernelSource& kernel = fn->source();
+      SCOPED_TRACE(kernel.name);
+
+      const std::vector<EncodedInstruction> bytes =
+          EncodeProgram(kernel.instructions);
+      ASSERT_EQ(bytes.size(), kernel.instructions.size());
+
+      const ProgramDecodeResult decoded = DecodeProgram(bytes);
+      ASSERT_TRUE(decoded.ok) << decoded.error;
+      ASSERT_EQ(decoded.instructions.size(), kernel.instructions.size());
+
+      KernelSource reconstructed = kernel;
+      reconstructed.instructions = decoded.instructions;
+      const AssemblyResult back = Assemble(Disassemble(reconstructed));
+      ASSERT_TRUE(back.ok) << back.error;
+      ASSERT_EQ(back.kernels.size(), 1u);
+      const KernelSource& final_kernel = back.kernels[0];
+      EXPECT_EQ(final_kernel.name, kernel.name);
+      EXPECT_EQ(final_kernel.register_count, kernel.register_count);
+      EXPECT_EQ(final_kernel.shared_bytes, kernel.shared_bytes);
+
+      const std::vector<EncodedInstruction> reencoded =
+          EncodeProgram(final_kernel.instructions);
+      ASSERT_EQ(reencoded.size(), bytes.size());
+      for (std::size_t i = 0; i < bytes.size(); ++i) {
+        ASSERT_EQ(reencoded[i], bytes[i])
+            << "instruction " << i << ": " << kernel.instructions[i].ToString();
+      }
+      ++kernels_checked;
+    }
+  }
+  EXPECT_EQ(kernels_checked,
+            static_cast<std::size_t>(entry.table4_counts.static_kernels));
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, RoundTripSuite,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+}  // namespace
+}  // namespace nvbitfi::sim

@@ -1,0 +1,174 @@
+#include "staticanalysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "sassim/asm/assembler.h"
+
+namespace nvbitfi::staticanalysis {
+namespace {
+
+using sim::AssembleKernelOrDie;
+
+// Block id containing instruction `index`, asserting it exists.
+std::uint32_t BlockAt(const ControlFlowGraph& cfg, std::uint32_t index) {
+  const std::uint32_t b = cfg.BlockOf(index);
+  EXPECT_NE(b, kNoBlock) << "instruction " << index << " has no block";
+  return b;
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("t",
+                                                       "  MOV R1, RZ ;\n"
+                                                       "  FADD R2, R1, R1 ;\n"
+                                                       "  EXIT ;\n");
+  const ControlFlowGraph cfg = ControlFlowGraph::Build(kernel);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  const BasicBlock& block = cfg.blocks()[0];
+  EXPECT_EQ(block.begin, 0u);
+  EXPECT_EQ(block.end, 3u);
+  EXPECT_TRUE(block.reachable);
+  EXPECT_TRUE(block.succ.empty());
+  EXPECT_EQ(cfg.entry(), 0u);
+  EXPECT_EQ(block.idom, 0u);  // entry dominates itself
+}
+
+TEST(Cfg, DiamondBlocksEdgesAndDominators) {
+  //   B0: cond + branch   B1: then   B2: else   B3: join
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  ISETP.LT.AND P0, PT, R0, R1, PT ;\n"
+                          "  @!P0 BRA alt ;\n"
+                          "  FADD R2, R0, R1 ;\n"
+                          "  BRA join ;\n"
+                          "alt:\n"
+                          "  FADD R2, R1, R1 ;\n"
+                          "join:\n"
+                          "  FADD R3, R2, R2 ;\n"
+                          "  EXIT ;\n");
+  const ControlFlowGraph cfg = ControlFlowGraph::Build(kernel);
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  const std::uint32_t b0 = BlockAt(cfg, 0);
+  const std::uint32_t b1 = BlockAt(cfg, 2);
+  const std::uint32_t b2 = BlockAt(cfg, 4);
+  const std::uint32_t b3 = BlockAt(cfg, 5);
+
+  EXPECT_EQ(cfg.blocks()[b0].succ, (std::vector<std::uint32_t>{b2, b1}));
+  EXPECT_EQ(cfg.blocks()[b1].succ, std::vector<std::uint32_t>{b3});
+  EXPECT_EQ(cfg.blocks()[b2].succ, std::vector<std::uint32_t>{b3});
+  EXPECT_EQ(cfg.blocks()[b3].pred.size(), 2u);
+  for (const BasicBlock& block : cfg.blocks()) EXPECT_TRUE(block.reachable);
+
+  // The branch dominates both arms and the join; neither arm dominates the
+  // join.
+  EXPECT_TRUE(cfg.Dominates(b0, b1));
+  EXPECT_TRUE(cfg.Dominates(b0, b2));
+  EXPECT_TRUE(cfg.Dominates(b0, b3));
+  EXPECT_FALSE(cfg.Dominates(b1, b3));
+  EXPECT_FALSE(cfg.Dominates(b2, b3));
+  EXPECT_EQ(cfg.blocks()[b3].idom, b0);
+  EXPECT_EQ(cfg.rpo().front(), b0);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  MOV R1, RZ ;\n"
+                          "loop:\n"
+                          "  FADD R1, R1, R2 ;\n"
+                          "  ISETP.LT.AND P0, PT, R1, R3, PT ;\n"
+                          "  @P0 BRA loop ;\n"
+                          "  EXIT ;\n");
+  const ControlFlowGraph cfg = ControlFlowGraph::Build(kernel);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const std::uint32_t body = BlockAt(cfg, 1);
+  const std::uint32_t exit = BlockAt(cfg, 4);
+  // The loop body is its own successor (back edge) and falls through to exit.
+  EXPECT_EQ(cfg.blocks()[body].succ, (std::vector<std::uint32_t>{body, exit}));
+  EXPECT_TRUE(cfg.Dominates(body, exit));
+}
+
+TEST(Cfg, UnreachableTail) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("t",
+                                                       "  BRA end ;\n"
+                                                       "  FADD R5, R5, R5 ;\n"
+                                                       "  NOP ;\n"
+                                                       "end:\n"
+                                                       "  EXIT ;\n");
+  const ControlFlowGraph cfg = ControlFlowGraph::Build(kernel);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  EXPECT_TRUE(cfg.InstructionReachable(0));
+  EXPECT_FALSE(cfg.InstructionReachable(1));
+  EXPECT_FALSE(cfg.InstructionReachable(2));
+  EXPECT_TRUE(cfg.InstructionReachable(3));
+  const std::uint32_t dead = BlockAt(cfg, 1);
+  EXPECT_FALSE(cfg.blocks()[dead].reachable);
+  EXPECT_EQ(cfg.blocks()[dead].idom, kNoBlock);
+  // RPO enumerates only reachable blocks.
+  EXPECT_EQ(cfg.rpo().size(), 2u);
+}
+
+TEST(Cfg, GuardRefinedBranchEdges) {
+  // @PT BRA is unconditional: no fallthrough edge, so the next instruction
+  // is unreachable.  @!PT BRA never fires: fallthrough only.
+  const sim::KernelSource taken = AssembleKernelOrDie("t",
+                                                      "  @PT BRA end ;\n"
+                                                      "  NOP ;\n"
+                                                      "end:\n"
+                                                      "  EXIT ;\n");
+  const ControlFlowGraph taken_cfg = ControlFlowGraph::Build(taken);
+  EXPECT_FALSE(taken_cfg.InstructionReachable(1));
+
+  const sim::KernelSource never = AssembleKernelOrDie("t",
+                                                      "  @!PT BRA end ;\n"
+                                                      "  NOP ;\n"
+                                                      "end:\n"
+                                                      "  EXIT ;\n");
+  const ControlFlowGraph never_cfg = ControlFlowGraph::Build(never);
+  EXPECT_TRUE(never_cfg.InstructionReachable(1));
+  const std::uint32_t entry = never_cfg.entry();
+  // No taken edge: the entry block's only successor chain is fallthrough.
+  for (const std::uint32_t s : never_cfg.blocks()[entry].succ) {
+    EXPECT_EQ(never_cfg.blocks()[s].begin, never_cfg.blocks()[entry].end);
+  }
+}
+
+TEST(Cfg, ControlEffects) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  FADD R1, R1, R1 ;\n"
+                          "  @P3 BRA end ;\n"
+                          "  EXIT ;\n"
+                          "end:\n"
+                          "  EXIT ;\n");
+  const ControlEffect plain = ControlEffectOf(kernel.instructions[0]);
+  EXPECT_FALSE(plain.terminates_block);
+  EXPECT_TRUE(plain.has_fallthrough);
+  EXPECT_FALSE(plain.has_taken_edge);
+
+  const ControlEffect branch = ControlEffectOf(kernel.instructions[1]);
+  EXPECT_TRUE(branch.terminates_block);
+  EXPECT_TRUE(branch.has_taken_edge);
+  EXPECT_TRUE(branch.has_fallthrough);  // real guard: both outcomes possible
+  EXPECT_EQ(branch.target, 3u);
+
+  const ControlEffect exit_effect = ControlEffectOf(kernel.instructions[2]);
+  EXPECT_TRUE(exit_effect.terminates_block);
+  EXPECT_FALSE(exit_effect.has_taken_edge);
+  EXPECT_FALSE(exit_effect.has_fallthrough);
+}
+
+TEST(Cfg, OutOfRangeBranchTargetHasNoEdge) {
+  // A branch past the end of the body traps at execution time; the CFG gives
+  // it no taken edge rather than inventing a block.
+  sim::KernelSource kernel = sim::AssembleKernelOrDie("t",
+                                                      "  BRA end ;\n"
+                                                      "end:\n"
+                                                      "  EXIT ;\n");
+  kernel.instructions[0].src[0].imm = 99;  // rewrite the target out of range
+  const ControlFlowGraph cfg = ControlFlowGraph::Build(kernel);
+  const std::uint32_t entry = cfg.entry();
+  EXPECT_TRUE(cfg.blocks()[entry].succ.empty());
+}
+
+}  // namespace
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,171 @@
+#include "staticanalysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "sassim/asm/assembler.h"
+
+namespace nvbitfi::staticanalysis {
+namespace {
+
+using sim::AssembleKernelOrDie;
+
+std::size_t CountKind(const std::vector<LintFinding>& findings, LintKind kind) {
+  std::size_t count = 0;
+  for (const LintFinding& f : findings) {
+    if (f.kind == kind) ++count;
+  }
+  return count;
+}
+
+TEST(Lint, CleanKernelHasNoFindings) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R0, SR_TID.X ;\n"
+                          "  FADD R1, R0, R0 ;\n"
+                          "  ISETP.LT.AND P0, PT, R1, R0, PT ;\n"
+                          "  @P0 FADD R1, R1, R1 ;\n"
+                          "  STG.E.32 [RZ], R1 ;\n"
+                          "  EXIT ;\n");
+  EXPECT_TRUE(LintKernel(kernel).empty());
+}
+
+TEST(Lint, ReadBeforeDef) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("t",
+                                                       "  FADD R2, R0, R1 ;\n"
+                                                       "  STG.E.32 [RZ], R2 ;\n"
+                                                       "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  EXPECT_EQ(CountKind(findings, LintKind::kReadBeforeDef), 2u);  // R0 and R1
+}
+
+TEST(Lint, ReadBeforeDefOnOnePathOnly) {
+  // R2 is defined only when the branch is not taken; the join still reads it.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R0, SR_TID.X ;\n"
+                          "  ISETP.LT.AND P0, PT, R0, R0, PT ;\n"
+                          "  @P0 BRA join ;\n"
+                          "  MOV R2, R0 ;\n"
+                          "join:\n"
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kReadBeforeDef), 1u);
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kReadBeforeDef) continue;
+    EXPECT_EQ(f.instr_index, 4u);
+    EXPECT_NE(f.message.find("R2"), std::string::npos);
+  }
+}
+
+TEST(Lint, UnreachableBlock) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("t",
+                                                       "  BRA end ;\n"
+                                                       "  NOP ;\n"
+                                                       "end:\n"
+                                                       "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  EXPECT_EQ(CountKind(findings, LintKind::kUnreachableBlock), 1u);
+}
+
+TEST(Lint, DeadStore) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("t",
+                                                       "  MOV R3, RZ ;\n"
+                                                       "  FADD R2, R3, R3 ;\n"
+                                                       "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, LintKind::kDeadStore);
+  EXPECT_EQ(findings[0].instr_index, 1u);  // R2 is never read
+}
+
+TEST(Lint, GuardedOverwriteIsNotADeadStore) {
+  // The unguarded write at 1 looks dead on the path where the guarded write
+  // at 2 executes, but the guard may fail — conservatively not a dead store.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  ISETP.LT.AND P0, PT, RZ, RZ, PT ;\n"
+                          "  MOV R2, RZ ;\n"
+                          "  @P0 MOV R2, RZ ;\n"
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  EXIT ;\n");
+  EXPECT_TRUE(LintKernel(kernel).empty());
+}
+
+TEST(Lint, ConstantGuards) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("t",
+                                                       "  @!PT NOP ;\n"
+                                                       "  @P3 NOP ;\n"
+                                                       "  @!P4 NOP ;\n"
+                                                       "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kConstantGuard), 3u);
+  EXPECT_NE(findings.size(), 0u);
+  bool saw_never = false, saw_always = false, saw_not_pt = false;
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kConstantGuard) continue;
+    if (f.message.find("never taken") != std::string::npos) saw_never = true;
+    if (f.message.find("always taken") != std::string::npos) saw_always = true;
+    if (f.message.find("@!PT") != std::string::npos) saw_not_pt = true;
+  }
+  EXPECT_TRUE(saw_never);   // @P3 with P3 never written
+  EXPECT_TRUE(saw_always);  // @!P4 with P4 never written
+  EXPECT_TRUE(saw_not_pt);  // @!PT never executes
+}
+
+TEST(Lint, WrittenGuardIsNotConstant) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  ISETP.LT.AND P3, PT, RZ, RZ, PT ;\n"
+                          "  @P3 NOP ;\n"
+                          "  EXIT ;\n");
+  EXPECT_EQ(CountKind(LintKernel(kernel), LintKind::kConstantGuard), 0u);
+}
+
+TEST(Lint, SharedOutOfRange) {
+  const sim::KernelSource kernel =
+      sim::Assemble(
+          ".kernel t shared=16\n"
+          "  MOV R0, RZ ;\n"
+          "  STS [RZ+0x8], R0 ;\n"   // [8, 12) fits
+          "  STS [RZ+0x10], R0 ;\n"  // [16, 20) is out of range
+          "  LDS.64 R2, [RZ+0xc] ;\n"  // [12, 20) straddles the end
+          "  STG.E.32 [RZ], R2 ;\n"
+          "  EXIT ;\n"
+          ".endkernel\n")
+          .kernels.at(0);
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kSharedOutOfRange), 2u);
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kSharedOutOfRange) continue;
+    EXPECT_TRUE(f.instr_index == 2u || f.instr_index == 3u);
+  }
+}
+
+TEST(Lint, DynamicSharedAddressIsNotFlagged) {
+  const sim::KernelSource kernel =
+      sim::Assemble(
+          ".kernel t shared=16\n"
+          "  S2R R1, SR_TID.X ;\n"
+          "  STS [R1+0x100], R1 ;\n"  // dynamic base: offset alone says nothing
+          "  EXIT ;\n"
+          ".endkernel\n")
+          .kernels.at(0);
+  EXPECT_EQ(CountKind(LintKernel(kernel), LintKind::kSharedOutOfRange), 0u);
+}
+
+TEST(Lint, ReportFormat) {
+  const sim::KernelSource kernel = AssembleKernelOrDie("probe",
+                                                       "  BRA end ;\n"
+                                                       "  NOP ;\n"
+                                                       "end:\n"
+                                                       "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  const std::string report = LintReport(kernel, findings);
+  EXPECT_NE(report.find("probe:1: unreachable-block"), std::string::npos) << report;
+  EXPECT_NE(report.find("[NOP"), std::string::npos) << report;
+  EXPECT_TRUE(LintReport(kernel, {}).empty());
+}
+
+}  // namespace
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,42 @@
+// The linter over every built-in workload kernel: the suite must be clean.
+// A finding here means either a workload kernel regressed (dead code, an
+// uninitialised read, an out-of-range shared access) or the analysis gained a
+// false positive — both are bugs worth failing the build for.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "staticanalysis/lint.h"
+#include "staticanalysis/static_site.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::staticanalysis {
+namespace {
+
+class LintSuite : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(LintSuite, AllKernelsLintClean) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  const std::vector<sim::KernelSource> kernels =
+      HarvestKernels(*entry.program, sim::DeviceProps{});
+  ASSERT_EQ(kernels.size(),
+            static_cast<std::size_t>(entry.table4_counts.static_kernels));
+  for (const sim::KernelSource& kernel : kernels) {
+    const std::vector<LintFinding> findings = LintKernel(kernel);
+    EXPECT_TRUE(findings.empty()) << LintReport(kernel, findings);
+  }
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, LintSuite,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+}  // namespace
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,194 @@
+#include "staticanalysis/static_site.h"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "core/corruption.h"
+#include "sassim/asm/assembler.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::staticanalysis {
+namespace {
+
+using sim::AssembleKernelOrDie;
+
+// A kernel with one clearly-dead and one clearly-live GPR destination:
+//   0: MOV R2, RZ       dead  (R2 is overwritten at 1 before any read)
+//   1: MOV R2, RZ       live  (R2 is stored at 2)
+//   2: STG.E.32 [RZ], R2
+//   3: EXIT
+sim::KernelSource DeadLiveKernel() {
+  return AssembleKernelOrDie("deadlive",
+                             "  MOV R2, RZ ;\n"
+                             "  MOV R2, RZ ;\n"
+                             "  STG.E.32 [RZ], R2 ;\n"
+                             "  EXIT ;\n");
+}
+
+TEST(StaticSite, EvaluateStaticDistinguishesDeadAndLive) {
+  const StaticSiteAnalysis analysis({DeadLiveKernel()});
+  const fi::StaticSiteVerdict dead = analysis.EvaluateStatic("deadlive", 0, 0.0);
+  EXPECT_TRUE(dead.resolved);
+  EXPECT_TRUE(dead.statically_dead);
+  EXPECT_TRUE(dead.has_target);
+  EXPECT_FALSE(dead.pred_target);
+  EXPECT_EQ(dead.target_register, 2);
+
+  const fi::StaticSiteVerdict live = analysis.EvaluateStatic("deadlive", 1, 0.0);
+  EXPECT_TRUE(live.resolved);
+  EXPECT_FALSE(live.statically_dead);
+}
+
+TEST(StaticSite, NoTargetSiteIsDeadByConstruction) {
+  // EXIT has no destination and no source registers: the corruption draw
+  // selects nothing and the fault vanishes.
+  const StaticSiteAnalysis analysis({DeadLiveKernel()});
+  ASSERT_TRUE(fi::CandidateTargets(DeadLiveKernel().instructions[3]).empty());
+  const fi::StaticSiteVerdict verdict = analysis.EvaluateStatic("deadlive", 3, 0.5);
+  EXPECT_TRUE(verdict.resolved);
+  EXPECT_TRUE(verdict.statically_dead);
+  EXPECT_FALSE(verdict.has_target);
+}
+
+TEST(StaticSite, ClockDependentKernelIsNeverDead) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("clocked",
+                          "  S2R R2, SR_CLOCKLO ;\n"
+                          "  MOV R2, RZ ;\n"
+                          "  MOV R2, RZ ;\n"
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  EXIT ;\n");
+  const StaticSiteAnalysis analysis({kernel});
+  // Instruction 1 is a dead store, but the kernel reads the cycle counter:
+  // its output is instrumentation-dependent, so no site may claim "masked".
+  const fi::StaticSiteVerdict verdict = analysis.EvaluateStatic("clocked", 1, 0.0);
+  EXPECT_TRUE(verdict.resolved);
+  EXPECT_FALSE(verdict.statically_dead);
+}
+
+TEST(StaticSite, CrossLaneSourceIsNeverDead) {
+  // R2 dies after the SHFL gather per-lane, but other lanes may still read
+  // this lane's R2 through the collective — the hazard set keeps it live.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("shfl",
+                          "  S2R R2, SR_TID.X ;\n"
+                          "  SHFL.DOWN R3, R2, 0x1, 0x1f ;\n"
+                          "  STG.E.32 [RZ], R3 ;\n"
+                          "  EXIT ;\n");
+  const StaticSiteAnalysis analysis({kernel});
+  const fi::StaticSiteVerdict gather = analysis.EvaluateStatic("shfl", 0, 0.0);
+  ASSERT_TRUE(gather.resolved);
+  EXPECT_EQ(gather.target_register, 2);
+  EXPECT_FALSE(gather.statically_dead);
+}
+
+TEST(StaticSite, UnknownKernelOrIndexIsUnresolvedOrLive) {
+  const StaticSiteAnalysis analysis({DeadLiveKernel()});
+  EXPECT_FALSE(analysis.EvaluateStatic("nope", 0, 0.0).resolved);
+  const fi::StaticSiteVerdict oob = analysis.EvaluateStatic("deadlive", 99, 0.0);
+  EXPECT_FALSE(oob.resolved && oob.statically_dead);
+  EXPECT_EQ(analysis.FindKernel("deadlive")->kernel.name, "deadlive");
+  EXPECT_EQ(analysis.FindKernel("nope"), nullptr);
+}
+
+// Campaign-level properties on a real workload.  Group 5 (G_NODEST: stores
+// and branches) is where fallback source targets die, so pruning has mass.
+class StaticCampaign : public ::testing::Test {
+ protected:
+  fi::TransientCampaignConfig BaseConfig() const {
+    fi::TransientCampaignConfig config;
+    config.seed = 77;
+    config.num_injections = 24;
+    config.group = fi::ArchStateId::kGNoDest;
+    return config;
+  }
+  const fi::TargetProgram* program_ = workloads::FindWorkload("314.omriq");
+};
+
+TEST_F(StaticCampaign, CheckModeReportsNoViolations) {
+  ASSERT_NE(program_, nullptr);
+  const StaticSiteAnalysis oracle =
+      StaticSiteAnalysis::ForProgram(*program_, sim::DeviceProps{});
+  const fi::CampaignRunner runner(*program_);
+  fi::TransientCampaignConfig config = BaseConfig();
+  config.static_mode = fi::StaticSiteMode::kCheck;
+  config.static_oracle = &oracle;
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+  EXPECT_GT(result.statically_checked, 0u);
+  EXPECT_GT(result.statically_dead, 0u);  // group 5 draws hit dead sites
+  EXPECT_TRUE(result.static_violations.empty())
+      << result.static_violations.size() << " violations, first: "
+      << result.static_violations.front().detail;
+  EXPECT_EQ(result.statically_pruned, 0u);  // check mode simulates everything
+}
+
+TEST_F(StaticCampaign, PruneModePreservesOutcomesExactly) {
+  ASSERT_NE(program_, nullptr);
+  const StaticSiteAnalysis oracle =
+      StaticSiteAnalysis::ForProgram(*program_, sim::DeviceProps{});
+  const fi::CampaignRunner runner(*program_);
+
+  const fi::TransientCampaignResult baseline =
+      runner.RunTransientCampaign(BaseConfig());
+
+  fi::TransientCampaignConfig pruned_config = BaseConfig();
+  pruned_config.static_mode = fi::StaticSiteMode::kPrune;
+  pruned_config.static_oracle = &oracle;
+  const fi::TransientCampaignResult pruned =
+      runner.RunTransientCampaign(pruned_config);
+
+  EXPECT_GT(pruned.statically_pruned, 0u);
+  EXPECT_EQ(pruned.counts.masked, baseline.counts.masked);
+  EXPECT_EQ(pruned.counts.sdc, baseline.counts.sdc);
+  EXPECT_EQ(pruned.counts.due, baseline.counts.due);
+  EXPECT_EQ(pruned.counts.potential_due, baseline.counts.potential_due);
+
+  // Per-experiment agreement, not just aggregate: same params, and every
+  // pruned run's synthesized verdict matches what the simulation produced.
+  ASSERT_EQ(pruned.injections.size(), baseline.injections.size());
+  for (std::size_t i = 0; i < pruned.injections.size(); ++i) {
+    const fi::InjectionRun& p = pruned.injections[i];
+    const fi::InjectionRun& b = baseline.injections[i];
+    ASSERT_EQ(p.trivially_masked, b.trivially_masked) << "experiment " << i;
+    if (p.trivially_masked) continue;
+    EXPECT_EQ(p.params, b.params) << "experiment " << i;
+    EXPECT_TRUE(p.classification == b.classification) << "experiment " << i;
+    if (p.statically_masked) {
+      EXPECT_EQ(p.record.static_index, b.record.static_index) << "experiment " << i;
+      EXPECT_EQ(p.record.corrupted, b.record.corrupted) << "experiment " << i;
+    }
+  }
+}
+
+TEST_F(StaticCampaign, DeadFractionMatchesCheckModeRate) {
+  ASSERT_NE(program_, nullptr);
+  const StaticSiteAnalysis oracle =
+      StaticSiteAnalysis::ForProgram(*program_, sim::DeviceProps{});
+  const fi::CampaignRunner runner(*program_);
+  const fi::ProgramProfile profile =
+      runner.RunProfiler(fi::ProfilerTool::Mode::kExact, sim::DeviceProps{}, nullptr);
+  const double fraction = oracle.DeadFraction(profile, fi::ArchStateId::kGNoDest);
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LE(fraction, 1.0);
+  // The default group (GPR writers) prunes next to nothing on this workload.
+  const double gp_fraction = oracle.DeadFraction(profile, fi::ArchStateId::kGGp);
+  EXPECT_LT(gp_fraction, fraction);
+}
+
+TEST_F(StaticCampaign, ApproximateProfileLeavesSitesUnresolved) {
+  ASSERT_NE(program_, nullptr);
+  const StaticSiteAnalysis oracle =
+      StaticSiteAnalysis::ForProgram(*program_, sim::DeviceProps{});
+  const fi::CampaignRunner runner(*program_);
+  fi::TransientCampaignConfig config = BaseConfig();
+  config.profiling = fi::ProfilerTool::Mode::kApproximate;
+  config.static_mode = fi::StaticSiteMode::kCheck;
+  config.static_oracle = &oracle;
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+  // No exact site stream -> nothing resolves, nothing is asserted.
+  EXPECT_EQ(result.statically_checked, 0u);
+  EXPECT_TRUE(result.static_violations.empty());
+}
+
+}  // namespace
+}  // namespace nvbitfi::staticanalysis

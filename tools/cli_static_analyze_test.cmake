@@ -1,0 +1,92 @@
+# Static site analysis end to end, through real stores:
+#   1. check mode simulates every site and must report zero violations;
+#   2. prune mode skips statically-dead sites and must reproduce the
+#      baseline's outcome distribution bit for bit;
+#   3. `analyze --static` cross-tabulates stored records against re-derived
+#      static verdicts and must find the soundness contract intact.
+
+# Pulls the "outcomes at ..% confidence" block out of a campaign report; the
+# block is a pure function of the outcome counts, so equality of the blocks is
+# equality of the distributions.
+macro(extract_distribution report_var dist_var)
+  string(REGEX MATCH "outcomes at [^\n]*\n[^=]*potential DUEs: [0-9]+"
+         ${dist_var} "${${report_var}}")
+  if("${${dist_var}}" STREQUAL "")
+    message(FATAL_ERROR "report has no outcome block:\n${${report_var}}")
+  endif()
+endmacro()
+
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 20 --seed 9 --group 5
+                OUTPUT_VARIABLE baseline_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline campaign failed (${rc})")
+endif()
+extract_distribution(baseline_out baseline_dist)
+
+# Check mode: every non-trivial site is simulated AND statically judged; a
+# statically-dead site with a non-masked outcome fails the command.
+file(REMOVE ${WORKDIR}/cli_static_check.jsonl)
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 20 --seed 9 --group 5
+                        --static-check --store ${WORKDIR}/cli_static_check.jsonl
+                OUTPUT_VARIABLE check_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "static-check campaign failed (${rc}):\n${check_out}")
+endif()
+if(NOT check_out MATCHES "static check: [0-9]+ sites checked, [0-9]+ statically dead, 0 violations")
+  message(FATAL_ERROR "static-check campaign printed no clean check line:\n${check_out}")
+endif()
+extract_distribution(check_out check_dist)
+if(NOT check_dist STREQUAL baseline_dist)
+  message(FATAL_ERROR "--static-check changed the outcome distribution:\n"
+                      "baseline:\n${baseline_dist}\nchecked:\n${check_dist}")
+endif()
+
+# Prune mode: dead sites are skipped (synthesized Masked records), yet the
+# distribution must match the baseline exactly.
+file(REMOVE ${WORKDIR}/cli_static_prune.jsonl)
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 20 --seed 9 --group 5
+                        --static-prune --store ${WORKDIR}/cli_static_prune.jsonl
+                OUTPUT_VARIABLE prune_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "static-prune campaign failed (${rc}):\n${prune_out}")
+endif()
+if(NOT prune_out MATCHES "statically pruned \\(dead site, simulation skipped\\): [1-9]")
+  message(FATAL_ERROR "static-prune campaign pruned nothing:\n${prune_out}")
+endif()
+extract_distribution(prune_out prune_dist)
+if(NOT prune_dist STREQUAL baseline_dist)
+  message(FATAL_ERROR "--static-prune changed the outcome distribution:\n"
+                      "baseline:\n${baseline_dist}\npruned:\n${prune_dist}")
+endif()
+
+# A pruned store resumes as a pruned campaign (static_mode is part of the
+# resume identity), and a mode mismatch is rejected.
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 20 --seed 9 --group 5
+                        --resume --store ${WORKDIR}/cli_static_prune.jsonl
+                ERROR_VARIABLE resume_err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "resuming a pruned store without --static-prune succeeded")
+endif()
+
+# Cross-tab: both stores must show the contract holding; the checked store
+# carries real simulations for the dead sites, so its dead row is populated.
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_static_check.jsonl --static
+                OUTPUT_VARIABLE xtab_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze --static of the checked store failed (${rc}):\n${xtab_out}")
+endif()
+if(NOT xtab_out MATCHES "statically dead +[1-9][0-9]* +0 +0")
+  message(FATAL_ERROR "cross-tab has no simulated statically-dead sites:\n${xtab_out}")
+endif()
+if(NOT xtab_out MATCHES "soundness holds")
+  message(FATAL_ERROR "cross-tab reported a soundness violation:\n${xtab_out}")
+endif()
+
+execute_process(COMMAND ${CLI} analyze ${WORKDIR}/cli_static_prune.jsonl --static
+                OUTPUT_VARIABLE prune_xtab_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze --static of the pruned store failed (${rc}):\n${prune_xtab_out}")
+endif()
+if(NOT prune_xtab_out MATCHES "soundness holds")
+  message(FATAL_ERROR "pruned-store cross-tab reported a violation:\n${prune_xtab_out}")
+endif()

@@ -13,7 +13,9 @@
 //   nvbitfi permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]
 //   nvbitfi campaign  <program> [--injections N] [--seed N] [--approximate]
 //                     [--store FILE.jsonl] [--resume]
+//                     [--static-prune | --static-check]
 //   nvbitfi analyze   <store.jsonl>  regenerate reports without re-simulating
+//   nvbitfi lint      <program|file.sass>  static checks over kernel SASS
 //   nvbitfi dictionary [--seed N] [-o dictionary.txt]
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +35,10 @@
 #include "core/campaign.h"
 #include "core/extended_models.h"
 #include "core/report.h"
+#include "sassim/asm/assembler.h"
 #include "sassim/asm/disassembler.h"
+#include "staticanalysis/lint.h"
+#include "staticanalysis/static_site.h"
 #include "trace/taint_tracker.h"
 #include "workloads/workloads.h"
 
@@ -50,16 +55,26 @@ int Usage() {
                "  select <profile> [--group N] [--model N] [--seed N] [-o FILE]\n"
                "  inject <program> <params-file>    run one transient injection\n"
                "  permanent <program> --opcode NAME [--sm N] [--lane N] [--mask HEX]\n"
-               "  campaign <program> [--injections N] [--seed N] [--approximate]\n"
+               "  campaign <program> [--injections N] [--seed N] [--group N]\n"
+               "                     [--approximate]\n"
                "                     [--workers N] [--csv FILE] [--store FILE.jsonl]\n"
                "                     [--resume] [--element f32|f64] [--trace]\n"
+               "                     [--static-prune | --static-check]\n"
                "                     --trace follows each fault's propagation "
                "(taint tracking)\n"
+               "                     --static-prune skips statically-dead sites;\n"
+               "                     --static-check simulates them anyway and "
+               "reports violations\n"
                "  sweep <program> [--sm N] [--seed N] [--approximate] [--workers N]\n"
                "                  [--csv FILE] [--store FILE.jsonl] [--resume]\n"
                "                  [--element f32|f64]  permanent sweep over executed opcodes\n"
-               "  analyze <store.jsonl> [--csv FILE] [--json FILE]\n"
-               "                  regenerate report + SDC anatomy from a result store\n"
+               "  analyze <store.jsonl> [--csv FILE] [--json FILE] [--static]\n"
+               "                  regenerate report + SDC anatomy from a result store;\n"
+               "                  --static cross-tabulates static liveness verdicts\n"
+               "                  against the recorded dynamic outcomes\n"
+               "  lint <program|file.sass>  static analysis checks (read-before-def,\n"
+               "                  unreachable code, dead stores, constant guards,\n"
+               "                  shared-memory bounds); exit 1 when findings exist\n"
                "  dictionary [--seed N] [-o FILE]   emit a synthetic fault dictionary\n"
                "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n");
   return 2;
@@ -88,6 +103,10 @@ struct Args {
   // Propagation tracing (campaign): inject with the taint tracker and emit
   // the propagation report alongside the anatomy.
   bool trace = false;
+  // Static-liveness site handling (campaign) and the analyze cross-tab.
+  bool static_prune = false;
+  bool static_check = false;
+  bool static_xtab = false;
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv, int first) {
@@ -152,6 +171,12 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       args.resume = true;
     } else if (arg == "--trace") {
       args.trace = true;
+    } else if (arg == "--static-prune") {
+      args.static_prune = true;
+    } else if (arg == "--static-check") {
+      args.static_check = true;
+    } else if (arg == "--static") {
+      args.static_xtab = true;
     } else if (arg == "--json") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -389,6 +414,12 @@ int CmdCampaign(const Args& args) {
   config.seed = args.seed;
   config.num_injections = args.injections;
   config.num_workers = args.workers;
+  const auto group = fi::ArchStateIdFromInt(args.group);
+  if (!group) {
+    std::fprintf(stderr, "--group must be 1..8 (Table II)\n");
+    return 1;
+  }
+  config.group = *group;
   config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
                                       : fi::ProfilerTool::Mode::kExact;
   if (args.trace) {
@@ -396,6 +427,25 @@ int CmdCampaign(const Args& args) {
     config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
       return std::make_unique<trace::TaintTracker>(params);
     };
+  }
+
+  if (args.static_prune && args.static_check) {
+    std::fprintf(stderr, "--static-prune and --static-check are mutually exclusive\n");
+    return 1;
+  }
+  std::optional<staticanalysis::StaticSiteAnalysis> static_analysis;
+  if (args.static_prune || args.static_check) {
+    if (args.approximate) {
+      std::fprintf(stderr,
+                   "--static-prune/--static-check need an exact profile (site "
+                   "resolution replays the exact site stream); drop --approximate\n");
+      return 1;
+    }
+    static_analysis.emplace(
+        staticanalysis::StaticSiteAnalysis::ForProgram(*program, config.device));
+    config.static_mode = args.static_prune ? fi::StaticSiteMode::kPrune
+                                           : fi::StaticSiteMode::kCheck;
+    config.static_oracle = &*static_analysis;
   }
 
   // With --store, every completed run streams to the JSONL store (with its
@@ -470,6 +520,15 @@ int CmdCampaign(const Args& args) {
     }
     file << fi::TransientCampaignCsv(result);
     std::printf("\nwrote per-injection CSV to %s\n", args.csv.c_str());
+  }
+  // Check mode asserts the soundness contract: statically dead must imply
+  // dynamically masked.  Any disagreement is a bug in the analysis.
+  if (config.static_mode == fi::StaticSiteMode::kCheck &&
+      !result.static_violations.empty()) {
+    std::fprintf(stderr, "static check failed: %zu violation%s (see report)\n",
+                 result.static_violations.size(),
+                 result.static_violations.size() == 1 ? "" : "s");
+    return 1;
   }
   return 0;
 }
@@ -550,6 +609,72 @@ int CmdSweep(const Args& args) {
   return 0;
 }
 
+// `analyze --static`: re-derives the static liveness verdict for every stored
+// injection site and cross-tabulates it against the recorded dynamic outcome.
+// The lower-left cell (statically dead, not masked) must stay zero — anything
+// there violates the one-sided soundness contract.
+int StaticCrossTab(const analysis::LoadedStore& store) {
+  if (store.meta.kind == "permanent") {
+    std::fprintf(stderr, "--static applies to transient campaign stores only\n");
+    return 1;
+  }
+  const fi::TargetProgram* program = Lookup(store.meta.program);
+  if (program == nullptr) return 1;
+  const staticanalysis::StaticSiteAnalysis analysis =
+      staticanalysis::StaticSiteAnalysis::ForProgram(*program, sim::DeviceProps{});
+
+  // rows: 0 = statically dead, 1 = statically live, 2 = unresolved
+  // cols: 0 = Masked, 1 = SDC, 2 = DUE
+  std::uint64_t table[3][3] = {};
+  std::uint64_t skipped = 0;  // trivially masked or never-activated runs
+  std::uint64_t violations = 0;
+  for (const auto& [index, run] : store.transient) {
+    (void)index;
+    if (run.trivially_masked || !run.record.activated) {
+      ++skipped;
+      continue;
+    }
+    const fi::StaticSiteVerdict verdict = analysis.EvaluateStatic(
+        run.params.kernel_name, run.record.static_index,
+        run.params.destination_register);
+    const int row = !verdict.resolved ? 2 : verdict.statically_dead ? 0 : 1;
+    int col = 0;
+    switch (run.classification.outcome) {
+      case fi::Outcome::kMasked: col = 0; break;
+      case fi::Outcome::kSdc: col = 1; break;
+      case fi::Outcome::kDue: col = 2; break;
+    }
+    ++table[row][col];
+    if (row == 0 && col != 0) ++violations;
+  }
+
+  static constexpr const char* kRowNames[3] = {"statically dead", "statically live",
+                                               "unresolved"};
+  std::printf("\nstatic liveness vs dynamic outcome (%s store):\n",
+              store.meta.static_mode.c_str());
+  std::printf("  %-16s %10s %10s %10s\n", "", "Masked", "SDC", "DUE");
+  for (int row = 0; row < 3; ++row) {
+    std::printf("  %-16s %10llu %10llu %10llu\n", kRowNames[row],
+                static_cast<unsigned long long>(table[row][0]),
+                static_cast<unsigned long long>(table[row][1]),
+                static_cast<unsigned long long>(table[row][2]));
+  }
+  if (skipped > 0) {
+    std::printf("  (%llu run%s without an injection site excluded)\n",
+                static_cast<unsigned long long>(skipped), skipped == 1 ? "" : "s");
+  }
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "static soundness violated: %llu statically-dead site%s with a "
+                 "non-masked outcome\n",
+                 static_cast<unsigned long long>(violations),
+                 violations == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("  soundness holds: every statically-dead site was masked\n");
+  return 0;
+}
+
 int CmdAnalyze(const Args& args) {
   if (args.positional.empty()) return Usage();
   std::string error;
@@ -597,7 +722,49 @@ int CmdAnalyze(const Args& args) {
     file << csv;
     std::printf("\nwrote CSV to %s\n", args.csv.c_str());
   }
+  if (args.static_xtab) return StaticCrossTab(*loaded);
   return 0;
+}
+
+// Lints every kernel of a built-in workload (harvested by running it once) or
+// of a .sass assembly file.  Exit 1 when any finding is reported, so the lint
+// can gate CI.
+int CmdLint(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& target = args.positional[0];
+  std::vector<sim::KernelSource> kernels;
+  if (const fi::TargetProgram* program = workloads::FindWorkload(target);
+      program != nullptr) {
+    kernels = staticanalysis::HarvestKernels(*program, sim::DeviceProps{});
+  } else {
+    const auto text = ReadFile(target);
+    if (!text) {
+      std::fprintf(stderr, "'%s' is neither a workload (try: nvbitfi list) nor a "
+                           "readable assembly file\n",
+                   target.c_str());
+      return 1;
+    }
+    sim::AssemblyResult assembled = sim::Assemble(*text);
+    if (!assembled.ok) {
+      std::fprintf(stderr, "%s: %s\n", target.c_str(), assembled.error.c_str());
+      return 1;
+    }
+    kernels = std::move(assembled.kernels);
+  }
+  if (kernels.empty()) {
+    std::fprintf(stderr, "'%s' contains no kernels\n", target.c_str());
+    return 1;
+  }
+  std::size_t total = 0;
+  for (const sim::KernelSource& kernel : kernels) {
+    const std::vector<staticanalysis::LintFinding> findings =
+        staticanalysis::LintKernel(kernel);
+    total += findings.size();
+    std::fputs(staticanalysis::LintReport(kernel, findings).c_str(), stdout);
+  }
+  std::printf("%zu kernel%s linted, %zu finding%s\n", kernels.size(),
+              kernels.size() == 1 ? "" : "s", total, total == 1 ? "" : "s");
+  return total == 0 ? 0 : 1;
 }
 
 int CmdDictionary(const Args& args) {
@@ -648,6 +815,7 @@ int main(int argc, char** argv) {
   if (command == "campaign") return CmdCampaign(*args);
   if (command == "sweep") return CmdSweep(*args);
   if (command == "analyze") return CmdAnalyze(*args);
+  if (command == "lint") return CmdLint(*args);
   if (command == "dictionary") return CmdDictionary(*args);
   if (command == "disasm") return CmdDisasm(*args);
   return Usage();
