@@ -1,0 +1,87 @@
+// Table IX — checkpoint/restore golden-prefix reuse across the workload
+// suite.
+//
+// For every workload: campaign wall-clock with --checkpoints against the
+// --no-checkpoints baseline on identical seeds, the launches and simulated
+// thread-instructions that fast-forwarding skipped, and the fallbacks taken.
+// The outcome columns must agree bit for bit — checkpointing restores
+// recorded state instead of re-simulating it, so only wall-clock changes.
+// The speedup scales with a program's launch count: a single-launch program
+// has no golden prefix to skip, while a many-launch program replays almost
+// its entire pre-fault timeline from memory snapshots.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const int injections = bench::InjectionsPerProgram(30);
+  const std::uint64_t seed = bench::BenchSeed();
+  const int workers = bench::Workers(1);
+  std::printf("Table IX: checkpointed golden-prefix replay (%d injections per "
+              "program, seed %llu)\n\n",
+              injections, static_cast<unsigned long long>(seed));
+  std::printf("%-14s %8s %10s %12s %10s %10s %8s %6s\n", "program", "launches",
+              "ff-launch", "instr-saved", "base(s)", "ckpt(s)", "speedup",
+              "match");
+
+  double total_base = 0.0, total_ckpt = 0.0;
+  double best_speedup = 0.0;
+  std::string best_program;
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    const fi::TargetProgram& program = *entry.program;
+    const fi::CampaignRunner runner(program);
+
+    fi::TransientCampaignConfig config;
+    config.seed = seed;
+    config.num_injections = injections;
+    config.num_workers = workers;
+    config.checkpoints = false;
+
+    const auto base_start = std::chrono::steady_clock::now();
+    const fi::TransientCampaignResult baseline = runner.RunTransientCampaign(config);
+    const double base_seconds = Seconds(base_start);
+
+    config.checkpoints = true;
+    const auto ckpt_start = std::chrono::steady_clock::now();
+    const fi::TransientCampaignResult ckpt = runner.RunTransientCampaign(config);
+    const double ckpt_seconds = Seconds(ckpt_start);
+
+    const bool match = ckpt.counts.masked == baseline.counts.masked &&
+                       ckpt.counts.sdc == baseline.counts.sdc &&
+                       ckpt.counts.due == baseline.counts.due &&
+                       ckpt.counts.potential_due == baseline.counts.potential_due &&
+                       ckpt.TotalInjectionCycles() == baseline.TotalInjectionCycles();
+    const double speedup = ckpt_seconds > 0 ? base_seconds / ckpt_seconds : 0.0;
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best_program = program.name();
+    }
+    total_base += base_seconds;
+    total_ckpt += ckpt_seconds;
+
+    std::printf("%-14s %8llu %10llu %12llu %10.3f %10.3f %7.2fx %6s\n",
+                program.name().c_str(),
+                static_cast<unsigned long long>(ckpt.golden.dynamic_kernels),
+                static_cast<unsigned long long>(ckpt.replay_launches),
+                static_cast<unsigned long long>(ckpt.replay_instructions_saved),
+                base_seconds, ckpt_seconds, speedup, match ? "yes" : "NO");
+  }
+
+  std::printf("\nsuite wall-clock: baseline %.3f s, checkpointed %.3f s (%.2fx)\n",
+              total_base, total_ckpt,
+              total_ckpt > 0 ? total_base / total_ckpt : 0.0);
+  std::printf("best speedup: %.2fx on %s\n", best_speedup, best_program.c_str());
+  return 0;
+}

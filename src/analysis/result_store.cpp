@@ -152,6 +152,7 @@ json::Value MetaToJson(const StoreMeta& meta) {
   out.Set("fixed_mask", static_cast<std::uint64_t>(meta.fixed_mask));
   out.Set("only_executed_opcodes", meta.only_executed_opcodes);
   out.Set("trace", meta.trace);
+  out.Set("checkpoints", meta.checkpoints);
   out.Set("static_mode", meta.static_mode);
   out.Set("approximate_profile", meta.approximate_profile);
   out.Set("watchdog_multiplier", meta.watchdog_multiplier);
@@ -186,6 +187,7 @@ std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* err
   meta.fixed_mask = static_cast<std::uint32_t>(value.GetUint("fixed_mask"));
   meta.only_executed_opcodes = value.GetBool("only_executed_opcodes", true);
   meta.trace = value.GetBool("trace");
+  meta.checkpoints = value.GetBool("checkpoints", true);
   meta.static_mode = value.GetString("static_mode", "off");
   meta.approximate_profile = value.GetBool("approximate_profile");
   meta.watchdog_multiplier = value.GetUint("watchdog_multiplier");
@@ -308,7 +310,8 @@ bool StoreMeta::CompatibleWith(const StoreMeta& other) const {
          randomize_flip_model == other.randomize_flip_model &&
          sm_id == other.sm_id && fixed_mask == other.fixed_mask &&
          only_executed_opcodes == other.only_executed_opcodes &&
-         trace == other.trace && static_mode == other.static_mode &&
+         trace == other.trace && checkpoints == other.checkpoints &&
+         static_mode == other.static_mode &&
          approximate_profile == other.approximate_profile &&
          watchdog_multiplier == other.watchdog_multiplier &&
          element == other.element;
@@ -329,6 +332,7 @@ StoreMeta TransientStoreMeta(const std::string& program,
   meta.flip_model = static_cast<int>(config.flip_model);
   meta.randomize_flip_model = config.randomize_flip_model;
   meta.trace = config.trace;
+  meta.checkpoints = config.checkpoints;
   meta.static_mode = std::string(fi::StaticSiteModeName(config.static_mode));
   meta.approximate_profile = config.profiling == fi::ProfilerTool::Mode::kApproximate;
   meta.watchdog_multiplier = config.watchdog_multiplier;

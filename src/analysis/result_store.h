@@ -29,7 +29,7 @@
 
 namespace nvbitfi::analysis {
 
-inline constexpr int kResultStoreVersion = 3;
+inline constexpr int kResultStoreVersion = 4;
 
 // Campaign identity + shared state persisted in the header line.  The
 // identity fields decide whether a store can be resumed by a given campaign;
@@ -50,6 +50,11 @@ struct StoreMeta {
   bool only_executed_opcodes = true;
   // Shared.
   bool trace = false;  // records carry propagation records (traced campaign)
+  // Checkpoint-replay campaign (golden-prefix fast-forwarding).  Results are
+  // bit-identical either way, but the flag joins the resume identity so a
+  // store is never silently completed under a different engine configuration
+  // than it was started with (mixed shards would defeat the identity test).
+  bool checkpoints = true;
   // Static-liveness site handling ("off" | "check" | "prune").  Part of the
   // resume identity: a pruned store holds synthesized records that a
   // non-pruning campaign would have simulated, and vice versa.

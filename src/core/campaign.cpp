@@ -53,6 +53,13 @@ InjectionRecord SynthesizeMaskedRecord(const TransientFaultParams& params,
   return record;
 }
 
+void WarnIfGoldenNotClean(const std::string& program, const RunArtifacts& golden) {
+  if (golden.exit_code != 0 || golden.crashed || !golden.cuda_errors.empty()) {
+    LOG_WARN << "golden run of '" << program << "' is not clean (exit "
+             << golden.exit_code << ", " << golden.cuda_errors.size() << " CUDA errors)";
+  }
+}
+
 }  // namespace
 
 double TransientCampaignResult::ProfilingOverhead() const {
@@ -96,8 +103,20 @@ std::uint64_t PermanentCampaignResult::TotalCampaignCycles() const {
 
 RunArtifacts CampaignRunner::Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
                                      std::uint64_t watchdog) const {
+  return Execute(tool, device, watchdog, /*checkpoints=*/nullptr,
+                 /*stop_before_global_ordinal=*/0, /*replay_stats=*/nullptr);
+}
+
+RunArtifacts CampaignRunner::Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
+                                     std::uint64_t watchdog,
+                                     const sim::CheckpointStream* checkpoints,
+                                     std::uint64_t stop_before_global_ordinal,
+                                     sim::ReplayStats* replay_stats) const {
   sim::Context context(device);
   context.set_launch_watchdog(watchdog);
+  if (checkpoints != nullptr) {
+    context.ReplayCheckpoints(checkpoints, stop_before_global_ordinal, replay_stats);
+  }
   std::optional<nvbit::Runtime> runtime;
   if (tool != nullptr) runtime.emplace(context, *tool);
   RunArtifacts artifacts = program_.Run(context);
@@ -107,11 +126,21 @@ RunArtifacts CampaignRunner::Execute(nvbit::Tool* tool, const sim::DeviceProps& 
 
 RunArtifacts CampaignRunner::RunGolden(const sim::DeviceProps& device) const {
   RunArtifacts golden = Execute(nullptr, device, /*watchdog=*/0);
-  if (golden.exit_code != 0 || golden.crashed || !golden.cuda_errors.empty()) {
-    LOG_WARN << "golden run of '" << program_.name() << "' is not clean (exit "
-             << golden.exit_code << ", " << golden.cuda_errors.size() << " CUDA errors)";
-  }
+  WarnIfGoldenNotClean(program_.name(), golden);
   return golden;
+}
+
+RunCache::GoldenEntry CampaignRunner::RunGoldenCheckpointed(
+    const sim::DeviceProps& device) const {
+  auto stream = std::make_shared<sim::CheckpointStream>();
+  sim::Context context(device);
+  context.RecordCheckpoints(stream.get());
+  RunCache::GoldenEntry entry;
+  entry.run = program_.Run(context);
+  HarvestContextState(context, &entry.run);
+  WarnIfGoldenNotClean(program_.name(), entry.run);
+  entry.checkpoints = std::move(stream);
+  return entry;
 }
 
 ProgramProfile CampaignRunner::RunProfiler(ProfilerTool::Mode mode,
@@ -126,6 +155,13 @@ ProgramProfile CampaignRunner::RunProfiler(ProfilerTool::Mode mode,
 RunArtifacts CampaignRunner::Golden(const sim::DeviceProps& device) const {
   if (cache_ == nullptr) return RunGolden(device);
   return cache_->Golden(program_.name(), device, [&] { return RunGolden(device); });
+}
+
+RunCache::GoldenEntry CampaignRunner::GoldenCheckpointed(
+    const sim::DeviceProps& device) const {
+  if (cache_ == nullptr) return RunGoldenCheckpointed(device);
+  return cache_->GoldenCheckpointed(program_.name(), device,
+                                    [&] { return RunGoldenCheckpointed(device); });
 }
 
 ProgramProfile CampaignRunner::Profile(ProfilerTool::Mode mode,
@@ -148,8 +184,18 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   result.program = program_.name();
 
   // Figure 1 step 0: the golden run provides reference outputs, the
-  // uninstrumented cycle baseline, and the watchdog calibration.
-  result.golden = Golden(config.device);
+  // uninstrumented cycle baseline, and the watchdog calibration.  With
+  // checkpoints enabled it also records the per-launch checkpoint stream the
+  // injection runs below fast-forward from.
+  std::shared_ptr<const sim::CheckpointStream> checkpoints;
+  if (config.checkpoints) {
+    RunCache::GoldenEntry entry = GoldenCheckpointed(config.device);
+    result.golden = std::move(entry.run);
+    checkpoints = std::move(entry.checkpoints);
+    result.checkpoints_used = true;
+  } else {
+    result.golden = Golden(config.device);
+  }
   const std::uint64_t watchdog =
       config.watchdog_multiplier *
       std::max<std::uint64_t>(result.golden.max_launch_thread_instructions, 1000);
@@ -163,6 +209,12 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   Rng rng(Rng::SeedFrom(config.seed, program_.name()));
   std::vector<Rng> streams = ForkStreams(rng, n);
   result.injections.resize(n);
+
+  // Per-experiment replay accounting, merged after the pool drains.  Kept
+  // out of InjectionRun deliberately: stored records must be bit-identical
+  // between checkpointed and uncheckpointed campaigns.
+  std::vector<sim::ReplayStats> replay(n);
+  std::vector<std::uint8_t> replayed(n, 0);
 
   WorkerPool pool(config.num_workers);
   result.workers = pool.workers();
@@ -216,13 +268,35 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     std::unique_ptr<TransientExperimentTool> tool =
         config.tool_factory ? config.tool_factory(i, run.params)
                             : std::make_unique<TransientInjectorTool>(run.params);
-    run.artifacts = Execute(tool.get(), config.device, watchdog);
+    // Fast-forward the golden prefix: every launch before the target launch
+    // is state-identical to the recording.  A target the golden run never
+    // executed (no global ordinal) replays nothing — full live run.
+    std::optional<std::uint64_t> target_ordinal;
+    if (checkpoints != nullptr) {
+      target_ordinal =
+          checkpoints->GlobalOrdinalOf(run.params.kernel_name, run.params.kernel_count);
+    }
+    if (target_ordinal.has_value()) {
+      replayed[i] = 1;
+      run.artifacts = Execute(tool.get(), config.device, watchdog, checkpoints.get(),
+                              *target_ordinal, &replay[i]);
+    } else {
+      run.artifacts = Execute(tool.get(), config.device, watchdog);
+    }
     run.record = tool->record();
     run.propagation = tool->TakePropagation();
     run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
     if (config.on_run_complete) config.on_run_complete(i, run);
   });
   result.wall_seconds = SecondsSince(start);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (replayed[i] == 0) continue;
+    ++result.checkpointed_runs;
+    result.replay_launches += replay[i].launches_fast_forwarded;
+    result.replay_instructions_saved += replay[i].thread_instructions_saved;
+    result.replay_fallbacks += replay[i].host_divergences + replay[i].watchdog_fallbacks;
+  }
 
   // Merge outcomes in experiment order (workers finish in arbitrary order).
   // --static-check verdicts are re-evaluated here rather than captured on the

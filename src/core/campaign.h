@@ -79,6 +79,15 @@ struct TransientCampaignConfig {
   // tool_factory — core cannot depend on the trace library, so callers set
   // both (the CLI's --trace does).
   bool trace = false;
+  // Golden-prefix checkpoint reuse (see sassim/runtime/checkpoint.h): the
+  // golden run records a per-launch checkpoint stream, and each injection run
+  // fast-forwards the launches before its target launch by restoring recorded
+  // state instead of re-simulating.  Outcome distributions, accounting, and
+  // stored records are bit-identical to an uncheckpointed campaign (the
+  // engine falls back to live execution whenever they would not be); only
+  // wall-clock time changes.  Campaign identity still records the flag so
+  // that a resumed store matches the original's configuration exactly.
+  bool checkpoints = true;
   // Static-liveness site handling (see static_oracle.h).  kPrune skips
   // simulating statically-dead sites and synthesizes their guaranteed Masked
   // result; kCheck simulates everything and records disagreements as
@@ -139,6 +148,15 @@ struct TransientCampaignResult {
   std::vector<StaticViolation> static_violations;
   int workers = 1;           // worker count the campaign actually used
   double wall_seconds = 0.0; // wall-clock time of the injection phase
+  // Checkpoint-replay accounting (config.checkpoints): how many injection
+  // runs started from a golden checkpoint, the launches and simulated
+  // thread-instructions that fast-forwarding skipped, and the runs/launches
+  // that had to fall back to live execution (host divergence or watchdog).
+  bool checkpoints_used = false;
+  std::uint64_t checkpointed_runs = 0;
+  std::uint64_t replay_launches = 0;
+  std::uint64_t replay_instructions_saved = 0;
+  std::uint64_t replay_fallbacks = 0;
 
   double ProfilingOverhead() const;       // profiling cycles / golden cycles
   // Median run cycles / golden cycles over the runs that actually executed.
@@ -201,15 +219,29 @@ class CampaignRunner {
   RunArtifacts Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
                        std::uint64_t watchdog) const;
 
+  // Replay variant: launches before `stop_before_global_ordinal` are
+  // fast-forwarded from `checkpoints` where the engine's safety rules allow
+  // (see sassim/runtime/checkpoint.h); `replay_stats` (optional) counts the
+  // work saved.  Results are bit-identical to the plain Execute.
+  RunArtifacts Execute(nvbit::Tool* tool, const sim::DeviceProps& device,
+                       std::uint64_t watchdog,
+                       const sim::CheckpointStream* checkpoints,
+                       std::uint64_t stop_before_global_ordinal,
+                       sim::ReplayStats* replay_stats) const;
+
   // Step 0/1 of Figure 1, reusable separately by benches.  These always run
   // the program; the cache-aware Golden/Profile below are what campaigns use.
   RunArtifacts RunGolden(const sim::DeviceProps& device) const;
+  // Golden run that also records the per-launch checkpoint stream (the
+  // artifacts are bit-identical to RunGolden: recording only observes).
+  RunCache::GoldenEntry RunGoldenCheckpointed(const sim::DeviceProps& device) const;
   ProgramProfile RunProfiler(ProfilerTool::Mode mode, const sim::DeviceProps& device,
                              RunArtifacts* profiling_artifacts) const;
 
   // Cache-aware step 0/1: served from the RunCache when one was supplied,
   // computed fresh otherwise.
   RunArtifacts Golden(const sim::DeviceProps& device) const;
+  RunCache::GoldenEntry GoldenCheckpointed(const sim::DeviceProps& device) const;
   ProgramProfile Profile(ProfilerTool::Mode mode, const sim::DeviceProps& device,
                          RunArtifacts* profiling_artifacts) const;
 

@@ -94,6 +94,15 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
                 result.ProfilingOverhead(), result.MedianInjectionOverhead());
   out += Format("campaign total: %.3f Gcycles\n",
                 result.TotalCampaignCycles() * 1e-9);
+  if (result.checkpoints_used) {
+    out += Format("checkpoint replay: %llu/%zu runs fast-forwarded %llu launches, "
+                  "%.3f G thread-instructions of simulation saved, %llu fallbacks\n",
+                  static_cast<unsigned long long>(result.checkpointed_runs),
+                  result.injections.size(),
+                  static_cast<unsigned long long>(result.replay_launches),
+                  result.replay_instructions_saved * 1e-9,
+                  static_cast<unsigned long long>(result.replay_fallbacks));
+  }
   out += Format("injection phase: %.3f s wall clock on %d worker%s (%.1f runs/s)\n\n",
                 result.wall_seconds, result.workers, result.workers == 1 ? "" : "s",
                 result.wall_seconds > 0

@@ -38,14 +38,30 @@ RunArtifacts RunCache::Golden(const std::string& program,
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = golden_.find(key);
-    if (it != golden_.end()) return it->second;
+    if (it != golden_.end()) return it->second.run;
   }
   // Run outside the lock: golden runs are the expensive part, and two threads
   // racing on a cold key just do redundant (identical, deterministic) work.
   RunArtifacts artifacts = compute();
   std::lock_guard<std::mutex> lock(mu_);
   ++golden_runs_;
-  return golden_.try_emplace(key, std::move(artifacts)).first->second;
+  return golden_.try_emplace(key, GoldenEntry{std::move(artifacts), nullptr})
+      .first->second.run;
+}
+
+RunCache::GoldenEntry RunCache::GoldenCheckpointed(
+    const std::string& program, const sim::DeviceProps& device,
+    const std::function<GoldenEntry()>& compute) {
+  const std::string key = GoldenKey(program, device);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = golden_.find(key);
+    if (it != golden_.end() && it->second.checkpoints != nullptr) return it->second;
+  }
+  GoldenEntry entry = compute();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++golden_runs_;
+  return golden_.insert_or_assign(key, std::move(entry)).first->second;
 }
 
 RunCache::ProfileEntry RunCache::Profile(const std::string& program,

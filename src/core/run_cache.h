@@ -11,12 +11,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "core/outcome.h"
 #include "core/profile.h"
 #include "core/profiler_tool.h"
+#include "sassim/runtime/checkpoint.h"
 #include "sassim/runtime/device.h"
 
 namespace nvbitfi::fi {
@@ -33,10 +35,26 @@ class RunCache {
     RunArtifacts run;  // the instrumented profiling run's artifacts
   };
 
+  struct GoldenEntry {
+    RunArtifacts run;
+    // Per-launch checkpoint stream recorded alongside the (uninstrumented)
+    // golden run; null when the golden run was computed without recording.
+    // Shared: campaign workers replay from it concurrently (read-only).
+    std::shared_ptr<const sim::CheckpointStream> checkpoints;
+  };
+
   // Returns the golden artifacts for (program, device), invoking `compute`
   // only on the first request for that key.
   RunArtifacts Golden(const std::string& program, const sim::DeviceProps& device,
                       const std::function<RunArtifacts()>& compute);
+
+  // Golden artifacts plus the checkpoint stream.  A cached stream-less entry
+  // (seeded by Golden()) does not satisfy this: `compute` runs and its entry
+  // — which must carry checkpoints — replaces the cached one (a miss).  The
+  // artifacts are bit-identical either way, since recording only observes.
+  GoldenEntry GoldenCheckpointed(const std::string& program,
+                                 const sim::DeviceProps& device,
+                                 const std::function<GoldenEntry()>& compute);
 
   // Same for (program, device, profiling mode).
   ProfileEntry Profile(const std::string& program, ProfilerTool::Mode mode,
@@ -54,7 +72,7 @@ class RunCache {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, RunArtifacts> golden_;
+  std::map<std::string, GoldenEntry> golden_;
   std::map<std::string, ProfileEntry> profiles_;
   std::uint64_t golden_runs_ = 0;
   std::uint64_t profile_runs_ = 0;

@@ -68,7 +68,11 @@ DevPtr GlobalMemory::Alloc(std::size_t size) {
   const std::size_t offset = static_cast<std::size_t>(base - kHeapBase);
   NVBITFI_CHECK_MSG(offset + size <= kArenaBytes,
                     "device arena exhausted (" << offset + size << " bytes)");
+  const std::size_t old_size = arena_.size();
   if (arena_.size() < offset + size) arena_.resize(offset + size, 0);
+  // The zero-filled growth (alignment gap included) changes page contents.
+  const std::size_t touch_from = std::min(old_size, offset);
+  TouchRange(touch_from, offset + size - touch_from);
   allocations_.emplace(base, Allocation{offset, size});
   bytes_allocated_ += size;
   next_ += (size + 0xFF) & ~0xFFull;  // 256-byte alignment for the next one
@@ -106,8 +110,9 @@ bool GlobalMemory::CopyIn(DevPtr dst, std::span<const std::uint8_t> src) {
   if (src.empty()) return true;
   const Allocation* alloc = FindAllocation(dst, src.size());
   if (alloc == nullptr) return false;
-  std::memcpy(arena_.data() + alloc->offset + (dst - kHeapBase - alloc->offset),
-              src.data(), src.size());
+  const std::size_t offset = static_cast<std::size_t>(dst - kHeapBase);
+  std::memcpy(arena_.data() + offset, src.data(), src.size());
+  TouchRange(offset, src.size());
   return true;
 }
 
@@ -146,6 +151,7 @@ TrapKind GlobalMemory::Write(DevPtr addr, std::uint64_t value, int bytes) {
   std::size_t offset = 0;
   if (!InArena(addr, bytes, &offset)) return TrapKind::kIllegalAddress;
   StoreLE(arena_.data() + offset, value, bytes);
+  TouchRange(offset, static_cast<std::size_t>(bytes));
   return TrapKind::kNone;
 }
 
@@ -164,6 +170,58 @@ void GlobalMemory::Reset() {
   allocations_.clear();
   next_ = kHeapBase;
   bytes_allocated_ = 0;
+  page_stamps_.clear();
+}
+
+void GlobalMemory::TouchRange(std::size_t offset, std::size_t len) {
+  if (len == 0) return;
+  const std::size_t pages = (arena_.size() + kPageBytes - 1) / kPageBytes;
+  if (page_stamps_.size() < pages) page_stamps_.resize(pages, 0);
+  ++write_clock_;
+  const std::size_t last = (offset + len - 1) / kPageBytes;
+  for (std::size_t p = offset / kPageBytes; p <= last; ++p) {
+    page_stamps_[p] = write_clock_;
+  }
+}
+
+GlobalMemory::Snapshot GlobalMemory::TakeSnapshot(const Snapshot* prev) const {
+  Snapshot snap;
+  snap.arena_size = arena_.size();
+  snap.allocations = allocations_;
+  snap.next = next_;
+  snap.bytes_allocated = bytes_allocated_;
+  const std::size_t pages = (arena_.size() + kPageBytes - 1) / kPageBytes;
+  snap.pages.reserve(pages);
+  snap.stamps.reserve(pages);
+  for (std::size_t p = 0; p < pages; ++p) {
+    const std::uint64_t stamp = p < page_stamps_.size() ? page_stamps_[p] : 0;
+    const std::size_t begin = p * kPageBytes;
+    const std::size_t len = std::min(kPageBytes, arena_.size() - begin);
+    if (prev != nullptr && p < prev->pages.size() && prev->stamps[p] == stamp &&
+        prev->pages[p]->size() == len) {
+      snap.pages.push_back(prev->pages[p]);
+    } else {
+      snap.pages.push_back(std::make_shared<const std::vector<std::uint8_t>>(
+          arena_.begin() + static_cast<std::ptrdiff_t>(begin),
+          arena_.begin() + static_cast<std::ptrdiff_t>(begin + len)));
+    }
+    snap.stamps.push_back(stamp);
+  }
+  return snap;
+}
+
+void GlobalMemory::RestoreSnapshot(const Snapshot& snapshot) {
+  arena_.resize(snapshot.arena_size);
+  for (std::size_t p = 0; p < snapshot.pages.size(); ++p) {
+    const std::vector<std::uint8_t>& page = *snapshot.pages[p];
+    std::memcpy(arena_.data() + p * kPageBytes, page.data(), page.size());
+  }
+  // Stamps are restored too: page contents now match the capture exactly, so
+  // a later TakeSnapshot against `snapshot` shares every untouched page.
+  page_stamps_ = snapshot.stamps;
+  allocations_ = snapshot.allocations;
+  next_ = snapshot.next;
+  bytes_allocated_ = snapshot.bytes_allocated;
 }
 
 MemAccessResult FlatMemory::Read(std::uint64_t offset, int bytes) const {

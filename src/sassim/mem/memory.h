@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -51,6 +52,8 @@ class GlobalMemory {
   static constexpr DevPtr kHeapBase = 0x7f0000000000ull;
   // Size of the mapped arena window device accesses are checked against.
   static constexpr std::size_t kArenaBytes = 4 * 1024 * 1024;
+  // Snapshot page granularity (checkpoint engine).
+  static constexpr std::size_t kPageBytes = 4096;
 
   // Allocates `size` bytes (size > 0) aligned to 256; returns the device
   // pointer.  Never returns 0.
@@ -86,16 +89,42 @@ class GlobalMemory {
     std::size_t size = 0;
   };
 
+ public:
+  // Copy-on-write snapshot of the arena and the allocation table.  Captured
+  // pages are immutable copies: later mutations of the memory cannot leak
+  // into a snapshot.  `TakeSnapshot(prev)` shares (rather than re-copies)
+  // every page whose write stamp is unchanged since `prev` was captured, so
+  // a stream of per-launch checkpoints costs O(pages written per launch).
+  struct Snapshot {
+    std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> pages;
+    std::vector<std::uint64_t> stamps;  // write stamp each page was captured at
+    std::size_t arena_size = 0;
+    std::map<DevPtr, Allocation> allocations;
+    DevPtr next = kHeapBase;
+    std::size_t bytes_allocated = 0;
+  };
+
+  Snapshot TakeSnapshot(const Snapshot* prev = nullptr) const;
+  // Restores arena contents, allocation table, and write stamps to exactly
+  // the captured state (a later TakeSnapshot against the same snapshot
+  // shares every page again).
+  void RestoreSnapshot(const Snapshot& snapshot);
+
   // Maps [addr, addr+bytes) to an arena offset; false when the range leaves
   // the mapped window.
   bool InArena(DevPtr addr, int bytes, std::size_t* offset) const;
   // Host-copy validation: the precise allocation containing the range.
   const Allocation* FindAllocation(DevPtr addr, std::size_t bytes) const;
+  // Stamps the pages covering [offset, offset+len) with a fresh write clock
+  // (every mutation path funnels through here).
+  void TouchRange(std::size_t offset, std::size_t len);
 
   std::vector<std::uint8_t> arena_;           // backing store (lazily sized)
   std::map<DevPtr, Allocation> allocations_;  // keyed by base address
   DevPtr next_ = kHeapBase;
   std::size_t bytes_allocated_ = 0;
+  std::vector<std::uint64_t> page_stamps_;    // per-page last-write stamp
+  std::uint64_t write_clock_ = 0;
 };
 
 // Flat byte array with bounds + alignment checks (shared and local memory).

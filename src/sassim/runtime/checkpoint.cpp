@@ -1,0 +1,48 @@
+#include "sassim/runtime/checkpoint.h"
+
+#include <algorithm>
+
+namespace nvbitfi::sim {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+}  // namespace
+
+const LaunchCheckpoint* CheckpointStream::FindGlobalOrdinal(
+    std::uint64_t global_ordinal) const {
+  // Global ordinals are recorded in strictly increasing order (launches that
+  // never executed leave gaps), so binary search applies.
+  const auto it = std::lower_bound(
+      launches_.begin(), launches_.end(), global_ordinal,
+      [](const LaunchCheckpoint& cp, std::uint64_t g) { return cp.global_ordinal < g; });
+  if (it == launches_.end() || it->global_ordinal != global_ordinal) return nullptr;
+  return &*it;
+}
+
+std::optional<std::uint64_t> CheckpointStream::GlobalOrdinalOf(
+    std::string_view kernel_name, std::uint64_t launch_ordinal) const {
+  for (const LaunchCheckpoint& cp : launches_) {
+    if (cp.launch_ordinal == launch_ordinal && cp.kernel_name == kernel_name) {
+      return cp.global_ordinal;
+    }
+  }
+  return std::nullopt;
+}
+
+void HostActionHash::MixU64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (value >> (8 * i)) & 0xff;
+    hash_ *= kFnvPrime;
+  }
+}
+
+void HostActionHash::MixBytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= kFnvPrime;
+  }
+}
+
+}  // namespace nvbitfi::sim

@@ -1,0 +1,129 @@
+// Checkpoint/restore engine state: golden-prefix reuse for injection runs.
+//
+// Every transient experiment's device state before the injection point is
+// bit-identical to the golden run (ZOFI's "zero overhead" observation), so
+// re-simulating the prefix is pure waste.  The engine splits that insight
+// into three pieces:
+//
+//   * SimState — everything a Context owns that a kernel launch can change:
+//     global-memory pages (captured copy-on-write), the device log and its
+//     sequence counter, the sticky CUDA error, the accounting counters, and
+//     the per-kernel launch counts.  Context::Snapshot()/Restore() move a
+//     context to/from a SimState at a launch boundary.
+//   * LaunchCheckpoint / CheckpointStream — the golden run records, per
+//     executed launch, its identity (name, ordinals, geometry, parameters),
+//     the cumulative host-action hash at submission, the launch's stats,
+//     and the post-launch SimState.
+//   * Replay — an injection run re-executes the (deterministic) host program
+//     but fast-forwards launches before the injection launch: instead of
+//     simulating, the driver restores the recorded post-launch memory, log,
+//     and sticky error, and accumulates the recorded stats as deltas.
+//
+// Host-side program state cannot be snapshotted (the host is arbitrary C++),
+// so replay *detects* divergence instead: every host-visible driver action
+// (alloc/free/HtoD/DtoH) feeds a rolling hash, and a launch whose recorded
+// hash disagrees with the live one — or that the tool wants instrumented, or
+// whose recorded cost would trip the run's watchdog — executes live.  After
+// a hash divergence the rest of the run stays live (state is still correct:
+// restores happen at launch boundaries, and host writes since the last
+// restore land on top of restored pages exactly as they did in golden).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sassim/core/executor.h"
+#include "sassim/core/types.h"
+#include "sassim/mem/memory.h"
+#include "sassim/runtime/cu_result.h"
+#include "sassim/runtime/device.h"
+
+namespace nvbitfi::sim {
+
+// Snapshot of all launch-mutable context state at a kernel-launch boundary.
+struct SimState {
+  GlobalMemory::Snapshot memory;
+  std::vector<DeviceLogEntry> log_entries;
+  std::uint64_t log_next_sequence = 0;
+  CuResult sticky_error = CuResult::kSuccess;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_thread_instructions = 0;
+  std::uint64_t max_launch_thread_instructions = 0;
+  std::uint64_t global_launch_ordinal = 0;
+  std::unordered_map<std::string, std::uint64_t> launch_counts;
+  // Module/function-table fingerprint.  Loaded modules are immutable so
+  // snapshots do not copy them, but restoring onto a context whose table
+  // diverged would be silently wrong — Restore() checks this instead.
+  std::size_t num_modules = 0;
+  std::uint32_t next_function_id = 0;
+};
+
+// One recorded golden launch: identity, cost, and the state it produced.
+struct LaunchCheckpoint {
+  std::string kernel_name;
+  std::uint64_t launch_ordinal = 0;  // per-kernel-name instance counter
+  std::uint64_t global_ordinal = 0;  // across all kernels
+  Dim3 grid;
+  Dim3 block;
+  std::vector<std::uint64_t> params;
+  // Cumulative host-action hash when the launch was submitted; replay
+  // fast-forwards only while the live hash still agrees.
+  std::uint64_t host_hash = 0;
+  LaunchStats stats;   // the golden launch's uninstrumented cost + trap
+  SimState post_state; // device state after the launch completed
+};
+
+// The golden run's per-launch checkpoint sequence, in execution order.
+// Launches that never executed (submitted after a sticky error) have no
+// entry; lookups therefore verify the global ordinal rather than index.
+class CheckpointStream {
+ public:
+  void Append(LaunchCheckpoint checkpoint) {
+    launches_.push_back(std::move(checkpoint));
+  }
+
+  const std::vector<LaunchCheckpoint>& launches() const { return launches_; }
+  bool empty() const { return launches_.empty(); }
+
+  // The checkpoint recorded for this global launch ordinal, or nullptr.
+  const LaunchCheckpoint* FindGlobalOrdinal(std::uint64_t global_ordinal) const;
+
+  // Maps an injection target's (kernel name, per-name launch ordinal) to its
+  // global launch ordinal; nullopt when the golden run never executed it.
+  std::optional<std::uint64_t> GlobalOrdinalOf(std::string_view kernel_name,
+                                               std::uint64_t launch_ordinal) const;
+
+ private:
+  std::vector<LaunchCheckpoint> launches_;
+};
+
+// Per-run replay accounting, reported per campaign.
+struct ReplayStats {
+  std::uint64_t launches_fast_forwarded = 0;
+  std::uint64_t launches_executed = 0;  // live launches during a replay run
+  std::uint64_t thread_instructions_saved = 0;
+  std::uint64_t cycles_saved = 0;  // simulation work skipped (still accounted)
+  // Fallbacks to live execution: host actions diverged from the recording
+  // (permanent for the rest of the run), or a recorded launch would trip the
+  // run's watchdog (that launch only — it must trap live).
+  std::uint64_t host_divergences = 0;
+  std::uint64_t watchdog_fallbacks = 0;
+};
+
+// Rolling FNV-1a hash over host-visible driver actions; the divergence
+// detector for state the checkpoint engine cannot snapshot.
+class HostActionHash {
+ public:
+  void MixU64(std::uint64_t value);
+  void MixBytes(const void* data, std::size_t size);
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+}  // namespace nvbitfi::sim

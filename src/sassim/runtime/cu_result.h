@@ -1,0 +1,30 @@
+// CUDA-driver result codes and their mapping from device traps.
+//
+// Split out of driver.h so that checkpoint state (runtime/checkpoint.h) can
+// name the sticky-error word without pulling in the full driver API; driver.h
+// re-exports these names for all existing users.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sassim/mem/memory.h"
+
+namespace nvbitfi::sim {
+
+enum class CuResult : std::uint8_t {
+  kSuccess,
+  kInvalidValue,
+  kNotFound,
+  kOutOfMemory,
+  kIllegalAddress,
+  kMisalignedAddress,
+  kIllegalInstruction,
+  kLaunchTimeout,
+  kLaunchFailed,
+};
+
+std::string_view CuResultName(CuResult r);
+CuResult CuResultFromTrap(TrapKind trap);
+
+}  // namespace nvbitfi::sim

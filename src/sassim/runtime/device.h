@@ -37,6 +37,15 @@ class DeviceLog {
   bool empty() const { return entries_.empty(); }
   void Clear() { entries_.clear(); }
 
+  // Checkpoint support: the sequence counter is part of the log's state, so
+  // restoring a snapshot replays XID ordering exactly (entries recorded
+  // after a restore continue the captured numbering).
+  std::uint64_t next_sequence() const { return next_; }
+  void Restore(std::vector<DeviceLogEntry> entries, std::uint64_t next_sequence) {
+    entries_ = std::move(entries);
+    next_ = next_sequence;
+  }
+
  private:
   std::vector<DeviceLogEntry> entries_;
   std::uint64_t next_ = 0;

@@ -8,6 +8,18 @@
 #include "sassim/asm/assembler.h"
 
 namespace nvbitfi::sim {
+namespace {
+
+// Host-action tags fed to the divergence hash; distinct per driver entry
+// point so reordered action sequences cannot collide.
+enum HostActionTag : std::uint64_t {
+  kTagMemAlloc = 1,
+  kTagMemFree = 2,
+  kTagMemcpyHtoD = 3,
+  kTagMemcpyDtoH = 4,
+};
+
+}  // namespace
 
 std::string_view CuResultName(CuResult r) {
   switch (r) {
@@ -90,14 +102,25 @@ CuResult Context::MemAlloc(DevPtr* out, std::size_t bytes) {
   NVBITFI_CHECK(out != nullptr);
   if (bytes == 0) return CuResult::kInvalidValue;
   *out = device_.memory().Alloc(bytes);
+  host_hash_.MixU64(kTagMemAlloc);
+  host_hash_.MixU64(bytes);
   return CuResult::kSuccess;
 }
 
 CuResult Context::MemFree(DevPtr ptr) {
+  host_hash_.MixU64(kTagMemFree);
+  host_hash_.MixU64(ptr);
   return device_.memory().Free(ptr) ? CuResult::kSuccess : CuResult::kInvalidValue;
 }
 
 CuResult Context::MemcpyHtoD(DevPtr dst, const void* src, std::size_t bytes) {
+  // Uploaded *content* joins the hash: a host program that computes different
+  // inputs (e.g. from data a fault corrupted earlier) must not be
+  // fast-forwarded onto golden state.
+  host_hash_.MixU64(kTagMemcpyHtoD);
+  host_hash_.MixU64(dst);
+  host_hash_.MixU64(bytes);
+  host_hash_.MixBytes(src, bytes);
   const bool ok = device_.memory().CopyIn(
       dst, std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(src), bytes));
   if (!ok) return CuResult::kInvalidValue;
@@ -106,6 +129,11 @@ CuResult Context::MemcpyHtoD(DevPtr dst, const void* src, std::size_t bytes) {
 }
 
 CuResult Context::MemcpyDtoH(void* dst, DevPtr src, std::size_t bytes) {
+  // Downloads hash only their location: the content is device state, which
+  // restores bit-identically by construction.
+  host_hash_.MixU64(kTagMemcpyDtoH);
+  host_hash_.MixU64(src);
+  host_hash_.MixU64(bytes);
   const bool ok = device_.memory().CopyOut(
       src, std::span<std::uint8_t>(static_cast<std::uint8_t*>(dst), bytes));
   if (!ok) return CuResult::kInvalidValue;
@@ -135,6 +163,10 @@ CuResult Context::LaunchKernel(Function* function, Dim3 grid, Dim3 block,
   // submitting work it never checked.
   if (sticky_error_ != CuResult::kSuccess) return CuResult::kSuccess;
 
+  // Host-action hash as of this launch's submission: the recorded value a
+  // replay of the same launch must reproduce to be fast-forwarded.
+  const std::uint64_t entry_hash = host_hash_.value();
+
   ConstantBank bank0;
   bank0.Write32(0x00, block.x);
   bank0.Write32(0x04, block.y);
@@ -153,6 +185,29 @@ CuResult Context::LaunchKernel(Function* function, Dim3 grid, Dim3 block,
     extra_cycles += cost_model_.tool_intercept_cycles;
   }
   total_cycles_ += extra_cycles;
+
+  // Checkpoint fast-forward: skip simulating a golden-prefix launch and
+  // restore its recorded outcome instead.  Counters advance by the recorded
+  // *deltas* (not a blanket restore) so tool-interception cycles already
+  // accumulated this run are preserved and accounting stays bit-identical
+  // to a from-scratch run.
+  if (const LaunchCheckpoint* cp = FastForwardCandidate(info, params, plan, entry_hash);
+      cp != nullptr) {
+    device_.memory().RestoreSnapshot(cp->post_state.memory);
+    device_.log().Restore(cp->post_state.log_entries, cp->post_state.log_next_sequence);
+    sticky_error_ = cp->post_state.sticky_error;
+    total_cycles_ += cp->stats.cycles;
+    total_thread_instructions_ += cp->stats.thread_instructions;
+    max_launch_thread_instructions_ =
+        std::max(max_launch_thread_instructions_, cp->stats.thread_instructions);
+    if (replay_stats_ != nullptr) {
+      ++replay_stats_->launches_fast_forwarded;
+      replay_stats_->thread_instructions_saved += cp->stats.thread_instructions;
+      replay_stats_->cycles_saved += cp->stats.cycles;
+    }
+    if (interceptor_ != nullptr) interceptor_->OnLaunchEnd(info, *function, cp->stats);
+    return CuResult::kSuccess;
+  }
 
   Executor::Request request;
   request.kernel = &function->source();
@@ -178,7 +233,89 @@ CuResult Context::LaunchKernel(Function* function, Dim3 grid, Dim3 block,
   }
 
   if (interceptor_ != nullptr) interceptor_->OnLaunchEnd(info, *function, stats);
+
+  if (replay_stats_ != nullptr) ++replay_stats_->launches_executed;
+  if (record_stream_ != nullptr) {
+    LaunchCheckpoint cp;
+    cp.kernel_name = info.kernel_name;
+    cp.launch_ordinal = info.launch_ordinal;
+    cp.global_ordinal = info.global_ordinal;
+    cp.grid = grid;
+    cp.block = block;
+    cp.params.assign(params.begin(), params.end());
+    cp.host_hash = entry_hash;
+    cp.stats = stats;
+    // Share unmodified memory pages with the previous checkpoint: a stream
+    // over N launches costs O(pages touched), not O(N * arena).
+    cp.post_state = Snapshot(record_stream_->launches().empty()
+                                 ? nullptr
+                                 : &record_stream_->launches().back().post_state.memory);
+    record_stream_->Append(std::move(cp));
+  }
   return CuResult::kSuccess;
+}
+
+const LaunchCheckpoint* Context::FastForwardCandidate(
+    const LaunchInfo& info, std::span<const std::uint64_t> params,
+    const InstrumentationPlan* plan, std::uint64_t entry_hash) {
+  if (replay_stream_ == nullptr || replay_diverged_) return nullptr;
+  if (info.global_ordinal >= replay_stop_) return nullptr;
+  // An instrumented launch must actually run: the tool wants its callbacks.
+  if (plan != nullptr) return nullptr;
+
+  const LaunchCheckpoint* cp = replay_stream_->FindGlobalOrdinal(info.global_ordinal);
+  const bool identity_matches =
+      cp != nullptr && cp->kernel_name == info.kernel_name &&
+      cp->launch_ordinal == info.launch_ordinal && cp->grid == info.grid &&
+      cp->block == info.block && cp->params.size() == params.size() &&
+      std::equal(cp->params.begin(), cp->params.end(), params.begin());
+  if (!identity_matches || cp->host_hash != entry_hash) {
+    // The host program took a different path than the recording (or the
+    // recording has no entry here).  Fall back to live execution for the
+    // rest of the run — later checkpoints assume this prefix.
+    replay_diverged_ = true;
+    if (replay_stats_ != nullptr) ++replay_stats_->host_divergences;
+    return nullptr;
+  }
+  if (watchdog_ != 0 && cp->stats.thread_instructions > watchdog_) {
+    // The recorded (uncapped) launch exceeds this run's watchdog budget:
+    // execute it live so the Timeout trap fires exactly as it would have
+    // without checkpoints.  The trap poisons the context, so no later
+    // launch executes against post-fallback state.
+    if (replay_stats_ != nullptr) ++replay_stats_->watchdog_fallbacks;
+    return nullptr;
+  }
+  return cp;
+}
+
+SimState Context::Snapshot(const GlobalMemory::Snapshot* prev) const {
+  SimState state;
+  state.memory = device_.memory().TakeSnapshot(prev);
+  state.log_entries = device_.log().entries();
+  state.log_next_sequence = device_.log().next_sequence();
+  state.sticky_error = sticky_error_;
+  state.total_cycles = total_cycles_;
+  state.total_thread_instructions = total_thread_instructions_;
+  state.max_launch_thread_instructions = max_launch_thread_instructions_;
+  state.global_launch_ordinal = global_launch_ordinal_;
+  state.launch_counts = launch_counts_;
+  state.num_modules = modules_.size();
+  state.next_function_id = next_function_id_;
+  return state;
+}
+
+void Context::Restore(const SimState& state) {
+  NVBITFI_CHECK_MSG(state.num_modules == modules_.size() &&
+                        state.next_function_id == next_function_id_,
+                    "SimState restore across a different module table");
+  device_.memory().RestoreSnapshot(state.memory);
+  device_.log().Restore(state.log_entries, state.log_next_sequence);
+  sticky_error_ = state.sticky_error;
+  total_cycles_ = state.total_cycles;
+  total_thread_instructions_ = state.total_thread_instructions;
+  max_launch_thread_instructions_ = state.max_launch_thread_instructions;
+  global_launch_ordinal_ = state.global_launch_ordinal;
+  launch_counts_ = state.launch_counts;
 }
 
 void Context::SetInterceptor(LaunchInterceptor* interceptor) { interceptor_ = interceptor; }

@@ -29,24 +29,11 @@
 #include "sassim/core/types.h"
 #include "sassim/isa/encoding.h"
 #include "sassim/isa/kernel.h"
+#include "sassim/runtime/checkpoint.h"
+#include "sassim/runtime/cu_result.h"
 #include "sassim/runtime/device.h"
 
 namespace nvbitfi::sim {
-
-enum class CuResult : std::uint8_t {
-  kSuccess,
-  kInvalidValue,
-  kNotFound,
-  kOutOfMemory,
-  kIllegalAddress,
-  kMisalignedAddress,
-  kIllegalInstruction,
-  kLaunchTimeout,
-  kLaunchFailed,
-};
-
-std::string_view CuResultName(CuResult r);
-CuResult CuResultFromTrap(TrapKind trap);
 
 inline constexpr std::uint32_t kParamBaseOffset = 0x160;
 
@@ -164,7 +151,43 @@ class Context {
     return launch_counts_;
   }
 
+  // ---- checkpoint engine (see runtime/checkpoint.h) ----
+  // Snapshot of all launch-mutable context state.  `prev` enables
+  // copy-on-write page sharing against an earlier snapshot.
+  SimState Snapshot(const GlobalMemory::Snapshot* prev = nullptr) const;
+  // Restores a snapshot taken on this context (same module table required).
+  void Restore(const SimState& state);
+
+  // Record mode: every executed launch appends its identity, stats, and
+  // post-launch SimState to `stream` (golden-run recording; pass nullptr to
+  // stop).  Recording only observes — accounting is unchanged.
+  void RecordCheckpoints(CheckpointStream* stream) { record_stream_ = stream; }
+
+  // Replay mode: launches with global_ordinal < `stop_before_global_ordinal`
+  // whose identity and host-action hash match `stream` are fast-forwarded by
+  // restoring the recorded post-launch state instead of simulating.  `stats`
+  // (optional) counts the work saved and the fallbacks taken.
+  void ReplayCheckpoints(const CheckpointStream* stream,
+                         std::uint64_t stop_before_global_ordinal,
+                         ReplayStats* stats = nullptr) {
+    replay_stream_ = stream;
+    replay_stop_ = stop_before_global_ordinal;
+    replay_stats_ = stats;
+    replay_diverged_ = false;
+  }
+
+  // Rolling hash over host-visible driver actions (divergence detection).
+  std::uint64_t host_action_hash() const { return host_hash_.value(); }
+
  private:
+  // The stream checkpoint this launch can be fast-forwarded from, or nullptr
+  // when it must execute live (not replaying, past the stop ordinal, tool
+  // instrumentation requested, identity/hash divergence, or watchdog risk).
+  const LaunchCheckpoint* FastForwardCandidate(const LaunchInfo& info,
+                                               std::span<const std::uint64_t> params,
+                                               const InstrumentationPlan* plan,
+                                               std::uint64_t entry_hash);
+
   Device device_;
   CostModel cost_model_;
   std::vector<std::unique_ptr<Module>> modules_;
@@ -177,6 +200,14 @@ class Context {
   std::unordered_map<std::string, std::uint64_t> launch_counts_;
   std::uint64_t watchdog_ = 0;
   std::uint32_t next_function_id_ = 0;
+
+  // Checkpoint engine state.
+  CheckpointStream* record_stream_ = nullptr;
+  const CheckpointStream* replay_stream_ = nullptr;
+  std::uint64_t replay_stop_ = 0;
+  ReplayStats* replay_stats_ = nullptr;
+  bool replay_diverged_ = false;
+  HostActionHash host_hash_;
 };
 
 }  // namespace nvbitfi::sim

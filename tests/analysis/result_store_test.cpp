@@ -186,6 +186,41 @@ TEST(ResultStore, ResumeRejectsIncompatibleCampaigns) {
   EXPECT_NE(error.find("different campaign"), std::string::npos) << error;
 }
 
+TEST(ResultStore, ResumeRejectsMixedCheckpointConfiguration) {
+  const std::string path = TempPath("store_mixed_checkpoints.jsonl");
+  std::remove(path.c_str());
+
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  fi::TransientCampaignConfig config;
+  config.seed = 9;
+  config.num_injections = 6;
+  config.checkpoints = false;
+  const fi::RunArtifacts golden = runner.Golden(config.device);
+  fi::RunArtifacts profiling;
+  const fi::ProgramProfile profile =
+      runner.Profile(config.profiling, config.device, &profiling);
+  {
+    const StoreMeta meta =
+        TransientStoreMeta(program.name(), config, golden, profiling.cycles, profile);
+    std::string error;
+    const auto store = ResultStore::Open(path, meta, /*resume=*/false, &error);
+    ASSERT_NE(store, nullptr) << error;
+  }
+
+  // Although a checkpointed campaign would produce bit-identical records,
+  // completing a --no-checkpoints store under --checkpoints (or vice versa)
+  // would leave a shard whose header misdescribes half its provenance —
+  // exactly what the identity acceptance test diffs on.  Rejected.
+  config.checkpoints = true;
+  const StoreMeta meta =
+      TransientStoreMeta(program.name(), config, golden, profiling.cycles, profile);
+  std::string error;
+  const auto store = ResultStore::Open(path, meta, /*resume=*/true, &error);
+  EXPECT_EQ(store, nullptr);
+  EXPECT_NE(error.find("different campaign"), std::string::npos) << error;
+}
+
 TEST(ResultStore, RejectsBadHeaders) {
   const std::string path = TempPath("store_badheader.jsonl");
   std::string error;

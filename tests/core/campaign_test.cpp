@@ -77,6 +77,65 @@ TEST(Campaign, DeterministicForSameSeed) {
   EXPECT_EQ(a.counts.due, b.counts.due);
 }
 
+TEST(Campaign, CheckpointedCampaignIsBitIdenticalToUncheckpointed) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  TransientCampaignConfig on;
+  on.seed = 33;
+  on.num_injections = 20;
+  on.checkpoints = true;
+  TransientCampaignConfig off = on;
+  off.checkpoints = false;
+
+  const TransientCampaignResult a = runner.RunTransientCampaign(on);
+  const TransientCampaignResult b = runner.RunTransientCampaign(off);
+
+  ASSERT_EQ(a.injections.size(), b.injections.size());
+  for (std::size_t i = 0; i < a.injections.size(); ++i) {
+    const InjectionRun& x = a.injections[i];
+    const InjectionRun& y = b.injections[i];
+    EXPECT_EQ(x.params, y.params);
+    EXPECT_EQ(x.classification, y.classification);
+    EXPECT_EQ(x.record.activated, y.record.activated);
+    EXPECT_EQ(x.record.static_index, y.record.static_index);
+    EXPECT_EQ(x.record.after_bits, y.record.after_bits);
+    EXPECT_EQ(x.artifacts.cycles, y.artifacts.cycles);
+    EXPECT_EQ(x.artifacts.thread_instructions, y.artifacts.thread_instructions);
+    EXPECT_EQ(x.artifacts.stdout_text, y.artifacts.stdout_text);
+    EXPECT_EQ(x.artifacts.output_file, y.artifacts.output_file);
+    EXPECT_EQ(x.artifacts.cuda_errors, y.artifacts.cuda_errors);
+    EXPECT_EQ(x.artifacts.dmesg, y.artifacts.dmesg);
+  }
+  EXPECT_EQ(a.counts.masked, b.counts.masked);
+  EXPECT_EQ(a.counts.sdc, b.counts.sdc);
+  EXPECT_EQ(a.counts.due, b.counts.due);
+  EXPECT_EQ(a.counts.potential_due, b.counts.potential_due);
+  EXPECT_EQ(a.golden.cycles, b.golden.cycles);
+
+  // Only the checkpointed campaign reports replay savings.
+  EXPECT_TRUE(a.checkpoints_used);
+  EXPECT_FALSE(b.checkpoints_used);
+  EXPECT_GT(a.checkpointed_runs, 0u);
+  EXPECT_GT(a.replay_launches, 0u);
+  EXPECT_GT(a.replay_instructions_saved, 0u);
+  EXPECT_EQ(b.checkpointed_runs, 0u);
+  EXPECT_EQ(b.replay_launches, 0u);
+}
+
+TEST(Campaign, CheckpointedGoldenRecordsTheLaunchStream) {
+  const MiniProgram program;
+  const CampaignRunner runner(program);
+  const RunCache::GoldenEntry entry =
+      runner.RunGoldenCheckpointed(sim::DeviceProps{});
+  const RunArtifacts plain = runner.RunGolden(sim::DeviceProps{});
+
+  ASSERT_NE(entry.checkpoints, nullptr);
+  EXPECT_EQ(entry.checkpoints->launches().size(), 4u);  // 3x work + tail
+  EXPECT_EQ(entry.run.cycles, plain.cycles);  // recording only observes
+  EXPECT_EQ(entry.run.stdout_text, plain.stdout_text);
+  EXPECT_EQ(entry.checkpoints->GlobalOrdinalOf("tail", 0), 3u);
+}
+
 TEST(Campaign, DifferentSeedsSelectDifferentSites) {
   const MiniProgram program;
   const CampaignRunner runner(program);

@@ -27,6 +27,29 @@ TEST(RunCache, GoldenComputedOncePerKey) {
   EXPECT_EQ(cache.golden_runs(), 2u);
 }
 
+TEST(RunCache, StreamlessGoldenEntryUpgradedByCheckpointedRequest) {
+  const MiniProgram program;
+  RunCache cache;
+  const CampaignRunner runner(program, &cache);
+
+  // Golden() seeds a stream-less entry; GoldenCheckpointed() must not serve
+  // it (no stream to replay from) — it recomputes and upgrades the entry.
+  const RunArtifacts plain = runner.Golden(sim::DeviceProps{});
+  EXPECT_EQ(cache.golden_runs(), 1u);
+  const RunCache::GoldenEntry entry = runner.GoldenCheckpointed(sim::DeviceProps{});
+  EXPECT_EQ(cache.golden_runs(), 2u);
+  ASSERT_NE(entry.checkpoints, nullptr);
+  EXPECT_FALSE(entry.checkpoints->empty());
+  EXPECT_EQ(entry.run.cycles, plain.cycles);
+
+  // Both request flavours now hit the upgraded entry.
+  const RunCache::GoldenEntry again = runner.GoldenCheckpointed(sim::DeviceProps{});
+  EXPECT_EQ(cache.golden_runs(), 2u);
+  EXPECT_EQ(again.checkpoints.get(), entry.checkpoints.get());
+  runner.Golden(sim::DeviceProps{});
+  EXPECT_EQ(cache.golden_runs(), 2u);
+}
+
 TEST(RunCache, ProfileKeyedByMode) {
   const MiniProgram program;
   RunCache cache;

@@ -1,0 +1,115 @@
+// Checkpoint bit-identity acceptance test: for every Table IV workload, a
+// transient campaign with --checkpoints produces exactly the outcome
+// distribution, per-injection CSV, and stored records that --no-checkpoints
+// does on the same seed.  Checkpointing may only change wall-clock time.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/result_store.h"
+#include "core/campaign.h"
+#include "core/report.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+TransientCampaignConfig SmallConfig(bool checkpoints) {
+  TransientCampaignConfig config;
+  config.seed = 424242;
+  config.num_injections = 4;
+  config.profiling = ProfilerTool::Mode::kApproximate;
+  config.checkpoints = checkpoints;
+  return config;
+}
+
+class CheckpointIdentity : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(CheckpointIdentity, OutcomesAndCsvMatchUncheckpointedCampaign) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  const CampaignRunner runner(*entry.program);
+
+  const TransientCampaignResult on = runner.RunTransientCampaign(SmallConfig(true));
+  const TransientCampaignResult off = runner.RunTransientCampaign(SmallConfig(false));
+
+  EXPECT_EQ(on.counts.masked, off.counts.masked);
+  EXPECT_EQ(on.counts.sdc, off.counts.sdc);
+  EXPECT_EQ(on.counts.due, off.counts.due);
+  EXPECT_EQ(on.counts.potential_due, off.counts.potential_due);
+  EXPECT_EQ(on.never_activated, off.never_activated);
+  EXPECT_EQ(on.trivially_masked, off.trivially_masked);
+  EXPECT_EQ(on.golden.cycles, off.golden.cycles);
+  EXPECT_EQ(on.TotalInjectionCycles(), off.TotalInjectionCycles());
+
+  // The per-injection CSV covers every persisted field: site parameters,
+  // injection record, classification, and run cycles.
+  EXPECT_EQ(TransientCampaignCsv(on), TransientCampaignCsv(off));
+
+  // The checkpointed side actually replayed on multi-launch programs (a
+  // single-launch program has no prefix to skip, so nothing to save).
+  EXPECT_TRUE(on.checkpoints_used);
+  if (on.golden.dynamic_kernels > 1) {
+    EXPECT_GT(on.checkpointed_runs, 0u);
+  }
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, CheckpointIdentity,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+// Record-level identity through the persistence layer: two stores written by
+// checkpointed and uncheckpointed campaigns differ only in the header's
+// `checkpoints` flag — every record line is byte-identical.
+TEST(CheckpointIdentity, StoredRecordsAreByteIdentical) {
+  const workloads::WorkloadEntry& entry = workloads::AllWorkloads().front();
+  const CampaignRunner runner(*entry.program);
+
+  auto run_stored = [&](bool checkpoints, const std::string& path) {
+    std::remove(path.c_str());
+    TransientCampaignConfig config = SmallConfig(checkpoints);
+    const RunArtifacts golden = runner.Golden(config.device);
+    RunArtifacts profiling;
+    const ProgramProfile profile =
+        runner.Profile(config.profiling, config.device, &profiling);
+    const analysis::StoreMeta meta = analysis::TransientStoreMeta(
+        entry.program->name(), config, golden, profiling.cycles, profile);
+    std::string error;
+    auto store = analysis::ResultStore::Open(path, meta, /*resume=*/false, &error);
+    ASSERT_NE(store, nullptr) << error;
+    config.on_run_complete = [&](std::size_t i, const InjectionRun& run) {
+      store->AppendTransient(i, run, nullptr);
+    };
+    runner.RunTransientCampaign(config);
+  };
+
+  const std::string on_path = ::testing::TempDir() + "/ckpt_identity_on.jsonl";
+  const std::string off_path = ::testing::TempDir() + "/ckpt_identity_off.jsonl";
+  run_stored(true, on_path);
+  run_stored(false, off_path);
+
+  auto records_after_header = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::string header;
+    std::getline(in, header);
+    std::ostringstream rest;
+    rest << in.rdbuf();
+    return rest.str();
+  };
+  const std::string on_records = records_after_header(on_path);
+  EXPECT_FALSE(on_records.empty());
+  EXPECT_EQ(on_records, records_after_header(off_path));
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

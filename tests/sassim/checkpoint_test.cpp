@@ -1,0 +1,334 @@
+// Checkpoint/restore engine tests at the driver level: record/replay
+// bit-identity, sticky-error and device-log restoration, watchdog and
+// host-divergence fallbacks, and Context Snapshot()/Restore() round trips.
+#include "sassim/runtime/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sassim/runtime/driver.h"
+
+namespace nvbitfi::sim {
+namespace {
+
+// Single active thread increments out[0] once per launch.
+constexpr const char* kBumpKernel =
+    ".kernel bump\n"
+    "  S2R R1, SR_TID.X ;\n"
+    "  ISETP.NE.AND P0, PT, R1, RZ, PT ;\n"
+    "  @P0 EXIT ;\n"
+    "  LDC.64 R4, c[0][0x160] ;\n"
+    "  LDG.E.32 R6, [R4] ;\n"
+    "  IADD3 R6, R6, 1, RZ ;\n"
+    "  STG.E.32 [R4], R6 ;\n"
+    "  EXIT ;\n"
+    ".endkernel\n";
+
+// Stores through its (deliberately invalid) pointer parameter.
+constexpr const char* kTrapKernel =
+    ".kernel trap\n"
+    "  LDC.64 R4, c[0][0x160] ;\n"
+    "  STG.E.32 [R4], RZ ;\n"
+    "  EXIT ;\n"
+    ".endkernel\n";
+
+struct ProgramResult {
+  std::uint32_t value = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t thread_instructions = 0;
+  CuResult final_error = CuResult::kSuccess;
+};
+
+// The deterministic host program every test replays: alloc, upload `init`,
+// launch bump `launches` times, read back.
+ProgramResult RunBumps(Context& ctx, std::uint32_t init, int launches) {
+  Module* module = nullptr;
+  EXPECT_EQ(ctx.ModuleLoadText(kBumpKernel, &module), CuResult::kSuccess);
+  DevPtr out = 0;
+  EXPECT_EQ(ctx.MemAlloc(&out, 16), CuResult::kSuccess);
+  EXPECT_EQ(ctx.MemcpyHtoD(out, &init, 4), CuResult::kSuccess);
+  Function* fn = ctx.GetFunction("bump");
+  const std::uint64_t params[] = {out};
+  for (int i = 0; i < launches; ++i) {
+    EXPECT_EQ(ctx.LaunchKernel(fn, Dim3{1, 1, 1}, Dim3{32, 1, 1}, params),
+              CuResult::kSuccess);
+  }
+  ProgramResult result;
+  ctx.MemcpyDtoH(&result.value, out, 4);
+  result.cycles = ctx.total_cycles();
+  result.thread_instructions = ctx.total_thread_instructions();
+  result.final_error = ctx.last_error();
+  return result;
+}
+
+TEST(Checkpoint, GoldenRunRecordsOneCheckpointPerExecutedLaunch) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  RunBumps(golden, 0, 3);
+
+  ASSERT_EQ(stream.launches().size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const LaunchCheckpoint& cp = stream.launches()[i];
+    EXPECT_EQ(cp.kernel_name, "bump");
+    EXPECT_EQ(cp.launch_ordinal, i);
+    EXPECT_EQ(cp.global_ordinal, i);
+    EXPECT_GT(cp.stats.thread_instructions, 0u);
+    EXPECT_EQ(cp.post_state.sticky_error, CuResult::kSuccess);
+    EXPECT_EQ(stream.FindGlobalOrdinal(i), &cp);
+  }
+  EXPECT_EQ(stream.FindGlobalOrdinal(3), nullptr);
+  EXPECT_EQ(stream.GlobalOrdinalOf("bump", 2), 2u);
+  EXPECT_EQ(stream.GlobalOrdinalOf("bump", 3), std::nullopt);
+  EXPECT_EQ(stream.GlobalOrdinalOf("other", 0), std::nullopt);
+}
+
+TEST(Checkpoint, RecordingDoesNotChangeAccounting) {
+  Context live;
+  const ProgramResult baseline = RunBumps(live, 0, 3);
+
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  const ProgramResult recorded = RunBumps(golden, 0, 3);
+
+  EXPECT_EQ(recorded.value, baseline.value);
+  EXPECT_EQ(recorded.cycles, baseline.cycles);
+  EXPECT_EQ(recorded.thread_instructions, baseline.thread_instructions);
+}
+
+TEST(Checkpoint, ReplayIsBitIdenticalToLiveExecution) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  const ProgramResult baseline = RunBumps(golden, 0, 3);
+
+  // Fast-forward the first two launches, execute the third live.
+  Context replay;
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 2, &stats);
+  const ProgramResult replayed = RunBumps(replay, 0, 3);
+
+  EXPECT_EQ(replayed.value, baseline.value);
+  EXPECT_EQ(replayed.cycles, baseline.cycles);
+  EXPECT_EQ(replayed.thread_instructions, baseline.thread_instructions);
+  EXPECT_EQ(replayed.final_error, CuResult::kSuccess);
+  EXPECT_EQ(stats.launches_fast_forwarded, 2u);
+  EXPECT_EQ(stats.launches_executed, 1u);
+  EXPECT_EQ(stats.host_divergences, 0u);
+  EXPECT_EQ(stats.watchdog_fallbacks, 0u);
+  EXPECT_EQ(stats.thread_instructions_saved,
+            stream.launches()[0].stats.thread_instructions +
+                stream.launches()[1].stats.thread_instructions);
+}
+
+TEST(Checkpoint, ReplayOfEveryLaunchRestoresFinalState) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  const ProgramResult baseline = RunBumps(golden, 0, 3);
+
+  Context replay;
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 3, &stats);
+  const ProgramResult replayed = RunBumps(replay, 0, 3);
+
+  EXPECT_EQ(replayed.value, baseline.value);
+  EXPECT_EQ(replayed.cycles, baseline.cycles);
+  EXPECT_EQ(stats.launches_fast_forwarded, 3u);
+  EXPECT_EQ(stats.launches_executed, 0u);
+}
+
+TEST(Checkpoint, StickyErrorAndDeviceLogSurviveFastForward) {
+  auto run_trap = [](Context& ctx) {
+    Module* module = nullptr;
+    EXPECT_EQ(ctx.ModuleLoadText(kTrapKernel, &module), CuResult::kSuccess);
+    // 0x10 is below the heap base: the store faults.
+    const std::uint64_t params[] = {0x10};
+    EXPECT_EQ(ctx.LaunchKernel(ctx.GetFunction("trap"), Dim3{1, 1, 1},
+                               Dim3{1, 1, 1}, params),
+              CuResult::kSuccess);
+    // Submitted after the sticky error: never executes, never records.
+    EXPECT_EQ(ctx.LaunchKernel(ctx.GetFunction("trap"), Dim3{1, 1, 1},
+                               Dim3{1, 1, 1}, params),
+              CuResult::kSuccess);
+  };
+
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  run_trap(golden);
+  ASSERT_EQ(golden.last_error(), CuResult::kIllegalAddress);
+  ASSERT_EQ(stream.launches().size(), 1u);  // the poisoned launch left no entry
+  ASSERT_FALSE(golden.device().log().empty());
+
+  Context replay;
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 1, &stats);
+  run_trap(replay);
+
+  // The "potential DUE" evidence — sticky error, XID entries, and their
+  // sequence numbering — must be exactly what the golden run produced.
+  EXPECT_EQ(replay.last_error(), CuResult::kIllegalAddress);
+  const auto& golden_log = golden.device().log().entries();
+  const auto& replay_log = replay.device().log().entries();
+  ASSERT_EQ(replay_log.size(), golden_log.size());
+  for (std::size_t i = 0; i < golden_log.size(); ++i) {
+    EXPECT_EQ(replay_log[i].sequence, golden_log[i].sequence);
+    EXPECT_EQ(replay_log[i].trap, golden_log[i].trap);
+    EXPECT_EQ(replay_log[i].message, golden_log[i].message);
+  }
+  EXPECT_EQ(replay.device().log().next_sequence(),
+            golden.device().log().next_sequence());
+  EXPECT_EQ(stats.launches_fast_forwarded, 1u);
+  EXPECT_EQ(replay.total_cycles(), golden.total_cycles());
+}
+
+TEST(Checkpoint, WatchdogTighterThanRecordingExecutesLive) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  RunBumps(golden, 0, 3);
+  const std::uint64_t per_launch = stream.launches()[0].stats.thread_instructions;
+
+  // Reference: what an uncheckpointed run under this watchdog does (the
+  // first launch trips it and poisons the context).
+  Context capped;
+  capped.set_launch_watchdog(per_launch - 1);
+  const ProgramResult capped_result = RunBumps(capped, 0, 3);
+  ASSERT_EQ(capped_result.final_error, CuResult::kLaunchTimeout);
+
+  // Replay under the same watchdog: the recorded launch exceeds the budget,
+  // so it must execute live and trap — fast-forwarding it would silently
+  // flip a Timeout DUE into a clean run.
+  Context replay;
+  replay.set_launch_watchdog(per_launch - 1);
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 3, &stats);
+  const ProgramResult replayed = RunBumps(replay, 0, 3);
+
+  EXPECT_EQ(replayed.final_error, CuResult::kLaunchTimeout);
+  EXPECT_EQ(replayed.value, capped_result.value);
+  EXPECT_EQ(replayed.cycles, capped_result.cycles);
+  EXPECT_EQ(replayed.thread_instructions, capped_result.thread_instructions);
+  EXPECT_EQ(stats.watchdog_fallbacks, 1u);
+  EXPECT_EQ(stats.launches_fast_forwarded, 0u);
+  EXPECT_EQ(stats.host_divergences, 0u);
+}
+
+TEST(Checkpoint, WatchdogLooserThanRecordingStillFastForwards) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  const ProgramResult baseline = RunBumps(golden, 0, 3);
+  const std::uint64_t per_launch = stream.launches()[0].stats.thread_instructions;
+
+  Context replay;
+  replay.set_launch_watchdog(per_launch * 20);
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 3, &stats);
+  const ProgramResult replayed = RunBumps(replay, 0, 3);
+
+  EXPECT_EQ(replayed.value, baseline.value);
+  EXPECT_EQ(replayed.cycles, baseline.cycles);
+  EXPECT_EQ(stats.launches_fast_forwarded, 3u);
+  EXPECT_EQ(stats.watchdog_fallbacks, 0u);
+}
+
+TEST(Checkpoint, DivergentHostUploadFallsBackToLiveExecution) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  RunBumps(golden, 0, 3);
+
+  // The replayed host program uploads different input: restoring golden
+  // pages would compute the wrong answer, so every launch must run live.
+  Context reference;
+  const ProgramResult expected = RunBumps(reference, 5, 3);
+
+  Context replay;
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 3, &stats);
+  const ProgramResult replayed = RunBumps(replay, 5, 3);
+
+  EXPECT_EQ(replayed.value, 8u);
+  EXPECT_EQ(replayed.value, expected.value);
+  EXPECT_EQ(replayed.cycles, expected.cycles);
+  EXPECT_EQ(replayed.thread_instructions, expected.thread_instructions);
+  EXPECT_EQ(stats.host_divergences, 1u);  // flagged once, then stays live
+  EXPECT_EQ(stats.launches_fast_forwarded, 0u);
+  EXPECT_EQ(stats.launches_executed, 3u);
+}
+
+TEST(Checkpoint, DivergentAllocationSizeFallsBackToLiveExecution) {
+  Context golden;
+  CheckpointStream stream;
+  golden.RecordCheckpoints(&stream);
+  {
+    Module* module = nullptr;
+    ASSERT_EQ(golden.ModuleLoadText(kBumpKernel, &module), CuResult::kSuccess);
+    DevPtr out = 0;
+    ASSERT_EQ(golden.MemAlloc(&out, 16), CuResult::kSuccess);
+    const std::uint64_t params[] = {out};
+    ASSERT_EQ(golden.LaunchKernel(golden.GetFunction("bump"), Dim3{1, 1, 1},
+                                  Dim3{32, 1, 1}, params),
+              CuResult::kSuccess);
+  }
+
+  Context replay;
+  ReplayStats stats;
+  replay.ReplayCheckpoints(&stream, 1, &stats);
+  {
+    Module* module = nullptr;
+    ASSERT_EQ(replay.ModuleLoadText(kBumpKernel, &module), CuResult::kSuccess);
+    DevPtr out = 0;
+    ASSERT_EQ(replay.MemAlloc(&out, 32), CuResult::kSuccess);  // different size
+    const std::uint64_t params[] = {out};
+    ASSERT_EQ(replay.LaunchKernel(replay.GetFunction("bump"), Dim3{1, 1, 1},
+                                  Dim3{32, 1, 1}, params),
+              CuResult::kSuccess);
+  }
+  EXPECT_EQ(stats.host_divergences, 1u);
+  EXPECT_EQ(stats.launches_fast_forwarded, 0u);
+  EXPECT_EQ(stats.launches_executed, 1u);
+}
+
+TEST(Checkpoint, ContextSnapshotRestoreRoundTrip) {
+  Context ctx;
+  Module* module = nullptr;
+  ASSERT_EQ(ctx.ModuleLoadText(kBumpKernel, &module), CuResult::kSuccess);
+  DevPtr out = 0;
+  ASSERT_EQ(ctx.MemAlloc(&out, 16), CuResult::kSuccess);
+  const std::uint32_t init = 7;
+  ASSERT_EQ(ctx.MemcpyHtoD(out, &init, 4), CuResult::kSuccess);
+
+  const SimState state = ctx.Snapshot();
+  const std::uint64_t cycles_at_snapshot = ctx.total_cycles();
+
+  const std::uint64_t params[] = {out};
+  ASSERT_EQ(ctx.LaunchKernel(ctx.GetFunction("bump"), Dim3{1, 1, 1},
+                             Dim3{32, 1, 1}, params),
+            CuResult::kSuccess);
+  std::uint32_t value = 0;
+  ASSERT_EQ(ctx.MemcpyDtoH(&value, out, 4), CuResult::kSuccess);
+  EXPECT_EQ(value, 8u);
+  EXPECT_GT(ctx.total_cycles(), cycles_at_snapshot);
+
+  ctx.Restore(state);
+  EXPECT_EQ(ctx.total_cycles(), cycles_at_snapshot);
+  EXPECT_EQ(ctx.total_launches(), 0u);
+  ASSERT_EQ(ctx.MemcpyDtoH(&value, out, 4), CuResult::kSuccess);
+  EXPECT_EQ(value, 7u);
+
+  // The restored context relaunches exactly as the original timeline did.
+  ASSERT_EQ(ctx.LaunchKernel(ctx.GetFunction("bump"), Dim3{1, 1, 1},
+                             Dim3{32, 1, 1}, params),
+            CuResult::kSuccess);
+  ASSERT_EQ(ctx.MemcpyDtoH(&value, out, 4), CuResult::kSuccess);
+  EXPECT_EQ(value, 8u);
+  EXPECT_EQ(ctx.total_launches(), 1u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::sim

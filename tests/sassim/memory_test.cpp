@@ -162,6 +162,105 @@ TEST(FlatMemory, WindowDefaultsToSize) {
   EXPECT_EQ(mem.Read(64, 4).trap, TrapKind::kIllegalAddress);
 }
 
+constexpr std::size_t kPageBytes = GlobalMemory::kPageBytes;
+
+TEST(GlobalMemorySnapshot, RestoreRoundTripsContentAndAllocator) {
+  GlobalMemory mem;
+  const DevPtr a = mem.Alloc(64);
+  EXPECT_EQ(mem.Write(a, 0x11111111, 4), TrapKind::kNone);
+  const GlobalMemory::Snapshot snap = mem.TakeSnapshot();
+
+  // Mutate everything the snapshot covers: contents, allocations, arena size.
+  EXPECT_EQ(mem.Write(a, 0x22222222, 4), TrapKind::kNone);
+  const DevPtr b = mem.Alloc(8192);
+  EXPECT_EQ(mem.Write(b, 0x33333333, 4), TrapKind::kNone);
+  EXPECT_EQ(mem.live_allocations(), 2u);
+
+  mem.RestoreSnapshot(snap);
+  EXPECT_EQ(mem.Read(a, 4).value, 0x11111111u);
+  EXPECT_EQ(mem.live_allocations(), 1u);
+  EXPECT_EQ(mem.bytes_allocated(), 64u);
+  // The bump allocator rewound too: the next allocation lands where `b` did.
+  EXPECT_EQ(mem.Alloc(8192), b);
+}
+
+TEST(GlobalMemorySnapshot, MutationAfterSnapshotDoesNotLeakIntoIt) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(16);
+  EXPECT_EQ(mem.Write(p, 0xAAAAAAAA, 4), TrapKind::kNone);
+  const GlobalMemory::Snapshot snap = mem.TakeSnapshot();
+
+  // Every mutation path: device store, host upload, and a growing Alloc.
+  EXPECT_EQ(mem.Write(p, 0xBBBBBBBB, 4), TrapKind::kNone);
+  const std::vector<std::uint8_t> data(8, 0xCC);
+  EXPECT_TRUE(mem.CopyIn(p + 8, data));
+  mem.Alloc(4096);
+
+  mem.RestoreSnapshot(snap);
+  EXPECT_EQ(mem.Read(p, 4).value, 0xAAAAAAAAu);
+  EXPECT_EQ(mem.Read(p + 8, 4).value, 0u);
+}
+
+TEST(GlobalMemorySnapshot, SharesUntouchedPagesWithPreviousSnapshot) {
+  GlobalMemory mem;
+  // Three full pages of arena.
+  const DevPtr p = mem.Alloc(3 * kPageBytes);
+  const GlobalMemory::Snapshot first = mem.TakeSnapshot();
+  ASSERT_EQ(first.pages.size(), 3u);
+
+  // Touch only the middle page; an incremental snapshot must share the
+  // others by pointer (the copy-on-write property the checkpoint stream's
+  // O(pages touched) cost claim rests on).
+  EXPECT_EQ(mem.Write(p + kPageBytes, 0x5A5A5A5A, 4), TrapKind::kNone);
+  const GlobalMemory::Snapshot second = mem.TakeSnapshot(&first);
+  ASSERT_EQ(second.pages.size(), 3u);
+  EXPECT_EQ(second.pages[0].get(), first.pages[0].get());
+  EXPECT_NE(second.pages[1].get(), first.pages[1].get());
+  EXPECT_EQ(second.pages[2].get(), first.pages[2].get());
+
+  // An untouched arena shares everything.
+  const GlobalMemory::Snapshot third = mem.TakeSnapshot(&second);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(third.pages[i].get(), second.pages[i].get());
+  }
+}
+
+TEST(GlobalMemorySnapshot, RestorePreservesSharingWithLaterSnapshots) {
+  GlobalMemory mem;
+  const DevPtr p = mem.Alloc(2 * kPageBytes);
+  EXPECT_EQ(mem.Write(p, 0x11, 4), TrapKind::kNone);
+  const GlobalMemory::Snapshot snap = mem.TakeSnapshot();
+
+  EXPECT_EQ(mem.Write(p, 0x22, 4), TrapKind::kNone);
+  mem.RestoreSnapshot(snap);
+
+  // Restoring brought back the page stamps, so a snapshot taken now is
+  // byte- and structure-identical to the restored one.
+  const GlobalMemory::Snapshot again = mem.TakeSnapshot(&snap);
+  ASSERT_EQ(again.pages.size(), snap.pages.size());
+  for (std::size_t i = 0; i < snap.pages.size(); ++i) {
+    EXPECT_EQ(again.pages[i].get(), snap.pages[i].get());
+  }
+}
+
+TEST(GlobalMemorySnapshot, GrowthAfterSnapshotInvalidatesTailPage) {
+  GlobalMemory mem;
+  // A partial final page: growth must not alias the old (shorter) page.
+  mem.Alloc(kPageBytes + 100);
+  const GlobalMemory::Snapshot first = mem.TakeSnapshot();
+  ASSERT_EQ(first.pages.size(), 2u);
+  EXPECT_EQ(first.pages[1]->size(), 100u);
+
+  mem.Alloc(kPageBytes);
+  const GlobalMemory::Snapshot second = mem.TakeSnapshot(&first);
+  ASSERT_EQ(second.pages.size(), 3u);
+  EXPECT_EQ(second.pages[0].get(), first.pages[0].get());
+  // Page 1 grew from a 100-byte tail to a full page: same stamp-era data on
+  // its prefix, but the old shared page must not be reused at a new length.
+  EXPECT_NE(second.pages[1].get(), first.pages[1].get());
+  EXPECT_EQ(second.pages[1]->size(), kPageBytes);
+}
+
 TEST(ConstantBank, ReadWriteAndGrowth) {
   ConstantBank bank;
   bank.Write32(0x160, 0x12345678);

@@ -60,11 +60,17 @@ int Usage() {
                "                     [--workers N] [--csv FILE] [--store FILE.jsonl]\n"
                "                     [--resume] [--element f32|f64] [--trace]\n"
                "                     [--static-prune | --static-check]\n"
+               "                     [--checkpoints | --no-checkpoints]\n"
                "                     --trace follows each fault's propagation "
                "(taint tracking)\n"
                "                     --static-prune skips statically-dead sites;\n"
                "                     --static-check simulates them anyway and "
                "reports violations\n"
+               "                     --checkpoints (default) fast-forwards each "
+               "injection run's\n"
+               "                     pre-fault launches from golden checkpoints; "
+               "results are\n"
+               "                     bit-identical, only wall-clock time changes\n"
                "  sweep <program> [--sm N] [--seed N] [--approximate] [--workers N]\n"
                "                  [--csv FILE] [--store FILE.jsonl] [--resume]\n"
                "                  [--element f32|f64]  permanent sweep over executed opcodes\n"
@@ -103,6 +109,8 @@ struct Args {
   // Propagation tracing (campaign): inject with the taint tracker and emit
   // the propagation report alongside the anatomy.
   bool trace = false;
+  // Golden-prefix checkpoint replay for campaign injection runs.
+  bool checkpoints = true;
   // Static-liveness site handling (campaign) and the analyze cross-tab.
   bool static_prune = false;
   bool static_check = false;
@@ -171,6 +179,10 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       args.resume = true;
     } else if (arg == "--trace") {
       args.trace = true;
+    } else if (arg == "--checkpoints") {
+      args.checkpoints = true;
+    } else if (arg == "--no-checkpoints") {
+      args.checkpoints = false;
     } else if (arg == "--static-prune") {
       args.static_prune = true;
     } else if (arg == "--static-check") {
@@ -422,6 +434,7 @@ int CmdCampaign(const Args& args) {
   config.group = *group;
   config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
                                       : fi::ProfilerTool::Mode::kExact;
+  config.checkpoints = args.checkpoints;
   if (args.trace) {
     config.trace = true;
     config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
@@ -456,7 +469,11 @@ int CmdCampaign(const Args& args) {
   analysis::AnatomyConfig anatomy_config;
   anatomy_config.element = args.element;
   if (!args.store.empty()) {
-    golden = runner.Golden(config.device);
+    // The checkpointed variant warms the shared cache with the recorded
+    // stream, so the campaign below reuses this run instead of re-running
+    // golden to get checkpoints.
+    golden = config.checkpoints ? runner.GoldenCheckpointed(config.device).run
+                                : runner.Golden(config.device);
     fi::RunArtifacts profiling_run;
     const fi::ProgramProfile profile =
         runner.Profile(config.profiling, config.device, &profiling_run);
