@@ -1,0 +1,126 @@
+// Table X — sharded fleet execution vs in-process parallelism.
+//
+// For every workload, the same transient campaign three ways: serial in one
+// process, parallel with the in-process worker pool (--workers), and split
+// into index-range shards each executed as an independent shard job on its
+// own thread — the coordinator's dispatch unit, minus the socket hop.  All
+// three modes share one RunCache, as the service's tenants share the golden
+// and checkpoint pool, so the timings isolate the injection phase itself.
+// The outcome columns must agree exactly: sharding is bit-identical by
+// construction (pre-forked per-index RNG streams), so wall-clock is the only
+// thing allowed to move.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/shard_runner.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+fi::OutcomeCounts RunMode(const fi::CampaignSpec& spec, std::size_t begin,
+                          std::size_t end, int workers, fi::RunCache* cache) {
+  service::ShardJob job;
+  job.spec = spec;
+  job.begin = begin;
+  job.end = end;
+  job.workers = workers;
+  const service::ShardOutcome outcome = service::RunShardJob(job, cache);
+  if (!outcome.ok) {
+    std::fprintf(stderr, "%s: shard [%zu, %zu) failed: %s\n",
+                 spec.program.c_str(), begin, end, outcome.error.c_str());
+    std::exit(1);
+  }
+  return outcome.result.counts;
+}
+
+bool SameCounts(const fi::OutcomeCounts& a, const fi::OutcomeCounts& b) {
+  return a.masked == b.masked && a.sdc == b.sdc && a.due == b.due &&
+         a.potential_due == b.potential_due;
+}
+
+}  // namespace
+
+int main() {
+  const int injections = bench::InjectionsPerProgram(30);
+  const std::uint64_t seed = bench::BenchSeed();
+  const int workers = bench::Workers(4);
+  const std::size_t shards = static_cast<std::size_t>(workers);
+  std::printf("Table X: sharded fleet execution vs in-process parallelism "
+              "(%d injections per program, seed %llu, %d workers / %zu shards)\n\n",
+              injections, static_cast<unsigned long long>(seed), workers, shards);
+  std::printf("%-14s %10s %10s %10s %9s %9s %6s\n", "program", "serial(s)",
+              "inproc(s)", "sharded(s)", "inproc-x", "shard-x", "match");
+
+  fi::RunCache cache;
+  double total_serial = 0.0, total_inproc = 0.0, total_sharded = 0.0;
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    fi::CampaignSpec spec;
+    spec.program = entry.program->name();
+    spec.seed = seed;
+    spec.num_injections = injections;
+
+    // Warm the shared golden/checkpoint/profile pool outside the timers —
+    // every mode (and every service tenant) draws from the same cache.
+    RunMode(spec, 0, 1, 1, &cache);
+
+    const auto serial_start = std::chrono::steady_clock::now();
+    const fi::OutcomeCounts serial = RunMode(spec, 0, 0, 1, &cache);
+    const double serial_seconds = Seconds(serial_start);
+
+    const auto inproc_start = std::chrono::steady_clock::now();
+    const fi::OutcomeCounts inproc = RunMode(spec, 0, 0, workers, &cache);
+    const double inproc_seconds = Seconds(inproc_start);
+
+    const std::vector<fi::ShardRange> plan =
+        fi::PlanShards(static_cast<std::size_t>(injections), shards);
+    std::vector<fi::OutcomeCounts> shard_counts(plan.size());
+    const auto sharded_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> fleet;
+    fleet.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      fleet.emplace_back([&, i] {
+        shard_counts[i] = RunMode(spec, plan[i].begin, plan[i].end, 1, &cache);
+      });
+    }
+    for (std::thread& t : fleet) t.join();
+    const double sharded_seconds = Seconds(sharded_start);
+
+    fi::OutcomeCounts sharded;
+    for (const fi::OutcomeCounts& counts : shard_counts) {
+      sharded.masked += counts.masked;
+      sharded.sdc += counts.sdc;
+      sharded.due += counts.due;
+      sharded.potential_due += counts.potential_due;
+    }
+    const bool match = SameCounts(serial, inproc) && SameCounts(serial, sharded);
+
+    total_serial += serial_seconds;
+    total_inproc += inproc_seconds;
+    total_sharded += sharded_seconds;
+    std::printf("%-14s %10.3f %10.3f %10.3f %8.2fx %8.2fx %6s\n",
+                spec.program.c_str(), serial_seconds, inproc_seconds,
+                sharded_seconds,
+                inproc_seconds > 0 ? serial_seconds / inproc_seconds : 0.0,
+                sharded_seconds > 0 ? serial_seconds / sharded_seconds : 0.0,
+                match ? "yes" : "NO");
+  }
+
+  std::printf("\nsuite wall-clock: serial %.3f s, in-process %.3f s (%.2fx), "
+              "sharded %.3f s (%.2fx)\n",
+              total_serial, total_inproc,
+              total_inproc > 0 ? total_serial / total_inproc : 0.0,
+              total_sharded,
+              total_sharded > 0 ? total_serial / total_sharded : 0.0);
+  return 0;
+}

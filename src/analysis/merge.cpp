@@ -1,0 +1,170 @@
+#include "analysis/merge.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace nvbitfi::analysis {
+namespace {
+
+// Strips everything a shard is allowed to differ in (its range) and
+// everything the merge recomputes (workers, accounting), leaving the
+// campaign identity plus the shared state (golden accounting, profile).
+StoreMeta NormalizedMeta(const StoreMeta& meta) {
+  StoreMeta out = meta;
+  out.shard_begin = 0;
+  out.shard_end = 0;
+  out.workers = 1;
+  out.replay_accounting = false;
+  out.checkpointed_runs = 0;
+  out.replay_launches = 0;
+  out.replay_instructions_saved = 0;
+  out.replay_fallbacks = 0;
+  return out;
+}
+
+}  // namespace
+
+std::optional<MergeSummary> MergeShardStores(const std::vector<std::string>& shard_paths,
+                                             const std::string& out_path,
+                                             std::string* error) {
+  if (shard_paths.empty()) {
+    if (error != nullptr) *error = "no shard stores to merge";
+    return std::nullopt;
+  }
+
+  std::vector<LoadedStore> shards;
+  shards.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    std::optional<LoadedStore> shard = LoadResultStore(path, error);
+    if (!shard.has_value()) return std::nullopt;
+    if (shard->meta.kind != "transient") {
+      if (error != nullptr) {
+        *error = Format("'%s': only transient campaigns shard", path.c_str());
+      }
+      return std::nullopt;
+    }
+    if (shard->meta.shard_end == 0) {
+      if (error != nullptr) {
+        *error = Format("'%s' has no shard range (not a shard store)", path.c_str());
+      }
+      return std::nullopt;
+    }
+    shards.push_back(*std::move(shard));
+  }
+
+  // Identity: every shard must describe the same campaign — not just the
+  // resume identity, but the full shared state (golden accounting, profile),
+  // since the merged header inherits it.
+  const std::string identity = MetaToJson(NormalizedMeta(shards[0].meta)).Dump();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    if (MetaToJson(NormalizedMeta(shards[i].meta)).Dump() != identity) {
+      if (error != nullptr) {
+        *error = Format("'%s' belongs to a different campaign than '%s'",
+                        shard_paths[i].c_str(), shard_paths[0].c_str());
+      }
+      return std::nullopt;
+    }
+  }
+
+  // Coverage: the shard ranges must tile [0, num_experiments) exactly, and
+  // every shard must hold a record for each index in its range.
+  std::vector<std::size_t> order(shards.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return shards[a].meta.shard_begin < shards[b].meta.shard_begin;
+  });
+  const std::uint64_t total = shards[0].meta.num_experiments;
+  std::uint64_t next = 0;
+  for (const std::size_t i : order) {
+    const StoreMeta& meta = shards[i].meta;
+    if (meta.shard_begin != next || meta.shard_end > total) {
+      if (error != nullptr) {
+        *error = Format("shard ranges do not tile [0, %llu): '%s' covers "
+                        "[%llu, %llu) but [%llu, ...) is needed",
+                        static_cast<unsigned long long>(total),
+                        shard_paths[i].c_str(),
+                        static_cast<unsigned long long>(meta.shard_begin),
+                        static_cast<unsigned long long>(meta.shard_end),
+                        static_cast<unsigned long long>(next));
+      }
+      return std::nullopt;
+    }
+    const std::size_t expected = meta.shard_end - meta.shard_begin;
+    const auto& records = shards[i].transient;
+    const bool complete =
+        records.size() == expected &&
+        (expected == 0 ||
+         (records.begin()->first >= meta.shard_begin &&
+          records.rbegin()->first < meta.shard_end));
+    if (!complete) {
+      if (error != nullptr) {
+        *error = Format("'%s' is incomplete: %zu of %zu records for "
+                        "[%llu, %llu) — finish or resume the shard first",
+                        shard_paths[i].c_str(), records.size(), expected,
+                        static_cast<unsigned long long>(meta.shard_begin),
+                        static_cast<unsigned long long>(meta.shard_end));
+      }
+      return std::nullopt;
+    }
+    next = meta.shard_end;
+  }
+  if (next != total) {
+    if (error != nullptr) {
+      *error = Format("shards cover [0, %llu) of %llu experiments — missing tail",
+                      static_cast<unsigned long long>(next),
+                      static_cast<unsigned long long>(total));
+    }
+    return std::nullopt;
+  }
+
+  // The canonical header: shard provenance stripped, workers canonicalized
+  // to the serial reference, replay accounting summed from the shard-only
+  // per-record stats (exactly what a finalized unsharded campaign records).
+  StoreMeta merged = NormalizedMeta(shards[0].meta);
+  merged.replay_accounting = true;
+  for (const LoadedStore& shard : shards) {
+    for (const auto& [index, replay] : shard.replay) {
+      (void)index;
+      ++merged.checkpointed_runs;
+      merged.replay_launches += replay.launches_fast_forwarded;
+      merged.replay_instructions_saved += replay.thread_instructions_saved;
+      merged.replay_fallbacks += replay.host_divergences + replay.watchdog_fallbacks;
+    }
+  }
+
+  std::FILE* file = std::fopen(out_path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = Format("cannot write '%s'", out_path.c_str());
+    return std::nullopt;
+  }
+  auto write_line = [file](const std::string& line) {
+    std::fputs(line.c_str(), file);
+    std::fputc('\n', file);
+  };
+  write_line(MetaToJson(merged).Dump());
+  for (const std::size_t i : order) {
+    for (const auto& [index, run] : shards[i].transient) {
+      const auto anatomy = shards[i].anatomy.find(index);
+      // Re-serialized without the replay stats: canonical records are
+      // byte-identical whether the campaign was sharded, checkpointed, or
+      // neither.
+      write_line(TransientRunToJson(index, run,
+                                    anatomy != shards[i].anatomy.end()
+                                        ? &anatomy->second
+                                        : nullptr)
+                     .Dump());
+    }
+  }
+  std::fflush(file);
+  std::fclose(file);
+
+  MergeSummary summary;
+  summary.num_experiments = total;
+  summary.num_shards = shards.size();
+  summary.meta = merged;
+  return summary;
+}
+
+}  // namespace nvbitfi::analysis

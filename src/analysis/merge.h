@@ -1,0 +1,36 @@
+// Offline shard-store merger.
+//
+// A sharded campaign produces one store per index range, each carrying shard
+// provenance (`shard_begin`/`shard_end`) and per-record checkpoint-replay
+// stats.  Merging validates that the shards describe the SAME campaign (full
+// identity check), that their ranges tile [0, num_experiments) exactly, and
+// that every shard is complete — then writes one canonical unsharded store:
+// header with summed replay accounting and `workers` canonicalized to 1,
+// records in index order with the shard-only replay fields stripped.
+//
+// The output is byte-identical to the store an unsharded single-process
+// campaign would have written and then finalized, because both sides go
+// through the same serialization functions (MetaToJson / TransientRunToJson)
+// and campaigns are deterministic per experiment index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/result_store.h"
+
+namespace nvbitfi::analysis {
+
+struct MergeSummary {
+  std::uint64_t num_experiments = 0;
+  std::size_t num_shards = 0;
+  StoreMeta meta;  // the merged (canonical) header
+};
+
+// Merges `shard_paths` into `out_path`.  On any validation failure nothing
+// is written and *error describes the offending shard.
+std::optional<MergeSummary> MergeShardStores(const std::vector<std::string>& shard_paths,
+                                             const std::string& out_path,
+                                             std::string* error);
+
+}  // namespace nvbitfi::analysis

@@ -138,6 +138,26 @@ std::optional<fi::TransientFaultParams> TransientParamsFromJson(const json::Valu
   return params;
 }
 
+json::Value ReplayToJson(const sim::ReplayStats& replay) {
+  json::Value out = json::Value::Object();
+  out.Set("launches_fast_forwarded", replay.launches_fast_forwarded);
+  out.Set("thread_instructions_saved", replay.thread_instructions_saved);
+  out.Set("host_divergences", replay.host_divergences);
+  out.Set("watchdog_fallbacks", replay.watchdog_fallbacks);
+  return out;
+}
+
+sim::ReplayStats ReplayFromJson(const json::Value& value) {
+  sim::ReplayStats replay;
+  replay.launches_fast_forwarded = value.GetUint("launches_fast_forwarded");
+  replay.thread_instructions_saved = value.GetUint("thread_instructions_saved");
+  replay.host_divergences = value.GetUint("host_divergences");
+  replay.watchdog_fallbacks = value.GetUint("watchdog_fallbacks");
+  return replay;
+}
+
+}  // namespace
+
 json::Value MetaToJson(const StoreMeta& meta) {
   json::Value out = json::Value::Object();
   out.Set("nvbitfi_result_store", static_cast<std::int64_t>(meta.version));
@@ -158,11 +178,24 @@ json::Value MetaToJson(const StoreMeta& meta) {
   out.Set("watchdog_multiplier", meta.watchdog_multiplier);
   out.Set("element", ElementKindName(meta.element));
   out.Set("workers", meta.workers);
+  if (meta.shard_end > 0) {
+    out.Set("shard_begin", meta.shard_begin);
+    out.Set("shard_end", meta.shard_end);
+  }
+  if (meta.replay_accounting) {
+    out.Set("replay_accounting", true);
+    out.Set("checkpointed_runs", meta.checkpointed_runs);
+    out.Set("replay_launches", meta.replay_launches);
+    out.Set("replay_instructions_saved", meta.replay_instructions_saved);
+    out.Set("replay_fallbacks", meta.replay_fallbacks);
+  }
   out.Set("golden", ArtifactsToJson(meta.golden));
   out.Set("profiling_run_cycles", meta.profiling_run_cycles);
   out.Set("profile", meta.profile_text);
   return out;
 }
+
+namespace {
 
 std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* error) {
   StoreMeta meta;
@@ -194,6 +227,13 @@ std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* err
   meta.element = ElementKindFromName(value.GetString("element", "f32"))
                      .value_or(ElementKind::kF32);
   meta.workers = static_cast<int>(value.GetInt("workers", 1));
+  meta.shard_begin = value.GetUint("shard_begin");
+  meta.shard_end = value.GetUint("shard_end");
+  meta.replay_accounting = value.GetBool("replay_accounting");
+  meta.checkpointed_runs = value.GetUint("checkpointed_runs");
+  meta.replay_launches = value.GetUint("replay_launches");
+  meta.replay_instructions_saved = value.GetUint("replay_instructions_saved");
+  meta.replay_fallbacks = value.GetUint("replay_fallbacks");
   if (const json::Value* golden = value.Find("golden"); golden != nullptr) {
     meta.golden = ArtifactsFromJson(*golden);
   }
@@ -202,8 +242,11 @@ std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* err
   return meta;
 }
 
+}  // namespace
+
 json::Value TransientRunToJson(std::size_t index, const fi::InjectionRun& run,
-                               const SdcAnatomy* anatomy) {
+                               const SdcAnatomy* anatomy,
+                               const sim::ReplayStats* replay) {
   json::Value out = json::Value::Object();
   out.Set("index", static_cast<std::uint64_t>(index));
   out.Set("trivially_masked", run.trivially_masked);
@@ -216,8 +259,11 @@ json::Value TransientRunToJson(std::size_t index, const fi::InjectionRun& run,
   out.Set("classification", ClassificationToJson(run.classification));
   if (run.propagation.has_value()) out.Set("propagation", ToJson(*run.propagation));
   if (anatomy != nullptr) out.Set("anatomy", ToJson(*anatomy));
+  if (replay != nullptr) out.Set("replay", ReplayToJson(*replay));
   return out;
 }
+
+namespace {
 
 json::Value PermanentRunToJson(std::size_t index, const fi::PermanentRun& run,
                                const SdcAnatomy* anatomy) {
@@ -238,10 +284,12 @@ json::Value PermanentRunToJson(std::size_t index, const fi::PermanentRun& run,
 }
 
 // Parses one record line into `store`; false on malformed content.
-bool ParseRecordLine(const json::Value& value, LoadedStore* store) {
+bool ParseRecordLine(const json::Value& value, LoadedStore* store,
+                     std::size_t* index_out) {
   const json::Value* index_value = value.Find("index");
   if (index_value == nullptr) return false;
   const std::size_t index = index_value->AsUint();
+  if (index_out != nullptr) *index_out = index;
   const json::Value* classification_value = value.Find("classification");
   if (classification_value == nullptr) return false;
   const std::optional<fi::Classification> classification =
@@ -295,6 +343,9 @@ bool ParseRecordLine(const json::Value& value, LoadedStore* store) {
       run.propagation = PropagationRecordFromJson(*propagation);
       if (!run.propagation.has_value()) return false;
     }
+    if (const json::Value* replay = value.Find("replay"); replay != nullptr) {
+      store->replay[index] = ReplayFromJson(*replay);
+    }
     store->transient[index] = std::move(run);
   }
   if (anatomy.has_value()) store->anatomy[index] = *std::move(anatomy);
@@ -314,7 +365,8 @@ bool StoreMeta::CompatibleWith(const StoreMeta& other) const {
          static_mode == other.static_mode &&
          approximate_profile == other.approximate_profile &&
          watchdog_multiplier == other.watchdog_multiplier &&
-         element == other.element;
+         element == other.element && shard_begin == other.shard_begin &&
+         shard_end == other.shard_end;
 }
 
 StoreMeta TransientStoreMeta(const std::string& program,
@@ -411,13 +463,15 @@ std::optional<LoadedStore> LoadResultStore(const std::string& path, std::string*
   for (std::size_t i = 1; i < lines.size(); ++i) {
     if (TrimWhitespace(lines[i]).empty()) continue;
     const std::optional<json::Value> value = json::Value::Parse(lines[i]);
-    if (!value.has_value() || !ParseRecordLine(*value, &store)) {
+    std::size_t index = 0;
+    if (!value.has_value() || !ParseRecordLine(*value, &store, &index)) {
       if (i == last) continue;  // truncated tail record
       if (error != nullptr) {
         *error = Format("'%s': malformed record on line %zu", path.c_str(), i + 1);
       }
       return std::nullopt;
     }
+    store.record_lines[index] = lines[i];
   }
   return store;
 }
@@ -454,19 +508,11 @@ std::unique_ptr<ResultStore> ResultStore::Open(const std::string& path,
     std::fputc('\n', file);
   };
   write_line(MetaToJson(loaded.meta).Dump());
-  for (const auto& [index, run] : loaded.transient) {
-    const auto anatomy = loaded.anatomy.find(index);
-    write_line(TransientRunToJson(index, run,
-                                  anatomy != loaded.anatomy.end() ? &anatomy->second
-                                                                  : nullptr)
-                   .Dump());
-  }
-  for (const auto& [index, run] : loaded.permanent) {
-    const auto anatomy = loaded.anatomy.find(index);
-    write_line(PermanentRunToJson(index, run,
-                                  anatomy != loaded.anatomy.end() ? &anatomy->second
-                                                                  : nullptr)
-                   .Dump());
+  // Loaded records are replayed byte-for-byte: re-serializing could disturb
+  // shard-only fields (per-run replay stats) or merge/resume byte identity.
+  for (const auto& [index, line] : loaded.record_lines) {
+    (void)index;
+    write_line(line);
   }
   std::fflush(file);
   return std::unique_ptr<ResultStore>(new ResultStore(path, file, std::move(loaded)));
@@ -477,9 +523,11 @@ ResultStore::~ResultStore() {
 }
 
 void ResultStore::AppendTransient(std::size_t index, const fi::InjectionRun& run,
-                                  const SdcAnatomy* anatomy) {
-  const std::string line = TransientRunToJson(index, run, anatomy).Dump();
+                                  const SdcAnatomy* anatomy,
+                                  const sim::ReplayStats* replay) {
+  const std::string line = TransientRunToJson(index, run, anatomy, replay).Dump();
   std::lock_guard<std::mutex> lock(mu_);
+  lines_[index] = line;
   std::fputs(line.c_str(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);
@@ -489,8 +537,25 @@ void ResultStore::AppendPermanent(std::size_t index, const fi::PermanentRun& run
                                   const SdcAnatomy* anatomy) {
   const std::string line = PermanentRunToJson(index, run, anatomy).Dump();
   std::lock_guard<std::mutex> lock(mu_);
+  lines_[index] = line;
   std::fputs(line.c_str(), file_);
   std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void ResultStore::FinalizeMeta(const StoreMeta& meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* file = std::freopen(path_.c_str(), "wb", file_);
+  if (file == nullptr) return;  // store left as appended; still loadable
+  file_ = file;
+  loaded_.meta = meta;
+  std::fputs(MetaToJson(meta).Dump().c_str(), file_);
+  std::fputc('\n', file_);
+  for (const auto& [index, line] : lines_) {
+    (void)index;
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+  }
   std::fflush(file_);
 }
 
@@ -505,6 +570,25 @@ fi::TransientCampaignResult RebuildTransientResult(const LoadedStore& store) {
     result.profile = *profile;
   }
   result.workers = store.meta.workers;
+  if (store.meta.replay_accounting && store.meta.checkpoints) {
+    // Finalized store: accounting was persisted in the header (satisfies
+    // `analyze` without re-simulating).
+    result.checkpoints_used = true;
+    result.checkpointed_runs = store.meta.checkpointed_runs;
+    result.replay_launches = store.meta.replay_launches;
+    result.replay_instructions_saved = store.meta.replay_instructions_saved;
+    result.replay_fallbacks = store.meta.replay_fallbacks;
+  } else if (!store.replay.empty()) {
+    // Unfinalized shard store: sum the per-record replay stats.
+    result.checkpoints_used = true;
+    for (const auto& [index, replay] : store.replay) {
+      (void)index;
+      ++result.checkpointed_runs;
+      result.replay_launches += replay.launches_fast_forwarded;
+      result.replay_instructions_saved += replay.thread_instructions_saved;
+      result.replay_fallbacks += replay.host_divergences + replay.watchdog_fallbacks;
+    }
+  }
   for (const auto& [index, run] : store.transient) {
     (void)index;
     result.injections.push_back(run);

@@ -25,7 +25,9 @@
 #include <string>
 
 #include "analysis/anatomy.h"
+#include "analysis/json.h"
 #include "core/campaign.h"
+#include "sassim/runtime/checkpoint.h"
 
 namespace nvbitfi::analysis {
 
@@ -63,6 +65,22 @@ struct StoreMeta {
   std::uint64_t watchdog_multiplier = 0;
   ElementKind element = ElementKind::kF32;
   int workers = 1;
+  // Shard provenance: a shard store holds only experiments in
+  // [shard_begin, shard_end) of the full campaign.  0/0 (the default) means
+  // an unsharded store covering every index.  Part of the resume identity so
+  // a crashed shard is only ever resumed as the SAME shard; the merge tool
+  // strips the range again, so merged stores read as unsharded.
+  std::uint64_t shard_begin = 0;
+  std::uint64_t shard_end = 0;
+  // Checkpoint-replay accounting, persisted when a campaign (or merge)
+  // finalizes the store.  Mirrors TransientCampaignResult's accounting so
+  // `nvbitfi analyze` reports replay savings without re-simulating.  Not part
+  // of the resume identity: an in-progress store simply has none yet.
+  bool replay_accounting = false;
+  std::uint64_t checkpointed_runs = 0;
+  std::uint64_t replay_launches = 0;
+  std::uint64_t replay_instructions_saved = 0;
+  std::uint64_t replay_fallbacks = 0;
   // Golden-run accounting (outputs are not persisted) and the profile, for
   // report regeneration.
   fi::RunArtifacts golden;
@@ -91,11 +109,24 @@ struct LoadedStore {
   std::map<std::size_t, fi::InjectionRun> transient;
   std::map<std::size_t, fi::PermanentRun> permanent;
   std::map<std::size_t, SdcAnatomy> anatomy;  // SDC runs only
+  // Per-run replay stats (shard stores only; canonical stores never carry
+  // them so checkpointed and uncheckpointed records stay byte-identical).
+  std::map<std::size_t, sim::ReplayStats> replay;
+  // The raw serialized record lines, preserved so resume rewrites and shard
+  // merges reproduce loaded records byte-for-byte instead of re-serializing.
+  std::map<std::size_t, std::string> record_lines;
 
   std::size_t completed() const {
     return meta.kind == "permanent" ? permanent.size() : transient.size();
   }
 };
+
+// Store serialization primitives, shared with the shard merger so a merged
+// store is byte-identical to an unsharded campaign's by construction.
+json::Value MetaToJson(const StoreMeta& meta);
+json::Value TransientRunToJson(std::size_t index, const fi::InjectionRun& run,
+                               const SdcAnatomy* anatomy,
+                               const sim::ReplayStats* replay = nullptr);
 
 // Parses a store file.  A malformed or truncated *final* record line is
 // skipped (the footprint of a killed campaign); a malformed header or a
@@ -118,11 +149,21 @@ class ResultStore {
   ResultStore& operator=(const ResultStore&) = delete;
 
   // Serializes one completed run and flushes it.  `anatomy` may be null
-  // (non-SDC runs).
+  // (non-SDC runs).  `replay` (shard stores only) persists that run's
+  // checkpoint-replay stats atomically with the record; canonical stores
+  // must pass null so their records stay byte-identical to an
+  // uncheckpointed campaign's.
   void AppendTransient(std::size_t index, const fi::InjectionRun& run,
-                       const SdcAnatomy* anatomy);
+                       const SdcAnatomy* anatomy,
+                       const sim::ReplayStats* replay = nullptr);
   void AppendPermanent(std::size_t index, const fi::PermanentRun& run,
                        const SdcAnatomy* anatomy);
+
+  // Rewrites the store in place with an updated header (records are kept
+  // byte-for-byte).  Campaigns call this at completion to persist
+  // checkpoint-replay accounting in the header without ever touching record
+  // bytes; the store stays resumable throughout.
+  void FinalizeMeta(const StoreMeta& meta);
 
   // Runs loaded from the resumed store; campaigns pass these as `preloaded`
   // so completed indexes are skipped.
@@ -131,11 +172,16 @@ class ResultStore {
 
  private:
   ResultStore(std::string path, std::FILE* file, LoadedStore loaded)
-      : path_(std::move(path)), file_(file), loaded_(std::move(loaded)) {}
+      : path_(std::move(path)), file_(file), loaded_(std::move(loaded)) {
+    lines_ = loaded_.record_lines;
+  }
 
   std::string path_;
   std::FILE* file_ = nullptr;
   LoadedStore loaded_;
+  // Every record line written or loaded so far, by index — FinalizeMeta
+  // rewrites the file from this map so record bytes never change.
+  std::map<std::size_t, std::string> lines_;
   std::mutex mu_;
 };
 

@@ -66,10 +66,19 @@ double TransientCampaignResult::ProfilingOverhead() const {
   return Overhead(profiling_run.cycles, golden.cycles);
 }
 
+std::uint64_t TransientCampaignResult::CompletedRuns() const {
+  if (completed.empty()) return injections.size();
+  std::uint64_t total = 0;
+  for (const std::uint8_t c : completed) total += c != 0 ? 1 : 0;
+  return total;
+}
+
 double TransientCampaignResult::MedianInjectionOverhead() const {
   std::vector<double> overheads;
   overheads.reserve(injections.size());
-  for (const InjectionRun& run : injections) {
+  for (std::size_t i = 0; i < injections.size(); ++i) {
+    const InjectionRun& run = injections[i];
+    if (!RunCompleted(i)) continue;
     if (run.trivially_masked || run.statically_masked) continue;  // no run happened
     overheads.push_back(Overhead(run.artifacts.cycles, golden.cycles));
   }
@@ -78,7 +87,9 @@ double TransientCampaignResult::MedianInjectionOverhead() const {
 
 std::uint64_t TransientCampaignResult::TotalInjectionCycles() const {
   std::uint64_t total = 0;
-  for (const InjectionRun& run : injections) total += run.artifacts.cycles;
+  for (std::size_t i = 0; i < injections.size(); ++i) {
+    if (RunCompleted(i)) total += injections[i].artifacts.cycles;
+  }
   return total;
 }
 
@@ -89,15 +100,18 @@ std::uint64_t TransientCampaignResult::TotalCampaignCycles() const {
 double PermanentCampaignResult::MedianInjectionOverhead(std::uint64_t golden_cycles) const {
   std::vector<double> overheads;
   overheads.reserve(runs.size());
-  for (const PermanentRun& run : runs) {
-    overheads.push_back(Overhead(run.artifacts.cycles, golden_cycles));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!RunCompleted(i)) continue;
+    overheads.push_back(Overhead(runs[i].artifacts.cycles, golden_cycles));
   }
   return Median(std::move(overheads));
 }
 
 std::uint64_t PermanentCampaignResult::TotalCampaignCycles() const {
   std::uint64_t total = 0;
-  for (const PermanentRun& run : runs) total += run.artifacts.cycles;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (RunCompleted(i)) total += runs[i].artifacts.cycles;
+  }
   return total;
 }
 
@@ -206,9 +220,15 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   // Steps 2-4, once per injection experiment, distributed over the pool.
   const std::size_t n =
       config.num_injections > 0 ? static_cast<std::size_t>(config.num_injections) : 0;
+  // Shard range: every stream below is still forked, but only in-range
+  // indexes execute (see TransientCampaignConfig::index_begin).
+  const std::size_t begin = std::min(config.index_begin, n);
+  const std::size_t end =
+      config.index_end == 0 ? n : std::min(config.index_end, n);
   Rng rng(Rng::SeedFrom(config.seed, program_.name()));
   std::vector<Rng> streams = ForkStreams(rng, n);
   result.injections.resize(n);
+  result.completed.assign(n, 0);
 
   // Per-experiment replay accounting, merged after the pool drains.  Kept
   // out of InjectionRun deliberately: stored records must be bit-identical
@@ -219,8 +239,17 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   WorkerPool pool(config.num_workers);
   result.workers = pool.workers();
   const auto start = std::chrono::steady_clock::now();
-  pool.ParallelFor(n, [&](std::size_t i) {
+  pool.ParallelFor(end > begin ? end - begin : 0, [&](std::size_t task) {
+    const std::size_t i = begin + task;
     InjectionRun& run = result.injections[i];
+    // Cancellation (SIGINT/SIGTERM): leave the slot unclaimed — the
+    // completed mask excludes it from counts, and a resumed campaign will
+    // run it later.
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      return;
+    }
+    result.completed[i] = 1;
     // Resumed experiment: the interrupted campaign already ran (and
     // persisted) this index; adopt its result without re-executing.
     if (config.preloaded != nullptr) {
@@ -286,9 +315,20 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     run.record = tool->record();
     run.propagation = tool->TakePropagation();
     run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
+    if (config.on_run_replay) {
+      config.on_run_replay(i, replayed[i] != 0 ? &replay[i] : nullptr);
+    }
     if (config.on_run_complete) config.on_run_complete(i, run);
   });
   result.wall_seconds = SecondsSince(start);
+  if (config.cancel != nullptr && config.cancel->load(std::memory_order_relaxed)) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (result.completed[i] == 0) {
+        result.cancelled = true;  // at least one experiment was cut off
+        break;
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     if (replayed[i] == 0) continue;
@@ -299,10 +339,13 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   }
 
   // Merge outcomes in experiment order (workers finish in arbitrary order).
-  // --static-check verdicts are re-evaluated here rather than captured on the
-  // workers: the oracle is deterministic, and this also covers preloaded
-  // (resumed) runs, which never visited a worker in this process.
+  // Out-of-range and cancellation-skipped slots are excluded — their
+  // default-constructed runs are not results.  --static-check verdicts are
+  // re-evaluated here rather than captured on the workers: the oracle is
+  // deterministic, and this also covers preloaded (resumed) runs, which
+  // never visited a worker in this process.
   for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    if (!result.RunCompleted(i)) continue;
     const InjectionRun& run = result.injections[i];
     result.counts.Add(run.classification);
     if (run.trivially_masked) {
@@ -381,8 +424,14 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
   WorkerPool pool(config.num_workers);
   result.workers = pool.workers();
   const auto start = std::chrono::steady_clock::now();
+  result.completed.assign(opcodes.size(), 0);
   pool.ParallelFor(opcodes.size(), [&](std::size_t i) {
     PermanentRun& run = result.runs[i];
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      return;
+    }
+    result.completed[i] = 1;
     if (config.preloaded != nullptr) {
       const auto it = config.preloaded->find(i);
       if (it != config.preloaded->end()) {
@@ -414,8 +463,18 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
     if (config.on_run_complete) config.on_run_complete(i, run);
   });
   result.wall_seconds = SecondsSince(start);
+  if (config.cancel != nullptr && config.cancel->load(std::memory_order_relaxed)) {
+    for (const std::uint8_t c : result.completed) {
+      if (c == 0) {
+        result.cancelled = true;
+        break;
+      }
+    }
+  }
 
-  for (const PermanentRun& run : result.runs) {
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (!result.RunCompleted(i)) continue;
+    const PermanentRun& run = result.runs[i];
     result.counts.Add(run.classification);
     result.weighted.Add(run.classification, run.weight);
   }

@@ -15,6 +15,7 @@
 // produces bit-identical results; only wall-clock time changes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -46,6 +47,14 @@ struct PermanentRun;
 // already persisted by the interrupted campaign being resumed.
 using TransientRunObserver = std::function<void(std::size_t, const InjectionRun&)>;
 using PermanentRunObserver = std::function<void(std::size_t, const PermanentRun&)>;
+
+// Replay-accounting hook: invoked immediately before on_run_complete, on the
+// same worker thread, for every freshly executed experiment.  `stats` is
+// null when the run did not fast-forward from checkpoints (checkpoints off,
+// or the golden run never executed the target launch).  Shard stores use
+// this to persist per-run replay stats atomically with the run record.
+using TransientReplayObserver =
+    std::function<void(std::size_t, const sim::ReplayStats*)>;
 
 struct TransientCampaignConfig {
   std::uint64_t seed = 1;
@@ -95,6 +104,18 @@ struct TransientCampaignConfig {
   // approximate profile has no event-exact site streams to resolve against).
   StaticSiteMode static_mode = StaticSiteMode::kOff;
   const StaticSiteOracle* static_oracle = nullptr;
+  // Shard execution: only experiments with index in [index_begin, index_end)
+  // run (0/0 = all).  Rng streams are still pre-forked for EVERY index in
+  // order, so an in-range experiment sees exactly the stream the unsharded
+  // campaign gives it — a sharded campaign's records are bit-identical to
+  // the unsharded campaign's records for the same indexes by construction.
+  std::size_t index_begin = 0;
+  std::size_t index_end = 0;
+  // Cooperative cancellation (SIGINT/SIGTERM): once set, workers stop
+  // claiming new experiments; already-started runs finish and are reported.
+  // The result's `completed` mask and `cancelled` flag record the cut.
+  const std::atomic<bool>* cancel = nullptr;
+  TransientReplayObserver on_run_replay;
 };
 
 struct InjectionRun {
@@ -157,6 +178,19 @@ struct TransientCampaignResult {
   std::uint64_t replay_launches = 0;
   std::uint64_t replay_instructions_saved = 0;
   std::uint64_t replay_fallbacks = 0;
+  // Per-experiment completion mask (empty = every experiment completed, the
+  // form hand-built results use).  Index i is 0 when the experiment was
+  // outside the campaign's index range or was cut off by cancellation; such
+  // slots in `injections` are default-constructed and excluded from counts,
+  // reports, and CSVs.
+  std::vector<std::uint8_t> completed;
+  bool cancelled = false;
+
+  // Whether experiment i completed (ran, was preloaded, or was synthesized).
+  bool RunCompleted(std::size_t i) const {
+    return completed.empty() || (i < completed.size() && completed[i] != 0);
+  }
+  std::uint64_t CompletedRuns() const;
 
   double ProfilingOverhead() const;       // profiling cycles / golden cycles
   // Median run cycles / golden cycles over the runs that actually executed.
@@ -183,6 +217,8 @@ struct PermanentCampaignConfig {
   // Resume support; see TransientCampaignConfig.
   const std::map<std::size_t, PermanentRun>* preloaded = nullptr;
   PermanentRunObserver on_run_complete;
+  // Cooperative cancellation; see TransientCampaignConfig.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct PermanentRun {
@@ -201,6 +237,13 @@ struct PermanentCampaignResult {
   std::size_t executed_opcodes = 0;
   int workers = 1;               // worker count the campaign actually used
   double wall_seconds = 0.0;     // wall-clock time of the injection phase
+  // Completion mask + cancellation flag; see TransientCampaignResult.
+  std::vector<std::uint8_t> completed;
+  bool cancelled = false;
+
+  bool RunCompleted(std::size_t i) const {
+    return completed.empty() || (i < completed.size() && completed[i] != 0);
+  }
 
   double MedianInjectionOverhead(std::uint64_t golden_cycles) const;
   std::uint64_t TotalCampaignCycles() const;  // all permanent runs (Fig. 5)

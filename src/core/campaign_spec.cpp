@@ -1,0 +1,150 @@
+#include "core/campaign_spec.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace nvbitfi::fi {
+namespace {
+
+constexpr std::string_view kSpecHeader = "nvbitfi campaign spec v1";
+
+bool ParseBoolField(std::string_view value, bool* out) {
+  if (value == "0") {
+    *out = false;
+    return true;
+  }
+  if (value == "1") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CampaignSpec::Serialize() const {
+  std::string out(kSpecHeader);
+  out += "\n";
+  out += Format("program %s\n", program.c_str());
+  out += Format("seed %llu\n", static_cast<unsigned long long>(seed));
+  out += Format("injections %d\n", num_injections);
+  out += Format("group %d\n", group);
+  out += Format("flip_model %d\n", flip_model);
+  out += Format("randomize_flip_model %d\n", randomize_flip_model ? 1 : 0);
+  out += Format("approximate %d\n", approximate ? 1 : 0);
+  out += Format("watchdog_multiplier %llu\n",
+                static_cast<unsigned long long>(watchdog_multiplier));
+  out += Format("trace %d\n", trace ? 1 : 0);
+  out += Format("checkpoints %d\n", checkpoints ? 1 : 0);
+  out += Format("static_mode %s\n", static_mode.c_str());
+  out += Format("element %s\n", element.c_str());
+  return out;
+}
+
+std::optional<CampaignSpec> CampaignSpec::Parse(std::string_view text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || TrimWhitespace(lines[0]) != kSpecHeader) return std::nullopt;
+
+  CampaignSpec spec;
+  bool have_program = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = TrimWhitespace(lines[i]);
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) return std::nullopt;
+    const std::string_view key = line.substr(0, space);
+    const std::string_view value = TrimWhitespace(line.substr(space + 1));
+    if (value.empty()) return std::nullopt;
+
+    std::uint64_t u = 0;
+    if (key == "program") {
+      spec.program = std::string(value);
+      have_program = true;
+    } else if (key == "seed") {
+      if (!ParseUint64(value, &spec.seed)) return std::nullopt;
+    } else if (key == "injections") {
+      if (!ParseUint64(value, &u) || u > 1000000000ull) return std::nullopt;
+      spec.num_injections = static_cast<int>(u);
+    } else if (key == "group") {
+      if (!ParseUint64(value, &u) || !ArchStateIdFromInt(static_cast<int>(u))) {
+        return std::nullopt;
+      }
+      spec.group = static_cast<int>(u);
+    } else if (key == "flip_model") {
+      if (!ParseUint64(value, &u) || !BitFlipModelFromInt(static_cast<int>(u))) {
+        return std::nullopt;
+      }
+      spec.flip_model = static_cast<int>(u);
+    } else if (key == "randomize_flip_model") {
+      if (!ParseBoolField(value, &spec.randomize_flip_model)) return std::nullopt;
+    } else if (key == "approximate") {
+      if (!ParseBoolField(value, &spec.approximate)) return std::nullopt;
+    } else if (key == "watchdog_multiplier") {
+      if (!ParseUint64(value, &spec.watchdog_multiplier)) return std::nullopt;
+    } else if (key == "trace") {
+      if (!ParseBoolField(value, &spec.trace)) return std::nullopt;
+    } else if (key == "checkpoints") {
+      if (!ParseBoolField(value, &spec.checkpoints)) return std::nullopt;
+    } else if (key == "static_mode") {
+      if (value != "off" && value != "check" && value != "prune") return std::nullopt;
+      spec.static_mode = std::string(value);
+    } else if (key == "element") {
+      if (value != "f32" && value != "f64") return std::nullopt;
+      spec.element = std::string(value);
+    } else {
+      return std::nullopt;  // unknown key: a different/newer spec format
+    }
+  }
+  if (!have_program) return std::nullopt;
+  // Static site handling needs exact profiling (site-stream resolution).
+  if (spec.static_mode != "off" && spec.approximate) return std::nullopt;
+  return spec;
+}
+
+TransientCampaignConfig CampaignSpec::ToConfig() const {
+  TransientCampaignConfig config;
+  config.seed = seed;
+  config.num_injections = num_injections;
+  config.group = ArchStateIdFromInt(group).value_or(ArchStateId::kGGp);
+  config.flip_model = BitFlipModelFromInt(flip_model).value_or(BitFlipModel::kFlipSingleBit);
+  config.randomize_flip_model = randomize_flip_model;
+  config.profiling = approximate ? ProfilerTool::Mode::kApproximate
+                                 : ProfilerTool::Mode::kExact;
+  config.watchdog_multiplier = watchdog_multiplier;
+  config.trace = trace;
+  config.checkpoints = checkpoints;
+  config.static_mode = static_mode == "prune"   ? StaticSiteMode::kPrune
+                       : static_mode == "check" ? StaticSiteMode::kCheck
+                                                : StaticSiteMode::kOff;
+  return config;
+}
+
+std::vector<ShardRange> PlanShards(std::size_t num_experiments, std::size_t num_shards) {
+  std::vector<ShardRange> shards;
+  if (num_experiments == 0 || num_shards == 0) return shards;
+  num_shards = std::min(num_shards, num_experiments);
+  const std::size_t base = num_experiments / num_shards;
+  const std::size_t extra = num_experiments % num_shards;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    shards.push_back(ShardRange{begin, begin + size});
+    begin += size;
+  }
+  return shards;
+}
+
+std::optional<ShardRange> ParseShardRange(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  if (!ParseUint64(text.substr(0, colon), &begin) ||
+      !ParseUint64(text.substr(colon + 1), &end) || end < begin) {
+    return std::nullopt;
+  }
+  return ShardRange{static_cast<std::size_t>(begin), static_cast<std::size_t>(end)};
+}
+
+}  // namespace nvbitfi::fi

@@ -1,0 +1,72 @@
+// Serializable transient-campaign description and shard planning.
+//
+// A CampaignSpec is the wire form of a TransientCampaignConfig: everything
+// that determines the deterministic experiment sequence (program, seed,
+// size, fault model, engine flags), and nothing that is process-local
+// (worker count, observers, caches).  The campaign service sends specs over
+// its line protocol, `nvbitfi shard` rebuilds one from CLI flags, and both
+// end up with bit-identical configs — the spec IS the campaign identity.
+//
+// Shard planning splits the experiment index space [0, num_injections) into
+// contiguous ranges.  Because per-experiment Rng streams are pre-forked in
+// index order regardless of which indexes execute (see campaign.h), any
+// range of a campaign can run in any process and produce exactly the records
+// the unsharded campaign would have produced for those indexes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace nvbitfi::fi {
+
+struct CampaignSpec {
+  std::string program;
+  std::uint64_t seed = 1;
+  int num_injections = 100;
+  int group = 8;               // ArchStateId, 1..8 (Table II)
+  int flip_model = 1;          // BitFlipModel, 1..4
+  bool randomize_flip_model = true;
+  bool approximate = false;    // profiling mode
+  std::uint64_t watchdog_multiplier = 20;
+  bool trace = false;
+  bool checkpoints = true;
+  std::string static_mode = "off";  // off | check | prune
+  std::string element = "f32";      // SDC-anatomy element kind (f32 | f64)
+
+  // Line-based text form ("nvbitfi campaign spec v1" header, one `key value`
+  // per line).  Parse rejects unknown keys, malformed values, and out-of-range
+  // enums, so a spec that parses always builds a valid config.
+  std::string Serialize() const;
+  static std::optional<CampaignSpec> Parse(std::string_view text);
+
+  // The campaign config this spec describes.  Process-local fields (workers,
+  // observers, static oracle, tool factory, preloaded runs, index range) are
+  // left at their defaults for the caller to fill in.
+  TransientCampaignConfig ToConfig() const;
+};
+
+// A half-open experiment index range [begin, end).
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool operator==(const ShardRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+// Splits [0, num_experiments) into `num_shards` contiguous near-equal ranges
+// (the first `num_experiments % num_shards` ranges are one longer).  Fewer
+// experiments than shards yields fewer (non-empty) ranges; zero experiments
+// yields none.
+std::vector<ShardRange> PlanShards(std::size_t num_experiments, std::size_t num_shards);
+
+// Parses "A:B" into a half-open range; nullopt on malformed input or B < A.
+std::optional<ShardRange> ParseShardRange(std::string_view text);
+
+}  // namespace nvbitfi::fi

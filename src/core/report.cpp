@@ -47,6 +47,14 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
                 result.program.c_str());
   out += Format("injections: %zu (%s profiling)\n", result.injections.size(),
                 result.profile.approximate ? "approximate" : "exact");
+  if (result.CompletedRuns() < result.injections.size()) {
+    out += Format("completed: %llu of %zu experiments%s\n",
+                  static_cast<unsigned long long>(result.CompletedRuns()),
+                  result.injections.size(),
+                  result.cancelled ? " (interrupted — store flushed, resume "
+                                     "with --resume)"
+                                   : " (partial index range)");
+  }
   out += Format("golden: %llu dynamic kernels, %llu thread instructions, "
                 "%llu cycles\n",
                 static_cast<unsigned long long>(result.golden.dynamic_kernels),
@@ -106,12 +114,13 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
   out += Format("injection phase: %.3f s wall clock on %d worker%s (%.1f runs/s)\n\n",
                 result.wall_seconds, result.workers, result.workers == 1 ? "" : "s",
                 result.wall_seconds > 0
-                    ? static_cast<double>(result.injections.size()) / result.wall_seconds
+                    ? static_cast<double>(result.CompletedRuns()) / result.wall_seconds
                     : 0.0);
 
   std::map<std::string, int> symptoms;
-  for (const InjectionRun& run : result.injections) {
-    ++symptoms[std::string(SymptomName(run.classification.symptom))];
+  for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    if (!result.RunCompleted(i)) continue;
+    ++symptoms[std::string(SymptomName(result.injections[i].classification.symptom))];
   }
   out += SymptomBreakdown(symptoms);
   return out;
@@ -122,6 +131,7 @@ std::string TransientCampaignCsv(const TransientCampaignResult& result) {
       "index,kernel,kernel_count,instruction_count,arch_state_id,bit_flip_model,"
       "opcode,activated,target,mask,outcome,symptom,potential_due,cycles\n";
   for (std::size_t i = 0; i < result.injections.size(); ++i) {
+    if (!result.RunCompleted(i)) continue;
     const InjectionRun& run = result.injections[i];
     const std::string target =
         run.record.corrupted
@@ -154,6 +164,12 @@ std::string PermanentCampaignReport(const PermanentCampaignResult& result,
                 result.program.c_str());
   out += Format("experiments: %zu (executed opcodes: %zu of %d)\n",
                 result.runs.size(), result.executed_opcodes, sim::kOpcodeCount);
+  if (result.cancelled) {
+    out += Format("completed: %llu of %zu experiments (interrupted — store "
+                  "flushed, resume with --resume)\n",
+                  static_cast<unsigned long long>(result.counts.total()),
+                  result.runs.size());
+  }
   out += Format("injection phase: %.3f s wall clock on %d worker%s\n\n",
                 result.wall_seconds, result.workers,
                 result.workers == 1 ? "" : "s");
@@ -173,8 +189,9 @@ std::string PermanentCampaignReport(const PermanentCampaignResult& result,
   }
 
   std::map<std::string, int> symptoms;
-  for (const PermanentRun& run : result.runs) {
-    ++symptoms[std::string(SymptomName(run.classification.symptom))];
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (!result.RunCompleted(i)) continue;
+    ++symptoms[std::string(SymptomName(result.runs[i].classification.symptom))];
   }
   out += "\n" + SymptomBreakdown(symptoms);
   return out;
@@ -183,7 +200,9 @@ std::string PermanentCampaignReport(const PermanentCampaignResult& result,
 std::string PermanentCampaignCsv(const PermanentCampaignResult& result) {
   std::string out =
       "opcode,sm,lane,mask,activations,weight,outcome,symptom,potential_due,cycles\n";
-  for (const PermanentRun& run : result.runs) {
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (!result.RunCompleted(i)) continue;
+    const PermanentRun& run = result.runs[i];
     out += Format("%s,%d,%d,0x%x,%llu,%.9f,%s,%s,%d,%llu\n",
                   std::string(sim::OpcodeName(run.params.opcode())).c_str(),
                   run.params.sm_id, run.params.lane_id, run.params.bit_mask,

@@ -1,0 +1,398 @@
+#include "service/coordinator.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "analysis/merge.h"
+#include "analysis/result_store.h"
+#include "common/strings.h"
+#include "core/report.h"
+#include "service/worker.h"
+
+namespace nvbitfi::service {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options, fi::RunCache* cache)
+    : options_(std::move(options)), cache_(cache) {}
+
+Coordinator::~Coordinator() {
+  if (listener_ >= 0) ::close(listener_);
+  for (const auto& [fd, connection] : connections_) {
+    (void)connection;
+    ::close(fd);
+  }
+  for (std::thread& thread : worker_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+bool Coordinator::Start(std::string* error) {
+  listener_ = ListenUnix(options_.socket_path, error);
+  if (listener_ < 0) return false;
+  for (int i = 0; i < options_.inprocess_workers; ++i) {
+    int fds[2];
+    if (!SocketPair(fds, error)) return false;
+    connections_[fds[0]] = Connection{};
+    inprocess_fds_.push_back(fds[0]);
+    WorkerOptions worker_options;
+    worker_options.shard_workers = options_.shard_workers;
+    worker_options.verbose = options_.verbose;
+    fi::RunCache* cache = cache_;
+    const int worker_fd = fds[1];
+    worker_threads_.emplace_back(
+        [worker_fd, cache, worker_options] { WorkerLoop(worker_fd, cache, worker_options); });
+  }
+  Log("listening on %s (%d in-process workers)", options_.socket_path.c_str(),
+      options_.inprocess_workers);
+  return true;
+}
+
+int Coordinator::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener_, POLLIN, 0});
+    for (const auto& [fd, connection] : connections_) {
+      (void)connection;
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    ::poll(fds.data(), fds.size(), 200);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listener_, nullptr, nullptr);
+      if (fd >= 0) connections_[fd] = Connection{};
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int fd = fds[i].fd;
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        Disconnect(fd);
+        continue;
+      }
+      it->second.buffer.Append(chunk, static_cast<std::size_t>(n));
+      // Drain complete lines; the connection may die mid-drain (a handler
+      // can disconnect it), so re-look it up each iteration.
+      while (true) {
+        auto live = connections_.find(fd);
+        if (live == connections_.end()) break;
+        std::optional<std::string> line = live->second.buffer.PopLine();
+        if (!line.has_value()) break;
+        HandleLine(fd, *line);
+      }
+    }
+
+    CheckHeartbeats();
+    ScheduleShards();
+
+    const bool target_reached =
+        options_.max_campaigns > 0 && completed_campaigns_ >= options_.max_campaigns;
+    if ((draining_ || target_reached) && campaigns_.empty()) break;
+  }
+
+  // Clean shutdown: tell every worker (thread or external process) to exit.
+  for (const auto& [fd, connection] : connections_) {
+    if (connection.role == Connection::Role::kWorker) SendLine(fd, ShutdownLine());
+  }
+  Log("shutting down after %d campaign%s", completed_campaigns_,
+      completed_campaigns_ == 1 ? "" : "s");
+  return 0;
+}
+
+void Coordinator::HandleLine(int fd, const std::string& line) {
+  const std::optional<Message> message = ParseMessage(line);
+  if (!message.has_value()) return;  // not ours; ignore
+  Connection& connection = connections_[fd];
+  if (message->type == "hello") {
+    connection.role = message->role == "worker" ? Connection::Role::kWorker
+                                                : Connection::Role::kClient;
+    return;
+  }
+  if (message->type == "submit") {
+    connection.role = Connection::Role::kClient;
+    HandleSubmit(fd, *message);
+  } else if (message->type == "heartbeat") {
+    HandleHeartbeat(fd, *message);
+  } else if (message->type == "shard_done") {
+    HandleShardDone(fd, *message);
+  } else if (message->type == "shutdown") {
+    draining_ = true;
+    Log("shutdown requested; draining %zu active campaign%s", campaigns_.size(),
+        campaigns_.size() == 1 ? "" : "s");
+  }
+}
+
+void Coordinator::HandleSubmit(int fd, const Message& message) {
+  if (draining_) {
+    SendToClient(fd, ErrorLine("server is shutting down"));
+    return;
+  }
+  const std::optional<fi::CampaignSpec> spec = fi::CampaignSpec::Parse(message.spec);
+  if (!spec.has_value()) {
+    SendToClient(fd, ErrorLine("malformed campaign spec"));
+    return;
+  }
+  if (spec->num_injections <= 0) {
+    SendToClient(fd, ErrorLine("campaign has no experiments"));
+    return;
+  }
+
+  Campaign campaign;
+  campaign.id = next_campaign_id_++;
+  campaign.spec_text = message.spec;
+  campaign.spec = *spec;
+  campaign.client_fd = fd;
+  campaign.out_store =
+      !message.store.empty()
+          ? message.store
+          : Format("%s/campaign_%llu.jsonl", options_.workdir.c_str(),
+                   static_cast<unsigned long long>(campaign.id));
+  const std::vector<fi::ShardRange> ranges = fi::PlanShards(
+      static_cast<std::size_t>(spec->num_injections),
+      static_cast<std::size_t>(message.shards > 0 ? message.shards : 1));
+  for (const fi::ShardRange& range : ranges) {
+    Shard shard;
+    shard.begin = range.begin;
+    shard.end = range.end;
+    shard.store = Format("%s/campaign_%llu_shard_%06zu_%06zu.jsonl",
+                         options_.workdir.c_str(),
+                         static_cast<unsigned long long>(campaign.id), range.begin,
+                         range.end);
+    campaign.shards.push_back(std::move(shard));
+  }
+  Log("campaign %llu: %s, %d experiments over %zu shards",
+      static_cast<unsigned long long>(campaign.id), spec->program.c_str(),
+      spec->num_injections, campaign.shards.size());
+  const std::uint64_t id = campaign.id;
+  campaigns_[id] = std::move(campaign);
+  SendToClient(fd, AcceptedLine(id));
+}
+
+void Coordinator::HandleHeartbeat(int fd, const Message& message) {
+  auto connection = connections_.find(fd);
+  if (connection == connections_.end()) return;
+  connection->second.deadline_base = Now();
+  auto campaign = campaigns_.find(message.campaign);
+  if (campaign == campaigns_.end()) return;  // stale (failed/kicked campaign)
+  for (Shard& shard : campaign->second.shards) {
+    if (shard.begin != message.begin) continue;
+    if (shard.worker_fd == fd && shard.state == Shard::State::kRunning) {
+      shard.completed = message.completed;
+      SendProgress(campaign->second);
+    }
+    return;
+  }
+}
+
+void Coordinator::HandleShardDone(int fd, const Message& message) {
+  auto connection = connections_.find(fd);
+  if (connection != connections_.end()) {
+    connection->second.busy = false;
+    connection->second.deadline_base = Now();
+  }
+  auto it = campaigns_.find(message.campaign);
+  if (it == campaigns_.end()) return;  // stale
+  Campaign& campaign = it->second;
+  for (Shard& shard : campaign.shards) {
+    if (shard.begin != message.begin || shard.worker_fd != fd ||
+        shard.state != Shard::State::kRunning) {
+      continue;
+    }
+    if (!message.ok) {
+      FailCampaign(campaign.id,
+                   message.error.empty() ? "shard failed" : message.error);
+      return;
+    }
+    shard.state = Shard::State::kDone;
+    shard.worker_fd = -1;
+    shard.completed = shard.end - shard.begin;
+    Log("campaign %llu: shard [%zu, %zu) done",
+        static_cast<unsigned long long>(campaign.id), shard.begin, shard.end);
+    SendProgress(campaign);
+    bool all_done = true;
+    for (const Shard& s : campaign.shards) {
+      all_done = all_done && s.state == Shard::State::kDone;
+    }
+    if (all_done) CompleteCampaign(campaign.id);
+    return;
+  }
+}
+
+void Coordinator::Disconnect(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second.role == Connection::Role::kWorker && it->second.busy) {
+    RequeueAssignment(fd);
+  }
+  for (auto& [id, campaign] : campaigns_) {
+    (void)id;
+    if (campaign.client_fd == fd) campaign.client_fd = -1;  // campaign continues
+  }
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void Coordinator::RequeueAssignment(int fd) {
+  const Connection& connection = connections_[fd];
+  auto campaign = campaigns_.find(connection.campaign);
+  if (campaign == campaigns_.end()) return;
+  for (Shard& shard : campaign->second.shards) {
+    if (shard.begin == connection.shard_begin && shard.worker_fd == fd &&
+        shard.state == Shard::State::kRunning) {
+      shard.state = Shard::State::kPending;
+      shard.worker_fd = -1;
+      Log("campaign %llu: shard [%zu, %zu) lost its worker; requeued for resume",
+          static_cast<unsigned long long>(campaign->second.id), shard.begin,
+          shard.end);
+      return;
+    }
+  }
+}
+
+void Coordinator::ScheduleShards() {
+  while (true) {
+    int idle_fd = -1;
+    for (auto& [fd, connection] : connections_) {
+      if (connection.role == Connection::Role::kWorker && !connection.busy) {
+        idle_fd = fd;
+        break;
+      }
+    }
+    if (idle_fd < 0) return;
+    Campaign* campaign = nullptr;
+    Shard* shard = nullptr;
+    for (auto& [id, candidate] : campaigns_) {
+      (void)id;
+      for (Shard& s : candidate.shards) {
+        if (s.state == Shard::State::kPending) {
+          campaign = &candidate;
+          shard = &s;
+          break;
+        }
+      }
+      if (shard != nullptr) break;
+    }
+    if (shard == nullptr) return;
+    if (!SendLine(idle_fd, AssignLine(campaign->id, campaign->spec_text, shard->begin,
+                                      shard->end, shard->store))) {
+      Disconnect(idle_fd);
+      continue;
+    }
+    shard->state = Shard::State::kRunning;
+    shard->worker_fd = idle_fd;
+    ++shard->attempts;
+    Connection& connection = connections_[idle_fd];
+    connection.busy = true;
+    connection.campaign = campaign->id;
+    connection.shard_begin = shard->begin;
+    connection.deadline_base = Now();
+    Log("campaign %llu: shard [%zu, %zu) -> worker fd %d (attempt %d)",
+        static_cast<unsigned long long>(campaign->id), shard->begin, shard->end,
+        idle_fd, shard->attempts);
+  }
+}
+
+void Coordinator::CheckHeartbeats() {
+  const double now = Now();
+  std::vector<int> dead;
+  for (const auto& [fd, connection] : connections_) {
+    if (connection.role == Connection::Role::kWorker && connection.busy &&
+        now - connection.deadline_base > options_.heartbeat_timeout) {
+      dead.push_back(fd);
+    }
+  }
+  for (const int fd : dead) {
+    Log("worker fd %d missed the heartbeat deadline (%.1fs); kicking it", fd,
+        options_.heartbeat_timeout);
+    // Closing the socket makes the kicked worker's next heartbeat fail, which
+    // cancels its shard; Disconnect requeues the shard for resume elsewhere.
+    Disconnect(fd);
+  }
+}
+
+void Coordinator::SendProgress(const Campaign& campaign) {
+  std::uint64_t completed = 0;
+  for (const Shard& shard : campaign.shards) {
+    completed += shard.state == Shard::State::kDone
+                     ? static_cast<std::uint64_t>(shard.end - shard.begin)
+                     : shard.completed;
+  }
+  SendToClient(campaign.client_fd,
+               ProgressLine(campaign.id, completed,
+                            static_cast<std::uint64_t>(campaign.spec.num_injections)));
+}
+
+void Coordinator::CompleteCampaign(std::uint64_t id) {
+  auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) return;
+  Campaign& campaign = it->second;
+  std::vector<std::string> shard_paths;
+  shard_paths.reserve(campaign.shards.size());
+  for (const Shard& shard : campaign.shards) shard_paths.push_back(shard.store);
+
+  std::string error;
+  const std::optional<analysis::MergeSummary> summary =
+      analysis::MergeShardStores(shard_paths, campaign.out_store, &error);
+  if (!summary.has_value()) {
+    FailCampaign(id, Format("merge failed: %s", error.c_str()));
+    return;
+  }
+  Log("campaign %llu: merged %zu shards into %s",
+      static_cast<unsigned long long>(id), summary->num_shards,
+      campaign.out_store.c_str());
+
+  const std::optional<analysis::LoadedStore> loaded =
+      analysis::LoadResultStore(campaign.out_store, &error);
+  if (loaded.has_value()) {
+    const fi::TransientCampaignResult result = analysis::RebuildTransientResult(*loaded);
+    SendToClient(campaign.client_fd,
+                 ReportLine(id, fi::TransientCampaignReport(result)));
+  }
+  SendToClient(campaign.client_fd, DoneLine(id, true, campaign.out_store, ""));
+  campaigns_.erase(it);
+  ++completed_campaigns_;
+}
+
+void Coordinator::FailCampaign(std::uint64_t id, const std::string& error) {
+  auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) return;
+  Log("campaign %llu: failed: %s", static_cast<unsigned long long>(id),
+      error.c_str());
+  SendToClient(it->second.client_fd, DoneLine(id, false, "", error));
+  campaigns_.erase(it);
+  ++completed_campaigns_;
+}
+
+void Coordinator::SendToClient(int fd, const std::string& line) {
+  if (fd < 0 || connections_.find(fd) == connections_.end()) return;
+  // A failed send just means the client left; the poll loop reaps the fd.
+  (void)SendLine(fd, line);
+}
+
+void Coordinator::Log(const char* format, ...) {
+  if (!options_.verbose) return;
+  std::fprintf(stderr, "serve: ");
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace nvbitfi::service

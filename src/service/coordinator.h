@@ -1,0 +1,120 @@
+// Campaign service coordinator: sharded, resumable, multi-tenant fleet
+// execution.
+//
+// `nvbitfi serve` runs one Coordinator: a single-threaded poll loop over a
+// unix listening socket.  Clients submit campaign specs; the coordinator
+// splits each into contiguous index-range shards (PlanShards), dispatches
+// them to whichever workers are idle — in-process worker threads it spawned
+// itself and/or external `nvbitfi shard --connect` processes — and tracks
+// per-shard heartbeats.  A worker that disconnects or goes silent past the
+// heartbeat timeout forfeits its shard: the shard goes back in the queue and
+// the next idle worker RESUMES it from its crash-safe store, re-running only
+// the missing indexes.  When every shard of a campaign is done the
+// coordinator merges the shard stores into one canonical store
+// (bit-identical to an unsharded run, see analysis/merge.h), streams the
+// report to the submitting client, and deletes nothing — shard stores stay
+// on disk for audit.
+//
+// Multi-tenancy: concurrent campaigns interleave freely over the same worker
+// pool, and in-process workers share the coordinator's RunCache, so the
+// golden runs, profiles, and golden checkpoint streams of a program are
+// computed once per process no matter how many tenants campaign against it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/protocol.h"
+#include "service/socket.h"
+
+namespace nvbitfi::service {
+
+struct CoordinatorOptions {
+  std::string socket_path;
+  std::string workdir = ".";   // shard + merged store files land here
+  int inprocess_workers = 1;   // worker threads spawned by the coordinator
+  int shard_workers = 1;       // in-process campaign workers per shard
+  double heartbeat_timeout = 60.0;  // seconds of silence before reassignment
+  // Exit after this many campaigns complete (0 = run until shutdown/stop).
+  int max_campaigns = 0;
+  bool verbose = false;  // log scheduling decisions to stderr
+};
+
+class Coordinator {
+ public:
+  Coordinator(CoordinatorOptions options, fi::RunCache* cache);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Binds the socket and spawns the in-process workers.
+  bool Start(std::string* error);
+
+  // Runs the poll loop until shutdown is requested (shutdown message,
+  // RequestStop, or max_campaigns reached).  Returns 0 on clean shutdown.
+  int Serve();
+
+  // Async-signal-safe stop request; Serve returns at the next poll tick.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::string store;
+    enum class State { kPending, kRunning, kDone } state = State::kPending;
+    int worker_fd = -1;
+    std::uint64_t completed = 0;
+    int attempts = 0;  // assignments, counting reassignments after failures
+  };
+  struct Campaign {
+    std::uint64_t id = 0;
+    std::string spec_text;
+    fi::CampaignSpec spec;
+    std::vector<Shard> shards;
+    int client_fd = -1;
+    std::string out_store;
+  };
+  struct Connection {
+    enum class Role { kUnknown, kWorker, kClient } role = Role::kUnknown;
+    LineBuffer buffer;
+    bool busy = false;
+    std::uint64_t campaign = 0;
+    std::size_t shard_begin = 0;
+    double deadline_base = 0.0;  // last heartbeat (or assignment) time
+  };
+
+  void HandleLine(int fd, const std::string& line);
+  void HandleSubmit(int fd, const Message& message);
+  void HandleHeartbeat(int fd, const Message& message);
+  void HandleShardDone(int fd, const Message& message);
+  void Disconnect(int fd);
+  void RequeueAssignment(int fd);
+  void ScheduleShards();
+  void CheckHeartbeats();
+  void SendProgress(const Campaign& campaign);
+  void CompleteCampaign(std::uint64_t id);
+  void FailCampaign(std::uint64_t id, const std::string& error);
+  void SendToClient(int fd, const std::string& line);
+  void Log(const char* format, ...);
+
+  CoordinatorOptions options_;
+  fi::RunCache* cache_;
+  int listener_ = -1;
+  std::map<int, Connection> connections_;
+  std::map<std::uint64_t, Campaign> campaigns_;
+  std::uint64_t next_campaign_id_ = 1;
+  int completed_campaigns_ = 0;
+  bool draining_ = false;  // shutdown received: no new submissions
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> worker_threads_;
+  std::vector<int> inprocess_fds_;  // coordinator-side ends of the pairs
+};
+
+}  // namespace nvbitfi::service

@@ -1,0 +1,132 @@
+#include "service/protocol.h"
+
+#include "analysis/json.h"
+
+namespace nvbitfi::service {
+namespace {
+
+using analysis::json::Value;
+
+Value Base(const char* type) {
+  Value out = Value::Object();
+  out.Set("type", type);
+  return out;
+}
+
+bool KnownType(const std::string& type) {
+  return type == "hello" || type == "submit" || type == "accepted" ||
+         type == "assign" || type == "heartbeat" || type == "shard_done" ||
+         type == "progress" || type == "report" || type == "done" ||
+         type == "error" || type == "shutdown";
+}
+
+}  // namespace
+
+std::optional<Message> ParseMessage(const std::string& line) {
+  const std::optional<Value> value = Value::Parse(line);
+  if (!value.has_value() || !value->is_object()) return std::nullopt;
+  Message message;
+  message.type = value->GetString("type");
+  if (!KnownType(message.type)) return std::nullopt;
+  message.role = value->GetString("role");
+  message.spec = value->GetString("spec");
+  message.store = value->GetString("store");
+  message.text = value->GetString("text");
+  message.error = value->GetString("error");
+  message.campaign = value->GetUint("campaign");
+  message.begin = value->GetUint("begin");
+  message.end = value->GetUint("end");
+  message.completed = value->GetUint("completed");
+  message.total = value->GetUint("total");
+  message.shards = static_cast<int>(value->GetInt("shards"));
+  message.ok = value->GetBool("ok");
+  return message;
+}
+
+std::string HelloLine(const std::string& role) {
+  Value out = Base("hello");
+  out.Set("role", role);
+  return out.Dump();
+}
+
+std::string SubmitLine(const std::string& spec_text, int shards,
+                       const std::string& store) {
+  Value out = Base("submit");
+  out.Set("spec", spec_text);
+  out.Set("shards", shards);
+  if (!store.empty()) out.Set("store", store);
+  return out.Dump();
+}
+
+std::string AcceptedLine(std::uint64_t campaign) {
+  Value out = Base("accepted");
+  out.Set("campaign", campaign);
+  return out.Dump();
+}
+
+std::string AssignLine(std::uint64_t campaign, const std::string& spec_text,
+                       std::uint64_t begin, std::uint64_t end,
+                       const std::string& store) {
+  Value out = Base("assign");
+  out.Set("campaign", campaign);
+  out.Set("spec", spec_text);
+  out.Set("begin", begin);
+  out.Set("end", end);
+  out.Set("store", store);
+  return out.Dump();
+}
+
+std::string HeartbeatLine(std::uint64_t campaign, std::uint64_t begin,
+                          std::uint64_t completed) {
+  Value out = Base("heartbeat");
+  out.Set("campaign", campaign);
+  out.Set("begin", begin);
+  out.Set("completed", completed);
+  return out.Dump();
+}
+
+std::string ShardDoneLine(std::uint64_t campaign, std::uint64_t begin, bool ok,
+                          const std::string& error) {
+  Value out = Base("shard_done");
+  out.Set("campaign", campaign);
+  out.Set("begin", begin);
+  out.Set("ok", ok);
+  if (!error.empty()) out.Set("error", error);
+  return out.Dump();
+}
+
+std::string ProgressLine(std::uint64_t campaign, std::uint64_t completed,
+                         std::uint64_t total) {
+  Value out = Base("progress");
+  out.Set("campaign", campaign);
+  out.Set("completed", completed);
+  out.Set("total", total);
+  return out.Dump();
+}
+
+std::string ReportLine(std::uint64_t campaign, const std::string& text) {
+  Value out = Base("report");
+  out.Set("campaign", campaign);
+  out.Set("text", text);
+  return out.Dump();
+}
+
+std::string DoneLine(std::uint64_t campaign, bool ok, const std::string& store,
+                     const std::string& error) {
+  Value out = Base("done");
+  out.Set("campaign", campaign);
+  out.Set("ok", ok);
+  if (!store.empty()) out.Set("store", store);
+  if (!error.empty()) out.Set("error", error);
+  return out.Dump();
+}
+
+std::string ErrorLine(const std::string& error) {
+  Value out = Base("error");
+  out.Set("error", error);
+  return out.Dump();
+}
+
+std::string ShutdownLine() { return Base("shutdown").Dump(); }
+
+}  // namespace nvbitfi::service

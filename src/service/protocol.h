@@ -1,0 +1,67 @@
+// Line-delimited JSON protocol between the campaign coordinator, workers,
+// and submit clients.
+//
+// Every message is one JSON object on one line with a "type" field:
+//
+//   client → server   hello{role=client}, submit{spec, shards, store},
+//                     shutdown
+//   worker → server   hello{role=worker}, heartbeat{campaign, begin,
+//                     completed}, shard_done{campaign, begin, ok, error}
+//   server → worker   assign{campaign, spec, begin, end, store}, shutdown
+//   server → client   accepted{campaign}, progress{campaign, completed,
+//                     total}, report{campaign, text}, done{campaign, ok,
+//                     store, error}, error{error}
+//
+// A shard is identified by (campaign, begin): ranges within a campaign never
+// overlap, so `begin` names a shard uniquely even across reassignment.  The
+// campaign spec travels as its serialized text form (campaign_spec.h), which
+// both sides parse strictly — a worker can never run a subtly different
+// campaign than the one submitted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace nvbitfi::service {
+
+struct Message {
+  std::string type;
+  std::string role;   // hello
+  std::string spec;   // submit / assign (serialized CampaignSpec)
+  std::string store;  // submit / assign / done (store path)
+  std::string text;   // report
+  std::string error;  // shard_done / done / error
+  std::uint64_t campaign = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t total = 0;
+  int shards = 0;  // submit
+  bool ok = false;
+};
+
+// nullopt on malformed JSON or a missing/unknown "type".
+std::optional<Message> ParseMessage(const std::string& line);
+
+// Builders: one serialized line each (no trailing newline).
+std::string HelloLine(const std::string& role);
+std::string SubmitLine(const std::string& spec_text, int shards,
+                       const std::string& store);
+std::string AcceptedLine(std::uint64_t campaign);
+std::string AssignLine(std::uint64_t campaign, const std::string& spec_text,
+                       std::uint64_t begin, std::uint64_t end,
+                       const std::string& store);
+std::string HeartbeatLine(std::uint64_t campaign, std::uint64_t begin,
+                          std::uint64_t completed);
+std::string ShardDoneLine(std::uint64_t campaign, std::uint64_t begin, bool ok,
+                          const std::string& error);
+std::string ProgressLine(std::uint64_t campaign, std::uint64_t completed,
+                         std::uint64_t total);
+std::string ReportLine(std::uint64_t campaign, const std::string& text);
+std::string DoneLine(std::uint64_t campaign, bool ok, const std::string& store,
+                     const std::string& error);
+std::string ErrorLine(const std::string& error);
+std::string ShutdownLine();
+
+}  // namespace nvbitfi::service

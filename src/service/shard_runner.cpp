@@ -1,0 +1,139 @@
+#include "service/shard_runner.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "analysis/anatomy.h"
+#include "analysis/result_store.h"
+#include "common/strings.h"
+#include "staticanalysis/static_site.h"
+#include "trace/taint_tracker.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+
+ShardOutcome RunShardJob(const ShardJob& job, fi::RunCache* cache) {
+  ShardOutcome outcome;
+  const fi::TargetProgram* program = workloads::FindWorkload(job.spec.program);
+  if (program == nullptr) {
+    outcome.error = Format("unknown program '%s'", job.spec.program.c_str());
+    return outcome;
+  }
+
+  const fi::CampaignRunner runner(*program, cache);
+  fi::TransientCampaignConfig config = job.spec.ToConfig();
+  config.num_workers = job.workers;
+  config.index_begin = job.begin;
+  config.index_end = job.end;
+  config.cancel = job.cancel;
+  if (config.trace) {
+    config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
+      return std::make_unique<trace::TaintTracker>(params);
+    };
+  }
+  std::optional<staticanalysis::StaticSiteAnalysis> static_analysis;
+  if (config.static_mode != fi::StaticSiteMode::kOff) {
+    static_analysis.emplace(
+        staticanalysis::StaticSiteAnalysis::ForProgram(*program, config.device));
+    config.static_oracle = &*static_analysis;
+  }
+
+  const std::size_t n =
+      config.num_injections > 0 ? static_cast<std::size_t>(config.num_injections) : 0;
+  const std::size_t range_begin = std::min(job.begin, n);
+  const std::size_t range_end = job.end == 0 ? n : std::min(job.end, n);
+  const std::size_t range_size = range_end > range_begin ? range_end - range_begin : 0;
+
+  analysis::AnatomyConfig anatomy_config;
+  anatomy_config.element =
+      analysis::ElementKindFromName(job.spec.element).value_or(analysis::ElementKind::kF32);
+
+  // Replay stats arrive via on_run_replay just before on_run_complete on the
+  // same worker thread; this map carries them across the two callbacks so a
+  // shard record and its stats are written as one atomic line.
+  std::mutex replay_mu;
+  std::map<std::size_t, sim::ReplayStats> pending_replay;
+  std::atomic<std::size_t> progressed{0};
+
+  std::unique_ptr<analysis::ResultStore> store;
+  fi::RunArtifacts golden;
+  if (!job.store_path.empty()) {
+    golden = config.checkpoints ? runner.GoldenCheckpointed(config.device).run
+                                : runner.Golden(config.device);
+    fi::RunArtifacts profiling_run;
+    const fi::ProgramProfile profile =
+        runner.Profile(config.profiling, config.device, &profiling_run);
+    analysis::StoreMeta meta = analysis::TransientStoreMeta(
+        program->name(), config, golden, profiling_run.cycles, profile);
+    meta.element = anatomy_config.element;
+    if (job.shard_records && job.end > 0) {
+      meta.shard_begin = job.begin;
+      meta.shard_end = job.end;
+    }
+    std::string error;
+    store = analysis::ResultStore::Open(job.store_path, meta, job.resume, &error);
+    if (store == nullptr) {
+      outcome.error = error;
+      return outcome;
+    }
+    config.preloaded = &store->loaded().transient;
+    outcome.resumed_records = store->loaded().transient.size();
+    progressed.store(outcome.resumed_records, std::memory_order_relaxed);
+
+    if (job.shard_records) {
+      config.on_run_replay = [&](std::size_t i, const sim::ReplayStats* replay) {
+        if (replay == nullptr) return;
+        std::lock_guard<std::mutex> lock(replay_mu);
+        pending_replay[i] = *replay;
+      };
+    }
+    config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
+      std::optional<sim::ReplayStats> replay;
+      if (job.shard_records) {
+        std::lock_guard<std::mutex> lock(replay_mu);
+        const auto it = pending_replay.find(i);
+        if (it != pending_replay.end()) {
+          replay = it->second;
+          pending_replay.erase(it);
+        }
+      }
+      std::optional<analysis::SdcAnatomy> anatomy;
+      if (!run.trivially_masked && run.classification.outcome == fi::Outcome::kSdc) {
+        anatomy = analysis::AnalyzeSdc(golden, run.artifacts, anatomy_config);
+      }
+      store->AppendTransient(i, run, anatomy.has_value() ? &*anatomy : nullptr,
+                             replay.has_value() ? &*replay : nullptr);
+      if (job.on_progress) {
+        job.on_progress(progressed.fetch_add(1, std::memory_order_relaxed) + 1,
+                        range_size);
+      }
+    };
+  } else if (job.on_progress) {
+    config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
+      (void)i;
+      (void)run;
+      job.on_progress(progressed.fetch_add(1, std::memory_order_relaxed) + 1,
+                      range_size);
+    };
+  }
+
+  outcome.result = runner.RunTransientCampaign(config);
+  outcome.cancelled = outcome.result.cancelled;
+  outcome.ok = !outcome.cancelled;
+
+  if (store != nullptr && job.finalize && !outcome.cancelled &&
+      outcome.result.CompletedRuns() == outcome.result.injections.size()) {
+    analysis::StoreMeta meta = store->loaded().meta;
+    meta.replay_accounting = true;
+    meta.checkpointed_runs = outcome.result.checkpointed_runs;
+    meta.replay_launches = outcome.result.replay_launches;
+    meta.replay_instructions_saved = outcome.result.replay_instructions_saved;
+    meta.replay_fallbacks = outcome.result.replay_fallbacks;
+    store->FinalizeMeta(meta);
+  }
+  return outcome;
+}
+
+}  // namespace nvbitfi::service

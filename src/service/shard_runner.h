@@ -1,0 +1,57 @@
+// Campaign execution shared by `nvbitfi campaign`, `nvbitfi shard`, and the
+// fleet workers.
+//
+// A ShardJob is one CampaignSpec plus an index range and store policy.  The
+// runner rebuilds exactly what the CLI's campaign command builds — tool
+// factory for traced campaigns, static-site oracle, golden + profile through
+// the shared RunCache, JSONL persistence with SDC anatomy — so a shard
+// executed by a fleet worker produces records bit-identical to the same
+// indexes of an unsharded `nvbitfi campaign` run.
+//
+// Shard stores (`shard_records`) additionally carry shard provenance in the
+// header and per-record checkpoint-replay stats, which survive crash/resume
+// verbatim and let the merger reconstruct the canonical header's replay
+// accounting.  Canonical stores instead persist accounting via a
+// FinalizeMeta header rewrite at completion (`finalize`), keeping record
+// bytes identical to an uncheckpointed campaign's.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+
+namespace nvbitfi::service {
+
+struct ShardJob {
+  fi::CampaignSpec spec;
+  // Half-open experiment range; 0/0 runs the full campaign.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string store_path;  // empty: in-memory only (no persistence)
+  int workers = 1;         // in-process campaign workers
+  bool resume = true;      // adopt a compatible existing store's records
+  bool shard_records = false;  // shard store: provenance + per-record replay
+  bool finalize = false;       // persist replay accounting on completion
+  const std::atomic<bool>* cancel = nullptr;
+  // Invoked after every newly completed experiment (possibly from several
+  // worker threads at once) with the number completed so far in the range,
+  // including resumed records, and the range size.
+  std::function<void(std::size_t completed, std::size_t total)> on_progress;
+};
+
+struct ShardOutcome {
+  bool ok = false;
+  bool cancelled = false;
+  std::string error;
+  std::size_t resumed_records = 0;  // records adopted from an existing store
+  fi::TransientCampaignResult result;
+};
+
+ShardOutcome RunShardJob(const ShardJob& job, fi::RunCache* cache);
+
+}  // namespace nvbitfi::service

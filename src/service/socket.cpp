@@ -1,0 +1,107 @@
+#include "service/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace nvbitfi::service {
+namespace {
+
+bool FillAddress(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = Format("socket path too long (%zu bytes): %s", path.size(),
+                      path.c_str());
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size());
+  return true;
+}
+
+}  // namespace
+
+int ListenUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!FillAddress(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Format("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    if (error != nullptr) {
+      *error = Format("cannot listen on '%s': %s", path.c_str(),
+                      std::strerror(errno));
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!FillAddress(path, &addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = Format("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = Format("cannot connect to '%s': %s", path.c_str(),
+                      std::strerror(errno));
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SocketPair(int fds[2], std::string* error) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    if (error != nullptr) *error = Format("socketpair: %s", std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> LineBuffer::PopLine() {
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  std::string line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+  return line;
+}
+
+}  // namespace nvbitfi::service

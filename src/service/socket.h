@@ -1,0 +1,44 @@
+// Minimal AF_UNIX plumbing for the campaign service.
+//
+// The coordinator listens on a filesystem socket; clients (`nvbitfi submit`)
+// and external workers (`nvbitfi shard --connect`) dial it, and in-process
+// worker threads talk over a socketpair — all four ends speak the same
+// line-delimited JSON protocol (see protocol.h), so the coordinator cannot
+// tell a thread from a process.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace nvbitfi::service {
+
+// Creates, binds, and listens on a unix stream socket at `path` (an existing
+// socket file is replaced).  Returns the listening fd, or -1 with *error.
+int ListenUnix(const std::string& path, std::string* error);
+
+// Connects to the unix stream socket at `path`; -1 with *error on failure.
+int ConnectUnix(const std::string& path, std::string* error);
+
+// A connected stream socket pair (in-process worker transport).  Returns
+// false on failure.
+bool SocketPair(int fds[2], std::string* error);
+
+// Writes `line` plus a terminating newline, retrying partial writes.  False
+// when the peer is gone (the caller should treat the connection as dead);
+// SIGPIPE is suppressed.
+bool SendLine(int fd, const std::string& line);
+
+// Reassembles newline-delimited messages from stream reads.
+class LineBuffer {
+ public:
+  void Append(const char* data, std::size_t size) { buffer_.append(data, size); }
+
+  // Next complete line (without the newline), or nullopt when none is
+  // buffered yet.
+  std::optional<std::string> PopLine();
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace nvbitfi::service

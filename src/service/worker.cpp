@@ -1,0 +1,91 @@
+#include "service/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "service/protocol.h"
+#include "service/shard_runner.h"
+#include "service/socket.h"
+
+namespace nvbitfi::service {
+
+int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options) {
+  SendLine(fd, HelloLine("worker"));
+
+  LineBuffer buffer;
+  char chunk[4096];
+  bool transport_died = false;
+  bool done = false;
+  while (!done) {
+    std::optional<std::string> line = buffer.PopLine();
+    if (!line.has_value()) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;  // coordinator gone
+      buffer.Append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::optional<Message> message = ParseMessage(*line);
+    if (!message.has_value()) continue;  // tolerate unknown traffic
+    if (message->type == "shutdown") {
+      done = true;
+      continue;
+    }
+    if (message->type != "assign") continue;
+
+    const std::optional<fi::CampaignSpec> spec = fi::CampaignSpec::Parse(message->spec);
+    if (!spec.has_value()) {
+      SendLine(fd, ShardDoneLine(message->campaign, message->begin, false,
+                                 "worker cannot parse campaign spec"));
+      continue;
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "worker: campaign %llu shard [%llu, %llu) -> %s\n",
+                   static_cast<unsigned long long>(message->campaign),
+                   static_cast<unsigned long long>(message->begin),
+                   static_cast<unsigned long long>(message->end),
+                   message->store.c_str());
+    }
+
+    // Heartbeat per completed experiment; an undeliverable heartbeat means
+    // the coordinator kicked us (or died) and the shard may already be
+    // running elsewhere — stop appending to its store at once.
+    std::atomic<bool> cancel{false};
+    std::mutex send_mu;
+    ShardJob job;
+    job.spec = *spec;
+    job.begin = message->begin;
+    job.end = message->end;
+    job.store_path = message->store;
+    job.workers = options.shard_workers;
+    job.resume = true;  // reassigned shards continue where the dead worker left off
+    job.shard_records = true;
+    job.cancel = &cancel;
+    const std::uint64_t campaign = message->campaign;
+    const std::uint64_t begin = message->begin;
+    job.on_progress = [&](std::size_t completed, std::size_t total) {
+      (void)total;
+      std::lock_guard<std::mutex> lock(send_mu);
+      if (!SendLine(fd, HeartbeatLine(campaign, begin, completed))) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    };
+
+    const ShardOutcome outcome = RunShardJob(job, cache);
+    if (cancel.load(std::memory_order_relaxed)) {
+      transport_died = true;
+      break;  // connection is dead; don't bother with shard_done
+    }
+    if (!SendLine(fd, ShardDoneLine(campaign, begin, outcome.ok && !outcome.cancelled,
+                                    outcome.error))) {
+      transport_died = true;
+      break;
+    }
+  }
+  ::close(fd);
+  return transport_died ? 1 : 0;
+}
+
+}  // namespace nvbitfi::service

@@ -1,0 +1,29 @@
+// Fleet worker loop: executes assigned shards over a coordinator connection.
+//
+// Used from two places with the same semantics: `nvbitfi shard --connect`
+// wraps it around a dialed socket (own process, own RunCache), and
+// `nvbitfi serve` runs it on threads over socketpairs (shared process-wide
+// RunCache — the multi-tenant golden/checkpoint pool).
+//
+// The worker sends a heartbeat after every completed experiment.  When a
+// heartbeat can no longer be delivered — the coordinator died, or it kicked
+// this worker after a heartbeat timeout and reassigned the shard — the
+// worker cancels its shard immediately rather than keep appending to a
+// store another worker may now own.
+#pragma once
+
+#include "core/run_cache.h"
+
+namespace nvbitfi::service {
+
+struct WorkerOptions {
+  int shard_workers = 1;  // in-process campaign workers per shard
+  bool verbose = false;   // log assignments to stderr
+};
+
+// Speaks the worker side of the protocol on `fd` until the coordinator
+// sends shutdown or closes the connection.  Closes `fd` before returning.
+// Returns 0 on a clean shutdown, 1 when the transport died mid-shard.
+int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options);
+
+}  // namespace nvbitfi::service

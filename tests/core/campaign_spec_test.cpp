@@ -1,0 +1,141 @@
+#include "core/campaign_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace nvbitfi::fi {
+namespace {
+
+TEST(CampaignSpec, SerializeParseRoundTrip) {
+  CampaignSpec spec;
+  spec.program = "314.omriq";
+  spec.seed = 987654321;
+  spec.num_injections = 37;
+  spec.group = 5;
+  spec.flip_model = 3;
+  spec.randomize_flip_model = false;
+  spec.approximate = false;  // static modes require exact profiling
+  spec.watchdog_multiplier = 11;
+  spec.trace = true;
+  spec.checkpoints = false;
+  spec.static_mode = "prune";
+  spec.element = "f64";
+
+  const std::optional<CampaignSpec> parsed = CampaignSpec::Parse(spec.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->program, spec.program);
+  EXPECT_EQ(parsed->seed, spec.seed);
+  EXPECT_EQ(parsed->num_injections, spec.num_injections);
+  EXPECT_EQ(parsed->group, spec.group);
+  EXPECT_EQ(parsed->flip_model, spec.flip_model);
+  EXPECT_EQ(parsed->randomize_flip_model, spec.randomize_flip_model);
+  EXPECT_EQ(parsed->approximate, spec.approximate);
+  EXPECT_EQ(parsed->watchdog_multiplier, spec.watchdog_multiplier);
+  EXPECT_EQ(parsed->trace, spec.trace);
+  EXPECT_EQ(parsed->checkpoints, spec.checkpoints);
+  EXPECT_EQ(parsed->static_mode, spec.static_mode);
+  EXPECT_EQ(parsed->element, spec.element);
+  // The wire form is canonical: re-serializing reproduces it byte for byte.
+  EXPECT_EQ(parsed->Serialize(), spec.Serialize());
+}
+
+TEST(CampaignSpec, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(CampaignSpec::Parse("").has_value());
+  EXPECT_FALSE(CampaignSpec::Parse("not a spec\nprogram x\n").has_value());
+
+  CampaignSpec spec;
+  spec.program = "314.omriq";
+  const std::string good = spec.Serialize();
+  EXPECT_TRUE(CampaignSpec::Parse(good).has_value());
+  EXPECT_FALSE(CampaignSpec::Parse(good + "bogus_key 1\n").has_value());
+
+  CampaignSpec bad_group = spec;
+  bad_group.group = 9;  // ArchStateId range is 1..8
+  EXPECT_FALSE(CampaignSpec::Parse(bad_group.Serialize()).has_value());
+  CampaignSpec bad_static = spec;
+  bad_static.static_mode = "sometimes";
+  EXPECT_FALSE(CampaignSpec::Parse(bad_static.Serialize()).has_value());
+}
+
+TEST(CampaignSpec, ToConfigCarriesDeterministicFields) {
+  CampaignSpec spec;
+  spec.program = "314.omriq";
+  spec.seed = 77;
+  spec.num_injections = 9;
+  spec.group = 2;
+  spec.flip_model = 4;
+  spec.randomize_flip_model = false;
+  spec.approximate = true;
+  spec.watchdog_multiplier = 13;
+  spec.checkpoints = false;
+
+  const TransientCampaignConfig config = spec.ToConfig();
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_EQ(config.num_injections, 9);
+  EXPECT_EQ(config.group, ArchStateId::kGFp32);
+  EXPECT_EQ(config.flip_model, BitFlipModel::kZeroValue);
+  EXPECT_FALSE(config.randomize_flip_model);
+  EXPECT_EQ(config.profiling, ProfilerTool::Mode::kApproximate);
+  EXPECT_EQ(config.watchdog_multiplier, 13u);
+  EXPECT_FALSE(config.checkpoints);
+  // Process-local fields stay at defaults for the caller.
+  EXPECT_EQ(config.num_workers, 1);
+  EXPECT_EQ(config.index_begin, 0u);
+  EXPECT_EQ(config.index_end, 0u);
+  EXPECT_EQ(config.cancel, nullptr);
+}
+
+TEST(PlanShards, TilesIndexSpaceContiguously) {
+  const std::vector<ShardRange> shards = PlanShards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], (ShardRange{0, 4}));  // 10 % 3 == 1 extra up front
+  EXPECT_EQ(shards[1], (ShardRange{4, 7}));
+  EXPECT_EQ(shards[2], (ShardRange{7, 10}));
+
+  // More shards than experiments: one singleton range per experiment.
+  const std::vector<ShardRange> tiny = PlanShards(2, 5);
+  ASSERT_EQ(tiny.size(), 2u);
+  EXPECT_EQ(tiny[0], (ShardRange{0, 1}));
+  EXPECT_EQ(tiny[1], (ShardRange{1, 2}));
+
+  EXPECT_TRUE(PlanShards(0, 4).empty());
+  EXPECT_TRUE(PlanShards(7, 0).empty());
+
+  // Whatever the split, the ranges always tile [0, n).
+  for (std::size_t n : {1u, 7u, 16u, 100u}) {
+    for (std::size_t k : {1u, 2u, 3u, 9u}) {
+      std::size_t next = 0;
+      for (const ShardRange& r : PlanShards(n, k)) {
+        EXPECT_EQ(r.begin, next);
+        EXPECT_GT(r.end, r.begin);
+        next = r.end;
+      }
+      EXPECT_EQ(next, n);
+    }
+  }
+}
+
+TEST(ParseShardRange, AcceptsHalfOpenRanges) {
+  const std::optional<ShardRange> range = ParseShardRange("3:11");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->begin, 3u);
+  EXPECT_EQ(range->end, 11u);
+  EXPECT_EQ(range->size(), 8u);
+
+  const std::optional<ShardRange> empty = ParseShardRange("5:5");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->size(), 0u);
+
+  EXPECT_FALSE(ParseShardRange("").has_value());
+  EXPECT_FALSE(ParseShardRange("5").has_value());
+  EXPECT_FALSE(ParseShardRange("5:").has_value());
+  EXPECT_FALSE(ParseShardRange(":5").has_value());
+  EXPECT_FALSE(ParseShardRange("7:3").has_value());
+  EXPECT_FALSE(ParseShardRange("a:b").has_value());
+  EXPECT_FALSE(ParseShardRange("1:2:3").has_value());
+}
+
+}  // namespace
+}  // namespace nvbitfi::fi

@@ -1,0 +1,184 @@
+// Sharded-execution acceptance test: for every Table IV workload, splitting a
+// transient campaign into index-range shards run as independent jobs and
+// merging the shard stores yields a file byte-identical to the store the
+// unsharded single-process campaign writes — the service's core guarantee.
+// A second test kills a shard mid-range and resumes it, modelling a crashed
+// fleet worker whose shard the coordinator reassigns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/merge.h"
+#include "common/strings.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/shard_runner.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+namespace {
+
+fi::CampaignSpec SpecFor(const std::string& program) {
+  fi::CampaignSpec spec;
+  spec.program = program;
+  spec.seed = 515151;
+  spec.num_injections = 6;
+  spec.approximate = true;
+  return spec;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+fi::RunCache& Cache() {
+  static fi::RunCache cache;
+  return cache;
+}
+
+std::string SafeName(const std::string& program) {
+  std::string name = program;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class ShardMergeIdentity : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(ShardMergeIdentity, ThreeShardsMergeByteIdenticalToUnshardedStore) {
+  const std::string program = GetParam().program->name();
+  const fi::CampaignSpec spec = SpecFor(program);
+  const std::string tag = SafeName(program);
+
+  // Canonical: the full campaign in one process, replay accounting finalized
+  // into the header — exactly what `nvbitfi campaign --store` writes.
+  ShardJob canonical;
+  canonical.spec = spec;
+  canonical.store_path = TempPath("smi_" + tag + "_canonical.jsonl");
+  canonical.finalize = true;
+  const ShardOutcome canonical_outcome = RunShardJob(canonical, &Cache());
+  ASSERT_TRUE(canonical_outcome.ok) << canonical_outcome.error;
+
+  // The same campaign as three independent shard jobs, as the coordinator
+  // would dispatch them (each could run in a different process).
+  const std::vector<fi::ShardRange> plan =
+      fi::PlanShards(static_cast<std::size_t>(spec.num_injections), 3);
+  ASSERT_EQ(plan.size(), 3u);
+  std::vector<std::string> shard_paths;
+  for (const fi::ShardRange& range : plan) {
+    ShardJob job;
+    job.spec = spec;
+    job.begin = range.begin;
+    job.end = range.end;
+    job.store_path = TempPath(Format("smi_%s_shard_%zu.jsonl", tag.c_str(),
+                                     range.begin));
+    job.shard_records = true;
+    const ShardOutcome outcome = RunShardJob(job, &Cache());
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    shard_paths.push_back(job.store_path);
+  }
+
+  const std::string merged = TempPath("smi_" + tag + "_merged.jsonl");
+  std::string error;
+  const std::optional<analysis::MergeSummary> summary =
+      analysis::MergeShardStores(shard_paths, merged, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_EQ(summary->num_experiments,
+            static_cast<std::uint64_t>(spec.num_injections));
+
+  const std::string merged_bytes = ReadAll(merged);
+  ASSERT_FALSE(merged_bytes.empty());
+  EXPECT_EQ(merged_bytes, ReadAll(canonical.store_path));
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  return SafeName(info.param.program->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ShardMergeIdentity,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+// A worker dies mid-shard; the shard is resumed elsewhere from its crash-safe
+// store.  The merged result must still be byte-identical to the unsharded
+// store — reassignment can never perturb records.
+TEST(ShardMergeIdentity, KilledShardResumesToIdenticalStore) {
+  const std::string program = workloads::AllWorkloads().front().program->name();
+  fi::CampaignSpec spec = SpecFor(program);
+  spec.num_injections = 8;
+
+  ShardJob canonical;
+  canonical.spec = spec;
+  canonical.store_path = TempPath("smi_kill_canonical.jsonl");
+  canonical.finalize = true;
+  ASSERT_TRUE(RunShardJob(canonical, &Cache()).ok);
+
+  const std::string s0 = TempPath("smi_kill_s0.jsonl");
+  {
+    ShardJob job;
+    job.spec = spec;
+    job.begin = 0;
+    job.end = 4;
+    job.store_path = s0;
+    job.shard_records = true;
+    ASSERT_TRUE(RunShardJob(job, &Cache()).ok);
+  }
+
+  // "Kill" the second shard's worker after two completed experiments: the
+  // cancel flag models both SIGINT and the heartbeat-kick a coordinator
+  // delivers, and the store is left mid-range like a SIGKILL would leave it
+  // (minus the torn trailing line, which resume also tolerates).
+  const std::string s1 = TempPath("smi_kill_s1.jsonl");
+  ShardJob victim;
+  victim.spec = spec;
+  victim.begin = 4;
+  victim.end = 8;
+  victim.store_path = s1;
+  victim.shard_records = true;
+  std::atomic<bool> cancel{false};
+  victim.cancel = &cancel;
+  victim.on_progress = [&](std::size_t completed, std::size_t) {
+    if (completed >= 2) cancel.store(true);
+  };
+  const ShardOutcome killed = RunShardJob(victim, &Cache());
+  EXPECT_TRUE(killed.cancelled);
+  ASSERT_LT(killed.result.CompletedRuns(), 4u);
+  ASSERT_GT(killed.result.CompletedRuns(), 0u);
+
+  // Reassignment: a fresh job for the same shard resumes the store and runs
+  // only the missing indexes.
+  ShardJob replacement;
+  replacement.spec = spec;
+  replacement.begin = 4;
+  replacement.end = 8;
+  replacement.store_path = s1;
+  replacement.shard_records = true;
+  const ShardOutcome resumed = RunShardJob(replacement, &Cache());
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.resumed_records, killed.result.CompletedRuns());
+  EXPECT_EQ(resumed.result.CompletedRuns(), 4u);
+
+  const std::string merged = TempPath("smi_kill_merged.jsonl");
+  std::string error;
+  ASSERT_TRUE(analysis::MergeShardStores({s0, s1}, merged, &error).has_value())
+      << error;
+  EXPECT_EQ(ReadAll(merged), ReadAll(canonical.store_path));
+}
+
+}  // namespace
+}  // namespace nvbitfi::service

@@ -1,0 +1,227 @@
+// In-process end-to-end test of the campaign service: a coordinator with
+// worker threads, clients submitting over the unix socket, merged stores
+// byte-identical to canonical unsharded runs — including two tenants
+// campaigning concurrently over the same worker pool.
+#include "service/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/protocol.h"
+#include "service/shard_runner.h"
+#include "service/socket.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+namespace {
+
+fi::CampaignSpec SmallSpec(std::uint64_t seed) {
+  fi::CampaignSpec spec;
+  spec.program = workloads::AllWorkloads().front().program->name();
+  spec.seed = seed;
+  spec.num_injections = 6;
+  spec.approximate = true;
+  return spec;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct ClientResult {
+  bool done_ok = false;
+  std::string store;
+  std::string report;
+  std::string error;
+  std::uint64_t progress_messages = 0;
+};
+
+// Submits a campaign and drains the server's message stream until `done`.
+ClientResult SubmitAndWait(const std::string& socket_path,
+                           const fi::CampaignSpec& spec, int shards,
+                           const std::string& out_store) {
+  ClientResult result;
+  std::string error;
+  const int fd = ConnectUnix(socket_path, &error);
+  if (fd < 0) {
+    result.error = error;
+    return result;
+  }
+  SendLine(fd, HelloLine("client"));
+  SendLine(fd, SubmitLine(spec.Serialize(), shards, out_store));
+
+  LineBuffer buffer;
+  char chunk[4096];
+  while (true) {
+    const std::optional<std::string> line = buffer.PopLine();
+    if (!line.has_value()) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        result.error = "server closed connection";
+        break;
+      }
+      buffer.Append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::optional<Message> message = ParseMessage(*line);
+    if (!message.has_value()) continue;
+    if (message->type == "progress") {
+      ++result.progress_messages;
+    } else if (message->type == "report") {
+      result.report = message->text;
+    } else if (message->type == "error") {
+      result.error = message->error;
+      break;
+    } else if (message->type == "done") {
+      result.done_ok = message->ok;
+      result.store = message->store;
+      result.error = message->error;
+      break;
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void StartService(int max_campaigns) {
+    // A fresh per-test workdir: shard stores are named by campaign id, which
+    // restarts at 1 for every coordinator, so stale stores from an earlier
+    // run would otherwise collide with (and refuse to resume as) new ones.
+    const std::string workdir =
+        ::testing::TempDir() + "/coord_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(workdir);
+    std::filesystem::create_directories(workdir);
+    options_.socket_path = workdir + "/coord.sock";
+    options_.workdir = workdir;
+    options_.inprocess_workers = 2;
+    options_.heartbeat_timeout = 60.0;
+    options_.max_campaigns = max_campaigns;
+    std::remove(options_.socket_path.c_str());
+    coordinator_ = std::make_unique<Coordinator>(options_, &cache_);
+    std::string error;
+    ASSERT_TRUE(coordinator_->Start(&error)) << error;
+    serve_thread_ = std::thread([this] { coordinator_->Serve(); });
+  }
+
+  void StopService() {
+    if (coordinator_ != nullptr) coordinator_->RequestStop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    coordinator_.reset();
+  }
+
+  void TearDown() override { StopService(); }
+
+  fi::RunCache cache_;
+  CoordinatorOptions options_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::thread serve_thread_;
+};
+
+TEST_F(CoordinatorTest, ServedCampaignMatchesCanonicalStore) {
+  const fi::CampaignSpec spec = SmallSpec(31337);
+
+  ShardJob canonical;
+  canonical.spec = spec;
+  canonical.store_path = ::testing::TempDir() + "/coord_canonical.jsonl";
+  std::remove(canonical.store_path.c_str());
+  canonical.finalize = true;
+  ASSERT_TRUE(RunShardJob(canonical, &cache_).ok);
+
+  StartService(/*max_campaigns=*/1);
+  const std::string out = ::testing::TempDir() + "/coord_served.jsonl";
+  std::remove(out.c_str());
+  const ClientResult result = SubmitAndWait(options_.socket_path, spec, 3, out);
+  serve_thread_.join();  // max_campaigns=1: Serve returns after the merge
+
+  EXPECT_TRUE(result.done_ok) << result.error;
+  EXPECT_EQ(result.store, out);
+  EXPECT_GT(result.progress_messages, 0u);
+  EXPECT_NE(result.report.find("transient campaign report"), std::string::npos);
+  EXPECT_NE(result.report.find("checkpoint replay:"), std::string::npos);
+  EXPECT_EQ(ReadAll(out), ReadAll(canonical.store_path));
+}
+
+TEST_F(CoordinatorTest, ConcurrentTenantsShareTheWorkerPool) {
+  const fi::CampaignSpec spec_a = SmallSpec(111);
+  const fi::CampaignSpec spec_b = SmallSpec(222);
+
+  auto canonical = [&](const fi::CampaignSpec& spec, const std::string& name) {
+    ShardJob job;
+    job.spec = spec;
+    job.store_path = ::testing::TempDir() + "/" + name;
+    std::remove(job.store_path.c_str());
+    job.finalize = true;
+    EXPECT_TRUE(RunShardJob(job, &cache_).ok);
+    return job.store_path;
+  };
+  const std::string canon_a = canonical(spec_a, "coord_canon_a.jsonl");
+  const std::string canon_b = canonical(spec_b, "coord_canon_b.jsonl");
+
+  StartService(/*max_campaigns=*/2);
+  const std::string out_a = ::testing::TempDir() + "/coord_tenant_a.jsonl";
+  const std::string out_b = ::testing::TempDir() + "/coord_tenant_b.jsonl";
+  std::remove(out_a.c_str());
+  std::remove(out_b.c_str());
+
+  ClientResult result_a;
+  ClientResult result_b;
+  std::thread client_a([&] {
+    result_a = SubmitAndWait(options_.socket_path, spec_a, 2, out_a);
+  });
+  std::thread client_b([&] {
+    result_b = SubmitAndWait(options_.socket_path, spec_b, 2, out_b);
+  });
+  client_a.join();
+  client_b.join();
+  serve_thread_.join();
+
+  EXPECT_TRUE(result_a.done_ok) << result_a.error;
+  EXPECT_TRUE(result_b.done_ok) << result_b.error;
+  EXPECT_EQ(ReadAll(out_a), ReadAll(canon_a));
+  EXPECT_EQ(ReadAll(out_b), ReadAll(canon_b));
+}
+
+TEST_F(CoordinatorTest, RejectsUnparseableSpec) {
+  StartService(/*max_campaigns=*/0);
+  std::string error;
+  const int fd = ConnectUnix(options_.socket_path, &error);
+  ASSERT_GE(fd, 0) << error;
+  SendLine(fd, HelloLine("client"));
+  SendLine(fd, SubmitLine("definitely not a campaign spec", 2, ""));
+
+  LineBuffer buffer;
+  char chunk[1024];
+  std::optional<Message> reply;
+  while (!reply.has_value()) {
+    const std::optional<std::string> line = buffer.PopLine();
+    if (!line.has_value()) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      ASSERT_GT(n, 0) << "server closed without replying";
+      buffer.Append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    reply = ParseMessage(*line);
+  }
+  EXPECT_EQ(reply->type, "error");
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace nvbitfi::service

@@ -1,0 +1,175 @@
+// Shard-store merging: validation, crash/resume, and byte-identity against
+// the canonical unsharded store (single-workload fast path; the all-workload
+// sweep lives in tests/integration/shard_merge_identity_test.cpp).
+#include "analysis/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/shard_runner.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+namespace {
+
+fi::CampaignSpec SmallSpec() {
+  fi::CampaignSpec spec;
+  spec.program = workloads::AllWorkloads().front().program->name();
+  spec.seed = 20260808;
+  spec.num_injections = 6;
+  spec.approximate = true;
+  return spec;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// One RunCache for the whole suite: golden runs and profiles are computed
+// once, which is also how the coordinator shares them across tenants.
+fi::RunCache& Cache() {
+  static fi::RunCache cache;
+  return cache;
+}
+
+std::string WriteCanonical(const fi::CampaignSpec& spec, const std::string& name) {
+  ShardJob job;
+  job.spec = spec;
+  job.store_path = TempPath(name);
+  job.finalize = true;
+  const ShardOutcome outcome = RunShardJob(job, &Cache());
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  return job.store_path;
+}
+
+std::string WriteShard(const fi::CampaignSpec& spec, std::size_t begin,
+                       std::size_t end, const std::string& name) {
+  ShardJob job;
+  job.spec = spec;
+  job.begin = begin;
+  job.end = end;
+  job.store_path = TempPath(name);
+  job.shard_records = true;
+  const ShardOutcome outcome = RunShardJob(job, &Cache());
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  return job.store_path;
+}
+
+TEST(MergeShardStores, MergedStoreIsByteIdenticalToCanonical) {
+  const fi::CampaignSpec spec = SmallSpec();
+  const std::string canonical = WriteCanonical(spec, "merge_canonical.jsonl");
+  const std::vector<std::string> shards = {
+      WriteShard(spec, 0, 2, "merge_s0.jsonl"),
+      WriteShard(spec, 2, 5, "merge_s1.jsonl"),
+      WriteShard(spec, 5, 6, "merge_s2.jsonl"),
+  };
+
+  const std::string out = TempPath("merge_out.jsonl");
+  std::string error;
+  // Shard order on the command line must not matter.
+  const std::optional<analysis::MergeSummary> summary = analysis::MergeShardStores(
+      {shards[2], shards[0], shards[1]}, out, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_EQ(summary->num_shards, 3u);
+  EXPECT_EQ(summary->num_experiments, 6u);
+  EXPECT_EQ(summary->meta.program, spec.program);
+  EXPECT_TRUE(summary->meta.replay_accounting);
+
+  const std::string merged_bytes = ReadAll(out);
+  EXPECT_FALSE(merged_bytes.empty());
+  EXPECT_EQ(merged_bytes, ReadAll(canonical));
+}
+
+TEST(MergeShardStores, RejectsForeignGappedAndUnshardedStores) {
+  const fi::CampaignSpec spec = SmallSpec();
+  const std::string s0 = WriteShard(spec, 0, 3, "reject_s0.jsonl");
+  const std::string s1 = WriteShard(spec, 3, 6, "reject_s1.jsonl");
+
+  fi::CampaignSpec other = spec;
+  other.seed = spec.seed + 1;  // different campaign identity
+  const std::string foreign = WriteShard(other, 3, 6, "reject_foreign.jsonl");
+
+  const std::string out = TempPath("reject_out.jsonl");
+  std::string error;
+  EXPECT_FALSE(analysis::MergeShardStores({s0, foreign}, out, &error).has_value());
+  EXPECT_NE(error.find("campaign"), std::string::npos) << error;
+
+  // A gap in the range tiling (missing middle shard).
+  const fi::CampaignSpec wide = [&] {
+    fi::CampaignSpec w = spec;
+    w.num_injections = 9;
+    return w;
+  }();
+  const std::string w0 = WriteShard(wide, 0, 3, "reject_w0.jsonl");
+  const std::string w2 = WriteShard(wide, 6, 9, "reject_w2.jsonl");
+  EXPECT_FALSE(analysis::MergeShardStores({w0, w2}, out, &error).has_value());
+
+  // A canonical (unsharded) store is not a shard.
+  const std::string canonical = WriteCanonical(spec, "reject_canonical.jsonl");
+  EXPECT_FALSE(analysis::MergeShardStores({canonical}, out, &error).has_value());
+
+  EXPECT_FALSE(analysis::MergeShardStores({}, out, &error).has_value());
+  EXPECT_FALSE(
+      analysis::MergeShardStores({"no_such_store.jsonl"}, out, &error).has_value());
+}
+
+TEST(MergeShardStores, InterruptedShardIsRejectedUntilResumed) {
+  const fi::CampaignSpec spec = SmallSpec();
+  const std::string canonical = WriteCanonical(spec, "resume_canonical.jsonl");
+  const std::string s0 = WriteShard(spec, 0, 3, "resume_s0.jsonl");
+
+  // Interrupt the second shard after its first completed experiment — the
+  // same cut a SIGINT or a heartbeat kick produces.
+  ShardJob job;
+  job.spec = spec;
+  job.begin = 3;
+  job.end = 6;
+  job.store_path = TempPath("resume_s1.jsonl");
+  job.shard_records = true;
+  std::atomic<bool> cancel{false};
+  job.cancel = &cancel;
+  job.on_progress = [&](std::size_t, std::size_t) { cancel.store(true); };
+  const ShardOutcome interrupted = RunShardJob(job, &Cache());
+  EXPECT_TRUE(interrupted.cancelled);
+  EXPECT_LT(interrupted.result.CompletedRuns(), 3u);
+  EXPECT_GT(interrupted.result.CompletedRuns(), 0u);
+
+  const std::string out = TempPath("resume_out.jsonl");
+  std::string error;
+  EXPECT_FALSE(
+      analysis::MergeShardStores({s0, job.store_path}, out, &error).has_value());
+  EXPECT_NE(error.find("incomplete"), std::string::npos) << error;
+
+  // Resume: the same job without the cancel flag re-runs only the missing
+  // indexes and the merge now reproduces the canonical store exactly.
+  job.cancel = nullptr;
+  job.on_progress = nullptr;
+  const ShardOutcome resumed = RunShardJob(job, &Cache());
+  EXPECT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.resumed_records, interrupted.result.CompletedRuns());
+
+  const std::optional<analysis::MergeSummary> summary =
+      analysis::MergeShardStores({s0, job.store_path}, out, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_EQ(ReadAll(out), ReadAll(canonical));
+}
+
+}  // namespace
+}  // namespace nvbitfi::service

@@ -1,0 +1,109 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/socket.h"
+
+namespace nvbitfi::service {
+namespace {
+
+TEST(Protocol, BuildersRoundTripThroughParse) {
+  std::optional<Message> m = ParseMessage(HelloLine("worker"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, "hello");
+  EXPECT_EQ(m->role, "worker");
+
+  const std::string spec = "nvbitfi campaign spec v1\nprogram 314.omriq\n";
+  m = ParseMessage(SubmitLine(spec, 4, "/tmp/out.jsonl"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, "submit");
+  EXPECT_EQ(m->spec, spec);  // embedded newlines survive JSON escaping
+  EXPECT_EQ(m->shards, 4);
+  EXPECT_EQ(m->store, "/tmp/out.jsonl");
+
+  m = ParseMessage(AssignLine(7, spec, 25, 50, "shard.jsonl"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, "assign");
+  EXPECT_EQ(m->campaign, 7u);
+  EXPECT_EQ(m->begin, 25u);
+  EXPECT_EQ(m->end, 50u);
+  EXPECT_EQ(m->spec, spec);
+  EXPECT_EQ(m->store, "shard.jsonl");
+
+  m = ParseMessage(HeartbeatLine(7, 25, 13));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, "heartbeat");
+  EXPECT_EQ(m->campaign, 7u);
+  EXPECT_EQ(m->begin, 25u);
+  EXPECT_EQ(m->completed, 13u);
+
+  m = ParseMessage(ShardDoneLine(7, 25, false, "store went away"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, "shard_done");
+  EXPECT_FALSE(m->ok);
+  EXPECT_EQ(m->error, "store went away");
+
+  m = ParseMessage(ProgressLine(7, 99, 200));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->completed, 99u);
+  EXPECT_EQ(m->total, 200u);
+
+  m = ParseMessage(ReportLine(7, "=== report ===\nline two\n"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->text, "=== report ===\nline two\n");
+
+  m = ParseMessage(DoneLine(7, true, "merged.jsonl", ""));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->ok);
+  EXPECT_EQ(m->store, "merged.jsonl");
+
+  EXPECT_TRUE(ParseMessage(ErrorLine("nope")).has_value());
+  EXPECT_TRUE(ParseMessage(ShutdownLine()).has_value());
+}
+
+TEST(Protocol, BuiltLinesAreSingleLines) {
+  const std::string spec = "header\nkey value\n";
+  for (const std::string& line :
+       {SubmitLine(spec, 2, "a.jsonl"), AssignLine(1, spec, 0, 5, "b.jsonl"),
+        ReportLine(1, "multi\nline\ntext")}) {
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  }
+}
+
+TEST(Protocol, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseMessage("").has_value());
+  EXPECT_FALSE(ParseMessage("not json").has_value());
+  EXPECT_FALSE(ParseMessage("{}").has_value());
+  EXPECT_FALSE(ParseMessage("{\"type\":\"warp_drive\"}").has_value());
+  EXPECT_FALSE(ParseMessage("[1,2,3]").has_value());
+}
+
+TEST(LineBuffer, SplitsOnNewlinesAcrossChunks) {
+  LineBuffer buffer;
+  EXPECT_FALSE(buffer.PopLine().has_value());
+
+  const std::string part1 = "first li";
+  const std::string part2 = "ne\nsecond line\nthird";
+  buffer.Append(part1.data(), part1.size());
+  EXPECT_FALSE(buffer.PopLine().has_value());
+  buffer.Append(part2.data(), part2.size());
+
+  std::optional<std::string> line = buffer.PopLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "first line");
+  line = buffer.PopLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "second line");
+  EXPECT_FALSE(buffer.PopLine().has_value());  // "third" has no newline yet
+
+  const std::string tail = "\n";
+  buffer.Append(tail.data(), tail.size());
+  line = buffer.PopLine();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "third");
+}
+
+}  // namespace
+}  // namespace nvbitfi::service

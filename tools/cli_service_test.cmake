@@ -1,0 +1,101 @@
+# Campaign service through the CLI: shard + merge reproduce an unsharded
+# store byte for byte, a killed shard resumes cleanly, merge rejects
+# incomplete inputs, and `analyze` prints the replay accounting the store
+# header carries.
+set(DIR ${WORKDIR}/cli_service)
+file(REMOVE_RECURSE ${DIR})
+file(MAKE_DIRECTORY ${DIR})
+
+# Canonical: one unsharded campaign with a store.
+execute_process(COMMAND ${CLI} campaign 314.omriq --injections 9 --seed 33
+                        --approximate --store ${DIR}/canonical.jsonl
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "canonical campaign failed (${rc})")
+endif()
+
+# The same campaign as three standalone shards.
+foreach(range "0:3" "3:6" "6:9")
+  string(REPLACE ":" "_" tag ${range})
+  execute_process(COMMAND ${CLI} shard 314.omriq --injections 9 --seed 33
+                          --approximate --index-range ${range}
+                          --store ${DIR}/shard_${tag}.jsonl
+                  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "shard ${range} failed (${rc})")
+  endif()
+  if(NOT out MATCHES "shard \\[")
+    message(FATAL_ERROR "shard ${range} printed no summary:\n${out}")
+  endif()
+endforeach()
+
+# Merging an incomplete shard set must fail loudly, not write a store.
+execute_process(COMMAND ${CLI} merge ${DIR}/shard_0_3.jsonl ${DIR}/shard_6_9.jsonl
+                        -o ${DIR}/bad_merge.jsonl
+                ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "merge with a missing shard succeeded")
+endif()
+if(EXISTS ${DIR}/bad_merge.jsonl)
+  message(FATAL_ERROR "failed merge left a partial store behind")
+endif()
+
+execute_process(COMMAND ${CLI} merge ${DIR}/shard_0_3.jsonl ${DIR}/shard_3_6.jsonl
+                        ${DIR}/shard_6_9.jsonl -o ${DIR}/merged.jsonl
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "merge failed (${rc})")
+endif()
+if(NOT out MATCHES "merged 3 shards \\(9 experiments")
+  message(FATAL_ERROR "merge printed no summary:\n${out}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${DIR}/canonical.jsonl ${DIR}/merged.jsonl
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "merged store differs from the unsharded store")
+endif()
+
+# Crash/resume: truncate a shard store mid-file (a SIGKILLed worker's
+# footprint), rerun the same shard command, and the merge must still
+# reproduce the canonical store exactly.
+file(READ ${DIR}/shard_3_6.jsonl shard_text)
+string(LENGTH "${shard_text}" shard_length)
+math(EXPR cut_length "${shard_length} / 2")
+string(SUBSTRING "${shard_text}" 0 ${cut_length} shard_prefix)
+file(WRITE ${DIR}/shard_3_6.jsonl "${shard_prefix}")
+
+execute_process(COMMAND ${CLI} shard 314.omriq --injections 9 --seed 33
+                        --approximate --index-range 3:6
+                        --store ${DIR}/shard_3_6.jsonl
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shard resume after truncation failed (${rc})")
+endif()
+
+execute_process(COMMAND ${CLI} merge ${DIR}/shard_0_3.jsonl ${DIR}/shard_3_6.jsonl
+                        ${DIR}/shard_6_9.jsonl -o ${DIR}/merged_resumed.jsonl
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "merge after shard resume failed (${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${DIR}/canonical.jsonl ${DIR}/merged_resumed.jsonl
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed shard perturbed the merged store")
+endif()
+
+# `analyze` reports the replay accounting persisted in both headers —
+# identically, since the merged header's sums equal the finalized ones.
+foreach(store canonical merged)
+  execute_process(COMMAND ${CLI} analyze ${DIR}/${store}.jsonl
+                  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "analyze of ${store} store failed (${rc})")
+  endif()
+  if(NOT out MATCHES "checkpoint replay: [0-9]+/9 runs fast-forwarded")
+    message(FATAL_ERROR "analyze of ${store} store printed no replay accounting:\n${out}")
+  endif()
+endforeach()

@@ -17,6 +17,8 @@
 //   nvbitfi analyze   <store.jsonl>  regenerate reports without re-simulating
 //   nvbitfi lint      <program|file.sass>  static checks over kernel SASS
 //   nvbitfi dictionary [--seed N] [-o dictionary.txt]
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,16 +29,25 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/anatomy.h"
+#include "analysis/merge.h"
 #include "analysis/propagation.h"
 #include "analysis/result_store.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/campaign.h"
+#include "core/campaign_spec.h"
 #include "core/extended_models.h"
 #include "core/report.h"
 #include "sassim/asm/assembler.h"
 #include "sassim/asm/disassembler.h"
+#include "service/coordinator.h"
+#include "service/protocol.h"
+#include "service/shard_runner.h"
+#include "service/socket.h"
+#include "service/worker.h"
 #include "staticanalysis/lint.h"
 #include "staticanalysis/static_site.h"
 #include "trace/taint_tracker.h"
@@ -82,8 +93,39 @@ int Usage() {
                "                  unreachable code, dead stores, constant guards,\n"
                "                  shared-memory bounds); exit 1 when findings exist\n"
                "  dictionary [--seed N] [-o FILE]   emit a synthetic fault dictionary\n"
-               "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n");
+               "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n"
+               "  serve --socket PATH [--workdir DIR] [--inprocess-workers N]\n"
+               "                  [--shard-workers N] [--heartbeat-timeout SEC]\n"
+               "                  [--max-campaigns N] [--verbose]\n"
+               "                  campaign service daemon: accepts submissions,\n"
+               "                  shards them over workers, merges the results\n"
+               "  submit --socket PATH <program> [campaign flags] [--shards N]\n"
+               "                  [--store FILE.jsonl]  submit a campaign and stream\n"
+               "                  progress until the merged report arrives\n"
+               "  shard --connect PATH [--shard-workers N]  fleet worker process\n"
+               "  shard <program> --index-range A:B --store FILE.jsonl\n"
+               "                  [campaign flags]  run one shard standalone\n"
+               "  merge -o FILE.jsonl <shard.jsonl>...  merge completed shard\n"
+               "                  stores into one canonical store\n"
+               "  campaign/sweep/shard handle SIGINT/SIGTERM gracefully: the\n"
+               "  result store is already flushed per record, a partial report\n"
+               "  is emitted, and --resume continues where the run stopped\n");
   return 2;
+}
+
+// SIGINT/SIGTERM: campaigns finish in-flight experiments, flush, and emit a
+// partial report; serve drains its poll loop.
+std::atomic<bool> g_interrupted{false};
+service::Coordinator* g_coordinator = nullptr;
+
+void HandleSignal(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  if (g_coordinator != nullptr) g_coordinator->RequestStop();
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
 }
 
 struct Args {
@@ -115,6 +157,17 @@ struct Args {
   bool static_prune = false;
   bool static_check = false;
   bool static_xtab = false;
+  // Campaign service (serve/submit/shard).
+  std::string socket_path;
+  std::string workdir = ".";
+  std::string index_range;  // shard: "A:B"
+  std::string connect;      // shard: coordinator socket to serve as a worker
+  int shards = 4;           // submit: shard count
+  int inprocess_workers = 2;
+  int shard_workers = 1;
+  double heartbeat_timeout = 60.0;
+  int max_campaigns = 0;
+  bool verbose = false;
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv, int first) {
@@ -193,6 +246,44 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       const auto v = next();
       if (!v) return std::nullopt;
       args.json_out = *v;
+    } else if (arg == "--socket") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.socket_path = *v;
+    } else if (arg == "--workdir") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.workdir = *v;
+    } else if (arg == "--index-range") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.index_range = *v;
+    } else if (arg == "--connect") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.connect = *v;
+    } else if (arg == "--shards") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.shards = std::atoi(v->c_str());
+    } else if (arg == "--inprocess-workers") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.inprocess_workers = std::atoi(v->c_str());
+    } else if (arg == "--shard-workers") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.shard_workers = std::atoi(v->c_str());
+    } else if (arg == "--heartbeat-timeout") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.heartbeat_timeout = std::atof(v->c_str());
+    } else if (arg == "--max-campaigns") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.max_campaigns = std::atoi(v->c_str());
+    } else if (arg == "--verbose") {
+      args.verbose = true;
     } else if (arg == "--element") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -217,6 +308,25 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
 fi::RunCache& ProcessCache() {
   static fi::RunCache cache;
   return cache;
+}
+
+// The serializable campaign description the service layer runs from; campaign,
+// submit, and standalone shard all build their spec here so every execution
+// path describes the identical deterministic experiment sequence.
+fi::CampaignSpec BuildSpec(const Args& args, const std::string& program) {
+  fi::CampaignSpec spec;
+  spec.program = program;
+  spec.seed = args.seed;
+  spec.num_injections = args.injections;
+  spec.group = args.group;
+  spec.approximate = args.approximate;
+  spec.trace = args.trace;
+  spec.checkpoints = args.checkpoints;
+  spec.static_mode = args.static_prune   ? "prune"
+                     : args.static_check ? "check"
+                                         : "off";
+  spec.element = std::string(analysis::ElementKindName(args.element));
+  return spec;
 }
 
 const fi::TargetProgram* Lookup(const std::string& name) {
@@ -421,96 +531,54 @@ int CmdCampaign(const Args& args) {
   if (args.positional.empty()) return Usage();
   const fi::TargetProgram* program = Lookup(args.positional[0]);
   if (program == nullptr) return 1;
-  const fi::CampaignRunner runner(*program, &ProcessCache());
-  fi::TransientCampaignConfig config;
-  config.seed = args.seed;
-  config.num_injections = args.injections;
-  config.num_workers = args.workers;
-  const auto group = fi::ArchStateIdFromInt(args.group);
-  if (!group) {
+  if (!fi::ArchStateIdFromInt(args.group)) {
     std::fprintf(stderr, "--group must be 1..8 (Table II)\n");
     return 1;
   }
-  config.group = *group;
-  config.profiling = args.approximate ? fi::ProfilerTool::Mode::kApproximate
-                                      : fi::ProfilerTool::Mode::kExact;
-  config.checkpoints = args.checkpoints;
-  if (args.trace) {
-    config.trace = true;
-    config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
-      return std::make_unique<trace::TaintTracker>(params);
-    };
-  }
-
   if (args.static_prune && args.static_check) {
     std::fprintf(stderr, "--static-prune and --static-check are mutually exclusive\n");
     return 1;
   }
-  std::optional<staticanalysis::StaticSiteAnalysis> static_analysis;
-  if (args.static_prune || args.static_check) {
-    if (args.approximate) {
-      std::fprintf(stderr,
-                   "--static-prune/--static-check need an exact profile (site "
-                   "resolution replays the exact site stream); drop --approximate\n");
-      return 1;
-    }
-    static_analysis.emplace(
-        staticanalysis::StaticSiteAnalysis::ForProgram(*program, config.device));
-    config.static_mode = args.static_prune ? fi::StaticSiteMode::kPrune
-                                           : fi::StaticSiteMode::kCheck;
-    config.static_oracle = &*static_analysis;
+  if ((args.static_prune || args.static_check) && args.approximate) {
+    std::fprintf(stderr,
+                 "--static-prune/--static-check need an exact profile (site "
+                 "resolution replays the exact site stream); drop --approximate\n");
+    return 1;
   }
+  InstallSignalHandlers();
 
-  // With --store, every completed run streams to the JSONL store (with its
-  // SDC anatomy), and --resume skips the experiments a previous interrupted
-  // campaign already persisted.
-  std::unique_ptr<analysis::ResultStore> store;
-  fi::RunArtifacts golden;
-  analysis::AnatomyConfig anatomy_config;
-  anatomy_config.element = args.element;
-  if (!args.store.empty()) {
-    // The checkpointed variant warms the shared cache with the recorded
-    // stream, so the campaign below reuses this run instead of re-running
-    // golden to get checkpoints.
-    golden = config.checkpoints ? runner.GoldenCheckpointed(config.device).run
-                                : runner.Golden(config.device);
-    fi::RunArtifacts profiling_run;
-    const fi::ProgramProfile profile =
-        runner.Profile(config.profiling, config.device, &profiling_run);
-    analysis::StoreMeta meta = analysis::TransientStoreMeta(
-        program->name(), config, golden, profiling_run.cycles, profile);
-    meta.element = args.element;
-    std::string error;
-    store = analysis::ResultStore::Open(args.store, meta, args.resume, &error);
-    if (store == nullptr) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
-    }
-    config.preloaded = &store->loaded().transient;
-    config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
-      std::optional<analysis::SdcAnatomy> anatomy;
-      if (!run.trivially_masked && run.classification.outcome == fi::Outcome::kSdc) {
-        anatomy = analysis::AnalyzeSdc(golden, run.artifacts, anatomy_config);
-      }
-      store->AppendTransient(i, run, anatomy.has_value() ? &*anatomy : nullptr);
-    };
-    if (!store->loaded().transient.empty()) {
-      std::printf("resuming: %zu of %d experiments already in %s\n",
-                  store->loaded().transient.size(), config.num_injections,
-                  args.store.c_str());
-    }
+  // The campaign runs through the service layer's shard runner with the full
+  // index range: with --store every completed run streams to the JSONL store
+  // (with its SDC anatomy), --resume skips the experiments a previous
+  // interrupted campaign already persisted, and a completed store's header
+  // is finalized with the checkpoint-replay accounting for `analyze`.
+  service::ShardJob job;
+  job.spec = BuildSpec(args, program->name());
+  job.store_path = args.store;
+  job.workers = args.workers;
+  job.resume = args.resume;
+  job.finalize = true;
+  job.cancel = &g_interrupted;
+  const service::ShardOutcome outcome = service::RunShardJob(job, &ProcessCache());
+  if (!outcome.error.empty()) {
+    std::fprintf(stderr, "%s\n", outcome.error.c_str());
+    return 1;
   }
-
-  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+  if (!args.store.empty() && outcome.resumed_records > 0) {
+    std::printf("resuming: %zu of %d experiments already in %s\n",
+                outcome.resumed_records, args.injections, args.store.c_str());
+  }
+  const fi::TransientCampaignResult& result = outcome.result;
   std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
 
   // Anatomy + propagation summary: from the store when one is active
   // (resumed runs carry their persisted records), from the in-memory result
   // otherwise.
+  analysis::AnatomyConfig anatomy_config;
+  anatomy_config.element = args.element;
   analysis::AnatomyBreakdown breakdown;
   std::optional<analysis::PropagationBreakdown> propagation;
-  if (store != nullptr) {
-    store.reset();  // flush + close before re-reading
+  if (!args.store.empty()) {
     std::string error;
     const std::optional<analysis::LoadedStore> loaded =
         analysis::LoadResultStore(args.store, &error);
@@ -540,12 +608,16 @@ int CmdCampaign(const Args& args) {
   }
   // Check mode asserts the soundness contract: statically dead must imply
   // dynamically masked.  Any disagreement is a bug in the analysis.
-  if (config.static_mode == fi::StaticSiteMode::kCheck &&
-      !result.static_violations.empty()) {
+  if (args.static_check && !result.static_violations.empty()) {
     std::fprintf(stderr, "static check failed: %zu violation%s (see report)\n",
                  result.static_violations.size(),
                  result.static_violations.size() == 1 ? "" : "s");
     return 1;
+  }
+  if (result.cancelled) {
+    std::fprintf(stderr, "interrupted: completed experiments are flushed%s\n",
+                 args.store.empty() ? "" : "; continue with --resume");
+    return 130;
   }
   return 0;
 }
@@ -563,6 +635,8 @@ int CmdSweep(const Args& args) {
   config.seed = args.seed;
   config.sm_id = args.sm;
   config.num_workers = args.workers;
+  InstallSignalHandlers();
+  config.cancel = &g_interrupted;
 
   std::unique_ptr<analysis::ResultStore> store;
   fi::RunArtifacts golden;
@@ -622,6 +696,11 @@ int CmdSweep(const Args& args) {
     }
     file << fi::PermanentCampaignCsv(result);
     std::printf("\nwrote per-opcode CSV to %s\n", args.csv.c_str());
+  }
+  if (result.cancelled) {
+    std::fprintf(stderr, "interrupted: completed experiments are flushed%s\n",
+                 args.store.empty() ? "" : "; continue with --resume");
+    return 130;
   }
   return 0;
 }
@@ -784,6 +863,178 @@ int CmdLint(const Args& args) {
   return total == 0 ? 0 : 1;
 }
 
+// ---- Campaign service subcommands (serve / submit / shard / merge) ----
+
+int CmdServe(const Args& args) {
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "serve needs --socket PATH\n");
+    return 2;
+  }
+  service::CoordinatorOptions options;
+  options.socket_path = args.socket_path;
+  options.workdir = args.workdir;
+  options.inprocess_workers = args.inprocess_workers;
+  options.shard_workers = args.shard_workers;
+  options.heartbeat_timeout = args.heartbeat_timeout;
+  options.max_campaigns = args.max_campaigns;
+  options.verbose = args.verbose;
+  service::Coordinator coordinator(options, &ProcessCache());
+  std::string error;
+  if (!coordinator.Start(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  g_coordinator = &coordinator;
+  InstallSignalHandlers();
+  std::printf("serving campaigns on %s\n", args.socket_path.c_str());
+  std::fflush(stdout);
+  const int code = coordinator.Serve();
+  g_coordinator = nullptr;
+  return code;
+}
+
+int CmdSubmit(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "submit needs --socket PATH\n");
+    return 2;
+  }
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const fi::CampaignSpec spec = BuildSpec(args, program->name());
+
+  std::string error;
+  const int fd = service::ConnectUnix(args.socket_path, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  service::SendLine(fd, service::HelloLine("client"));
+  service::SendLine(fd, service::SubmitLine(spec.Serialize(), args.shards, args.store));
+
+  service::LineBuffer buffer;
+  char chunk[4096];
+  int code = 1;
+  bool done = false;
+  while (!done) {
+    std::optional<std::string> line = buffer.PopLine();
+    if (!line.has_value()) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        std::fprintf(stderr, "server closed the connection\n");
+        break;
+      }
+      buffer.Append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::optional<service::Message> message = service::ParseMessage(*line);
+    if (!message.has_value()) continue;
+    if (message->type == "error") {
+      std::fprintf(stderr, "rejected: %s\n", message->error.c_str());
+      done = true;
+    } else if (message->type == "accepted") {
+      std::printf("campaign %llu accepted\n",
+                  static_cast<unsigned long long>(message->campaign));
+      std::fflush(stdout);
+    } else if (message->type == "progress") {
+      std::fprintf(stderr, "campaign %llu: %llu/%llu experiments\n",
+                   static_cast<unsigned long long>(message->campaign),
+                   static_cast<unsigned long long>(message->completed),
+                   static_cast<unsigned long long>(message->total));
+    } else if (message->type == "report") {
+      std::fputs(message->text.c_str(), stdout);
+    } else if (message->type == "done") {
+      if (message->ok) {
+        std::printf("merged store: %s\n", message->store.c_str());
+        code = 0;
+      } else {
+        std::fprintf(stderr, "campaign failed: %s\n", message->error.c_str());
+      }
+      done = true;
+    }
+  }
+  ::close(fd);
+  return code;
+}
+
+int CmdShard(const Args& args) {
+  // Fleet mode: dial the coordinator and execute whatever it assigns.
+  if (!args.connect.empty()) {
+    std::string error;
+    const int fd = service::ConnectUnix(args.connect, &error);
+    if (fd < 0) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    service::WorkerOptions options;
+    options.shard_workers = args.shard_workers;
+    options.verbose = args.verbose;
+    return service::WorkerLoop(fd, &ProcessCache(), options);
+  }
+
+  // Standalone mode: run one index range into a crash-safe shard store.
+  if (args.positional.empty()) return Usage();
+  const fi::TargetProgram* program = Lookup(args.positional[0]);
+  if (program == nullptr) return 1;
+  const std::optional<fi::ShardRange> range = fi::ParseShardRange(args.index_range);
+  if (!range.has_value()) {
+    std::fprintf(stderr, "shard needs --index-range A:B (half-open, B >= A)\n");
+    return 2;
+  }
+  if (args.store.empty()) {
+    std::fprintf(stderr, "shard needs --store FILE.jsonl\n");
+    return 2;
+  }
+  InstallSignalHandlers();
+
+  service::ShardJob job;
+  job.spec = BuildSpec(args, program->name());
+  job.begin = range->begin;
+  job.end = range->end;
+  job.store_path = args.store;
+  job.workers = args.workers;
+  job.resume = true;  // crash-safe by default: rerun continues the store
+  job.shard_records = true;
+  job.cancel = &g_interrupted;
+  const service::ShardOutcome outcome = service::RunShardJob(job, &ProcessCache());
+  if (!outcome.error.empty()) {
+    std::fprintf(stderr, "%s\n", outcome.error.c_str());
+    return 1;
+  }
+  std::printf("shard [%zu, %zu): %llu of %zu experiments in %s\n", range->begin,
+              range->end,
+              static_cast<unsigned long long>(outcome.result.CompletedRuns()),
+              range->size(), args.store.c_str());
+  if (outcome.cancelled) {
+    std::fprintf(stderr, "interrupted: rerun the same command to resume\n");
+    return 130;
+  }
+  return 0;
+}
+
+int CmdMerge(const Args& args) {
+  if (args.output.empty()) {
+    std::fprintf(stderr, "merge needs -o FILE.jsonl for the merged store\n");
+    return 2;
+  }
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "merge needs at least one shard store\n");
+    return 2;
+  }
+  std::string error;
+  const std::optional<analysis::MergeSummary> summary =
+      analysis::MergeShardStores(args.positional, args.output, &error);
+  if (!summary.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu shard%s (%llu experiments, program %s) into %s\n",
+              summary->num_shards, summary->num_shards == 1 ? "" : "s",
+              static_cast<unsigned long long>(summary->num_experiments),
+              summary->meta.program.c_str(), args.output.c_str());
+  return 0;
+}
+
 int CmdDictionary(const Args& args) {
   const fi::FaultDictionary dict = fi::FaultDictionary::Synthetic(args.seed);
   return WriteOrPrint(args.output, dict.Serialize()) ? 0 : 1;
@@ -832,6 +1083,10 @@ int main(int argc, char** argv) {
   if (command == "campaign") return CmdCampaign(*args);
   if (command == "sweep") return CmdSweep(*args);
   if (command == "analyze") return CmdAnalyze(*args);
+  if (command == "serve") return CmdServe(*args);
+  if (command == "submit") return CmdSubmit(*args);
+  if (command == "shard") return CmdShard(*args);
+  if (command == "merge") return CmdMerge(*args);
   if (command == "lint") return CmdLint(*args);
   if (command == "dictionary") return CmdDictionary(*args);
   if (command == "disasm") return CmdDisasm(*args);

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Campaign-service smoke test with real processes: a `nvbitfi serve` daemon,
+# external `nvbitfi shard --connect` fleet workers, one of which is SIGKILLed
+# mid-campaign so the coordinator reassigns its shard — and the merged store
+# must still be byte-identical to an unsharded `nvbitfi campaign` run.
+#
+# Usage: service_smoke_test.sh <path-to-nvbitfi> [workdir]
+set -u
+
+CLI=${1:?usage: service_smoke_test.sh <path-to-nvbitfi> [workdir]}
+DIR=${2:-$(mktemp -d)}
+mkdir -p "$DIR"
+# 351.palm is one of the slower workloads, which keeps the campaign running
+# long enough for the mid-flight SIGKILL below to land while shards are
+# genuinely in progress.
+PROGRAM=351.palm
+ARGS="--injections 32 --seed 77 --approximate"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+  [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null
+  [[ -n "${W1_PID:-}" ]] && kill "$W1_PID" 2>/dev/null
+  [[ -n "${W2_PID:-}" ]] && kill "$W2_PID" 2>/dev/null
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+# Canonical store: the unsharded single-process campaign.
+"$CLI" campaign "$PROGRAM" $ARGS --store "$DIR/canonical.jsonl" \
+    > "$DIR/canonical.log" 2>&1 || fail "canonical campaign failed"
+
+# Daemon with no in-process workers: every shard goes to the fleet.
+"$CLI" serve --socket "$DIR/serve.sock" --workdir "$DIR" \
+    --inprocess-workers 0 --heartbeat-timeout 5 --max-campaigns 1 --verbose \
+    > "$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do [[ -S "$DIR/serve.sock" ]] && break; sleep 0.1; done
+[[ -S "$DIR/serve.sock" ]] || fail "daemon never bound its socket"
+
+"$CLI" shard --connect "$DIR/serve.sock" > "$DIR/worker1.log" 2>&1 &
+W1_PID=$!
+
+"$CLI" submit "$PROGRAM" $ARGS --shards 4 --socket "$DIR/serve.sock" \
+    --store "$DIR/served.jsonl" > "$DIR/submit.log" 2>&1 &
+SUBMIT_PID=$!
+
+# Let the lone worker get partway into the campaign, then SIGKILL it.  Its
+# in-flight shard times out at the heartbeat deadline and is reassigned to
+# the replacement worker, which resumes the crash-safe shard store.
+for _ in $(seq 100); do
+  ls "$DIR"/campaign_*_shard_*.jsonl > /dev/null 2>&1 && break
+  sleep 0.1
+done
+sleep 0.5
+kill -9 "$W1_PID" 2>/dev/null || fail "worker 1 exited before the kill"
+W1_PID=
+
+"$CLI" shard --connect "$DIR/serve.sock" > "$DIR/worker2.log" 2>&1 &
+W2_PID=$!
+
+wait "$SUBMIT_PID" || { cat "$DIR/submit.log" "$DIR/serve.log" >&2
+                        fail "submit did not complete after the worker kill"; }
+
+grep -q "merged store:" "$DIR/submit.log" || fail "submit printed no merged store"
+cmp "$DIR/canonical.jsonl" "$DIR/served.jsonl" \
+    || fail "served store differs from the unsharded canonical store"
+grep -q "lost its worker; requeued" "$DIR/serve.log" \
+    || echo "note: campaign finished before the kill took effect" >&2
+
+# max-campaigns=1: the daemon exits on its own after the merge.
+wait "$SERVE_PID" || fail "daemon exited non-zero"
+SERVE_PID=
+
+echo "PASS: fleet campaign survived a SIGKILLed worker, store byte-identical"
