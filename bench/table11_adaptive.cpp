@@ -1,0 +1,162 @@
+// Table XI — adaptive stratified sampling vs uniform exhaustive campaigns.
+//
+// For each workload, one pool of candidate injections two ways.  Uniform:
+// every pool draw is simulated, giving per-stratum ground-truth outcome
+// rates.  Adaptive: the engine stratifies the same pool (kernel / opcode
+// group / liveness), runs rounds, steers budget toward the strata with the
+// widest Wilson intervals, and retires strata that converge to the target
+// half-width.  Both sides share one RunCache and the identical deterministic
+// draw sequence, so the comparison isolates the sampling policy.
+//
+// The acceptance columns: `runs%` (adaptive experiments as a share of the
+// pool — the claim is ≤50% on most workloads) and `agree` (every sampled
+// stratum's ground-truth SDC rate falls inside the adaptive campaign's
+// achieved Wilson interval).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "core/statistics.h"
+#include "service/adaptive_runner.h"
+#include "service/shard_runner.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+int PoolSize() {
+  if (const char* env = std::getenv("NVBITFI_BENCH_POOL")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 200;
+}
+
+std::size_t ProgramLimit(std::size_t total) {
+  if (const char* env = std::getenv("NVBITFI_BENCH_PROGRAMS")) {
+    const int v = std::atoi(env);
+    if (v > 0 && static_cast<std::size_t>(v) < total) {
+      return static_cast<std::size_t>(v);
+    }
+    return total;
+  }
+  return total < 6 ? total : 6;
+}
+
+}  // namespace
+
+int main() {
+  const int pool = PoolSize();
+  const std::uint64_t seed = bench::BenchSeed();
+  const int workers = bench::Workers(4);
+
+  fi::CampaignSpec base;
+  base.seed = seed;
+  base.num_injections = pool;
+  base.adaptive = true;
+  base.adaptive_confidence = 0.90;
+  base.adaptive_target_width = 0.15;
+  base.adaptive_round_size = 32;
+  base.adaptive_min_per_stratum = 4;
+
+  const std::vector<workloads::WorkloadEntry> all = workloads::AllWorkloads();
+  const std::size_t limit = ProgramLimit(all.size());
+  std::printf("Table XI: adaptive stratified sampling vs uniform exhaustion "
+              "(pool %d, seed %llu, %d workers,\n"
+              "          %.0f%% confidence, ±%.2f target half-width; %zu of %zu "
+              "programs — NVBITFI_BENCH_PROGRAMS=0 for all)\n\n",
+              pool, static_cast<unsigned long long>(seed), workers,
+              100.0 * base.adaptive_confidence, base.adaptive_target_width, limit,
+              all.size());
+  std::printf("%-14s %8s %8s %7s %7s %10s %10s %7s %6s\n", "program", "uniform",
+              "adaptive", "runs%", "strata", "converged", "exhausted", "rounds",
+              "agree");
+
+  fi::RunCache cache;
+  std::size_t half_or_better = 0;
+  std::size_t all_agree = 0;
+  for (std::size_t p = 0; p < limit; ++p) {
+    fi::CampaignSpec spec = base;
+    spec.program = all[p].program->name();
+
+    // Uniform ground truth: the identical pool, every draw simulated.  The
+    // shard runner shares the cache and the deterministic per-index streams.
+    fi::CampaignSpec uniform = spec;
+    uniform.adaptive = false;
+    service::ShardJob ground;
+    ground.spec = uniform;
+    ground.workers = workers;
+    const service::ShardOutcome truth = service::RunShardJob(ground, &cache);
+    if (!truth.ok) {
+      std::fprintf(stderr, "%s: uniform campaign failed: %s\n",
+                   spec.program.c_str(), truth.error.c_str());
+      return 1;
+    }
+
+    service::AdaptiveJob job;
+    job.spec = spec;
+    job.workers = workers;
+    const service::AdaptiveOutcome adaptive = service::RunAdaptiveJob(job, &cache);
+    if (!adaptive.ok) {
+      std::fprintf(stderr, "%s: adaptive campaign failed: %s\n",
+                   spec.program.c_str(), adaptive.error.c_str());
+      return 1;
+    }
+
+    // Ground-truth per-stratum rates come from the SAME stratification the
+    // adaptive engine derived (both sides preview the same draw pool).
+    std::string error;
+    const std::optional<service::AdaptiveSetup> setup =
+        service::BuildAdaptiveSetup(spec, &cache, &error);
+    if (!setup.has_value()) {
+      std::fprintf(stderr, "%s: setup failed: %s\n", spec.program.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::vector<fi::OutcomeCounts> truth_counts(setup->stratification.num_strata());
+    for (std::size_t i = 0; i < truth.result.injections.size(); ++i) {
+      truth_counts[setup->stratification.stratum_of[i]].Add(
+          truth.result.injections[i].classification);
+    }
+
+    // Agreement: for every stratum the adaptive campaign sampled, the
+    // ground-truth SDC rate must lie inside its achieved Wilson interval.
+    std::size_t converged = 0;
+    std::size_t exhausted = 0;
+    bool agree = true;
+    for (std::size_t s = 0; s < adaptive.strata.size(); ++s) {
+      const adaptive::StratumRow& row = adaptive.strata[s];
+      if (row.converged) ++converged;
+      if (row.exhausted) ++exhausted;
+      if (row.counts.total() == 0) continue;
+      const fi::OutcomeCounts& gt = truth_counts[s];
+      if (gt.total() == 0) continue;
+      const double gt_sdc =
+          static_cast<double>(gt.sdc) / static_cast<double>(gt.total());
+      const fi::ProportionEstimate interval = fi::EstimateProportion(
+          row.counts.sdc, row.counts.total(), adaptive.policy.confidence);
+      if (gt_sdc < interval.lower - 1e-9 || gt_sdc > interval.upper + 1e-9) {
+        agree = false;
+      }
+    }
+
+    const double ratio = bench::Pct(adaptive.scheduled, adaptive.pool);
+    if (ratio <= 50.0) ++half_or_better;
+    if (agree) ++all_agree;
+    std::printf("%-14s %8llu %8llu %6.1f%% %7zu %10zu %10zu %7zu %6s\n",
+                spec.program.c_str(),
+                static_cast<unsigned long long>(adaptive.pool),
+                static_cast<unsigned long long>(adaptive.scheduled), ratio,
+                adaptive.strata.size(), converged, exhausted, adaptive.rounds,
+                agree ? "yes" : "NO");
+  }
+
+  std::printf("\n%zu/%zu programs finished with <= 50%% of the uniform runs; "
+              "%zu/%zu agree with ground truth on every sampled stratum\n",
+              half_or_better, limit, all_agree, limit);
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "adaptive/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/statistics.h"
+
+namespace nvbitfi::adaptive {
+
+double OutcomeUncertainty(const fi::OutcomeCounts& counts, double confidence) {
+  const std::uint64_t n = counts.total();
+  if (n == 0) return 1.0;
+  double widest = 0.0;
+  for (const std::uint64_t successes : {counts.masked, counts.sdc, counts.due}) {
+    widest = std::max(
+        widest, fi::EstimateProportion(successes, n, confidence).margin);
+  }
+  return widest;
+}
+
+AdaptiveEngine::AdaptiveEngine(Stratification stratification, AdaptivePolicy policy)
+    : stratification_(std::move(stratification)), policy_(policy) {
+  NVBITFI_CHECK_MSG(policy_.confidence > 0.0 && policy_.confidence < 1.0,
+                    "adaptive confidence must be in (0,1)");
+  NVBITFI_CHECK_MSG(policy_.target_half_width > 0.0 && policy_.target_half_width < 1.0,
+                    "adaptive target width must be in (0,1)");
+  NVBITFI_CHECK_MSG(policy_.round_size > 0, "adaptive round size must be positive");
+  const std::size_t num_strata = stratification_.num_strata();
+  counts_.resize(num_strata);
+  scheduled_.assign(num_strata, 0);
+  observed_.assign(num_strata, 0);
+}
+
+bool AdaptiveEngine::StratumConverged(std::size_t s) const {
+  return counts_[s].total() > 0 &&
+         OutcomeUncertainty(counts_[s], policy_.confidence) <=
+             policy_.target_half_width;
+}
+
+double AdaptiveEngine::StratumUncertainty(std::size_t s) const {
+  return OutcomeUncertainty(counts_[s], policy_.confidence);
+}
+
+std::uint64_t AdaptiveEngine::total_scheduled() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : scheduled_) total += s;
+  return total;
+}
+
+std::uint64_t AdaptiveEngine::total_observed() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t o : observed_) total += o;
+  return total;
+}
+
+bool AdaptiveEngine::Done() const {
+  for (std::size_t s = 0; s < stratification_.num_strata(); ++s) {
+    if (!StratumExhausted(s) && !StratumConverged(s)) return false;
+  }
+  return true;
+}
+
+void AdaptiveEngine::Observe(std::uint64_t index,
+                             const fi::Classification& classification) {
+  NVBITFI_CHECK_MSG(index < stratification_.pool_size(),
+                    "observed index " << index << " outside the pool");
+  const std::uint32_t s = stratification_.stratum_of[index];
+  counts_[s].Add(classification);
+  ++observed_[s];
+  NVBITFI_CHECK_MSG(observed_[s] <= scheduled_[s],
+                    "stratum " << s << " observed more runs than scheduled");
+}
+
+void AdaptiveEngine::Commit(const RoundRecord& round) {
+  for (const RoundAllocation& allocation : round.allocations) {
+    scheduled_[allocation.stratum] += allocation.count;
+  }
+  ++rounds_;
+}
+
+RoundRecord AdaptiveEngine::PlanRound() {
+  NVBITFI_CHECK_MSG(total_observed() == total_scheduled(),
+                    "PlanRound called with outcomes still outstanding");
+  const std::size_t num_strata = stratification_.num_strata();
+  std::vector<std::uint64_t> alloc(num_strata, 0);
+  std::uint64_t budget = policy_.round_size;
+
+  const auto remaining = [&](std::size_t s) {
+    return StratumPopulation(s) - scheduled_[s] - alloc[s];
+  };
+  const auto eligible = [&](std::size_t s) {
+    return remaining(s) > 0 && !StratumConverged(s);
+  };
+
+  // Step 1: seeding floor, ascending stratum id.
+  for (std::size_t s = 0; s < num_strata && budget > 0; ++s) {
+    if (!eligible(s) || scheduled_[s] >= policy_.min_per_stratum) continue;
+    const std::uint64_t take = std::min(
+        {policy_.min_per_stratum - scheduled_[s], remaining(s), budget});
+    alloc[s] += take;
+    budget -= take;
+  }
+
+  // Step 2: uncertainty-proportional with largest-remainder rounding.  The
+  // loop re-runs when population caps strand budget; it terminates because
+  // each pass either hands out experiments or finds no capacity.
+  while (budget > 0) {
+    std::vector<std::size_t> open;
+    double total_weight = 0.0;
+    for (std::size_t s = 0; s < num_strata; ++s) {
+      if (!eligible(s)) continue;
+      open.push_back(s);
+      total_weight += StratumUncertainty(s);
+    }
+    if (open.empty() || total_weight <= 0.0) break;
+
+    std::uint64_t given = 0;
+    struct Remainder {
+      double fraction;
+      std::size_t stratum;
+    };
+    std::vector<Remainder> remainders;
+    for (const std::size_t s : open) {
+      const double ideal =
+          static_cast<double>(budget) * StratumUncertainty(s) / total_weight;
+      const std::uint64_t whole = std::min(
+          static_cast<std::uint64_t>(ideal), remaining(s));
+      alloc[s] += whole;
+      given += whole;
+      if (remaining(s) > 0) {
+        remainders.push_back({ideal - std::floor(ideal), s});
+      }
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const Remainder& a, const Remainder& b) {
+                if (a.fraction != b.fraction) return a.fraction > b.fraction;
+                return a.stratum < b.stratum;
+              });
+    for (const Remainder& r : remainders) {
+      if (given >= budget) break;
+      if (remaining(r.stratum) == 0) continue;
+      ++alloc[r.stratum];
+      ++given;
+    }
+    budget -= given;
+    if (given == 0) break;  // every open stratum is capped
+  }
+
+  RoundRecord round;
+  for (std::size_t s = 0; s < num_strata; ++s) {
+    if (alloc[s] == 0) continue;
+    round.allocations.push_back({static_cast<std::uint32_t>(s), alloc[s]});
+    for (std::uint64_t k = 0; k < alloc[s]; ++k) {
+      round.indexes.push_back(stratification_.members[s][scheduled_[s] + k]);
+    }
+  }
+  if (!round.indexes.empty()) Commit(round);
+  return round;
+}
+
+bool AdaptiveEngine::AdoptRound(const RoundRecord& round, std::string* error) {
+  std::size_t cursor = 0;
+  std::uint32_t previous_stratum = 0;
+  for (std::size_t a = 0; a < round.allocations.size(); ++a) {
+    const RoundAllocation& allocation = round.allocations[a];
+    const std::uint32_t s = allocation.stratum;
+    if (s >= stratification_.num_strata()) {
+      if (error != nullptr) *error = Format("round names unknown stratum %u", s);
+      return false;
+    }
+    if (a > 0 && s <= previous_stratum) {
+      if (error != nullptr) *error = "round allocations not ascending by stratum";
+      return false;
+    }
+    previous_stratum = s;
+    if (scheduled_[s] + allocation.count > StratumPopulation(s)) {
+      if (error != nullptr) {
+        *error = Format("round overruns stratum %u (%llu scheduled + %llu > %llu)",
+                        s, static_cast<unsigned long long>(scheduled_[s]),
+                        static_cast<unsigned long long>(allocation.count),
+                        static_cast<unsigned long long>(StratumPopulation(s)));
+      }
+      return false;
+    }
+    for (std::uint64_t k = 0; k < allocation.count; ++k, ++cursor) {
+      const std::uint64_t expected = stratification_.members[s][scheduled_[s] + k];
+      if (cursor >= round.indexes.size() || round.indexes[cursor] != expected) {
+        if (error != nullptr) {
+          *error = Format("round index list disagrees with stratification at "
+                          "position %zu (expected %llu)",
+                          cursor, static_cast<unsigned long long>(expected));
+        }
+        return false;
+      }
+    }
+  }
+  if (cursor != round.indexes.size()) {
+    if (error != nullptr) *error = "round index list longer than its allocations";
+    return false;
+  }
+  Commit(round);
+  return true;
+}
+
+}  // namespace nvbitfi::adaptive

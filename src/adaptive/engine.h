@@ -1,0 +1,96 @@
+// The adaptive sampling engine: allocator + stopping rule over a
+// stratified pool.
+//
+// The engine is a pure state machine — no simulation, no I/O.  Callers
+// (the CLI's --adaptive runner, the serve coordinator) drive it:
+//
+//   while (!(round = engine.PlanRound()).indexes.empty()) {
+//     persist round;                       // BEFORE running: crash-safe
+//     run round.indexes;                   // any workers / shards
+//     engine.Observe(index, classification) for each;
+//   }
+//
+// PlanRound is a pure function of the observed outcome tallies, which are
+// themselves deterministic (campaign records depend only on experiment
+// index), so any two processes that observe the same prefix of rounds plan
+// identical continuations.  Resume additionally adopts the persisted rounds
+// verbatim (AdoptRound) rather than re-planning, making the schedule replay
+// bit-for-bit by construction even if the allocator ever changes.
+//
+// Allocation rule, per round:
+//   1. Seed: strata below policy.min_per_stratum scheduled experiments are
+//      topped up first (ascending stratum id), so every stratum's
+//      uncertainty means something before it competes for budget.
+//   2. The remaining budget is split across unconverged, unexhausted strata
+//      proportionally to their outcome-uncertainty (widest Wilson half-width
+//      across Masked/SDC/DUE at policy.confidence), largest-remainder
+//      rounding, ties to the lower stratum id.
+//   3. A stratum whose uncertainty is at most policy.target_half_width is
+//      converged: it receives nothing and is retired early.
+// The campaign ends when no stratum is both unconverged and unexhausted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaptive/round.h"
+#include "adaptive/stratum.h"
+#include "core/outcome.h"
+
+namespace nvbitfi::adaptive {
+
+// Widest Wilson half-width across the three Table V outcome rates; 1.0 when
+// nothing has been observed yet.
+double OutcomeUncertainty(const fi::OutcomeCounts& counts, double confidence);
+
+class AdaptiveEngine {
+ public:
+  AdaptiveEngine(Stratification stratification, AdaptivePolicy policy);
+
+  // Plans and commits the next round.  An empty round (no indexes) means the
+  // campaign is done: every stratum is converged or exhausted.  Requires all
+  // previously scheduled experiments to have been Observe()d.
+  RoundRecord PlanRound();
+
+  // Resume path: commits a persisted round verbatim after verifying it is
+  // consistent with the stratification (each allocation takes exactly the
+  // next unscheduled members of its stratum).  False + *error on a round
+  // that could not have been produced for this campaign.
+  bool AdoptRound(const RoundRecord& round, std::string* error);
+
+  // Feeds back one scheduled experiment's outcome.
+  void Observe(std::uint64_t index, const fi::Classification& classification);
+
+  bool Done() const;
+
+  const Stratification& stratification() const { return stratification_; }
+  const AdaptivePolicy& policy() const { return policy_; }
+  std::size_t rounds_planned() const { return rounds_; }
+  std::uint64_t total_scheduled() const;
+  std::uint64_t total_observed() const;
+
+  // Per-stratum state for reports.
+  const fi::OutcomeCounts& StratumCounts(std::size_t s) const { return counts_[s]; }
+  std::uint64_t StratumScheduled(std::size_t s) const { return scheduled_[s]; }
+  std::uint64_t StratumPopulation(std::size_t s) const {
+    return stratification_.members[s].size();
+  }
+  bool StratumExhausted(std::size_t s) const {
+    return scheduled_[s] >= StratumPopulation(s);
+  }
+  bool StratumConverged(std::size_t s) const;
+  double StratumUncertainty(std::size_t s) const;
+
+ private:
+  void Commit(const RoundRecord& round);
+
+  Stratification stratification_;
+  AdaptivePolicy policy_;
+  std::vector<fi::OutcomeCounts> counts_;
+  std::vector<std::uint64_t> scheduled_;
+  std::vector<std::uint64_t> observed_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace nvbitfi::adaptive

@@ -1,0 +1,111 @@
+#include "adaptive/report.h"
+
+#include "common/strings.h"
+#include "core/report.h"
+#include "core/statistics.h"
+
+namespace nvbitfi::adaptive {
+namespace {
+
+std::string RateCell(std::uint64_t successes, std::uint64_t n, double confidence) {
+  if (n == 0) return Format("%16s", "-");
+  const fi::ProportionEstimate e = fi::EstimateProportion(successes, n, confidence);
+  return Format("%5.1f%% ±%4.1f%%  ", 100.0 * e.value, 100.0 * e.margin);
+}
+
+}  // namespace
+
+std::vector<StratumRow> EngineRows(const AdaptiveEngine& engine) {
+  std::vector<StratumRow> rows;
+  const Stratification& stratification = engine.stratification();
+  rows.reserve(stratification.num_strata());
+  for (std::size_t s = 0; s < stratification.num_strata(); ++s) {
+    StratumRow row;
+    row.label = stratification.labels[s];
+    row.population = engine.StratumPopulation(s);
+    row.scheduled = engine.StratumScheduled(s);
+    row.counts = engine.StratumCounts(s);
+    row.converged = engine.StratumConverged(s);
+    row.exhausted = engine.StratumExhausted(s);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string StrataReport(const std::vector<StratumRow>& rows, double confidence,
+                         double target_half_width) {
+  std::string out = Format("strata at %.0f%% confidence (Wilson):\n",
+                           100.0 * confidence);
+  for (const StratumRow& row : rows) {
+    const std::uint64_t n = row.counts.total();
+    std::string state;
+    if (target_half_width > 0.0) {
+      if (row.converged) {
+        state = "  converged";
+      } else if (row.exhausted) {
+        state = "  exhausted";
+      } else {
+        state = Format("  width %.3f > %.3f", OutcomeUncertainty(row.counts, confidence),
+                       target_half_width);
+      }
+    }
+    out += Format("  %-40s %6llu/%llu runs  M %s S %s D %s%s\n", row.label.c_str(),
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(
+                      row.population > 0 ? row.population : n),
+                  RateCell(row.counts.masked, n, confidence).c_str(),
+                  RateCell(row.counts.sdc, n, confidence).c_str(),
+                  RateCell(row.counts.due, n, confidence).c_str(), state.c_str());
+  }
+  return out;
+}
+
+std::string StrataCsv(const std::vector<StratumRow>& rows, double confidence) {
+  std::string out =
+      "stratum,population,scheduled,runs,masked,sdc,due,potential_due,"
+      "masked_rate,masked_lower,masked_upper,sdc_rate,sdc_lower,sdc_upper,"
+      "due_rate,due_lower,due_upper,max_half_width,converged,exhausted\n";
+  for (const StratumRow& row : rows) {
+    const std::uint64_t n = row.counts.total();
+    const fi::OutcomeEstimates e = fi::EstimateOutcomes(row.counts, confidence);
+    out += Format(
+        "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n",
+        fi::CsvField(row.label).c_str(),
+        static_cast<unsigned long long>(row.population),
+        static_cast<unsigned long long>(row.scheduled),
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(row.counts.masked),
+        static_cast<unsigned long long>(row.counts.sdc),
+        static_cast<unsigned long long>(row.counts.due),
+        static_cast<unsigned long long>(row.counts.potential_due),
+        e.masked.value, e.masked.lower, e.masked.upper, e.sdc.value, e.sdc.lower,
+        e.sdc.upper, e.due.value, e.due.lower, e.due.upper,
+        OutcomeUncertainty(row.counts, confidence), row.converged ? 1 : 0,
+        row.exhausted ? 1 : 0);
+  }
+  return out;
+}
+
+std::string AdaptiveSummary(const AdaptiveEngine& engine) {
+  std::size_t converged = 0;
+  std::size_t exhausted = 0;
+  const std::size_t num_strata = engine.stratification().num_strata();
+  for (std::size_t s = 0; s < num_strata; ++s) {
+    if (engine.StratumConverged(s)) {
+      ++converged;
+    } else if (engine.StratumExhausted(s)) {
+      ++exhausted;
+    }
+  }
+  return Format(
+      "adaptive: %zu rounds, %llu/%zu pool experiments scheduled; "
+      "%zu/%zu strata converged (target ±%.3f at %.0f%%), %zu exhausted\n",
+      engine.rounds_planned(),
+      static_cast<unsigned long long>(engine.total_scheduled()),
+      engine.stratification().pool_size(), converged, num_strata,
+      engine.policy().target_half_width, 100.0 * engine.policy().confidence,
+      exhausted);
+}
+
+}  // namespace nvbitfi::adaptive

@@ -1,0 +1,44 @@
+// Per-stratum reporting: achieved confidence intervals, convergence state,
+// and an RFC-4180-safe CSV export.
+//
+// Two producers share these rows: a live AdaptiveEngine (campaign reports,
+// serve completion reports) and `nvbitfi analyze --strata`, which rebuilds
+// rows post-hoc from any stored campaign — adaptive or uniform — so the two
+// sampling modes can be cross-tabbed with identical formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adaptive/engine.h"
+#include "core/outcome.h"
+
+namespace nvbitfi::adaptive {
+
+struct StratumRow {
+  std::string label;
+  std::uint64_t population = 0;  // pool members (0 when unknown, e.g. post-hoc)
+  std::uint64_t scheduled = 0;
+  fi::OutcomeCounts counts;
+  bool converged = false;
+  bool exhausted = false;
+};
+
+// Rows for every stratum of a live engine, in stratum-id (label) order.
+std::vector<StratumRow> EngineRows(const AdaptiveEngine& engine);
+
+// Text table: one line per stratum with its observed rates and Wilson
+// half-widths at `confidence`.  `target_half_width` > 0 annotates each
+// stratum's convergence state against that target.
+std::string StrataReport(const std::vector<StratumRow>& rows, double confidence,
+                         double target_half_width = 0.0);
+
+// CSV export (header + one row per stratum).  Labels contain kernel names,
+// so every free-text field passes through RFC-4180 quoting.
+std::string StrataCsv(const std::vector<StratumRow>& rows, double confidence);
+
+// Round-accounting summary for a finished engine: rounds planned, runs
+// scheduled vs pool size, converged/exhausted tallies.
+std::string AdaptiveSummary(const AdaptiveEngine& engine);
+
+}  // namespace nvbitfi::adaptive

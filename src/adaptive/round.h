@@ -1,0 +1,48 @@
+// Adaptive-campaign schedule records (persisted in store header v5).
+//
+// An adaptive campaign runs in rounds: each round the engine allocates a
+// budget of experiments across strata and commits the exact pool indexes it
+// scheduled.  The committed rounds ARE the campaign's schedule — they are
+// persisted in the result-store header before the round executes, so a
+// resumed campaign adopts them verbatim and replays the identical schedule
+// bit-for-bit instead of re-deriving it.
+//
+// Header-only: the analysis layer serializes these into store headers
+// without linking the adaptive engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nvbitfi::adaptive {
+
+// Stopping/allocation policy.  All four fields join the store's resume
+// identity: a store scheduled under one policy must never be completed under
+// another.
+struct AdaptivePolicy {
+  // Confidence level of the per-stratum Wilson intervals.
+  double confidence = 0.95;
+  // A stratum is converged (retired from allocation) when the widest Wilson
+  // half-width across its Masked/SDC/DUE rates is at most this.
+  double target_half_width = 0.10;
+  // Experiment budget per round.
+  std::uint64_t round_size = 32;
+  // Round-robin seeding floor: strata are topped up to this many scheduled
+  // experiments before uncertainty-proportional allocation kicks in.
+  std::uint64_t min_per_stratum = 4;
+};
+
+struct RoundAllocation {
+  std::uint32_t stratum = 0;  // index into the stratification's label list
+  std::uint64_t count = 0;
+};
+
+struct RoundRecord {
+  // Per-stratum budget, ascending by stratum id.
+  std::vector<RoundAllocation> allocations;
+  // The exact pool indexes scheduled, concatenated in allocation order (each
+  // stratum contributes its members in ascending index order).
+  std::vector<std::uint64_t> indexes;
+};
+
+}  // namespace nvbitfi::adaptive

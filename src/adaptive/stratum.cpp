@@ -1,0 +1,68 @@
+#include "adaptive/stratum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace nvbitfi::adaptive {
+
+std::string_view OpcodeGroupLabel(sim::Opcode op) {
+  using fi::ArchStateId;
+  // Table II's groups 1-5 partition the ISA (6, "others", is the rest); the
+  // first match wins in the paper's numbering order.
+  if (fi::OpcodeInGroup(op, ArchStateId::kGFp64)) return "fp64";
+  if (fi::OpcodeInGroup(op, ArchStateId::kGFp32)) return "fp32";
+  if (fi::OpcodeInGroup(op, ArchStateId::kGLd)) return "ld";
+  if (fi::OpcodeInGroup(op, ArchStateId::kGPr)) return "pr";
+  if (fi::OpcodeInGroup(op, ArchStateId::kGNoDest)) return "nodest";
+  return "other";
+}
+
+std::string StratumLabelFor(const fi::ProgramProfile& profile,
+                            const fi::TransientDraw& draw,
+                            const fi::StaticSiteOracle* oracle) {
+  if (!draw.params.has_value()) return "(no-site)";
+  const fi::TransientFaultParams& params = *draw.params;
+  std::string group = "?";
+  std::string liveness = "unresolved";
+  if (oracle != nullptr) {
+    const fi::StaticSiteVerdict verdict = oracle->Evaluate(profile, params);
+    if (verdict.resolved) {
+      group = std::string(OpcodeGroupLabel(verdict.opcode));
+      liveness = verdict.statically_dead ? "dead" : "live";
+    }
+  }
+  return params.kernel_name + "/" + group + "/" + liveness;
+}
+
+Stratification StratifyPool(const fi::ProgramProfile& profile,
+                            const std::vector<fi::TransientDraw>& draws,
+                            const fi::StaticSiteOracle* oracle) {
+  std::vector<std::string> pool_labels;
+  pool_labels.reserve(draws.size());
+  for (const fi::TransientDraw& draw : draws) {
+    pool_labels.push_back(StratumLabelFor(profile, draw, oracle));
+  }
+
+  // std::map keeps labels sorted; ids are their rank in that order.
+  std::map<std::string, std::uint32_t> ids;
+  for (const std::string& label : pool_labels) ids.emplace(label, 0);
+  Stratification out;
+  out.labels.reserve(ids.size());
+  for (auto& [label, id] : ids) {
+    id = static_cast<std::uint32_t>(out.labels.size());
+    out.labels.push_back(label);
+  }
+
+  out.stratum_of.reserve(pool_labels.size());
+  out.members.resize(out.labels.size());
+  for (std::size_t i = 0; i < pool_labels.size(); ++i) {
+    const std::uint32_t id = ids.at(pool_labels[i]);
+    out.stratum_of.push_back(id);
+    out.members[id].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace nvbitfi::adaptive

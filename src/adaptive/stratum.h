@@ -1,0 +1,59 @@
+// Stratification of an injection-site pool for adaptive sampling.
+//
+// The campaign's experiment pool [0, num_injections) is deterministic before
+// anything runs: per-experiment Rng streams are pre-forked in index order, so
+// every experiment's fault draw can be previewed (core's
+// PreviewTransientFaults).  The stratifier partitions the pool by what is
+// known about each draw statically:
+//
+//   kernel        — the kernel the fault lands in
+//   opcode group  — the Table II partition (fp64/fp32/ld/pr/nodest/other) of
+//                   the target instruction, resolved via the static oracle
+//   liveness      — the static-analysis verdict: dead / live / unresolved
+//
+// Draws with no eligible site (trivially masked experiments) form their own
+// stratum.  Observed anatomy patterns cannot stratify *scheduling* (they
+// only exist after a run); `nvbitfi analyze --strata` cross-tabs them
+// post-hoc instead.
+//
+// Stratum ids are assigned by sorting the distinct labels, so the mapping is
+// a pure function of (profile, seed, group, flip model) — every process that
+// stratifies the same campaign derives the identical partition, which is
+// what lets coordinator and workers agree on stratum ids by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/static_oracle.h"
+
+namespace nvbitfi::adaptive {
+
+// Human-readable Table II partition-group label for an opcode.
+std::string_view OpcodeGroupLabel(sim::Opcode op);
+
+// Stratum label of one previewed draw ("kernel/group/liveness", or
+// "(no-site)" for trivially masked draws).  `oracle` may be null — sites
+// then stratify as ".../unresolved" with an unknown opcode group.
+std::string StratumLabelFor(const fi::ProgramProfile& profile,
+                            const fi::TransientDraw& draw,
+                            const fi::StaticSiteOracle* oracle);
+
+struct Stratification {
+  std::vector<std::string> labels;                  // stratum id -> label, sorted
+  std::vector<std::uint32_t> stratum_of;            // pool index -> stratum id
+  std::vector<std::vector<std::uint64_t>> members;  // stratum id -> ascending indexes
+
+  std::size_t num_strata() const { return labels.size(); }
+  std::size_t pool_size() const { return stratum_of.size(); }
+};
+
+// Partitions the full pool.  `draws` must be PreviewTransientFaults' output
+// for the campaign being stratified.
+Stratification StratifyPool(const fi::ProgramProfile& profile,
+                            const std::vector<fi::TransientDraw>& draws,
+                            const fi::StaticSiteOracle* oracle);
+
+}  // namespace nvbitfi::adaptive

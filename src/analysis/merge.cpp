@@ -167,4 +167,102 @@ std::optional<MergeSummary> MergeShardStores(const std::vector<std::string>& sha
   return summary;
 }
 
+std::optional<MergeSummary> MergeAdaptiveSliceStores(
+    const std::vector<std::string>& slice_paths,
+    const std::vector<adaptive::RoundRecord>& rounds, const std::string& out_path,
+    std::string* error) {
+  if (slice_paths.empty()) {
+    if (error != nullptr) *error = "no slice stores to merge";
+    return std::nullopt;
+  }
+
+  std::vector<LoadedStore> slices;
+  slices.reserve(slice_paths.size());
+  for (const std::string& path : slice_paths) {
+    std::optional<LoadedStore> slice = LoadResultStore(path, error);
+    if (!slice.has_value()) return std::nullopt;
+    if (slice->meta.kind != "transient" || !slice->meta.adaptive) {
+      if (error != nullptr) {
+        *error = Format("'%s' is not an adaptive slice store", path.c_str());
+      }
+      return std::nullopt;
+    }
+    slices.push_back(*std::move(slice));
+  }
+
+  // Identity: slice headers are already canonical (workers pinned to 1, no
+  // shard range, no schedule), so they must match outright.
+  const std::string identity = MetaToJson(slices[0].meta).Dump();
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    if (MetaToJson(slices[i].meta).Dump() != identity) {
+      if (error != nullptr) {
+        *error = Format("'%s' belongs to a different campaign than '%s'",
+                        slice_paths[i].c_str(), slice_paths[0].c_str());
+      }
+      return std::nullopt;
+    }
+  }
+
+  // Coverage: the slices' records must be exactly the scheduled indexes,
+  // each held by exactly one slice.
+  std::map<std::size_t, const std::string*> lines;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    for (const auto& [index, line] : slices[i].record_lines) {
+      if (!lines.emplace(index, &line).second) {
+        if (error != nullptr) {
+          *error = Format("experiment %zu appears in more than one slice store",
+                          index);
+        }
+        return std::nullopt;
+      }
+    }
+  }
+  std::uint64_t scheduled = 0;
+  for (const adaptive::RoundRecord& round : rounds) {
+    for (const std::uint64_t index : round.indexes) {
+      ++scheduled;
+      if (lines.find(static_cast<std::size_t>(index)) == lines.end()) {
+        if (error != nullptr) {
+          *error = Format("scheduled experiment %llu has no record in any slice",
+                          static_cast<unsigned long long>(index));
+        }
+        return std::nullopt;
+      }
+    }
+  }
+  if (lines.size() != scheduled) {
+    if (error != nullptr) {
+      *error = Format("slices hold %zu records but the schedule covers %llu "
+                      "experiments",
+                      lines.size(), static_cast<unsigned long long>(scheduled));
+    }
+    return std::nullopt;
+  }
+
+  StoreMeta merged = slices[0].meta;
+  merged.rounds = rounds;
+
+  std::FILE* file = std::fopen(out_path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = Format("cannot write '%s'", out_path.c_str());
+    return std::nullopt;
+  }
+  const std::string header = MetaToJson(merged).Dump();
+  std::fputs(header.c_str(), file);
+  std::fputc('\n', file);
+  for (const auto& [index, line] : lines) {
+    (void)index;
+    std::fputs(line->c_str(), file);
+    std::fputc('\n', file);
+  }
+  std::fflush(file);
+  std::fclose(file);
+
+  MergeSummary summary;
+  summary.num_experiments = merged.num_experiments;
+  summary.num_shards = slices.size();
+  summary.meta = merged;
+  return summary;
+}
+
 }  // namespace nvbitfi::analysis

@@ -33,4 +33,16 @@ std::optional<MergeSummary> MergeShardStores(const std::vector<std::string>& sha
                                              const std::string& out_path,
                                              std::string* error);
 
+// Merges adaptive round-slice stores into the canonical adaptive store.
+// `rounds` is the full schedule the coordinator planned; the merged header
+// carries it, and the slices' records must cover exactly its indexes (each
+// exactly once).  Unlike shard merging, record lines are copied VERBATIM —
+// adaptive records always carry their own replay stats, in slices and in
+// locally-run stores alike — so the output is byte-identical to the store a
+// single-process `--adaptive` campaign finalizes.
+std::optional<MergeSummary> MergeAdaptiveSliceStores(
+    const std::vector<std::string>& slice_paths,
+    const std::vector<adaptive::RoundRecord>& rounds, const std::string& out_path,
+    std::string* error);
+
 }  // namespace nvbitfi::analysis

@@ -182,6 +182,33 @@ json::Value MetaToJson(const StoreMeta& meta) {
     out.Set("shard_begin", meta.shard_begin);
     out.Set("shard_end", meta.shard_end);
   }
+  if (meta.adaptive) {
+    out.Set("adaptive", true);
+    out.Set("adaptive_confidence", meta.policy.confidence);
+    out.Set("adaptive_target_width", meta.policy.target_half_width);
+    out.Set("adaptive_round_size", meta.policy.round_size);
+    out.Set("adaptive_min_per_stratum", meta.policy.min_per_stratum);
+    json::Value strata = json::Value::Array();
+    for (const std::string& label : meta.strata) strata.Push(label);
+    out.Set("strata", std::move(strata));
+    json::Value rounds = json::Value::Array();
+    for (const adaptive::RoundRecord& round : meta.rounds) {
+      json::Value round_json = json::Value::Object();
+      json::Value allocations = json::Value::Array();
+      for (const adaptive::RoundAllocation& allocation : round.allocations) {
+        json::Value pair = json::Value::Array();
+        pair.Push(static_cast<std::uint64_t>(allocation.stratum));
+        pair.Push(allocation.count);
+        allocations.Push(std::move(pair));
+      }
+      round_json.Set("allocations", std::move(allocations));
+      json::Value indexes = json::Value::Array();
+      for (const std::uint64_t index : round.indexes) indexes.Push(index);
+      round_json.Set("indexes", std::move(indexes));
+      rounds.Push(std::move(round_json));
+    }
+    out.Set("rounds", std::move(rounds));
+  }
   if (meta.replay_accounting) {
     out.Set("replay_accounting", true);
     out.Set("checkpointed_runs", meta.checkpointed_runs);
@@ -229,6 +256,47 @@ std::optional<StoreMeta> MetaFromJson(const json::Value& value, std::string* err
   meta.workers = static_cast<int>(value.GetInt("workers", 1));
   meta.shard_begin = value.GetUint("shard_begin");
   meta.shard_end = value.GetUint("shard_end");
+  meta.adaptive = value.GetBool("adaptive");
+  if (meta.adaptive) {
+    meta.policy.confidence = value.GetDouble("adaptive_confidence");
+    meta.policy.target_half_width = value.GetDouble("adaptive_target_width");
+    meta.policy.round_size = value.GetUint("adaptive_round_size");
+    meta.policy.min_per_stratum = value.GetUint("adaptive_min_per_stratum");
+    if (const json::Value* strata = value.Find("strata");
+        strata != nullptr && strata->is_array()) {
+      for (std::size_t i = 0; i < strata->size(); ++i) {
+        meta.strata.push_back(strata->at(i).AsString());
+      }
+    }
+    if (const json::Value* rounds = value.Find("rounds");
+        rounds != nullptr && rounds->is_array()) {
+      for (std::size_t r = 0; r < rounds->size(); ++r) {
+        const json::Value& round_json = rounds->at(r);
+        adaptive::RoundRecord round;
+        if (const json::Value* allocations = round_json.Find("allocations");
+            allocations != nullptr && allocations->is_array()) {
+          for (std::size_t a = 0; a < allocations->size(); ++a) {
+            const json::Value& pair = allocations->at(a);
+            if (!pair.is_array() || pair.size() != 2) {
+              *error = "malformed adaptive round allocation";
+              return std::nullopt;
+            }
+            adaptive::RoundAllocation allocation;
+            allocation.stratum = static_cast<std::uint32_t>(pair.at(0).AsUint());
+            allocation.count = pair.at(1).AsUint();
+            round.allocations.push_back(allocation);
+          }
+        }
+        if (const json::Value* indexes = round_json.Find("indexes");
+            indexes != nullptr && indexes->is_array()) {
+          for (std::size_t i = 0; i < indexes->size(); ++i) {
+            round.indexes.push_back(indexes->at(i).AsUint());
+          }
+        }
+        meta.rounds.push_back(std::move(round));
+      }
+    }
+  }
   meta.replay_accounting = value.GetBool("replay_accounting");
   meta.checkpointed_runs = value.GetUint("checkpointed_runs");
   meta.replay_launches = value.GetUint("replay_launches");
@@ -366,7 +434,12 @@ bool StoreMeta::CompatibleWith(const StoreMeta& other) const {
          approximate_profile == other.approximate_profile &&
          watchdog_multiplier == other.watchdog_multiplier &&
          element == other.element && shard_begin == other.shard_begin &&
-         shard_end == other.shard_end;
+         shard_end == other.shard_end && adaptive == other.adaptive &&
+         (!adaptive ||
+          (policy.confidence == other.policy.confidence &&
+           policy.target_half_width == other.policy.target_half_width &&
+           policy.round_size == other.policy.round_size &&
+           policy.min_per_stratum == other.policy.min_per_stratum));
 }
 
 StoreMeta TransientStoreMeta(const std::string& program,

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "adaptive/round.h"
 #include "analysis/anatomy.h"
 #include "analysis/json.h"
 #include "core/campaign.h"
@@ -31,7 +32,10 @@
 
 namespace nvbitfi::analysis {
 
-inline constexpr int kResultStoreVersion = 4;
+// v5 adds adaptive-campaign headers: the sampling policy joins the resume
+// identity and the per-round allocation schedule is persisted so a resumed
+// adaptive campaign replays it bit-for-bit.
+inline constexpr int kResultStoreVersion = 5;
 
 // Campaign identity + shared state persisted in the header line.  The
 // identity fields decide whether a store can be resumed by a given campaign;
@@ -81,6 +85,16 @@ struct StoreMeta {
   std::uint64_t replay_launches = 0;
   std::uint64_t replay_instructions_saved = 0;
   std::uint64_t replay_fallbacks = 0;
+  // Adaptive campaign (store v5).  The policy joins the resume identity: a
+  // store scheduled under one stopping rule must never be completed under
+  // another.  `strata` and `rounds` are progress state, not identity — they
+  // are rewritten on every round boundary (FinalizeMeta) so a killed
+  // adaptive campaign resumes with its schedule intact, and `analyze` can
+  // audit round accounting without re-deriving the stratification.
+  bool adaptive = false;
+  adaptive::AdaptivePolicy policy;
+  std::vector<std::string> strata;  // stratum id -> label
+  std::vector<adaptive::RoundRecord> rounds;
   // Golden-run accounting (outputs are not persisted) and the profile, for
   // report regeneration.
   fi::RunArtifacts golden;

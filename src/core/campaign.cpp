@@ -62,6 +62,36 @@ void WarnIfGoldenNotClean(const std::string& program, const RunArtifacts& golden
 
 }  // namespace
 
+TransientDraw DrawTransientExperiment(const ProgramProfile& profile,
+                                      ArchStateId group, BitFlipModel flip_model,
+                                      bool randomize_flip_model, Rng& rng) {
+  TransientDraw draw;
+  draw.model =
+      randomize_flip_model
+          ? *BitFlipModelFromInt(static_cast<int>(rng.UniformInt(1, 4)))
+          : flip_model;
+  draw.params = SelectTransientFault(profile, group, draw.model, rng);
+  return draw;
+}
+
+std::vector<TransientDraw> PreviewTransientFaults(
+    const ProgramProfile& profile, const TransientCampaignConfig& config,
+    const std::string& program_name) {
+  const std::size_t n =
+      config.num_injections > 0 ? static_cast<std::size_t>(config.num_injections) : 0;
+  Rng rng(Rng::SeedFrom(config.seed, program_name));
+  std::vector<Rng> streams = ForkStreams(rng, n);
+  std::vector<TransientDraw> draws;
+  draws.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    draws.push_back(DrawTransientExperiment(profile, config.group,
+                                            config.flip_model,
+                                            config.randomize_flip_model,
+                                            streams[i]));
+  }
+  return draws;
+}
+
 double TransientCampaignResult::ProfilingOverhead() const {
   return Overhead(profiling_run.cycles, golden.cycles);
 }
@@ -220,11 +250,22 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   // Steps 2-4, once per injection experiment, distributed over the pool.
   const std::size_t n =
       config.num_injections > 0 ? static_cast<std::size_t>(config.num_injections) : 0;
-  // Shard range: every stream below is still forked, but only in-range
-  // indexes execute (see TransientCampaignConfig::index_begin).
+  // Shard range / adaptive index set: every stream below is still forked,
+  // but only the selected indexes execute (see TransientCampaignConfig).
   const std::size_t begin = std::min(config.index_begin, n);
   const std::size_t end =
       config.index_end == 0 ? n : std::min(config.index_end, n);
+  std::vector<std::size_t> todo;
+  if (config.index_set != nullptr) {
+    todo.reserve(config.index_set->size());
+    for (const std::size_t i : *config.index_set) {
+      NVBITFI_CHECK_MSG(i < n, "index_set entry " << i << " >= " << n);
+      todo.push_back(i);
+    }
+  } else {
+    todo.reserve(end > begin ? end - begin : 0);
+    for (std::size_t i = begin; i < end; ++i) todo.push_back(i);
+  }
   Rng rng(Rng::SeedFrom(config.seed, program_.name()));
   std::vector<Rng> streams = ForkStreams(rng, n);
   result.injections.resize(n);
@@ -239,8 +280,8 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   WorkerPool pool(config.num_workers);
   result.workers = pool.workers();
   const auto start = std::chrono::steady_clock::now();
-  pool.ParallelFor(end > begin ? end - begin : 0, [&](std::size_t task) {
-    const std::size_t i = begin + task;
+  pool.ParallelFor(todo.size(), [&](std::size_t task) {
+    const std::size_t i = todo[task];
     InjectionRun& run = result.injections[i];
     // Cancellation (SIGINT/SIGTERM): leave the slot unclaimed — the
     // completed mask excludes it from counts, and a resumed campaign will
@@ -259,14 +300,10 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
         return;
       }
     }
-    Rng& experiment_rng = streams[i];
-    const BitFlipModel model =
-        config.randomize_flip_model
-            ? *BitFlipModelFromInt(static_cast<int>(experiment_rng.UniformInt(1, 4)))
-            : config.flip_model;
-
-    const std::optional<TransientFaultParams> params =
-        SelectTransientFault(result.profile, config.group, model, experiment_rng);
+    const TransientDraw draw = DrawTransientExperiment(
+        result.profile, config.group, config.flip_model,
+        config.randomize_flip_model, streams[i]);
+    const std::optional<TransientFaultParams>& params = draw.params;
     if (!params.has_value()) {
       // The program executes nothing in this group; the experiment is a
       // trivially masked run (no fault could be placed, nothing executed, so
@@ -322,7 +359,7 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   });
   result.wall_seconds = SecondsSince(start);
   if (config.cancel != nullptr && config.cancel->load(std::memory_order_relaxed)) {
-    for (std::size_t i = begin; i < end; ++i) {
+    for (const std::size_t i : todo) {
       if (result.completed[i] == 0) {
         result.cancelled = true;  // at least one experiment was cut off
         break;

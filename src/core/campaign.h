@@ -111,12 +111,41 @@ struct TransientCampaignConfig {
   // the unsharded campaign's records for the same indexes by construction.
   std::size_t index_begin = 0;
   std::size_t index_end = 0;
+  // Adaptive execution: when set, only the listed indexes (each must be
+  // < num_injections) run, overriding index_begin/index_end.  The same
+  // stream-pre-fork rule applies, so an experiment's record depends only on
+  // its index, never on which round or subset scheduled it — the property
+  // that makes adaptive stores bit-comparable against uniform campaigns.
+  const std::vector<std::size_t>* index_set = nullptr;
   // Cooperative cancellation (SIGINT/SIGTERM): once set, workers stop
   // claiming new experiments; already-started runs finish and are reported.
   // The result's `completed` mask and `cancelled` flag record the cut.
   const std::atomic<bool>* cancel = nullptr;
   TransientReplayObserver on_run_replay;
 };
+
+// One experiment's pre-execution randomness, resolved from its Rng stream:
+// the bit-flip model draw plus the selected fault site (nullopt when the
+// profile has no eligible site in the group — a trivially masked run).
+struct TransientDraw {
+  BitFlipModel model = BitFlipModel::kFlipSingleBit;
+  std::optional<TransientFaultParams> params;
+};
+
+// Consumes `rng` exactly as RunTransientCampaign's experiment loop does.
+// Both call sites share this function so the adaptive stratifier can never
+// drift from what the campaign actually executes.
+TransientDraw DrawTransientExperiment(const ProgramProfile& profile,
+                                      ArchStateId group, BitFlipModel flip_model,
+                                      bool randomize_flip_model, Rng& rng);
+
+// Pre-draws every experiment in [0, config.num_injections) by replaying the
+// campaign's stream pre-fork (seed + program name), without running anything.
+// Element i is exactly the draw experiment i will make; the adaptive engine
+// stratifies the full site population from this.
+std::vector<TransientDraw> PreviewTransientFaults(
+    const ProgramProfile& profile, const TransientCampaignConfig& config,
+    const std::string& program_name);
 
 struct InjectionRun {
   TransientFaultParams params;

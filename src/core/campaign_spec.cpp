@@ -39,6 +39,17 @@ std::string CampaignSpec::Serialize() const {
   out += Format("checkpoints %d\n", checkpoints ? 1 : 0);
   out += Format("static_mode %s\n", static_mode.c_str());
   out += Format("element %s\n", element.c_str());
+  // Emitted only for adaptive campaigns, so uniform specs keep the exact
+  // byte form older peers produce and expect.
+  if (adaptive) {
+    out += "adaptive 1\n";
+    out += Format("adaptive_confidence %.17g\n", adaptive_confidence);
+    out += Format("adaptive_target_width %.17g\n", adaptive_target_width);
+    out += Format("adaptive_round_size %llu\n",
+                  static_cast<unsigned long long>(adaptive_round_size));
+    out += Format("adaptive_min_per_stratum %llu\n",
+                  static_cast<unsigned long long>(adaptive_min_per_stratum));
+  }
   return out;
 }
 
@@ -92,6 +103,25 @@ std::optional<CampaignSpec> CampaignSpec::Parse(std::string_view text) {
     } else if (key == "element") {
       if (value != "f32" && value != "f64") return std::nullopt;
       spec.element = std::string(value);
+    } else if (key == "adaptive") {
+      if (!ParseBoolField(value, &spec.adaptive)) return std::nullopt;
+    } else if (key == "adaptive_confidence") {
+      if (!ParseDouble(value, &spec.adaptive_confidence) ||
+          spec.adaptive_confidence <= 0.0 || spec.adaptive_confidence >= 1.0) {
+        return std::nullopt;
+      }
+    } else if (key == "adaptive_target_width") {
+      if (!ParseDouble(value, &spec.adaptive_target_width) ||
+          spec.adaptive_target_width <= 0.0 || spec.adaptive_target_width >= 1.0) {
+        return std::nullopt;
+      }
+    } else if (key == "adaptive_round_size") {
+      if (!ParseUint64(value, &spec.adaptive_round_size) ||
+          spec.adaptive_round_size == 0) {
+        return std::nullopt;
+      }
+    } else if (key == "adaptive_min_per_stratum") {
+      if (!ParseUint64(value, &spec.adaptive_min_per_stratum)) return std::nullopt;
     } else {
       return std::nullopt;  // unknown key: a different/newer spec format
     }
@@ -99,6 +129,8 @@ std::optional<CampaignSpec> CampaignSpec::Parse(std::string_view text) {
   if (!have_program) return std::nullopt;
   // Static site handling needs exact profiling (site-stream resolution).
   if (spec.static_mode != "off" && spec.approximate) return std::nullopt;
+  // So does adaptive stratification (static-oracle stratum keys).
+  if (spec.adaptive && spec.approximate) return std::nullopt;
   return spec;
 }
 

@@ -36,6 +36,17 @@ struct CampaignSpec {
   bool checkpoints = true;
   std::string static_mode = "off";  // off | check | prune
   std::string element = "f32";      // SDC-anatomy element kind (f32 | f64)
+  // Adaptive stratified sampling (src/adaptive/).  When set, num_injections
+  // is the POOL size; the engine schedules experiments from it in rounds
+  // until every stratum converges or exhausts.  The policy fields are part
+  // of the campaign identity (they decide the schedule), so they live in the
+  // spec, not in process-local config.  Requires exact profiling: strata are
+  // keyed on static-oracle verdicts, which need event-exact site streams.
+  bool adaptive = false;
+  double adaptive_confidence = 0.95;
+  double adaptive_target_width = 0.10;
+  std::uint64_t adaptive_round_size = 32;
+  std::uint64_t adaptive_min_per_stratum = 4;
 
   // Line-based text form ("nvbitfi campaign spec v1" header, one `key value`
   // per line).  Parse rejects unknown keys, malformed values, and out-of-range

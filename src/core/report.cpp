@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <map>
 
 #include "common/strings.h"
@@ -13,6 +14,22 @@ std::string OutcomeLine(const char* label, const ProportionEstimate& estimate,
   return Format("  %-7s %5.1f%%  ±%4.1f  [%4.1f, %4.1f]  (%llu runs)\n", label,
                 100.0 * estimate.value, 100.0 * estimate.margin, 100.0 * estimate.lower,
                 100.0 * estimate.upper, static_cast<unsigned long long>(count));
+}
+
+// Satellite to §IV-B's sizing discussion: the conservative p = 0.5 normal
+// margin the campaign was sized for, next to the widest interval the data
+// actually achieved — so a reader can tell whether the run count was
+// over- or under-provisioned for the observed rates.
+std::string SizingLine(const OutcomeCounts& counts, const OutcomeEstimates& estimates,
+                       double confidence) {
+  const std::uint64_t n = counts.total();
+  if (n == 0) return "";
+  const double achieved =
+      std::max({estimates.sdc.margin, estimates.due.margin, estimates.masked.margin});
+  return Format("  sizing: worst-case ±%.1f%% for %llu runs (p 0.5, normal); "
+                "achieved ±%.1f%% max (Wilson)\n",
+                100.0 * WorstCaseMarginOfError(n, confidence),
+                static_cast<unsigned long long>(n), 100.0 * achieved);
 }
 
 std::string SymptomBreakdown(const std::map<std::string, int>& symptoms) {
@@ -68,6 +85,7 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
   out += OutcomeLine("SDC", estimates.sdc, result.counts.sdc);
   out += OutcomeLine("DUE", estimates.due, result.counts.due);
   out += OutcomeLine("Masked", estimates.masked, result.counts.masked);
+  out += SizingLine(result.counts, estimates, confidence);
   out += Format("  potential DUEs: %llu\n",
                 static_cast<unsigned long long>(result.counts.potential_due));
   if (result.trivially_masked > 0) {
@@ -179,6 +197,7 @@ std::string PermanentCampaignReport(const PermanentCampaignResult& result,
   out += OutcomeLine("SDC", estimates.sdc, result.counts.sdc);
   out += OutcomeLine("DUE", estimates.due, result.counts.due);
   out += OutcomeLine("Masked", estimates.masked, result.counts.masked);
+  out += SizingLine(result.counts, estimates, confidence);
 
   const double total = result.weighted.total();
   if (total > 0) {

@@ -46,25 +46,44 @@ std::uint64_t InjectionsForMargin(double margin, double confidence) {
 }
 
 ProportionEstimate EstimateProportion(std::uint64_t successes, std::uint64_t n,
-                                      double confidence) {
+                                      double confidence, IntervalMethod method) {
   ProportionEstimate estimate;
   if (n == 0) return estimate;
-  const double p = static_cast<double>(successes) / static_cast<double>(n);
+  NVBITFI_CHECK_MSG(successes <= n, "successes " << successes << " > n " << n);
+  const double nd = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nd;
+  const double z = ZScore(confidence);
   estimate.value = p;
+  if (method == IntervalMethod::kNormalApprox) {
+    estimate.margin = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) / nd);
+    estimate.lower = std::max(0.0, p - estimate.margin);
+    estimate.upper = std::min(1.0, p + estimate.margin);
+    return estimate;
+  }
+  // Wilson score interval: invert the score test.  Unlike the Wald form it
+  // never degenerates to zero width at p = 0 or 1, and its midpoint shrinks
+  // the raw estimate toward 1/2 by z^2 pseudo-observations.
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nd;
+  const double center = (p + z2 / (2.0 * nd)) / denom;
   estimate.margin =
-      ZScore(confidence) * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
-                                     static_cast<double>(n));
-  estimate.lower = std::max(0.0, p - estimate.margin);
-  estimate.upper = std::min(1.0, p + estimate.margin);
+      (z / denom) * std::sqrt(p * (1.0 - p) / nd + z2 / (4.0 * nd * nd));
+  estimate.lower = std::max(0.0, center - estimate.margin);
+  estimate.upper = std::min(1.0, center + estimate.margin);
+  // At the boundaries the Wilson bound is exactly 0 (or 1); pin it so the
+  // rounding noise of center - margin never reports an impossible rate.
+  if (successes == 0) estimate.lower = 0.0;
+  if (successes == n) estimate.upper = 1.0;
   return estimate;
 }
 
-OutcomeEstimates EstimateOutcomes(const OutcomeCounts& counts, double confidence) {
+OutcomeEstimates EstimateOutcomes(const OutcomeCounts& counts, double confidence,
+                                  IntervalMethod method) {
   OutcomeEstimates estimates;
   const std::uint64_t n = counts.total();
-  estimates.sdc = EstimateProportion(counts.sdc, n, confidence);
-  estimates.due = EstimateProportion(counts.due, n, confidence);
-  estimates.masked = EstimateProportion(counts.masked, n, confidence);
+  estimates.sdc = EstimateProportion(counts.sdc, n, confidence, method);
+  estimates.due = EstimateProportion(counts.due, n, confidence, method);
+  estimates.masked = EstimateProportion(counts.masked, n, confidence, method);
   return estimates;
 }
 

@@ -3,10 +3,14 @@
 // The paper sizes campaigns by binomial confidence intervals: "100 injections
 // provide results with 90% confidence intervals and ±8% error margins" and
 // "1000 injections are necessary to obtain results with 95% confidence
-// intervals and ±3% error margins".  This module implements those
-// calculations (normal-approximation intervals with the conservative p = 0.5
-// worst case for campaign sizing) so reports can annotate every proportion
-// with its uncertainty.
+// intervals and ±3% error margins".  Campaign *sizing* keeps the paper's
+// normal approximation with the conservative p = 0.5 worst case, so the
+// quoted run counts stay reproducible.  Observed proportions, however, are
+// reported with Wilson score intervals by default: the normal approximation
+// collapses to a zero-width interval at p = 0 or 1 (exactly where rare SDC
+// outcomes live) and undercovers for small n, while Wilson stays calibrated
+// there.  The normal form remains available behind IntervalMethod for
+// paper-parity benches.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +36,16 @@ double WorstCaseMarginOfError(std::uint64_t n, double confidence);
 // Samples needed so the worst-case margin is at most `margin`.
 std::uint64_t InjectionsForMargin(double margin, double confidence);
 
-// Normal-approximation interval for an observed proportion.
+// Interval construction for observed proportions.
+enum class IntervalMethod {
+  kWilson,        // score interval; calibrated for p near 0/1 and small n
+  kNormalApprox,  // Wald interval; paper-parity only
+};
+
+// Confidence interval for an observed proportion.  `value` is always the
+// observed successes / n; for Wilson intervals the interval is centered on
+// the (shrunken) Wilson midpoint, so [lower, upper] need not be symmetric
+// about `value`.  `margin` is the interval half-width.
 struct ProportionEstimate {
   double value = 0.0;   // successes / n
   double margin = 0.0;  // half-width of the interval
@@ -41,7 +54,8 @@ struct ProportionEstimate {
 };
 
 ProportionEstimate EstimateProportion(std::uint64_t successes, std::uint64_t n,
-                                      double confidence);
+                                      double confidence,
+                                      IntervalMethod method = IntervalMethod::kWilson);
 
 // Convenience: per-outcome estimates for a campaign tally.
 struct OutcomeEstimates {
@@ -50,6 +64,7 @@ struct OutcomeEstimates {
   ProportionEstimate masked;
 };
 
-OutcomeEstimates EstimateOutcomes(const OutcomeCounts& counts, double confidence);
+OutcomeEstimates EstimateOutcomes(const OutcomeCounts& counts, double confidence,
+                                  IntervalMethod method = IntervalMethod::kWilson);
 
 }  // namespace nvbitfi::fi

@@ -1,0 +1,361 @@
+#include "service/adaptive_runner.h"
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "analysis/anatomy.h"
+#include "common/strings.h"
+#include "trace/taint_tracker.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+namespace {
+
+// Folds one round's campaign result into the accumulated result.  Rounds
+// cover disjoint index sets, so tallies and accounting simply add.
+void MergeRoundResult(fi::TransientCampaignResult* merged,
+                      fi::TransientCampaignResult&& round, bool first) {
+  if (first) {
+    *merged = std::move(round);
+    if (merged->completed.empty()) {
+      merged->completed.assign(merged->injections.size(), 1);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < round.injections.size(); ++i) {
+    if (!round.RunCompleted(i) || merged->RunCompleted(i)) continue;
+    merged->injections[i] = std::move(round.injections[i]);
+    merged->completed[i] = 1;
+  }
+  merged->counts += round.counts;
+  merged->trivially_masked += round.trivially_masked;
+  merged->never_activated += round.never_activated;
+  merged->statically_pruned += round.statically_pruned;
+  merged->statically_checked += round.statically_checked;
+  merged->statically_dead += round.statically_dead;
+  for (fi::StaticViolation& violation : round.static_violations) {
+    merged->static_violations.push_back(std::move(violation));
+  }
+  merged->wall_seconds += round.wall_seconds;
+  merged->checkpoints_used = merged->checkpoints_used || round.checkpoints_used;
+  merged->checkpointed_runs += round.checkpointed_runs;
+  merged->replay_launches += round.replay_launches;
+  merged->replay_instructions_saved += round.replay_instructions_saved;
+  merged->replay_fallbacks += round.replay_fallbacks;
+}
+
+std::vector<std::size_t> ToIndexVector(const std::vector<std::uint64_t>& indexes) {
+  return std::vector<std::size_t>(indexes.begin(), indexes.end());
+}
+
+}  // namespace
+
+adaptive::AdaptivePolicy PolicyFromSpec(const fi::CampaignSpec& spec) {
+  adaptive::AdaptivePolicy policy;
+  policy.confidence = spec.adaptive_confidence;
+  policy.target_half_width = spec.adaptive_target_width;
+  policy.round_size = spec.adaptive_round_size;
+  policy.min_per_stratum = spec.adaptive_min_per_stratum;
+  return policy;
+}
+
+std::optional<AdaptiveSetup> BuildAdaptiveSetup(const fi::CampaignSpec& spec,
+                                                fi::RunCache* cache,
+                                                std::string* error) {
+  if (!spec.adaptive) {
+    if (error != nullptr) *error = "spec is not an adaptive campaign";
+    return std::nullopt;
+  }
+  const fi::TargetProgram* program = workloads::FindWorkload(spec.program);
+  if (program == nullptr) {
+    if (error != nullptr) *error = Format("unknown program '%s'", spec.program.c_str());
+    return std::nullopt;
+  }
+  const fi::CampaignRunner runner(*program, cache);
+  const fi::TransientCampaignConfig config = spec.ToConfig();
+
+  AdaptiveSetup setup;
+  setup.golden = config.checkpoints ? runner.GoldenCheckpointed(config.device).run
+                                    : runner.Golden(config.device);
+  fi::RunArtifacts profiling_run;
+  setup.profile = runner.Profile(config.profiling, config.device, &profiling_run);
+  setup.profiling_run_cycles = profiling_run.cycles;
+  // Adaptive specs always profile exactly (Parse enforces it), so liveness
+  // verdicts are available for stratum keys even with static_mode off.
+  if (config.profiling == fi::ProfilerTool::Mode::kExact) {
+    setup.static_analysis = std::make_shared<staticanalysis::StaticSiteAnalysis>(
+        staticanalysis::StaticSiteAnalysis::ForProgram(*program, config.device));
+  }
+  const std::vector<fi::TransientDraw> draws =
+      fi::PreviewTransientFaults(setup.profile, config, program->name());
+  setup.stratification =
+      adaptive::StratifyPool(setup.profile, draws, setup.static_analysis.get());
+  setup.policy = PolicyFromSpec(spec);
+
+  setup.meta = analysis::TransientStoreMeta(program->name(), config, setup.golden,
+                                            setup.profiling_run_cycles, setup.profile);
+  setup.meta.element = analysis::ElementKindFromName(spec.element)
+                           .value_or(analysis::ElementKind::kF32);
+  // Canonical adaptive header: the worker count never shapes the schedule or
+  // the records, so it is pinned — resumed, re-parallelised, and merged
+  // adaptive stores stay byte-identical.
+  setup.meta.workers = 1;
+  setup.meta.adaptive = true;
+  setup.meta.policy = setup.policy;
+  setup.meta.strata = setup.stratification.labels;
+  return setup;
+}
+
+AdaptiveOutcome RunAdaptiveJob(const AdaptiveJob& job, fi::RunCache* cache) {
+  AdaptiveOutcome outcome;
+  // Each round re-enters the campaign runner; a cache keeps golden/profile
+  // at one computation per process even if the caller did not pass one.
+  fi::RunCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  std::string error;
+  std::optional<AdaptiveSetup> setup = BuildAdaptiveSetup(job.spec, cache, &error);
+  if (!setup.has_value()) {
+    outcome.error = error;
+    return outcome;
+  }
+  const fi::TargetProgram* program = workloads::FindWorkload(job.spec.program);
+  const fi::CampaignRunner runner(*program, cache);
+  outcome.policy = setup->policy;
+  outcome.pool = static_cast<std::uint64_t>(job.spec.num_injections);
+
+  fi::TransientCampaignConfig config = job.spec.ToConfig();
+  config.num_workers = job.workers;
+  config.cancel = job.cancel;
+  if (config.trace) {
+    config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
+      return std::make_unique<trace::TaintTracker>(params);
+    };
+  }
+  if (config.static_mode != fi::StaticSiteMode::kOff) {
+    config.static_oracle = setup->static_analysis.get();
+  }
+
+  analysis::AnatomyConfig anatomy_config;
+  anatomy_config.element = setup->meta.element;
+
+  adaptive::AdaptiveEngine engine(setup->stratification, setup->policy);
+
+  std::unique_ptr<analysis::ResultStore> store;
+  analysis::StoreMeta meta = setup->meta;
+  if (!job.store_path.empty()) {
+    store = analysis::ResultStore::Open(job.store_path, setup->meta, job.resume, &error);
+    if (store == nullptr) {
+      outcome.error = error;
+      return outcome;
+    }
+    // A resumed store's header carries the schedule planned so far; a fresh
+    // store's carries none.  Either way the header becomes the working meta,
+    // so FinalizeMeta below only ever extends the round list.
+    meta = store->loaded().meta;
+    if (meta.strata != setup->stratification.labels) {
+      outcome.error = "existing store's strata do not match this campaign's "
+                      "stratification";
+      return outcome;
+    }
+    outcome.resumed_records = store->loaded().transient.size();
+  }
+
+  // Persistence hooks: adaptive records always carry their own replay stats
+  // (like shard records), so the header never needs summed accounting and
+  // the final bytes cannot depend on how execution was interrupted.
+  std::mutex replay_mu;
+  std::map<std::size_t, sim::ReplayStats> pending_replay;
+  std::atomic<std::size_t> progressed{outcome.resumed_records};
+  if (store != nullptr) {
+    config.on_run_replay = [&](std::size_t i, const sim::ReplayStats* replay) {
+      if (replay == nullptr) return;
+      std::lock_guard<std::mutex> lock(replay_mu);
+      pending_replay[i] = *replay;
+    };
+    config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
+      std::optional<sim::ReplayStats> replay;
+      {
+        std::lock_guard<std::mutex> lock(replay_mu);
+        const auto it = pending_replay.find(i);
+        if (it != pending_replay.end()) {
+          replay = it->second;
+          pending_replay.erase(it);
+        }
+      }
+      std::optional<analysis::SdcAnatomy> anatomy;
+      if (!run.trivially_masked && run.classification.outcome == fi::Outcome::kSdc) {
+        anatomy = analysis::AnalyzeSdc(setup->golden, run.artifacts, anatomy_config);
+      }
+      store->AppendTransient(i, run, anatomy.has_value() ? &*anatomy : nullptr,
+                             replay.has_value() ? &*replay : nullptr);
+      if (job.on_progress) {
+        job.on_progress(progressed.fetch_add(1, std::memory_order_relaxed) + 1,
+                        static_cast<std::size_t>(engine.total_scheduled()));
+      }
+    };
+  } else if (job.on_progress) {
+    config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
+      (void)i;
+      (void)run;
+      job.on_progress(progressed.fetch_add(1, std::memory_order_relaxed) + 1,
+                      static_cast<std::size_t>(engine.total_scheduled()));
+    };
+  }
+
+  bool have_result = false;
+  const auto run_indexes = [&](const std::vector<std::size_t>& indexes) -> bool {
+    config.index_set = &indexes;
+    config.preloaded = store != nullptr ? &store->loaded().transient : nullptr;
+    fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+    const bool cancelled = result.cancelled;
+    for (const std::size_t i : indexes) {
+      if (result.RunCompleted(i)) {
+        engine.Observe(static_cast<std::uint64_t>(i),
+                       result.injections[i].classification);
+      }
+    }
+    MergeRoundResult(&outcome.result, std::move(result), !have_result);
+    have_result = true;
+    return !cancelled;
+  };
+
+  // Resume: adopt the persisted schedule verbatim, then run whatever of it
+  // is missing from the store.  Re-planning instead would only coincidentally
+  // reproduce the same rounds; adoption makes the replay exact by
+  // construction.
+  if (!meta.rounds.empty()) {
+    std::vector<std::size_t> scheduled;
+    for (const adaptive::RoundRecord& round : meta.rounds) {
+      if (!engine.AdoptRound(round, &error)) {
+        outcome.error = Format("persisted schedule is inconsistent: %s", error.c_str());
+        return outcome;
+      }
+      const std::vector<std::size_t> indexes = ToIndexVector(round.indexes);
+      scheduled.insert(scheduled.end(), indexes.begin(), indexes.end());
+    }
+    if (!run_indexes(scheduled)) {
+      outcome.cancelled = true;
+      outcome.rounds = meta.rounds.size();
+      outcome.scheduled = engine.total_scheduled();
+      return outcome;
+    }
+  }
+
+  while (job.cancel == nullptr || !job.cancel->load(std::memory_order_relaxed)) {
+    const adaptive::RoundRecord round = engine.PlanRound();
+    if (round.indexes.empty()) break;
+    meta.rounds.push_back(round);
+    // The schedule hits disk BEFORE the round executes: a crash mid-round
+    // resumes by adopting this exact round, never by re-planning it.
+    if (store != nullptr) store->FinalizeMeta(meta);
+    if (!run_indexes(ToIndexVector(round.indexes))) {
+      outcome.cancelled = true;
+      outcome.rounds = meta.rounds.size();
+      outcome.scheduled = engine.total_scheduled();
+      return outcome;
+    }
+  }
+  if (job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed)) {
+    outcome.cancelled = true;
+    outcome.rounds = meta.rounds.size();
+    outcome.scheduled = engine.total_scheduled();
+    return outcome;
+  }
+
+  // Final rewrite: same header, records now sorted by index — the canonical
+  // byte form shared by resumed, re-parallelised, and merged stores.
+  if (store != nullptr) store->FinalizeMeta(meta);
+
+  outcome.ok = true;
+  outcome.rounds = meta.rounds.size();
+  outcome.scheduled = engine.total_scheduled();
+  outcome.result.program = program->name();
+  outcome.result.workers = job.workers;
+  outcome.strata = adaptive::EngineRows(engine);
+  outcome.summary = adaptive::AdaptiveSummary(engine);
+  return outcome;
+}
+
+AdaptiveSliceOutcome RunAdaptiveSlice(const AdaptiveSliceJob& job,
+                                      fi::RunCache* cache) {
+  AdaptiveSliceOutcome outcome;
+  std::string error;
+  std::optional<AdaptiveSetup> setup = BuildAdaptiveSetup(job.spec, cache, &error);
+  if (!setup.has_value()) {
+    outcome.error = error;
+    return outcome;
+  }
+  const fi::TargetProgram* program = workloads::FindWorkload(job.spec.program);
+  const fi::CampaignRunner runner(*program, cache);
+
+  fi::TransientCampaignConfig config = job.spec.ToConfig();
+  config.num_workers = job.workers;
+  config.cancel = job.cancel;
+  if (config.trace) {
+    config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
+      return std::make_unique<trace::TaintTracker>(params);
+    };
+  }
+  if (config.static_mode != fi::StaticSiteMode::kOff) {
+    config.static_oracle = setup->static_analysis.get();
+  }
+
+  analysis::AnatomyConfig anatomy_config;
+  anatomy_config.element = setup->meta.element;
+
+  // A slice store is always resumable: a slice reassigned after a worker
+  // death continues from the records the dead worker flushed.
+  std::unique_ptr<analysis::ResultStore> store =
+      analysis::ResultStore::Open(job.store_path, setup->meta, /*resume=*/true, &error);
+  if (store == nullptr) {
+    outcome.error = error;
+    return outcome;
+  }
+  config.preloaded = &store->loaded().transient;
+
+  std::mutex replay_mu;
+  std::map<std::size_t, sim::ReplayStats> pending_replay;
+  std::atomic<std::size_t> progressed{0};
+  for (const std::size_t i : job.indexes) {
+    if (store->loaded().transient.count(i) != 0) {
+      progressed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  config.on_run_replay = [&](std::size_t i, const sim::ReplayStats* replay) {
+    if (replay == nullptr) return;
+    std::lock_guard<std::mutex> lock(replay_mu);
+    pending_replay[i] = *replay;
+  };
+  config.on_run_complete = [&](std::size_t i, const fi::InjectionRun& run) {
+    std::optional<sim::ReplayStats> replay;
+    {
+      std::lock_guard<std::mutex> lock(replay_mu);
+      const auto it = pending_replay.find(i);
+      if (it != pending_replay.end()) {
+        replay = it->second;
+        pending_replay.erase(it);
+      }
+    }
+    std::optional<analysis::SdcAnatomy> anatomy;
+    if (!run.trivially_masked && run.classification.outcome == fi::Outcome::kSdc) {
+      anatomy = analysis::AnalyzeSdc(setup->golden, run.artifacts, anatomy_config);
+    }
+    store->AppendTransient(i, run, anatomy.has_value() ? &*anatomy : nullptr,
+                           replay.has_value() ? &*replay : nullptr);
+    if (job.on_progress) {
+      job.on_progress(progressed.fetch_add(1, std::memory_order_relaxed) + 1,
+                      job.indexes.size());
+    }
+  };
+
+  config.index_set = &job.indexes;
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+  outcome.cancelled = result.cancelled;
+  outcome.ok = !outcome.cancelled;
+  return outcome;
+}
+
+}  // namespace nvbitfi::service

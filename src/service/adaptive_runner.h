@@ -1,0 +1,122 @@
+// Adaptive-campaign execution (src/adaptive/ wired into the service layer).
+//
+// An adaptive campaign treats the spec's num_injections as a POOL: the
+// engine stratifies it (kernel / opcode group / static liveness), then runs
+// experiments in rounds, steering each round's budget toward the strata with
+// the widest Wilson intervals until every stratum converges or exhausts.
+//
+// Two entry points share one setup path:
+//
+//   RunAdaptiveJob    — the whole campaign in this process (`nvbitfi
+//                       campaign --adaptive`).  Rounds are persisted in the
+//                       store header BEFORE they execute, so a killed
+//                       campaign resumed with --resume adopts the recorded
+//                       schedule verbatim and completes bit-identically.
+//   RunAdaptiveSlice  — one round's index slice in a fleet worker (`nvbitfi
+//                       serve` plans rounds centrally and deals out slices).
+//                       Slice stores carry per-record replay stats and the
+//                       campaign's stratification, but no schedule — the
+//                       coordinator owns that and writes it into the merged
+//                       store.
+//
+// Adaptive stores are canonicalised for byte-identity: header workers is
+// always 1, records always carry their own replay stats, and the header
+// never carries summed replay accounting — so resume, worker count, and
+// sharded-vs-local execution all produce the same final bytes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/engine.h"
+#include "adaptive/report.h"
+#include "analysis/result_store.h"
+#include "core/campaign.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "staticanalysis/static_site.h"
+
+namespace nvbitfi::service {
+
+// The deterministic pre-round state every adaptive participant derives
+// independently from the spec: golden + profile, the previewed draw pool,
+// its stratification, and the canonical store header.  Coordinator and
+// workers each build one and agree on stratum ids by construction.
+struct AdaptiveSetup {
+  fi::RunArtifacts golden;
+  std::uint64_t profiling_run_cycles = 0;
+  fi::ProgramProfile profile;
+  // Built whenever profiling is exact (adaptive requires it) so strata can
+  // key on liveness verdicts even when static_mode is off.
+  std::shared_ptr<staticanalysis::StaticSiteAnalysis> static_analysis;
+  adaptive::Stratification stratification;
+  adaptive::AdaptivePolicy policy;
+  // Canonical adaptive header: workers=1, strata labels, empty schedule.
+  analysis::StoreMeta meta;
+};
+
+adaptive::AdaptivePolicy PolicyFromSpec(const fi::CampaignSpec& spec);
+
+// Derives the setup for `spec` (which must have spec.adaptive).  Runs the
+// golden + profiling steps through `cache`.  nullopt + *error on an unknown
+// program or a non-adaptive spec.
+std::optional<AdaptiveSetup> BuildAdaptiveSetup(const fi::CampaignSpec& spec,
+                                                fi::RunCache* cache,
+                                                std::string* error);
+
+struct AdaptiveJob {
+  fi::CampaignSpec spec;   // spec.adaptive must be set
+  std::string store_path;  // empty: in-memory only (benches)
+  int workers = 1;
+  bool resume = true;
+  const std::atomic<bool>* cancel = nullptr;
+  // Invoked after every newly completed experiment with the number completed
+  // and scheduled so far (both grow as rounds are planned).
+  std::function<void(std::size_t completed, std::size_t scheduled)> on_progress;
+};
+
+struct AdaptiveOutcome {
+  bool ok = false;
+  bool cancelled = false;
+  std::string error;
+  std::size_t resumed_records = 0;  // records adopted from an existing store
+  std::size_t rounds = 0;           // rounds in the final schedule
+  std::uint64_t scheduled = 0;      // experiments scheduled across all rounds
+  std::uint64_t pool = 0;           // spec.num_injections
+  adaptive::AdaptivePolicy policy;
+  // Merged over every round (and resumed records): exactly the runs the
+  // schedule covers; untouched pool indexes are incomplete slots.
+  fi::TransientCampaignResult result;
+  std::vector<adaptive::StratumRow> strata;  // final per-stratum state
+  std::string summary;                       // round-accounting line
+};
+
+AdaptiveOutcome RunAdaptiveJob(const AdaptiveJob& job, fi::RunCache* cache);
+
+// One round slice for a fleet worker: run exactly `indexes` into a slice
+// store at `store_path` (resumable — a reassigned slice continues where the
+// dead worker stopped).  The coordinator merges slice stores and owns the
+// schedule.
+struct AdaptiveSliceJob {
+  fi::CampaignSpec spec;
+  std::vector<std::size_t> indexes;
+  std::string store_path;
+  int workers = 1;
+  const std::atomic<bool>* cancel = nullptr;
+  std::function<void(std::size_t completed, std::size_t total)> on_progress;
+};
+
+struct AdaptiveSliceOutcome {
+  bool ok = false;
+  bool cancelled = false;
+  std::string error;
+};
+
+AdaptiveSliceOutcome RunAdaptiveSlice(const AdaptiveSliceJob& job,
+                                      fi::RunCache* cache);
+
+}  // namespace nvbitfi::service

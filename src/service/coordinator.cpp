@@ -163,9 +163,41 @@ void Coordinator::HandleSubmit(int fd, const Message& message) {
           ? message.store
           : Format("%s/campaign_%llu.jsonl", options_.workdir.c_str(),
                    static_cast<unsigned long long>(campaign.id));
+  campaign.requested_shards = message.shards > 0 ? message.shards : 1;
+
+  if (spec->adaptive) {
+    // Stratify the pool up front (golden + profile run here, served from
+    // the shared cache thereafter) and plan the first round; subsequent
+    // rounds are planned as outcomes come back.
+    campaign.adaptive = true;
+    std::string error;
+    std::optional<AdaptiveSetup> setup = BuildAdaptiveSetup(*spec, cache_, &error);
+    if (!setup.has_value()) {
+      SendToClient(fd, ErrorLine(error));
+      return;
+    }
+    campaign.setup = std::make_shared<AdaptiveSetup>(*std::move(setup));
+    campaign.engine = std::make_shared<adaptive::AdaptiveEngine>(
+        campaign.setup->stratification, campaign.setup->policy);
+    Log("campaign %llu: %s, adaptive pool of %d over %zu strata "
+        "(target ±%.3f at %.0f%%)",
+        static_cast<unsigned long long>(campaign.id), spec->program.c_str(),
+        spec->num_injections, campaign.setup->stratification.num_strata(),
+        campaign.setup->policy.target_half_width,
+        100.0 * campaign.setup->policy.confidence);
+    if (!PlanAdaptiveRound(campaign)) {
+      SendToClient(fd, ErrorLine("adaptive campaign scheduled no experiments"));
+      return;
+    }
+    const std::uint64_t id = campaign.id;
+    campaigns_[id] = std::move(campaign);
+    SendToClient(fd, AcceptedLine(id));
+    return;
+  }
+
   const std::vector<fi::ShardRange> ranges = fi::PlanShards(
       static_cast<std::size_t>(spec->num_injections),
-      static_cast<std::size_t>(message.shards > 0 ? message.shards : 1));
+      static_cast<std::size_t>(campaign.requested_shards));
   for (const fi::ShardRange& range : ranges) {
     Shard shard;
     shard.begin = range.begin;
@@ -182,6 +214,35 @@ void Coordinator::HandleSubmit(int fd, const Message& message) {
   const std::uint64_t id = campaign.id;
   campaigns_[id] = std::move(campaign);
   SendToClient(fd, AcceptedLine(id));
+}
+
+bool Coordinator::PlanAdaptiveRound(Campaign& campaign) {
+  const adaptive::RoundRecord round = campaign.engine->PlanRound();
+  if (round.indexes.empty()) return false;
+  campaign.rounds.push_back(round);
+  campaign.round_first_shard = campaign.shards.size();
+  const std::size_t round_number = campaign.rounds.size();
+  const std::vector<fi::ShardRange> ranges =
+      fi::PlanShards(round.indexes.size(),
+                     static_cast<std::size_t>(campaign.requested_shards));
+  for (const fi::ShardRange& range : ranges) {
+    Shard shard;
+    shard.slice = true;
+    shard.begin = static_cast<std::size_t>(campaign.next_slice++);
+    shard.end = shard.begin;
+    shard.indexes.assign(round.indexes.begin() + range.begin,
+                         round.indexes.begin() + range.end);
+    shard.store = Format("%s/campaign_%llu_slice_%06llu.jsonl",
+                         options_.workdir.c_str(),
+                         static_cast<unsigned long long>(campaign.id),
+                         static_cast<unsigned long long>(shard.begin));
+    campaign.slice_paths.push_back(shard.store);
+    campaign.shards.push_back(std::move(shard));
+  }
+  Log("campaign %llu: round %zu schedules %zu experiments over %zu slices",
+      static_cast<unsigned long long>(campaign.id), round_number,
+      round.indexes.size(), campaign.shards.size() - campaign.round_first_shard);
+  return true;
 }
 
 void Coordinator::HandleHeartbeat(int fd, const Message& message) {
@@ -221,15 +282,27 @@ void Coordinator::HandleShardDone(int fd, const Message& message) {
     }
     shard.state = Shard::State::kDone;
     shard.worker_fd = -1;
-    shard.completed = shard.end - shard.begin;
-    Log("campaign %llu: shard [%zu, %zu) done",
-        static_cast<unsigned long long>(campaign.id), shard.begin, shard.end);
+    shard.completed = shard.size();
+    if (shard.slice) {
+      Log("campaign %llu: slice %zu (%zu indexes) done",
+          static_cast<unsigned long long>(campaign.id), shard.begin,
+          shard.indexes.size());
+    } else {
+      Log("campaign %llu: shard [%zu, %zu) done",
+          static_cast<unsigned long long>(campaign.id), shard.begin, shard.end);
+    }
     SendProgress(campaign);
     bool all_done = true;
     for (const Shard& s : campaign.shards) {
       all_done = all_done && s.state == Shard::State::kDone;
     }
-    if (all_done) CompleteCampaign(campaign.id);
+    if (all_done) {
+      if (campaign.adaptive) {
+        FinishAdaptiveRound(campaign.id);
+      } else {
+        CompleteCampaign(campaign.id);
+      }
+    }
     return;
   }
 }
@@ -289,8 +362,13 @@ void Coordinator::ScheduleShards() {
       if (shard != nullptr) break;
     }
     if (shard == nullptr) return;
-    if (!SendLine(idle_fd, AssignLine(campaign->id, campaign->spec_text, shard->begin,
-                                      shard->end, shard->store))) {
+    const std::string assignment =
+        shard->slice
+            ? AssignSliceLine(campaign->id, campaign->spec_text, shard->begin,
+                              shard->indexes, shard->store)
+            : AssignLine(campaign->id, campaign->spec_text, shard->begin,
+                         shard->end, shard->store);
+    if (!SendLine(idle_fd, assignment)) {
       Disconnect(idle_fd);
       continue;
     }
@@ -302,9 +380,15 @@ void Coordinator::ScheduleShards() {
     connection.campaign = campaign->id;
     connection.shard_begin = shard->begin;
     connection.deadline_base = Now();
-    Log("campaign %llu: shard [%zu, %zu) -> worker fd %d (attempt %d)",
-        static_cast<unsigned long long>(campaign->id), shard->begin, shard->end,
-        idle_fd, shard->attempts);
+    if (shard->slice) {
+      Log("campaign %llu: slice %zu (%zu indexes) -> worker fd %d (attempt %d)",
+          static_cast<unsigned long long>(campaign->id), shard->begin,
+          shard->indexes.size(), idle_fd, shard->attempts);
+    } else {
+      Log("campaign %llu: shard [%zu, %zu) -> worker fd %d (attempt %d)",
+          static_cast<unsigned long long>(campaign->id), shard->begin, shard->end,
+          idle_fd, shard->attempts);
+    }
   }
 }
 
@@ -329,13 +413,81 @@ void Coordinator::CheckHeartbeats() {
 void Coordinator::SendProgress(const Campaign& campaign) {
   std::uint64_t completed = 0;
   for (const Shard& shard : campaign.shards) {
-    completed += shard.state == Shard::State::kDone
-                     ? static_cast<std::uint64_t>(shard.end - shard.begin)
-                     : shard.completed;
+    completed += shard.state == Shard::State::kDone ? shard.size() : shard.completed;
   }
-  SendToClient(campaign.client_fd,
-               ProgressLine(campaign.id, completed,
-                            static_cast<std::uint64_t>(campaign.spec.num_injections)));
+  // Adaptive totals grow as rounds are planned; uniform totals are fixed.
+  const std::uint64_t total =
+      campaign.adaptive ? campaign.engine->total_scheduled()
+                        : static_cast<std::uint64_t>(campaign.spec.num_injections);
+  SendToClient(campaign.client_fd, ProgressLine(campaign.id, completed, total));
+}
+
+void Coordinator::FinishAdaptiveRound(std::uint64_t id) {
+  auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) return;
+  Campaign& campaign = it->second;
+  // Feed every slice's outcomes back into the engine.  Classifications are
+  // read from the slice stores — the same bytes the final merge will copy —
+  // so the engine's view can never drift from the persisted results.
+  for (std::size_t s = campaign.round_first_shard; s < campaign.shards.size(); ++s) {
+    const Shard& shard = campaign.shards[s];
+    std::string error;
+    const std::optional<analysis::LoadedStore> loaded =
+        analysis::LoadResultStore(shard.store, &error);
+    if (!loaded.has_value()) {
+      FailCampaign(id, Format("cannot read slice store '%s': %s",
+                              shard.store.c_str(), error.c_str()));
+      return;
+    }
+    for (const std::uint64_t index : shard.indexes) {
+      const auto record = loaded->transient.find(static_cast<std::size_t>(index));
+      if (record == loaded->transient.end()) {
+        FailCampaign(id, Format("slice store '%s' is missing experiment %llu",
+                                shard.store.c_str(),
+                                static_cast<unsigned long long>(index)));
+        return;
+      }
+      campaign.engine->Observe(index, record->second.classification);
+    }
+  }
+  Log("campaign %llu: round %zu observed (%llu/%llu experiments)",
+      static_cast<unsigned long long>(id), campaign.rounds.size(),
+      static_cast<unsigned long long>(campaign.engine->total_observed()),
+      static_cast<unsigned long long>(campaign.engine->total_scheduled()));
+  if (!PlanAdaptiveRound(campaign)) CompleteAdaptiveCampaign(id);
+}
+
+void Coordinator::CompleteAdaptiveCampaign(std::uint64_t id) {
+  auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) return;
+  Campaign& campaign = it->second;
+  std::string error;
+  const std::optional<analysis::MergeSummary> summary =
+      analysis::MergeAdaptiveSliceStores(campaign.slice_paths, campaign.rounds,
+                                         campaign.out_store, &error);
+  if (!summary.has_value()) {
+    FailCampaign(id, Format("adaptive merge failed: %s", error.c_str()));
+    return;
+  }
+  Log("campaign %llu: merged %zu slices over %zu rounds into %s",
+      static_cast<unsigned long long>(id), campaign.slice_paths.size(),
+      campaign.rounds.size(), campaign.out_store.c_str());
+
+  const std::optional<analysis::LoadedStore> loaded =
+      analysis::LoadResultStore(campaign.out_store, &error);
+  if (loaded.has_value()) {
+    const fi::TransientCampaignResult result = analysis::RebuildTransientResult(*loaded);
+    const adaptive::AdaptivePolicy& policy = campaign.setup->policy;
+    std::string report = fi::TransientCampaignReport(result);
+    report += "\n";
+    report += adaptive::StrataReport(adaptive::EngineRows(*campaign.engine),
+                                     policy.confidence, policy.target_half_width);
+    report += adaptive::AdaptiveSummary(*campaign.engine);
+    SendToClient(campaign.client_fd, ReportLine(id, report));
+  }
+  SendToClient(campaign.client_fd, DoneLine(id, true, campaign.out_store, ""));
+  campaigns_.erase(it);
+  ++completed_campaigns_;
 }
 
 void Coordinator::CompleteCampaign(std::uint64_t id) {

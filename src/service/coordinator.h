@@ -19,17 +19,27 @@
 // pool, and in-process workers share the coordinator's RunCache, so the
 // golden runs, profiles, and golden checkpoint streams of a program are
 // computed once per process no matter how many tenants campaign against it.
+//
+// Adaptive campaigns (spec.adaptive) are scheduled in ROUNDS instead of one
+// fixed shard split: the coordinator stratifies the pool, plans each round
+// with the adaptive engine, deals the round's indexes out as slices, and
+// feeds the slice outcomes back before planning the next round.  The final
+// merge stitches every slice into one canonical adaptive store carrying the
+// full schedule — byte-identical to a single-process `--adaptive` run.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "adaptive/engine.h"
 #include "core/campaign_spec.h"
 #include "core/run_cache.h"
+#include "service/adaptive_runner.h"
 #include "service/protocol.h"
 #include "service/socket.h"
 
@@ -72,6 +82,14 @@ class Coordinator {
     int worker_fd = -1;
     std::uint64_t completed = 0;
     int attempts = 0;  // assignments, counting reassignments after failures
+    // Adaptive round slice: the explicit pool indexes to run.  `begin` is
+    // then a campaign-unique slice key (end == begin) rather than a range.
+    bool slice = false;
+    std::vector<std::uint64_t> indexes;
+
+    std::uint64_t size() const {
+      return slice ? indexes.size() : static_cast<std::uint64_t>(end - begin);
+    }
   };
   struct Campaign {
     std::uint64_t id = 0;
@@ -80,6 +98,18 @@ class Coordinator {
     std::vector<Shard> shards;
     int client_fd = -1;
     std::string out_store;
+    // Adaptive campaigns: the coordinator owns the engine and plans rounds
+    // centrally; workers only ever see index slices.  `shards` accumulates
+    // every round's slices (finished rounds stay kDone); the current round's
+    // slices start at `round_first_shard`.
+    bool adaptive = false;
+    std::shared_ptr<AdaptiveSetup> setup;
+    std::shared_ptr<adaptive::AdaptiveEngine> engine;
+    std::vector<adaptive::RoundRecord> rounds;
+    std::vector<std::string> slice_paths;  // across all rounds, merge order
+    std::size_t round_first_shard = 0;
+    std::uint64_t next_slice = 0;  // slice-key allocator
+    int requested_shards = 1;
   };
   struct Connection {
     enum class Role { kUnknown, kWorker, kClient } role = Role::kUnknown;
@@ -99,6 +129,13 @@ class Coordinator {
   void ScheduleShards();
   void CheckHeartbeats();
   void SendProgress(const Campaign& campaign);
+  // Plans the engine's next round and queues its slices; false when the
+  // engine is done (every stratum converged or exhausted).
+  bool PlanAdaptiveRound(Campaign& campaign);
+  // All slices of the current round are done: feed the outcomes back into
+  // the engine, then plan the next round or complete the campaign.
+  void FinishAdaptiveRound(std::uint64_t id);
+  void CompleteAdaptiveCampaign(std::uint64_t id);
   void CompleteCampaign(std::uint64_t id);
   void FailCampaign(std::uint64_t id, const std::string& error);
   void SendToClient(int fd, const std::string& line);

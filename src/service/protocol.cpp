@@ -40,6 +40,13 @@ std::optional<Message> ParseMessage(const std::string& line) {
   message.total = value->GetUint("total");
   message.shards = static_cast<int>(value->GetInt("shards"));
   message.ok = value->GetBool("ok");
+  const Value* indexes = value->Find("indexes");
+  if (indexes != nullptr && indexes->is_array()) {
+    message.indexes.reserve(indexes->size());
+    for (std::size_t i = 0; i < indexes->size(); ++i) {
+      message.indexes.push_back(indexes->at(i).AsUint());
+    }
+  }
   return message;
 }
 
@@ -73,6 +80,22 @@ std::string AssignLine(std::uint64_t campaign, const std::string& spec_text,
   out.Set("begin", begin);
   out.Set("end", end);
   out.Set("store", store);
+  return out.Dump();
+}
+
+std::string AssignSliceLine(std::uint64_t campaign, const std::string& spec_text,
+                            std::uint64_t slice,
+                            const std::vector<std::uint64_t>& indexes,
+                            const std::string& store) {
+  Value out = Base("assign");
+  out.Set("campaign", campaign);
+  out.Set("spec", spec_text);
+  out.Set("begin", slice);
+  out.Set("end", slice);
+  out.Set("store", store);
+  Value array = Value::Array();
+  for (const std::uint64_t index : indexes) array.Push(index);
+  out.Set("indexes", std::move(array));
   return out.Dump();
 }
 

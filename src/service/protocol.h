@@ -7,13 +7,18 @@
 //                     shutdown
 //   worker → server   hello{role=worker}, heartbeat{campaign, begin,
 //                     completed}, shard_done{campaign, begin, ok, error}
-//   server → worker   assign{campaign, spec, begin, end, store}, shutdown
+//   server → worker   assign{campaign, spec, begin, end, store[, indexes]},
+//                     shutdown
 //   server → client   accepted{campaign}, progress{campaign, completed,
 //                     total}, report{campaign, text}, done{campaign, ok,
 //                     store, error}, error{error}
 //
 // A shard is identified by (campaign, begin): ranges within a campaign never
-// overlap, so `begin` names a shard uniquely even across reassignment.  The
+// overlap, so `begin` names a shard uniquely even across reassignment.  For
+// adaptive campaigns the coordinator schedules ROUND SLICES instead of index
+// ranges: an assign carrying an `indexes` array tells the worker to run
+// exactly those pool indexes (begin is then an opaque slice key, unique
+// within the campaign, echoed back in heartbeats and shard_done).  The
 // campaign spec travels as its serialized text form (campaign_spec.h), which
 // both sides parse strictly — a worker can never run a subtly different
 // campaign than the one submitted.
@@ -22,6 +27,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace nvbitfi::service {
 
@@ -39,6 +45,9 @@ struct Message {
   std::uint64_t total = 0;
   int shards = 0;  // submit
   bool ok = false;
+  // assign (adaptive round slices): explicit pool indexes to run.  Empty
+  // means a conventional [begin, end) range assignment.
+  std::vector<std::uint64_t> indexes;
 };
 
 // nullopt on malformed JSON or a missing/unknown "type".
@@ -52,6 +61,12 @@ std::string AcceptedLine(std::uint64_t campaign);
 std::string AssignLine(std::uint64_t campaign, const std::string& spec_text,
                        std::uint64_t begin, std::uint64_t end,
                        const std::string& store);
+// Adaptive round-slice assignment: run exactly `indexes`; `slice` is the
+// campaign-unique key echoed back as `begin` in heartbeats/shard_done.
+std::string AssignSliceLine(std::uint64_t campaign, const std::string& spec_text,
+                            std::uint64_t slice,
+                            const std::vector<std::uint64_t>& indexes,
+                            const std::string& store);
 std::string HeartbeatLine(std::uint64_t campaign, std::uint64_t begin,
                           std::uint64_t completed);
 std::string ShardDoneLine(std::uint64_t campaign, std::uint64_t begin, bool ok,

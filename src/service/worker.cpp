@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "service/adaptive_runner.h"
 #include "service/protocol.h"
 #include "service/shard_runner.h"
 #include "service/socket.h"
@@ -41,12 +42,20 @@ int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options) {
                                  "worker cannot parse campaign spec"));
       continue;
     }
+    const bool slice = !message->indexes.empty();
     if (options.verbose) {
-      std::fprintf(stderr, "worker: campaign %llu shard [%llu, %llu) -> %s\n",
-                   static_cast<unsigned long long>(message->campaign),
-                   static_cast<unsigned long long>(message->begin),
-                   static_cast<unsigned long long>(message->end),
-                   message->store.c_str());
+      if (slice) {
+        std::fprintf(stderr, "worker: campaign %llu slice %llu (%zu indexes) -> %s\n",
+                     static_cast<unsigned long long>(message->campaign),
+                     static_cast<unsigned long long>(message->begin),
+                     message->indexes.size(), message->store.c_str());
+      } else {
+        std::fprintf(stderr, "worker: campaign %llu shard [%llu, %llu) -> %s\n",
+                     static_cast<unsigned long long>(message->campaign),
+                     static_cast<unsigned long long>(message->begin),
+                     static_cast<unsigned long long>(message->end),
+                     message->store.c_str());
+      }
     }
 
     // Heartbeat per completed experiment; an undeliverable heartbeat means
@@ -54,18 +63,9 @@ int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options) {
     // running elsewhere — stop appending to its store at once.
     std::atomic<bool> cancel{false};
     std::mutex send_mu;
-    ShardJob job;
-    job.spec = *spec;
-    job.begin = message->begin;
-    job.end = message->end;
-    job.store_path = message->store;
-    job.workers = options.shard_workers;
-    job.resume = true;  // reassigned shards continue where the dead worker left off
-    job.shard_records = true;
-    job.cancel = &cancel;
     const std::uint64_t campaign = message->campaign;
     const std::uint64_t begin = message->begin;
-    job.on_progress = [&](std::size_t completed, std::size_t total) {
+    const auto heartbeat = [&](std::size_t completed, std::size_t total) {
       (void)total;
       std::lock_guard<std::mutex> lock(send_mu);
       if (!SendLine(fd, HeartbeatLine(campaign, begin, completed))) {
@@ -73,13 +73,39 @@ int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options) {
       }
     };
 
-    const ShardOutcome outcome = RunShardJob(job, cache);
+    bool ok = false;
+    std::string error;
+    if (slice) {
+      AdaptiveSliceJob job;
+      job.spec = *spec;
+      job.indexes.assign(message->indexes.begin(), message->indexes.end());
+      job.store_path = message->store;
+      job.workers = options.shard_workers;
+      job.cancel = &cancel;
+      job.on_progress = heartbeat;
+      const AdaptiveSliceOutcome outcome = RunAdaptiveSlice(job, cache);
+      ok = outcome.ok && !outcome.cancelled;
+      error = outcome.error;
+    } else {
+      ShardJob job;
+      job.spec = *spec;
+      job.begin = message->begin;
+      job.end = message->end;
+      job.store_path = message->store;
+      job.workers = options.shard_workers;
+      job.resume = true;  // reassigned shards continue where the dead worker left off
+      job.shard_records = true;
+      job.cancel = &cancel;
+      job.on_progress = heartbeat;
+      const ShardOutcome outcome = RunShardJob(job, cache);
+      ok = outcome.ok && !outcome.cancelled;
+      error = outcome.error;
+    }
     if (cancel.load(std::memory_order_relaxed)) {
       transport_died = true;
       break;  // connection is dead; don't bother with shard_done
     }
-    if (!SendLine(fd, ShardDoneLine(campaign, begin, outcome.ok && !outcome.cancelled,
-                                    outcome.error))) {
+    if (!SendLine(fd, ShardDoneLine(campaign, begin, ok, error))) {
       transport_died = true;
       break;
     }

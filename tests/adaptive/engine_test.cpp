@@ -1,0 +1,199 @@
+#include "adaptive/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace nvbitfi::adaptive {
+namespace {
+
+// Synthetic stratification: strata of the given sizes over a contiguous pool.
+Stratification Strat(const std::vector<std::size_t>& sizes) {
+  Stratification s;
+  std::uint64_t index = 0;
+  for (std::size_t id = 0; id < sizes.size(); ++id) {
+    s.labels.push_back(Format("s%zu", id));
+    s.members.emplace_back();
+    for (std::size_t k = 0; k < sizes[id]; ++k) {
+      s.members[id].push_back(index++);
+      s.stratum_of.push_back(static_cast<std::uint32_t>(id));
+    }
+  }
+  return s;
+}
+
+fi::Classification Masked() { return {}; }
+
+fi::Classification Sdc() {
+  fi::Classification c;
+  c.outcome = fi::Outcome::kSdc;
+  c.symptom = fi::Symptom::kStdoutDiff;
+  return c;
+}
+
+// Observes a whole round with alternating Masked/SDC outcomes, which keeps
+// every touched stratum's interval wide.
+void ObserveMixed(AdaptiveEngine& engine, const RoundRecord& round) {
+  bool flip = false;
+  for (const std::uint64_t index : round.indexes) {
+    engine.Observe(index, flip ? Sdc() : Masked());
+    flip = !flip;
+  }
+}
+
+void ExpectRoundsEqual(const RoundRecord& a, const RoundRecord& b) {
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (std::size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_EQ(a.allocations[i].stratum, b.allocations[i].stratum);
+    EXPECT_EQ(a.allocations[i].count, b.allocations[i].count);
+  }
+  EXPECT_EQ(a.indexes, b.indexes);
+}
+
+TEST(Engine, SeedingFloorTopsUpEveryStratumFirst) {
+  AdaptivePolicy policy;
+  policy.round_size = 12;
+  policy.min_per_stratum = 4;
+  AdaptiveEngine engine(Strat({10, 10, 10}), policy);
+  const RoundRecord round = engine.PlanRound();
+  ASSERT_EQ(round.allocations.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(round.allocations[s].stratum, s);
+    EXPECT_EQ(round.allocations[s].count, 4u);
+  }
+  // Each stratum contributes its first four members, in allocation order.
+  EXPECT_EQ(round.indexes,
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 10, 11, 12, 13, 20, 21, 22, 23}));
+}
+
+TEST(Engine, UncertainStrataGetTheBudget) {
+  AdaptivePolicy policy;
+  policy.round_size = 20;
+  policy.min_per_stratum = 4;
+  policy.target_half_width = 0.25;
+  AdaptiveEngine engine(Strat({100, 100}), policy);
+
+  const RoundRecord seed = engine.PlanRound();
+  // Stratum 0: all masked (narrow interval).  Stratum 1: mixed (wide).
+  for (const std::uint64_t index : seed.indexes) {
+    if (engine.stratification().stratum_of[index] == 0) {
+      engine.Observe(index, Masked());
+    } else {
+      engine.Observe(index, engine.stratification().members[1][0] % 2 == index % 2
+                                ? Sdc()
+                                : Masked());
+    }
+  }
+  const RoundRecord next = engine.PlanRound();
+  std::uint64_t to_wide = 0;
+  std::uint64_t to_narrow = 0;
+  for (const RoundAllocation& allocation : next.allocations) {
+    (allocation.stratum == 1 ? to_wide : to_narrow) += allocation.count;
+  }
+  EXPECT_GT(to_wide, to_narrow);
+}
+
+TEST(Engine, ConvergedStratumIsRetiredEarly) {
+  AdaptivePolicy policy;
+  policy.confidence = 0.90;
+  policy.target_half_width = 0.20;
+  policy.round_size = 10;
+  policy.min_per_stratum = 0;
+  AdaptiveEngine engine(Strat({1000}), policy);
+  while (!engine.Done()) {
+    const RoundRecord round = engine.PlanRound();
+    ASSERT_FALSE(round.indexes.empty());
+    for (const std::uint64_t index : round.indexes) engine.Observe(index, Masked());
+  }
+  EXPECT_TRUE(engine.StratumConverged(0));
+  EXPECT_FALSE(engine.StratumExhausted(0));
+  // Uniformly masked outcomes converge long before the pool runs out.
+  EXPECT_LT(engine.total_scheduled(), 100u);
+  ExpectRoundsEqual(engine.PlanRound(), RoundRecord{});
+}
+
+TEST(Engine, ExhaustedStratumEndsTheCampaign) {
+  AdaptivePolicy policy;
+  policy.target_half_width = 0.01;  // unreachable with 5 samples
+  policy.round_size = 2;
+  policy.min_per_stratum = 0;
+  AdaptiveEngine engine(Strat({5}), policy);
+  while (!engine.Done()) {
+    const RoundRecord round = engine.PlanRound();
+    ASSERT_FALSE(round.indexes.empty());
+    ObserveMixed(engine, round);
+  }
+  EXPECT_TRUE(engine.StratumExhausted(0));
+  EXPECT_FALSE(engine.StratumConverged(0));
+  EXPECT_EQ(engine.total_scheduled(), 5u);
+}
+
+TEST(Engine, PlanningIsDeterministic) {
+  AdaptivePolicy policy;
+  policy.round_size = 7;
+  AdaptiveEngine a(Strat({9, 3, 14}), policy);
+  AdaptiveEngine b(Strat({9, 3, 14}), policy);
+  for (int round = 0; round < 3; ++round) {
+    const RoundRecord ra = a.PlanRound();
+    const RoundRecord rb = b.PlanRound();
+    ExpectRoundsEqual(ra, rb);
+    if (ra.indexes.empty()) break;
+    ObserveMixed(a, ra);
+    ObserveMixed(b, rb);
+  }
+}
+
+TEST(Engine, AdoptRoundReplaysAPlannedSchedule) {
+  AdaptivePolicy policy;
+  policy.round_size = 8;
+  AdaptiveEngine planner(Strat({6, 6}), policy);
+  AdaptiveEngine resumer(Strat({6, 6}), policy);
+
+  const RoundRecord first = planner.PlanRound();
+  std::string error;
+  ASSERT_TRUE(resumer.AdoptRound(first, &error)) << error;
+  ObserveMixed(planner, first);
+  ObserveMixed(resumer, first);
+
+  // After adopting the same prefix, both engines plan the same continuation.
+  ExpectRoundsEqual(planner.PlanRound(), resumer.PlanRound());
+}
+
+TEST(Engine, AdoptRoundRejectsForeignSchedules) {
+  AdaptivePolicy policy;
+  policy.round_size = 4;
+  policy.min_per_stratum = 2;
+  AdaptiveEngine planner(Strat({8, 8}), policy);
+  const RoundRecord good = planner.PlanRound();
+  std::string error;
+
+  RoundRecord unknown = good;
+  unknown.allocations[0].stratum = 9;
+  EXPECT_FALSE(AdaptiveEngine(Strat({8, 8}), policy).AdoptRound(unknown, &error));
+
+  RoundRecord unsorted = good;
+  std::swap(unsorted.allocations[0], unsorted.allocations[1]);
+  EXPECT_FALSE(AdaptiveEngine(Strat({8, 8}), policy).AdoptRound(unsorted, &error));
+
+  RoundRecord overrun = good;
+  overrun.allocations[0].count = 100;
+  EXPECT_FALSE(AdaptiveEngine(Strat({8, 8}), policy).AdoptRound(overrun, &error));
+
+  RoundRecord wrong_index = good;
+  wrong_index.indexes[0] = 7;  // stratum 0 must start at member 0
+  EXPECT_FALSE(AdaptiveEngine(Strat({8, 8}), policy).AdoptRound(wrong_index, &error));
+
+  RoundRecord trailing = good;
+  trailing.indexes.push_back(15);
+  EXPECT_FALSE(AdaptiveEngine(Strat({8, 8}), policy).AdoptRound(trailing, &error));
+}
+
+TEST(Engine, OutcomeUncertaintyIsOneBeforeData) {
+  EXPECT_DOUBLE_EQ(OutcomeUncertainty(fi::OutcomeCounts{}, 0.95), 1.0);
+  fi::OutcomeCounts counts;
+  counts.masked = 1000;
+  EXPECT_LT(OutcomeUncertainty(counts, 0.95), 0.01);
+}
+
+}  // namespace
+}  // namespace nvbitfi::adaptive

@@ -1,0 +1,88 @@
+#include "adaptive/report.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/engine.h"
+
+namespace nvbitfi::adaptive {
+namespace {
+
+StratumRow Row(const std::string& label, std::uint64_t masked, std::uint64_t sdc,
+               std::uint64_t due) {
+  StratumRow row;
+  row.label = label;
+  row.counts.masked = masked;
+  row.counts.sdc = sdc;
+  row.counts.due = due;
+  row.scheduled = masked + sdc + due;
+  row.population = row.scheduled * 2;
+  return row;
+}
+
+TEST(AdaptiveReport, StrataReportListsEveryStratumWithState) {
+  std::vector<StratumRow> rows;
+  rows.push_back(Row("k/fp32/live", 10, 5, 1));
+  rows.back().converged = true;
+  rows.push_back(Row("k/ld/live", 3, 0, 0));
+  rows.back().exhausted = true;
+  rows.push_back(Row("k/other/dead", 4, 0, 0));
+
+  const std::string report = StrataReport(rows, 0.95, 0.10);
+  EXPECT_NE(report.find("strata at 95% confidence (Wilson):"), std::string::npos);
+  EXPECT_NE(report.find("k/fp32/live"), std::string::npos);
+  EXPECT_NE(report.find("converged"), std::string::npos);
+  EXPECT_NE(report.find("exhausted"), std::string::npos);
+  EXPECT_NE(report.find("width"), std::string::npos);  // the unconverged stratum
+}
+
+TEST(AdaptiveReport, StrataCsvQuotesRfc4180) {
+  std::vector<StratumRow> rows;
+  rows.push_back(Row("weird,kernel\"name/pr/live", 2, 1, 0));
+  const std::string csv = StrataCsv(rows, 0.95);
+  // Header + one data row.
+  ASSERT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_EQ(csv.find("stratum,population,scheduled,runs,masked,sdc,due"), 0u);
+  // Comma and quote in the label force quoting with doubled quotes.
+  EXPECT_NE(csv.find("\"weird,kernel\"\"name/pr/live\""), std::string::npos);
+}
+
+TEST(AdaptiveReport, CsvRatesAndBoundsAreConsistent) {
+  std::vector<StratumRow> rows;
+  rows.push_back(Row("k/fp32/live", 30, 10, 0));
+  const std::string csv = StrataCsv(rows, 0.95);
+  // 40 runs, 10 SDCs: the rate column carries 0.25 with Wilson bounds around it.
+  EXPECT_NE(csv.find(",0.250000,"), std::string::npos);
+}
+
+TEST(AdaptiveReport, EngineRowsAndSummaryMirrorEngineState) {
+  Stratification stratification;
+  stratification.labels = {"only"};
+  stratification.members = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  stratification.stratum_of.assign(8, 0);
+  AdaptivePolicy policy;
+  policy.confidence = 0.90;
+  policy.target_half_width = 0.45;
+  policy.round_size = 4;
+  policy.min_per_stratum = 0;
+  AdaptiveEngine engine(std::move(stratification), policy);
+  const RoundRecord round = engine.PlanRound();
+  for (const std::uint64_t index : round.indexes) {
+    engine.Observe(index, fi::Classification{});
+  }
+
+  const std::vector<StratumRow> rows = EngineRows(engine);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].label, "only");
+  EXPECT_EQ(rows[0].population, 8u);
+  EXPECT_EQ(rows[0].scheduled, 4u);
+  EXPECT_EQ(rows[0].counts.masked, 4u);
+
+  const std::string summary = AdaptiveSummary(engine);
+  EXPECT_NE(summary.find("adaptive: 1 rounds"), std::string::npos);
+  EXPECT_NE(summary.find("4/8 pool experiments scheduled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvbitfi::adaptive

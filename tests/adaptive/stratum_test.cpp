@@ -1,0 +1,76 @@
+#include "adaptive/stratum.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+
+namespace nvbitfi::adaptive {
+namespace {
+
+fi::TransientDraw DrawFor(const std::string& kernel) {
+  fi::TransientDraw draw;
+  fi::TransientFaultParams params;
+  params.kernel_name = kernel;
+  draw.params = params;
+  return draw;
+}
+
+TEST(Stratum, OpcodeGroupLabelFollowsTableTwoPrecedence) {
+  EXPECT_EQ(OpcodeGroupLabel(sim::Opcode::kDADD), "fp64");
+  EXPECT_EQ(OpcodeGroupLabel(sim::Opcode::kFADD), "fp32");
+  EXPECT_EQ(OpcodeGroupLabel(sim::Opcode::kLDG), "ld");
+  EXPECT_EQ(OpcodeGroupLabel(sim::Opcode::kISETP), "pr");
+  EXPECT_EQ(OpcodeGroupLabel(sim::Opcode::kSTG), "nodest");
+  EXPECT_EQ(OpcodeGroupLabel(sim::Opcode::kIADD3), "other");
+}
+
+TEST(Stratum, NoSiteDrawsFormTheirOwnStratum) {
+  const fi::ProgramProfile profile;
+  std::vector<fi::TransientDraw> draws;
+  draws.push_back(DrawFor("k"));
+  draws.emplace_back();  // no params: trivially masked
+  const Stratification s = StratifyPool(profile, draws, nullptr);
+  ASSERT_EQ(s.num_strata(), 2u);
+  EXPECT_EQ(s.labels[0], "(no-site)");
+  EXPECT_EQ(s.labels[1], "k/?/unresolved");
+  EXPECT_EQ(s.stratum_of[0], 1u);
+  EXPECT_EQ(s.stratum_of[1], 0u);
+}
+
+TEST(Stratum, LabelsSortedAndMembersAscending) {
+  const fi::ProgramProfile profile;
+  std::vector<fi::TransientDraw> draws;
+  for (const char* kernel : {"beta", "alpha", "beta", "alpha", "alpha"}) {
+    draws.push_back(DrawFor(kernel));
+  }
+  const Stratification s = StratifyPool(profile, draws, nullptr);
+  ASSERT_EQ(s.num_strata(), 2u);
+  EXPECT_EQ(s.labels[0], "alpha/?/unresolved");
+  EXPECT_EQ(s.labels[1], "beta/?/unresolved");
+  EXPECT_EQ(s.members[0], (std::vector<std::uint64_t>{1, 3, 4}));
+  EXPECT_EQ(s.members[1], (std::vector<std::uint64_t>{0, 2}));
+  ASSERT_EQ(s.pool_size(), draws.size());
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    const std::uint32_t id = s.stratum_of[i];
+    const auto& members = s.members[id];
+    EXPECT_NE(std::find(members.begin(), members.end(), i), members.end());
+  }
+}
+
+TEST(Stratum, StratificationIsDeterministic) {
+  const fi::ProgramProfile profile;
+  std::vector<fi::TransientDraw> draws;
+  for (const char* kernel : {"a", "b", "c", "a", "b"}) {
+    draws.push_back(DrawFor(kernel));
+  }
+  const Stratification first = StratifyPool(profile, draws, nullptr);
+  const Stratification second = StratifyPool(profile, draws, nullptr);
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.stratum_of, second.stratum_of);
+  EXPECT_EQ(first.members, second.members);
+}
+
+}  // namespace
+}  // namespace nvbitfi::adaptive

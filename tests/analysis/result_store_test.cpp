@@ -235,6 +235,71 @@ TEST(ResultStore, RejectsBadHeaders) {
   EXPECT_FALSE(LoadResultStore(TempPath("does_not_exist.jsonl"), &error).has_value());
 }
 
+TEST(ResultStore, AdaptiveHeaderRoundTripsPolicyAndSchedule) {
+  const std::string path = TempPath("store_adaptive_header.jsonl");
+  std::remove(path.c_str());
+
+  const MiniProgram program;
+  const fi::CampaignRunner runner(program);
+  fi::TransientCampaignConfig config;
+  config.seed = 9;
+  config.num_injections = 8;
+  const fi::RunArtifacts golden = runner.Golden(config.device);
+  fi::RunArtifacts profiling;
+  const fi::ProgramProfile profile =
+      runner.Profile(config.profiling, config.device, &profiling);
+
+  StoreMeta meta =
+      TransientStoreMeta(program.name(), config, golden, profiling.cycles, profile);
+  meta.adaptive = true;
+  meta.policy.confidence = 0.99;
+  meta.policy.target_half_width = 0.05;
+  meta.policy.round_size = 16;
+  meta.policy.min_per_stratum = 2;
+  meta.strata = {"k/fp32/live", "k/ld/dead"};
+  adaptive::RoundRecord round;
+  round.allocations.push_back({0, 2});
+  round.allocations.push_back({1, 1});
+  round.indexes = {0, 1, 5};
+  meta.rounds.push_back(round);
+
+  {
+    std::string error;
+    const auto store = ResultStore::Open(path, meta, /*resume=*/false, &error);
+    ASSERT_NE(store, nullptr) << error;
+  }
+
+  std::string error;
+  const std::optional<LoadedStore> loaded = LoadResultStore(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->meta.adaptive);
+  EXPECT_DOUBLE_EQ(loaded->meta.policy.confidence, 0.99);
+  EXPECT_DOUBLE_EQ(loaded->meta.policy.target_half_width, 0.05);
+  EXPECT_EQ(loaded->meta.policy.round_size, 16u);
+  EXPECT_EQ(loaded->meta.policy.min_per_stratum, 2u);
+  EXPECT_EQ(loaded->meta.strata, meta.strata);
+  ASSERT_EQ(loaded->meta.rounds.size(), 1u);
+  ASSERT_EQ(loaded->meta.rounds[0].allocations.size(), 2u);
+  EXPECT_EQ(loaded->meta.rounds[0].allocations[0].stratum, 0u);
+  EXPECT_EQ(loaded->meta.rounds[0].allocations[0].count, 2u);
+  EXPECT_EQ(loaded->meta.rounds[0].allocations[1].stratum, 1u);
+  EXPECT_EQ(loaded->meta.rounds[0].allocations[1].count, 1u);
+  EXPECT_EQ(loaded->meta.rounds[0].indexes, round.indexes);
+
+  // The policy joins the resume identity; the schedule does not (it is
+  // progress state, rewritten at every round boundary).
+  EXPECT_TRUE(meta.CompatibleWith(loaded->meta));
+  StoreMeta more_rounds = meta;
+  more_rounds.rounds.push_back(round);
+  EXPECT_TRUE(more_rounds.CompatibleWith(loaded->meta));
+  StoreMeta tightened = meta;
+  tightened.policy.target_half_width = 0.01;
+  EXPECT_FALSE(tightened.CompatibleWith(loaded->meta));
+  StoreMeta uniform = meta;
+  uniform.adaptive = false;
+  EXPECT_FALSE(uniform.CompatibleWith(loaded->meta));
+}
+
 TEST(ResultStore, PermanentCampaignRoundTrips) {
   const MiniProgram program;
   const fi::CampaignRunner runner(program);

@@ -41,6 +41,44 @@ TEST(CampaignSpec, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed->Serialize(), spec.Serialize());
 }
 
+TEST(CampaignSpec, AdaptiveKeysRoundTripOnlyWhenSet) {
+  CampaignSpec spec;
+  spec.program = "314.omriq";
+  spec.seed = 5;
+  spec.num_injections = 200;
+  spec.approximate = false;  // adaptive requires exact profiling
+  spec.adaptive = true;
+  spec.adaptive_confidence = 0.99;
+  spec.adaptive_target_width = 0.08;
+  spec.adaptive_round_size = 48;
+  spec.adaptive_min_per_stratum = 6;
+
+  const std::optional<CampaignSpec> parsed = CampaignSpec::Parse(spec.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->adaptive);
+  EXPECT_DOUBLE_EQ(parsed->adaptive_confidence, 0.99);
+  EXPECT_DOUBLE_EQ(parsed->adaptive_target_width, 0.08);
+  EXPECT_EQ(parsed->adaptive_round_size, 48);
+  EXPECT_EQ(parsed->adaptive_min_per_stratum, 6);
+  EXPECT_EQ(parsed->Serialize(), spec.Serialize());
+
+  // A uniform campaign's wire form stays exactly as it was before adaptive
+  // sampling existed: no adaptive keys at all.
+  CampaignSpec uniform;
+  uniform.program = "314.omriq";
+  EXPECT_EQ(uniform.Serialize().find("adaptive"), std::string::npos);
+}
+
+TEST(CampaignSpec, ParseRejectsAdaptiveWithApproximateProfiling) {
+  CampaignSpec spec;
+  spec.program = "314.omriq";
+  spec.adaptive = true;
+  spec.approximate = true;  // strata need exact sites: invalid combination
+  EXPECT_FALSE(CampaignSpec::Parse(spec.Serialize()).has_value());
+  spec.approximate = false;
+  EXPECT_TRUE(CampaignSpec::Parse(spec.Serialize()).has_value());
+}
+
 TEST(CampaignSpec, ParseRejectsMalformedInput) {
   EXPECT_FALSE(CampaignSpec::Parse("").has_value());
   EXPECT_FALSE(CampaignSpec::Parse("not a spec\nprogram x\n").has_value());

@@ -42,19 +42,81 @@ TEST(Statistics, InjectionsForMarginInvertsTheMargin) {
   }
 }
 
-TEST(Statistics, ProportionEstimate) {
-  const ProportionEstimate e = EstimateProportion(30, 100, 0.95);
+TEST(Statistics, NormalApproxProportionEstimate) {
+  const ProportionEstimate e =
+      EstimateProportion(30, 100, 0.95, IntervalMethod::kNormalApprox);
   EXPECT_DOUBLE_EQ(e.value, 0.30);
   EXPECT_NEAR(e.margin, 1.96 * std::sqrt(0.3 * 0.7 / 100.0), 1e-3);
   EXPECT_NEAR(e.lower, 0.30 - e.margin, 1e-12);
   EXPECT_NEAR(e.upper, 0.30 + e.margin, 1e-12);
 }
 
+TEST(Statistics, WilsonIsTheDefaultAndMatchesClosedForm) {
+  // Wilson at z = 1.96, 30/100: center (p + z²/2n)/(1 + z²/n), half-width
+  // (z/(1 + z²/n))·sqrt(p(1-p)/n + z²/4n²).
+  const ProportionEstimate e = EstimateProportion(30, 100, 0.95);
+  const double z = ZScore(0.95);
+  const double denom = 1.0 + z * z / 100.0;
+  const double center = (0.30 + z * z / 200.0) / denom;
+  const double half =
+      (z / denom) * std::sqrt(0.3 * 0.7 / 100.0 + z * z / (4.0 * 100.0 * 100.0));
+  EXPECT_DOUBLE_EQ(e.value, 0.30);
+  EXPECT_NEAR(e.margin, half, 1e-12);
+  EXPECT_NEAR(e.lower, center - half, 1e-12);
+  EXPECT_NEAR(e.upper, center + half, 1e-12);
+}
+
+TEST(Statistics, WilsonStaysInformativeAtTheBoundaries) {
+  // Zero successes: the Wald interval collapses to width 0 — exactly wrong
+  // for rare-SDC strata.  Wilson keeps a nonzero upper bound ≈ z²/(n + z²).
+  const ProportionEstimate none = EstimateProportion(0, 20, 0.95);
+  EXPECT_DOUBLE_EQ(none.value, 0.0);
+  EXPECT_DOUBLE_EQ(none.lower, 0.0);
+  const double z = ZScore(0.95);
+  EXPECT_NEAR(none.upper, z * z / (20.0 + z * z), 1e-12);
+  EXPECT_GT(none.upper, 0.1);
+
+  const ProportionEstimate all = EstimateProportion(20, 20, 0.95);
+  EXPECT_DOUBLE_EQ(all.value, 1.0);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  EXPECT_NEAR(all.lower, 1.0 - z * z / (20.0 + z * z), 1e-12);
+  EXPECT_LT(all.lower, 0.9);
+
+  // The normal form really does degenerate there (modulo the 1e-12 floor).
+  const ProportionEstimate wald =
+      EstimateProportion(0, 20, 0.95, IntervalMethod::kNormalApprox);
+  EXPECT_LT(wald.upper, 1e-5);
+}
+
+TEST(Statistics, WilsonSmallSampleIntervalCoversTruth) {
+  // 1 success in 5 trials from a true p = 0.3 coin: the Wilson interval at
+  // 95% must cover 0.3 and stay inside [0, 1] despite n = 5.
+  const ProportionEstimate e = EstimateProportion(1, 5, 0.95);
+  EXPECT_LT(e.lower, 0.3);
+  EXPECT_GT(e.upper, 0.3);
+  EXPECT_GE(e.lower, 0.0);
+  EXPECT_LE(e.upper, 1.0);
+  // Midpoint shrinkage: the interval center sits above the raw 0.2.
+  EXPECT_GT(0.5 * (e.lower + e.upper), e.value);
+}
+
+TEST(Statistics, WilsonWidthShrinksWithSamples) {
+  double previous = 1.0;
+  for (const std::uint64_t n : {5u, 50u, 500u, 5000u}) {
+    const ProportionEstimate e = EstimateProportion(n / 5, n, 0.95);
+    EXPECT_LT(e.upper - e.lower, previous);
+    previous = e.upper - e.lower;
+  }
+}
+
 TEST(Statistics, ProportionEstimateClampsToUnitInterval) {
-  const ProportionEstimate low = EstimateProportion(0, 10, 0.95);
-  EXPECT_DOUBLE_EQ(low.lower, 0.0);
-  const ProportionEstimate high = EstimateProportion(10, 10, 0.95);
-  EXPECT_DOUBLE_EQ(high.upper, 1.0);
+  for (const IntervalMethod method :
+       {IntervalMethod::kWilson, IntervalMethod::kNormalApprox}) {
+    const ProportionEstimate low = EstimateProportion(0, 10, 0.95, method);
+    EXPECT_DOUBLE_EQ(low.lower, 0.0);
+    const ProportionEstimate high = EstimateProportion(10, 10, 0.95, method);
+    EXPECT_DOUBLE_EQ(high.upper, 1.0);
+  }
 }
 
 TEST(Statistics, ZeroSamplesYieldEmptyEstimate) {
@@ -80,6 +142,7 @@ TEST(Statistics, InvalidArgumentsThrow) {
   EXPECT_THROW(ZScore(1.0), std::logic_error);
   EXPECT_THROW(WorstCaseMarginOfError(0, 0.9), std::logic_error);
   EXPECT_THROW(InjectionsForMargin(0.0, 0.9), std::logic_error);
+  EXPECT_THROW(EstimateProportion(11, 10, 0.9), std::logic_error);
 }
 
 }  // namespace

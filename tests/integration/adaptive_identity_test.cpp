@@ -1,0 +1,204 @@
+// Adaptive-campaign acceptance tests: the scheduler's outputs must be
+// bit-reproducible however the campaign is executed.  For every Table IV
+// workload, an adaptive store written with 4 workers is byte-identical to the
+// serial one; slicing rounds across shard jobs and merging (what `nvbitfi
+// serve` does) reproduces the local store byte-for-byte; and a campaign
+// killed mid-round resumes from its persisted schedule to the identical file.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/merge.h"
+#include "analysis/result_store.h"
+#include "common/strings.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/adaptive_runner.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+namespace {
+
+fi::CampaignSpec SpecFor(const std::string& program) {
+  fi::CampaignSpec spec;
+  spec.program = program;
+  spec.seed = 424242;
+  spec.num_injections = 12;  // the pool
+  spec.adaptive = true;
+  spec.adaptive_confidence = 0.90;
+  spec.adaptive_target_width = 0.25;
+  spec.adaptive_round_size = 6;
+  spec.adaptive_min_per_stratum = 1;
+  return spec;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+fi::RunCache& Cache() {
+  static fi::RunCache cache;
+  return cache;
+}
+
+std::string SafeName(const std::string& program) {
+  std::string name = program;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class AdaptiveIdentity : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(AdaptiveIdentity, WorkerCountDoesNotPerturbStoreBytes) {
+  const std::string program = GetParam().program->name();
+  const std::string tag = SafeName(program);
+
+  AdaptiveJob serial;
+  serial.spec = SpecFor(program);
+  serial.store_path = TempPath("ai_" + tag + "_w1.jsonl");
+  serial.workers = 1;
+  const AdaptiveOutcome serial_outcome = RunAdaptiveJob(serial, &Cache());
+  ASSERT_TRUE(serial_outcome.ok) << serial_outcome.error;
+  EXPECT_GT(serial_outcome.scheduled, 0u);
+  EXPECT_GT(serial_outcome.rounds, 0u);
+
+  AdaptiveJob parallel = serial;
+  parallel.store_path = TempPath("ai_" + tag + "_w4.jsonl");
+  parallel.workers = 4;
+  const AdaptiveOutcome parallel_outcome = RunAdaptiveJob(parallel, &Cache());
+  ASSERT_TRUE(parallel_outcome.ok) << parallel_outcome.error;
+
+  const std::string serial_bytes = ReadAll(serial.store_path);
+  ASSERT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, ReadAll(parallel.store_path));
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  return SafeName(info.param.program->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, AdaptiveIdentity,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+// The coordinator's execution model, inline: plan rounds centrally, deal each
+// round's indexes out as slice jobs, feed the slice outcomes back, merge all
+// slices plus the schedule.  The merged store must be byte-identical to the
+// single-process adaptive store.
+TEST(AdaptiveIdentity, SlicedRoundsMergeByteIdenticalToLocalStore) {
+  const std::string program = workloads::AllWorkloads().front().program->name();
+  const fi::CampaignSpec spec = SpecFor(program);
+
+  AdaptiveJob local;
+  local.spec = spec;
+  local.store_path = TempPath("ai_slices_local.jsonl");
+  ASSERT_TRUE(RunAdaptiveJob(local, &Cache()).ok);
+
+  std::string error;
+  std::optional<AdaptiveSetup> setup = BuildAdaptiveSetup(spec, &Cache(), &error);
+  ASSERT_TRUE(setup.has_value()) << error;
+  adaptive::AdaptiveEngine engine(setup->stratification, setup->policy);
+
+  std::vector<adaptive::RoundRecord> rounds;
+  std::vector<std::string> slice_paths;
+  while (true) {
+    const adaptive::RoundRecord round = engine.PlanRound();
+    if (round.indexes.empty()) break;
+    rounds.push_back(round);
+
+    // Deal the round out as two slices, run each as its own job.
+    const std::vector<fi::ShardRange> plan = fi::PlanShards(round.indexes.size(), 2);
+    std::vector<std::string> round_paths;
+    for (const fi::ShardRange& range : plan) {
+      AdaptiveSliceJob job;
+      job.spec = spec;
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        job.indexes.push_back(static_cast<std::size_t>(round.indexes[i]));
+      }
+      job.store_path = TempPath(Format("ai_slice_r%zu_%zu.jsonl", rounds.size(),
+                                       range.begin));
+      const AdaptiveSliceOutcome outcome = RunAdaptiveSlice(job, &Cache());
+      ASSERT_TRUE(outcome.ok) << outcome.error;
+      round_paths.push_back(job.store_path);
+    }
+
+    // Observe the slice outcomes exactly as the coordinator does: from the
+    // slice stores, never from in-memory results.
+    for (const std::string& path : round_paths) {
+      const std::optional<analysis::LoadedStore> loaded =
+          analysis::LoadResultStore(path, &error);
+      ASSERT_TRUE(loaded.has_value()) << error;
+      for (const auto& [index, run] : loaded->transient) {
+        engine.Observe(index, run.classification);
+      }
+      slice_paths.push_back(path);
+    }
+  }
+
+  const std::string merged = TempPath("ai_slices_merged.jsonl");
+  const std::optional<analysis::MergeSummary> summary =
+      analysis::MergeAdaptiveSliceStores(slice_paths, rounds, merged, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+
+  const std::string merged_bytes = ReadAll(merged);
+  ASSERT_FALSE(merged_bytes.empty());
+  EXPECT_EQ(merged_bytes, ReadAll(local.store_path));
+}
+
+// SIGINT/SIGKILL mid-campaign: the persisted rounds are adopted verbatim on
+// resume and the completed store is byte-identical to an uninterrupted run.
+TEST(AdaptiveIdentity, KilledCampaignResumesToIdenticalStore) {
+  const std::string program = workloads::AllWorkloads().front().program->name();
+  fi::CampaignSpec spec = SpecFor(program);
+  spec.num_injections = 16;
+  spec.adaptive_target_width = 0.20;
+
+  AdaptiveJob canonical;
+  canonical.spec = spec;
+  canonical.store_path = TempPath("ai_kill_canonical.jsonl");
+  const AdaptiveOutcome canonical_outcome = RunAdaptiveJob(canonical, &Cache());
+  ASSERT_TRUE(canonical_outcome.ok) << canonical_outcome.error;
+  ASSERT_GT(canonical_outcome.scheduled, 4u);
+
+  AdaptiveJob victim;
+  victim.spec = spec;
+  victim.store_path = TempPath("ai_kill_victim.jsonl");
+  std::atomic<bool> cancel{false};
+  victim.cancel = &cancel;
+  victim.on_progress = [&](std::size_t completed, std::size_t) {
+    if (completed >= 3) cancel.store(true);
+  };
+  const AdaptiveOutcome killed = RunAdaptiveJob(victim, &Cache());
+  ASSERT_TRUE(killed.cancelled);
+
+  AdaptiveJob replacement;
+  replacement.spec = spec;
+  replacement.store_path = victim.store_path;
+  replacement.resume = true;
+  const AdaptiveOutcome resumed = RunAdaptiveJob(replacement, &Cache());
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_FALSE(resumed.cancelled);
+  EXPECT_GT(resumed.resumed_records, 0u);
+  EXPECT_EQ(resumed.scheduled, canonical_outcome.scheduled);
+
+  EXPECT_EQ(ReadAll(victim.store_path), ReadAll(canonical.store_path));
+}
+
+}  // namespace
+}  // namespace nvbitfi::service

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Adaptive-campaign smoke test through the real binary: a stratified
+# `campaign --adaptive` run must stop early (schedule fewer experiments than
+# the pool), its store must be byte-identical regardless of worker count, and
+# `analyze` must reconcile every stored record against the persisted round
+# schedule ("round accounting: OK").
+#
+# Usage: adaptive_smoke_test.sh <path-to-nvbitfi> [workdir]
+set -u
+
+CLI=${1:?usage: adaptive_smoke_test.sh <path-to-nvbitfi> [workdir]}
+DIR=${2:-$(mktemp -d)}
+mkdir -p "$DIR"
+PROGRAM=314.omriq
+POOL=200
+ARGS="--adaptive --injections $POOL --seed 2021 --confidence 0.90 --ci-width 0.15"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$CLI" campaign "$PROGRAM" $ARGS --store "$DIR/adaptive.jsonl" \
+    > "$DIR/adaptive.log" 2>&1 || fail "adaptive campaign failed"
+
+# Early stop: converged strata are retired, so the schedule must cover less
+# than the full pool.
+scheduled=$(grep -oE "[0-9]+/$POOL pool experiments scheduled" "$DIR/adaptive.log" \
+    | cut -d/ -f1)
+[[ -n "$scheduled" ]] || fail "report carries no scheduling summary"
+[[ "$scheduled" -lt "$POOL" ]] \
+    || fail "early stop never fired: all $POOL pool experiments ran"
+grep -q "converged" "$DIR/adaptive.log" || fail "no stratum converged"
+
+# The canonical adaptive store is independent of the worker count.
+"$CLI" campaign "$PROGRAM" $ARGS --workers 4 --store "$DIR/adaptive_w4.jsonl" \
+    > "$DIR/adaptive_w4.log" 2>&1 || fail "adaptive campaign (4 workers) failed"
+cmp "$DIR/adaptive.jsonl" "$DIR/adaptive_w4.jsonl" \
+    || fail "worker count changed the store bytes"
+
+# analyze audits the persisted schedule against the records.
+"$CLI" analyze "$DIR/adaptive.jsonl" > "$DIR/analyze.log" 2>&1 \
+    || fail "analyze failed on the adaptive store"
+grep -q "round accounting: OK" "$DIR/analyze.log" \
+    || fail "analyze did not reconcile the round schedule"
+grep -q "strata at 90% confidence" "$DIR/analyze.log" \
+    || fail "analyze printed no per-stratum intervals"
+
+echo "PASS: adaptive campaign stopped early ($scheduled/$POOL runs)," \
+     "store worker-invariant, round accounting reconciled"

@@ -23,14 +23,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "adaptive/engine.h"
+#include "adaptive/report.h"
+#include "adaptive/stratum.h"
 #include "analysis/anatomy.h"
 #include "analysis/merge.h"
 #include "analysis/propagation.h"
@@ -43,6 +48,7 @@
 #include "core/report.h"
 #include "sassim/asm/assembler.h"
 #include "sassim/asm/disassembler.h"
+#include "service/adaptive_runner.h"
 #include "service/coordinator.h"
 #include "service/protocol.h"
 #include "service/shard_runner.h"
@@ -72,6 +78,17 @@ int Usage() {
                "                     [--resume] [--element f32|f64] [--trace]\n"
                "                     [--static-prune | --static-check]\n"
                "                     [--checkpoints | --no-checkpoints]\n"
+               "                     [--adaptive] [--confidence C] [--ci-width W]\n"
+               "                     [--round-size N] [--min-per-stratum N]\n"
+               "                     [--strata-csv FILE]\n"
+               "                     --adaptive treats --injections as a sampling "
+               "POOL: experiments\n"
+               "                     run in rounds steered toward the strata "
+               "(kernel / opcode\n"
+               "                     group / liveness) with the widest Wilson "
+               "intervals, until\n"
+               "                     every stratum's interval is narrower than "
+               "--ci-width\n"
                "                     --trace follows each fault's propagation "
                "(taint tracking)\n"
                "                     --static-prune skips statically-dead sites;\n"
@@ -86,9 +103,14 @@ int Usage() {
                "                  [--csv FILE] [--store FILE.jsonl] [--resume]\n"
                "                  [--element f32|f64]  permanent sweep over executed opcodes\n"
                "  analyze <store.jsonl> [--csv FILE] [--json FILE] [--static]\n"
+               "                  [--strata] [--strata-csv FILE]\n"
                "                  regenerate report + SDC anatomy from a result store;\n"
                "                  --static cross-tabulates static liveness verdicts\n"
-               "                  against the recorded dynamic outcomes\n"
+               "                  against the recorded dynamic outcomes;\n"
+               "                  --strata cross-tabulates outcomes by stratum\n"
+               "                  (kernel/opcode-group/liveness) with Wilson\n"
+               "                  intervals; adaptive stores additionally get a\n"
+               "                  round-accounting audit of the persisted schedule\n"
                "  lint <program|file.sass>  static analysis checks (read-before-def,\n"
                "                  unreachable code, dead stores, constant guards,\n"
                "                  shared-memory bounds); exit 1 when findings exist\n"
@@ -157,6 +179,14 @@ struct Args {
   bool static_prune = false;
   bool static_check = false;
   bool static_xtab = false;
+  // Adaptive stratified sampling (campaign/submit) and analyze --strata.
+  bool adaptive = false;
+  double confidence = 0.95;
+  double ci_width = 0.10;
+  int round_size = 32;
+  int min_per_stratum = 4;
+  bool strata = false;
+  std::string strata_csv;
   // Campaign service (serve/submit/shard).
   std::string socket_path;
   std::string workdir = ".";
@@ -242,6 +272,30 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       args.static_check = true;
     } else if (arg == "--static") {
       args.static_xtab = true;
+    } else if (arg == "--adaptive") {
+      args.adaptive = true;
+    } else if (arg == "--confidence") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.confidence = std::atof(v->c_str());
+    } else if (arg == "--ci-width") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.ci_width = std::atof(v->c_str());
+    } else if (arg == "--round-size") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.round_size = std::atoi(v->c_str());
+    } else if (arg == "--min-per-stratum") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.min_per_stratum = std::atoi(v->c_str());
+    } else if (arg == "--strata") {
+      args.strata = true;
+    } else if (arg == "--strata-csv") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.strata_csv = *v;
     } else if (arg == "--json") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -326,7 +380,41 @@ fi::CampaignSpec BuildSpec(const Args& args, const std::string& program) {
                      : args.static_check ? "check"
                                          : "off";
   spec.element = std::string(analysis::ElementKindName(args.element));
+  spec.adaptive = args.adaptive;
+  spec.adaptive_confidence = args.confidence;
+  spec.adaptive_target_width = args.ci_width;
+  spec.adaptive_round_size = static_cast<std::uint64_t>(args.round_size);
+  spec.adaptive_min_per_stratum = static_cast<std::uint64_t>(args.min_per_stratum);
   return spec;
+}
+
+// Shared by campaign and submit: the adaptive flags must describe a policy
+// the engine can actually run under.
+bool ValidateAdaptiveArgs(const Args& args) {
+  if (!args.adaptive) return true;
+  if (args.approximate) {
+    std::fprintf(stderr,
+                 "--adaptive needs an exact profile (strata are keyed on "
+                 "static liveness verdicts); drop --approximate\n");
+    return false;
+  }
+  if (!(args.confidence > 0.0 && args.confidence < 1.0)) {
+    std::fprintf(stderr, "--confidence must be in (0, 1)\n");
+    return false;
+  }
+  if (!(args.ci_width > 0.0 && args.ci_width < 1.0)) {
+    std::fprintf(stderr, "--ci-width must be in (0, 1)\n");
+    return false;
+  }
+  if (args.round_size <= 0) {
+    std::fprintf(stderr, "--round-size must be positive\n");
+    return false;
+  }
+  if (args.min_per_stratum < 0) {
+    std::fprintf(stderr, "--min-per-stratum must be non-negative\n");
+    return false;
+  }
+  return true;
 }
 
 const fi::TargetProgram* Lookup(const std::string& name) {
@@ -545,31 +633,73 @@ int CmdCampaign(const Args& args) {
                  "resolution replays the exact site stream); drop --approximate\n");
     return 1;
   }
+  if (!ValidateAdaptiveArgs(args)) return 1;
   InstallSignalHandlers();
 
-  // The campaign runs through the service layer's shard runner with the full
-  // index range: with --store every completed run streams to the JSONL store
-  // (with its SDC anatomy), --resume skips the experiments a previous
-  // interrupted campaign already persisted, and a completed store's header
-  // is finalized with the checkpoint-replay accounting for `analyze`.
-  service::ShardJob job;
-  job.spec = BuildSpec(args, program->name());
-  job.store_path = args.store;
-  job.workers = args.workers;
-  job.resume = args.resume;
-  job.finalize = true;
-  job.cancel = &g_interrupted;
-  const service::ShardOutcome outcome = service::RunShardJob(job, &ProcessCache());
-  if (!outcome.error.empty()) {
-    std::fprintf(stderr, "%s\n", outcome.error.c_str());
-    return 1;
+  fi::TransientCampaignResult result;
+  bool cancelled = false;
+  if (args.adaptive) {
+    // Adaptive mode: --injections is the pool; the engine schedules rounds
+    // until every stratum's interval is narrower than --ci-width.  The store
+    // persists each round before it runs, so --resume replays the recorded
+    // schedule bit-for-bit.
+    service::AdaptiveJob job;
+    job.spec = BuildSpec(args, program->name());
+    job.store_path = args.store;
+    job.workers = args.workers;
+    job.resume = args.resume;
+    job.cancel = &g_interrupted;
+    service::AdaptiveOutcome outcome = service::RunAdaptiveJob(job, &ProcessCache());
+    if (!outcome.error.empty()) {
+      std::fprintf(stderr, "%s\n", outcome.error.c_str());
+      return 1;
+    }
+    if (!args.store.empty() && outcome.resumed_records > 0) {
+      std::printf("resuming: %zu experiments already in %s\n",
+                  outcome.resumed_records, args.store.c_str());
+    }
+    result = std::move(outcome.result);
+    cancelled = outcome.cancelled;
+    std::fputs(fi::TransientCampaignReport(result, outcome.policy.confidence).c_str(),
+               stdout);
+    std::fputs(adaptive::StrataReport(outcome.strata, outcome.policy.confidence,
+                                      outcome.policy.target_half_width)
+                   .c_str(),
+               stdout);
+    std::fputs(outcome.summary.c_str(), stdout);
+    if (!args.strata_csv.empty()) {
+      if (!WriteOrPrint(args.strata_csv,
+                        adaptive::StrataCsv(outcome.strata,
+                                            outcome.policy.confidence))) {
+        return 1;
+      }
+    }
+  } else {
+    // The campaign runs through the service layer's shard runner with the
+    // full index range: with --store every completed run streams to the JSONL
+    // store (with its SDC anatomy), --resume skips the experiments a previous
+    // interrupted campaign already persisted, and a completed store's header
+    // is finalized with the checkpoint-replay accounting for `analyze`.
+    service::ShardJob job;
+    job.spec = BuildSpec(args, program->name());
+    job.store_path = args.store;
+    job.workers = args.workers;
+    job.resume = args.resume;
+    job.finalize = true;
+    job.cancel = &g_interrupted;
+    service::ShardOutcome outcome = service::RunShardJob(job, &ProcessCache());
+    if (!outcome.error.empty()) {
+      std::fprintf(stderr, "%s\n", outcome.error.c_str());
+      return 1;
+    }
+    if (!args.store.empty() && outcome.resumed_records > 0) {
+      std::printf("resuming: %zu of %d experiments already in %s\n",
+                  outcome.resumed_records, args.injections, args.store.c_str());
+    }
+    result = std::move(outcome.result);
+    cancelled = result.cancelled;
+    std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
   }
-  if (!args.store.empty() && outcome.resumed_records > 0) {
-    std::printf("resuming: %zu of %d experiments already in %s\n",
-                outcome.resumed_records, args.injections, args.store.c_str());
-  }
-  const fi::TransientCampaignResult& result = outcome.result;
-  std::fputs(fi::TransientCampaignReport(result).c_str(), stdout);
 
   // Anatomy + propagation summary: from the store when one is active
   // (resumed runs carry their persisted records), from the in-memory result
@@ -614,7 +744,7 @@ int CmdCampaign(const Args& args) {
                  result.static_violations.size() == 1 ? "" : "s");
     return 1;
   }
-  if (result.cancelled) {
+  if (cancelled) {
     std::fprintf(stderr, "interrupted: completed experiments are flushed%s\n",
                  args.store.empty() ? "" : "; continue with --resume");
     return 130;
@@ -771,6 +901,145 @@ int StaticCrossTab(const analysis::LoadedStore& store) {
   return 0;
 }
 
+// Rebuilds per-stratum tallies for an adaptive store from its header alone:
+// each round lists its indexes in allocation order, so the stratum of every
+// record follows from the persisted schedule without re-deriving the
+// stratification (no simulation, no profiling).
+std::vector<adaptive::StratumRow> AdaptiveStoreRows(const analysis::LoadedStore& store) {
+  std::vector<adaptive::StratumRow> rows(store.meta.strata.size());
+  for (std::size_t s = 0; s < rows.size(); ++s) rows[s].label = store.meta.strata[s];
+  for (const adaptive::RoundRecord& round : store.meta.rounds) {
+    std::size_t pos = 0;
+    for (const adaptive::RoundAllocation& alloc : round.allocations) {
+      for (std::uint64_t k = 0; k < alloc.count && pos < round.indexes.size(); ++k) {
+        const auto index = static_cast<std::size_t>(round.indexes[pos++]);
+        if (alloc.stratum >= rows.size()) continue;
+        adaptive::StratumRow& row = rows[alloc.stratum];
+        ++row.scheduled;
+        const auto run = store.transient.find(index);
+        if (run != store.transient.end()) row.counts.Add(run->second.classification);
+      }
+    }
+  }
+  // The store does not carry stratum populations, so exhaustion is unknown
+  // post hoc; convergence is recomputed from the achieved intervals.
+  for (adaptive::StratumRow& row : rows) {
+    row.converged =
+        adaptive::OutcomeUncertainty(row.counts, store.meta.policy.confidence) <=
+        store.meta.policy.target_half_width;
+  }
+  return rows;
+}
+
+// `analyze` on an adaptive store: audits the persisted schedule against the
+// records — every scheduled index must hold exactly one record and every
+// record must be scheduled — and prints the achieved per-stratum intervals.
+int AdaptiveAudit(const analysis::LoadedStore& store) {
+  const analysis::StoreMeta& meta = store.meta;
+  std::uint64_t scheduled = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t duplicates = 0;
+  std::set<std::size_t> seen;
+  for (const adaptive::RoundRecord& round : meta.rounds) {
+    for (const std::uint64_t index : round.indexes) {
+      ++scheduled;
+      const auto i = static_cast<std::size_t>(index);
+      if (!seen.insert(i).second) {
+        ++duplicates;
+      } else if (store.transient.find(i) == store.transient.end()) {
+        ++missing;
+      }
+    }
+  }
+  std::uint64_t unscheduled = 0;
+  for (const auto& [index, run] : store.transient) {
+    (void)run;
+    if (seen.find(index) == seen.end()) ++unscheduled;
+  }
+
+  std::printf("\nadaptive schedule: %zu round%s, %llu experiments scheduled "
+              "from a pool of %llu, %zu strata\n",
+              meta.rounds.size(), meta.rounds.size() == 1 ? "" : "s",
+              static_cast<unsigned long long>(scheduled),
+              static_cast<unsigned long long>(meta.num_experiments),
+              meta.strata.size());
+  std::printf("  policy: %.0f%% confidence, target half-width %.3f, round "
+              "size %llu, min per stratum %llu\n",
+              100.0 * meta.policy.confidence, meta.policy.target_half_width,
+              static_cast<unsigned long long>(meta.policy.round_size),
+              static_cast<unsigned long long>(meta.policy.min_per_stratum));
+  std::fputs(adaptive::StrataReport(AdaptiveStoreRows(store), meta.policy.confidence,
+                                    meta.policy.target_half_width)
+                 .c_str(),
+             stdout);
+  if (missing > 0 || duplicates > 0 || unscheduled > 0) {
+    std::fprintf(stderr,
+                 "round accounting: MISMATCH — %llu scheduled without a "
+                 "record, %llu scheduled twice, %llu records outside the "
+                 "schedule\n",
+                 static_cast<unsigned long long>(missing),
+                 static_cast<unsigned long long>(duplicates),
+                 static_cast<unsigned long long>(unscheduled));
+    return 1;
+  }
+  std::printf("round accounting: OK — %zu records match the %zu-round schedule\n",
+              store.transient.size(), meta.rounds.size());
+  return 0;
+}
+
+// `analyze --strata`: re-derives each record's stratum key (kernel / opcode
+// group / static liveness — the same key the adaptive engine stratifies on)
+// and cross-tabulates the recorded outcomes with Wilson intervals.  Works on
+// any transient store; runs without a site (trivially masked, never
+// activated) pool under "(no-site)" since they carry no resolvable site.
+int StrataCrossTab(const analysis::LoadedStore& store, const Args& args) {
+  if (store.meta.kind == "permanent") {
+    std::fprintf(stderr, "--strata applies to transient campaign stores only\n");
+    return 1;
+  }
+  const fi::TargetProgram* program = Lookup(store.meta.program);
+  if (program == nullptr) return 1;
+  const staticanalysis::StaticSiteAnalysis analysis =
+      staticanalysis::StaticSiteAnalysis::ForProgram(*program, sim::DeviceProps{});
+  const double confidence =
+      store.meta.adaptive ? store.meta.policy.confidence : 0.95;
+
+  std::map<std::string, adaptive::StratumRow> by_label;  // sorted label order
+  for (const auto& [index, run] : store.transient) {
+    (void)index;
+    std::string label = "(no-site)";
+    if (!run.trivially_masked && run.record.activated) {
+      const fi::StaticSiteVerdict verdict = analysis.EvaluateStatic(
+          run.params.kernel_name, run.record.static_index,
+          run.params.destination_register);
+      std::string group = "?";
+      std::string liveness = "unresolved";
+      if (verdict.resolved) {
+        group = std::string(adaptive::OpcodeGroupLabel(run.record.opcode));
+        liveness = verdict.statically_dead ? "dead" : "live";
+      }
+      label = run.params.kernel_name + "/" + group + "/" + liveness;
+    }
+    adaptive::StratumRow& row = by_label[label];
+    row.label = label;
+    ++row.scheduled;
+    row.counts.Add(run.classification);
+  }
+  std::vector<adaptive::StratumRow> rows;
+  rows.reserve(by_label.size());
+  for (auto& [label, row] : by_label) {
+    (void)label;
+    rows.push_back(std::move(row));
+  }
+  std::printf("\n%s", adaptive::StrataReport(rows, confidence, 0.0).c_str());
+  if (!args.strata_csv.empty()) {
+    if (!WriteOrPrint(args.strata_csv, adaptive::StrataCsv(rows, confidence))) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int CmdAnalyze(const Args& args) {
   if (args.positional.empty()) return Usage();
   std::string error;
@@ -817,6 +1086,14 @@ int CmdAnalyze(const Args& args) {
     }
     file << csv;
     std::printf("\nwrote CSV to %s\n", args.csv.c_str());
+  }
+  if (loaded->meta.kind == "transient" && loaded->meta.adaptive) {
+    const int code = AdaptiveAudit(*loaded);
+    if (code != 0) return code;
+  }
+  if (args.strata) {
+    const int code = StrataCrossTab(*loaded, args);
+    if (code != 0) return code;
   }
   if (args.static_xtab) return StaticCrossTab(*loaded);
   return 0;
@@ -901,6 +1178,7 @@ int CmdSubmit(const Args& args) {
   }
   const fi::TargetProgram* program = Lookup(args.positional[0]);
   if (program == nullptr) return 1;
+  if (!ValidateAdaptiveArgs(args)) return 1;
   const fi::CampaignSpec spec = BuildSpec(args, program->name());
 
   std::string error;
