@@ -1,0 +1,96 @@
+// Table XII — telemetry overhead across the workload suite.
+//
+// For every workload: campaign wall-clock with telemetry fully on (global
+// registry + installed trace log, the worst case) against the
+// NVBITFI_TELEMETRY=off baseline on identical seeds.  The outcome columns
+// must agree bit for bit — spans observe the campaign, they never steer it —
+// so the only admissible difference is wall-clock time.  The per-phase span
+// counts from the on-run are reported to show what the overhead bought.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
+
+using namespace nvbitfi;  // NOLINT: bench brevity
+
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const int injections = bench::InjectionsPerProgram(30);
+  const std::uint64_t seed = bench::BenchSeed();
+  const int workers = bench::Workers(1);
+  std::printf("Table XII: telemetry overhead (%d injections per program, seed "
+              "%llu, %d worker%s)\n\n",
+              injections, static_cast<unsigned long long>(seed), workers,
+              workers == 1 ? "" : "s");
+  std::printf("%-14s %10s %10s %9s %8s %8s %6s\n", "program", "off(s)",
+              "on(s)", "overhead", "spans", "ff-spans", "match");
+
+  const std::string trace_path = "/tmp/nvbitfi_table12.trace.jsonl";
+  double total_off = 0.0, total_on = 0.0;
+  for (const workloads::WorkloadEntry& entry : workloads::AllWorkloads()) {
+    const fi::TargetProgram& program = *entry.program;
+    const fi::CampaignRunner runner(program);
+
+    fi::TransientCampaignConfig config;
+    config.seed = seed;
+    config.num_injections = injections;
+    config.num_workers = workers;
+
+    telemetry::SetTelemetryEnabled(false);
+    const auto off_start = std::chrono::steady_clock::now();
+    const fi::TransientCampaignResult off = runner.RunTransientCampaign(config);
+    const double off_seconds = Seconds(off_start);
+
+    telemetry::SetTelemetryEnabled(true);
+    telemetry::TraceLog log;
+    std::string error;
+    if (!log.Open(trace_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    telemetry::TraceLog::SetGlobal(&log);
+    const auto on_start = std::chrono::steady_clock::now();
+    const fi::TransientCampaignResult on = runner.RunTransientCampaign(config);
+    const double on_seconds = Seconds(on_start);
+    telemetry::TraceLog::SetGlobal(nullptr);
+    log.Close();
+
+    const bool match = on.counts.masked == off.counts.masked &&
+                       on.counts.sdc == off.counts.sdc &&
+                       on.counts.due == off.counts.due &&
+                       on.counts.potential_due == off.counts.potential_due &&
+                       on.TotalInjectionCycles() == off.TotalInjectionCycles();
+    std::uint64_t spans = 0;
+    for (int phase = 0; phase < telemetry::kPhaseCount; ++phase) {
+      spans += on.phases.counts[phase];
+    }
+    total_off += off_seconds;
+    total_on += on_seconds;
+
+    std::printf("%-14s %10.3f %10.3f %8.1f%% %8llu %8llu %6s\n",
+                program.name().c_str(), off_seconds, on_seconds,
+                off_seconds > 0 ? 100.0 * (on_seconds - off_seconds) / off_seconds
+                                : 0.0,
+                static_cast<unsigned long long>(spans),
+                static_cast<unsigned long long>(
+                    on.phases.CountFor(telemetry::Phase::kFastForward)),
+                match ? "yes" : "NO");
+  }
+  std::remove(trace_path.c_str());
+
+  std::printf("\nsuite wall-clock: telemetry off %.3f s, on %.3f s (%+.1f%%)\n",
+              total_off, total_on,
+              total_off > 0 ? 100.0 * (total_on - total_off) / total_off : 0.0);
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/strings.h"
+#include "telemetry/metrics.h"
 
 namespace nvbitfi::analysis {
 namespace {
@@ -29,6 +30,7 @@ StoreMeta NormalizedMeta(const StoreMeta& meta) {
 std::optional<MergeSummary> MergeShardStores(const std::vector<std::string>& shard_paths,
                                              const std::string& out_path,
                                              std::string* error) {
+  const telemetry::ScopedPhase span(telemetry::Phase::kMerge);
   if (shard_paths.empty()) {
     if (error != nullptr) *error = "no shard stores to merge";
     return std::nullopt;
@@ -171,6 +173,7 @@ std::optional<MergeSummary> MergeAdaptiveSliceStores(
     const std::vector<std::string>& slice_paths,
     const std::vector<adaptive::RoundRecord>& rounds, const std::string& out_path,
     std::string* error) {
+  const telemetry::ScopedPhase span(telemetry::Phase::kMerge);
   if (slice_paths.empty()) {
     if (error != nullptr) *error = "no slice stores to merge";
     return std::nullopt;

@@ -8,6 +8,7 @@
 #include "analysis/propagation.h"
 #include "common/strings.h"
 #include "core/profile.h"
+#include "telemetry/metrics.h"
 
 namespace nvbitfi::analysis {
 namespace {
@@ -598,6 +599,7 @@ ResultStore::~ResultStore() {
 void ResultStore::AppendTransient(std::size_t index, const fi::InjectionRun& run,
                                   const SdcAnatomy* anatomy,
                                   const sim::ReplayStats* replay) {
+  const telemetry::ScopedPhase span(telemetry::Phase::kStoreAppend);
   const std::string line = TransientRunToJson(index, run, anatomy, replay).Dump();
   std::lock_guard<std::mutex> lock(mu_);
   lines_[index] = line;
@@ -608,6 +610,7 @@ void ResultStore::AppendTransient(std::size_t index, const fi::InjectionRun& run
 
 void ResultStore::AppendPermanent(std::size_t index, const fi::PermanentRun& run,
                                   const SdcAnatomy* anatomy) {
+  const telemetry::ScopedPhase span(telemetry::Phase::kStoreAppend);
   const std::string line = PermanentRunToJson(index, run, anatomy).Dump();
   std::lock_guard<std::mutex> lock(mu_);
   lines_[index] = line;

@@ -227,25 +227,39 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   TransientCampaignResult result;
   result.program = program_.name();
 
+  // Phase accounting: the accumulator is installed thread-locally here (the
+  // driving thread runs golden + profile, and the driver's checkpoint-record
+  // span fires inside the golden run) and again inside each worker task, so
+  // nested driver-level spans attribute to this campaign without any
+  // signature changes.  Spans never touch the Rng path.
+  telemetry::PhaseAccumulator phase_accumulator;
+  telemetry::ScopedAccumulator install_accumulator(&phase_accumulator);
+
   // Figure 1 step 0: the golden run provides reference outputs, the
   // uninstrumented cycle baseline, and the watchdog calibration.  With
   // checkpoints enabled it also records the per-launch checkpoint stream the
   // injection runs below fast-forward from.
   std::shared_ptr<const sim::CheckpointStream> checkpoints;
-  if (config.checkpoints) {
-    RunCache::GoldenEntry entry = GoldenCheckpointed(config.device);
-    result.golden = std::move(entry.run);
-    checkpoints = std::move(entry.checkpoints);
-    result.checkpoints_used = true;
-  } else {
-    result.golden = Golden(config.device);
+  {
+    const telemetry::ScopedPhase span(telemetry::Phase::kGolden);
+    if (config.checkpoints) {
+      RunCache::GoldenEntry entry = GoldenCheckpointed(config.device);
+      result.golden = std::move(entry.run);
+      checkpoints = std::move(entry.checkpoints);
+      result.checkpoints_used = true;
+    } else {
+      result.golden = Golden(config.device);
+    }
   }
   const std::uint64_t watchdog =
       config.watchdog_multiplier *
       std::max<std::uint64_t>(result.golden.max_launch_thread_instructions, 1000);
 
   // Step 1: profiling.
-  result.profile = Profile(config.profiling, config.device, &result.profiling_run);
+  {
+    const telemetry::ScopedPhase span(telemetry::Phase::kProfile);
+    result.profile = Profile(config.profiling, config.device, &result.profiling_run);
+  }
 
   // Steps 2-4, once per injection experiment, distributed over the pool.
   const std::size_t n =
@@ -281,6 +295,7 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
   result.workers = pool.workers();
   const auto start = std::chrono::steady_clock::now();
   pool.ParallelFor(todo.size(), [&](std::size_t task) {
+    const telemetry::ScopedAccumulator install(&phase_accumulator);
     const std::size_t i = todo[task];
     InjectionRun& run = result.injections[i];
     // Cancellation (SIGINT/SIGTERM): leave the slot unclaimed — the
@@ -342,16 +357,23 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
       target_ordinal =
           checkpoints->GlobalOrdinalOf(run.params.kernel_name, run.params.kernel_count);
     }
-    if (target_ordinal.has_value()) {
-      replayed[i] = 1;
-      run.artifacts = Execute(tool.get(), config.device, watchdog, checkpoints.get(),
-                              *target_ordinal, &replay[i]);
-    } else {
-      run.artifacts = Execute(tool.get(), config.device, watchdog);
+    {
+      const telemetry::ScopedPhase span(telemetry::Phase::kInject);
+      if (target_ordinal.has_value()) {
+        replayed[i] = 1;
+        run.artifacts = Execute(tool.get(), config.device, watchdog, checkpoints.get(),
+                                *target_ordinal, &replay[i]);
+      } else {
+        run.artifacts = Execute(tool.get(), config.device, watchdog);
+      }
     }
     run.record = tool->record();
     run.propagation = tool->TakePropagation();
-    run.classification = Classify(result.golden, run.artifacts, program_.sdc_checker());
+    {
+      const telemetry::ScopedPhase span(telemetry::Phase::kClassify);
+      run.classification =
+          Classify(result.golden, run.artifacts, program_.sdc_checker());
+    }
     if (config.on_run_replay) {
       config.on_run_replay(i, replayed[i] != 0 ? &replay[i] : nullptr);
     }
@@ -373,6 +395,17 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     result.replay_launches += replay[i].launches_fast_forwarded;
     result.replay_instructions_saved += replay[i].thread_instructions_saved;
     result.replay_fallbacks += replay[i].host_divergences + replay[i].watchdog_fallbacks;
+  }
+
+  result.phases = phase_accumulator.Capture();
+  if (telemetry::TelemetryEnabled()) {
+    telemetry::Registry& registry = telemetry::GlobalRegistry();
+    registry.GetCounter("nvbitfi_campaigns_total").Increment();
+    registry.GetCounter("nvbitfi_experiments_completed_total")
+        .Add(result.CompletedRuns());
+    registry.GetCounter("nvbitfi_replay_fastforwarded_launches_total")
+        .Add(result.replay_launches);
+    registry.GetCounter("nvbitfi_replay_fallbacks_total").Add(result.replay_fallbacks);
   }
 
   // Merge outcomes in experiment order (workers finish in arbitrary order).
@@ -434,7 +467,15 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
   sim::DeviceProps device = config.device;
   device.num_sms = std::max(device.num_sms, 1);
 
-  const RunArtifacts golden = Golden(device);
+  telemetry::PhaseAccumulator phase_accumulator;
+  telemetry::ScopedAccumulator install_accumulator(&phase_accumulator);
+
+  std::optional<RunArtifacts> golden_run;
+  {
+    const telemetry::ScopedPhase span(telemetry::Phase::kGolden);
+    golden_run = Golden(device);
+  }
+  const RunArtifacts& golden = *golden_run;
   const std::uint64_t watchdog =
       config.watchdog_multiplier *
       std::max<std::uint64_t>(golden.max_launch_thread_instructions, 1000);
@@ -463,6 +504,7 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
   const auto start = std::chrono::steady_clock::now();
   result.completed.assign(opcodes.size(), 0);
   pool.ParallelFor(opcodes.size(), [&](std::size_t i) {
+    const telemetry::ScopedAccumulator install(&phase_accumulator);
     PermanentRun& run = result.runs[i];
     if (config.cancel != nullptr &&
         config.cancel->load(std::memory_order_relaxed)) {
@@ -494,12 +536,19 @@ PermanentCampaignResult CampaignRunner::RunPermanentCampaign(
     run.weight = static_cast<double>(profile.OpcodeTotal(opcode)) / total_instructions;
 
     PermanentInjectorTool injector(run.params);
-    run.artifacts = Execute(&injector, device, watchdog);
+    {
+      const telemetry::ScopedPhase span(telemetry::Phase::kInject);
+      run.artifacts = Execute(&injector, device, watchdog);
+    }
     run.activations = injector.activations();
-    run.classification = Classify(golden, run.artifacts, program_.sdc_checker());
+    {
+      const telemetry::ScopedPhase span(telemetry::Phase::kClassify);
+      run.classification = Classify(golden, run.artifacts, program_.sdc_checker());
+    }
     if (config.on_run_complete) config.on_run_complete(i, run);
   });
   result.wall_seconds = SecondsSince(start);
+  result.phases = phase_accumulator.Capture();
   if (config.cancel != nullptr && config.cancel->load(std::memory_order_relaxed)) {
     for (const std::uint8_t c : result.completed) {
       if (c == 0) {

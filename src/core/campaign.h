@@ -34,6 +34,7 @@
 #include "core/target_program.h"
 #include "core/transient_injector.h"
 #include "nvbit/nvbit.h"
+#include "telemetry/metrics.h"
 
 namespace nvbitfi::fi {
 
@@ -198,6 +199,10 @@ struct TransientCampaignResult {
   std::vector<StaticViolation> static_violations;
   int workers = 1;           // worker count the campaign actually used
   double wall_seconds = 0.0; // wall-clock time of the injection phase
+  // Per-phase CPU-seconds summed across workers (telemetry spans; empty when
+  // telemetry is disabled).  Never persisted: the result store stays
+  // byte-identical with telemetry on or off.
+  telemetry::PhaseBreakdown phases;
   // Checkpoint-replay accounting (config.checkpoints): how many injection
   // runs started from a golden checkpoint, the launches and simulated
   // thread-instructions that fast-forwarding skipped, and the runs/launches
@@ -266,6 +271,7 @@ struct PermanentCampaignResult {
   std::size_t executed_opcodes = 0;
   int workers = 1;               // worker count the campaign actually used
   double wall_seconds = 0.0;     // wall-clock time of the injection phase
+  telemetry::PhaseBreakdown phases;  // see TransientCampaignResult::phases
   // Completion mask + cancellation flag; see TransientCampaignResult.
   std::vector<std::uint8_t> completed;
   bool cancelled = false;

@@ -32,6 +32,23 @@ std::string SizingLine(const OutcomeCounts& counts, const OutcomeEstimates& esti
                 static_cast<unsigned long long>(n), 100.0 * achieved);
 }
 
+// Satellite phase accounting (telemetry spans): CPU-seconds summed across
+// workers, so the inject/classify columns exceed wall clock on multi-worker
+// campaigns, and driver-level phases (checkpoint-record, fast-forward) nest
+// inside golden/inject rather than partitioning them.
+std::string PhaseBreakdownLines(const telemetry::PhaseBreakdown& phases) {
+  if (phases.Empty()) return "";
+  std::string out = "phase cpu-seconds:";
+  for (int i = 0; i < telemetry::kPhaseCount; ++i) {
+    const auto phase = static_cast<telemetry::Phase>(i);
+    if (phases.CountFor(phase) == 0) continue;
+    out += Format("  %s %.3f", std::string(telemetry::PhaseName(phase)).c_str(),
+                  phases.SecondsFor(phase));
+  }
+  out += "\n";
+  return out;
+}
+
 std::string SymptomBreakdown(const std::map<std::string, int>& symptoms) {
   std::string out = "symptoms:\n";
   for (const auto& [name, count] : symptoms) {
@@ -129,11 +146,13 @@ std::string TransientCampaignReport(const TransientCampaignResult& result,
                   result.replay_instructions_saved * 1e-9,
                   static_cast<unsigned long long>(result.replay_fallbacks));
   }
-  out += Format("injection phase: %.3f s wall clock on %d worker%s (%.1f runs/s)\n\n",
+  out += Format("injection phase: %.3f s wall clock on %d worker%s (%.1f runs/s)\n",
                 result.wall_seconds, result.workers, result.workers == 1 ? "" : "s",
                 result.wall_seconds > 0
                     ? static_cast<double>(result.CompletedRuns()) / result.wall_seconds
                     : 0.0);
+  out += PhaseBreakdownLines(result.phases);
+  out += "\n";
 
   std::map<std::string, int> symptoms;
   for (std::size_t i = 0; i < result.injections.size(); ++i) {
@@ -188,9 +207,11 @@ std::string PermanentCampaignReport(const PermanentCampaignResult& result,
                   static_cast<unsigned long long>(result.counts.total()),
                   result.runs.size());
   }
-  out += Format("injection phase: %.3f s wall clock on %d worker%s\n\n",
+  out += Format("injection phase: %.3f s wall clock on %d worker%s\n",
                 result.wall_seconds, result.workers,
                 result.workers == 1 ? "" : "s");
+  out += PhaseBreakdownLines(result.phases);
+  out += "\n";
 
   const OutcomeEstimates estimates = EstimateOutcomes(result.counts, confidence);
   out += Format("unweighted outcomes at %.0f%% confidence:\n", 100.0 * confidence);

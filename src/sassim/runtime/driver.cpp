@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "sassim/asm/assembler.h"
+#include "telemetry/metrics.h"
 
 namespace nvbitfi::sim {
 namespace {
@@ -193,6 +194,7 @@ CuResult Context::LaunchKernel(Function* function, Dim3 grid, Dim3 block,
   // to a from-scratch run.
   if (const LaunchCheckpoint* cp = FastForwardCandidate(info, params, plan, entry_hash);
       cp != nullptr) {
+    const telemetry::ScopedPhase span(telemetry::Phase::kFastForward);
     device_.memory().RestoreSnapshot(cp->post_state.memory);
     device_.log().Restore(cp->post_state.log_entries, cp->post_state.log_next_sequence);
     sticky_error_ = cp->post_state.sticky_error;
@@ -236,6 +238,7 @@ CuResult Context::LaunchKernel(Function* function, Dim3 grid, Dim3 block,
 
   if (replay_stats_ != nullptr) ++replay_stats_->launches_executed;
   if (record_stream_ != nullptr) {
+    const telemetry::ScopedPhase span(telemetry::Phase::kCheckpointRecord);
     LaunchCheckpoint cp;
     cp.kernel_name = info.kernel_name;
     cp.launch_ordinal = info.launch_ordinal;

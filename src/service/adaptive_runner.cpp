@@ -7,6 +7,7 @@
 
 #include "analysis/anatomy.h"
 #include "common/strings.h"
+#include "telemetry/trace_log.h"
 #include "trace/taint_tracker.h"
 #include "workloads/workloads.h"
 
@@ -39,6 +40,7 @@ void MergeRoundResult(fi::TransientCampaignResult* merged,
     merged->static_violations.push_back(std::move(violation));
   }
   merged->wall_seconds += round.wall_seconds;
+  merged->phases += round.phases;
   merged->checkpoints_used = merged->checkpoints_used || round.checkpoints_used;
   merged->checkpointed_runs += round.checkpointed_runs;
   merged->replay_launches += round.replay_launches;
@@ -247,6 +249,13 @@ AdaptiveOutcome RunAdaptiveJob(const AdaptiveJob& job, fi::RunCache* cache) {
   while (job.cancel == nullptr || !job.cancel->load(std::memory_order_relaxed)) {
     const adaptive::RoundRecord round = engine.PlanRound();
     if (round.indexes.empty()) break;
+    if (telemetry::TraceLog* log = telemetry::TraceLog::Global(); log != nullptr) {
+      log->AppendInstant(
+          "adaptive-round",
+          {{"program", job.spec.program},
+           {"round", Format("%zu", meta.rounds.size() + 1)},
+           {"scheduled", Format("%zu", round.indexes.size())}});
+    }
     meta.rounds.push_back(round);
     // The schedule hits disk BEFORE the round executes: a crash mid-round
     // resumes by adopting this exact round, never by re-planning it.

@@ -8,11 +8,15 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "analysis/json.h"
 #include "analysis/merge.h"
 #include "analysis/result_store.h"
+#include "common/log.h"
 #include "common/strings.h"
 #include "core/report.h"
 #include "service/worker.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
 
 namespace nvbitfi::service {
 namespace {
@@ -26,7 +30,13 @@ double Now() {
 }  // namespace
 
 Coordinator::Coordinator(CoordinatorOptions options, fi::RunCache* cache)
-    : options_(std::move(options)), cache_(cache) {}
+    : options_(std::move(options)), cache_(cache) {
+  // --verbose promotes the process log level so scheduling decisions show;
+  // NVBITFI_LOG=info reaches the same messages without the flag.
+  if (options_.verbose && GetLogLevel() > LogLevel::kInfo) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+}
 
 Coordinator::~Coordinator() {
   if (listener_ >= 0) ::close(listener_);
@@ -116,6 +126,13 @@ int Coordinator::Serve() {
 }
 
 void Coordinator::HandleLine(int fd, const std::string& line) {
+  // HTTP status endpoint: the protocol is line-delimited, so an HTTP/1.0
+  // request line arrives here verbatim (with its trailing '\r').  Respond
+  // and close before JSON parsing ever sees it.
+  if (line.rfind("GET ", 0) == 0) {
+    HandleHttpGet(fd, line);
+    return;
+  }
   const std::optional<Message> message = ParseMessage(line);
   if (!message.has_value()) return;  // not ours; ignore
   Connection& connection = connections_[fd];
@@ -136,6 +153,220 @@ void Coordinator::HandleLine(int fd, const std::string& line) {
     Log("shutdown requested; draining %zu active campaign%s", campaigns_.size(),
         campaigns_.size() == 1 ? "" : "s");
   }
+}
+
+void Coordinator::HandleHttpGet(int fd, const std::string& request_line) {
+  // "GET /status HTTP/1.0\r" (or a bare "GET /status").
+  std::string target = request_line.substr(4);
+  std::size_t cut = target.find(' ');
+  if (cut == std::string::npos) cut = target.find('\r');
+  if (cut != std::string::npos) target = target.substr(0, cut);
+
+  int code = 200;
+  const char* reason = "OK";
+  std::string type = "application/json";
+  std::string body;
+  if (target == "/status") {
+    body = StatusJson();
+  } else if (target == "/metrics") {
+    type = "text/plain; version=0.0.4";
+    body = MetricsText();
+  } else {
+    code = 404;
+    reason = "Not Found";
+    body = "{\"error\":\"unknown path; try /status or /metrics\"}\n";
+  }
+  if (telemetry::TelemetryEnabled()) {
+    telemetry::GlobalRegistry()
+        .GetCounter(Format("nvbitfi_serve_http_requests_total{path=\"%s\"}",
+                           telemetry::PrometheusEscapeLabel(target).c_str()))
+        .Increment();
+  }
+
+  std::string response =
+      Format("HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+             "Connection: close\r\n\r\n",
+             code, reason, type.c_str(), body.size());
+  response += body;
+  (void)SendRaw(fd, response);
+  Disconnect(fd);
+}
+
+std::string Coordinator::StatusJson() const {
+  namespace json = analysis::json;
+  const double now = Now();
+  json::Value root = json::Value::Object();
+
+  json::Value service = json::Value::Object();
+  service.Set("active_campaigns", static_cast<std::uint64_t>(campaigns_.size()));
+  service.Set("completed_campaigns", static_cast<std::int64_t>(completed_campaigns_));
+  service.Set("draining", draining_);
+  json::Value workers = json::Value::Array();
+  for (const auto& [fd, connection] : connections_) {
+    if (connection.role != Connection::Role::kWorker) continue;
+    json::Value worker = json::Value::Object();
+    worker.Set("fd", static_cast<std::int64_t>(fd));
+    worker.Set("busy", connection.busy);
+    if (connection.busy) {
+      worker.Set("campaign", connection.campaign);
+      worker.Set("shard", static_cast<std::uint64_t>(connection.shard_begin));
+    }
+    worker.Set("heartbeat_age_seconds", now - connection.deadline_base);
+    workers.Push(std::move(worker));
+  }
+  service.Set("workers", std::move(workers));
+  root.Set("service", std::move(service));
+
+  json::Value campaigns = json::Value::Array();
+  for (const auto& [id, campaign] : campaigns_) {
+    json::Value entry = json::Value::Object();
+    entry.Set("id", id);
+    entry.Set("program", campaign.spec.program);
+    entry.Set("adaptive", campaign.adaptive);
+    std::uint64_t completed = 0;
+    for (const Shard& shard : campaign.shards) {
+      completed +=
+          shard.state == Shard::State::kDone ? shard.size() : shard.completed;
+    }
+    const std::uint64_t total =
+        campaign.adaptive
+            ? campaign.engine->total_scheduled()
+            : static_cast<std::uint64_t>(campaign.spec.num_injections);
+    entry.Set("completed", completed);
+    entry.Set("total", total);
+    if (campaign.adaptive) {
+      entry.Set("rounds_planned", static_cast<std::uint64_t>(campaign.rounds.size()));
+      entry.Set("observed", campaign.engine->total_observed());
+    }
+
+    json::Value shards = json::Value::Array();
+    for (const Shard& shard : campaign.shards) {
+      json::Value s = json::Value::Object();
+      s.Set("key", static_cast<std::uint64_t>(shard.begin));
+      if (shard.slice) {
+        s.Set("slice", true);
+      } else {
+        s.Set("begin", static_cast<std::uint64_t>(shard.begin));
+        s.Set("end", static_cast<std::uint64_t>(shard.end));
+      }
+      s.Set("state", shard.state == Shard::State::kPending   ? "pending"
+                     : shard.state == Shard::State::kRunning ? "running"
+                                                             : "done");
+      s.Set("completed",
+            shard.state == Shard::State::kDone ? shard.size() : shard.completed);
+      s.Set("size", shard.size());
+      s.Set("attempts", static_cast<std::int64_t>(shard.attempts));
+      if (shard.state == Shard::State::kRunning && shard.worker_fd >= 0) {
+        s.Set("worker_fd", static_cast<std::int64_t>(shard.worker_fd));
+        const auto connection = connections_.find(shard.worker_fd);
+        if (connection != connections_.end()) {
+          s.Set("heartbeat_age_seconds", now - connection->second.deadline_base);
+        }
+      }
+      shards.Push(std::move(s));
+    }
+    entry.Set("shards", std::move(shards));
+
+    // Adaptive convergence: the same Wilson half-widths the final analyze
+    // report prints, live per stratum.
+    if (campaign.adaptive && campaign.engine != nullptr &&
+        campaign.setup != nullptr) {
+      json::Value strata = json::Value::Array();
+      const std::size_t n = campaign.setup->stratification.num_strata();
+      for (std::size_t s = 0; s < n; ++s) {
+        json::Value stratum = json::Value::Object();
+        stratum.Set("label", campaign.setup->stratification.labels[s]);
+        stratum.Set("population", campaign.engine->StratumPopulation(s));
+        stratum.Set("scheduled", campaign.engine->StratumScheduled(s));
+        stratum.Set("observed", campaign.engine->StratumCounts(s).total());
+        stratum.Set("half_width", campaign.engine->StratumUncertainty(s));
+        stratum.Set("converged", campaign.engine->StratumConverged(s));
+        stratum.Set("exhausted", campaign.engine->StratumExhausted(s));
+        strata.Push(std::move(stratum));
+      }
+      entry.Set("strata", std::move(strata));
+    }
+    campaigns.Push(std::move(entry));
+  }
+  root.Set("campaigns", std::move(campaigns));
+  return root.Dump() + "\n";
+}
+
+std::string Coordinator::MetricsText() const {
+  std::string out = telemetry::PrometheusText(telemetry::GlobalRegistry());
+  const double now = Now();
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  out += "# TYPE nvbitfi_serve_active_campaigns gauge\n";
+  telemetry::AppendPrometheusSample(&out, "nvbitfi_serve_active_campaigns", {},
+                                    static_cast<double>(campaigns_.size()));
+  out += "# TYPE nvbitfi_serve_campaigns_completed gauge\n";
+  telemetry::AppendPrometheusSample(&out, "nvbitfi_serve_campaigns_completed", {},
+                                    static_cast<double>(completed_campaigns_));
+
+  out += "# TYPE nvbitfi_serve_worker_heartbeat_age_seconds gauge\n";
+  out += "# TYPE nvbitfi_serve_worker_busy gauge\n";
+  for (const auto& [fd, connection] : connections_) {
+    if (connection.role != Connection::Role::kWorker) continue;
+    const Labels labels = {{"fd", Format("%d", fd)}};
+    telemetry::AppendPrometheusSample(&out,
+                                      "nvbitfi_serve_worker_heartbeat_age_seconds",
+                                      labels, now - connection.deadline_base);
+    telemetry::AppendPrometheusSample(&out, "nvbitfi_serve_worker_busy", labels,
+                                      connection.busy ? 1.0 : 0.0);
+  }
+
+  out += "# TYPE nvbitfi_serve_shard_completed gauge\n";
+  out += "# TYPE nvbitfi_serve_shard_size gauge\n";
+  out += "# TYPE nvbitfi_serve_shard_running gauge\n";
+  out += "# TYPE nvbitfi_serve_shard_attempts gauge\n";
+  for (const auto& [id, campaign] : campaigns_) {
+    const std::string campaign_label = Format("%llu", static_cast<unsigned long long>(id));
+    for (const Shard& shard : campaign.shards) {
+      const Labels labels = {{"campaign", campaign_label},
+                             {"shard", Format("%zu", shard.begin)}};
+      telemetry::AppendPrometheusSample(
+          &out, "nvbitfi_serve_shard_completed", labels,
+          static_cast<double>(shard.state == Shard::State::kDone ? shard.size()
+                                                                 : shard.completed));
+      telemetry::AppendPrometheusSample(&out, "nvbitfi_serve_shard_size", labels,
+                                        static_cast<double>(shard.size()));
+      telemetry::AppendPrometheusSample(
+          &out, "nvbitfi_serve_shard_running", labels,
+          shard.state == Shard::State::kRunning ? 1.0 : 0.0);
+      telemetry::AppendPrometheusSample(&out, "nvbitfi_serve_shard_attempts",
+                                        labels, static_cast<double>(shard.attempts));
+    }
+  }
+
+  out += "# TYPE nvbitfi_serve_stratum_half_width gauge\n";
+  out += "# TYPE nvbitfi_serve_stratum_scheduled gauge\n";
+  out += "# TYPE nvbitfi_serve_stratum_observed gauge\n";
+  out += "# TYPE nvbitfi_serve_stratum_converged gauge\n";
+  for (const auto& [id, campaign] : campaigns_) {
+    if (!campaign.adaptive || campaign.engine == nullptr ||
+        campaign.setup == nullptr) {
+      continue;
+    }
+    const std::string campaign_label = Format("%llu", static_cast<unsigned long long>(id));
+    const std::size_t n = campaign.setup->stratification.num_strata();
+    for (std::size_t s = 0; s < n; ++s) {
+      const Labels labels = {{"campaign", campaign_label},
+                             {"stratum", campaign.setup->stratification.labels[s]}};
+      telemetry::AppendPrometheusSample(&out, "nvbitfi_serve_stratum_half_width",
+                                        labels, campaign.engine->StratumUncertainty(s));
+      telemetry::AppendPrometheusSample(
+          &out, "nvbitfi_serve_stratum_scheduled", labels,
+          static_cast<double>(campaign.engine->StratumScheduled(s)));
+      telemetry::AppendPrometheusSample(
+          &out, "nvbitfi_serve_stratum_observed", labels,
+          static_cast<double>(campaign.engine->StratumCounts(s).total()));
+      telemetry::AppendPrometheusSample(
+          &out, "nvbitfi_serve_stratum_converged", labels,
+          campaign.engine->StratumConverged(s) ? 1.0 : 0.0);
+    }
+  }
+  return out;
 }
 
 void Coordinator::HandleSubmit(int fd, const Message& message) {
@@ -538,13 +769,13 @@ void Coordinator::SendToClient(int fd, const std::string& line) {
 }
 
 void Coordinator::Log(const char* format, ...) {
-  if (!options_.verbose) return;
-  std::fprintf(stderr, "serve: ");
+  if (GetLogLevel() > LogLevel::kInfo) return;
+  char buffer[1024];
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
-  std::fprintf(stderr, "\n");
+  LogMessage(LogLevel::kInfo, std::string("serve: ") + buffer);
 }
 
 }  // namespace nvbitfi::service

@@ -53,7 +53,7 @@ struct CoordinatorOptions {
   double heartbeat_timeout = 60.0;  // seconds of silence before reassignment
   // Exit after this many campaigns complete (0 = run until shutdown/stop).
   int max_campaigns = 0;
-  bool verbose = false;  // log scheduling decisions to stderr
+  bool verbose = false;  // promote the log level to info (see common/log.h)
 };
 
 class Coordinator {
@@ -121,6 +121,11 @@ class Coordinator {
   };
 
   void HandleLine(int fd, const std::string& line);
+  // Plain HTTP/1.0 on the same socket: `GET /status` (JSON) and
+  // `GET /metrics` (Prometheus text).  One-shot — respond and disconnect.
+  void HandleHttpGet(int fd, const std::string& request_line);
+  std::string StatusJson() const;
+  std::string MetricsText() const;
   void HandleSubmit(int fd, const Message& message);
   void HandleHeartbeat(int fd, const Message& message);
   void HandleShardDone(int fd, const Message& message);

@@ -9,6 +9,7 @@
 #include "analysis/result_store.h"
 #include "common/strings.h"
 #include "staticanalysis/static_site.h"
+#include "telemetry/trace_log.h"
 #include "trace/taint_tracker.h"
 #include "workloads/workloads.h"
 
@@ -45,6 +46,12 @@ ShardOutcome RunShardJob(const ShardJob& job, fi::RunCache* cache) {
   const std::size_t range_begin = std::min(job.begin, n);
   const std::size_t range_end = job.end == 0 ? n : std::min(job.end, n);
   const std::size_t range_size = range_end > range_begin ? range_end - range_begin : 0;
+
+  if (telemetry::TraceLog* log = telemetry::TraceLog::Global(); log != nullptr) {
+    log->AppendInstant("shard", {{"program", job.spec.program},
+                                 {"begin", Format("%zu", range_begin)},
+                                 {"end", Format("%zu", range_end)}});
+  }
 
   analysis::AnatomyConfig anatomy_config;
   anatomy_config.element =

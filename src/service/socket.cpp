@@ -76,16 +76,14 @@ bool SocketPair(int fds[2], std::string* error) {
   return true;
 }
 
-bool SendLine(int fd, const std::string& line) {
-  std::string framed = line;
-  framed += '\n';
+bool SendRaw(int fd, const std::string& data) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < data.size()) {
 #ifdef MSG_NOSIGNAL
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
 #else
-    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
 #endif
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -95,6 +93,8 @@ bool SendLine(int fd, const std::string& line) {
   }
   return true;
 }
+
+bool SendLine(int fd, const std::string& line) { return SendRaw(fd, line + '\n'); }
 
 std::optional<std::string> LineBuffer::PopLine() {
   const std::size_t newline = buffer_.find('\n');

@@ -23,9 +23,12 @@ int ConnectUnix(const std::string& path, std::string* error);
 // false on failure.
 bool SocketPair(int fds[2], std::string* error);
 
-// Writes `line` plus a terminating newline, retrying partial writes.  False
-// when the peer is gone (the caller should treat the connection as dead);
-// SIGPIPE is suppressed.
+// Writes `data` exactly as given, retrying partial writes.  False when the
+// peer is gone (the caller should treat the connection as dead); SIGPIPE is
+// suppressed.  Used for HTTP responses on the status endpoint.
+bool SendRaw(int fd, const std::string& data);
+
+// Writes `line` plus a terminating newline (SendRaw semantics otherwise).
 bool SendLine(int fd, const std::string& line);
 
 // Reassembles newline-delimited messages from stream reads.

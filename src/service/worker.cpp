@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/log.h"
 #include "service/adaptive_runner.h"
 #include "service/protocol.h"
 #include "service/shard_runner.h"
@@ -14,6 +15,11 @@
 namespace nvbitfi::service {
 
 int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options) {
+  // Same contract as the coordinator: --verbose promotes the shared log
+  // level, NVBITFI_LOG overrides both ways.
+  if (options.verbose && GetLogLevel() > LogLevel::kInfo) {
+    SetLogLevel(LogLevel::kInfo);
+  }
   SendLine(fd, HelloLine("worker"));
 
   LineBuffer buffer;
@@ -43,19 +49,14 @@ int WorkerLoop(int fd, fi::RunCache* cache, const WorkerOptions& options) {
       continue;
     }
     const bool slice = !message->indexes.empty();
-    if (options.verbose) {
-      if (slice) {
-        std::fprintf(stderr, "worker: campaign %llu slice %llu (%zu indexes) -> %s\n",
-                     static_cast<unsigned long long>(message->campaign),
-                     static_cast<unsigned long long>(message->begin),
-                     message->indexes.size(), message->store.c_str());
-      } else {
-        std::fprintf(stderr, "worker: campaign %llu shard [%llu, %llu) -> %s\n",
-                     static_cast<unsigned long long>(message->campaign),
-                     static_cast<unsigned long long>(message->begin),
-                     static_cast<unsigned long long>(message->end),
-                     message->store.c_str());
-      }
+    if (slice) {
+      LOG_INFO << "worker: campaign " << message->campaign << " slice "
+               << message->begin << " (" << message->indexes.size()
+               << " indexes) -> " << message->store;
+    } else {
+      LOG_INFO << "worker: campaign " << message->campaign << " shard ["
+               << message->begin << ", " << message->end << ") -> "
+               << message->store;
     }
 
     // Heartbeat per completed experiment; an undeliverable heartbeat means

@@ -18,7 +18,7 @@ namespace nvbitfi::service {
 
 struct WorkerOptions {
   int shard_workers = 1;  // in-process campaign workers per shard
-  bool verbose = false;   // log assignments to stderr
+  bool verbose = false;   // promote the log level to info (see common/log.h)
 };
 
 // Speaks the worker side of the protocol on `fd` until the coordinator

@@ -1,0 +1,197 @@
+#include "telemetry/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/strings.h"
+
+namespace nvbitfi::telemetry {
+namespace {
+
+// Splits `base{labels}` into the base name and the brace-less label text
+// ("" when the name carries no labels).
+std::pair<std::string_view, std::string_view> SplitName(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+void AppendTypeHeader(std::string* out, std::string_view base, const char* type,
+                      std::set<std::string, std::less<>>* emitted) {
+  if (emitted->find(base) != emitted->end()) return;
+  emitted->emplace(base);
+  *out += Format("# TYPE %.*s %s\n", static_cast<int>(base.size()), base.data(), type);
+}
+
+// Re-assembles a sample name from a base, the original embedded label text,
+// and optional extra labels (used to splice `le` into histogram buckets).
+std::string SampleName(std::string_view base, std::string_view suffix,
+                       std::string_view labels, std::string_view extra_label) {
+  std::string out(base);
+  out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += Format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 1e15) {
+    return Format("%lld", static_cast<long long>(value));
+  }
+  // %.17g round-trips any double; prefer the shortest form that does.
+  for (int precision = 6; precision <= 17; ++precision) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    if (parsed == value) return buffer;
+  }
+  return Format("%.17g", value);
+}
+
+void AppendPrometheusSample(
+    std::string* out, std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& labels, double value) {
+  *out += name;
+  if (!labels.empty()) {
+    *out += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) *out += ',';
+      *out += labels[i].first;
+      *out += "=\"";
+      *out += PrometheusEscapeLabel(labels[i].second);
+      *out += '"';
+    }
+    *out += '}';
+  }
+  *out += ' ';
+  *out += FormatMetricValue(value);
+  *out += '\n';
+}
+
+std::string PrometheusText(const Registry& registry) {
+  const Registry::Snapshot snapshot = registry.Capture();
+  std::string out;
+  std::set<std::string, std::less<>> emitted;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto [base, labels] = SplitName(name);
+    AppendTypeHeader(&out, base, "counter", &emitted);
+    out += SampleName(base, "", labels, "");
+    out += Format(" %llu\n", static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto [base, labels] = SplitName(name);
+    AppendTypeHeader(&out, base, "gauge", &emitted);
+    out += SampleName(base, "", labels, "");
+    out += ' ';
+    out += FormatMetricValue(value);
+    out += '\n';
+  }
+  for (const Registry::HistogramSnapshot& histogram : snapshot.histograms) {
+    const auto [base, labels] = SplitName(histogram.name);
+    AppendTypeHeader(&out, base, "histogram", &emitted);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      cumulative += histogram.counts[i];
+      const std::string le =
+          i < histogram.bounds.size()
+              ? Format("le=\"%s\"", FormatMetricValue(histogram.bounds[i]).c_str())
+              : std::string("le=\"+Inf\"");
+      out += SampleName(base, "_bucket", labels, le);
+      out += Format(" %llu\n", static_cast<unsigned long long>(cumulative));
+    }
+    out += SampleName(base, "_sum", labels, "");
+    out += ' ';
+    out += FormatMetricValue(histogram.sum);
+    out += '\n';
+    out += SampleName(base, "_count", labels, "");
+    out += Format(" %llu\n", static_cast<unsigned long long>(histogram.count));
+  }
+  return out;
+}
+
+std::string RegistryJson(const Registry& registry) {
+  const Registry::Snapshot snapshot = registry.Capture();
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += Format("\"%s\":%llu", JsonEscape(snapshot.counters[i].first).c_str(),
+                  static_cast<unsigned long long>(snapshot.counters[i].second));
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    out += Format("\"%s\":%s", JsonEscape(snapshot.gauges[i].first).c_str(),
+                  FormatMetricValue(snapshot.gauges[i].second).c_str());
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const Registry::HistogramSnapshot& histogram = snapshot.histograms[i];
+    if (i > 0) out += ',';
+    out += Format("\"%s\":{\"bounds\":[", JsonEscape(histogram.name).c_str());
+    for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      out += FormatMetricValue(histogram.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += Format("%llu", static_cast<unsigned long long>(histogram.counts[b]));
+    }
+    out += Format("],\"count\":%llu,\"sum\":%s}",
+                  static_cast<unsigned long long>(histogram.count),
+                  FormatMetricValue(histogram.sum).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace nvbitfi::telemetry

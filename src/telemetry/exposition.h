@@ -1,0 +1,47 @@
+// Prometheus text-format and JSON exposition of a telemetry Registry.
+//
+// Deliberately self-contained: analysis/json.h sits above core in the link
+// graph, and telemetry is linked into sassim/core, so the escaping and
+// serialization here depend only on common/.
+
+#ifndef NVBITFI_TELEMETRY_EXPOSITION_H_
+#define NVBITFI_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace nvbitfi::telemetry {
+
+// Escapes for embedding inside a double-quoted JSON string (no quotes added).
+std::string JsonEscape(std::string_view text);
+
+// Escapes for a Prometheus label value: backslash, double quote, newline.
+std::string PrometheusEscapeLabel(std::string_view text);
+
+// Shortest round-trippable decimal form ("+Inf" for infinity).
+std::string FormatMetricValue(double value);
+
+// Appends `name{labels} value\n`; label values are escaped. `labels` is a
+// flat key/value list; pass an empty list for an unlabelled sample.
+void AppendPrometheusSample(
+    std::string* out, std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& labels, double value);
+
+// Full registry in Prometheus text exposition format 0.0.4. Metric names may
+// embed a literal label set (`base{phase="inject"}`); series sharing a base
+// name are grouped under one # TYPE header, and histogram buckets are emitted
+// in cumulative `_bucket{...,le="..."}` form with `_sum` / `_count`.
+std::string PrometheusText(const Registry& registry);
+
+// Same registry as a JSON object:
+//   {"counters":{...},"gauges":{...},
+//    "histograms":{"name":{"bounds":[...],"counts":[...],"count":n,"sum":s}}}
+std::string RegistryJson(const Registry& registry);
+
+}  // namespace nvbitfi::telemetry
+
+#endif  // NVBITFI_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,232 @@
+#include "telemetry/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/trace_log.h"
+
+namespace nvbitfi::telemetry {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+thread_local PhaseAccumulator* t_accumulator = nullptr;
+
+// Exponential seconds buckets covering microsecond spans (store appends) up
+// to minute-scale phases (whole-suite golden runs): 1us .. ~100s.
+std::vector<double> PhaseBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 200.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+bool TelemetryEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetTelemetryEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void InitTelemetryFromEnv() {
+  const char* value = std::getenv("NVBITFI_TELEMETRY");
+  if (value == nullptr) return;
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0 ||
+      std::strcmp(value, "false") == 0) {
+    SetTelemetryEnabled(false);
+  } else {
+    SetTelemetryEnabled(true);
+  }
+}
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kProfile: return "profile";
+    case Phase::kGolden: return "golden";
+    case Phase::kCheckpointRecord: return "checkpoint-record";
+    case Phase::kFastForward: return "fast-forward";
+    case Phase::kInject: return "inject";
+    case Phase::kClassify: return "classify";
+    case Phase::kStoreAppend: return "store-append";
+    case Phase::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Add(double delta) { AtomicAddDouble(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  std::size_t bucket = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+}
+
+std::uint64_t Histogram::BucketCount(std::size_t bucket) const {
+  return counts_[bucket].load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+Registry::Registry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegisterPhaseHistogramsLocked();
+}
+
+void Registry::RegisterPhaseHistogramsLocked() {
+  const std::vector<double> bounds = PhaseBuckets();
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const std::string name = "nvbitfi_phase_seconds{phase=\"" +
+                             std::string(PhaseName(static_cast<Phase>(i))) + "\"}";
+    auto [it, inserted] =
+        histograms_.emplace(name, std::make_unique<Histogram>(bounds));
+    phase_histograms_[i] = it->second.get();
+  }
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(bounds)).first;
+  }
+  return *it->second;
+}
+
+Registry::Snapshot Registry::Capture() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.counts.reserve(histogram->num_buckets());
+    for (std::size_t i = 0; i < histogram->num_buckets(); ++i) {
+      h.counts.push_back(histogram->BucketCount(i));
+    }
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  RegisterPhaseHistogramsLocked();
+}
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+void PhaseAccumulator::Add(Phase phase, double seconds) {
+  const int i = static_cast<int>(phase);
+  AtomicAddDouble(seconds_[i], seconds);
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+PhaseBreakdown PhaseAccumulator::Capture() const {
+  PhaseBreakdown breakdown;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    breakdown.seconds[i] = seconds_[i].load(std::memory_order_relaxed);
+    breakdown.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return breakdown;
+}
+
+double PhaseBreakdown::TotalSeconds() const {
+  double total = 0.0;
+  for (const double s : seconds) total += s;
+  return total;
+}
+
+bool PhaseBreakdown::Empty() const {
+  for (const std::uint64_t c : counts) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& other) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    seconds[i] += other.seconds[i];
+    counts[i] += other.counts[i];
+  }
+  return *this;
+}
+
+PhaseAccumulator* CurrentAccumulator() { return t_accumulator; }
+
+ScopedAccumulator::ScopedAccumulator(PhaseAccumulator* accumulator)
+    : previous_(t_accumulator) {
+  t_accumulator = accumulator;
+}
+
+ScopedAccumulator::~ScopedAccumulator() { t_accumulator = previous_; }
+
+ScopedPhase::ScopedPhase(Phase phase) : phase_(phase), armed_(TelemetryEnabled()) {
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (!armed_) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(end - start_).count();
+  if (t_accumulator != nullptr) t_accumulator->Add(phase_, seconds);
+  GlobalRegistry().PhaseHistogram(phase_).Observe(seconds);
+  if (TraceLog* log = TraceLog::Global(); log != nullptr) {
+    log->AppendSpan(PhaseName(phase_), TraceLog::MicrosSinceEpoch(start_),
+                    seconds * 1e6);
+  }
+}
+
+}  // namespace nvbitfi::telemetry

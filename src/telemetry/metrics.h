@@ -1,0 +1,225 @@
+// Low-overhead metrics and phase timing for campaign observability.
+//
+// Determinism contract: nothing in this header touches the Rng draw path or
+// any persisted record. Spans and counters observe wall-clock time and event
+// counts only; result stores remain byte-identical with telemetry on or off
+// (ctest-enforced by tests/integration/telemetry_identity_test.cpp).
+//
+// The layer has two sinks:
+//  - a process-global Registry of counters / gauges / histograms, exposed in
+//    Prometheus text and JSON form by exposition.h (served by `nvbitfi serve`
+//    as GET /metrics and GET /status);
+//  - an optional per-campaign PhaseAccumulator installed thread-locally with
+//    ScopedAccumulator, so worker threads attribute phase seconds to the
+//    campaign result without plumbing a handle through every signature.
+
+#ifndef NVBITFI_TELEMETRY_METRICS_H_
+#define NVBITFI_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvbitfi::telemetry {
+
+// ---------------------------------------------------------------------------
+// Global on/off switch. Default on; NVBITFI_TELEMETRY=off|0|false disables.
+// When disabled, spans skip the clock reads entirely (bench/table12 measures
+// the residual cost of the branch itself).
+
+bool TelemetryEnabled();
+void SetTelemetryEnabled(bool enabled);
+void InitTelemetryFromEnv();
+
+// ---------------------------------------------------------------------------
+// Phases. One span kind per stage of an injection campaign; driver-level
+// phases (checkpoint-record, fast-forward) nest inside golden/inject, so the
+// breakdown is hierarchical, not a partition of wall clock.
+
+enum class Phase : int {
+  kProfile = 0,
+  kGolden,
+  kCheckpointRecord,
+  kFastForward,
+  kInject,
+  kClassify,
+  kStoreAppend,
+  kMerge,
+};
+
+inline constexpr int kPhaseCount = 8;
+
+std::string_view PhaseName(Phase phase);
+
+// ---------------------------------------------------------------------------
+// Metric primitives. All operations are lock-free and relaxed; exposition
+// takes a snapshot under the registry mutex (metric object creation only).
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds, the
+// final +Inf bucket is implicit. Bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i] (non-cumulative internally; exposition emits
+// the cumulative Prometheus form).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // num_buckets() == bounds().size() + 1; the last bucket is +Inf.
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t BucketCount(std::size_t bucket) const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Registry. Metric names follow the Prometheus convention; a name may carry
+// a literal label set, e.g. `nvbitfi_phase_seconds{phase="inject"}` — the
+// exposition layer splits on '{' so all series of one base name share a
+// single # TYPE header.
+
+class Registry {
+ public:
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `bounds` is consulted only when the histogram is first created.
+  Histogram& GetHistogram(const std::string& name, const std::vector<double>& bounds);
+  // Pre-registered per-phase timing histogram (seconds, exponential buckets).
+  Histogram& PhaseHistogram(Phase phase) { return *phase_histograms_[static_cast<int>(phase)]; }
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // per-bucket, bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted by name
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot Capture() const;
+
+  // Zeroes nothing; drops every metric object. Test/bench use only — callers
+  // holding references obtained before Reset() must re-fetch them.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::array<Histogram*, kPhaseCount> phase_histograms_{};
+
+  void RegisterPhaseHistogramsLocked();
+};
+
+// Process-global registry (never destroyed; safe during static teardown).
+Registry& GlobalRegistry();
+
+// ---------------------------------------------------------------------------
+// Per-campaign phase accounting.
+
+struct PhaseBreakdown {
+  std::array<double, kPhaseCount> seconds{};
+  std::array<std::uint64_t, kPhaseCount> counts{};
+
+  double SecondsFor(Phase phase) const { return seconds[static_cast<int>(phase)]; }
+  std::uint64_t CountFor(Phase phase) const { return counts[static_cast<int>(phase)]; }
+  double TotalSeconds() const;
+  bool Empty() const;
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other);
+};
+
+// Thread-safe accumulator shared by every worker thread of one campaign.
+class PhaseAccumulator {
+ public:
+  void Add(Phase phase, double seconds);
+  PhaseBreakdown Capture() const;
+
+ private:
+  std::array<std::atomic<double>, kPhaseCount> seconds_{};
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> counts_{};
+};
+
+// The accumulator installed on the current thread (nullptr when none).
+PhaseAccumulator* CurrentAccumulator();
+
+// Installs `accumulator` as the current thread's phase sink for the scope;
+// restores the previous one on destruction (scopes nest).
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(PhaseAccumulator* accumulator);
+  ~ScopedAccumulator();
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  PhaseAccumulator* previous_;
+};
+
+// RAII phase timer. On destruction, when telemetry is enabled at construction
+// time, adds the elapsed seconds to the thread's PhaseAccumulator (if any),
+// observes the global per-phase histogram, and appends a span event to the
+// global TraceLog (if installed).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// compare_exchange loop; used instead of C++20 atomic<double>::fetch_add so
+// the layer builds with pre-libstdc++-12 toolchains too.
+void AtomicAddDouble(std::atomic<double>& target, double delta);
+
+}  // namespace nvbitfi::telemetry
+
+#endif  // NVBITFI_TELEMETRY_METRICS_H_

@@ -1,0 +1,123 @@
+#include "telemetry/trace_log.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+#include "telemetry/exposition.h"
+
+namespace nvbitfi::telemetry {
+namespace {
+
+std::atomic<TraceLog*> g_trace_log{nullptr};
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+TraceLog::~TraceLog() { Close(); }
+
+bool TraceLog::Open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    if (error != nullptr) *error = "trace log already open";
+    return false;
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    if (error != nullptr) {
+      *error = Format("cannot open trace file '%s': %s", path.c_str(),
+                      std::strerror(errno));
+    }
+    return false;
+  }
+  std::fputs("[\n", file_);
+  std::fflush(file_);
+  return true;
+}
+
+void TraceLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+bool TraceLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+int TraceLog::ThreadIdLocked() {
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = thread_ids_.find(self);
+  if (it == thread_ids_.end()) {
+    it = thread_ids_.emplace(self, static_cast<int>(thread_ids_.size()) + 1).first;
+  }
+  return it->second;
+}
+
+void TraceLog::AppendLine(const std::string& line) {
+  if (file_ == nullptr) return;
+  std::fputs(line.c_str(), file_);
+  std::fputs(",\n", file_);
+  std::fflush(file_);
+}
+
+void TraceLog::AppendSpan(std::string_view name, double ts_us, double dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  AppendLine(Format("{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%.3f,\"dur\":%.3f}",
+                    JsonEscape(name).c_str(), ThreadIdLocked(), ts_us, dur_us));
+}
+
+void TraceLog::AppendInstant(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::string args_json = "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) args_json += ',';
+    args_json += Format("\"%s\":\"%s\"", JsonEscape(args[i].first).c_str(),
+                        JsonEscape(args[i].second).c_str());
+  }
+  args_json += '}';
+  AppendLine(Format("{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"
+                    "\"tid\":%d,\"ts\":%.3f,\"args\":%s}",
+                    JsonEscape(name).c_str(), ThreadIdLocked(), NowMicros(),
+                    args_json.c_str()));
+}
+
+TraceLog* TraceLog::Global() { return g_trace_log.load(std::memory_order_acquire); }
+
+void TraceLog::SetGlobal(TraceLog* log) {
+  g_trace_log.store(log, std::memory_order_release);
+}
+
+double TraceLog::NowMicros() {
+  // Latch the epoch before reading the clock: on the very first telemetry
+  // call in a process the two happen back to back, and the other order
+  // would yield a (sub-microsecond) negative timestamp.
+  const std::chrono::steady_clock::time_point epoch = ProcessEpoch();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+double TraceLog::MicrosSinceEpoch(std::chrono::steady_clock::time_point when) {
+  // `when` may have been captured before the epoch was first latched (a
+  // ScopedPhase started before any other telemetry call); clamp the
+  // sub-microsecond underflow so event timestamps stay non-negative.
+  const double micros =
+      std::chrono::duration<double, std::micro>(when - ProcessEpoch()).count();
+  return micros < 0.0 ? 0.0 : micros;
+}
+
+}  // namespace nvbitfi::telemetry

@@ -1,0 +1,67 @@
+// Chrome-trace-compatible JSONL event log (`nvbitfi campaign --trace-events`).
+//
+// File format: the first line is `[`; every subsequent line is one complete
+// JSON event object terminated by `,\n`. Chrome's trace viewer (and Perfetto)
+// accept a trailing comma with no closing `]`, and `nvbitfi analyze
+// --timeline` parses the file line-by-line, so the log is crash-safe: a run
+// killed mid-campaign still leaves a loadable trace.
+//
+// Span events come from ScopedPhase via the process-global instance; instant
+// events carry campaign/shard/round provenance and are emitted explicitly by
+// the CLI and the service runners. Timestamps are microseconds on the steady
+// clock relative to a process-wide epoch.
+
+#ifndef NVBITFI_TELEMETRY_TRACE_LOG_H_
+#define NVBITFI_TELEMETRY_TRACE_LOG_H_
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace nvbitfi::telemetry {
+
+class TraceLog {
+ public:
+  TraceLog() = default;
+  ~TraceLog();
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  bool Open(const std::string& path, std::string* error);
+  void Close();
+  bool is_open() const;
+
+  // Complete event ("ph":"X"): a span of `dur_us` starting at `ts_us`.
+  void AppendSpan(std::string_view name, double ts_us, double dur_us);
+  // Instant event ("ph":"i") with string args for provenance.
+  void AppendInstant(std::string_view name,
+                     const std::vector<std::pair<std::string, std::string>>& args);
+
+  // Process-global instance used by ScopedPhase. Not owned; callers keep the
+  // TraceLog alive for the install duration and SetGlobal(nullptr) before
+  // destroying it.
+  static TraceLog* Global();
+  static void SetGlobal(TraceLog* log);
+
+  // Microseconds since the process trace epoch (steady clock).
+  static double NowMicros();
+  static double MicrosSinceEpoch(std::chrono::steady_clock::time_point when);
+
+ private:
+  void AppendLine(const std::string& line);
+  int ThreadIdLocked();
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::map<std::thread::id, int> thread_ids_;
+};
+
+}  // namespace nvbitfi::telemetry
+
+#endif  // NVBITFI_TELEMETRY_TRACE_LOG_H_

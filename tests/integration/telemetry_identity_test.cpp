@@ -1,0 +1,202 @@
+// Telemetry non-perturbation acceptance tests: every execution path must
+// produce byte-identical result stores with telemetry fully on (registry +
+// installed trace log) and fully off.  The telemetry layer observes the
+// campaign; it must never participate in it — no Rng draws, no record
+// fields, no ordering changes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/merge.h"
+#include "analysis/result_store.h"
+#include "common/strings.h"
+#include "core/campaign_spec.h"
+#include "core/run_cache.h"
+#include "service/adaptive_runner.h"
+#include "service/shard_runner.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::service {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+fi::RunCache& Cache() {
+  static fi::RunCache cache;
+  return cache;
+}
+
+fi::CampaignSpec SpecFor(const std::string& program) {
+  fi::CampaignSpec spec;
+  spec.program = program;
+  spec.seed = 987654;
+  spec.num_injections = 6;
+  spec.checkpoints = true;  // exercises checkpoint-record + fast-forward spans
+  return spec;
+}
+
+// Runs `body` with telemetry enabled and a live trace log installed at
+// `trace_path`, then restores the previous global state.
+void WithTelemetryOn(const std::string& trace_path,
+                     const std::function<void()>& body) {
+  const bool was_enabled = telemetry::TelemetryEnabled();
+  telemetry::SetTelemetryEnabled(true);
+  telemetry::TraceLog log;
+  std::string error;
+  ASSERT_TRUE(log.Open(trace_path, &error)) << error;
+  telemetry::TraceLog::SetGlobal(&log);
+  body();
+  telemetry::TraceLog::SetGlobal(nullptr);
+  log.Close();
+  telemetry::SetTelemetryEnabled(was_enabled);
+}
+
+// Runs `body` with telemetry disabled, then restores the previous state.
+void WithTelemetryOff(const std::function<void()>& body) {
+  const bool was_enabled = telemetry::TelemetryEnabled();
+  telemetry::SetTelemetryEnabled(false);
+  body();
+  telemetry::SetTelemetryEnabled(was_enabled);
+}
+
+ShardOutcome RunCampaignStored(const std::string& store_path, int workers) {
+  ShardJob job;
+  job.spec = SpecFor(workloads::AllWorkloads().front().program->name());
+  job.store_path = store_path;
+  job.workers = workers;
+  job.finalize = true;
+  return RunShardJob(job, &Cache());
+}
+
+TEST(TelemetryIdentity, CampaignStoreIsByteIdenticalOnAndOff) {
+  const std::string on_path = TempPath("ti_campaign_on.jsonl");
+  const std::string off_path = TempPath("ti_campaign_off.jsonl");
+
+  ShardOutcome on_outcome;
+  WithTelemetryOn(TempPath("ti_campaign.trace.jsonl"),
+                  [&] { on_outcome = RunCampaignStored(on_path, 3); });
+  ASSERT_TRUE(on_outcome.ok) << on_outcome.error;
+
+  ShardOutcome off_outcome;
+  WithTelemetryOff([&] { off_outcome = RunCampaignStored(off_path, 3); });
+  ASSERT_TRUE(off_outcome.ok) << off_outcome.error;
+
+  const std::string on_bytes = ReadAll(on_path);
+  ASSERT_FALSE(on_bytes.empty());
+  EXPECT_EQ(on_bytes, ReadAll(off_path));
+
+  // The in-memory result carries the phase breakdown only when telemetry ran.
+  EXPECT_FALSE(on_outcome.result.phases.Empty());
+  EXPECT_GT(on_outcome.result.phases.CountFor(telemetry::Phase::kInject), 0u);
+  EXPECT_GT(on_outcome.result.phases.CountFor(telemetry::Phase::kGolden), 0u);
+  EXPECT_TRUE(off_outcome.result.phases.Empty());
+}
+
+TEST(TelemetryIdentity, AdaptiveStoreIsByteIdenticalOnAndOff) {
+  fi::CampaignSpec spec = SpecFor(workloads::AllWorkloads().front().program->name());
+  spec.num_injections = 12;
+  spec.adaptive = true;
+  spec.adaptive_confidence = 0.90;
+  spec.adaptive_target_width = 0.25;
+  spec.adaptive_round_size = 6;
+  spec.adaptive_min_per_stratum = 1;
+
+  auto run_adaptive = [&](const std::string& path) {
+    AdaptiveJob job;
+    job.spec = spec;
+    job.store_path = path;
+    job.workers = 2;
+    return RunAdaptiveJob(job, &Cache());
+  };
+
+  const std::string on_path = TempPath("ti_adaptive_on.jsonl");
+  const std::string off_path = TempPath("ti_adaptive_off.jsonl");
+  AdaptiveOutcome on_outcome;
+  WithTelemetryOn(TempPath("ti_adaptive.trace.jsonl"),
+                  [&] { on_outcome = run_adaptive(on_path); });
+  ASSERT_TRUE(on_outcome.ok) << on_outcome.error;
+  AdaptiveOutcome off_outcome;
+  WithTelemetryOff([&] { off_outcome = run_adaptive(off_path); });
+  ASSERT_TRUE(off_outcome.ok) << off_outcome.error;
+
+  const std::string on_bytes = ReadAll(on_path);
+  ASSERT_FALSE(on_bytes.empty());
+  EXPECT_EQ(on_bytes, ReadAll(off_path));
+  EXPECT_FALSE(on_outcome.result.phases.Empty());
+  EXPECT_TRUE(off_outcome.result.phases.Empty());
+}
+
+TEST(TelemetryIdentity, ShardedMergeIsByteIdenticalOnAndOff) {
+  const std::string program = workloads::AllWorkloads().front().program->name();
+
+  auto run_sharded = [&](const std::string& tag) {
+    std::vector<std::string> shard_paths;
+    for (int shard = 0; shard < 3; ++shard) {
+      ShardJob job;
+      job.spec = SpecFor(program);
+      job.begin = static_cast<std::size_t>(shard) * 2;
+      job.end = job.begin + 2;
+      job.store_path = TempPath(Format("ti_%s_s%d.jsonl", tag.c_str(), shard));
+      job.resume = true;
+      job.shard_records = true;
+      const ShardOutcome outcome = RunShardJob(job, &Cache());
+      EXPECT_TRUE(outcome.ok) << outcome.error;
+      shard_paths.push_back(job.store_path);
+    }
+    const std::string merged = TempPath(Format("ti_%s_merged.jsonl", tag.c_str()));
+    std::string error;
+    const std::optional<analysis::MergeSummary> summary =
+        analysis::MergeShardStores(shard_paths, merged, &error);
+    EXPECT_TRUE(summary.has_value()) << error;
+    return merged;
+  };
+
+  std::string on_merged;
+  WithTelemetryOn(TempPath("ti_shard.trace.jsonl"),
+                  [&] { on_merged = run_sharded("on"); });
+  std::string off_merged;
+  WithTelemetryOff([&] { off_merged = run_sharded("off"); });
+
+  const std::string on_bytes = ReadAll(on_merged);
+  ASSERT_FALSE(on_bytes.empty());
+  EXPECT_EQ(on_bytes, ReadAll(off_merged));
+}
+
+TEST(TelemetryIdentity, TraceLogRecordsCampaignSpans) {
+  const std::string trace_path = TempPath("ti_spans.trace.jsonl");
+  const std::string store_path = TempPath("ti_spans_store.jsonl");
+
+  WithTelemetryOn(trace_path, [&] {
+    const ShardOutcome outcome = RunCampaignStored(store_path, 1);
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+  });
+
+  const std::string trace = ReadAll(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("[", 0), 0u);  // starts with the array opener
+  EXPECT_NE(trace.find("\"name\":\"inject\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"classify\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"store-append\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvbitfi::service

@@ -1,0 +1,164 @@
+#include "telemetry/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/json.h"
+#include "telemetry/metrics.h"
+
+namespace nvbitfi::telemetry {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(JsonEscape, RoundTripsThroughTheJsonParser) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t";
+  const std::string doc = "{\"k\":\"" + JsonEscape(nasty) + "\"}";
+  const auto parsed = analysis::json::Value::Parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->GetString("k"), nasty);
+}
+
+TEST(PrometheusEscapeLabel, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\nb"), "a\\nb");
+}
+
+TEST(FormatMetricValue, IntegersAndSpecials) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(-7.0), "-7");
+  EXPECT_EQ(FormatMetricValue(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(FormatMetricValue(-std::numeric_limits<double>::infinity()), "-Inf");
+}
+
+TEST(FormatMetricValue, ShortestFormRoundTrips) {
+  for (const double value : {0.1, 0.25, 1e-6, 3.14159265358979, 1e300}) {
+    const std::string text = FormatMetricValue(value);
+    EXPECT_DOUBLE_EQ(std::stod(text), value) << text;
+  }
+}
+
+TEST(AppendPrometheusSample, WithAndWithoutLabels) {
+  std::string out;
+  AppendPrometheusSample(&out, "nvbitfi_up", {}, 1.0);
+  EXPECT_EQ(out, "nvbitfi_up 1\n");
+
+  out.clear();
+  AppendPrometheusSample(&out, "nvbitfi_shard_completed",
+                         {{"campaign", "1"}, {"shard", "a\"b"}}, 5.0);
+  EXPECT_EQ(out,
+            "nvbitfi_shard_completed{campaign=\"1\",shard=\"a\\\"b\"} 5\n");
+}
+
+TEST(PrometheusText, CountersGaugesAndTypeHeaders) {
+  Registry registry;
+  registry.GetCounter("nvbitfi_campaigns_total").Add(3);
+  registry.GetGauge("nvbitfi_active").Set(2.0);
+
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE nvbitfi_campaigns_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_campaigns_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nvbitfi_active gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_active 2\n"), std::string::npos);
+}
+
+TEST(PrometheusText, LabeledSeriesShareOneTypeHeader) {
+  Registry registry;
+  registry.GetCounter("nvbitfi_requests_total{path=\"/status\"}").Add(1);
+  registry.GetCounter("nvbitfi_requests_total{path=\"/metrics\"}").Add(2);
+
+  const std::string text = PrometheusText(registry);
+  // One header for the base name, both series present with their labels.
+  std::size_t headers = 0;
+  for (std::size_t pos = text.find("# TYPE nvbitfi_requests_total counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE nvbitfi_requests_total counter", pos + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(text.find("nvbitfi_requests_total{path=\"/metrics\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_requests_total{path=\"/status\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramsAreCumulativeWithLeLabels) {
+  Registry registry;
+  Histogram& histogram = registry.GetHistogram("nvbitfi_latency_seconds", {1.0, 2.0});
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  histogram.Observe(9.0);
+
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE nvbitfi_latency_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_latency_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_latency_seconds_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_latency_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_latency_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_latency_seconds_sum 11\n"), std::string::npos);
+}
+
+TEST(PrometheusText, LabeledHistogramSplicesLeIntoLabelSet) {
+  Registry registry;
+  registry.PhaseHistogram(Phase::kInject).Observe(0.5);
+
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE nvbitfi_phase_seconds histogram\n"), std::string::npos);
+  // Bucket samples carry both the phase label and the spliced le label.
+  EXPECT_NE(text.find("nvbitfi_phase_seconds_bucket{phase=\"inject\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nvbitfi_phase_seconds_count{phase=\"inject\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(RegistryJson, ParsesAndCarriesEveryMetric) {
+  Registry registry;
+  registry.GetCounter("nvbitfi_campaigns_total").Add(2);
+  registry.GetGauge("nvbitfi_heartbeat_age").Set(1.25);
+  Histogram& histogram = registry.GetHistogram("nvbitfi_latency", {1.0});
+  histogram.Observe(0.5);
+  histogram.Observe(2.0);
+
+  const auto parsed = analysis::json::Value::Parse(RegistryJson(registry));
+  ASSERT_TRUE(parsed.has_value());
+  const analysis::json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetUint("nvbitfi_campaigns_total"), 2u);
+  const analysis::json::Value* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->GetDouble("nvbitfi_heartbeat_age"), 1.25);
+  const analysis::json::Value* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const analysis::json::Value* latency = histograms->Find("nvbitfi_latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->GetUint("count"), 2u);
+  EXPECT_DOUBLE_EQ(latency->GetDouble("sum"), 2.5);
+  const analysis::json::Value* counts = latency->Find("counts");
+  ASSERT_NE(counts, nullptr);
+  ASSERT_EQ(counts->size(), 2u);  // one finite bucket + the +Inf bucket
+}
+
+TEST(RegistryJson, MetricNamesWithLabelsAreEscapedKeys) {
+  Registry registry;
+  registry.GetCounter("nvbitfi_requests_total{path=\"/status\"}").Increment();
+  const auto parsed = analysis::json::Value::Parse(RegistryJson(registry));
+  ASSERT_TRUE(parsed.has_value());
+  const analysis::json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetUint("nvbitfi_requests_total{path=\"/status\"}"), 1u);
+}
+
+}  // namespace
+}  // namespace nvbitfi::telemetry

@@ -1,0 +1,226 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace nvbitfi::telemetry {
+namespace {
+
+// The enabled flag is process-global; every test that flips it restores the
+// default so ordering cannot leak between tests.
+class TelemetryFlagGuard {
+ public:
+  TelemetryFlagGuard() : previous_(TelemetryEnabled()) {}
+  ~TelemetryFlagGuard() { SetTelemetryEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(Counter, AddAndIncrement) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  ASSERT_EQ(histogram.num_buckets(), 4u);  // 3 finite + implicit +Inf
+
+  histogram.Observe(0.5);  // bucket 0
+  histogram.Observe(1.0);  // bucket 0: bounds are inclusive
+  histogram.Observe(1.001);  // bucket 1
+  histogram.Observe(2.0);  // bucket 1
+  histogram.Observe(3.0);  // bucket 2
+  histogram.Observe(4.0);  // bucket 2
+  histogram.Observe(100.0);  // bucket 3 (+Inf)
+
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 2u);
+  EXPECT_EQ(histogram.BucketCount(2), 2u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);
+  EXPECT_EQ(histogram.count(), 7u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 3.0 + 4.0 + 100.0);
+}
+
+TEST(Histogram, ConcurrentObservationsAllLand) {
+  Histogram histogram({0.5});
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Observe(i % 2 == 0 ? 0.1 : 1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram.BucketCount(0) + histogram.BucketCount(1), histogram.count());
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstance) {
+  Registry registry;
+  Counter& a = registry.GetCounter("nvbitfi_test_total");
+  a.Add(7);
+  EXPECT_EQ(registry.GetCounter("nvbitfi_test_total").value(), 7u);
+  Gauge& g = registry.GetGauge("nvbitfi_test_gauge");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("nvbitfi_test_gauge").value(), 2.5);
+  Histogram& h = registry.GetHistogram("nvbitfi_test_hist", {1.0});
+  h.Observe(0.5);
+  // Bounds are only consulted at creation.
+  EXPECT_EQ(registry.GetHistogram("nvbitfi_test_hist", {9.0}).count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("nvbitfi_test_hist", {9.0}).bounds().size(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("nvbitfi_test_hist", {9.0}).bounds()[0], 1.0);
+}
+
+TEST(Registry, PhaseHistogramsArePreRegistered) {
+  Registry registry;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    Histogram& histogram = registry.PhaseHistogram(static_cast<Phase>(i));
+    EXPECT_GT(histogram.bounds().size(), 4u);
+  }
+  const Registry::Snapshot snapshot = registry.Capture();
+  EXPECT_EQ(snapshot.histograms.size(), static_cast<std::size_t>(kPhaseCount));
+}
+
+TEST(Registry, CaptureSnapshotsEverything) {
+  Registry registry;
+  registry.GetCounter("b_total").Add(2);
+  registry.GetCounter("a_total").Add(1);
+  registry.GetGauge("g").Set(3.0);
+  registry.GetHistogram("h", {1.0}).Observe(0.5);
+
+  const Registry::Snapshot snapshot = registry.Capture();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  // std::map iteration: sorted by name.
+  EXPECT_EQ(snapshot.counters[0].first, "a_total");
+  EXPECT_EQ(snapshot.counters[1].first, "b_total");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 3.0);
+  ASSERT_EQ(snapshot.histograms.size(), static_cast<std::size_t>(kPhaseCount) + 1);
+}
+
+TEST(PhaseBreakdown, AccumulatesAndSums) {
+  PhaseBreakdown breakdown;
+  EXPECT_TRUE(breakdown.Empty());
+  EXPECT_DOUBLE_EQ(breakdown.TotalSeconds(), 0.0);
+
+  PhaseAccumulator accumulator;
+  accumulator.Add(Phase::kInject, 1.5);
+  accumulator.Add(Phase::kInject, 0.5);
+  accumulator.Add(Phase::kClassify, 0.25);
+  breakdown = accumulator.Capture();
+
+  EXPECT_FALSE(breakdown.Empty());
+  EXPECT_DOUBLE_EQ(breakdown.SecondsFor(Phase::kInject), 2.0);
+  EXPECT_EQ(breakdown.CountFor(Phase::kInject), 2u);
+  EXPECT_DOUBLE_EQ(breakdown.SecondsFor(Phase::kClassify), 0.25);
+  EXPECT_DOUBLE_EQ(breakdown.TotalSeconds(), 2.25);
+
+  PhaseBreakdown other;
+  other.seconds[static_cast<int>(Phase::kGolden)] = 1.0;
+  other.counts[static_cast<int>(Phase::kGolden)] = 1;
+  breakdown += other;
+  EXPECT_DOUBLE_EQ(breakdown.SecondsFor(Phase::kGolden), 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.TotalSeconds(), 3.25);
+}
+
+TEST(ScopedPhase, FeedsTheInstalledAccumulator) {
+  TelemetryFlagGuard guard;
+  SetTelemetryEnabled(true);
+  PhaseAccumulator accumulator;
+  {
+    const ScopedAccumulator install(&accumulator);
+    EXPECT_EQ(CurrentAccumulator(), &accumulator);
+    { const ScopedPhase span(Phase::kProfile); }
+    { const ScopedPhase span(Phase::kProfile); }
+  }
+  EXPECT_EQ(CurrentAccumulator(), nullptr);
+  const PhaseBreakdown breakdown = accumulator.Capture();
+  EXPECT_EQ(breakdown.CountFor(Phase::kProfile), 2u);
+  EXPECT_GE(breakdown.SecondsFor(Phase::kProfile), 0.0);
+}
+
+TEST(ScopedPhase, DisabledTelemetryObservesNothing) {
+  TelemetryFlagGuard guard;
+  SetTelemetryEnabled(false);
+  PhaseAccumulator accumulator;
+  {
+    const ScopedAccumulator install(&accumulator);
+    const ScopedPhase span(Phase::kMerge);
+  }
+  EXPECT_TRUE(accumulator.Capture().Empty());
+}
+
+TEST(ScopedPhase, EnabledStateIsLatchedAtConstruction) {
+  TelemetryFlagGuard guard;
+  SetTelemetryEnabled(true);
+  PhaseAccumulator accumulator;
+  {
+    const ScopedAccumulator install(&accumulator);
+    const ScopedPhase span(Phase::kGolden);
+    // Disabling mid-span must not drop the already-armed observation.
+    SetTelemetryEnabled(false);
+  }
+  EXPECT_EQ(accumulator.Capture().CountFor(Phase::kGolden), 1u);
+}
+
+TEST(ScopedAccumulator, ScopesNestAndRestore) {
+  PhaseAccumulator outer;
+  PhaseAccumulator inner;
+  EXPECT_EQ(CurrentAccumulator(), nullptr);
+  {
+    const ScopedAccumulator install_outer(&outer);
+    {
+      const ScopedAccumulator install_inner(&inner);
+      EXPECT_EQ(CurrentAccumulator(), &inner);
+    }
+    EXPECT_EQ(CurrentAccumulator(), &outer);
+  }
+  EXPECT_EQ(CurrentAccumulator(), nullptr);
+}
+
+TEST(ScopedAccumulator, InstallIsPerThread) {
+  PhaseAccumulator accumulator;
+  const ScopedAccumulator install(&accumulator);
+  PhaseAccumulator* seen = &accumulator;
+  std::thread([&seen] { seen = CurrentAccumulator(); }).join();
+  EXPECT_EQ(seen, nullptr);
+}
+
+TEST(PhaseName, CoversEveryPhase) {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    EXPECT_FALSE(PhaseName(static_cast<Phase>(i)).empty());
+  }
+  EXPECT_EQ(PhaseName(Phase::kFastForward), "fast-forward");
+  EXPECT_EQ(PhaseName(Phase::kCheckpointRecord), "checkpoint-record");
+}
+
+TEST(AtomicAddDouble, AccumulatesUnderContention) {
+  std::atomic<double> total{0.0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&total] {
+      for (int i = 0; i < 1000; ++i) AtomicAddDouble(total, 0.25);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(total.load(), 1000.0);
+}
+
+}  // namespace
+}  // namespace nvbitfi::telemetry

@@ -1,0 +1,153 @@
+#include "telemetry/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.h"
+#include "telemetry/metrics.h"
+
+namespace nvbitfi::telemetry {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// Parses a trace file the way `nvbitfi analyze --timeline` does: line by
+// line, stripping the trailing comma; every line after `[` must be a
+// complete JSON object even if the file was never closed.
+std::vector<analysis::json::Value> ParseTrace(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<analysis::json::Value> events;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      EXPECT_EQ(line, "[");
+      first = false;
+      continue;
+    }
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    if (line.empty()) continue;
+    auto parsed = analysis::json::Value::Parse(line);
+    EXPECT_TRUE(parsed.has_value()) << line;
+    if (parsed.has_value()) events.push_back(std::move(*parsed));
+  }
+  return events;
+}
+
+TEST(TraceLog, OpenFailsWithError) {
+  TraceLog log;
+  std::string error;
+  EXPECT_FALSE(log.Open("/nonexistent-dir/trace.jsonl", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(log.is_open());
+}
+
+TEST(TraceLog, SpanEventsCarryChromeTraceFields) {
+  const std::string path = TempPath("trace_span.jsonl");
+  TraceLog log;
+  std::string error;
+  ASSERT_TRUE(log.Open(path, &error)) << error;
+  EXPECT_TRUE(log.is_open());
+  log.AppendSpan("inject", 100.0, 250.5);
+  log.Close();
+  EXPECT_FALSE(log.is_open());
+
+  const auto events = ParseTrace(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].GetString("name"), "inject");
+  EXPECT_EQ(events[0].GetString("ph"), "X");
+  EXPECT_DOUBLE_EQ(events[0].GetDouble("ts"), 100.0);
+  EXPECT_DOUBLE_EQ(events[0].GetDouble("dur"), 250.5);
+  EXPECT_EQ(events[0].GetUint("pid"), 1u);
+}
+
+TEST(TraceLog, InstantEventsCarryArgs) {
+  const std::string path = TempPath("trace_instant.jsonl");
+  TraceLog log;
+  std::string error;
+  ASSERT_TRUE(log.Open(path, &error)) << error;
+  log.AppendInstant("shard", {{"program", "vector\"add"}, {"begin", "0"}});
+  log.Close();
+
+  const auto events = ParseTrace(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].GetString("ph"), "i");
+  const analysis::json::Value* args = events[0].Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->GetString("program"), "vector\"add");  // escaped + reparsed
+  EXPECT_EQ(args->GetString("begin"), "0");
+}
+
+TEST(TraceLog, UnclosedFileIsStillParseable) {
+  // Crash-safety: simulate a killed process by never calling Close.  The
+  // line-oriented format must still parse every flushed event.
+  const std::string path = TempPath("trace_unclosed.jsonl");
+  {
+    TraceLog log;
+    std::string error;
+    ASSERT_TRUE(log.Open(path, &error)) << error;
+    log.AppendSpan("golden", 0.0, 10.0);
+    log.AppendSpan("inject", 10.0, 20.0);
+    // TraceLog's destructor closes the FILE but writes no terminator.
+  }
+  const auto events = ParseTrace(path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].GetString("name"), "golden");
+  EXPECT_EQ(events[1].GetString("name"), "inject");
+}
+
+TEST(TraceLog, ThreadsGetDistinctSmallTids) {
+  const std::string path = TempPath("trace_tids.jsonl");
+  TraceLog log;
+  std::string error;
+  ASSERT_TRUE(log.Open(path, &error)) << error;
+  log.AppendSpan("main", 0.0, 1.0);
+  std::thread([&log] { log.AppendSpan("worker", 1.0, 1.0); }).join();
+  log.Close();
+
+  const auto events = ParseTrace(path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].GetUint("tid"), events[1].GetUint("tid"));
+}
+
+TEST(TraceLog, GlobalInstallReceivesScopedPhaseSpans) {
+  const std::string path = TempPath("trace_global.jsonl");
+  TraceLog log;
+  std::string error;
+  ASSERT_TRUE(log.Open(path, &error)) << error;
+
+  ASSERT_EQ(TraceLog::Global(), nullptr);
+  TraceLog::SetGlobal(&log);
+  const bool was_enabled = TelemetryEnabled();
+  SetTelemetryEnabled(true);
+  { const ScopedPhase span(Phase::kClassify); }
+  SetTelemetryEnabled(was_enabled);
+  TraceLog::SetGlobal(nullptr);
+  log.Close();
+
+  const auto events = ParseTrace(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].GetString("name"), "classify");
+  EXPECT_EQ(events[0].GetString("ph"), "X");
+}
+
+TEST(TraceLog, NowMicrosIsMonotonic) {
+  const double a = TraceLog::NowMicros();
+  const double b = TraceLog::NowMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace nvbitfi::telemetry

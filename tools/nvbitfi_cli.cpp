@@ -17,6 +17,7 @@
 //   nvbitfi analyze   <store.jsonl>  regenerate reports without re-simulating
 //   nvbitfi lint      <program|file.sass>  static checks over kernel SASS
 //   nvbitfi dictionary [--seed N] [-o dictionary.txt]
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -37,9 +38,11 @@
 #include "adaptive/report.h"
 #include "adaptive/stratum.h"
 #include "analysis/anatomy.h"
+#include "analysis/json.h"
 #include "analysis/merge.h"
 #include "analysis/propagation.h"
 #include "analysis/result_store.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/campaign.h"
@@ -56,6 +59,8 @@
 #include "service/worker.h"
 #include "staticanalysis/lint.h"
 #include "staticanalysis/static_site.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
 #include "trace/taint_tracker.h"
 #include "workloads/workloads.h"
 
@@ -78,6 +83,7 @@ int Usage() {
                "                     [--resume] [--element f32|f64] [--trace]\n"
                "                     [--static-prune | --static-check]\n"
                "                     [--checkpoints | --no-checkpoints]\n"
+               "                     [--trace-events FILE.trace.jsonl]\n"
                "                     [--adaptive] [--confidence C] [--ci-width W]\n"
                "                     [--round-size N] [--min-per-stratum N]\n"
                "                     [--strata-csv FILE]\n"
@@ -104,13 +110,17 @@ int Usage() {
                "                  [--element f32|f64]  permanent sweep over executed opcodes\n"
                "  analyze <store.jsonl> [--csv FILE] [--json FILE] [--static]\n"
                "                  [--strata] [--strata-csv FILE]\n"
+               "                  [--timeline FILE.trace.jsonl]\n"
                "                  regenerate report + SDC anatomy from a result store;\n"
                "                  --static cross-tabulates static liveness verdicts\n"
                "                  against the recorded dynamic outcomes;\n"
                "                  --strata cross-tabulates outcomes by stratum\n"
                "                  (kernel/opcode-group/liveness) with Wilson\n"
                "                  intervals; adaptive stores additionally get a\n"
-               "                  round-accounting audit of the persisted schedule\n"
+               "                  round-accounting audit of the persisted schedule;\n"
+               "                  --timeline summarizes a --trace-events log\n"
+               "                  (per-phase span totals + round/shard markers);\n"
+               "                  with --timeline the store argument is optional\n"
                "  lint <program|file.sass>  static analysis checks (read-before-def,\n"
                "                  unreachable code, dead stores, constant guards,\n"
                "                  shared-memory bounds); exit 1 when findings exist\n"
@@ -120,7 +130,12 @@ int Usage() {
                "                  [--shard-workers N] [--heartbeat-timeout SEC]\n"
                "                  [--max-campaigns N] [--verbose]\n"
                "                  campaign service daemon: accepts submissions,\n"
-               "                  shards them over workers, merges the results\n"
+               "                  shards them over workers, merges the results;\n"
+               "                  also answers HTTP GET /status (JSON) and\n"
+               "                  GET /metrics (Prometheus text) on the socket\n"
+               "  status <socket-path> [--metrics]  query a running serve daemon:\n"
+               "                  prints the live JSON campaign/worker status, or\n"
+               "                  the Prometheus metrics with --metrics\n"
                "  submit --socket PATH <program> [campaign flags] [--shards N]\n"
                "                  [--store FILE.jsonl]  submit a campaign and stream\n"
                "                  progress until the merged report arrives\n"
@@ -198,6 +213,12 @@ struct Args {
   double heartbeat_timeout = 60.0;
   int max_campaigns = 0;
   bool verbose = false;
+  // Telemetry: Chrome-trace event log (campaign/sweep/shard), the analyze
+  // --timeline view over such a log, and `status --metrics` (Prometheus
+  // text instead of JSON).
+  std::string trace_events;
+  std::string timeline;
+  bool metrics = false;
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv, int first) {
@@ -338,6 +359,16 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       args.max_campaigns = std::atoi(v->c_str());
     } else if (arg == "--verbose") {
       args.verbose = true;
+    } else if (arg == "--trace-events") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.trace_events = *v;
+    } else if (arg == "--timeline") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.timeline = *v;
+    } else if (arg == "--metrics") {
+      args.metrics = true;
     } else if (arg == "--element") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -615,6 +646,177 @@ int EmitReports(const analysis::AnatomyBreakdown& breakdown,
   return 0;
 }
 
+// --trace-events FILE: installs a process-global Chrome-trace log for the
+// duration of one subcommand.  ScopedPhase spans stream into it from every
+// layer; the opening "campaign" instant records provenance.
+class TraceEventsScope {
+ public:
+  TraceEventsScope() = default;
+  ~TraceEventsScope() {
+    if (!active_) return;
+    telemetry::TraceLog::SetGlobal(nullptr);
+    log_.Close();
+  }
+  TraceEventsScope(const TraceEventsScope&) = delete;
+  TraceEventsScope& operator=(const TraceEventsScope&) = delete;
+
+  bool Begin(const std::string& path, const char* command,
+             const fi::CampaignSpec& spec) {
+    if (path.empty()) return true;
+    std::string error;
+    if (!log_.Open(path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return false;
+    }
+    telemetry::TraceLog::SetGlobal(&log_);
+    active_ = true;
+    log_.AppendInstant("campaign",
+                       {{"command", command},
+                        {"program", spec.program},
+                        {"injections", Format("%d", spec.num_injections)},
+                        {"seed", Format("%llu",
+                                        static_cast<unsigned long long>(spec.seed))},
+                        {"adaptive", spec.adaptive ? "1" : "0"}});
+    return true;
+  }
+
+ private:
+  telemetry::TraceLog log_;
+  bool active_ = false;
+};
+
+// analyze --timeline: rebuilds the per-phase breakdown from a stored trace.
+// The log is parsed line-by-line (first line "[", then one comma-terminated
+// event object per line), so truncated traces from killed runs still load.
+int TimelineView(const std::string& path) {
+  const auto text = ReadFile(path);  // reports its own error
+  if (!text) return 1;
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  struct Marker {
+    double ts_us = 0.0;
+    std::string name;
+    std::string detail;
+  };
+  std::vector<Marker> markers;
+  std::size_t events = 0;
+
+  std::istringstream stream(*text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ',')) {
+      line.pop_back();
+    }
+    if (line.empty() || line == "[" || line == "]") continue;
+    const std::optional<analysis::json::Value> event =
+        analysis::json::Value::Parse(line);
+    if (!event.has_value() || !event->is_object()) continue;
+    ++events;
+    const std::string ph = event->GetString("ph");
+    if (ph == "X") {
+      SpanAgg& agg = spans[event->GetString("name")];
+      const double dur = event->GetDouble("dur");
+      ++agg.count;
+      agg.total_us += dur;
+      agg.max_us = std::max(agg.max_us, dur);
+    } else if (ph == "i") {
+      Marker marker;
+      marker.ts_us = event->GetDouble("ts");
+      marker.name = event->GetString("name");
+      if (const analysis::json::Value* event_args = event->Find("args");
+          event_args != nullptr && event_args->is_object()) {
+        // Flatten the provenance args back into "k=v k=v" for the table.
+        std::string detail;
+        for (const char* key :
+             {"command", "program", "injections", "seed", "adaptive", "round",
+              "scheduled", "begin", "end"}) {
+          const std::string value = event_args->GetString(key);
+          if (value.empty()) continue;
+          if (!detail.empty()) detail += ' ';
+          detail += Format("%s=%s", key, value.c_str());
+        }
+        marker.detail = std::move(detail);
+      }
+      markers.push_back(std::move(marker));
+    }
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "'%s' contains no trace events\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("=== timeline: %s ===\n", path.c_str());
+  std::printf("%zu events\n\n", events);
+  std::printf("%-18s %10s %12s %12s %12s\n", "phase", "spans", "total s",
+              "mean ms", "max ms");
+  // Widest phases first: the table answers "where did the time go".
+  std::vector<std::pair<std::string, SpanAgg>> rows(spans.begin(), spans.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  for (const auto& [name, agg] : rows) {
+    std::printf("%-18s %10llu %12.3f %12.3f %12.3f\n", name.c_str(),
+                static_cast<unsigned long long>(agg.count), agg.total_us * 1e-6,
+                agg.count > 0 ? agg.total_us * 1e-3 / static_cast<double>(agg.count)
+                              : 0.0,
+                agg.max_us * 1e-3);
+  }
+  if (!markers.empty()) {
+    std::printf("\nmarkers:\n");
+    for (const Marker& marker : markers) {
+      std::printf("  %12.3f ms  %-15s %s\n", marker.ts_us * 1e-3,
+                  marker.name.c_str(), marker.detail.c_str());
+    }
+  }
+  return 0;
+}
+
+// `nvbitfi status <socket>`: one HTTP/1.0 GET against a running coordinator.
+int CmdStatus(const Args& args) {
+  std::string addr = args.socket_path;
+  if (addr.empty() && !args.positional.empty()) addr = args.positional[0];
+  if (addr.empty()) {
+    std::fprintf(stderr, "status needs a coordinator socket (positional or --socket)\n");
+    return 2;
+  }
+  std::string error;
+  const int fd = service::ConnectUnix(addr, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const char* path = args.metrics ? "/metrics" : "/status";
+  if (!service::SendRaw(fd, Format("GET %s HTTP/1.0\r\n\r\n", path))) {
+    std::fprintf(stderr, "cannot send request to %s\n", addr.c_str());
+    ::close(fd);
+    return 1;
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    std::fprintf(stderr, "malformed response from %s\n", addr.c_str());
+    return 1;
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    std::fprintf(stderr, "%s\n", status_line.c_str());
+    return 1;
+  }
+  std::fputs(response.c_str() + header_end + 4, stdout);
+  return 0;
+}
+
 int CmdCampaign(const Args& args) {
   if (args.positional.empty()) return Usage();
   const fi::TargetProgram* program = Lookup(args.positional[0]);
@@ -635,6 +837,11 @@ int CmdCampaign(const Args& args) {
   }
   if (!ValidateAdaptiveArgs(args)) return 1;
   InstallSignalHandlers();
+  TraceEventsScope trace_scope;
+  if (!trace_scope.Begin(args.trace_events, "campaign",
+                         BuildSpec(args, program->name()))) {
+    return 1;
+  }
 
   fi::TransientCampaignResult result;
   bool cancelled = false;
@@ -767,6 +974,11 @@ int CmdSweep(const Args& args) {
   config.num_workers = args.workers;
   InstallSignalHandlers();
   config.cancel = &g_interrupted;
+  TraceEventsScope trace_scope;
+  if (!trace_scope.Begin(args.trace_events, "sweep",
+                         BuildSpec(args, program->name()))) {
+    return 1;
+  }
 
   std::unique_ptr<analysis::ResultStore> store;
   fi::RunArtifacts golden;
@@ -1041,6 +1253,11 @@ int StrataCrossTab(const analysis::LoadedStore& store, const Args& args) {
 }
 
 int CmdAnalyze(const Args& args) {
+  // --timeline works from the trace log alone; the store is optional with it.
+  if (!args.timeline.empty()) {
+    const int code = TimelineView(args.timeline);
+    if (code != 0 || args.positional.empty()) return code;
+  }
   if (args.positional.empty()) return Usage();
   std::string error;
   const std::optional<analysis::LoadedStore> loaded =
@@ -1264,6 +1481,11 @@ int CmdShard(const Args& args) {
     return 2;
   }
   InstallSignalHandlers();
+  TraceEventsScope trace_scope;
+  if (!trace_scope.Begin(args.trace_events, "shard",
+                         BuildSpec(args, program->name()))) {
+    return 1;
+  }
 
   service::ShardJob job;
   job.spec = BuildSpec(args, program->name());
@@ -1348,6 +1570,8 @@ int CmdDisasm(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  InitLogLevelFromEnv();             // NVBITFI_LOG=debug|info|warn|error
+  telemetry::InitTelemetryFromEnv();  // NVBITFI_TELEMETRY=off disables
   const std::string command = argv[1];
   const auto args = ParseArgs(argc, argv, 2);
   if (!args) return Usage();
@@ -1362,6 +1586,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return CmdSweep(*args);
   if (command == "analyze") return CmdAnalyze(*args);
   if (command == "serve") return CmdServe(*args);
+  if (command == "status") return CmdStatus(*args);
   if (command == "submit") return CmdSubmit(*args);
   if (command == "shard") return CmdShard(*args);
   if (command == "merge") return CmdMerge(*args);

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Status-endpoint smoke test with real processes: a `nvbitfi serve` daemon is
+# polled over HTTP GET /status while a submitted campaign runs.  The reported
+# completed-experiment count must be monotonically non-decreasing, the
+# mid-flight /metrics exposition must carry the phase histograms and
+# per-shard gauges, and the final status must agree with the merged store.
+#
+# Usage: status_smoke_test.sh <path-to-nvbitfi> [workdir]
+set -u
+
+CLI=${1:?usage: status_smoke_test.sh <path-to-nvbitfi> [workdir]}
+DIR=${2:-$(mktemp -d)}
+mkdir -p "$DIR"
+# A slower workload keeps the campaign in flight across several polls.
+PROGRAM=351.palm
+INJECTIONS=32
+ARGS="--injections $INJECTIONS --seed 77 --approximate"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+  [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+# `completed` for campaign 1 out of the /status JSON, "" when no campaign is
+# active.  sed keeps the script dependency-free (the JSON is machine-written,
+# single-line, keys in a fixed order).
+status_completed() {
+  "$CLI" status "$DIR/serve.sock" 2>/dev/null \
+    | sed -n 's/.*"campaigns":\[{[^}]*"completed":\([0-9]*\).*/\1/p'
+}
+
+"$CLI" serve --socket "$DIR/serve.sock" --workdir "$DIR" \
+    --inprocess-workers 2 --verbose > "$DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do [[ -S "$DIR/serve.sock" ]] && break; sleep 0.1; done
+[[ -S "$DIR/serve.sock" ]] || fail "daemon never bound its socket"
+
+# Idle daemon: the endpoint answers before any campaign exists.
+"$CLI" status "$DIR/serve.sock" > "$DIR/status_idle.json" \
+    || fail "status request against the idle daemon failed"
+grep -q '"active_campaigns":0' "$DIR/status_idle.json" \
+    || fail "idle status did not report zero active campaigns"
+
+"$CLI" submit "$PROGRAM" $ARGS --shards 4 --socket "$DIR/serve.sock" \
+    --store "$DIR/served.jsonl" > "$DIR/submit.log" 2>&1 &
+SUBMIT_PID=$!
+
+# Poll /status while the campaign runs: progress must never move backwards.
+LAST=-1
+POLLS=0
+PROGRESS_SAMPLES=0
+while kill -0 "$SUBMIT_PID" 2>/dev/null; do
+  COMPLETED=$(status_completed)
+  if [[ -n "$COMPLETED" ]]; then
+    [[ "$COMPLETED" -ge "$LAST" ]] \
+        || fail "completed went backwards: $LAST -> $COMPLETED"
+    [[ "$COMPLETED" -le "$INJECTIONS" ]] \
+        || fail "completed $COMPLETED exceeds the $INJECTIONS submitted"
+    LAST=$COMPLETED
+    PROGRESS_SAMPLES=$((PROGRESS_SAMPLES + 1))
+  fi
+  POLLS=$((POLLS + 1))
+  # One mid-flight metrics scrape once the campaign is visibly running.
+  if [[ "$PROGRESS_SAMPLES" -eq 2 && ! -s "$DIR/metrics.txt" ]]; then
+    "$CLI" status "$DIR/serve.sock" --metrics > "$DIR/metrics.txt" \
+        || fail "mid-flight metrics request failed"
+  fi
+  sleep 0.2
+done
+wait "$SUBMIT_PID" || { cat "$DIR/submit.log" "$DIR/serve.log" >&2
+                        fail "submit did not complete"; }
+[[ "$PROGRESS_SAMPLES" -ge 1 ]] || fail "never observed the campaign via /status"
+[[ -s "$DIR/metrics.txt" ]] || fail "never scraped /metrics mid-flight"
+
+# The Prometheus exposition carries the phase histograms and fleet gauges.
+grep -q '# TYPE nvbitfi_phase_seconds histogram' "$DIR/metrics.txt" \
+    || fail "metrics missing the phase histogram type header"
+grep -q 'nvbitfi_phase_seconds_bucket{phase="inject",le="+Inf"}' "$DIR/metrics.txt" \
+    || fail "metrics missing the inject phase histogram"
+grep -q 'nvbitfi_serve_shard_completed{campaign="1",shard="' "$DIR/metrics.txt" \
+    || fail "metrics missing per-shard progress gauges"
+grep -q 'nvbitfi_serve_worker_heartbeat_age_seconds{fd="' "$DIR/metrics.txt" \
+    || fail "metrics missing worker heartbeat gauges"
+grep -q 'nvbitfi_serve_active_campaigns 1' "$DIR/metrics.txt" \
+    || fail "metrics did not show the active campaign"
+
+# Final state agrees with the merged report: one campaign completed, none
+# active, and the merged store holds every submitted experiment.
+"$CLI" status "$DIR/serve.sock" > "$DIR/status_final.json" \
+    || fail "final status request failed"
+grep -q '"completed_campaigns":1' "$DIR/status_final.json" \
+    || fail "final status did not count the completed campaign"
+grep -q '"active_campaigns":0' "$DIR/status_final.json" \
+    || fail "final status still reports an active campaign"
+grep -q "merged store:" "$DIR/submit.log" || fail "submit printed no merged store"
+RECORDS=$(grep -c '"index"' "$DIR/served.jsonl")
+[[ "$RECORDS" -eq "$INJECTIONS" ]] \
+    || fail "merged store has $RECORDS records, expected $INJECTIONS"
+
+# Unknown paths 404 without killing the daemon.
+"$CLI" status "$DIR/serve.sock" --metrics > /dev/null \
+    || fail "daemon did not survive repeated scrapes"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "daemon exited non-zero on SIGTERM"
+SERVE_PID=
+
+echo "PASS: /status stayed monotonic over $POLLS polls (peak $LAST/$INJECTIONS), /metrics carried phase + fleet series"
