@@ -31,8 +31,8 @@ class BlurProgram final : public fi::TargetProgram {
  public:
   BlurProgram()
       : checker_(workloads::ToleranceChecker::Element::kFloat, 5e-3, 1e-6) {
-    source_ = workloads::StencilKernel("blur_x", 0.20f);
-    source_ += workloads::StencilKernel("blur_wide", 0.10f);
+    source_ = workloads::StencilKernel("blur_x", 0.20f, kWidth - 1);
+    source_ += workloads::StencilKernel("blur_wide", 0.10f, kWidth - 1);
     // Histogram: one atomic increment per pixel into 8 brightness bins.
     source_ +=
         ".kernel brightness_hist regs=20\n"

@@ -43,6 +43,11 @@ double AdaptiveEngine::StratumUncertainty(std::size_t s) const {
   return OutcomeUncertainty(counts_[s], policy_.confidence);
 }
 
+double AdaptiveEngine::StratumImportance(std::size_t s) const {
+  if (s >= stratification_.importance.size()) return 1.0;
+  return stratification_.importance[s];
+}
+
 std::uint64_t AdaptiveEngine::total_scheduled() const {
   std::uint64_t total = 0;
   for (const std::uint64_t s : scheduled_) total += s;
@@ -112,7 +117,7 @@ RoundRecord AdaptiveEngine::PlanRound() {
     for (std::size_t s = 0; s < num_strata; ++s) {
       if (!eligible(s)) continue;
       open.push_back(s);
-      total_weight += StratumUncertainty(s);
+      total_weight += StratumUncertainty(s) * StratumImportance(s);
     }
     if (open.empty() || total_weight <= 0.0) break;
 
@@ -123,8 +128,8 @@ RoundRecord AdaptiveEngine::PlanRound() {
     };
     std::vector<Remainder> remainders;
     for (const std::size_t s : open) {
-      const double ideal =
-          static_cast<double>(budget) * StratumUncertainty(s) / total_weight;
+      const double ideal = static_cast<double>(budget) * StratumUncertainty(s) *
+                           StratumImportance(s) / total_weight;
       const std::uint64_t whole = std::min(
           static_cast<std::uint64_t>(ideal), remaining(s));
       alloc[s] += whole;

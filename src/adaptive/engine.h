@@ -23,8 +23,9 @@
 //      uncertainty means something before it competes for budget.
 //   2. The remaining budget is split across unconverged, unexhausted strata
 //      proportionally to their outcome-uncertainty (widest Wilson half-width
-//      across Masked/SDC/DUE at policy.confidence), largest-remainder
-//      rounding, ties to the lower stratum id.
+//      across Masked/SDC/DUE at policy.confidence) times their importance
+//      weight (the stratification's mean propagation potential, 1.0 when
+//      absent), largest-remainder rounding, ties to the lower stratum id.
 //   3. A stratum whose uncertainty is at most policy.target_half_width is
 //      converged: it receives nothing and is retired early.
 // The campaign ends when no stratum is both unconverged and unexhausted.
@@ -81,6 +82,9 @@ class AdaptiveEngine {
   }
   bool StratumConverged(std::size_t s) const;
   double StratumUncertainty(std::size_t s) const;
+  // Allocator weight multiplier from the stratification's masking-score
+  // analysis; 1.0 when the stratification carries no importance vector.
+  double StratumImportance(std::size_t s) const;
 
  private:
   void Commit(const RoundRecord& round);

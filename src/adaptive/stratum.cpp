@@ -19,30 +19,78 @@ std::string_view OpcodeGroupLabel(sim::Opcode op) {
   return "other";
 }
 
-std::string StratumLabelFor(const fi::ProgramProfile& profile,
-                            const fi::TransientDraw& draw,
-                            const fi::StaticSiteOracle* oracle) {
-  if (!draw.params.has_value()) return "(no-site)";
+int MaskingScoreBin(double masking_score) {
+  const int bin = static_cast<int>(masking_score * 4.0);
+  return std::clamp(bin, 0, 3);
+}
+
+std::string_view MaskingScoreBinLabel(int bin) {
+  switch (bin) {
+    case 0: return "m00";
+    case 1: return "m25";
+    case 2: return "m50";
+    case 3: return "m75";
+    default: return "m??";
+  }
+}
+
+namespace {
+
+struct DrawStratum {
+  std::string label;
+  // Propagation potential: how much of the target a flip can still reach.
+  // Unresolved sites count fully (nothing is known); no-site and dead draws
+  // are certainly masked and carry none.
+  double potential = 1.0;
+};
+
+// Keep strata with no propagation potential allocatable: their outcome rates
+// are known a priori, but a trickle verifies the static verdict dynamically.
+constexpr double kImportanceFloor = 0.05;
+
+DrawStratum StratumFor(const fi::ProgramProfile& profile, const fi::TransientDraw& draw,
+                       const fi::StaticSiteOracle* oracle) {
+  if (!draw.params.has_value()) return {"(no-site)", 0.0};
   const fi::TransientFaultParams& params = *draw.params;
   std::string group = "?";
   std::string liveness = "unresolved";
+  double potential = 1.0;
   if (oracle != nullptr) {
     const fi::StaticSiteVerdict verdict = oracle->Evaluate(profile, params);
     if (verdict.resolved) {
       group = std::string(OpcodeGroupLabel(verdict.opcode));
-      liveness = verdict.statically_dead ? "dead" : "live";
+      potential = 1.0 - verdict.masking_score;
+      if (verdict.statically_dead) {
+        liveness = "dead";
+        potential = 0.0;
+      } else {
+        liveness = "live/";
+        liveness += MaskingScoreBinLabel(MaskingScoreBin(verdict.masking_score));
+      }
     }
   }
-  return params.kernel_name + "/" + group + "/" + liveness;
+  return {params.kernel_name + "/" + group + "/" + liveness, potential};
+}
+
+}  // namespace
+
+std::string StratumLabelFor(const fi::ProgramProfile& profile,
+                            const fi::TransientDraw& draw,
+                            const fi::StaticSiteOracle* oracle) {
+  return StratumFor(profile, draw, oracle).label;
 }
 
 Stratification StratifyPool(const fi::ProgramProfile& profile,
                             const std::vector<fi::TransientDraw>& draws,
                             const fi::StaticSiteOracle* oracle) {
   std::vector<std::string> pool_labels;
+  std::vector<double> pool_potential;
   pool_labels.reserve(draws.size());
+  pool_potential.reserve(draws.size());
   for (const fi::TransientDraw& draw : draws) {
-    pool_labels.push_back(StratumLabelFor(profile, draw, oracle));
+    DrawStratum ds = StratumFor(profile, draw, oracle);
+    pool_labels.push_back(std::move(ds.label));
+    pool_potential.push_back(ds.potential);
   }
 
   // std::map keeps labels sorted; ids are their rank in that order.
@@ -57,10 +105,19 @@ Stratification StratifyPool(const fi::ProgramProfile& profile,
 
   out.stratum_of.reserve(pool_labels.size());
   out.members.resize(out.labels.size());
+  std::vector<double> potential_sum(out.labels.size(), 0.0);
   for (std::size_t i = 0; i < pool_labels.size(); ++i) {
     const std::uint32_t id = ids.at(pool_labels[i]);
     out.stratum_of.push_back(id);
     out.members[id].push_back(i);
+    potential_sum[id] += pool_potential[i];
+  }
+
+  out.importance.reserve(out.labels.size());
+  for (std::size_t s = 0; s < out.labels.size(); ++s) {
+    const double mean =
+        potential_sum[s] / static_cast<double>(out.members[s].size());
+    out.importance.push_back(std::max(mean, kImportanceFloor));
   }
   return out;
 }

@@ -9,12 +9,20 @@
 //   kernel        — the kernel the fault lands in
 //   opcode group  — the Table II partition (fp64/fp32/ld/pr/nodest/other) of
 //                   the target instruction, resolved via the static oracle
-//   liveness      — the static-analysis verdict: dead / live / unresolved
+//   liveness      — the static-analysis verdict: dead / live / unresolved;
+//                   live sites further split by the bit-liveness masking
+//                   score (fraction of statically dead target bits), binned
+//                   into quartiles m00/m25/m50/m75
 //
 // Draws with no eligible site (trivially masked experiments) form their own
 // stratum.  Observed anatomy patterns cannot stratify *scheduling* (they
 // only exist after a run); `nvbitfi analyze --strata` cross-tabs them
 // post-hoc instead.
+//
+// Each stratum also carries an importance weight — the mean propagation
+// potential (1 - masking score, floored so fully-masked strata keep a
+// trickle) of its members — which the allocator multiplies into the
+// uncertainty weights, spending runs where flips can actually propagate.
 //
 // Stratum ids are assigned by sorting the distinct labels, so the mapping is
 // a pure function of (profile, seed, group, flip model) — every process that
@@ -34,7 +42,13 @@ namespace nvbitfi::adaptive {
 // Human-readable Table II partition-group label for an opcode.
 std::string_view OpcodeGroupLabel(sim::Opcode op);
 
-// Stratum label of one previewed draw ("kernel/group/liveness", or
+// Quartile bin of a static masking score, rendered as "m00".."m75" (the
+// lower bound of the bin as a percentage).  A score of 1.0 lands in m75.
+int MaskingScoreBin(double masking_score);
+std::string_view MaskingScoreBinLabel(int bin);
+
+// Stratum label of one previewed draw ("kernel/group/liveness", with live
+// sites suffixed by their masking-score bin — "k/other/live/m25" — or
 // "(no-site)" for trivially masked draws).  `oracle` may be null — sites
 // then stratify as ".../unresolved" with an unknown opcode group.
 std::string StratumLabelFor(const fi::ProgramProfile& profile,
@@ -45,6 +59,10 @@ struct Stratification {
   std::vector<std::string> labels;                  // stratum id -> label, sorted
   std::vector<std::uint32_t> stratum_of;            // pool index -> stratum id
   std::vector<std::vector<std::uint64_t>> members;  // stratum id -> ascending indexes
+  // stratum id -> allocator importance weight (mean member propagation
+  // potential).  May be empty (hand-built stratifications): every stratum
+  // then weighs 1.0.
+  std::vector<double> importance;
 
   std::size_t num_strata() const { return labels.size(); }
   std::size_t pool_size() const { return stratum_of.size(); }

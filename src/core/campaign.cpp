@@ -330,14 +330,16 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
     }
     run.params = *params;
 
-    // --static-prune: skip simulating sites the oracle proves dead.  The
-    // synthesized classification is exactly what the simulation would have
-    // produced (the soundness contract; --static-check campaigns verify it),
-    // so outcome distributions are bit-identical to an unpruned campaign.
+    // --static-prune: skip simulating sites the oracle proves dead — either
+    // the whole target (statically_dead) or the specific bits this draw's
+    // flip mask touches (flip_dead).  The synthesized classification is
+    // exactly what the simulation would have produced (the soundness
+    // contract; --static-check campaigns verify it), so outcome
+    // distributions are bit-identical to an unpruned campaign.
     if (config.static_mode == StaticSiteMode::kPrune && config.static_oracle != nullptr) {
       const StaticSiteVerdict verdict =
           config.static_oracle->Evaluate(result.profile, run.params);
-      if (verdict.resolved && verdict.statically_dead) {
+      if (verdict.resolved && (verdict.statically_dead || verdict.flip_dead)) {
         run.statically_masked = true;
         run.record = SynthesizeMaskedRecord(run.params, verdict);
         run.classification = Classification{};
@@ -431,7 +433,7 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
           config.static_oracle->Evaluate(result.profile, run.params);
       if (!verdict.resolved) continue;
       ++result.statically_checked;
-      if (verdict.statically_dead) ++result.statically_dead;
+      if (verdict.statically_dead || verdict.flip_dead) ++result.statically_dead;
       auto add_violation = [&](std::string detail) {
         StaticViolation v;
         v.index = i;
@@ -446,9 +448,10 @@ TransientCampaignResult CampaignRunner::RunTransientCampaign(
                              "oracle resolved %u",
                              run.record.static_index, verdict.static_index));
       }
-      if (verdict.statically_dead &&
+      if ((verdict.statically_dead || verdict.flip_dead) &&
           run.classification.outcome != Outcome::kMasked) {
-        add_violation(Format("statically dead site classified %s",
+        add_violation(Format("statically %s site classified %s",
+                             verdict.statically_dead ? "dead" : "bit-dead",
                              std::string(OutcomeName(run.classification.outcome)).c_str()));
       }
     }

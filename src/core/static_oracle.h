@@ -54,6 +54,24 @@ struct StaticSiteVerdict {
   bool pred_target = false;
   int target_register = -1;
   int register_width = 32;
+  // The register-granular verdict alone (the PR 5 oracle): every register of
+  // the target is absent from the live-out set.  statically_dead additionally
+  // folds in the bit-granular all-bits-dead case, so reports can show the
+  // increment the bit-level analysis buys.
+  bool register_dead = false;
+  // Bit-granular refinement: bit j set means flipping bit j of the target
+  // cannot change observable output (same one-sided contract as
+  // statically_dead, which it implies when all register_width bits are set).
+  // Zero when nothing is known (unresolved, excluded, or no target).
+  std::uint64_t dead_bits = 0;
+  // popcount(dead_bits) / register_width — the static masking score used as
+  // an adaptive stratum dimension and importance weight.
+  double masking_score = 0.0;
+  // The concrete XOR mask implied by the params' bit-flip model touches only
+  // dead bits, so this specific draw is provably Masked even though the
+  // register as a whole is live.  Only single-/two-bit flip models have
+  // statically known masks; pruning consumes statically_dead || flip_dead.
+  bool flip_dead = false;
 };
 
 class StaticSiteOracle {

@@ -1,0 +1,541 @@
+#include "staticanalysis/bitliveness.h"
+
+#include <bit>
+#include <optional>
+
+#include "common/bitutil.h"
+#include "sassim/isa/instruction.h"
+#include "sassim/isa/opcode.h"
+#include "staticanalysis/dataflow.h"
+#include "staticanalysis/usedef.h"
+
+namespace nvbitfi::staticanalysis {
+
+namespace {
+
+using sim::Instruction;
+using sim::Opcode;
+using sim::Operand;
+
+// All bits at or below the highest demanded bit: the source cone of
+// upward-carry arithmetic (addition, multiplication, two's-complement
+// negation — bit j of the result depends only on source bits 0..j).
+std::uint32_t MaskUpToMsb(std::uint32_t mask) {
+  if (mask == 0) return 0;
+  const int msb = 31 - std::countl_zero(mask);
+  return msb == 31 ? 0xFFFFFFFFu : (1u << (msb + 1)) - 1u;
+}
+
+// All bits at or above the lowest demanded bit (the right-shift cone: with an
+// unknown amount, source bit i can only reach result bits at or below i).
+std::uint32_t MaskDownToLsb(std::uint32_t mask) {
+  if (mask == 0) return 0;
+  return ~((1u << std::countr_zero(mask)) - 1u);
+}
+
+// Shorthand for the public helper within the transfer functions.
+std::optional<std::uint32_t> KnownValue(const Operand& op) {
+  return KnownOperandValue(op);
+}
+
+// Demands `mask` bits of the post-modifier value of source operand `op`.
+// Back-propagates the modifier pipeline in reverse: bitwise inversion is
+// per-bit (mask unchanged), integer negation makes bit j depend on bits
+// 0..j, and absolute value additionally reads the sign bit.  FP-typed reads
+// (sign-bit flip / clear) are strictly narrower than this, so using the
+// integer rules everywhere stays conservative.
+void Demand(BitLiveSet& live, const Operand& op, std::uint32_t mask) {
+  if (mask == 0) return;
+  if (op.negate) mask = MaskUpToMsb(mask);
+  if (op.absolute) mask = MaskUpToMsb(mask) | 0x80000000u;
+  switch (op.kind) {
+    case Operand::Kind::kGpr:
+      live.AddGprBits(op.reg, mask);
+      break;
+    case Operand::Kind::kPred:
+      // A predicate read contributes a single boolean regardless of which
+      // value bits are demanded.
+      live.AddPred(op.reg);
+      break;
+    case Operand::Kind::kNone:
+    case Operand::Kind::kImm:
+    case Operand::Kind::kConst:
+    case Operand::Kind::kMem:
+    case Operand::Kind::kLabel:
+      break;
+  }
+}
+
+// Conservative fallback: every register the register-level analysis says the
+// instruction may read is demanded at full width.
+void DemandAll(BitLiveSet& live, const RegSet& uses) {
+  for (int r = 0; r < sim::kRZ; ++r) {
+    if (uses.TestGpr(r)) live.AddGprBits(r, 0xFFFFFFFFu);
+  }
+  for (int p = 0; p < sim::kPT; ++p) {
+    if (uses.TestPred(p)) live.AddPred(p);
+  }
+}
+
+// Any bit of any register the instruction may write still live?
+bool AnyDefLive(const InstrEffects& e, const BitLiveSet& live_out) {
+  for (int r = 0; r < sim::kRZ; ++r) {
+    if (e.may_defs.TestGpr(r) && live_out.GprBits(r) != 0) return true;
+  }
+  for (int p = 0; p < sim::kPT; ++p) {
+    if (e.may_defs.TestPred(p) && live_out.TestPred(p)) return true;
+  }
+  return false;
+}
+
+// True when the instruction writes exactly one 32-bit GPR and nothing else —
+// the shape every precise transfer function below assumes.
+bool SinglePlainGprDest(const Instruction& inst) {
+  if (sim::DestKindOf(inst.opcode) != sim::DestKind::kGpr) return false;
+  if (inst.opcode == Opcode::kCS2R) return false;  // writes a register pair
+  return sim::DestGprCount(inst) == 1;
+}
+
+bool IsStoreOp(Opcode op) {
+  return op == Opcode::kST || op == Opcode::kSTG || op == Opcode::kSTS ||
+         op == Opcode::kSTL;
+}
+
+// The LOP3 truth table, if statically known (modifier table or an immediate
+// fourth operand; a register LUT defeats the analysis).
+std::optional<std::uint8_t> KnownLut(const Instruction& inst) {
+  if (inst.num_src <= 3) return inst.mods.lut;
+  const std::optional<std::uint32_t> v = KnownValue(inst.src[3]);
+  if (!v.has_value()) return std::nullopt;
+  return static_cast<std::uint8_t>(*v);
+}
+
+// Per-bit LOP3 demands: input `which` (0=a, 1=b, 2=c) is demanded at bit j
+// when toggling it can change the output there, given the other inputs range
+// over their possible values (fixed when statically known).
+std::uint32_t Lop3InputDemand(std::uint32_t live, std::uint8_t lut, int which,
+                              const std::optional<std::uint32_t> known[3]) {
+  std::uint32_t demand = 0;
+  for (int j = 0; j < 32; ++j) {
+    if ((live >> j & 1) == 0) continue;
+    bool matters = false;
+    for (int a = 0; a < 2 && !matters; ++a) {
+      for (int b = 0; b < 2 && !matters; ++b) {
+        for (int c = 0; c < 2 && !matters; ++c) {
+          const int in[3] = {a, b, c};
+          if (known[0] && a != static_cast<int>(*known[0] >> j & 1)) continue;
+          if (known[1] && b != static_cast<int>(*known[1] >> j & 1)) continue;
+          if (known[2] && c != static_cast<int>(*known[2] >> j & 1)) continue;
+          const int base = (a << 2) | (b << 1) | c;
+          const int flipped = base ^ (1 << (2 - which));
+          if ((lut >> base & 1) != (lut >> flipped & 1)) matters = true;
+          (void)in;
+        }
+      }
+    }
+    if (matters) demand |= 1u << j;
+  }
+  return demand;
+}
+
+// Precise demands for an instruction writing a single 32-bit GPR whose live
+// mask is `L`.  Returns false when the opcode or operand shape is unmodeled
+// (caller falls back to full-width demands).  Every case mirrors the
+// corresponding executor.cpp semantics bit for bit.
+bool PreciseGprDemands(const Instruction& inst, std::uint32_t L, BitLiveSet& live) {
+  switch (inst.opcode) {
+    // Plain copies: MOV/MOV32I, and I2I, which the executor implements as a
+    // 32-bit copy.
+    case Opcode::kMOV:
+    case Opcode::kMOV32I:
+    case Opcode::kI2I:
+      if (inst.num_src < 1) return false;
+      Demand(live, inst.src[0], L);
+      return true;
+
+    // Predicated selects copy one of two sources.
+    case Opcode::kSEL:
+    case Opcode::kFSEL:
+      if (inst.num_src < 2) return false;
+      Demand(live, inst.src[0], L);
+      Demand(live, inst.src[1], L);
+      if (inst.num_src > 2) Demand(live, inst.src[2], 1);
+      return true;
+
+    // Two-operand boolean: bits a known immediate forces (AND with 0, OR
+    // with 1) cannot propagate through the other operand.
+    case Opcode::kLOP:
+    case Opcode::kLOP32I: {
+      if (inst.num_src < 2) return false;
+      const std::optional<std::uint32_t> va = KnownValue(inst.src[0]);
+      const std::optional<std::uint32_t> vb = KnownValue(inst.src[1]);
+      const auto demand_through = [&](const std::optional<std::uint32_t>& other) {
+        if (!other.has_value()) return L;
+        switch (inst.mods.bool_op) {
+          case sim::BoolOp::kAnd: return L & *other;
+          case sim::BoolOp::kOr: return L & ~*other;
+          case sim::BoolOp::kXor: return L;
+        }
+        return L;
+      };
+      Demand(live, inst.src[0], demand_through(vb));
+      Demand(live, inst.src[1], demand_through(va));
+      return true;
+    }
+
+    case Opcode::kLOP3: {
+      if (inst.num_src < 3) return false;
+      const std::optional<std::uint8_t> lut = KnownLut(inst);
+      if (!lut.has_value()) return false;
+      const std::optional<std::uint32_t> known[3] = {
+          KnownValue(inst.src[0]), KnownValue(inst.src[1]), KnownValue(inst.src[2])};
+      for (int i = 0; i < 3; ++i) {
+        Demand(live, inst.src[i], Lop3InputDemand(L, *lut, i, known));
+      }
+      return true;
+    }
+
+    // Shifts: the executor masks the amount to 5 bits (6 for SHF), and bits
+    // shifted out of the demanded window die.
+    case Opcode::kSHL: {
+      if (inst.num_src < 2) return false;
+      if (const std::optional<std::uint32_t> s = KnownValue(inst.src[1])) {
+        Demand(live, inst.src[0], L >> (*s & 31u));
+      } else {
+        Demand(live, inst.src[1], 0x1Fu);
+        Demand(live, inst.src[0], MaskUpToMsb(L));
+      }
+      return true;
+    }
+    case Opcode::kSHR: {
+      if (inst.num_src < 2) return false;
+      if (const std::optional<std::uint32_t> s = KnownValue(inst.src[1])) {
+        const unsigned c = *s & 31u;
+        std::uint32_t demand = L << c;
+        // Arithmetic shift replicates the sign bit into the vacated window.
+        if (inst.mods.src_signed && c > 0 && (L >> (32 - c)) != 0) {
+          demand |= 0x80000000u;
+        }
+        Demand(live, inst.src[0], demand);
+      } else {
+        Demand(live, inst.src[1], 0x1Fu);
+        Demand(live, inst.src[0], MaskDownToLsb(L));
+      }
+      return true;
+    }
+    case Opcode::kSHF: {
+      if (inst.num_src < 2) return false;
+      const bool has_hi = inst.num_src > 2;
+      if (const std::optional<std::uint32_t> s = KnownValue(inst.src[1])) {
+        const unsigned c = *s & 63u;
+        std::uint32_t lo_demand = 0;
+        std::uint32_t hi_demand = 0;
+        if (inst.mods.shift_dir == sim::ShiftDir::kRight) {
+          if (c == 0) {
+            lo_demand = L;
+          } else if (c < 32) {
+            lo_demand = L << c;
+            hi_demand = L >> (32 - c);
+          } else if (c == 32) {
+            hi_demand = L;
+          } else {
+            hi_demand = L << (c - 32);
+          }
+        } else {
+          if (c == 0) {
+            hi_demand = L;
+          } else if (c < 32) {
+            hi_demand = L >> c;
+            lo_demand = L << (32 - c);
+          } else if (c == 32) {
+            lo_demand = L;
+          } else {
+            lo_demand = L >> (c - 32);
+          }
+        }
+        Demand(live, inst.src[0], lo_demand);
+        if (has_hi) Demand(live, inst.src[2], hi_demand);
+      } else {
+        Demand(live, inst.src[1], 0x3Fu);
+        Demand(live, inst.src[0], 0xFFFFFFFFu);
+        if (has_hi) Demand(live, inst.src[2], 0xFFFFFFFFu);
+      }
+      return true;
+    }
+
+    // Add/multiply family: carries propagate strictly upward, so only bits
+    // at or below the highest live result bit are demanded.
+    case Opcode::kIADD3:
+    case Opcode::kIADD32I: {
+      if (inst.num_src < 2) return false;
+      const std::uint32_t cone = MaskUpToMsb(L);
+      for (int i = 0; i < inst.num_src && i < 3; ++i) Demand(live, inst.src[i], cone);
+      return true;
+    }
+    case Opcode::kIMAD: {
+      if (inst.mods.wide_dst || inst.num_src < 2) return false;
+      const std::uint32_t cone = MaskUpToMsb(L);
+      for (int i = 0; i < inst.num_src && i < 3; ++i) Demand(live, inst.src[i], cone);
+      return true;
+    }
+    case Opcode::kLEA:
+    case Opcode::kISCADD: {
+      if (inst.num_src < 2) return false;
+      const std::uint32_t cone = MaskUpToMsb(L);
+      std::uint32_t a_demand = cone;
+      if (inst.num_src > 2) {
+        if (const std::optional<std::uint32_t> s = KnownValue(inst.src[2])) {
+          a_demand = cone >> (*s & 31u);
+        } else {
+          Demand(live, inst.src[2], 0x1Fu);
+        }
+      }
+      Demand(live, inst.src[0], a_demand);
+      Demand(live, inst.src[1], cone);
+      return true;
+    }
+
+    // Bit-field helpers.
+    case Opcode::kBMSK:
+      if (inst.num_src < 2) return false;
+      Demand(live, inst.src[0], 0x1Fu);
+      Demand(live, inst.src[1], 0x3Fu);
+      return true;
+    case Opcode::kSGXT: {
+      if (inst.num_src < 2) return false;
+      if (const std::optional<std::uint32_t> s = KnownValue(inst.src[1])) {
+        const unsigned w = *s & 31u;
+        if (w != 0) {
+          const std::uint32_t low = (1u << w) - 1u;
+          std::uint32_t demand = L & low;
+          if ((L & ~low) != 0) demand |= 1u << (w - 1);  // replicated sign bit
+          Demand(live, inst.src[0], demand);
+        }
+      } else {
+        Demand(live, inst.src[1], 0x1Fu);
+        Demand(live, inst.src[0], MaskUpToMsb(L));
+      }
+      return true;
+    }
+    case Opcode::kBREV:
+      if (inst.num_src < 1) return false;
+      Demand(live, inst.src[0], ReverseBits32(L));
+      return true;
+
+    // Byte permute: each live destination byte demands its selected pool
+    // byte (or only that byte's sign bit in replicate mode).
+    case Opcode::kPRMT: {
+      if (inst.num_src < 2) return false;
+      const bool has_b = inst.num_src > 2;
+      if (const std::optional<std::uint32_t> sel = KnownValue(inst.src[1])) {
+        std::uint32_t a_demand = 0;
+        std::uint32_t b_demand = 0;
+        for (int i = 0; i < 4; ++i) {
+          const std::uint32_t live_byte = L >> (8 * i) & 0xFFu;
+          if (live_byte == 0) continue;
+          const std::uint32_t nib = *sel >> (4 * i) & 0xFu;
+          const std::uint32_t byte_demand = (nib & 0x8u) != 0 ? 0x80u : live_byte;
+          const unsigned pool = nib & 0x7u;
+          if (pool < 4) {
+            a_demand |= byte_demand << (8 * pool);
+          } else if (has_b) {
+            b_demand |= byte_demand << (8 * (pool - 4));
+          }
+        }
+        Demand(live, inst.src[0], a_demand);
+        if (has_b) Demand(live, inst.src[2], b_demand);
+      } else {
+        Demand(live, inst.src[1], 0xFFFFu);  // four selector nibbles
+        Demand(live, inst.src[0], 0xFFFFFFFFu);
+        if (has_b) Demand(live, inst.src[2], 0xFFFFFFFFu);
+      }
+      return true;
+    }
+
+    // P2R: destination bit p mirrors predicate p (under the mask); bits 7+
+    // are constant zero.
+    case Opcode::kP2R: {
+      std::optional<std::uint32_t> mask = 0xFFFFFFFFu;
+      if (inst.num_src > 0) {
+        mask = KnownValue(inst.src[0]);
+        if (!mask.has_value()) Demand(live, inst.src[0], L & 0x7Fu);
+      }
+      for (int p = 0; p < sim::kPT; ++p) {
+        if ((L >> p & 1) == 0) continue;
+        if (mask.has_value() && (*mask >> p & 1) == 0) continue;
+        live.AddPred(p);
+      }
+      return true;
+    }
+
+    default:
+      return false;
+  }
+}
+
+// R2P writes predicates from value-register bits: predicate p (when selected
+// by the mask) is bit p of the value, so only the bits of live masked
+// predicates are demanded.  Demands are judged against the PRE-kill live set
+// (a predicate's new value is observed iff it is live after the write).
+bool R2PDemands(const Instruction& inst, const BitLiveSet& live_out, BitLiveSet& live) {
+  if (inst.num_src < 1) return false;
+  std::optional<std::uint32_t> mask = 0xFFFFFFFFu;
+  if (inst.num_src > 1) {
+    mask = KnownValue(inst.src[1]);
+    if (!mask.has_value()) Demand(live, inst.src[1], 0x7Fu);
+  }
+  std::uint32_t value_demand = 0;
+  for (int p = 0; p < sim::kPT; ++p) {
+    if (!live_out.TestPred(p)) continue;
+    if (mask.has_value() && (*mask >> p & 1) == 0) continue;
+    value_demand |= 1u << p;
+  }
+  Demand(live, inst.src[0], value_demand);
+  return true;
+}
+
+// Sub-word stores consume only the low bytes of the value register; the
+// address registers are always fully demanded.
+bool StoreDemands(const Instruction& inst, BitLiveSet& live) {
+  if (inst.num_src < 2) return false;
+  if (inst.src[0].kind != Operand::Kind::kMem) return false;
+  if (inst.src[1].kind != Operand::Kind::kGpr) return false;
+  const bool narrow_base =
+      inst.opcode == Opcode::kSTS || inst.opcode == Opcode::kSTL;
+  live.AddGprBits(inst.src[0].mem_base, 0xFFFFFFFFu);
+  if (!narrow_base) live.AddGprBits(inst.src[0].mem_base + 1, 0xFFFFFFFFu);
+  std::uint32_t value_mask = 0xFFFFFFFFu;
+  int value_regs = 1;
+  switch (inst.mods.width) {
+    case sim::MemWidth::k8: value_mask = 0xFFu; break;
+    case sim::MemWidth::k16: value_mask = 0xFFFFu; break;
+    case sim::MemWidth::k32: break;
+    case sim::MemWidth::k64: value_regs = 2; break;
+    case sim::MemWidth::k128: value_regs = 4; break;
+  }
+  live.AddGprBits(inst.src[1].reg, value_mask);
+  for (int i = 1; i < value_regs; ++i) {
+    live.AddGprBits(inst.src[1].reg + i, 0xFFFFFFFFu);
+  }
+  return true;
+}
+
+struct BitLivenessProblem {
+  using Value = BitLiveSet;
+
+  const ControlFlowGraph* cfg;
+  const std::vector<Instruction>* instructions;
+
+  Direction direction() const { return Direction::kBackward; }
+  Value Boundary() const { return BitLiveSet{}; }
+  Value Init() const { return BitLiveSet{}; }
+  void Meet(Value& into, const Value& from) const { into |= from; }
+  bool Equal(const Value& a, const Value& b) const { return a == b; }
+
+  Value Transfer(std::uint32_t block, const Value& live_out) const {
+    BitLiveSet live = live_out;
+    const BasicBlock& b = cfg->blocks()[block];
+    for (std::uint32_t i = b.end; i-- > b.begin;) {
+      live = BitTransfer((*instructions)[i], live);
+    }
+    return live;
+  }
+};
+
+}  // namespace
+
+std::optional<std::uint32_t> KnownOperandValue(const Operand& op) {
+  // Mirrors the executor's ReadSrc32 with fp=false: absolute value first,
+  // then bitwise inversion, then arithmetic negation.
+  if (op.kind != Operand::Kind::kImm) return std::nullopt;
+  std::uint32_t v = op.imm;
+  if (op.absolute && static_cast<std::int32_t>(v) < 0) v = 0u - v;
+  if (op.invert) v = ~v;
+  if (op.negate) v = 0u - v;
+  return v;
+}
+
+bool SideEffectFreeInstr(const Instruction& inst) {
+  switch (sim::ClassOf(inst.opcode)) {
+    case sim::OpClass::kFp16:
+    case sim::OpClass::kFp32:
+    case sim::OpClass::kFp64:
+    case sim::OpClass::kInt:
+    case sim::OpClass::kConversion:
+    case sim::OpClass::kMove:
+    case sim::OpClass::kPredicate:
+      break;
+    default:
+      return false;
+  }
+  // Collectives contribute source values to other lanes even when their own
+  // destination is dead.
+  return inst.opcode != Opcode::kSHFL && inst.opcode != Opcode::kVOTE;
+}
+
+BitLiveSet BitTransfer(const Instruction& inst, const BitLiveSet& live_out) {
+  // @!PT: statically never executed.
+  if (inst.guard_pred == sim::kPT && inst.guard_negate) return live_out;
+
+  const InstrEffects e = EffectsOf(inst);
+  BitLiveSet live = live_out;
+
+  // Kills are whole-register, from the same must-def sets the register-level
+  // analysis uses (empty under a real guard — the write may be suppressed).
+  for (int r = 0; r < sim::kRZ; ++r) {
+    if (e.must_defs.TestGpr(r)) live.KillGpr(r);
+  }
+  for (int p = 0; p < sim::kPT; ++p) {
+    if (e.must_defs.TestPred(p)) live.RemovePred(p);
+  }
+
+  // Dead-destination gating: a side-effect-free instruction whose written
+  // bits are all dead demands nothing — not even its guard, because whether
+  // it executes is unobservable.  This is what makes comparisons bit-kill
+  // their sources: once the destination predicates die, so do the demands.
+  if (SideEffectFreeInstr(inst) && !AnyDefLive(e, live_out)) return live;
+
+  bool precise = false;
+  if (inst.opcode == Opcode::kR2P) {
+    precise = R2PDemands(inst, live_out, live);
+  } else if (IsStoreOp(inst.opcode)) {
+    precise = StoreDemands(inst, live);
+  } else if (SinglePlainGprDest(inst)) {
+    precise = PreciseGprDemands(inst, live_out.GprBits(inst.dest_gpr), live);
+  }
+
+  if (precise) {
+    if (inst.guard_pred != sim::kPT) live.AddPred(inst.guard_pred);
+  } else {
+    // Conservative fallback: full-width demands on the register-level use
+    // set (which already includes the guard predicate).
+    DemandAll(live, e.uses);
+  }
+  return live;
+}
+
+BitLivenessAnalysis::BitLivenessAnalysis(const sim::KernelSource& kernel,
+                                         const ControlFlowGraph& cfg) {
+  const std::size_t n = kernel.instructions.size();
+
+  BitLivenessProblem problem{&cfg, &kernel.instructions};
+  DataflowResult<BitLivenessProblem> solved = Solve(cfg, problem);
+  block_in_ = std::move(solved.in);
+  block_out_ = std::move(solved.out);
+
+  // Per-instruction sets by replaying each block's backward transfer.
+  instr_in_.assign(n, BitLiveSet{});
+  instr_out_.assign(n, BitLiveSet{});
+  for (std::uint32_t bi = 0; bi < cfg.blocks().size(); ++bi) {
+    const BasicBlock& b = cfg.blocks()[bi];
+    if (!b.reachable) continue;
+    BitLiveSet live = block_out_[bi];
+    for (std::uint32_t i = b.end; i-- > b.begin;) {
+      instr_out_[i] = live;
+      live = BitTransfer(kernel.instructions[i], live);
+      instr_in_[i] = live;
+    }
+  }
+}
+
+}  // namespace nvbitfi::staticanalysis

@@ -1,0 +1,125 @@
+// Bit-granular register liveness over a kernel CFG.
+//
+// Refines LivenessAnalysis from "is this register live" to "which BITS of
+// this register can still influence an observable output".  The lattice
+// element is a per-register 32-bit mask plus a predicate set; the transfer
+// functions model the bit-killing instructions the functional executor
+// (src/sassim/core/executor.cpp) actually implements:
+//
+//   * LOP/LOP32I/LOP3 with immediate operands — bits an AND zeroes or an OR
+//     forces to one cannot propagate through the untouched operand.
+//   * SHL/SHR/SHF — shifted-out bits die; a constant amount maps demands
+//     bit-exactly, an unknown amount demands the reachable cone.
+//   * SGXT / sub-word stores / PRMT byte selects — only the extracted bits
+//     (plus the replicated sign bit) are demanded.
+//   * Address arithmetic (IADD3, IMAD, LEA, ISCADD) — carries propagate
+//     strictly upward, so bits above the highest live result bit are dead.
+//   * Comparisons and other unmodeled side-effect-free ops — when every
+//     destination bit and predicate is dead the instruction demands nothing
+//     (the "only the predicate survives" rule falls out of this gating);
+//     otherwise they conservatively demand every bit of every register the
+//     register-level analysis says they use.
+//
+// Soundness is one-sided and inherits EffectsOf's conservatism: kills are
+// whole-register (the executor only writes full 32-bit registers), guarded
+// instructions never kill, and anything that can trap, branch, touch memory,
+// or cross lanes demands its sources fully.  By construction the result is a
+// refinement: a bit can only be live if its register is live in
+// LivenessAnalysis (tested as a property over every bundled workload).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sassim/isa/kernel.h"
+#include "staticanalysis/cfg.h"
+#include "staticanalysis/regset.h"
+
+namespace nvbitfi::staticanalysis {
+
+// Per-register live-bit masks: gpr_[r] bit j set means bit j of Rr may still
+// influence an observable output.  RZ (R255) and PT are never members.
+class BitLiveSet {
+ public:
+  void AddGprBits(int reg, std::uint32_t mask) {
+    if (reg >= 0 && reg < sim::kRZ) gpr_[static_cast<std::size_t>(reg)] |= mask;
+  }
+  std::uint32_t GprBits(int reg) const {
+    if (reg < 0 || reg >= sim::kRZ) return 0;
+    return gpr_[static_cast<std::size_t>(reg)];
+  }
+  void KillGpr(int reg) {
+    if (reg >= 0 && reg < sim::kRZ) gpr_[static_cast<std::size_t>(reg)] = 0;
+  }
+
+  void AddPred(int pred) {
+    if (pred >= 0 && pred < sim::kPT) preds_ |= static_cast<std::uint8_t>(1u << pred);
+  }
+  void RemovePred(int pred) {
+    if (pred >= 0 && pred < sim::kPT) preds_ &= static_cast<std::uint8_t>(~(1u << pred));
+  }
+  bool TestPred(int pred) const {
+    if (pred < 0 || pred >= sim::kPT) return false;
+    return (preds_ & (1u << pred)) != 0;
+  }
+
+  BitLiveSet& operator|=(const BitLiveSet& other) {
+    for (std::size_t i = 0; i < gpr_.size(); ++i) gpr_[i] |= other.gpr_[i];
+    preds_ |= other.preds_;
+    return *this;
+  }
+
+  bool Empty() const {
+    for (const std::uint32_t m : gpr_) {
+      if (m != 0) return false;
+    }
+    return preds_ == 0;
+  }
+
+  bool operator==(const BitLiveSet&) const = default;
+
+ private:
+  std::array<std::uint32_t, sim::kRZ> gpr_{};
+  std::uint8_t preds_ = 0;
+};
+
+// One backward step: the bit-live set immediately before `inst` given the
+// set immediately after it.  Exposed for the table-driven transfer tests.
+BitLiveSet BitTransfer(const sim::Instruction& inst, const BitLiveSet& live_out);
+
+// Pure register-to-register computation: no memory traffic, no control
+// effect, no cross-lane data exchange.  Such an instruction is removable
+// (lint dead-store rule) and demands nothing once its destinations are dead
+// (bit-liveness gating).
+bool SideEffectFreeInstr(const sim::Instruction& inst);
+
+// Known constant value of a source operand after the executor's integer
+// modifier pipeline (absolute, then invert, then negate).  Only literals are
+// statically known.  Shared with the lint rules that reason about immediates.
+std::optional<std::uint32_t> KnownOperandValue(const sim::Operand& op);
+
+class BitLivenessAnalysis {
+ public:
+  // Solves over `cfg` (built for `kernel` by the register-level analysis —
+  // sharing it avoids a second CFG construction and guarantees both
+  // analyses reason about identical reachability).
+  BitLivenessAnalysis(const sim::KernelSource& kernel, const ControlFlowGraph& cfg);
+
+  const BitLiveSet& LiveIn(std::uint32_t block) const { return block_in_[block]; }
+  const BitLiveSet& LiveOut(std::uint32_t block) const { return block_out_[block]; }
+
+  // Bit-live set immediately before / after instruction `index`.
+  // Instructions in unreachable blocks report empty sets.
+  const BitLiveSet& LiveInAt(std::uint32_t index) const { return instr_in_[index]; }
+  const BitLiveSet& LiveOutAt(std::uint32_t index) const { return instr_out_[index]; }
+
+ private:
+  std::vector<BitLiveSet> block_in_;
+  std::vector<BitLiveSet> block_out_;
+  std::vector<BitLiveSet> instr_in_;
+  std::vector<BitLiveSet> instr_out_;
+};
+
+}  // namespace nvbitfi::staticanalysis

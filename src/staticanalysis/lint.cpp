@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "sassim/isa/opcode.h"
+#include "staticanalysis/bitliveness.h"
 #include "staticanalysis/liveness.h"
 #include "staticanalysis/reaching_defs.h"
 
@@ -11,27 +12,6 @@ namespace {
 
 using sim::Instruction;
 using sim::Opcode;
-
-// Opcode is removable when its results are dead: pure register-to-register
-// computation, no memory traffic, no control effect, no cross-lane data
-// exchange.
-bool SideEffectFree(const Instruction& inst) {
-  switch (sim::ClassOf(inst.opcode)) {
-    case sim::OpClass::kFp16:
-    case sim::OpClass::kFp32:
-    case sim::OpClass::kFp64:
-    case sim::OpClass::kInt:
-    case sim::OpClass::kConversion:
-    case sim::OpClass::kMove:
-    case sim::OpClass::kPredicate:
-      break;
-    default:
-      return false;
-  }
-  // Collectives contribute source values to other lanes even when their own
-  // destination is dead.
-  return inst.opcode != Opcode::kSHFL && inst.opcode != Opcode::kVOTE;
-}
 
 void LintReadBeforeDef(const sim::KernelSource& kernel, const LivenessAnalysis& liveness,
                        const ReachingDefsAnalysis& reaching,
@@ -73,7 +53,7 @@ void LintDeadStores(const sim::KernelSource& kernel, const LivenessAnalysis& liv
     // "dead" guarded write is usually intentional divergence handling.
     if (inst.guard_pred != sim::kPT || inst.guard_negate) continue;
     if (!liveness.cfg().InstructionReachable(i)) continue;
-    if (!SideEffectFree(inst)) continue;
+    if (!SideEffectFreeInstr(inst)) continue;
     const RegSet& defs = liveness.effects(i).may_defs;
     if (defs.Empty()) continue;
     const RegSet& live_out = liveness.LiveOutAt(i);
@@ -142,6 +122,74 @@ void LintSharedOffsets(const sim::KernelSource& kernel, const LivenessAnalysis& 
   }
 }
 
+void LintRedundantMasks(const sim::KernelSource& kernel,
+                        const LivenessAnalysis& liveness,
+                        const BitLivenessAnalysis& bitliveness,
+                        std::vector<LintFinding>& findings) {
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    const Instruction& inst = kernel.instructions[i];
+    if (inst.opcode != Opcode::kLOP && inst.opcode != Opcode::kLOP32I) continue;
+    if (inst.num_src < 2) continue;
+    if (sim::DestKindOf(inst.opcode) != sim::DestKind::kGpr) continue;
+    if (!liveness.cfg().InstructionReachable(i)) continue;
+    const auto va = KnownOperandValue(inst.src[0]);
+    const auto vb = KnownOperandValue(inst.src[1]);
+    // Exactly one immediate operand: two immediates are a constant fold, two
+    // registers are not a mask.
+    if (va.has_value() == vb.has_value()) continue;
+    const std::uint32_t v = va.has_value() ? *va : *vb;
+    const std::uint32_t L = bitliveness.LiveOutAt(i).GprBits(inst.dest_gpr);
+    if (L == 0) continue;  // fully dead result: the dead-store rule's turf
+    // AND can only change bits the immediate clears; OR only bits it sets.
+    std::uint32_t changeable = 0;
+    const char* verb = nullptr;
+    switch (inst.mods.bool_op) {
+      case sim::BoolOp::kAnd:
+        changeable = ~v;
+        verb = "AND";
+        break;
+      case sim::BoolOp::kOr:
+        changeable = v;
+        verb = "OR";
+        break;
+      case sim::BoolOp::kXor:
+        changeable = v;
+        verb = "XOR";
+        break;
+    }
+    if ((L & changeable) != 0) continue;
+    findings.push_back(
+        {LintKind::kRedundantMask, i,
+         Format("%s with 0x%08X cannot change any live bit of R%d "
+                "(live mask 0x%08X)",
+                verb, v, inst.dest_gpr, L)});
+  }
+}
+
+void LintShiftRanges(const sim::KernelSource& kernel, const LivenessAnalysis& liveness,
+                     std::vector<LintFinding>& findings) {
+  for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+    const Instruction& inst = kernel.instructions[i];
+    std::uint32_t modulus = 0;
+    if (inst.opcode == Opcode::kSHL || inst.opcode == Opcode::kSHR) {
+      modulus = 32;
+    } else if (inst.opcode == Opcode::kSHF) {
+      modulus = 64;
+    } else {
+      continue;
+    }
+    if (inst.num_src < 2) continue;
+    if (!liveness.cfg().InstructionReachable(i)) continue;
+    const auto amount = KnownOperandValue(inst.src[1]);
+    if (!amount.has_value() || *amount < modulus) continue;
+    findings.push_back(
+        {LintKind::kShiftOutOfRange, i,
+         Format("shift amount %u exceeds the hardware's %u-bit range and "
+                "truncates to %u",
+                *amount, modulus == 32 ? 5u : 6u, *amount % modulus)});
+  }
+}
+
 }  // namespace
 
 std::string_view LintKindName(LintKind kind) {
@@ -151,6 +199,8 @@ std::string_view LintKindName(LintKind kind) {
     case LintKind::kDeadStore: return "dead-store";
     case LintKind::kConstantGuard: return "constant-guard";
     case LintKind::kSharedOutOfRange: return "shared-out-of-range";
+    case LintKind::kRedundantMask: return "redundant-mask";
+    case LintKind::kShiftOutOfRange: return "shift-out-of-range";
   }
   return "unknown";
 }
@@ -160,11 +210,14 @@ std::vector<LintFinding> LintKernel(const sim::KernelSource& kernel) {
   if (kernel.instructions.empty()) return findings;
   const LivenessAnalysis liveness(kernel);
   const ReachingDefsAnalysis reaching(kernel, liveness.cfg());
+  const BitLivenessAnalysis bitliveness(kernel, liveness.cfg());
   LintReadBeforeDef(kernel, liveness, reaching, findings);
   LintUnreachable(liveness.cfg(), findings);
   LintDeadStores(kernel, liveness, findings);
   LintGuards(kernel, liveness, findings);
   LintSharedOffsets(kernel, liveness, findings);
+  LintRedundantMasks(kernel, liveness, bitliveness, findings);
+  LintShiftRanges(kernel, liveness, findings);
   return findings;
 }
 

@@ -16,6 +16,12 @@
 //     pointless.
 //   * shared-out-of-range: LDS/STS/ATOMS at a constant address (RZ base)
 //     whose access falls outside the kernel's declared shared_bytes.
+//   * redundant-mask: an AND/OR with an immediate that cannot change any
+//     bit-live bit of its result (bit-granular liveness: every bit the mask
+//     could alter is dead downstream), so the mask is a no-op.
+//   * shift-out-of-range: a constant shift amount the hardware truncates
+//     (>= 32 for SHL/SHR, >= 64 for SHF), so the shift silently acts as a
+//     smaller one — almost always a width confusion.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,8 @@ enum class LintKind : std::uint8_t {
   kDeadStore,
   kConstantGuard,
   kSharedOutOfRange,
+  kRedundantMask,
+  kShiftOutOfRange,
 };
 
 std::string_view LintKindName(LintKind kind);

@@ -1,5 +1,7 @@
 #include "staticanalysis/static_site.h"
 
+#include <bit>
+#include <optional>
 #include <utility>
 
 #include "core/corruption.h"
@@ -73,8 +75,41 @@ bool TargetDead(const KernelStaticInfo& info, const RegSet& live_out,
   return false;
 }
 
+// Bit-dead mask of `target` at the instruction's kAfter point, in target
+// width.  Exclusions mirror TargetDead: a cross-lane-hazard register has no
+// provably dead bits; the RZ high half of a pair discards writes, so every
+// one of its bits is dead.
+std::uint64_t DeadBitsOf(const KernelStaticInfo& info, const BitLiveSet& bitlive,
+                         const fi::CorruptionTarget& target) {
+  switch (target.kind) {
+    case fi::CorruptionTarget::Kind::kGpr32:
+      if (info.crosslane_hazard.TestGpr(target.reg)) return 0;
+      return static_cast<std::uint64_t>(~bitlive.GprBits(target.reg)) & 0xFFFFFFFFull;
+    case fi::CorruptionTarget::Kind::kGpr64: {
+      std::uint64_t dead = 0;
+      for (int half = 0; half < 2; ++half) {
+        const int r = target.reg + half;
+        if (r >= sim::kRZ) {
+          dead |= 0xFFFFFFFFull << (32 * half);
+          continue;
+        }
+        if (info.crosslane_hazard.TestGpr(r)) continue;
+        dead |= (static_cast<std::uint64_t>(~bitlive.GprBits(r)) & 0xFFFFFFFFull)
+                << (32 * half);
+      }
+      return dead;
+    }
+    case fi::CorruptionTarget::Kind::kPred:
+      if (info.crosslane_hazard.TestPred(target.reg)) return 0;
+      return bitlive.TestPred(target.reg) ? 0 : 1;
+  }
+  return 0;
+}
+
 fi::StaticSiteVerdict VerdictAt(const KernelStaticInfo& info, std::uint32_t static_index,
-                                double destination_register) {
+                                double destination_register,
+                                std::optional<fi::BitFlipModel> bit_flip_model,
+                                double bit_pattern_value) {
   fi::StaticSiteVerdict verdict;
   if (static_index >= info.kernel.instructions.size()) return verdict;
   const sim::Instruction& inst = info.kernel.instructions[static_index];
@@ -97,19 +132,44 @@ fi::StaticSiteVerdict VerdictAt(const KernelStaticInfo& info, std::uint32_t stat
     if (info.clock_dependent || !info.liveness.cfg().InstructionReachable(static_index)) {
       return verdict;
     }
-    verdict.statically_dead =
+    verdict.register_dead =
         TargetDead(info, info.liveness.LiveOutAt(static_index), target);
+    const std::uint64_t width_mask =
+        verdict.register_width >= 64 ? ~0ull : (1ull << verdict.register_width) - 1;
+    verdict.dead_bits =
+        DeadBitsOf(info, info.bitliveness.LiveOutAt(static_index), target) & width_mask;
+    verdict.masking_score = static_cast<double>(std::popcount(verdict.dead_bits)) /
+                            static_cast<double>(verdict.register_width);
+    // All bits dead masks EVERY corruption of the target (any XOR, any
+    // overwrite), regardless of the bit-flip model.
+    verdict.statically_dead = verdict.register_dead || verdict.dead_bits == width_mask;
+    // A statically known flip mask that touches only dead bits masks this
+    // specific draw even when the register as a whole stays live.  Only the
+    // single-/two-bit models have value-independent masks.
+    if (bit_flip_model.has_value() && !verdict.pred_target &&
+        (*bit_flip_model == fi::BitFlipModel::kFlipSingleBit ||
+         *bit_flip_model == fi::BitFlipModel::kFlipTwoBits)) {
+      const std::uint64_t mask =
+          verdict.register_width == 64
+              ? fi::InjectionMask64(*bit_flip_model, bit_pattern_value, 0)
+              : fi::InjectionMask32(*bit_flip_model, bit_pattern_value, 0);
+      verdict.flip_dead = mask != 0 && (mask & ~verdict.dead_bits & width_mask) == 0;
+    }
     return verdict;
   }
 
   // No architectural target: the fault vanishes, a Masked run by
   // construction — unless clock reads make the outputs incomparable.
   verdict.statically_dead = !info.clock_dependent;
+  verdict.register_dead = verdict.statically_dead;
+  verdict.masking_score = verdict.statically_dead ? 1.0 : 0.0;
   return verdict;
 }
 
 // Fraction of destination-register draws at `static_index` that land on a
-// dead target (the draw picks each candidate with equal probability).
+// dead target (the draw picks each candidate with equal probability).  Uses
+// the combined register-or-all-bits-dead verdict, matching what kPrune
+// campaigns skip for every bit-flip model.
 double DeadDrawFraction(const KernelStaticInfo& info, std::uint32_t static_index) {
   if (info.clock_dependent) return 0.0;
   if (static_index >= info.kernel.instructions.size() ||
@@ -120,9 +180,17 @@ double DeadDrawFraction(const KernelStaticInfo& info, std::uint32_t static_index
       fi::CandidateTargets(info.kernel.instructions[static_index]);
   if (targets.empty()) return 1.0;
   const RegSet& live_out = info.liveness.LiveOutAt(static_index);
+  const BitLiveSet& bit_out = info.bitliveness.LiveOutAt(static_index);
   std::size_t dead = 0;
   for (const fi::CorruptionTarget& target : targets) {
-    if (TargetDead(info, live_out, target)) ++dead;
+    const int width = target.kind == fi::CorruptionTarget::Kind::kPred ? 1
+                      : target.kind == fi::CorruptionTarget::Kind::kGpr64 ? 64
+                                                                          : 32;
+    const std::uint64_t width_mask = width >= 64 ? ~0ull : (1ull << width) - 1;
+    if (TargetDead(info, live_out, target) ||
+        (DeadBitsOf(info, bit_out, target) & width_mask) == width_mask) {
+      ++dead;
+    }
   }
   return static_cast<double>(dead) / static_cast<double>(targets.size());
 }
@@ -130,7 +198,10 @@ double DeadDrawFraction(const KernelStaticInfo& info, std::uint32_t static_index
 }  // namespace
 
 KernelStaticInfo::KernelStaticInfo(sim::KernelSource k)
-    : kernel(std::move(k)), liveness(kernel), crosslane_hazard(CrosslaneHazardOf(kernel)) {
+    : kernel(std::move(k)),
+      liveness(kernel),
+      bitliveness(kernel, liveness.cfg()),
+      crosslane_hazard(CrosslaneHazardOf(kernel)) {
   for (const sim::Instruction& inst : kernel.instructions) {
     if (ReadsClock(inst)) {
       clock_dependent = true;
@@ -172,7 +243,8 @@ fi::StaticSiteVerdict StaticSiteAnalysis::Evaluate(
     const std::optional<std::uint32_t> static_index = fi::ResolveSiteStream(
         kp, info->kernel.instructions, params.arch_state_id, params.instruction_count);
     if (!static_index.has_value()) return verdict;
-    return VerdictAt(*info, *static_index, params.destination_register);
+    return VerdictAt(*info, *static_index, params.destination_register,
+                     params.bit_flip_model, params.bit_pattern_value);
   }
   return verdict;
 }
@@ -182,7 +254,16 @@ fi::StaticSiteVerdict StaticSiteAnalysis::EvaluateStatic(std::string_view kernel
                                                          double destination_register) const {
   const KernelStaticInfo* info = FindKernel(kernel_name);
   if (info == nullptr) return fi::StaticSiteVerdict{};
-  return VerdictAt(*info, static_index, destination_register);
+  return VerdictAt(*info, static_index, destination_register, std::nullopt, 0.0);
+}
+
+fi::StaticSiteVerdict StaticSiteAnalysis::EvaluateStatic(
+    std::string_view kernel_name, std::uint32_t static_index, double destination_register,
+    fi::BitFlipModel bit_flip_model, double bit_pattern_value) const {
+  const KernelStaticInfo* info = FindKernel(kernel_name);
+  if (info == nullptr) return fi::StaticSiteVerdict{};
+  return VerdictAt(*info, static_index, destination_register, bit_flip_model,
+                   bit_pattern_value);
 }
 
 double StaticSiteAnalysis::DeadFraction(const fi::ProgramProfile& profile,

@@ -39,6 +39,7 @@
 #include "core/static_oracle.h"
 #include "core/target_program.h"
 #include "sassim/isa/kernel.h"
+#include "staticanalysis/bitliveness.h"
 #include "staticanalysis/liveness.h"
 
 namespace nvbitfi::staticanalysis {
@@ -47,8 +48,9 @@ namespace nvbitfi::staticanalysis {
 struct KernelStaticInfo {
   sim::KernelSource kernel;
   LivenessAnalysis liveness;
-  RegSet crosslane_hazard;       // registers read cross-lane (SHFL/VOTE)
-  bool clock_dependent = false;  // kernel reads the cycle counter
+  BitLivenessAnalysis bitliveness;  // shares liveness's CFG
+  RegSet crosslane_hazard;          // registers read cross-lane (SHFL/VOTE)
+  bool clock_dependent = false;     // kernel reads the cycle counter
 
   explicit KernelStaticInfo(sim::KernelSource k);
 };
@@ -69,10 +71,17 @@ class StaticSiteAnalysis final : public fi::StaticSiteOracle {
 
   // Verdict for an already-resolved static instruction (the post-hoc path:
   // `nvbitfi analyze --static` audits stored records, which carry the static
-  // index the injector actually hit).
+  // index the injector actually hit).  Passing the bit-flip model and its
+  // pattern value additionally resolves flip_dead; the default leaves it
+  // false (no concrete mask to judge).
   fi::StaticSiteVerdict EvaluateStatic(std::string_view kernel_name,
                                        std::uint32_t static_index,
                                        double destination_register) const;
+  fi::StaticSiteVerdict EvaluateStatic(std::string_view kernel_name,
+                                       std::uint32_t static_index,
+                                       double destination_register,
+                                       fi::BitFlipModel bit_flip_model,
+                                       double bit_pattern_value) const;
 
   const KernelStaticInfo* FindKernel(std::string_view name) const;
 

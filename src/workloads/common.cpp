@@ -130,7 +130,8 @@ std::string AddressOf(int rd, std::uint32_t ptr_param_offset, int elem_size) {
 
 }  // namespace
 
-std::string StencilKernel(const std::string& name, float coefficient) {
+std::string StencilKernel(const std::string& name, float coefficient,
+                          std::uint32_t n_mask) {
   // Five-point smoothing: out = c + k*(lap1 + 0.25*lap2), with lap1 the
   // nearest-neighbour Laplacian and lap2 the 2-hop one.
   std::string s = Format(".kernel %s regs=32\n", name.c_str());
@@ -141,13 +142,31 @@ std::string StencilKernel(const std::string& name, float coefficient) {
       "  IADD3 R4, R3, -2, RZ ;\n"
       "  ISETP.GE.OR P0, PT, R0, R4, P0 ;\n"
       "  @P0 EXIT ;\n";
-  s += AddressOf(8, 0x160, 4);  // &in[gid] -> R8:R9
+  s += AddressOf(8, 0x160, 4);  // &in[gid] -> R8:R9, in -> R10:R11
+  // Neighbour addressing the way the periodic-boundary codes spell it:
+  // wrapped index arithmetic (j = (gid+d) & (n-1)) rather than constant
+  // offsets off the centre address.  The interior guard above makes every
+  // wrap an identity, so the loaded values are exactly the same.
   s += Format(
-      "  LDG.E.32 R16, [R8+-8] ;\n"
-      "  LDG.E.32 R17, [R8+-4] ;\n"
+      "  IADD3 R5, R0, -1, RZ ;\n"
+      "  LOP32I.AND R5, R5, 0x%x ;\n"
+      "  IADD3 R6, R0, 1, RZ ;\n"
+      "  LOP32I.AND R6, R6, 0x%x ;\n"
+      "  IMAD.WIDE R28, R5, 0x4, R10 ;\n"
+      "  IMAD.WIDE R30, R6, 0x4, R10 ;\n"
+      "  LDG.E.32 R17, [R28] ;\n"
+      "  LDG.E.32 R19, [R30] ;\n"
+      "  IADD3 R5, R0, -2, RZ ;\n"
+      "  LOP32I.AND R5, R5, 0x%x ;\n"
+      "  IADD3 R6, R0, 2, RZ ;\n"
+      "  LOP32I.AND R6, R6, 0x%x ;\n"
+      "  IMAD.WIDE R28, R5, 0x4, R10 ;\n"
+      "  IMAD.WIDE R30, R6, 0x4, R10 ;\n"
+      "  LDG.E.32 R16, [R28] ;\n"
+      "  LDG.E.32 R20, [R30] ;\n",
+      n_mask, n_mask, n_mask, n_mask);
+  s += Format(
       "  LDG.E.32 R18, [R8] ;\n"
-      "  LDG.E.32 R19, [R8+4] ;\n"
-      "  LDG.E.32 R20, [R8+8] ;\n"
       "  FADD R21, R17, R19 ;\n"
       "  FADD R22, R16, R20 ;\n"
       "  FFMA R23, R18, %s, R21 ;\n"  // lap1 = near - 2c
@@ -235,14 +254,15 @@ std::string CopyKernel(const std::string& name) {
   return s;
 }
 
-std::string SweepKernel(const std::string& name, float c0, float c1) {
+std::string SweepKernel(const std::string& name, float c0, float c1,
+                        std::uint32_t n_mask) {
   // data[i] = c0*v + c1*w + 0.01*(v*w - v), v = data[i], w = data[i+stride].
   std::string s = Format(".kernel %s regs=28\n", name.c_str());
   s += GidAndBounds(0x168);  // params: 0=data, 1=n, 2=stride
-  s +=
+  s += Format(
       "  IADD3 R5, R0, c[0][0x170], RZ ;\n"  // j = gid + stride
-      "  IADD3 R6, R3, -1, RZ ;\n"
-      "  LOP.AND R5, R5, R6 ;\n";  // periodic wrap (n is a power of two)
+      "  LOP32I.AND R5, R5, 0x%x ;\n",  // periodic wrap (n is a power of two)
+      n_mask);
   s += AddressOf(8, 0x160, 4);  // &data[gid] (pointer pair also in R10:R11)
   s += Format(
       "  IMAD.WIDE R12, R5, 0x4, R10 ;\n"  // &data[j]
@@ -302,6 +322,7 @@ std::string ReduceKernel(const std::string& name) {
       "  ISETP.GE.AND P1, PT, R1, R9, PT ;\n"
       "  @P1 BRA reduce_skip ;\n"
       "  IADD3 R10, R1, R9, RZ ;\n"
+      "  LOP32I.AND R10, R10, 0x3f ;\n"  // partner slot (tid+step < 64)
       "  SHL R11, R10, 0x2 ;\n"
       "  LDS R12, [R11] ;\n"
       "  LDS R13, [R8] ;\n"

@@ -67,8 +67,12 @@ class ToleranceChecker final : public fi::SdcChecker {
 // slots at c[0][0x160+8i]) is documented per template.
 
 // out[i] = in[i] + c * (in[i-1] - 2*in[i] + in[i+1]), interior points only.
+// Neighbour indexes wrap periodically through `n_mask` (= n-1, n a power of
+// two), the same masked-index idiom the real periodic-boundary codes use;
+// the interior guard keeps the wrap an identity, so outputs are unchanged.
 // params: 0=in, 1=out, 2=n
-std::string StencilKernel(const std::string& name, float coefficient);
+std::string StencilKernel(const std::string& name, float coefficient,
+                          std::uint32_t n_mask);
 
 // y[i] = a * x[i] + y[i].   params: 0=x, 1=y, 2=n
 std::string AxpyKernel(const std::string& name, float a);
@@ -79,9 +83,11 @@ std::string ScaleKernel(const std::string& name, float a, float b);
 // out[i] = in[i].           params: 0=in, 1=out, 2=n
 std::string CopyKernel(const std::string& name);
 
-// data[i] = c0 * data[i] + c1 * data[i+stride] (periodic wrap via bounds
-// check). params: 0=data, 1=n, 2=stride
-std::string SweepKernel(const std::string& name, float c0, float c1);
+// data[i] = c0 * data[i] + c1 * data[(i+stride) & n_mask] (periodic wrap,
+// n_mask = n-1 with n a power of two — the same value the kernel previously
+// rebuilt from its n parameter at run time).  params: 0=data, 1=n, 2=stride
+std::string SweepKernel(const std::string& name, float c0, float c1,
+                        std::uint32_t n_mask);
 
 // FP64 stencil: out[i] += c * in[i] * in[i] (pair registers).
 // params: 0=in (double*), 1=out (double*), 2=n, 3=c (double bits)

@@ -19,7 +19,7 @@ constexpr int kSteps = 100;
 class OstencilProgram final : public fi::TargetProgram {
  public:
   OstencilProgram()
-      : source_(StencilKernel("ostencil_step", 0.19f) + ReduceKernel("ostencil_reduce")),
+      : source_(StencilKernel("ostencil_step", 0.19f, kN - 1) + ReduceKernel("ostencil_reduce")),
         checker_(ToleranceChecker::Element::kFloat, 2e-3, 1e-7) {}
 
   std::string name() const override { return "303.ostencil"; }

@@ -32,7 +32,7 @@ TemplateSuiteProgram::TemplateSuiteProgram(TemplateSuiteConfig config)
     const float c = coef(0.05, 0.24);  // diffusion-stable coefficients
     const std::string kernel_name =
         Format("%s_stencil_%02d", config_.name.substr(4).c_str(), i);
-    add(KernelKind::kStencil, "stencil", i, c, 0.0f, StencilKernel(kernel_name, c));
+    add(KernelKind::kStencil, "stencil", i, c, 0.0f, StencilKernel(kernel_name, c, config_.n - 1));
   }
   for (int i = 0; i < config_.axpy_kernels; ++i) {
     const float a = coef(-0.02, 0.02);
@@ -45,7 +45,7 @@ TemplateSuiteProgram::TemplateSuiteProgram(TemplateSuiteConfig config)
     const float c1 = 1.0f - c0;  // convex combination keeps values bounded
     const std::string kernel_name =
         Format("%s_sweep_%02d", config_.name.substr(4).c_str(), i);
-    add(KernelKind::kSweep, "sweep", i, c0, c1, SweepKernel(kernel_name, c0, c1));
+    add(KernelKind::kSweep, "sweep", i, c0, c1, SweepKernel(kernel_name, c0, c1, config_.n - 1));
   }
   for (int i = 0; i < config_.scale_kernels; ++i) {
     const float a = coef(0.995, 1.004);

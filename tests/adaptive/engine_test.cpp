@@ -188,6 +188,51 @@ TEST(Engine, AdoptRoundRejectsForeignSchedules) {
   EXPECT_FALSE(AdaptiveEngine(Strat({8, 8}), policy).AdoptRound(trailing, &error));
 }
 
+TEST(Engine, ImportanceDefaultsToOneWithoutAVector) {
+  AdaptivePolicy policy;
+  AdaptiveEngine engine(Strat({4, 4}), policy);
+  EXPECT_DOUBLE_EQ(engine.StratumImportance(0), 1.0);
+  EXPECT_DOUBLE_EQ(engine.StratumImportance(1), 1.0);
+}
+
+TEST(Engine, ImportanceWeightsSkewTheBudget) {
+  // Two strata with identical (all-wide) uncertainty: the one with 4x the
+  // importance weight must receive about 4x the budget.
+  AdaptivePolicy policy;
+  policy.round_size = 20;
+  policy.min_per_stratum = 0;
+  Stratification strat = Strat({100, 100});
+  strat.importance = {0.2, 0.8};
+  AdaptiveEngine engine(std::move(strat), policy);
+  const RoundRecord round = engine.PlanRound();
+  std::uint64_t to_light = 0;
+  std::uint64_t to_heavy = 0;
+  for (const RoundAllocation& allocation : round.allocations) {
+    (allocation.stratum == 1 ? to_heavy : to_light) += allocation.count;
+  }
+  EXPECT_EQ(to_light + to_heavy, 20u);
+  EXPECT_EQ(to_light, 4u);
+  EXPECT_EQ(to_heavy, 16u);
+}
+
+TEST(Engine, ImportanceWeightedPlanningIsDeterministic) {
+  AdaptivePolicy policy;
+  policy.round_size = 7;
+  Stratification sa = Strat({9, 3, 14});
+  sa.importance = {0.05, 1.0, 0.5};
+  Stratification sb = sa;
+  AdaptiveEngine a(std::move(sa), policy);
+  AdaptiveEngine b(std::move(sb), policy);
+  for (int round = 0; round < 3; ++round) {
+    const RoundRecord ra = a.PlanRound();
+    const RoundRecord rb = b.PlanRound();
+    ExpectRoundsEqual(ra, rb);
+    if (ra.indexes.empty()) break;
+    ObserveMixed(a, ra);
+    ObserveMixed(b, rb);
+  }
+}
+
 TEST(Engine, OutcomeUncertaintyIsOneBeforeData) {
   EXPECT_DOUBLE_EQ(OutcomeUncertainty(fi::OutcomeCounts{}, 0.95), 1.0);
   fi::OutcomeCounts counts;

@@ -59,6 +59,33 @@ TEST(Stratum, LabelsSortedAndMembersAscending) {
   }
 }
 
+TEST(Stratum, MaskingScoreBinsAreQuartiles) {
+  EXPECT_EQ(MaskingScoreBin(0.0), 0);
+  EXPECT_EQ(MaskingScoreBin(0.24), 0);
+  EXPECT_EQ(MaskingScoreBin(0.25), 1);
+  EXPECT_EQ(MaskingScoreBin(0.5), 2);
+  EXPECT_EQ(MaskingScoreBin(0.75), 3);
+  EXPECT_EQ(MaskingScoreBin(1.0), 3);  // clamped into the top bin
+  EXPECT_EQ(MaskingScoreBinLabel(0), "m00");
+  EXPECT_EQ(MaskingScoreBinLabel(1), "m25");
+  EXPECT_EQ(MaskingScoreBinLabel(2), "m50");
+  EXPECT_EQ(MaskingScoreBinLabel(3), "m75");
+}
+
+TEST(Stratum, NullOracleImportanceIsUniform) {
+  // Unresolved draws carry full propagation potential; the trivially-masked
+  // stratum gets the allocation floor.
+  const fi::ProgramProfile profile;
+  std::vector<fi::TransientDraw> draws;
+  draws.push_back(DrawFor("k"));
+  draws.emplace_back();  // (no-site)
+  const Stratification s = StratifyPool(profile, draws, nullptr);
+  ASSERT_EQ(s.importance.size(), 2u);
+  EXPECT_GT(s.importance[0], 0.0);  // (no-site): floored, still allocatable
+  EXPECT_LT(s.importance[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.importance[1], 1.0);  // unresolved
+}
+
 TEST(Stratum, StratificationIsDeterministic) {
   const fi::ProgramProfile profile;
   std::vector<fi::TransientDraw> draws;

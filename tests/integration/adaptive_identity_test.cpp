@@ -25,7 +25,8 @@
 namespace nvbitfi::service {
 namespace {
 
-fi::CampaignSpec SpecFor(const std::string& program) {
+fi::CampaignSpec SpecFor(const std::string& program,
+                         const std::string& static_mode = "off") {
   fi::CampaignSpec spec;
   spec.program = program;
   spec.seed = 424242;
@@ -35,6 +36,7 @@ fi::CampaignSpec SpecFor(const std::string& program) {
   spec.adaptive_target_width = 0.25;
   spec.adaptive_round_size = 6;
   spec.adaptive_min_per_stratum = 1;
+  spec.static_mode = static_mode;
   return spec;
 }
 
@@ -90,6 +92,34 @@ TEST_P(AdaptiveIdentity, WorkerCountDoesNotPerturbStoreBytes) {
   EXPECT_EQ(serial_bytes, ReadAll(parallel.store_path));
 }
 
+// The masking-score strata + bit-granular pruning variant of the same
+// contract: a --static-prune adaptive campaign (strata carry the live/mXX
+// masking-score labels and importance weights, bit-dead draws synthesize
+// Masked records without running) must still be byte-reproducible across
+// worker counts.
+TEST_P(AdaptiveIdentity, PruneWorkerCountDoesNotPerturbStoreBytes) {
+  const std::string program = GetParam().program->name();
+  const std::string tag = SafeName(program);
+
+  AdaptiveJob serial;
+  serial.spec = SpecFor(program, "prune");
+  serial.store_path = TempPath("aip_" + tag + "_w1.jsonl");
+  serial.workers = 1;
+  const AdaptiveOutcome serial_outcome = RunAdaptiveJob(serial, &Cache());
+  ASSERT_TRUE(serial_outcome.ok) << serial_outcome.error;
+  EXPECT_GT(serial_outcome.scheduled, 0u);
+
+  AdaptiveJob parallel = serial;
+  parallel.store_path = TempPath("aip_" + tag + "_w4.jsonl");
+  parallel.workers = 4;
+  const AdaptiveOutcome parallel_outcome = RunAdaptiveJob(parallel, &Cache());
+  ASSERT_TRUE(parallel_outcome.ok) << parallel_outcome.error;
+
+  const std::string serial_bytes = ReadAll(serial.store_path);
+  ASSERT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, ReadAll(parallel.store_path));
+}
+
 std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
   return SafeName(info.param.program->name());
 }
@@ -100,10 +130,12 @@ INSTANTIATE_TEST_SUITE_P(AllPrograms, AdaptiveIdentity,
 // The coordinator's execution model, inline: plan rounds centrally, deal each
 // round's indexes out as slice jobs, feed the slice outcomes back, merge all
 // slices plus the schedule.  The merged store must be byte-identical to the
-// single-process adaptive store.
+// single-process adaptive store.  Runs with bit-granular pruning on: slice
+// workers synthesize the same Masked records for bit-dead draws as the
+// single process does.
 TEST(AdaptiveIdentity, SlicedRoundsMergeByteIdenticalToLocalStore) {
   const std::string program = workloads::AllWorkloads().front().program->name();
-  const fi::CampaignSpec spec = SpecFor(program);
+  const fi::CampaignSpec spec = SpecFor(program, "prune");
 
   AdaptiveJob local;
   local.spec = spec;
@@ -163,9 +195,11 @@ TEST(AdaptiveIdentity, SlicedRoundsMergeByteIdenticalToLocalStore) {
 
 // SIGINT/SIGKILL mid-campaign: the persisted rounds are adopted verbatim on
 // resume and the completed store is byte-identical to an uninterrupted run.
+// Runs with bit-granular pruning on, so the masking-score strata persisted
+// in the store header are exercised through the resume path too.
 TEST(AdaptiveIdentity, KilledCampaignResumesToIdenticalStore) {
   const std::string program = workloads::AllWorkloads().front().program->name();
-  fi::CampaignSpec spec = SpecFor(program);
+  fi::CampaignSpec spec = SpecFor(program, "prune");
   spec.num_injections = 16;
   spec.adaptive_target_width = 0.20;
 

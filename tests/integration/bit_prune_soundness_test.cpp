@@ -1,0 +1,92 @@
+// Bit-granular static-oracle soundness against dynamic ground truth, on all
+// bundled workloads: every draw the bit-liveness oracle rules out — the
+// whole target statically dead, or the drawn flip mask touching only dead
+// bits — must classify as Masked when actually executed, and the traced
+// (TaintTracker) campaign must agree that the fault never escaped.
+//
+// The outcome contract (bit-dead => Masked) is the load-bearing one: it is
+// what lets --static-prune synthesize Masked records without running.  The
+// taint cross-check is asserted at the granularity the tracker actually
+// has: register-granular taint dies with its launch, so a register-dead
+// target must be fully_masked; a flip on dead BITS of a live register may
+// legitimately carry whole-register taint into memory even though no
+// observable value changes, so there the tracker is only required to be
+// consistent (fully_masked => Masked), which BuildTransientPropagation
+// already audits.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "analysis/propagation.h"
+#include "core/campaign.h"
+#include "staticanalysis/static_site.h"
+#include "trace/taint_tracker.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::staticanalysis {
+namespace {
+
+class BitPruneSoundness : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(BitPruneSoundness, BitDeadDrawsAreMaskedAndTaintConsistent) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  const fi::TargetProgram& program = *entry.program;
+  const StaticSiteAnalysis analysis =
+      StaticSiteAnalysis::ForProgram(program, sim::DeviceProps{});
+
+  const fi::CampaignRunner runner(program);
+  fi::TransientCampaignConfig config;
+  config.seed = 20260808;
+  config.num_injections = 12;
+  config.trace = true;
+  config.profiling = fi::ProfilerTool::Mode::kApproximate;
+  config.tool_factory = [](std::size_t, const fi::TransientFaultParams& params) {
+    return std::make_unique<trace::TaintTracker>(params);
+  };
+  const fi::TransientCampaignResult result = runner.RunTransientCampaign(config);
+
+  std::uint64_t bit_dead_draws = 0;
+  for (const fi::InjectionRun& run : result.injections) {
+    if (run.trivially_masked || !run.record.activated) continue;
+    const fi::StaticSiteVerdict verdict = analysis.EvaluateStatic(
+        run.params.kernel_name, run.record.static_index,
+        run.params.destination_register, run.params.bit_flip_model,
+        run.params.bit_pattern_value);
+    if (!verdict.resolved) continue;
+    if (!verdict.statically_dead && !verdict.flip_dead) continue;
+    ++bit_dead_draws;
+    EXPECT_EQ(run.classification.outcome, fi::Outcome::kMasked)
+        << run.params.kernel_name << " static index " << run.record.static_index
+        << ": a statically bit-dead draw classified as "
+        << fi::OutcomeName(run.classification.outcome);
+    ASSERT_TRUE(run.propagation.has_value());
+    if (verdict.register_dead) {
+      // The whole target register is dead: its taint can never be consumed,
+      // so it dies with the launch and the tracker must report full masking.
+      EXPECT_TRUE(run.propagation->fully_masked)
+          << run.params.kernel_name << " static index " << run.record.static_index
+          << ": register-dead draw escaped the taint tracker";
+    }
+  }
+  // The tracker's own one-sided contract over the whole campaign.
+  const analysis::PropagationBreakdown breakdown =
+      analysis::BuildTransientPropagation(result);
+  EXPECT_EQ(breakdown.consistency_violations, 0u);
+  RecordProperty("bit_dead_draws", static_cast<int>(bit_dead_draws));
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, BitPruneSoundness,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+}  // namespace
+}  // namespace nvbitfi::staticanalysis

@@ -72,9 +72,9 @@ TEST(Disassembler, GuardsAndModifiersRender) {
 }
 
 TEST(Disassembler, AllTemplateKernelsRoundTrip) {
-  const std::string source = workloads::StencilKernel("dt_stencil", 0.21f) +
+  const std::string source = workloads::StencilKernel("dt_stencil", 0.21f, 0x3f) +
                              workloads::AxpyKernel("dt_axpy", 0.013f) +
-                             workloads::SweepKernel("dt_sweep", 0.95f, 0.05f) +
+                             workloads::SweepKernel("dt_sweep", 0.95f, 0.05f, 0x3f) +
                              workloads::ScaleKernel("dt_scale", 1.001f, -2e-4f) +
                              workloads::CopyKernel("dt_copy") +
                              workloads::Fp64SquareAccumulateKernel("dt_fp64") +

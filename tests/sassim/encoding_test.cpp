@@ -181,9 +181,9 @@ TEST(Encoding, ProgramRoundTrip) {
 // Property test: every instruction of every kernel template survives an
 // encode/decode round trip bit-exactly (compared by re-encoding).
 TEST(Encoding, TemplateKernelsRoundTripBitExactly) {
-  const std::string source = workloads::StencilKernel("rt_stencil", 0.17f) +
+  const std::string source = workloads::StencilKernel("rt_stencil", 0.17f, 0x3f) +
                              workloads::AxpyKernel("rt_axpy", -0.01f) +
-                             workloads::SweepKernel("rt_sweep", 0.93f, 0.07f) +
+                             workloads::SweepKernel("rt_sweep", 0.93f, 0.07f, 0x3f) +
                              workloads::ScaleKernel("rt_scale", 0.999f, 1e-4f) +
                              workloads::CopyKernel("rt_copy") +
                              workloads::Fp64SquareAccumulateKernel("rt_fp64") +

@@ -1,0 +1,239 @@
+// Bit-granular liveness: table-driven transfer-function tests against the
+// executor's documented semantics, and the soundness property over every
+// bundled workload kernel — a bit can only be live if the register-level
+// analysis says its register is live (bit-liveness REFINES liveness).
+#include "staticanalysis/bitliveness.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "sassim/asm/assembler.h"
+#include "staticanalysis/liveness.h"
+#include "staticanalysis/static_site.h"
+#include "workloads/workloads.h"
+
+namespace nvbitfi::staticanalysis {
+namespace {
+
+using sim::AssembleKernelOrDie;
+
+sim::Instruction FirstInstr(const std::string& line) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t", line + "\n  EXIT ;\n");
+  return kernel.instructions.at(0);
+}
+
+BitLiveSet LiveSetWithGpr(int reg, std::uint32_t mask) {
+  BitLiveSet live;
+  live.AddGprBits(reg, mask);
+  return live;
+}
+
+struct Expect {
+  int reg;
+  std::uint32_t mask;
+};
+
+struct TransferCase {
+  const char* name;
+  const char* line;        // one instruction writing R3
+  std::uint32_t live_out;  // live bits of R3 after it
+  std::vector<Expect> want;  // exact live-in masks; unlisted regs must be 0
+};
+
+class BitTransferTable : public ::testing::TestWithParam<TransferCase> {};
+
+TEST_P(BitTransferTable, DemandsMatchExecutorSemantics) {
+  const TransferCase& tc = GetParam();
+  const sim::Instruction inst = FirstInstr(tc.line);
+  const BitLiveSet live_in = BitTransfer(inst, LiveSetWithGpr(3, tc.live_out));
+  for (int r = 0; r < 16; ++r) {
+    std::uint32_t want = 0;
+    for (const Expect& e : tc.want) {
+      if (e.reg == r) want = e.mask;
+    }
+    EXPECT_EQ(live_in.GprBits(r), want) << "R" << r << " in " << tc.line;
+  }
+}
+
+const TransferCase kTransferCases[] = {
+    // Copies are bit-transparent; the destination's own bits are killed.
+    {"mov", "  MOV R3, R1 ;", 0x0000F00Fu, {{1, 0x0000F00Fu}}},
+    {"i2i_is_a_copy", "  I2I R3, R1 ;", 0xDEADBEEFu, {{1, 0xDEADBEEFu}}},
+    // AND with an immediate: bits the mask clears cannot propagate.
+    {"and_imm", "  LOP32I.AND R3, R1, 0xFF00 ;", 0x0000FFFFu, {{1, 0x0000FF00u}}},
+    // OR with an immediate: bits the mask forces to one cannot propagate.
+    {"or_imm", "  LOP32I.OR R3, R1, 0xFF ;", 0x0000FFFFu, {{1, 0x0000FF00u}}},
+    // XOR flips but never blocks.
+    {"xor_imm", "  LOP32I.XOR R3, R1, 0xFF ;", 0x000000F0u, {{1, 0x000000F0u}}},
+    // Constant shift amounts map demands bit-exactly.
+    {"shl_const", "  SHL R3, R1, 0x8 ;", 0x0000FF00u, {{1, 0x000000FFu}}},
+    {"shr_unsigned_const", "  SHR.U32 R3, R1, 0x8 ;", 0x000000FFu, {{1, 0x0000FF00u}}},
+    // Arithmetic right shift replicates the sign bit into the vacated
+    // window: a live vacated bit demands bit 31 even after its own source
+    // bit shifted out.
+    {"shr_signed_sign_fill", "  SHR R3, R1, 0x8 ;", 0x01000000u, {{1, 0x80000000u}}},
+    // LOP3 majority (0xe8): every input can flip the output.
+    {"lop3_majority",
+     "  LOP3 R3, R1, R2, R4, 0xe8 ;",
+     0x1u,
+     {{1, 0x1u}, {2, 0x1u}, {4, 0x1u}}},
+    // LOP3 a&b (0xc0) with b = 0xFF known: a is demanded where b is set, c
+    // never matters.
+    {"lop3_and_known_imm",
+     "  LOP3 R3, R1, 0xFF, R4, 0xc0 ;",
+     0x0000FFFFu,
+     {{1, 0x000000FFu}, {4, 0u}}},
+    // Carries propagate strictly upward: demands stop at the highest live
+    // result bit.
+    {"iadd3_cone", "  IADD3 R3, R1, R2, RZ ;", 0x10u, {{1, 0x1Fu}, {2, 0x1Fu}}},
+    // Bit reversal is a permutation.
+    {"brev", "  BREV R3, R1 ;", 0x1u, {{1, 0x80000000u}}},
+    // PRMT byte-reverse selector: live byte 0 demands pool byte 3.
+    {"prmt_byte_reverse",
+     "  PRMT R3, R1, 0x0123, RZ ;",
+     0x000000FFu,
+     {{1, 0xFF000000u}}},
+    // Unmodeled fp arithmetic falls back to full-width demands.
+    {"fadd_fallback",
+     "  FADD R3, R1, R2 ;",
+     0x1u,
+     {{1, 0xFFFFFFFFu}, {2, 0xFFFFFFFFu}}},
+};
+
+std::string CaseName(const ::testing::TestParamInfo<TransferCase>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, BitTransferTable, ::testing::ValuesIn(kTransferCases),
+                         CaseName);
+
+TEST(BitTransfer, SubWordStoreDemandsOnlyLowBytes) {
+  const sim::Instruction inst = FirstInstr("  STG.E.U8 [R2], R4 ;");
+  const BitLiveSet live_in = BitTransfer(inst, BitLiveSet{});
+  EXPECT_EQ(live_in.GprBits(2), 0xFFFFFFFFu);  // 64-bit address pair
+  EXPECT_EQ(live_in.GprBits(3), 0xFFFFFFFFu);
+  EXPECT_EQ(live_in.GprBits(4), 0x000000FFu);  // only the stored byte
+}
+
+TEST(BitTransfer, DeadDestinationComparisonDemandsNothing) {
+  // Once the destination predicates are dead, the comparison's sources are
+  // not demanded — this gating is what bit-kills comparison inputs.
+  const sim::Instruction inst = FirstInstr("  ISETP.LT.AND P0, PT, R1, R2, PT ;");
+  const BitLiveSet live_in = BitTransfer(inst, BitLiveSet{});
+  EXPECT_TRUE(live_in.Empty());
+}
+
+TEST(BitTransfer, LivePredicateComparisonDemandsSourcesFully) {
+  const sim::Instruction inst = FirstInstr("  ISETP.LT.AND P0, PT, R1, R2, PT ;");
+  BitLiveSet live_out;
+  live_out.AddPred(0);
+  const BitLiveSet live_in = BitTransfer(inst, live_out);
+  EXPECT_EQ(live_in.GprBits(1), 0xFFFFFFFFu);
+  EXPECT_EQ(live_in.GprBits(2), 0xFFFFFFFFu);
+  EXPECT_FALSE(live_in.TestPred(0));  // the write kills it
+}
+
+TEST(BitTransfer, GuardedWriteNeverKills) {
+  const sim::KernelSource kernel = AssembleKernelOrDie(
+      "t",
+      "  ISETP.LT.AND P1, PT, RZ, RZ, PT ;\n"
+      "  @P1 MOV R3, R1 ;\n"
+      "  EXIT ;\n");
+  const sim::Instruction guarded = kernel.instructions.at(1);
+  const BitLiveSet live_in = BitTransfer(guarded, LiveSetWithGpr(3, 0xFu));
+  EXPECT_EQ(live_in.GprBits(3), 0xFu);  // the write may be suppressed
+  EXPECT_EQ(live_in.GprBits(1), 0xFu);
+  EXPECT_TRUE(live_in.TestPred(1));
+}
+
+TEST(BitTransfer, NeverExecutedGuardIsIdentity) {
+  const sim::Instruction inst = FirstInstr("  @!PT MOV R3, R1 ;");
+  const BitLiveSet live_out = LiveSetWithGpr(3, 0xFFu);
+  EXPECT_EQ(BitTransfer(inst, live_out), live_out);
+}
+
+TEST(BitLivenessAnalysis, MaskThenStoreKillsHighBits) {
+  // The AND 0xFF between the producer and the consumer makes the producer's
+  // high 24 bits statically dead at the kAfter point.
+  const sim::KernelSource kernel = AssembleKernelOrDie(
+      "t",
+      "  S2R R1, SR_TID.X ;\n"
+      "  LOP32I.AND R2, R1, 0xFF ;\n"
+      "  STG.E.32 [RZ], R2 ;\n"
+      "  EXIT ;\n");
+  const LivenessAnalysis liveness(kernel);
+  const BitLivenessAnalysis bits(kernel, liveness.cfg());
+  // After the S2R (instruction 0) R1 is register-live but only its low byte
+  // is bit-live.
+  EXPECT_TRUE(liveness.LiveOutAt(0).TestGpr(1));
+  EXPECT_EQ(bits.LiveOutAt(0).GprBits(1), 0x000000FFu);
+  // After the AND, all 32 bits of R2 feed the 32-bit store.
+  EXPECT_EQ(bits.LiveOutAt(1).GprBits(2), 0xFFFFFFFFu);
+}
+
+// ---- Soundness property over every bundled workload ----
+
+class BitLivenessSuite : public ::testing::TestWithParam<workloads::WorkloadEntry> {};
+
+TEST_P(BitLivenessSuite, BitLivenessRefinesRegisterLiveness) {
+  const workloads::WorkloadEntry& entry = GetParam();
+  const std::vector<sim::KernelSource> kernels =
+      HarvestKernels(*entry.program, sim::DeviceProps{});
+  ASSERT_FALSE(kernels.empty());
+  std::uint64_t strictly_finer = 0;
+  for (const sim::KernelSource& kernel : kernels) {
+    const LivenessAnalysis liveness(kernel);
+    const BitLivenessAnalysis bits(kernel, liveness.cfg());
+    for (std::uint32_t i = 0; i < kernel.instructions.size(); ++i) {
+      for (int r = 0; r < sim::kRZ; ++r) {
+        const std::uint32_t in_mask = bits.LiveInAt(i).GprBits(r);
+        const std::uint32_t out_mask = bits.LiveOutAt(i).GprBits(r);
+        if (in_mask != 0) {
+          EXPECT_TRUE(liveness.LiveInAt(i).TestGpr(r))
+              << kernel.name << ":" << i << " R" << r
+              << " bit-live-in without register liveness";
+        }
+        if (out_mask != 0) {
+          EXPECT_TRUE(liveness.LiveOutAt(i).TestGpr(r))
+              << kernel.name << ":" << i << " R" << r
+              << " bit-live-out without register liveness";
+        }
+        if (liveness.LiveOutAt(i).TestGpr(r) && out_mask != 0xFFFFFFFFu) {
+          ++strictly_finer;
+        }
+      }
+      for (int p = 0; p < sim::kPT; ++p) {
+        if (bits.LiveInAt(i).TestPred(p)) {
+          EXPECT_TRUE(liveness.LiveInAt(i).TestPred(p))
+              << kernel.name << ":" << i << " P" << p;
+        }
+        if (bits.LiveOutAt(i).TestPred(p)) {
+          EXPECT_TRUE(liveness.LiveOutAt(i).TestPred(p))
+              << kernel.name << ":" << i << " P" << p;
+        }
+      }
+    }
+  }
+  // Not a hard guarantee per program, but across the bundled workloads the
+  // analysis should refine SOMETHING; tracked per-program for visibility.
+  RecordProperty("strictly_finer_sites", static_cast<int>(strictly_finer));
+}
+
+std::string EntryName(const ::testing::TestParamInfo<workloads::WorkloadEntry>& info) {
+  std::string name = info.param.program->name();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, BitLivenessSuite,
+                         ::testing::ValuesIn(workloads::AllWorkloads()), EntryName);
+
+}  // namespace
+}  // namespace nvbitfi::staticanalysis

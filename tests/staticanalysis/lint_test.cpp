@@ -154,6 +154,110 @@ TEST(Lint, DynamicSharedAddressIsNotFlagged) {
   EXPECT_EQ(CountKind(LintKernel(kernel), LintKind::kSharedOutOfRange), 0u);
 }
 
+TEST(Lint, RedundantAndMask) {
+  // R1 already feeds only an 8-bit store, so AND 0xFFFF clears no live bit.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  LOP32I.AND R2, R1, 0xFFFF ;\n"
+                          "  STG.E.U8 [RZ], R2 ;\n"
+                          "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kRedundantMask), 1u);
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kRedundantMask) continue;
+    EXPECT_EQ(f.instr_index, 1u);
+    EXPECT_NE(f.message.find("AND"), std::string::npos);
+  }
+}
+
+TEST(Lint, EffectiveAndMaskIsNotRedundant) {
+  // The same AND before a 32-bit store genuinely clears live bits.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  LOP32I.AND R2, R1, 0xFFFF ;\n"
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  EXIT ;\n");
+  EXPECT_EQ(CountKind(LintKernel(kernel), LintKind::kRedundantMask), 0u);
+}
+
+TEST(Lint, RedundantOrMask) {
+  // OR with bits that are only read back through an AND that drops them.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  LOP32I.OR R2, R1, 0xFF000000 ;\n"
+                          "  LOP32I.AND R4, R2, 0xFFFF ;\n"
+                          "  STG.E.32 [RZ], R4 ;\n"
+                          "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kRedundantMask), 1u);
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kRedundantMask) continue;
+    EXPECT_EQ(f.instr_index, 1u);
+    EXPECT_NE(f.message.find("OR"), std::string::npos);
+  }
+}
+
+TEST(Lint, RegisterMaskIsNotFlagged) {
+  // No immediate operand: nothing to judge statically.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  S2R R2, SR_CTAID.X ;\n"
+                          "  LOP.AND R4, R1, R2 ;\n"
+                          "  STG.E.U8 [RZ], R4 ;\n"
+                          "  EXIT ;\n");
+  EXPECT_EQ(CountKind(LintKernel(kernel), LintKind::kRedundantMask), 0u);
+}
+
+TEST(Lint, ShiftOutOfRange) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  SHL R2, R1, 0x20 ;\n"   // &31 -> shift by 0
+                          "  SHL R4, R1, 0x1f ;\n"   // in range
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  STG.E.32 [RZ+4], R4 ;\n"
+                          "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kShiftOutOfRange), 1u);
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kShiftOutOfRange) continue;
+    EXPECT_EQ(f.instr_index, 1u);
+    EXPECT_NE(f.message.find("truncates to 0"), std::string::npos) << f.message;
+  }
+}
+
+TEST(Lint, FunnelShiftRangeIsSixBits) {
+  // SHF masks its amount to 6 bits, so 0x20 is fine and 0x40 is not.
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  SHF.L R2, R1, 0x20, R1 ;\n"
+                          "  SHF.L R4, R1, 0x40, R1 ;\n"
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  STG.E.32 [RZ+4], R4 ;\n"
+                          "  EXIT ;\n");
+  const std::vector<LintFinding> findings = LintKernel(kernel);
+  ASSERT_EQ(CountKind(findings, LintKind::kShiftOutOfRange), 1u);
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kShiftOutOfRange) continue;
+    EXPECT_EQ(f.instr_index, 2u);
+  }
+}
+
+TEST(Lint, DynamicShiftAmountIsNotFlagged) {
+  const sim::KernelSource kernel =
+      AssembleKernelOrDie("t",
+                          "  S2R R1, SR_TID.X ;\n"
+                          "  SHL R2, R1, R1 ;\n"
+                          "  STG.E.32 [RZ], R2 ;\n"
+                          "  EXIT ;\n");
+  EXPECT_EQ(CountKind(LintKernel(kernel), LintKind::kShiftOutOfRange), 0u);
+}
+
 TEST(Lint, ReportFormat) {
   const sim::KernelSource kernel = AssembleKernelOrDie("probe",
                                                        "  BRA end ;\n"

@@ -121,9 +121,12 @@ int Usage() {
                "                  --timeline summarizes a --trace-events log\n"
                "                  (per-phase span totals + round/shard markers);\n"
                "                  with --timeline the store argument is optional\n"
-               "  lint <program|file.sass>  static analysis checks (read-before-def,\n"
-               "                  unreachable code, dead stores, constant guards,\n"
-               "                  shared-memory bounds); exit 1 when findings exist\n"
+               "  lint <program|file.sass> [--allow KIND]...  static analysis checks\n"
+               "                  (read-before-def, unreachable code, dead stores,\n"
+               "                  constant guards, shared-memory bounds, redundant\n"
+               "                  masks, out-of-range shifts); exit 1 when findings\n"
+               "                  exist; --allow KIND (repeatable) downgrades a kind\n"
+               "                  to a warning that does not affect the exit code\n"
                "  dictionary [--seed N] [-o FILE]   emit a synthetic fault dictionary\n"
                "  disasm <program> [kernel] [-o FILE]  dump a program's kernels\n"
                "  serve --socket PATH [--workdir DIR] [--inprocess-workers N]\n"
@@ -219,6 +222,8 @@ struct Args {
   std::string trace_events;
   std::string timeline;
   bool metrics = false;
+  // Lint: kinds downgraded from errors to warnings (repeatable --allow).
+  std::vector<std::string> lint_allow;
 };
 
 std::optional<Args> ParseArgs(int argc, char** argv, int first) {
@@ -369,6 +374,10 @@ std::optional<Args> ParseArgs(int argc, char** argv, int first) {
       args.timeline = *v;
     } else if (arg == "--metrics") {
       args.metrics = true;
+    } else if (arg == "--allow") {
+      const auto v = next();
+      if (!v) return std::nullopt;
+      args.lint_allow.push_back(*v);
     } else if (arg == "--element") {
       const auto v = next();
       if (!v) return std::nullopt;
@@ -1064,6 +1073,9 @@ int StaticCrossTab(const analysis::LoadedStore& store) {
   // rows: 0 = statically dead, 1 = statically live, 2 = unresolved
   // cols: 0 = Masked, 1 = SDC, 2 = DUE
   std::uint64_t table[3][3] = {};
+  // Bit-granular view of the resolved rows: outcome counts by the site's
+  // masking-score quartile (fraction of statically dead target bits).
+  std::uint64_t score_table[4][3] = {};
   std::uint64_t skipped = 0;  // trivially masked or never-activated runs
   std::uint64_t violations = 0;
   for (const auto& [index, run] : store.transient) {
@@ -1074,7 +1086,8 @@ int StaticCrossTab(const analysis::LoadedStore& store) {
     }
     const fi::StaticSiteVerdict verdict = analysis.EvaluateStatic(
         run.params.kernel_name, run.record.static_index,
-        run.params.destination_register);
+        run.params.destination_register, run.params.bit_flip_model,
+        run.params.bit_pattern_value);
     const int row = !verdict.resolved ? 2 : verdict.statically_dead ? 0 : 1;
     int col = 0;
     switch (run.classification.outcome) {
@@ -1083,7 +1096,10 @@ int StaticCrossTab(const analysis::LoadedStore& store) {
       case fi::Outcome::kDue: col = 2; break;
     }
     ++table[row][col];
-    if (row == 0 && col != 0) ++violations;
+    if (verdict.resolved) {
+      ++score_table[adaptive::MaskingScoreBin(verdict.masking_score)][col];
+    }
+    if ((row == 0 || (verdict.resolved && verdict.flip_dead)) && col != 0) ++violations;
   }
 
   static constexpr const char* kRowNames[3] = {"statically dead", "statically live",
@@ -1096,6 +1112,21 @@ int StaticCrossTab(const analysis::LoadedStore& store) {
                 static_cast<unsigned long long>(table[row][0]),
                 static_cast<unsigned long long>(table[row][1]),
                 static_cast<unsigned long long>(table[row][2]));
+  }
+  std::printf("\nstatic masking score vs dynamic outcome (resolved sites):\n");
+  std::printf("  %-16s %10s %10s %10s %8s\n", "score bin", "Masked", "SDC", "DUE",
+              "masked%");
+  for (int bin = 0; bin < 4; ++bin) {
+    const std::uint64_t total =
+        score_table[bin][0] + score_table[bin][1] + score_table[bin][2];
+    if (total == 0) continue;
+    std::printf("  %-16s %10llu %10llu %10llu %7.1f%%\n",
+                std::string(adaptive::MaskingScoreBinLabel(bin)).c_str(),
+                static_cast<unsigned long long>(score_table[bin][0]),
+                static_cast<unsigned long long>(score_table[bin][1]),
+                static_cast<unsigned long long>(score_table[bin][2]),
+                100.0 * static_cast<double>(score_table[bin][0]) /
+                    static_cast<double>(total));
   }
   if (skipped > 0) {
     std::printf("  (%llu run%s without an injection site excluded)\n",
@@ -1228,7 +1259,15 @@ int StrataCrossTab(const analysis::LoadedStore& store, const Args& args) {
       std::string liveness = "unresolved";
       if (verdict.resolved) {
         group = std::string(adaptive::OpcodeGroupLabel(run.record.opcode));
-        liveness = verdict.statically_dead ? "dead" : "live";
+        if (verdict.statically_dead) {
+          liveness = "dead";
+        } else {
+          // Mirror adaptive::StratumLabelFor: live sites split by their
+          // bit-liveness masking-score quartile.
+          liveness = "live/";
+          liveness += adaptive::MaskingScoreBinLabel(
+              adaptive::MaskingScoreBin(verdict.masking_score));
+        }
       }
       label = run.params.kernel_name + "/" + group + "/" + liveness;
     }
@@ -1317,11 +1356,44 @@ int CmdAnalyze(const Args& args) {
 }
 
 // Lints every kernel of a built-in workload (harvested by running it once) or
-// of a .sass assembly file.  Exit 1 when any finding is reported, so the lint
-// can gate CI.
+// of a .sass assembly file.  Exit 1 when any non-allowed finding is reported,
+// so the lint can gate CI; --allow KIND (repeatable) downgrades a finding
+// kind to a warning that is still printed but does not fail the run.
 int CmdLint(const Args& args) {
   if (args.positional.empty()) return Usage();
   const std::string& target = args.positional[0];
+
+  static constexpr staticanalysis::LintKind kAllKinds[] = {
+      staticanalysis::LintKind::kReadBeforeDef,
+      staticanalysis::LintKind::kUnreachableBlock,
+      staticanalysis::LintKind::kDeadStore,
+      staticanalysis::LintKind::kConstantGuard,
+      staticanalysis::LintKind::kSharedOutOfRange,
+      staticanalysis::LintKind::kRedundantMask,
+      staticanalysis::LintKind::kShiftOutOfRange,
+  };
+  std::set<staticanalysis::LintKind> allowed;
+  for (const std::string& name : args.lint_allow) {
+    bool known = false;
+    for (const staticanalysis::LintKind kind : kAllKinds) {
+      if (name == staticanalysis::LintKindName(kind)) {
+        allowed.insert(kind);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string names;
+      for (const staticanalysis::LintKind kind : kAllKinds) {
+        if (!names.empty()) names += ", ";
+        names += staticanalysis::LintKindName(kind);
+      }
+      std::fprintf(stderr, "--allow '%s' is not a lint kind (one of: %s)\n",
+                   name.c_str(), names.c_str());
+      return 2;
+    }
+  }
+
   std::vector<sim::KernelSource> kernels;
   if (const fi::TargetProgram* program = workloads::FindWorkload(target);
       program != nullptr) {
@@ -1345,16 +1417,28 @@ int CmdLint(const Args& args) {
     std::fprintf(stderr, "'%s' contains no kernels\n", target.c_str());
     return 1;
   }
-  std::size_t total = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
   for (const sim::KernelSource& kernel : kernels) {
     const std::vector<staticanalysis::LintFinding> findings =
         staticanalysis::LintKernel(kernel);
-    total += findings.size();
+    for (const staticanalysis::LintFinding& finding : findings) {
+      if (allowed.count(finding.kind) != 0) {
+        ++warnings;
+      } else {
+        ++errors;
+      }
+    }
     std::fputs(staticanalysis::LintReport(kernel, findings).c_str(), stdout);
   }
-  std::printf("%zu kernel%s linted, %zu finding%s\n", kernels.size(),
+  const std::size_t total = errors + warnings;
+  std::printf("%zu kernel%s linted, %zu finding%s", kernels.size(),
               kernels.size() == 1 ? "" : "s", total, total == 1 ? "" : "s");
-  return total == 0 ? 0 : 1;
+  if (warnings > 0) {
+    std::printf(" (%zu allowed as warning%s)", warnings, warnings == 1 ? "" : "s");
+  }
+  std::printf("\n");
+  return errors == 0 ? 0 : 1;
 }
 
 // ---- Campaign service subcommands (serve / submit / shard / merge) ----
